@@ -1,0 +1,43 @@
+//! Compile-time benchmarks: the paper's practicality claim is "compile
+//! times short enough to accommodate an edit-compile-debug cycle" (§1.2).
+//! These measure the front end alone and the full pipeline (dominated by
+//! the ILP solve, the paper's Figure-7 cost).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nova::CompileConfig;
+use std::time::Duration;
+
+fn frontend_only(c: &mut Criterion) {
+    let mut g = c.benchmark_group("frontend");
+    for b in bench::Benchmark::ALL {
+        g.bench_function(b.name(), |bench_| {
+            bench_.iter(|| {
+                let p = nova_frontend::parse(b.source()).unwrap();
+                let info = nova_frontend::check(&p).unwrap();
+                let mut cps = nova_cps::convert(&p, &info).unwrap();
+                nova_cps::optimize(&mut cps, &Default::default());
+                nova_cps::to_ssu(&mut cps);
+                std::hint::black_box(cps.size())
+            })
+        });
+    }
+    g.finish();
+}
+
+fn full_pipeline(c: &mut Criterion) {
+    let mut g = c.benchmark_group("full-compile");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(20));
+    for b in [bench::Benchmark::Nat, bench::Benchmark::Kasumi] {
+        g.bench_function(b.name(), |bench_| {
+            bench_.iter(|| {
+                let out = bench::compile(b, &CompileConfig::default());
+                std::hint::black_box(out.code_size)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, frontend_only, full_pipeline);
+criterion_main!(benches);

@@ -1,0 +1,71 @@
+//! ILP solver benchmarks: root relaxation and full branch-and-bound on
+//! the allocator's NAT model (the Figure-7 measurements' engine), plus a
+//! pure-solver assignment instance.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ilp::{BranchConfig, Cmp, LinExpr, Problem};
+use std::time::Duration;
+
+fn nat_model(c: &mut Criterion) {
+    // Build the NAT model once.
+    let src = bench::Benchmark::Nat.source();
+    let p = nova_frontend::parse(src).unwrap();
+    let info = nova_frontend::check(&p).unwrap();
+    let mut cps = nova_cps::convert(&p, &info).unwrap();
+    nova_cps::optimize(&mut cps, &Default::default());
+    nova_cps::to_ssu(&mut cps);
+    let prog = nova_backend::select(&cps).unwrap();
+    let facts = nova_backend::alloc::build_facts(&prog);
+    let freqs = nova_backend::freq::estimate(&prog);
+    let mut cfg = nova_backend::alloc::AllocConfig::default();
+    cfg.allow_spill = false;
+
+    let mut g = c.benchmark_group("nat-model");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(15));
+    g.bench_function("build", |b| {
+        b.iter(|| {
+            let bm = nova_backend::alloc::build_model(&prog, &facts, &freqs, &cfg);
+            std::hint::black_box(bm.moves.len())
+        })
+    });
+    g.bench_function("solve-milp", |b| {
+        b.iter(|| {
+            let mut bm = nova_backend::alloc::build_model(&prog, &facts, &freqs, &cfg);
+            let (a, _) = nova_backend::alloc::solve(&mut bm, &cfg).unwrap();
+            std::hint::black_box(a.n_moves)
+        })
+    });
+    g.finish();
+}
+
+fn assignment_instance(c: &mut Criterion) {
+    c.bench_function("milp-assignment-8x8", |b| {
+        b.iter(|| {
+            let n = 8;
+            let mut p = Problem::minimize();
+            let mut vars = Vec::new();
+            for i in 0..n {
+                for j in 0..n {
+                    vars.push(p.add_binary(format!("x{i}{j}")));
+                }
+            }
+            for i in 0..n {
+                let e = LinExpr::sum((0..n).map(|j| vars[i * n + j]));
+                p.add_constraint(format!("r{i}"), e, Cmp::Eq, 1.0);
+                let e = LinExpr::sum((0..n).map(|j| vars[j * n + i]));
+                p.add_constraint(format!("c{i}"), e, Cmp::Le, 1.0);
+            }
+            let mut obj = LinExpr::new();
+            for (k, v) in vars.iter().enumerate() {
+                obj += LinExpr::from(*v) * (((k * 7 + 3) % 13) as f64);
+            }
+            p.set_objective(obj);
+            let s = ilp::solve_milp(&p, &BranchConfig::default()).unwrap();
+            std::hint::black_box(s.objective)
+        })
+    });
+}
+
+criterion_group!(benches, nat_model, assignment_instance);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! E7 — §7's A-over-B bias: "we also added a small bias towards using A
+//! registers over B registers since we found that this speeds up the ILP
+//! solver." Bias 1.01 (paper) vs 1.0 (off).
+
+use bench::{compile, table, Benchmark};
+use nova::CompileConfig;
+
+fn main() {
+    println!("E7: objective bias on moves out of B\n");
+    let mut rows = Vec::new();
+    for b in Benchmark::ALL {
+        for (mode, bias) in [("bias=1.01", 1.01), ("bias=1.0", 1.0)] {
+            let mut cfg = CompileConfig::default();
+            cfg.alloc.bias = bias;
+            let out = compile(b, &cfg);
+            rows.push(vec![
+                b.name().to_string(),
+                mode.to_string(),
+                format!("{:.2}", out.alloc_stats.solve.total_time.as_secs_f64()),
+                out.alloc_stats.solve.nodes.to_string(),
+                out.alloc_stats.moves.to_string(),
+            ]);
+        }
+    }
+    println!("{}", table(&["program", "mode", "total(s)", "nodes", "moves"], &rows));
+}

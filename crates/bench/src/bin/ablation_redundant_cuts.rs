@@ -1,0 +1,27 @@
+//! E6 — §9's redundant aggregate-position cuts: "adding a redundant set of
+//! constraints that immediately rules out a number of impossible
+//! allocations for an aggregate speeds up the solver." On/off comparison.
+
+use bench::{compile, table, Benchmark};
+use nova::CompileConfig;
+
+fn main() {
+    println!("E6: redundant aggregate-position cuts\n");
+    let mut rows = Vec::new();
+    for b in Benchmark::ALL {
+        for (mode, cuts) in [("with-cuts", true), ("no-cuts", false)] {
+            let mut cfg = CompileConfig::default();
+            cfg.alloc.redundant_cuts = cuts;
+            let out = compile(b, &cfg);
+            rows.push(vec![
+                b.name().to_string(),
+                mode.to_string(),
+                format!("{:.2}", out.alloc_stats.solve.root_time.as_secs_f64()),
+                format!("{:.2}", out.alloc_stats.solve.total_time.as_secs_f64()),
+                out.alloc_stats.solve.nodes.to_string(),
+                out.alloc_stats.moves.to_string(),
+            ]);
+        }
+    }
+    println!("{}", table(&["program", "mode", "root(s)", "total(s)", "nodes", "moves"], &rows));
+}

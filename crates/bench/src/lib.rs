@@ -1,0 +1,161 @@
+//! Shared harness for the figure-regeneration binaries and Criterion
+//! benches. See EXPERIMENTS.md for the experiment-to-binary index.
+
+#![warn(missing_docs)]
+
+use ixp_sim::{simulate, PacketGen, PacketSpec, SimConfig, SimMemory};
+use nova::{compile_source, CompileConfig, CompileOutput};
+use workloads::{aes, kasumi, AES_NOVA, KASUMI_NOVA, NAT_NOVA};
+
+/// The three benchmark programs of §11.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Benchmark {
+    /// AES Rijndael.
+    Aes,
+    /// Kasumi.
+    Kasumi,
+    /// IPv6→IPv4 NAT.
+    Nat,
+}
+
+impl Benchmark {
+    /// All three, in the paper's order.
+    pub const ALL: [Benchmark; 3] = [Benchmark::Aes, Benchmark::Kasumi, Benchmark::Nat];
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Benchmark::Aes => "AES",
+            Benchmark::Kasumi => "Kasumi",
+            Benchmark::Nat => "NAT",
+        }
+    }
+
+    /// Nova source text.
+    pub fn source(self) -> &'static str {
+        match self {
+            Benchmark::Aes => AES_NOVA,
+            Benchmark::Kasumi => KASUMI_NOVA,
+            Benchmark::Nat => NAT_NOVA,
+        }
+    }
+}
+
+/// Compile a benchmark with the given configuration.
+///
+/// # Panics
+///
+/// Panics on compile errors — the sources are fixed and known-good.
+pub fn compile(b: Benchmark, config: &CompileConfig) -> CompileOutput {
+    compile_source(b.source(), config).unwrap_or_else(|e| panic!("{}: {e}", b.name()))
+}
+
+/// Set up the memory a benchmark expects (tables, keys) and fill the
+/// receive queue with `count` packets of `payload_bytes` payload.
+pub fn setup_memory(b: Benchmark, count: usize, payload_bytes: u32) -> SimMemory {
+    let mut mem = SimMemory::with_sizes(4096, 1 << 20, 2048);
+    match b {
+        Benchmark::Aes => {
+            let key: [u8; 16] = core::array::from_fn(|i| (i as u8).wrapping_mul(7));
+            aes::load_sram(&key, |a, v| mem.sram[a as usize] = v);
+        }
+        Benchmark::Kasumi => {
+            let key: [u8; 16] = core::array::from_fn(|i| (i as u8).wrapping_mul(13));
+            let (mut s, mut c) = (Vec::new(), Vec::new());
+            kasumi::load_memory(&key, |a, v| s.push((a, v)), |a, v| c.push((a, v)));
+            for (a, v) in s {
+                mem.sram[a as usize] = v;
+            }
+            for (a, v) in c {
+                mem.scratch[a as usize] = v;
+            }
+        }
+        Benchmark::Nat => {
+            // NAT's packets need valid IPv6 headers; overwrite the header
+            // words after generation below.
+        }
+    }
+    let mut gen = PacketGen::new(0xFEED + payload_bytes as u64);
+    let spec = PacketSpec {
+        count,
+        payload_bytes,
+        header_bytes: workloads::HEADER_BYTES,
+        seed: 42 + payload_bytes as u64,
+    };
+    let addrs = gen.generate(&mut mem, &spec);
+    // Give every packet the fast-path header the programs expect
+    // (IPv4/TCP-ish first two words for AES/Kasumi).
+    if b != Benchmark::Nat {
+        for a in &addrs {
+            let total = spec.header_bytes + spec.payload_bytes;
+            mem.sdram[*a as usize] = (4 << 28) | (5 << 24) | (total & 0xFFFF);
+            mem.sdram[*a as usize + 1] = (64 << 24) | (6 << 16);
+        }
+    }
+    if b == Benchmark::Nat {
+        // Give every packet a well-formed IPv6/TCP header.
+        for a in addrs {
+            let hdr = workloads::nat::Ipv6Header {
+                version: 6,
+                traffic_class: 0,
+                flow: 0x12345,
+                payload_len: payload_bytes + 16, // TCP header + payload
+                next_header: 6,
+                hop_limit: 64,
+                src: [0x2001_0DB8, 0, 0, 0xC0A8_0000 + a],
+                dst: [0x2001_0DB8, 0, 1, 0x0A00_0000 + a],
+            };
+            for (i, w) in hdr.pack().iter().enumerate() {
+                mem.sdram[a as usize + i] = *w;
+            }
+        }
+    }
+    mem
+}
+
+/// Run a compiled benchmark over `count` packets with `payload_bytes` of
+/// payload on `threads` hardware contexts; returns the simulator result.
+pub fn run_throughput(
+    b: Benchmark,
+    out: &CompileOutput,
+    count: usize,
+    payload_bytes: u32,
+    threads: usize,
+) -> ixp_sim::SimResult {
+    let mut mem = setup_memory(b, count, payload_bytes);
+    simulate(&out.prog, &mut mem, &SimConfig { threads, max_cycles: 4_000_000_000 })
+        .expect("simulation runs")
+}
+
+/// Render a text table with aligned columns.
+pub fn table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for r in rows {
+        for (i, c) in r.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+    }
+    let mut s = String::new();
+    let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+        let mut line = String::new();
+        for (i, c) in cells.iter().enumerate() {
+            if i > 0 {
+                line.push_str("  ");
+            }
+            line.push_str(&format!("{:>width$}", c, width = widths[i]));
+        }
+        line
+    };
+    let hdr: Vec<String> = headers.iter().map(|h| h.to_string()).collect();
+    s.push_str(&fmt_row(&hdr, &widths));
+    s.push('\n');
+    s.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+    s.push('\n');
+    for r in rows {
+        s.push_str(&fmt_row(r, &widths));
+        s.push('\n');
+    }
+    s
+}

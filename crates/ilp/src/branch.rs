@@ -1,0 +1,591 @@
+//! Branch and bound for mixed 0-1 integer programs, with singleton-row
+//! presolve and lazy-constraint activation.
+//!
+//! The solver explores a depth-first tree of bound fixings, using the LP
+//! relaxation (solved by [`crate::simplex::Simplex`]) for bounds and a
+//! rounding heuristic for incumbents.
+//!
+//! Two refinements matter for the register-allocation models this crate
+//! serves:
+//!
+//! * **presolve** — rows with a single variable become bound changes and
+//!   leave the LP entirely (the allocator's §9 "redundant cuts" are all of
+//!   this form);
+//! * **lazy rows** — constraints marked lazy start outside the working LP
+//!   and are activated only when some LP (or incumbent candidate) violates
+//!   them. Interference and spare-register rows are almost always slack,
+//!   so the working LP stays small — which is what keeps the dense-inverse
+//!   simplex fast.
+//!
+//! Termination uses the paper's gap: CPLEX was run "within 0.01 % of
+//! optimal" (§11), so the default relative gap is `1e-4`.
+
+use crate::problem::{Cmp, Constraint, Problem, Sense, VarKind};
+use crate::simplex::{LpError, Simplex};
+use std::time::{Duration, Instant};
+
+/// Tunables for the branch-and-bound search.
+#[derive(Debug, Clone)]
+pub struct BranchConfig {
+    /// Stop when `(incumbent - bound) / max(1, |incumbent|)` falls below this.
+    pub relative_gap: f64,
+    /// Hard cap on explored nodes.
+    pub max_nodes: usize,
+    /// Wall-clock budget; `None` means unlimited.
+    pub time_limit: Option<Duration>,
+    /// Integrality tolerance.
+    pub int_tol: f64,
+}
+
+impl Default for BranchConfig {
+    fn default() -> Self {
+        BranchConfig {
+            relative_gap: 1e-4,
+            max_nodes: 2_000_000,
+            time_limit: None,
+            int_tol: 1e-6,
+        }
+    }
+}
+
+/// Why a MILP solve stopped without a proven optimum.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MilpError {
+    /// No assignment satisfies the constraints and bounds.
+    Infeasible,
+    /// The relaxation is unbounded.
+    Unbounded,
+    /// Node or time budget exhausted before any integer point was found.
+    BudgetExhausted,
+    /// The LP engine failed numerically.
+    Numerical(LpError),
+}
+
+impl std::fmt::Display for MilpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MilpError::Infeasible => f.write_str("integer program is infeasible"),
+            MilpError::Unbounded => f.write_str("integer program is unbounded"),
+            MilpError::BudgetExhausted => {
+                f.write_str("budget exhausted before an integer solution was found")
+            }
+            MilpError::Numerical(e) => write!(f, "LP engine failure: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for MilpError {}
+
+/// Result of a successful MILP solve.
+#[derive(Debug, Clone)]
+pub struct MilpSolution {
+    /// Objective of the best integer point found.
+    pub objective: f64,
+    /// Values of the structural variables (integers are exact within `int_tol`).
+    pub values: Vec<f64>,
+    /// Statistics of the search.
+    pub stats: SolveStats,
+}
+
+/// Search statistics, reported by the Figure-7 harness.
+#[derive(Debug, Clone, Default)]
+pub struct SolveStats {
+    /// Objective of the root LP relaxation (after lazy activation).
+    pub root_objective: f64,
+    /// Time to solve the root relaxation (including lazy reactivation).
+    pub root_time: Duration,
+    /// Total wall-clock time including the root solve.
+    pub total_time: Duration,
+    /// Branch-and-bound nodes explored (root included).
+    pub nodes: usize,
+    /// Total simplex iterations.
+    pub simplex_iterations: usize,
+    /// Lazy constraints activated into the working LP.
+    pub activated_rows: usize,
+    /// Rows removed by singleton presolve.
+    pub presolved_rows: usize,
+    /// Final proven relative gap (0 when optimal).
+    pub gap: f64,
+    /// True if the search proved optimality within the configured gap.
+    pub proven_optimal: bool,
+}
+
+struct Node {
+    lo: Vec<f64>,
+    hi: Vec<f64>,
+    bound: f64,
+    depth: usize,
+}
+
+/// Solve a mixed 0-1/integer problem by branch and bound.
+///
+/// # Errors
+///
+/// See [`MilpError`].
+pub fn solve_milp(problem: &Problem, config: &BranchConfig) -> Result<MilpSolution, MilpError> {
+    let start = Instant::now();
+    let minimize = problem.sense == Sense::Minimize;
+    let to_min = |v: f64| if minimize { v } else { -v };
+    let from_min = |v: f64| if minimize { v } else { -v };
+
+    let int_vars: Vec<usize> = problem
+        .vars
+        .iter()
+        .enumerate()
+        .filter(|(_, d)| d.kind == VarKind::Integer)
+        .map(|(i, _)| i)
+        .collect();
+    let mut obj_coeff: Vec<f64> = vec![0.0; problem.vars.len()];
+    for &(v, c) in &problem.objective.terms {
+        obj_coeff[v.index()] += c.abs();
+    }
+
+    // ---- presolve: singleton rows become bounds ----
+    let mut root_lo: Vec<f64> = problem.vars.iter().map(|d| d.lower).collect();
+    let mut root_hi: Vec<f64> = problem.vars.iter().map(|d| d.upper).collect();
+    let mut stats = SolveStats::default();
+    let mut core: Vec<usize> = Vec::new();
+    let mut lazy: Vec<usize> = Vec::new();
+    for (i, c) in problem.constraints.iter().enumerate() {
+        if c.expr.terms.len() == 1 {
+            let (v, a) = c.expr.terms[0];
+            let j = v.index();
+            if a == 0.0 {
+                let ok = match c.cmp {
+                    Cmp::Le => 0.0 <= c.rhs + 1e-9,
+                    Cmp::Ge => 0.0 >= c.rhs - 1e-9,
+                    Cmp::Eq => c.rhs.abs() <= 1e-9,
+                };
+                if !ok {
+                    return Err(MilpError::Infeasible);
+                }
+                stats.presolved_rows += 1;
+                continue;
+            }
+            let bound = c.rhs / a;
+            match (c.cmp, a > 0.0) {
+                (Cmp::Le, true) | (Cmp::Ge, false) => root_hi[j] = root_hi[j].min(bound),
+                (Cmp::Ge, true) | (Cmp::Le, false) => root_lo[j] = root_lo[j].max(bound),
+                (Cmp::Eq, _) => {
+                    root_lo[j] = root_lo[j].max(bound);
+                    root_hi[j] = root_hi[j].min(bound);
+                }
+            }
+            if root_lo[j] > root_hi[j] + 1e-9 {
+                return Err(MilpError::Infeasible);
+            }
+            stats.presolved_rows += 1;
+            continue;
+        }
+        if c.lazy {
+            lazy.push(i);
+        } else {
+            core.push(i);
+        }
+    }
+    // Integer bound rounding.
+    for &j in &int_vars {
+        root_lo[j] = root_lo[j].ceil();
+        root_hi[j] = root_hi[j].floor();
+        if root_lo[j] > root_hi[j] {
+            return Err(MilpError::Infeasible);
+        }
+    }
+
+    // ---- working LP with lazy activation ----
+    let all: &[Constraint] = &problem.constraints;
+    let mut simplex = Simplex::with_rows(problem, Some(&core));
+    let viol_tol = 1e-6;
+
+    // Solve an LP (warm when possible), activating violated lazy rows via
+    // incremental row addition + dual-simplex repair.
+    let solve_clean = |simplex: &mut Simplex,
+                       lazy: &mut Vec<usize>,
+                       stats: &mut SolveStats,
+                       lo: &[f64],
+                       hi: &[f64]|
+     -> Result<crate::simplex::LpSolution, LpError> {
+        let mut sol = simplex.resolve_with_bounds(lo, hi)?;
+        loop {
+            stats.simplex_iterations += sol.iterations;
+            let mut newly: Vec<usize> = Vec::new();
+            lazy.retain(|&i| {
+                if problem.violation(&all[i], &sol.values) > viol_tol {
+                    newly.push(i);
+                    false
+                } else {
+                    true
+                }
+            });
+            if newly.is_empty() {
+                return Ok(sol);
+            }
+            stats.activated_rows += newly.len();
+            let rows: Vec<&Constraint> = newly.iter().map(|&i| &all[i]).collect();
+            simplex.add_rows(&rows);
+            sol = simplex.resolve_with_bounds(lo, hi)?;
+        }
+    };
+
+    let root_start = Instant::now();
+    let root = match solve_clean(&mut simplex, &mut lazy, &mut stats, &root_lo, &root_hi)
+    {
+        Ok(s) => s,
+        Err(LpError::Infeasible) => return Err(MilpError::Infeasible),
+        Err(LpError::Unbounded) => return Err(MilpError::Unbounded),
+        Err(e) => return Err(MilpError::Numerical(e)),
+    };
+    stats.root_time = root_start.elapsed();
+    stats.root_objective = root.objective;
+    stats.nodes = 1;
+
+    let mut incumbent: Option<(f64, Vec<f64>)> = None;
+    let mut best_bound = to_min(root.objective);
+    if let Some(x) = round_heuristic(problem, &root.values, config.int_tol) {
+        let obj = to_min(problem.objective_value(&x));
+        incumbent = Some((obj, x));
+    }
+
+    let frac = |int_vars: &[usize], x: &[f64]| -> Option<usize> {
+        // Branch on the fractional variable with the largest
+        // |objective coefficient| (bank decisions before colors),
+        // tie-broken by most-fractional.
+        let mut best: Option<(usize, f64)> = None;
+        for &j in int_vars {
+            let f = (x[j] - x[j].round()).abs();
+            if f > config.int_tol {
+                let dist = 0.5 - (x[j] - x[j].floor() - 0.5).abs();
+                let score = obj_coeff[j] * 10.0 + dist;
+                if best.map_or(true, |(_, s)| score > s) {
+                    best = Some((j, score));
+                }
+            }
+        }
+        best.map(|(j, _)| j)
+    };
+
+    let mut stack: Vec<Node> = Vec::new();
+    match frac(&int_vars, &root.values) {
+        None => {
+            stats.total_time = start.elapsed();
+            stats.proven_optimal = true;
+            return Ok(MilpSolution {
+                objective: root.objective,
+                values: root.values,
+                stats,
+            });
+        }
+        Some(j) => push_children(
+            &mut stack,
+            &root_lo,
+            &root_hi,
+            j,
+            root.values[j],
+            to_min(root.objective),
+            0,
+        ),
+    }
+
+    let mut budget_hit = false;
+    while let Some(node) = stack.pop() {
+        if let Some((inc, _)) = &incumbent {
+            if node.bound >= *inc - gap_abs(*inc, config.relative_gap) {
+                continue;
+            }
+        }
+        if stats.nodes >= config.max_nodes {
+            budget_hit = true;
+            break;
+        }
+        if let Some(limit) = config.time_limit {
+            if start.elapsed() > limit {
+                budget_hit = true;
+                break;
+            }
+        }
+        stats.nodes += 1;
+        let sol = match solve_clean(&mut simplex, &mut lazy, &mut stats, &node.lo, &node.hi)
+        {
+            Ok(s) => s,
+            Err(LpError::Infeasible) => continue,
+            Err(LpError::Unbounded) => return Err(MilpError::Unbounded),
+            Err(e) => return Err(MilpError::Numerical(e)),
+        };
+        let bound = to_min(sol.objective);
+        if let Some((inc, _)) = &incumbent {
+            if bound >= *inc - gap_abs(*inc, config.relative_gap) {
+                continue;
+            }
+        }
+        match frac(&int_vars, &sol.values) {
+            None => {
+                let obj = to_min(sol.objective);
+                if incumbent.as_ref().map_or(true, |(inc, _)| obj < *inc) {
+                    incumbent = Some((obj, sol.values.clone()));
+                }
+            }
+            Some(j) => {
+                if let Some(x) = round_heuristic(problem, &sol.values, config.int_tol) {
+                    let obj = to_min(problem.objective_value(&x));
+                    if incumbent.as_ref().map_or(true, |(inc, _)| obj < *inc) {
+                        incumbent = Some((obj, x));
+                    }
+                }
+                push_children(&mut stack, &node.lo, &node.hi, j, sol.values[j], bound, node.depth + 1);
+            }
+        }
+        best_bound = stack.iter().map(|n| n.bound).fold(f64::INFINITY, f64::min);
+        if let Some((inc, _)) = &incumbent {
+            if best_bound >= *inc - gap_abs(*inc, config.relative_gap) {
+                stack.clear();
+            }
+        }
+    }
+
+    stats.total_time = start.elapsed();
+    match incumbent {
+        Some((obj, values)) => {
+            let exhausted = stack.is_empty();
+            stats.proven_optimal = exhausted;
+            stats.gap = if exhausted {
+                0.0
+            } else {
+                ((obj - best_bound) / obj.abs().max(1.0)).max(0.0)
+            };
+            Ok(MilpSolution { objective: from_min(obj), values, stats })
+        }
+        None if budget_hit => Err(MilpError::BudgetExhausted),
+        None => Err(MilpError::Infeasible),
+    }
+}
+
+fn gap_abs(incumbent: f64, rel: f64) -> f64 {
+    rel * incumbent.abs().max(1.0)
+}
+
+/// Push both children of branching on `x_j`; the child nearer the LP value
+/// is pushed last so depth-first explores it first (diving).
+fn push_children(
+    stack: &mut Vec<Node>,
+    lo: &[f64],
+    hi: &[f64],
+    j: usize,
+    xj: f64,
+    bound: f64,
+    depth: usize,
+) {
+    let floor = xj.floor();
+    let ceil = xj.ceil();
+    let mut down = Node { lo: lo.to_vec(), hi: hi.to_vec(), bound, depth };
+    down.hi[j] = floor;
+    let mut up = Node { lo: lo.to_vec(), hi: hi.to_vec(), bound, depth };
+    up.lo[j] = ceil;
+    if xj - floor <= ceil - xj {
+        stack.push(up);
+        stack.push(down);
+    } else {
+        stack.push(down);
+        stack.push(up);
+    }
+}
+
+/// Round fractional integers to their nearest value and accept the point if
+/// it satisfies every constraint (lazy ones included).
+fn round_heuristic(problem: &Problem, x: &[f64], tol: f64) -> Option<Vec<f64>> {
+    let mut r: Vec<f64> = x.to_vec();
+    let mut any_frac = false;
+    for (i, d) in problem.vars.iter().enumerate() {
+        if d.kind == VarKind::Integer {
+            let rounded = r[i].round();
+            if (r[i] - rounded).abs() > tol {
+                any_frac = true;
+            }
+            r[i] = rounded.clamp(d.lower, d.upper);
+        }
+    }
+    if !any_frac {
+        return None;
+    }
+    if problem.is_feasible(&r, 1e-6) {
+        Some(r)
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::LinExpr;
+    use crate::problem::Cmp;
+
+    fn cfg() -> BranchConfig {
+        BranchConfig::default()
+    }
+
+    #[test]
+    fn knapsack() {
+        let mut p = Problem::maximize();
+        let x1 = p.add_binary("x1");
+        let x2 = p.add_binary("x2");
+        let x3 = p.add_binary("x3");
+        p.add_constraint("w", 3.0 * x1 + 4.0 * x2 + 2.0 * x3, Cmp::Le, 6.0);
+        p.set_objective(10.0 * x1 + 13.0 * x2 + 7.0 * x3);
+        let s = solve_milp(&p, &cfg()).unwrap();
+        assert!((s.objective - 20.0).abs() < 1e-5, "got {}", s.objective);
+        assert!(s.stats.proven_optimal);
+    }
+
+    #[test]
+    fn infeasible_integer() {
+        let mut p = Problem::minimize();
+        let x = p.add_binary("x");
+        p.add_constraint("c", 2.0 * x, Cmp::Eq, 1.0);
+        p.set_objective(LinExpr::from(x));
+        let err = solve_milp(&p, &cfg()).unwrap_err();
+        assert_eq!(err, MilpError::Infeasible);
+    }
+
+    #[test]
+    fn lp_infeasible_detected() {
+        let mut p = Problem::minimize();
+        let x = p.add_binary("x");
+        p.add_constraint("c", LinExpr::from(x), Cmp::Ge, 2.0);
+        assert_eq!(solve_milp(&p, &cfg()).unwrap_err(), MilpError::Infeasible);
+    }
+
+    #[test]
+    fn singleton_presolve_fixes_vars() {
+        let mut p = Problem::minimize();
+        let x = p.add_binary("x");
+        let y = p.add_binary("y");
+        p.add_constraint("fix", LinExpr::from(x), Cmp::Eq, 1.0);
+        p.add_constraint("cap", LinExpr::from(x) + y, Cmp::Le, 1.0);
+        p.set_objective(-1.0 * x - 1.0 * y);
+        let s = solve_milp(&p, &cfg()).unwrap();
+        assert_eq!(s.stats.presolved_rows, 1);
+        assert!((s.values[0] - 1.0).abs() < 1e-6);
+        assert!((s.values[1] - 0.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn lazy_rows_activate_only_when_needed() {
+        // min -x - y with a lazy row x + y <= 1: the LP without it picks
+        // (1,1), which violates the row, forcing activation.
+        let mut p = Problem::minimize();
+        let x = p.add_binary("x");
+        let y = p.add_binary("y");
+        p.add_lazy_constraint("cap", LinExpr::from(x) + y, Cmp::Le, 1.0);
+        p.set_objective(-1.0 * x - 1.0 * y);
+        let s = solve_milp(&p, &cfg()).unwrap();
+        assert!((s.objective + 1.0).abs() < 1e-6, "got {}", s.objective);
+        assert_eq!(s.stats.activated_rows, 1);
+
+        // A lazy row that is never binding stays out.
+        let mut p = Problem::minimize();
+        let x = p.add_binary("x");
+        p.add_lazy_constraint("slack", LinExpr::from(x), Cmp::Le, 5.0);
+        p.set_objective(LinExpr::from(x));
+        let s = solve_milp(&p, &cfg()).unwrap();
+        assert_eq!(s.stats.activated_rows, 0);
+    }
+
+    #[test]
+    fn assignment_with_coupling() {
+        let costs = [[1.0, 9.0], [8.0, 2.0], [3.0, 3.0], [7.0, 1.0]];
+        let mut p = Problem::minimize();
+        let mut v = vec![];
+        for i in 0..4 {
+            for b in 0..2 {
+                v.push(p.add_binary(format!("x{i}{b}")));
+            }
+        }
+        for i in 0..4 {
+            p.add_constraint(
+                format!("item{i}"),
+                LinExpr::from(v[i * 2]) + v[i * 2 + 1],
+                Cmp::Eq,
+                1.0,
+            );
+        }
+        for b in 0..2 {
+            let e = LinExpr::sum((0..4).map(|i| v[i * 2 + b]));
+            p.add_constraint(format!("bin{b}"), e, Cmp::Le, 2.0);
+        }
+        let mut obj = LinExpr::new();
+        for i in 0..4 {
+            for b in 0..2 {
+                obj += costs[i][b] * v[i * 2 + b];
+            }
+        }
+        p.set_objective(obj);
+        let s = solve_milp(&p, &cfg()).unwrap();
+        assert!((s.objective - 7.0).abs() < 1e-5, "got {}", s.objective);
+    }
+
+    #[test]
+    fn exhaustive_crosscheck_random_binaries() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(42);
+        for trial in 0..30 {
+            let n = 8;
+            let mut p = Problem::minimize();
+            let vars: Vec<_> = (0..n).map(|i| p.add_binary(format!("b{i}"))).collect();
+            for c in 0..5 {
+                let mut e = LinExpr::new();
+                for &v in &vars {
+                    e.add_term(v, rng.gen_range(-2..=3) as f64);
+                }
+                let sense = if rng.gen_bool(0.3) { Cmp::Eq } else { Cmp::Le };
+                let rhs = rng.gen_range(0..=5) as f64;
+                // Randomly mark some rows lazy: results must not change.
+                if rng.gen_bool(0.5) {
+                    p.add_lazy_constraint(format!("c{c}"), e, sense, rhs);
+                } else {
+                    p.add_constraint(format!("c{c}"), e, sense, rhs);
+                }
+            }
+            let mut obj = LinExpr::new();
+            for &v in &vars {
+                obj.add_term(v, rng.gen_range(-5..=5) as f64);
+            }
+            p.set_objective(obj);
+
+            let mut best: Option<f64> = None;
+            for mask in 0..(1u32 << n) {
+                let x: Vec<f64> =
+                    (0..n).map(|i| if mask >> i & 1 == 1 { 1.0 } else { 0.0 }).collect();
+                if p.is_feasible(&x, 1e-9) {
+                    let v = p.objective_value(&x);
+                    best = Some(best.map_or(v, |b: f64| b.min(v)));
+                }
+            }
+            let milp = solve_milp(&p, &cfg());
+            match best {
+                Some(b) => {
+                    let s = milp.unwrap_or_else(|e| panic!("trial {trial}: {e}, expected {b}"));
+                    assert!(
+                        (s.objective - b).abs() < 1e-4,
+                        "trial {trial}: milp {} vs brute {b}",
+                        s.objective
+                    );
+                }
+                None => {
+                    assert!(milp.is_err(), "trial {trial}: expected infeasible");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn respects_time_limit_field() {
+        let mut c = cfg();
+        c.time_limit = Some(Duration::from_secs(30));
+        let mut p = Problem::maximize();
+        let x = p.add_binary("x");
+        p.set_objective(LinExpr::from(x));
+        let s = solve_milp(&p, &c).unwrap();
+        assert_eq!(s.objective, 1.0);
+    }
+}

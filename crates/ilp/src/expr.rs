@@ -1,0 +1,301 @@
+//! Linear expressions over problem variables.
+//!
+//! A [`LinExpr`] is a sparse linear combination `Σ coeff·var + constant`.
+//! Expressions are the currency of the modeling API: constraints compare an
+//! expression against a right-hand side, and the objective is an expression.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Mul, Neg, Sub, SubAssign};
+
+/// A variable of an optimization problem, identified by its column index.
+///
+/// `Var`s are created by [`crate::Problem::add_var`] (or the higher-level
+/// [`crate::Model`]) and are only meaningful for the problem that created
+/// them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Var(pub(crate) u32);
+
+impl Var {
+    /// The column index of this variable.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "x{}", self.0)
+    }
+}
+
+/// A sparse linear expression `Σ coeffᵢ·varᵢ + constant`.
+///
+/// Terms with the same variable are merged lazily by [`LinExpr::normalize`];
+/// all public consumers in this crate normalize before use, so callers can
+/// freely build expressions by repeated `+=`.
+///
+/// # Examples
+///
+/// ```
+/// use ilp::{LinExpr, Problem};
+/// let mut p = Problem::minimize();
+/// let x = p.add_binary("x");
+/// let y = p.add_binary("y");
+/// let e = LinExpr::from(x) + 2.0 * LinExpr::from(y) + 1.0;
+/// assert_eq!(e.eval(|v| if v == x { 1.0 } else { 0.0 }), 2.0);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct LinExpr {
+    /// `(variable, coefficient)` pairs; may contain duplicates until
+    /// [`LinExpr::normalize`] is called.
+    pub terms: Vec<(Var, f64)>,
+    /// Additive constant.
+    pub constant: f64,
+}
+
+impl LinExpr {
+    /// The empty expression (zero).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An expression consisting of a single constant.
+    pub fn constant(c: f64) -> Self {
+        LinExpr { terms: Vec::new(), constant: c }
+    }
+
+    /// An expression that is the sum of the given variables.
+    pub fn sum<I: IntoIterator<Item = Var>>(vars: I) -> Self {
+        LinExpr {
+            terms: vars.into_iter().map(|v| (v, 1.0)).collect(),
+            constant: 0.0,
+        }
+    }
+
+    /// Add `coeff·var` to the expression.
+    pub fn add_term(&mut self, var: Var, coeff: f64) -> &mut Self {
+        self.terms.push((var, coeff));
+        self
+    }
+
+    /// Merge duplicate variables and drop zero coefficients.
+    pub fn normalize(&mut self) {
+        if self.terms.len() > 1 {
+            self.terms.sort_by_key(|&(v, _)| v);
+            let mut out: Vec<(Var, f64)> = Vec::with_capacity(self.terms.len());
+            for &(v, c) in &self.terms {
+                match out.last_mut() {
+                    Some(&mut (pv, ref mut pc)) if pv == v => *pc += c,
+                    _ => out.push((v, c)),
+                }
+            }
+            self.terms = out;
+        }
+        self.terms.retain(|&(_, c)| c != 0.0);
+    }
+
+    /// Evaluate the expression with a value for each variable.
+    pub fn eval(&self, mut value: impl FnMut(Var) -> f64) -> f64 {
+        self.constant + self.terms.iter().map(|&(v, c)| c * value(v)).sum::<f64>()
+    }
+
+    /// Number of variable terms (after normalization duplicates may shrink).
+    pub fn len(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// True if the expression has no variable terms.
+    pub fn is_empty(&self) -> bool {
+        self.terms.is_empty()
+    }
+}
+
+impl From<Var> for LinExpr {
+    fn from(v: Var) -> Self {
+        LinExpr { terms: vec![(v, 1.0)], constant: 0.0 }
+    }
+}
+
+impl From<f64> for LinExpr {
+    fn from(c: f64) -> Self {
+        LinExpr::constant(c)
+    }
+}
+
+impl Add for LinExpr {
+    type Output = LinExpr;
+    fn add(mut self, rhs: LinExpr) -> LinExpr {
+        self += rhs;
+        self
+    }
+}
+
+impl AddAssign for LinExpr {
+    fn add_assign(&mut self, rhs: LinExpr) {
+        self.terms.extend(rhs.terms);
+        self.constant += rhs.constant;
+    }
+}
+
+impl Add<f64> for LinExpr {
+    type Output = LinExpr;
+    fn add(mut self, rhs: f64) -> LinExpr {
+        self.constant += rhs;
+        self
+    }
+}
+
+impl Add<Var> for LinExpr {
+    type Output = LinExpr;
+    fn add(mut self, rhs: Var) -> LinExpr {
+        self.terms.push((rhs, 1.0));
+        self
+    }
+}
+
+impl Sub for LinExpr {
+    type Output = LinExpr;
+    fn sub(mut self, rhs: LinExpr) -> LinExpr {
+        self -= rhs;
+        self
+    }
+}
+
+impl SubAssign for LinExpr {
+    fn sub_assign(&mut self, rhs: LinExpr) {
+        self.terms.extend(rhs.terms.into_iter().map(|(v, c)| (v, -c)));
+        self.constant -= rhs.constant;
+    }
+}
+
+impl Sub<Var> for LinExpr {
+    type Output = LinExpr;
+    fn sub(mut self, rhs: Var) -> LinExpr {
+        self.terms.push((rhs, -1.0));
+        self
+    }
+}
+
+impl Neg for LinExpr {
+    type Output = LinExpr;
+    fn neg(mut self) -> LinExpr {
+        for t in &mut self.terms {
+            t.1 = -t.1;
+        }
+        self.constant = -self.constant;
+        self
+    }
+}
+
+impl Mul<f64> for LinExpr {
+    type Output = LinExpr;
+    fn mul(mut self, rhs: f64) -> LinExpr {
+        for t in &mut self.terms {
+            t.1 *= rhs;
+        }
+        self.constant *= rhs;
+        self
+    }
+}
+
+impl Mul<LinExpr> for f64 {
+    type Output = LinExpr;
+    fn mul(self, rhs: LinExpr) -> LinExpr {
+        rhs * self
+    }
+}
+
+impl Mul<Var> for f64 {
+    type Output = LinExpr;
+    fn mul(self, rhs: Var) -> LinExpr {
+        LinExpr { terms: vec![(rhs, self)], constant: 0.0 }
+    }
+}
+
+impl std::iter::Sum for LinExpr {
+    fn sum<I: Iterator<Item = LinExpr>>(iter: I) -> LinExpr {
+        let mut acc = LinExpr::new();
+        for e in iter {
+            acc += e;
+        }
+        acc
+    }
+}
+
+impl fmt::Display for LinExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for &(v, c) in &self.terms {
+            if first {
+                write!(f, "{c}*{v}")?;
+                first = false;
+            } else if c < 0.0 {
+                write!(f, " - {}*{v}", -c)?;
+            } else {
+                write!(f, " + {c}*{v}")?;
+            }
+        }
+        if self.constant != 0.0 || first {
+            if first {
+                write!(f, "{}", self.constant)?;
+            } else {
+                write!(f, " + {}", self.constant)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vars() -> (Var, Var, Var) {
+        (Var(0), Var(1), Var(2))
+    }
+
+    #[test]
+    fn normalize_merges_duplicates() {
+        let (x, y, _) = vars();
+        let mut e = LinExpr::from(x) + LinExpr::from(x) + LinExpr::from(y);
+        e.normalize();
+        assert_eq!(e.terms, vec![(x, 2.0), (y, 1.0)]);
+    }
+
+    #[test]
+    fn normalize_drops_zero() {
+        let (x, _, _) = vars();
+        let mut e = LinExpr::from(x) - LinExpr::from(x);
+        e.normalize();
+        assert!(e.is_empty());
+    }
+
+    #[test]
+    fn eval_with_constant() {
+        let (x, y, _) = vars();
+        let e = 2.0 * x + 3.0 * y + 5.0;
+        let val = e.eval(|v| if v == x { 1.0 } else { 10.0 });
+        assert_eq!(val, 2.0 + 30.0 + 5.0);
+    }
+
+    #[test]
+    fn sum_of_vars() {
+        let (x, y, z) = vars();
+        let e = LinExpr::sum([x, y, z]);
+        assert_eq!(e.len(), 3);
+        assert_eq!(e.eval(|_| 1.0), 3.0);
+    }
+
+    #[test]
+    fn negation() {
+        let (x, _, _) = vars();
+        let e = -(2.0 * x + 1.0);
+        assert_eq!(e.eval(|_| 1.0), -3.0);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        let e = LinExpr::new();
+        assert_eq!(format!("{e}"), "0");
+    }
+}

@@ -1,0 +1,44 @@
+//! 0-1 integer-linear programming for the Nova/IXP register allocator.
+//!
+//! The paper solves register-bank assignment, aggregate coloring, and
+//! spilling as a 0-1 ILP described in AMPL and solved by CPLEX. Neither is
+//! available here, so this crate provides both halves from scratch:
+//!
+//! * [`Model`] — an AMPL-like modeling layer with indexed 0-1 variable
+//!   families, expression aliases (the paper's "redundant variables"), and
+//!   named constraint groups for statistics;
+//! * [`Problem`] — the raw variables/constraints/objective representation;
+//! * [`Simplex`] — a bounded-variable two-phase revised simplex for the LP
+//!   relaxations;
+//! * [`solve_milp`] — branch and bound with a rounding heuristic, run to the
+//!   paper's 0.01 % optimality gap by default.
+//!
+//! # Example
+//!
+//! ```
+//! use ilp::{Problem, LinExpr, Cmp, solve_milp, BranchConfig};
+//! // max 5x + 4y  s.t.  6x + 4y <= 24, x + 2y <= 6, x,y integer >= 0
+//! let mut p = Problem::maximize();
+//! let x = p.add_int_var("x", 0.0, 10.0);
+//! let y = p.add_int_var("y", 0.0, 10.0);
+//! p.add_constraint("c1", 6.0 * x + 4.0 * y, Cmp::Le, 24.0);
+//! p.add_constraint("c2", LinExpr::from(x) + 2.0 * y, Cmp::Le, 6.0);
+//! p.set_objective(5.0 * x + 4.0 * y);
+//! let sol = solve_milp(&p, &BranchConfig::default())?;
+//! assert_eq!(sol.objective, 20.0); // x = 4, y = 0 (LP relaxation gives 21)
+//! # Ok::<(), ilp::MilpError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+mod branch;
+mod expr;
+mod model;
+mod problem;
+mod simplex;
+
+pub use branch::{solve_milp, BranchConfig, MilpError, MilpSolution, SolveStats};
+pub use expr::{LinExpr, Var};
+pub use model::{Family, Key, Model, ModelStats};
+pub use problem::{Cmp, Constraint, Problem, Sense, VarData, VarKind};
+pub use simplex::{LpError, LpSolution, Simplex};

@@ -1,0 +1,339 @@
+//! Problem representation: variables with bounds, linear constraints, and a
+//! linear objective.
+//!
+//! A [`Problem`] is the solver-facing form of an optimization task. The
+//! higher-level [`crate::Model`] builds a `Problem` underneath; code that
+//! wants full control can construct one directly.
+
+use crate::expr::{LinExpr, Var};
+use std::fmt;
+
+/// Direction of optimization.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Sense {
+    /// Minimize the objective.
+    Minimize,
+    /// Maximize the objective.
+    Maximize,
+}
+
+/// Comparison operator of a constraint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Cmp {
+    /// `expr ≤ rhs`
+    Le,
+    /// `expr = rhs`
+    Eq,
+    /// `expr ≥ rhs`
+    Ge,
+}
+
+impl fmt::Display for Cmp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Cmp::Le => "<=",
+            Cmp::Eq => "=",
+            Cmp::Ge => ">=",
+        })
+    }
+}
+
+/// Kind of a variable's domain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VarKind {
+    /// Continuous within its bounds.
+    Continuous,
+    /// Integer within its bounds (binaries are `Integer` with bounds `[0,1]`).
+    Integer,
+}
+
+/// Per-variable data.
+#[derive(Debug, Clone)]
+pub struct VarData {
+    /// Human-readable name, used in diagnostics and model dumps.
+    pub name: String,
+    /// Lower bound (may be `f64::NEG_INFINITY`).
+    pub lower: f64,
+    /// Upper bound (may be `f64::INFINITY`).
+    pub upper: f64,
+    /// Continuous or integer.
+    pub kind: VarKind,
+}
+
+/// A single linear constraint `expr cmp rhs`.
+#[derive(Debug, Clone)]
+pub struct Constraint {
+    /// Optional name, used in diagnostics.
+    pub name: String,
+    /// Left-hand side (normalized: constant folded into `rhs`).
+    pub expr: LinExpr,
+    /// Comparison operator.
+    pub cmp: Cmp,
+    /// Right-hand side.
+    pub rhs: f64,
+    /// Lazy constraints start outside the working LP and are activated by
+    /// the solver only when a candidate solution violates them (typical
+    /// for the allocator's interference rows, which are almost all slack).
+    pub lazy: bool,
+}
+
+/// A linear (mixed-integer) optimization problem.
+///
+/// # Examples
+///
+/// Solve `min x + y  s.t.  x + 2y ≥ 3, 0 ≤ x,y ≤ 2`:
+///
+/// ```
+/// use ilp::{Problem, LinExpr, Cmp};
+/// let mut p = Problem::minimize();
+/// let x = p.add_var("x", 0.0, 2.0);
+/// let y = p.add_var("y", 0.0, 2.0);
+/// p.add_constraint("c", LinExpr::from(x) + 2.0 * y, Cmp::Ge, 3.0);
+/// p.set_objective(LinExpr::from(x) + y);
+/// let sol = p.solve_lp().unwrap();
+/// assert!((sol.objective - 1.5).abs() < 1e-6);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Problem {
+    pub(crate) sense: Sense,
+    pub(crate) vars: Vec<VarData>,
+    pub(crate) constraints: Vec<Constraint>,
+    pub(crate) objective: LinExpr,
+}
+
+impl Problem {
+    /// Create an empty minimization problem.
+    pub fn minimize() -> Self {
+        Problem {
+            sense: Sense::Minimize,
+            vars: Vec::new(),
+            constraints: Vec::new(),
+            objective: LinExpr::new(),
+        }
+    }
+
+    /// Create an empty maximization problem.
+    pub fn maximize() -> Self {
+        Problem { sense: Sense::Maximize, ..Problem::minimize() }
+    }
+
+    /// The optimization sense.
+    pub fn sense(&self) -> Sense {
+        self.sense
+    }
+
+    /// Add a continuous variable with the given bounds.
+    pub fn add_var(&mut self, name: impl Into<String>, lower: f64, upper: f64) -> Var {
+        self.push_var(name.into(), lower, upper, VarKind::Continuous)
+    }
+
+    /// Add an integer variable with the given bounds.
+    pub fn add_int_var(&mut self, name: impl Into<String>, lower: f64, upper: f64) -> Var {
+        self.push_var(name.into(), lower, upper, VarKind::Integer)
+    }
+
+    /// Add a 0-1 variable.
+    pub fn add_binary(&mut self, name: impl Into<String>) -> Var {
+        self.push_var(name.into(), 0.0, 1.0, VarKind::Integer)
+    }
+
+    fn push_var(&mut self, name: String, lower: f64, upper: f64, kind: VarKind) -> Var {
+        assert!(lower <= upper, "variable {name}: lower bound {lower} > upper bound {upper}");
+        let v = Var(self.vars.len() as u32);
+        self.vars.push(VarData { name, lower, upper, kind });
+        v
+    }
+
+    /// Add a linear constraint `expr cmp rhs`. The expression's constant is
+    /// folded into the right-hand side.
+    pub fn add_constraint(
+        &mut self,
+        name: impl Into<String>,
+        mut expr: LinExpr,
+        cmp: Cmp,
+        rhs: f64,
+    ) {
+        expr.normalize();
+        let adj = rhs - expr.constant;
+        expr.constant = 0.0;
+        self.constraints.push(Constraint { name: name.into(), expr, cmp, rhs: adj, lazy: false });
+    }
+
+    /// Add a constraint the solver only activates once violated (see
+    /// [`Constraint::lazy`]). Semantically identical to
+    /// [`Problem::add_constraint`].
+    pub fn add_lazy_constraint(
+        &mut self,
+        name: impl Into<String>,
+        mut expr: LinExpr,
+        cmp: Cmp,
+        rhs: f64,
+    ) {
+        expr.normalize();
+        let adj = rhs - expr.constant;
+        expr.constant = 0.0;
+        self.constraints.push(Constraint { name: name.into(), expr, cmp, rhs: adj, lazy: true });
+    }
+
+    /// Evaluate one constraint at `x` and report the violation amount
+    /// (0 when satisfied).
+    pub fn violation(&self, c: &Constraint, x: &[f64]) -> f64 {
+        let lhs = c.expr.eval(|v| x[v.index()]);
+        match c.cmp {
+            Cmp::Le => (lhs - c.rhs).max(0.0),
+            Cmp::Ge => (c.rhs - lhs).max(0.0),
+            Cmp::Eq => (lhs - c.rhs).abs(),
+        }
+    }
+
+    /// Set the objective expression (replaces any previous one).
+    pub fn set_objective(&mut self, mut obj: LinExpr) {
+        obj.normalize();
+        self.objective = obj;
+    }
+
+    /// The current objective.
+    pub fn objective(&self) -> &LinExpr {
+        &self.objective
+    }
+
+    /// Number of variables.
+    pub fn num_vars(&self) -> usize {
+        self.vars.len()
+    }
+
+    /// Number of constraints.
+    pub fn num_constraints(&self) -> usize {
+        self.constraints.len()
+    }
+
+    /// Number of nonzero terms in the objective.
+    pub fn num_objective_terms(&self) -> usize {
+        self.objective.len()
+    }
+
+    /// Data for variable `v`.
+    pub fn var_data(&self, v: Var) -> &VarData {
+        &self.vars[v.index()]
+    }
+
+    /// Tighten the bounds of `v` (used by branch & bound). Panics if the new
+    /// bounds are wider than the old ones would allow crossing.
+    pub fn set_bounds(&mut self, v: Var, lower: f64, upper: f64) {
+        let d = &mut self.vars[v.index()];
+        d.lower = lower;
+        d.upper = upper;
+    }
+
+    /// All constraints.
+    pub fn constraints(&self) -> &[Constraint] {
+        &self.constraints
+    }
+
+    /// Check whether a full assignment satisfies every constraint and bound
+    /// within tolerance `tol`.
+    pub fn is_feasible(&self, x: &[f64], tol: f64) -> bool {
+        if x.len() != self.vars.len() {
+            return false;
+        }
+        for (i, d) in self.vars.iter().enumerate() {
+            if x[i] < d.lower - tol || x[i] > d.upper + tol {
+                return false;
+            }
+            if d.kind == VarKind::Integer && (x[i] - x[i].round()).abs() > tol {
+                return false;
+            }
+        }
+        for c in &self.constraints {
+            let lhs = c.expr.eval(|v| x[v.index()]);
+            let ok = match c.cmp {
+                Cmp::Le => lhs <= c.rhs + tol,
+                Cmp::Eq => (lhs - c.rhs).abs() <= tol,
+                Cmp::Ge => lhs >= c.rhs - tol,
+            };
+            if !ok {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Evaluate the objective at assignment `x`.
+    pub fn objective_value(&self, x: &[f64]) -> f64 {
+        self.objective.eval(|v| x[v.index()])
+    }
+
+    /// Solve the continuous (LP) relaxation of this problem with the
+    /// built-in simplex engine; integrality restrictions are ignored.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`crate::LpError`] from the simplex.
+    pub fn solve_lp(&self) -> Result<crate::LpSolution, crate::LpError> {
+        crate::Simplex::new(self).solve()
+    }
+
+    /// Render the problem in an LP-format-like text dump (for debugging and
+    /// golden tests).
+    pub fn dump(&self) -> String {
+        use std::fmt::Write;
+        let mut s = String::new();
+        let sense = match self.sense {
+            Sense::Minimize => "minimize",
+            Sense::Maximize => "maximize",
+        };
+        let _ = writeln!(s, "{sense} {}", self.objective);
+        let _ = writeln!(s, "subject to");
+        for c in &self.constraints {
+            let _ = writeln!(s, "  {}: {} {} {}", c.name, c.expr, c.cmp, c.rhs);
+        }
+        let _ = writeln!(s, "bounds");
+        for (i, d) in self.vars.iter().enumerate() {
+            let _ = writeln!(s, "  {} <= {} ({}) <= {}", d.lower, Var(i as u32), d.name, d.upper);
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_folds_into_rhs() {
+        let mut p = Problem::minimize();
+        let x = p.add_var("x", 0.0, 10.0);
+        p.add_constraint("c", LinExpr::from(x) + 4.0, Cmp::Le, 10.0);
+        assert_eq!(p.constraints[0].rhs, 6.0);
+        assert_eq!(p.constraints[0].expr.constant, 0.0);
+    }
+
+    #[test]
+    fn feasibility_checks_bounds_and_integrality() {
+        let mut p = Problem::minimize();
+        let x = p.add_binary("x");
+        p.add_constraint("c", LinExpr::from(x), Cmp::Le, 1.0);
+        assert!(p.is_feasible(&[1.0], 1e-6));
+        assert!(!p.is_feasible(&[0.5], 1e-6)); // fractional binary
+        assert!(!p.is_feasible(&[2.0], 1e-6)); // out of bounds
+    }
+
+    #[test]
+    #[should_panic(expected = "lower bound")]
+    fn rejects_crossed_bounds() {
+        let mut p = Problem::minimize();
+        p.add_var("x", 1.0, 0.0);
+    }
+
+    #[test]
+    fn dump_mentions_everything() {
+        let mut p = Problem::minimize();
+        let x = p.add_binary("choose");
+        p.set_objective(LinExpr::from(x));
+        p.add_constraint("only", LinExpr::from(x), Cmp::Eq, 1.0);
+        let d = p.dump();
+        assert!(d.contains("minimize"));
+        assert!(d.contains("only"));
+        assert!(d.contains("choose"));
+    }
+}

@@ -1,0 +1,1039 @@
+//! Bounded-variable revised simplex with a dense product-form basis
+//! inverse, dual-simplex warm starting, and incremental row addition.
+//!
+//! This is the LP engine behind [`crate::branch`]'s branch-and-bound:
+//!
+//! * **cold solves** run the textbook two-phase primal method: slack basis,
+//!   artificials only for rows the slacks cannot cover, Dantzig pricing
+//!   with a Bland's-rule anti-cycling fallback, bound flips for the
+//!   bounded-variable generalization;
+//! * **warm solves** ([`Simplex::resolve_with_bounds`]) reuse the previous
+//!   optimal basis after bound changes: the basis stays dual feasible, so
+//!   a handful of dual-simplex pivots restores primal feasibility — this
+//!   is what makes branch-and-bound nodes cheap;
+//! * **row addition** ([`Simplex::add_rows`]) extends the basis with the
+//!   new slacks (block-triangular inverse update) without disturbing dual
+//!   feasibility — this is what makes lazy-constraint activation cheap.
+//!
+//! The inverse is dense in the row dimension; the allocator's models stay
+//! within a few thousand rows after §8 pruning and lazy activation, a
+//! regime where dense is simple and fast enough (the paper used CPLEX;
+//! see DESIGN.md).
+
+use crate::problem::{Cmp, Constraint, Problem, Sense};
+
+/// Numeric tolerance for feasibility and reduced-cost tests.
+const TOL: f64 = 1e-7;
+/// Smallest pivot magnitude accepted.
+const PIVOT_TOL: f64 = 1e-9;
+/// Consecutive degenerate pivots before switching to Bland's rule.
+const DEGENERATE_LIMIT: usize = 200;
+
+/// Why an LP solve did not return an optimum.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LpError {
+    /// No assignment satisfies the constraints and bounds.
+    Infeasible,
+    /// The objective is unbounded in the optimization direction.
+    Unbounded,
+    /// The iteration limit was exceeded (numerical trouble).
+    IterationLimit,
+}
+
+impl std::fmt::Display for LpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            LpError::Infeasible => "linear program is infeasible",
+            LpError::Unbounded => "linear program is unbounded",
+            LpError::IterationLimit => "simplex iteration limit exceeded",
+        })
+    }
+}
+
+impl std::error::Error for LpError {}
+
+/// An optimal LP solution.
+#[derive(Debug, Clone)]
+pub struct LpSolution {
+    /// Optimal objective value (in the problem's original sense).
+    pub objective: f64,
+    /// Value of each structural variable, indexed by [`crate::Var::index`].
+    pub values: Vec<f64>,
+    /// Simplex pivots performed.
+    pub iterations: usize,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum ColState {
+    Basic(usize),
+    AtLower,
+    AtUpper,
+}
+
+/// Reusable simplex workspace. The constraint matrix may grow by
+/// [`Simplex::add_rows`]; variable bounds change per solve.
+pub struct Simplex {
+    m: usize,
+    n_struct: usize,
+    /// Sparse columns: (row, coefficient) pairs.
+    cols: Vec<Vec<(usize, f64)>>,
+    /// Right-hand sides per row.
+    b: Vec<f64>,
+    /// Slack column of each row.
+    slack_cols: Vec<usize>,
+    /// Default bounds per column (structural defaults, slack senses,
+    /// artificial `[0, ∞)`); same length as `cols`.
+    lower0: Vec<f64>,
+    upper0: Vec<f64>,
+    /// Phase-2 cost per column (minimization form).
+    cost: Vec<f64>,
+    obj_constant: f64,
+    obj_negate: bool,
+    /// Artificial columns created by cold starts (zombified on reset).
+    artificials: Vec<usize>,
+
+    // Per-solve state.
+    lower: Vec<f64>,
+    upper: Vec<f64>,
+    x: Vec<f64>,
+    state: Vec<ColState>,
+    basis: Vec<usize>,
+    /// Dense row-major m×m basis inverse.
+    binv: Vec<f64>,
+    /// Reduced costs (valid when `warm`).
+    d: Vec<f64>,
+    /// Warm-start state is valid (basis optimal & dual feasible).
+    warm: bool,
+    // Scratch.
+    y: Vec<f64>,
+    w: Vec<f64>,
+    alpha: Vec<f64>,
+}
+
+impl Simplex {
+    /// Build a workspace for `problem` (all of its constraints).
+    pub fn new(problem: &Problem) -> Self {
+        Self::with_rows(problem, None)
+    }
+
+    /// Build a workspace containing only the selected constraint indices
+    /// (used by the lazy-row solver).
+    pub fn with_rows(problem: &Problem, rows: Option<&[usize]>) -> Self {
+        let idx: Vec<usize> = match rows {
+            Some(r) => r.to_vec(),
+            None => (0..problem.constraints.len()).collect(),
+        };
+        let m = idx.len();
+        let n_struct = problem.vars.len();
+        let mut cols: Vec<Vec<(usize, f64)>> = vec![Vec::new(); n_struct];
+        let mut b = Vec::with_capacity(m);
+        let mut slack_cols = Vec::with_capacity(m);
+        let mut lower0: Vec<f64> = problem.vars.iter().map(|d| d.lower).collect();
+        let mut upper0: Vec<f64> = problem.vars.iter().map(|d| d.upper).collect();
+        for (i, &ci) in idx.iter().enumerate() {
+            let c = &problem.constraints[ci];
+            for &(v, a) in &c.expr.terms {
+                cols[v.index()].push((i, a));
+            }
+            let sc = cols.len();
+            cols.push(vec![(i, 1.0)]);
+            let (l, u) = slack_bounds(c.cmp);
+            lower0.push(l);
+            upper0.push(u);
+            slack_cols.push(sc);
+            b.push(c.rhs);
+        }
+        let obj_negate = problem.sense == Sense::Maximize;
+        let mut cost = vec![0.0; cols.len()];
+        for &(v, c) in &problem.objective.terms {
+            cost[v.index()] += if obj_negate { -c } else { c };
+        }
+        Simplex {
+            m,
+            n_struct,
+            cols,
+            b,
+            slack_cols,
+            lower0,
+            upper0,
+            cost,
+            obj_constant: problem.objective.constant,
+            obj_negate,
+            artificials: Vec::new(),
+            lower: Vec::new(),
+            upper: Vec::new(),
+            x: Vec::new(),
+            state: Vec::new(),
+            basis: Vec::new(),
+            binv: Vec::new(),
+            d: Vec::new(),
+            warm: false,
+            y: Vec::new(),
+            w: Vec::new(),
+            alpha: Vec::new(),
+        }
+    }
+
+    /// Number of rows currently in the working LP.
+    pub fn rows(&self) -> usize {
+        self.m
+    }
+
+    /// Append constraints to the working LP. The previous optimal basis is
+    /// extended with the new slacks (which may start out of bounds); dual
+    /// feasibility is preserved, so the next [`Simplex::resolve_with_bounds`]
+    /// repairs primal feasibility with a few dual pivots.
+    pub fn add_rows(&mut self, rows: &[&Constraint]) {
+        let k = rows.len();
+        if k == 0 {
+            return;
+        }
+        let m_old = self.m;
+        let m_new = m_old + k;
+        // Extend columns and create the new slacks.
+        for (off, c) in rows.iter().enumerate() {
+            let r = m_old + off;
+            for &(v, a) in &c.expr.terms {
+                self.cols[v.index()].push((r, a));
+            }
+            let sc = self.cols.len();
+            self.cols.push(vec![(r, 1.0)]);
+            let (l, u) = slack_bounds(c.cmp);
+            self.lower0.push(l);
+            self.upper0.push(u);
+            self.cost.push(0.0);
+            self.slack_cols.push(sc);
+            self.b.push(c.rhs);
+            if self.warm {
+                self.lower.push(l);
+                self.upper.push(u);
+                // Slack value = rhs - a·x (possibly out of bounds).
+                let mut val = c.rhs;
+                for &(v, a) in &c.expr.terms {
+                    val -= a * self.x[v.index()];
+                }
+                self.x.push(val);
+                self.state.push(ColState::Basic(r));
+                self.basis.push(sc);
+                self.d.push(0.0);
+            }
+        }
+        if self.warm {
+            // Block-triangular inverse update:
+            // B' = [[B, 0], [C_B, I]]  =>  B'^-1 = [[B^-1, 0], [-C_B B^-1, I]].
+            let mut nb = vec![0.0f64; m_new * m_new];
+            for i in 0..m_old {
+                nb[i * m_new..i * m_new + m_old]
+                    .copy_from_slice(&self.binv[i * m_old..(i + 1) * m_old]);
+            }
+            for (off, c) in rows.iter().enumerate() {
+                let r = m_old + off;
+                for &(v, a) in &c.expr.terms {
+                    if let ColState::Basic(p) = self.state[v.index()] {
+                        if p < m_old {
+                            for col in 0..m_old {
+                                nb[r * m_new + col] -= a * self.binv[p * m_old + col];
+                            }
+                        }
+                    }
+                }
+                nb[r * m_new + r] = 1.0;
+            }
+            self.binv = nb;
+            self.y.resize(m_new, 0.0);
+            self.w.resize(m_new, 0.0);
+        }
+        self.m = m_new;
+    }
+
+    /// Cold solve with the problem's own bounds.
+    ///
+    /// # Errors
+    ///
+    /// See [`LpError`].
+    pub fn solve(&mut self) -> Result<LpSolution, LpError> {
+        let lo: Vec<f64> = self.lower0[..self.n_struct].to_vec();
+        let hi: Vec<f64> = self.upper0[..self.n_struct].to_vec();
+        self.solve_with_bounds(&lo, &hi)
+    }
+
+    /// Cold solve with per-structural-variable bound overrides.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LpError::Infeasible`], [`LpError::Unbounded`], or
+    /// [`LpError::IterationLimit`].
+    pub fn solve_with_bounds(&mut self, lo: &[f64], hi: &[f64]) -> Result<LpSolution, LpError> {
+        assert_eq!(lo.len(), self.n_struct);
+        self.warm = false;
+        for i in 0..self.n_struct {
+            if lo[i] > hi[i] + TOL {
+                return Err(LpError::Infeasible);
+            }
+        }
+        self.reset_state(lo, hi);
+        let mut iterations = 0usize;
+
+        // Phase 1: drive artificials to zero.
+        if !self.artificials.is_empty() {
+            let mut d = vec![0.0; self.cols.len()];
+            let mut any = false;
+            for &a in &self.artificials {
+                if self.upper[a] > 0.0 {
+                    d[a] = 1.0;
+                    any = true;
+                }
+            }
+            if any {
+                iterations += self.optimize(&d)?;
+                let infeas: f64 = self
+                    .artificials
+                    .iter()
+                    .filter(|&&a| self.upper[a] > 0.0)
+                    .map(|&a| self.x[a])
+                    .sum();
+                if infeas > 1e-6 {
+                    return Err(LpError::Infeasible);
+                }
+                for &a in &self.artificials.clone() {
+                    self.lower[a] = 0.0;
+                    self.upper[a] = 0.0;
+                    if !matches!(self.state[a], ColState::Basic(_)) {
+                        self.x[a] = 0.0;
+                    }
+                }
+            }
+        }
+
+        // Phase 2.
+        let d = self.cost.clone();
+        iterations += self.optimize(&d)?;
+        self.finish_warm(&d);
+        Ok(self.extract(iterations))
+    }
+
+    /// Warm solve after bound changes (and/or [`Simplex::add_rows`]): dual
+    /// simplex from the previous basis, with an automatic cold fallback.
+    ///
+    /// # Errors
+    ///
+    /// See [`LpError`].
+    pub fn resolve_with_bounds(&mut self, lo: &[f64], hi: &[f64]) -> Result<LpSolution, LpError> {
+        if !self.warm {
+            return self.solve_with_bounds(lo, hi);
+        }
+        for i in 0..self.n_struct {
+            if lo[i] > hi[i] + TOL {
+                return Err(LpError::Infeasible);
+            }
+        }
+        // Install the new bounds; rest nonbasic variables on them. A
+        // variable that was fixed in the previous solve carries an
+        // arbitrary reduced-cost sign; if its range reopened, restore dual
+        // feasibility by resting it on the bound its reduced cost favors.
+        self.lower[..self.n_struct].copy_from_slice(lo);
+        self.upper[..self.n_struct].copy_from_slice(hi);
+        for j in 0..self.cols.len() {
+            match self.state[j] {
+                ColState::AtLower | ColState::AtUpper => {
+                    let (l, u) = (self.lower[j], self.upper[j]);
+                    if u - l > 0.0 {
+                        let dj = self.d[j];
+                        if dj < -TOL {
+                            if !u.is_finite() {
+                                return self.solve_with_bounds(lo, hi);
+                            }
+                            self.state[j] = ColState::AtUpper;
+                        } else if dj > TOL {
+                            if !l.is_finite() {
+                                return self.solve_with_bounds(lo, hi);
+                            }
+                            self.state[j] = ColState::AtLower;
+                        }
+                    }
+                    match self.state[j] {
+                        ColState::AtLower => {
+                            self.x[j] = if l.is_finite() { l } else { u.min(0.0) };
+                        }
+                        ColState::AtUpper => {
+                            self.x[j] = if u.is_finite() { u } else { l.max(0.0) };
+                        }
+                        ColState::Basic(_) => unreachable!(),
+                    }
+                }
+                ColState::Basic(_) => {}
+            }
+        }
+        self.recompute_basics();
+        match self.dual_simplex() {
+            Ok(iterations) => Ok(self.extract(iterations)),
+            Err(DualStop::Infeasible) => Err(LpError::Infeasible),
+            Err(DualStop::Stall) => {
+                // Numerical trouble or iteration cap: fall back to cold.
+                self.solve_with_bounds(lo, hi)
+            }
+        }
+    }
+
+    /// x_B = B⁻¹ (b − N x_N).
+    fn recompute_basics(&mut self) {
+        let m = self.m;
+        let mut rhs = self.b.clone();
+        for j in 0..self.cols.len() {
+            if !matches!(self.state[j], ColState::Basic(_)) && self.x[j] != 0.0 {
+                for &(i, a) in &self.cols[j] {
+                    rhs[i] -= a * self.x[j];
+                }
+            }
+        }
+        for r in 0..m {
+            let mut acc = 0.0;
+            let row = &self.binv[r * m..(r + 1) * m];
+            for k in 0..m {
+                acc += row[k] * rhs[k];
+            }
+            self.x[self.basis[r]] = acc;
+        }
+    }
+
+    /// Store reduced costs and mark the basis reusable.
+    fn finish_warm(&mut self, d: &[f64]) {
+        let m = self.m;
+        for j in 0..m {
+            let mut acc = 0.0;
+            for i in 0..m {
+                let db = d[self.basis[i]];
+                if db != 0.0 {
+                    acc += db * self.binv[i * m + j];
+                }
+            }
+            self.y[j] = acc;
+        }
+        self.d.clear();
+        self.d.resize(self.cols.len(), 0.0);
+        for j in 0..self.cols.len() {
+            if matches!(self.state[j], ColState::Basic(_)) {
+                continue;
+            }
+            let mut r = d[j];
+            for &(i, a) in &self.cols[j] {
+                r -= self.y[i] * a;
+            }
+            self.d[j] = r;
+        }
+        self.warm = true;
+    }
+
+    fn extract(&self, iterations: usize) -> LpSolution {
+        let values: Vec<f64> = self.x[..self.n_struct].to_vec();
+        let objective = self.obj_constant
+            + values
+                .iter()
+                .enumerate()
+                .map(|(i, &v)| {
+                    let c = self.cost[i];
+                    (if self.obj_negate { -c } else { c }) * v
+                })
+                .sum::<f64>();
+        LpSolution { objective, values, iterations }
+    }
+
+    /// Install bounds, zombify stale artificials, build the slack basis,
+    /// and append artificials for rows the slacks cannot cover.
+    fn reset_state(&mut self, lo: &[f64], hi: &[f64]) {
+        let n_cols = self.cols.len();
+        self.lower.clear();
+        self.upper.clear();
+        self.lower.resize(n_cols, 0.0);
+        self.upper.resize(n_cols, 0.0);
+        self.lower[..self.n_struct].copy_from_slice(lo);
+        self.upper[..self.n_struct].copy_from_slice(hi);
+        for j in self.n_struct..n_cols {
+            self.lower[j] = self.lower0[j];
+            self.upper[j] = self.upper0[j];
+        }
+        // Stale artificials become fixed-at-zero zombies.
+        for &a in &self.artificials {
+            self.lower[a] = 0.0;
+            self.upper[a] = 0.0;
+        }
+        self.x.clear();
+        self.x.resize(n_cols, 0.0);
+        self.state.clear();
+        self.state.resize(n_cols, ColState::AtLower);
+        for j in 0..self.n_struct {
+            let (l, u) = (self.lower[j], self.upper[j]);
+            let (v, st) = initial_point(l, u);
+            self.x[j] = v;
+            self.state[j] = st;
+        }
+        // Residuals with structural variables at their resting points.
+        let mut resid: Vec<f64> = self.b.clone();
+        for j in 0..self.n_struct {
+            if self.x[j] != 0.0 {
+                for &(i, a) in &self.cols[j] {
+                    resid[i] -= a * self.x[j];
+                }
+            }
+        }
+        self.basis.clear();
+        for i in 0..self.m {
+            let s = self.slack_cols[i];
+            let (sl, su) = (self.lower[s], self.upper[s]);
+            if resid[i] >= sl - TOL && resid[i] <= su + TOL {
+                self.x[s] = resid[i];
+                self.state[s] = ColState::Basic(i);
+                self.basis.push(s);
+            } else {
+                let parked = if resid[i] < sl { sl } else { su };
+                self.x[s] = parked;
+                self.state[s] =
+                    if parked == sl { ColState::AtLower } else { ColState::AtUpper };
+                let need = resid[i] - parked;
+                let a = self.cols.len();
+                self.cols.push(vec![(i, if need >= 0.0 { 1.0 } else { -1.0 })]);
+                self.lower0.push(0.0);
+                self.upper0.push(f64::INFINITY);
+                self.cost.push(0.0);
+                self.lower.push(0.0);
+                self.upper.push(f64::INFINITY);
+                self.x.push(need.abs());
+                self.state.push(ColState::Basic(i));
+                self.basis.push(a);
+                self.artificials.push(a);
+            }
+        }
+        self.binv.clear();
+        self.binv.resize(self.m * self.m, 0.0);
+        for i in 0..self.m {
+            let j = self.basis[i];
+            let diag = self.cols[j].iter().find(|(r, _)| *r == i).map(|(_, a)| *a).unwrap_or(1.0);
+            self.binv[i * self.m + i] = 1.0 / diag;
+        }
+        self.y.clear();
+        self.y.resize(self.m, 0.0);
+        self.w.clear();
+        self.w.resize(self.m, 0.0);
+    }
+
+    /// Primal simplex minimizing cost vector `d`. Returns pivot count.
+    ///
+    /// # Errors
+    ///
+    /// See [`LpError`].
+    fn optimize(&mut self, d: &[f64]) -> Result<usize, LpError> {
+        let n_total = self.cols.len();
+        let max_iter = 50 * (self.m + n_total) + 10_000;
+        let mut iterations = 0;
+        let mut degenerate_run = 0usize;
+        loop {
+            if iterations > max_iter {
+                return Err(LpError::IterationLimit);
+            }
+            // Pricing: y = d_B · B⁻¹ (skipping zero-cost basics).
+            let m = self.m;
+            for j in 0..m {
+                self.y[j] = 0.0;
+            }
+            for i in 0..m {
+                let db = d[self.basis[i]];
+                if db != 0.0 {
+                    let row = &self.binv[i * m..(i + 1) * m];
+                    for j in 0..m {
+                        self.y[j] += db * row[j];
+                    }
+                }
+            }
+            let bland = degenerate_run > DEGENERATE_LIMIT;
+            let mut entering: Option<(usize, f64, f64)> = None;
+            for j in 0..n_total {
+                let want_dir = match self.state[j] {
+                    ColState::Basic(_) => continue,
+                    ColState::AtLower => 1.0,
+                    ColState::AtUpper => -1.0,
+                };
+                if self.upper[j] - self.lower[j] <= 0.0 {
+                    continue; // fixed variables can never move
+                }
+                let mut r = d[j];
+                for &(i, a) in &self.cols[j] {
+                    r -= self.y[i] * a;
+                }
+                let improving = if want_dir > 0.0 { r < -TOL } else { r > TOL };
+                if improving {
+                    if bland {
+                        entering = Some((j, r, want_dir));
+                        break;
+                    }
+                    match entering {
+                        Some((_, br, _)) if r.abs() <= br.abs() => {}
+                        _ => entering = Some((j, r, want_dir)),
+                    }
+                }
+            }
+            let Some((j_in, _r, dir)) = entering else {
+                return Ok(iterations);
+            };
+            // Direction w = B⁻¹ A_j.
+            for wi in self.w.iter_mut() {
+                *wi = 0.0;
+            }
+            for &(i, a) in &self.cols[j_in] {
+                for r_ in 0..m {
+                    self.w[r_] += self.binv[r_ * m + i] * a;
+                }
+            }
+            // Ratio test with bound flips.
+            let mut t_max = self.upper[j_in] - self.lower[j_in];
+            let mut leave: Option<(usize, f64, f64)> = None;
+            for i in 0..m {
+                let delta = dir * self.w[i];
+                let bi = self.basis[i];
+                let (t, bound_val) = if delta > PIVOT_TOL {
+                    ((self.x[bi] - self.lower[bi]) / delta, self.lower[bi])
+                } else if delta < -PIVOT_TOL {
+                    ((self.upper[bi] - self.x[bi]) / -delta, self.upper[bi])
+                } else {
+                    continue;
+                };
+                if !t.is_finite() {
+                    continue;
+                }
+                let t = t.max(0.0);
+                let strictly_better = t < t_max - 1e-9;
+                let tie = (t - t_max).abs() <= 1e-9;
+                let wins_tie = tie
+                    && leave.map_or(false, |(prow, _, bd)| {
+                        if bland {
+                            bi < self.basis[prow]
+                        } else {
+                            delta.abs() > bd
+                        }
+                    });
+                if strictly_better || wins_tie {
+                    t_max = t.min(t_max);
+                    leave = Some((i, bound_val, delta.abs()));
+                }
+            }
+            if t_max.is_infinite() {
+                return Err(LpError::Unbounded);
+            }
+            degenerate_run = if t_max <= TOL { degenerate_run + 1 } else { 0 };
+            let t = t_max;
+            self.x[j_in] += dir * t;
+            for i in 0..m {
+                let bi = self.basis[i];
+                self.x[bi] -= dir * t * self.w[i];
+            }
+            match leave {
+                None => {
+                    self.state[j_in] = match self.state[j_in] {
+                        ColState::AtLower => ColState::AtUpper,
+                        ColState::AtUpper => ColState::AtLower,
+                        b => b,
+                    };
+                }
+                Some((row, bound_val, _)) => {
+                    let j_out = self.basis[row];
+                    self.x[j_out] = bound_val;
+                    self.state[j_out] = if (bound_val - self.lower[j_out]).abs()
+                        <= (bound_val - self.upper[j_out]).abs()
+                    {
+                        ColState::AtLower
+                    } else {
+                        ColState::AtUpper
+                    };
+                    let pivot = self.w[row];
+                    self.basis[row] = j_in;
+                    self.state[j_in] = ColState::Basic(row);
+                    self.update_binv(row, pivot);
+                }
+            }
+            iterations += 1;
+        }
+    }
+
+    /// Product-form update of B⁻¹ after pivoting on `(row, pivot)` with the
+    /// direction vector in `self.w`.
+    fn update_binv(&mut self, row: usize, pivot: f64) {
+        let m = self.m;
+        let inv_p = 1.0 / pivot;
+        for k in 0..m {
+            self.binv[row * m + k] *= inv_p;
+        }
+        // Split borrows: copy the pivot row once.
+        let pr: Vec<f64> = self.binv[row * m..(row + 1) * m].to_vec();
+        for i in 0..m {
+            if i != row {
+                let f = self.w[i];
+                if f != 0.0 {
+                    let base = i * m;
+                    for k in 0..m {
+                        self.binv[base + k] -= f * pr[k];
+                    }
+                }
+            }
+        }
+    }
+
+    /// Dual simplex: repair primal feasibility while keeping reduced costs
+    /// valid. Requires `self.d` from a previous optimal solve.
+    fn dual_simplex(&mut self) -> Result<usize, DualStop> {
+        let m = self.m;
+        let n_total = self.cols.len();
+        self.alpha.clear();
+        self.alpha.resize(n_total, 0.0);
+        let max_iter = 4 * (m + 64);
+        let mut iterations = 0usize;
+        loop {
+            if iterations > max_iter {
+                return Err(DualStop::Stall);
+            }
+            // Most-violated basic variable.
+            let mut leave: Option<(usize, f64, bool)> = None; // (row, violation, below)
+            for i in 0..m {
+                let bi = self.basis[i];
+                let v = self.x[bi];
+                if v < self.lower[bi] - TOL {
+                    let viol = self.lower[bi] - v;
+                    if leave.map_or(true, |(_, pv, _)| viol > pv) {
+                        leave = Some((i, viol, true));
+                    }
+                } else if v > self.upper[bi] + TOL {
+                    let viol = v - self.upper[bi];
+                    if leave.map_or(true, |(_, pv, _)| viol > pv) {
+                        leave = Some((i, viol, false));
+                    }
+                }
+            }
+            let Some((r, _viol, below)) = leave else {
+                return Ok(iterations);
+            };
+            // Row alphas: α_j = (e_r B⁻¹) · A_j for nonbasic j.
+            let rho = &self.binv[r * m..(r + 1) * m];
+            for j in 0..n_total {
+                if matches!(self.state[j], ColState::Basic(_)) {
+                    self.alpha[j] = 0.0;
+                    continue;
+                }
+                // Fixed columns cannot enter, but their reduced costs must
+                // still be updated (a later resolve may reopen them), so
+                // their alphas are computed too.
+                let mut acc = 0.0;
+                for &(i, a) in &self.cols[j] {
+                    acc += rho[i] * a;
+                }
+                self.alpha[j] = acc;
+            }
+            // Dual ratio test.
+            let mut enter: Option<(usize, f64, f64)> = None; // (col, theta, |alpha|)
+            for j in 0..n_total {
+                let a = self.alpha[j];
+                if a.abs() < PIVOT_TOL || self.upper[j] - self.lower[j] <= 0.0 {
+                    continue;
+                }
+                let eligible = match (self.state[j], below) {
+                    // x_Br must increase: Δx_Br = -α_j Δx_j > 0.
+                    (ColState::AtLower, true) => a < 0.0,
+                    (ColState::AtUpper, true) => a > 0.0,
+                    // x_Br must decrease.
+                    (ColState::AtLower, false) => a > 0.0,
+                    (ColState::AtUpper, false) => a < 0.0,
+                    _ => false,
+                };
+                if !eligible {
+                    continue;
+                }
+                let theta = (self.d[j] / a).abs();
+                let better = match enter {
+                    None => true,
+                    Some((_, bt, ba)) => {
+                        theta < bt - 1e-10 || ((theta - bt).abs() <= 1e-10 && a.abs() > ba)
+                    }
+                };
+                if better {
+                    enter = Some((j, theta, a.abs()));
+                }
+            }
+            let Some((e, _theta, _)) = enter else {
+                return Err(DualStop::Infeasible);
+            };
+            // FTRAN for the entering column.
+            for wi in self.w.iter_mut() {
+                *wi = 0.0;
+            }
+            for &(i, a) in &self.cols[e] {
+                for r_ in 0..m {
+                    self.w[r_] += self.binv[r_ * m + i] * a;
+                }
+            }
+            let pivot = self.w[r];
+            if pivot.abs() < PIVOT_TOL {
+                return Err(DualStop::Stall);
+            }
+            let j_out = self.basis[r];
+            let target = if below { self.lower[j_out] } else { self.upper[j_out] };
+            let delta = (self.x[j_out] - target) / pivot;
+            // Entering direction must respect its resting bound.
+            match self.state[e] {
+                ColState::AtLower if delta < -1e-7 => return Err(DualStop::Stall),
+                ColState::AtUpper if delta > 1e-7 => return Err(DualStop::Stall),
+                _ => {}
+            }
+            // Apply the primal step.
+            self.x[e] += delta;
+            for i in 0..m {
+                let bi = self.basis[i];
+                self.x[bi] -= delta * self.w[i];
+            }
+            self.x[j_out] = target;
+            self.state[j_out] = if (target - self.lower[j_out]).abs()
+                <= (target - self.upper[j_out]).abs()
+            {
+                ColState::AtLower
+            } else {
+                ColState::AtUpper
+            };
+            self.basis[r] = e;
+            self.state[e] = ColState::Basic(r);
+            // Reduced-cost update: d_j -= (d_e/α_e)·α_j; leaving gets -d_e/α_e.
+            let theta_signed = self.d[e] / self.alpha[e];
+            for j in 0..n_total {
+                if self.alpha[j] != 0.0 && j != e {
+                    self.d[j] -= theta_signed * self.alpha[j];
+                }
+            }
+            self.d[j_out] = -theta_signed;
+            self.d[e] = 0.0;
+            self.update_binv(r, pivot);
+            iterations += 1;
+        }
+    }
+}
+
+enum DualStop {
+    Infeasible,
+    Stall,
+}
+
+fn slack_bounds(cmp: Cmp) -> (f64, f64) {
+    match cmp {
+        Cmp::Le => (0.0, f64::INFINITY),
+        Cmp::Ge => (f64::NEG_INFINITY, 0.0),
+        Cmp::Eq => (0.0, 0.0),
+    }
+}
+
+/// Initial resting point for a variable with bounds `[l, u]`.
+fn initial_point(l: f64, u: f64) -> (f64, ColState) {
+    if l.is_finite() {
+        (l, ColState::AtLower)
+    } else if u.is_finite() {
+        (u, ColState::AtUpper)
+    } else {
+        (0.0, ColState::AtLower)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::LinExpr;
+    use crate::problem::{Cmp, Problem};
+
+    fn solve(p: &Problem) -> Result<LpSolution, LpError> {
+        Simplex::new(p).solve()
+    }
+
+    #[test]
+    fn unconstrained_min_at_bounds() {
+        let mut p = Problem::minimize();
+        let x = p.add_var("x", 1.0, 5.0);
+        p.set_objective(LinExpr::from(x));
+        let s = solve(&p).unwrap();
+        assert!((s.objective - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn basic_le_constraint() {
+        let mut p = Problem::maximize();
+        let x = p.add_var("x", 0.0, 3.0);
+        let y = p.add_var("y", 0.0, 2.0);
+        p.add_constraint("cap", LinExpr::from(x) + y, Cmp::Le, 4.0);
+        p.set_objective(LinExpr::from(x) + y);
+        let s = solve(&p).unwrap();
+        assert!((s.objective - 4.0).abs() < 1e-6, "got {}", s.objective);
+    }
+
+    #[test]
+    fn equality_requires_phase1() {
+        let mut p = Problem::minimize();
+        let x = p.add_var("x", 0.0, 2.0);
+        let y = p.add_var("y", 0.0, 5.0);
+        p.add_constraint("eq", LinExpr::from(x) + y, Cmp::Eq, 3.0);
+        p.set_objective(LinExpr::from(x) + 2.0 * y);
+        let s = solve(&p).unwrap();
+        assert!((s.objective - 4.0).abs() < 1e-6, "got {}", s.objective);
+        assert!((s.values[0] - 2.0).abs() < 1e-6);
+        assert!((s.values[1] - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn detects_infeasible() {
+        let mut p = Problem::minimize();
+        let x = p.add_var("x", 0.0, 1.0);
+        p.add_constraint("c", LinExpr::from(x), Cmp::Ge, 2.0);
+        assert_eq!(solve(&p).unwrap_err(), LpError::Infeasible);
+    }
+
+    #[test]
+    fn detects_unbounded() {
+        let mut p = Problem::maximize();
+        let x = p.add_var("x", 0.0, f64::INFINITY);
+        p.set_objective(LinExpr::from(x));
+        assert_eq!(solve(&p).unwrap_err(), LpError::Unbounded);
+    }
+
+    #[test]
+    fn ge_constraints() {
+        let mut p = Problem::minimize();
+        let x = p.add_var("x", 1.0, f64::INFINITY);
+        let y = p.add_var("y", 0.0, f64::INFINITY);
+        p.add_constraint("c", LinExpr::from(x) + y, Cmp::Ge, 4.0);
+        p.set_objective(3.0 * x + 2.0 * y);
+        let s = solve(&p).unwrap();
+        assert!((s.objective - 9.0).abs() < 1e-6, "got {}", s.objective);
+    }
+
+    #[test]
+    fn warm_resolve_matches_cold_after_bound_changes() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(11);
+        for trial in 0..20 {
+            let n = 6;
+            let mut p = Problem::minimize();
+            let vars: Vec<_> = (0..n).map(|i| p.add_var(format!("v{i}"), 0.0, 1.0)).collect();
+            for c in 0..4 {
+                let mut e = LinExpr::new();
+                for &v in &vars {
+                    e.add_term(v, rng.gen_range(-3..=3) as f64);
+                }
+                let sense = if c == 0 { Cmp::Eq } else { Cmp::Le };
+                p.add_constraint(format!("c{c}"), e, sense, rng.gen_range(0..=3) as f64);
+            }
+            let mut obj = LinExpr::new();
+            for &v in &vars {
+                obj.add_term(v, rng.gen_range(-5..=5) as f64);
+            }
+            p.set_objective(obj);
+            let mut s = Simplex::new(&p);
+            if s.solve().is_err() {
+                continue;
+            }
+            // Random sequences of bound fixings: warm must equal cold.
+            for _ in 0..8 {
+                let mut lo = vec![0.0; n];
+                let mut hi = vec![1.0; n];
+                for j in 0..n {
+                    if rng.gen_bool(0.4) {
+                        let v = if rng.gen_bool(0.5) { 0.0 } else { 1.0 };
+                        lo[j] = v;
+                        hi[j] = v;
+                    }
+                }
+                let warm = s.resolve_with_bounds(&lo, &hi);
+                let cold = Simplex::new(&p).solve_with_bounds(&lo, &hi);
+                match (warm, cold) {
+                    (Ok(a), Ok(b)) => assert!(
+                        (a.objective - b.objective).abs() < 1e-6,
+                        "trial {trial}: warm {} vs cold {}",
+                        a.objective,
+                        b.objective
+                    ),
+                    (Err(LpError::Infeasible), Err(LpError::Infeasible)) => {}
+                    (w, c) => panic!("trial {trial}: warm {w:?} vs cold {c:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn add_rows_then_resolve_matches_full_model() {
+        // min -x - y - z, rows added lazily one at a time.
+        let mut p = Problem::minimize();
+        let x = p.add_binary("x");
+        let y = p.add_binary("y");
+        let z = p.add_binary("z");
+        p.set_objective(-1.0 * x - 1.0 * y - 1.0 * z);
+        p.add_constraint("c0", LinExpr::from(x) + y, Cmp::Le, 1.0);
+        p.add_constraint("c1", LinExpr::from(y) + z, Cmp::Le, 1.0);
+        p.add_constraint("c2", LinExpr::from(x) + z, Cmp::Le, 1.0);
+
+        // Start with only c0.
+        let mut s = Simplex::with_rows(&p, Some(&[0]));
+        let lo = vec![0.0; 3];
+        let hi = vec![1.0; 3];
+        let first = s.solve_with_bounds(&lo, &hi).unwrap();
+        assert!((first.objective + 2.0).abs() < 1e-6, "x+z or y+z free: {}", first.objective);
+        // Add the remaining rows and re-solve warm.
+        let cs: Vec<&Constraint> = p.constraints()[1..].iter().collect();
+        s.add_rows(&cs);
+        assert_eq!(s.rows(), 3);
+        let warm = s.resolve_with_bounds(&lo, &hi).unwrap();
+        let cold = Simplex::new(&p).solve_with_bounds(&lo, &hi).unwrap();
+        assert!(
+            (warm.objective - cold.objective).abs() < 1e-6,
+            "warm {} vs cold {}",
+            warm.objective,
+            cold.objective
+        );
+        // LP optimum is -1.5 (x=y=z=0.5).
+        assert!((warm.objective + 1.5).abs() < 1e-6, "got {}", warm.objective);
+    }
+
+    #[test]
+    fn degenerate_assignment_polytope() {
+        let mut p = Problem::minimize();
+        let cost = [[1.0, 2.0, 3.0], [2.0, 4.0, 6.0], [3.0, 1.0, 2.0]];
+        let mut vars = Vec::new();
+        for i in 0..3 {
+            for j in 0..3 {
+                vars.push(p.add_var(format!("x{i}{j}"), 0.0, 1.0));
+            }
+        }
+        for i in 0..3 {
+            let e = LinExpr::sum((0..3).map(|j| vars[i * 3 + j]));
+            p.add_constraint(format!("item{i}"), e, Cmp::Eq, 1.0);
+        }
+        for j in 0..3 {
+            let e = LinExpr::sum((0..3).map(|i| vars[i * 3 + j]));
+            p.add_constraint(format!("slot{j}"), e, Cmp::Le, 1.0);
+        }
+        let mut obj = LinExpr::new();
+        for i in 0..3 {
+            for j in 0..3 {
+                obj += cost[i][j] * vars[i * 3 + j];
+            }
+        }
+        p.set_objective(obj);
+        let s = solve(&p).unwrap();
+        assert!((s.objective - 6.0).abs() < 1e-6, "got {}", s.objective);
+    }
+
+    #[test]
+    fn repeated_cold_solves_reuse_workspace() {
+        let mut p = Problem::minimize();
+        let x = p.add_var("x", 0.0, 10.0);
+        let y = p.add_var("y", 0.0, 10.0);
+        p.add_constraint("c", LinExpr::from(x) + y, Cmp::Ge, 5.0);
+        p.set_objective(LinExpr::from(x) + 2.0 * y);
+        let mut s = Simplex::new(&p);
+        for _ in 0..5 {
+            let sol = s.solve_with_bounds(&[0.0, 0.0], &[10.0, 10.0]).unwrap();
+            assert!((sol.objective - 5.0).abs() < 1e-6);
+            let sol = s.solve_with_bounds(&[0.0, 0.0], &[2.0, 10.0]).unwrap();
+            assert!((sol.objective - 8.0).abs() < 1e-6, "got {}", sol.objective);
+        }
+    }
+}

@@ -1,0 +1,214 @@
+//! Register banks of the IXP1200 micro-engine.
+//!
+//! Figure 1 of the paper: a micro-engine thread sees six register banks —
+//! two general-purpose banks **A** and **B**, the SRAM transfer banks **L**
+//! (load side, destination of SRAM/scratch reads) and **S** (store side,
+//! source of SRAM/scratch writes), and the SDRAM transfer banks **LD** and
+//! **SD**. ALU inputs come from `{A, B, L, LD}` with each of `A`, `B` and
+//! `L ∪ LD` supplying at most one operand; ALU results go to `{A, B, S,
+//! SD}`. There is no path between two registers of the same transfer bank,
+//! and the store-side banks cannot be read except by the memory units.
+
+use std::fmt;
+
+/// One of the six physical register banks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Bank {
+    /// General-purpose bank A (ALU source and destination).
+    A,
+    /// General-purpose bank B (ALU source and destination).
+    B,
+    /// SRAM/scratch *load* transfer bank (memory reads land here).
+    L,
+    /// SRAM/scratch *store* transfer bank (memory writes read from here).
+    S,
+    /// SDRAM load transfer bank.
+    Ld,
+    /// SDRAM store transfer bank.
+    Sd,
+}
+
+impl Bank {
+    /// All six banks, in a canonical order.
+    pub const ALL: [Bank; 6] = [Bank::A, Bank::B, Bank::L, Bank::S, Bank::Ld, Bank::Sd];
+
+    /// The four transfer banks (the paper's `XBank`).
+    pub const TRANSFER: [Bank; 4] = [Bank::L, Bank::S, Bank::Ld, Bank::Sd];
+
+    /// Registers per thread in this bank.
+    ///
+    /// The IXP1200 exposes 16 A and 16 B general-purpose registers per
+    /// context and 8 registers in each transfer bank per context.
+    pub fn capacity(self) -> usize {
+        match self {
+            Bank::A | Bank::B => 16,
+            _ => 8,
+        }
+    }
+
+    /// Is this one of the four transfer banks?
+    pub fn is_transfer(self) -> bool {
+        !matches!(self, Bank::A | Bank::B)
+    }
+
+    /// Can the ALU read an operand from this bank?
+    pub fn alu_readable(self) -> bool {
+        matches!(self, Bank::A | Bank::B | Bank::L | Bank::Ld)
+    }
+
+    /// Can the ALU (or an immediate load) write a result to this bank?
+    pub fn alu_writable(self) -> bool {
+        matches!(self, Bank::A | Bank::B | Bank::S | Bank::Sd)
+    }
+
+    /// Short name used in assembly listings ("a", "b", "l", "s", "ld", "sd").
+    pub fn name(self) -> &'static str {
+        match self {
+            Bank::A => "a",
+            Bank::B => "b",
+            Bank::L => "l",
+            Bank::S => "s",
+            Bank::Ld => "ld",
+            Bank::Sd => "sd",
+        }
+    }
+}
+
+impl fmt::Display for Bank {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Check the ALU two-operand rule: operands must come from ALU-readable
+/// banks, and each of `A`, `B`, and `L ∪ LD` supplies at most one operand.
+pub fn alu_operands_ok(a: Bank, b: Bank) -> bool {
+    if !a.alu_readable() || !b.alu_readable() {
+        return false;
+    }
+    let xfer = |bk: Bank| matches!(bk, Bank::L | Bank::Ld);
+    if xfer(a) && xfer(b) {
+        return false; // L ∪ LD supplies at most one operand
+    }
+    if a == b && !xfer(a) {
+        return false; // A and B each supply at most one operand
+    }
+    true
+}
+
+/// Check that a register-register move is implementable by one instruction.
+///
+/// A move reads its source like an ALU operand and writes its destination
+/// like an ALU result, so `src ∈ {A, B, L, LD}` and `dst ∈ {A, B, S, SD}`.
+/// In particular there is no move out of `S`/`SD` (store-side values can
+/// only reach memory) and no move within a transfer bank.
+pub fn move_ok(src: Bank, dst: Bank) -> bool {
+    src.alu_readable() && dst.alu_writable()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capacities_match_hardware() {
+        assert_eq!(Bank::A.capacity(), 16);
+        assert_eq!(Bank::B.capacity(), 16);
+        for b in Bank::TRANSFER {
+            assert_eq!(b.capacity(), 8);
+        }
+    }
+
+    #[test]
+    fn alu_operand_rules() {
+        use Bank::*;
+        assert!(alu_operands_ok(A, B));
+        assert!(alu_operands_ok(A, L));
+        assert!(alu_operands_ok(B, Ld));
+        assert!(alu_operands_ok(L, A));
+        // both operands from the transfer side is illegal
+        assert!(!alu_operands_ok(L, Ld));
+        assert!(!alu_operands_ok(Ld, L));
+        assert!(!alu_operands_ok(L, L));
+        // two operands from the same GP bank is illegal
+        assert!(!alu_operands_ok(A, A));
+        assert!(!alu_operands_ok(B, B));
+        // store-side banks are not readable
+        assert!(!alu_operands_ok(S, A));
+        assert!(!alu_operands_ok(A, Sd));
+    }
+
+    #[test]
+    fn move_rules() {
+        use Bank::*;
+        assert!(move_ok(A, B));
+        assert!(move_ok(L, S)); // read side to store side: fine
+        assert!(move_ok(Ld, A));
+        assert!(move_ok(A, Sd));
+        // no moves out of the store side
+        assert!(!move_ok(S, A));
+        assert!(!move_ok(Sd, Sd));
+        // no path into the load side except memory
+        assert!(!move_ok(A, L));
+        assert!(!move_ok(A, Ld));
+    }
+
+    #[test]
+    fn transfer_classification() {
+        assert!(!Bank::A.is_transfer());
+        assert!(!Bank::B.is_transfer());
+        for b in Bank::TRANSFER {
+            assert!(b.is_transfer());
+        }
+    }
+}
+
+#[cfg(test)]
+mod prop_tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn bank_strategy() -> impl Strategy<Value = Bank> {
+        prop_oneof![
+            Just(Bank::A),
+            Just(Bank::B),
+            Just(Bank::L),
+            Just(Bank::S),
+            Just(Bank::Ld),
+            Just(Bank::Sd),
+        ]
+    }
+
+    proptest! {
+        #[test]
+        fn operand_rule_invariants(a in bank_strategy(), b in bank_strategy()) {
+            // A legal operand pair never reads the store side...
+            if alu_operands_ok(a, b) {
+                prop_assert!(a.alu_readable());
+                prop_assert!(b.alu_readable());
+                // ...never takes both operands from the transfer side...
+                prop_assert!(!(a.is_transfer() && b.is_transfer()));
+                // ...and never reads one GP bank twice.
+                prop_assert!(a != b || a.is_transfer());
+            }
+            // The relation is symmetric.
+            prop_assert_eq!(alu_operands_ok(a, b), alu_operands_ok(b, a));
+        }
+
+        #[test]
+        fn move_rule_invariants(src in bank_strategy(), dst in bank_strategy()) {
+            if move_ok(src, dst) {
+                prop_assert!(src.alu_readable());
+                prop_assert!(dst.alu_writable());
+            }
+            // The load side is only reachable through memory.
+            if dst == Bank::L || dst == Bank::Ld {
+                prop_assert!(!move_ok(src, dst));
+            }
+            // The store side is opaque.
+            if src == Bank::S || src == Bank::Sd {
+                prop_assert!(!move_ok(src, dst));
+            }
+        }
+    }
+}

@@ -1,0 +1,45 @@
+//! Machine model of the Intel IXP1200 micro-engine, as presented in
+//! "Taming the IXP Network Processor" (PLDI 2003), Figure 1.
+//!
+//! The model covers what the compiler and simulator need:
+//!
+//! * [`Bank`] — the six register banks (`A`, `B`, `L`, `S`, `LD`, `SD`)
+//!   with their capacities and the data-path legality rules (ALU operand
+//!   combinations, move paths, store-side opacity);
+//! * [`Instr`] — the instruction set, generic over the register type so
+//!   the same flowgraph carries virtual temporaries before allocation and
+//!   [`PhysReg`]s after;
+//! * [`Program`]/[`validate`] — basic-block flowgraphs plus a validator
+//!   that checks every hardware rule (the test oracle for the ILP
+//!   allocator);
+//! * [`timing`] — the cycle-cost model behind the throughput experiments.
+//!
+//! # Example
+//!
+//! ```
+//! use ixp_machine::{Bank, PhysReg, Instr, AluOp, AluSrc, Program, Block, BlockId, Terminator, validate};
+//! let a0 = PhysReg::new(Bank::A, 0);
+//! let b0 = PhysReg::new(Bank::B, 0);
+//! let prog = Program {
+//!     blocks: vec![Block {
+//!         instrs: vec![Instr::Alu { op: AluOp::Add, dst: a0, a: a0, b: AluSrc::Reg(b0) }],
+//!         term: Terminator::Halt,
+//!     }],
+//!     entry: BlockId(0),
+//! };
+//! assert!(validate(&prog).is_empty());
+//! ```
+
+#![warn(missing_docs)]
+
+mod bank;
+mod insn;
+mod program;
+mod reg;
+pub mod timing;
+pub mod units;
+
+pub use bank::{alu_operands_ok, move_ok, Bank};
+pub use insn::{Addr, AluOp, AluSrc, Cond, Instr, MemSpace};
+pub use program::{read_bank, validate, write_bank, Block, BlockId, Program, Terminator, Violation};
+pub use reg::{PhysReg, Temp};

@@ -1,0 +1,483 @@
+//! Flowgraphs of micro-engine code and the machine-code validator.
+//!
+//! A [`Program`] is a list of basic blocks with explicit terminators,
+//! generic over the register type. After allocation the program is
+//! `Program<PhysReg>`; [`validate`] then checks every hardware rule the ILP
+//! model is supposed to enforce — ALU operand bank legality, move data
+//! paths, transfer-bank adjacency of aggregates, burst sizes, and the
+//! same-register constraint of `hash`/`test-and-set`. The validator is the
+//! oracle used by the allocator's test suite: a solution that passes it is
+//! executable hardware code.
+
+use crate::bank::{alu_operands_ok, move_ok, Bank};
+use crate::insn::{AluSrc, Cond, Instr, MemSpace};
+use crate::reg::PhysReg;
+use std::fmt;
+
+/// Identifier of a basic block within a [`Program`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BlockId(pub u32);
+
+impl BlockId {
+    /// Index into [`Program::blocks`].
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for BlockId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "L{}", self.0)
+    }
+}
+
+/// How control leaves a basic block.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Terminator<R> {
+    /// Unconditional jump.
+    Jump(BlockId),
+    /// Two-way conditional branch comparing `a` against `b`.
+    Branch {
+        /// Condition code.
+        cond: Cond,
+        /// Left comparand.
+        a: R,
+        /// Right comparand (register or immediate — the IXP compares
+        /// against zero for free and small immediates via `alu`).
+        b: AluSrc<R>,
+        /// Target when the condition holds.
+        if_true: BlockId,
+        /// Target when it does not.
+        if_false: BlockId,
+    },
+    /// End of the program (packet processed; return to the dispatch loop).
+    Halt,
+}
+
+impl<R> Terminator<R> {
+    /// Successor block ids.
+    pub fn successors(&self) -> Vec<BlockId> {
+        match self {
+            Terminator::Jump(t) => vec![*t],
+            Terminator::Branch { if_true, if_false, .. } => vec![*if_true, *if_false],
+            Terminator::Halt => vec![],
+        }
+    }
+
+    /// Registers read by the terminator.
+    pub fn uses(&self) -> Vec<&R> {
+        match self {
+            Terminator::Branch { a, b, .. } => {
+                let mut v = vec![a];
+                if let AluSrc::Reg(r) = b {
+                    v.push(r);
+                }
+                v
+            }
+            _ => vec![],
+        }
+    }
+
+    /// Map the register type.
+    pub fn map<S>(self, f: &mut impl FnMut(R) -> S) -> Terminator<S> {
+        match self {
+            Terminator::Jump(t) => Terminator::Jump(t),
+            Terminator::Branch { cond, a, b, if_true, if_false } => Terminator::Branch {
+                cond,
+                a: f(a),
+                b: match b {
+                    AluSrc::Reg(r) => AluSrc::Reg(f(r)),
+                    AluSrc::Imm(v) => AluSrc::Imm(v),
+                },
+                if_true,
+                if_false,
+            },
+            Terminator::Halt => Terminator::Halt,
+        }
+    }
+}
+
+/// A basic block: straight-line instructions plus one terminator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Block<R> {
+    /// Instructions in execution order.
+    pub instrs: Vec<Instr<R>>,
+    /// Control transfer out of the block.
+    pub term: Terminator<R>,
+}
+
+/// A whole micro-engine program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Program<R> {
+    /// Basic blocks; `BlockId(i)` names `blocks[i]`.
+    pub blocks: Vec<Block<R>>,
+    /// Entry block.
+    pub entry: BlockId,
+}
+
+impl<R> Program<R> {
+    /// Total instruction count (terminators included, each counting 1).
+    pub fn len(&self) -> usize {
+        self.blocks.iter().map(|b| b.instrs.len() + 1).sum()
+    }
+
+    /// True if the program has no blocks.
+    pub fn is_empty(&self) -> bool {
+        self.blocks.is_empty()
+    }
+
+    /// Map the register type over the whole program.
+    pub fn map<S>(self, f: &mut impl FnMut(R) -> S) -> Program<S> {
+        Program {
+            blocks: self
+                .blocks
+                .into_iter()
+                .map(|b| Block {
+                    instrs: b.instrs.into_iter().map(|i| i.map(f)).collect(),
+                    term: b.term.map(f),
+                })
+                .collect(),
+            entry: self.entry,
+        }
+    }
+}
+
+impl<R: fmt::Display> fmt::Display for Program<R> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "entry {}", self.entry)?;
+        for (i, b) in self.blocks.iter().enumerate() {
+            writeln!(f, "L{i}:")?;
+            for ins in &b.instrs {
+                writeln!(f, "    {ins}")?;
+            }
+            match &b.term {
+                Terminator::Jump(t) => writeln!(f, "    br {t}")?,
+                Terminator::Branch { cond, a, b, if_true, if_false } => writeln!(
+                    f,
+                    "    br.{} {a}, {b} -> {if_true} else {if_false}",
+                    cond.mnemonic()
+                )?,
+                Terminator::Halt => writeln!(f, "    halt")?,
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A violation of the machine's rules found by [`validate`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Block where the violation occurred.
+    pub block: BlockId,
+    /// Instruction index within the block (`instrs.len()` = terminator).
+    pub index: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}[{}]: {}", self.block, self.index, self.message)
+    }
+}
+
+/// Check a physical-register program against every hardware rule. Returns
+/// all violations (empty = valid machine code).
+pub fn validate(prog: &Program<PhysReg>) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let mut push = |block: usize, index: usize, message: String| {
+        out.push(Violation { block: BlockId(block as u32), index, message });
+    };
+    for (bi, block) in prog.blocks.iter().enumerate() {
+        for (ii, ins) in block.instrs.iter().enumerate() {
+            match ins {
+                Instr::Alu { dst, a, b, .. } => {
+                    match b {
+                        AluSrc::Reg(rb) => {
+                            if !alu_operands_ok(a.bank, rb.bank) {
+                                push(bi, ii, format!("illegal ALU operand banks {a}, {rb}"));
+                            }
+                        }
+                        AluSrc::Imm(v) => {
+                            if *v >= 32 {
+                                push(bi, ii, format!("ALU immediate {v} out of range"));
+                            }
+                            if !a.bank.alu_readable() {
+                                push(bi, ii, format!("ALU operand {a} not readable"));
+                            }
+                        }
+                    }
+                    if !dst.bank.alu_writable() {
+                        push(bi, ii, format!("ALU destination {dst} not writable"));
+                    }
+                }
+                Instr::Imm { dst, .. } => {
+                    if !dst.bank.alu_writable() {
+                        push(bi, ii, format!("immed destination {dst} not writable"));
+                    }
+                }
+                Instr::Move { dst, src } => {
+                    if !move_ok(src.bank, dst.bank) {
+                        push(bi, ii, format!("illegal move {src} -> {dst}"));
+                    }
+                }
+                Instr::Clone { .. } => {
+                    push(bi, ii, "clone pseudo-instruction survived allocation".into());
+                }
+                Instr::MemRead { space, dst, addr } => {
+                    let want = read_bank(*space);
+                    check_aggregate(&mut push, bi, ii, dst, want, *space);
+                    check_addr_bank(&mut push, bi, ii, addr);
+                }
+                Instr::MemWrite { space, src, addr } => {
+                    let want = write_bank(*space);
+                    check_aggregate(&mut push, bi, ii, src, want, *space);
+                    check_addr_bank(&mut push, bi, ii, addr);
+                }
+                Instr::Hash { dst, src } | Instr::TestAndSet { dst, src, .. } => {
+                    if dst.bank != Bank::L {
+                        push(bi, ii, format!("unit result {dst} must be in L"));
+                    }
+                    if src.bank != Bank::S {
+                        push(bi, ii, format!("unit operand {src} must be in S"));
+                    }
+                    if dst.num != src.num {
+                        push(
+                            bi,
+                            ii,
+                            format!("same-register constraint violated: {dst} vs {src}"),
+                        );
+                    }
+                    if let Instr::TestAndSet { addr, .. } = ins {
+                        check_addr_bank(&mut push, bi, ii, addr);
+                    }
+                }
+                Instr::CsrRead { dst, .. } => {
+                    if !dst.bank.alu_writable() {
+                        push(bi, ii, format!("csr_rd destination {dst} not writable"));
+                    }
+                }
+                Instr::CsrWrite { src, .. } => {
+                    if !src.bank.alu_readable() {
+                        push(bi, ii, format!("csr_wr source {src} not readable"));
+                    }
+                }
+                Instr::RxPacket { len_dst, addr_dst } => {
+                    for r in [len_dst, addr_dst] {
+                        if !r.bank.alu_writable() {
+                            push(bi, ii, format!("rx_packet destination {r} not writable"));
+                        }
+                    }
+                }
+                Instr::TxPacket { addr, len } => {
+                    for r in [addr, len] {
+                        if !r.bank.alu_readable() {
+                            push(bi, ii, format!("tx_packet operand {r} not readable"));
+                        }
+                    }
+                }
+                Instr::CtxSwap => {}
+            }
+        }
+        // Terminator checks.
+        let ti = block.instrs.len();
+        match &block.term {
+            Terminator::Branch { a, b, if_true, if_false, .. } => {
+                match b {
+                    AluSrc::Reg(rb) => {
+                        if !alu_operands_ok(a.bank, rb.bank) {
+                            push(bi, ti, format!("illegal branch operand banks {a}, {rb}"));
+                        }
+                    }
+                    AluSrc::Imm(_) => {
+                        if !a.bank.alu_readable() {
+                            push(bi, ti, format!("branch operand {a} not readable"));
+                        }
+                    }
+                }
+                for t in [if_true, if_false] {
+                    if t.index() >= prog.blocks.len() {
+                        push(bi, ti, format!("branch target {t} out of range"));
+                    }
+                }
+            }
+            Terminator::Jump(t) => {
+                if t.index() >= prog.blocks.len() {
+                    push(bi, ti, format!("jump target {t} out of range"));
+                }
+            }
+            Terminator::Halt => {}
+        }
+    }
+    out
+}
+
+/// Load-side transfer bank of a memory space.
+pub fn read_bank(space: MemSpace) -> Bank {
+    match space {
+        MemSpace::Sram | MemSpace::Scratch => Bank::L,
+        MemSpace::Sdram => Bank::Ld,
+    }
+}
+
+/// Store-side transfer bank of a memory space.
+pub fn write_bank(space: MemSpace) -> Bank {
+    match space {
+        MemSpace::Sram | MemSpace::Scratch => Bank::S,
+        MemSpace::Sdram => Bank::Sd,
+    }
+}
+
+fn check_aggregate(
+    push: &mut impl FnMut(usize, usize, String),
+    bi: usize,
+    ii: usize,
+    regs: &[PhysReg],
+    want: Bank,
+    space: MemSpace,
+) {
+    if !space.burst_ok(regs.len()) {
+        push(bi, ii, format!("{space} burst of {} registers is illegal", regs.len()));
+    }
+    for (k, r) in regs.iter().enumerate() {
+        if r.bank != want {
+            push(bi, ii, format!("aggregate register {r} must be in {want}"));
+        }
+        if k > 0 && regs[k].num != regs[k - 1].num.wrapping_add(1) {
+            push(
+                bi,
+                ii,
+                format!("aggregate registers not consecutive: {} then {}", regs[k - 1], regs[k]),
+            );
+        }
+    }
+}
+
+fn check_addr_bank(
+    push: &mut impl FnMut(usize, usize, String),
+    bi: usize,
+    ii: usize,
+    addr: &crate::insn::Addr<PhysReg>,
+) {
+    if let Some(base) = addr.base() {
+        if !base.bank.alu_readable() {
+            push(bi, ii, format!("address base {base} not readable"));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::insn::{Addr, AluOp};
+
+    fn pr(bank: Bank, num: u8) -> PhysReg {
+        PhysReg::new(bank, num)
+    }
+
+    fn prog(instrs: Vec<Instr<PhysReg>>) -> Program<PhysReg> {
+        Program { blocks: vec![Block { instrs, term: Terminator::Halt }], entry: BlockId(0) }
+    }
+
+    #[test]
+    fn valid_alu_passes() {
+        let p = prog(vec![Instr::Alu {
+            op: AluOp::Add,
+            dst: pr(Bank::A, 0),
+            a: pr(Bank::A, 1),
+            b: AluSrc::Reg(pr(Bank::B, 0)),
+        }]);
+        assert!(validate(&p).is_empty());
+    }
+
+    #[test]
+    fn two_transfer_operands_rejected() {
+        let p = prog(vec![Instr::Alu {
+            op: AluOp::Add,
+            dst: pr(Bank::A, 0),
+            a: pr(Bank::L, 0),
+            b: AluSrc::Reg(pr(Bank::Ld, 0)),
+        }]);
+        let v = validate(&p);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].message.contains("illegal ALU operand banks"));
+    }
+
+    #[test]
+    fn alu_dest_must_be_writable() {
+        let p = prog(vec![Instr::Alu {
+            op: AluOp::Add,
+            dst: pr(Bank::L, 0),
+            a: pr(Bank::A, 1),
+            b: AluSrc::Reg(pr(Bank::B, 0)),
+        }]);
+        assert!(!validate(&p).is_empty());
+    }
+
+    #[test]
+    fn aggregate_adjacency_enforced() {
+        let p = prog(vec![Instr::MemRead {
+            space: MemSpace::Sram,
+            addr: Addr::Imm(0),
+            dst: vec![pr(Bank::L, 2), pr(Bank::L, 4)],
+        }]);
+        let v = validate(&p);
+        assert!(v.iter().any(|x| x.message.contains("not consecutive")));
+    }
+
+    #[test]
+    fn aggregate_bank_enforced() {
+        let p = prog(vec![Instr::MemWrite {
+            space: MemSpace::Sdram,
+            addr: Addr::Imm(0),
+            src: vec![pr(Bank::S, 0), pr(Bank::S, 1)],
+        }]);
+        let v = validate(&p);
+        assert!(v.iter().any(|x| x.message.contains("must be in sd")));
+    }
+
+    #[test]
+    fn sdram_odd_burst_rejected() {
+        let p = prog(vec![Instr::MemRead {
+            space: MemSpace::Sdram,
+            addr: Addr::Imm(0),
+            dst: vec![pr(Bank::Ld, 0), pr(Bank::Ld, 1), pr(Bank::Ld, 2)],
+        }]);
+        let v = validate(&p);
+        assert!(v.iter().any(|x| x.message.contains("burst of 3")));
+    }
+
+    #[test]
+    fn hash_same_register() {
+        let ok = prog(vec![Instr::Hash { dst: pr(Bank::L, 3), src: pr(Bank::S, 3) }]);
+        assert!(validate(&ok).is_empty());
+        let bad = prog(vec![Instr::Hash { dst: pr(Bank::L, 3), src: pr(Bank::S, 4) }]);
+        assert!(validate(&bad).iter().any(|v| v.message.contains("same-register")));
+    }
+
+    #[test]
+    fn clone_must_not_survive() {
+        let p = prog(vec![Instr::Clone { dst: pr(Bank::A, 0), src: pr(Bank::A, 1) }]);
+        assert!(validate(&p).iter().any(|v| v.message.contains("clone")));
+    }
+
+    #[test]
+    fn branch_targets_checked() {
+        let p = Program {
+            blocks: vec![Block {
+                instrs: vec![],
+                term: Terminator::Jump(BlockId(7)),
+            }],
+            entry: BlockId(0),
+        };
+        assert!(validate(&p).iter().any(|v| v.message.contains("out of range")));
+    }
+
+    #[test]
+    fn display_roundtrips_shape() {
+        let p = prog(vec![Instr::Imm { dst: pr(Bank::A, 0), val: 0x42 }]);
+        let s = p.to_string();
+        assert!(s.contains("immed a0, 0x42"));
+        assert!(s.contains("halt"));
+    }
+}

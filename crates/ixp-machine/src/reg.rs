@@ -1,0 +1,70 @@
+//! Physical and virtual register names.
+
+use crate::bank::Bank;
+use std::fmt;
+
+/// A physical register: a bank plus a register number within the bank.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PhysReg {
+    /// The bank this register belongs to.
+    pub bank: Bank,
+    /// Register number within the bank (`0..bank.capacity()`).
+    pub num: u8,
+}
+
+impl PhysReg {
+    /// Construct a physical register.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num` exceeds the bank capacity.
+    pub fn new(bank: Bank, num: u8) -> Self {
+        assert!(
+            (num as usize) < bank.capacity(),
+            "register {bank}{num} out of range (capacity {})",
+            bank.capacity()
+        );
+        PhysReg { bank, num }
+    }
+}
+
+impl fmt::Display for PhysReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}{}", self.bank, self.num)
+    }
+}
+
+/// A virtual register (temporary), used before allocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Temp(pub u32);
+
+impl Temp {
+    /// The temporary's numeric id.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for Temp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(PhysReg::new(Bank::A, 3).to_string(), "a3");
+        assert_eq!(PhysReg::new(Bank::Ld, 7).to_string(), "ld7");
+        assert_eq!(Temp(42).to_string(), "t42");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_out_of_range() {
+        PhysReg::new(Bank::L, 8);
+    }
+}

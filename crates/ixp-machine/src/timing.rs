@@ -1,0 +1,102 @@
+//! Cycle-cost model of the IXP1200 used by the simulator and by the
+//! allocator's spill-cost parameters.
+//!
+//! The numbers are the documented approximate latencies of the 233 MHz
+//! IXP1200 (C-step): single-cycle ALU/shift/branch issue, ~16–20 cycle SRAM
+//! reads, ~33–40 cycle SDRAM reads, ~12–16 cycle scratch accesses. The
+//! paper's objective function charges `mvC = 1` for a register move and
+//! `ldC = stC = 200` for spill memory traffic (§7) — deliberately far above
+//! raw latency, because a blocked thread costs the whole pipeline; those
+//! objective weights live in the allocator, while these structural numbers
+//! drive the cycle-approximate simulation.
+
+use crate::insn::{Instr, MemSpace};
+
+/// Clock frequency of the modeled part, in Hz (233 MHz IXP1200).
+pub const CLOCK_HZ: u64 = 233_000_000;
+
+/// Issue cost of a non-memory instruction, in cycles.
+pub const ISSUE_CYCLES: u64 = 1;
+
+/// Extra cycles when a branch is taken (pipeline refill).
+pub const BRANCH_TAKEN_PENALTY: u64 = 2;
+
+/// Cycles for an `immed` whose value does not fit in one halfword load.
+pub const IMM_WIDE_EXTRA: u64 = 1;
+
+/// Unloaded round-trip latency of a memory read, in cycles.
+pub fn read_latency(space: MemSpace) -> u64 {
+    match space {
+        MemSpace::Sram => 18,
+        MemSpace::Sdram => 36,
+        MemSpace::Scratch => 14,
+    }
+}
+
+/// Unloaded completion latency of a memory write, in cycles. Writes retire
+/// from the store transfer registers asynchronously; the issuing thread
+/// only blocks when it explicitly waits, but the simulator charges the bus
+/// occupancy to the memory channel.
+pub fn write_latency(space: MemSpace) -> u64 {
+    match space {
+        MemSpace::Sram => 16,
+        MemSpace::Sdram => 30,
+        MemSpace::Scratch => 12,
+    }
+}
+
+/// Additional per-word cycles of a burst beyond the first word.
+pub fn burst_extra(space: MemSpace) -> u64 {
+    match space {
+        MemSpace::Sram | MemSpace::Scratch => 2,
+        MemSpace::Sdram => 1,
+    }
+}
+
+/// Latency of the hardware hash unit.
+pub const HASH_CYCLES: u64 = 18;
+
+/// Does a constant fit the single-cycle `immed` encoding? The IXP loads a
+/// 16-bit immediate (optionally shifted) in one instruction; anything else
+/// takes two.
+pub fn imm_is_cheap(val: u32) -> bool {
+    val & 0xFFFF_0000 == 0 || val & 0x0000_FFFF == 0
+}
+
+/// Issue cost of one instruction (not counting memory stall time).
+pub fn issue_cycles<R>(ins: &Instr<R>) -> u64 {
+    match ins {
+        Instr::Imm { val, .. } => {
+            if imm_is_cheap(*val) {
+                ISSUE_CYCLES
+            } else {
+                ISSUE_CYCLES + IMM_WIDE_EXTRA
+            }
+        }
+        _ => ISSUE_CYCLES,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reg::Temp;
+
+    #[test]
+    fn imm_cost_model() {
+        assert!(imm_is_cheap(0x0000_1234));
+        assert!(imm_is_cheap(0x1234_0000));
+        assert!(!imm_is_cheap(0x1234_5678));
+        let cheap: Instr<Temp> = Instr::Imm { dst: Temp(0), val: 7 };
+        let wide: Instr<Temp> = Instr::Imm { dst: Temp(0), val: 0xDEAD_BEEF };
+        assert_eq!(issue_cycles(&cheap), 1);
+        assert_eq!(issue_cycles(&wide), 2);
+    }
+
+    #[test]
+    fn memory_orders() {
+        // Scratch is faster than SRAM which is faster than SDRAM.
+        assert!(read_latency(MemSpace::Scratch) < read_latency(MemSpace::Sram));
+        assert!(read_latency(MemSpace::Sram) < read_latency(MemSpace::Sdram));
+    }
+}

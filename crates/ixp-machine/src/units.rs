@@ -1,0 +1,28 @@
+//! Models of the IXP's special-purpose hardware units shared by the CPS
+//! reference interpreter and the cycle simulator (they must agree bit for
+//! bit so compiled code can be validated against the oracle).
+
+/// The hardware hash unit's function. The real IXP1200 implements a
+/// 48-bit polynomial hash; we model a well-mixed 32-bit avalanche hash
+/// (the exact polynomial is irrelevant to the compiler — only that both
+/// execution models agree).
+pub fn hash_unit(x: u32) -> u32 {
+    let mut h = x.wrapping_mul(0x9E37_79B9);
+    h ^= h >> 16;
+    h = h.wrapping_mul(0x85EB_CA6B);
+    h ^= h >> 13;
+    h = h.wrapping_mul(0xC2B2_AE35);
+    h ^ (h >> 16)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_mixing() {
+        assert_eq!(hash_unit(0), hash_unit(0));
+        assert_ne!(hash_unit(0), hash_unit(1));
+        assert_ne!(hash_unit(1), hash_unit(2));
+    }
+}

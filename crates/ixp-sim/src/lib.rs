@@ -1,0 +1,26 @@
+//! Cycle-approximate simulator for IXP1200 micro-engine programs.
+//!
+//! The paper's throughput numbers (§11) came from a 233 MHz IXP1200 fed by
+//! a hardware packet generator. This crate replaces that testbed: it
+//! executes allocated machine code (`Program<PhysReg>`) against a memory
+//! and packet model, charging the documented cycle costs
+//! ([`ixp_machine::timing`]) — single-cycle ALU issue, multi-cycle
+//! SRAM/SDRAM/scratch latencies with channel contention, pipeline refill
+//! on taken branches — and models the micro-engine's hardware
+//! multi-threading: a thread that issues a memory reference is swapped out
+//! until the reference completes, letting the other contexts hide the
+//! latency (the property the paper's applications rely on for line rate).
+//!
+//! The simulator doubles as the compiler's final correctness oracle: its
+//! architectural results must match the CPS reference interpreter bit for
+//! bit on every workload.
+
+#![warn(missing_docs)]
+
+mod machine;
+mod packets;
+mod sim;
+
+pub use machine::SimMemory;
+pub use packets::{PacketGen, PacketSpec};
+pub use sim::{simulate, SimConfig, SimError, SimResult, StopReason};

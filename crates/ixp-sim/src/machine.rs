@@ -1,0 +1,73 @@
+//! Shared memory and I/O state of the simulated system.
+
+use std::collections::{HashMap, VecDeque};
+
+/// Memories, CSRs, and packet queues shared by all threads.
+#[derive(Debug, Clone, Default)]
+pub struct SimMemory {
+    /// External SRAM (word addressed).
+    pub sram: Vec<u32>,
+    /// External SDRAM (word addressed).
+    pub sdram: Vec<u32>,
+    /// On-chip scratch.
+    pub scratch: Vec<u32>,
+    /// Control/status registers.
+    pub csr: HashMap<u32, u32>,
+    /// Pending received packets: `(length_bytes, sdram_word_address)`.
+    pub rx_queue: VecDeque<(u32, u32)>,
+    /// Transmitted packets with their completion cycle:
+    /// `(sdram_word_address, length_bytes, cycle)`.
+    pub tx_log: Vec<(u32, u32, u64)>,
+}
+
+impl SimMemory {
+    /// Zeroed memories of the given word sizes.
+    pub fn with_sizes(sram: usize, sdram: usize, scratch: usize) -> Self {
+        SimMemory {
+            sram: vec![0; sram],
+            sdram: vec![0; sdram],
+            scratch: vec![0; scratch],
+            ..SimMemory::default()
+        }
+    }
+
+    /// Read a word from a memory space, growing it on demand.
+    pub fn read(&mut self, space: ixp_machine::MemSpace, addr: u32) -> u32 {
+        let m = self.space_mut(space);
+        if addr as usize >= m.len() {
+            m.resize(addr as usize + 1, 0);
+        }
+        m[addr as usize]
+    }
+
+    /// Write a word, growing the memory on demand.
+    pub fn write(&mut self, space: ixp_machine::MemSpace, addr: u32, val: u32) {
+        let m = self.space_mut(space);
+        if addr as usize >= m.len() {
+            m.resize(addr as usize + 1, 0);
+        }
+        m[addr as usize] = val;
+    }
+
+    fn space_mut(&mut self, space: ixp_machine::MemSpace) -> &mut Vec<u32> {
+        match space {
+            ixp_machine::MemSpace::Sram => &mut self.sram,
+            ixp_machine::MemSpace::Sdram => &mut self.sdram,
+            ixp_machine::MemSpace::Scratch => &mut self.scratch,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ixp_machine::MemSpace;
+
+    #[test]
+    fn memories_grow_on_demand() {
+        let mut m = SimMemory::default();
+        assert_eq!(m.read(MemSpace::Sram, 100), 0);
+        m.write(MemSpace::Sdram, 5000, 42);
+        assert_eq!(m.read(MemSpace::Sdram, 5000), 42);
+    }
+}

@@ -1,0 +1,548 @@
+//! The micro-engine execution model.
+//!
+//! Threads (hardware contexts) run the same program round-robin; a thread
+//! that issues a memory reference swaps out until the reference completes
+//! (plus channel contention), exactly the latency-hiding discipline the
+//! IXP1200's threading was designed for. All timing constants come from
+//! [`ixp_machine::timing`].
+
+use crate::machine::SimMemory;
+use ixp_machine::timing::{
+    burst_extra, issue_cycles, read_latency, write_latency, BRANCH_TAKEN_PENALTY, CLOCK_HZ,
+    HASH_CYCLES,
+};
+use ixp_machine::units::hash_unit;
+use ixp_machine::{
+    Addr, AluSrc, Bank, BlockId, Instr, MemSpace, PhysReg, Program, Terminator,
+};
+use std::collections::HashMap;
+
+/// Simulation parameters.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// Hardware contexts running the program (IXP1200: 4 per engine).
+    pub threads: usize,
+    /// Cycle budget (guards against runaway programs).
+    pub max_cycles: u64,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig { threads: 4, max_cycles: 500_000_000 }
+    }
+}
+
+/// Why the simulation ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StopReason {
+    /// Every thread reached `halt` (or found the receive queue empty).
+    AllHalted,
+    /// The cycle budget ran out.
+    CycleLimit,
+}
+
+/// Execution outcome.
+#[derive(Debug)]
+pub struct SimResult {
+    /// Total elapsed cycles.
+    pub cycles: u64,
+    /// Instructions issued (all threads).
+    pub instructions: u64,
+    /// Memory references issued per space (reads, writes).
+    pub mem_refs: HashMap<MemSpace, (u64, u64)>,
+    /// Packets fully processed (transmitted).
+    pub packets: u64,
+    /// Payload bytes transmitted.
+    pub bytes: u64,
+    /// Why the run stopped.
+    pub stop: StopReason,
+    /// Throughput in megabits per second at the modeled clock, counting
+    /// transmitted bytes (the paper's measure).
+    pub mbps: f64,
+}
+
+/// Architectural errors (all indicate compiler or simulator bugs — the
+/// validator should reject programs that could trigger them).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// A store-side register was read by a non-memory instruction.
+    ReadFromStoreBank(PhysReg),
+    /// Jump target out of range.
+    BadTarget(BlockId),
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::ReadFromStoreBank(r) => write!(f, "read from store-side register {r}"),
+            SimError::BadTarget(b) => write!(f, "jump to nonexistent block {b}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+#[derive(Debug, Clone)]
+struct RegFile {
+    a: [u32; 16],
+    b: [u32; 16],
+    l: [u32; 8],
+    s: [u32; 8],
+    ld: [u32; 8],
+    sd: [u32; 8],
+}
+
+impl RegFile {
+    fn new() -> Self {
+        RegFile { a: [0; 16], b: [0; 16], l: [0; 8], s: [0; 8], ld: [0; 8], sd: [0; 8] }
+    }
+
+    fn read(&self, r: PhysReg) -> u32 {
+        let i = r.num as usize;
+        match r.bank {
+            Bank::A => self.a[i],
+            Bank::B => self.b[i],
+            Bank::L => self.l[i],
+            Bank::S => self.s[i],
+            Bank::Ld => self.ld[i],
+            Bank::Sd => self.sd[i],
+        }
+    }
+
+    fn write(&mut self, r: PhysReg, v: u32) {
+        let i = r.num as usize;
+        match r.bank {
+            Bank::A => self.a[i] = v,
+            Bank::B => self.b[i] = v,
+            Bank::L => self.l[i] = v,
+            Bank::S => self.s[i] = v,
+            Bank::Ld => self.ld[i] = v,
+            Bank::Sd => self.sd[i] = v,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum ThreadState {
+    Ready,
+    Blocked(u64),
+    Halted,
+}
+
+struct Thread {
+    regs: RegFile,
+    block: BlockId,
+    pc: usize,
+    state: ThreadState,
+}
+
+/// Run `prog` on the simulated micro-engine.
+///
+/// # Errors
+///
+/// Returns [`SimError`] on architectural violations (which
+/// [`ixp_machine::validate`] should have ruled out).
+pub fn simulate(
+    prog: &Program<PhysReg>,
+    mem: &mut SimMemory,
+    cfg: &SimConfig,
+) -> Result<SimResult, SimError> {
+    let mut threads: Vec<Thread> = (0..cfg.threads.max(1))
+        .map(|_| Thread {
+            regs: RegFile::new(),
+            block: prog.entry,
+            pc: 0,
+            state: ThreadState::Ready,
+        })
+        .collect();
+    // Per-space memory channel: next cycle the channel is free.
+    let mut channel_free: HashMap<MemSpace, u64> = HashMap::new();
+    let mut cycle: u64 = 0;
+    let mut instructions: u64 = 0;
+    let mut mem_refs: HashMap<MemSpace, (u64, u64)> = HashMap::new();
+    let mut packets: u64 = 0;
+    let mut bytes: u64 = 0;
+    let mut current = 0usize;
+
+    let stop = loop {
+        if cycle >= cfg.max_cycles {
+            break StopReason::CycleLimit;
+        }
+        // Pick the next runnable thread (round robin from `current`).
+        let mut picked = None;
+        for off in 0..threads.len() {
+            let i = (current + off) % threads.len();
+            match threads[i].state {
+                ThreadState::Ready => {
+                    picked = Some(i);
+                    break;
+                }
+                ThreadState::Blocked(until) if until <= cycle => {
+                    threads[i].state = ThreadState::Ready;
+                    picked = Some(i);
+                    break;
+                }
+                _ => {}
+            }
+        }
+        let Some(ti) = picked else {
+            // Everyone blocked or halted: advance to the earliest wake-up.
+            let next = threads
+                .iter()
+                .filter_map(|t| match t.state {
+                    ThreadState::Blocked(u) => Some(u),
+                    _ => None,
+                })
+                .min();
+            match next {
+                Some(u) => {
+                    cycle = u.max(cycle + 1);
+                    continue;
+                }
+                None => break StopReason::AllHalted,
+            }
+        };
+        current = ti;
+        let t = &mut threads[ti];
+        let block = &prog.blocks[t.block.index()];
+
+        if t.pc < block.instrs.len() {
+            let ins = &block.instrs[t.pc];
+            instructions += 1;
+            cycle += issue_cycles(ins);
+            match ins {
+                Instr::Alu { op, dst, a, b } => {
+                    let av = t.regs.read(*a);
+                    let bv = match b {
+                        AluSrc::Reg(r) => t.regs.read(*r),
+                        AluSrc::Imm(v) => *v,
+                    };
+                    t.regs.write(*dst, op.eval(av, bv));
+                }
+                Instr::Imm { dst, val } => t.regs.write(*dst, *val),
+                Instr::Move { dst, src } => {
+                    let v = t.regs.read(*src);
+                    t.regs.write(*dst, v);
+                }
+                Instr::Clone { .. } => {
+                    // Validated programs never contain clones; treat as nop.
+                }
+                Instr::MemRead { space, addr, dst } => {
+                    let base = resolve_addr(&t.regs, addr);
+                    for (i, d) in dst.iter().enumerate() {
+                        let v = mem.read(*space, base + i as u32);
+                        t.regs.write(*d, v);
+                    }
+                    let e = mem_refs.entry(*space).or_insert((0, 0));
+                    e.0 += 1;
+                    let free = channel_free.entry(*space).or_insert(0);
+                    let start = (*free).max(cycle);
+                    let busy = burst_extra(*space) * dst.len() as u64;
+                    let done = start + read_latency(*space) + busy;
+                    *free = start + busy + 1;
+                    t.state = ThreadState::Blocked(done);
+                    t.pc += 1;
+                    continue;
+                }
+                Instr::MemWrite { space, addr, src } => {
+                    let base = resolve_addr(&t.regs, addr);
+                    for (i, s) in src.iter().enumerate() {
+                        let v = t.regs.read(*s);
+                        mem.write(*space, base + i as u32, v);
+                    }
+                    let e = mem_refs.entry(*space).or_insert((0, 0));
+                    e.1 += 1;
+                    // Writes retire asynchronously: the thread only pays
+                    // channel acceptance, not the full latency.
+                    let free = channel_free.entry(*space).or_insert(0);
+                    let start = (*free).max(cycle);
+                    let busy = burst_extra(*space) * src.len() as u64;
+                    *free = start + busy + write_latency(*space) / 4;
+                    if start > cycle {
+                        t.state = ThreadState::Blocked(start);
+                    }
+                }
+                Instr::Hash { dst, src } => {
+                    let v = hash_unit(t.regs.read(PhysReg::new(Bank::S, src.num)));
+                    let _ = src;
+                    t.regs.write(*dst, v);
+                    t.state = ThreadState::Blocked(cycle + HASH_CYCLES);
+                    t.pc += 1;
+                    continue;
+                }
+                Instr::TestAndSet { dst, src, addr } => {
+                    let a = resolve_addr(&t.regs, addr);
+                    let old = mem.read(MemSpace::Sram, a);
+                    let v = t.regs.read(*src);
+                    mem.write(MemSpace::Sram, a, old | v);
+                    t.regs.write(*dst, old);
+                    let e = mem_refs.entry(MemSpace::Sram).or_insert((0, 0));
+                    e.0 += 1;
+                    e.1 += 1;
+                    t.state = ThreadState::Blocked(cycle + read_latency(MemSpace::Sram));
+                    t.pc += 1;
+                    continue;
+                }
+                Instr::CsrRead { dst, csr } => {
+                    let v = *mem.csr.get(csr).unwrap_or(&0);
+                    t.regs.write(*dst, v);
+                }
+                Instr::CsrWrite { src, csr } => {
+                    let v = t.regs.read(*src);
+                    mem.csr.insert(*csr, v);
+                }
+                Instr::RxPacket { len_dst, addr_dst } => {
+                    match mem.rx_queue.pop_front() {
+                        Some((len, addr)) => {
+                            t.regs.write(*len_dst, len);
+                            t.regs.write(*addr_dst, addr);
+                            // Synchronizing with the receive scheduler.
+                            t.state = ThreadState::Blocked(cycle + 4);
+                            t.pc += 1;
+                            continue;
+                        }
+                        None => {
+                            // Out of work: this context parks.
+                            t.state = ThreadState::Halted;
+                            continue;
+                        }
+                    }
+                }
+                Instr::TxPacket { addr, len } => {
+                    let a = t.regs.read(*addr);
+                    let l = t.regs.read(*len);
+                    mem.tx_log.push((a, l, cycle));
+                    packets += 1;
+                    bytes += l as u64;
+                    t.state = ThreadState::Blocked(cycle + 4);
+                    t.pc += 1;
+                    continue;
+                }
+                Instr::CtxSwap => {
+                    t.pc += 1;
+                    t.state = ThreadState::Blocked(cycle + 1);
+                    continue;
+                }
+            }
+            t.pc += 1;
+        } else {
+            // Terminator.
+            instructions += 1;
+            cycle += 1;
+            match &block.term {
+                Terminator::Halt => {
+                    t.state = ThreadState::Halted;
+                }
+                Terminator::Jump(target) => {
+                    if target.index() >= prog.blocks.len() {
+                        return Err(SimError::BadTarget(*target));
+                    }
+                    t.block = *target;
+                    t.pc = 0;
+                    cycle += BRANCH_TAKEN_PENALTY;
+                }
+                Terminator::Branch { cond, a, b, if_true, if_false } => {
+                    let av = t.regs.read(*a);
+                    let bv = match b {
+                        AluSrc::Reg(r) => t.regs.read(*r),
+                        AluSrc::Imm(v) => *v,
+                    };
+                    let taken = cond.eval(av, bv);
+                    let target = if taken { *if_true } else { *if_false };
+                    if target.index() >= prog.blocks.len() {
+                        return Err(SimError::BadTarget(target));
+                    }
+                    if taken {
+                        cycle += BRANCH_TAKEN_PENALTY;
+                    }
+                    t.block = target;
+                    t.pc = 0;
+                }
+            }
+        }
+    };
+
+    let seconds = cycle as f64 / CLOCK_HZ as f64;
+    let mbps = if seconds > 0.0 { (bytes as f64 * 8.0) / seconds / 1.0e6 } else { 0.0 };
+    Ok(SimResult {
+        cycles: cycle,
+        instructions,
+        mem_refs,
+        packets,
+        bytes,
+        stop,
+        mbps,
+    })
+}
+
+fn resolve_addr(regs: &RegFile, addr: &Addr<PhysReg>) -> u32 {
+    match addr {
+        Addr::Imm(a) => *a,
+        Addr::Reg(r, o) => regs.read(*r).wrapping_add(*o),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ixp_machine::{AluOp, Block, Cond};
+
+    fn r(bank: Bank, n: u8) -> PhysReg {
+        PhysReg::new(bank, n)
+    }
+
+    #[test]
+    fn straight_line_arithmetic() {
+        // immed a0, 6; immed b0, 7; add a1, a0, b0; mov s0, a1; write
+        let prog = Program {
+            blocks: vec![Block {
+                instrs: vec![
+                    Instr::Imm { dst: r(Bank::A, 0), val: 6 },
+                    Instr::Imm { dst: r(Bank::B, 0), val: 7 },
+                    Instr::Alu {
+                        op: AluOp::Add,
+                        dst: r(Bank::A, 1),
+                        a: r(Bank::A, 0),
+                        b: AluSrc::Reg(r(Bank::B, 0)),
+                    },
+                    Instr::Move { dst: r(Bank::S, 0), src: r(Bank::A, 1) },
+                    Instr::MemWrite {
+                        space: MemSpace::Sram,
+                        addr: Addr::Imm(10),
+                        src: vec![r(Bank::S, 0)],
+                    },
+                ],
+                term: Terminator::Halt,
+            }],
+            entry: BlockId(0),
+        };
+        let mut mem = SimMemory::with_sizes(64, 64, 64);
+        let res = simulate(&prog, &mut mem, &SimConfig { threads: 1, ..Default::default() })
+            .unwrap();
+        assert_eq!(mem.sram[10], 13);
+        assert_eq!(res.stop, StopReason::AllHalted);
+        assert!(res.cycles >= 6);
+    }
+
+    #[test]
+    fn loops_and_branches() {
+        // a0 = 0; L1: a0 += 1; if a0 < 5 goto L1; store a0.
+        let prog = Program {
+            blocks: vec![
+                Block {
+                    instrs: vec![Instr::Imm { dst: r(Bank::A, 0), val: 0 }],
+                    term: Terminator::Jump(BlockId(1)),
+                },
+                Block {
+                    instrs: vec![Instr::Alu {
+                        op: AluOp::Add,
+                        dst: r(Bank::A, 0),
+                        a: r(Bank::A, 0),
+                        b: AluSrc::Imm(1),
+                    }],
+                    term: Terminator::Branch {
+                        cond: Cond::Lt,
+                        a: r(Bank::A, 0),
+                        b: AluSrc::Imm(5),
+                        if_true: BlockId(1),
+                        if_false: BlockId(2),
+                    },
+                },
+                Block {
+                    instrs: vec![
+                        Instr::Move { dst: r(Bank::S, 0), src: r(Bank::A, 0) },
+                        Instr::MemWrite {
+                            space: MemSpace::Sram,
+                            addr: Addr::Imm(0),
+                            src: vec![r(Bank::S, 0)],
+                        },
+                    ],
+                    term: Terminator::Halt,
+                },
+            ],
+            entry: BlockId(0),
+        };
+        // ALU b-operand immediates over 31 are a validator error, but 1 and
+        // 5 are fine.
+        let mut mem = SimMemory::with_sizes(16, 16, 16);
+        simulate(&prog, &mut mem, &SimConfig { threads: 1, ..Default::default() }).unwrap();
+        assert_eq!(mem.sram[0], 5);
+    }
+
+    #[test]
+    fn memory_latency_blocks_thread() {
+        let prog = Program {
+            blocks: vec![Block {
+                instrs: vec![Instr::MemRead {
+                    space: MemSpace::Sdram,
+                    addr: Addr::Imm(0),
+                    dst: vec![r(Bank::Ld, 0), r(Bank::Ld, 1)],
+                }],
+                term: Terminator::Halt,
+            }],
+            entry: BlockId(0),
+        };
+        let mut mem = SimMemory::with_sizes(16, 16, 16);
+        mem.sdram[0] = 0xAA;
+        let res = simulate(&prog, &mut mem, &SimConfig { threads: 1, ..Default::default() })
+            .unwrap();
+        assert!(res.cycles >= read_latency(MemSpace::Sdram), "cycles: {}", res.cycles);
+    }
+
+    #[test]
+    fn multithreading_hides_latency() {
+        // Each context: read sdram, halt. With 4 threads the reads overlap.
+        let prog = Program {
+            blocks: vec![Block {
+                instrs: vec![Instr::MemRead {
+                    space: MemSpace::Sdram,
+                    addr: Addr::Imm(0),
+                    dst: vec![r(Bank::Ld, 0), r(Bank::Ld, 1)],
+                }],
+                term: Terminator::Halt,
+            }],
+            entry: BlockId(0),
+        };
+        let mut m1 = SimMemory::with_sizes(16, 16, 16);
+        let r1 = simulate(&prog, &mut m1, &SimConfig { threads: 1, max_cycles: 1 << 20 }).unwrap();
+        let mut m4 = SimMemory::with_sizes(16, 16, 16);
+        let r4 = simulate(&prog, &mut m4, &SimConfig { threads: 4, max_cycles: 1 << 20 }).unwrap();
+        // 4 reads but nowhere near 4x the time.
+        assert!(r4.cycles < r1.cycles * 3, "1t {} vs 4t {}", r1.cycles, r4.cycles);
+    }
+
+    #[test]
+    fn packet_flow() {
+        // rx -> tx loop until the queue drains.
+        let prog = Program {
+            blocks: vec![Block {
+                instrs: vec![
+                    Instr::RxPacket { len_dst: r(Bank::A, 0), addr_dst: r(Bank::A, 1) },
+                    Instr::TxPacket { addr: r(Bank::A, 1), len: r(Bank::A, 0) },
+                ],
+                term: Terminator::Jump(BlockId(0)),
+            }],
+            entry: BlockId(0),
+        };
+        let mut mem = SimMemory::with_sizes(16, 256, 16);
+        for i in 0..5 {
+            mem.rx_queue.push_back((64, i * 16));
+        }
+        let res = simulate(&prog, &mut mem, &SimConfig::default()).unwrap();
+        assert_eq!(res.packets, 5);
+        assert_eq!(res.bytes, 320);
+        assert_eq!(mem.tx_log.len(), 5);
+        assert!(res.mbps > 0.0);
+    }
+
+    #[test]
+    fn cycle_limit_enforced() {
+        let prog = Program {
+            blocks: vec![Block { instrs: vec![], term: Terminator::Jump(BlockId(0)) }],
+            entry: BlockId(0),
+        };
+        let mut mem = SimMemory::default();
+        let res = simulate(&prog, &mut mem, &SimConfig { threads: 1, max_cycles: 1000 }).unwrap();
+        assert_eq!(res.stop, StopReason::CycleLimit);
+    }
+}

@@ -1,0 +1,101 @@
+//! Timing-model behaviour: channel contention and latency hiding.
+
+use ixp_machine::{
+    Addr, Bank, Block, BlockId, Instr, MemSpace, PhysReg, Program, Terminator,
+};
+use ixp_sim::{simulate, SimConfig, SimMemory};
+
+fn reg(b: Bank, n: u8) -> PhysReg {
+    PhysReg::new(b, n)
+}
+
+/// N back-to-back SRAM reads in one thread.
+fn serial_reads(n: usize) -> Program<PhysReg> {
+    let instrs = (0..n)
+        .map(|i| Instr::MemRead {
+            space: MemSpace::Sram,
+            addr: Addr::Imm(i as u32),
+            dst: vec![reg(Bank::L, 0)],
+        })
+        .collect();
+    Program {
+        blocks: vec![Block { instrs, term: Terminator::Halt }],
+        entry: BlockId(0),
+    }
+}
+
+#[test]
+fn serial_reads_pay_full_latency() {
+    let one = {
+        let mut m = SimMemory::with_sizes(64, 16, 16);
+        simulate(&serial_reads(1), &mut m, &SimConfig { threads: 1, max_cycles: 1 << 20 })
+            .unwrap()
+            .cycles
+    };
+    let ten = {
+        let mut m = SimMemory::with_sizes(64, 16, 16);
+        simulate(&serial_reads(10), &mut m, &SimConfig { threads: 1, max_cycles: 1 << 20 })
+            .unwrap()
+            .cycles
+    };
+    // A single thread cannot overlap its own reads: ~10x the single-read
+    // time.
+    assert!(ten > one * 8, "one={one} ten={ten}");
+}
+
+#[test]
+fn threads_overlap_but_channel_serializes_bursts() {
+    // 4 threads each read 8 words: the channel's per-word occupancy
+    // bounds the speedup below perfect overlap.
+    let prog = Program {
+        blocks: vec![Block {
+            instrs: vec![Instr::MemRead {
+                space: MemSpace::Sram,
+                addr: Addr::Imm(0),
+                dst: (0..8).map(|i| reg(Bank::L, i)).collect(),
+            }],
+            term: Terminator::Halt,
+        }],
+        entry: BlockId(0),
+    };
+    let t1 = {
+        let mut m = SimMemory::with_sizes(64, 16, 16);
+        simulate(&prog, &mut m, &SimConfig { threads: 1, max_cycles: 1 << 20 }).unwrap().cycles
+    };
+    let t4 = {
+        let mut m = SimMemory::with_sizes(64, 16, 16);
+        simulate(&prog, &mut m, &SimConfig { threads: 4, max_cycles: 1 << 20 }).unwrap().cycles
+    };
+    assert!(t4 < t1 * 4, "overlap must help: t1={t1} t4={t4}");
+    assert!(t4 > t1, "but four bursts cannot be free: t1={t1} t4={t4}");
+}
+
+#[test]
+fn scratch_beats_sram_beats_sdram() {
+    let mk = |space: MemSpace, n: usize| Program {
+        blocks: vec![Block {
+            instrs: (0..n)
+                .map(|i| Instr::MemRead {
+                    space,
+                    addr: Addr::Imm(i as u32 * 2),
+                    dst: if space == MemSpace::Sdram {
+                        vec![reg(Bank::Ld, 0), reg(Bank::Ld, 1)]
+                    } else {
+                        vec![reg(Bank::L, 0)]
+                    },
+                })
+                .collect(),
+            term: Terminator::Halt,
+        }],
+        entry: BlockId(0),
+    };
+    let run = |p: &Program<PhysReg>| {
+        let mut m = SimMemory::with_sizes(64, 64, 64);
+        simulate(p, &mut m, &SimConfig { threads: 1, max_cycles: 1 << 20 }).unwrap().cycles
+    };
+    let scratch = run(&mk(MemSpace::Scratch, 8));
+    let sram = run(&mk(MemSpace::Sram, 8));
+    let sdram = run(&mk(MemSpace::Sdram, 8));
+    assert!(scratch < sram, "scratch {scratch} vs sram {sram}");
+    assert!(sram < sdram, "sram {sram} vs sdram {sdram}");
+}

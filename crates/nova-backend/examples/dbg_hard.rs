@@ -1,0 +1,41 @@
+fn main() {
+    let src = r#"fun main() {
+    let (v0, v1, v2, v3) = sram(0);
+    sram(66) <- (v3, v2);
+    sram(173) <- (v2, v3);
+    v1 = v0 | v3;
+    sram(170) <- (v1, v2);
+    sram(142) <- (v2, v0);
+    v3 = v0 & v3;
+    if (v3 > v0) { v0 = v3; } else { v0 = v0; }
+    let (t2_4) = sram(12);
+    v2 = t2_4;
+    if (v2 > v3) { v2 = v2; } else { v2 = v3; }
+    sram(48) <- (v0, v1, v2, v3);
+    0
+}"#;
+    let p = nova_frontend::parse(src).unwrap();
+    let info = nova_frontend::check(&p).unwrap();
+    let mut cps = nova_cps::convert(&p, &info).unwrap();
+    nova_cps::optimize(&mut cps, &Default::default());
+    nova_cps::to_ssu(&mut cps);
+    let prog = nova_backend::select(&cps).unwrap();
+    let facts = nova_backend::alloc::build_facts(&prog);
+    let freqs = nova_backend::freq::estimate(&prog);
+    let mut cfg = nova_backend::alloc::AllocConfig::default();
+    cfg.allow_spill = false;
+    cfg.solver.time_limit = Some(std::time::Duration::from_secs(20));
+    let mut bm = nova_backend::alloc::build_model(&prog, &facts, &freqs, &cfg);
+    let st = bm.model.stats();
+    println!("vars={} rows={}", st.variables, st.constraints);
+    let lp = bm.model.problem().solve_lp();
+    println!("root LP: {:?}", lp.map(|s| (s.objective, s.iterations)));
+    let t0 = std::time::Instant::now();
+    match nova_backend::alloc::solve(&mut bm, &cfg) {
+        Ok((a, stats)) => println!(
+            "OK {:?}: nodes={} iters={} activated={} gap={} moves={}",
+            t0.elapsed(), stats.solve.nodes, stats.solve.simplex_iterations,
+            stats.solve.activated_rows, stats.solve.gap, a.n_moves),
+        Err(e) => println!("ERR after {:?}: {e}", t0.elapsed()),
+    }
+}

@@ -1,0 +1,362 @@
+//! §8 "A million variables": static pruning of bank candidates.
+//!
+//! Without pruning, every temporary gets `Move` variables over all 7×7
+//! bank pairs at every point — the paper's back-of-the-envelope million
+//! variables. The fix is a static analysis of how each temporary is
+//! defined and used:
+//!
+//! * a load transfer bank (`L`, `LD`) is only reachable through a memory
+//!   read, so only read results can ever be there;
+//! * a store transfer bank (`S`, `SD`) is only useful for values that some
+//!   store (or hash/test-and-set) consumes from it;
+//! * the scratch spill "bank" `M` is a candidate only when spilling is
+//!   enabled;
+//! * `A` and `B` are always candidates.
+//!
+//! Clone-set members share their candidates (a clone starts wherever its
+//! original is).
+
+use super::facts::{Fact, Facts};
+use ixp_machine::{MemSpace, Temp};
+use std::collections::{HashMap, HashSet};
+
+/// The seven locations of the ILP model: the six physical banks plus the
+/// scratch spill space `M` (§5.2's `GBank = {A, B, M}`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum IlpBank {
+    /// General-purpose bank A.
+    A,
+    /// General-purpose bank B.
+    B,
+    /// SRAM/scratch load transfer bank.
+    L,
+    /// SRAM/scratch store transfer bank.
+    S,
+    /// SDRAM load transfer bank.
+    Ld,
+    /// SDRAM store transfer bank.
+    Sd,
+    /// Spill memory (on-chip scratch), unlimited capacity.
+    M,
+}
+
+impl IlpBank {
+    /// All seven locations.
+    pub const ALL: [IlpBank; 7] =
+        [IlpBank::A, IlpBank::B, IlpBank::L, IlpBank::S, IlpBank::Ld, IlpBank::Sd, IlpBank::M];
+
+    /// The four transfer banks (`XBank`).
+    pub const TRANSFER: [IlpBank; 4] = [IlpBank::L, IlpBank::S, IlpBank::Ld, IlpBank::Sd];
+
+    /// Is this a transfer bank?
+    pub fn is_transfer(self) -> bool {
+        matches!(self, IlpBank::L | IlpBank::S | IlpBank::Ld | IlpBank::Sd)
+    }
+
+    /// ALU-readable locations.
+    pub fn alu_readable(self) -> bool {
+        matches!(self, IlpBank::A | IlpBank::B | IlpBank::L | IlpBank::Ld)
+    }
+
+    /// ALU-writable locations.
+    pub fn alu_writable(self) -> bool {
+        matches!(self, IlpBank::A | IlpBank::B | IlpBank::S | IlpBank::Sd)
+    }
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            IlpBank::A => "A",
+            IlpBank::B => "B",
+            IlpBank::L => "L",
+            IlpBank::S => "S",
+            IlpBank::Ld => "LD",
+            IlpBank::Sd => "SD",
+            IlpBank::M => "M",
+        }
+    }
+}
+
+impl std::fmt::Display for IlpBank {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Candidate banks per temporary.
+#[derive(Debug, Default)]
+pub struct Candidates {
+    map: HashMap<Temp, HashSet<IlpBank>>,
+}
+
+impl Candidates {
+    /// The candidate set of a temporary (empty for unknown temps).
+    pub fn of(&self, t: Temp) -> HashSet<IlpBank> {
+        self.map.get(&t).cloned().unwrap_or_default()
+    }
+
+    /// Is `b` a candidate for `t`?
+    pub fn allows(&self, t: Temp, b: IlpBank) -> bool {
+        self.map.get(&t).is_some_and(|s| s.contains(&b))
+    }
+
+    /// Total candidate-set size (model-size statistic for E8).
+    pub fn total(&self) -> usize {
+        self.map.values().map(|s| s.len()).sum()
+    }
+}
+
+/// Compute candidates with §8 pruning.
+pub fn prune(facts: &Facts, allow_spill: bool) -> Candidates {
+    let mut map: HashMap<Temp, HashSet<IlpBank>> = HashMap::new();
+    let add = |t: Temp, b: IlpBank, map: &mut HashMap<Temp, HashSet<IlpBank>>| {
+        map.entry(t).or_default().insert(b);
+    };
+    // Everything that exists gets A and B (and M when spilling).
+    for (_, t) in facts.exists_pairs() {
+        add(t, IlpBank::A, &mut map);
+        add(t, IlpBank::B, &mut map);
+        if allow_spill {
+            add(t, IlpBank::M, &mut map);
+        }
+    }
+    for fact in &facts.facts {
+        match fact {
+            Fact::ReadAgg { space, dsts, .. } => {
+                let b = load_bank(*space);
+                for d in dsts {
+                    add(*d, b, &mut map);
+                    // Even never-used members exist at the post point.
+                    add(*d, IlpBank::A, &mut map);
+                    add(*d, IlpBank::B, &mut map);
+                    if allow_spill {
+                        add(*d, IlpBank::M, &mut map);
+                    }
+                }
+            }
+            Fact::WriteAgg { space, srcs, .. } => {
+                let b = store_bank(*space);
+                for s in srcs {
+                    add(*s, b, &mut map);
+                }
+            }
+            Fact::SameReg { dst, src, .. } => {
+                add(*dst, IlpBank::L, &mut map);
+                add(*src, IlpBank::S, &mut map);
+            }
+            _ => {}
+        }
+    }
+    // Clone groups share candidates.
+    let groups = clone_groups(facts);
+    for group in groups.values() {
+        let mut union: HashSet<IlpBank> = HashSet::new();
+        for m in group {
+            if let Some(s) = map.get(m) {
+                union.extend(s.iter().copied());
+            }
+        }
+        for m in group {
+            map.insert(*m, union.clone());
+        }
+    }
+    Candidates { map }
+}
+
+/// Compute candidates without §8 pruning: every temporary may inhabit any
+/// location. Used by the E8 ablation to measure the model-size blowup.
+pub fn unpruned(facts: &Facts, allow_spill: bool) -> Candidates {
+    let mut map: HashMap<Temp, HashSet<IlpBank>> = HashMap::new();
+    for (_, t) in facts.exists_pairs() {
+        let mut s: HashSet<IlpBank> = IlpBank::ALL.into_iter().collect();
+        if !allow_spill {
+            s.remove(&IlpBank::M);
+        }
+        map.insert(t, s);
+    }
+    Candidates { map }
+}
+
+/// Union-find style clone groups: maps each member to its full group.
+pub fn clone_groups(facts: &Facts) -> HashMap<Temp, Vec<Temp>> {
+    let mut parent: HashMap<Temp, Temp> = HashMap::new();
+    fn find(parent: &mut HashMap<Temp, Temp>, t: Temp) -> Temp {
+        let p = *parent.get(&t).unwrap_or(&t);
+        if p == t {
+            t
+        } else {
+            let r = find(parent, p);
+            parent.insert(t, r);
+            r
+        }
+    }
+    for (d, s) in &facts.clones {
+        let rd = find(&mut parent, *d);
+        let rs = find(&mut parent, *s);
+        if rd != rs {
+            parent.insert(rd, rs);
+        }
+    }
+    let mut groups: HashMap<Temp, Vec<Temp>> = HashMap::new();
+    let members: HashSet<Temp> = facts
+        .clones
+        .iter()
+        .flat_map(|(d, s)| [*d, *s])
+        .collect();
+    let mut by_root: HashMap<Temp, Vec<Temp>> = HashMap::new();
+    for m in members {
+        let r = find(&mut parent, m);
+        by_root.entry(r).or_default().push(m);
+    }
+    for (_, mut v) in by_root {
+        v.sort();
+        for m in &v {
+            groups.insert(*m, v.clone());
+        }
+    }
+    groups
+}
+
+/// Load-side ILP bank of a space.
+pub fn load_bank(space: MemSpace) -> IlpBank {
+    match space {
+        MemSpace::Sram | MemSpace::Scratch => IlpBank::L,
+        MemSpace::Sdram => IlpBank::Ld,
+    }
+}
+
+/// Store-side ILP bank of a space.
+pub fn store_bank(space: MemSpace) -> IlpBank {
+    match space {
+        MemSpace::Sram | MemSpace::Scratch => IlpBank::S,
+        MemSpace::Sdram => IlpBank::Sd,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alloc::facts::build;
+    use ixp_machine::{Addr, Block, BlockId, Instr, Program, Terminator};
+
+    fn t(i: u32) -> Temp {
+        Temp(i)
+    }
+
+    #[test]
+    fn section8_example() {
+        // "if a temporary is loaded from SRAM and never stored back
+        // anywhere, there is no reason for it to ever be in S, SD, or LD."
+        let prog = Program {
+            blocks: vec![Block {
+                instrs: vec![
+                    Instr::MemRead {
+                        space: MemSpace::Sram,
+                        addr: Addr::Imm(0),
+                        dst: vec![t(0)],
+                    },
+                    Instr::Alu {
+                        op: ixp_machine::AluOp::Add,
+                        dst: t(1),
+                        a: t(0),
+                        b: ixp_machine::AluSrc::Imm(1),
+                    },
+                    Instr::MemWrite {
+                        space: MemSpace::Sdram,
+                        addr: Addr::Imm(0),
+                        src: vec![t(1), t(1)],
+                    },
+                ],
+                term: Terminator::Halt,
+            }],
+            entry: BlockId(0),
+        };
+        let f = build(&prog);
+        let c = prune(&f, true);
+        let c0 = c.of(t(0));
+        assert!(c0.contains(&IlpBank::L));
+        assert!(c0.contains(&IlpBank::A) && c0.contains(&IlpBank::B));
+        assert!(c0.contains(&IlpBank::M));
+        assert!(!c0.contains(&IlpBank::S), "never stored to sram");
+        assert!(!c0.contains(&IlpBank::Sd), "never stored to sdram");
+        assert!(!c0.contains(&IlpBank::Ld), "not an sdram read result");
+        let c1 = c.of(t(1));
+        assert!(c1.contains(&IlpBank::Sd), "stored to sdram");
+        assert!(!c1.contains(&IlpBank::L), "not a read result");
+    }
+
+    #[test]
+    fn pruning_shrinks_versus_unpruned() {
+        let prog = Program {
+            blocks: vec![Block {
+                instrs: vec![
+                    Instr::MemRead {
+                        space: MemSpace::Sram,
+                        addr: Addr::Imm(0),
+                        dst: vec![t(0), t(1)],
+                    },
+                    Instr::MemWrite {
+                        space: MemSpace::Sram,
+                        addr: Addr::Imm(8),
+                        src: vec![t(0), t(1)],
+                    },
+                ],
+                term: Terminator::Halt,
+            }],
+            entry: BlockId(0),
+        };
+        let f = build(&prog);
+        let pruned = prune(&f, true);
+        let full = unpruned(&f, true);
+        assert!(pruned.total() < full.total());
+    }
+
+    #[test]
+    fn no_spill_drops_m() {
+        let prog = Program {
+            blocks: vec![Block {
+                instrs: vec![Instr::Imm { dst: t(0), val: 1 }],
+                term: Terminator::Halt,
+            }],
+            entry: BlockId(0),
+        };
+        let f = build(&prog);
+        let c = prune(&f, false);
+        assert!(!c.of(t(0)).contains(&IlpBank::M));
+    }
+
+    #[test]
+    fn clone_groups_share_candidates() {
+        let prog = Program {
+            blocks: vec![Block {
+                instrs: vec![
+                    Instr::MemRead {
+                        space: MemSpace::Sram,
+                        addr: Addr::Imm(0),
+                        dst: vec![t(0)],
+                    },
+                    Instr::Clone { dst: t(1), src: t(0) },
+                    Instr::MemWrite {
+                        space: MemSpace::Sram,
+                        addr: Addr::Imm(8),
+                        src: vec![t(1)],
+                    },
+                    Instr::MemWrite {
+                        space: MemSpace::Sdram,
+                        addr: Addr::Imm(0),
+                        src: vec![t(0), t(0)],
+                    },
+                ],
+                term: Terminator::Halt,
+            }],
+            entry: BlockId(0),
+        };
+        let f = build(&prog);
+        let c = prune(&f, false);
+        // t1 inherits t0's L and Sd; t0 inherits t1's S.
+        assert!(c.of(t(1)).contains(&IlpBank::L));
+        assert!(c.of(t(0)).contains(&IlpBank::S));
+        let groups = clone_groups(&f);
+        assert_eq!(groups[&t(0)], vec![t(0), t(1)]);
+    }
+}

@@ -1,0 +1,488 @@
+//! Solution extraction: rewrite the flowgraph according to the ILP's bank
+//! assignment.
+//!
+//! Each original temporary is split into *segment temporaries*, one per
+//! bank it inhabits (`v@A`, `v@L`, ...). Instructions are rewritten to use
+//! the segment dictated by the solution at their program point; the ILP's
+//! inter-bank moves become `Move` instructions (or scratch stores/loads
+//! for the spill bank `M`); `clone` pseudo-instructions disappear —
+//! transfer-bank clones were forced to equal colors by the model, and A/B
+//! clones are recorded as mandatory coalesces for the coloring phase.
+//!
+//! Transfer-bank segments carry their final [`PhysReg`] immediately (the
+//! ILP chose the colors); A/B segments are colored afterwards
+//! ([`crate::color`]). Spill transients get a free S or L register
+//! computed from the solution's occupancy — the model's
+//! `needsSpill`/`colorAvail` constraints guarantee one exists.
+
+use super::candidates::IlpBank;
+use super::facts::{Facts, PointId};
+use super::model::{Assignment, BankModel};
+use crate::liveness::Point;
+use ixp_machine::{
+    Addr, AluSrc, Bank, Block, BlockId, Instr, MemSpace, PhysReg, Program, Temp, Terminator,
+};
+use std::collections::{BTreeSet, HashMap};
+
+/// The rewritten (segmented) program plus the data the coloring and
+/// emission phases need.
+#[derive(Debug)]
+pub struct Placed {
+    /// Program over segment temporaries.
+    pub prog: Program<Temp>,
+    /// Bank of every segment temporary.
+    pub seg_bank: HashMap<Temp, Bank>,
+    /// Segments with a register already fixed (transfer banks, spill
+    /// transients).
+    pub fixed: HashMap<Temp, PhysReg>,
+    /// Pairs of A/B segments that must share a register (clone sets).
+    pub ab_aliases: Vec<(Temp, Temp)>,
+    /// Scratch word addresses of spill slots, per original temporary.
+    pub spill_slots: HashMap<Temp, u32>,
+}
+
+/// Extraction failure: the solution is inconsistent with the program (a
+/// solver or model bug).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExtractError(pub String);
+
+impl std::fmt::Display for ExtractError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "solution extraction: {}", self.0)
+    }
+}
+
+impl std::error::Error for ExtractError {}
+
+struct Extract<'a> {
+    facts: &'a Facts,
+    bm: &'a BankModel,
+    asg: &'a Assignment,
+    seg: HashMap<(Temp, IlpBank), Temp>,
+    seg_bank: HashMap<Temp, Bank>,
+    fixed: HashMap<Temp, PhysReg>,
+    ab_aliases: Vec<(Temp, Temp)>,
+    spill_slots: HashMap<Temp, u32>,
+    next_temp: u32,
+    spill_base: u32,
+}
+
+/// First scratch word used for spill slots (above this, slots grow by 1
+/// word per spilled temporary). Programs should keep their own scratch
+/// data below this address.
+pub const SPILL_BASE: u32 = 0x380;
+
+/// Rewrite the program according to the solved assignment.
+///
+/// # Errors
+///
+/// Returns [`ExtractError`] if the solution violates an invariant.
+pub fn extract(
+    prog: &Program<Temp>,
+    facts: &Facts,
+    bm: &BankModel,
+    asg: &Assignment,
+) -> Result<Placed, ExtractError> {
+    let next_temp = 1 + prog
+        .blocks
+        .iter()
+        .flat_map(|b| {
+            b.instrs
+                .iter()
+                .flat_map(|i| {
+                    i.uses().into_iter().chain(i.defs()).map(|t| t.0).collect::<Vec<_>>()
+                })
+                .chain(b.term.uses().into_iter().map(|t| t.0))
+        })
+        .max()
+        .unwrap_or(0);
+    let mut cx = Extract {
+        facts,
+        bm,
+        asg,
+        seg: HashMap::new(),
+        seg_bank: HashMap::new(),
+        fixed: HashMap::new(),
+        ab_aliases: Vec::new(),
+        spill_slots: HashMap::new(),
+        next_temp,
+        spill_base: SPILL_BASE,
+    };
+    let mut blocks = Vec::new();
+    for (bi, b) in prog.blocks.iter().enumerate() {
+        blocks.push(cx.rewrite_block(bi as u32, b)?);
+    }
+    Ok(Placed {
+        prog: Program { blocks, entry: prog.entry },
+        seg_bank: cx.seg_bank,
+        fixed: cx.fixed,
+        ab_aliases: cx.ab_aliases,
+        spill_slots: cx.spill_slots,
+    })
+}
+
+impl<'a> Extract<'a> {
+    fn fresh(&mut self) -> Temp {
+        self.next_temp += 1;
+        Temp(self.next_temp - 1)
+    }
+
+    fn phys_bank(b: IlpBank) -> Option<Bank> {
+        Some(match b {
+            IlpBank::A => Bank::A,
+            IlpBank::B => Bank::B,
+            IlpBank::L => Bank::L,
+            IlpBank::S => Bank::S,
+            IlpBank::Ld => Bank::Ld,
+            IlpBank::Sd => Bank::Sd,
+            IlpBank::M => return None,
+        })
+    }
+
+    /// The segment temporary for `v` in bank `b` (created on first use;
+    /// transfer segments get their fixed register from the colors).
+    fn segment(&mut self, v: Temp, b: IlpBank) -> Result<Temp, ExtractError> {
+        if let Some(s) = self.seg.get(&(v, b)) {
+            return Ok(*s);
+        }
+        let s = self.fresh();
+        self.seg.insert((v, b), s);
+        if let Some(pb) = Self::phys_bank(b) {
+            self.seg_bank.insert(s, pb);
+            if b.is_transfer() {
+                let color = self.asg.colors.get(&(v, b)).ok_or_else(|| {
+                    ExtractError(format!("temp {v} has no color for bank {b}"))
+                })?;
+                self.fixed.insert(s, PhysReg::new(pb, *color));
+            }
+        }
+        Ok(s)
+    }
+
+    fn point(&self, block: u32, index: u32) -> PointId {
+        self.facts.point_id[&Point { block: BlockId(block), index }]
+    }
+
+    /// Residency of `v` at point `p` *after* the moves there (bank of the
+    /// latest action point at or before `p` in the same block).
+    fn residency(&self, p: PointId, v: Temp) -> Option<IlpBank> {
+        let pts = self.bm.actions.get(&v)?;
+        let block = self.facts.points[p.0 as usize].block;
+        let (lo, _) = self.bm.block_range[block.index()];
+        let g = pts.range(lo..=p).next_back().copied()?;
+        self.asg.after.get(&(g, v)).copied()
+    }
+
+    /// A transfer-bank register of `bank` that is free at point `p`
+    /// (before the moves execute), for spill transients.
+    fn free_reg(
+        &self,
+        p: PointId,
+        bank: IlpBank,
+        taken: &BTreeSet<u8>,
+    ) -> Result<u8, ExtractError> {
+        let mut used: BTreeSet<u8> = taken.clone();
+        for v in self.facts.exists_at(p) {
+            if self.residency_before(p, *v) == Some(bank) {
+                if let Some(c) = self.asg.colors.get(&(*v, bank)) {
+                    used.insert(*c);
+                }
+            }
+        }
+        (0..8u8)
+            .find(|r| !used.contains(r))
+            .ok_or_else(|| ExtractError(format!("no free {bank} register at {p} for spill")))
+    }
+
+    /// Residency before the moves at `p`.
+    fn residency_before(&self, p: PointId, v: Temp) -> Option<IlpBank> {
+        if let Some(b) = self.asg.before.get(&(p, v)) {
+            return Some(*b);
+        }
+        // Not an action point of v: residency since its last action.
+        self.residency(p, v)
+    }
+
+    fn rewrite_block(
+        &mut self,
+        bi: u32,
+        b: &Block<Temp>,
+    ) -> Result<Block<Temp>, ExtractError> {
+        let mut out: Vec<Instr<Temp>> = Vec::new();
+        let n = b.instrs.len() as u32;
+        for idx in 0..=n {
+            let p = self.point(bi, idx);
+            self.emit_moves_at(p, &mut out)?;
+            if idx < n {
+                self.rewrite_instr(&b.instrs[idx as usize], p, self.point(bi, idx + 1), &mut out)?;
+            }
+        }
+        // Terminator operands read at point n (after its moves).
+        let p_term = self.point(bi, n);
+        let term = match &b.term {
+            Terminator::Halt => Terminator::Halt,
+            Terminator::Jump(t) => Terminator::Jump(*t),
+            Terminator::Branch { cond, a, b: bsrc, if_true, if_false } => {
+                let ra = self.use_reg(*a, p_term)?;
+                let rb = match bsrc {
+                    AluSrc::Imm(v) => AluSrc::Imm(*v),
+                    AluSrc::Reg(r) => AluSrc::Reg(self.use_reg(*r, p_term)?),
+                };
+                Terminator::Branch {
+                    cond: *cond,
+                    a: ra,
+                    b: rb,
+                    if_true: *if_true,
+                    if_false: *if_false,
+                }
+            }
+        };
+        Ok(Block { instrs: out, term })
+    }
+
+    /// Segment for an operand read at point `p` (post-move residency).
+    fn use_reg(&mut self, v: Temp, p: PointId) -> Result<Temp, ExtractError> {
+        let bank = self
+            .asg
+            .after
+            .get(&(p, v))
+            .copied()
+            .or_else(|| self.residency(p, v))
+            .ok_or_else(|| ExtractError(format!("no residency for {v} at {p}")))?;
+        if bank == IlpBank::M {
+            return Err(ExtractError(format!("{v} used while spilled at {p}")));
+        }
+        self.segment(v, bank)
+    }
+
+    /// Segment for a result defined at point `p` (pre-move residency).
+    fn def_reg(&mut self, v: Temp, p: PointId) -> Result<Temp, ExtractError> {
+        let bank = self
+            .asg
+            .before
+            .get(&(p, v))
+            .copied()
+            .ok_or_else(|| ExtractError(format!("no definition bank for {v} at {p}")))?;
+        if bank == IlpBank::M {
+            return Err(ExtractError(format!("{v} defined into spill bank at {p}")));
+        }
+        self.segment(v, bank)
+    }
+
+    fn slot(&mut self, v: Temp) -> u32 {
+        if let Some(s) = self.spill_slots.get(&v) {
+            return *s;
+        }
+        let s = self.spill_base + self.spill_slots.len() as u32;
+        self.spill_slots.insert(v, s);
+        s
+    }
+
+    fn emit_moves_at(
+        &mut self,
+        p: PointId,
+        out: &mut Vec<Instr<Temp>>,
+    ) -> Result<(), ExtractError> {
+        let Some(moves) = self.asg.moves.get(&p).cloned() else { return Ok(()) };
+        // Order matters within a point: first drain values out of the
+        // transfer banks (spill stores, moves out of L/LD), then ordinary
+        // moves, then reloads — so arriving values never clobber departing
+        // ones that share a register.
+        let phase = |b1: IlpBank, b2: IlpBank| -> u8 {
+            if b2 == IlpBank::M {
+                0 // spill stores leave first
+            } else if b1.is_transfer() {
+                1 // drains of transfer banks
+            } else if b1 == IlpBank::M {
+                3 // reloads arrive last
+            } else {
+                2
+            }
+        };
+        let mut ordered = moves;
+        ordered.sort_by_key(|(v, b1, b2)| (phase(*b1, *b2), v.0));
+        let mut transient_s: BTreeSet<u8> = BTreeSet::new();
+        let mut transient_l: BTreeSet<u8> = BTreeSet::new();
+        for (v, b1, b2) in ordered {
+            match (b1, b2) {
+                (IlpBank::M, IlpBank::M) => {}
+                (src, IlpBank::M) => {
+                    // Spill store: through an S register unless already in S.
+                    let addr = Addr::Imm(self.slot(v));
+                    if src == IlpBank::S {
+                        let s = self.segment(v, IlpBank::S)?;
+                        out.push(Instr::MemWrite { space: MemSpace::Scratch, addr, src: vec![s] });
+                    } else {
+                        let r = self.free_reg(p, IlpBank::S, &transient_s)?;
+                        transient_s.insert(r);
+                        let tr = self.fresh();
+                        self.seg_bank.insert(tr, Bank::S);
+                        self.fixed.insert(tr, PhysReg::new(Bank::S, r));
+                        let from = self.segment(v, src)?;
+                        out.push(Instr::Move { dst: tr, src: from });
+                        out.push(Instr::MemWrite {
+                            space: MemSpace::Scratch,
+                            addr,
+                            src: vec![tr],
+                        });
+                    }
+                }
+                (IlpBank::M, dst) => {
+                    // Reload: lands in L, then moves on if needed.
+                    let addr = Addr::Imm(self.slot(v));
+                    if dst == IlpBank::L {
+                        let l = self.segment(v, IlpBank::L)?;
+                        out.push(Instr::MemRead { space: MemSpace::Scratch, addr, dst: vec![l] });
+                    } else {
+                        let r = self.free_reg(p, IlpBank::L, &transient_l)?;
+                        transient_l.insert(r);
+                        let tr = self.fresh();
+                        self.seg_bank.insert(tr, Bank::L);
+                        self.fixed.insert(tr, PhysReg::new(Bank::L, r));
+                        out.push(Instr::MemRead {
+                            space: MemSpace::Scratch,
+                            addr,
+                            dst: vec![tr],
+                        });
+                        let to = self.segment(v, dst)?;
+                        out.push(Instr::Move { dst: to, src: tr });
+                    }
+                }
+                (src, dst) => {
+                    let from = self.segment(v, src)?;
+                    let to = self.segment(v, dst)?;
+                    out.push(Instr::Move { dst: to, src: from });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn rewrite_instr(
+        &mut self,
+        ins: &Instr<Temp>,
+        pre: PointId,
+        post: PointId,
+        out: &mut Vec<Instr<Temp>>,
+    ) -> Result<(), ExtractError> {
+        match ins {
+            Instr::Alu { op, dst, a, b } => {
+                let a = self.use_reg(*a, pre)?;
+                let b = match b {
+                    AluSrc::Reg(r) => AluSrc::Reg(self.use_reg(*r, pre)?),
+                    AluSrc::Imm(v) => AluSrc::Imm(*v),
+                };
+                let dst = self.def_reg(*dst, post)?;
+                out.push(Instr::Alu { op: *op, dst, a, b });
+            }
+            Instr::Imm { dst, val } => {
+                let dst = self.def_reg(*dst, post)?;
+                out.push(Instr::Imm { dst, val: *val });
+            }
+            Instr::Move { dst, src } => {
+                let src = self.use_reg(*src, pre)?;
+                let dst = self.def_reg(*dst, post)?;
+                out.push(Instr::Move { dst, src });
+            }
+            Instr::Clone { dst, src } => {
+                // The clone itself vanishes: destination and source share
+                // a register at this point.
+                let sb = self
+                    .asg
+                    .after
+                    .get(&(pre, *src))
+                    .copied()
+                    .or_else(|| self.residency(pre, *src))
+                    .ok_or_else(|| ExtractError(format!("clone source {src} unplaced")))?;
+                let db = self
+                    .asg
+                    .before
+                    .get(&(post, *dst))
+                    .copied()
+                    .ok_or_else(|| ExtractError(format!("clone dest {dst} unplaced")))?;
+                if sb != db {
+                    return Err(ExtractError(format!(
+                        "clone {dst} starts in {db} but source {src} is in {sb}"
+                    )));
+                }
+                let s_seg = self.segment(*src, sb)?;
+                let d_seg = self.segment(*dst, db)?;
+                match db {
+                    IlpBank::A | IlpBank::B => {
+                        self.ab_aliases.push((d_seg, s_seg));
+                    }
+                    xb if xb.is_transfer() => {
+                        let cs = self.asg.colors.get(&(*src, xb));
+                        let cd = self.asg.colors.get(&(*dst, xb));
+                        if cs != cd {
+                            return Err(ExtractError(format!(
+                                "clone {dst}/{src} colors differ in {xb}: {cd:?} vs {cs:?}"
+                            )));
+                        }
+                    }
+                    _ => {
+                        return Err(ExtractError("clone in spill bank".into()));
+                    }
+                }
+            }
+            Instr::MemRead { space, addr, dst } => {
+                let addr = self.rewrite_addr(addr, pre)?;
+                let dst = dst
+                    .iter()
+                    .map(|d| self.def_reg(*d, post))
+                    .collect::<Result<Vec<_>, _>>()?;
+                out.push(Instr::MemRead { space: *space, addr, dst });
+            }
+            Instr::MemWrite { space, addr, src } => {
+                let addr = self.rewrite_addr(addr, pre)?;
+                let src = src
+                    .iter()
+                    .map(|s| self.use_reg(*s, pre))
+                    .collect::<Result<Vec<_>, _>>()?;
+                out.push(Instr::MemWrite { space: *space, addr, src });
+            }
+            Instr::Hash { dst, src } => {
+                let src = self.use_reg(*src, pre)?;
+                let dst = self.def_reg(*dst, post)?;
+                out.push(Instr::Hash { dst, src });
+            }
+            Instr::TestAndSet { dst, src, addr } => {
+                let addr = self.rewrite_addr(addr, pre)?;
+                let src = self.use_reg(*src, pre)?;
+                let dst = self.def_reg(*dst, post)?;
+                out.push(Instr::TestAndSet { dst, src, addr });
+            }
+            Instr::CsrRead { dst, csr } => {
+                let dst = self.def_reg(*dst, post)?;
+                out.push(Instr::CsrRead { dst, csr: *csr });
+            }
+            Instr::CsrWrite { src, csr } => {
+                let src = self.use_reg(*src, pre)?;
+                out.push(Instr::CsrWrite { src, csr: *csr });
+            }
+            Instr::RxPacket { len_dst, addr_dst } => {
+                let len_dst = self.def_reg(*len_dst, post)?;
+                let addr_dst = self.def_reg(*addr_dst, post)?;
+                out.push(Instr::RxPacket { len_dst, addr_dst });
+            }
+            Instr::TxPacket { addr, len } => {
+                let addr = self.use_reg(*addr, pre)?;
+                let len = self.use_reg(*len, pre)?;
+                out.push(Instr::TxPacket { addr, len });
+            }
+            Instr::CtxSwap => out.push(Instr::CtxSwap),
+        }
+        Ok(())
+    }
+
+    fn rewrite_addr(
+        &mut self,
+        addr: &Addr<Temp>,
+        pre: PointId,
+    ) -> Result<Addr<Temp>, ExtractError> {
+        Ok(match addr {
+            Addr::Imm(a) => Addr::Imm(*a),
+            Addr::Reg(r, o) => Addr::Reg(self.use_reg(*r, pre)?, *o),
+        })
+    }
+}

@@ -1,0 +1,446 @@
+//! The ILP model's data: program points, `Exists`, `Copy`, and the
+//! per-instruction operand facts (§5.2, Figure 3).
+//!
+//! Every instruction sits between two points; a block's terminator is
+//! followed by a single *after-branch* point connected to the entry points
+//! of all successors. Moves may be inserted at any point except
+//! after-branch points (the paper's "situations where it would be illegal
+//! to insert move instructions").
+
+use crate::liveness::{analyze, Liveness, Point};
+use ixp_machine::{Addr, AluSrc, Instr, MemSpace, Program, Temp, Terminator};
+use std::collections::{HashMap, HashSet};
+
+/// Dense id for an interned [`Point`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PointId(pub u32);
+
+impl std::fmt::Display for PointId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+/// What an instruction requires of the banks of its operands and results.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Fact {
+    /// Two-register ALU operation: operands obey the `Arith` rules,
+    /// result goes to `{A, B, S, SD}`.
+    AluTwo {
+        /// Point before.
+        pre: PointId,
+        /// Point after.
+        post: PointId,
+        /// Result.
+        dst: Temp,
+        /// Left operand.
+        a: Temp,
+        /// Right operand.
+        b: Temp,
+    },
+    /// One-register ALU operation (shift-immediate or move source):
+    /// operand from `{A, B, L, LD}`, result to `{A, B, S, SD}`.
+    AluOne {
+        /// Point before.
+        pre: PointId,
+        /// Point after.
+        post: PointId,
+        /// Result.
+        dst: Temp,
+        /// Operand.
+        a: Temp,
+    },
+    /// Pure definition into `{A, B, S, SD}` (`immed`, `csr_rd`, packet
+    /// receive).
+    Def {
+        /// Point after.
+        post: PointId,
+        /// Results.
+        dsts: Vec<Temp>,
+    },
+    /// Register operand read from `{A, B}` (addresses, csr/tx operands).
+    GpUse {
+        /// Point before.
+        pre: PointId,
+        /// Operands.
+        srcs: Vec<Temp>,
+    },
+    /// Aggregate definition by a memory read: members land consecutively
+    /// in the load transfer bank (`DefLi`/`DefLDj`).
+    ReadAgg {
+        /// Point before (address operand read here, if any).
+        pre: PointId,
+        /// Point after (members exist here).
+        post: PointId,
+        /// The memory space (selects `L` vs `LD`).
+        space: MemSpace,
+        /// Aggregate members in ascending order.
+        dsts: Vec<Temp>,
+    },
+    /// Aggregate use by a memory write (`UseSi`/`UseSDj`).
+    WriteAgg {
+        /// Point before (members and address read here).
+        pre: PointId,
+        /// The memory space (selects `S` vs `SD`).
+        space: MemSpace,
+        /// Aggregate members in ascending order.
+        srcs: Vec<Temp>,
+    },
+    /// Same-register unit operation (`hash`, `test-and-set`): source in
+    /// `S`, result in `L`, equal register numbers.
+    SameReg {
+        /// Point before.
+        pre: PointId,
+        /// Point after.
+        post: PointId,
+        /// Result (lands in `L`).
+        dst: Temp,
+        /// Operand (read from `S`).
+        src: Temp,
+    },
+    /// A pre-existing register copy (parameter passing at jumps). Operand
+    /// and result rules are `AluOne`'s, but the objective additionally
+    /// charges a move cost when source and destination end up in
+    /// different banks — when they share a bank the coloring phase
+    /// coalesces the copy away entirely.
+    MoveF {
+        /// Point before.
+        pre: PointId,
+        /// Point after.
+        post: PointId,
+        /// Destination.
+        dst: Temp,
+        /// Source.
+        src: Temp,
+    },
+    /// SSU clone: destination occupies the same bank (and transfer
+    /// register) as the source at this point; no code is generated.
+    CloneF {
+        /// Point before.
+        pre: PointId,
+        /// Point after.
+        post: PointId,
+        /// Clone.
+        dst: Temp,
+        /// Original.
+        src: Temp,
+    },
+    /// Conditional branch operands (like `AluTwo`/`AluOne` but no result).
+    BranchUse {
+        /// Point before the terminator.
+        pre: PointId,
+        /// Left operand.
+        a: Temp,
+        /// Right operand if it is a register.
+        b: Option<Temp>,
+    },
+}
+
+/// The assembled model data for one program.
+#[derive(Debug)]
+pub struct Facts {
+    /// Point interner: dense id per (block, index).
+    pub points: Vec<Point>,
+    /// Reverse lookup.
+    pub point_id: HashMap<Point, PointId>,
+    /// `Exists`: temporaries that exist at each point (live, plus results
+    /// that are immediately dead).
+    pub exists: HashMap<PointId, HashSet<Temp>>,
+    /// `Copy`: `(p1, p2, v)` — v carried unchanged from p1 to p2.
+    pub copy: Vec<(PointId, PointId, Temp)>,
+    /// Per-instruction operand facts.
+    pub facts: Vec<Fact>,
+    /// Points where move insertion is illegal (after-branch points).
+    pub no_moves: HashSet<PointId>,
+    /// The liveness analysis (kept for downstream phases).
+    pub liveness: Liveness,
+    /// Clone pairs `(dst, src)` in program order.
+    pub clones: Vec<(Temp, Temp)>,
+    /// Aggregates (for the redundant-cut generation and statistics):
+    /// `(space, read?, members)`.
+    pub aggregates: Vec<(MemSpace, bool, Vec<Temp>)>,
+}
+
+impl Facts {
+    /// Temps that exist at a point.
+    pub fn exists_at(&self, p: PointId) -> &HashSet<Temp> {
+        &self.exists[&p]
+    }
+
+    /// All `(PointId, Temp)` pairs of the `Exists` relation.
+    pub fn exists_pairs(&self) -> impl Iterator<Item = (PointId, Temp)> + '_ {
+        self.exists.iter().flat_map(|(p, ts)| ts.iter().map(move |t| (*p, *t)))
+    }
+}
+
+/// Build the model data from a virtual-register program.
+pub fn build(prog: &Program<Temp>) -> Facts {
+    let liveness = analyze(prog);
+    let mut points = Vec::new();
+    let mut point_id = HashMap::new();
+    for (bi, b) in prog.blocks.iter().enumerate() {
+        for idx in 0..(b.instrs.len() as u32 + 2) {
+            let p = Point { block: ixp_machine::BlockId(bi as u32), index: idx };
+            point_id.insert(p, PointId(points.len() as u32));
+            points.push(p);
+        }
+    }
+    let pid = |block: usize, index: u32| -> PointId {
+        point_id[&Point { block: ixp_machine::BlockId(block as u32), index }]
+    };
+
+    let mut exists: HashMap<PointId, HashSet<Temp>> = HashMap::new();
+    let mut copy = Vec::new();
+    let mut facts = Vec::new();
+    let mut no_moves = HashSet::new();
+    let mut clones = Vec::new();
+    let mut aggregates = Vec::new();
+
+    for (bi, b) in prog.blocks.iter().enumerate() {
+        let n = b.instrs.len() as u32;
+        // Exists = live at each point; dead results added below.
+        for idx in 0..(n + 2) {
+            let p = Point { block: ixp_machine::BlockId(bi as u32), index: idx };
+            let set = liveness.live[&p].clone();
+            exists.insert(point_id[&p], set);
+        }
+        for (j, ins) in b.instrs.iter().enumerate() {
+            let pre = pid(bi, j as u32);
+            let post = pid(bi, j as u32 + 1);
+            // Dead results still exist at the post point (§5.2).
+            for d in ins.defs() {
+                exists.get_mut(&post).unwrap().insert(*d);
+            }
+            // Copy: everything live at both ends and not defined here.
+            let defs: HashSet<Temp> = ins.defs().into_iter().copied().collect();
+            let live_pre = &liveness.live[&points[pre.0 as usize]];
+            let live_post = &liveness.live[&points[post.0 as usize]];
+            for v in live_pre {
+                if live_post.contains(v) && !defs.contains(v) {
+                    copy.push((pre, post, *v));
+                }
+            }
+            facts.extend(instr_facts(ins, pre, post, &mut clones, &mut aggregates));
+        }
+        // Terminator between points n and n+1.
+        let pre = pid(bi, n);
+        let post = pid(bi, n + 1);
+        no_moves.insert(post);
+        if let Terminator::Branch { a, b: bsrc, .. } = &b.term {
+            facts.push(Fact::BranchUse {
+                pre,
+                a: *a,
+                b: match bsrc {
+                    AluSrc::Reg(r) => Some(*r),
+                    AluSrc::Imm(_) => None,
+                },
+            });
+        }
+        let live_pre = &liveness.live[&points[pre.0 as usize]];
+        let live_post = &liveness.live[&points[post.0 as usize]];
+        for v in live_pre {
+            if live_post.contains(v) {
+                copy.push((pre, post, *v));
+            }
+        }
+        // CFG edges: after-branch point to successor entry points.
+        for succ in b.term.successors() {
+            let target = point_id[&Point { block: succ, index: 0 }];
+            for v in &liveness.live_in[&succ] {
+                if live_post.contains(v) {
+                    copy.push((post, target, *v));
+                }
+            }
+        }
+    }
+
+    Facts {
+        points,
+        point_id,
+        exists,
+        copy,
+        facts,
+        no_moves,
+        liveness,
+        clones,
+        aggregates,
+    }
+}
+
+fn addr_use(addr: &Addr<Temp>) -> Option<Temp> {
+    addr.base().copied()
+}
+
+fn instr_facts(
+    ins: &Instr<Temp>,
+    pre: PointId,
+    post: PointId,
+    clones: &mut Vec<(Temp, Temp)>,
+    aggregates: &mut Vec<(MemSpace, bool, Vec<Temp>)>,
+) -> Vec<Fact> {
+    let mut out = Vec::new();
+    match ins {
+        Instr::Alu { dst, a, b, .. } => match b {
+            AluSrc::Reg(rb) => out.push(Fact::AluTwo { pre, post, dst: *dst, a: *a, b: *rb }),
+            AluSrc::Imm(_) => out.push(Fact::AluOne { pre, post, dst: *dst, a: *a }),
+        },
+        Instr::Imm { dst, .. } => out.push(Fact::Def { post, dsts: vec![*dst] }),
+        Instr::Move { dst, src } => out.push(Fact::MoveF { pre, post, dst: *dst, src: *src }),
+        Instr::Clone { dst, src } => {
+            clones.push((*dst, *src));
+            out.push(Fact::CloneF { pre, post, dst: *dst, src: *src });
+        }
+        Instr::MemRead { space, addr, dst } => {
+            if let Some(base) = addr_use(addr) {
+                out.push(Fact::GpUse { pre, srcs: vec![base] });
+            }
+            aggregates.push((*space, true, dst.clone()));
+            out.push(Fact::ReadAgg { pre, post, space: *space, dsts: dst.clone() });
+        }
+        Instr::MemWrite { space, addr, src } => {
+            if let Some(base) = addr_use(addr) {
+                out.push(Fact::GpUse { pre, srcs: vec![base] });
+            }
+            aggregates.push((*space, false, src.clone()));
+            out.push(Fact::WriteAgg { pre, space: *space, srcs: src.clone() });
+        }
+        Instr::Hash { dst, src } => out.push(Fact::SameReg { pre, post, dst: *dst, src: *src }),
+        Instr::TestAndSet { dst, src, addr } => {
+            if let Some(base) = addr_use(addr) {
+                out.push(Fact::GpUse { pre, srcs: vec![base] });
+            }
+            out.push(Fact::SameReg { pre, post, dst: *dst, src: *src });
+        }
+        Instr::CsrRead { dst, .. } => out.push(Fact::Def { post, dsts: vec![*dst] }),
+        Instr::CsrWrite { src, .. } => out.push(Fact::GpUse { pre, srcs: vec![*src] }),
+        Instr::RxPacket { len_dst, addr_dst } => {
+            out.push(Fact::Def { post, dsts: vec![*len_dst, *addr_dst] })
+        }
+        Instr::TxPacket { addr, len } => out.push(Fact::GpUse { pre, srcs: vec![*addr, *len] }),
+        Instr::CtxSwap => {}
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ixp_machine::{Block, BlockId, Cond};
+
+    fn t(i: u32) -> Temp {
+        Temp(i)
+    }
+
+    #[test]
+    fn figure3_style_program_facts() {
+        // Mimic Figure 3: two reads, arithmetic, two writes.
+        let prog = Program {
+            blocks: vec![Block {
+                instrs: vec![
+                    Instr::MemRead {
+                        space: MemSpace::Sram,
+                        addr: Addr::Imm(100),
+                        dst: vec![t(0), t(1), t(2), t(3)],
+                    },
+                    Instr::Alu {
+                        op: ixp_machine::AluOp::Add,
+                        dst: t(4),
+                        a: t(0),
+                        b: AluSrc::Reg(t(2)),
+                    },
+                    Instr::MemWrite {
+                        space: MemSpace::Sram,
+                        addr: Addr::Imm(300),
+                        src: vec![t(1), t(4), t(3), t(0)],
+                    },
+                ],
+                term: Terminator::Halt,
+            }],
+            entry: BlockId(0),
+        };
+        let f = build(&prog);
+        // 3 instructions -> 5 points.
+        assert_eq!(f.points.len(), 5);
+        let read = f
+            .facts
+            .iter()
+            .find(|x| matches!(x, Fact::ReadAgg { .. }))
+            .unwrap();
+        match read {
+            Fact::ReadAgg { dsts, .. } => assert_eq!(dsts.len(), 4),
+            _ => unreachable!(),
+        }
+        assert!(f.facts.iter().any(|x| matches!(x, Fact::AluTwo { .. })));
+        assert!(f.facts.iter().any(|x| matches!(x, Fact::WriteAgg { .. })));
+        assert_eq!(f.aggregates.len(), 2);
+    }
+
+    #[test]
+    fn dead_results_exist_at_post_point() {
+        let prog = Program {
+            blocks: vec![Block {
+                instrs: vec![Instr::Imm { dst: t(0), val: 7 }],
+                term: Terminator::Halt,
+            }],
+            entry: BlockId(0),
+        };
+        let f = build(&prog);
+        // t0 never used: not live anywhere, but exists at the post point.
+        let post = f.point_id[&Point { block: BlockId(0), index: 1 }];
+        assert!(f.exists_at(post).contains(&t(0)));
+        let pre = f.point_id[&Point { block: BlockId(0), index: 0 }];
+        assert!(!f.exists_at(pre).contains(&t(0)));
+    }
+
+    #[test]
+    fn after_branch_points_forbid_moves() {
+        let prog = Program {
+            blocks: vec![
+                Block {
+                    instrs: vec![Instr::Imm { dst: t(0), val: 0 }],
+                    term: Terminator::Branch {
+                        cond: Cond::Eq,
+                        a: t(0),
+                        b: AluSrc::Imm(0),
+                        if_true: BlockId(1),
+                        if_false: BlockId(1),
+                    },
+                },
+                Block { instrs: vec![], term: Terminator::Halt },
+            ],
+            entry: BlockId(0),
+        };
+        let f = build(&prog);
+        let after_branch = f.point_id[&Point { block: BlockId(0), index: 2 }];
+        assert!(f.no_moves.contains(&after_branch));
+        // Branch operand fact exists.
+        assert!(f.facts.iter().any(|x| matches!(x, Fact::BranchUse { .. })));
+    }
+
+    #[test]
+    fn copy_crosses_cfg_edges() {
+        // t0 defined in block 0, used in block 1: Copy entries must link
+        // the after-branch point to the target entry.
+        let prog = Program {
+            blocks: vec![
+                Block {
+                    instrs: vec![Instr::Imm { dst: t(0), val: 1 }],
+                    term: Terminator::Jump(BlockId(1)),
+                },
+                Block {
+                    instrs: vec![Instr::MemWrite {
+                        space: MemSpace::Sram,
+                        addr: Addr::Imm(0),
+                        src: vec![t(0)],
+                    }],
+                    term: Terminator::Halt,
+                },
+            ],
+            entry: BlockId(0),
+        };
+        let f = build(&prog);
+        let after = f.point_id[&Point { block: BlockId(0), index: 2 }];
+        let entry1 = f.point_id[&Point { block: BlockId(1), index: 0 }];
+        assert!(f.copy.contains(&(after, entry1, t(0))));
+    }
+}

@@ -1,0 +1,152 @@
+//! The ILP-based register allocator (§5–§10): model data, candidate
+//! pruning, model generation, solving, and solution extraction.
+
+pub mod candidates;
+pub mod extract;
+pub mod facts;
+pub mod model;
+
+pub use candidates::{clone_groups, prune, unpruned, Candidates, IlpBank};
+pub use extract::{extract, ExtractError, Placed, SPILL_BASE};
+pub use facts::{build as build_facts, Fact, Facts, PointId};
+pub use model::{
+    build_model, move_cost, solve, AllocConfig, AllocStats, Assignment, BankModel, Fig6,
+};
+
+use crate::color::{assign_ab, ColorStats};
+use crate::freq;
+use ixp_machine::{Instr, PhysReg, Program, Temp};
+
+/// Everything the allocator produces for one program.
+pub struct Allocation {
+    /// Final machine code (validated).
+    pub prog: Program<PhysReg>,
+    /// ILP statistics (Figure 6/7 data).
+    pub stats: AllocStats,
+    /// Coloring statistics.
+    pub color_stats: ColorStats,
+}
+
+/// Allocator failure.
+#[derive(Debug)]
+pub enum AllocError {
+    /// The ILP was infeasible or the solver failed.
+    Solver(ilp::MilpError),
+    /// Solution extraction hit an inconsistency.
+    Extract(ExtractError),
+    /// A/B coloring failed.
+    Color(crate::color::ColorError),
+    /// The final code violates machine rules (internal bug).
+    Invalid(Vec<ixp_machine::Violation>),
+}
+
+impl std::fmt::Display for AllocError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AllocError::Solver(e) => write!(f, "ILP solver: {e}"),
+            AllocError::Extract(e) => write!(f, "{e}"),
+            AllocError::Color(e) => write!(f, "{e}"),
+            AllocError::Invalid(vs) => {
+                writeln!(f, "generated code violates machine rules:")?;
+                for v in vs {
+                    writeln!(f, "  {v}")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+impl std::error::Error for AllocError {}
+
+/// Run the full allocator on a virtual-register program.
+///
+/// # Errors
+///
+/// See [`AllocError`]; `Solver(Infeasible)` on a well-formed program means
+/// the configuration cannot allocate it (e.g. spilling disabled under
+/// pressure).
+pub fn allocate(
+    prog: &Program<Temp>,
+    cfg: &AllocConfig,
+) -> Result<Allocation, AllocError> {
+    let facts = build_facts(prog);
+    let freqs = freq::estimate(prog);
+    let mut cfg = cfg.clone();
+    if cfg.allow_spill && cfg.spill_auto {
+        // If no point can exhaust the general-purpose banks, spilling can
+        // never be required (or profitable, at 200x move cost): drop the
+        // M machinery and its colorAvail/needsSpill rows.
+        let pressure = facts.exists.values().map(|s| s.len()).max().unwrap_or(0);
+        if pressure + 4 <= cfg.k_a + cfg.k_b {
+            cfg.allow_spill = false;
+        }
+    }
+    let cfg = &cfg;
+    let mut bm = build_model(prog, &facts, &freqs, cfg);
+    let (assignment, stats) = solve(&mut bm, cfg).map_err(AllocError::Solver)?;
+    let placed = extract(prog, &facts, &bm, &assignment).map_err(AllocError::Extract)?;
+    let (ab, color_stats) = assign_ab(&placed).map_err(AllocError::Color)?;
+    let final_prog = apply_registers(&placed, &ab)?;
+    let violations = ixp_machine::validate(&final_prog);
+    if !violations.is_empty() {
+        return Err(AllocError::Invalid(violations));
+    }
+    Ok(Allocation { prog: final_prog, stats, color_stats })
+}
+
+/// Substitute physical registers for segment temporaries and drop
+/// self-moves (successful coalesces).
+fn apply_registers(
+    placed: &Placed,
+    ab: &std::collections::HashMap<Temp, PhysReg>,
+) -> Result<Program<PhysReg>, AllocError> {
+    let lookup = |t: Temp| -> Result<PhysReg, AllocError> {
+        if let Some(r) = placed.fixed.get(&t) {
+            return Ok(*r);
+        }
+        if let Some(r) = ab.get(&t) {
+            return Ok(*r);
+        }
+        Err(AllocError::Extract(ExtractError(format!(
+            "segment {t} was never assigned a register"
+        ))))
+    };
+    let mut blocks = Vec::new();
+    for b in &placed.prog.blocks {
+        let mut instrs = Vec::new();
+        for ins in &b.instrs {
+            // Map and drop coalesced moves.
+            let mut err = None;
+            let mapped = ins.clone().map(&mut |t: Temp| match lookup(t) {
+                Ok(r) => r,
+                Err(e) => {
+                    err = Some(e);
+                    PhysReg::new(ixp_machine::Bank::A, 0)
+                }
+            });
+            if let Some(e) = err {
+                return Err(e);
+            }
+            if let Instr::Move { dst, src } = &mapped {
+                if dst == src {
+                    continue; // coalesced
+                }
+            }
+            instrs.push(mapped);
+        }
+        let mut err = None;
+        let term = b.term.clone().map(&mut |t: Temp| match lookup(t) {
+            Ok(r) => r,
+            Err(e) => {
+                err = Some(e);
+                PhysReg::new(ixp_machine::Bank::A, 0)
+            }
+        });
+        if let Some(e) = err {
+            return Err(e);
+        }
+        blocks.push(ixp_machine::Block { instrs, term });
+    }
+    Ok(Program { blocks, entry: placed.prog.entry })
+}

@@ -1,0 +1,1102 @@
+//! The 0-1 ILP model of bank assignment, transfer-bank coloring, cloning,
+//! and spilling (§5–§10).
+//!
+//! Variables (all 0-1), following the paper:
+//!
+//! * `Move[p,v,b1,b2]` — temporary `v` moves from bank `b1` to `b2` at
+//!   point `p` (identity moves cost nothing);
+//! * `Before[p,v,b]`/`After[p,v,b]` — **expression aliases** `Σ_d
+//!   Move[p,v,b,d]` / `Σ_s Move[p,v,s,b]` (the paper's "redundant
+//!   variables", §6, realized symbolically);
+//! * `Color[v,xb,r]` — point-independent transfer-bank register choice
+//!   (§9);
+//! * `cloneBefore/cloneAfter/cloneMove` — representative counting for
+//!   clone sets (§10);
+//! * `colorAvail[p,b,r]`, `needsSpill[p,b]` — spare-register bookkeeping
+//!   for spills through `L`/`S` (§9).
+//!
+//! **Move-point compression.** The paper gives every live temporary a move
+//! opportunity at every point and reduces the model with §8's bank
+//! pruning. We add one further reduction with the same optimal value in
+//! practice: move variables exist only at a temporary's *action points*
+//! (its definition, its uses, and block boundaries it crosses). Between
+//! consecutive action points the bank cannot usefully change, so the
+//! per-point `Copy` chains collapse into one `After[a_i] = Before[a_{i+1}]`
+//! equality per segment, and K constraints reference the segment's
+//! expression. This is what lets our bounded-variable simplex (dense
+//! basis inverse) solve the models CPLEX solved for the paper.
+
+use super::candidates::{clone_groups, load_bank, prune, store_bank, unpruned, Candidates, IlpBank};
+use super::facts::{Fact, Facts, PointId};
+use crate::freq::Frequencies;
+use crate::liveness::Point;
+use ilp::{BranchConfig, Cmp, Key, LinExpr, MilpError, Model, ModelStats, SolveStats, Var};
+use ixp_machine::{Program, Temp};
+use std::collections::{BTreeSet, HashMap, HashSet};
+
+/// Configuration of the allocator's ILP model (ablation knobs included).
+#[derive(Debug, Clone)]
+pub struct AllocConfig {
+    /// Model spilling through scratch (`M` bank). When off, programs that
+    /// need spills become infeasible.
+    pub allow_spill: bool,
+    /// Generate the §9 redundant aggregate-position cuts (E6).
+    pub redundant_cuts: bool,
+    /// Objective bias on moves out of bank `B` (§7; E7).
+    pub bias: f64,
+    /// Apply §8 candidate pruning (E8).
+    pub prune: bool,
+    /// Cost of a register-register move.
+    pub mv_cost: f64,
+    /// Cost of a spill-memory load.
+    pub ld_cost: f64,
+    /// Cost of a spill-memory store.
+    pub st_cost: f64,
+    /// Usable A registers (one of 16 is reserved for parallel-copy cycles,
+    /// §6 "K and Spilling for A/B").
+    pub k_a: usize,
+    /// Usable B registers.
+    pub k_b: usize,
+    /// Automatically drop the spill machinery when register pressure
+    /// provably cannot exceed the general-purpose capacity (the paper's
+    /// "spilling occurs very rarely"; E5 measures the two-stage variant).
+    pub spill_auto: bool,
+    /// Branch-and-bound configuration (gap defaults to the paper's 0.01%).
+    pub solver: BranchConfig,
+}
+
+impl Default for AllocConfig {
+    fn default() -> Self {
+        AllocConfig {
+            allow_spill: true,
+            redundant_cuts: true,
+            bias: 1.01,
+            prune: true,
+            mv_cost: 1.0,
+            ld_cost: 200.0,
+            st_cost: 200.0,
+            k_a: 15,
+            k_b: 16,
+            spill_auto: true,
+            solver: {
+                // The paper ran CPLEX to a 0.01% gap in 36-156 s; give our
+                // branch-and-bound the same order of wall clock. When the
+                // budget expires the best incumbent is used and
+                // `SolveStats::proven_optimal` reports the gap.
+                let mut b = BranchConfig::default();
+                b.time_limit = Some(std::time::Duration::from_secs(150));
+                b
+            },
+        }
+    }
+}
+
+/// The generated model plus the bookkeeping needed to read a solution.
+pub struct BankModel {
+    /// The underlying ILP.
+    pub model: Model,
+    /// Move variables per action point and temp: `(var, from, to)`.
+    pub moves: HashMap<(PointId, Temp), Vec<(Var, IlpBank, IlpBank)>>,
+    /// Color variables per `(temp, transfer bank)`: one var per register.
+    pub colors: HashMap<(Temp, IlpBank), Vec<Var>>,
+    /// Action points per temp (sorted; `PointId` order equals block order).
+    pub actions: HashMap<Temp, BTreeSet<PointId>>,
+    /// Candidate banks per temp.
+    pub candidates: Candidates,
+    /// Clone groups.
+    pub groups: HashMap<Temp, Vec<Temp>>,
+    /// Per-block range of point ids `(first, last)`.
+    pub block_range: Vec<(PointId, PointId)>,
+    /// Figure-6 statistics: members of `DefLi`, `DefLDj`, `UseSi`, `UseSDj`.
+    pub fig6: Fig6,
+}
+
+/// Figure 6's "AMPL statistics": how many variables participate in
+/// aggregate definitions and uses.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Fig6 {
+    /// Variables defined by SRAM/scratch reads.
+    pub def_l: usize,
+    /// Variables defined by SDRAM reads.
+    pub def_ld: usize,
+    /// Variables consumed by SRAM/scratch writes.
+    pub use_s: usize,
+    /// Variables consumed by SDRAM writes.
+    pub use_sd: usize,
+}
+
+impl Fig6 {
+    /// Total read-side members.
+    pub fn def_total(&self) -> usize {
+        self.def_l + self.def_ld
+    }
+
+    /// Total write-side members.
+    pub fn use_total(&self) -> usize {
+        self.use_s + self.use_sd
+    }
+}
+
+/// Cost of a `b1 → b2` transition, or `None` if illegal (§7 and the
+/// composite spill paths of §8).
+pub fn move_cost(cfg: &AllocConfig, from: IlpBank, to: IlpBank) -> Option<f64> {
+    use IlpBank::*;
+    if from == to {
+        return Some(0.0);
+    }
+    match (from, to) {
+        // Plain register-register move: source readable, target writable.
+        (A | B | L | Ld, A | B | S | Sd) => Some(cfg.mv_cost),
+        // Spill stores: via an S register (move+store), except from S.
+        (A | B | L | Ld, M) => Some(cfg.mv_cost + cfg.st_cost),
+        (S, M) => Some(cfg.st_cost),
+        // Reloads land in L; onwards costs a move.
+        (M, L) => Some(cfg.ld_cost),
+        (M, A | B | S | Sd) => Some(cfg.ld_cost + cfg.mv_cost),
+        _ => None,
+    }
+}
+
+fn bank_key(b: IlpBank) -> Key {
+    Key::Sym(b.name())
+}
+
+/// Build the complete model for a program.
+pub fn build_model(
+    prog: &Program<Temp>,
+    facts: &Facts,
+    freqs: &Frequencies,
+    cfg: &AllocConfig,
+) -> BankModel {
+    let candidates =
+        if cfg.prune { prune(facts, cfg.allow_spill) } else { unpruned(facts, cfg.allow_spill) };
+    let groups = clone_groups(facts);
+    let mut model = Model::minimize();
+    let fam_move = model.family("Move");
+    let fam_color = model.family("Color");
+    let fam_cb = model.family("cloneBefore");
+    let fam_ca = model.family("cloneAfter");
+    let fam_cm = model.family("cloneMove");
+    let fam_ns = model.family("needsSpill");
+    let fam_cp = model.family("copyPenalty");
+    let fam_cav = model.family("colorAvail");
+
+    // ---- block point ranges & action points ----
+    let mut block_range = Vec::new();
+    {
+        let mut i = 0usize;
+        for b in &prog.blocks {
+            let n = b.instrs.len() + 2;
+            block_range.push((PointId(i as u32), PointId((i + n - 1) as u32)));
+            i += n;
+        }
+    }
+    let block_of = |p: PointId| facts.points[p.0 as usize].block;
+
+    let mut actions: HashMap<Temp, BTreeSet<PointId>> = HashMap::new();
+    // Block entries are action points for everything live-in.
+    for (bi, _) in prog.blocks.iter().enumerate() {
+        let entry = block_range[bi].0;
+        for v in &facts.liveness.live_in[&ixp_machine::BlockId(bi as u32)] {
+            actions.entry(*v).or_default().insert(entry);
+        }
+    }
+    // Instruction-adjacent points for operands and results.
+    for fact in &facts.facts {
+        let mut touch = |v: Temp, p: PointId| {
+            actions.entry(v).or_default().insert(p);
+        };
+        match fact {
+            Fact::AluTwo { pre, post, dst, a, b } => {
+                touch(*a, *pre);
+                touch(*b, *pre);
+                touch(*dst, *post);
+            }
+            Fact::AluOne { pre, post, dst, a } => {
+                touch(*a, *pre);
+                touch(*dst, *post);
+            }
+            Fact::MoveF { pre, post, dst, src } => {
+                touch(*src, *pre);
+                touch(*dst, *post);
+            }
+            Fact::Def { post, dsts } => {
+                for d in dsts {
+                    touch(*d, *post);
+                }
+            }
+            Fact::GpUse { pre, srcs } => {
+                for s in srcs {
+                    touch(*s, *pre);
+                }
+            }
+            Fact::ReadAgg { post, dsts, .. } => {
+                for d in dsts {
+                    touch(*d, *post);
+                }
+            }
+            Fact::WriteAgg { pre, srcs, .. } => {
+                for s in srcs {
+                    touch(*s, *pre);
+                }
+            }
+            Fact::SameReg { pre, post, dst, src } => {
+                touch(*src, *pre);
+                touch(*dst, *post);
+            }
+            Fact::CloneF { pre, post, dst, src } => {
+                touch(*src, *pre);
+                touch(*dst, *post);
+            }
+            Fact::BranchUse { pre, a, b } => {
+                touch(*a, *pre);
+                if let Some(b) = b {
+                    touch(*b, *pre);
+                }
+            }
+        }
+    }
+    // Clamp actions to points where the temp actually exists, and drop
+    // move opportunities at no-move points (keep them as anchors though:
+    // no-move points are never instruction-adjacent nor entries, so none
+    // appear here by construction).
+    for (v, set) in actions.iter_mut() {
+        set.retain(|p| facts.exists_at(*p).contains(v) || {
+            // results exist at their post point by construction
+            true
+        });
+        let _ = v;
+    }
+
+    // ---- Move variables at action points ----
+    let mut moves: HashMap<(PointId, Temp), Vec<(Var, IlpBank, IlpBank)>> = HashMap::new();
+    let mut action_order: Vec<(Temp, &BTreeSet<PointId>)> =
+        actions.iter().map(|(v, s)| (*v, s)).collect();
+    action_order.sort_by_key(|(v, _)| *v);
+    for (v, pts) in &action_order {
+        let mut cand: Vec<IlpBank> = candidates.of(*v).into_iter().collect();
+        cand.sort();
+        for p in pts.iter() {
+            let no_move = facts.no_moves.contains(p);
+            let mut vars = Vec::new();
+            for &b1 in &cand {
+                for &b2 in &cand {
+                    if b1 != b2 && no_move {
+                        continue;
+                    }
+                    if move_cost(cfg, b1, b2).is_none() {
+                        continue;
+                    }
+                    let var = model.binary(
+                        fam_move,
+                        &[Key::Int(p.0), Key::Int(v.0), bank_key(b1), bank_key(b2)],
+                    );
+                    vars.push((var, b1, b2));
+                }
+            }
+            moves.insert((*p, *v), vars);
+        }
+    }
+
+    let before = |moves: &HashMap<(PointId, Temp), Vec<(Var, IlpBank, IlpBank)>>,
+                  p: PointId,
+                  v: Temp,
+                  b: IlpBank|
+     -> LinExpr {
+        let mut e = LinExpr::new();
+        if let Some(vars) = moves.get(&(p, v)) {
+            for (var, from, _) in vars {
+                if *from == b {
+                    e.add_term(*var, 1.0);
+                }
+            }
+        }
+        e
+    };
+    let after = |moves: &HashMap<(PointId, Temp), Vec<(Var, IlpBank, IlpBank)>>,
+                 p: PointId,
+                 v: Temp,
+                 b: IlpBank|
+     -> LinExpr {
+        let mut e = LinExpr::new();
+        if let Some(vars) = moves.get(&(p, v)) {
+            for (var, _, to) in vars {
+                if *to == b {
+                    e.add_term(*var, 1.0);
+                }
+            }
+        }
+        e
+    };
+
+    // ---- In one place only ----
+    let mut move_keys: Vec<(PointId, Temp)> = moves.keys().copied().collect();
+    move_keys.sort();
+    for key in &move_keys {
+        let e = LinExpr::sum(moves[key].iter().map(|(v, _, _)| *v));
+        model.constrain("OnePlace", e, Cmp::Eq, 1.0);
+    }
+
+    // ---- Segment links (compressed Copy) within blocks ----
+    for (v, pts) in &action_order {
+        let mut cand: Vec<IlpBank> = candidates.of(*v).into_iter().collect();
+        cand.sort();
+        let list: Vec<PointId> = pts.iter().copied().collect();
+        for w in list.windows(2) {
+            let (a, b2) = (w[0], w[1]);
+            if block_of(a) != block_of(b2) {
+                continue;
+            }
+            // Only link when the variable exists on the whole span (it
+            // does by liveness: both are action points of v in one block
+            // and liveness is contiguous between a use and the next).
+            for &bk in &cand {
+                let e = after(&moves, a, *v, bk) - before(&moves, b2, *v, bk);
+                model.constrain("Copy", e, Cmp::Eq, 0.0);
+            }
+        }
+    }
+
+    // ---- Copy across CFG edges ----
+    for (bi, b) in prog.blocks.iter().enumerate() {
+        for succ in b.term.successors() {
+            let entry = block_range[succ.index()].0;
+            let mut live: Vec<Temp> = facts.liveness.live_in[&succ].iter().copied().collect();
+            live.sort();
+            for v in &live {
+                // Last action of v in the predecessor block.
+                let Some(pts) = actions.get(v) else { continue };
+                let (lo, hi) = block_range[bi];
+                let Some(last) =
+                    pts.range(lo..=hi).next_back().copied()
+                else {
+                    continue;
+                };
+                let mut cand: Vec<IlpBank> = candidates.of(*v).into_iter().collect();
+                cand.sort();
+                for bk in cand {
+                    let e = after(&moves, last, *v, bk) - before(&moves, entry, *v, bk);
+                    model.constrain("CopyEdge", e, Cmp::Eq, 0.0);
+                }
+            }
+        }
+    }
+
+    // ---- Operand and definition constraints ----
+    let mut fig6 = Fig6::default();
+    let mut copy_penalties: Vec<(PointId, Var)> = Vec::new();
+    let readable = [IlpBank::A, IlpBank::B, IlpBank::L, IlpBank::Ld];
+    let writable = [IlpBank::A, IlpBank::B, IlpBank::S, IlpBank::Sd];
+    let gp = [IlpBank::A, IlpBank::B];
+    let require_in = |model: &mut Model,
+                      moves: &HashMap<(PointId, Temp), Vec<(Var, IlpBank, IlpBank)>>,
+                      group: &str,
+                      p: PointId,
+                      v: Temp,
+                      banks: &[IlpBank],
+                      use_after: bool| {
+        // When every candidate bank of v already satisfies the requirement,
+        // the row is implied by OnePlace and adds nothing.
+        if candidates.of(v).iter().all(|b| banks.contains(b)) {
+            return;
+        }
+        let mut e = LinExpr::new();
+        for &bk in banks {
+            e += if use_after { after(moves, p, v, bk) } else { before(moves, p, v, bk) };
+        }
+        model.constrain(group, e, Cmp::Eq, 1.0);
+    };
+    for fact in &facts.facts {
+        match fact {
+            Fact::AluTwo { pre, post, dst, a, b } => {
+                require_in(&mut model, &moves, "ArithA", *pre, *a, &readable, true);
+                require_in(&mut model, &moves, "ArithB", *pre, *b, &readable, true);
+                // Operands cannot share a bank; L and LD supply at most one.
+                for bk in readable {
+                    let e = after(&moves, *pre, *a, bk) + after(&moves, *pre, *b, bk);
+                    model.constrain_lazy("ArithPair", e, Cmp::Le, 1.0);
+                }
+                let e = after(&moves, *pre, *a, IlpBank::L)
+                    + after(&moves, *pre, *b, IlpBank::Ld);
+                model.constrain_lazy("ArithXfer", e, Cmp::Le, 1.0);
+                let e = after(&moves, *pre, *a, IlpBank::Ld)
+                    + after(&moves, *pre, *b, IlpBank::L);
+                model.constrain_lazy("ArithXfer", e, Cmp::Le, 1.0);
+                require_in(&mut model, &moves, "DefABW", *post, *dst, &writable, false);
+            }
+            Fact::AluOne { pre, post, dst, a } => {
+                require_in(&mut model, &moves, "ArithA", *pre, *a, &readable, true);
+                require_in(&mut model, &moves, "DefABW", *post, *dst, &writable, false);
+            }
+            Fact::MoveF { pre, post, dst, src } => {
+                require_in(&mut model, &moves, "ArithA", *pre, *src, &readable, true);
+                require_in(&mut model, &moves, "DefABW", *post, *dst, &writable, false);
+                // Coalescing incentive: when source and destination share
+                // a bank, the A/B coloring phase deletes this copy; when
+                // they differ, the instruction survives and costs a move.
+                // pm >= After[pre,src,b] - Before[post,dst,b]  for each b.
+                let pm = model.continuous(
+                    fam_cp,
+                    &[Key::Int(pre.0), Key::Int(dst.0)],
+                    0.0,
+                    1.0,
+                );
+                for &bk in &candidates.of(*src) {
+                    let e = after(&moves, *pre, *src, bk)
+                        - before(&moves, *post, *dst, bk)
+                        - LinExpr::from(pm);
+                    model.constrain("CopyCoalesce", e, Cmp::Le, 0.0);
+                }
+                copy_penalties.push((*pre, pm));
+            }
+            Fact::Def { post, dsts } => {
+                for d in dsts {
+                    require_in(&mut model, &moves, "DefABW", *post, *d, &writable, false);
+                }
+            }
+            Fact::GpUse { pre, srcs } => {
+                for s in srcs {
+                    require_in(&mut model, &moves, "GpUse", *pre, *s, &gp, true);
+                }
+            }
+            Fact::ReadAgg { post, space, dsts, .. } => {
+                let bank = load_bank(*space);
+                match bank {
+                    IlpBank::L => fig6.def_l += dsts.len(),
+                    _ => fig6.def_ld += dsts.len(),
+                }
+                for d in dsts {
+                    require_in(&mut model, &moves, "DefAgg", *post, *d, &[bank], false);
+                }
+            }
+            Fact::WriteAgg { pre, space, srcs } => {
+                let bank = store_bank(*space);
+                match bank {
+                    IlpBank::S => fig6.use_s += srcs.len(),
+                    _ => fig6.use_sd += srcs.len(),
+                }
+                for s in srcs {
+                    require_in(&mut model, &moves, "UseAgg", *pre, *s, &[bank], true);
+                }
+            }
+            Fact::SameReg { pre, post, dst, src } => {
+                require_in(&mut model, &moves, "UnitSrc", *pre, *src, &[IlpBank::S], true);
+                require_in(&mut model, &moves, "UnitDst", *post, *dst, &[IlpBank::L], false);
+            }
+            Fact::CloneF { pre, post, dst, src } => {
+                // Clone starts out wherever the original is (§10).
+                let mut banks: Vec<IlpBank> = candidates.of(*dst).into_iter().collect();
+                banks.sort();
+                for bk in banks {
+                    let e = before(&moves, *post, *dst, bk) - after(&moves, *pre, *src, bk);
+                    model.constrain("CloneLoc", e, Cmp::Eq, 0.0);
+                }
+            }
+            Fact::BranchUse { pre, a, b } => {
+                require_in(&mut model, &moves, "BranchA", *pre, *a, &readable, true);
+                if let Some(b) = b {
+                    require_in(&mut model, &moves, "BranchB", *pre, *b, &readable, true);
+                    for bk in readable {
+                        let e = after(&moves, *pre, *a, bk) + after(&moves, *pre, *b, bk);
+                        model.constrain_lazy("ArithPair", e, Cmp::Le, 1.0);
+                    }
+                    let e = after(&moves, *pre, *a, IlpBank::L)
+                        + after(&moves, *pre, *b, IlpBank::Ld);
+                    model.constrain_lazy("ArithXfer", e, Cmp::Le, 1.0);
+                    let e = after(&moves, *pre, *a, IlpBank::Ld)
+                        + after(&moves, *pre, *b, IlpBank::L);
+                    model.constrain_lazy("ArithXfer", e, Cmp::Le, 1.0);
+                }
+            }
+        }
+    }
+
+    // ---- Governing expression per (point, temp) for K/interference ----
+    // The latest action point of v at or before p within p's block.
+    let governing = |actions: &HashMap<Temp, BTreeSet<PointId>>,
+                     p: PointId,
+                     v: Temp|
+     -> Option<PointId> {
+        let pts = actions.get(&v)?;
+        let (lo, _) = block_range[block_of(p).index()];
+        pts.range(lo..=p).next_back().copied()
+    };
+    // Residency of v at p before/after the moves executing at p: between
+    // action points the bank is the governing point's After; exactly at an
+    // action point, "before the moves" is that point's Before.
+    let occupancy = |moves: &HashMap<(PointId, Temp), Vec<(Var, IlpBank, IlpBank)>>,
+                     actions: &HashMap<Temp, BTreeSet<PointId>>,
+                     p: PointId,
+                     v: Temp,
+                     bank: IlpBank,
+                     after_moves: bool|
+     -> Option<LinExpr> {
+        let g = governing(actions, p, v)?;
+        if g == p && !after_moves {
+            Some(before(moves, p, v, bank))
+        } else {
+            Some(after(moves, g, v, bank))
+        }
+    };
+
+    // ---- Clone-aware K constraints for A and B ----
+    // Representative counting (§10): members of one clone set in the same
+    // bank occupy one register.
+    let group_key = |g: &[Temp]| g[0];
+    for (pi, _) in facts.points.iter().enumerate() {
+        let p = PointId(pi as u32);
+        let exists = facts.exists_at(p);
+        for (bank, cap) in [(IlpBank::A, cfg.k_a), (IlpBank::B, cfg.k_b)] {
+            // Cheap skip: pressure cannot exceed the cap.
+            let mut eligible: Vec<Temp> = exists
+                .iter()
+                .filter(|v| candidates.allows(**v, bank))
+                .copied()
+                .collect();
+            eligible.sort();
+            if eligible.len() <= cap {
+                continue;
+            }
+            // The before-moves variant only differs from the after-moves
+            // variant when some eligible temp has an action at p.
+            let any_action_here =
+                eligible.iter().any(|v| actions.get(v).is_some_and(|s| s.contains(&p)));
+            for after_moves in [false, true] {
+                if !after_moves && !any_action_here {
+                    continue;
+                }
+                let mut expr = LinExpr::new();
+                let mut done_groups: HashSet<Temp> = HashSet::new();
+                for v in &eligible {
+                    if let Some(g) = groups.get(v) {
+                        let rep = group_key(g);
+                        if !done_groups.insert(rep) {
+                            continue;
+                        }
+                        let live_members: Vec<Temp> = g
+                            .iter()
+                            .filter(|m| exists.contains(m) && candidates.allows(**m, bank))
+                            .copied()
+                            .collect();
+                        if live_members.len() == 1 {
+                            let m = live_members[0];
+                            if let Some(e) =
+                                occupancy(&moves, &actions, p, m, bank, after_moves)
+                            {
+                                expr += e;
+                            }
+                            continue;
+                        }
+                        // cloneBefore / cloneAfter counting variable.
+                        let fam = if after_moves { fam_ca } else { fam_cb };
+                        let cvar = model.binary(
+                            fam,
+                            &[Key::Int(p.0), Key::Int(rep.0), bank_key(bank)],
+                        );
+                        let mut sum = LinExpr::new();
+                        for m in &live_members {
+                            if let Some(e) =
+                                occupancy(&moves, &actions, p, *m, bank, after_moves)
+                            {
+                                // cvar >= member occupancy
+                                model.constrain_lazy(
+                                    "CloneCount",
+                                    e.clone() - LinExpr::from(cvar),
+                                    Cmp::Le,
+                                    0.0,
+                                );
+                                sum += e;
+                            }
+                        }
+                        model.constrain_lazy(
+                            "CloneCount",
+                            LinExpr::from(cvar) - sum,
+                            Cmp::Le,
+                            0.0,
+                        );
+                        expr += LinExpr::from(cvar);
+                    } else if let Some(e) =
+                        occupancy(&moves, &actions, p, *v, bank, after_moves)
+                    {
+                        expr += e;
+                    }
+                }
+                model.constrain_lazy("K", expr, Cmp::Le, cap as f64);
+            }
+        }
+    }
+
+    // ---- Transfer-bank colors ----
+    let mut colors: HashMap<(Temp, IlpBank), Vec<Var>> = HashMap::new();
+    let mut all_temps: Vec<Temp> = actions.keys().copied().collect();
+    all_temps.sort();
+    for v in &all_temps {
+        for xb in IlpBank::TRANSFER {
+            if !candidates.allows(*v, xb) {
+                continue;
+            }
+            let vars: Vec<Var> = (0..8)
+                .map(|r| model.binary(fam_color, &[Key::Int(v.0), bank_key(xb), Key::Int(r)]))
+                .collect();
+            model.constrain("ColorOne", LinExpr::sum(vars.iter().copied()), Cmp::Eq, 1.0);
+            colors.insert((*v, xb), vars);
+        }
+    }
+
+    // ---- Color interference (§9): different registers when coexisting ----
+    // Two temps that are simultaneously in the same transfer bank must
+    // differ in color, unless they are clones of each other.
+    let same_group = |a: Temp, b: Temp| {
+        groups.get(&a).is_some_and(|g| g.contains(&b))
+    };
+    // Residency only changes at action points: the post-move variant needs
+    // one constraint per (pair, bank, governing-point combination); the
+    // pre-move variant matters at action points, where a value a memory
+    // read just delivered coexists with residents that only leave in the
+    // moves at that point.
+    let mut seen_pairs: HashSet<(Temp, Temp, IlpBank, PointId, PointId)> = HashSet::new();
+    let mut seen_before: HashSet<(Temp, Temp, IlpBank, PointId)> = HashSet::new();
+    for (pi, _) in facts.points.iter().enumerate() {
+        let p = PointId(pi as u32);
+        let exists = facts.exists_at(p);
+        let mut xfer_vars: Vec<(Temp, IlpBank)> = Vec::new();
+        let mut exists_sorted: Vec<Temp> = exists.iter().copied().collect();
+        exists_sorted.sort();
+        for v in &exists_sorted {
+            for xb in IlpBank::TRANSFER {
+                if candidates.allows(*v, xb) {
+                    xfer_vars.push((*v, xb));
+                }
+            }
+        }
+        for i in 0..xfer_vars.len() {
+            for j in (i + 1)..xfer_vars.len() {
+                let (v1, b1) = xfer_vars[i];
+                let (v2, b2) = xfer_vars[j];
+                if b1 != b2 || v1 == v2 || same_group(v1, v2) {
+                    continue;
+                }
+                let (Some(g1), Some(g2)) =
+                    (governing(&actions, p, v1), governing(&actions, p, v2))
+                else {
+                    continue;
+                };
+                let (lo, hi, glo, ghi) =
+                    if v1 < v2 { (v1, v2, g1, g2) } else { (v2, v1, g2, g1) };
+                if seen_pairs.insert((lo, hi, b1, glo, ghi)) {
+                    let o1 = after(&moves, g1, v1, b1);
+                    let o2 = after(&moves, g2, v2, b1);
+                    if !o1.is_empty() && !o2.is_empty() {
+                        for r in 0..8 {
+                            let c1 = colors[&(v1, b1)][r];
+                            let c2 = colors[&(v2, b1)][r];
+                            let e = o1.clone() + o2.clone() + c1 + c2;
+                            model.constrain_lazy("Interfere", e, Cmp::Le, 3.0);
+                        }
+                    }
+                }
+                let action_here = g1 == p || g2 == p;
+                if action_here && seen_before.insert((lo, hi, b1, p)) {
+                    let o1 = if g1 == p {
+                        before(&moves, p, v1, b1)
+                    } else {
+                        after(&moves, g1, v1, b1)
+                    };
+                    let o2 = if g2 == p {
+                        before(&moves, p, v2, b1)
+                    } else {
+                        after(&moves, g2, v2, b1)
+                    };
+                    if !o1.is_empty() && !o2.is_empty() {
+                        for r in 0..8 {
+                            let c1 = colors[&(v1, b1)][r];
+                            let c2 = colors[&(v2, b1)][r];
+                            let e = o1.clone() + o2.clone() + c1 + c2;
+                            model.constrain_lazy("Interfere", e, Cmp::Le, 3.0);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // ---- Aggregate adjacency (§9) ----
+    for (space, is_read, members) in &facts.aggregates {
+        let xb = if *is_read { load_bank(*space) } else { store_bank(*space) };
+        let k = members.len();
+        for j in 0..k.saturating_sub(1) {
+            let cj = &colors[&(members[j], xb)];
+            let cj1 = &colors[&(members[j + 1], xb)];
+            for r in 0..8 {
+                let e = if r + 1 < 8 {
+                    LinExpr::from(cj[r]) - cj1[r + 1]
+                } else {
+                    LinExpr::from(cj[r])
+                };
+                model.constrain("Adjacent", e, Cmp::Eq, 0.0);
+            }
+        }
+        if cfg.redundant_cuts {
+            // Member m of an aggregate of size k can only use registers
+            // m ..= 8-k+m; ruling the rest out up front speeds the solver
+            // (§9 "we found that adding a redundant set of constraints...").
+            for (m, v) in members.iter().enumerate() {
+                let cv = &colors[&(*v, xb)];
+                for r in 0..8 {
+                    if r < m || r > 8 - k + m {
+                        model.constrain("Cut", LinExpr::from(cv[r]), Cmp::Eq, 0.0);
+                    }
+                }
+            }
+        }
+    }
+
+    // ---- Same-register units ----
+    for fact in &facts.facts {
+        if let Fact::SameReg { dst, src, .. } = fact {
+            let cd = &colors[&(*dst, IlpBank::L)];
+            let cs = &colors[&(*src, IlpBank::S)];
+            for r in 0..8 {
+                let e = LinExpr::from(cd[r]) - cs[r];
+                model.constrain("SameReg", e, Cmp::Eq, 0.0);
+            }
+        }
+    }
+
+    // ---- Clone color agreement (§10) ----
+    for fact in &facts.facts {
+        if let Fact::CloneF { post, dst, src, .. } = fact {
+            for xb in IlpBank::TRANSFER {
+                if !candidates.allows(*dst, xb) || !candidates.allows(*src, xb) {
+                    continue;
+                }
+                let occupies = before(&moves, *post, *dst, xb);
+                if occupies.is_empty() {
+                    continue;
+                }
+                let cd = &colors[&(*dst, xb)];
+                let cs = &colors[&(*src, xb)];
+                for r1 in 0..8 {
+                    for r2 in 0..8 {
+                        if r1 == r2 {
+                            continue;
+                        }
+                        // If the clone starts in xb, colors must agree.
+                        let e = LinExpr::from(cd[r1]) + cs[r2] + occupies.clone();
+                        model.constrain_lazy("CloneColor", e, Cmp::Le, 2.0);
+                    }
+                }
+            }
+        }
+    }
+
+    // ---- Spill spare-register bookkeeping (§9) ----
+    if cfg.allow_spill {
+        for (pi, _) in facts.points.iter().enumerate() {
+            let p = PointId(pi as u32);
+            // Which spill transients pass through S and L here?
+            let mut store_moves: Vec<Var> = Vec::new(); // need spare S
+            let mut load_moves: Vec<Var> = Vec::new(); // need spare L
+            let mut spill_scan: Vec<Temp> = facts.exists_at(p).iter().copied().collect();
+            spill_scan.sort();
+            for v in &spill_scan {
+                if let Some(vars) = moves.get(&(p, *v)) {
+                    for (var, from, to) in vars {
+                        if *to == IlpBank::M && matches!(from, IlpBank::A | IlpBank::B | IlpBank::L | IlpBank::Ld)
+                        {
+                            store_moves.push(*var);
+                        }
+                        if *from == IlpBank::M && !matches!(to, IlpBank::L | IlpBank::M) {
+                            load_moves.push(*var);
+                        }
+                    }
+                }
+            }
+            for (bank, trans) in [(IlpBank::S, &store_moves), (IlpBank::L, &load_moves)] {
+                if trans.is_empty() {
+                    continue;
+                }
+                let ns = model.binary(fam_ns, &[Key::Int(p.0), bank_key(bank)]);
+                for t in trans {
+                    model.constrain_lazy(
+                        "NeedSpill",
+                        LinExpr::from(*t) - ns,
+                        Cmp::Le,
+                        0.0,
+                    );
+                }
+                // Tightening (§9): needsSpill <= sum of spill moves.
+                model.constrain_lazy(
+                    "NeedSpill",
+                    LinExpr::from(ns) - LinExpr::sum(trans.iter().copied()),
+                    Cmp::Le,
+                    0.0,
+                );
+                // Occupancy: residents of `bank` at p claim their color.
+                let mut avail = Vec::new();
+                for r in 0..8u32 {
+                    let av = model.binary(
+                        fam_cav,
+                        &[Key::Int(p.0), bank_key(bank), Key::Int(r)],
+                    );
+                    avail.push(av);
+                }
+                let mut occupants: Vec<Temp> = facts.exists_at(p).iter().copied().collect();
+                occupants.sort();
+                for v in &occupants {
+                    if !candidates.allows(*v, bank) {
+                        continue;
+                    }
+                    let Some(occ) = occupancy(&moves, &actions, p, *v, bank, false) else {
+                        continue;
+                    };
+                    if occ.is_empty() {
+                        continue;
+                    }
+                    let cv = &colors[&(*v, bank)];
+                    for r in 0..8 {
+                        let e = occ.clone() + cv[r] - avail[r];
+                        model.constrain_lazy("Occupy", e, Cmp::Le, 1.0);
+                    }
+                }
+                let e = LinExpr::sum(avail.iter().copied()) + ns;
+                model.constrain_lazy("SpareReg", e, Cmp::Le, 8.0);
+            }
+        }
+    }
+
+    // ---- Objective (§7) with clone-set counting (§10) ----
+    let mut counted: HashSet<(PointId, Temp)> = HashSet::new();
+    let mut objective = LinExpr::new();
+    for key in &move_keys {
+        let ((p, v), vars) = (key, &moves[key]);
+        if counted.contains(&(*p, *v)) {
+            continue;
+        }
+        let w = freqs.of(block_of(*p)).max(1e-3);
+        let members: Vec<Temp> = match groups.get(v) {
+            Some(g) => g
+                .iter()
+                .filter(|m| moves.contains_key(&(*p, **m)))
+                .copied()
+                .collect(),
+            None => vec![*v],
+        };
+        if members.len() > 1 {
+            // Clone set: count one move per (from, to) pair via cloneMove.
+            let mut pairs: BTreeSet<(IlpBank, IlpBank)> = BTreeSet::new();
+            for m in &members {
+                for (_, b1, b2) in &moves[&(*p, *m)] {
+                    if b1 != b2 {
+                        pairs.insert((*b1, *b2));
+                    }
+                }
+                counted.insert((*p, *m));
+            }
+            let rep = members[0];
+            for (b1, b2) in pairs {
+                let cm = model.binary(
+                    fam_cm,
+                    &[Key::Int(p.0), Key::Int(rep.0), bank_key(b1), bank_key(b2)],
+                );
+                let mut sum = LinExpr::new();
+                for m in &members {
+                    for (var, f, t) in &moves[&(*p, *m)] {
+                        if *f == b1 && *t == b2 {
+                            model.constrain_lazy(
+                                "CloneMove",
+                                LinExpr::from(*var) - cm,
+                                Cmp::Le,
+                                0.0,
+                            );
+                            sum.add_term(*var, 1.0);
+                        }
+                    }
+                }
+                model.constrain_lazy("CloneMove", LinExpr::from(cm) - sum, Cmp::Le, 0.0);
+                let cost = move_cost(cfg, b1, b2).unwrap_or(0.0);
+                let biased = if b1 == IlpBank::B { cost * cfg.bias } else { cost };
+                objective += LinExpr::from(cm) * (w * biased);
+            }
+        } else {
+            counted.insert((*p, *v));
+            for (var, b1, b2) in vars {
+                if b1 == b2 {
+                    continue;
+                }
+                let cost = move_cost(cfg, *b1, *b2).unwrap_or(0.0);
+                let biased = if *b1 == IlpBank::B { cost * cfg.bias } else { cost };
+                objective += LinExpr::from(*var) * (w * biased);
+            }
+        }
+    }
+    // Tiny symmetry-breaking preference for low register numbers: without
+    // it the LP spreads a free color fractionally over all eight registers
+    // (zero cost either way) and branch-and-bound has to enumerate them.
+    // The epsilon is scaled so the whole term cannot perturb even a single
+    // cheapest move decision.
+    let n_color_vars: usize = colors.values().map(|v| v.len()).sum();
+    if n_color_vars > 0 {
+        let eps = cfg.mv_cost * 1e-3 / (8.0 * n_color_vars as f64);
+        let mut tie = LinExpr::new();
+        for vars in colors.values() {
+            for (r, var) in vars.iter().enumerate() {
+                if r > 0 {
+                    tie.add_term(*var, eps * r as f64);
+                }
+            }
+        }
+        model.add_objective(tie);
+    }
+    // Surviving parameter-passing copies cost a move at their block's
+    // frequency (coalesced copies cost nothing).
+    for (p, pm) in &copy_penalties {
+        let w = freqs.of(block_of(*p)).max(1e-3);
+        objective += LinExpr::from(*pm) * (w * cfg.mv_cost);
+    }
+    model.add_objective(objective);
+
+    BankModel {
+        model,
+        moves,
+        colors,
+        actions,
+        candidates,
+        groups,
+        block_range,
+        fig6,
+    }
+}
+
+/// The decoded solution of the bank-assignment ILP.
+#[derive(Debug, Clone)]
+pub struct Assignment {
+    /// Bank of each temp before the moves at each of its action points.
+    pub before: HashMap<(PointId, Temp), IlpBank>,
+    /// Bank after the moves at each action point.
+    pub after: HashMap<(PointId, Temp), IlpBank>,
+    /// Non-identity moves per point, in temp order.
+    pub moves: HashMap<PointId, Vec<(Temp, IlpBank, IlpBank)>>,
+    /// Transfer-bank register per `(temp, bank)`.
+    pub colors: HashMap<(Temp, IlpBank), u8>,
+    /// Number of inter-bank moves (Figure 7's "Moves").
+    pub n_moves: usize,
+    /// Number of spills — transitions into `M` (Figure 7's "Spills").
+    pub n_spills: usize,
+}
+
+/// Solver+model statistics (Figure 7's row for one program).
+#[derive(Debug, Clone)]
+pub struct AllocStats {
+    /// Model sizes.
+    pub model: ModelStats,
+    /// Branch-and-bound statistics (root LP time, total time, nodes).
+    pub solve: SolveStats,
+    /// Figure-6 aggregate statistics.
+    pub fig6: Fig6,
+    /// Inter-bank moves in the solution.
+    pub moves: usize,
+    /// Spills in the solution.
+    pub spills: usize,
+}
+
+/// Solve the model and decode the solution.
+///
+/// # Errors
+///
+/// Propagates solver failure ([`MilpError`]); an `Infeasible` outcome on a
+/// well-formed program indicates the program genuinely cannot be allocated
+/// (e.g. spilling disabled with excessive pressure).
+pub fn solve(bm: &mut BankModel, cfg: &AllocConfig) -> Result<(Assignment, AllocStats), MilpError> {
+    let stats_model = bm.model.stats();
+    let sol = bm.model.solve(&cfg.solver)?;
+    let mut before = HashMap::new();
+    let mut after = HashMap::new();
+    let mut moves_out: HashMap<PointId, Vec<(Temp, IlpBank, IlpBank)>> = HashMap::new();
+    let mut n_moves = 0;
+    let mut n_spills = 0;
+    for ((p, v), vars) in &bm.moves {
+        for (var, b1, b2) in vars {
+            if sol.values[var.index()] > 0.5 {
+                before.insert((*p, *v), *b1);
+                after.insert((*p, *v), *b2);
+                if b1 != b2 {
+                    moves_out.entry(*p).or_default().push((*v, *b1, *b2));
+                    n_moves += 1;
+                    if *b2 == IlpBank::M {
+                        n_spills += 1;
+                    }
+                }
+            }
+        }
+    }
+    for v in moves_out.values_mut() {
+        v.sort();
+    }
+    let mut colors = HashMap::new();
+    for ((v, xb), vars) in &bm.colors {
+        for (r, var) in vars.iter().enumerate() {
+            if sol.values[var.index()] > 0.5 {
+                colors.insert((*v, *xb), r as u8);
+            }
+        }
+    }
+    let assignment = Assignment {
+        before,
+        after,
+        moves: moves_out,
+        colors,
+        n_moves,
+        n_spills,
+    };
+    let stats = AllocStats {
+        model: stats_model,
+        solve: sol.stats,
+        fig6: bm.fig6,
+        moves: n_moves,
+        spills: n_spills,
+    };
+    Ok((assignment, stats))
+}
+
+/// Convenience: the point id of a (block, index) pair.
+pub fn point_id(facts: &Facts, block: u32, index: u32) -> PointId {
+    facts.point_id[&Point { block: ixp_machine::BlockId(block), index }]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use IlpBank::*;
+
+    #[test]
+    fn move_cost_table_matches_paper() {
+        let cfg = AllocConfig::default();
+        // §7: mvC = 1, ldC = stC = 200.
+        assert_eq!(move_cost(&cfg, A, B), Some(1.0));
+        assert_eq!(move_cost(&cfg, L, S), Some(1.0), "read side to store side");
+        assert_eq!(move_cost(&cfg, A, M), Some(201.0), "A->S move + store");
+        assert_eq!(move_cost(&cfg, S, M), Some(200.0), "store only");
+        assert_eq!(move_cost(&cfg, M, L), Some(200.0), "reload lands in L");
+        assert_eq!(move_cost(&cfg, M, A), Some(201.0), "reload + move");
+        // Illegal data paths (§1.1).
+        assert_eq!(move_cost(&cfg, S, A), None, "store side is opaque");
+        assert_eq!(move_cost(&cfg, Sd, M), None);
+        assert_eq!(move_cost(&cfg, A, L), None, "only memory writes L");
+        assert_eq!(move_cost(&cfg, A, Ld), None);
+        // Identity is free everywhere.
+        for b in IlpBank::ALL {
+            assert_eq!(move_cost(&cfg, b, b), Some(0.0));
+        }
+    }
+
+    #[test]
+    fn ilp_banks_classify() {
+        assert!(IlpBank::L.is_transfer());
+        assert!(!IlpBank::M.is_transfer());
+        assert!(IlpBank::A.alu_readable() && IlpBank::A.alu_writable());
+        assert!(IlpBank::L.alu_readable() && !IlpBank::L.alu_writable());
+        assert!(!IlpBank::S.alu_readable() && IlpBank::S.alu_writable());
+        assert!(!IlpBank::M.alu_readable() && !IlpBank::M.alu_writable());
+    }
+}

@@ -1,0 +1,366 @@
+//! Post-ILP register assignment for the A and B banks (§9).
+//!
+//! "In the work of Appel and George the program generated from the results
+//! of integer-linear programming satisfied the K constraints, and
+//! subsequent coloring phases were used to assign registers using a
+//! variation of the Park and Moon optimistic coalescing. We use the same
+//! approach for the A and B bank..."
+//!
+//! The ILP bounded simultaneous A-residents by 15 (one spare for
+//! parallel-copy cycles), so the interference graphs here are colorable
+//! with the full 16 registers in practice. The implementation is
+//! Chaitin-Briggs simplify/select with an optimistic-coalescing ladder:
+//! first coalesce aggressively (Park-Moon style), and if select fails,
+//! retry with conservative (Briggs) coalescing, then with none.
+//! Clone-set members are *mandatorily* unioned — they carry the same
+//! value, so sharing a register is always sound and realizes the paper's
+//! "clones do not interfere".
+
+use crate::alloc::extract::Placed;
+use crate::liveness::analyze;
+use ixp_machine::{Bank, Instr, PhysReg, Temp};
+use std::collections::{HashMap, HashSet};
+
+/// Coloring failure: the interference graph needed more registers than
+/// the bank provides (would indicate an ILP model bug, since the K
+/// constraints bound simultaneous residency).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ColorError(pub String);
+
+impl std::fmt::Display for ColorError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "A/B coloring: {}", self.0)
+    }
+}
+
+impl std::error::Error for ColorError {}
+
+/// Statistics of the coloring phase.
+#[derive(Debug, Clone, Default)]
+pub struct ColorStats {
+    /// Move-related pairs successfully coalesced (same register).
+    pub coalesced: usize,
+    /// Nodes colored in bank A / bank B.
+    pub a_nodes: usize,
+    /// Nodes colored in bank B.
+    pub b_nodes: usize,
+}
+
+struct Uf {
+    parent: HashMap<Temp, Temp>,
+}
+
+impl Uf {
+    fn new() -> Self {
+        Uf { parent: HashMap::new() }
+    }
+
+    fn find(&mut self, t: Temp) -> Temp {
+        let p = *self.parent.get(&t).unwrap_or(&t);
+        if p == t {
+            t
+        } else {
+            let r = self.find(p);
+            self.parent.insert(t, r);
+            r
+        }
+    }
+
+    fn union(&mut self, a: Temp, b: Temp) {
+        let ra = self.find(a);
+        let rb = self.find(b);
+        if ra != rb {
+            self.parent.insert(ra, rb);
+        }
+    }
+}
+
+/// Assign A/B registers to the segmented program.
+///
+/// # Errors
+///
+/// Returns [`ColorError`] when a bank's interference graph cannot be
+/// colored even without coalescing.
+pub fn assign_ab(placed: &Placed) -> Result<(HashMap<Temp, PhysReg>, ColorStats), ColorError> {
+    let mut stats = ColorStats::default();
+    let mut out: HashMap<Temp, PhysReg> = HashMap::new();
+    for bank in [Bank::A, Bank::B] {
+        let nodes: HashSet<Temp> = placed
+            .seg_bank
+            .iter()
+            .filter(|(t, b)| **b == bank && !placed.fixed.contains_key(t))
+            .map(|(t, _)| *t)
+            .collect();
+        if nodes.is_empty() {
+            continue;
+        }
+        // Mandatory clone unions.
+        let mut uf = Uf::new();
+        for (a, b) in &placed.ab_aliases {
+            if nodes.contains(a) && nodes.contains(b) {
+                uf.union(*a, *b);
+            }
+        }
+        // Interference: pairs simultaneously live (per-point), skipping
+        // same-root pairs (clones share their value).
+        let liveness = analyze(&placed.prog);
+        let mut edges: HashMap<Temp, HashSet<Temp>> = HashMap::new();
+        let add_edge = |uf: &mut Uf, edges: &mut HashMap<Temp, HashSet<Temp>>, x: Temp, y: Temp| {
+            let rx = uf.find(x);
+            let ry = uf.find(y);
+            if rx != ry {
+                edges.entry(rx).or_default().insert(ry);
+                edges.entry(ry).or_default().insert(rx);
+            }
+        };
+        for set in liveness.live.values() {
+            let in_bank: Vec<Temp> = set.iter().filter(|t| nodes.contains(t)).copied().collect();
+            for i in 0..in_bank.len() {
+                for j in (i + 1)..in_bank.len() {
+                    add_edge(&mut uf, &mut edges, in_bank[i], in_bank[j]);
+                }
+            }
+        }
+        // Definitions interfere with everything live after them.
+        for (bi, b) in placed.prog.blocks.iter().enumerate() {
+            for (ii, ins) in b.instrs.iter().enumerate() {
+                let post = crate::liveness::Point {
+                    block: ixp_machine::BlockId(bi as u32),
+                    index: ii as u32 + 1,
+                };
+                let live_post = &liveness.live[&post];
+                for d in ins.defs() {
+                    if !nodes.contains(d) {
+                        continue;
+                    }
+                    // Move sources do not interfere with their destination
+                    // (classic coalescing exception).
+                    let move_src = match ins {
+                        Instr::Move { src, .. } => Some(*src),
+                        _ => None,
+                    };
+                    for l in live_post {
+                        if nodes.contains(l) && Some(*l) != move_src && l != d {
+                            add_edge(&mut uf, &mut edges, *d, *l);
+                        }
+                    }
+                }
+            }
+        }
+        // Move-related pairs (coalescing candidates) within this bank.
+        let mut pairs: Vec<(Temp, Temp)> = Vec::new();
+        for b in &placed.prog.blocks {
+            for ins in &b.instrs {
+                if let Instr::Move { dst, src } = ins {
+                    if nodes.contains(dst) && nodes.contains(src) {
+                        pairs.push((*dst, *src));
+                    }
+                }
+            }
+        }
+        let k = bank.capacity();
+        // Coalescing ladder: aggressive, conservative, none.
+        let colors = try_ladder(&nodes, &edges, &pairs, &mut uf, k, &mut stats.coalesced)
+            .ok_or_else(|| {
+                ColorError(format!(
+                    "bank {bank} needs more than {k} registers (graph uncolorable)"
+                ))
+            })?;
+        for t in &nodes {
+            let root = uf.find(*t);
+            let c = colors.get(&root).copied().ok_or_else(|| {
+                ColorError(format!("no color for {t} (root {root})"))
+            })?;
+            out.insert(*t, PhysReg::new(bank, c));
+        }
+        match bank {
+            Bank::A => stats.a_nodes = nodes.len(),
+            _ => stats.b_nodes = nodes.len(),
+        }
+    }
+    Ok((out, stats))
+}
+
+/// Try coalescing levels from most to least aggressive; return colors for
+/// the union-find roots on success.
+fn try_ladder(
+    nodes: &HashSet<Temp>,
+    base_edges: &HashMap<Temp, HashSet<Temp>>,
+    pairs: &[(Temp, Temp)],
+    uf: &mut Uf,
+    k: usize,
+    coalesced: &mut usize,
+) -> Option<HashMap<Temp, u8>> {
+    for level in [2, 1, 0] {
+        // Re-derive roots from the mandatory unions only, then apply
+        // optional coalescing at this level.
+        let mut trial = Uf { parent: uf.parent.clone() };
+        let mut edges = root_edges(nodes, base_edges, &mut trial);
+        let mut did = 0usize;
+        if level > 0 {
+            for (d, s) in pairs {
+                let rd = trial.find(*d);
+                let rs = trial.find(*s);
+                if rd == rs {
+                    continue;
+                }
+                let interferes = edges.get(&rd).is_some_and(|e| e.contains(&rs));
+                if interferes {
+                    continue;
+                }
+                if level == 1 {
+                    // Briggs: the merged node must have fewer than k
+                    // neighbors of significant degree.
+                    let mut nb: HashSet<Temp> = HashSet::new();
+                    nb.extend(edges.get(&rd).into_iter().flatten().copied());
+                    nb.extend(edges.get(&rs).into_iter().flatten().copied());
+                    let heavy = nb
+                        .iter()
+                        .filter(|n| edges.get(n).map_or(0, |e| e.len()) >= k)
+                        .count();
+                    if heavy >= k {
+                        continue;
+                    }
+                }
+                // Merge rs into rd.
+                trial.union(rs, rd);
+                let root = trial.find(rd);
+                let merged: HashSet<Temp> = edges
+                    .get(&rd)
+                    .into_iter()
+                    .flatten()
+                    .chain(edges.get(&rs).into_iter().flatten())
+                    .copied()
+                    .filter(|n| *n != rd && *n != rs)
+                    .collect();
+                for n in &merged {
+                    let e = edges.entry(*n).or_default();
+                    e.remove(&rd);
+                    e.remove(&rs);
+                    e.insert(root);
+                }
+                edges.remove(&rd);
+                edges.remove(&rs);
+                edges.insert(root, merged);
+                did += 1;
+            }
+        }
+        if let Some(colors) = color_graph(&edges, k) {
+            uf.parent = trial.parent;
+            *coalesced += did;
+            return Some(colors);
+        }
+    }
+    None
+}
+
+fn root_edges(
+    nodes: &HashSet<Temp>,
+    base: &HashMap<Temp, HashSet<Temp>>,
+    uf: &mut Uf,
+) -> HashMap<Temp, HashSet<Temp>> {
+    let mut out: HashMap<Temp, HashSet<Temp>> = HashMap::new();
+    for n in nodes {
+        let r = uf.find(*n);
+        out.entry(r).or_default();
+    }
+    for (a, es) in base {
+        let ra = uf.find(*a);
+        for b in es {
+            let rb = uf.find(*b);
+            if ra != rb {
+                out.entry(ra).or_default().insert(rb);
+                out.entry(rb).or_default().insert(ra);
+            }
+        }
+    }
+    out
+}
+
+/// Chaitin-Briggs simplify/select.
+fn color_graph(edges: &HashMap<Temp, HashSet<Temp>>, k: usize) -> Option<HashMap<Temp, u8>> {
+    let mut degree: HashMap<Temp, usize> =
+        edges.iter().map(|(t, e)| (*t, e.len())).collect();
+    let mut removed: HashSet<Temp> = HashSet::new();
+    let mut stack: Vec<Temp> = Vec::new();
+    let n = edges.len();
+    while stack.len() < n {
+        // Pick a node with degree < k among the remaining; otherwise pick
+        // the max-degree node optimistically (Briggs).
+        let mut pick: Option<(Temp, usize)> = None;
+        let mut optimistic: Option<(Temp, usize)> = None;
+        for (t, d) in &degree {
+            if removed.contains(t) {
+                continue;
+            }
+            if *d < k {
+                if pick.map_or(true, |(_, pd)| *d > pd) {
+                    pick = Some((*t, *d));
+                }
+            } else if optimistic.map_or(true, |(_, od)| *d < od) {
+                optimistic = Some((*t, *d));
+            }
+        }
+        let (t, _) = pick.or(optimistic)?;
+        removed.insert(t);
+        stack.push(t);
+        for nb in &edges[&t] {
+            if let Some(d) = degree.get_mut(nb) {
+                *d = d.saturating_sub(1);
+            }
+        }
+    }
+    let mut colors: HashMap<Temp, u8> = HashMap::new();
+    while let Some(t) = stack.pop() {
+        let used: HashSet<u8> = edges[&t]
+            .iter()
+            .filter_map(|n| colors.get(n).copied())
+            .collect();
+        let c = (0..k as u8).find(|c| !used.contains(c))?;
+        colors.insert(t, c);
+    }
+    Some(colors)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn g(edges: &[(u32, u32)], nodes: &[u32]) -> HashMap<Temp, HashSet<Temp>> {
+        let mut out: HashMap<Temp, HashSet<Temp>> = HashMap::new();
+        for n in nodes {
+            out.entry(Temp(*n)).or_default();
+        }
+        for (a, b) in edges {
+            out.entry(Temp(*a)).or_default().insert(Temp(*b));
+            out.entry(Temp(*b)).or_default().insert(Temp(*a));
+        }
+        out
+    }
+
+    #[test]
+    fn colors_triangle_with_three() {
+        let edges = g(&[(0, 1), (1, 2), (0, 2)], &[0, 1, 2]);
+        let c = color_graph(&edges, 3).unwrap();
+        assert_ne!(c[&Temp(0)], c[&Temp(1)]);
+        assert_ne!(c[&Temp(1)], c[&Temp(2)]);
+        assert_ne!(c[&Temp(0)], c[&Temp(2)]);
+        assert!(color_graph(&edges, 2).is_none());
+    }
+
+    #[test]
+    fn colors_independent_nodes_anyhow() {
+        let edges = g(&[], &[0, 1, 2, 3]);
+        let c = color_graph(&edges, 1).unwrap();
+        assert_eq!(c.len(), 4);
+    }
+
+    #[test]
+    fn optimistic_beats_pessimistic() {
+        // A 4-cycle is 2-colorable even though every node has degree 2.
+        let edges = g(&[(0, 1), (1, 2), (2, 3), (3, 0)], &[0, 1, 2, 3]);
+        let c = color_graph(&edges, 2).unwrap();
+        assert_ne!(c[&Temp(0)], c[&Temp(1)]);
+        assert_ne!(c[&Temp(2)], c[&Temp(3)]);
+    }
+}

@@ -1,0 +1,267 @@
+//! Static execution-frequency estimation (§7).
+//!
+//! "For each point we compute a static frequency estimation based on loop
+//! nesting and branch probabilities using the Dempster-Shafer theory to
+//! combine probabilities. (Our own variation of the Wu-Larus frequency
+//! estimation can cope with irreducible flowgraphs.)"
+//!
+//! We apply Wu-Larus-style branch heuristics (loop-branch, guard, and
+//! opcode heuristics), combine the applicable ones with Dempster-Shafer
+//! evidence combination, and then propagate block frequencies with a
+//! damped fixpoint iteration instead of the structural interval analysis —
+//! iteration converges on irreducible graphs too, which is the property
+//! the paper's variation needed.
+
+use ixp_machine::{BlockId, Cond, Program, Temp, Terminator};
+use std::collections::{HashMap, HashSet};
+
+/// Per-block execution frequencies (entry block = 1.0).
+#[derive(Debug, Clone)]
+pub struct Frequencies {
+    /// Estimated executions per entry of the program.
+    pub block: HashMap<BlockId, f64>,
+}
+
+impl Frequencies {
+    /// Frequency of a block (0 if unreachable).
+    pub fn of(&self, b: BlockId) -> f64 {
+        *self.block.get(&b).unwrap_or(&0.0)
+    }
+}
+
+/// Probability that a branch is taken according to the Wu-Larus
+/// loop-branch heuristic.
+const LOOP_BRANCH_TAKEN: f64 = 0.88;
+/// Opcode heuristic: equality comparisons usually fail.
+const EQ_TAKEN: f64 = 0.40;
+/// Cap on loop-multiplied frequencies to keep the ILP weights bounded.
+const FREQ_CAP: f64 = 1.0e6;
+
+/// Dempster-Shafer combination of two probability estimates for the same
+/// binary event (taken/not-taken), as used by Wu-Larus.
+pub fn dempster_shafer(p1: f64, p2: f64) -> f64 {
+    let num = p1 * p2;
+    let denom = p1 * p2 + (1.0 - p1) * (1.0 - p2);
+    if denom <= f64::EPSILON {
+        0.5
+    } else {
+        num / denom
+    }
+}
+
+/// Estimate branch-taken probabilities and block frequencies.
+pub fn estimate(prog: &Program<Temp>) -> Frequencies {
+    let n = prog.blocks.len();
+    let back_edges = find_back_edges(prog);
+    // Taken-probability per block with a Branch terminator.
+    let mut taken: HashMap<BlockId, f64> = HashMap::new();
+    for (i, b) in prog.blocks.iter().enumerate() {
+        let bid = BlockId(i as u32);
+        if let Terminator::Branch { cond, if_true, if_false, .. } = &b.term {
+            let mut evidence: Vec<f64> = Vec::new();
+            // Loop-branch heuristic: prefer the edge that stays in the loop.
+            let t_back = back_edges.contains(&(bid, *if_true));
+            let f_back = back_edges.contains(&(bid, *if_false));
+            if t_back && !f_back {
+                evidence.push(LOOP_BRANCH_TAKEN);
+            } else if f_back && !t_back {
+                evidence.push(1.0 - LOOP_BRANCH_TAKEN);
+            }
+            // Opcode heuristic: `==` rarely true, `!=` usually true.
+            match cond {
+                Cond::Eq => evidence.push(EQ_TAKEN),
+                Cond::Ne => evidence.push(1.0 - EQ_TAKEN),
+                _ => {}
+            }
+            // Return/exit heuristic: an arm that halts immediately is cold.
+            let halts = |t: &BlockId| {
+                matches!(prog.blocks[t.index()].term, Terminator::Halt)
+                    && prog.blocks[t.index()].instrs.is_empty()
+            };
+            if halts(if_true) && !halts(if_false) {
+                evidence.push(0.3);
+            } else if halts(if_false) && !halts(if_true) {
+                evidence.push(0.7);
+            }
+            let p = match evidence.as_slice() {
+                [] => 0.5,
+                [e] => *e,
+                es => es[1..].iter().fold(es[0], |acc, &e| dempster_shafer(acc, e)),
+            };
+            taken.insert(bid, p);
+        }
+    }
+    // Damped power iteration over the flow equations; converges on
+    // irreducible graphs (probabilities on back edges are < 1).
+    let mut freq = vec![0.0f64; n];
+    freq[prog.entry.index()] = 1.0;
+    for _ in 0..200 {
+        let mut next = vec![0.0f64; n];
+        next[prog.entry.index()] = 1.0;
+        for (i, b) in prog.blocks.iter().enumerate() {
+            let f = freq[i];
+            if f == 0.0 {
+                continue;
+            }
+            match &b.term {
+                Terminator::Jump(t) => next[t.index()] += f,
+                Terminator::Branch { if_true, if_false, .. } => {
+                    let p = taken[&BlockId(i as u32)];
+                    next[if_true.index()] += f * p;
+                    next[if_false.index()] += f * (1.0 - p);
+                }
+                Terminator::Halt => {}
+            }
+        }
+        let mut done = true;
+        for i in 0..n {
+            let v = next[i].min(FREQ_CAP);
+            if (v - freq[i]).abs() > 1e-9 * (1.0 + v.abs()) {
+                done = false;
+            }
+            freq[i] = v;
+        }
+        if done {
+            break;
+        }
+    }
+    Frequencies {
+        block: (0..n).map(|i| (BlockId(i as u32), freq[i].max(0.0))).collect(),
+    }
+}
+
+/// Back edges found by depth-first search from the entry.
+fn find_back_edges(prog: &Program<Temp>) -> HashSet<(BlockId, BlockId)> {
+    let mut out = HashSet::new();
+    let mut state = vec![0u8; prog.blocks.len()]; // 0=unseen 1=active 2=done
+    let mut stack: Vec<(BlockId, usize)> = vec![(prog.entry, 0)];
+    state[prog.entry.index()] = 1;
+    while let Some((b, next)) = stack.pop() {
+        let succs = prog.blocks[b.index()].term.successors();
+        if next < succs.len() {
+            stack.push((b, next + 1));
+            let s = succs[next];
+            match state[s.index()] {
+                0 => {
+                    state[s.index()] = 1;
+                    stack.push((s, 0));
+                }
+                1 => {
+                    out.insert((b, s));
+                }
+                _ => {}
+            }
+        } else {
+            state[b.index()] = 2;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ixp_machine::{AluSrc, Block, Instr, Temp};
+
+    #[test]
+    fn dempster_shafer_properties() {
+        // Agreeing evidence strengthens; neutral evidence is identity.
+        assert!((dempster_shafer(0.5, 0.7) - 0.7).abs() < 1e-9);
+        assert!(dempster_shafer(0.8, 0.8) > 0.8);
+        assert!(dempster_shafer(0.2, 0.2) < 0.2);
+        // Symmetric.
+        assert!((dempster_shafer(0.3, 0.9) - dempster_shafer(0.9, 0.3)).abs() < 1e-12);
+    }
+
+    fn t(i: u32) -> Temp {
+        Temp(i)
+    }
+
+    #[test]
+    fn loop_bodies_run_hotter() {
+        // L0 -> L1 (loop: ~1/(1-0.88) iterations) -> L2
+        let p = Program {
+            blocks: vec![
+                Block { instrs: vec![], term: Terminator::Jump(BlockId(1)) },
+                Block {
+                    instrs: vec![Instr::Imm { dst: t(0), val: 0 }],
+                    term: Terminator::Branch {
+                        cond: Cond::Lt,
+                        a: t(0),
+                        b: AluSrc::Imm(10),
+                        if_true: BlockId(1),
+                        if_false: BlockId(2),
+                    },
+                },
+                Block { instrs: vec![], term: Terminator::Halt },
+            ],
+            entry: BlockId(0),
+        };
+        let f = estimate(&p);
+        assert!(f.of(BlockId(1)) > 4.0, "loop head: {}", f.of(BlockId(1)));
+        assert!((f.of(BlockId(0)) - 1.0).abs() < 1e-6);
+        // Everything that enters the loop eventually leaves it.
+        assert!((f.of(BlockId(2)) - 1.0).abs() < 0.05, "exit: {}", f.of(BlockId(2)));
+    }
+
+    #[test]
+    fn irreducible_graph_converges() {
+        // Two blocks jumping into each other's "middle": entry branches to
+        // both, each can continue to the other or exit (classic
+        // irreducible loop).
+        let p = Program {
+            blocks: vec![
+                Block {
+                    instrs: vec![Instr::Imm { dst: t(0), val: 0 }],
+                    term: Terminator::Branch {
+                        cond: Cond::Lt,
+                        a: t(0),
+                        b: AluSrc::Imm(1),
+                        if_true: BlockId(1),
+                        if_false: BlockId(2),
+                    },
+                },
+                Block {
+                    instrs: vec![],
+                    term: Terminator::Branch {
+                        cond: Cond::Gt,
+                        a: t(0),
+                        b: AluSrc::Imm(5),
+                        if_true: BlockId(2),
+                        if_false: BlockId(3),
+                    },
+                },
+                Block {
+                    instrs: vec![],
+                    term: Terminator::Branch {
+                        cond: Cond::Gt,
+                        a: t(0),
+                        b: AluSrc::Imm(7),
+                        if_true: BlockId(1),
+                        if_false: BlockId(3),
+                    },
+                },
+                Block { instrs: vec![], term: Terminator::Halt },
+            ],
+            entry: BlockId(0),
+        };
+        let f = estimate(&p);
+        for i in 0..4 {
+            let v = f.of(BlockId(i));
+            assert!(v.is_finite() && v >= 0.0, "block {i}: {v}");
+        }
+    }
+
+    #[test]
+    fn unreachable_blocks_have_zero_frequency() {
+        let p = Program {
+            blocks: vec![
+                Block { instrs: vec![], term: Terminator::Halt },
+                Block { instrs: vec![], term: Terminator::Halt }, // unreachable
+            ],
+            entry: BlockId(0),
+        };
+        let f = estimate(&p);
+        assert_eq!(f.of(BlockId(1)), 0.0);
+    }
+}

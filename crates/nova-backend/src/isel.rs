@@ -1,0 +1,470 @@
+//! Instruction selection: CPS → IXP flowgraph over virtual registers.
+//!
+//! After optimization and SSU, every `App` target is a static label and
+//! the surviving CPS functions are exactly the join points, loop headers,
+//! and handlers of the program — i.e. its basic blocks. Selection maps:
+//!
+//! * each CPS function (and each `If` arm) to a [`Block`];
+//! * each `App` to a *parallel move* of the arguments into the callee's
+//!   parameter temporaries followed by a jump (cycles are broken with a
+//!   fresh temporary);
+//! * constants to `immed` loads into fresh temporaries (shift amounts and
+//!   branch comparands stay immediate);
+//! * `clone` pseudo-ops to [`Instr::Clone`], which the ILP allocator
+//!   erases or materializes.
+//!
+//! CPS variables map to machine [`Temp`]s by id, preserving the SSA/SSU
+//! properties the ILP model depends on (§9).
+
+use ixp_machine::{Addr, AluOp, AluSrc, Block, BlockId, Instr, Program, Temp, Terminator};
+use nova_cps::{Cps, CpsFun, FnId, PrimOp, Term, Value, VarId};
+use std::collections::HashMap;
+
+/// Instruction-selection failure (an invariant the middle end should have
+/// established was violated).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IselError(pub String);
+
+impl std::fmt::Display for IselError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "instruction selection: {}", self.0)
+    }
+}
+
+impl std::error::Error for IselError {}
+
+/// Select instructions for a whole CPS program.
+///
+/// # Errors
+///
+/// Fails if a dynamic call target survives (the optimizer's label
+/// specialization should have removed them all) or a label is used as data.
+pub fn select(cps: &Cps) -> Result<Program<Temp>, IselError> {
+    let mut funs: HashMap<FnId, CpsFun> = HashMap::new();
+    collect(&cps.body, &mut funs);
+    let mut cx = Isel {
+        blocks: Vec::new(),
+        fn_entry: HashMap::new(),
+        params: HashMap::new(),
+        next_temp: cps.next_var,
+    };
+    let mut fun_order: Vec<&FnId> = funs.keys().collect();
+    fun_order.sort();
+    let fun_order: Vec<FnId> = fun_order.into_iter().copied().collect();
+    for id in &fun_order {
+        let f = &funs[id];
+        let b = cx.alloc_block();
+        cx.fn_entry.insert(*id, b);
+        cx.params.insert(*id, f.params.iter().map(|p| Temp(p.0)).collect());
+    }
+    // The top-level body is the entry block.
+    let entry = cx.alloc_block();
+    let (instrs, term) = cx.lower(&cps.body)?;
+    cx.blocks[entry.index()] = Some(Block { instrs, term });
+    // Lower every function body into its entry block (deterministic order).
+    for id in &fun_order {
+        let f = &funs[id];
+        let b = cx.fn_entry[id];
+        let (instrs, term) = cx.lower(&f.body)?;
+        cx.blocks[b.index()] = Some(Block { instrs, term });
+    }
+    let blocks: Vec<Block<Temp>> = cx
+        .blocks
+        .into_iter()
+        .map(|b| b.expect("all blocks filled"))
+        .collect();
+    Ok(Program { blocks, entry })
+}
+
+fn collect(t: &Term, out: &mut HashMap<FnId, CpsFun>) {
+    match t {
+        Term::Fix { funs, body } => {
+            for f in funs {
+                out.insert(f.id, f.clone());
+                collect(&f.body, out);
+            }
+            collect(body, out);
+        }
+        Term::Let { body, .. } | Term::MemRead { body, .. } | Term::MemWrite { body, .. } => {
+            collect(body, out)
+        }
+        Term::If { t, f, .. } => {
+            collect(t, out);
+            collect(f, out);
+        }
+        Term::App { .. } | Term::Halt => {}
+    }
+}
+
+struct Isel {
+    blocks: Vec<Option<Block<Temp>>>,
+    fn_entry: HashMap<FnId, BlockId>,
+    params: HashMap<FnId, Vec<Temp>>,
+    next_temp: u32,
+}
+
+impl Isel {
+    fn alloc_block(&mut self) -> BlockId {
+        self.blocks.push(None);
+        BlockId((self.blocks.len() - 1) as u32)
+    }
+
+    fn fresh(&mut self) -> Temp {
+        self.next_temp += 1;
+        Temp(self.next_temp - 1)
+    }
+
+    /// Get a register for a value, materializing constants with `immed`.
+    fn reg(&mut self, v: Value, instrs: &mut Vec<Instr<Temp>>) -> Result<Temp, IselError> {
+        match v {
+            Value::Var(x) => Ok(Temp(x.0)),
+            Value::Const(c) => {
+                let t = self.fresh();
+                instrs.push(Instr::Imm { dst: t, val: c });
+                Ok(t)
+            }
+            Value::Label(l) => Err(IselError(format!(
+                "label {l} used as data (dynamic control flow is not supported by the IXP back end)"
+            ))),
+        }
+    }
+
+    fn addr(&mut self, v: Value, instrs: &mut Vec<Instr<Temp>>) -> Result<Addr<Temp>, IselError> {
+        match v {
+            Value::Const(c) => Ok(Addr::Imm(c)),
+            Value::Var(x) => Ok(Addr::Reg(Temp(x.0), 0)),
+            Value::Label(_) => {
+                let _ = instrs;
+                Err(IselError("label used as address".into()))
+            }
+        }
+    }
+
+    fn lower(&mut self, t: &Term) -> Result<(Vec<Instr<Temp>>, Terminator<Temp>), IselError> {
+        let mut instrs = Vec::new();
+        let term = self.lower_into(t, &mut instrs)?;
+        Ok((instrs, term))
+    }
+
+    fn lower_into(
+        &mut self,
+        t: &Term,
+        instrs: &mut Vec<Instr<Temp>>,
+    ) -> Result<Terminator<Temp>, IselError> {
+        match t {
+            Term::Halt => Ok(Terminator::Halt),
+            Term::Fix { body, .. } => self.lower_into(body, instrs),
+            Term::Let { op, args, dsts, body } => {
+                self.lower_prim(*op, args, dsts, instrs)?;
+                self.lower_into(body, instrs)
+            }
+            Term::MemRead { space, addr, dsts, body } => {
+                let addr = self.addr(*addr, instrs)?;
+                instrs.push(Instr::MemRead {
+                    space: *space,
+                    addr,
+                    dst: dsts.iter().map(|d| Temp(d.0)).collect(),
+                });
+                self.lower_into(body, instrs)
+            }
+            Term::MemWrite { space, addr, srcs, body } => {
+                let addr = self.addr(*addr, instrs)?;
+                let mut regs = Vec::new();
+                for s in srcs {
+                    regs.push(self.reg(*s, instrs)?);
+                }
+                instrs.push(Instr::MemWrite { space: *space, addr, src: regs });
+                self.lower_into(body, instrs)
+            }
+            Term::If { cmp, a, b, t, f } => {
+                // Identical comparands are decided by reflexivity (the
+                // hardware cannot read one register into both ports).
+                if a == b {
+                    let taken = cmp.eval(0, 0);
+                    return self.lower_into(if taken { t } else { f }, instrs);
+                }
+                // Ensure the left comparand is a register.
+                let (cmp, a, b) = match (a, b) {
+                    (Value::Const(_), Value::Var(_)) => (cmp.swap(), *b, *a),
+                    _ => (*cmp, *a, *b),
+                };
+                let ra = self.reg(a, instrs)?;
+                let rb = match b {
+                    Value::Const(c) => AluSrc::Imm(c),
+                    other => AluSrc::Reg(self.reg(other, instrs)?),
+                };
+                let (ti, tt) = self.lower(t)?;
+                let tb = self.alloc_block();
+                self.blocks[tb.index()] = Some(Block { instrs: ti, term: tt });
+                let (fi, ft) = self.lower(f)?;
+                let fb = self.alloc_block();
+                self.blocks[fb.index()] = Some(Block { instrs: fi, term: ft });
+                Ok(Terminator::Branch { cond: cmp, a: ra, b: rb, if_true: tb, if_false: fb })
+            }
+            Term::App { f, args } => {
+                let Value::Label(target) = f else {
+                    return Err(IselError(
+                        "dynamic call target survived optimization".into(),
+                    ));
+                };
+                let Some(params) = self.params.get(target).cloned() else {
+                    return Err(IselError(format!("call to unknown function {target}")));
+                };
+                if params.len() != args.len() {
+                    return Err(IselError(format!(
+                        "arity mismatch calling {target}: {} vs {}",
+                        params.len(),
+                        args.len()
+                    )));
+                }
+                self.parallel_move(&params, args, instrs)?;
+                Ok(Terminator::Jump(self.fn_entry[target]))
+            }
+        }
+    }
+
+    fn lower_prim(
+        &mut self,
+        op: PrimOp,
+        args: &[Value],
+        dsts: &[VarId],
+        instrs: &mut Vec<Instr<Temp>>,
+    ) -> Result<(), IselError> {
+        let d = |i: usize| Temp(dsts[i].0);
+        match op {
+            PrimOp::Alu(mut alu) => {
+                // Same-variable operands cannot feed both ALU ports
+                // (§1.1); rewrite them. The optimizer normally folds these
+                // away, but instruction selection stays safe without it.
+                let mut args = [args[0], args[1]];
+                if args[0] == args[1] && matches!(args[0], Value::Var(_)) {
+                    match alu {
+                        AluOp::Add => {
+                            alu = AluOp::Shl;
+                            args[1] = Value::Const(1);
+                        }
+                        AluOp::And | AluOp::Or | AluOp::B => {
+                            let s = self.reg(args[0], instrs)?;
+                            instrs.push(Instr::Move { dst: d(0), src: s });
+                            return Ok(());
+                        }
+                        AluOp::Xor | AluOp::Sub | AluOp::AndNot => {
+                            instrs.push(Instr::Imm { dst: d(0), val: 0 });
+                            return Ok(());
+                        }
+                        AluOp::Shl | AluOp::Shr => {}
+                    }
+                }
+                // Shift amounts may stay immediate (`alu_shf`); all other
+                // constant operands are materialized.
+                let a = self.reg(args[0], instrs)?;
+                let b = match (alu, args[1]) {
+                    (AluOp::Shl | AluOp::Shr, Value::Const(c)) if c < 32 => AluSrc::Imm(c),
+                    (_, v) => AluSrc::Reg(self.reg(v, instrs)?),
+                };
+                instrs.push(Instr::Alu { op: alu, dst: d(0), a, b });
+            }
+            PrimOp::Move => {
+                match args[0] {
+                    Value::Const(c) => instrs.push(Instr::Imm { dst: d(0), val: c }),
+                    v => {
+                        let s = self.reg(v, instrs)?;
+                        instrs.push(Instr::Move { dst: d(0), src: s });
+                    }
+                }
+            }
+            PrimOp::Clone => {
+                let s = self.reg(args[0], instrs)?;
+                instrs.push(Instr::Clone { dst: d(0), src: s });
+            }
+            PrimOp::Hash => {
+                let s = self.reg(args[0], instrs)?;
+                instrs.push(Instr::Hash { dst: d(0), src: s });
+            }
+            PrimOp::BitTestSet => {
+                let addr = self.addr(args[0], instrs)?;
+                let s = self.reg(args[1], instrs)?;
+                instrs.push(Instr::TestAndSet { dst: d(0), src: s, addr });
+            }
+            PrimOp::CsrRead => {
+                let Value::Const(csr) = args[0] else {
+                    return Err(IselError("csr number must be constant".into()));
+                };
+                instrs.push(Instr::CsrRead { dst: d(0), csr });
+            }
+            PrimOp::CsrWrite => {
+                let Value::Const(csr) = args[0] else {
+                    return Err(IselError("csr number must be constant".into()));
+                };
+                let s = self.reg(args[1], instrs)?;
+                instrs.push(Instr::CsrWrite { src: s, csr });
+            }
+            PrimOp::RxPacket => {
+                instrs.push(Instr::RxPacket { len_dst: d(0), addr_dst: d(1) });
+            }
+            PrimOp::TxPacket => {
+                let a = self.reg(args[0], instrs)?;
+                let l = self.reg(args[1], instrs)?;
+                instrs.push(Instr::TxPacket { addr: a, len: l });
+            }
+            PrimOp::CtxSwap => instrs.push(Instr::CtxSwap),
+        }
+        Ok(())
+    }
+
+    /// Emit a parallel move of `args` into `params`, breaking cycles with a
+    /// fresh temporary and loading constants after all register moves.
+    fn parallel_move(
+        &mut self,
+        params: &[Temp],
+        args: &[Value],
+        instrs: &mut Vec<Instr<Temp>>,
+    ) -> Result<(), IselError> {
+        // Pending register-to-register transfers dst <- src.
+        let mut moves: Vec<(Temp, Temp)> = Vec::new();
+        let mut consts: Vec<(Temp, u32)> = Vec::new();
+        for (p, a) in params.iter().zip(args) {
+            match a {
+                Value::Var(x) if Temp(x.0) != *p => moves.push((*p, Temp(x.0))),
+                Value::Var(_) => {} // self-carry
+                Value::Const(c) => consts.push((*p, *c)),
+                Value::Label(l) => {
+                    return Err(IselError(format!(
+                        "label {l} passed as runtime argument (specialization failed)"
+                    )))
+                }
+            }
+        }
+        // Emit moves whose destination is not a pending source; break
+        // cycles through a scratch temporary.
+        while !moves.is_empty() {
+            let ready = moves
+                .iter()
+                .position(|(d, _)| !moves.iter().any(|(_, s)| s == d));
+            match ready {
+                Some(i) => {
+                    let (d, s) = moves.remove(i);
+                    instrs.push(Instr::Move { dst: d, src: s });
+                }
+                None => {
+                    // Cycle: rotate through a fresh temporary.
+                    let (d, s) = moves.remove(0);
+                    let tmp = self.fresh();
+                    instrs.push(Instr::Move { dst: tmp, src: d });
+                    instrs.push(Instr::Move { dst: d, src: s });
+                    for m in &mut moves {
+                        if m.1 == d {
+                            m.1 = tmp;
+                        }
+                    }
+                }
+            }
+        }
+        for (p, c) in consts {
+            instrs.push(Instr::Imm { dst: p, val: c });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nova_cps::{convert, optimize, to_ssu, OptConfig};
+    use nova_frontend::{check, parse};
+
+    pub(crate) fn compile_to_temps(src: &str) -> Program<Temp> {
+        let p = parse(src).unwrap_or_else(|d| panic!("parse: {}", d.render(src)));
+        let info = check(&p).unwrap_or_else(|d| panic!("check: {}", d.render(src)));
+        let mut cps = convert(&p, &info).unwrap();
+        optimize(&mut cps, &OptConfig::default());
+        to_ssu(&mut cps);
+        select(&cps).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    #[test]
+    fn straight_line_selects() {
+        let p = compile_to_temps("fun main() { let (a, b) = sram(0); sram(10) <- (a + b); 0 }");
+        let s = format!("{p}");
+        assert!(s.contains("sram.read"), "{s}");
+        assert!(s.contains("add"), "{s}");
+        assert!(s.contains("sram.write"), "{s}");
+        assert!(s.contains("halt"), "{s}");
+    }
+
+    #[test]
+    fn branches_create_blocks() {
+        let p = compile_to_temps(
+            "fun main() { let (x) = sram(0); if (x > 3) { sram(1) <- (x); } else { sram(2) <- (x); }; 0 }",
+        );
+        assert!(p.blocks.len() >= 3, "{p}");
+        let s = format!("{p}");
+        assert!(s.contains("br.gt") || s.contains("br.le"), "{s}");
+    }
+
+    #[test]
+    fn loops_jump_backwards() {
+        let p = compile_to_temps(
+            "fun main() { let i = 0; while (i < 5) { i = i + 1; } sram(0) <- (i); 0 }",
+        );
+        let s = format!("{p}");
+        assert!(s.contains("br "), "{s}");
+    }
+
+    #[test]
+    fn constants_materialize_via_immed() {
+        let p = compile_to_temps("fun main() { let (a) = sram(0); sram(1) <- (a + 1000000); 0 }");
+        let s = format!("{p}");
+        assert!(s.contains("immed"), "{s}");
+    }
+
+    #[test]
+    fn shift_amounts_stay_immediate() {
+        let p = compile_to_temps("fun main() { let (a) = sram(0); sram(1) <- (a >> 7); 0 }");
+        let s = format!("{p}");
+        assert!(s.contains("shr") && s.contains("#7"), "{s}");
+    }
+
+    #[test]
+    fn clone_pseudo_ops_survive_to_flowgraph() {
+        let p = compile_to_temps(
+            r#"fun main() {
+                let (x) = sram(0);
+                sram(10) <- (x);
+                sram(20) <- (x);
+                sram(30) <- (x + 1);
+                0
+            }"#,
+        );
+        let s = format!("{p}");
+        assert!(s.contains("clone"), "{s}");
+    }
+
+    #[test]
+    fn parallel_move_handles_swap() {
+        // A loop that swaps two variables each iteration forces a cycle in
+        // the parameter-passing parallel move.
+        let p = compile_to_temps(
+            r#"
+            fun main() { go(1, 2, 0) }
+            fun go(a, b, n) {
+                if (n == 4) { sram(0) <- (a, b); 0 }
+                else go(b, a, n + 1)
+            }
+            "#,
+        );
+        let s = format!("{p}");
+        assert!(s.contains("mov"), "{s}");
+    }
+
+    #[test]
+    fn packet_intrinsics_select() {
+        let p = compile_to_temps(
+            "fun main() { let (l, a) = rx_packet(); tx_packet(a, l); ctx_swap(); main() }",
+        );
+        let s = format!("{p}");
+        assert!(s.contains("rx_packet"), "{s}");
+        assert!(s.contains("tx_packet"), "{s}");
+        assert!(s.contains("ctx_arb"), "{s}");
+    }
+}

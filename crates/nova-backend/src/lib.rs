@@ -1,0 +1,38 @@
+//! IXP back end: the paper's primary contribution.
+//!
+//! * [`isel`] — instruction selection from CPS to a virtual-register
+//!   flowgraph;
+//! * [`liveness`] — per-point live sets (the ILP's `Exists`/`Copy` data);
+//! * [`freq`] — Wu-Larus/Dempster-Shafer static frequency estimation (§7);
+//! * [`alloc`] — the 0-1 ILP formulation of bank assignment, transfer-bank
+//!   coloring with aggregates, cloning, and spilling (§5–§10), plus
+//!   solution extraction;
+//! * [`color`] — post-ILP A/B register assignment with optimistic
+//!   coalescing (§9);
+//! * the [`compile`] entry point runs the whole pipeline from CPS to
+//!   validated machine code.
+
+#![warn(missing_docs)]
+
+pub mod alloc;
+pub mod color;
+pub mod freq;
+pub mod isel;
+pub mod liveness;
+
+pub use alloc::{allocate, AllocConfig, AllocError, AllocStats, Allocation};
+pub use isel::{select, IselError};
+
+/// Compile an optimized, SSU-form CPS program all the way to validated
+/// machine code.
+///
+/// # Errors
+///
+/// Propagates selection and allocation failures.
+pub fn compile(
+    cps: &nova_cps::Cps,
+    cfg: &AllocConfig,
+) -> Result<Allocation, Box<dyn std::error::Error>> {
+    let prog = select(cps)?;
+    Ok(allocate(&prog, cfg)?)
+}

@@ -1,0 +1,232 @@
+//! Liveness analysis over the virtual-register flowgraph.
+//!
+//! Produces the per-point live sets behind the ILP model's `Exists` and
+//! `Copy` data (§5.2): standard backward dataflow at block granularity,
+//! then a per-instruction sweep. Program points follow the paper: one
+//! point between every pair of adjacent instructions, one before the
+//! first, one after the terminator (the "after branch" point shared by
+//! all outgoing edges, where move insertion is illegal).
+
+use ixp_machine::{Block, BlockId, Program, Temp};
+use std::collections::{HashMap, HashSet};
+
+/// Identifies a program point: `index` 0 is before the first instruction
+/// of the block, `index == instrs.len()` is before the terminator, and
+/// `index == instrs.len() + 1` is after the terminator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Point {
+    /// The block.
+    pub block: BlockId,
+    /// Position within the block (see type docs).
+    pub index: u32,
+}
+
+impl std::fmt::Display for Point {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}.{}", self.block, self.index)
+    }
+}
+
+/// Result of liveness analysis.
+#[derive(Debug, Clone)]
+pub struct Liveness {
+    /// Temporaries live at each point (live = will be used later along
+    /// some path).
+    pub live: HashMap<Point, HashSet<Temp>>,
+    /// Block-entry live sets.
+    pub live_in: HashMap<BlockId, HashSet<Temp>>,
+    /// Block-exit live sets (after the terminator).
+    pub live_out: HashMap<BlockId, HashSet<Temp>>,
+}
+
+/// Number of points in a block: `instrs.len() + 2`.
+pub fn points_in(block: &Block<Temp>) -> u32 {
+    block.instrs.len() as u32 + 2
+}
+
+/// Predecessor map of the flowgraph.
+pub fn predecessors(prog: &Program<Temp>) -> HashMap<BlockId, Vec<BlockId>> {
+    let mut preds: HashMap<BlockId, Vec<BlockId>> = HashMap::new();
+    for (i, b) in prog.blocks.iter().enumerate() {
+        for s in b.term.successors() {
+            preds.entry(s).or_default().push(BlockId(i as u32));
+        }
+    }
+    preds
+}
+
+/// Run liveness analysis.
+pub fn analyze(prog: &Program<Temp>) -> Liveness {
+    let n = prog.blocks.len();
+    // use/def per block.
+    let mut gen: Vec<HashSet<Temp>> = vec![HashSet::new(); n];
+    let mut kill: Vec<HashSet<Temp>> = vec![HashSet::new(); n];
+    for (i, b) in prog.blocks.iter().enumerate() {
+        let mut defined: HashSet<Temp> = HashSet::new();
+        for ins in &b.instrs {
+            for u in ins.uses() {
+                if !defined.contains(u) {
+                    gen[i].insert(*u);
+                }
+            }
+            for d in ins.defs() {
+                defined.insert(*d);
+            }
+        }
+        for u in b.term.uses() {
+            if !defined.contains(u) {
+                gen[i].insert(*u);
+            }
+        }
+        kill[i] = defined;
+    }
+    // Backward fixpoint.
+    let mut live_in: Vec<HashSet<Temp>> = vec![HashSet::new(); n];
+    let mut live_out: Vec<HashSet<Temp>> = vec![HashSet::new(); n];
+    loop {
+        let mut changed = false;
+        for i in (0..n).rev() {
+            let mut out = HashSet::new();
+            for s in prog.blocks[i].term.successors() {
+                out.extend(live_in[s.index()].iter().copied());
+            }
+            let mut inn: HashSet<Temp> = gen[i].clone();
+            for t in &out {
+                if !kill[i].contains(t) {
+                    inn.insert(*t);
+                }
+            }
+            if out != live_out[i] || inn != live_in[i] {
+                changed = true;
+                live_out[i] = out;
+                live_in[i] = inn;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    // Per-point sweep (backwards through each block).
+    let mut live: HashMap<Point, HashSet<Temp>> = HashMap::new();
+    for (i, b) in prog.blocks.iter().enumerate() {
+        let bid = BlockId(i as u32);
+        let n_instr = b.instrs.len() as u32;
+        // After-terminator point = block live-out.
+        let mut cur = live_out[i].clone();
+        live.insert(Point { block: bid, index: n_instr + 1 }, cur.clone());
+        // Terminator: add its uses.
+        for u in b.term.uses() {
+            cur.insert(*u);
+        }
+        live.insert(Point { block: bid, index: n_instr }, cur.clone());
+        for (j, ins) in b.instrs.iter().enumerate().rev() {
+            for d in ins.defs() {
+                cur.remove(d);
+            }
+            for u in ins.uses() {
+                cur.insert(*u);
+            }
+            live.insert(Point { block: bid, index: j as u32 }, cur.clone());
+        }
+    }
+    Liveness {
+        live,
+        live_in: (0..n).map(|i| (BlockId(i as u32), live_in[i].clone())).collect(),
+        live_out: (0..n).map(|i| (BlockId(i as u32), live_out[i].clone())).collect(),
+    }
+}
+
+/// Maximum number of simultaneously live temporaries over all points (the
+/// "register pressure" of the program).
+pub fn max_pressure(l: &Liveness) -> usize {
+    l.live.values().map(|s| s.len()).max().unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ixp_machine::{Addr, AluOp, AluSrc, Instr, MemSpace, Terminator};
+
+    fn t(i: u32) -> Temp {
+        Temp(i)
+    }
+
+    fn simple_block(instrs: Vec<Instr<Temp>>, term: Terminator<Temp>) -> Program<Temp> {
+        Program { blocks: vec![Block { instrs, term }], entry: BlockId(0) }
+    }
+
+    #[test]
+    fn straight_line_liveness() {
+        // t0 = imm; t1 = t0 + t0; write t1
+        let p = simple_block(
+            vec![
+                Instr::Imm { dst: t(0), val: 1 },
+                Instr::Alu { op: AluOp::Add, dst: t(1), a: t(0), b: AluSrc::Reg(t(0)) },
+                Instr::MemWrite { space: MemSpace::Sram, addr: Addr::Imm(0), src: vec![t(1)] },
+            ],
+            Terminator::Halt,
+        );
+        let l = analyze(&p);
+        let at = |i: u32| l.live.get(&Point { block: BlockId(0), index: i }).unwrap();
+        assert!(!at(0).contains(&t(0)), "t0 not live before its def");
+        assert!(at(1).contains(&t(0)));
+        assert!(at(2).contains(&t(1)));
+        assert!(!at(2).contains(&t(0)));
+        assert!(at(3).is_empty());
+    }
+
+    #[test]
+    fn loop_liveness_flows_backward() {
+        // L0: t0 = imm 0 -> L1
+        // L1: t1 = t0 + t0; branch t1 < t0 ? L1 : L2   (t0 live around loop)
+        // L2: halt
+        let p = Program {
+            blocks: vec![
+                Block {
+                    instrs: vec![Instr::Imm { dst: t(0), val: 0 }],
+                    term: Terminator::Jump(BlockId(1)),
+                },
+                Block {
+                    instrs: vec![Instr::Alu {
+                        op: AluOp::Add,
+                        dst: t(1),
+                        a: t(0),
+                        b: AluSrc::Reg(t(0)),
+                    }],
+                    term: Terminator::Branch {
+                        cond: ixp_machine::Cond::Lt,
+                        a: t(1),
+                        b: AluSrc::Reg(t(0)),
+                        if_true: BlockId(1),
+                        if_false: BlockId(2),
+                    },
+                },
+                Block { instrs: vec![], term: Terminator::Halt },
+            ],
+            entry: BlockId(0),
+        };
+        let l = analyze(&p);
+        assert!(l.live_in[&BlockId(1)].contains(&t(0)));
+        assert!(l.live_out[&BlockId(1)].contains(&t(0)), "live around the backedge");
+        assert!(l.live_out[&BlockId(2)].is_empty());
+    }
+
+    #[test]
+    fn pressure_counts() {
+        let p = simple_block(
+            vec![
+                Instr::Imm { dst: t(0), val: 1 },
+                Instr::Imm { dst: t(1), val: 2 },
+                Instr::Imm { dst: t(2), val: 3 },
+                Instr::MemWrite {
+                    space: MemSpace::Sram,
+                    addr: Addr::Imm(0),
+                    src: vec![t(0), t(1), t(2)],
+                },
+            ],
+            Terminator::Halt,
+        );
+        let l = analyze(&p);
+        assert_eq!(max_pressure(&l), 3);
+    }
+}

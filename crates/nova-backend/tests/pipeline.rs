@@ -1,0 +1,70 @@
+//! End-to-end pipeline tests: Nova source -> optimized CPS -> ILP
+//! allocation -> validated machine code.
+
+use nova_backend::{allocate, select, AllocConfig};
+use nova_cps::{convert, optimize, to_ssu, OptConfig};
+use nova_frontend::{check, parse};
+
+fn compile(src: &str) -> nova_backend::Allocation {
+    let p = parse(src).unwrap_or_else(|d| panic!("parse: {}", d.render(src)));
+    let info = check(&p).unwrap_or_else(|d| panic!("check: {}", d.render(src)));
+    let mut cps = convert(&p, &info).unwrap();
+    optimize(&mut cps, &OptConfig::default());
+    to_ssu(&mut cps);
+    let prog = select(&cps).unwrap();
+    allocate(&prog, &AllocConfig::default()).unwrap_or_else(|e| panic!("{e}\n{prog}"))
+}
+
+#[test]
+fn trivial_program_allocates() {
+    let a = compile("fun main() { let (x, y) = sram(0); sram(10) <- (x + y); 0 }");
+    assert_eq!(a.stats.spills, 0);
+    println!("{}", a.prog);
+}
+
+#[test]
+fn figure3_program_allocates_without_spills() {
+    // The paper's Figure 3 example.
+    let a = compile(
+        r#"fun main() {
+            let (a, b, c, d) = sram(100);
+            let (e, f, g, h, i, j) = sram(200);
+            let u = a + c;
+            let v = g + h;
+            sram(300) <- (b, e, v, u);
+            sram(500) <- (f, j, d, i);
+            0
+        }"#,
+    );
+    assert_eq!(a.stats.spills, 0, "paper reports zero spills");
+    println!("moves: {}, model: {:?}", a.stats.moves, a.stats.model.variables);
+}
+
+#[test]
+fn conflicting_aggregate_positions_need_clones() {
+    // §2.1: x in two stores at different positions plus a later use.
+    let a = compile(
+        r#"fun main() {
+            let (u, v, x, w) = sram(0);
+            sram(100) <- (u, v, x, w);
+            sram(200) <- (w, x, u, v);
+            sram(300) <- (x);
+            0
+        }"#,
+    );
+    assert_eq!(a.stats.spills, 0);
+}
+
+#[test]
+fn branches_and_loops_allocate() {
+    let a = compile(
+        r#"fun main() {
+            let i = 0;
+            let acc = 0;
+            while (i < 10) { acc = acc + i; i = i + 1; }
+            sram(0) <- (acc);
+            0
+        }"#,
+    );
+    assert_eq!(a.stats.spills, 0);
+}

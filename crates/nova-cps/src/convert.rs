@@ -1,0 +1,1526 @@
+//! CPS conversion (§4.1–§4.2).
+//!
+//! Converts a type-checked Nova program to the CPS IR:
+//!
+//! * **Record flattening** (§3.1): every tuple/record value becomes a list
+//!   of word-sized [`Value`]s; each leaf is an independent variable from
+//!   here on.
+//! * **Booleans as control flow** (§4.1): conditions compile directly to
+//!   [`Term::If`]; a boolean stored in a variable materializes as 0/1.
+//! * **SSA by construction** (§4.2): source assignments are eliminated —
+//!   control-flow joins (if, while, try) become continuation functions
+//!   whose parameters carry the assigned variables.
+//! * **Exceptions as continuations** (§3.4): each `handle` arm becomes a
+//!   function; `raise` is an [`Term::App`] to it; exceptions passed as
+//!   arguments become label-typed parameters.
+//! * **Layout code generation** (§3.2): `unpack`/`pack` lower to explicit
+//!   shift/mask arithmetic on the packed words. All fields are extracted
+//!   eagerly; the optimizer's useless-variable elimination removes the
+//!   unused ones (§4.4), so "no machine instructions are generated for
+//!   fields ignored by the rest of the program".
+
+use crate::ir::{Cps, CpsFun, FnId, PrimOp, Term, Value, VarId};
+use ixp_machine::{AluOp, Cond, MemSpace};
+use nova_frontend::ast::{self, Args, Block, Expr, ExprKind, Pattern, Stmt, StmtKind};
+use nova_frontend::layout::{self, Layout};
+use nova_frontend::typecheck::TypeInfo;
+use nova_frontend::types::{FunSig, Type};
+use nova_frontend::{Diagnostic, Span};
+use std::collections::{HashMap, HashSet};
+
+/// Convert a checked program to CPS. The entry point is `main`; the
+/// program terminates with [`Term::Halt`].
+///
+/// # Errors
+///
+/// Conversion can still fail on programs the checker admits but the
+/// converter cannot compile (e.g. calling a completely dynamic function
+/// value); these are reported as diagnostics.
+pub fn convert<'a>(program: &'a ast::Program, info: &'a TypeInfo) -> Result<Cps, Diagnostic> {
+    let mut cx = Cx {
+        info,
+        cps: Cps { body: Term::Halt, next_var: 0, next_fn: 0 },
+        ret: Value::Label(FnId(u32::MAX)), // replaced before use
+    };
+    let mut env = Env::default();
+    // Halt continuation: a function that ignores its arguments and halts.
+    let halt_fn = cx.cps.fresh_fn();
+    // Top level is a statement sequence whose continuation calls main.
+    let body = cx.convert_stmts(
+        &mut env,
+        &program.items,
+        None,
+        K::then(move |cx: &mut Cx<'a>, env: &mut Env, _vals| {
+            Ok(match env.map.get("main") {
+                Some(CVal::Fun { target, sig }) => {
+                    // The halt continuation discards main's result words.
+                    let n = slots(&sig.result);
+                    let params: Vec<VarId> = (0..n).map(|_| cx.cps.fresh_var()).collect();
+                    Term::Fix {
+                        funs: vec![CpsFun {
+                            id: halt_fn,
+                            name: "$halt".into(),
+                            params,
+                            body: Term::Halt,
+                        }],
+                        body: Box::new(Term::App {
+                            f: *target,
+                            args: vec![Value::Label(halt_fn)],
+                        }),
+                    }
+                }
+                _ => Term::Halt,
+            })
+        }),
+    )?;
+    cx.cps.body = body;
+    Ok(cx.cps)
+}
+
+/// Number of flattened slots a type occupies (functions and exceptions are
+/// single label slots; `Never` occupies none).
+pub fn slots(ty: &Type) -> usize {
+    match ty {
+        Type::Word | Type::Bool | Type::Fun(_) | Type::Exn(_) => 1,
+        Type::Tuple(ts) => ts.iter().map(slots).sum(),
+        Type::Record(fs) => fs.iter().map(|(_, t)| slots(t)).sum(),
+        Type::Never => 0,
+    }
+}
+
+#[derive(Clone, Debug)]
+enum CVal {
+    /// Flattened data value.
+    Flat { ty: Type, vals: Vec<Value> },
+    /// Callable value (static label or label-typed parameter).
+    Fun { target: Value, sig: FunSig },
+    /// Raisable value with its payload field names.
+    Exn { target: Value, params: Vec<String> },
+}
+
+#[derive(Clone, Default, Debug)]
+struct Env {
+    map: HashMap<String, CVal>,
+}
+
+struct Cx<'a> {
+    info: &'a TypeInfo,
+    cps: Cps,
+    /// The current function's return continuation.
+    ret: Value,
+}
+
+/// What to do with the flattened value of an expression.
+enum K<'a> {
+    /// The expression is in tail position: pass the value to the current
+    /// return continuation.
+    Ret,
+    /// Continue with the given builder.
+    Then(Box<dyn FnOnce(&mut Cx<'a>, &mut Env, Vec<Value>) -> Result<Term, Diagnostic> + 'a>),
+}
+
+impl<'a> K<'a> {
+    fn then(
+        f: impl FnOnce(&mut Cx<'a>, &mut Env, Vec<Value>) -> Result<Term, Diagnostic> + 'a,
+    ) -> K<'a> {
+        K::Then(Box::new(f))
+    }
+}
+
+// Allow `Result<Term, _>` returning builders in `convert` above.
+impl<'a> K<'a> {
+    fn apply(self, cx: &mut Cx<'a>, env: &mut Env, vals: Vec<Value>) -> Result<Term, Diagnostic> {
+        match self {
+            K::Ret => Ok(Term::App { f: cx.ret, args: vals }),
+            K::Then(f) => f(cx, env, vals),
+        }
+    }
+
+    fn is_ret(&self) -> bool {
+        matches!(self, K::Ret)
+    }
+}
+
+/// Names assigned (via `x = e;`) anywhere in a block, not descending into
+/// nested function definitions (those have their own scopes).
+fn assigned_in_block(b: &Block, out: &mut HashSet<String>) {
+    for s in &b.stmts {
+        assigned_in_stmt(s, out);
+    }
+    if let Some(t) = &b.tail {
+        assigned_in_expr(t, out);
+    }
+}
+
+fn assigned_in_stmt(s: &Stmt, out: &mut HashSet<String>) {
+    match &s.kind {
+        StmtKind::Assign(n, e) => {
+            out.insert(n.clone());
+            assigned_in_expr(e, out);
+        }
+        StmtKind::Let(_, _, e) | StmtKind::Const(_, e) | StmtKind::Expr(e) => {
+            assigned_in_expr(e, out)
+        }
+        StmtKind::MemWrite(_, a, v) => {
+            assigned_in_expr(a, out);
+            assigned_in_expr(v, out);
+        }
+        StmtKind::While(c, b) => {
+            assigned_in_expr(c, out);
+            assigned_in_block(b, out);
+        }
+        StmtKind::Layout(..) | StmtKind::Funs(..) => {}
+    }
+}
+
+fn assigned_in_expr(e: &Expr, out: &mut HashSet<String>) {
+    match &e.kind {
+        ExprKind::If(c, t, f) => {
+            assigned_in_expr(c, out);
+            assigned_in_block(t, out);
+            if let Some(f) = f {
+                assigned_in_block(f, out);
+            }
+        }
+        ExprKind::Try(b, hs) => {
+            assigned_in_block(b, out);
+            for h in hs {
+                assigned_in_block(&h.body, out);
+            }
+        }
+        ExprKind::BlockExpr(b) => assigned_in_block(b, out),
+        ExprKind::Binop(_, a, b) => {
+            assigned_in_expr(a, out);
+            assigned_in_expr(b, out);
+        }
+        ExprKind::Unop(_, a) | ExprKind::Field(a, _) | ExprKind::MemRead(_, a)
+        | ExprKind::Unpack(_, a) | ExprKind::Pack(_, a) => assigned_in_expr(a, out),
+        ExprKind::Tuple(es) | ExprKind::Intrinsic(_, es) => {
+            for e in es {
+                assigned_in_expr(e, out);
+            }
+        }
+        ExprKind::Record(fs) => {
+            for (_, e) in fs {
+                assigned_in_expr(e, out);
+            }
+        }
+        ExprKind::Call(_, args) | ExprKind::Raise(_, args) => match args {
+            Args::Positional(es) => {
+                for e in es {
+                    assigned_in_expr(e, out);
+                }
+            }
+            Args::Named(fs) => {
+                for (_, e) in fs {
+                    assigned_in_expr(e, out);
+                }
+            }
+        },
+        ExprKind::Word(_) | ExprKind::Bool(_) | ExprKind::Var(_) => {}
+    }
+}
+
+impl<'a> Cx<'a> {
+    fn ty(&self, e: &Expr) -> &Type {
+        self.info.expr.get(&e.id).unwrap_or(&Type::Never)
+    }
+
+    fn err(&self, msg: impl Into<String>, span: Span) -> Diagnostic {
+        Diagnostic::new(msg, span)
+    }
+
+    /// Emit `dst = op(a, b)` with local constant folding.
+    fn emit_alu(
+        &mut self,
+        op: AluOp,
+        a: Value,
+        b: Value,
+        body: impl FnOnce(&mut Self, Value) -> Result<Term, Diagnostic>,
+    ) -> Result<Term, Diagnostic> {
+        // Local folding keeps the layout code generator from flooding the
+        // IR with constant arithmetic.
+        if let (Value::Const(x), Value::Const(y)) = (a, b) {
+            return body(self, Value::Const(op.eval(x, y)));
+        }
+        // Identities that arise constantly in shift/mask generation.
+        match (op, a, b) {
+            (AluOp::Shl | AluOp::Shr, x, Value::Const(0)) => return body(self, x),
+            (AluOp::Or | AluOp::Xor | AluOp::Add, x, Value::Const(0)) => return body(self, x),
+            (AluOp::Or | AluOp::Xor | AluOp::Add, Value::Const(0), y) => return body(self, y),
+            (AluOp::And, x, Value::Const(u32::MAX)) => return body(self, x),
+            (AluOp::And, Value::Const(u32::MAX), y) => return body(self, y),
+            _ => {}
+        }
+        let dst = self.cps.fresh_var();
+        let rest = body(self, Value::Var(dst))?;
+        Ok(Term::Let { op: PrimOp::Alu(op), args: vec![a, b], dsts: vec![dst], body: Box::new(rest) })
+    }
+
+    // ---------------- blocks ----------------
+
+    fn convert_block(
+        &mut self,
+        env: &mut Env,
+        block: &'a Block,
+        k: K<'a>,
+    ) -> Result<Term, Diagnostic> {
+        self.convert_stmts(env, &block.stmts, block.tail.as_deref(), k)
+    }
+
+    fn convert_stmts(
+        &mut self,
+        env: &mut Env,
+        stmts: &'a [Stmt],
+        tail: Option<&'a Expr>,
+        k: K<'a>,
+    ) -> Result<Term, Diagnostic> {
+        let Some((first, rest)) = stmts.split_first() else {
+            return match tail {
+                Some(e) => self.convert_expr(env, e, k),
+                None => k.apply(self, env, vec![]),
+            };
+        };
+        match &first.kind {
+            StmtKind::Layout(..) => self.convert_stmts(env, rest, tail, k),
+            StmtKind::Const(name, e) => {
+                let v = *self.info.const_values.get(&e.id).ok_or_else(|| {
+                    self.err("constant value missing from type info", first.span)
+                })?;
+                env.map.insert(
+                    name.clone(),
+                    CVal::Flat { ty: Type::Word, vals: vec![Value::Const(v)] },
+                );
+                self.convert_stmts(env, rest, tail, k)
+            }
+            StmtKind::Funs(defs) => {
+                let mut funs = Vec::new();
+                // Bind all names first (mutual recursion).
+                let mut ids = Vec::new();
+                for d in defs {
+                    let id = self.cps.fresh_fn();
+                    let sig = self
+                        .info
+                        .fun_sigs
+                        .get(&(d.name.clone(), d.span.lo))
+                        .cloned()
+                        .ok_or_else(|| self.err("missing signature", d.span))?;
+                    env.map.insert(
+                        d.name.clone(),
+                        CVal::Fun { target: Value::Label(id), sig: sig.clone() },
+                    );
+                    ids.push((id, sig));
+                }
+                for (d, (id, sig)) in defs.iter().zip(&ids) {
+                    let mut fenv = env.clone();
+                    let mut params = Vec::new();
+                    for (pname, pty) in &sig.params {
+                        let cval = self.bind_param(&mut fenv, &mut params, pty);
+                        fenv.map.insert(pname.clone(), cval);
+                    }
+                    let kret = self.cps.fresh_var();
+                    params.push(kret);
+                    let saved_ret = self.ret;
+                    self.ret = Value::Var(kret);
+                    let body = self.convert_block(&mut fenv, &d.body, K::Ret)?;
+                    self.ret = saved_ret;
+                    funs.push(CpsFun { id: *id, name: d.name.clone(), params, body });
+                }
+                let rest_term = self.convert_stmts(env, rest, tail, k)?;
+                Ok(Term::Fix { funs, body: Box::new(rest_term) })
+            }
+            StmtKind::Let(pat, _ann, value) => {
+                // Aggregate memory reads get their arity from the checker.
+                if let ExprKind::MemRead(space, addr) = &value.kind {
+                    let n = *self.info.read_words.get(&value.id).ok_or_else(|| {
+                        self.err("memory read arity missing", value.span)
+                    })? as usize;
+                    let space = mem_space(*space);
+                    let pat = pat.clone();
+                    return self.convert_expr(
+                        env,
+                        addr,
+                        K::then(move |cx, env, addr_vals| {
+                            let addr = addr_vals[0];
+                            let dsts: Vec<VarId> =
+                                (0..n).map(|_| cx.cps.fresh_var()).collect();
+                            let vals: Vec<Value> =
+                                dsts.iter().map(|d| Value::Var(*d)).collect();
+                            cx.bind_pattern(env, &pat, Type::words(n as u32), vals)?;
+                            let body = cx.convert_stmts(env, rest, tail, k)?;
+                            Ok(Term::MemRead { space, addr, dsts, body: Box::new(body) })
+                        }),
+                    );
+                }
+                let vty = self.ty(value).clone();
+                let pat = pat.clone();
+                self.convert_expr(
+                    env,
+                    value,
+                    K::then(move |cx, env, vals| {
+                        cx.bind_pattern(env, &pat, vty, vals)?;
+                        cx.convert_stmts(env, rest, tail, k)
+                    }),
+                )
+            }
+            StmtKind::Assign(name, value) => {
+                let vty = self.ty(value).clone();
+                let name = name.clone();
+                self.convert_expr(
+                    env,
+                    value,
+                    K::then(move |cx, env, vals| {
+                        env.map.insert(name, CVal::Flat { ty: vty, vals });
+                        cx.convert_stmts(env, rest, tail, k)
+                    }),
+                )
+            }
+            StmtKind::MemWrite(space, addr, value) => {
+                let space = mem_space(*space);
+                self.convert_expr(
+                    env,
+                    addr,
+                    K::then(move |cx, env, addr_vals| {
+                        let addr = addr_vals[0];
+                        cx.convert_expr(
+                            env,
+                            value,
+                            K::then(move |cx, env, srcs| {
+                                let body = cx.convert_stmts(env, rest, tail, k)?;
+                                Ok(Term::MemWrite { space, addr, srcs, body: Box::new(body) })
+                            }),
+                        )
+                    }),
+                )
+            }
+            StmtKind::Expr(e) => self.convert_expr(
+                env,
+                e,
+                K::then(move |cx, env, _vals| cx.convert_stmts(env, rest, tail, k)),
+            ),
+            StmtKind::While(cond, body) => {
+                // Loop header continuation carries the assigned variables.
+                let mut assigned = HashSet::new();
+                assigned_in_block(body, &mut assigned);
+                assigned_in_expr(cond, &mut assigned);
+                let carried = self.carried_vars(env, &assigned);
+                let loop_fn = self.cps.fresh_fn();
+                let mut params = Vec::new();
+                let mut loop_env = env.clone();
+                for (name, ty) in &carried {
+                    let n = slots(ty);
+                    let vars: Vec<VarId> = (0..n).map(|_| self.cps.fresh_var()).collect();
+                    loop_env.map.insert(
+                        name.clone(),
+                        CVal::Flat {
+                            ty: ty.clone(),
+                            vals: vars.iter().map(|v| Value::Var(*v)).collect(),
+                        },
+                    );
+                    params.extend(vars);
+                }
+                let init_args = self.gather_vars(env, &carried)?;
+                // Inside the loop: cond true -> body then jump back; false
+                // -> rest of the enclosing block.
+                let carried2 = carried.clone();
+                let mut body_env = loop_env.clone();
+                let body_term = {
+                    let then_t = {
+                        let carried3 = carried2.clone();
+                        self.convert_block(
+                            &mut body_env,
+                            body,
+                            K::then(move |cx, env, _vals| {
+                                let args = cx.gather_vars(env, &carried3)?;
+                                Ok(Term::App { f: Value::Label(loop_fn), args })
+                            }),
+                        )?
+                    };
+                    let mut exit_env = loop_env.clone();
+                    let else_t = self.convert_stmts(&mut exit_env, rest, tail, k)?;
+                    self.convert_cond_term(&mut loop_env, cond, then_t, else_t)?
+                };
+                Ok(Term::Fix {
+                    funs: vec![CpsFun {
+                        id: loop_fn,
+                        name: "$loop".into(),
+                        params,
+                        body: body_term,
+                    }],
+                    body: Box::new(Term::App { f: Value::Label(loop_fn), args: init_args }),
+                })
+            }
+        }
+    }
+
+    /// Filter assigned names down to those bound as data in the env, with
+    /// their types, in a deterministic order.
+    fn carried_vars(&self, env: &Env, assigned: &HashSet<String>) -> Vec<(String, Type)> {
+        let mut v: Vec<(String, Type)> = assigned
+            .iter()
+            .filter_map(|n| match env.map.get(n) {
+                Some(CVal::Flat { ty, .. }) => Some((n.clone(), ty.clone())),
+                _ => None,
+            })
+            .collect();
+        v.sort_by(|a, b| a.0.cmp(&b.0));
+        v
+    }
+
+    fn gather_vars(
+        &self,
+        env: &Env,
+        carried: &[(String, Type)],
+    ) -> Result<Vec<Value>, Diagnostic> {
+        let mut out = Vec::new();
+        for (name, _) in carried {
+            match env.map.get(name) {
+                Some(CVal::Flat { vals, .. }) => out.extend(vals.iter().copied()),
+                _ => {
+                    return Err(Diagnostic::new(
+                        format!("internal: carried variable '{name}' lost"),
+                        Span::default(),
+                    ))
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    fn bind_param(&mut self, _env: &mut Env, params: &mut Vec<VarId>, ty: &Type) -> CVal {
+        match ty {
+            Type::Fun(sig) => {
+                let p = self.cps.fresh_var();
+                params.push(p);
+                CVal::Fun { target: Value::Var(p), sig: (**sig).clone() }
+            }
+            Type::Exn(payload) => {
+                let p = self.cps.fresh_var();
+                params.push(p);
+                CVal::Exn {
+                    target: Value::Var(p),
+                    params: payload.iter().map(|(n, _)| n.clone()).collect(),
+                }
+            }
+            data => {
+                let n = slots(data);
+                let vars: Vec<VarId> = (0..n).map(|_| self.cps.fresh_var()).collect();
+                params.extend(vars.iter().copied());
+                CVal::Flat {
+                    ty: data.clone(),
+                    vals: vars.iter().map(|v| Value::Var(*v)).collect(),
+                }
+            }
+        }
+    }
+
+    fn bind_pattern(
+        &mut self,
+        env: &mut Env,
+        pat: &Pattern,
+        ty: Type,
+        vals: Vec<Value>,
+    ) -> Result<(), Diagnostic> {
+        match pat {
+            Pattern::Wild => Ok(()),
+            Pattern::Var(name) => {
+                let cval = match &ty {
+                    Type::Fun(sig) => CVal::Fun { target: vals[0], sig: (**sig).clone() },
+                    Type::Exn(payload) => CVal::Exn {
+                        target: vals[0],
+                        params: payload.iter().map(|(n, _)| n.clone()).collect(),
+                    },
+                    _ => CVal::Flat { ty, vals },
+                };
+                env.map.insert(name.clone(), cval);
+                Ok(())
+            }
+            Pattern::Tuple(names) => {
+                let parts = match &ty {
+                    Type::Tuple(ts) => ts.clone(),
+                    _ => {
+                        return Err(Diagnostic::new(
+                            "internal: tuple pattern on non-tuple",
+                            Span::default(),
+                        ))
+                    }
+                };
+                let mut off = 0;
+                for (name, pty) in names.iter().zip(parts) {
+                    let n = slots(&pty);
+                    let sub = vals[off..off + n].to_vec();
+                    off += n;
+                    if name != "_" {
+                        self.bind_pattern(env, &Pattern::Var(name.clone()), pty, sub)?;
+                    }
+                }
+                Ok(())
+            }
+        }
+    }
+
+    // ---------------- expressions ----------------
+
+    fn convert_expr(
+        &mut self,
+        env: &mut Env,
+        e: &'a Expr,
+        k: K<'a>,
+    ) -> Result<Term, Diagnostic> {
+        match &e.kind {
+            ExprKind::Word(v) => k.apply(self, env, vec![Value::Const(*v)]),
+            ExprKind::Bool(b) => k.apply(self, env, vec![Value::Const(*b as u32)]),
+            ExprKind::Var(name) => {
+                let cval = env
+                    .map
+                    .get(name)
+                    .cloned()
+                    .ok_or_else(|| self.err(format!("internal: unbound '{name}'"), e.span))?;
+                let vals = match cval {
+                    CVal::Flat { vals, .. } => vals,
+                    CVal::Fun { target, .. } | CVal::Exn { target, .. } => vec![target],
+                };
+                k.apply(self, env, vals)
+            }
+            ExprKind::Binop(op, a, b) => self.convert_binop(env, e, *op, a, b, k),
+            ExprKind::Unop(op, a) => match op {
+                ast::UnOp::Complement => self.convert_expr(
+                    env,
+                    a,
+                    K::then(move |cx, env, vals| {
+                        cx.emit_alu(AluOp::Xor, vals[0], Value::Const(u32::MAX), |cx, v| {
+                            k.apply(cx, env, vec![v])
+                        })
+                    }),
+                ),
+                ast::UnOp::Neg => self.convert_expr(
+                    env,
+                    a,
+                    K::then(move |cx, env, vals| {
+                        cx.emit_alu(AluOp::Sub, Value::Const(0), vals[0], |cx, v| {
+                            k.apply(cx, env, vec![v])
+                        })
+                    }),
+                ),
+                ast::UnOp::Not => self.materialize_bool(env, e, k),
+            },
+            ExprKind::Tuple(es) => self.convert_list(env, es, Vec::new(), k),
+            ExprKind::Record(fs) => {
+                let exprs: Vec<&Expr> = fs.iter().map(|(_, e)| e).collect();
+                self.convert_list_refs(env, exprs, Vec::new(), k)
+            }
+            ExprKind::Field(base, name) => {
+                let bty = self.ty(base).clone();
+                let name = name.clone();
+                self.convert_expr(
+                    env,
+                    base,
+                    K::then(move |cx, env, vals| {
+                        let (off, n) = field_slot_range(&bty, &name).ok_or_else(|| {
+                            cx.err(format!("internal: no field '{name}'"), Span::default())
+                        })?;
+                        k.apply(cx, env, vals[off..off + n].to_vec())
+                    }),
+                )
+            }
+            ExprKind::If(..) => self.convert_if(env, e, k),
+            ExprKind::Call(name, args) => self.convert_call(env, e, name, args, k),
+            ExprKind::MemRead(..) => Err(self.err(
+                "internal: memory read outside let (checker should reject)",
+                e.span,
+            )),
+            ExprKind::Unpack(_, arg) => {
+                let l = self
+                    .info
+                    .layouts
+                    .get(&e.id)
+                    .cloned()
+                    .ok_or_else(|| self.err("internal: unresolved unpack layout", e.span))?;
+                self.convert_expr(
+                    env,
+                    arg,
+                    K::then(move |cx, env, words| cx.emit_unpack(env, &l, &words, k)),
+                )
+            }
+            ExprKind::Pack(_, arg) => {
+                let l = self
+                    .info
+                    .layouts
+                    .get(&e.id)
+                    .cloned()
+                    .ok_or_else(|| self.err("internal: unresolved pack layout", e.span))?;
+                let rty = self.ty(arg).clone();
+                self.convert_expr(
+                    env,
+                    arg,
+                    K::then(move |cx, env, vals| cx.emit_pack(env, &l, &rty, &vals, k)),
+                )
+            }
+            ExprKind::Raise(name, args) => {
+                let cval = env
+                    .map
+                    .get(name)
+                    .cloned()
+                    .ok_or_else(|| self.err(format!("internal: unbound exn '{name}'"), e.span))?;
+                let CVal::Exn { target, params } = cval else {
+                    return Err(self.err(format!("internal: '{name}' not an exn"), e.span));
+                };
+                self.convert_args(env, args, &params, move |_cx, _env, argv| {
+                    Ok(Term::App { f: target, args: argv })
+                })
+            }
+            ExprKind::Try(body, handlers) => self.convert_try(env, e, body, handlers, k),
+            ExprKind::BlockExpr(b) => {
+                let mut benv = env.clone();
+                let t = self.convert_block(&mut benv, b, k)?;
+                // Assignments to outer variables propagate out of plain
+                // blocks (the block clone only isolates new bindings).
+                let mut assigned = HashSet::new();
+                assigned_in_block(b, &mut assigned);
+                for n in assigned {
+                    if env.map.contains_key(&n) {
+                        if let Some(v) = benv.map.get(&n) {
+                            env.map.insert(n, v.clone());
+                        }
+                    }
+                }
+                Ok(t)
+            }
+            ExprKind::Intrinsic(intr, args) => self.convert_intrinsic(env, *intr, args, k),
+        }
+    }
+
+    fn convert_list(
+        &mut self,
+        env: &mut Env,
+        es: &'a [Expr],
+        mut acc: Vec<Value>,
+        k: K<'a>,
+    ) -> Result<Term, Diagnostic> {
+        let Some((first, rest)) = es.split_first() else {
+            return k.apply(self, env, acc);
+        };
+        self.convert_expr(
+            env,
+            first,
+            K::then(move |cx, env, vals| {
+                acc.extend(vals);
+                cx.convert_list(env, rest, acc, k)
+            }),
+        )
+    }
+
+    fn convert_list_refs(
+        &mut self,
+        env: &mut Env,
+        mut es: Vec<&'a Expr>,
+        mut acc: Vec<Value>,
+        k: K<'a>,
+    ) -> Result<Term, Diagnostic> {
+        if es.is_empty() {
+            return k.apply(self, env, acc);
+        }
+        let first = es.remove(0);
+        self.convert_expr(
+            env,
+            first,
+            K::then(move |cx, env, vals| {
+                acc.extend(vals);
+                cx.convert_list_refs(env, es, acc, k)
+            }),
+        )
+    }
+
+    fn convert_binop(
+        &mut self,
+        env: &mut Env,
+        whole: &'a Expr,
+        op: ast::BinOp,
+        a: &'a Expr,
+        b: &'a Expr,
+        k: K<'a>,
+    ) -> Result<Term, Diagnostic> {
+        use ast::BinOp as B;
+        let alu = match op {
+            B::Add => Some(AluOp::Add),
+            B::Sub => Some(AluOp::Sub),
+            B::And => Some(AluOp::And),
+            B::Or => Some(AluOp::Or),
+            B::Xor => Some(AluOp::Xor),
+            B::Shl => Some(AluOp::Shl),
+            B::Shr => Some(AluOp::Shr),
+            _ => None,
+        };
+        if let Some(alu) = alu {
+            return self.convert_expr(
+                env,
+                a,
+                K::then(move |cx, env, av| {
+                    cx.convert_expr(
+                        env,
+                        b,
+                        K::then(move |cx, env, bv| {
+                            cx.emit_alu(alu, av[0], bv[0], |cx, v| k.apply(cx, env, vec![v]))
+                        }),
+                    )
+                }),
+            );
+        }
+        // Comparison / logical operators produce a bool value here; direct
+        // use in conditions is fused by `convert_cond_term`.
+        self.materialize_bool(env, whole, k)
+    }
+
+    /// Build a 0/1 word for a boolean expression via a join continuation.
+    fn materialize_bool(
+        &mut self,
+        env: &mut Env,
+        e: &'a Expr,
+        k: K<'a>,
+    ) -> Result<Term, Diagnostic> {
+        let join = self.cps.fresh_fn();
+        let p = self.cps.fresh_var();
+        let body = k.apply(self, env, vec![Value::Var(p)])?;
+        let jf = CpsFun { id: join, name: "$bool".into(), params: vec![p], body };
+        let t = Term::App { f: Value::Label(join), args: vec![Value::Const(1)] };
+        let f = Term::App { f: Value::Label(join), args: vec![Value::Const(0)] };
+        let cond = self.convert_cond_term(env, e, t, f)?;
+        Ok(Term::Fix { funs: vec![jf], body: Box::new(cond) })
+    }
+
+    /// Convert a boolean expression directly into branching control flow
+    /// (§4.1: booleans are encoded as control flow).
+    fn convert_cond_term(
+        &mut self,
+        env: &mut Env,
+        e: &'a Expr,
+        t: Term,
+        f: Term,
+    ) -> Result<Term, Diagnostic> {
+        use ast::BinOp as B;
+        match &e.kind {
+            ExprKind::Bool(true) => Ok(t),
+            ExprKind::Bool(false) => Ok(f),
+            ExprKind::Unop(ast::UnOp::Not, inner) => self.convert_cond_term(env, inner, f, t),
+            ExprKind::Binop(op, a, b) if op.is_comparison() => {
+                let cmp = match op {
+                    B::Eq => Cond::Eq,
+                    B::Ne => Cond::Ne,
+                    B::Lt => Cond::Lt,
+                    B::Le => Cond::Le,
+                    B::Gt => Cond::Gt,
+                    B::Ge => Cond::Ge,
+                    _ => unreachable!(),
+                };
+                self.convert_expr(
+                    env,
+                    a,
+                    K::then(move |cx, env, av| {
+                        cx.convert_expr(
+                            env,
+                            b,
+                            K::then(move |_cx, _env, bv| {
+                                // Fold constant comparisons.
+                                if let (Value::Const(x), Value::Const(y)) = (av[0], bv[0]) {
+                                    return Ok(if cmp.eval(x, y) { t } else { f });
+                                }
+                                Ok(Term::If {
+                                    cmp,
+                                    a: av[0],
+                                    b: bv[0],
+                                    t: Box::new(t),
+                                    f: Box::new(f),
+                                })
+                            }),
+                        )
+                    }),
+                )
+            }
+            ExprKind::Binop(B::AndAlso, a, b) => {
+                // a && b: if a then (if b then t else f') else f''. The two
+                // false-exits share code via a join function.
+                let (fj, fterm) = self.wrap_join(f);
+                let inner = self.convert_cond_term(env, b, t, fj.clone())?;
+                let whole = self.convert_cond_term(env, a, inner, fj)?;
+                Ok(attach_join(fterm, whole))
+            }
+            ExprKind::Binop(B::OrElse, a, b) => {
+                let (tj, tterm) = self.wrap_join(t);
+                let inner = self.convert_cond_term(env, b, tj.clone(), f)?;
+                let whole = self.convert_cond_term(env, a, tj, inner)?;
+                Ok(attach_join(tterm, whole))
+            }
+            // General boolean value: compare against zero.
+            _ => self.convert_expr(
+                env,
+                e,
+                K::then(move |_cx, _env, vals| {
+                    if let Value::Const(c) = vals[0] {
+                        return Ok(if c != 0 { t } else { f });
+                    }
+                    Ok(Term::If {
+                        cmp: Cond::Ne,
+                        a: vals[0],
+                        b: Value::Const(0),
+                        t: Box::new(t),
+                        f: Box::new(f),
+                    })
+                }),
+            ),
+        }
+    }
+
+    /// Wrap a term in a zero-argument join function so it can be jumped to
+    /// from two places; returns the jump term and the definition.
+    fn wrap_join(&mut self, body: Term) -> (Term, Option<CpsFun>) {
+        // Trivial targets are cheap to duplicate.
+        if matches!(body, Term::App { .. } | Term::Halt) {
+            return (body, None);
+        }
+        let id = self.cps.fresh_fn();
+        (
+            Term::App { f: Value::Label(id), args: vec![] },
+            Some(CpsFun { id, name: "$join".into(), params: vec![], body }),
+        )
+    }
+
+    fn convert_if(
+        &mut self,
+        env: &mut Env,
+        e: &'a Expr,
+        k: K<'a>,
+    ) -> Result<Term, Diagnostic> {
+        let ExprKind::If(cond, then_b, else_b) = &e.kind else { unreachable!() };
+        let result_ty = self.ty(e).clone();
+        let n = slots(&result_ty);
+        // Assigned variables that must flow through the join.
+        let mut assigned = HashSet::new();
+        assigned_in_block(then_b, &mut assigned);
+        if let Some(eb) = else_b {
+            assigned_in_block(eb, &mut assigned);
+        }
+        let carried = self.carried_vars(env, &assigned);
+
+        if k.is_ret() {
+            // Tail position: both branches return; no join needed.
+            let mut tenv = env.clone();
+            let t = self.convert_block(&mut tenv, then_b, K::Ret)?;
+            let f = match else_b {
+                Some(eb) => {
+                    let mut fenv = env.clone();
+                    self.convert_block(&mut fenv, eb, K::Ret)?
+                }
+                None => Term::App { f: self.ret, args: vec![] },
+            };
+            return self.convert_cond_term(env, cond, t, f);
+        }
+
+        // Join continuation: result slots then carried variables. Snapshot
+        // the entry environment first — branches must see entry values,
+        // while the continuation sees the join's parameters.
+        let entry_env = env.clone();
+        let join = self.cps.fresh_fn();
+        let mut params: Vec<VarId> = (0..n).map(|_| self.cps.fresh_var()).collect();
+        let result_vals: Vec<Value> = params.iter().map(|p| Value::Var(*p)).collect();
+        let mut post_env = env.clone();
+        for (name, ty) in &carried {
+            let m = slots(ty);
+            let vars: Vec<VarId> = (0..m).map(|_| self.cps.fresh_var()).collect();
+            post_env.map.insert(
+                name.clone(),
+                CVal::Flat { ty: ty.clone(), vals: vars.iter().map(|v| Value::Var(*v)).collect() },
+            );
+            params.extend(vars);
+        }
+        let join_body = k.apply(self, &mut post_env, result_vals)?;
+        // Propagate post-if bindings for carried variables to the caller's
+        // env (the continuation has already been built against post_env).
+        for (name, _) in &carried {
+            if let Some(v) = post_env.map.get(name) {
+                env.map.insert(name.clone(), v.clone());
+            }
+        }
+        let jfun = CpsFun { id: join, name: "$ifjoin".into(), params, body: join_body };
+
+        let carried_t = carried.clone();
+        let mut tenv = entry_env.clone();
+        let t = self.convert_block(
+            &mut tenv,
+            then_b,
+            K::then(move |cx, env, mut vals| {
+                vals.extend(cx.gather_vars(env, &carried_t)?);
+                Ok(Term::App { f: Value::Label(join), args: vals })
+            }),
+        )?;
+        let f = match else_b {
+            Some(eb) => {
+                let carried_f = carried.clone();
+                let mut fenv = entry_env.clone();
+                self.convert_block(
+                    &mut fenv,
+                    eb,
+                    K::then(move |cx, env, mut vals| {
+                        vals.extend(cx.gather_vars(env, &carried_f)?);
+                        Ok(Term::App { f: Value::Label(join), args: vals })
+                    }),
+                )?
+            }
+            None => {
+                let mut vals: Vec<Value> = Vec::new();
+                vals.extend(self.gather_vars(&entry_env, &carried)?);
+                Term::App { f: Value::Label(join), args: vals }
+            }
+        };
+        let mut cenv = entry_env.clone();
+        let cond_term = self.convert_cond_term(&mut cenv, cond, t, f)?;
+        Ok(Term::Fix { funs: vec![jfun], body: Box::new(cond_term) })
+    }
+
+    fn convert_call(
+        &mut self,
+        env: &mut Env,
+        e: &'a Expr,
+        name: &str,
+        args: &'a Args,
+        k: K<'a>,
+    ) -> Result<Term, Diagnostic> {
+        let cval = env
+            .map
+            .get(name)
+            .cloned()
+            .ok_or_else(|| self.err(format!("internal: unbound function '{name}'"), e.span))?;
+        let CVal::Fun { target, sig } = cval else {
+            return Err(self.err(format!("internal: '{name}' is not callable"), e.span));
+        };
+        let param_names: Vec<String> = sig.params.iter().map(|(n, _)| n.clone()).collect();
+        let result_slots = slots(&sig.result);
+        let never_returns = matches!(sig.result, Type::Never);
+        self.convert_args(env, args, &param_names, move |cx, env, mut argv| {
+            match k {
+                // A call that never returns needs no fresh continuation: any
+                // value will do, and the code after the call is unreachable.
+                // Passing the current return keeps every label static.
+                _ if never_returns => {
+                    argv.push(cx.ret);
+                    Ok(Term::App { f: target, args: argv })
+                }
+                K::Ret => {
+                    argv.push(cx.ret);
+                    Ok(Term::App { f: target, args: argv })
+                }
+                K::Then(f) => {
+                    let join = cx.cps.fresh_fn();
+                    let params: Vec<VarId> =
+                        (0..result_slots).map(|_| cx.cps.fresh_var()).collect();
+                    let vals: Vec<Value> = params.iter().map(|p| Value::Var(*p)).collect();
+                    let body = f(cx, env, vals)?;
+                    argv.push(Value::Label(join));
+                    Ok(Term::Fix {
+                        funs: vec![CpsFun { id: join, name: "$ret".into(), params, body }],
+                        body: Box::new(Term::App { f: target, args: argv }),
+                    })
+                }
+            }
+        })
+    }
+
+    /// Convert call/raise arguments into a flat value list ordered by the
+    /// callee's parameters.
+    fn convert_args(
+        &mut self,
+        env: &mut Env,
+        args: &'a Args,
+        param_names: &[String],
+        done: impl FnOnce(&mut Self, &mut Env, Vec<Value>) -> Result<Term, Diagnostic> + 'a,
+    ) -> Result<Term, Diagnostic> {
+        let ordered: Vec<&'a Expr> = match args {
+            Args::Positional(es) => es.iter().collect(),
+            Args::Named(fs) => {
+                let mut v = Vec::new();
+                for pname in param_names {
+                    let a = fs
+                        .iter()
+                        .find(|(n, _)| n == pname)
+                        .map(|(_, e)| e)
+                        .ok_or_else(|| {
+                            Diagnostic::new(
+                                format!("internal: missing argument '{pname}'"),
+                                Span::default(),
+                            )
+                        })?;
+                    v.push(a);
+                }
+                v
+            }
+        };
+        self.convert_list_refs(
+            env,
+            ordered,
+            Vec::new(),
+            K::Then(Box::new(move |cx, env, vals| done(cx, env, vals))),
+        )
+    }
+
+    fn convert_try(
+        &mut self,
+        env: &mut Env,
+        e: &'a Expr,
+        body: &'a Block,
+        handlers: &'a [ast::Handler],
+        k: K<'a>,
+    ) -> Result<Term, Diagnostic> {
+        let result_ty = self.ty(e).clone();
+        let n = slots(&result_ty);
+        // Continuation for the value of the whole try.
+        let (kjump, kdef): (JumpTo, Option<CpsFun>) = match k {
+            K::Ret => (JumpTo::Ret, None),
+            K::Then(f) => {
+                let join = self.cps.fresh_fn();
+                let params: Vec<VarId> = (0..n).map(|_| self.cps.fresh_var()).collect();
+                let vals: Vec<Value> = params.iter().map(|p| Value::Var(*p)).collect();
+                let body = f(self, env, vals)?;
+                (
+                    JumpTo::Label(join),
+                    Some(CpsFun { id: join, name: "$tryjoin".into(), params, body }),
+                )
+            }
+        };
+        let mut hfuns = Vec::new();
+        let mut body_env = env.clone();
+        for h in handlers {
+            let hid = self.cps.fresh_fn();
+            let mut henv = env.clone();
+            let params: Vec<VarId> = h.params.iter().map(|_| self.cps.fresh_var()).collect();
+            for (pname, pvar) in h.params.iter().zip(&params) {
+                henv.map.insert(
+                    pname.clone(),
+                    CVal::Flat { ty: Type::Word, vals: vec![Value::Var(*pvar)] },
+                );
+            }
+            let kj = kjump;
+            let hbody = self.convert_block(
+                &mut henv,
+                &h.body,
+                K::then(move |cx, _env, vals| Ok(kj.jump(cx, vals))),
+            )?;
+            hfuns.push(CpsFun { id: hid, name: format!("$handle_{}", h.name), params, body: hbody });
+            let payload_names: Vec<String> = h
+                .params
+                .iter()
+                .enumerate()
+                .map(|(i, p)| if h.named { p.clone() } else { i.to_string() })
+                .collect();
+            body_env.map.insert(
+                h.name.clone(),
+                CVal::Exn { target: Value::Label(hid), params: payload_names },
+            );
+        }
+        let kj = kjump;
+        let body_term = self.convert_block(
+            &mut body_env,
+            body,
+            K::then(move |cx, _env, vals| Ok(kj.jump(cx, vals))),
+        )?;
+        let mut funs = hfuns;
+        if let Some(j) = kdef {
+            funs.push(j);
+        }
+        Ok(Term::Fix { funs, body: Box::new(body_term) })
+    }
+
+    fn convert_intrinsic(
+        &mut self,
+        env: &mut Env,
+        intr: ast::Intrinsic,
+        args: &'a [Expr],
+        k: K<'a>,
+    ) -> Result<Term, Diagnostic> {
+        use ast::Intrinsic as I;
+        self.convert_list(
+            env,
+            args,
+            Vec::new(),
+            K::then(move |cx, env, argv| {
+                let (op, n_out) = match intr {
+                    I::Hash => (PrimOp::Hash, 1),
+                    I::BitTestSet => (PrimOp::BitTestSet, 1),
+                    I::CsrRead => (PrimOp::CsrRead, 1),
+                    I::CsrWrite => (PrimOp::CsrWrite, 0),
+                    I::RxPacket => (PrimOp::RxPacket, 2),
+                    I::TxPacket => (PrimOp::TxPacket, 0),
+                    I::CtxSwap => (PrimOp::CtxSwap, 0),
+                };
+                let dsts: Vec<VarId> = (0..n_out).map(|_| cx.cps.fresh_var()).collect();
+                let vals: Vec<Value> = dsts.iter().map(|d| Value::Var(*d)).collect();
+                let body = k.apply(cx, env, vals)?;
+                Ok(Term::Let { op, args: argv, dsts, body: Box::new(body) })
+            }),
+        )
+    }
+
+    // ---------------- layout codegen ----------------
+
+    /// Generate extraction code for every leaf field of `l` (record
+    /// order), calling `k` with the flattened unpacked record.
+    fn emit_unpack(
+        &mut self,
+        env: &mut Env,
+        l: &Layout,
+        words: &[Value],
+        k: K<'a>,
+    ) -> Result<Term, Diagnostic> {
+        let mut leaves: Vec<(u32, u32)> = Vec::new(); // (offset, width) in record order
+        collect_unpack_leaves(l, &mut leaves);
+        self.emit_extracts(env, words.to_vec(), leaves, Vec::new(), k)
+    }
+
+    fn emit_extracts(
+        &mut self,
+        env: &mut Env,
+        words: Vec<Value>,
+        mut leaves: Vec<(u32, u32)>,
+        mut acc: Vec<Value>,
+        k: K<'a>,
+    ) -> Result<Term, Diagnostic> {
+        if leaves.is_empty() {
+            return k.apply(self, env, acc);
+        }
+        let (offset, width) = leaves.remove(0);
+        let words2 = words.clone();
+        self.emit_extract(
+            words,
+            offset,
+            width,
+            move |cx, env2: &mut Env, v| {
+                acc.push(v);
+                cx.emit_extracts(env2, words2, leaves, acc, k)
+            },
+            env,
+        )
+    }
+
+    /// Extract one field from packed words: shift/mask per §3.2.
+    fn emit_extract(
+        &mut self,
+        words: Vec<Value>,
+        offset: u32,
+        width: u32,
+        done: impl FnOnce(&mut Self, &mut Env, Value) -> Result<Term, Diagnostic>,
+        env: &mut Env,
+    ) -> Result<Term, Diagnostic> {
+        let pieces = layout::field_pieces(offset, width);
+        match pieces.as_slice() {
+            [p] => {
+                let w = words[p.word as usize];
+                // value = (w >> shift) & mask, with the mask elided when
+                // the shift already strips the high bits.
+                self.emit_alu(AluOp::Shr, w, Value::Const(p.shift), |cx, shifted| {
+                    if p.shift + p.bits == 32 {
+                        done(cx, env, shifted)
+                    } else {
+                        cx.emit_alu(
+                            AluOp::And,
+                            shifted,
+                            Value::Const(layout::mask(p.bits)),
+                            |cx, v| done(cx, env, v),
+                        )
+                    }
+                })
+            }
+            [hi, lo] => {
+                let (hi, lo) = (*hi, *lo);
+                let whi = words[hi.word as usize];
+                let wlo = words[lo.word as usize];
+                // hi piece sits at the bottom of its word (shift 0).
+                self.emit_alu(AluOp::And, whi, Value::Const(layout::mask(hi.bits)), |cx, hv| {
+                    cx.emit_alu(AluOp::Shl, hv, Value::Const(lo.bits), |cx, hs| {
+                        cx.emit_alu(AluOp::Shr, wlo, Value::Const(lo.shift), |cx, lv| {
+                            // After Shr by lo.shift = 32-lo.bits the high
+                            // bits are clear; OR the halves.
+                            cx.emit_alu(AluOp::Or, hs, lv, |cx, v| done(cx, env, v))
+                        })
+                    })
+                })
+            }
+            _ => unreachable!("fields span at most two words"),
+        }
+    }
+
+    /// Generate packing code: build each output word by depositing field
+    /// pieces, calling `k` with the packed words.
+    fn emit_pack(
+        &mut self,
+        env: &mut Env,
+        l: &Layout,
+        rec_ty: &Type,
+        rec_vals: &[Value],
+        k: K<'a>,
+    ) -> Result<Term, Diagnostic> {
+        // Gather (offset, width, value) for every packed leaf.
+        let mut deposits: Vec<(u32, u32, Value)> = Vec::new();
+        collect_pack_deposits(l, rec_ty, rec_vals, &mut deposits)
+            .map_err(|m| Diagnostic::new(m, Span::default()))?;
+        let nwords = l.words();
+        // Per output word: list of (piece, source value, remaining bits).
+        let mut per_word: Vec<Vec<(layout::FieldPiece, Value, u32)>> =
+            vec![Vec::new(); nwords as usize];
+        for (offset, width, v) in &deposits {
+            let mut remaining = *width;
+            for p in layout::field_pieces(*offset, *width) {
+                remaining -= p.bits;
+                per_word[p.word as usize].push((p, *v, remaining));
+            }
+        }
+        self.emit_pack_words(env, per_word, 0, Vec::new(), k)
+    }
+
+    fn emit_pack_words(
+        &mut self,
+        env: &mut Env,
+        per_word: Vec<Vec<(layout::FieldPiece, Value, u32)>>,
+        idx: usize,
+        mut acc: Vec<Value>,
+        k: K<'a>,
+    ) -> Result<Term, Diagnostic> {
+        if idx == per_word.len() {
+            return k.apply(self, env, acc);
+        }
+        let pieces = per_word[idx].clone();
+        self.emit_pack_word(env, pieces, Value::Const(0), move |cx, env2, word| {
+            acc.push(word);
+            cx.emit_pack_words(env2, per_word, idx + 1, acc, k)
+        })
+    }
+
+    fn emit_pack_word(
+        &mut self,
+        env: &mut Env,
+        mut pieces: Vec<(layout::FieldPiece, Value, u32)>,
+        acc: Value,
+        done: impl FnOnce(&mut Self, &mut Env, Value) -> Result<Term, Diagnostic> + 'a,
+    ) -> Result<Term, Diagnostic> {
+        if pieces.is_empty() {
+            return done(self, env, acc);
+        }
+        let (p, v, remaining) = pieces.remove(0);
+        // piece = ((v >> remaining) & mask(bits)) << shift, OR'd into acc.
+        self.emit_alu(AluOp::Shr, v, Value::Const(remaining), move |cx, v1| {
+            let need_mask = p.bits < 32;
+            let step2 = move |cx: &mut Self, v2: Value| {
+                cx.emit_alu(AluOp::Shl, v2, Value::Const(p.shift), move |cx, v3| {
+                    cx.emit_alu(AluOp::Or, acc, v3, move |cx, v4| {
+                        cx.emit_pack_word(env, pieces, v4, done)
+                    })
+                })
+            };
+            if need_mask {
+                cx.emit_alu(AluOp::And, v1, Value::Const(layout::mask(p.bits)), step2)
+            } else {
+                step2(cx, v1)
+            }
+        })
+    }
+}
+
+/// Where the value of a `try` goes.
+#[derive(Clone, Copy)]
+enum JumpTo {
+    Ret,
+    Label(FnId),
+}
+
+impl JumpTo {
+    fn jump(self, cx: &mut Cx<'_>, vals: Vec<Value>) -> Term {
+        match self {
+            JumpTo::Ret => Term::App { f: cx.ret, args: vals },
+            JumpTo::Label(l) => Term::App { f: Value::Label(l), args: vals },
+        }
+    }
+}
+
+fn attach_join(def: Option<CpsFun>, body: Term) -> Term {
+    match def {
+        Some(f) => Term::Fix { funs: vec![f], body: Box::new(body) },
+        None => body,
+    }
+}
+
+fn mem_space(s: ast::MemSpace) -> MemSpace {
+    match s {
+        ast::MemSpace::Sram => MemSpace::Sram,
+        ast::MemSpace::Sdram => MemSpace::Sdram,
+        ast::MemSpace::Scratch => MemSpace::Scratch,
+    }
+}
+
+/// Slot offset and width of a named field within a record type.
+fn field_slot_range(ty: &Type, name: &str) -> Option<(usize, usize)> {
+    match ty {
+        Type::Record(fs) => {
+            let mut off = 0;
+            for (n, t) in fs {
+                let w = slots(t);
+                if n == name {
+                    return Some((off, w));
+                }
+                off += w;
+            }
+            None
+        }
+        _ => None,
+    }
+}
+
+/// Leaves of a layout in unpacked-record order (all overlay alternatives).
+fn collect_unpack_leaves(l: &Layout, out: &mut Vec<(u32, u32)>) {
+    use nova_frontend::layout::Item;
+    for item in &l.items {
+        match item {
+            Item::Bits { offset, width, .. } => out.push((*offset, *width)),
+            Item::Sub { layout, .. } => collect_unpack_leaves(layout, out),
+            Item::Overlay { alts, .. } => {
+                for (_, al) in alts {
+                    collect_unpack_leaves(al, out);
+                }
+            }
+            Item::Gap { .. } => {}
+        }
+    }
+}
+
+/// Match a record value against a layout for packing, producing leaf
+/// deposits. The record supplies exactly one alternative per overlay.
+fn collect_pack_deposits(
+    l: &Layout,
+    ty: &Type,
+    vals: &[Value],
+    out: &mut Vec<(u32, u32, Value)>,
+) -> Result<(), String> {
+    use nova_frontend::layout::Item;
+    for item in &l.items {
+        match item {
+            Item::Bits { name, offset, width } => {
+                let (off, n) =
+                    field_slot_range(ty, name).ok_or_else(|| format!("missing field {name}"))?;
+                debug_assert_eq!(n, 1);
+                out.push((*offset, *width, vals[off]));
+            }
+            Item::Sub { name, layout } => {
+                let (off, n) =
+                    field_slot_range(ty, name).ok_or_else(|| format!("missing field {name}"))?;
+                let fty = ty.field(name).ok_or_else(|| format!("missing field {name}"))?;
+                collect_pack_deposits(layout, fty, &vals[off..off + n], out)?;
+            }
+            Item::Overlay { name, alts } => {
+                let (off, n) =
+                    field_slot_range(ty, name).ok_or_else(|| format!("missing overlay {name}"))?;
+                let fty = ty.field(name).ok_or_else(|| format!("missing overlay {name}"))?;
+                let Type::Record(fs) = fty else {
+                    return Err(format!("overlay {name} needs a record"));
+                };
+                let (alt_name, alt_ty) = &fs[0];
+                let alt_layout = alts
+                    .iter()
+                    .find(|(a, _)| a == alt_name)
+                    .map(|(_, l)| l)
+                    .ok_or_else(|| format!("no alternative {alt_name}"))?;
+                // Bare-width alternative: the whole range is one leaf.
+                if let [Item::Bits { name: n2, offset, width }] = alt_layout.items.as_slice() {
+                    if n2 == layout::VALUE_FIELD {
+                        out.push((*offset, *width, vals[off]));
+                        continue;
+                    }
+                }
+                collect_pack_deposits(alt_layout, alt_ty, &vals[off..off + n], out)?;
+            }
+            Item::Gap { .. } => {}
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::pretty;
+    use nova_frontend::{check, parse};
+
+    fn cps_of(src: &str) -> Cps {
+        let p = parse(src).unwrap_or_else(|d| panic!("parse: {}", d.render(src)));
+        let info = check(&p).unwrap_or_else(|d| panic!("check: {}", d.render(src)));
+        convert(&p, &info).unwrap_or_else(|d| panic!("convert: {}", d.render(src)))
+    }
+
+    #[test]
+    fn converts_minimal() {
+        let cps = cps_of("fun main() { 42 }");
+        let s = pretty(&cps);
+        assert!(s.contains("fun main"));
+        assert!(s.contains("halt"));
+    }
+
+    #[test]
+    fn memory_ops_convert() {
+        let cps = cps_of(
+            "fun main() { let (a, b) = sram(100); sram(200) <- (b, a); a + b }",
+        );
+        let s = pretty(&cps);
+        assert!(s.contains("sram[0x64]"), "{s}");
+        assert!(s.contains("sram[0xc8] <-"), "{s}");
+    }
+
+    #[test]
+    fn if_in_tail_position_has_no_join() {
+        let cps = cps_of("fun main() { if (1 == 2) 3 else 4 }");
+        let s = pretty(&cps);
+        assert!(!s.contains("$ifjoin"), "{s}");
+    }
+
+    #[test]
+    fn assignments_become_join_parameters() {
+        let cps = cps_of(
+            "fun main() { let x = 1; if (2 < 3) { x = 5; } else { x = 6; }; x + 0 }",
+        );
+        let s = pretty(&cps);
+        assert!(s.contains("$ifjoin"), "{s}");
+    }
+
+    #[test]
+    fn while_becomes_loop_continuation() {
+        let cps = cps_of(
+            "fun main() { let i = 0; while (i < 10) { i = i + 1; } i }",
+        );
+        let s = pretty(&cps);
+        assert!(s.contains("$loop"), "{s}");
+    }
+
+    #[test]
+    fn unpack_generates_shift_mask() {
+        let cps = cps_of(
+            r#"
+            layout h = { version: 4, priority: 4, rest: 24 };
+            fun main() { let (w) = sram(0); let u = unpack[h]((w)); u.version }
+            "#,
+        );
+        let s = pretty(&cps);
+        assert!(s.contains("Shr"), "{s}");
+    }
+
+    #[test]
+    fn exceptions_become_continuations() {
+        let cps = cps_of(
+            "fun main() { try { raise X (1, 2) } handle X (a, b) { a + b } }",
+        );
+        let s = pretty(&cps);
+        assert!(s.contains("$handle_X"), "{s}");
+    }
+
+    #[test]
+    fn tail_calls_pass_return_continuation() {
+        let cps = cps_of(
+            "fun main() { loop(0) } fun loop(i) { if (i < 3) loop(i + 1) else i }",
+        );
+        let s = pretty(&cps);
+        assert!(s.contains("fun loop"), "{s}");
+    }
+}

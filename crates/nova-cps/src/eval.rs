@@ -1,0 +1,574 @@
+//! Reference interpreter for CPS programs.
+//!
+//! Executes a [`Cps`] term against a [`Machine`] model (SRAM, SDRAM,
+//! scratch, CSRs, packet queues). This is the compiler's semantic oracle:
+//! every optimization pass and the whole back end must preserve the
+//! behaviour observable through this interpreter, and the benchmark
+//! programs (AES, Kasumi, NAT) are validated by comparing the memory and
+//! transmit log it produces against trusted Rust reference
+//! implementations.
+
+use crate::ir::{Cps, CpsFun, FnId, PrimOp, Term, Value, VarId};
+use ixp_machine::units::hash_unit;
+use ixp_machine::MemSpace;
+use std::collections::{HashMap, VecDeque};
+
+/// The memory and I/O model shared with the cycle simulator.
+#[derive(Debug, Clone, Default)]
+pub struct Machine {
+    /// External SRAM, word addressed (grows on demand).
+    pub sram: Vec<u32>,
+    /// External SDRAM, word addressed.
+    pub sdram: Vec<u32>,
+    /// On-chip scratch, word addressed.
+    pub scratch: Vec<u32>,
+    /// Control/status registers.
+    pub csr: HashMap<u32, u32>,
+    /// Pending received packets: `(length_bytes, sdram_word_address)`.
+    pub rx_queue: VecDeque<(u32, u32)>,
+    /// Transmitted packets: `(sdram_word_address, length_bytes)`.
+    pub tx_log: Vec<(u32, u32)>,
+}
+
+impl Machine {
+    /// A machine with zeroed memories of the given word sizes.
+    pub fn with_sizes(sram: usize, sdram: usize, scratch: usize) -> Self {
+        Machine {
+            sram: vec![0; sram],
+            sdram: vec![0; sdram],
+            scratch: vec![0; scratch],
+            ..Machine::default()
+        }
+    }
+
+    fn space_mut(&mut self, space: MemSpace) -> &mut Vec<u32> {
+        match space {
+            MemSpace::Sram => &mut self.sram,
+            MemSpace::Sdram => &mut self.sdram,
+            MemSpace::Scratch => &mut self.scratch,
+        }
+    }
+
+    /// Read one word, growing the memory if needed.
+    pub fn read(&mut self, space: MemSpace, addr: u32) -> u32 {
+        let m = self.space_mut(space);
+        if addr as usize >= m.len() {
+            m.resize(addr as usize + 1, 0);
+        }
+        m[addr as usize]
+    }
+
+    /// Write one word, growing the memory if needed.
+    pub fn write(&mut self, space: MemSpace, addr: u32, val: u32) {
+        let m = self.space_mut(space);
+        if addr as usize >= m.len() {
+            m.resize(addr as usize + 1, 0);
+        }
+        m[addr as usize] = val;
+    }
+}
+
+/// Why execution stopped.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Stop {
+    /// The program reached `Halt`.
+    Halt,
+    /// `rx_packet` found the receive queue empty (the normal end of a
+    /// packet-loop workload).
+    RxEmpty,
+}
+
+/// Execution statistics.
+#[derive(Debug, Clone, Default)]
+pub struct EvalStats {
+    /// CPS steps executed.
+    pub steps: u64,
+    /// Memory read transactions.
+    pub reads: u64,
+    /// Memory write transactions.
+    pub writes: u64,
+    /// Packets received (completed `rx_packet`s).
+    pub packets: u64,
+}
+
+/// Evaluation errors (all indicate compiler bugs or fuel exhaustion).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EvalError {
+    /// A variable was read before being bound.
+    UnboundVar(VarId),
+    /// An `App` target was not a label.
+    NotCallable(String),
+    /// Unknown function id.
+    UnknownFn(FnId),
+    /// Argument count mismatch at a call.
+    Arity(FnId, usize, usize),
+    /// The step budget was exhausted (likely a loop).
+    OutOfFuel,
+}
+
+impl std::fmt::Display for EvalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EvalError::UnboundVar(v) => write!(f, "unbound variable {v}"),
+            EvalError::NotCallable(s) => write!(f, "call target is not a label: {s}"),
+            EvalError::UnknownFn(id) => write!(f, "unknown function {id}"),
+            EvalError::Arity(id, want, got) => {
+                write!(f, "function {id} takes {want} args, got {got}")
+            }
+            EvalError::OutOfFuel => write!(f, "out of fuel"),
+        }
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+/// A runtime value: a word or a code label.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RtVal {
+    /// Data word.
+    Word(u32),
+    /// Code label (continuation/exception/function argument).
+    Label(FnId),
+}
+
+/// Run a CPS program to completion.
+///
+/// # Errors
+///
+/// Returns an [`EvalError`] on stuck states (compiler bugs) or fuel
+/// exhaustion.
+pub fn run(cps: &Cps, mach: &mut Machine, fuel: u64) -> Result<(Stop, EvalStats), EvalError> {
+    let mut funs: HashMap<FnId, &CpsFun> = HashMap::new();
+    collect_funs(&cps.body, &mut funs);
+    let mut env: HashMap<VarId, RtVal> = HashMap::new();
+    let mut stats = EvalStats::default();
+    let mut term: &Term = &cps.body;
+    let mut remaining = fuel;
+
+    loop {
+        if remaining == 0 {
+            return Err(EvalError::OutOfFuel);
+        }
+        remaining -= 1;
+        stats.steps += 1;
+        match term {
+            Term::Halt => return Ok((Stop::Halt, stats)),
+            Term::Fix { body, .. } => {
+                term = body;
+            }
+            Term::Let { op, args, dsts, body } => {
+                let argv: Result<Vec<RtVal>, EvalError> =
+                    args.iter().map(|a| value(&env, a)).collect();
+                let argv = argv?;
+                let word = |i: usize| -> u32 {
+                    match argv[i] {
+                        RtVal::Word(w) => w,
+                        RtVal::Label(_) => 0,
+                    }
+                };
+                match op {
+                    PrimOp::Alu(alu) => {
+                        env.insert(dsts[0], RtVal::Word(alu.eval(word(0), word(1))));
+                    }
+                    PrimOp::Move | PrimOp::Clone => {
+                        env.insert(dsts[0], argv[0]);
+                    }
+                    PrimOp::Hash => {
+                        env.insert(dsts[0], RtVal::Word(hash_unit(word(0))));
+                        stats.reads += 1;
+                    }
+                    PrimOp::BitTestSet => {
+                        let addr = word(0);
+                        let old = mach.read(MemSpace::Sram, addr);
+                        mach.write(MemSpace::Sram, addr, old | word(1));
+                        env.insert(dsts[0], RtVal::Word(old));
+                        stats.reads += 1;
+                        stats.writes += 1;
+                    }
+                    PrimOp::CsrRead => {
+                        let v = *mach.csr.get(&word(0)).unwrap_or(&0);
+                        env.insert(dsts[0], RtVal::Word(v));
+                    }
+                    PrimOp::CsrWrite => {
+                        mach.csr.insert(word(0), word(1));
+                    }
+                    PrimOp::RxPacket => match mach.rx_queue.pop_front() {
+                        Some((len, addr)) => {
+                            env.insert(dsts[0], RtVal::Word(len));
+                            env.insert(dsts[1], RtVal::Word(addr));
+                            stats.packets += 1;
+                        }
+                        None => return Ok((Stop::RxEmpty, stats)),
+                    },
+                    PrimOp::TxPacket => {
+                        mach.tx_log.push((word(0), word(1)));
+                    }
+                    PrimOp::CtxSwap => {}
+                }
+                term = body;
+            }
+            Term::MemRead { space, addr, dsts, body } => {
+                let a = as_word(value(&env, addr)?);
+                for (i, d) in dsts.iter().enumerate() {
+                    let v = mach.read(*space, a + i as u32);
+                    env.insert(*d, RtVal::Word(v));
+                }
+                stats.reads += 1;
+                term = body;
+            }
+            Term::MemWrite { space, addr, srcs, body } => {
+                let a = as_word(value(&env, addr)?);
+                for (i, s) in srcs.iter().enumerate() {
+                    let v = as_word(value(&env, s)?);
+                    mach.write(*space, a + i as u32, v);
+                }
+                stats.writes += 1;
+                term = body;
+            }
+            Term::If { cmp, a, b, t, f } => {
+                let x = as_word(value(&env, a)?);
+                let y = as_word(value(&env, b)?);
+                term = if cmp.eval(x, y) { t } else { f };
+            }
+            Term::App { f, args } => {
+                let target = match value(&env, f)? {
+                    RtVal::Label(id) => id,
+                    RtVal::Word(w) => {
+                        return Err(EvalError::NotCallable(format!("word {w:#x}")))
+                    }
+                };
+                let fun = funs.get(&target).ok_or(EvalError::UnknownFn(target))?;
+                if fun.params.len() != args.len() {
+                    return Err(EvalError::Arity(target, fun.params.len(), args.len()));
+                }
+                let argv: Result<Vec<RtVal>, EvalError> =
+                    args.iter().map(|a| value(&env, a)).collect();
+                for (p, v) in fun.params.iter().zip(argv?) {
+                    env.insert(*p, v);
+                }
+                term = &fun.body;
+            }
+        }
+    }
+}
+
+fn value(env: &HashMap<VarId, RtVal>, v: &Value) -> Result<RtVal, EvalError> {
+    match v {
+        Value::Const(c) => Ok(RtVal::Word(*c)),
+        Value::Label(l) => Ok(RtVal::Label(*l)),
+        Value::Var(x) => env.get(x).copied().ok_or(EvalError::UnboundVar(*x)),
+    }
+}
+
+fn as_word(v: RtVal) -> u32 {
+    match v {
+        RtVal::Word(w) => w,
+        RtVal::Label(_) => 0,
+    }
+}
+
+fn collect_funs<'a>(t: &'a Term, out: &mut HashMap<FnId, &'a CpsFun>) {
+    match t {
+        Term::Fix { funs, body } => {
+            for f in funs {
+                out.insert(f.id, f);
+                collect_funs(&f.body, out);
+            }
+            collect_funs(body, out);
+        }
+        Term::Let { body, .. } | Term::MemRead { body, .. } | Term::MemWrite { body, .. } => {
+            collect_funs(body, out)
+        }
+        Term::If { t, f, .. } => {
+            collect_funs(t, out);
+            collect_funs(f, out);
+        }
+        Term::App { .. } | Term::Halt => {}
+    }
+}
+
+/// Convenience: parse, check, convert and run a Nova source string against
+/// a machine. Used pervasively by tests.
+///
+/// # Errors
+///
+/// Propagates front-end diagnostics as strings and evaluation errors.
+pub fn run_nova(source: &str, mach: &mut Machine, fuel: u64) -> Result<(Stop, EvalStats), String> {
+    let program = nova_frontend::parse(source).map_err(|d| d.render(source))?;
+    let info = nova_frontend::check(&program).map_err(|d| d.render(source))?;
+    let cps = crate::convert::convert(&program, &info).map_err(|d| d.render(source))?;
+    run(&cps, mach, fuel).map_err(|e| e.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn machine() -> Machine {
+        Machine::with_sizes(1024, 4096, 256)
+    }
+
+    #[test]
+    fn arithmetic_and_store() {
+        let mut m = machine();
+        run_nova(
+            "fun main() { let x = 7; sram(10) <- (x + 35); 0 }",
+            &mut m,
+            10_000,
+        )
+        .unwrap();
+        assert_eq!(m.sram[10], 42);
+    }
+
+    #[test]
+    fn loads_and_tuple_destructuring() {
+        let mut m = machine();
+        m.sram[100] = 11;
+        m.sram[101] = 22;
+        run_nova(
+            "fun main() { let (a, b) = sram(100); sram(200) <- (b, a); 0 }",
+            &mut m,
+            10_000,
+        )
+        .unwrap();
+        assert_eq!(&m.sram[200..202], &[22, 11]);
+    }
+
+    #[test]
+    fn while_loop_sums() {
+        let mut m = machine();
+        run_nova(
+            r#"fun main() {
+                let i = 0;
+                let sum = 0;
+                while (i < 10) { sum = sum + i; i = i + 1; }
+                sram(0) <- (sum);
+                0
+            }"#,
+            &mut m,
+            100_000,
+        )
+        .unwrap();
+        assert_eq!(m.sram[0], 45);
+    }
+
+    #[test]
+    fn if_join_carries_assignments() {
+        let mut m = machine();
+        m.sram[0] = 5;
+        run_nova(
+            r#"fun main() {
+                let (x) = sram(0);
+                let y = 0;
+                if (x > 3) { y = 100; } else { y = 200; }
+                sram(1) <- (y + x);
+                0
+            }"#,
+            &mut m,
+            10_000,
+        )
+        .unwrap();
+        assert_eq!(m.sram[1], 105);
+    }
+
+    #[test]
+    fn tail_recursion_is_a_loop() {
+        let mut m = machine();
+        run_nova(
+            r#"
+            fun main() { go(0, 0) }
+            fun go(i, acc) {
+                if (i == 100) { sram(0) <- (acc); 0 }
+                else go(i + 1, acc + i)
+            }"#,
+            &mut m,
+            100_000,
+        )
+        .unwrap();
+        assert_eq!(m.sram[0], 4950);
+    }
+
+    #[test]
+    fn exceptions_unwind_to_handler() {
+        let mut m = machine();
+        run_nova(
+            r#"
+            fun risky [v: word, fail: exn(word)] {
+                if (v > 10) raise fail (v) else v
+            }
+            fun main() {
+                let r = try { risky[v = 50, fail = Oops] }
+                        handle Oops (code) { code + 1000 };
+                sram(0) <- (r);
+                0
+            }"#,
+            &mut m,
+            10_000,
+        )
+        .unwrap();
+        assert_eq!(m.sram[0], 1050);
+    }
+
+    #[test]
+    fn unpack_pack_roundtrip() {
+        let mut m = machine();
+        m.sram[0] = (6 << 28) | (2 << 24) | 0xABCDE;
+        run_nova(
+            r#"
+            layout h = { version: 4, priority: 4, flow: 24 };
+            fun main() {
+                let p: packed(h) = sram(0);
+                let u = unpack[h](p);
+                sram(1) <- (u.version, u.priority, u.flow);
+                let q = pack[h] [version = u.version, priority = u.priority, flow = u.flow];
+                sram(4) <- q;
+                0
+            }"#,
+            &mut m,
+            10_000,
+        )
+        .unwrap();
+        assert_eq!(&m.sram[1..4], &[6, 2, 0xABCDE]);
+        assert_eq!(m.sram[4], m.sram[0]);
+    }
+
+    #[test]
+    fn straddling_fields_roundtrip() {
+        let mut m = machine();
+        m.sram[0] = 0x1234_5678;
+        m.sram[1] = 0x9ABC_DEF0;
+        run_nova(
+            r#"
+            layout l = { a: 16, b: 32, c: 16 };
+            fun main() {
+                let p: packed(l) = sram(0);
+                let u = unpack[l](p);
+                sram(10) <- (u.a, u.b, u.c);
+                0
+            }"#,
+            &mut m,
+            10_000,
+        )
+        .unwrap();
+        assert_eq!(m.sram[10], 0x1234);
+        assert_eq!(m.sram[11], 0x5678_9ABC);
+        assert_eq!(m.sram[12], 0xDEF0);
+    }
+
+    #[test]
+    fn packet_loop_until_rx_empty() {
+        let mut m = machine();
+        m.rx_queue.push_back((8, 0));
+        m.rx_queue.push_back((8, 16));
+        m.sdram[0] = 7;
+        m.sdram[16] = 9;
+        let (stop, stats) = run_nova(
+            r#"
+            fun main() {
+                let (len, addr) = rx_packet();
+                let (w0, w1) = sdram(addr);
+                sdram(addr) <- (w0 + 1, w1);
+                tx_packet(addr, len);
+                main()
+            }"#,
+            &mut m,
+            100_000,
+        )
+        .unwrap();
+        assert_eq!(stop, Stop::RxEmpty);
+        assert_eq!(stats.packets, 2);
+        assert_eq!(m.sdram[0], 8);
+        assert_eq!(m.sdram[16], 10);
+        assert_eq!(m.tx_log, vec![(0, 8), (16, 8)]);
+    }
+
+    #[test]
+    fn hash_and_csr() {
+        let mut m = machine();
+        run_nova(
+            "fun main() { let h = hash(42); csr_write(5, h); sram(0) <- (csr_read(5)); 0 }",
+            &mut m,
+            10_000,
+        )
+        .unwrap();
+        assert_eq!(m.sram[0], hash_unit(42));
+    }
+
+    #[test]
+    fn overlay_views_agree() {
+        let mut m = machine();
+        m.sram[0] = 0x62AB_CDEF;
+        run_nova(
+            r#"
+            layout h = { verpri: overlay { whole: 8 | parts: { version: 4, priority: 4 } }, f: 24 };
+            fun main() {
+                let p: packed(h) = sram(0);
+                let u = unpack[h](p);
+                sram(1) <- (u.verpri.whole, u.verpri.parts.version, u.verpri.parts.priority);
+                let w = pack[h] [ verpri = [ whole = 0x62 ], f = u.f ];
+                sram(4) <- w;
+                0
+            }"#,
+            &mut m,
+            10_000,
+        )
+        .unwrap();
+        assert_eq!(&m.sram[1..4], &[0x62, 6, 2]);
+        assert_eq!(m.sram[4], 0x62AB_CDEF);
+    }
+
+    #[test]
+    fn out_of_fuel_detected() {
+        let mut m = machine();
+        let r = run_nova("fun main() { main() }", &mut m, 1000);
+        assert!(r.unwrap_err().contains("fuel"));
+    }
+
+    #[test]
+    fn nested_function_free_variables() {
+        let mut m = machine();
+        run_nova(
+            r#"
+            fun main() {
+                let base = 100;
+                fun add(x) { x + base }
+                sram(0) <- (add(7));
+                0
+            }"#,
+            &mut m,
+            10_000,
+        )
+        .unwrap();
+        assert_eq!(m.sram[0], 107);
+    }
+
+    #[test]
+    fn bool_values_materialize() {
+        let mut m = machine();
+        run_nova(
+            r#"
+            fun main() {
+                let b = 3 < 5;
+                let c = !b;
+                if (b && !c) { sram(0) <- (1); } else { sram(0) <- (2); }
+                0
+            }"#,
+            &mut m,
+            10_000,
+        )
+        .unwrap();
+        assert_eq!(m.sram[0], 1);
+    }
+
+    #[test]
+    fn scratch_memory_works() {
+        let mut m = machine();
+        run_nova(
+            "fun main() { scratch(5) <- (77, 88); let (a, b) = scratch(5); sram(0) <- (a + b); 0 }",
+            &mut m,
+            10_000,
+        )
+        .unwrap();
+        assert_eq!(m.sram[0], 165);
+    }
+}

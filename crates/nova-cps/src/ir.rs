@@ -1,0 +1,502 @@
+//! The CPS intermediate representation (§4.1).
+//!
+//! Every intermediate value is named, all control is explicit, and
+//! functions (including the continuations introduced by conversion) are
+//! first-order: an [`App`] target is either a static label or a variable
+//! that was bound to a label by parameter passing (how Nova passes
+//! exceptions and function arguments — §3.4's "jump back out to the
+//! corresponding handler"). There are no runtime closures: the §3.1
+//! restrictions guarantee every free variable can stay in registers.
+//!
+//! The IR is in SSA form by construction — each [`VarId`] has exactly one
+//! binding site — which §9 of the paper identifies as the property that
+//! makes transfer-bank coloring feasible.
+//!
+//! [`App`]: Term::App
+
+use ixp_machine::{AluOp, Cond, MemSpace};
+use std::collections::HashMap;
+use std::fmt;
+
+/// A CPS variable (becomes a machine temporary).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct VarId(pub u32);
+
+impl fmt::Display for VarId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// A CPS function label (user function, join point, loop header, handler).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FnId(pub u32);
+
+impl fmt::Display for FnId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "f{}", self.0)
+    }
+}
+
+/// An atomic value: a variable, a compile-time word, or a code label.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Value {
+    /// A variable reference.
+    Var(VarId),
+    /// A literal word.
+    Const(u32),
+    /// A code label (function/continuation), used as a call target or
+    /// passed as an argument.
+    Label(FnId),
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Var(v) => write!(f, "{v}"),
+            Value::Const(c) => write!(f, "{c:#x}"),
+            Value::Label(l) => write!(f, "&{l}"),
+        }
+    }
+}
+
+/// Primitive operations bound by [`Term::Let`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PrimOp {
+    /// Two-operand ALU operation (1 result).
+    Alu(AluOp),
+    /// Copy (1 arg, 1 result). Distinct from `Clone`: copies always cost a
+    /// move if they survive to machine code.
+    Move,
+    /// SSU clone (§4.5): semantically a copy, but clones do not interfere
+    /// and may share a register (1 arg, 1 result).
+    Clone,
+    /// Hardware hash unit (1 arg, 1 result; `SameReg` constrained).
+    Hash,
+    /// Atomic test-and-set: args `[addr, src]`, result = old value.
+    BitTestSet,
+    /// CSR read: args `[csr]`, 1 result.
+    CsrRead,
+    /// CSR write: args `[csr, src]`, no result.
+    CsrWrite,
+    /// Receive a packet: no args, results `[len, sdram_addr]`.
+    RxPacket,
+    /// Transmit a packet: args `[addr, len]`, no result.
+    TxPacket,
+    /// Voluntary context swap: no args, no results.
+    CtxSwap,
+}
+
+impl PrimOp {
+    /// Is the operation free of side effects (and hence removable when its
+    /// results are unused)?
+    pub fn is_pure(self) -> bool {
+        matches!(self, PrimOp::Alu(_) | PrimOp::Move | PrimOp::Clone)
+    }
+}
+
+/// A CPS term.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Term {
+    /// `let dsts = op(args) in body`.
+    Let {
+        /// The primitive.
+        op: PrimOp,
+        /// Arguments.
+        args: Vec<Value>,
+        /// Result variables.
+        dsts: Vec<VarId>,
+        /// Continuation of the binding.
+        body: Box<Term>,
+    },
+    /// Aggregate memory read into fresh variables.
+    MemRead {
+        /// Memory space.
+        space: MemSpace,
+        /// Word address.
+        addr: Value,
+        /// Destination variables (the aggregate, in order).
+        dsts: Vec<VarId>,
+        /// Continuation.
+        body: Box<Term>,
+    },
+    /// Aggregate memory write.
+    MemWrite {
+        /// Memory space.
+        space: MemSpace,
+        /// Word address.
+        addr: Value,
+        /// Source values (the aggregate, in order).
+        srcs: Vec<Value>,
+        /// Continuation.
+        body: Box<Term>,
+    },
+    /// Two-way branch on a word comparison.
+    If {
+        /// Condition code.
+        cmp: Cond,
+        /// Left comparand.
+        a: Value,
+        /// Right comparand.
+        b: Value,
+        /// Taken branch.
+        t: Box<Term>,
+        /// Fallthrough branch.
+        f: Box<Term>,
+    },
+    /// Mutually recursive function definitions, in scope for `body` and
+    /// for each other.
+    Fix {
+        /// The functions.
+        funs: Vec<CpsFun>,
+        /// The term in whose scope they are defined.
+        body: Box<Term>,
+    },
+    /// Transfer control to `f` with `args` (never returns).
+    App {
+        /// Target: a [`Value::Label`] or a variable bound to a label.
+        f: Value,
+        /// Arguments.
+        args: Vec<Value>,
+    },
+    /// End of the program.
+    Halt,
+}
+
+/// A function definition inside a [`Term::Fix`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct CpsFun {
+    /// Unique label.
+    pub id: FnId,
+    /// Debug name (source function name, or `k<N>`/`loop<N>` for
+    /// conversion-introduced continuations).
+    pub name: String,
+    /// Parameters.
+    pub params: Vec<VarId>,
+    /// Body.
+    pub body: Term,
+}
+
+/// A whole CPS program with its name supplies.
+#[derive(Debug, Clone)]
+pub struct Cps {
+    /// The top-level term.
+    pub body: Term,
+    /// Next fresh variable id.
+    pub next_var: u32,
+    /// Next fresh function id.
+    pub next_fn: u32,
+}
+
+impl Cps {
+    /// Allocate a fresh variable.
+    pub fn fresh_var(&mut self) -> VarId {
+        self.next_var += 1;
+        VarId(self.next_var - 1)
+    }
+
+    /// Allocate a fresh function id.
+    pub fn fresh_fn(&mut self) -> FnId {
+        self.next_fn += 1;
+        FnId(self.next_fn - 1)
+    }
+
+    /// Number of `Let`/`MemRead`/`MemWrite`/`If`/`App` nodes (a size measure
+    /// used by the optimizer's fixpoint loop and by tests).
+    pub fn size(&self) -> usize {
+        term_size(&self.body)
+    }
+}
+
+fn term_size(t: &Term) -> usize {
+    match t {
+        Term::Let { body, .. } | Term::MemRead { body, .. } | Term::MemWrite { body, .. } => {
+            1 + term_size(body)
+        }
+        Term::If { t, f, .. } => 1 + term_size(t) + term_size(f),
+        Term::Fix { funs, body } => {
+            funs.iter().map(|f| term_size(&f.body)).sum::<usize>() + term_size(body)
+        }
+        Term::App { .. } => 1,
+        Term::Halt => 0,
+    }
+}
+
+impl Term {
+    /// Values read directly by the head of this term (not recursive).
+    pub fn head_uses(&self) -> Vec<Value> {
+        match self {
+            Term::Let { args, .. } => args.clone(),
+            Term::MemRead { addr, .. } => vec![*addr],
+            Term::MemWrite { addr, srcs, .. } => {
+                let mut v = vec![*addr];
+                v.extend(srcs.iter().copied());
+                v
+            }
+            Term::If { a, b, .. } => vec![*a, *b],
+            Term::App { f, args } => {
+                let mut v = vec![*f];
+                v.extend(args.iter().copied());
+                v
+            }
+            Term::Fix { .. } | Term::Halt => vec![],
+        }
+    }
+}
+
+/// Pretty-print a CPS program (used in tests and `--emit=cps` debugging).
+pub fn pretty(cps: &Cps) -> String {
+    let mut s = String::new();
+    pp(&cps.body, 0, &mut s);
+    s
+}
+
+fn indent(n: usize, s: &mut String) {
+    for _ in 0..n {
+        s.push_str("  ");
+    }
+}
+
+fn pp(t: &Term, depth: usize, s: &mut String) {
+    use std::fmt::Write;
+    match t {
+        Term::Let { op, args, dsts, body } => {
+            indent(depth, s);
+            let _ = write!(s, "let ");
+            for (i, d) in dsts.iter().enumerate() {
+                if i > 0 {
+                    s.push_str(", ");
+                }
+                let _ = write!(s, "{d}");
+            }
+            let _ = write!(s, " = {op:?}(");
+            for (i, a) in args.iter().enumerate() {
+                if i > 0 {
+                    s.push_str(", ");
+                }
+                let _ = write!(s, "{a}");
+            }
+            s.push_str(")\n");
+            pp(body, depth, s);
+        }
+        Term::MemRead { space, addr, dsts, body } => {
+            indent(depth, s);
+            let _ = write!(s, "let ");
+            for (i, d) in dsts.iter().enumerate() {
+                if i > 0 {
+                    s.push_str(", ");
+                }
+                let _ = write!(s, "{d}");
+            }
+            let _ = writeln!(s, " = {space}[{addr}]");
+            pp(body, depth, s);
+        }
+        Term::MemWrite { space, addr, srcs, body } => {
+            indent(depth, s);
+            let _ = write!(s, "{space}[{addr}] <- ");
+            for (i, v) in srcs.iter().enumerate() {
+                if i > 0 {
+                    s.push_str(", ");
+                }
+                let _ = write!(s, "{v}");
+            }
+            s.push('\n');
+            pp(body, depth, s);
+        }
+        Term::If { cmp, a, b, t, f } => {
+            indent(depth, s);
+            let _ = writeln!(s, "if {a} {} {b}", cmp.mnemonic());
+            pp(t, depth + 1, s);
+            indent(depth, s);
+            s.push_str("else\n");
+            pp(f, depth + 1, s);
+        }
+        Term::Fix { funs, body } => {
+            for f in funs {
+                indent(depth, s);
+                use std::fmt::Write;
+                let _ = write!(s, "fun {}#{} (", f.name, f.id);
+                for (i, p) in f.params.iter().enumerate() {
+                    if i > 0 {
+                        s.push_str(", ");
+                    }
+                    let _ = write!(s, "{p}");
+                }
+                s.push_str(") =\n");
+                pp(&f.body, depth + 1, s);
+            }
+            pp(body, depth, s);
+        }
+        Term::App { f, args } => {
+            indent(depth, s);
+            use std::fmt::Write;
+            let _ = write!(s, "{f}(");
+            for (i, a) in args.iter().enumerate() {
+                if i > 0 {
+                    s.push_str(", ");
+                }
+                let _ = write!(s, "{a}");
+            }
+            s.push_str(")\n");
+        }
+        Term::Halt => {
+            indent(depth, s);
+            s.push_str("halt\n");
+        }
+    }
+}
+
+/// Rename every bound variable and function id in `t` to fresh names from
+/// `cps`, substituting `var_map`/`fn_map` for free occurrences. Used by the
+/// inliner to keep the single-binding (SSA) invariant.
+pub fn freshen(
+    cps: &mut Cps,
+    t: &Term,
+    var_map: &HashMap<VarId, Value>,
+    fn_map: &HashMap<FnId, FnId>,
+) -> Term {
+    let mut vmap = var_map.clone();
+    let mut fmap = fn_map.clone();
+    freshen_inner(cps, t, &mut vmap, &mut fmap)
+}
+
+fn subst_value(v: Value, vmap: &HashMap<VarId, Value>, fmap: &HashMap<FnId, FnId>) -> Value {
+    match v {
+        Value::Var(x) => vmap.get(&x).copied().unwrap_or(Value::Var(x)),
+        Value::Label(f) => Value::Label(fmap.get(&f).copied().unwrap_or(f)),
+        c => c,
+    }
+}
+
+fn freshen_inner(
+    cps: &mut Cps,
+    t: &Term,
+    vmap: &mut HashMap<VarId, Value>,
+    fmap: &mut HashMap<FnId, FnId>,
+) -> Term {
+    match t {
+        Term::Let { op, args, dsts, body } => {
+            let args = args.iter().map(|a| subst_value(*a, vmap, fmap)).collect();
+            let new_dsts: Vec<VarId> = dsts.iter().map(|_| cps.fresh_var()).collect();
+            for (old, new) in dsts.iter().zip(&new_dsts) {
+                vmap.insert(*old, Value::Var(*new));
+            }
+            let body = freshen_inner(cps, body, vmap, fmap);
+            Term::Let { op: *op, args, dsts: new_dsts, body: Box::new(body) }
+        }
+        Term::MemRead { space, addr, dsts, body } => {
+            let addr = subst_value(*addr, vmap, fmap);
+            let new_dsts: Vec<VarId> = dsts.iter().map(|_| cps.fresh_var()).collect();
+            for (old, new) in dsts.iter().zip(&new_dsts) {
+                vmap.insert(*old, Value::Var(*new));
+            }
+            let body = freshen_inner(cps, body, vmap, fmap);
+            Term::MemRead { space: *space, addr, dsts: new_dsts, body: Box::new(body) }
+        }
+        Term::MemWrite { space, addr, srcs, body } => Term::MemWrite {
+            space: *space,
+            addr: subst_value(*addr, vmap, fmap),
+            srcs: srcs.iter().map(|v| subst_value(*v, vmap, fmap)).collect(),
+            body: Box::new(freshen_inner(cps, body, vmap, fmap)),
+        },
+        Term::If { cmp, a, b, t: tt, f: ff } => Term::If {
+            cmp: *cmp,
+            a: subst_value(*a, vmap, fmap),
+            b: subst_value(*b, vmap, fmap),
+            t: Box::new(freshen_inner(cps, tt, vmap, fmap)),
+            f: Box::new(freshen_inner(cps, ff, vmap, fmap)),
+        },
+        Term::Fix { funs, body } => {
+            // Bind all ids first (mutual recursion).
+            for f in funs {
+                let nf = cps.fresh_fn();
+                fmap.insert(f.id, nf);
+            }
+            let funs = funs
+                .iter()
+                .map(|f| {
+                    let new_params: Vec<VarId> = f.params.iter().map(|_| cps.fresh_var()).collect();
+                    for (old, new) in f.params.iter().zip(&new_params) {
+                        vmap.insert(*old, Value::Var(*new));
+                    }
+                    CpsFun {
+                        id: fmap[&f.id],
+                        name: f.name.clone(),
+                        params: new_params,
+                        body: freshen_inner(cps, &f.body, vmap, fmap),
+                    }
+                })
+                .collect();
+            Term::Fix { funs, body: Box::new(freshen_inner(cps, body, vmap, fmap)) }
+        }
+        Term::App { f, args } => Term::App {
+            f: subst_value(*f, vmap, fmap),
+            args: args.iter().map(|v| subst_value(*v, vmap, fmap)).collect(),
+        },
+        Term::Halt => Term::Halt,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn size_counts_operations() {
+        let t = Term::Let {
+            op: PrimOp::Move,
+            args: vec![Value::Const(1)],
+            dsts: vec![VarId(0)],
+            body: Box::new(Term::Halt),
+        };
+        let cps = Cps { body: t, next_var: 1, next_fn: 0 };
+        assert_eq!(cps.size(), 1);
+    }
+
+    #[test]
+    fn freshen_renames_bindings() {
+        let mut cps = Cps {
+            body: Term::Halt,
+            next_var: 10,
+            next_fn: 5,
+        };
+        let t = Term::Let {
+            op: PrimOp::Move,
+            args: vec![Value::Var(VarId(0))],
+            dsts: vec![VarId(1)],
+            body: Box::new(Term::App { f: Value::Label(FnId(0)), args: vec![Value::Var(VarId(1))] }),
+        };
+        let mut vmap = HashMap::new();
+        vmap.insert(VarId(0), Value::Const(7));
+        let out = freshen(&mut cps, &t, &vmap, &HashMap::new());
+        match out {
+            Term::Let { args, dsts, body, .. } => {
+                assert_eq!(args, vec![Value::Const(7)]);
+                assert_eq!(dsts, vec![VarId(10)]); // freshly renamed
+                match *body {
+                    Term::App { args, .. } => assert_eq!(args, vec![Value::Var(VarId(10))]),
+                    other => panic!("unexpected {other:?}"),
+                }
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn pretty_prints_something() {
+        let cps = Cps {
+            body: Term::If {
+                cmp: Cond::Eq,
+                a: Value::Const(1),
+                b: Value::Const(1),
+                t: Box::new(Term::Halt),
+                f: Box::new(Term::App { f: Value::Label(FnId(0)), args: vec![] }),
+            },
+            next_var: 0,
+            next_fn: 1,
+        };
+        let s = pretty(&cps);
+        assert!(s.contains("if 0x1 eq 0x1"));
+        assert!(s.contains("halt"));
+    }
+}

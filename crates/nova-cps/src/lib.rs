@@ -1,0 +1,27 @@
+//! CPS middle end for the Nova compiler (§4 of the paper).
+//!
+//! * [`ir`] — the CPS intermediate representation (SSA by construction);
+//! * [`convert()`] — type-directed CPS conversion with record flattening,
+//!   booleans as control flow, and layout shift/mask code generation;
+//! * [`opt`] — the optimizer: constant folding and propagation, copy
+//!   propagation, eta reduction, contraction (inlining of called-once
+//!   functions), useless-variable and dead-code elimination, memory-read
+//!   trimming, and de-proceduralization (full inlining of non-tail calls);
+//! * [`ssu`] — the static-single-use transformation (§4.5): cloning of
+//!   memory-write operands so the ILP allocator may give each use its own
+//!   register;
+//! * [`eval`] — a reference interpreter for CPS programs with a memory and
+//!   packet model, used as the compiler's semantic test oracle.
+
+#![warn(missing_docs)]
+
+pub mod convert;
+pub mod eval;
+pub mod ir;
+pub mod opt;
+pub mod ssu;
+
+pub use convert::convert;
+pub use opt::{all_calls_static, optimize, specialize, OptConfig, OptStats};
+pub use ssu::{check_ssu, to_ssu, SsuStats};
+pub use ir::{Cps, CpsFun, FnId, PrimOp, Term, Value, VarId};

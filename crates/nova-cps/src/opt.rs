@@ -1,0 +1,1181 @@
+//! The CPS optimizer (§4.3–§4.4).
+//!
+//! Implemented passes, matching the paper's list:
+//!
+//! * **contraction** — constant folding, global constant/copy propagation,
+//!   algebraic simplification, useless-variable elimination, dead-code
+//!   (dead-function) elimination, eta reduction, and branch folding, run
+//!   to a fixpoint;
+//! * **memory-read trimming** — unused leading/trailing members of an
+//!   aggregate read narrow the transaction (SDRAM trims in pairs to keep
+//!   bursts even); a fully dead read disappears;
+//! * **de-proceduralization** (§4.3) — full inlining of all non-tail
+//!   calls: a non-tail call site is an `App` whose continuation argument
+//!   is a static label; tail calls remain jumps. Type checking guarantees
+//!   recursion is tail-only, so the non-tail call graph is a DAG and
+//!   inlining terminates;
+//! * **called-once inlining** — continuations and functions with exactly
+//!   one call and no escaping uses merge into their caller;
+//! * **label specialization** — parameters that receive the same label at
+//!   every call site are substituted away, leaving every `App` target
+//!   static (required by the back end, which has no indirect branch).
+
+use crate::ir::{freshen, Cps, CpsFun, FnId, PrimOp, Term, Value, VarId};
+use ixp_machine::{AluOp, MemSpace};
+use std::collections::{HashMap, HashSet};
+
+/// Optimizer configuration.
+#[derive(Debug, Clone)]
+pub struct OptConfig {
+    /// Maximum contraction+inline rounds.
+    pub max_rounds: usize,
+    /// Abort if the program grows beyond this many nodes (safety valve for
+    /// pathological inlining).
+    pub max_size: usize,
+}
+
+impl Default for OptConfig {
+    fn default() -> Self {
+        OptConfig { max_rounds: 60, max_size: 2_000_000 }
+    }
+}
+
+/// What the optimizer did (reported by `--stats` style harnesses).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct OptStats {
+    /// Fixpoint rounds executed.
+    pub rounds: usize,
+    /// Calls inlined.
+    pub inlined: usize,
+    /// Functions deleted as dead.
+    pub dead_funs: usize,
+    /// Memory reads narrowed or deleted.
+    pub trimmed_reads: usize,
+    /// Label parameters specialized away.
+    pub specialized: usize,
+}
+
+/// Run only the label-specialization pass (plus the contraction it
+/// exposes). The back end *requires* static call targets, so even an
+/// unoptimized build must run this.
+pub fn specialize(cps: &mut Cps) -> OptStats {
+    let mut stats = OptStats::default();
+    specialize_labels(cps, &mut stats);
+    while contract(cps, &mut stats) {}
+    stats
+}
+
+/// Run the full optimization pipeline in place.
+pub fn optimize(cps: &mut Cps, config: &OptConfig) -> OptStats {
+    let mut stats = OptStats::default();
+    for round in 0..config.max_rounds {
+        stats.rounds = round + 1;
+        let mut changed = false;
+        changed |= contract(cps, &mut stats);
+        changed |= inline_pass(cps, &mut stats, config);
+        if !changed {
+            break;
+        }
+        if cps.size() > config.max_size {
+            break;
+        }
+    }
+    specialize_labels(cps, &mut stats);
+    // Specialization exposes more simplification.
+    while contract(cps, &mut stats) {}
+    stats
+}
+
+// ---------------- census ----------------
+
+#[derive(Default, Debug)]
+struct Census {
+    /// Uses of each variable (as argument, address, operand, or callee).
+    var_uses: HashMap<VarId, usize>,
+    /// Direct calls of each label.
+    calls: HashMap<FnId, usize>,
+    /// Escaping uses (label passed as an argument).
+    escapes: HashMap<FnId, usize>,
+}
+
+impl Census {
+    fn uses(&self, v: VarId) -> usize {
+        *self.var_uses.get(&v).unwrap_or(&0)
+    }
+
+    fn refs(&self, f: FnId) -> usize {
+        *self.calls.get(&f).unwrap_or(&0) + *self.escapes.get(&f).unwrap_or(&0)
+    }
+}
+
+fn census(t: &Term, c: &mut Census) {
+    let use_value = |v: &Value, c: &mut Census, escaping: bool| match v {
+        Value::Var(x) => *c.var_uses.entry(*x).or_insert(0) += 1,
+        Value::Label(l) => {
+            if escaping {
+                *c.escapes.entry(*l).or_insert(0) += 1;
+            } else {
+                *c.calls.entry(*l).or_insert(0) += 1;
+            }
+        }
+        Value::Const(_) => {}
+    };
+    match t {
+        Term::Let { args, body, .. } => {
+            for a in args {
+                use_value(a, c, true);
+            }
+            census(body, c);
+        }
+        Term::MemRead { addr, body, .. } => {
+            use_value(addr, c, true);
+            census(body, c);
+        }
+        Term::MemWrite { addr, srcs, body, .. } => {
+            use_value(addr, c, true);
+            for s in srcs {
+                use_value(s, c, true);
+            }
+            census(body, c);
+        }
+        Term::If { a, b, t, f, .. } => {
+            use_value(a, c, true);
+            use_value(b, c, true);
+            census(t, c);
+            census(f, c);
+        }
+        Term::Fix { funs, body } => {
+            for f in funs {
+                census(&f.body, c);
+            }
+            census(body, c);
+        }
+        Term::App { f, args } => {
+            use_value(f, c, false);
+            for a in args {
+                use_value(a, c, true);
+            }
+        }
+        Term::Halt => {}
+    }
+}
+
+// ---------------- contraction ----------------
+
+/// One contraction round; returns whether anything changed.
+fn contract(cps: &mut Cps, stats: &mut OptStats) -> bool {
+    let mut c = Census::default();
+    census(&cps.body, &mut c);
+    // Eta map: f whose body is exactly App(g, params...) forwards to g.
+    let mut eta: HashMap<FnId, Value> = HashMap::new();
+    collect_eta(&cps.body, &mut eta);
+    resolve_eta_chains(&mut eta);
+    let mut cx = Contract {
+        census: c,
+        eta,
+        subst: HashMap::new(),
+        changed: false,
+        stats_trimmed: 0,
+        stats_dead_funs: 0,
+    };
+    let body = std::mem::replace(&mut cps.body, Term::Halt);
+    cps.body = cx.term(body);
+    stats.trimmed_reads += cx.stats_trimmed;
+    stats.dead_funs += cx.stats_dead_funs;
+    cx.changed
+}
+
+fn collect_eta(t: &Term, out: &mut HashMap<FnId, Value>) {
+    match t {
+        Term::Fix { funs, body } => {
+            for f in funs {
+                if let Term::App { f: target, args } = &f.body {
+                    let forwards = args.len() == f.params.len()
+                        && args
+                            .iter()
+                            .zip(&f.params)
+                            .all(|(a, p)| matches!(a, Value::Var(v) if v == p))
+                        && *target != Value::Label(f.id)
+                        // Forwarding to a parameter would need the caller's
+                        // argument; only forward to static labels.
+                        && matches!(target, Value::Label(_));
+                    if forwards {
+                        out.insert(f.id, *target);
+                    }
+                }
+                collect_eta(&f.body, out);
+            }
+            collect_eta(body, out);
+        }
+        Term::Let { body, .. } | Term::MemRead { body, .. } | Term::MemWrite { body, .. } => {
+            collect_eta(body, out)
+        }
+        Term::If { t, f, .. } => {
+            collect_eta(t, out);
+            collect_eta(f, out);
+        }
+        Term::App { .. } | Term::Halt => {}
+    }
+}
+
+fn resolve_eta_chains(eta: &mut HashMap<FnId, Value>) {
+    let keys: Vec<FnId> = eta.keys().copied().collect();
+    for k in keys {
+        let mut seen = HashSet::new();
+        let mut cur = k;
+        seen.insert(cur);
+        while let Some(Value::Label(next)) = eta.get(&cur) {
+            if !seen.insert(*next) {
+                break; // cycle; leave as-is
+            }
+            cur = *next;
+        }
+        if cur != k {
+            eta.insert(k, Value::Label(cur));
+        }
+    }
+}
+
+struct Contract {
+    census: Census,
+    eta: HashMap<FnId, Value>,
+    subst: HashMap<VarId, Value>,
+    changed: bool,
+    stats_trimmed: usize,
+    stats_dead_funs: usize,
+}
+
+impl Contract {
+    fn value(&self, v: Value) -> Value {
+        let v = match v {
+            Value::Var(x) => self.subst.get(&x).copied().unwrap_or(v),
+            _ => v,
+        };
+        match v {
+            Value::Label(l) => self.eta.get(&l).copied().unwrap_or(v),
+            _ => v,
+        }
+    }
+
+    fn term(&mut self, t: Term) -> Term {
+        match t {
+            Term::Let { op, args, dsts, body } => {
+                let args: Vec<Value> = args.into_iter().map(|a| self.value(a)).collect();
+                // Copy propagation (Move only; Clone is significant to SSU
+                // and the allocator and must not be coalesced here).
+                if op == PrimOp::Move {
+                    self.subst.insert(dsts[0], args[0]);
+                    self.changed = true;
+                    return self.term(*body);
+                }
+                if let PrimOp::Alu(alu) = op {
+                    if let Some(v) = simplify_alu(alu, args[0], args[1]) {
+                        self.subst.insert(dsts[0], v);
+                        self.changed = true;
+                        return self.term(*body);
+                    }
+                    // Same-variable operands are architecturally impossible
+                    // on the IXP (each bank feeds one ALU port, §1.1):
+                    // rewrite x+x into a shift; the other idempotent cases
+                    // were handled by `simplify_alu`.
+                    if args[0] == args[1] && matches!(args[0], Value::Var(_)) {
+                        match alu {
+                            AluOp::Add => {
+                                let body = Box::new(self.term(*body));
+                                self.changed = true;
+                                return Term::Let {
+                                    op: PrimOp::Alu(AluOp::Shl),
+                                    args: vec![args[0], Value::Const(1)],
+                                    dsts,
+                                    body,
+                                };
+                            }
+                            AluOp::And | AluOp::Or => {
+                                self.subst.insert(dsts[0], args[0]);
+                                self.changed = true;
+                                return self.term(*body);
+                            }
+                            AluOp::AndNot => {
+                                self.subst.insert(dsts[0], Value::Const(0));
+                                self.changed = true;
+                                return self.term(*body);
+                            }
+                            _ => {}
+                        }
+                    }
+                }
+                // Useless-variable elimination for pure operations.
+                if op.is_pure() && dsts.iter().all(|d| self.census.uses(*d) == 0) {
+                    self.changed = true;
+                    return self.term(*body);
+                }
+                Term::Let { op, args, dsts, body: Box::new(self.term(*body)) }
+            }
+            Term::MemRead { space, addr, dsts, body } => {
+                let addr = self.value(addr);
+                // Trim unused leading/trailing aggregate members (§4.4
+                // "trimming of memory reads").
+                let used: Vec<bool> = dsts.iter().map(|d| self.census.uses(*d) > 0).collect();
+                if used.iter().all(|u| !u) {
+                    self.changed = true;
+                    self.stats_trimmed += 1;
+                    return self.term(*body);
+                }
+                let first = used.iter().position(|&u| u).unwrap();
+                let last = used.iter().rposition(|&u| u).unwrap();
+                let (skip, keep) = match space {
+                    MemSpace::Sdram => {
+                        // Keep the burst even-sized and even-aligned.
+                        let skip = first & !1;
+                        let mut keep = last + 1 - skip;
+                        if keep % 2 == 1 {
+                            keep += 1;
+                        }
+                        (skip, keep.min(dsts.len() - skip))
+                    }
+                    _ => (first, last + 1 - first),
+                };
+                if skip == 0 && keep == dsts.len() {
+                    return Term::MemRead {
+                        space,
+                        addr,
+                        dsts,
+                        body: Box::new(self.term(*body)),
+                    };
+                }
+                self.changed = true;
+                self.stats_trimmed += 1;
+                let new_dsts: Vec<VarId> = dsts[skip..skip + keep].to_vec();
+                let body = Box::new(self.term(*body));
+                if skip == 0 {
+                    Term::MemRead { space, addr, dsts: new_dsts, body }
+                } else if let Value::Const(base) = addr {
+                    Term::MemRead {
+                        space,
+                        addr: Value::Const(base + skip as u32),
+                        dsts: new_dsts,
+                        body,
+                    }
+                } else {
+                    // addr + skip needs a fresh temporary; leave the read
+                    // untrimmed at the front rather than introduce one here
+                    // (the common case is constant or already-offset
+                    // addresses).
+                    let new_dsts = dsts[..skip + keep].to_vec();
+                    Term::MemRead { space, addr, dsts: new_dsts, body }
+                }
+            }
+            Term::MemWrite { space, addr, srcs, body } => Term::MemWrite {
+                space,
+                addr: self.value(addr),
+                srcs: srcs.into_iter().map(|s| self.value(s)).collect(),
+                body: Box::new(self.term(*body)),
+            },
+            Term::If { cmp, a, b, t, f } => {
+                let a = self.value(a);
+                let b = self.value(b);
+                if let (Value::Const(x), Value::Const(y)) = (a, b) {
+                    self.changed = true;
+                    return if cmp.eval(x, y) { self.term(*t) } else { self.term(*f) };
+                }
+                // Identical operands: the comparison is decided by
+                // reflexivity (and the hardware could not compare a
+                // register against itself anyway).
+                if a == b {
+                    self.changed = true;
+                    return if cmp.eval(0, 0) { self.term(*t) } else { self.term(*f) };
+                }
+                let t = self.term(*t);
+                let f = self.term(*f);
+                // Both branches identical jumps: drop the branch.
+                if let (Term::App { f: tf, args: ta }, Term::App { f: ff, args: fa }) = (&t, &f) {
+                    if tf == ff && ta == fa {
+                        self.changed = true;
+                        return t;
+                    }
+                }
+                Term::If { cmp, a, b, t: Box::new(t), f: Box::new(f) }
+            }
+            Term::Fix { funs, body } => {
+                let mut kept = Vec::new();
+                for f in funs {
+                    if self.census.refs(f.id) == 0 {
+                        self.changed = true;
+                        self.stats_dead_funs += 1;
+                        continue; // dead function
+                    }
+                    if let Some(fwd) = self.eta.get(&f.id) {
+                        // Eta-forwarders die once all references are
+                        // redirected; keep them this round (references
+                        // were rewritten above), next census kills them.
+                        let _ = fwd;
+                        self.changed = true;
+                    }
+                    let fbody = self.term(f.body);
+                    kept.push(CpsFun { id: f.id, name: f.name, params: f.params, body: fbody });
+                }
+                let body = self.term(*body);
+                if kept.is_empty() {
+                    body
+                } else {
+                    Term::Fix { funs: kept, body: Box::new(body) }
+                }
+            }
+            Term::App { f, args } => Term::App {
+                f: self.value(f),
+                args: args.into_iter().map(|a| self.value(a)).collect(),
+            },
+            Term::Halt => Term::Halt,
+        }
+    }
+}
+
+/// Constant folding and algebraic identities; returns a replacement value
+/// when the operation reduces to one.
+fn simplify_alu(op: AluOp, a: Value, b: Value) -> Option<Value> {
+    if let (Value::Const(x), Value::Const(y)) = (a, b) {
+        return Some(Value::Const(op.eval(x, y)));
+    }
+    match (op, a, b) {
+        (AluOp::Add | AluOp::Sub | AluOp::Or | AluOp::Xor | AluOp::Shl | AluOp::Shr, x, Value::Const(0)) => Some(x),
+        (AluOp::Add | AluOp::Or | AluOp::Xor, Value::Const(0), y) => Some(y),
+        (AluOp::And, x, Value::Const(u32::MAX)) => Some(x),
+        (AluOp::And, Value::Const(u32::MAX), y) => Some(y),
+        (AluOp::And, _, Value::Const(0)) | (AluOp::And, Value::Const(0), _) => {
+            Some(Value::Const(0))
+        }
+        (AluOp::B, _, y) => Some(y),
+        (AluOp::Xor, x, y) if x == y && matches!(x, Value::Var(_)) => Some(Value::Const(0)),
+        (AluOp::Sub, x, y) if x == y && matches!(x, Value::Var(_)) => Some(Value::Const(0)),
+        _ => None,
+    }
+}
+
+// ---------------- inlining ----------------
+
+/// Inline non-tail calls (de-proceduralization) and called-once functions.
+fn inline_pass(cps: &mut Cps, stats: &mut OptStats, config: &OptConfig) -> bool {
+    let mut c = Census::default();
+    census(&cps.body, &mut c);
+    // Gather function definitions and the direct-call graph.
+    let mut defs: HashMap<FnId, CpsFun> = HashMap::new();
+    collect_defs(&cps.body, &mut defs);
+    let recursive = find_recursive(&defs);
+
+    let mut inliner = Inliner {
+        defs,
+        recursive,
+        census: c,
+        inlined: 0,
+        budget: config.max_size,
+    };
+    let body = std::mem::replace(&mut cps.body, Term::Halt);
+    let body = inliner.term(cps, body);
+    cps.body = body;
+    stats.inlined += inliner.inlined;
+    inliner.inlined > 0
+}
+
+fn collect_defs(t: &Term, out: &mut HashMap<FnId, CpsFun>) {
+    match t {
+        Term::Fix { funs, body } => {
+            for f in funs {
+                out.insert(f.id, f.clone());
+                collect_defs(&f.body, out);
+            }
+            collect_defs(body, out);
+        }
+        Term::Let { body, .. } | Term::MemRead { body, .. } | Term::MemWrite { body, .. } => {
+            collect_defs(body, out)
+        }
+        Term::If { t, f, .. } => {
+            collect_defs(t, out);
+            collect_defs(f, out);
+        }
+        Term::App { .. } | Term::Halt => {}
+    }
+}
+
+/// Functions that can reach themselves through direct static calls.
+fn find_recursive(defs: &HashMap<FnId, CpsFun>) -> HashSet<FnId> {
+    // Direct call edges (targets of App with Label callee).
+    let mut edges: HashMap<FnId, HashSet<FnId>> = HashMap::new();
+    for (id, f) in defs {
+        let mut callees = HashSet::new();
+        direct_calls(&f.body, &mut callees);
+        edges.insert(*id, callees);
+    }
+    // Transitive closure per node (programs are small).
+    let mut recursive = HashSet::new();
+    for &start in defs.keys() {
+        let mut seen = HashSet::new();
+        let mut stack: Vec<FnId> = edges.get(&start).into_iter().flatten().copied().collect();
+        while let Some(n) = stack.pop() {
+            if n == start {
+                recursive.insert(start);
+                break;
+            }
+            if seen.insert(n) {
+                stack.extend(edges.get(&n).into_iter().flatten().copied());
+            }
+        }
+    }
+    recursive
+}
+
+fn direct_calls(t: &Term, out: &mut HashSet<FnId>) {
+    match t {
+        Term::App { f: Value::Label(l), .. } => {
+            out.insert(*l);
+        }
+        Term::App { .. } | Term::Halt => {}
+        Term::Let { body, .. } | Term::MemRead { body, .. } | Term::MemWrite { body, .. } => {
+            direct_calls(body, out)
+        }
+        Term::If { t, f, .. } => {
+            direct_calls(t, out);
+            direct_calls(f, out);
+        }
+        Term::Fix { funs, body } => {
+            for f in funs {
+                direct_calls(&f.body, out);
+            }
+            direct_calls(body, out);
+        }
+    }
+}
+
+struct Inliner {
+    defs: HashMap<FnId, CpsFun>,
+    recursive: HashSet<FnId>,
+    census: Census,
+    inlined: usize,
+    budget: usize,
+}
+
+impl Inliner {
+    fn should_inline(&self, id: FnId, args: &[Value]) -> bool {
+        let Some(def) = self.defs.get(&id) else { return false };
+        if self.recursive.contains(&id) {
+            return false;
+        }
+        let called_once = *self.census.calls.get(&id).unwrap_or(&0) == 1
+            && *self.census.escapes.get(&id).unwrap_or(&0) == 0;
+        if called_once {
+            return true;
+        }
+        // De-proceduralization: user functions called non-tail (their
+        // continuation argument is a static label) are fully inlined.
+        let user = !def.name.starts_with('$');
+        let nontail = matches!(args.last(), Some(Value::Label(_)));
+        user && nontail
+    }
+
+    fn term(&mut self, cps: &mut Cps, t: Term) -> Term {
+        match t {
+            Term::App { f: Value::Label(l), args } if self.should_inline(l, &args) => {
+                if cps.size() > self.budget {
+                    return Term::App { f: Value::Label(l), args };
+                }
+                let def = self.defs.get(&l).cloned().expect("checked in should_inline");
+                self.inlined += 1;
+                let mut vmap = HashMap::new();
+                for (p, a) in def.params.iter().zip(&args) {
+                    vmap.insert(*p, *a);
+                }
+                // Freshen to preserve the unique-binding invariant, then
+                // keep walking (the inlined body may expose more sites,
+                // but sites inside freshened bodies refer to freshened fn
+                // ids that are not in `defs`, so termination is immediate).
+                freshen(cps, &def.body, &vmap, &HashMap::new())
+            }
+            Term::Let { op, args, dsts, body } => {
+                Term::Let { op, args, dsts, body: Box::new(self.term(cps, *body)) }
+            }
+            Term::MemRead { space, addr, dsts, body } => {
+                Term::MemRead { space, addr, dsts, body: Box::new(self.term(cps, *body)) }
+            }
+            Term::MemWrite { space, addr, srcs, body } => {
+                Term::MemWrite { space, addr, srcs, body: Box::new(self.term(cps, *body)) }
+            }
+            Term::If { cmp, a, b, t, f } => Term::If {
+                cmp,
+                a,
+                b,
+                t: Box::new(self.term(cps, *t)),
+                f: Box::new(self.term(cps, *f)),
+            },
+            Term::Fix { funs, body } => Term::Fix {
+                funs: funs
+                    .into_iter()
+                    .map(|f| CpsFun {
+                        id: f.id,
+                        name: f.name,
+                        params: f.params,
+                        body: self.term(cps, f.body),
+                    })
+                    .collect(),
+                body: Box::new(self.term(cps, *body)),
+            },
+            other => other,
+        }
+    }
+}
+
+// ---------------- label specialization ----------------
+
+/// Label-constant propagation over function parameters (SCCP on the
+/// label lattice Top < Label(l) < Bottom).
+///
+/// The packet-loop programs pass their return continuation around a cycle
+/// of mutually tail-recursive functions; every such parameter ultimately
+/// carries one static label (usually the halt continuation). Solving the
+/// dataflow over parameter-to-parameter edges finds these, substitutes
+/// the label, and drops the parameter — after which every `App` target is
+/// static, the invariant the back end needs (the IXP has no indirect
+/// branch).
+///
+/// Soundness around indirect calls: a function can only be called through
+/// a variable if its label *escapes* (is passed as an argument somewhere),
+/// so parameters of escaping functions are pinned to Bottom and the
+/// constraints of `Var`-callee sites can be ignored.
+fn specialize_labels(cps: &mut Cps, stats: &mut OptStats) {
+    loop {
+        let mut defs: HashMap<FnId, CpsFun> = HashMap::new();
+        collect_defs(&cps.body, &mut defs);
+        let mut escaping: HashSet<FnId> = HashSet::new();
+        collect_escaping(&cps.body, &mut escaping);
+        // Map each parameter variable to its (function, index).
+        let mut param_pos: HashMap<VarId, (FnId, usize)> = HashMap::new();
+        for (id, f) in &defs {
+            for (j, p) in f.params.iter().enumerate() {
+                param_pos.insert(*p, (*id, j));
+            }
+        }
+        #[derive(Clone, Copy, PartialEq)]
+        enum Lat {
+            Top,
+            Label(FnId),
+            Bottom,
+        }
+        let mut val: HashMap<(FnId, usize), Lat> = HashMap::new();
+        for (id, f) in &defs {
+            for j in 0..f.params.len() {
+                let init = if escaping.contains(id) { Lat::Bottom } else { Lat::Top };
+                val.insert((*id, j), init);
+            }
+        }
+        // Edges: arg (g,i) flows into (f,j).
+        let mut edges: HashMap<(FnId, usize), Vec<(FnId, usize)>> = HashMap::new();
+        let mut direct: HashMap<(FnId, usize), Lat> = HashMap::new();
+        let mut sites: Vec<(FnId, Vec<Value>)> = Vec::new();
+        collect_sites(&cps.body, &mut sites);
+        for (target, args) in &sites {
+            for (j, a) in args.iter().enumerate() {
+                let key = (*target, j);
+                match a {
+                    Value::Label(l) => {
+                        let cur = direct.get(&key).copied().unwrap_or(Lat::Top);
+                        let next = match cur {
+                            Lat::Top => Lat::Label(*l),
+                            Lat::Label(prev) if prev == *l => cur,
+                            _ => Lat::Bottom,
+                        };
+                        direct.insert(key, next);
+                    }
+                    Value::Var(x) => match param_pos.get(x) {
+                        Some(src) => edges.entry(*src).or_default().push(key),
+                        None => {
+                            direct.insert(key, Lat::Bottom);
+                        }
+                    },
+                    Value::Const(_) => {
+                        direct.insert(key, Lat::Bottom);
+                    }
+                }
+            }
+        }
+        for (k, d) in &direct {
+            if let Some(v) = val.get_mut(k) {
+                *v = join(*v, *d);
+            }
+        }
+        // Fixpoint propagation along parameter edges.
+        loop {
+            let mut changed = false;
+            for (src, dsts) in &edges {
+                let sv = *val.get(src).unwrap_or(&Lat::Bottom);
+                for d in dsts {
+                    if let Some(dv) = val.get_mut(d) {
+                        let j = join(*dv, sv);
+                        if j != *dv {
+                            *dv = j;
+                            changed = true;
+                        }
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        fn join(a: Lat, b: Lat) -> Lat {
+            match (a, b) {
+                (Lat::Top, x) | (x, Lat::Top) => x,
+                (Lat::Label(l1), Lat::Label(l2)) if l1 == l2 => a,
+                _ => Lat::Bottom,
+            }
+        }
+        // Resolved parameters (Top means "no call site constrains it":
+        // leave those alone — the function may be dead).
+        let mut resolved: HashMap<FnId, Vec<(usize, FnId)>> = HashMap::new();
+        let mut n_resolved = 0;
+        for ((f, j), v) in &val {
+            if let Lat::Label(l) = v {
+                resolved.entry(*f).or_default().push((*j, *l));
+                n_resolved += 1;
+            }
+        }
+        if n_resolved == 0 {
+            break;
+        }
+        stats.specialized += n_resolved;
+        for v in resolved.values_mut() {
+            v.sort();
+        }
+        let body = std::mem::replace(&mut cps.body, Term::Halt);
+        cps.body = apply_label_resolution(body, &defs, &resolved);
+        // Substitution may turn Var callees into Label callees, exposing
+        // further resolutions: iterate.
+    }
+}
+
+fn collect_escaping(t: &Term, out: &mut HashSet<FnId>) {
+    let mut grab = |v: &Value| {
+        if let Value::Label(l) = v {
+            out.insert(*l);
+        }
+    };
+    match t {
+        Term::Let { args, body, .. } => {
+            for a in args {
+                grab(a);
+            }
+            collect_escaping(body, out);
+        }
+        Term::MemRead { addr, body, .. } => {
+            grab(addr);
+            collect_escaping(body, out);
+        }
+        Term::MemWrite { addr, srcs, body, .. } => {
+            grab(addr);
+            for s in srcs {
+                grab(s);
+            }
+            collect_escaping(body, out);
+        }
+        Term::If { a, b, t, f, .. } => {
+            grab(a);
+            grab(b);
+            collect_escaping(t, out);
+            collect_escaping(f, out);
+        }
+        Term::Fix { funs, body } => {
+            for f in funs {
+                collect_escaping(&f.body, out);
+            }
+            collect_escaping(body, out);
+        }
+        Term::App { args, .. } => {
+            // Only argument labels escape; the callee position is a call.
+            for a in args {
+                grab(a);
+            }
+        }
+        Term::Halt => {}
+    }
+}
+
+fn collect_sites(t: &Term, out: &mut Vec<(FnId, Vec<Value>)>) {
+    match t {
+        Term::App { f: Value::Label(l), args } => out.push((*l, args.clone())),
+        Term::App { .. } | Term::Halt => {}
+        Term::Let { body, .. } | Term::MemRead { body, .. } | Term::MemWrite { body, .. } => {
+            collect_sites(body, out)
+        }
+        Term::If { t, f, .. } => {
+            collect_sites(t, out);
+            collect_sites(f, out);
+        }
+        Term::Fix { funs, body } => {
+            for f in funs {
+                collect_sites(&f.body, out);
+            }
+            collect_sites(body, out);
+        }
+    }
+}
+
+/// Apply every resolution at once: substitute the label for the parameter
+/// variable inside its function's body, drop the parameters, and drop the
+/// corresponding arguments at every static call site of that function.
+fn apply_label_resolution(
+    t: Term,
+    defs: &HashMap<FnId, CpsFun>,
+    resolved: &HashMap<FnId, Vec<(usize, FnId)>>,
+) -> Term {
+    match t {
+        Term::Fix { funs, body } => Term::Fix {
+            funs: funs
+                .into_iter()
+                .map(|mut f| {
+                    if let Some(rs) = resolved.get(&f.id) {
+                        let mut b = std::mem::replace(&mut f.body, Term::Halt);
+                        for (j, l) in rs {
+                            b = subst_var(b, f.params[*j], Value::Label(*l));
+                        }
+                        // Remove the parameters, highest index first.
+                        for (j, _) in rs.iter().rev() {
+                            f.params.remove(*j);
+                        }
+                        f.body = b;
+                    }
+                    CpsFun {
+                        id: f.id,
+                        name: f.name,
+                        params: f.params,
+                        body: apply_label_resolution(f.body, defs, resolved),
+                    }
+                })
+                .collect(),
+            body: Box::new(apply_label_resolution(*body, defs, resolved)),
+        },
+        Term::App { f, mut args } => {
+            if let Value::Label(l) = f {
+                if let Some(rs) = resolved.get(&l) {
+                    for (j, _) in rs.iter().rev() {
+                        if *j < args.len() {
+                            args.remove(*j);
+                        }
+                    }
+                }
+            }
+            Term::App { f, args }
+        }
+        Term::Let { op, args, dsts, body } => Term::Let {
+            op,
+            args,
+            dsts,
+            body: Box::new(apply_label_resolution(*body, defs, resolved)),
+        },
+        Term::MemRead { space, addr, dsts, body } => Term::MemRead {
+            space,
+            addr,
+            dsts,
+            body: Box::new(apply_label_resolution(*body, defs, resolved)),
+        },
+        Term::MemWrite { space, addr, srcs, body } => Term::MemWrite {
+            space,
+            addr,
+            srcs,
+            body: Box::new(apply_label_resolution(*body, defs, resolved)),
+        },
+        Term::If { cmp, a, b, t, f } => Term::If {
+            cmp,
+            a,
+            b,
+            t: Box::new(apply_label_resolution(*t, defs, resolved)),
+            f: Box::new(apply_label_resolution(*f, defs, resolved)),
+        },
+        Term::Halt => Term::Halt,
+    }
+}
+
+/// True when every `App` target in the program is a static label — the
+/// invariant the back end requires (the IXP has no indirect branch).
+pub fn all_calls_static(cps: &Cps) -> bool {
+    fn walk(t: &Term) -> bool {
+        match t {
+            Term::App { f, .. } => matches!(f, Value::Label(_)),
+            Term::Halt => true,
+            Term::Let { body, .. } | Term::MemRead { body, .. } | Term::MemWrite { body, .. } => {
+                walk(body)
+            }
+            Term::If { t, f, .. } => walk(t) && walk(f),
+            Term::Fix { funs, body } => funs.iter().all(|f| walk(&f.body)) && walk(body),
+        }
+    }
+    walk(&cps.body)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::convert::convert;
+    use crate::eval::{run, Machine};
+    use nova_frontend::{check, parse};
+
+    fn compile(src: &str) -> Cps {
+        let p = parse(src).unwrap_or_else(|d| panic!("parse: {}", d.render(src)));
+        let info = check(&p).unwrap_or_else(|d| panic!("check: {}", d.render(src)));
+        convert(&p, &info).unwrap_or_else(|d| panic!("convert: {}", d.render(src)))
+    }
+
+    fn optimized(src: &str) -> (Cps, OptStats) {
+        let mut cps = compile(src);
+        let stats = optimize(&mut cps, &OptConfig::default());
+        (cps, stats)
+    }
+
+    /// Optimization must preserve observable behaviour.
+    fn behaviour_preserved(src: &str, setup: impl Fn(&mut Machine)) {
+        let cps0 = compile(src);
+        let mut m0 = Machine::with_sizes(1024, 4096, 256);
+        setup(&mut m0);
+        let (stop0, _) = run(&cps0, &mut m0, 2_000_000).expect("unoptimized runs");
+
+        let (cps1, _) = optimized(src);
+        let mut m1 = Machine::with_sizes(1024, 4096, 256);
+        setup(&mut m1);
+        let (stop1, _) = run(&cps1, &mut m1, 2_000_000).expect("optimized runs");
+
+        assert_eq!(stop0, stop1);
+        assert_eq!(m0.sram, m1.sram, "sram differs after optimization");
+        assert_eq!(m0.sdram, m1.sdram, "sdram differs");
+        assert_eq!(m0.scratch, m1.scratch, "scratch differs");
+        assert_eq!(m0.tx_log, m1.tx_log, "tx log differs");
+    }
+
+    #[test]
+    fn constant_folding_shrinks() {
+        let (cps, _) = optimized("fun main() { sram(0) <- (1 + 2 + 3 + 4); 0 }");
+        let s = crate::ir::pretty(&cps);
+        assert!(s.contains("0xa"), "{s}");
+        assert!(!s.contains("Alu"), "{s}");
+    }
+
+    #[test]
+    fn dead_fields_are_not_extracted() {
+        // The paper's §4.4 example: unused fields cost nothing.
+        let src = r#"
+            layout p = { a: 16, b: 32, c: 16 };
+            fun main() {
+                let d: packed(p) = sram(0);
+                let u1 = unpack[p](d);
+                sram(10) <- (u1.b);
+                0
+            }
+        "#;
+        let before = compile(src).size();
+        let (cps, _) = optimized(src);
+        assert!(cps.size() < before, "{} !< {before}", cps.size());
+        // Only `b` (which straddles a word boundary: And/Shl/Shr/Or, four
+        // ops) survives; the extractions of `a` and `c` are gone, leaving
+        // read + 4 ALU ops + write = 6 operations.
+        assert!(cps.size() <= 6, "{}", crate::ir::pretty(&cps));
+    }
+
+    #[test]
+    fn read_trimming_narrows_aggregates() {
+        let src = r#"
+            fun main() {
+                let (a, b, c, d) = sram(100);
+                sram(200) <- (b);
+                0
+            }
+        "#;
+        let (cps, stats) = optimized(src);
+        assert!(stats.trimmed_reads > 0);
+        let s = crate::ir::pretty(&cps);
+        // The read starts at 101 and transfers fewer words.
+        assert!(s.contains("sram[0x65]"), "{s}");
+        behaviour_preserved(src, |m| {
+            m.sram[100..104].copy_from_slice(&[1, 2, 3, 4]);
+        });
+    }
+
+    #[test]
+    fn sdram_trimming_keeps_even_bursts() {
+        let src = r#"
+            fun main() {
+                let (a, b, c, d, e, f) = sdram(0);
+                sram(0) <- (c);
+                0
+            }
+        "#;
+        let (cps, _) = optimized(src);
+        let s = crate::ir::pretty(&cps);
+        // c is index 2: trim to an even-aligned even-sized burst [2..4).
+        assert!(s.contains("sdram[0x2]"), "{s}");
+        behaviour_preserved(src, |m| {
+            m.sdram[0..6].copy_from_slice(&[10, 20, 30, 40, 50, 60]);
+        });
+    }
+
+    #[test]
+    fn deproc_inlines_nontail_calls() {
+        let src = r#"
+            fun double(x) { x + x }
+            fun main() {
+                let a = double(5);
+                let b = double(a);
+                sram(0) <- (b);
+                0
+            }
+        "#;
+        let (cps, stats) = optimized(src);
+        assert!(stats.inlined >= 2, "stats: {stats:?}");
+        let s = crate::ir::pretty(&cps);
+        assert!(!s.contains("fun double"), "{s}");
+        behaviour_preserved(src, |_| {});
+    }
+
+    #[test]
+    fn tail_recursion_survives_as_loop() {
+        let src = r#"
+            fun main() { go(0, 0) }
+            fun go(i, acc) {
+                if (i == 10) { sram(0) <- (acc); 0 }
+                else go(i + 1, acc + i)
+            }
+        "#;
+        let (cps, _) = optimized(src);
+        let s = crate::ir::pretty(&cps);
+        assert!(s.contains("fun go"), "loop must survive: {s}");
+        behaviour_preserved(src, |_| {});
+    }
+
+    #[test]
+    fn exception_labels_specialize() {
+        let src = r#"
+            fun risky [v: word, fail: exn(word)] {
+                if (v > 10) raise fail (v) else v
+            }
+            fun main() {
+                let r = try { risky[v = 50, fail = E] }
+                        handle E (code) { code + 1000 };
+                sram(0) <- (r);
+                0
+            }
+        "#;
+        let (cps, _) = optimized(src);
+        assert!(all_calls_static(&cps), "{}", crate::ir::pretty(&cps));
+        behaviour_preserved(src, |_| {});
+    }
+
+    #[test]
+    fn loop_carried_exception_labels_specialize() {
+        let src = r#"
+            fun go [i: word, out: exn(word)] {
+                if (i > 5) raise out (i) else go[i = i + 1, out = out]
+            }
+            fun main() {
+                let r = try { go[i = 0, out = Done] } handle Done (v) { v };
+                sram(0) <- (r);
+                0
+            }
+        "#;
+        let (cps, _) = optimized(src);
+        assert!(all_calls_static(&cps), "{}", crate::ir::pretty(&cps));
+        behaviour_preserved(src, |_| {});
+    }
+
+    #[test]
+    fn behaviour_preserved_complex() {
+        let src = r#"
+            layout h = { version: 4, priority: 4, flow: 24 };
+            fun classify(v) {
+                if (v == 6) 100 else { if (v == 4) 50 else 1 }
+            }
+            fun main() {
+                let p: packed(h) = sram(0);
+                let u = unpack[h](p);
+                let score = classify(u.version) + u.priority;
+                let i = 0;
+                let acc = 0;
+                while (i < score) { acc = acc + i; i = i + 1; }
+                sram(1) <- (acc);
+                0
+            }
+        "#;
+        behaviour_preserved(src, |m| {
+            m.sram[0] = (6 << 28) | (3 << 24) | 7;
+        });
+    }
+
+    #[test]
+    fn optimizer_reaches_fixpoint() {
+        let (_, stats) = optimized("fun main() { 1 + 2 }");
+        assert!(stats.rounds < OptConfig::default().max_rounds);
+    }
+
+    #[test]
+    fn packet_loop_preserved() {
+        let src = r#"
+            fun main() {
+                let (len, addr) = rx_packet();
+                let (w0, w1) = sdram(addr);
+                sdram(addr) <- (w1, w0);
+                tx_packet(addr, len);
+                main()
+            }
+        "#;
+        behaviour_preserved(src, |m| {
+            m.rx_queue.push_back((8, 0));
+            m.rx_queue.push_back((8, 8));
+            m.sdram[0] = 1;
+            m.sdram[1] = 2;
+            m.sdram[8] = 3;
+            m.sdram[9] = 4;
+        });
+    }
+}
+
+/// Substitute `val` for every free occurrence of `var`.
+fn subst_var(t: Term, var: VarId, val: Value) -> Term {
+    let sv = |v: Value| if v == Value::Var(var) { val } else { v };
+    match t {
+        Term::Let { op, args, dsts, body } => Term::Let {
+            op,
+            args: args.into_iter().map(sv).collect(),
+            dsts,
+            body: Box::new(subst_var(*body, var, val)),
+        },
+        Term::MemRead { space, addr, dsts, body } => Term::MemRead {
+            space,
+            addr: sv(addr),
+            dsts,
+            body: Box::new(subst_var(*body, var, val)),
+        },
+        Term::MemWrite { space, addr, srcs, body } => Term::MemWrite {
+            space,
+            addr: sv(addr),
+            srcs: srcs.into_iter().map(sv).collect(),
+            body: Box::new(subst_var(*body, var, val)),
+        },
+        Term::If { cmp, a, b, t, f } => Term::If {
+            cmp,
+            a: sv(a),
+            b: sv(b),
+            t: Box::new(subst_var(*t, var, val)),
+            f: Box::new(subst_var(*f, var, val)),
+        },
+        Term::Fix { funs, body } => Term::Fix {
+            funs: funs
+                .into_iter()
+                .map(|f| CpsFun {
+                    id: f.id,
+                    name: f.name,
+                    params: f.params,
+                    body: subst_var(f.body, var, val),
+                })
+                .collect(),
+            body: Box::new(subst_var(*body, var, val)),
+        },
+        Term::App { f, args } => Term::App {
+            f: sv(f),
+            args: args.into_iter().map(sv).collect(),
+        },
+        Term::Halt => Term::Halt,
+    }
+}

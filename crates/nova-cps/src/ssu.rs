@@ -1,0 +1,363 @@
+//! Static single use (SSU) transformation (§4.5, §10).
+//!
+//! SSA solves the coloring problem for memory *reads* (no variable is the
+//! target of two different read instructions); SSU is the dual for
+//! *writes*: after this pass, any use of a variable as a store-side
+//! operand — a memory-write aggregate member, the input of the hash unit,
+//! or the modifier of test-and-set — is the **only** use of that variable
+//! in the entire program.
+//!
+//! The transformation inserts `clone` pseudo-instructions immediately
+//! after the original definition. Cloning is semantically a copy, but the
+//! ILP model treats clones as non-interfering: they *may* share a register
+//! (costing nothing) or be split when profitable, which is how the paper
+//! resolves conflicting aggregate-position constraints like
+//!
+//! ```text
+//! sram(a1) <- (u, v, x, w)
+//! sram(a2) <- (a, x, b, c)   // x needs two different S registers
+//! ```
+
+use crate::ir::{Cps, PrimOp, Term, Value, VarId};
+use std::collections::HashMap;
+
+/// Statistics of the SSU pass.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SsuStats {
+    /// Clone instructions inserted.
+    pub clones: usize,
+    /// Variables that needed cloning.
+    pub cloned_vars: usize,
+}
+
+/// Apply the SSU transformation in place.
+pub fn to_ssu(cps: &mut Cps) -> SsuStats {
+    // Pass 1: count store-side uses (W) and all other uses (O).
+    let mut counts: HashMap<VarId, (usize, usize)> = HashMap::new();
+    count_uses(&cps.body, &mut counts);
+    // Clones needed: every store-side use must be the sole use of its
+    // variable. With other uses present, all W store uses get clones; with
+    // none, the first store use may keep the original.
+    let mut need: HashMap<VarId, usize> = HashMap::new();
+    let mut stats = SsuStats::default();
+    for (v, (w, o)) in &counts {
+        let n = if *w == 0 {
+            0
+        } else if *o > 0 {
+            *w
+        } else {
+            w - 1
+        };
+        if n > 0 {
+            need.insert(*v, n);
+            stats.cloned_vars += 1;
+        }
+    }
+    if need.is_empty() {
+        return stats;
+    }
+    // Pre-allocate clone names (sorted for deterministic numbering).
+    let mut pool: HashMap<VarId, Vec<VarId>> = HashMap::new();
+    let mut need_sorted: Vec<(VarId, usize)> = need.iter().map(|(v, n)| (*v, *n)).collect();
+    need_sorted.sort();
+    for (v, n) in need_sorted {
+        let ids: Vec<VarId> = (0..n).map(|_| cps.fresh_var()).collect();
+        stats.clones += ids.len();
+        pool.insert(v, ids);
+    }
+    // Pass 2: insert clones after definitions and substitute them at
+    // store-side uses (any assignment of clones to uses is valid — clones
+    // are interchangeable).
+    let mut remaining: HashMap<VarId, Vec<VarId>> =
+        pool.iter().map(|(v, ids)| (*v, ids.clone())).collect();
+    let body = std::mem::replace(&mut cps.body, Term::Halt);
+    cps.body = rewrite(body, &pool, &mut remaining);
+    stats
+}
+
+/// Is this primitive's argument at index `i` a store-side (S-bank) use?
+fn store_side_arg(op: PrimOp, i: usize) -> bool {
+    match op {
+        PrimOp::Hash => i == 0,
+        PrimOp::BitTestSet => i == 1, // args: [addr, src]
+        _ => false,
+    }
+}
+
+fn count_uses(t: &Term, counts: &mut HashMap<VarId, (usize, usize)>) {
+    let store = |v: &Value, counts: &mut HashMap<VarId, (usize, usize)>| {
+        if let Value::Var(x) = v {
+            counts.entry(*x).or_default().0 += 1;
+        }
+    };
+    let other = |v: &Value, counts: &mut HashMap<VarId, (usize, usize)>| {
+        if let Value::Var(x) = v {
+            counts.entry(*x).or_default().1 += 1;
+        }
+    };
+    match t {
+        Term::MemWrite { addr, srcs, body, .. } => {
+            other(addr, counts);
+            for s in srcs {
+                store(s, counts);
+            }
+            count_uses(body, counts);
+        }
+        Term::Let { op, args, body, .. } => {
+            // A clone's own argument is not a "use" in the SSU sense: the
+            // clone *is* the duplication device.
+            if *op != PrimOp::Clone {
+                for (i, a) in args.iter().enumerate() {
+                    if store_side_arg(*op, i) {
+                        store(a, counts);
+                    } else {
+                        other(a, counts);
+                    }
+                }
+            }
+            count_uses(body, counts);
+        }
+        Term::MemRead { addr, body, .. } => {
+            other(addr, counts);
+            count_uses(body, counts);
+        }
+        Term::If { a, b, t, f, .. } => {
+            other(a, counts);
+            other(b, counts);
+            count_uses(t, counts);
+            count_uses(f, counts);
+        }
+        Term::Fix { funs, body } => {
+            for f in funs {
+                count_uses(&f.body, counts);
+            }
+            count_uses(body, counts);
+        }
+        Term::App { f, args } => {
+            other(f, counts);
+            for a in args {
+                other(a, counts);
+            }
+        }
+        Term::Halt => {}
+    }
+}
+
+/// Wrap `body` in clone bindings for each definition in `defs` that needs
+/// them.
+fn add_clones(defs: &[VarId], pool: &HashMap<VarId, Vec<VarId>>, body: Term) -> Term {
+    let mut t = body;
+    for d in defs.iter().rev() {
+        if let Some(ids) = pool.get(d) {
+            for c in ids.iter().rev() {
+                t = Term::Let {
+                    op: PrimOp::Clone,
+                    args: vec![Value::Var(*d)],
+                    dsts: vec![*c],
+                    body: Box::new(t),
+                };
+            }
+        }
+    }
+    t
+}
+
+fn take_clone(v: &Value, remaining: &mut HashMap<VarId, Vec<VarId>>) -> Value {
+    if let Value::Var(x) = v {
+        if let Some(ids) = remaining.get_mut(x) {
+            if let Some(c) = ids.pop() {
+                return Value::Var(c);
+            }
+        }
+    }
+    *v
+}
+
+fn rewrite(
+    t: Term,
+    pool: &HashMap<VarId, Vec<VarId>>,
+    remaining: &mut HashMap<VarId, Vec<VarId>>,
+) -> Term {
+    match t {
+        Term::MemWrite { space, addr, srcs, body } => {
+            let srcs = srcs.iter().map(|s| take_clone(s, remaining)).collect();
+            Term::MemWrite { space, addr, srcs, body: Box::new(rewrite(*body, pool, remaining)) }
+        }
+        Term::Let { op, args, dsts, body } => {
+            let args = args
+                .iter()
+                .enumerate()
+                .map(|(i, a)| if store_side_arg(op, i) { take_clone(a, remaining) } else { *a })
+                .collect();
+            let inner = add_clones(&dsts, pool, rewrite(*body, pool, remaining));
+            Term::Let { op, args, dsts, body: Box::new(inner) }
+        }
+        Term::MemRead { space, addr, dsts, body } => {
+            let inner = add_clones(&dsts, pool, rewrite(*body, pool, remaining));
+            Term::MemRead { space, addr, dsts, body: Box::new(inner) }
+        }
+        Term::If { cmp, a, b, t, f } => Term::If {
+            cmp,
+            a,
+            b,
+            t: Box::new(rewrite(*t, pool, remaining)),
+            f: Box::new(rewrite(*f, pool, remaining)),
+        },
+        Term::Fix { funs, body } => Term::Fix {
+            funs: funs
+                .into_iter()
+                .map(|f| {
+                    let inner = add_clones(&f.params, pool, rewrite(f.body, pool, remaining));
+                    crate::ir::CpsFun { id: f.id, name: f.name, params: f.params, body: inner }
+                })
+                .collect(),
+            body: Box::new(rewrite(*body, pool, remaining)),
+        },
+        other => other,
+    }
+}
+
+/// Verify the SSU property: every store-side operand variable has exactly
+/// one use in the whole program. Used by tests and debug assertions.
+pub fn check_ssu(cps: &Cps) -> Result<(), String> {
+    let mut counts: HashMap<VarId, (usize, usize)> = HashMap::new();
+    count_uses(&cps.body, &mut counts);
+    for (v, (w, o)) in counts {
+        if w > 0 && (w + o) > 1 {
+            return Err(format!(
+                "variable {v} has {w} store-side uses and {o} other uses"
+            ));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::convert::convert;
+    use crate::eval::{run, Machine};
+    use crate::opt::{optimize, OptConfig};
+    use nova_frontend::{check, parse};
+
+    fn compile_opt(src: &str) -> Cps {
+        let p = parse(src).unwrap();
+        let info = check(&p).unwrap();
+        let mut cps = convert(&p, &info).unwrap();
+        optimize(&mut cps, &OptConfig::default());
+        cps
+    }
+
+    #[test]
+    fn clones_inserted_for_shared_operand() {
+        // The paper's §2.1 example: x appears in two stores and a later
+        // use, creating conflicting position constraints.
+        let src = r#"
+            fun main() {
+                let (u, v, x, w) = sram(0);
+                sram(100) <- (u, v, x, w);
+                sram(200) <- (w, x, u, v);
+                sram(300) <- (x);
+                0
+            }
+        "#;
+        let mut cps = compile_opt(src);
+        assert!(check_ssu(&cps).is_err(), "program should violate SSU before the pass");
+        let stats = to_ssu(&mut cps);
+        assert!(stats.clones >= 2, "stats: {stats:?}");
+        check_ssu(&cps).unwrap();
+    }
+
+    #[test]
+    fn single_store_use_needs_no_clone() {
+        let src = r#"
+            fun main() {
+                let (a, b) = sram(0);
+                sram(10) <- (a, b);
+                0
+            }
+        "#;
+        let mut cps = compile_opt(src);
+        let stats = to_ssu(&mut cps);
+        assert_eq!(stats.clones, 0);
+        check_ssu(&cps).unwrap();
+    }
+
+    #[test]
+    fn store_plus_other_use_clones_once() {
+        let src = r#"
+            fun main() {
+                let (a) = sram(0);
+                sram(10) <- (a);
+                sram(20) <- (a + 1);
+                0
+            }
+        "#;
+        let mut cps = compile_opt(src);
+        let stats = to_ssu(&mut cps);
+        assert_eq!(stats.clones, 1, "{}", crate::ir::pretty(&cps));
+        check_ssu(&cps).unwrap();
+    }
+
+    #[test]
+    fn hash_operand_is_store_side() {
+        let src = r#"
+            fun main() {
+                let (a) = sram(0);
+                let h = hash(a);
+                sram(1) <- (a + h);
+                0
+            }
+        "#;
+        let mut cps = compile_opt(src);
+        to_ssu(&mut cps);
+        check_ssu(&cps).unwrap();
+    }
+
+#[test]
+    fn semantics_preserved() {
+        let src = r#"
+            fun main() {
+                let (u, v, x, w) = sram(0);
+                sram(100) <- (u, v, x, w);
+                sram(200) <- (w, x, u, v);
+                sram(300) <- (x + u);
+                0
+            }
+        "#;
+        let mut m0 = Machine::with_sizes(512, 64, 64);
+        m0.sram[0..4].copy_from_slice(&[1, 2, 3, 4]);
+        let cps0 = compile_opt(src);
+        run(&cps0, &mut m0, 100_000).unwrap();
+
+        let mut cps1 = compile_opt(src);
+        to_ssu(&mut cps1);
+        check_ssu(&cps1).unwrap();
+        let mut m1 = Machine::with_sizes(512, 64, 64);
+        m1.sram[0..4].copy_from_slice(&[1, 2, 3, 4]);
+        run(&cps1, &mut m1, 100_000).unwrap();
+        assert_eq!(m0.sram, m1.sram);
+    }
+
+    #[test]
+    fn same_var_twice_in_one_store() {
+        // §9(4): without SSU, (X, a, b, c) then (a, b, c, X) is
+        // uncolorable; both X uses must become distinct variables.
+        let src = r#"
+            fun main() {
+                let (x, a, b, c) = sram(0);
+                sram(100) <- (x, a, b, c);
+                sram(200) <- (a, b, c, x);
+                0
+            }
+        "#;
+        let mut cps = compile_opt(src);
+        to_ssu(&mut cps);
+        check_ssu(&cps).unwrap();
+        let mut m = Machine::with_sizes(512, 64, 64);
+        m.sram[0..4].copy_from_slice(&[9, 8, 7, 6]);
+        run(&cps, &mut m, 100_000).unwrap();
+        assert_eq!(&m.sram[100..104], &[9, 8, 7, 6]);
+        assert_eq!(&m.sram[200..204], &[8, 7, 6, 9]);
+    }
+}

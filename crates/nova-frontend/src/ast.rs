@@ -1,0 +1,487 @@
+//! Abstract syntax of Nova programs.
+//!
+//! Nova (§3 of the paper) is a lexically scoped, strict, statically typed
+//! language with records, tuples, layouts, functions restricted to
+//! tail-recursion, and lexically scoped exceptions. The AST is produced by
+//! the parser ([`crate::parse`]) and annotated by [`crate::typecheck`] through side
+//! tables keyed by [`NodeId`].
+
+use crate::error::Span;
+use std::fmt;
+
+/// Unique id of an expression node (key of the type-checker's side tables).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub u32);
+
+/// External memory spaces addressable from Nova (mirrors the machine).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MemSpace {
+    /// External SRAM (word addressed).
+    Sram,
+    /// External SDRAM (quad-word bursts).
+    Sdram,
+    /// On-chip scratch.
+    Scratch,
+}
+
+impl MemSpace {
+    /// The surface-syntax name.
+    pub fn name(self) -> &'static str {
+        match self {
+            MemSpace::Sram => "sram",
+            MemSpace::Sdram => "sdram",
+            MemSpace::Scratch => "scratch",
+        }
+    }
+}
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    /// `+` (wrapping 32-bit)
+    Add,
+    /// `-`
+    Sub,
+    /// `&`
+    And,
+    /// `|`
+    Or,
+    /// `^`
+    Xor,
+    /// `<<`
+    Shl,
+    /// `>>`
+    Shr,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<` (unsigned)
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `&&` (short-circuit)
+    AndAlso,
+    /// `||` (short-circuit)
+    OrElse,
+}
+
+impl BinOp {
+    /// Does the operator yield `bool`?
+    pub fn is_comparison(self) -> bool {
+        matches!(self, BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge)
+    }
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnOp {
+    /// `!` on bool
+    Not,
+    /// `~` bitwise complement on word
+    Complement,
+    /// `-` two's complement negation
+    Neg,
+}
+
+/// Surface types, as written in annotations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TypeExpr {
+    /// `word`
+    Word,
+    /// `bool`
+    Bool,
+    /// `word[n]`
+    Words(u32),
+    /// `packed(layout-expr)`
+    Packed(LayoutExpr),
+    /// `unpacked(layout-expr)`
+    Unpacked(LayoutExpr),
+    /// `(t1, t2, ...)`
+    Tuple(Vec<TypeExpr>),
+    /// `[x: t1, y: t2]`
+    Record(Vec<(String, TypeExpr)>),
+    /// `exn(t1, ...)` — an exception taking the given payload
+    Exn(Vec<TypeExpr>),
+}
+
+/// A layout expression: a named layout, an anonymous gap `{n}`, an inline
+/// body, or a `##` concatenation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LayoutExpr {
+    /// Reference to a named layout.
+    Name(String, Span),
+    /// `{n}` — an unnamed n-bit gap.
+    Gap(u32),
+    /// Inline layout body `{ f: 8, g: sub, ... }`.
+    Body(Vec<LayoutItem>),
+    /// `l1 ## l2` — sequential concatenation.
+    Concat(Box<LayoutExpr>, Box<LayoutExpr>),
+}
+
+/// One item of a layout body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LayoutItem {
+    /// `name : width` — a bitfield.
+    Bits(String, u32),
+    /// `name : layout-expr` — a named sub-layout.
+    Sub(String, LayoutExpr),
+    /// `name : overlay { alt1 : l1 | alt2 : l2 }`.
+    Overlay(String, Vec<(String, LayoutExpr)>),
+    /// `{n}` inside a body — anonymous gap.
+    Gap(u32),
+}
+
+/// Binding patterns on the left of `let`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Pattern {
+    /// Single variable.
+    Var(String),
+    /// Tuple of variables: `(a, b, c)`.
+    Tuple(Vec<String>),
+    /// Wildcard `_` (value discarded).
+    Wild,
+}
+
+/// Call arguments: positional `f(a, b)` or named-record `f[x = a, y = b]`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Args {
+    /// Positional (tuple) arguments.
+    Positional(Vec<Expr>),
+    /// Named (record) arguments.
+    Named(Vec<(String, Expr)>),
+}
+
+impl Args {
+    /// Number of arguments.
+    pub fn len(&self) -> usize {
+        match self {
+            Args::Positional(v) => v.len(),
+            Args::Named(v) => v.len(),
+        }
+    }
+
+    /// True when no arguments are supplied.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// An expression with identity and location.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Expr {
+    /// Side-table key.
+    pub id: NodeId,
+    /// Source range.
+    pub span: Span,
+    /// The actual expression.
+    pub kind: ExprKind,
+}
+
+/// Expression forms.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExprKind {
+    /// Word literal.
+    Word(u32),
+    /// Bool literal.
+    Bool(bool),
+    /// Variable reference.
+    Var(String),
+    /// Binary operation.
+    Binop(BinOp, Box<Expr>, Box<Expr>),
+    /// Unary operation.
+    Unop(UnOp, Box<Expr>),
+    /// Tuple construction.
+    Tuple(Vec<Expr>),
+    /// Record construction `[x = e, ...]`.
+    Record(Vec<(String, Expr)>),
+    /// Field projection `e.f`.
+    Field(Box<Expr>, String),
+    /// `if (c) blk else blk` — with no `else`, the result is unit.
+    If(Box<Expr>, Block, Option<Block>),
+    /// Function call.
+    Call(String, Args),
+    /// Aggregate memory read `sram(addr)`; arity from binding context.
+    MemRead(MemSpace, Box<Expr>),
+    /// `unpack[l](e)`.
+    Unpack(LayoutExpr, Box<Expr>),
+    /// `pack[l] rec`.
+    Pack(LayoutExpr, Box<Expr>),
+    /// `raise X args`.
+    Raise(String, Args),
+    /// `try { .. } handle X (..) { .. } ...`.
+    Try(Block, Vec<Handler>),
+    /// Braced block used as an expression.
+    BlockExpr(Block),
+    /// Built-in operation (`hash`, `csr_read`, `rx_packet`, ...).
+    Intrinsic(Intrinsic, Vec<Expr>),
+}
+
+/// Built-in hardware operations exposed as functions (§3.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Intrinsic {
+    /// `hash(w) -> word` — hardware hash unit.
+    Hash,
+    /// `bit_test_set(addr, w) -> word` — atomic SRAM test-and-set.
+    BitTestSet,
+    /// `csr_read(n) -> word`.
+    CsrRead,
+    /// `csr_write(n, w)`.
+    CsrWrite,
+    /// `rx_packet() -> (word, word)` — (length bytes, sdram word address).
+    RxPacket,
+    /// `tx_packet(addr, len)`.
+    TxPacket,
+    /// `ctx_swap()` — voluntary yield.
+    CtxSwap,
+}
+
+impl Intrinsic {
+    /// Look up an intrinsic by its surface name.
+    pub fn from_name(name: &str) -> Option<Intrinsic> {
+        Some(match name {
+            "hash" => Intrinsic::Hash,
+            "bit_test_set" => Intrinsic::BitTestSet,
+            "csr_read" => Intrinsic::CsrRead,
+            "csr_write" => Intrinsic::CsrWrite,
+            "rx_packet" => Intrinsic::RxPacket,
+            "tx_packet" => Intrinsic::TxPacket,
+            "ctx_swap" => Intrinsic::CtxSwap,
+            _ => return None,
+        })
+    }
+
+    /// Number of word arguments.
+    pub fn arity(self) -> usize {
+        match self {
+            Intrinsic::Hash => 1,
+            Intrinsic::BitTestSet => 2,
+            Intrinsic::CsrRead => 1,
+            Intrinsic::CsrWrite => 2,
+            Intrinsic::RxPacket => 0,
+            Intrinsic::TxPacket => 2,
+            Intrinsic::CtxSwap => 0,
+        }
+    }
+}
+
+/// An exception handler arm.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Handler {
+    /// Exception name introduced lexically by this `try`.
+    pub name: String,
+    /// Payload binders: named (record style) or positional.
+    pub params: Vec<String>,
+    /// Whether the params were written record-style `[a, b]` (named) or
+    /// tuple-style `(a, b)` (positional).
+    pub named: bool,
+    /// Handler body.
+    pub body: Block,
+    /// Location of the handler head.
+    pub span: Span,
+}
+
+/// A statement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Stmt {
+    /// Source range.
+    pub span: Span,
+    /// The statement proper.
+    pub kind: StmtKind,
+}
+
+/// Statement forms.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StmtKind {
+    /// `let pat (: ty)? = expr;`
+    Let(Pattern, Option<TypeExpr>, Expr),
+    /// `layout name = body;` (local or top-level)
+    Layout(String, LayoutExpr),
+    /// `const NAME = expr;` — compile-time word constant.
+    Const(String, Expr),
+    /// A group of contiguous (mutually recursive) function definitions.
+    Funs(Vec<FunDef>),
+    /// `x = expr;` — assignment to a previously `let`-bound temporary.
+    /// CPS conversion eliminates these (§4.2: the IR is SSA for
+    /// temporaries), turning control-flow joins into continuation
+    /// parameters.
+    Assign(String, Expr),
+    /// `space(addr) <- expr;` — aggregate memory write.
+    MemWrite(MemSpace, Expr, Expr),
+    /// Expression evaluated for effect.
+    Expr(Expr),
+    /// `while (cond) { body }`.
+    While(Expr, Block),
+}
+
+/// A function definition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FunDef {
+    /// Function name.
+    pub name: String,
+    /// Parameters: name plus optional annotation.
+    pub params: Vec<(String, Option<TypeExpr>)>,
+    /// Whether the parameter list was record-style (`[..]`, call-by-name)
+    /// or tuple-style (`(..)`, positional).
+    pub named_params: bool,
+    /// Optional result annotation.
+    pub result: Option<TypeExpr>,
+    /// Body.
+    pub body: Block,
+    /// Location of the header.
+    pub span: Span,
+}
+
+/// A block `{ stmt* expr? }` whose value is the trailing expression (unit
+/// if absent).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Block {
+    /// Statements in order.
+    pub stmts: Vec<Stmt>,
+    /// Result expression.
+    pub tail: Option<Box<Expr>>,
+}
+
+/// A whole program: top-level statements (layouts, consts, functions). The
+/// entry point is the function named `main`.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Program {
+    /// Top-level items in order.
+    pub items: Vec<Stmt>,
+}
+
+impl Program {
+    /// Count syntactic features for the Figure-5 static statistics:
+    /// `(layouts, packs, unpacks, raises, handles)`.
+    pub fn static_stats(&self) -> StaticStats {
+        let mut s = StaticStats::default();
+        for item in &self.items {
+            stmt_stats(item, &mut s);
+        }
+        s
+    }
+}
+
+/// Figure-5 static statistics of a program.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StaticStats {
+    /// Number of `layout` definitions.
+    pub layouts: usize,
+    /// Number of `pack[..]` uses.
+    pub packs: usize,
+    /// Number of `unpack[..]` uses.
+    pub unpacks: usize,
+    /// Number of `raise` sites.
+    pub raises: usize,
+    /// Number of `handle` arms.
+    pub handles: usize,
+    /// Number of function definitions.
+    pub functions: usize,
+}
+
+fn stmt_stats(stmt: &Stmt, s: &mut StaticStats) {
+    match &stmt.kind {
+        StmtKind::Layout(..) => s.layouts += 1,
+        StmtKind::Let(_, _, e)
+        | StmtKind::Const(_, e)
+        | StmtKind::Expr(e)
+        | StmtKind::Assign(_, e) => expr_stats(e, s),
+        StmtKind::Funs(fs) => {
+            for f in fs {
+                s.functions += 1;
+                block_stats(&f.body, s);
+            }
+        }
+        StmtKind::MemWrite(_, a, v) => {
+            expr_stats(a, s);
+            expr_stats(v, s);
+        }
+        StmtKind::While(c, b) => {
+            expr_stats(c, s);
+            block_stats(b, s);
+        }
+    }
+}
+
+fn block_stats(b: &Block, s: &mut StaticStats) {
+    for st in &b.stmts {
+        stmt_stats(st, s);
+    }
+    if let Some(t) = &b.tail {
+        expr_stats(t, s);
+    }
+}
+
+fn expr_stats(e: &Expr, s: &mut StaticStats) {
+    match &e.kind {
+        ExprKind::Pack(_, inner) => {
+            s.packs += 1;
+            expr_stats(inner, s);
+        }
+        ExprKind::Unpack(_, inner) => {
+            s.unpacks += 1;
+            expr_stats(inner, s);
+        }
+        ExprKind::Raise(_, args) => {
+            s.raises += 1;
+            args_stats(args, s);
+        }
+        ExprKind::Try(b, handlers) => {
+            block_stats(b, s);
+            for h in handlers {
+                s.handles += 1;
+                block_stats(&h.body, s);
+            }
+        }
+        ExprKind::Binop(_, a, b) => {
+            expr_stats(a, s);
+            expr_stats(b, s);
+        }
+        ExprKind::Unop(_, a) | ExprKind::Field(a, _) | ExprKind::MemRead(_, a) => expr_stats(a, s),
+        ExprKind::Tuple(es) | ExprKind::Intrinsic(_, es) => {
+            for e in es {
+                expr_stats(e, s);
+            }
+        }
+        ExprKind::Record(fs) => {
+            for (_, e) in fs {
+                expr_stats(e, s);
+            }
+        }
+        ExprKind::If(c, t, f) => {
+            expr_stats(c, s);
+            block_stats(t, s);
+            if let Some(f) = f {
+                block_stats(f, s);
+            }
+        }
+        ExprKind::Call(_, args) => args_stats(args, s),
+        ExprKind::BlockExpr(b) => block_stats(b, s),
+        ExprKind::Word(_) | ExprKind::Bool(_) | ExprKind::Var(_) => {}
+    }
+}
+
+fn args_stats(args: &Args, s: &mut StaticStats) {
+    match args {
+        Args::Positional(es) => {
+            for e in es {
+                expr_stats(e, s);
+            }
+        }
+        Args::Named(fs) => {
+            for (_, e) in fs {
+                expr_stats(e, s);
+            }
+        }
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}

@@ -1,0 +1,100 @@
+//! Diagnostics with source positions.
+
+use std::fmt;
+
+/// A half-open byte range into the source text.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Span {
+    /// First byte of the spanned region.
+    pub lo: u32,
+    /// One past the last byte.
+    pub hi: u32,
+}
+
+impl Span {
+    /// Construct a span.
+    pub fn new(lo: u32, hi: u32) -> Self {
+        Span { lo, hi }
+    }
+
+    /// The span covering both `self` and `other`.
+    pub fn to(self, other: Span) -> Span {
+        Span { lo: self.lo.min(other.lo), hi: self.hi.max(other.hi) }
+    }
+}
+
+/// A compile-time diagnostic: message plus source span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// What went wrong.
+    pub message: String,
+    /// Where.
+    pub span: Span,
+}
+
+impl Diagnostic {
+    /// Construct a diagnostic.
+    pub fn new(message: impl Into<String>, span: Span) -> Self {
+        Diagnostic { message: message.into(), span }
+    }
+
+    /// Render with `line:col` coordinates resolved against `source`.
+    pub fn render(&self, source: &str) -> String {
+        let (line, col) = line_col(source, self.span.lo);
+        format!("{line}:{col}: {}", self.message)
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "byte {}: {}", self.span.lo, self.message)
+    }
+}
+
+impl std::error::Error for Diagnostic {}
+
+/// 1-based line and column of byte offset `pos` in `source`.
+pub fn line_col(source: &str, pos: u32) -> (u32, u32) {
+    let pos = (pos as usize).min(source.len());
+    let mut line = 1;
+    let mut col = 1;
+    for (i, c) in source.char_indices() {
+        if i >= pos {
+            break;
+        }
+        if c == '\n' {
+            line += 1;
+            col = 1;
+        } else {
+            col += 1;
+        }
+    }
+    (line, col)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_col_basic() {
+        let src = "ab\ncd\nef";
+        assert_eq!(line_col(src, 0), (1, 1));
+        assert_eq!(line_col(src, 1), (1, 2));
+        assert_eq!(line_col(src, 3), (2, 1));
+        assert_eq!(line_col(src, 7), (3, 2));
+    }
+
+    #[test]
+    fn render_uses_line_col() {
+        let d = Diagnostic::new("bad thing", Span::new(3, 4));
+        assert_eq!(d.render("ab\ncd"), "2:1: bad thing");
+    }
+
+    #[test]
+    fn span_union() {
+        let a = Span::new(3, 5);
+        let b = Span::new(1, 4);
+        assert_eq!(a.to(b), Span::new(1, 5));
+    }
+}

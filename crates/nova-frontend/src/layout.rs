@@ -1,0 +1,460 @@
+//! Resolved layouts: the semantics of Nova's layout sublanguage (§3.2).
+//!
+//! A layout statically describes the arrangement of bitfields within a byte
+//! stream. Surface syntax ([`crate::ast::LayoutExpr`]) supports named
+//! layouts, inline bodies, anonymous gaps `{n}`, overlays (alternative
+//! views of the same bit range), and `##` concatenation. Elaboration
+//! ([`resolve`]) turns surface syntax into a [`Layout`] tree with *absolute*
+//! bit offsets from the start of the packed value — exactly what the
+//! `unpack`/`pack` code generator needs for its shift/mask sequences.
+//!
+//! Bit numbering is big-endian network order: offset 0 is the most
+//! significant bit of word 0, offset 32 the MSB of word 1, and so on.
+
+use crate::ast::{LayoutExpr, LayoutItem};
+use crate::error::{Diagnostic, Span};
+use std::collections::HashMap;
+use std::fmt;
+
+/// The reserved field name produced by an overlay alternative that is a
+/// bare width (e.g. `whole : 8`): the alternative itself is the value.
+pub const VALUE_FIELD: &str = "$value";
+
+/// A fully resolved layout: total size plus items at absolute bit offsets.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Layout {
+    /// Total size in bits.
+    pub size_bits: u32,
+    /// Items in declaration order.
+    pub items: Vec<Item>,
+}
+
+/// One resolved layout item.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Item {
+    /// A named bitfield at `offset` of `width` bits.
+    Bits {
+        /// Field name.
+        name: String,
+        /// Absolute bit offset from the start of the layout.
+        offset: u32,
+        /// Width in bits (1..=32).
+        width: u32,
+    },
+    /// A named sub-layout (its items already carry absolute offsets).
+    Sub {
+        /// Field name.
+        name: String,
+        /// The sub-layout (offsets absolute w.r.t. the outer layout).
+        layout: Layout,
+    },
+    /// Alternative views of the same bit range. Unpacking materializes
+    /// every alternative; packing takes exactly one.
+    Overlay {
+        /// Field name of the overlay group.
+        name: String,
+        /// Alternatives: name plus resolved view (same absolute range).
+        alts: Vec<(String, Layout)>,
+    },
+    /// An anonymous gap (no field, occupies bits).
+    Gap {
+        /// Absolute bit offset.
+        offset: u32,
+        /// Width in bits.
+        width: u32,
+    },
+}
+
+impl Layout {
+    /// Number of 32-bit words needed to hold the packed value.
+    pub fn words(&self) -> u32 {
+        self.size_bits.div_ceil(32)
+    }
+
+    /// Look up a top-level item by field name.
+    pub fn item(&self, name: &str) -> Option<&Item> {
+        self.items.iter().find(|i| match i {
+            Item::Bits { name: n, .. } | Item::Sub { name: n, .. } | Item::Overlay { name: n, .. } => {
+                n == name
+            }
+            Item::Gap { .. } => false,
+        })
+    }
+
+    /// All leaf bitfields reachable through subs and overlays, as
+    /// `(dotted.path, offset, width)` triples. Overlay alternatives appear
+    /// under `group.alt`.
+    pub fn leaves(&self) -> Vec<(String, u32, u32)> {
+        let mut out = Vec::new();
+        self.collect_leaves("", &mut out);
+        out
+    }
+
+    fn collect_leaves(&self, prefix: &str, out: &mut Vec<(String, u32, u32)>) {
+        for item in &self.items {
+            match item {
+                Item::Bits { name, offset, width } => {
+                    out.push((join_path(prefix, name), *offset, *width));
+                }
+                Item::Sub { name, layout } => {
+                    layout.collect_leaves(&join_path(prefix, name), out);
+                }
+                Item::Overlay { name, alts } => {
+                    for (alt, l) in alts {
+                        l.collect_leaves(&join_path(&join_path(prefix, name), alt), out);
+                    }
+                }
+                Item::Gap { .. } => {}
+            }
+        }
+    }
+}
+
+fn join_path(prefix: &str, name: &str) -> String {
+    if prefix.is_empty() {
+        name.to_string()
+    } else {
+        format!("{prefix}.{name}")
+    }
+}
+
+impl fmt::Display for Layout {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "layout<{} bits>", self.size_bits)
+    }
+}
+
+/// Named-layout environment used during resolution.
+pub type LayoutEnv = HashMap<String, Layout>;
+
+/// Resolve a surface layout expression against an environment of named
+/// layouts, producing absolute bit offsets.
+///
+/// # Errors
+///
+/// Reports unknown layout names, zero/oversized bitfields, and overlay
+/// alternatives of unequal size.
+pub fn resolve(expr: &LayoutExpr, env: &LayoutEnv) -> Result<Layout, Diagnostic> {
+    resolve_at(expr, env, 0)
+}
+
+fn resolve_at(expr: &LayoutExpr, env: &LayoutEnv, base: u32) -> Result<Layout, Diagnostic> {
+    match expr {
+        LayoutExpr::Name(name, span) => {
+            let l = env.get(name).ok_or_else(|| {
+                Diagnostic::new(format!("unknown layout '{name}'"), *span)
+            })?;
+            Ok(shift(l, base))
+        }
+        LayoutExpr::Gap(width) => Ok(Layout {
+            size_bits: *width,
+            items: vec![Item::Gap { offset: base, width: *width }],
+        }),
+        LayoutExpr::Body(items) => {
+            let mut out = Vec::new();
+            let mut off = base;
+            for item in items {
+                match item {
+                    LayoutItem::Bits(name, width) => {
+                        check_width(name, *width)?;
+                        out.push(Item::Bits { name: clone_name(name), offset: off, width: *width });
+                        off += width;
+                    }
+                    LayoutItem::Gap(width) => {
+                        out.push(Item::Gap { offset: off, width: *width });
+                        off += width;
+                    }
+                    LayoutItem::Sub(name, sub) => {
+                        let l = resolve_at(sub, env, off)?;
+                        off += l.size_bits;
+                        out.push(Item::Sub { name: clone_name(name), layout: l });
+                    }
+                    LayoutItem::Overlay(name, alts) => {
+                        let mut resolved = Vec::new();
+                        let mut width = None;
+                        for (alt, sub) in alts {
+                            let l = resolve_at(sub, env, off)?;
+                            match width {
+                                None => width = Some(l.size_bits),
+                                Some(w) if w != l.size_bits => {
+                                    return Err(Diagnostic::new(
+                                        format!(
+                                            "overlay '{name}' alternatives differ in size: {w} vs {} bits",
+                                            l.size_bits
+                                        ),
+                                        Span::default(),
+                                    ))
+                                }
+                                _ => {}
+                            }
+                            resolved.push((alt.clone(), l));
+                        }
+                        let w = width.unwrap_or(0);
+                        out.push(Item::Overlay { name: clone_name(name), alts: resolved });
+                        off += w;
+                    }
+                }
+            }
+            Ok(Layout { size_bits: off - base, items: out })
+        }
+        LayoutExpr::Concat(a, b) => {
+            let la = resolve_at(a, env, base)?;
+            let lb = resolve_at(b, env, base + la.size_bits)?;
+            let mut items = la.items;
+            items.extend(lb.items);
+            Ok(Layout { size_bits: la.size_bits + lb.size_bits, items })
+        }
+    }
+}
+
+fn clone_name(n: &str) -> String {
+    n.to_string()
+}
+
+fn check_width(name: &str, width: u32) -> Result<(), Diagnostic> {
+    if width == 0 || width > 32 {
+        return Err(Diagnostic::new(
+            format!("bitfield '{name}' has illegal width {width} (must be 1..=32)"),
+            Span::default(),
+        ));
+    }
+    Ok(())
+}
+
+/// Shift all offsets of a layout by `base` (used when a named layout is
+/// embedded at a nonzero position).
+fn shift(l: &Layout, base: u32) -> Layout {
+    if base == 0 {
+        return l.clone();
+    }
+    Layout {
+        size_bits: l.size_bits,
+        items: l
+            .items
+            .iter()
+            .map(|item| match item {
+                Item::Bits { name, offset, width } => {
+                    Item::Bits { name: name.clone(), offset: offset + base, width: *width }
+                }
+                Item::Sub { name, layout } => {
+                    Item::Sub { name: name.clone(), layout: shift(layout, base) }
+                }
+                Item::Overlay { name, alts } => Item::Overlay {
+                    name: name.clone(),
+                    alts: alts.iter().map(|(a, l)| (a.clone(), shift(l, base))).collect(),
+                },
+                Item::Gap { offset, width } => {
+                    Item::Gap { offset: offset + base, width: *width }
+                }
+            })
+            .collect(),
+    }
+}
+
+/// The word-level pieces a bitfield occupies: `(word_index, shift, mask,
+/// bits)` such that the field value is assembled as
+/// `Σ ((word >> shift) & mask) << accumulated-bits` from first piece to
+/// last. A field of width ≤ 32 spans at most two words.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FieldPiece {
+    /// Index of the 32-bit word within the packed value.
+    pub word: u32,
+    /// Right-shift to bring the piece to the low bits.
+    pub shift: u32,
+    /// Number of bits this piece contributes.
+    pub bits: u32,
+}
+
+/// Decompose the extraction of a field at absolute `offset`/`width` into
+/// word-level pieces, most significant piece first.
+pub fn field_pieces(offset: u32, width: u32) -> Vec<FieldPiece> {
+    assert!(width >= 1 && width <= 32, "field width {width} out of range");
+    let first_word = offset / 32;
+    let first_bit = offset % 32; // from MSB
+    let avail = 32 - first_bit;
+    if width <= avail {
+        vec![FieldPiece { word: first_word, shift: avail - width, bits: width }]
+    } else {
+        let hi_bits = avail;
+        let lo_bits = width - avail;
+        vec![
+            FieldPiece { word: first_word, shift: 0, bits: hi_bits },
+            FieldPiece { word: first_word + 1, shift: 32 - lo_bits, bits: lo_bits },
+        ]
+    }
+}
+
+/// Extract a field value from packed words (reference semantics used by
+/// tests and by the constant folder).
+pub fn extract(words: &[u32], offset: u32, width: u32) -> u32 {
+    let mut value = 0u64;
+    for p in field_pieces(offset, width) {
+        let piece = (words[p.word as usize] >> p.shift) & mask(p.bits);
+        value = (value << p.bits) | piece as u64;
+    }
+    value as u32
+}
+
+/// Deposit a field value into packed words (reference semantics).
+pub fn deposit(words: &mut [u32], offset: u32, width: u32, value: u32) {
+    let pieces = field_pieces(offset, width);
+    let mut remaining = width;
+    for p in &pieces {
+        remaining -= p.bits;
+        let piece = (value >> remaining) & mask(p.bits);
+        let m = mask(p.bits) << p.shift;
+        let w = &mut words[p.word as usize];
+        *w = (*w & !m) | (piece << p.shift);
+    }
+}
+
+/// A mask of `bits` low-order ones (`bits ≤ 32`).
+pub fn mask(bits: u32) -> u32 {
+    if bits >= 32 {
+        u32::MAX
+    } else {
+        (1u32 << bits) - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn layout_of(src: &str, name: &str) -> Layout {
+        let prog = parse(src).unwrap();
+        let mut env = LayoutEnv::new();
+        for item in &prog.items {
+            if let crate::ast::StmtKind::Layout(n, e) = &item.kind {
+                let l = resolve(e, &env).unwrap();
+                env.insert(n.clone(), l);
+            }
+        }
+        env.get(name).unwrap().clone()
+    }
+
+    const IPV6: &str = r#"
+        layout ipv6_address = { a1: 32, a2: 32, a3: 32, a4: 32 };
+        layout ipv6_header = {
+            version: 4, priority: 4, flow_label: 24,
+            payload_length: 16, next_header: 8, hop_limit: 8,
+            src_address: ipv6_address, dst_address: ipv6_address
+        };
+        fun main() { 0 }
+    "#;
+
+    #[test]
+    fn ipv6_header_is_ten_words() {
+        let l = layout_of(IPV6, "ipv6_header");
+        assert_eq!(l.size_bits, 320);
+        assert_eq!(l.words(), 10); // the paper: packed(ipv6_header) = word[10]
+    }
+
+    #[test]
+    fn offsets_are_absolute() {
+        let l = layout_of(IPV6, "ipv6_header");
+        let leaves = l.leaves();
+        let find = |p: &str| leaves.iter().find(|(n, _, _)| n == p).cloned().unwrap();
+        assert_eq!(find("version"), ("version".into(), 0, 4));
+        assert_eq!(find("priority"), ("priority".into(), 4, 4));
+        assert_eq!(find("flow_label"), ("flow_label".into(), 8, 24));
+        assert_eq!(find("payload_length"), ("payload_length".into(), 32, 16));
+        assert_eq!(find("hop_limit"), ("hop_limit".into(), 56, 8));
+        assert_eq!(find("src_address.a1"), ("src_address.a1".into(), 64, 32));
+        assert_eq!(find("dst_address.a4"), ("dst_address.a4".into(), 288, 32));
+    }
+
+    #[test]
+    fn overlay_alternatives_share_bits() {
+        let src = r#"
+            layout h = {
+                verpri: overlay { whole: 8 | parts: { version: 4, priority: 4 } },
+                flow_label: 24
+            };
+            fun main() { 0 }
+        "#;
+        let l = layout_of(src, "h");
+        assert_eq!(l.size_bits, 32);
+        let leaves = l.leaves();
+        let find = |p: &str| leaves.iter().find(|(n, _, _)| n == p).cloned().unwrap();
+        assert_eq!(find("verpri.whole.$value"), ("verpri.whole.$value".into(), 0, 8));
+        assert_eq!(find("verpri.parts.version"), ("verpri.parts.version".into(), 0, 4));
+        assert_eq!(find("verpri.parts.priority"), ("verpri.parts.priority".into(), 4, 4));
+        assert_eq!(find("flow_label"), ("flow_label".into(), 8, 24));
+    }
+
+    #[test]
+    fn overlay_size_mismatch_rejected() {
+        let src = r#"
+            layout bad = { o: overlay { a: 8 | b: 16 } };
+            fun main() { 0 }
+        "#;
+        let prog = parse(src).unwrap();
+        let env = LayoutEnv::new();
+        if let crate::ast::StmtKind::Layout(_, e) = &prog.items[0].kind {
+            assert!(resolve(e, &env).is_err());
+        } else {
+            panic!("expected layout");
+        }
+    }
+
+    #[test]
+    fn concat_and_gap_shift_offsets() {
+        // The paper's alignment example: lyt at offsets 0, 16, 24.
+        let src = r#"
+            layout lyt = { x: 16, y: 32, z: 8 };
+            fun main() { 0 }
+        "#;
+        let lyt = layout_of(src, "lyt");
+        assert_eq!(lyt.size_bits, 56);
+        let env: LayoutEnv = [("lyt".to_string(), lyt)].into_iter().collect();
+        use crate::ast::LayoutExpr as LE;
+        let name = |s: &str| LE::Name(s.into(), Span::default());
+        // {16} ## lyt ## {24} — 96 bits total, x at offset 16.
+        let e = LE::Concat(
+            Box::new(LE::Concat(Box::new(LE::Gap(16)), Box::new(name("lyt")))),
+            Box::new(LE::Gap(24)),
+        );
+        let l = resolve(&e, &env).unwrap();
+        assert_eq!(l.size_bits, 96);
+        let leaves = l.leaves();
+        assert_eq!(leaves[0], ("x".to_string(), 16, 16));
+        assert_eq!(leaves[1], ("y".to_string(), 32, 32));
+        assert_eq!(leaves[2], ("z".to_string(), 64, 8));
+    }
+
+    #[test]
+    fn field_pieces_straddle() {
+        // A 24-bit field starting at bit 16 straddles words 0 and 1.
+        let ps = field_pieces(16, 24);
+        assert_eq!(ps.len(), 2);
+        assert_eq!(ps[0], FieldPiece { word: 0, shift: 0, bits: 16 });
+        assert_eq!(ps[1], FieldPiece { word: 1, shift: 24, bits: 8 });
+        // Fully contained field.
+        let ps = field_pieces(8, 24);
+        assert_eq!(ps, vec![FieldPiece { word: 0, shift: 0, bits: 24 }]);
+    }
+
+    #[test]
+    fn extract_deposit_roundtrip() {
+        let mut words = [0u32; 3];
+        deposit(&mut words, 16, 24, 0xABCDEF);
+        assert_eq!(extract(&words, 16, 24), 0xABCDEF);
+        // MSB-first: the high byte of the field sits in the low half of w0.
+        assert_eq!(words[0] & 0xFFFF, 0xABCD);
+        assert_eq!(words[1] >> 24, 0xEF);
+        // Depositing must not clobber neighbours.
+        deposit(&mut words, 0, 16, 0x1234);
+        assert_eq!(extract(&words, 16, 24), 0xABCDEF);
+        assert_eq!(extract(&words, 0, 16), 0x1234);
+    }
+
+    #[test]
+    fn extract_full_word_aligned() {
+        let words = [0xDEADBEEFu32, 0x12345678];
+        assert_eq!(extract(&words, 0, 32), 0xDEADBEEF);
+        assert_eq!(extract(&words, 32, 32), 0x12345678);
+        assert_eq!(extract(&words, 28, 8), 0xF1);
+    }
+}

@@ -1,0 +1,420 @@
+//! Hand-written lexer for Nova source text.
+
+use crate::error::{Diagnostic, Span};
+use std::fmt;
+
+/// Lexical token kinds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Tok {
+    // Literals and names.
+    /// Unsigned 32-bit literal (decimal or `0x` hex).
+    Word,
+    /// Identifier.
+    Ident,
+    // Keywords.
+    /// `fun`
+    Fun,
+    /// `let`
+    Let,
+    /// `if`
+    If,
+    /// `else`
+    Else,
+    /// `while`
+    While,
+    /// `layout`
+    Layout,
+    /// `overlay`
+    Overlay,
+    /// `pack`
+    Pack,
+    /// `unpack`
+    Unpack,
+    /// `try`
+    Try,
+    /// `handle`
+    Handle,
+    /// `raise`
+    Raise,
+    /// `true`
+    True,
+    /// `false`
+    False,
+    /// `const`
+    Const,
+    /// `word` (type)
+    WordTy,
+    /// `bool` (type)
+    BoolTy,
+    /// `packed` (type constructor)
+    Packed,
+    /// `unpacked` (type constructor)
+    Unpacked,
+    /// `exn` (exception type constructor)
+    Exn,
+    // Punctuation.
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `,`
+    Comma,
+    /// `;`
+    Semi,
+    /// `:`
+    Colon,
+    /// `.`
+    Dot,
+    /// `=`
+    Assign,
+    /// `<-`
+    LeftArrow,
+    /// `##`
+    HashHash,
+    /// `|`
+    Pipe,
+    /// `||`
+    PipePipe,
+    /// `&`
+    Amp,
+    /// `&&`
+    AmpAmp,
+    /// `^`
+    Caret,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `<<`
+    Shl,
+    /// `>>`
+    Shr,
+    /// `==`
+    EqEq,
+    /// `!=`
+    NotEq,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `!`
+    Bang,
+    /// `~`
+    Tilde,
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Tok::Word => "word literal",
+            Tok::Ident => "identifier",
+            Tok::Fun => "'fun'",
+            Tok::Let => "'let'",
+            Tok::If => "'if'",
+            Tok::Else => "'else'",
+            Tok::While => "'while'",
+            Tok::Layout => "'layout'",
+            Tok::Overlay => "'overlay'",
+            Tok::Pack => "'pack'",
+            Tok::Unpack => "'unpack'",
+            Tok::Try => "'try'",
+            Tok::Handle => "'handle'",
+            Tok::Raise => "'raise'",
+            Tok::True => "'true'",
+            Tok::False => "'false'",
+            Tok::Const => "'const'",
+            Tok::WordTy => "'word'",
+            Tok::BoolTy => "'bool'",
+            Tok::Packed => "'packed'",
+            Tok::Unpacked => "'unpacked'",
+            Tok::Exn => "'exn'",
+            Tok::LParen => "'('",
+            Tok::RParen => "')'",
+            Tok::LBrace => "'{'",
+            Tok::RBrace => "'}'",
+            Tok::LBracket => "'['",
+            Tok::RBracket => "']'",
+            Tok::Comma => "','",
+            Tok::Semi => "';'",
+            Tok::Colon => "':'",
+            Tok::Dot => "'.'",
+            Tok::Assign => "'='",
+            Tok::LeftArrow => "'<-'",
+            Tok::HashHash => "'##'",
+            Tok::Pipe => "'|'",
+            Tok::PipePipe => "'||'",
+            Tok::Amp => "'&'",
+            Tok::AmpAmp => "'&&'",
+            Tok::Caret => "'^'",
+            Tok::Plus => "'+'",
+            Tok::Minus => "'-'",
+            Tok::Star => "'*'",
+            Tok::Shl => "'<<'",
+            Tok::Shr => "'>>'",
+            Tok::EqEq => "'=='",
+            Tok::NotEq => "'!='",
+            Tok::Lt => "'<'",
+            Tok::Le => "'<='",
+            Tok::Gt => "'>'",
+            Tok::Ge => "'>='",
+            Tok::Bang => "'!'",
+            Tok::Tilde => "'~'",
+            Tok::Eof => "end of input",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A token with its span and, for literals/identifiers, its payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// Kind.
+    pub tok: Tok,
+    /// Source range.
+    pub span: Span,
+    /// Literal value for [`Tok::Word`].
+    pub value: u32,
+    /// Text for [`Tok::Ident`].
+    pub text: String,
+}
+
+/// Tokenize `source`.
+///
+/// # Errors
+///
+/// Returns a [`Diagnostic`] on unterminated comments, malformed numbers, or
+/// unexpected characters.
+pub fn lex(source: &str) -> Result<Vec<Token>, Diagnostic> {
+    let bytes = source.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    let n = bytes.len();
+    while i < n {
+        let c = bytes[i];
+        let lo = i as u32;
+        match c {
+            b' ' | b'\t' | b'\r' | b'\n' => {
+                i += 1;
+            }
+            b'/' if i + 1 < n && bytes[i + 1] == b'/' => {
+                while i < n && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            b'/' if i + 1 < n && bytes[i + 1] == b'*' => {
+                let start = i;
+                i += 2;
+                loop {
+                    if i + 1 >= n {
+                        return Err(Diagnostic::new(
+                            "unterminated block comment",
+                            Span::new(start as u32, n as u32),
+                        ));
+                    }
+                    if bytes[i] == b'*' && bytes[i + 1] == b'/' {
+                        i += 2;
+                        break;
+                    }
+                    i += 1;
+                }
+            }
+            b'0'..=b'9' => {
+                let start = i;
+                let value = if c == b'0' && i + 1 < n && (bytes[i + 1] | 0x20) == b'x' {
+                    i += 2;
+                    let hex_start = i;
+                    while i < n && (bytes[i].is_ascii_hexdigit() || bytes[i] == b'_') {
+                        i += 1;
+                    }
+                    let text: String = source[hex_start..i].chars().filter(|&c| c != '_').collect();
+                    if text.is_empty() {
+                        return Err(Diagnostic::new(
+                            "hex literal needs digits",
+                            Span::new(start as u32, i as u32),
+                        ));
+                    }
+                    u32::from_str_radix(&text, 16).map_err(|_| {
+                        Diagnostic::new(
+                            "hex literal out of 32-bit range",
+                            Span::new(start as u32, i as u32),
+                        )
+                    })?
+                } else {
+                    while i < n && (bytes[i].is_ascii_digit() || bytes[i] == b'_') {
+                        i += 1;
+                    }
+                    let text: String = source[start..i].chars().filter(|&c| c != '_').collect();
+                    text.parse::<u32>().map_err(|_| {
+                        Diagnostic::new(
+                            "decimal literal out of 32-bit range",
+                            Span::new(start as u32, i as u32),
+                        )
+                    })?
+                };
+                out.push(Token {
+                    tok: Tok::Word,
+                    span: Span::new(lo, i as u32),
+                    value,
+                    text: String::new(),
+                });
+            }
+            b'a'..=b'z' | b'A'..=b'Z' | b'_' => {
+                let start = i;
+                while i < n && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+                    i += 1;
+                }
+                let text = &source[start..i];
+                let tok = match text {
+                    "fun" => Tok::Fun,
+                    "let" => Tok::Let,
+                    "if" => Tok::If,
+                    "else" => Tok::Else,
+                    "while" => Tok::While,
+                    "layout" => Tok::Layout,
+                    "overlay" => Tok::Overlay,
+                    "pack" => Tok::Pack,
+                    "unpack" => Tok::Unpack,
+                    "try" => Tok::Try,
+                    "handle" => Tok::Handle,
+                    "raise" => Tok::Raise,
+                    "true" => Tok::True,
+                    "false" => Tok::False,
+                    "const" => Tok::Const,
+                    "word" => Tok::WordTy,
+                    "bool" => Tok::BoolTy,
+                    "packed" => Tok::Packed,
+                    "unpacked" => Tok::Unpacked,
+                    "exn" => Tok::Exn,
+                    _ => Tok::Ident,
+                };
+                out.push(Token {
+                    tok,
+                    span: Span::new(lo, i as u32),
+                    value: 0,
+                    text: if tok == Tok::Ident { text.to_string() } else { String::new() },
+                });
+            }
+            _ => {
+                let two = if i + 1 < n { &source[i..i + 2] } else { "" };
+                let (tok, len) = match two {
+                    "<-" => (Tok::LeftArrow, 2),
+                    "##" => (Tok::HashHash, 2),
+                    "||" => (Tok::PipePipe, 2),
+                    "&&" => (Tok::AmpAmp, 2),
+                    "<<" => (Tok::Shl, 2),
+                    ">>" => (Tok::Shr, 2),
+                    "==" => (Tok::EqEq, 2),
+                    "!=" => (Tok::NotEq, 2),
+                    "<=" => (Tok::Le, 2),
+                    ">=" => (Tok::Ge, 2),
+                    _ => match c {
+                        b'(' => (Tok::LParen, 1),
+                        b')' => (Tok::RParen, 1),
+                        b'{' => (Tok::LBrace, 1),
+                        b'}' => (Tok::RBrace, 1),
+                        b'[' => (Tok::LBracket, 1),
+                        b']' => (Tok::RBracket, 1),
+                        b',' => (Tok::Comma, 1),
+                        b';' => (Tok::Semi, 1),
+                        b':' => (Tok::Colon, 1),
+                        b'.' => (Tok::Dot, 1),
+                        b'=' => (Tok::Assign, 1),
+                        b'|' => (Tok::Pipe, 1),
+                        b'&' => (Tok::Amp, 1),
+                        b'^' => (Tok::Caret, 1),
+                        b'+' => (Tok::Plus, 1),
+                        b'-' => (Tok::Minus, 1),
+                        b'*' => (Tok::Star, 1),
+                        b'<' => (Tok::Lt, 1),
+                        b'>' => (Tok::Gt, 1),
+                        b'!' => (Tok::Bang, 1),
+                        b'~' => (Tok::Tilde, 1),
+                        _ => {
+                            return Err(Diagnostic::new(
+                                format!("unexpected character {:?}", c as char),
+                                Span::new(lo, lo + 1),
+                            ))
+                        }
+                    },
+                };
+                i += len;
+                out.push(Token { tok, span: Span::new(lo, i as u32), value: 0, text: String::new() });
+            }
+        }
+    }
+    out.push(Token {
+        tok: Tok::Eof,
+        span: Span::new(n as u32, n as u32),
+        value: 0,
+        text: String::new(),
+    });
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|t| t.tok).collect()
+    }
+
+    #[test]
+    fn keywords_and_idents() {
+        assert_eq!(
+            kinds("fun f let layout overlay"),
+            vec![Tok::Fun, Tok::Ident, Tok::Let, Tok::Layout, Tok::Overlay, Tok::Eof]
+        );
+    }
+
+    #[test]
+    fn numbers() {
+        let ts = lex("42 0x2A 1_000 0xDEAD_BEEF").unwrap();
+        assert_eq!(ts[0].value, 42);
+        assert_eq!(ts[1].value, 42);
+        assert_eq!(ts[2].value, 1000);
+        assert_eq!(ts[3].value, 0xDEAD_BEEF);
+    }
+
+    #[test]
+    fn number_overflow_rejected() {
+        assert!(lex("4294967296").is_err());
+        assert!(lex("0x1_0000_0000").is_err());
+    }
+
+    #[test]
+    fn operators_maximal_munch() {
+        assert_eq!(kinds("<- << <= <"), vec![Tok::LeftArrow, Tok::Shl, Tok::Le, Tok::Lt, Tok::Eof]);
+        assert!(lex("#").is_err());
+        assert_eq!(kinds("##"), vec![Tok::HashHash, Tok::Eof]);
+    }
+
+    #[test]
+    fn comments_skipped() {
+        assert_eq!(kinds("a // line\nb /* block\n */ c"), vec![Tok::Ident; 3].into_iter().chain([Tok::Eof]).collect::<Vec<_>>());
+        assert!(lex("/* unterminated").is_err());
+    }
+
+    #[test]
+    fn spans_are_tight() {
+        let ts = lex("ab cd").unwrap();
+        assert_eq!((ts[0].span.lo, ts[0].span.hi), (0, 2));
+        assert_eq!((ts[1].span.lo, ts[1].span.hi), (3, 5));
+    }
+}

@@ -1,0 +1,46 @@
+//! Front end of the Nova language from "Taming the IXP Network Processor"
+//! (PLDI 2003).
+//!
+//! Nova (§3) is a lexically scoped, strict, statically typed, call-by-value
+//! language for packet processing: records and tuples (flattened at compile
+//! time), a layout sublanguage for bit-level packet formats (with overlays,
+//! gaps, and `##` concatenation), functions restricted to tail recursion
+//! (no stack), lexically scoped exceptions, and direct syntax for the
+//! IXP's memories and hardware units.
+//!
+//! Pipeline: [`parse`] → [`check`] produces a [`Program`] plus [`TypeInfo`]
+//! side tables; the `nova-cps` crate converts those to CPS.
+//!
+//! # Example
+//!
+//! ```
+//! let src = r#"
+//!     layout hdr = { version: 4, rest: 28 };
+//!     fun main() {
+//!         let (w) = sram(0);
+//!         let u = unpack[hdr]((w));
+//!         if (u.version == 6) 1 else 0
+//!     }
+//! "#;
+//! let program = nova_frontend::parse(src)?;
+//! let info = nova_frontend::check(&program)?;
+//! assert_eq!(program.static_stats().layouts, 1);
+//! # Ok::<(), nova_frontend::Diagnostic>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod ast;
+mod error;
+pub mod layout;
+mod lexer;
+mod parser;
+pub mod typecheck;
+pub mod types;
+
+pub use ast::{Program, StaticStats};
+pub use error::{line_col, Diagnostic, Span};
+pub use lexer::{lex, Tok, Token};
+pub use parser::parse;
+pub use typecheck::{check, TypeInfo};
+pub use types::{FunSig, Type};

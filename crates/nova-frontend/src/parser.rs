@@ -1,0 +1,1031 @@
+//! Recursive-descent parser for Nova.
+//!
+//! Grammar highlights (see the paper, §3):
+//!
+//! ```text
+//! program  := item*
+//! item     := layout-def | const-def | fun-def
+//! fun-def  := "fun" ident params block          (contiguous defs = one group)
+//! params   := "(" p, ... ")" | "[" p, ... "]"   (positional vs named)
+//! stmt     := "let" pat (":" type)? "=" expr ";"
+//!           | "layout" ident "=" layout ";"
+//!           | "const" ident "=" expr ";"
+//!           | space "(" expr ")" "<-" expr ";"
+//!           | "while" "(" expr ")" block
+//!           | expr ";"?
+//! expr     := precedence-climbing over || && cmp | ^ & shift addsub unary postfix
+//! primary  := literal | ident | call | tuple | record | if | try | raise
+//!           | "unpack" "[" layout "]" "(" expr ")"
+//!           | "pack" "[" layout "]" expr
+//!           | space "(" expr ")"                (memory read)
+//! layout   := latom ("##" latom)*
+//! latom    := ident | "{" n "}" | "{" items "}"
+//! ```
+
+use crate::ast::*;
+use crate::error::{Diagnostic, Span};
+use crate::lexer::{lex, Tok, Token};
+
+/// Parse a whole Nova program.
+///
+/// # Errors
+///
+/// Returns the first syntax error with its source span.
+pub fn parse(source: &str) -> Result<Program, Diagnostic> {
+    let tokens = lex(source)?;
+    let mut p = Parser { tokens, pos: 0, next_id: 0 };
+    p.program()
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+    next_id: u32,
+}
+
+impl Parser {
+    fn peek(&self) -> Tok {
+        self.tokens[self.pos].tok
+    }
+
+    fn peek2(&self) -> Tok {
+        self.tokens.get(self.pos + 1).map_or(Tok::Eof, |t| t.tok)
+    }
+
+    fn here(&self) -> Span {
+        self.tokens[self.pos].span
+    }
+
+    fn bump(&mut self) -> Token {
+        let t = self.tokens[self.pos].clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat(&mut self, tok: Tok) -> bool {
+        if self.peek() == tok {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, tok: Tok) -> Result<Token, Diagnostic> {
+        if self.peek() == tok {
+            Ok(self.bump())
+        } else {
+            Err(Diagnostic::new(
+                format!("expected {tok}, found {}", self.peek()),
+                self.here(),
+            ))
+        }
+    }
+
+    fn ident(&mut self) -> Result<(String, Span), Diagnostic> {
+        let t = self.expect(Tok::Ident)?;
+        Ok((t.text, t.span))
+    }
+
+    fn id(&mut self) -> NodeId {
+        self.next_id += 1;
+        NodeId(self.next_id - 1)
+    }
+
+    fn mk(&mut self, span: Span, kind: ExprKind) -> Expr {
+        Expr { id: self.id(), span, kind }
+    }
+
+    // ---------------- program & items ----------------
+
+    fn program(&mut self) -> Result<Program, Diagnostic> {
+        let mut items = Vec::new();
+        while self.peek() != Tok::Eof {
+            items.push(self.item()?);
+        }
+        Ok(Program { items })
+    }
+
+    fn item(&mut self) -> Result<Stmt, Diagnostic> {
+        match self.peek() {
+            Tok::Layout => self.layout_stmt(),
+            Tok::Const => self.const_stmt(),
+            Tok::Fun => self.fun_group(),
+            other => Err(Diagnostic::new(
+                format!("expected 'layout', 'const' or 'fun' at top level, found {other}"),
+                self.here(),
+            )),
+        }
+    }
+
+    fn layout_stmt(&mut self) -> Result<Stmt, Diagnostic> {
+        let start = self.here();
+        self.expect(Tok::Layout)?;
+        let (name, _) = self.ident()?;
+        self.expect(Tok::Assign)?;
+        let body = self.layout_expr()?;
+        let end = self.here();
+        self.expect(Tok::Semi)?;
+        Ok(Stmt { span: start.to(end), kind: StmtKind::Layout(name, body) })
+    }
+
+    fn const_stmt(&mut self) -> Result<Stmt, Diagnostic> {
+        let start = self.here();
+        self.expect(Tok::Const)?;
+        let (name, _) = self.ident()?;
+        self.expect(Tok::Assign)?;
+        let value = self.expr()?;
+        let end = self.here();
+        self.expect(Tok::Semi)?;
+        Ok(Stmt { span: start.to(end), kind: StmtKind::Const(name, value) })
+    }
+
+    fn fun_group(&mut self) -> Result<Stmt, Diagnostic> {
+        let start = self.here();
+        let mut defs = Vec::new();
+        while self.peek() == Tok::Fun {
+            defs.push(self.fun_def()?);
+        }
+        let span = defs.last().map_or(start, |d| start.to(d.span));
+        Ok(Stmt { span, kind: StmtKind::Funs(defs) })
+    }
+
+    fn fun_def(&mut self) -> Result<FunDef, Diagnostic> {
+        let start = self.here();
+        self.expect(Tok::Fun)?;
+        let (name, _) = self.ident()?;
+        let (params, named_params) = match self.peek() {
+            Tok::LParen => (self.param_list(Tok::LParen, Tok::RParen)?, false),
+            Tok::LBracket => (self.param_list(Tok::LBracket, Tok::RBracket)?, true),
+            other => {
+                return Err(Diagnostic::new(
+                    format!("expected parameter list, found {other}"),
+                    self.here(),
+                ))
+            }
+        };
+        let result = if self.eat(Tok::Colon) { Some(self.type_expr()?) } else { None };
+        let header_end = self.here();
+        let body = self.block()?;
+        Ok(FunDef { name, params, named_params, result, body, span: start.to(header_end) })
+    }
+
+    fn param_list(
+        &mut self,
+        open: Tok,
+        close: Tok,
+    ) -> Result<Vec<(String, Option<TypeExpr>)>, Diagnostic> {
+        self.expect(open)?;
+        let mut params = Vec::new();
+        if self.peek() != close {
+            loop {
+                let (name, _) = self.ident()?;
+                let ty = if self.eat(Tok::Colon) { Some(self.type_expr()?) } else { None };
+                params.push((name, ty));
+                if !self.eat(Tok::Comma) {
+                    break;
+                }
+            }
+        }
+        self.expect(close)?;
+        Ok(params)
+    }
+
+    // ---------------- blocks & statements ----------------
+
+    fn block(&mut self) -> Result<Block, Diagnostic> {
+        self.expect(Tok::LBrace)?;
+        let mut stmts = Vec::new();
+        let mut tail = None;
+        while self.peek() != Tok::RBrace {
+            if self.eat(Tok::Semi) {
+                continue; // stray semicolons are harmless
+            }
+            match self.peek() {
+                Tok::Let => stmts.push(self.let_stmt()?),
+                Tok::Layout => stmts.push(self.layout_stmt()?),
+                Tok::Const => stmts.push(self.const_stmt()?),
+                Tok::Fun => stmts.push(self.fun_group()?),
+                Tok::While => stmts.push(self.while_stmt()?),
+                // `x = e;` — assignment to an existing temporary.
+                Tok::Ident if self.peek2() == Tok::Assign => {
+                    let start = self.here();
+                    let (name, _) = self.ident()?;
+                    self.expect(Tok::Assign)?;
+                    let value = self.expr()?;
+                    let end = self.here();
+                    self.expect(Tok::Semi)?;
+                    stmts.push(Stmt {
+                        span: start.to(end),
+                        kind: StmtKind::Assign(name, value),
+                    });
+                }
+                _ => {
+                    let start = self.here();
+                    let e = self.expr()?;
+                    // `space(addr) <- value;` — a memory write.
+                    if self.peek() == Tok::LeftArrow {
+                        if let ExprKind::MemRead(space, addr) = e.kind {
+                            self.bump();
+                            let value = self.expr()?;
+                            let end = self.here();
+                            self.expect(Tok::Semi)?;
+                            stmts.push(Stmt {
+                                span: start.to(end),
+                                kind: StmtKind::MemWrite(space, *addr, value),
+                            });
+                            continue;
+                        }
+                        return Err(Diagnostic::new(
+                            "'<-' is only valid after a memory expression like sram(a)",
+                            self.here(),
+                        ));
+                    }
+                    if self.eat(Tok::Semi) {
+                        stmts.push(Stmt { span: start.to(e.span), kind: StmtKind::Expr(e) });
+                    } else if self.peek() == Tok::RBrace {
+                        tail = Some(Box::new(e));
+                    } else if matches!(
+                        e.kind,
+                        ExprKind::If(..) | ExprKind::Try(..) | ExprKind::BlockExpr(..)
+                    ) {
+                        // Block-like expressions may stand alone without ';'.
+                        stmts.push(Stmt { span: start.to(e.span), kind: StmtKind::Expr(e) });
+                    } else {
+                        return Err(Diagnostic::new(
+                            format!("expected ';' or '}}', found {}", self.peek()),
+                            self.here(),
+                        ));
+                    }
+                }
+            }
+        }
+        self.expect(Tok::RBrace)?;
+        Ok(Block { stmts, tail })
+    }
+
+    fn let_stmt(&mut self) -> Result<Stmt, Diagnostic> {
+        let start = self.here();
+        self.expect(Tok::Let)?;
+        let pat = self.pattern()?;
+        let ty = if self.eat(Tok::Colon) { Some(self.type_expr()?) } else { None };
+        self.expect(Tok::Assign)?;
+        let value = self.expr()?;
+        let end = self.here();
+        self.expect(Tok::Semi)?;
+        Ok(Stmt { span: start.to(end), kind: StmtKind::Let(pat, ty, value) })
+    }
+
+    fn while_stmt(&mut self) -> Result<Stmt, Diagnostic> {
+        let start = self.here();
+        self.expect(Tok::While)?;
+        self.expect(Tok::LParen)?;
+        let cond = self.expr()?;
+        self.expect(Tok::RParen)?;
+        let body = self.block()?;
+        Ok(Stmt { span: start, kind: StmtKind::While(cond, body) })
+    }
+
+    fn pattern(&mut self) -> Result<Pattern, Diagnostic> {
+        match self.peek() {
+            Tok::LParen => {
+                self.bump();
+                let mut names = Vec::new();
+                loop {
+                    let (n, _) = self.ident()?;
+                    names.push(n);
+                    if !self.eat(Tok::Comma) {
+                        break;
+                    }
+                }
+                self.expect(Tok::RParen)?;
+                Ok(Pattern::Tuple(names))
+            }
+            Tok::Ident => {
+                let (n, _) = self.ident()?;
+                if n == "_" {
+                    Ok(Pattern::Wild)
+                } else {
+                    Ok(Pattern::Var(n))
+                }
+            }
+            other => Err(Diagnostic::new(format!("expected pattern, found {other}"), self.here())),
+        }
+    }
+
+    // ---------------- types ----------------
+
+    fn type_expr(&mut self) -> Result<TypeExpr, Diagnostic> {
+        match self.peek() {
+            Tok::WordTy => {
+                self.bump();
+                if self.eat(Tok::LBracket) {
+                    let n = self.expect(Tok::Word)?.value;
+                    self.expect(Tok::RBracket)?;
+                    Ok(TypeExpr::Words(n))
+                } else {
+                    Ok(TypeExpr::Word)
+                }
+            }
+            Tok::BoolTy => {
+                self.bump();
+                Ok(TypeExpr::Bool)
+            }
+            Tok::Packed => {
+                self.bump();
+                self.expect(Tok::LParen)?;
+                let l = self.layout_expr()?;
+                self.expect(Tok::RParen)?;
+                Ok(TypeExpr::Packed(l))
+            }
+            Tok::Unpacked => {
+                self.bump();
+                self.expect(Tok::LParen)?;
+                let l = self.layout_expr()?;
+                self.expect(Tok::RParen)?;
+                Ok(TypeExpr::Unpacked(l))
+            }
+            Tok::Exn => {
+                self.bump();
+                let mut tys = Vec::new();
+                if self.eat(Tok::LParen) {
+                    if self.peek() != Tok::RParen {
+                        loop {
+                            tys.push(self.type_expr()?);
+                            if !self.eat(Tok::Comma) {
+                                break;
+                            }
+                        }
+                    }
+                    self.expect(Tok::RParen)?;
+                }
+                Ok(TypeExpr::Exn(tys))
+            }
+            Tok::LParen => {
+                self.bump();
+                let mut tys = Vec::new();
+                if self.peek() != Tok::RParen {
+                    loop {
+                        tys.push(self.type_expr()?);
+                        if !self.eat(Tok::Comma) {
+                            break;
+                        }
+                    }
+                }
+                self.expect(Tok::RParen)?;
+                Ok(TypeExpr::Tuple(tys))
+            }
+            Tok::LBracket => {
+                self.bump();
+                let mut fields = Vec::new();
+                if self.peek() != Tok::RBracket {
+                    loop {
+                        let (n, _) = self.ident()?;
+                        self.expect(Tok::Colon)?;
+                        fields.push((n, self.type_expr()?));
+                        if !self.eat(Tok::Comma) {
+                            break;
+                        }
+                    }
+                }
+                self.expect(Tok::RBracket)?;
+                Ok(TypeExpr::Record(fields))
+            }
+            other => Err(Diagnostic::new(format!("expected type, found {other}"), self.here())),
+        }
+    }
+
+    // ---------------- layouts ----------------
+
+    fn layout_expr(&mut self) -> Result<LayoutExpr, Diagnostic> {
+        let mut l = self.layout_atom()?;
+        while self.eat(Tok::HashHash) {
+            let r = self.layout_atom()?;
+            l = LayoutExpr::Concat(Box::new(l), Box::new(r));
+        }
+        Ok(l)
+    }
+
+    fn layout_atom(&mut self) -> Result<LayoutExpr, Diagnostic> {
+        match self.peek() {
+            Tok::Ident => {
+                let (n, sp) = self.ident()?;
+                Ok(LayoutExpr::Name(n, sp))
+            }
+            Tok::LBrace => {
+                self.bump();
+                // `{n}` is an anonymous gap; `{name: ...}` is a body.
+                if self.peek() == Tok::Word && self.peek2() == Tok::RBrace {
+                    let n = self.bump().value;
+                    self.expect(Tok::RBrace)?;
+                    return Ok(LayoutExpr::Gap(n));
+                }
+                let mut items = Vec::new();
+                if self.peek() != Tok::RBrace {
+                    loop {
+                        items.push(self.layout_item()?);
+                        if !self.eat(Tok::Comma) {
+                            break;
+                        }
+                    }
+                }
+                self.expect(Tok::RBrace)?;
+                Ok(LayoutExpr::Body(items))
+            }
+            other => {
+                Err(Diagnostic::new(format!("expected layout, found {other}"), self.here()))
+            }
+        }
+    }
+
+    fn layout_item(&mut self) -> Result<LayoutItem, Diagnostic> {
+        // `{n}` gap inside a body.
+        if self.peek() == Tok::LBrace {
+            self.bump();
+            let n = self.expect(Tok::Word)?.value;
+            self.expect(Tok::RBrace)?;
+            return Ok(LayoutItem::Gap(n));
+        }
+        let (name, _) = self.ident()?;
+        self.expect(Tok::Colon)?;
+        match self.peek() {
+            Tok::Word => {
+                let w = self.bump().value;
+                Ok(LayoutItem::Bits(name, w))
+            }
+            Tok::Overlay => {
+                self.bump();
+                self.expect(Tok::LBrace)?;
+                let mut alts = Vec::new();
+                loop {
+                    let (alt, _) = self.ident()?;
+                    self.expect(Tok::Colon)?;
+                    let l = self.layout_alt_body()?;
+                    alts.push((alt, l));
+                    if !self.eat(Tok::Pipe) {
+                        break;
+                    }
+                }
+                self.expect(Tok::RBrace)?;
+                Ok(LayoutItem::Overlay(name, alts))
+            }
+            _ => {
+                let l = self.layout_expr()?;
+                Ok(LayoutItem::Sub(name, l))
+            }
+        }
+    }
+
+    /// Overlay alternative body: a bit width, a named layout, or a body.
+    fn layout_alt_body(&mut self) -> Result<LayoutExpr, Diagnostic> {
+        if self.peek() == Tok::Word {
+            let w = self.bump().value;
+            // A bare width inside an overlay means a single unnamed... no:
+            // the paper names the alternative itself (`whole : 8`), the
+            // width becoming the whole alternative. Represent as a body
+            // with a single bitfield named like the alternative is not
+            // possible here, so use a Gap-sized leaf: a one-field body
+            // whose field name is "" is awkward — instead use Bits with
+            // the reserved name "$value".
+            return Ok(LayoutExpr::Body(vec![LayoutItem::Bits("$value".into(), w)]));
+        }
+        self.layout_expr()
+    }
+
+    // ---------------- expressions ----------------
+
+    fn expr(&mut self) -> Result<Expr, Diagnostic> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<Expr, Diagnostic> {
+        let mut lhs = self.and_expr()?;
+        while self.peek() == Tok::PipePipe {
+            self.bump();
+            let rhs = self.and_expr()?;
+            let span = lhs.span.to(rhs.span);
+            lhs = self.mk(span, ExprKind::Binop(BinOp::OrElse, Box::new(lhs), Box::new(rhs)));
+        }
+        Ok(lhs)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr, Diagnostic> {
+        let mut lhs = self.cmp_expr()?;
+        while self.peek() == Tok::AmpAmp {
+            self.bump();
+            let rhs = self.cmp_expr()?;
+            let span = lhs.span.to(rhs.span);
+            lhs = self.mk(span, ExprKind::Binop(BinOp::AndAlso, Box::new(lhs), Box::new(rhs)));
+        }
+        Ok(lhs)
+    }
+
+    fn cmp_expr(&mut self) -> Result<Expr, Diagnostic> {
+        let lhs = self.bitor_expr()?;
+        let op = match self.peek() {
+            Tok::EqEq => BinOp::Eq,
+            Tok::NotEq => BinOp::Ne,
+            Tok::Lt => BinOp::Lt,
+            Tok::Le => BinOp::Le,
+            Tok::Gt => BinOp::Gt,
+            Tok::Ge => BinOp::Ge,
+            _ => return Ok(lhs),
+        };
+        self.bump();
+        let rhs = self.bitor_expr()?;
+        let span = lhs.span.to(rhs.span);
+        Ok(self.mk(span, ExprKind::Binop(op, Box::new(lhs), Box::new(rhs))))
+    }
+
+    fn bitor_expr(&mut self) -> Result<Expr, Diagnostic> {
+        let mut lhs = self.bitxor_expr()?;
+        while self.peek() == Tok::Pipe {
+            self.bump();
+            let rhs = self.bitxor_expr()?;
+            let span = lhs.span.to(rhs.span);
+            lhs = self.mk(span, ExprKind::Binop(BinOp::Or, Box::new(lhs), Box::new(rhs)));
+        }
+        Ok(lhs)
+    }
+
+    fn bitxor_expr(&mut self) -> Result<Expr, Diagnostic> {
+        let mut lhs = self.bitand_expr()?;
+        while self.peek() == Tok::Caret {
+            self.bump();
+            let rhs = self.bitand_expr()?;
+            let span = lhs.span.to(rhs.span);
+            lhs = self.mk(span, ExprKind::Binop(BinOp::Xor, Box::new(lhs), Box::new(rhs)));
+        }
+        Ok(lhs)
+    }
+
+    fn bitand_expr(&mut self) -> Result<Expr, Diagnostic> {
+        let mut lhs = self.shift_expr()?;
+        while self.peek() == Tok::Amp {
+            self.bump();
+            let rhs = self.shift_expr()?;
+            let span = lhs.span.to(rhs.span);
+            lhs = self.mk(span, ExprKind::Binop(BinOp::And, Box::new(lhs), Box::new(rhs)));
+        }
+        Ok(lhs)
+    }
+
+    fn shift_expr(&mut self) -> Result<Expr, Diagnostic> {
+        let mut lhs = self.add_expr()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Shl => BinOp::Shl,
+                Tok::Shr => BinOp::Shr,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.add_expr()?;
+            let span = lhs.span.to(rhs.span);
+            lhs = self.mk(span, ExprKind::Binop(op, Box::new(lhs), Box::new(rhs)));
+        }
+        Ok(lhs)
+    }
+
+    fn add_expr(&mut self) -> Result<Expr, Diagnostic> {
+        let mut lhs = self.unary_expr()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Plus => BinOp::Add,
+                Tok::Minus => BinOp::Sub,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.unary_expr()?;
+            let span = lhs.span.to(rhs.span);
+            lhs = self.mk(span, ExprKind::Binop(op, Box::new(lhs), Box::new(rhs)));
+        }
+        Ok(lhs)
+    }
+
+    fn unary_expr(&mut self) -> Result<Expr, Diagnostic> {
+        let start = self.here();
+        let op = match self.peek() {
+            Tok::Bang => Some(UnOp::Not),
+            Tok::Tilde => Some(UnOp::Complement),
+            Tok::Minus => Some(UnOp::Neg),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.bump();
+            let e = self.unary_expr()?;
+            let span = start.to(e.span);
+            return Ok(self.mk(span, ExprKind::Unop(op, Box::new(e))));
+        }
+        self.postfix_expr()
+    }
+
+    fn postfix_expr(&mut self) -> Result<Expr, Diagnostic> {
+        let mut e = self.primary_expr()?;
+        while self.eat(Tok::Dot) {
+            let (field, sp) = self.ident()?;
+            let span = e.span.to(sp);
+            e = self.mk(span, ExprKind::Field(Box::new(e), field));
+        }
+        Ok(e)
+    }
+
+    fn primary_expr(&mut self) -> Result<Expr, Diagnostic> {
+        let start = self.here();
+        match self.peek() {
+            Tok::Word => {
+                let t = self.bump();
+                Ok(self.mk(t.span, ExprKind::Word(t.value)))
+            }
+            Tok::True => {
+                let t = self.bump();
+                Ok(self.mk(t.span, ExprKind::Bool(true)))
+            }
+            Tok::False => {
+                let t = self.bump();
+                Ok(self.mk(t.span, ExprKind::Bool(false)))
+            }
+            Tok::If => self.if_expr(),
+            Tok::Try => self.try_expr(),
+            Tok::Raise => {
+                self.bump();
+                let (name, _) = self.ident()?;
+                let args = self.call_args()?;
+                let span = start.to(self.tokens[self.pos.saturating_sub(1)].span);
+                Ok(self.mk(span, ExprKind::Raise(name, args)))
+            }
+            Tok::Unpack => {
+                self.bump();
+                self.expect(Tok::LBracket)?;
+                let l = self.layout_expr()?;
+                self.expect(Tok::RBracket)?;
+                self.expect(Tok::LParen)?;
+                let e = self.expr()?;
+                self.expect(Tok::RParen)?;
+                let span = start.to(e.span);
+                Ok(self.mk(span, ExprKind::Unpack(l, Box::new(e))))
+            }
+            Tok::Pack => {
+                self.bump();
+                self.expect(Tok::LBracket)?;
+                let l = self.layout_expr()?;
+                self.expect(Tok::RBracket)?;
+                let e = self.expr()?;
+                let span = start.to(e.span);
+                Ok(self.mk(span, ExprKind::Pack(l, Box::new(e))))
+            }
+            Tok::LParen => {
+                self.bump();
+                if self.eat(Tok::RParen) {
+                    // unit: empty tuple
+                    return Ok(self.mk(start, ExprKind::Tuple(vec![])));
+                }
+                let first = self.expr()?;
+                if self.eat(Tok::Comma) {
+                    let mut es = vec![first];
+                    loop {
+                        es.push(self.expr()?);
+                        if !self.eat(Tok::Comma) {
+                            break;
+                        }
+                    }
+                    let end = self.here();
+                    self.expect(Tok::RParen)?;
+                    Ok(self.mk(start.to(end), ExprKind::Tuple(es)))
+                } else {
+                    self.expect(Tok::RParen)?;
+                    Ok(first)
+                }
+            }
+            Tok::LBracket => {
+                self.bump();
+                let mut fields = Vec::new();
+                if self.peek() != Tok::RBracket {
+                    loop {
+                        let (n, _) = self.ident()?;
+                        self.expect(Tok::Assign)?;
+                        fields.push((n, self.expr()?));
+                        if !self.eat(Tok::Comma) {
+                            break;
+                        }
+                    }
+                }
+                let end = self.here();
+                self.expect(Tok::RBracket)?;
+                Ok(self.mk(start.to(end), ExprKind::Record(fields)))
+            }
+            Tok::LBrace => {
+                let b = self.block()?;
+                Ok(self.mk(start, ExprKind::BlockExpr(b)))
+            }
+            Tok::Ident => {
+                let (name, sp) = self.ident()?;
+                // Memory spaces look like function calls.
+                let space = match name.as_str() {
+                    "sram" => Some(MemSpace::Sram),
+                    "sdram" => Some(MemSpace::Sdram),
+                    "scratch" => Some(MemSpace::Scratch),
+                    _ => None,
+                };
+                if let Some(space) = space {
+                    self.expect(Tok::LParen)?;
+                    let addr = self.expr()?;
+                    let end = self.here();
+                    self.expect(Tok::RParen)?;
+                    return Ok(self.mk(sp.to(end), ExprKind::MemRead(space, Box::new(addr))));
+                }
+                if let Some(intr) = Intrinsic::from_name(&name) {
+                    self.expect(Tok::LParen)?;
+                    let mut args = Vec::new();
+                    if self.peek() != Tok::RParen {
+                        loop {
+                            args.push(self.expr()?);
+                            if !self.eat(Tok::Comma) {
+                                break;
+                            }
+                        }
+                    }
+                    let end = self.here();
+                    self.expect(Tok::RParen)?;
+                    return Ok(self.mk(sp.to(end), ExprKind::Intrinsic(intr, args)));
+                }
+                if self.peek() == Tok::LParen || self.peek() == Tok::LBracket {
+                    let args = self.call_args()?;
+                    let span = sp.to(self.tokens[self.pos.saturating_sub(1)].span);
+                    return Ok(self.mk(span, ExprKind::Call(name, args)));
+                }
+                Ok(self.mk(sp, ExprKind::Var(name)))
+            }
+            other => {
+                Err(Diagnostic::new(format!("expected expression, found {other}"), self.here()))
+            }
+        }
+    }
+
+    fn if_expr(&mut self) -> Result<Expr, Diagnostic> {
+        let start = self.here();
+        self.expect(Tok::If)?;
+        self.expect(Tok::LParen)?;
+        let cond = self.expr()?;
+        self.expect(Tok::RParen)?;
+        // Allow both `if (c) { .. }` and `if (c) expr else expr`.
+        let then_blk = self.block_or_expr()?;
+        let else_blk = if self.eat(Tok::Else) {
+            if self.peek() == Tok::If {
+                // else-if chains: wrap the nested if as a block.
+                let e = self.if_expr()?;
+                Some(Block { stmts: vec![], tail: Some(Box::new(e)) })
+            } else {
+                Some(self.block_or_expr()?)
+            }
+        } else {
+            None
+        };
+        Ok(self.mk(start, ExprKind::If(Box::new(cond), then_blk, else_blk)))
+    }
+
+    fn block_or_expr(&mut self) -> Result<Block, Diagnostic> {
+        if self.peek() == Tok::LBrace {
+            self.block()
+        } else {
+            let e = self.expr()?;
+            Ok(Block { stmts: vec![], tail: Some(Box::new(e)) })
+        }
+    }
+
+    fn try_expr(&mut self) -> Result<Expr, Diagnostic> {
+        let start = self.here();
+        self.expect(Tok::Try)?;
+        let body = self.block()?;
+        let mut handlers = Vec::new();
+        while self.peek() == Tok::Handle {
+            let hstart = self.here();
+            self.bump();
+            let (name, _) = self.ident()?;
+            let (params, named) = match self.peek() {
+                Tok::LParen => {
+                    let mut ps = Vec::new();
+                    self.bump();
+                    if self.peek() != Tok::RParen {
+                        loop {
+                            ps.push(self.ident()?.0);
+                            if !self.eat(Tok::Comma) {
+                                break;
+                            }
+                        }
+                    }
+                    self.expect(Tok::RParen)?;
+                    (ps, false)
+                }
+                Tok::LBracket => {
+                    let mut ps = Vec::new();
+                    self.bump();
+                    if self.peek() != Tok::RBracket {
+                        loop {
+                            ps.push(self.ident()?.0);
+                            if !self.eat(Tok::Comma) {
+                                break;
+                            }
+                        }
+                    }
+                    self.expect(Tok::RBracket)?;
+                    (ps, true)
+                }
+                other => {
+                    return Err(Diagnostic::new(
+                        format!("expected handler parameter list, found {other}"),
+                        self.here(),
+                    ))
+                }
+            };
+            let hbody = self.block()?;
+            handlers.push(Handler { name, params, named, body: hbody, span: hstart });
+        }
+        if handlers.is_empty() {
+            return Err(Diagnostic::new("'try' needs at least one 'handle'", start));
+        }
+        Ok(self.mk(start, ExprKind::Try(body, handlers)))
+    }
+
+    fn call_args(&mut self) -> Result<Args, Diagnostic> {
+        match self.peek() {
+            Tok::LParen => {
+                self.bump();
+                let mut args = Vec::new();
+                if self.peek() != Tok::RParen {
+                    loop {
+                        args.push(self.expr()?);
+                        if !self.eat(Tok::Comma) {
+                            break;
+                        }
+                    }
+                }
+                self.expect(Tok::RParen)?;
+                Ok(Args::Positional(args))
+            }
+            Tok::LBracket => {
+                self.bump();
+                let mut args = Vec::new();
+                if self.peek() != Tok::RBracket {
+                    loop {
+                        let (n, _) = self.ident()?;
+                        self.expect(Tok::Assign)?;
+                        args.push((n, self.expr()?));
+                        if !self.eat(Tok::Comma) {
+                            break;
+                        }
+                    }
+                }
+                self.expect(Tok::RBracket)?;
+                Ok(Args::Named(args))
+            }
+            other => Err(Diagnostic::new(
+                format!("expected argument list, found {other}"),
+                self.here(),
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse_ok(src: &str) -> Program {
+        parse(src).unwrap_or_else(|d| panic!("{}", d.render(src)))
+    }
+
+    #[test]
+    fn minimal_program() {
+        let p = parse_ok("fun main() { 42 }");
+        assert_eq!(p.items.len(), 1);
+        match &p.items[0].kind {
+            StmtKind::Funs(fs) => {
+                assert_eq!(fs[0].name, "main");
+                assert!(fs[0].body.tail.is_some());
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn ipv6_layout_from_paper() {
+        let src = r#"
+            layout ipv6_address = { a1: 32, a2: 32, a3: 32, a4: 32 };
+            layout ipv6_header = {
+                version: 4, priority: 4, flow_label: 24,
+                payload_length: 16, next_header: 8, hop_limit: 8,
+                src_address: ipv6_address, dst_address: ipv6_address
+            };
+            fun main() { 0 }
+        "#;
+        let p = parse_ok(src);
+        assert_eq!(p.static_stats().layouts, 2);
+    }
+
+    #[test]
+    fn overlay_syntax_from_paper() {
+        let src = r#"
+            layout h = {
+                verpri: overlay { whole: 8 | parts: { version: 4, priority: 4 } },
+                flow_label: 24
+            };
+            fun main() { 0 }
+        "#;
+        parse_ok(src);
+    }
+
+    #[test]
+    fn layout_concat_and_gaps() {
+        let src = r#"
+            layout lyt = { x: 16, y: 32, z: 8 };
+            fun main(pdata: word[3]) {
+                let u = unpack[lyt ## {40}](pdata);
+                let v = unpack[{16} ## lyt ## {24}](pdata);
+                u.x + v.y
+            }
+        "#;
+        let p = parse_ok(src);
+        assert_eq!(p.static_stats().unpacks, 2);
+    }
+
+    #[test]
+    fn memory_read_write() {
+        let src = r#"
+            fun main() {
+                let (a, b, c, d) = sram(100);
+                let (e, f) = sdram(200);
+                sram(300) <- (b, a, d, c);
+                scratch(4) <- (e + f);
+                0
+            }
+        "#;
+        parse_ok(src);
+    }
+
+    #[test]
+    fn try_handle_raise_from_paper() {
+        let src = r#"
+            fun g [q: word, x1: exn(word, word), x2: exn()] {
+                if (q == 0) raise x2 ()
+                else raise x1 (1, 2)
+            }
+            fun main() {
+                try {
+                    g[q = 3, x2 = X2, x1 = X1]
+                } handle X1 (b, c) { b + c }
+                  handle X2 () { 0 }
+            }
+        "#;
+        let p = parse_ok(src);
+        let s = p.static_stats();
+        assert_eq!(s.raises, 2);
+        assert_eq!(s.handles, 2);
+    }
+
+    #[test]
+    fn precedence() {
+        // 1 + 2 << 3 parses as (1+2) << 3; & binds tighter than |.
+        let p = parse_ok("fun main() { let x = 1 + 2 << 3; let y = 4 | 2 & 1; x + y }");
+        let _ = p;
+    }
+
+    #[test]
+    fn pack_unpack_expressions() {
+        let src = r#"
+            layout p = { a: 16, b: 32, c: 16 };
+            fun f(p1: packed(p), p2: packed(p)) {
+                let u1 = unpack[p](p1);
+                let u2 = unpack[p](p2);
+                (if (u1.c > 10) u1 else u2).b
+            }
+        "#;
+        // field access on parenthesized if
+        let p = parse_ok(src);
+        assert_eq!(p.static_stats().unpacks, 2);
+    }
+
+    #[test]
+    fn while_and_const() {
+        parse_ok("const N = 10; fun main() { let i = 0; while (i < N) { let j = i; }; 0 }");
+    }
+
+    #[test]
+    fn error_reports_position() {
+        let err = parse("fun main( { 0 }").unwrap_err();
+        assert!(err.render("fun main( { 0 }").contains("1:"));
+    }
+
+    #[test]
+    fn intrinsics_parse() {
+        parse_ok(
+            "fun main() { let (n, a) = rx_packet(); let h = hash(n); tx_packet(a, n); ctx_swap(); h }",
+        );
+    }
+
+    #[test]
+    fn unit_and_tuples() {
+        parse_ok("fun main() { let u = (); let t = (1, 2, 3); 0 }");
+    }
+}

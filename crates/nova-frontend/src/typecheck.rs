@@ -1,0 +1,1199 @@
+//! Type checking and elaboration.
+//!
+//! Walks the AST once, resolving layouts, constants, functions and
+//! exceptions, and records everything later phases need in a [`TypeInfo`]
+//! side table keyed by [`NodeId`]:
+//!
+//! * the [`Type`] of every expression;
+//! * the resolved [`Layout`] of every `pack`/`unpack`;
+//! * the word arity of every memory read (§2.2: aggregate sizes are
+//!   determined by binding context);
+//! * the value of every compile-time constant.
+//!
+//! The checker also enforces Nova's §3.1 restrictions: recursive calls
+//! (calls to functions whose bodies are still being checked, including the
+//! whole mutually recursive group) are only legal in tail position, which
+//! is what lets the compiler run without a stack; all other calls are
+//! inlined later by de-proceduralization.
+
+use crate::ast::*;
+use crate::error::{Diagnostic, Span};
+use crate::layout::{self, Layout, LayoutEnv};
+use crate::types::{alt_view_type, packed_type, unpacked_type, FunSig, Type};
+use std::collections::{HashMap, HashSet};
+
+/// Everything the middle end needs to know about a checked program.
+#[derive(Debug, Default)]
+pub struct TypeInfo {
+    /// Type of every expression node.
+    pub expr: HashMap<NodeId, Type>,
+    /// Resolved layout of every `pack`/`unpack` node.
+    pub layouts: HashMap<NodeId, Layout>,
+    /// Word count of every memory-read node.
+    pub read_words: HashMap<NodeId, u32>,
+    /// Value of every `const` definition's right-hand side.
+    pub const_values: HashMap<NodeId, u32>,
+    /// Final signature of every function definition, keyed by
+    /// `(name, header span start)` — unique because definitions cannot
+    /// overlap.
+    pub fun_sigs: HashMap<(String, u32), FunSig>,
+}
+
+/// Type-check a parsed program.
+///
+/// # Errors
+///
+/// Returns the first type error with its source span.
+pub fn check(program: &Program) -> Result<TypeInfo, Diagnostic> {
+    let mut cx = Checker {
+        info: TypeInfo::default(),
+        scopes: vec![Scope::default()],
+        in_progress: HashSet::new(),
+    };
+    for item in &program.items {
+        cx.check_stmt(item)?;
+    }
+    // The entry point: `fun main()` with no parameters.
+    match cx.lookup("main") {
+        Some(Binding::Value(Type::Fun(sig))) if sig.params.is_empty() => {}
+        Some(Binding::Value(Type::Fun(_))) => {
+            return Err(Diagnostic::new("'main' must take no parameters", Span::default()))
+        }
+        _ => return Err(Diagnostic::new("program has no 'main' function", Span::default())),
+    }
+    Ok(cx.info)
+}
+
+#[derive(Debug, Clone)]
+enum Binding {
+    Value(Type),
+    Const(u32),
+    Layout(Layout),
+}
+
+#[derive(Debug, Default)]
+struct Scope {
+    bindings: HashMap<String, Binding>,
+}
+
+struct Checker {
+    info: TypeInfo,
+    scopes: Vec<Scope>,
+    /// Functions whose bodies are on the checking stack (self + group):
+    /// calls to these must be tail calls.
+    in_progress: HashSet<String>,
+}
+
+impl Checker {
+    fn lookup(&self, name: &str) -> Option<Binding> {
+        for s in self.scopes.iter().rev() {
+            if let Some(b) = s.bindings.get(name) {
+                return Some(b.clone());
+            }
+        }
+        None
+    }
+
+    fn bind(&mut self, name: &str, b: Binding) {
+        self.scopes.last_mut().unwrap().bindings.insert(name.to_string(), b);
+    }
+
+    fn layout_env(&self) -> LayoutEnv {
+        let mut env = LayoutEnv::new();
+        for s in &self.scopes {
+            for (n, b) in &s.bindings {
+                if let Binding::Layout(l) = b {
+                    env.insert(n.clone(), l.clone());
+                }
+            }
+        }
+        env
+    }
+
+    fn resolve_layout(&self, e: &LayoutExpr, span: Span) -> Result<Layout, Diagnostic> {
+        layout::resolve(e, &self.layout_env()).map_err(|d| {
+            if d.span == Span::default() {
+                Diagnostic::new(d.message, span)
+            } else {
+                d
+            }
+        })
+    }
+
+    fn elab_type(&self, t: &TypeExpr, span: Span) -> Result<Type, Diagnostic> {
+        Ok(match t {
+            TypeExpr::Word => Type::Word,
+            TypeExpr::Bool => Type::Bool,
+            TypeExpr::Words(n) => Type::words(*n),
+            TypeExpr::Packed(l) => packed_type(&self.resolve_layout(l, span)?),
+            TypeExpr::Unpacked(l) => unpacked_type(&self.resolve_layout(l, span)?),
+            TypeExpr::Tuple(ts) => Type::Tuple(
+                ts.iter().map(|t| self.elab_type(t, span)).collect::<Result<_, _>>()?,
+            ),
+            TypeExpr::Record(fs) => Type::Record(
+                fs.iter()
+                    .map(|(n, t)| Ok((n.clone(), self.elab_type(t, span)?)))
+                    .collect::<Result<_, Diagnostic>>()?,
+            ),
+            TypeExpr::Exn(ts) => Type::Exn(
+                ts.iter()
+                    .enumerate()
+                    .map(|(i, t)| Ok((i.to_string(), self.elab_type(t, span)?)))
+                    .collect::<Result<_, Diagnostic>>()?,
+            ),
+        })
+    }
+
+    // ---------------- statements ----------------
+
+    fn check_stmt(&mut self, stmt: &Stmt) -> Result<(), Diagnostic> {
+        match &stmt.kind {
+            StmtKind::Layout(name, e) => {
+                let l = self.resolve_layout(e, stmt.span)?;
+                self.bind(name, Binding::Layout(l));
+                Ok(())
+            }
+            StmtKind::Const(name, e) => {
+                let v = self.eval_const(e)?;
+                self.info.const_values.insert(e.id, v);
+                self.info.expr.insert(e.id, Type::Word);
+                self.bind(name, Binding::Const(v));
+                Ok(())
+            }
+            StmtKind::Funs(defs) => self.check_fun_group(defs),
+            StmtKind::Let(pat, ann, value) => self.check_let(pat, ann.as_ref(), value, stmt.span),
+            StmtKind::Assign(name, value) => {
+                let cur = match self.lookup(name) {
+                    Some(Binding::Value(t)) => t,
+                    Some(_) => {
+                        return Err(Diagnostic::new(
+                            format!("'{name}' is not an assignable temporary"),
+                            stmt.span,
+                        ))
+                    }
+                    None => {
+                        return Err(Diagnostic::new(
+                            format!("assignment to unbound variable '{name}'"),
+                            stmt.span,
+                        ))
+                    }
+                };
+                let vt = self.check_expr(value, false)?;
+                if !vt.compatible(&cur) {
+                    return Err(Diagnostic::new(
+                        format!("'{name}' has type {cur}, cannot assign {vt}"),
+                        stmt.span,
+                    ));
+                }
+                Ok(())
+            }
+            StmtKind::MemWrite(space, addr, value) => {
+                let at = self.check_expr(addr, false)?;
+                self.require(&at, &Type::Word, addr.span, "memory address")?;
+                let vt = self.check_expr(value, false)?;
+                let n = vt.word_count().ok_or_else(|| {
+                    Diagnostic::new(
+                        format!("cannot store a value of type {vt} to memory"),
+                        value.span,
+                    )
+                })?;
+                check_burst(*space, n, value.span)?;
+                Ok(())
+            }
+            StmtKind::Expr(e) => {
+                self.check_expr(e, false)?;
+                Ok(())
+            }
+            StmtKind::While(cond, body) => {
+                let ct = self.check_expr(cond, false)?;
+                self.require(&ct, &Type::Bool, cond.span, "while condition")?;
+                self.scopes.push(Scope::default());
+                self.check_block_value(body, false)?;
+                self.scopes.pop();
+                Ok(())
+            }
+        }
+    }
+
+    fn check_fun_group(&mut self, defs: &[FunDef]) -> Result<(), Diagnostic> {
+        // Pre-declare signatures. Unannotated parameters default to `word`;
+        // unannotated results are inferred from the body (recursive tail
+        // calls contribute `Never`, so inference converges in one pass).
+        let mut sigs = Vec::new();
+        for d in defs {
+            let mut params = Vec::new();
+            for (n, ann) in &d.params {
+                let t = match ann {
+                    Some(t) => self.elab_type(t, d.span)?,
+                    None => Type::Word,
+                };
+                params.push((n.clone(), t));
+            }
+            let result = match &d.result {
+                Some(t) => self.elab_type(t, d.span)?,
+                None => Type::Never, // placeholder; patched after checking
+            };
+            sigs.push(FunSig { params, named: d.named_params, result });
+        }
+        for (d, s) in defs.iter().zip(&sigs) {
+            if self.in_progress.contains(&d.name) {
+                return Err(Diagnostic::new(
+                    format!("function '{}' shadows an enclosing function being defined", d.name),
+                    d.span,
+                ));
+            }
+            self.bind(&d.name, Binding::Value(Type::Fun(Box::new(s.clone()))));
+        }
+        // Only calls that participate in a cycle are recursion; calls to
+        // other group members are ordinary forward calls that will be
+        // inlined. Build the syntactic call graph, find its strongly
+        // connected components, and check SCCs in callee-first order.
+        let n = defs.len();
+        let group_idx: HashMap<&str, usize> =
+            defs.iter().enumerate().map(|(i, d)| (d.name.as_str(), i)).collect();
+        let mut edges: Vec<HashSet<usize>> = vec![HashSet::new(); n];
+        for (i, d) in defs.iter().enumerate() {
+            group_calls_block(&d.body, &group_idx, &mut edges[i]);
+        }
+        // Reachability closure (groups are tiny).
+        let mut reach = edges.clone();
+        loop {
+            let mut changed = false;
+            for i in 0..n {
+                let cur: Vec<usize> = reach[i].iter().copied().collect();
+                for j in cur {
+                    let next: Vec<usize> = reach[j].iter().copied().collect();
+                    for k in next {
+                        if reach[i].insert(k) {
+                            changed = true;
+                        }
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        let same_scc = |i: usize, j: usize| {
+            i == j && reach[i].contains(&i)
+                || i != j && reach[i].contains(&j) && reach[j].contains(&i)
+        };
+        // Topological order over the SCC condensation: repeatedly take a
+        // definition all of whose non-SCC callees are already done.
+        let mut order: Vec<usize> = Vec::new();
+        let mut done = vec![false; n];
+        while order.len() < n {
+            let mut progressed = false;
+            for i in 0..n {
+                if done[i] {
+                    continue;
+                }
+                let ready = edges[i]
+                    .iter()
+                    .all(|&j| done[j] || same_scc(i, j) || j == i);
+                if ready {
+                    done[i] = true;
+                    order.push(i);
+                    progressed = true;
+                }
+            }
+            assert!(progressed, "SCC scheduling stuck");
+        }
+        let mut results: Vec<Option<Type>> = vec![None; n];
+        let mut processed = vec![false; n];
+        for &start in &order {
+            if processed[start] {
+                continue;
+            }
+            let scc: Vec<usize> = (0..n)
+                .filter(|&j| j == start || same_scc(start, j))
+                .collect();
+            // Recursion (tail-only) applies within this SCC.
+            let mut inserted = Vec::new();
+            for &i in &scc {
+                if self.in_progress.insert(defs[i].name.clone()) {
+                    inserted.push(defs[i].name.clone());
+                }
+            }
+            for &i in &scc {
+                let (d, sig) = (&defs[i], &sigs[i]);
+                self.scopes.push(Scope::default());
+                for (pn, pt) in &sig.params {
+                    self.bind(pn, Binding::Value(pt.clone()));
+                }
+                let body_ty = self.check_block_value(&d.body, true)?;
+                self.scopes.pop();
+                let result = if matches!(sig.result, Type::Never) {
+                    body_ty
+                } else {
+                    if !body_ty.compatible(&sig.result) {
+                        return Err(Diagnostic::new(
+                            format!(
+                                "function '{}' returns {body_ty} but is annotated {}",
+                                d.name, sig.result
+                            ),
+                            d.span,
+                        ));
+                    }
+                    sig.result.clone()
+                };
+                results[i] = Some(result);
+            }
+            // Fixpoint within the SCC: a body ending in a tail call to an
+            // SCC member (typed `Never`) returns what the callee returns.
+            loop {
+                let mut changed = false;
+                for &i in &scc {
+                    let mut r = results[i].clone().unwrap();
+                    for &c in &edges[i] {
+                        if scc.contains(&c) {
+                            let cr = results[c].clone().unwrap();
+                            r = r.join(cr.clone()).ok_or_else(|| {
+                                Diagnostic::new(
+                                    format!(
+                                        "function '{}' returns {} but tail-calls a function returning {cr}",
+                                        defs[i].name,
+                                        results[i].clone().unwrap()
+                                    ),
+                                    defs[i].span,
+                                )
+                            })?;
+                        }
+                    }
+                    if Some(&r) != results[i].as_ref() {
+                        results[i] = Some(r);
+                        changed = true;
+                    }
+                }
+                if !changed {
+                    break;
+                }
+            }
+            for name in inserted {
+                self.in_progress.remove(&name);
+            }
+            for &i in &scc {
+                let final_sig = FunSig {
+                    params: sigs[i].params.clone(),
+                    named: sigs[i].named,
+                    result: results[i].clone().unwrap(),
+                };
+                self.info
+                    .fun_sigs
+                    .insert((defs[i].name.clone(), defs[i].span.lo), final_sig.clone());
+                self.bind(&defs[i].name, Binding::Value(Type::Fun(Box::new(final_sig))));
+                processed[i] = true;
+            }
+        }
+        Ok(())
+    }
+
+    fn check_let(
+        &mut self,
+        pat: &Pattern,
+        ann: Option<&TypeExpr>,
+        value: &Expr,
+        span: Span,
+    ) -> Result<(), Diagnostic> {
+        let ann_ty = ann.map(|t| self.elab_type(t, span)).transpose()?;
+        // Memory reads need their arity from the binding context.
+        let vt = if let ExprKind::MemRead(space, addr) = &value.kind {
+            let n = match (pat, &ann_ty) {
+                (Pattern::Tuple(names), _) => names.len() as u32,
+                (_, Some(t)) => t.word_count().ok_or_else(|| {
+                    Diagnostic::new(
+                        format!("memory read cannot produce a value of type {t}"),
+                        value.span,
+                    )
+                })?,
+                _ => {
+                    return Err(Diagnostic::new(
+                        "a memory read needs a tuple pattern or a type annotation \
+                         to determine how many words to transfer",
+                        value.span,
+                    ))
+                }
+            };
+            check_burst(*space, n, value.span)?;
+            let at = self.check_expr(addr, false)?;
+            self.require(&at, &Type::Word, addr.span, "memory address")?;
+            self.info.read_words.insert(value.id, n);
+            let t = Type::words(n);
+            self.info.expr.insert(value.id, t.clone());
+            t
+        } else {
+            self.check_expr(value, false)?
+        };
+        if let Some(want) = &ann_ty {
+            if !vt.compatible(want) {
+                return Err(Diagnostic::new(
+                    format!("let binding annotated {want} but initializer has type {vt}"),
+                    span,
+                ));
+            }
+        }
+        let bound_ty = ann_ty.unwrap_or(vt);
+        match pat {
+            Pattern::Var(n) => self.bind(n, Binding::Value(bound_ty)),
+            Pattern::Wild => {}
+            Pattern::Tuple(names) => match bound_ty {
+                Type::Tuple(ts) if ts.len() == names.len() => {
+                    for (n, t) in names.iter().zip(ts) {
+                        if n != "_" {
+                            self.bind(n, Binding::Value(t));
+                        }
+                    }
+                }
+                other => {
+                    return Err(Diagnostic::new(
+                        format!(
+                            "tuple pattern of {} names cannot match a value of type {other}",
+                            names.len()
+                        ),
+                        span,
+                    ))
+                }
+            },
+        }
+        Ok(())
+    }
+
+    // ---------------- blocks & expressions ----------------
+
+    /// Check a block; `tail` says whether the block's value is in tail
+    /// position of the enclosing function.
+    fn check_block_value(&mut self, b: &Block, tail: bool) -> Result<Type, Diagnostic> {
+        self.scopes.push(Scope::default());
+        let mut result = Type::unit();
+        for s in &b.stmts {
+            self.check_stmt(s)?;
+        }
+        if let Some(t) = &b.tail {
+            result = self.check_expr(t, tail)?;
+        } else if let Some(Stmt { kind: StmtKind::Expr(e), .. }) = b.stmts.last() {
+            // A trailing block-like statement (if/try without semicolon)
+            // is not the block value, but a `raise`-only statement makes
+            // the block diverge.
+            if matches!(self.info.expr.get(&e.id), Some(Type::Never)) {
+                result = Type::Never;
+            }
+        }
+        self.scopes.pop();
+        Ok(result)
+    }
+
+    fn check_expr(&mut self, e: &Expr, tail: bool) -> Result<Type, Diagnostic> {
+        let t = self.check_expr_inner(e, tail)?;
+        self.info.expr.insert(e.id, t.clone());
+        Ok(t)
+    }
+
+    fn check_expr_inner(&mut self, e: &Expr, tail: bool) -> Result<Type, Diagnostic> {
+        match &e.kind {
+            ExprKind::Word(_) => Ok(Type::Word),
+            ExprKind::Bool(_) => Ok(Type::Bool),
+            ExprKind::Var(name) => match self.lookup(name) {
+                Some(Binding::Value(t)) => Ok(t),
+                Some(Binding::Const(_)) => Ok(Type::Word),
+                Some(Binding::Layout(_)) => Err(Diagnostic::new(
+                    format!("'{name}' is a layout, not a value"),
+                    e.span,
+                )),
+                None => Err(Diagnostic::new(format!("unbound variable '{name}'"), e.span)),
+            },
+            ExprKind::Binop(op, a, b) => {
+                let ta = self.check_expr(a, false)?;
+                let tb = self.check_expr(b, false)?;
+                match op {
+                    BinOp::AndAlso | BinOp::OrElse => {
+                        self.require(&ta, &Type::Bool, a.span, "logical operand")?;
+                        self.require(&tb, &Type::Bool, b.span, "logical operand")?;
+                        Ok(Type::Bool)
+                    }
+                    _ if op.is_comparison() => {
+                        self.require(&ta, &Type::Word, a.span, "comparison operand")?;
+                        self.require(&tb, &Type::Word, b.span, "comparison operand")?;
+                        Ok(Type::Bool)
+                    }
+                    _ => {
+                        self.require(&ta, &Type::Word, a.span, "arithmetic operand")?;
+                        self.require(&tb, &Type::Word, b.span, "arithmetic operand")?;
+                        Ok(Type::Word)
+                    }
+                }
+            }
+            ExprKind::Unop(op, a) => {
+                let ta = self.check_expr(a, false)?;
+                match op {
+                    UnOp::Not => {
+                        self.require(&ta, &Type::Bool, a.span, "'!' operand")?;
+                        Ok(Type::Bool)
+                    }
+                    UnOp::Complement | UnOp::Neg => {
+                        self.require(&ta, &Type::Word, a.span, "unary operand")?;
+                        Ok(Type::Word)
+                    }
+                }
+            }
+            ExprKind::Tuple(es) => Ok(Type::Tuple(
+                es.iter().map(|e| self.check_expr(e, false)).collect::<Result<_, _>>()?,
+            )),
+            ExprKind::Record(fs) => {
+                let mut fields = Vec::new();
+                let mut seen = HashSet::new();
+                for (n, fe) in fs {
+                    if !seen.insert(n.clone()) {
+                        return Err(Diagnostic::new(
+                            format!("duplicate record field '{n}'"),
+                            fe.span,
+                        ));
+                    }
+                    fields.push((n.clone(), self.check_expr(fe, false)?));
+                }
+                Ok(Type::Record(fields))
+            }
+            ExprKind::Field(base, name) => {
+                let bt = self.check_expr(base, false)?;
+                bt.field(name).cloned().ok_or_else(|| {
+                    Diagnostic::new(format!("type {bt} has no field '{name}'"), e.span)
+                })
+            }
+            ExprKind::If(cond, then_b, else_b) => {
+                let ct = self.check_expr(cond, false)?;
+                self.require(&ct, &Type::Bool, cond.span, "if condition")?;
+                let tt = self.check_block_value(then_b, tail)?;
+                match else_b {
+                    Some(eb) => {
+                        let et = self.check_block_value(eb, tail)?;
+                        tt.clone().join(et.clone()).ok_or_else(|| {
+                            Diagnostic::new(
+                                format!("if branches disagree: {tt} vs {et}"),
+                                e.span,
+                            )
+                        })
+                    }
+                    None => Ok(Type::unit()),
+                }
+            }
+            ExprKind::Call(name, args) => self.check_call(name, args, tail, e.span),
+            ExprKind::MemRead(..) => Err(Diagnostic::new(
+                "memory reads may only appear as the right-hand side of a 'let'",
+                e.span,
+            )),
+            ExprKind::Unpack(le, arg) => {
+                let l = self.resolve_layout(le, e.span)?;
+                let at = self.check_expr(arg, false)?;
+                let want = packed_type(&l);
+                if !at.compatible(&want) {
+                    return Err(Diagnostic::new(
+                        format!("unpack expects {want} but argument has type {at}"),
+                        arg.span,
+                    ));
+                }
+                let t = unpacked_type(&l);
+                self.info.layouts.insert(e.id, l);
+                Ok(t)
+            }
+            ExprKind::Pack(le, arg) => {
+                let l = self.resolve_layout(le, e.span)?;
+                let at = self.check_expr(arg, false)?;
+                check_pack_shape(&l, &at, arg.span)?;
+                let t = packed_type(&l);
+                self.info.layouts.insert(e.id, l);
+                Ok(t)
+            }
+            ExprKind::Raise(name, args) => {
+                let b = self.lookup(name).ok_or_else(|| {
+                    Diagnostic::new(format!("unbound exception '{name}'"), e.span)
+                })?;
+                let payload = match b {
+                    Binding::Value(Type::Exn(p)) => p,
+                    _ => {
+                        return Err(Diagnostic::new(
+                            format!("'{name}' is not an exception"),
+                            e.span,
+                        ))
+                    }
+                };
+                self.check_args_against(args, &payload, e.span, "raise")?;
+                Ok(Type::Never)
+            }
+            ExprKind::Try(body, handlers) => {
+                // Handlers introduce exception names lexically in the body.
+                self.scopes.push(Scope::default());
+                for h in handlers {
+                    let payload: Vec<(String, Type)> = h
+                        .params
+                        .iter()
+                        .enumerate()
+                        .map(|(i, p)| {
+                            (if h.named { p.clone() } else { i.to_string() }, Type::Word)
+                        })
+                        .collect();
+                    self.bind(&h.name, Binding::Value(Type::Exn(payload)));
+                }
+                let bt = self.check_block_value(body, tail)?;
+                self.scopes.pop();
+                let mut result = bt;
+                for h in handlers {
+                    self.scopes.push(Scope::default());
+                    for p in &h.params {
+                        self.bind(p, Binding::Value(Type::Word));
+                    }
+                    let ht = self.check_block_value(&h.body, tail)?;
+                    self.scopes.pop();
+                    result = result.clone().join(ht.clone()).ok_or_else(|| {
+                        Diagnostic::new(
+                            format!("handler '{}' returns {ht}, but the try returns {result}", h.name),
+                            h.span,
+                        )
+                    })?;
+                }
+                Ok(result)
+            }
+            ExprKind::BlockExpr(b) => self.check_block_value(b, tail),
+            ExprKind::Intrinsic(intr, args) => {
+                if args.len() != intr.arity() {
+                    return Err(Diagnostic::new(
+                        format!(
+                            "intrinsic takes {} arguments, {} supplied",
+                            intr.arity(),
+                            args.len()
+                        ),
+                        e.span,
+                    ));
+                }
+                for a in args {
+                    let t = self.check_expr(a, false)?;
+                    self.require(&t, &Type::Word, a.span, "intrinsic argument")?;
+                }
+                Ok(match intr {
+                    Intrinsic::Hash | Intrinsic::BitTestSet | Intrinsic::CsrRead => Type::Word,
+                    Intrinsic::CsrWrite | Intrinsic::TxPacket | Intrinsic::CtxSwap => Type::unit(),
+                    Intrinsic::RxPacket => Type::Tuple(vec![Type::Word, Type::Word]),
+                })
+            }
+        }
+    }
+
+    fn check_call(
+        &mut self,
+        name: &str,
+        args: &Args,
+        tail: bool,
+        span: Span,
+    ) -> Result<Type, Diagnostic> {
+        let b = self
+            .lookup(name)
+            .ok_or_else(|| Diagnostic::new(format!("unbound function '{name}'"), span))?;
+        let sig = match b {
+            Binding::Value(Type::Fun(sig)) => *sig,
+            Binding::Value(other) => {
+                return Err(Diagnostic::new(
+                    format!("'{name}' has type {other} and cannot be called"),
+                    span,
+                ))
+            }
+            _ => return Err(Diagnostic::new(format!("'{name}' is not a function"), span)),
+        };
+        let recursive = self.in_progress.contains(name);
+        if recursive && !tail {
+            return Err(Diagnostic::new(
+                format!("recursive call to '{name}' must be in tail position (§3.1: no stack)"),
+                span,
+            ));
+        }
+        self.check_args_against(args, &sig.params, span, "call")?;
+        if recursive {
+            // A tail call transfers control; it contributes `Never` so
+            // result inference for the group converges.
+            Ok(Type::Never)
+        } else {
+            Ok(sig.result)
+        }
+    }
+
+    fn check_args_against(
+        &mut self,
+        args: &Args,
+        params: &[(String, Type)],
+        span: Span,
+        what: &str,
+    ) -> Result<(), Diagnostic> {
+        match args {
+            Args::Positional(es) => {
+                if es.len() != params.len() {
+                    return Err(Diagnostic::new(
+                        format!("{what} expects {} arguments, {} supplied", params.len(), es.len()),
+                        span,
+                    ));
+                }
+                for (a, (pname, pt)) in es.iter().zip(params) {
+                    let at = self.check_expr(a, false)?;
+                    if !at.compatible(pt) {
+                        return Err(Diagnostic::new(
+                            format!("argument '{pname}' expects {pt}, got {at}"),
+                            a.span,
+                        ));
+                    }
+                }
+            }
+            Args::Named(fs) => {
+                if fs.len() != params.len() {
+                    return Err(Diagnostic::new(
+                        format!("{what} expects {} arguments, {} supplied", params.len(), fs.len()),
+                        span,
+                    ));
+                }
+                for (n, a) in fs {
+                    let pt = params.iter().find(|(pn, _)| pn == n).map(|(_, t)| t).ok_or_else(
+                        || Diagnostic::new(format!("no parameter named '{n}'"), a.span),
+                    )?;
+                    let at = self.check_expr(a, false)?;
+                    if !at.compatible(pt) {
+                        return Err(Diagnostic::new(
+                            format!("argument '{n}' expects {pt}, got {at}"),
+                            a.span,
+                        ));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn require(
+        &self,
+        got: &Type,
+        want: &Type,
+        span: Span,
+        what: &str,
+    ) -> Result<(), Diagnostic> {
+        if got.compatible(want) {
+            Ok(())
+        } else {
+            Err(Diagnostic::new(format!("{what} must be {want}, got {got}"), span))
+        }
+    }
+
+    // ---------------- constant evaluation ----------------
+
+    fn eval_const(&self, e: &Expr) -> Result<u32, Diagnostic> {
+        match &e.kind {
+            ExprKind::Word(v) => Ok(*v),
+            ExprKind::Var(n) => match self.lookup(n) {
+                Some(Binding::Const(v)) => Ok(v),
+                _ => Err(Diagnostic::new(
+                    format!("'{n}' is not a compile-time constant"),
+                    e.span,
+                )),
+            },
+            ExprKind::Binop(op, a, b) => {
+                let x = self.eval_const(a)?;
+                let y = self.eval_const(b)?;
+                Ok(match op {
+                    BinOp::Add => x.wrapping_add(y),
+                    BinOp::Sub => x.wrapping_sub(y),
+                    BinOp::And => x & y,
+                    BinOp::Or => x | y,
+                    BinOp::Xor => x ^ y,
+                    BinOp::Shl => {
+                        if y >= 32 {
+                            0
+                        } else {
+                            x << y
+                        }
+                    }
+                    BinOp::Shr => {
+                        if y >= 32 {
+                            0
+                        } else {
+                            x >> y
+                        }
+                    }
+                    _ => {
+                        return Err(Diagnostic::new(
+                            "comparisons are not allowed in constants",
+                            e.span,
+                        ))
+                    }
+                })
+            }
+            ExprKind::Unop(UnOp::Complement, a) => Ok(!self.eval_const(a)?),
+            ExprKind::Unop(UnOp::Neg, a) => Ok(self.eval_const(a)?.wrapping_neg()),
+            _ => Err(Diagnostic::new("expression is not a compile-time constant", e.span)),
+        }
+    }
+}
+
+/// Collect calls to group members occurring anywhere in a block (used for
+/// the tail-call result fixpoint; over-approximation is harmless because
+/// non-tail group calls are rejected elsewhere).
+fn group_calls_block(b: &crate::ast::Block, group: &HashMap<&str, usize>, out: &mut HashSet<usize>) {
+    for s in &b.stmts {
+        match &s.kind {
+            StmtKind::Let(_, _, e)
+            | StmtKind::Const(_, e)
+            | StmtKind::Expr(e)
+            | StmtKind::Assign(_, e) => group_calls_expr(e, group, out),
+            StmtKind::MemWrite(_, a, v) => {
+                group_calls_expr(a, group, out);
+                group_calls_expr(v, group, out);
+            }
+            StmtKind::While(c, body) => {
+                group_calls_expr(c, group, out);
+                group_calls_block(body, group, out);
+            }
+            StmtKind::Layout(..) | StmtKind::Funs(..) => {}
+        }
+    }
+    if let Some(t) = &b.tail {
+        group_calls_expr(t, group, out);
+    }
+}
+
+fn group_calls_expr(e: &Expr, group: &HashMap<&str, usize>, out: &mut HashSet<usize>) {
+    match &e.kind {
+        ExprKind::Call(name, args) => {
+            if let Some(&i) = group.get(name.as_str()) {
+                out.insert(i);
+            }
+            match args {
+                Args::Positional(es) => {
+                    for a in es {
+                        group_calls_expr(a, group, out);
+                    }
+                }
+                Args::Named(fs) => {
+                    for (_, a) in fs {
+                        group_calls_expr(a, group, out);
+                    }
+                }
+            }
+        }
+        ExprKind::Raise(_, args) => match args {
+            Args::Positional(es) => {
+                for a in es {
+                    group_calls_expr(a, group, out);
+                }
+            }
+            Args::Named(fs) => {
+                for (_, a) in fs {
+                    group_calls_expr(a, group, out);
+                }
+            }
+        },
+        ExprKind::If(c, t, f) => {
+            group_calls_expr(c, group, out);
+            group_calls_block(t, group, out);
+            if let Some(f) = f {
+                group_calls_block(f, group, out);
+            }
+        }
+        ExprKind::Try(b, hs) => {
+            group_calls_block(b, group, out);
+            for h in hs {
+                group_calls_block(&h.body, group, out);
+            }
+        }
+        ExprKind::BlockExpr(b) => group_calls_block(b, group, out),
+        ExprKind::Binop(_, a, b) => {
+            group_calls_expr(a, group, out);
+            group_calls_expr(b, group, out);
+        }
+        ExprKind::Unop(_, a)
+        | ExprKind::Field(a, _)
+        | ExprKind::MemRead(_, a)
+        | ExprKind::Unpack(_, a)
+        | ExprKind::Pack(_, a) => group_calls_expr(a, group, out),
+        ExprKind::Tuple(es) | ExprKind::Intrinsic(_, es) => {
+            for a in es {
+                group_calls_expr(a, group, out);
+            }
+        }
+        ExprKind::Record(fs) => {
+            for (_, a) in fs {
+                group_calls_expr(a, group, out);
+            }
+        }
+        ExprKind::Word(_) | ExprKind::Bool(_) | ExprKind::Var(_) => {}
+    }
+}
+
+fn check_burst(space: MemSpace, n: u32, span: Span) -> Result<(), Diagnostic> {
+    let ok = match space {
+        MemSpace::Sram | MemSpace::Scratch => (1..=8).contains(&n),
+        MemSpace::Sdram => matches!(n, 2 | 4 | 6 | 8),
+    };
+    if ok {
+        Ok(())
+    } else {
+        Err(Diagnostic::new(
+            format!("{} transactions move {} words, {n} requested", space.name(),
+                if space == MemSpace::Sdram { "an even number (2..=8) of" } else { "1..=8" }),
+            span,
+        ))
+    }
+}
+
+/// Check that a record value of type `t` can be packed with layout `l`:
+/// bitfields take words, sub-layouts take matching records, overlays take a
+/// record with exactly one alternative (§3.2).
+fn check_pack_shape(l: &Layout, t: &Type, span: Span) -> Result<(), Diagnostic> {
+    use crate::layout::Item;
+    let fields = match t {
+        Type::Record(fs) => fs,
+        other => {
+            return Err(Diagnostic::new(
+                format!("pack expects a record, got {other}"),
+                span,
+            ))
+        }
+    };
+    let mut required = 0;
+    for item in &l.items {
+        match item {
+            Item::Bits { name, .. } => {
+                required += 1;
+                let ft = t.field(name).ok_or_else(|| {
+                    Diagnostic::new(format!("pack record is missing field '{name}'"), span)
+                })?;
+                if !ft.compatible(&Type::Word) {
+                    return Err(Diagnostic::new(
+                        format!("pack field '{name}' must be word, got {ft}"),
+                        span,
+                    ));
+                }
+            }
+            Item::Sub { name, layout } => {
+                required += 1;
+                let ft = t.field(name).ok_or_else(|| {
+                    Diagnostic::new(format!("pack record is missing field '{name}'"), span)
+                })?;
+                check_pack_shape(layout, ft, span)?;
+            }
+            Item::Overlay { name, alts } => {
+                required += 1;
+                let ft = t.field(name).ok_or_else(|| {
+                    Diagnostic::new(format!("pack record is missing overlay '{name}'"), span)
+                })?;
+                let chosen = match ft {
+                    Type::Record(fs) if fs.len() == 1 => &fs[0],
+                    other => {
+                        return Err(Diagnostic::new(
+                            format!(
+                                "overlay '{name}' needs exactly one alternative, got {other}"
+                            ),
+                            span,
+                        ))
+                    }
+                };
+                let alt_layout = alts.iter().find(|(a, _)| *a == chosen.0).map(|(_, l)| l);
+                let alt_layout = alt_layout.ok_or_else(|| {
+                    Diagnostic::new(
+                        format!("overlay '{name}' has no alternative '{}'", chosen.0),
+                        span,
+                    )
+                })?;
+                let want = alt_view_type(alt_layout);
+                if matches!(want, Type::Word) {
+                    if !chosen.1.compatible(&Type::Word) {
+                        return Err(Diagnostic::new(
+                            format!("overlay alternative '{}' must be word", chosen.0),
+                            span,
+                        ));
+                    }
+                } else {
+                    check_pack_shape(alt_layout, &chosen.1, span)?;
+                }
+            }
+            Item::Gap { .. } => {}
+        }
+    }
+    if fields.len() != required {
+        return Err(Diagnostic::new(
+            format!(
+                "pack record has {} fields but the layout requires {required}",
+                fields.len()
+            ),
+            span,
+        ));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn check_ok(src: &str) -> TypeInfo {
+        let p = parse(src).unwrap_or_else(|d| panic!("parse: {}", d.render(src)));
+        check(&p).unwrap_or_else(|d| panic!("check: {}", d.render(src)))
+    }
+
+    fn check_err(src: &str) -> Diagnostic {
+        let p = parse(src).unwrap_or_else(|d| panic!("parse: {}", d.render(src)));
+        check(&p).unwrap_err()
+    }
+
+    #[test]
+    fn minimal() {
+        check_ok("fun main() { 42 }");
+    }
+
+    #[test]
+    fn needs_main() {
+        let d = check_err("fun helper() { 0 }");
+        assert!(d.message.contains("main"));
+    }
+
+    #[test]
+    fn unbound_variable() {
+        let d = check_err("fun main() { x }");
+        assert!(d.message.contains("unbound"));
+    }
+
+    #[test]
+    fn memory_read_arity_from_tuple_pattern() {
+        let info = check_ok("fun main() { let (a, b, c) = sram(4); a + b + c }");
+        assert!(info.read_words.values().any(|&n| n == 3));
+    }
+
+    #[test]
+    fn memory_read_arity_from_annotation() {
+        let src = r#"
+            layout h = { a: 32, b: 32 };
+            fun main() { let p: packed(h) = sram(0); let u = unpack[h](p); u.a + u.b }
+        "#;
+        let info = check_ok(src);
+        assert!(info.read_words.values().any(|&n| n == 2));
+    }
+
+    #[test]
+    fn memory_read_without_context_rejected() {
+        let d = check_err("fun main() { let x = sram(0); x }");
+        assert!(d.message.contains("tuple pattern or a type annotation"));
+    }
+
+    #[test]
+    fn sdram_odd_burst_rejected() {
+        let d = check_err("fun main() { let (a, b, c) = sdram(0); a }");
+        assert!(d.message.contains("even"));
+    }
+
+    #[test]
+    fn unpack_type_and_field_access() {
+        let src = r#"
+            layout h = { version: 4, rest: 28 };
+            fun main() {
+                let (w) = sram(0);
+                let u = unpack[h]((w));
+                if (u.version == 6) 1 else 0
+            }
+        "#;
+        // `(w)` single-name tuple pattern reads one word; unpack of 1 word.
+        check_ok(src);
+    }
+
+    #[test]
+    fn pack_overlay_exactly_one_alternative() {
+        let src = r#"
+            layout h = { verpri: overlay { whole: 8 | parts: { version: 4, priority: 4 } }, f: 24 };
+            fun main() {
+                let x = pack[h] [ verpri = [ whole = 0x60 ], f = 0 ];
+                let y = pack[h] [ verpri = [ parts = [ version = 6, priority = 0 ] ], f = 0 ];
+                0
+            }
+        "#;
+        check_ok(src);
+        let bad = r#"
+            layout h = { verpri: overlay { whole: 8 | parts: { version: 4, priority: 4 } }, f: 24 };
+            fun main() {
+                let x = pack[h] [ verpri = [ whole = 1, parts = [ version = 6, priority = 0 ] ], f = 0 ];
+                0
+            }
+        "#;
+        let p = parse(bad).unwrap();
+        assert!(check(&p).is_err());
+    }
+
+    #[test]
+    fn recursion_must_be_tail() {
+        check_ok("fun main() { loop(0) } fun loop(i) { if (i < 10) loop(i + 1) else i }");
+        let d = check_err("fun main() { bad(3) } fun bad(i) { 1 + bad(i) }");
+        assert!(d.message.contains("tail position"));
+    }
+
+    #[test]
+    fn mutual_recursion_tail_only() {
+        check_ok(
+            "fun main() { even(10) }
+             fun even(n) { if (n == 0) 1 else odd(n - 1) }
+             fun odd(n) { if (n == 0) 0 else even(n - 1) }",
+        );
+    }
+
+    #[test]
+    fn exceptions_are_lexical() {
+        let src = r#"
+            fun main() {
+                try { raise X (1, 2) }
+                handle X (a, b) { a + b }
+            }
+        "#;
+        check_ok(src);
+        let d = check_err("fun main() { raise X (1) }");
+        assert!(d.message.contains("unbound exception"));
+    }
+
+    #[test]
+    fn exceptions_as_arguments() {
+        let src = r#"
+            fun g [v: word, err: exn(word)] {
+                if (v == 0) raise err (7) else v
+            }
+            fun main() {
+                try { g[v = 0, err = E] }
+                handle E (code) { code }
+            }
+        "#;
+        check_ok(src);
+    }
+
+    #[test]
+    fn if_branches_must_agree() {
+        let d = check_err("fun main() { if (1 == 1) 4 else (1, 2) }");
+        assert!(d.message.contains("disagree"));
+    }
+
+    #[test]
+    fn consts_fold() {
+        let info = check_ok("const A = 3; const B = A << 4; fun main() { B }");
+        assert!(info.const_values.values().any(|&v| v == 0x30));
+    }
+
+    #[test]
+    fn bool_conditions_required() {
+        let d = check_err("fun main() { if (1) 2 else 3 }");
+        assert!(d.message.contains("must be bool"));
+    }
+
+    #[test]
+    fn record_flattening_word_counts() {
+        let src = r#"
+            fun main() {
+                let r = [x = 1, y = (2, 3)];
+                sram(0) <- r;
+                0
+            }
+        "#;
+        check_ok(src); // record of 3 words stores fine
+    }
+
+    #[test]
+    fn mem_write_of_nonwords_rejected() {
+        let d = check_err("fun main() { sram(0) <- (); 0 }");
+        assert!(d.message.contains("1..=8"));
+    }
+}

@@ -1,0 +1,288 @@
+//! The semantic types of Nova (§3.1).
+//!
+//! Nova's type system is stratified into *types* (this module) and
+//! *layouts* ([`crate::layout`]). Types are structural: `packed(l)` is a
+//! synonym for `word[n]`, which in turn is the tuple of `n` words, and
+//! `unpacked(l)` is the record of `l`'s spread-out bitfields. Records and
+//! tuples never exist at run time — the compiler flattens them into
+//! word-sized leaves (§3.1 "flattening of records").
+
+use crate::layout::{Item, Layout, VALUE_FIELD};
+use std::fmt;
+
+/// A Nova type after elaboration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Type {
+    /// 32-bit word.
+    Word,
+    /// Boolean (encoded as control flow downstream).
+    Bool,
+    /// Tuple; `Tuple([])` is unit; `word[n]`/`packed(l)` elaborate here.
+    Tuple(Vec<Type>),
+    /// Record with named fields, in declaration order.
+    Record(Vec<(String, Type)>),
+    /// Exception accepting a payload (field name, type); positional
+    /// payloads use `"0"`, `"1"`, ... as names.
+    Exn(Vec<(String, Type)>),
+    /// A function value (only ever bound to statically known functions).
+    Fun(Box<FunSig>),
+    /// The type of expressions that do not return (`raise`).
+    Never,
+}
+
+/// Signature of a function type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FunSig {
+    /// Parameter names and types.
+    pub params: Vec<(String, Type)>,
+    /// Whether call sites use named (record) arguments.
+    pub named: bool,
+    /// Result type.
+    pub result: Type,
+}
+
+impl Type {
+    /// The unit type (empty tuple).
+    pub fn unit() -> Type {
+        Type::Tuple(Vec::new())
+    }
+
+    /// `word[n]` — tuple of `n` words.
+    pub fn words(n: u32) -> Type {
+        Type::Tuple(vec![Type::Word; n as usize])
+    }
+
+    /// Number of word-sized leaves after flattening, or `None` if the type
+    /// contains non-flattenable parts (functions, exceptions count as one
+    /// compile-time slot each but have no runtime words).
+    pub fn word_count(&self) -> Option<u32> {
+        match self {
+            Type::Word => Some(1),
+            Type::Bool => Some(1),
+            Type::Tuple(ts) => ts.iter().map(|t| t.word_count()).sum(),
+            Type::Record(fs) => fs.iter().map(|(_, t)| t.word_count()).sum(),
+            Type::Exn(_) | Type::Fun(_) => None,
+            Type::Never => Some(0),
+        }
+    }
+
+    /// Structural equality modulo `Never` (which unifies with anything)
+    /// and singleton tuples (which flatten to their element, §3.1).
+    pub fn compatible(&self, other: &Type) -> bool {
+        match (self, other) {
+            (Type::Never, _) | (_, Type::Never) => true,
+            (Type::Tuple(a), b) if a.len() == 1 && !matches!(b, Type::Tuple(_)) => {
+                a[0].compatible(b)
+            }
+            (a, Type::Tuple(b)) if b.len() == 1 && !matches!(a, Type::Tuple(_)) => {
+                a.compatible(&b[0])
+            }
+            (Type::Word, Type::Word) | (Type::Bool, Type::Bool) => true,
+            (Type::Tuple(a), Type::Tuple(b)) => {
+                a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x.compatible(y))
+            }
+            (Type::Record(a), Type::Record(b)) => {
+                a.len() == b.len()
+                    && a.iter().zip(b).all(|((n1, x), (n2, y))| n1 == n2 && x.compatible(y))
+            }
+            (Type::Exn(a), Type::Exn(b)) => {
+                a.len() == b.len()
+                    && a.iter().zip(b).all(|((n1, x), (n2, y))| n1 == n2 && x.compatible(y))
+            }
+            (Type::Fun(a), Type::Fun(b)) => {
+                a.named == b.named
+                    && a.params.len() == b.params.len()
+                    && a.params
+                        .iter()
+                        .zip(&b.params)
+                        .all(|((_, x), (_, y))| x.compatible(y))
+                    && a.result.compatible(&b.result)
+            }
+            _ => false,
+        }
+    }
+
+    /// The join of two branch types: `Never` defers to the other side.
+    pub fn join(self, other: Type) -> Option<Type> {
+        if matches!(self, Type::Never) {
+            return Some(other);
+        }
+        if matches!(other, Type::Never) {
+            return Some(self);
+        }
+        if self.compatible(&other) {
+            Some(self)
+        } else {
+            None
+        }
+    }
+
+    /// The type of a record field, if this is a record that has it.
+    pub fn field(&self, name: &str) -> Option<&Type> {
+        match self {
+            Type::Record(fs) => fs.iter().find(|(n, _)| n == name).map(|(_, t)| t),
+            _ => None,
+        }
+    }
+}
+
+/// The `unpacked(l)` record type of a layout: every bitfield spread into a
+/// word, sub-layouts into nested records, and each overlay into a record
+/// with one field per alternative (§3.2: unpacking generates *all*
+/// alternatives).
+pub fn unpacked_type(l: &Layout) -> Type {
+    let mut fields = Vec::new();
+    for item in &l.items {
+        match item {
+            Item::Bits { name, .. } => fields.push((name.clone(), Type::Word)),
+            Item::Sub { name, layout } => fields.push((name.clone(), unpacked_type(layout))),
+            Item::Overlay { name, alts } => {
+                let alt_fields = alts
+                    .iter()
+                    .map(|(alt, al)| (alt.clone(), alt_view_type(al)))
+                    .collect();
+                fields.push((name.clone(), Type::Record(alt_fields)));
+            }
+            Item::Gap { .. } => {}
+        }
+    }
+    Type::Record(fields)
+}
+
+/// The type of one overlay alternative's view: a bare-width alternative
+/// (`whole : 8`) is just a word; anything else is its unpacked record.
+pub fn alt_view_type(l: &Layout) -> Type {
+    if let [Item::Bits { name, .. }] = l.items.as_slice() {
+        if name == VALUE_FIELD {
+            return Type::Word;
+        }
+    }
+    unpacked_type(l)
+}
+
+/// The `packed(l)` type: `word[l.words()]`.
+pub fn packed_type(l: &Layout) -> Type {
+    Type::words(l.words())
+}
+
+impl fmt::Display for Type {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Type::Word => f.write_str("word"),
+            Type::Bool => f.write_str("bool"),
+            Type::Tuple(ts) => {
+                f.write_str("(")?;
+                for (i, t) in ts.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(", ")?;
+                    }
+                    write!(f, "{t}")?;
+                }
+                f.write_str(")")
+            }
+            Type::Record(fs) => {
+                f.write_str("[")?;
+                for (i, (n, t)) in fs.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(", ")?;
+                    }
+                    write!(f, "{n}: {t}")?;
+                }
+                f.write_str("]")
+            }
+            Type::Exn(ps) => {
+                f.write_str("exn(")?;
+                for (i, (n, t)) in ps.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(", ")?;
+                    }
+                    write!(f, "{n}: {t}")?;
+                }
+                f.write_str(")")
+            }
+            Type::Fun(sig) => {
+                write!(f, "fun({} params) -> {}", sig.params.len(), sig.result)
+            }
+            Type::Never => f.write_str("never"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::LayoutExpr;
+    use crate::layout::{resolve, LayoutEnv};
+
+    fn lay(items: &str) -> Layout {
+        let src = format!("layout t = {items}; fun main() {{ 0 }}");
+        let prog = crate::parser::parse(&src).unwrap();
+        if let crate::ast::StmtKind::Layout(_, e) = &prog.items[0].kind {
+            resolve(e, &LayoutEnv::new()).unwrap()
+        } else {
+            panic!("no layout")
+        }
+    }
+
+    #[test]
+    fn word_count_flattens() {
+        let t = Type::Record(vec![
+            ("a".into(), Type::Word),
+            ("b".into(), Type::Tuple(vec![Type::Word, Type::Word])),
+        ]);
+        assert_eq!(t.word_count(), Some(3));
+        assert_eq!(Type::unit().word_count(), Some(0));
+    }
+
+    #[test]
+    fn unpacked_record_structure() {
+        let l = lay("{ version: 4, priority: 4, rest: 24 }");
+        let t = unpacked_type(&l);
+        assert_eq!(
+            t,
+            Type::Record(vec![
+                ("version".into(), Type::Word),
+                ("priority".into(), Type::Word),
+                ("rest".into(), Type::Word),
+            ])
+        );
+    }
+
+    #[test]
+    fn overlay_unpacks_all_alternatives() {
+        let l = lay("{ verpri: overlay { whole: 8 | parts: { version: 4, priority: 4 } }, x: 24 }");
+        let t = unpacked_type(&l);
+        let verpri = t.field("verpri").unwrap();
+        assert_eq!(verpri.field("whole"), Some(&Type::Word));
+        let parts = verpri.field("parts").unwrap();
+        assert_eq!(parts.field("version"), Some(&Type::Word));
+    }
+
+    #[test]
+    fn packed_is_word_tuple() {
+        let l = lay("{ a: 32, b: 16 }");
+        assert_eq!(packed_type(&l), Type::words(2));
+    }
+
+    #[test]
+    fn never_joins() {
+        assert_eq!(Type::Never.join(Type::Word), Some(Type::Word));
+        assert_eq!(Type::Word.join(Type::Never), Some(Type::Word));
+        assert_eq!(Type::Word.join(Type::Bool), None);
+    }
+
+    #[test]
+    fn gaps_have_no_field() {
+        let src = "layout g = { a: 8 } ## {24} ## { b: 8 }; fun main() { 0 }";
+        let prog = crate::parser::parse(src).unwrap();
+        if let crate::ast::StmtKind::Layout(_, e) = &prog.items[0].kind {
+            let l = resolve(e, &LayoutEnv::new()).unwrap();
+            let t = unpacked_type(&l);
+            assert_eq!(
+                t,
+                Type::Record(vec![("a".into(), Type::Word), ("b".into(), Type::Word)])
+            );
+            let _: &LayoutExpr = e;
+        }
+    }
+}

@@ -1,0 +1,104 @@
+//! Property tests for the layout algebra.
+
+use nova_frontend::ast::LayoutExpr;
+use nova_frontend::layout::{resolve, LayoutEnv};
+use nova_frontend::Span;
+use proptest::prelude::*;
+
+/// Random layout expressions over bitfields and gaps.
+fn layout_strategy() -> impl Strategy<Value = LayoutExpr> {
+    let leaf = prop_oneof![
+        (1u32..=32).prop_map(|w| LayoutExpr::Body(vec![
+            nova_frontend::ast::LayoutItem::Bits(format!("f{w}"), w)
+        ])),
+        (1u32..=40).prop_map(LayoutExpr::Gap),
+    ];
+    leaf.prop_recursive(3, 24, 4, |inner| {
+        (inner.clone(), inner)
+            .prop_map(|(a, b)| LayoutExpr::Concat(Box::new(a), Box::new(b)))
+    })
+}
+
+fn size_of(e: &LayoutExpr) -> u32 {
+    match e {
+        LayoutExpr::Gap(n) => *n,
+        LayoutExpr::Body(items) => items
+            .iter()
+            .map(|i| match i {
+                nova_frontend::ast::LayoutItem::Bits(_, w) => *w,
+                nova_frontend::ast::LayoutItem::Gap(w) => *w,
+                _ => 0,
+            })
+            .sum(),
+        LayoutExpr::Concat(a, b) => size_of(a) + size_of(b),
+        LayoutExpr::Name(..) => 0,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn concat_sizes_are_additive(e in layout_strategy()) {
+        let env = LayoutEnv::new();
+        let l = resolve(&e, &env).unwrap();
+        prop_assert_eq!(l.size_bits, size_of(&e));
+    }
+
+    #[test]
+    fn leaves_are_in_bounds_and_ordered(e in layout_strategy()) {
+        let env = LayoutEnv::new();
+        let l = resolve(&e, &env).unwrap();
+        let mut last_end = 0;
+        for (name, offset, width) in l.leaves() {
+            prop_assert!(offset >= last_end, "field {} overlaps its predecessor", name);
+            prop_assert!(offset + width <= l.size_bits);
+            prop_assert!(width >= 1 && width <= 32);
+            last_end = offset + width;
+        }
+    }
+
+    #[test]
+    fn shifting_embeds_consistently(e in layout_strategy(), pad in 1u32..64) {
+        // {pad} ## e places every leaf of e exactly pad bits later.
+        let env = LayoutEnv::new();
+        let base = resolve(&e, &env).unwrap();
+        let shifted = resolve(
+            &LayoutExpr::Concat(Box::new(LayoutExpr::Gap(pad)), Box::new(e.clone())),
+            &env,
+        )
+        .unwrap();
+        let b: Vec<_> = base.leaves();
+        let s: Vec<_> = shifted.leaves();
+        prop_assert_eq!(b.len(), s.len());
+        for ((bn, bo, bw), (sn, so, sw)) in b.iter().zip(&s) {
+            prop_assert_eq!(bn, sn);
+            prop_assert_eq!(bo + pad, *so);
+            prop_assert_eq!(bw, sw);
+        }
+    }
+}
+
+#[test]
+fn named_layouts_resolve_through_env() {
+    let src = r#"
+        layout inner = { a: 8, b: 8 };
+        layout outer = { pre: 16, mid: inner, post: inner };
+        fun main() { 0 }
+    "#;
+    let prog = nova_frontend::parse(src).unwrap();
+    let mut env = LayoutEnv::new();
+    for item in &prog.items {
+        if let nova_frontend::ast::StmtKind::Layout(n, e) = &item.kind {
+            let l = resolve(e, &env).unwrap();
+            env.insert(n.clone(), l);
+        }
+    }
+    let outer = &env["outer"];
+    assert_eq!(outer.size_bits, 48);
+    let leaves = outer.leaves();
+    assert_eq!(leaves[0], ("pre".to_string(), 0, 16));
+    assert_eq!(leaves[1], ("mid.a".to_string(), 16, 8));
+    assert_eq!(leaves[4], ("post.b".to_string(), 40, 8));
+    let _ = Span::default();
+}

@@ -1,0 +1,124 @@
+//! The Nova compiler: one-call pipeline from source text to allocated,
+//! validated IXP1200 machine code.
+//!
+//! This crate glues the phases together in the paper's order (§4):
+//! parse → type check → CPS conversion → CPS optimization
+//! (de-proceduralization included) → static single use → instruction
+//! selection → ILP bank/register allocation → A/B coloring → validation.
+//!
+//! # Example
+//!
+//! ```
+//! let out = nova::compile_source(
+//!     "fun main() { let (a, b) = sram(0); sram(8) <- (a + b, a); 0 }",
+//!     &nova::CompileConfig::default(),
+//! ).unwrap();
+//! assert!(ixp_machine::validate(&out.prog).is_empty());
+//! assert_eq!(out.alloc_stats.spills, 0);
+//! ```
+
+#![warn(missing_docs)]
+
+use nova_backend::alloc::AllocConfig;
+use nova_cps::{OptConfig, SsuStats};
+use nova_frontend::StaticStats;
+
+pub use nova_backend::AllocStats;
+
+/// Pipeline configuration.
+#[derive(Debug, Clone, Default)]
+pub struct CompileConfig {
+    /// CPS optimizer settings.
+    pub opt: OptConfig,
+    /// Allocator / ILP settings.
+    pub alloc: AllocConfig,
+    /// Skip the optimizer (for ablations and debugging).
+    pub skip_opt: bool,
+}
+
+/// Everything the compiler produces for one program.
+#[derive(Debug)]
+pub struct CompileOutput {
+    /// Allocated, validated machine code.
+    pub prog: ixp_machine::Program<ixp_machine::PhysReg>,
+    /// Figure-5 static statistics of the source.
+    pub static_stats: StaticStats,
+    /// The optimized CPS (kept for oracle comparisons).
+    pub cps: nova_cps::Cps,
+    /// Optimizer statistics.
+    pub opt_stats: nova_cps::OptStats,
+    /// SSU statistics.
+    pub ssu_stats: SsuStats,
+    /// ILP model and solver statistics (Figures 6 and 7).
+    pub alloc_stats: nova_backend::AllocStats,
+    /// Machine instruction count of the final program.
+    pub code_size: usize,
+}
+
+/// A pipeline failure with the phase that produced it.
+#[derive(Debug)]
+pub struct CompileError {
+    /// Which phase failed.
+    pub phase: &'static str,
+    /// Rendered message.
+    pub message: String,
+}
+
+impl std::fmt::Display for CompileError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: {}", self.phase, self.message)
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+fn err(phase: &'static str, message: impl std::fmt::Display) -> CompileError {
+    CompileError { phase, message: message.to_string() }
+}
+
+/// Compile Nova source text to machine code.
+///
+/// # Errors
+///
+/// Returns the first error of whichever phase fails, tagged with the
+/// phase name.
+pub fn compile_source(
+    source: &str,
+    config: &CompileConfig,
+) -> Result<CompileOutput, CompileError> {
+    let program =
+        nova_frontend::parse(source).map_err(|d| err("parse", d.render(source)))?;
+    let info = nova_frontend::check(&program).map_err(|d| err("typecheck", d.render(source)))?;
+    let static_stats = program.static_stats();
+    let mut cps = nova_cps::convert(&program, &info)
+        .map_err(|d| err("cps-convert", d.render(source)))?;
+    let opt_stats = if config.skip_opt {
+        // Even unoptimized builds need static call targets (label
+        // specialization is a backend requirement, not an optimization).
+        nova_cps::specialize(&mut cps)
+    } else {
+        nova_cps::optimize(&mut cps, &config.opt)
+    };
+    if !nova_cps::all_calls_static(&cps) {
+        return Err(err(
+            "cps-optimize",
+            "a dynamic call target survived label specialization; \
+             the IXP has no indirect branch",
+        ));
+    }
+    let ssu_stats = nova_cps::to_ssu(&mut cps);
+    nova_cps::check_ssu(&cps).map_err(|m| err("ssu", m))?;
+    let vprog = nova_backend::select(&cps).map_err(|e| err("isel", e))?;
+    let allocation =
+        nova_backend::allocate(&vprog, &config.alloc).map_err(|e| err("alloc", e))?;
+    let code_size = allocation.prog.len();
+    Ok(CompileOutput {
+        prog: allocation.prog,
+        static_stats,
+        cps,
+        opt_stats,
+        ssu_stats,
+        alloc_stats: allocation.stats,
+        code_size,
+    })
+}

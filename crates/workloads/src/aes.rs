@@ -1,0 +1,219 @@
+//! Reference AES-128 (Rijndael) implementation and the T-tables the Nova
+//! benchmark uses.
+//!
+//! The paper's AES benchmark (§11) follows "the fast C reference
+//! implementation available from nist.gov": T-table encryption with the
+//! round keys statically expanded and all tables in SRAM. This module is
+//! the trusted oracle — validated against the FIPS-197 appendix vectors —
+//! and the provider of the tables/keys the harness preloads into the
+//! simulated SRAM.
+
+/// The AES S-box.
+pub const SBOX: [u8; 256] = {
+    // Computed by exponentiation tables at compile time would be nice, but
+    // a literal is clearer and verifiable against FIPS-197.
+    [
+        0x63, 0x7c, 0x77, 0x7b, 0xf2, 0x6b, 0x6f, 0xc5, 0x30, 0x01, 0x67, 0x2b, 0xfe, 0xd7, 0xab,
+        0x76, 0xca, 0x82, 0xc9, 0x7d, 0xfa, 0x59, 0x47, 0xf0, 0xad, 0xd4, 0xa2, 0xaf, 0x9c, 0xa4,
+        0x72, 0xc0, 0xb7, 0xfd, 0x93, 0x26, 0x36, 0x3f, 0xf7, 0xcc, 0x34, 0xa5, 0xe5, 0xf1, 0x71,
+        0xd8, 0x31, 0x15, 0x04, 0xc7, 0x23, 0xc3, 0x18, 0x96, 0x05, 0x9a, 0x07, 0x12, 0x80, 0xe2,
+        0xeb, 0x27, 0xb2, 0x75, 0x09, 0x83, 0x2c, 0x1a, 0x1b, 0x6e, 0x5a, 0xa0, 0x52, 0x3b, 0xd6,
+        0xb3, 0x29, 0xe3, 0x2f, 0x84, 0x53, 0xd1, 0x00, 0xed, 0x20, 0xfc, 0xb1, 0x5b, 0x6a, 0xcb,
+        0xbe, 0x39, 0x4a, 0x4c, 0x58, 0xcf, 0xd0, 0xef, 0xaa, 0xfb, 0x43, 0x4d, 0x33, 0x85, 0x45,
+        0xf9, 0x02, 0x7f, 0x50, 0x3c, 0x9f, 0xa8, 0x51, 0xa3, 0x40, 0x8f, 0x92, 0x9d, 0x38, 0xf5,
+        0xbc, 0xb6, 0xda, 0x21, 0x10, 0xff, 0xf3, 0xd2, 0xcd, 0x0c, 0x13, 0xec, 0x5f, 0x97, 0x44,
+        0x17, 0xc4, 0xa7, 0x7e, 0x3d, 0x64, 0x5d, 0x19, 0x73, 0x60, 0x81, 0x4f, 0xdc, 0x22, 0x2a,
+        0x90, 0x88, 0x46, 0xee, 0xb8, 0x14, 0xde, 0x5e, 0x0b, 0xdb, 0xe0, 0x32, 0x3a, 0x0a, 0x49,
+        0x06, 0x24, 0x5c, 0xc2, 0xd3, 0xac, 0x62, 0x91, 0x95, 0xe4, 0x79, 0xe7, 0xc8, 0x37, 0x6d,
+        0x8d, 0xd5, 0x4e, 0xa9, 0x6c, 0x56, 0xf4, 0xea, 0x65, 0x7a, 0xae, 0x08, 0xba, 0x78, 0x25,
+        0x2e, 0x1c, 0xa6, 0xb4, 0xc6, 0xe8, 0xdd, 0x74, 0x1f, 0x4b, 0xbd, 0x8b, 0x8a, 0x70, 0x3e,
+        0xb5, 0x66, 0x48, 0x03, 0xf6, 0x0e, 0x61, 0x35, 0x57, 0xb9, 0x86, 0xc1, 0x1d, 0x9e, 0xe1,
+        0xf8, 0x98, 0x11, 0x69, 0xd9, 0x8e, 0x94, 0x9b, 0x1e, 0x87, 0xe9, 0xce, 0x55, 0x28, 0xdf,
+        0x8c, 0xa1, 0x89, 0x0d, 0xbf, 0xe6, 0x42, 0x68, 0x41, 0x99, 0x2d, 0x0f, 0xb0, 0x54, 0xbb,
+        0x16,
+    ]
+};
+
+fn xtime(x: u8) -> u8 {
+    (x << 1) ^ (if x & 0x80 != 0 { 0x1b } else { 0 })
+}
+
+/// Build the four T-tables (encryption). `T0[x] = (2s, s, s, 3s)` in
+/// big-endian byte order, `T1..T3` are byte rotations of `T0`.
+pub fn t_tables() -> [[u32; 256]; 4] {
+    let mut t = [[0u32; 256]; 4];
+    for x in 0..256usize {
+        let s = SBOX[x];
+        let s2 = xtime(s);
+        let s3 = s2 ^ s;
+        let w = u32::from_be_bytes([s2, s, s, s3]);
+        t[0][x] = w;
+        t[1][x] = w.rotate_right(8);
+        t[2][x] = w.rotate_right(16);
+        t[3][x] = w.rotate_right(24);
+    }
+    t
+}
+
+/// AES-128 key expansion: 44 round-key words (big-endian packing).
+pub fn expand_key(key: &[u8; 16]) -> [u32; 44] {
+    let mut w = [0u32; 44];
+    for i in 0..4 {
+        w[i] = u32::from_be_bytes([key[4 * i], key[4 * i + 1], key[4 * i + 2], key[4 * i + 3]]);
+    }
+    let rcon: [u32; 10] =
+        [0x0100_0000, 0x0200_0000, 0x0400_0000, 0x0800_0000, 0x1000_0000, 0x2000_0000,
+         0x4000_0000, 0x8000_0000, 0x1b00_0000, 0x3600_0000];
+    for i in 4..44 {
+        let mut temp = w[i - 1];
+        if i % 4 == 0 {
+            temp = sub_word(temp.rotate_left(8)) ^ rcon[i / 4 - 1];
+        }
+        w[i] = w[i - 4] ^ temp;
+    }
+    w
+}
+
+fn sub_word(w: u32) -> u32 {
+    let b = w.to_be_bytes();
+    u32::from_be_bytes([SBOX[b[0] as usize], SBOX[b[1] as usize], SBOX[b[2] as usize], SBOX[b[3] as usize]])
+}
+
+/// Encrypt one 16-byte block (given as 4 big-endian words) with expanded
+/// round keys, using the same T-table formulation the Nova program uses.
+pub fn encrypt_block(block: [u32; 4], rk: &[u32; 44]) -> [u32; 4] {
+    let t = t_tables();
+    let mut s = [block[0] ^ rk[0], block[1] ^ rk[1], block[2] ^ rk[2], block[3] ^ rk[3]];
+    for round in 1..10 {
+        let mut ns = [0u32; 4];
+        for i in 0..4 {
+            ns[i] = t[0][(s[i] >> 24) as usize]
+                ^ t[1][((s[(i + 1) % 4] >> 16) & 0xFF) as usize]
+                ^ t[2][((s[(i + 2) % 4] >> 8) & 0xFF) as usize]
+                ^ t[3][(s[(i + 3) % 4] & 0xFF) as usize]
+                ^ rk[4 * round + i];
+        }
+        s = ns;
+    }
+    // Final round: SubBytes + ShiftRows + AddRoundKey (no MixColumns).
+    let mut out = [0u32; 4];
+    for i in 0..4 {
+        let b0 = SBOX[(s[i] >> 24) as usize] as u32;
+        let b1 = SBOX[((s[(i + 1) % 4] >> 16) & 0xFF) as usize] as u32;
+        let b2 = SBOX[((s[(i + 2) % 4] >> 8) & 0xFF) as usize] as u32;
+        let b3 = SBOX[(s[(i + 3) % 4] & 0xFF) as usize] as u32;
+        out[i] = (b0 << 24 | b1 << 16 | b2 << 8 | b3) ^ rk[40 + i];
+    }
+    out
+}
+
+/// Encrypt a whole word buffer in place (length must be a multiple of 4
+/// words — the paper's implementation likewise requires 16-byte multiples).
+pub fn encrypt_words(words: &mut [u32], rk: &[u32; 44]) {
+    assert!(words.len() % 4 == 0, "data must be a multiple of 16 bytes");
+    for chunk in words.chunks_mut(4) {
+        let out = encrypt_block([chunk[0], chunk[1], chunk[2], chunk[3]], rk);
+        chunk.copy_from_slice(&out);
+    }
+}
+
+/// SRAM layout used by the Nova AES program (word addresses).
+pub mod layout {
+    /// Base of T0 (256 words).
+    pub const T0: u32 = 0x000;
+    /// Base of T1.
+    pub const T1: u32 = 0x100;
+    /// Base of T2.
+    pub const T2: u32 = 0x200;
+    /// Base of T3.
+    pub const T3: u32 = 0x300;
+    /// Base of the S-box stored one entry per word.
+    pub const SBOX: u32 = 0x400;
+    /// Base of the 44 round-key words.
+    pub const RK: u32 = 0x500;
+}
+
+/// Fill SRAM (via the writer) with the tables and round keys the Nova
+/// program expects.
+pub fn load_sram(key: &[u8; 16], mut write: impl FnMut(u32, u32)) {
+    let t = t_tables();
+    for (ti, table) in t.iter().enumerate() {
+        for (i, w) in table.iter().enumerate() {
+            write(layout::T0 + (ti as u32) * 0x100 + i as u32, *w);
+        }
+    }
+    for (i, s) in SBOX.iter().enumerate() {
+        write(layout::SBOX + i as u32, *s as u32);
+    }
+    for (i, w) in expand_key(key).iter().enumerate() {
+        write(layout::RK + i as u32, *w);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fips197_appendix_b() {
+        // FIPS-197 Appendix B: key 2b7e..., plaintext 3243f6a8...
+        let key = [
+            0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6, 0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf,
+            0x4f, 0x3c,
+        ];
+        let rk = expand_key(&key);
+        let pt = [0x3243f6a8, 0x885a308d, 0x313198a2, 0xe0370734];
+        let ct = encrypt_block(pt, &rk);
+        assert_eq!(ct, [0x3925841d, 0x02dc09fb, 0xdc118597, 0x196a0b32]);
+    }
+
+    #[test]
+    fn fips197_appendix_c1() {
+        // FIPS-197 Appendix C.1: key 000102...0f, plaintext 00112233...
+        let key: [u8; 16] = core::array::from_fn(|i| i as u8);
+        let rk = expand_key(&key);
+        let pt = [0x00112233, 0x44556677, 0x8899aabb, 0xccddeeff];
+        let ct = encrypt_block(pt, &rk);
+        assert_eq!(ct, [0x69c4e0d8, 0x6a7b0430, 0xd8cdb780, 0x70b4c55a]);
+    }
+
+    #[test]
+    fn key_expansion_first_words() {
+        // FIPS-197 Appendix A.1 intermediate values.
+        let key = [
+            0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6, 0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf,
+            0x4f, 0x3c,
+        ];
+        let w = expand_key(&key);
+        assert_eq!(w[4], 0xa0fafe17);
+        assert_eq!(w[43], 0xb6630ca6);
+    }
+
+    #[test]
+    fn t_table_consistency() {
+        // Every Ti is a rotation of T0, and T0's bytes follow (2s, s, s, 3s).
+        let t = t_tables();
+        for x in 0..256 {
+            assert_eq!(t[1][x], t[0][x].rotate_right(8));
+            assert_eq!(t[2][x], t[0][x].rotate_right(16));
+            assert_eq!(t[3][x], t[0][x].rotate_right(24));
+            let b = t[0][x].to_be_bytes();
+            assert_eq!(b[1], SBOX[x]);
+            assert_eq!(b[2], SBOX[x]);
+            assert_eq!(b[0], xtime(SBOX[x]));
+            assert_eq!(b[3], xtime(SBOX[x]) ^ SBOX[x]);
+        }
+    }
+
+    #[test]
+    fn multi_block_buffer() {
+        let key: [u8; 16] = core::array::from_fn(|i| i as u8);
+        let rk = expand_key(&key);
+        let mut buf = vec![0u32; 8];
+        buf[0..4].copy_from_slice(&[0x00112233, 0x44556677, 0x8899aabb, 0xccddeeff]);
+        buf[4..8].copy_from_slice(&[0x00112233, 0x44556677, 0x8899aabb, 0xccddeeff]);
+        encrypt_words(&mut buf, &rk);
+        assert_eq!(&buf[0..4], &buf[4..8]);
+        assert_eq!(buf[0], 0x69c4e0d8);
+    }
+}

@@ -1,0 +1,22 @@
+//! The paper's benchmark workloads (§11): AES Rijndael, Kasumi, and
+//! IPv6→IPv4 NAT.
+//!
+//! Each workload comes in two forms that must agree bit for bit:
+//!
+//! * a trusted Rust **reference implementation** ([`aes`], [`kasumi`],
+//!   [`nat`]), validated against published test vectors where available;
+//! * a **Nova program** ([`nova_programs`]) compiled by this repository's
+//!   compiler and executed on the CPS interpreter and the cycle simulator.
+//!
+//! The equality of the two is the compiler's application-level
+//! correctness argument, and the Nova programs drive the Figure 5/6/7 and
+//! throughput experiments.
+
+#![warn(missing_docs)]
+
+pub mod aes;
+pub mod kasumi;
+pub mod nat;
+pub mod nova_programs;
+
+pub use nova_programs::{AES_NOVA, KASUMI_NOVA, NAT_NOVA, HEADER_BYTES, HEADER_WORDS};

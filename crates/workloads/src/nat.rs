@@ -1,0 +1,174 @@
+//! Reference IPv6 → IPv4 network address translation.
+//!
+//! The paper's third benchmark implements NAT between IPv6 and IPv4
+//! headers after Grosse & Lakshman \[17\]: "Because of the different header
+//! sizes, the start of the packet must be moved to a new location and
+//! care is required in updating the new checksum field."
+//!
+//! Our packets carry a 40-byte IPv6 header (10 words) followed by the
+//! payload. Translation builds a 20-byte IPv4 header (5 words) directly in
+//! front of the payload — so the packet start moves forward by 5 words —
+//! mapping addresses with the IPv4-mapped-address convention (the low 32
+//! bits of the IPv6 address) and computing the IPv4 header checksum.
+
+/// Fields of an IPv6 header we model (words are big-endian packed).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Ipv6Header {
+    /// Version (6).
+    pub version: u32,
+    /// Traffic class.
+    pub traffic_class: u32,
+    /// Flow label.
+    pub flow: u32,
+    /// Payload length in bytes.
+    pub payload_len: u32,
+    /// Next header (protocol).
+    pub next_header: u32,
+    /// Hop limit.
+    pub hop_limit: u32,
+    /// Source address (4 words).
+    pub src: [u32; 4],
+    /// Destination address (4 words).
+    pub dst: [u32; 4],
+}
+
+impl Ipv6Header {
+    /// Parse from 10 packed words.
+    pub fn parse(w: &[u32]) -> Ipv6Header {
+        Ipv6Header {
+            version: w[0] >> 28,
+            traffic_class: (w[0] >> 20) & 0xFF,
+            flow: w[0] & 0xF_FFFF,
+            payload_len: w[1] >> 16,
+            next_header: (w[1] >> 8) & 0xFF,
+            hop_limit: w[1] & 0xFF,
+            src: [w[2], w[3], w[4], w[5]],
+            dst: [w[6], w[7], w[8], w[9]],
+        }
+    }
+
+    /// Pack into 10 words.
+    pub fn pack(&self) -> [u32; 10] {
+        [
+            (self.version << 28) | (self.traffic_class << 20) | self.flow,
+            (self.payload_len << 16) | (self.next_header << 8) | self.hop_limit,
+            self.src[0],
+            self.src[1],
+            self.src[2],
+            self.src[3],
+            self.dst[0],
+            self.dst[1],
+            self.dst[2],
+            self.dst[3],
+        ]
+    }
+}
+
+/// The ones-complement sum used by the IPv4 header checksum, over packed
+/// words (16-bit units).
+pub fn checksum(words: &[u32]) -> u32 {
+    let mut sum: u32 = 0;
+    for w in words {
+        sum += w >> 16;
+        sum += w & 0xFFFF;
+    }
+    while sum > 0xFFFF {
+        sum = (sum & 0xFFFF) + (sum >> 16);
+    }
+    (!sum) & 0xFFFF
+}
+
+/// Translate an IPv6 header to the 5 IPv4 header words. The checksum field
+/// is filled in.
+pub fn translate(v6: &Ipv6Header) -> [u32; 5] {
+    let total_len = v6.payload_len + 20;
+    let mut v4 = [
+        (4u32 << 28) | (5 << 24) | (v6.traffic_class << 16) | total_len,
+        0, // identification, flags, fragment offset: zero on the fast path
+        (v6.hop_limit << 24) | (v6.next_header << 16), // checksum filled below
+        v6.src[3],
+        v6.dst[3],
+    ];
+    let csum = checksum(&v4);
+    v4[2] |= csum;
+    v4
+}
+
+/// Translate a whole packet in a word buffer: the IPv6 header occupies
+/// `words[0..10]`, payload follows. Returns the new packet start (in
+/// words) and new length in bytes; the IPv4 header is written to
+/// `words[5..10]`.
+pub fn translate_packet(words: &mut [u32], len_bytes: u32) -> (usize, u32) {
+    let v6 = Ipv6Header::parse(&words[0..10]);
+    let v4 = translate(&v6);
+    words[5..10].copy_from_slice(&v4);
+    (5, len_bytes - 20)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn header() -> Ipv6Header {
+        Ipv6Header {
+            version: 6,
+            traffic_class: 0x2E,
+            flow: 0xBEEF5,
+            payload_len: 128,
+            next_header: 6,
+            hop_limit: 64,
+            src: [0x2001_0DB8, 0, 0, 0xC0A8_0101],
+            dst: [0x2001_0DB8, 0, 1, 0x0A00_0002],
+        }
+    }
+
+    #[test]
+    fn parse_pack_roundtrip() {
+        let h = header();
+        assert_eq!(Ipv6Header::parse(&h.pack()), h);
+    }
+
+    #[test]
+    fn checksum_verifies_to_zero() {
+        // A correct IPv4 header checksums to 0xFFFF-complement zero: the
+        // ones-complement sum over the final header (checksum included)
+        // must be 0xFFFF before complementing.
+        let v4 = translate(&header());
+        let mut sum: u32 = 0;
+        for w in v4 {
+            sum += w >> 16;
+            sum += w & 0xFFFF;
+        }
+        while sum > 0xFFFF {
+            sum = (sum & 0xFFFF) + (sum >> 16);
+        }
+        assert_eq!(sum, 0xFFFF);
+    }
+
+    #[test]
+    fn translation_fields() {
+        let v4 = translate(&header());
+        assert_eq!(v4[0] >> 28, 4, "version");
+        assert_eq!((v4[0] >> 24) & 0xF, 5, "ihl");
+        assert_eq!(v4[0] & 0xFFFF, 148, "total length = payload + 20");
+        assert_eq!(v4[2] >> 24, 64, "ttl from hop limit");
+        assert_eq!((v4[2] >> 16) & 0xFF, 6, "protocol from next header");
+        assert_eq!(v4[3], 0xC0A8_0101, "IPv4-mapped source");
+        assert_eq!(v4[4], 0x0A00_0002, "IPv4-mapped destination");
+    }
+
+    #[test]
+    fn packet_translation_moves_start() {
+        let h = header();
+        let mut buf = vec![0u32; 16];
+        buf[0..10].copy_from_slice(&h.pack());
+        for i in 10..16 {
+            buf[i] = 0x1000 + i as u32; // payload
+        }
+        let (start, len) = translate_packet(&mut buf, 40 + 24);
+        assert_eq!(start, 5);
+        assert_eq!(len, 44);
+        assert_eq!(buf[start] >> 28, 4);
+        assert_eq!(buf[10], 0x100A, "payload untouched");
+    }
+}

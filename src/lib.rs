@@ -1,0 +1,5 @@
+//! Umbrella package for the Nova/IXP reproduction workspace.
+//!
+//! Re-exports the [`nova`] pipeline crate; see the workspace README for the
+//! full architecture. The interesting code lives in the `crates/` members.
+pub use nova::*;
