@@ -15,6 +15,7 @@ use nova::CompileConfig;
 fn main() {
     println!("Figure 7: solver statistics\n");
     let mut rows = Vec::new();
+    let mut telemetry = Vec::new();
     for b in Benchmark::ALL {
         let out = compile(b, &CompileConfig::default());
         let st = &out.alloc_stats;
@@ -29,12 +30,38 @@ fn main() {
             st.moves.to_string(),
             st.spills.to_string(),
         ]);
+        telemetry.push(vec![
+            b.name().to_string(),
+            st.solve.threads.to_string(),
+            st.solve.simplex_iterations.to_string(),
+            format!("{:.0}%", 100.0 * st.solve.warm_hit_rate()),
+            st.solve.activated_rows.to_string(),
+            st.solve.presolved_rows.to_string(),
+            format!("{:.2}", st.solve.cpu_time.as_secs_f64()),
+            format!(
+                "[{}]",
+                st.solve
+                    .per_thread_nodes
+                    .iter()
+                    .map(ToString::to_string)
+                    .collect::<Vec<_>>()
+                    .join(",")
+            ),
+        ]);
     }
     println!(
         "{}",
         table(
             &["program", "root(s)", "total(s)", "vars", "rows", "objterms", "nodes", "moves", "spills"],
             &rows
+        )
+    );
+    println!("solver telemetry:\n");
+    println!(
+        "{}",
+        table(
+            &["program", "threads", "pivots", "warm-hit", "lazy-act", "presolved", "cpu(s)", "nodes/thread"],
+            &telemetry
         )
     );
     println!("paper (Figure 7, CPLEX on 800 MHz dual PIII):");

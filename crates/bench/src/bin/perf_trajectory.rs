@@ -1,0 +1,132 @@
+//! Machine-readable solver performance trajectory: compiles each §11
+//! benchmark at 1, 2, and 4 solver threads and records solve wall/CPU
+//! time, node/pivot counts, warm-start hit rates, and the allocation
+//! quality (objective, moves, spills), plus one simulator throughput
+//! sample per program. Written to `BENCH_solver.json` (repo root when run
+//! from there) so successive PRs can diff solver performance.
+//!
+//! The thread sweep runs with `relative_gap = 0`, which makes the optimum
+//! unique: every thread count must report the same objective and spill
+//! count, so the file doubles as a determinism check.
+
+use bench::json::Json;
+use bench::{compile, run_throughput, solve_stats_json, Benchmark};
+use nova::CompileConfig;
+use std::time::Instant;
+
+const THREAD_SWEEP: [usize; 3] = [1, 2, 4];
+
+fn main() {
+    let out_path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_solver.json".into());
+    let mut programs = Vec::new();
+    for b in Benchmark::ALL {
+        eprintln!("{}:", b.name());
+        let mut runs = Vec::new();
+        let mut last = None;
+        let mut objective: Option<f64> = None;
+        let mut consistent = true;
+        for threads in THREAD_SWEEP {
+            let mut cfg = CompileConfig::default().with_solver_threads(threads);
+            // Exact gap: the optimum is unique, so the sweep doubles as a
+            // cross-thread determinism check.
+            cfg.alloc.solver.relative_gap = 0.0;
+            let t0 = Instant::now();
+            let out = compile(b, &cfg);
+            let compile_s = t0.elapsed().as_secs_f64();
+            let st = &out.alloc_stats;
+            eprintln!(
+                "  {} threads: solve {:.2}s, {} nodes, {} pivots, {:.0}% warm, \
+                 objective {:.3}, {} moves, {} spills",
+                threads,
+                st.solve.total_time.as_secs_f64(),
+                st.solve.nodes,
+                st.solve.simplex_iterations,
+                100.0 * st.solve.warm_hit_rate(),
+                st.objective,
+                st.moves,
+                st.spills,
+            );
+            match objective {
+                None => objective = Some(st.objective),
+                Some(prev) => {
+                    if (prev - st.objective).abs() > 1e-6 {
+                        consistent = false;
+                        eprintln!(
+                            "  WARNING: objective drifted across thread counts \
+                             ({prev} vs {})",
+                            st.objective
+                        );
+                    }
+                }
+            }
+            let mut run = solve_stats_json(st);
+            if let Json::Obj(pairs) = &mut run {
+                pairs.push(("compile_s".to_string(), Json::Num(compile_s)));
+            }
+            runs.push(run);
+            last = Some(out);
+        }
+        let out = last.expect("at least one thread count");
+        let st = &out.alloc_stats;
+        let payload = match b {
+            Benchmark::Aes => 16u32,
+            Benchmark::Kasumi => 16,
+            Benchmark::Nat => 64,
+        };
+        let sim = run_throughput(b, &out, 64, payload, 4);
+        eprintln!(
+            "  simulate: {} packets, {} cycles, {:.1} Mb/s",
+            sim.packets, sim.cycles, sim.mbps
+        );
+        programs.push(Json::obj([
+            ("name", Json::str(b.name())),
+            (
+                "model",
+                Json::obj([
+                    ("variables", Json::int(st.model.variables)),
+                    ("constraints", Json::int(st.model.constraints)),
+                    ("objective_terms", Json::int(st.model.objective_terms)),
+                ]),
+            ),
+            ("runs", Json::Arr(runs)),
+            ("objective_consistent_across_threads", Json::Bool(consistent)),
+            ("code_size", Json::int(out.code_size)),
+            (
+                "simulate",
+                Json::obj([
+                    ("payload_bytes", Json::int(payload as usize)),
+                    ("contexts", Json::int(4)),
+                    ("packets", Json::int(sim.packets as usize)),
+                    ("cycles", Json::int(sim.cycles as usize)),
+                    ("mbps", Json::Num(sim.mbps)),
+                ]),
+            ),
+        ]));
+    }
+    let doc = Json::obj([
+        ("bench", Json::str("solver")),
+        (
+            "config",
+            Json::obj([
+                ("relative_gap", Json::Num(0.0)),
+                (
+                    "thread_sweep",
+                    Json::Arr(THREAD_SWEEP.iter().map(|&t| Json::int(t)).collect()),
+                ),
+            ]),
+        ),
+        (
+            "host",
+            Json::obj([(
+                "available_parallelism",
+                Json::int(
+                    std::thread::available_parallelism().map(std::num::NonZeroUsize::get).unwrap_or(1),
+                ),
+            )]),
+        ),
+        ("programs", Json::Arr(programs)),
+    ]);
+    std::fs::write(&out_path, doc.pretty())
+        .unwrap_or_else(|e| panic!("writing {out_path}: {e}"));
+    eprintln!("wrote {out_path}");
+}

@@ -17,6 +17,16 @@ fn main() {
         (Benchmark::Nat, vec![16, 64, 256]),
     ] {
         let out = compile(b, &cfg);
+        let s = &out.alloc_stats.solve;
+        println!(
+            "{}: ILP solved in {:.2}s ({} nodes, {} pivots, {} threads, {:.0}% warm-start hits)",
+            b.name(),
+            s.total_time.as_secs_f64(),
+            s.nodes,
+            s.simplex_iterations,
+            s.threads,
+            100.0 * s.warm_hit_rate(),
+        );
         for p in payloads {
             let res = run_throughput(b, &out, 64, p, 4);
             rows.push(vec![

@@ -127,6 +127,155 @@ pub fn run_throughput(
         .expect("simulation runs")
 }
 
+/// Minimal JSON construction for machine-readable bench artifacts
+/// (`BENCH_solver.json`). Hand-rolled because the workspace carries no
+/// serde; covers exactly what the bench binaries need: objects, arrays,
+/// strings, numbers, and booleans, pretty-printed with stable key order.
+pub mod json {
+    /// A JSON value.
+    #[derive(Debug, Clone)]
+    pub enum Json {
+        /// `null`.
+        Null,
+        /// `true` / `false`.
+        Bool(bool),
+        /// A finite number (non-finite values render as `null`).
+        Num(f64),
+        /// A string (escaped on render).
+        Str(String),
+        /// An ordered array.
+        Arr(Vec<Json>),
+        /// An object; key order is preserved as inserted.
+        Obj(Vec<(String, Json)>),
+    }
+
+    impl Json {
+        /// Object from key/value pairs (order preserved).
+        pub fn obj(pairs: impl IntoIterator<Item = (&'static str, Json)>) -> Json {
+            Json::Obj(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+        }
+
+        /// String value.
+        pub fn str(s: impl Into<String>) -> Json {
+            Json::Str(s.into())
+        }
+
+        /// Integer value (exact for |v| < 2^53).
+        pub fn int(v: usize) -> Json {
+            Json::Num(v as f64)
+        }
+
+        /// Render with two-space indentation and a trailing newline.
+        pub fn pretty(&self) -> String {
+            let mut out = String::new();
+            self.write(&mut out, 0);
+            out.push('\n');
+            out
+        }
+
+        fn write(&self, out: &mut String, indent: usize) {
+            let pad = "  ".repeat(indent);
+            let pad_in = "  ".repeat(indent + 1);
+            match self {
+                Json::Null => out.push_str("null"),
+                Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+                Json::Num(v) => {
+                    if !v.is_finite() {
+                        out.push_str("null");
+                    } else if *v == v.trunc() && v.abs() < 9e15 {
+                        out.push_str(&format!("{}", *v as i64));
+                    } else {
+                        out.push_str(&format!("{v}"));
+                    }
+                }
+                Json::Str(s) => {
+                    out.push('"');
+                    for c in s.chars() {
+                        match c {
+                            '"' => out.push_str("\\\""),
+                            '\\' => out.push_str("\\\\"),
+                            '\n' => out.push_str("\\n"),
+                            '\t' => out.push_str("\\t"),
+                            '\r' => out.push_str("\\r"),
+                            c if (c as u32) < 0x20 => {
+                                out.push_str(&format!("\\u{:04x}", c as u32));
+                            }
+                            c => out.push(c),
+                        }
+                    }
+                    out.push('"');
+                }
+                Json::Arr(items) => {
+                    if items.is_empty() {
+                        out.push_str("[]");
+                        return;
+                    }
+                    out.push_str("[\n");
+                    for (i, v) in items.iter().enumerate() {
+                        out.push_str(&pad_in);
+                        v.write(out, indent + 1);
+                        if i + 1 < items.len() {
+                            out.push(',');
+                        }
+                        out.push('\n');
+                    }
+                    out.push_str(&pad);
+                    out.push(']');
+                }
+                Json::Obj(pairs) => {
+                    if pairs.is_empty() {
+                        out.push_str("{}");
+                        return;
+                    }
+                    out.push_str("{\n");
+                    for (i, (k, v)) in pairs.iter().enumerate() {
+                        out.push_str(&pad_in);
+                        Json::Str(k.clone()).write(out, indent + 1);
+                        out.push_str(": ");
+                        v.write(out, indent + 1);
+                        if i + 1 < pairs.len() {
+                            out.push(',');
+                        }
+                        out.push('\n');
+                    }
+                    out.push_str(&pad);
+                    out.push('}');
+                }
+            }
+        }
+    }
+}
+
+/// JSON view of one solve's [`ilp::SolveStats`] plus the allocation's
+/// objective and move/spill counts — the shared shape used by
+/// `BENCH_solver.json`.
+pub fn solve_stats_json(st: &nova::AllocStats) -> json::Json {
+    use json::Json;
+    let s = &st.solve;
+    Json::obj([
+        ("threads", Json::int(s.threads)),
+        ("root_s", Json::Num(s.root_time.as_secs_f64())),
+        ("solve_s", Json::Num(s.total_time.as_secs_f64())),
+        ("cpu_s", Json::Num(s.cpu_time.as_secs_f64())),
+        ("nodes", Json::int(s.nodes)),
+        ("pivots", Json::int(s.simplex_iterations)),
+        ("warm_hits", Json::int(s.warm_hits)),
+        ("warm_misses", Json::int(s.warm_misses)),
+        ("warm_hit_rate", Json::Num(s.warm_hit_rate())),
+        ("activated_rows", Json::int(s.activated_rows)),
+        ("presolved_rows", Json::int(s.presolved_rows)),
+        ("gap", Json::Num(s.gap)),
+        ("proven_optimal", Json::Bool(s.proven_optimal)),
+        (
+            "per_thread_nodes",
+            Json::Arr(s.per_thread_nodes.iter().map(|&n| Json::int(n)).collect()),
+        ),
+        ("objective", Json::Num(st.objective)),
+        ("moves", Json::int(st.moves)),
+        ("spills", Json::int(st.spills)),
+    ])
+}
+
 /// Render a text table with aligned columns.
 pub fn table(headers: &[&str], rows: &[Vec<String>]) -> String {
     let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();

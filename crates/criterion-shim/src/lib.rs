@@ -1,0 +1,159 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build container has no crates.io access, so the workspace vendors
+//! the subset of criterion's API its benches use: [`Criterion`],
+//! [`BenchmarkGroup`], `Bencher::iter`, and the [`criterion_group!`] /
+//! [`criterion_main!`] macros. Measurement is simple wall-clock sampling
+//! (mean / min / max over `sample_size` runs) printed to stdout — no
+//! statistics, plots, or baselines.
+
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// Opaque-to-the-optimizer value sink, re-exported for convenience.
+pub use std::hint::black_box;
+
+/// Entry point handed to benchmark functions.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _priv: (),
+}
+
+impl Criterion {
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 10,
+            measurement_time: Duration::from_secs(3),
+            _c: self,
+        }
+    }
+
+    /// Run a single benchmark outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        let mut g = self.benchmark_group("");
+        g.bench_function(name, f);
+        g.finish();
+        self
+    }
+}
+
+/// A named group with shared sampling settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+    _c: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of samples per benchmark (upstream default is 100; this
+    /// shim defaults to 10 to keep bench runs short).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Upper bound on total measurement wall-clock per benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Measure one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let label = if self.name.is_empty() {
+            name.to_string()
+        } else {
+            format!("{}/{}", self.name, name)
+        };
+        let mut samples: Vec<Duration> = Vec::with_capacity(self.sample_size);
+        let budget_start = Instant::now();
+        for _ in 0..self.sample_size {
+            let mut b = Bencher { elapsed: Duration::ZERO, iters: 0 };
+            f(&mut b);
+            if b.iters > 0 {
+                samples.push(b.elapsed / b.iters);
+            }
+            if budget_start.elapsed() > self.measurement_time {
+                break;
+            }
+        }
+        if samples.is_empty() {
+            println!("bench {label}: no samples");
+            return self;
+        }
+        let mean = samples.iter().sum::<Duration>() / samples.len() as u32;
+        let min = samples.iter().min().unwrap();
+        let max = samples.iter().max().unwrap();
+        println!(
+            "bench {label}: mean {:?}  min {:?}  max {:?}  ({} samples)",
+            mean, min, max, samples.len()
+        );
+        self
+    }
+
+    /// Finish the group (formatting no-op, kept for API parity).
+    pub fn finish(&mut self) {}
+}
+
+/// Passed to the closure given to `bench_function`; times the iteration
+/// body.
+#[derive(Debug)]
+pub struct Bencher {
+    elapsed: Duration,
+    iters: u32,
+}
+
+impl Bencher {
+    /// Run and time `f` once per sample.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        let t = Instant::now();
+        black_box(f());
+        self.elapsed += t.elapsed();
+        self.iters += 1;
+    }
+}
+
+/// Collect benchmark functions into a runner, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Emit `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trivial(c: &mut Criterion) {
+        let mut g = c.benchmark_group("g");
+        g.sample_size(2);
+        g.bench_function("add", |b| b.iter(|| black_box(1u64) + 1));
+        g.finish();
+        c.bench_function("lone", |b| b.iter(|| 2u64 * 2));
+    }
+
+    criterion_group!(benches, trivial);
+
+    #[test]
+    fn runs() {
+        benches();
+    }
+}

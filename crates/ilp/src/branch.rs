@@ -1,9 +1,13 @@
 //! Branch and bound for mixed 0-1 integer programs, with singleton-row
-//! presolve and lazy-constraint activation.
+//! presolve, lazy-constraint activation, and a work-sharing parallel tree
+//! search.
 //!
-//! The solver explores a depth-first tree of bound fixings, using the LP
-//! relaxation (solved by [`crate::simplex::Simplex`]) for bounds and a
-//! rounding heuristic for incumbents.
+//! The solver explores a tree of bound fixings, using the LP relaxation
+//! (solved by [`crate::simplex::Simplex`]) for bounds and a rounding
+//! heuristic for incumbents. Open nodes live in a shared best-bound-first
+//! frontier; each worker thread owns a private warm-startable simplex
+//! workspace and dives depth-first on the child nearer its parent's LP
+//! value (early incumbents), publishing the sibling to the frontier.
 //!
 //! Two refinements matter for the register-allocation models this crate
 //! serves:
@@ -17,12 +21,28 @@
 //!   so the working LP stays small — which is what keeps the dense-inverse
 //!   simplex fast.
 //!
+//! **Determinism.** The search order depends on thread scheduling, but the
+//! reported solution does not (up to the configured gap): incumbents are
+//! accepted only if strictly better, or equal within `1e-9` and
+//! lexicographically smaller, so ties resolve identically regardless of
+//! discovery order. With `relative_gap = 0` the objective is exactly the
+//! optimum at every thread count.
+//!
 //! Termination uses the paper's gap: CPLEX was run "within 0.01 % of
 //! optimal" (§11), so the default relative gap is `1e-4`.
 
 use crate::problem::{Cmp, Constraint, Problem, Sense, VarKind};
-use crate::simplex::{LpError, Simplex};
+use crate::simplex::{LpError, LpSolution, Simplex};
+use std::cmp::Ordering as CmpOrdering;
+use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex};
 use std::time::{Duration, Instant};
+
+/// Objective tolerance for incumbent ties (see module docs on determinism).
+const INC_EPS: f64 = 1e-9;
+/// Sanity cap on worker threads.
+const MAX_THREADS: usize = 64;
 
 /// Tunables for the branch-and-bound search.
 #[derive(Debug, Clone)]
@@ -31,10 +51,18 @@ pub struct BranchConfig {
     pub relative_gap: f64,
     /// Hard cap on explored nodes.
     pub max_nodes: usize,
-    /// Wall-clock budget; `None` means unlimited.
+    /// Wall-clock budget; `None` means unlimited. Enforced between node
+    /// solves *and* inside the simplex pivot loops (via a shared deadline),
+    /// so a single long LP cannot overshoot the budget by more than a few
+    /// pivots.
     pub time_limit: Option<Duration>,
     /// Integrality tolerance.
     pub int_tol: f64,
+    /// Worker threads for the tree search. `0` means automatic: the
+    /// `NOVA_ILP_THREADS` environment variable if set (and ≥ 1), else
+    /// [`std::thread::available_parallelism`]. An explicit value here wins
+    /// over the environment.
+    pub threads: usize,
 }
 
 impl Default for BranchConfig {
@@ -44,7 +72,35 @@ impl Default for BranchConfig {
             max_nodes: 2_000_000,
             time_limit: None,
             int_tol: 1e-6,
+            threads: 0,
         }
+    }
+}
+
+impl BranchConfig {
+    /// Builder-style thread override (`0` restores automatic selection).
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// The number of worker threads a solve will actually use.
+    pub fn effective_threads(&self) -> usize {
+        if self.threads >= 1 {
+            return self.threads.min(MAX_THREADS);
+        }
+        if let Ok(s) = std::env::var("NOVA_ILP_THREADS") {
+            if let Ok(n) = s.trim().parse::<usize>() {
+                if n >= 1 {
+                    return n.min(MAX_THREADS);
+                }
+            }
+        }
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+            .min(MAX_THREADS)
     }
 }
 
@@ -56,7 +112,8 @@ pub enum MilpError {
     /// The relaxation is unbounded.
     Unbounded,
     /// Node or time budget exhausted before any integer point was found.
-    BudgetExhausted,
+    /// Carries the partial statistics of the search up to the stop.
+    BudgetExhausted(Box<SolveStats>),
     /// The LP engine failed numerically.
     Numerical(LpError),
 }
@@ -66,9 +123,13 @@ impl std::fmt::Display for MilpError {
         match self {
             MilpError::Infeasible => f.write_str("integer program is infeasible"),
             MilpError::Unbounded => f.write_str("integer program is unbounded"),
-            MilpError::BudgetExhausted => {
-                f.write_str("budget exhausted before an integer solution was found")
-            }
+            MilpError::BudgetExhausted(stats) => write!(
+                f,
+                "budget exhausted before an integer solution was found \
+                 ({} nodes, {:.2}s)",
+                stats.nodes,
+                stats.total_time.as_secs_f64()
+            ),
             MilpError::Numerical(e) => write!(f, "LP engine failure: {e}"),
         }
     }
@@ -87,8 +148,9 @@ pub struct MilpSolution {
     pub stats: SolveStats,
 }
 
-/// Search statistics, reported by the Figure-7 harness.
-#[derive(Debug, Clone, Default)]
+/// Search statistics, reported by the Figure-7 harness and the
+/// `perf_trajectory` bench.
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct SolveStats {
     /// Objective of the root LP relaxation (after lazy activation).
     pub root_objective: f64,
@@ -96,11 +158,14 @@ pub struct SolveStats {
     pub root_time: Duration,
     /// Total wall-clock time including the root solve.
     pub total_time: Duration,
+    /// Busy time summed across workers plus the root solve (≈ CPU time of
+    /// the search; equals `total_time` minus idle when single-threaded).
+    pub cpu_time: Duration,
     /// Branch-and-bound nodes explored (root included).
     pub nodes: usize,
-    /// Total simplex iterations.
+    /// Total simplex iterations (pivots) across all workers.
     pub simplex_iterations: usize,
-    /// Lazy constraints activated into the working LP.
+    /// Lazy constraints activated into working LPs (summed over workers).
     pub activated_rows: usize,
     /// Rows removed by singleton presolve.
     pub presolved_rows: usize,
@@ -108,25 +173,393 @@ pub struct SolveStats {
     pub gap: f64,
     /// True if the search proved optimality within the configured gap.
     pub proven_optimal: bool,
+    /// Worker threads used by the tree search.
+    pub threads: usize,
+    /// Node LPs (root excluded) served by the dual-simplex warm path.
+    pub warm_hits: usize,
+    /// Node LPs (root excluded) that needed a cold two-phase solve.
+    pub warm_misses: usize,
+    /// Nodes processed by each worker thread.
+    pub per_thread_nodes: Vec<usize>,
 }
 
-struct Node {
+impl SolveStats {
+    /// Fraction of node LPs served from a warm basis (0 when no node LPs).
+    pub fn warm_hit_rate(&self) -> f64 {
+        let total = self.warm_hits + self.warm_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.warm_hits as f64 / total as f64
+        }
+    }
+}
+
+/// An open node of the search tree: a box of variable bounds plus the
+/// parent's LP bound (minimization form).
+struct OpenNode {
     lo: Vec<f64>,
     hi: Vec<f64>,
     bound: f64,
     depth: usize,
+    /// Creation order; breaks frontier ties so the dive child of a pair is
+    /// preferred when bounds and depths are equal.
+    seq: u64,
 }
 
-/// Solve a mixed 0-1/integer problem by branch and bound.
+impl PartialEq for OpenNode {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == CmpOrdering::Equal
+    }
+}
+impl Eq for OpenNode {}
+impl PartialOrd for OpenNode {
+    fn partial_cmp(&self, other: &Self) -> Option<CmpOrdering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for OpenNode {
+    /// `BinaryHeap` is a max-heap, so "greatest" pops first: smallest
+    /// bound, then greatest depth (diving), then earliest creation.
+    fn cmp(&self, other: &Self) -> CmpOrdering {
+        other
+            .bound
+            .total_cmp(&self.bound)
+            .then_with(|| self.depth.cmp(&other.depth))
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+struct Frontier {
+    heap: BinaryHeap<OpenNode>,
+    /// Workers currently blocked waiting for work.
+    idle: usize,
+    /// Set when every worker went idle with an empty frontier.
+    done: bool,
+}
+
+/// State shared by the worker threads of one solve.
+struct Shared<'a> {
+    problem: &'a Problem,
+    all: &'a [Constraint],
+    config: &'a BranchConfig,
+    int_vars: &'a [usize],
+    obj_coeff: &'a [f64],
+    minimize: bool,
+    n_workers: usize,
+    deadline: Option<Instant>,
+    frontier: Mutex<Frontier>,
+    work_cv: Condvar,
+    /// Best integer point so far, in minimization form.
+    incumbent: Mutex<Option<(f64, Vec<f64>)>>,
+    /// Lower envelope of the incumbent objective as `f64` bits, readable
+    /// without the lock for pruning (monotonically non-increasing; updated
+    /// under the incumbent lock).
+    inc_bits: AtomicU64,
+    seq: AtomicU64,
+    nodes: AtomicUsize,
+    pivots: AtomicUsize,
+    activated: AtomicUsize,
+    warm_hits: AtomicUsize,
+    warm_misses: AtomicUsize,
+    stop: AtomicBool,
+    budget_hit: AtomicBool,
+    error: Mutex<Option<MilpError>>,
+}
+
+impl Shared<'_> {
+    fn incumbent_min(&self) -> f64 {
+        f64::from_bits(self.inc_bits.load(Ordering::Acquire))
+    }
+
+    fn next_seq(&self) -> u64 {
+        self.seq.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Offer an integer point (minimization form). Accepts strict
+    /// improvements, and — for objective ties within [`INC_EPS`] —
+    /// lexicographically smaller value vectors, which makes the final
+    /// incumbent independent of discovery order.
+    fn offer_incumbent(&self, obj: f64, values: Vec<f64>) {
+        let mut guard = self.incumbent.lock().unwrap();
+        let accept = match guard.as_ref() {
+            None => true,
+            Some((cur, cur_values)) => {
+                obj < cur - INC_EPS
+                    || ((obj - cur).abs() <= INC_EPS && lex_less(&values, cur_values))
+            }
+        };
+        if accept {
+            let old = f64::from_bits(self.inc_bits.load(Ordering::Acquire));
+            self.inc_bits
+                .store(obj.min(old).to_bits(), Ordering::Release);
+            *guard = Some((obj, values));
+        }
+    }
+
+    fn trigger_budget(&self) {
+        self.budget_hit.store(true, Ordering::Release);
+        self.stop.store(true, Ordering::Release);
+        self.work_cv.notify_all();
+    }
+
+    fn fail(&self, e: MilpError) {
+        let mut guard = self.error.lock().unwrap();
+        if guard.is_none() {
+            *guard = Some(e);
+        }
+        drop(guard);
+        self.stop.store(true, Ordering::Release);
+        self.work_cv.notify_all();
+    }
+
+    fn push_node(&self, node: OpenNode, notify: bool) {
+        let mut f = self.frontier.lock().unwrap();
+        f.heap.push(node);
+        drop(f);
+        if notify {
+            self.work_cv.notify_one();
+        }
+    }
+
+    /// Claim the best open node, blocking while the frontier is empty but
+    /// some worker is still expanding. Returns `None` on global stop or
+    /// when every worker is idle with nothing left (search exhausted).
+    fn pop_or_wait(&self) -> Option<OpenNode> {
+        let mut f = self.frontier.lock().unwrap();
+        loop {
+            if self.stop.load(Ordering::Acquire) || f.done {
+                return None;
+            }
+            if let Some(node) = f.heap.pop() {
+                return Some(node);
+            }
+            f.idle += 1;
+            if f.idle == self.n_workers {
+                f.done = true;
+                drop(f);
+                self.work_cv.notify_all();
+                return None;
+            }
+            f = self.work_cv.wait(f).unwrap();
+            f.idle -= 1;
+        }
+    }
+}
+
+fn lex_less(a: &[f64], b: &[f64]) -> bool {
+    for (x, y) in a.iter().zip(b.iter()) {
+        if (x - y).abs() > INC_EPS {
+            return x < y;
+        }
+    }
+    false
+}
+
+fn to_min(minimize: bool, v: f64) -> f64 {
+    if minimize {
+        v
+    } else {
+        -v
+    }
+}
+
+/// Solve an LP (warm when possible), activating violated lazy rows via
+/// incremental row addition + dual-simplex repair. Returns the clean
+/// solution and whether the *first* resolve of the node stayed on the
+/// warm dual-simplex path.
+#[allow(clippy::too_many_arguments)]
+fn solve_lazy(
+    problem: &Problem,
+    all: &[Constraint],
+    simplex: &mut Simplex,
+    lazy: &mut Vec<usize>,
+    pivots: &mut usize,
+    activated: &mut usize,
+    lo: &[f64],
+    hi: &[f64],
+) -> Result<(LpSolution, bool), LpError> {
+    let viol_tol = 1e-6;
+    let mut sol = simplex.resolve_with_bounds(lo, hi)?;
+    let was_warm = simplex.last_solve_was_warm();
+    loop {
+        *pivots += sol.iterations;
+        let mut newly: Vec<usize> = Vec::new();
+        lazy.retain(|&i| {
+            if problem.violation(&all[i], &sol.values) > viol_tol {
+                newly.push(i);
+                false
+            } else {
+                true
+            }
+        });
+        if newly.is_empty() {
+            return Ok((sol, was_warm));
+        }
+        *activated += newly.len();
+        let rows: Vec<&Constraint> = newly.iter().map(|&i| &all[i]).collect();
+        simplex.add_rows(&rows);
+        sol = simplex.resolve_with_bounds(lo, hi)?;
+    }
+}
+
+/// One worker thread: claim nodes, solve their relaxations, branch, and
+/// share one child per branching while diving on the other. Returns
+/// `(nodes processed, busy time)`.
+fn worker(
+    shared: &Shared<'_>,
+    mut simplex: Simplex,
+    mut lazy: Vec<usize>,
+) -> (usize, Duration) {
+    simplex.set_deadline(shared.deadline);
+    let cfg = shared.config;
+    let mut local: Option<OpenNode> = None;
+    let mut nodes_done = 0usize;
+    let mut busy = Duration::ZERO;
+    loop {
+        if shared.stop.load(Ordering::Acquire) {
+            if let Some(node) = local.take() {
+                shared.push_node(node, false);
+            }
+            break;
+        }
+        let node = match local.take() {
+            Some(node) => node,
+            None => match shared.pop_or_wait() {
+                Some(node) => node,
+                None => break,
+            },
+        };
+        let t0 = Instant::now();
+        // Prune against the (possibly newer) incumbent.
+        let inc = shared.incumbent_min();
+        if inc.is_finite() && node.bound >= inc - gap_abs(inc, cfg.relative_gap) {
+            busy += t0.elapsed();
+            continue;
+        }
+        // Budgets. The claimed node is returned to the frontier so the
+        // final bound/gap report still accounts for it.
+        let over_nodes = {
+            let prev = shared.nodes.fetch_add(1, Ordering::AcqRel);
+            if prev >= cfg.max_nodes {
+                shared.nodes.fetch_sub(1, Ordering::AcqRel);
+                true
+            } else {
+                false
+            }
+        };
+        if over_nodes || shared.deadline.is_some_and(|d| Instant::now() >= d) {
+            if !over_nodes {
+                shared.nodes.fetch_sub(1, Ordering::AcqRel);
+            }
+            shared.push_node(node, false);
+            shared.trigger_budget();
+            busy += t0.elapsed();
+            break;
+        }
+        let mut pivots = 0usize;
+        let mut activated = 0usize;
+        let result = solve_lazy(
+            shared.problem,
+            shared.all,
+            &mut simplex,
+            &mut lazy,
+            &mut pivots,
+            &mut activated,
+            &node.lo,
+            &node.hi,
+        );
+        shared.pivots.fetch_add(pivots, Ordering::Relaxed);
+        shared.activated.fetch_add(activated, Ordering::Relaxed);
+        let (sol, was_warm) = match result {
+            Ok(pair) => pair,
+            Err(LpError::Infeasible) => {
+                nodes_done += 1;
+                busy += t0.elapsed();
+                continue;
+            }
+            Err(LpError::TimeLimit) => {
+                shared.nodes.fetch_sub(1, Ordering::AcqRel);
+                shared.push_node(node, false);
+                shared.trigger_budget();
+                busy += t0.elapsed();
+                break;
+            }
+            Err(LpError::Unbounded) => {
+                shared.fail(MilpError::Unbounded);
+                busy += t0.elapsed();
+                break;
+            }
+            Err(e) => {
+                shared.fail(MilpError::Numerical(e));
+                busy += t0.elapsed();
+                break;
+            }
+        };
+        nodes_done += 1;
+        if was_warm {
+            shared.warm_hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            shared.warm_misses.fetch_add(1, Ordering::Relaxed);
+        }
+        let bound = to_min(shared.minimize, sol.objective);
+        let inc = shared.incumbent_min();
+        if inc.is_finite() && bound >= inc - gap_abs(inc, cfg.relative_gap) {
+            busy += t0.elapsed();
+            continue;
+        }
+        match frac_var(shared.int_vars, &sol.values, cfg.int_tol, shared.obj_coeff) {
+            None => {
+                shared.offer_incumbent(bound, sol.values);
+            }
+            Some(j) => {
+                if let Some(x) = round_heuristic(shared.problem, &sol.values, cfg.int_tol) {
+                    let obj = to_min(shared.minimize, shared.problem.objective_value(&x));
+                    shared.offer_incumbent(obj, x);
+                }
+                let (dive, other) =
+                    make_children(shared, &node.lo, &node.hi, j, sol.values[j], bound, node.depth + 1);
+                shared.push_node(other, true);
+                local = Some(dive);
+            }
+        }
+        busy += t0.elapsed();
+    }
+    (nodes_done, busy)
+}
+
+/// Branch on the fractional variable with the largest |objective
+/// coefficient| (bank decisions before colors), tie-broken by
+/// most-fractional.
+fn frac_var(int_vars: &[usize], x: &[f64], int_tol: f64, obj_coeff: &[f64]) -> Option<usize> {
+    let mut best: Option<(usize, f64)> = None;
+    for &j in int_vars {
+        let f = (x[j] - x[j].round()).abs();
+        if f > int_tol {
+            let dist = 0.5 - (x[j] - x[j].floor() - 0.5).abs();
+            let score = obj_coeff[j] * 10.0 + dist;
+            if best.map_or(true, |(_, s)| score > s) {
+                best = Some((j, score));
+            }
+        }
+    }
+    best.map(|(j, _)| j)
+}
+
+/// Solve a mixed 0-1/integer problem by parallel branch and bound.
 ///
 /// # Errors
 ///
 /// See [`MilpError`].
+///
+/// # Panics
+///
+/// Propagates panics from worker threads (poisoned shared state is
+/// unreachable otherwise).
 pub fn solve_milp(problem: &Problem, config: &BranchConfig) -> Result<MilpSolution, MilpError> {
     let start = Instant::now();
+    let deadline = config.time_limit.map(|l| start + l);
     let minimize = problem.sense == Sense::Minimize;
-    let to_min = |v: f64| if minimize { v } else { -v };
-    let from_min = |v: f64| if minimize { v } else { -v };
 
     let int_vars: Vec<usize> = problem
         .vars
@@ -192,169 +625,189 @@ pub fn solve_milp(problem: &Problem, config: &BranchConfig) -> Result<MilpSoluti
         }
     }
 
-    // ---- working LP with lazy activation ----
+    // ---- root relaxation on the core rows, activating lazy rows ----
     let all: &[Constraint] = &problem.constraints;
+    let threads = config.effective_threads();
+    stats.threads = threads;
     let mut simplex = Simplex::with_rows(problem, Some(&core));
-    let viol_tol = 1e-6;
+    simplex.set_deadline(deadline);
 
-    // Solve an LP (warm when possible), activating violated lazy rows via
-    // incremental row addition + dual-simplex repair.
-    let solve_clean = |simplex: &mut Simplex,
-                       lazy: &mut Vec<usize>,
-                       stats: &mut SolveStats,
-                       lo: &[f64],
-                       hi: &[f64]|
-     -> Result<crate::simplex::LpSolution, LpError> {
-        let mut sol = simplex.resolve_with_bounds(lo, hi)?;
-        loop {
-            stats.simplex_iterations += sol.iterations;
-            let mut newly: Vec<usize> = Vec::new();
-            lazy.retain(|&i| {
-                if problem.violation(&all[i], &sol.values) > viol_tol {
-                    newly.push(i);
-                    false
-                } else {
-                    true
-                }
-            });
-            if newly.is_empty() {
-                return Ok(sol);
-            }
-            stats.activated_rows += newly.len();
-            let rows: Vec<&Constraint> = newly.iter().map(|&i| &all[i]).collect();
-            simplex.add_rows(&rows);
-            sol = simplex.resolve_with_bounds(lo, hi)?;
-        }
-    };
-
+    let lazy_before = lazy.clone();
     let root_start = Instant::now();
-    let root = match solve_clean(&mut simplex, &mut lazy, &mut stats, &root_lo, &root_hi)
-    {
-        Ok(s) => s,
+    let mut root_pivots = 0usize;
+    let mut root_activated = 0usize;
+    let root = match solve_lazy(
+        problem,
+        all,
+        &mut simplex,
+        &mut lazy,
+        &mut root_pivots,
+        &mut root_activated,
+        &root_lo,
+        &root_hi,
+    ) {
+        Ok((s, _)) => s,
         Err(LpError::Infeasible) => return Err(MilpError::Infeasible),
         Err(LpError::Unbounded) => return Err(MilpError::Unbounded),
+        Err(LpError::TimeLimit) => {
+            stats.total_time = start.elapsed();
+            stats.root_time = root_start.elapsed();
+            return Err(MilpError::BudgetExhausted(Box::new(stats)));
+        }
         Err(e) => return Err(MilpError::Numerical(e)),
     };
     stats.root_time = root_start.elapsed();
     stats.root_objective = root.objective;
+    stats.simplex_iterations += root_pivots;
+    stats.activated_rows += root_activated;
     stats.nodes = 1;
 
-    let mut incumbent: Option<(f64, Vec<f64>)> = None;
-    let mut best_bound = to_min(root.objective);
-    if let Some(x) = round_heuristic(problem, &root.values, config.int_tol) {
-        let obj = to_min(problem.objective_value(&x));
-        incumbent = Some((obj, x));
+    let root_incumbent = round_heuristic(problem, &root.values, config.int_tol)
+        .map(|x| (to_min(minimize, problem.objective_value(&x)), x));
+
+    // Root already integral: done without spawning anything.
+    if frac_var(&int_vars, &root.values, config.int_tol, &obj_coeff).is_none() {
+        stats.total_time = start.elapsed();
+        stats.cpu_time = stats.root_time;
+        stats.proven_optimal = true;
+        stats.per_thread_nodes = vec![0; threads];
+        return Ok(MilpSolution {
+            objective: problem.objective_value(&root.values),
+            values: root.values,
+            stats,
+        });
     }
 
-    let frac = |int_vars: &[usize], x: &[f64]| -> Option<usize> {
-        // Branch on the fractional variable with the largest
-        // |objective coefficient| (bank decisions before colors),
-        // tie-broken by most-fractional.
-        let mut best: Option<(usize, f64)> = None;
-        for &j in int_vars {
-            let f = (x[j] - x[j].round()).abs();
-            if f > config.int_tol {
-                let dist = 0.5 - (x[j] - x[j].floor() - 0.5).abs();
-                let score = obj_coeff[j] * 10.0 + dist;
-                if best.map_or(true, |(_, s)| score > s) {
-                    best = Some((j, score));
-                }
-            }
-        }
-        best.map(|(j, _)| j)
+    // ---- parallel tree search ----
+    let shared = Shared {
+        problem,
+        all,
+        config,
+        int_vars: &int_vars,
+        obj_coeff: &obj_coeff,
+        minimize,
+        n_workers: threads,
+        deadline,
+        frontier: Mutex::new(Frontier {
+            heap: BinaryHeap::new(),
+            idle: 0,
+            done: false,
+        }),
+        work_cv: Condvar::new(),
+        incumbent: Mutex::new(None),
+        inc_bits: AtomicU64::new(f64::INFINITY.to_bits()),
+        seq: AtomicU64::new(0),
+        nodes: AtomicUsize::new(1),
+        pivots: AtomicUsize::new(0),
+        activated: AtomicUsize::new(0),
+        warm_hits: AtomicUsize::new(0),
+        warm_misses: AtomicUsize::new(0),
+        stop: AtomicBool::new(false),
+        budget_hit: AtomicBool::new(false),
+        error: Mutex::new(None),
     };
-
-    let mut stack: Vec<Node> = Vec::new();
-    match frac(&int_vars, &root.values) {
-        None => {
-            stats.total_time = start.elapsed();
-            stats.proven_optimal = true;
-            return Ok(MilpSolution {
-                objective: root.objective,
-                values: root.values,
-                stats,
-            });
-        }
-        Some(j) => push_children(
-            &mut stack,
+    if let Some((obj, x)) = root_incumbent {
+        shared.offer_incumbent(obj, x);
+    }
+    {
+        let j = frac_var(&int_vars, &root.values, config.int_tol, &obj_coeff)
+            .expect("checked fractional above");
+        let (dive, other) = make_children(
+            &shared,
             &root_lo,
             &root_hi,
             j,
             root.values[j],
-            to_min(root.objective),
-            0,
-        ),
+            to_min(minimize, root.objective),
+            1,
+        );
+        let mut f = shared.frontier.lock().unwrap();
+        f.heap.push(dive);
+        f.heap.push(other);
     }
 
-    let mut budget_hit = false;
-    while let Some(node) = stack.pop() {
-        if let Some((inc, _)) = &incumbent {
-            if node.bound >= *inc - gap_abs(*inc, config.relative_gap) {
-                continue;
-            }
+    // Worker 0 inherits the root workspace (its basis warm-starts the
+    // first dive); the others get fresh workspaces preloaded with the
+    // rows the root solve activated.
+    let worker_rows: Vec<usize> = {
+        let remaining: std::collections::HashSet<usize> = lazy.iter().copied().collect();
+        core.iter()
+            .copied()
+            .chain(lazy_before.iter().copied().filter(|i| !remaining.contains(i)))
+            .collect()
+    };
+    let mut setups: Vec<(Simplex, Vec<usize>)> = Vec::with_capacity(threads);
+    let lazy_remaining = lazy;
+    for t in 0..threads {
+        if t == 0 {
+            continue;
         }
-        if stats.nodes >= config.max_nodes {
-            budget_hit = true;
-            break;
-        }
-        if let Some(limit) = config.time_limit {
-            if start.elapsed() > limit {
-                budget_hit = true;
-                break;
-            }
-        }
-        stats.nodes += 1;
-        let sol = match solve_clean(&mut simplex, &mut lazy, &mut stats, &node.lo, &node.hi)
-        {
-            Ok(s) => s,
-            Err(LpError::Infeasible) => continue,
-            Err(LpError::Unbounded) => return Err(MilpError::Unbounded),
-            Err(e) => return Err(MilpError::Numerical(e)),
-        };
-        let bound = to_min(sol.objective);
-        if let Some((inc, _)) = &incumbent {
-            if bound >= *inc - gap_abs(*inc, config.relative_gap) {
-                continue;
-            }
-        }
-        match frac(&int_vars, &sol.values) {
-            None => {
-                let obj = to_min(sol.objective);
-                if incumbent.as_ref().map_or(true, |(inc, _)| obj < *inc) {
-                    incumbent = Some((obj, sol.values.clone()));
-                }
-            }
-            Some(j) => {
-                if let Some(x) = round_heuristic(problem, &sol.values, config.int_tol) {
-                    let obj = to_min(problem.objective_value(&x));
-                    if incumbent.as_ref().map_or(true, |(inc, _)| obj < *inc) {
-                        incumbent = Some((obj, x));
-                    }
-                }
-                push_children(&mut stack, &node.lo, &node.hi, j, sol.values[j], bound, node.depth + 1);
-            }
-        }
-        best_bound = stack.iter().map(|n| n.bound).fold(f64::INFINITY, f64::min);
-        if let Some((inc, _)) = &incumbent {
-            if best_bound >= *inc - gap_abs(*inc, config.relative_gap) {
-                stack.clear();
-            }
-        }
+        setups.push((
+            Simplex::with_rows(problem, Some(&worker_rows)),
+            lazy_remaining.clone(),
+        ));
     }
+    setups.insert(0, (simplex, lazy_remaining));
 
+    let per_worker: Vec<(usize, Duration)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = setups
+            .into_iter()
+            .map(|(sx, lz)| {
+                let sh = &shared;
+                scope.spawn(move || worker(sh, sx, lz))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("solver worker panicked"))
+            .collect()
+    });
+
+    // ---- assemble the result ----
+    stats.nodes = shared.nodes.load(Ordering::Acquire);
+    stats.simplex_iterations += shared.pivots.load(Ordering::Acquire);
+    stats.activated_rows += shared.activated.load(Ordering::Acquire);
+    stats.warm_hits = shared.warm_hits.load(Ordering::Acquire);
+    stats.warm_misses = shared.warm_misses.load(Ordering::Acquire);
+    stats.per_thread_nodes = per_worker.iter().map(|&(n, _)| n).collect();
+    stats.cpu_time =
+        stats.root_time + per_worker.iter().map(|&(_, b)| b).sum::<Duration>();
     stats.total_time = start.elapsed();
-    match incumbent {
+    let budget_hit = shared.budget_hit.load(Ordering::Acquire);
+    let Shared {
+        frontier,
+        incumbent,
+        error,
+        ..
+    } = shared;
+    if let Some(e) = error.into_inner().unwrap() {
+        return Err(e);
+    }
+    let frontier = frontier.into_inner().unwrap();
+    let best_bound = frontier
+        .heap
+        .iter()
+        .map(|n| n.bound)
+        .fold(f64::INFINITY, f64::min);
+    match incumbent.into_inner().unwrap() {
         Some((obj, values)) => {
-            let exhausted = stack.is_empty();
+            let exhausted = frontier.heap.is_empty() && !budget_hit;
             stats.proven_optimal = exhausted;
             stats.gap = if exhausted {
                 0.0
             } else {
                 ((obj - best_bound) / obj.abs().max(1.0)).max(0.0)
             };
-            Ok(MilpSolution { objective: from_min(obj), values, stats })
+            // Recompute from the values so the reported objective is a
+            // function of the solution alone, not of whether it arrived
+            // via an integral LP or the rounding heuristic.
+            Ok(MilpSolution {
+                objective: problem.objective_value(&values),
+                values,
+                stats,
+            })
         }
-        None if budget_hit => Err(MilpError::BudgetExhausted),
+        None if budget_hit => Err(MilpError::BudgetExhausted(Box::new(stats))),
         None => Err(MilpError::Infeasible),
     }
 }
@@ -363,30 +816,44 @@ fn gap_abs(incumbent: f64, rel: f64) -> f64 {
     rel * incumbent.abs().max(1.0)
 }
 
-/// Push both children of branching on `x_j`; the child nearer the LP value
-/// is pushed last so depth-first explores it first (diving).
-fn push_children(
-    stack: &mut Vec<Node>,
+/// Build both children of branching on `x_j`, returning `(dive, other)`
+/// where `dive` is the child nearer the LP value (explored locally first
+/// for early incumbents).
+fn make_children(
+    shared: &Shared<'_>,
     lo: &[f64],
     hi: &[f64],
     j: usize,
     xj: f64,
     bound: f64,
     depth: usize,
-) {
+) -> (OpenNode, OpenNode) {
     let floor = xj.floor();
     let ceil = xj.ceil();
-    let mut down = Node { lo: lo.to_vec(), hi: hi.to_vec(), bound, depth };
+    let mut down = OpenNode {
+        lo: lo.to_vec(),
+        hi: hi.to_vec(),
+        bound,
+        depth,
+        seq: 0,
+    };
     down.hi[j] = floor;
-    let mut up = Node { lo: lo.to_vec(), hi: hi.to_vec(), bound, depth };
+    let mut up = OpenNode {
+        lo: lo.to_vec(),
+        hi: hi.to_vec(),
+        bound,
+        depth,
+        seq: 0,
+    };
     up.lo[j] = ceil;
-    if xj - floor <= ceil - xj {
-        stack.push(up);
-        stack.push(down);
+    let (mut dive, mut other) = if xj - floor <= ceil - xj {
+        (down, up)
     } else {
-        stack.push(down);
-        stack.push(up);
-    }
+        (up, down)
+    };
+    dive.seq = shared.next_seq();
+    other.seq = shared.next_seq();
+    (dive, other)
 }
 
 /// Round fractional integers to their nearest value and accept the point if
@@ -420,7 +887,10 @@ mod tests {
     use crate::problem::Cmp;
 
     fn cfg() -> BranchConfig {
-        BranchConfig::default()
+        // Single worker keeps unit tests deterministic and cheap; the
+        // multi-thread paths are covered by the determinism tests below
+        // and the crate's property tests.
+        BranchConfig::default().with_threads(1)
     }
 
     #[test]
@@ -434,6 +904,8 @@ mod tests {
         let s = solve_milp(&p, &cfg()).unwrap();
         assert!((s.objective - 20.0).abs() < 1e-5, "got {}", s.objective);
         assert!(s.stats.proven_optimal);
+        assert_eq!(s.stats.threads, 1);
+        assert_eq!(s.stats.per_thread_nodes.len(), 1);
     }
 
     #[test]
@@ -523,35 +995,40 @@ mod tests {
         assert!((s.objective - 7.0).abs() < 1e-5, "got {}", s.objective);
     }
 
+    fn random_binary_problem(rng: &mut rand::rngs::StdRng, n: usize) -> Problem {
+        use rand::Rng;
+        let mut p = Problem::minimize();
+        let vars: Vec<_> = (0..n).map(|i| p.add_binary(format!("b{i}"))).collect();
+        for c in 0..5 {
+            let mut e = LinExpr::new();
+            for &v in &vars {
+                e.add_term(v, rng.gen_range(-2..=3) as f64);
+            }
+            let sense = if rng.gen_bool(0.3) { Cmp::Eq } else { Cmp::Le };
+            let rhs = rng.gen_range(0..=5) as f64;
+            // Randomly mark some rows lazy: results must not change.
+            if rng.gen_bool(0.5) {
+                p.add_lazy_constraint(format!("c{c}"), e, sense, rhs);
+            } else {
+                p.add_constraint(format!("c{c}"), e, sense, rhs);
+            }
+        }
+        let mut obj = LinExpr::new();
+        for &v in &vars {
+            obj.add_term(v, rng.gen_range(-5..=5) as f64);
+        }
+        p.set_objective(obj);
+        p
+    }
+
     #[test]
     fn exhaustive_crosscheck_random_binaries() {
         use rand::rngs::StdRng;
-        use rand::{Rng, SeedableRng};
+        use rand::SeedableRng;
         let mut rng = StdRng::seed_from_u64(42);
         for trial in 0..30 {
             let n = 8;
-            let mut p = Problem::minimize();
-            let vars: Vec<_> = (0..n).map(|i| p.add_binary(format!("b{i}"))).collect();
-            for c in 0..5 {
-                let mut e = LinExpr::new();
-                for &v in &vars {
-                    e.add_term(v, rng.gen_range(-2..=3) as f64);
-                }
-                let sense = if rng.gen_bool(0.3) { Cmp::Eq } else { Cmp::Le };
-                let rhs = rng.gen_range(0..=5) as f64;
-                // Randomly mark some rows lazy: results must not change.
-                if rng.gen_bool(0.5) {
-                    p.add_lazy_constraint(format!("c{c}"), e, sense, rhs);
-                } else {
-                    p.add_constraint(format!("c{c}"), e, sense, rhs);
-                }
-            }
-            let mut obj = LinExpr::new();
-            for &v in &vars {
-                obj.add_term(v, rng.gen_range(-5..=5) as f64);
-            }
-            p.set_objective(obj);
-
+            let p = random_binary_problem(&mut rng, n);
             let mut best: Option<f64> = None;
             for mask in 0..(1u32 << n) {
                 let x: Vec<f64> =
@@ -579,6 +1056,130 @@ mod tests {
     }
 
     #[test]
+    fn deterministic_across_thread_counts() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(7);
+        for trial in 0..10 {
+            let p = random_binary_problem(&mut rng, 10);
+            // Exact gap makes the optimum unique up to objective value, so
+            // every thread count must report the same objective.
+            let mut base = BranchConfig::default();
+            base.relative_gap = 0.0;
+            let reference = solve_milp(&p, &base.clone().with_threads(1));
+            for t in [2usize, 4] {
+                let got = solve_milp(&p, &base.clone().with_threads(t));
+                match (&reference, &got) {
+                    (Ok(a), Ok(b)) => {
+                        assert!(
+                            (a.objective - b.objective).abs() < 1e-6,
+                            "trial {trial}: {} threads gave {} vs serial {}",
+                            t,
+                            b.objective,
+                            a.objective
+                        );
+                        assert_eq!(b.stats.threads, t, "trial {trial}");
+                        assert_eq!(
+                            b.stats.per_thread_nodes.len(),
+                            t,
+                            "trial {trial}: per-thread node counts"
+                        );
+                    }
+                    (Err(MilpError::Infeasible), Err(MilpError::Infeasible)) => {}
+                    (a, b) => panic!("trial {trial}: serial {a:?} vs {t} threads {b:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn budget_exhausted_carries_partial_stats() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(11);
+        // Find a feasible instance and strangle the node budget so the
+        // search stops before it can prove anything.
+        for _ in 0..20 {
+            let p = random_binary_problem(&mut rng, 10);
+            let mut c = cfg();
+            c.max_nodes = 1; // root only
+            match solve_milp(&p, &c) {
+                Err(MilpError::BudgetExhausted(stats)) => {
+                    assert!(stats.nodes >= 1);
+                    assert!(stats.total_time >= stats.root_time);
+                    return;
+                }
+                // Root integral, heuristic found a point, or infeasible:
+                // try another instance.
+                _ => continue,
+            }
+        }
+        panic!("no instance exercised the budget path");
+    }
+
+    #[test]
+    fn time_limit_stops_inside_simplex() {
+        // A zero time budget must surface as BudgetExhausted via the
+        // in-pivot-loop deadline check, not hang in the root LP.
+        let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(3);
+        let p = random_binary_problem(&mut rng, 12);
+        let mut c = cfg();
+        c.time_limit = Some(Duration::ZERO);
+        match solve_milp(&p, &c) {
+            Err(MilpError::BudgetExhausted(stats)) => {
+                assert_eq!(stats.nodes, 0, "root LP never completed");
+            }
+            other => panic!("expected BudgetExhausted, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn warm_start_telemetry_populated() {
+        let costs = [[1.0, 9.0], [8.0, 2.0], [3.0, 3.0], [7.0, 1.0]];
+        let mut p = Problem::minimize();
+        let mut v = vec![];
+        for i in 0..4 {
+            for b in 0..2 {
+                v.push(p.add_binary(format!("x{i}{b}")));
+            }
+        }
+        for i in 0..4 {
+            p.add_constraint(
+                format!("item{i}"),
+                LinExpr::from(v[i * 2]) + v[i * 2 + 1],
+                Cmp::Eq,
+                1.0,
+            );
+        }
+        for b in 0..2 {
+            let e = LinExpr::sum((0..4).map(|i| v[i * 2 + b]));
+            p.add_constraint(format!("bin{b}"), e, Cmp::Le, 2.0);
+        }
+        let mut obj = LinExpr::new();
+        for i in 0..4 {
+            for b in 0..2 {
+                obj += costs[i][b] * v[i * 2 + b];
+            }
+        }
+        p.set_objective(obj);
+        let s = solve_milp(&p, &cfg()).unwrap();
+        if s.stats.nodes > 1 {
+            // Worker 0 inherits the warm root basis, so with one thread
+            // every node LP after the root should hit the warm path.
+            assert!(
+                s.stats.warm_hits + s.stats.warm_misses > 0,
+                "node LPs must be classified"
+            );
+            assert!(s.stats.warm_hit_rate() > 0.0, "expected warm hits");
+        }
+        assert_eq!(
+            s.stats.per_thread_nodes.iter().sum::<usize>() + 1,
+            s.stats.nodes,
+            "per-thread nodes + root == total"
+        );
+    }
+
+    #[test]
     fn respects_time_limit_field() {
         let mut c = cfg();
         c.time_limit = Some(Duration::from_secs(30));
@@ -587,5 +1188,13 @@ mod tests {
         p.set_objective(LinExpr::from(x));
         let s = solve_milp(&p, &c).unwrap();
         assert_eq!(s.objective, 1.0);
+    }
+
+    #[test]
+    fn effective_threads_resolution() {
+        let c = BranchConfig::default().with_threads(3);
+        assert_eq!(c.effective_threads(), 3);
+        let auto = BranchConfig::default();
+        assert!(auto.effective_threads() >= 1);
     }
 }

@@ -21,6 +21,7 @@
 //! see DESIGN.md).
 
 use crate::problem::{Cmp, Constraint, Problem, Sense};
+use std::time::Instant;
 
 /// Numeric tolerance for feasibility and reduced-cost tests.
 const TOL: f64 = 1e-7;
@@ -28,6 +29,8 @@ const TOL: f64 = 1e-7;
 const PIVOT_TOL: f64 = 1e-9;
 /// Consecutive degenerate pivots before switching to Bland's rule.
 const DEGENERATE_LIMIT: usize = 200;
+/// Pivots between deadline polls (keeps `Instant::now` off the hot path).
+const DEADLINE_STRIDE: usize = 64;
 
 /// Why an LP solve did not return an optimum.
 #[derive(Debug, Clone, PartialEq)]
@@ -38,6 +41,10 @@ pub enum LpError {
     Unbounded,
     /// The iteration limit was exceeded (numerical trouble).
     IterationLimit,
+    /// The solve deadline installed by [`Simplex::set_deadline`] passed
+    /// mid-pivot-loop. The workspace state is *not* reusable for a warm
+    /// start afterwards.
+    TimeLimit,
 }
 
 impl std::fmt::Display for LpError {
@@ -46,6 +53,7 @@ impl std::fmt::Display for LpError {
             LpError::Infeasible => "linear program is infeasible",
             LpError::Unbounded => "linear program is unbounded",
             LpError::IterationLimit => "simplex iteration limit exceeded",
+            LpError::TimeLimit => "simplex deadline exceeded",
         })
     }
 }
@@ -104,6 +112,10 @@ pub struct Simplex {
     d: Vec<f64>,
     /// Warm-start state is valid (basis optimal & dual feasible).
     warm: bool,
+    /// The last completed solve stayed on the dual-simplex warm path.
+    last_warm: bool,
+    /// Abort pivot loops past this instant with [`LpError::TimeLimit`].
+    deadline: Option<Instant>,
     // Scratch.
     y: Vec<f64>,
     w: Vec<f64>,
@@ -168,6 +180,8 @@ impl Simplex {
             binv: Vec::new(),
             d: Vec::new(),
             warm: false,
+            last_warm: false,
+            deadline: None,
             y: Vec::new(),
             w: Vec::new(),
             alpha: Vec::new(),
@@ -177,6 +191,26 @@ impl Simplex {
     /// Number of rows currently in the working LP.
     pub fn rows(&self) -> usize {
         self.m
+    }
+
+    /// Install (or clear) a wall-clock deadline. Both pivot loops poll it
+    /// every [`DEADLINE_STRIDE`] iterations and abort with
+    /// [`LpError::TimeLimit`] once it has passed, so a single long LP
+    /// cannot overshoot a solver time budget by more than a few pivots.
+    pub fn set_deadline(&mut self, deadline: Option<Instant>) {
+        self.deadline = deadline;
+    }
+
+    /// Whether the last completed solve was served by the dual-simplex
+    /// warm path (no cold two-phase fallback). Used for warm-start-hit
+    /// telemetry by the branch-and-bound driver.
+    pub fn last_solve_was_warm(&self) -> bool {
+        self.last_warm
+    }
+
+    fn deadline_hit(&self, iterations: usize) -> bool {
+        iterations % DEADLINE_STRIDE == 0
+            && self.deadline.is_some_and(|d| Instant::now() >= d)
     }
 
     /// Append constraints to the working LP. The previous optimal basis is
@@ -266,6 +300,7 @@ impl Simplex {
     pub fn solve_with_bounds(&mut self, lo: &[f64], hi: &[f64]) -> Result<LpSolution, LpError> {
         assert_eq!(lo.len(), self.n_struct);
         self.warm = false;
+        self.last_warm = false;
         for i in 0..self.n_struct {
             if lo[i] > hi[i] + TOL {
                 return Err(LpError::Infeasible);
@@ -366,8 +401,17 @@ impl Simplex {
         }
         self.recompute_basics();
         match self.dual_simplex() {
-            Ok(iterations) => Ok(self.extract(iterations)),
-            Err(DualStop::Infeasible) => Err(LpError::Infeasible),
+            Ok(iterations) => {
+                self.last_warm = true;
+                Ok(self.extract(iterations))
+            }
+            Err(DualStop::Infeasible) => {
+                // Infeasibility proven on the warm path still counts as a
+                // warm-start hit: no cold factorization was needed.
+                self.last_warm = true;
+                Err(LpError::Infeasible)
+            }
+            Err(DualStop::Deadline) => Err(LpError::TimeLimit),
             Err(DualStop::Stall) => {
                 // Numerical trouble or iteration cap: fall back to cold.
                 self.solve_with_bounds(lo, hi)
@@ -530,6 +574,9 @@ impl Simplex {
             if iterations > max_iter {
                 return Err(LpError::IterationLimit);
             }
+            if self.deadline_hit(iterations) {
+                return Err(LpError::TimeLimit);
+            }
             // Pricing: y = d_B · B⁻¹ (skipping zero-cost basics).
             let m = self.m;
             for j in 0..m {
@@ -689,6 +736,9 @@ impl Simplex {
             if iterations > max_iter {
                 return Err(DualStop::Stall);
             }
+            if self.deadline_hit(iterations) {
+                return Err(DualStop::Deadline);
+            }
             // Most-violated basic variable.
             let mut leave: Option<(usize, f64, bool)> = None; // (row, violation, below)
             for i in 0..m {
@@ -814,6 +864,7 @@ impl Simplex {
 enum DualStop {
     Infeasible,
     Stall,
+    Deadline,
 }
 
 fn slack_bounds(cmp: Cmp) -> (f64, f64) {

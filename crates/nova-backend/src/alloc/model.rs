@@ -91,6 +91,17 @@ impl Default for AllocConfig {
     }
 }
 
+impl AllocConfig {
+    /// Builder-style override of the solver's worker-thread count
+    /// (`0` restores automatic selection; see
+    /// [`BranchConfig::effective_threads`]).
+    #[must_use]
+    pub fn with_solver_threads(mut self, threads: usize) -> Self {
+        self.solver.threads = threads;
+        self
+    }
+}
+
 /// The generated model plus the bookkeeping needed to read a solution.
 pub struct BankModel {
     /// The underlying ILP.
@@ -998,6 +1009,8 @@ pub struct AllocStats {
     pub moves: usize,
     /// Spills in the solution.
     pub spills: usize,
+    /// Objective of the accepted integer solution.
+    pub objective: f64,
 }
 
 /// Solve the model and decode the solution.
@@ -1055,6 +1068,7 @@ pub fn solve(bm: &mut BankModel, cfg: &AllocConfig) -> Result<(Assignment, Alloc
         fig6: bm.fig6,
         moves: n_moves,
         spills: n_spills,
+        objective: sol.objective,
     };
     Ok((assignment, stats))
 }

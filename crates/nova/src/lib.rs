@@ -36,6 +36,18 @@ pub struct CompileConfig {
     pub skip_opt: bool,
 }
 
+impl CompileConfig {
+    /// Builder-style override of the ILP solver's worker-thread count.
+    /// `0` restores automatic selection: the `NOVA_ILP_THREADS`
+    /// environment variable if set, else the machine's available
+    /// parallelism.
+    #[must_use]
+    pub fn with_solver_threads(mut self, threads: usize) -> Self {
+        self.alloc.solver.threads = threads;
+        self
+    }
+}
+
 /// Everything the compiler produces for one program.
 #[derive(Debug)]
 pub struct CompileOutput {

@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Tier-1 verification: everything a PR must keep green.
+#
+#   scripts/tier1.sh            build + full test suite
+#   scripts/tier1.sh --bench    also regenerate BENCH_solver.json
+#                               (release-mode ILP solves; several minutes)
+#
+# The test suite runs in the default (debug) profile, where
+# benchmark-sized ILP solves are marked #[ignore]; the release build is
+# still exercised so optimized-path regressions are caught at compile
+# time, and `--bench` runs the heavy solves for real.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo build --release =="
+cargo build --release
+
+echo "== cargo test -q =="
+cargo test -q
+
+if [[ "${1:-}" == "--bench" ]]; then
+    echo "== perf trajectory (release) =="
+    cargo run --release -p bench --bin perf_trajectory -- BENCH_solver.json
+fi
+
+echo "tier-1 OK"

@@ -1,0 +1,73 @@
+//! Cross-thread-count determinism of the parallel ILP solver at
+//! application scale: compiling each benchmark program with 1, 2, and 4
+//! solver threads must produce the same allocation quality — identical
+//! objective, inter-bank move count, and spill count. Run with an exact
+//! gap so the optimum is unique (the default 0.01% gap permits distinct
+//! near-optimal incumbents, which would make this test meaningless).
+
+use nova::{compile_source, CompileConfig, CompileOutput};
+use workloads::{AES_NOVA, KASUMI_NOVA, NAT_NOVA};
+
+fn compile_with_threads(name: &str, src: &str, threads: usize) -> CompileOutput {
+    let mut cfg = CompileConfig::default().with_solver_threads(threads);
+    cfg.alloc.solver.relative_gap = 0.0;
+    let t0 = std::time::Instant::now();
+    let out = compile_source(src, &cfg).unwrap_or_else(|e| panic!("{name}/{threads}t: {e}"));
+    eprintln!(
+        "{name}: {threads} threads -> objective {:.3}, {} moves, {} spills, \
+         {} nodes, {:.0}% warm hits, in {:?}",
+        out.alloc_stats.objective,
+        out.alloc_stats.moves,
+        out.alloc_stats.spills,
+        out.alloc_stats.solve.nodes,
+        100.0 * out.alloc_stats.solve.warm_hit_rate(),
+        t0.elapsed(),
+    );
+    out
+}
+
+fn check(name: &str, src: &str) {
+    let reference = compile_with_threads(name, src, 1);
+    assert_eq!(reference.alloc_stats.spills, 0, "{name}: paper reports zero spills");
+    for threads in [2usize, 4] {
+        let got = compile_with_threads(name, src, threads);
+        assert!(
+            (got.alloc_stats.objective - reference.alloc_stats.objective).abs() < 1e-6,
+            "{name}: {threads} threads changed the objective: {} vs {}",
+            got.alloc_stats.objective,
+            reference.alloc_stats.objective,
+        );
+        assert_eq!(
+            got.alloc_stats.moves, reference.alloc_stats.moves,
+            "{name}: {threads} threads changed the move count"
+        );
+        assert_eq!(
+            got.alloc_stats.spills, reference.alloc_stats.spills,
+            "{name}: {threads} threads changed the spill count"
+        );
+        assert_eq!(got.alloc_stats.solve.threads, threads, "{name}: thread count recorded");
+        assert_eq!(
+            got.alloc_stats.solve.per_thread_nodes.len(),
+            threads,
+            "{name}: per-thread node counts recorded"
+        );
+    }
+}
+
+#[test]
+#[cfg_attr(debug_assertions, ignore = "benchmark-sized ILP solves are slow unoptimized; run with --release")]
+fn aes_deterministic_across_thread_counts() {
+    check("AES", AES_NOVA);
+}
+
+#[test]
+#[cfg_attr(debug_assertions, ignore = "benchmark-sized ILP solves are slow unoptimized; run with --release")]
+fn kasumi_deterministic_across_thread_counts() {
+    check("Kasumi", KASUMI_NOVA);
+}
+
+#[test]
+#[cfg_attr(debug_assertions, ignore = "benchmark-sized ILP solves are slow unoptimized; run with --release")]
+fn nat_deterministic_across_thread_counts() {
+    check("NAT", NAT_NOVA);
+}
