@@ -1,0 +1,76 @@
+//! Release-mode solver smoke benchmark for CI: one small exact-gap solve
+//! (the NAT model, single thread) with a pivots-per-second floor.
+//!
+//! Usage: `bench_smoke [--min-pps FLOOR]`. Exits non-zero when the solve
+//! fails, the allocation regresses (spills appear), or pivot throughput
+//! drops below the floor. The default floor is deliberately far under
+//! the sparse kernel's measured rate so only order-of-magnitude
+//! regressions (e.g. an accidental fall-back to the dense kernel on a
+//! large model, or a quadratic slip in FTRAN) trip it, not CI host
+//! jitter.
+
+use bench::{compile, Benchmark};
+use nova::CompileConfig;
+
+/// Default pivots-per-second floor. The sparse-LU kernel sustains well
+/// over 10× this on the NAT root LP on a single 2 GHz core (see
+/// BENCH_solver.json); the dense kernel also clears it on NAT-sized
+/// models, so this guards throughput collapse, not kernel choice.
+const DEFAULT_MIN_PPS: f64 = 1500.0;
+
+fn main() {
+    let mut min_pps = DEFAULT_MIN_PPS;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--min-pps" => {
+                let v = args.next().expect("--min-pps needs a value");
+                min_pps = v.parse().expect("--min-pps value must be a number");
+            }
+            other => panic!("unknown argument {other}; usage: bench_smoke [--min-pps FLOOR]"),
+        }
+    }
+
+    let mut cfg = CompileConfig::default().with_solver_threads(1);
+    cfg.alloc.solver.relative_gap = 0.0;
+    let out = compile(Benchmark::Nat, &cfg);
+    let st = &out.alloc_stats;
+    let s = &st.solve;
+    let pps = s.pivots_per_sec();
+    eprintln!(
+        "NAT: kernel {}, {} pivots in {:.2}s ({:.0} pivots/s), {} nodes, \
+         {} refactorizations, {} eta pivots, objective {:.3}, {} moves, {} spills, \
+         proven_optimal {}",
+        s.kernel,
+        s.simplex_iterations,
+        s.total_time.as_secs_f64(),
+        pps,
+        s.nodes,
+        s.refactorizations,
+        s.eta_pivots,
+        st.objective,
+        st.moves,
+        st.spills,
+        s.proven_optimal,
+    );
+    let mut failures = Vec::new();
+    if !s.proven_optimal {
+        failures.push("solve did not prove optimality at relative_gap 0".to_string());
+    }
+    if st.spills != 0 {
+        failures.push(format!("NAT allocated with {} spills (expected 0)", st.spills));
+    }
+    if pps < min_pps {
+        failures.push(format!(
+            "pivot throughput {pps:.0}/s below the {min_pps:.0}/s floor"
+        ));
+    }
+    if failures.is_empty() {
+        eprintln!("bench-smoke OK");
+    } else {
+        for f in &failures {
+            eprintln!("bench-smoke FAIL: {f}");
+        }
+        std::process::exit(1);
+    }
+}

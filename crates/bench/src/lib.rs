@@ -259,6 +259,11 @@ pub fn solve_stats_json(st: &nova::AllocStats) -> json::Json {
         ("cpu_s", Json::Num(s.cpu_time.as_secs_f64())),
         ("nodes", Json::int(s.nodes)),
         ("pivots", Json::int(s.simplex_iterations)),
+        ("pivots_per_sec", Json::Num(s.pivots_per_sec())),
+        ("kernel", Json::str(s.kernel.clone())),
+        ("refactorizations", Json::int(s.refactorizations)),
+        ("eta_pivots", Json::int(s.eta_pivots)),
+        ("lu_fill_nnz", Json::int(s.lu_fill_nnz)),
         ("warm_hits", Json::int(s.warm_hits)),
         ("warm_misses", Json::int(s.warm_misses)),
         ("warm_hit_rate", Json::Num(s.warm_hit_rate())),

@@ -32,7 +32,7 @@
 //! optimal" (§11), so the default relative gap is `1e-4`.
 
 use crate::problem::{Cmp, Constraint, Problem, Sense, VarKind};
-use crate::simplex::{LpError, LpSolution, Simplex};
+use crate::simplex::{KernelKind, KernelStats, LpError, LpSolution, Simplex};
 use std::cmp::Ordering as CmpOrdering;
 use std::collections::BinaryHeap;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
@@ -58,11 +58,31 @@ pub struct BranchConfig {
     pub time_limit: Option<Duration>,
     /// Integrality tolerance.
     pub int_tol: f64,
+    /// Absolute fathoming tolerance: a node whose LP bound comes within
+    /// `fathom_abs + fathom_rel·|incumbent|` of the incumbent cannot
+    /// contain a *meaningfully* better point and is pruned even when
+    /// `relative_gap` is zero. This is what lets exact-gap solves finish:
+    /// LP bounds carry numerical residue proportional to the reduced-cost
+    /// tolerance times the basis size (observed ~8e-6 absolute on the
+    /// 4.7k-variable AES model), so without it the search chases ties it
+    /// can never separate. Must stay well below the granularity at which
+    /// distinct integer points differ in objective (the allocator's
+    /// epsilon tie-breaks are ~6e-8 apart, but genuinely different
+    /// allocations differ by ≥ 1e-2). Set both to `0.0` to restore exact
+    /// fathoming.
+    pub fathom_abs: f64,
+    /// Relative part of the fathoming tolerance (see `fathom_abs`).
+    pub fathom_rel: f64,
     /// Worker threads for the tree search. `0` means automatic: the
     /// `NOVA_ILP_THREADS` environment variable if set (and ≥ 1), else
     /// [`std::thread::available_parallelism`]. An explicit value here wins
     /// over the environment.
     pub threads: usize,
+    /// Simplex basis kernel for every LP workspace of the solve. `None`
+    /// defers to the `NOVA_ILP_KERNEL` environment variable (sparse LU by
+    /// default); tests pin it explicitly so parallel differential runs
+    /// cannot race on the environment.
+    pub kernel: Option<KernelKind>,
 }
 
 impl Default for BranchConfig {
@@ -72,7 +92,10 @@ impl Default for BranchConfig {
             max_nodes: 2_000_000,
             time_limit: None,
             int_tol: 1e-6,
+            fathom_abs: 2e-5,
+            fathom_rel: 1e-9,
             threads: 0,
+            kernel: None,
         }
     }
 }
@@ -83,6 +106,19 @@ impl BranchConfig {
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads;
         self
+    }
+
+    /// Builder-style basis-kernel override (`None` restores the
+    /// `NOVA_ILP_KERNEL` environment default).
+    #[must_use]
+    pub fn with_kernel(mut self, kernel: Option<KernelKind>) -> Self {
+        self.kernel = kernel;
+        self
+    }
+
+    /// The simplex kernel a solve will actually use.
+    pub fn effective_kernel(&self) -> KernelKind {
+        self.kernel.unwrap_or_else(KernelKind::from_env)
     }
 
     /// The number of worker threads a solve will actually use.
@@ -181,6 +217,16 @@ pub struct SolveStats {
     pub warm_misses: usize,
     /// Nodes processed by each worker thread.
     pub per_thread_nodes: Vec<usize>,
+    /// Basis kernel name ("sparse" or "dense").
+    pub kernel: String,
+    /// LU factorizations across all LP workspaces (cold starts + periodic
+    /// rebuilds; zero on the dense kernel).
+    pub refactorizations: usize,
+    /// Eta matrices appended to basis factorizations (one per pivot on a
+    /// sparse workspace).
+    pub eta_pivots: usize,
+    /// Peak LU nonzero count over all factorizations (fill-in measure).
+    pub lu_fill_nnz: usize,
 }
 
 impl SolveStats {
@@ -192,6 +238,22 @@ impl SolveStats {
         } else {
             self.warm_hits as f64 / total as f64
         }
+    }
+
+    /// Simplex pivot throughput over the whole solve (wall-clock).
+    pub fn pivots_per_sec(&self) -> f64 {
+        let secs = self.total_time.as_secs_f64();
+        if secs > 0.0 {
+            self.simplex_iterations as f64 / secs
+        } else {
+            0.0
+        }
+    }
+
+    fn absorb_kernel(&mut self, ks: &KernelStats) {
+        self.refactorizations += ks.refactorizations;
+        self.eta_pivots += ks.eta_pivots;
+        self.lu_fill_nnz = self.lu_fill_nnz.max(ks.lu_fill_nnz);
     }
 }
 
@@ -405,12 +467,12 @@ fn solve_lazy(
 
 /// One worker thread: claim nodes, solve their relaxations, branch, and
 /// share one child per branching while diving on the other. Returns
-/// `(nodes processed, busy time)`.
+/// `(nodes processed, busy time, kernel counters)`.
 fn worker(
     shared: &Shared<'_>,
     mut simplex: Simplex,
     mut lazy: Vec<usize>,
-) -> (usize, Duration) {
+) -> (usize, Duration, KernelStats) {
     simplex.set_deadline(shared.deadline);
     let cfg = shared.config;
     let mut local: Option<OpenNode> = None;
@@ -433,7 +495,7 @@ fn worker(
         let t0 = Instant::now();
         // Prune against the (possibly newer) incumbent.
         let inc = shared.incumbent_min();
-        if inc.is_finite() && node.bound >= inc - gap_abs(inc, cfg.relative_gap) {
+        if inc.is_finite() && node.bound >= inc - prune_margin(inc, cfg) {
             busy += t0.elapsed();
             continue;
         }
@@ -504,7 +566,7 @@ fn worker(
         }
         let bound = to_min(shared.minimize, sol.objective);
         let inc = shared.incumbent_min();
-        if inc.is_finite() && bound >= inc - gap_abs(inc, cfg.relative_gap) {
+        if inc.is_finite() && bound >= inc - prune_margin(inc, cfg) {
             busy += t0.elapsed();
             continue;
         }
@@ -525,7 +587,7 @@ fn worker(
         }
         busy += t0.elapsed();
     }
-    (nodes_done, busy)
+    (nodes_done, busy, simplex.kernel_stats())
 }
 
 /// Branch on the fractional variable with the largest |objective
@@ -629,7 +691,9 @@ pub fn solve_milp(problem: &Problem, config: &BranchConfig) -> Result<MilpSoluti
     let all: &[Constraint] = &problem.constraints;
     let threads = config.effective_threads();
     stats.threads = threads;
-    let mut simplex = Simplex::with_rows(problem, Some(&core));
+    let kernel = config.effective_kernel();
+    stats.kernel = kernel.as_str().to_string();
+    let mut simplex = Simplex::with_rows_kernel(problem, Some(&core), kernel);
     simplex.set_deadline(deadline);
 
     let lazy_before = lazy.clone();
@@ -652,6 +716,7 @@ pub fn solve_milp(problem: &Problem, config: &BranchConfig) -> Result<MilpSoluti
         Err(LpError::TimeLimit) => {
             stats.total_time = start.elapsed();
             stats.root_time = root_start.elapsed();
+            stats.absorb_kernel(&simplex.kernel_stats());
             return Err(MilpError::BudgetExhausted(Box::new(stats)));
         }
         Err(e) => return Err(MilpError::Numerical(e)),
@@ -671,6 +736,7 @@ pub fn solve_milp(problem: &Problem, config: &BranchConfig) -> Result<MilpSoluti
         stats.cpu_time = stats.root_time;
         stats.proven_optimal = true;
         stats.per_thread_nodes = vec![0; threads];
+        stats.absorb_kernel(&simplex.kernel_stats());
         return Ok(MilpSolution {
             objective: problem.objective_value(&root.values),
             values: root.values,
@@ -743,13 +809,13 @@ pub fn solve_milp(problem: &Problem, config: &BranchConfig) -> Result<MilpSoluti
             continue;
         }
         setups.push((
-            Simplex::with_rows(problem, Some(&worker_rows)),
+            Simplex::with_rows_kernel(problem, Some(&worker_rows), kernel),
             lazy_remaining.clone(),
         ));
     }
     setups.insert(0, (simplex, lazy_remaining));
 
-    let per_worker: Vec<(usize, Duration)> = std::thread::scope(|scope| {
+    let per_worker: Vec<(usize, Duration, KernelStats)> = std::thread::scope(|scope| {
         let handles: Vec<_> = setups
             .into_iter()
             .map(|(sx, lz)| {
@@ -769,9 +835,12 @@ pub fn solve_milp(problem: &Problem, config: &BranchConfig) -> Result<MilpSoluti
     stats.activated_rows += shared.activated.load(Ordering::Acquire);
     stats.warm_hits = shared.warm_hits.load(Ordering::Acquire);
     stats.warm_misses = shared.warm_misses.load(Ordering::Acquire);
-    stats.per_thread_nodes = per_worker.iter().map(|&(n, _)| n).collect();
+    stats.per_thread_nodes = per_worker.iter().map(|&(n, _, _)| n).collect();
     stats.cpu_time =
-        stats.root_time + per_worker.iter().map(|&(_, b)| b).sum::<Duration>();
+        stats.root_time + per_worker.iter().map(|&(_, b, _)| b).sum::<Duration>();
+    for (_, _, ks) in &per_worker {
+        stats.absorb_kernel(ks);
+    }
     stats.total_time = start.elapsed();
     let budget_hit = shared.budget_hit.load(Ordering::Acquire);
     let Shared {
@@ -792,7 +861,12 @@ pub fn solve_milp(problem: &Problem, config: &BranchConfig) -> Result<MilpSoluti
     match incumbent.into_inner().unwrap() {
         Some((obj, values)) => {
             let exhausted = frontier.heap.is_empty() && !budget_hit;
-            stats.proven_optimal = exhausted;
+            // Remaining open nodes whose bounds sit inside the fathoming
+            // margin cannot hold a meaningfully better solution, so the
+            // incumbent is still proven optimal to within the configured
+            // tolerances even when the deadline interrupts the search.
+            let within_margin = obj - best_bound <= prune_margin(obj, config);
+            stats.proven_optimal = exhausted || within_margin;
             stats.gap = if exhausted {
                 0.0
             } else {
@@ -814,6 +888,14 @@ pub fn solve_milp(problem: &Problem, config: &BranchConfig) -> Result<MilpSoluti
 
 fn gap_abs(incumbent: f64, rel: f64) -> f64 {
     rel * incumbent.abs().max(1.0)
+}
+
+/// How far below the incumbent a node bound must reach to stay open: the
+/// configured relative gap, floored by the fathoming tolerance that
+/// absorbs LP numerical residue (see [`BranchConfig::fathom_abs`]).
+fn prune_margin(incumbent: f64, cfg: &BranchConfig) -> f64 {
+    gap_abs(incumbent, cfg.relative_gap)
+        .max(cfg.fathom_abs + cfg.fathom_rel * incumbent.abs())
 }
 
 /// Build both children of branching on `x_j`, returning `(dive, other)`

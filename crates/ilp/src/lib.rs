@@ -41,4 +41,4 @@ pub use branch::{solve_milp, BranchConfig, MilpError, MilpSolution, SolveStats};
 pub use expr::{LinExpr, Var};
 pub use model::{Family, Key, Model, ModelStats};
 pub use problem::{Cmp, Constraint, Problem, Sense, VarData, VarKind};
-pub use simplex::{LpError, LpSolution, Simplex};
+pub use simplex::{KernelKind, KernelStats, LpError, LpSolution, Simplex};

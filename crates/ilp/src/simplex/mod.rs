@@ -1,26 +1,40 @@
-//! Bounded-variable revised simplex with a dense product-form basis
-//! inverse, dual-simplex warm starting, and incremental row addition.
+//! Bounded-variable revised simplex on a sparse LU basis factorization,
+//! with dual-simplex warm starting and incremental row addition.
 //!
 //! This is the LP engine behind [`crate::branch`]'s branch-and-bound:
 //!
 //! * **cold solves** run the textbook two-phase primal method: slack basis,
-//!   artificials only for rows the slacks cannot cover, Dantzig pricing
-//!   with a Bland's-rule anti-cycling fallback, bound flips for the
-//!   bounded-variable generalization;
+//!   artificials only for rows the slacks cannot cover, devex pricing with
+//!   a candidate list and a Bland's-rule anti-cycling fallback, bound
+//!   flips for the bounded-variable generalization;
 //! * **warm solves** ([`Simplex::resolve_with_bounds`]) reuse the previous
 //!   optimal basis after bound changes: the basis stays dual feasible, so
 //!   a handful of dual-simplex pivots restores primal feasibility — this
 //!   is what makes branch-and-bound nodes cheap;
 //! * **row addition** ([`Simplex::add_rows`]) extends the basis with the
-//!   new slacks (block-triangular inverse update) without disturbing dual
-//!   feasibility — this is what makes lazy-constraint activation cheap.
+//!   new slacks (a block-triangular append operator on the factorization)
+//!   without disturbing dual feasibility — this is what makes
+//!   lazy-constraint activation cheap.
 //!
-//! The inverse is dense in the row dimension; the allocator's models stay
-//! within a few thousand rows after §8 pruning and lazy activation, a
-//! regime where dense is simple and fast enough (the paper used CPLEX;
-//! see DESIGN.md).
+//! The basis is represented by a sparse LU factorization with Markowitz
+//! threshold pivoting plus a product-form eta file appended per pivot
+//! ([`factor`]); FTRAN/BTRAN run through the factors in O(nnz) instead of
+//! the O(m²) of the previous dense explicit inverse. The factorization is
+//! rebuilt every ~[`factor::DEFAULT_REFACTOR_INTERVAL`] etas, and early
+//! whenever the FTRAN and BTRAN images of the pivot element disagree
+//! (accumulated error); each rebuild also recomputes the basic solution
+//! against `b` and the reduced costs from scratch. Reduced costs are
+//! otherwise maintained incrementally from the pivot row, so a pivot costs
+//! O(m + nnz(pivot row)) rather than a dense pricing pass. The dense
+//! inverse survives behind `NOVA_ILP_KERNEL=dense` ([`KernelKind`]) for
+//! differential testing and as a fallback.
+
+mod factor;
+mod pricing;
 
 use crate::problem::{Cmp, Constraint, Problem, Sense};
+use factor::{DenseKernel, SparseKernel};
+use pricing::{DualPricing, PrimalPricing};
 use std::time::Instant;
 
 /// Numeric tolerance for feasibility and reduced-cost tests.
@@ -31,6 +45,12 @@ const PIVOT_TOL: f64 = 1e-9;
 const DEGENERATE_LIMIT: usize = 200;
 /// Pivots between deadline polls (keeps `Instant::now` off the hot path).
 const DEADLINE_STRIDE: usize = 64;
+/// Relative FTRAN-vs-BTRAN disagreement on the pivot element that
+/// triggers an early refactorization.
+const PIVOT_AGREE_TOL: f64 = 1e-7;
+/// Reduced-cost refreshes allowed per `optimize` call before an
+/// optimality claim is accepted without re-verification.
+const MAX_OPT_REFRESH: usize = 10;
 
 /// Why an LP solve did not return an optimum.
 #[derive(Debug, Clone, PartialEq)]
@@ -71,11 +91,208 @@ pub struct LpSolution {
     pub iterations: usize,
 }
 
+/// Which basis representation a [`Simplex`] uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KernelKind {
+    /// Sparse LU with Markowitz pivoting plus an eta file (the default).
+    Sparse,
+    /// Dense explicit product-form inverse (the pre-LU engine), kept for
+    /// differential testing and fallback.
+    Dense,
+}
+
+impl KernelKind {
+    /// Kernel selected by the `NOVA_ILP_KERNEL` environment variable:
+    /// `dense` picks [`KernelKind::Dense`], anything else (or unset) the
+    /// sparse default.
+    pub fn from_env() -> KernelKind {
+        match std::env::var("NOVA_ILP_KERNEL") {
+            Ok(v) if v.eq_ignore_ascii_case("dense") => KernelKind::Dense,
+            _ => KernelKind::Sparse,
+        }
+    }
+
+    /// Stable lowercase name (used in benchmark JSON).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            KernelKind::Sparse => "sparse",
+            KernelKind::Dense => "dense",
+        }
+    }
+}
+
+/// Cumulative factorization telemetry for a [`Simplex`] workspace.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct KernelStats {
+    /// LU factorizations performed (cold starts + periodic rebuilds).
+    pub refactorizations: usize,
+    /// Eta matrices appended to the factorization (one per basis pivot).
+    pub eta_pivots: usize,
+    /// Peak nonzero count of an LU factorization (fill-in measure).
+    pub lu_fill_nnz: usize,
+}
+
 #[derive(Debug, Clone, Copy, PartialEq)]
 enum ColState {
     Basic(usize),
     AtLower,
     AtUpper,
+}
+
+/// Basis kernel: the shared FTRAN/BTRAN/update/append interface over the
+/// sparse LU engine and the dense explicit inverse.
+enum KernelImpl {
+    Dense(DenseKernel),
+    Sparse(SparseKernel),
+}
+
+struct Kernel {
+    imp: KernelImpl,
+    scratch: Vec<f64>,
+}
+
+impl Kernel {
+    fn new(kind: KernelKind) -> Kernel {
+        let imp = match kind {
+            KernelKind::Dense => KernelImpl::Dense(DenseKernel::new()),
+            KernelKind::Sparse => {
+                KernelImpl::Sparse(SparseKernel::new(factor::DEFAULT_REFACTOR_INTERVAL))
+            }
+        };
+        Kernel { imp, scratch: Vec::new() }
+    }
+
+    fn kind(&self) -> KernelKind {
+        match self.imp {
+            KernelImpl::Dense(_) => KernelKind::Dense,
+            KernelImpl::Sparse(_) => KernelKind::Sparse,
+        }
+    }
+
+    /// Install a fresh basis (cold start; `cols_b[p]` is the column basic
+    /// at position `p`). The cold basis is diagonal by construction.
+    fn reset_basis(&mut self, m: usize, cols_b: &[Vec<(usize, f64)>]) -> Result<(), LpError> {
+        match &mut self.imp {
+            KernelImpl::Dense(dk) => {
+                dk.reset_diag(m, cols_b);
+                Ok(())
+            }
+            KernelImpl::Sparse(sk) => {
+                sk.refactor(m, cols_b).map_err(|_| LpError::IterationLimit)
+            }
+        }
+    }
+
+    /// Mid-solve refactorization; returns whether a fresh factorization
+    /// was installed. The dense kernel never refactors; a numerically
+    /// singular factorization keeps the (valid) eta pipeline and retries
+    /// after another interval.
+    fn try_refactor(&mut self, m: usize, cols_b: &[Vec<(usize, f64)>]) -> bool {
+        match &mut self.imp {
+            KernelImpl::Dense(_) => false,
+            KernelImpl::Sparse(sk) => match sk.refactor(m, cols_b) {
+                Ok(()) => true,
+                Err(_) => {
+                    sk.defer_refactor();
+                    false
+                }
+            },
+        }
+    }
+
+    fn should_refactor(&self) -> bool {
+        match &self.imp {
+            KernelImpl::Dense(_) => false,
+            KernelImpl::Sparse(sk) => sk.should_refactor(),
+        }
+    }
+
+    /// w = B⁻¹ a for a sparse column (duplicate row entries summed).
+    fn ftran_col(&mut self, col: &[(usize, f64)], out: &mut [f64]) {
+        match &mut self.imp {
+            KernelImpl::Dense(dk) => dk.ftran_col(col, out),
+            KernelImpl::Sparse(sk) => {
+                for v in out.iter_mut() {
+                    *v = 0.0;
+                }
+                for &(i, a) in col {
+                    out[i] += a;
+                }
+                sk.ftran(out);
+            }
+        }
+    }
+
+    /// x = B⁻¹ v in place.
+    fn ftran_dense(&mut self, v: &mut [f64]) {
+        match &mut self.imp {
+            KernelImpl::Dense(dk) => {
+                self.scratch.resize(v.len(), 0.0);
+                dk.ftran(v, &mut self.scratch);
+            }
+            KernelImpl::Sparse(sk) => sk.ftran(v),
+        }
+    }
+
+    /// y = B⁻ᵀ v in place.
+    fn btran_dense(&mut self, v: &mut [f64]) {
+        match &mut self.imp {
+            KernelImpl::Dense(dk) => {
+                self.scratch.resize(v.len(), 0.0);
+                dk.btran(v, &mut self.scratch);
+            }
+            KernelImpl::Sparse(sk) => sk.btran(v),
+        }
+    }
+
+    /// ρ = B⁻ᵀ e_r (the pivot row of B⁻¹).
+    fn btran_unit(&mut self, r: usize, out: &mut [f64]) {
+        match &mut self.imp {
+            KernelImpl::Dense(dk) => dk.btran_unit(r, out),
+            KernelImpl::Sparse(sk) => {
+                for v in out.iter_mut() {
+                    *v = 0.0;
+                }
+                out[r] = 1.0;
+                sk.btran(out);
+            }
+        }
+    }
+
+    /// Basis change at position `r`; `w` is the entering column's FTRAN
+    /// image.
+    fn update(&mut self, r: usize, w: &[f64]) {
+        match &mut self.imp {
+            KernelImpl::Dense(dk) => dk.update(r, w),
+            KernelImpl::Sparse(sk) => sk.update(r, w),
+        }
+    }
+
+    /// Extend the basis for appended rows; `c_rows[k]` holds row k's
+    /// coefficients under the current basic columns, by basis position.
+    fn append(&mut self, c_rows: Vec<Vec<(u32, f64)>>) {
+        match &mut self.imp {
+            KernelImpl::Dense(dk) => dk.append(&c_rows),
+            KernelImpl::Sparse(sk) => sk.append(c_rows),
+        }
+    }
+
+    fn set_refactor_interval(&mut self, k: usize) {
+        if let KernelImpl::Sparse(sk) = &mut self.imp {
+            sk.set_refactor_interval(k);
+        }
+    }
+
+    fn stats(&self) -> KernelStats {
+        match &self.imp {
+            KernelImpl::Dense(_) => KernelStats::default(),
+            KernelImpl::Sparse(sk) => KernelStats {
+                refactorizations: sk.refactorizations,
+                eta_pivots: sk.total_etas,
+                lu_fill_nnz: sk.lu_fill_nnz,
+            },
+        }
+    }
 }
 
 /// Reusable simplex workspace. The constraint matrix may grow by
@@ -85,6 +302,9 @@ pub struct Simplex {
     n_struct: usize,
     /// Sparse columns: (row, coefficient) pairs.
     cols: Vec<Vec<(usize, f64)>>,
+    /// Row-major mirror of `cols`: (column, coefficient) pairs per row,
+    /// used to form pivot-row alphas from a sparse BTRAN image.
+    rows_idx: Vec<Vec<(u32, f64)>>,
     /// Right-hand sides per row.
     b: Vec<f64>,
     /// Slack column of each row.
@@ -106,9 +326,10 @@ pub struct Simplex {
     x: Vec<f64>,
     state: Vec<ColState>,
     basis: Vec<usize>,
-    /// Dense row-major m×m basis inverse.
-    binv: Vec<f64>,
-    /// Reduced costs (valid when `warm`).
+    /// Basis factorization kernel (sparse LU + etas, or dense inverse).
+    kernel: Kernel,
+    /// Reduced costs, maintained incrementally from the pivot row (valid
+    /// for warm starts when `warm`).
     d: Vec<f64>,
     /// Warm-start state is valid (basis optimal & dual feasible).
     warm: bool,
@@ -116,14 +337,23 @@ pub struct Simplex {
     last_warm: bool,
     /// Abort pivot loops past this instant with [`LpError::TimeLimit`].
     deadline: Option<Instant>,
+    // Pricing state.
+    primal_pricing: PrimalPricing,
+    dual_pricing: DualPricing,
     // Scratch.
     y: Vec<f64>,
     w: Vec<f64>,
     alpha: Vec<f64>,
+    /// Columns with nonzero `alpha` this pivot.
+    touched: Vec<u32>,
+    /// Generation marks validating `alpha` entries.
+    mark: Vec<u64>,
+    mark_gen: u64,
 }
 
 impl Simplex {
-    /// Build a workspace for `problem` (all of its constraints).
+    /// Build a workspace for `problem` (all of its constraints), using the
+    /// kernel selected by `NOVA_ILP_KERNEL`.
     pub fn new(problem: &Problem) -> Self {
         Self::with_rows(problem, None)
     }
@@ -131,6 +361,17 @@ impl Simplex {
     /// Build a workspace containing only the selected constraint indices
     /// (used by the lazy-row solver).
     pub fn with_rows(problem: &Problem, rows: Option<&[usize]>) -> Self {
+        Self::with_rows_kernel(problem, rows, KernelKind::from_env())
+    }
+
+    /// Build a workspace with an explicit basis kernel choice (used by
+    /// differential tests; normal callers go through the `NOVA_ILP_KERNEL`
+    /// environment default).
+    pub fn with_rows_kernel(
+        problem: &Problem,
+        rows: Option<&[usize]>,
+        kind: KernelKind,
+    ) -> Self {
         let idx: Vec<usize> = match rows {
             Some(r) => r.to_vec(),
             None => (0..problem.constraints.len()).collect(),
@@ -155,6 +396,12 @@ impl Simplex {
             slack_cols.push(sc);
             b.push(c.rhs);
         }
+        let mut rows_idx: Vec<Vec<(u32, f64)>> = vec![Vec::new(); m];
+        for (j, col) in cols.iter().enumerate() {
+            for &(i, a) in col {
+                rows_idx[i].push((j as u32, a));
+            }
+        }
         let obj_negate = problem.sense == Sense::Maximize;
         let mut cost = vec![0.0; cols.len()];
         for &(v, c) in &problem.objective.terms {
@@ -164,6 +411,7 @@ impl Simplex {
             m,
             n_struct,
             cols,
+            rows_idx,
             b,
             slack_cols,
             lower0,
@@ -177,20 +425,41 @@ impl Simplex {
             x: Vec::new(),
             state: Vec::new(),
             basis: Vec::new(),
-            binv: Vec::new(),
+            kernel: Kernel::new(kind),
             d: Vec::new(),
             warm: false,
             last_warm: false,
             deadline: None,
+            primal_pricing: PrimalPricing::new(),
+            dual_pricing: DualPricing::new(),
             y: Vec::new(),
             w: Vec::new(),
             alpha: Vec::new(),
+            touched: Vec::new(),
+            mark: Vec::new(),
+            mark_gen: 0,
         }
     }
 
     /// Number of rows currently in the working LP.
     pub fn rows(&self) -> usize {
         self.m
+    }
+
+    /// Which basis kernel this workspace runs on.
+    pub fn kernel_kind(&self) -> KernelKind {
+        self.kernel.kind()
+    }
+
+    /// Cumulative factorization counters (zeros on the dense kernel).
+    pub fn kernel_stats(&self) -> KernelStats {
+        self.kernel.stats()
+    }
+
+    /// Override the eta-file length that triggers refactorization (test
+    /// hook; no effect on the dense kernel).
+    pub fn set_refactor_interval(&mut self, etas: usize) {
+        self.kernel.set_refactor_interval(etas);
     }
 
     /// Install (or clear) a wall-clock deadline. Both pivot loops poll it
@@ -214,9 +483,10 @@ impl Simplex {
     }
 
     /// Append constraints to the working LP. The previous optimal basis is
-    /// extended with the new slacks (which may start out of bounds); dual
-    /// feasibility is preserved, so the next [`Simplex::resolve_with_bounds`]
-    /// repairs primal feasibility with a few dual pivots.
+    /// extended with the new slacks (which may start out of bounds) by an
+    /// append operator on the factorization; dual feasibility is
+    /// preserved, so the next [`Simplex::resolve_with_bounds`] repairs
+    /// primal feasibility with a few dual pivots.
     pub fn add_rows(&mut self, rows: &[&Constraint]) {
         let k = rows.len();
         if k == 0 {
@@ -225,13 +495,24 @@ impl Simplex {
         let m_old = self.m;
         let m_new = m_old + k;
         // Extend columns and create the new slacks.
+        let mut c_rows: Vec<Vec<(u32, f64)>> = Vec::with_capacity(k);
         for (off, c) in rows.iter().enumerate() {
             let r = m_old + off;
+            let mut row_pat: Vec<(u32, f64)> = Vec::with_capacity(c.expr.terms.len() + 1);
+            let mut crow: Vec<(u32, f64)> = Vec::new();
             for &(v, a) in &c.expr.terms {
                 self.cols[v.index()].push((r, a));
+                row_pat.push((v.index() as u32, a));
+                if self.warm {
+                    if let ColState::Basic(p) = self.state[v.index()] {
+                        crow.push((p as u32, a));
+                    }
+                }
             }
             let sc = self.cols.len();
             self.cols.push(vec![(r, 1.0)]);
+            row_pat.push((sc as u32, 1.0));
+            self.rows_idx.push(row_pat);
             let (l, u) = slack_bounds(c.cmp);
             self.lower0.push(l);
             self.upper0.push(u);
@@ -250,30 +531,14 @@ impl Simplex {
                 self.state.push(ColState::Basic(r));
                 self.basis.push(sc);
                 self.d.push(0.0);
+                c_rows.push(crow);
             }
         }
         if self.warm {
-            // Block-triangular inverse update:
-            // B' = [[B, 0], [C_B, I]]  =>  B'^-1 = [[B^-1, 0], [-C_B B^-1, I]].
-            let mut nb = vec![0.0f64; m_new * m_new];
-            for i in 0..m_old {
-                nb[i * m_new..i * m_new + m_old]
-                    .copy_from_slice(&self.binv[i * m_old..(i + 1) * m_old]);
-            }
-            for (off, c) in rows.iter().enumerate() {
-                let r = m_old + off;
-                for &(v, a) in &c.expr.terms {
-                    if let ColState::Basic(p) = self.state[v.index()] {
-                        if p < m_old {
-                            for col in 0..m_old {
-                                nb[r * m_new + col] -= a * self.binv[p * m_old + col];
-                            }
-                        }
-                    }
-                }
-                nb[r * m_new + r] = 1.0;
-            }
-            self.binv = nb;
+            // Block-triangular extension:
+            // B' = [[B, 0], [C_B, I]]; the kernel appends it as a pipeline
+            // operator (sparse) or rebuilds the inverse block (dense).
+            self.kernel.append(c_rows);
             self.y.resize(m_new, 0.0);
             self.w.resize(m_new, 0.0);
         }
@@ -306,7 +571,7 @@ impl Simplex {
                 return Err(LpError::Infeasible);
             }
         }
-        self.reset_state(lo, hi);
+        self.reset_state(lo, hi)?;
         let mut iterations = 0usize;
 
         // Phase 1: drive artificials to zero.
@@ -430,41 +695,38 @@ impl Simplex {
                 }
             }
         }
+        self.kernel.ftran_dense(&mut rhs[..m]);
         for r in 0..m {
-            let mut acc = 0.0;
-            let row = &self.binv[r * m..(r + 1) * m];
-            for k in 0..m {
-                acc += row[k] * rhs[k];
-            }
-            self.x[self.basis[r]] = acc;
+            self.x[self.basis[r]] = rhs[r];
         }
     }
 
-    /// Store reduced costs and mark the basis reusable.
-    fn finish_warm(&mut self, d: &[f64]) {
+    /// Recompute every reduced cost from scratch for cost vector `c`:
+    /// y = B⁻ᵀ c_B, then d_j = c_j − y·A_j over the nonbasic columns.
+    fn refresh_reduced_costs(&mut self, c: &[f64]) {
         let m = self.m;
-        for j in 0..m {
-            let mut acc = 0.0;
-            for i in 0..m {
-                let db = d[self.basis[i]];
-                if db != 0.0 {
-                    acc += db * self.binv[i * m + j];
-                }
-            }
-            self.y[j] = acc;
+        self.y.resize(m.max(self.y.len()), 0.0);
+        for i in 0..m {
+            self.y[i] = c[self.basis[i]];
         }
+        self.kernel.btran_dense(&mut self.y[..m]);
         self.d.clear();
         self.d.resize(self.cols.len(), 0.0);
         for j in 0..self.cols.len() {
             if matches!(self.state[j], ColState::Basic(_)) {
                 continue;
             }
-            let mut r = d[j];
+            let mut r = c[j];
             for &(i, a) in &self.cols[j] {
                 r -= self.y[i] * a;
             }
             self.d[j] = r;
         }
+    }
+
+    /// Store reduced costs and mark the basis reusable.
+    fn finish_warm(&mut self, d: &[f64]) {
+        self.refresh_reduced_costs(d);
         self.warm = true;
     }
 
@@ -484,7 +746,7 @@ impl Simplex {
 
     /// Install bounds, zombify stale artificials, build the slack basis,
     /// and append artificials for rows the slacks cannot cover.
-    fn reset_state(&mut self, lo: &[f64], hi: &[f64]) {
+    fn reset_state(&mut self, lo: &[f64], hi: &[f64]) -> Result<(), LpError> {
         let n_cols = self.cols.len();
         self.lower.clear();
         self.upper.clear();
@@ -535,7 +797,9 @@ impl Simplex {
                     if parked == sl { ColState::AtLower } else { ColState::AtUpper };
                 let need = resid[i] - parked;
                 let a = self.cols.len();
-                self.cols.push(vec![(i, if need >= 0.0 { 1.0 } else { -1.0 })]);
+                let coeff = if need >= 0.0 { 1.0 } else { -1.0 };
+                self.cols.push(vec![(i, coeff)]);
+                self.rows_idx[i].push((a as u32, coeff));
                 self.lower0.push(0.0);
                 self.upper0.push(f64::INFINITY);
                 self.cost.push(0.0);
@@ -547,29 +811,80 @@ impl Simplex {
                 self.artificials.push(a);
             }
         }
-        self.binv.clear();
-        self.binv.resize(self.m * self.m, 0.0);
-        for i in 0..self.m {
-            let j = self.basis[i];
-            let diag = self.cols[j].iter().find(|(r, _)| *r == i).map(|(_, a)| *a).unwrap_or(1.0);
-            self.binv[i * self.m + i] = 1.0 / diag;
-        }
+        let cols_b: Vec<Vec<(usize, f64)>> =
+            self.basis.iter().map(|&j| self.cols[j].clone()).collect();
+        self.kernel.reset_basis(self.m, &cols_b)?;
         self.y.clear();
         self.y.resize(self.m, 0.0);
         self.w.clear();
         self.w.resize(self.m, 0.0);
+        Ok(())
     }
 
-    /// Primal simplex minimizing cost vector `d`. Returns pivot count.
+    /// Form the pivot-row alphas α_j = ρ·A_j from the BTRAN image ρ in
+    /// `self.y`, accumulating over the rows where ρ is nonzero. Results
+    /// land in `self.alpha` for the columns listed in `self.touched`
+    /// (entries validated by `self.mark`); untouched columns have an
+    /// exact zero alpha.
+    fn pivot_row_alphas(&mut self) {
+        let n_cols = self.cols.len();
+        self.alpha.resize(n_cols, 0.0);
+        self.mark.resize(n_cols, 0);
+        self.mark_gen += 1;
+        let gen = self.mark_gen;
+        self.touched.clear();
+        let Simplex { rows_idx, y, alpha, mark, touched, m, .. } = self;
+        for i in 0..*m {
+            let rho = y[i];
+            if rho.abs() <= 1e-11 {
+                continue;
+            }
+            for &(j32, a) in &rows_idx[i] {
+                let j = j32 as usize;
+                if mark[j] != gen {
+                    mark[j] = gen;
+                    alpha[j] = rho * a;
+                    touched.push(j32);
+                } else {
+                    alpha[j] += rho * a;
+                }
+            }
+        }
+    }
+
+    /// Refactor the sparse basis from its current columns, then restore
+    /// accuracy: recompute x_B against `b` and the reduced costs for cost
+    /// vector `c`. No-op on the dense kernel.
+    fn refactor_and_refresh(&mut self, c: &[f64]) {
+        let cols_b: Vec<Vec<(usize, f64)>> =
+            self.basis.iter().map(|&j| self.cols[j].clone()).collect();
+        if self.kernel.try_refactor(self.m, &cols_b) {
+            self.recompute_basics();
+            self.refresh_reduced_costs(c);
+        }
+    }
+
+    /// Primal simplex minimizing cost vector `c`. Returns pivot count.
+    ///
+    /// Reduced costs are maintained incrementally (one BTRAN of the pivot
+    /// row per pivot); entering columns come from the devex candidate
+    /// list. An optimality claim with pivots since the last refresh is
+    /// re-verified against freshly computed reduced costs.
     ///
     /// # Errors
     ///
     /// See [`LpError`].
-    fn optimize(&mut self, d: &[f64]) -> Result<usize, LpError> {
+    fn optimize(&mut self, c: &[f64]) -> Result<usize, LpError> {
         let n_total = self.cols.len();
-        let max_iter = 50 * (self.m + n_total) + 10_000;
+        let m = self.m;
+        let max_iter = 50 * (m + n_total) + 10_000;
         let mut iterations = 0;
         let mut degenerate_run = 0usize;
+        let mut refreshes = 0usize;
+        let mut dirty = false; // pivots since the last reduced-cost refresh
+        let mut bland_refreshed = false;
+        self.refresh_reduced_costs(c);
+        self.primal_pricing.reset(n_total);
         loop {
             if iterations > max_iter {
                 return Err(LpError::IterationLimit);
@@ -577,59 +892,67 @@ impl Simplex {
             if self.deadline_hit(iterations) {
                 return Err(LpError::TimeLimit);
             }
-            // Pricing: y = d_B · B⁻¹ (skipping zero-cost basics).
-            let m = self.m;
-            for j in 0..m {
-                self.y[j] = 0.0;
-            }
-            for i in 0..m {
-                let db = d[self.basis[i]];
-                if db != 0.0 {
-                    let row = &self.binv[i * m..(i + 1) * m];
-                    for j in 0..m {
-                        self.y[j] += db * row[j];
-                    }
-                }
-            }
             let bland = degenerate_run > DEGENERATE_LIMIT;
-            let mut entering: Option<(usize, f64, f64)> = None;
-            for j in 0..n_total {
-                let want_dir = match self.state[j] {
-                    ColState::Basic(_) => continue,
-                    ColState::AtLower => 1.0,
-                    ColState::AtUpper => -1.0,
-                };
-                if self.upper[j] - self.lower[j] <= 0.0 {
-                    continue; // fixed variables can never move
-                }
-                let mut r = d[j];
-                for &(i, a) in &self.cols[j] {
-                    r -= self.y[i] * a;
-                }
-                let improving = if want_dir > 0.0 { r < -TOL } else { r > TOL };
-                if improving {
-                    if bland {
-                        entering = Some((j, r, want_dir));
-                        break;
-                    }
-                    match entering {
-                        Some((_, br, _)) if r.abs() <= br.abs() => {}
-                        _ => entering = Some((j, r, want_dir)),
-                    }
-                }
+            if bland && !bland_refreshed {
+                // Bland's rule terminates only with exact reduced-cost
+                // signs; start it from a fresh computation.
+                self.refresh_reduced_costs(c);
+                self.primal_pricing.invalidate();
+                dirty = false;
+                bland_refreshed = true;
             }
-            let Some((j_in, _r, dir)) = entering else {
+            let entering: Option<usize> = if bland {
+                (0..n_total).find(|&j| {
+                    self.upper[j] - self.lower[j] > 0.0
+                        && match self.state[j] {
+                            ColState::AtLower => self.d[j] < -TOL,
+                            ColState::AtUpper => self.d[j] > TOL,
+                            ColState::Basic(_) => false,
+                        }
+                })
+            } else {
+                match self.primal_pricing.select(&self.d, &self.state, &self.lower, &self.upper)
+                {
+                    Some(j) => Some(j),
+                    None => {
+                        if self.primal_pricing.refill(
+                            &self.d,
+                            &self.state,
+                            &self.lower,
+                            &self.upper,
+                        ) {
+                            self.primal_pricing.select(
+                                &self.d,
+                                &self.state,
+                                &self.lower,
+                                &self.upper,
+                            )
+                        } else {
+                            None
+                        }
+                    }
+                }
+            };
+            let Some(j_in) = entering else {
+                // No improving column under the maintained reduced costs.
+                // If pivots happened since the last exact computation,
+                // verify the claim on fresh values before accepting it.
+                if dirty && refreshes < MAX_OPT_REFRESH {
+                    self.refresh_reduced_costs(c);
+                    self.primal_pricing.invalidate();
+                    dirty = false;
+                    refreshes += 1;
+                    continue;
+                }
                 return Ok(iterations);
             };
+            let dir = match self.state[j_in] {
+                ColState::AtLower => 1.0,
+                ColState::AtUpper => -1.0,
+                ColState::Basic(_) => unreachable!("entering column is basic"),
+            };
             // Direction w = B⁻¹ A_j.
-            for wi in self.w.iter_mut() {
-                *wi = 0.0;
-            }
-            for &(i, a) in &self.cols[j_in] {
-                for r_ in 0..m {
-                    self.w[r_] += self.binv[r_ * m + i] * a;
-                }
-            }
+            self.kernel.ftran_col(&self.cols[j_in], &mut self.w[..m]);
             // Ratio test with bound flips.
             let mut t_max = self.upper[j_in] - self.lower[j_in];
             let mut leave: Option<(usize, f64, f64)> = None;
@@ -674,6 +997,8 @@ impl Simplex {
             }
             match leave {
                 None => {
+                    // Bound flip: the basis (and hence every reduced cost)
+                    // is unchanged.
                     self.state[j_in] = match self.state[j_in] {
                         ColState::AtLower => ColState::AtUpper,
                         ColState::AtUpper => ColState::AtLower,
@@ -681,7 +1006,33 @@ impl Simplex {
                     };
                 }
                 Some((row, bound_val, _)) => {
+                    let pivot = self.w[row];
+                    // Pivot row via BTRAN, then incremental reduced costs:
+                    // d_j ← d_j − (d_q/α_q)·α_j.
+                    self.kernel.btran_unit(row, &mut self.y[..m]);
+                    self.pivot_row_alphas();
+                    let alpha_q = self.alpha.get(j_in).copied().unwrap_or(0.0);
+                    let mismatch =
+                        (alpha_q - pivot).abs() > PIVOT_AGREE_TOL * (1.0 + pivot.abs());
+                    let theta_d = self.d[j_in] / pivot;
+                    for &j32 in &self.touched {
+                        let j = j32 as usize;
+                        if j != j_in && !matches!(self.state[j], ColState::Basic(_)) {
+                            self.d[j] -= theta_d * self.alpha[j];
+                        }
+                    }
                     let j_out = self.basis[row];
+                    self.primal_pricing.update(
+                        j_in,
+                        j_out,
+                        pivot,
+                        &self.alpha,
+                        &self.touched,
+                        &self.state,
+                    );
+                    self.d[j_out] = -theta_d;
+                    self.d[j_in] = 0.0;
+                    dirty = true;
                     self.x[j_out] = bound_val;
                     self.state[j_out] = if (bound_val - self.lower[j_out]).abs()
                         <= (bound_val - self.upper[j_out]).abs()
@@ -690,48 +1041,30 @@ impl Simplex {
                     } else {
                         ColState::AtUpper
                     };
-                    let pivot = self.w[row];
                     self.basis[row] = j_in;
                     self.state[j_in] = ColState::Basic(row);
-                    self.update_binv(row, pivot);
+                    self.kernel.update(row, &self.w[..m]);
+                    if mismatch || self.kernel.should_refactor() {
+                        self.refactor_and_refresh(c);
+                        self.primal_pricing.invalidate();
+                        dirty = false;
+                    }
                 }
             }
             iterations += 1;
         }
     }
 
-    /// Product-form update of B⁻¹ after pivoting on `(row, pivot)` with the
-    /// direction vector in `self.w`.
-    fn update_binv(&mut self, row: usize, pivot: f64) {
-        let m = self.m;
-        let inv_p = 1.0 / pivot;
-        for k in 0..m {
-            self.binv[row * m + k] *= inv_p;
-        }
-        // Split borrows: copy the pivot row once.
-        let pr: Vec<f64> = self.binv[row * m..(row + 1) * m].to_vec();
-        for i in 0..m {
-            if i != row {
-                let f = self.w[i];
-                if f != 0.0 {
-                    let base = i * m;
-                    for k in 0..m {
-                        self.binv[base + k] -= f * pr[k];
-                    }
-                }
-            }
-        }
-    }
-
     /// Dual simplex: repair primal feasibility while keeping reduced costs
-    /// valid. Requires `self.d` from a previous optimal solve.
+    /// valid. Requires `self.d` from a previous optimal solve. Leaving
+    /// rows are picked by dual devex weights; the pivot row comes from one
+    /// sparse BTRAN.
     fn dual_simplex(&mut self) -> Result<usize, DualStop> {
         let m = self.m;
-        let n_total = self.cols.len();
-        self.alpha.clear();
-        self.alpha.resize(n_total, 0.0);
         let max_iter = 4 * (m + 64);
         let mut iterations = 0usize;
+        let cvec = self.cost.clone();
+        self.dual_pricing.reset(m);
         loop {
             if iterations > max_iter {
                 return Err(DualStop::Stall);
@@ -739,45 +1072,23 @@ impl Simplex {
             if self.deadline_hit(iterations) {
                 return Err(DualStop::Deadline);
             }
-            // Most-violated basic variable.
-            let mut leave: Option<(usize, f64, bool)> = None; // (row, violation, below)
-            for i in 0..m {
-                let bi = self.basis[i];
-                let v = self.x[bi];
-                if v < self.lower[bi] - TOL {
-                    let viol = self.lower[bi] - v;
-                    if leave.map_or(true, |(_, pv, _)| viol > pv) {
-                        leave = Some((i, viol, true));
-                    }
-                } else if v > self.upper[bi] + TOL {
-                    let viol = v - self.upper[bi];
-                    if leave.map_or(true, |(_, pv, _)| viol > pv) {
-                        leave = Some((i, viol, false));
-                    }
-                }
-            }
-            let Some((r, _viol, below)) = leave else {
+            // Leaving row: weighted most-violated basic variable.
+            let Some((r, below)) =
+                self.dual_pricing.select_row(&self.x, &self.basis, &self.lower, &self.upper)
+            else {
                 return Ok(iterations);
             };
-            // Row alphas: α_j = (e_r B⁻¹) · A_j for nonbasic j.
-            let rho = &self.binv[r * m..(r + 1) * m];
-            for j in 0..n_total {
-                if matches!(self.state[j], ColState::Basic(_)) {
-                    self.alpha[j] = 0.0;
-                    continue;
-                }
-                // Fixed columns cannot enter, but their reduced costs must
-                // still be updated (a later resolve may reopen them), so
-                // their alphas are computed too.
-                let mut acc = 0.0;
-                for &(i, a) in &self.cols[j] {
-                    acc += rho[i] * a;
-                }
-                self.alpha[j] = acc;
-            }
-            // Dual ratio test.
+            // Pivot row alphas: α_j = (B⁻ᵀ e_r) · A_j for nonbasic j.
+            // Fixed columns cannot enter, but their reduced costs must
+            // still be updated (a later resolve may reopen them), so their
+            // alphas are computed too.
+            self.kernel.btran_unit(r, &mut self.y[..m]);
+            self.pivot_row_alphas();
+            // Dual ratio test over the touched columns (untouched ones
+            // have an exact zero alpha and are never eligible).
             let mut enter: Option<(usize, f64, f64)> = None; // (col, theta, |alpha|)
-            for j in 0..n_total {
+            for &j32 in &self.touched {
+                let j = j32 as usize;
                 let a = self.alpha[j];
                 if a.abs() < PIVOT_TOL || self.upper[j] - self.lower[j] <= 0.0 {
                     continue;
@@ -797,8 +1108,10 @@ impl Simplex {
                 let theta = (self.d[j] / a).abs();
                 let better = match enter {
                     None => true,
-                    Some((_, bt, ba)) => {
-                        theta < bt - 1e-10 || ((theta - bt).abs() <= 1e-10 && a.abs() > ba)
+                    Some((be, bt, ba)) => {
+                        theta < bt - 1e-10
+                            || ((theta - bt).abs() <= 1e-10
+                                && (a.abs() > ba || (a.abs() == ba && j < be)))
                     }
                 };
                 if better {
@@ -809,14 +1122,7 @@ impl Simplex {
                 return Err(DualStop::Infeasible);
             };
             // FTRAN for the entering column.
-            for wi in self.w.iter_mut() {
-                *wi = 0.0;
-            }
-            for &(i, a) in &self.cols[e] {
-                for r_ in 0..m {
-                    self.w[r_] += self.binv[r_ * m + i] * a;
-                }
-            }
+            self.kernel.ftran_col(&self.cols[e], &mut self.w[..m]);
             let pivot = self.w[r];
             if pivot.abs() < PIVOT_TOL {
                 return Err(DualStop::Stall);
@@ -844,18 +1150,27 @@ impl Simplex {
             } else {
                 ColState::AtUpper
             };
+            // Accumulated-error detector: the pivot element computed by
+            // FTRAN must agree with the BTRAN row pass.
+            let mismatch =
+                (self.alpha[e] - pivot).abs() > PIVOT_AGREE_TOL * (1.0 + pivot.abs());
+            self.dual_pricing.update(r, &self.w[..m]);
             self.basis[r] = e;
             self.state[e] = ColState::Basic(r);
             // Reduced-cost update: d_j -= (d_e/α_e)·α_j; leaving gets -d_e/α_e.
             let theta_signed = self.d[e] / self.alpha[e];
-            for j in 0..n_total {
-                if self.alpha[j] != 0.0 && j != e {
+            for &j32 in &self.touched {
+                let j = j32 as usize;
+                if j != e && self.alpha[j] != 0.0 {
                     self.d[j] -= theta_signed * self.alpha[j];
                 }
             }
             self.d[j_out] = -theta_signed;
             self.d[e] = 0.0;
-            self.update_binv(r, pivot);
+            self.kernel.update(r, &self.w[..m]);
+            if mismatch || self.kernel.should_refactor() {
+                self.refactor_and_refresh(&cvec);
+            }
             iterations += 1;
         }
     }
@@ -1086,5 +1401,75 @@ mod tests {
             let sol = s.solve_with_bounds(&[0.0, 0.0], &[2.0, 10.0]).unwrap();
             assert!((sol.objective - 8.0).abs() < 1e-6, "got {}", sol.objective);
         }
+    }
+
+    #[test]
+    fn dense_and_sparse_agree_on_random_lps() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(23);
+        for trial in 0..30 {
+            let n = 8;
+            let mut p = if trial % 2 == 0 { Problem::minimize() } else { Problem::maximize() };
+            let vars: Vec<_> =
+                (0..n).map(|i| p.add_var(format!("v{i}"), 0.0, 3.0)).collect();
+            for c in 0..5 {
+                let mut e = LinExpr::new();
+                for &v in &vars {
+                    if rng.gen_bool(0.5) {
+                        e.add_term(v, rng.gen_range(-3..=3) as f64);
+                    }
+                }
+                let sense = match c % 3 {
+                    0 => Cmp::Le,
+                    1 => Cmp::Ge,
+                    _ => Cmp::Eq,
+                };
+                p.add_constraint(format!("c{c}"), e, sense, rng.gen_range(-2..=4) as f64);
+            }
+            let mut obj = LinExpr::new();
+            for &v in &vars {
+                obj.add_term(v, rng.gen_range(-5..=5) as f64);
+            }
+            p.set_objective(obj);
+            let sparse =
+                Simplex::with_rows_kernel(&p, None, KernelKind::Sparse).solve();
+            let dense = Simplex::with_rows_kernel(&p, None, KernelKind::Dense).solve();
+            match (sparse, dense) {
+                (Ok(a), Ok(b)) => assert!(
+                    (a.objective - b.objective).abs() < 1e-5,
+                    "trial {trial}: sparse {} vs dense {}",
+                    a.objective,
+                    b.objective
+                ),
+                (Err(ea), Err(eb)) => assert_eq!(ea, eb, "trial {trial}"),
+                (a, b) => panic!("trial {trial}: sparse {a:?} vs dense {b:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn frequent_refactorization_matches_reference() {
+        // Refactor after every pivot: exercises the refactor path hard and
+        // must give the same optimum.
+        let mut p = Problem::minimize();
+        let x = p.add_var("x", 0.0, 4.0);
+        let y = p.add_var("y", 0.0, 4.0);
+        let z = p.add_var("z", 0.0, 4.0);
+        p.add_constraint("c0", LinExpr::from(x) + y + z, Cmp::Ge, 5.0);
+        p.add_constraint("c1", 2.0 * x - y, Cmp::Le, 3.0);
+        p.add_constraint("c2", LinExpr::from(y) + 2.0 * z, Cmp::Le, 7.0);
+        p.set_objective(2.0 * x + y + 3.0 * z);
+        let reference = Simplex::new(&p).solve().unwrap();
+        let mut s = Simplex::with_rows_kernel(&p, None, KernelKind::Sparse);
+        s.set_refactor_interval(1);
+        let sol = s.solve().unwrap();
+        assert!(
+            (sol.objective - reference.objective).abs() < 1e-6,
+            "refactor-every-pivot {} vs reference {}",
+            sol.objective,
+            reference.objective
+        );
+        assert!(s.kernel_stats().refactorizations > 1);
     }
 }

@@ -1,0 +1,216 @@
+//! Devex pricing for the primal and dual pivot loops.
+//!
+//! Both loops price with approximate steepest-edge weights in the devex
+//! reference-framework style (Forrest & Goldfarb): a variable's score is
+//! its (squared) rate of objective improvement per unit of basis-direction
+//! norm, with the norms tracked by cheap per-pivot recurrences instead of
+//! exact FTRANs. The primal side additionally keeps a small **candidate
+//! list** so a pivot examines O(|list|) maintained reduced costs instead
+//! of scanning every column; the list is refilled by one full O(n) pass
+//! over the (incrementally maintained) reduced-cost vector when it runs
+//! dry.
+
+use super::ColState;
+use super::TOL;
+
+/// Candidate-list capacity for primal partial pricing.
+const CAND_LIMIT: usize = 64;
+/// Reference-framework reset threshold: when any devex weight exceeds
+/// this, the recurrence has drifted too far from a true steepest-edge
+/// norm and all weights restart at 1.
+const WEIGHT_RESET: f64 = 1e7;
+
+/// Is nonbasic column `j` an improving entering candidate?
+fn improving(d: &[f64], state: &[ColState], lower: &[f64], upper: &[f64], j: usize) -> bool {
+    if upper[j] - lower[j] <= 0.0 {
+        return false; // fixed variables can never move
+    }
+    match state[j] {
+        ColState::AtLower => d[j] < -TOL,
+        ColState::AtUpper => d[j] > TOL,
+        ColState::Basic(_) => false,
+    }
+}
+
+/// Primal devex weights plus the partial-pricing candidate list.
+pub(super) struct PrimalPricing {
+    /// Devex reference weight per column (approximate ‖B⁻¹A_j‖²).
+    weights: Vec<f64>,
+    /// Current candidate columns, pruned lazily as they stop improving.
+    cands: Vec<u32>,
+}
+
+impl PrimalPricing {
+    pub fn new() -> PrimalPricing {
+        PrimalPricing { weights: Vec::new(), cands: Vec::new() }
+    }
+
+    /// Start a fresh reference framework over `n` columns.
+    pub fn reset(&mut self, n: usize) {
+        self.weights.clear();
+        self.weights.resize(n, 1.0);
+        self.cands.clear();
+    }
+
+    /// Drop stale candidates (e.g. after a reduced-cost refresh).
+    pub fn invalidate(&mut self) {
+        self.cands.clear();
+    }
+
+    /// Best improving candidate from the current list, pruning entries
+    /// that stopped improving. `None` means the list is exhausted — call
+    /// [`PrimalPricing::refill`].
+    pub fn select(
+        &mut self,
+        d: &[f64],
+        state: &[ColState],
+        lower: &[f64],
+        upper: &[f64],
+    ) -> Option<usize> {
+        let PrimalPricing { weights, cands } = self;
+        let mut best: Option<(usize, f64)> = None;
+        cands.retain(|&j32| {
+            let j = j32 as usize;
+            if !improving(d, state, lower, upper, j) {
+                return false;
+            }
+            let score = d[j] * d[j] / weights[j];
+            if best.map_or(true, |(_, bs)| score > bs) {
+                best = Some((j, score));
+            }
+            true
+        });
+        best.map(|(j, _)| j)
+    }
+
+    /// Rebuild the candidate list with the globally best-scoring columns.
+    /// Returns `false` when no column improves (optimal for the current
+    /// reduced costs).
+    pub fn refill(
+        &mut self,
+        d: &[f64],
+        state: &[ColState],
+        lower: &[f64],
+        upper: &[f64],
+    ) -> bool {
+        self.cands.clear();
+        let mut scored: Vec<(f64, u32)> = Vec::new();
+        for j in 0..d.len() {
+            if improving(d, state, lower, upper, j) {
+                scored.push((d[j] * d[j] / self.weights[j], j as u32));
+            }
+        }
+        if scored.len() > CAND_LIMIT {
+            scored.select_nth_unstable_by(CAND_LIMIT - 1, |a, b| {
+                b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal)
+            });
+            scored.truncate(CAND_LIMIT);
+        }
+        self.cands.extend(scored.iter().map(|&(_, j)| j));
+        !self.cands.is_empty()
+    }
+
+    /// Devex recurrence after a pivot: entering column `j_in` with pivot
+    /// element `pivot`, leaving column `j_out`, pivot-row alphas for the
+    /// `touched` columns.
+    pub fn update(
+        &mut self,
+        j_in: usize,
+        j_out: usize,
+        pivot: f64,
+        alpha: &[f64],
+        touched: &[u32],
+        state: &[ColState],
+    ) {
+        let gq = self.weights[j_in];
+        let inv_p2 = 1.0 / (pivot * pivot);
+        let mut mx: f64 = 1.0;
+        for &j32 in touched {
+            let j = j32 as usize;
+            if j == j_in || matches!(state[j], ColState::Basic(_)) {
+                continue;
+            }
+            let cand = alpha[j] * alpha[j] * inv_p2 * gq;
+            if cand > self.weights[j] {
+                self.weights[j] = cand;
+            }
+            mx = mx.max(self.weights[j]);
+        }
+        self.weights[j_out] = (gq * inv_p2).max(1.0);
+        self.weights[j_in] = 1.0;
+        if mx > WEIGHT_RESET {
+            for w in &mut self.weights {
+                *w = 1.0;
+            }
+        }
+    }
+}
+
+/// Dual devex row weights: pick the leaving row by violation²/weight.
+pub(super) struct DualPricing {
+    weights: Vec<f64>,
+}
+
+impl DualPricing {
+    pub fn new() -> DualPricing {
+        DualPricing { weights: Vec::new() }
+    }
+
+    /// Start a fresh framework over `m` basis positions.
+    pub fn reset(&mut self, m: usize) {
+        self.weights.clear();
+        self.weights.resize(m, 1.0);
+    }
+
+    /// Leaving row: largest weighted squared bound violation. Returns
+    /// `(row, below)` where `below` means the basic variable sits under
+    /// its lower bound.
+    pub fn select_row(
+        &self,
+        x: &[f64],
+        basis: &[usize],
+        lower: &[f64],
+        upper: &[f64],
+    ) -> Option<(usize, bool)> {
+        let mut best: Option<(usize, f64, bool)> = None;
+        for (i, &bi) in basis.iter().enumerate() {
+            let v = x[bi];
+            let (viol, below) = if v < lower[bi] - TOL {
+                (lower[bi] - v, true)
+            } else if v > upper[bi] + TOL {
+                (v - upper[bi], false)
+            } else {
+                continue;
+            };
+            let score = viol * viol / self.weights[i];
+            if best.map_or(true, |(_, bs, _)| score > bs) {
+                best = Some((i, score, below));
+            }
+        }
+        best.map(|(i, _, below)| (i, below))
+    }
+
+    /// Devex recurrence after a dual pivot on row `r` with entering-column
+    /// FTRAN image `w` (length m).
+    pub fn update(&mut self, r: usize, w: &[f64]) {
+        let wr = w[r];
+        let gr = self.weights[r];
+        let inv_p2 = 1.0 / (wr * wr);
+        let mut mx: f64 = 1.0;
+        for (i, &wi) in w.iter().enumerate() {
+            if i != r && wi != 0.0 {
+                let cand = wi * wi * inv_p2 * gr;
+                if cand > self.weights[i] {
+                    self.weights[i] = cand;
+                }
+                mx = mx.max(self.weights[i]);
+            }
+        }
+        self.weights[r] = (gr * inv_p2).max(1.0);
+        if mx > WEIGHT_RESET {
+            for g in &mut self.weights {
+                *g = 1.0;
+            }
+        }
+    }
+}

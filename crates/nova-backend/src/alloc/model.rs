@@ -100,6 +100,15 @@ impl AllocConfig {
         self.solver.threads = threads;
         self
     }
+
+    /// Builder-style override of the LP basis kernel (`None` restores
+    /// automatic selection via the `NOVA_ILP_KERNEL` environment
+    /// variable; see [`ilp::KernelKind::from_env`]).
+    #[must_use]
+    pub fn with_solver_kernel(mut self, kernel: Option<ilp::KernelKind>) -> Self {
+        self.solver.kernel = kernel;
+        self
+    }
 }
 
 /// The generated model plus the bookkeeping needed to read a solution.

@@ -46,6 +46,16 @@ impl CompileConfig {
         self.alloc.solver.threads = threads;
         self
     }
+
+    /// Builder-style override of the ILP solver's LP basis kernel.
+    /// `None` restores automatic selection: sparse LU unless the
+    /// `NOVA_ILP_KERNEL=dense` environment variable asks for the dense
+    /// product-form inverse.
+    #[must_use]
+    pub fn with_solver_kernel(mut self, kernel: Option<ilp::KernelKind>) -> Self {
+        self.alloc.solver.kernel = kernel;
+        self
+    }
 }
 
 /// Everything the compiler produces for one program.

@@ -1,9 +1,12 @@
 #!/usr/bin/env bash
 # Tier-1 verification: everything a PR must keep green.
 #
-#   scripts/tier1.sh            build + full test suite
-#   scripts/tier1.sh --bench    also regenerate BENCH_solver.json
-#                               (release-mode ILP solves; several minutes)
+#   scripts/tier1.sh                build + full test suite
+#   scripts/tier1.sh --bench        also regenerate BENCH_solver.json
+#                                   (release-mode ILP solves; several minutes)
+#   scripts/tier1.sh --bench-smoke  also run one small release-mode solve
+#                                   and fail if pivots/sec drops below the
+#                                   floor (MIN_PPS below; ~a minute)
 #
 # The test suite runs in the default (debug) profile, where
 # benchmark-sized ILP solves are marked #[ignore]; the release build is
@@ -22,6 +25,16 @@ cargo test -q
 if [[ "${1:-}" == "--bench" ]]; then
     echo "== perf trajectory (release) =="
     cargo run --release -p bench --bin perf_trajectory -- BENCH_solver.json
+fi
+
+# Pivot-throughput floor for the smoke solve (NAT, 1 thread, exact gap).
+# The sparse-LU kernel clears this by more than an order of magnitude;
+# the floor exists to catch throughput collapse, not host jitter.
+MIN_PPS=1500
+
+if [[ "${1:-}" == "--bench-smoke" ]]; then
+    echo "== bench smoke (release, floor ${MIN_PPS} pivots/s) =="
+    cargo run --release -p bench --bin bench_smoke -- --min-pps "${MIN_PPS}"
 fi
 
 echo "tier-1 OK"

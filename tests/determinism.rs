@@ -4,6 +4,14 @@
 //! objective, inter-bank move count, and spill count. Run with an exact
 //! gap so the optimum is unique (the default 0.01% gap permits distinct
 //! near-optimal incumbents, which would make this test meaningless).
+//!
+//! Objectives are compared to within twice the default fathoming margin
+//! (`BranchConfig::fathom_abs`, see its docs): incumbents whose
+//! objectives differ by less than the margin are indistinguishable ties
+//! to the search, so different thread schedules may legitimately settle
+//! on different tie members. Any real allocation difference (an extra
+//! move or spill) changes the objective by ≥ 1e-2 and is still caught,
+//! and the move/spill counts themselves are compared exactly.
 
 use nova::{compile_source, CompileConfig, CompileOutput};
 use workloads::{AES_NOVA, KASUMI_NOVA, NAT_NOVA};
@@ -32,7 +40,7 @@ fn check(name: &str, src: &str) {
     for threads in [2usize, 4] {
         let got = compile_with_threads(name, src, threads);
         assert!(
-            (got.alloc_stats.objective - reference.alloc_stats.objective).abs() < 1e-6,
+            (got.alloc_stats.objective - reference.alloc_stats.objective).abs() < 5e-5,
             "{name}: {threads} threads changed the objective: {} vs {}",
             got.alloc_stats.objective,
             reference.alloc_stats.objective,
