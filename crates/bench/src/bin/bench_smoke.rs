@@ -31,8 +31,7 @@ fn main() {
         }
     }
 
-    let mut cfg = CompileConfig::default().with_solver_threads(1);
-    cfg.alloc.solver.relative_gap = 0.0;
+    let cfg = CompileConfig::builder().solver_threads(1).solver_gap(0.0).build();
     let out = compile(Benchmark::Nat, &cfg);
     let st = &out.alloc_stats;
     let s = &st.solve;

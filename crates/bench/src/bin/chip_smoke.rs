@@ -1,0 +1,82 @@
+//! Chip-simulation smoke check for CI: compile NAT once (single solver
+//! thread, exact gap, so the program is reproducible), run it on a
+//! 2-engine chip, and fail when the run misbehaves — packets lost, cycle
+//! limit hit, host-thread-count-dependent results, or modeled packet
+//! throughput below a floor.
+//!
+//! Usage: `chip_smoke [--min-pps FLOOR]`, where FLOOR is packets per
+//! second at the modeled 233 MHz clock. The default floor is far below
+//! the measured rate so only order-of-magnitude regressions (e.g. a
+//! context-scheduling bug serializing the engines) trip it, not modest
+//! timing-model changes.
+
+use bench::{compile, run_chip_throughput, Benchmark};
+use ixp_machine::timing::CLOCK_HZ;
+use nova::{CompileConfig, StopReason};
+
+const ENGINES: usize = 2;
+const CONTEXTS: usize = 4;
+const PACKETS: usize = 64;
+const PAYLOAD: u32 = 64;
+
+/// Default modeled packets-per-second floor. A 2-engine NAT run clears
+/// 10× this (see BENCH_throughput.json).
+const DEFAULT_MIN_PPS: f64 = 50_000.0;
+
+fn main() {
+    let mut min_pps = DEFAULT_MIN_PPS;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--min-pps" => {
+                let v = args.next().expect("--min-pps needs a value");
+                min_pps = v.parse().expect("--min-pps value must be a number");
+            }
+            other => panic!("unknown argument {other}; usage: chip_smoke [--min-pps FLOOR]"),
+        }
+    }
+
+    let cfg = CompileConfig::builder().solver_threads(1).solver_gap(0.0).build();
+    let out = compile(Benchmark::Nat, &cfg);
+    let res = run_chip_throughput(Benchmark::Nat, &out, PACKETS, PAYLOAD, ENGINES, CONTEXTS);
+    let secs = res.cycles as f64 / CLOCK_HZ as f64;
+    let pps = if secs > 0.0 { res.packets as f64 / secs } else { 0.0 };
+    eprintln!(
+        "NAT on {ENGINES} engines x {CONTEXTS} contexts: {} packets in {} cycles \
+         ({:.0} pkt/s, {:.1} Mb/s), stop {:?}",
+        res.packets, res.cycles, pps, res.mbps, res.stop,
+    );
+    for c in &res.channels {
+        eprintln!(
+            "  {:?}: {} reads, {} writes, occupancy {:.0}%, max queue {}",
+            c.space,
+            c.reads,
+            c.writes,
+            100.0 * c.occupancy(res.cycles),
+            c.max_queue_depth,
+        );
+    }
+    let mut failures = Vec::new();
+    if res.stop != StopReason::AllHalted {
+        failures.push(format!("run stopped with {:?}, expected AllHalted", res.stop));
+    }
+    if res.packets != PACKETS as u64 {
+        failures.push(format!("processed {} of {PACKETS} packets", res.packets));
+    }
+    if res.engines.iter().any(|e| e.packets == 0) {
+        failures.push("an engine processed no packets (work sharing broken)".to_string());
+    }
+    if pps < min_pps {
+        failures.push(format!(
+            "modeled packet throughput {pps:.0}/s below the {min_pps:.0}/s floor"
+        ));
+    }
+    if failures.is_empty() {
+        eprintln!("chip-smoke OK");
+    } else {
+        for f in &failures {
+            eprintln!("chip-smoke FAIL: {f}");
+        }
+        std::process::exit(1);
+    }
+}

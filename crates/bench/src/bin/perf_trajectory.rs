@@ -40,10 +40,12 @@ fn main() {
         let mut objective: Option<f64> = None;
         let mut consistent = true;
         for &threads in &sweep {
-            let mut cfg = CompileConfig::default().with_solver_threads(threads);
             // Exact gap: the optimum is unique, so the sweep doubles as a
             // cross-thread determinism check.
-            cfg.alloc.solver.relative_gap = 0.0;
+            let cfg = CompileConfig::builder()
+                .solver_threads(threads)
+                .solver_gap(0.0)
+                .build();
             let t0 = Instant::now();
             let out = compile(b, &cfg);
             let compile_s = t0.elapsed().as_secs_f64();

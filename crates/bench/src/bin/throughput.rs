@@ -1,49 +1,138 @@
-//! E4 — regenerate §11's throughput measurements. The paper reports, on a
-//! 233 MHz IXP1200 with a hardware packet generator: AES 270 Mb/s at
-//! 16-byte payloads; Kasumi 320, 210, and 60 Mb/s at 8, 16, and 256-byte
-//! payloads. We run the compiled programs on the cycle-approximate
-//! simulator with 4 hardware contexts and sweep payload sizes.
+//! E4 — regenerate §11's throughput measurements, now at chip scale. The
+//! paper reports, on a 233 MHz IXP1200 with a hardware packet generator:
+//! AES 270 Mb/s at 16-byte payloads; Kasumi 320, 210, and 60 Mb/s at 8,
+//! 16, and 256-byte payloads. We run the compiled programs on the
+//! chip-level simulator, sweeping the micro-engine count from 1 to the
+//! full chip's 6, and record per-channel occupancy so the scaling knee
+//! (line rate until a memory channel saturates) is visible in the data,
+//! not just asserted. Results land in `BENCH_throughput.json`.
+//!
+//! The compile is pinned to one solver thread and an exact gap so the
+//! allocated program — and therefore the deterministic chip simulation —
+//! is bit-identical across hosts and reruns.
 
-use bench::{compile, run_throughput, table, Benchmark};
-use nova::CompileConfig;
+use bench::json::Json;
+use bench::{chip_result_json, compile, run_chip_throughput, run_throughput, table, Benchmark};
+use nova::{CompileConfig, StopReason};
+
+const ENGINE_SWEEP: [usize; 6] = [1, 2, 3, 4, 5, 6];
+const CONTEXTS: usize = 4;
+const PACKETS: usize = 64;
 
 fn main() {
-    println!("Throughput on the simulated 233 MHz IXP1200 (4 contexts)\n");
-    let cfg = CompileConfig::default();
+    let out_path =
+        std::env::args().nth(1).unwrap_or_else(|| "BENCH_throughput.json".into());
+    println!("Throughput on the simulated 233 MHz IXP1200 ({CONTEXTS} contexts/engine)\n");
+    let cfg = CompileConfig::builder().solver_threads(1).solver_gap(0.0).build();
+    let mut programs = Vec::new();
     let mut rows = Vec::new();
-    for (b, payloads) in [
-        (Benchmark::Aes, vec![16u32, 32, 64, 128, 256]),
-        (Benchmark::Kasumi, vec![8, 16, 32, 64, 256]),
-        (Benchmark::Nat, vec![16, 64, 256]),
-    ] {
+    for (b, payload) in
+        [(Benchmark::Aes, 16u32), (Benchmark::Kasumi, 16), (Benchmark::Nat, 64)]
+    {
         let out = compile(b, &cfg);
         let s = &out.alloc_stats.solve;
         println!(
-            "{}: ILP solved in {:.2}s ({} nodes, {} pivots, {} threads, {:.0}% warm-start hits)",
+            "{}: ILP solved in {:.2}s ({} nodes, {} pivots, {:.0}% warm-start hits)",
             b.name(),
             s.total_time.as_secs_f64(),
             s.nodes,
             s.simplex_iterations,
-            s.threads,
             100.0 * s.warm_hit_rate(),
         );
-        for p in payloads {
-            let res = run_throughput(b, &out, 64, p, 4);
+        let mut sweep = Vec::new();
+        for engines in ENGINE_SWEEP {
+            let res = run_chip_throughput(b, &out, PACKETS, payload, engines, CONTEXTS);
+            if res.stop == StopReason::CycleLimit {
+                eprintln!(
+                    "WARNING: {} at {engines} engine(s) hit the cycle limit after \
+                     {} cycles; statistics below are for a partial run \
+                     ({} of {PACKETS} packets)",
+                    b.name(),
+                    res.cycles,
+                    res.packets,
+                );
+            }
+            let busiest = res
+                .channels
+                .iter()
+                .max_by(|a, c| {
+                    a.occupancy(res.cycles).total_cmp(&c.occupancy(res.cycles))
+                })
+                .expect("three channels");
             rows.push(vec![
                 b.name().to_string(),
-                p.to_string(),
+                payload.to_string(),
+                engines.to_string(),
                 res.packets.to_string(),
                 res.cycles.to_string(),
                 format!("{:.1}", res.mbps),
+                format!("{:?} {:.0}%", busiest.space, 100.0 * busiest.occupancy(res.cycles)),
             ]);
+            let mut entry = chip_result_json(&res);
+            if let Json::Obj(pairs) = &mut entry {
+                pairs.insert(0, ("engines".to_string(), Json::int(engines)));
+            }
+            sweep.push(entry);
         }
+        // Single-engine payload sweep, the pre-chip E4 shape, kept so the
+        // payload-size trend stays comparable across PRs.
+        let payload_sweep: Vec<Json> = match b {
+            Benchmark::Aes => vec![16u32, 32, 64, 128, 256],
+            Benchmark::Kasumi => vec![8, 16, 32, 64, 256],
+            Benchmark::Nat => vec![16, 64, 256],
+        }
+        .into_iter()
+        .map(|p| {
+            let res = run_throughput(b, &out, PACKETS, p, CONTEXTS);
+            Json::obj([
+                ("payload_bytes", Json::int(p as usize)),
+                ("packets", Json::int(res.packets as usize)),
+                ("cycles", Json::int(res.cycles as usize)),
+                ("mbps", Json::Num(res.mbps)),
+            ])
+        })
+        .collect();
+        programs.push(Json::obj([
+            ("name", Json::str(b.name())),
+            ("payload_bytes", Json::int(payload as usize)),
+            ("engine_sweep", Json::Arr(sweep)),
+            ("single_engine_payload_sweep", Json::Arr(payload_sweep)),
+        ]));
     }
-    println!("{}", table(&["program", "payload(B)", "packets", "cycles", "Mb/s"], &rows));
-    println!("paper (§11, real IXP1200 hardware):");
+    println!();
+    println!(
+        "{}",
+        table(
+            &["program", "payload(B)", "engines", "packets", "cycles", "Mb/s", "busiest channel"],
+            &rows,
+        )
+    );
+    println!("paper (§11, real IXP1200 hardware, full chip):");
     println!("  AES:    270 Mb/s at 16 B payloads");
     println!("  Kasumi: 320 / 210 / 60 Mb/s at 8 / 16 / 256 B payloads");
     println!();
-    println!("note: Mb/s counts transmitted payload+header bytes, as the paper's");
-    println!("bit-rate does; shapes to check: throughput falls as payload grows");
-    println!("(per-block cost dominates) and Kasumi outpaces AES at tiny payloads.");
+    println!("shapes to check: Mb/s scales with engine count until the busiest");
+    println!("memory channel's occupancy approaches 100%, then flattens — the");
+    println!("knee the paper's latency-hiding design runs into (§11).");
+    let doc = Json::obj([
+        ("bench", Json::str("throughput")),
+        (
+            "config",
+            Json::obj([
+                ("clock_hz", Json::int(ixp_machine::timing::CLOCK_HZ as usize)),
+                ("contexts", Json::int(CONTEXTS)),
+                ("packets", Json::int(PACKETS)),
+                (
+                    "engine_sweep",
+                    Json::Arr(ENGINE_SWEEP.iter().map(|&e| Json::int(e)).collect()),
+                ),
+                ("solver_threads", Json::int(1)),
+                ("relative_gap", Json::Num(0.0)),
+            ]),
+        ),
+        ("programs", Json::Arr(programs)),
+    ]);
+    std::fs::write(&out_path, doc.pretty())
+        .unwrap_or_else(|e| panic!("writing {out_path}: {e}"));
+    eprintln!("wrote {out_path}");
 }

@@ -3,7 +3,7 @@
 
 #![warn(missing_docs)]
 
-use ixp_sim::{simulate, PacketGen, PacketSpec, SimConfig, SimMemory};
+use ixp_sim::{simulate, simulate_chip, ChipConfig, PacketGen, PacketSpec, SimConfig, SimMemory};
 use nova::{compile_source, CompileConfig, CompileOutput};
 use workloads::{aes, kasumi, AES_NOVA, KASUMI_NOVA, NAT_NOVA};
 
@@ -125,6 +125,80 @@ pub fn run_throughput(
     let mut mem = setup_memory(b, count, payload_bytes);
     simulate(&out.prog, &mut mem, &SimConfig { threads, max_cycles: 4_000_000_000 })
         .expect("simulation runs")
+}
+
+/// Run a compiled benchmark over `count` packets with `payload_bytes` of
+/// payload on the chip-level simulator with `engines` micro-engines of
+/// `contexts` contexts each. Deterministic for any host thread count.
+pub fn run_chip_throughput(
+    b: Benchmark,
+    out: &CompileOutput,
+    count: usize,
+    payload_bytes: u32,
+    engines: usize,
+    contexts: usize,
+) -> ixp_sim::SimResult {
+    let mut mem = setup_memory(b, count, payload_bytes);
+    let cfg = ChipConfig { engines, contexts, max_cycles: 4_000_000_000, ..ChipConfig::default() };
+    simulate_chip(&out.prog, &mut mem, &cfg).expect("chip simulation runs")
+}
+
+/// JSON view of one chip-simulation result: totals, stop reason, and the
+/// per-engine / per-channel telemetry that explains the scaling knee.
+pub fn chip_result_json(res: &ixp_sim::SimResult) -> json::Json {
+    use json::Json;
+    Json::obj([
+        ("cycles", Json::int(res.cycles as usize)),
+        ("instructions", Json::int(res.instructions as usize)),
+        ("packets", Json::int(res.packets as usize)),
+        ("bytes", Json::int(res.bytes as usize)),
+        ("mbps", Json::Num(res.mbps)),
+        (
+            "stop",
+            Json::str(match res.stop {
+                ixp_sim::StopReason::AllHalted => "all-halted",
+                ixp_sim::StopReason::CycleLimit => "cycle-limit",
+            }),
+        ),
+        (
+            "channels",
+            Json::Arr(
+                res.channels
+                    .iter()
+                    .map(|c| {
+                        Json::obj([
+                            ("space", Json::str(format!("{:?}", c.space).to_lowercase())),
+                            ("reads", Json::int(c.reads as usize)),
+                            ("writes", Json::int(c.writes as usize)),
+                            ("busy_cycles", Json::int(c.busy_cycles as usize)),
+                            ("wait_cycles", Json::int(c.wait_cycles as usize)),
+                            ("max_queue_depth", Json::int(c.max_queue_depth)),
+                            ("occupancy", Json::Num(c.occupancy(res.cycles))),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "engines",
+            Json::Arr(
+                res.engines
+                    .iter()
+                    .map(|e| {
+                        Json::obj([
+                            ("engine", Json::int(e.engine)),
+                            ("instructions", Json::int(e.instructions as usize)),
+                            ("swap_outs", Json::int(e.swap_outs as usize)),
+                            ("idle_cycles", Json::int(e.idle_cycles as usize)),
+                            ("packets", Json::int(e.packets as usize)),
+                            ("bytes", Json::int(e.bytes as usize)),
+                            ("halt_cycle", Json::int(e.halt_cycle as usize)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
 }
 
 /// Minimal JSON construction for machine-readable bench artifacts

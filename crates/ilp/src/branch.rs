@@ -73,14 +73,16 @@ pub struct BranchConfig {
     pub fathom_abs: f64,
     /// Relative part of the fathoming tolerance (see `fathom_abs`).
     pub fathom_rel: f64,
-    /// Worker threads for the tree search. `0` means automatic: the
-    /// `NOVA_ILP_THREADS` environment variable if set (and ≥ 1), else
-    /// [`std::thread::available_parallelism`]. An explicit value here wins
-    /// over the environment.
+    /// Worker threads for the tree search. `0` means automatic:
+    /// [`std::thread::available_parallelism`]. Environment overrides
+    /// (`NOVA_ILP_THREADS`) are the embedding compiler's business — nova
+    /// resolves them once at configuration-build time; this crate never
+    /// reads the environment during a solve.
     pub threads: usize,
     /// Simplex basis kernel for every LP workspace of the solve. `None`
-    /// defers to the `NOVA_ILP_KERNEL` environment variable (sparse LU by
-    /// default); tests pin it explicitly so parallel differential runs
+    /// means the sparse LU default. As with `threads`, environment
+    /// selection (`NOVA_ILP_KERNEL`) happens in the embedding compiler's
+    /// configuration builder, not here, so parallel differential runs
     /// cannot race on the environment.
     pub kernel: Option<KernelKind>,
 }
@@ -108,30 +110,25 @@ impl BranchConfig {
         self
     }
 
-    /// Builder-style basis-kernel override (`None` restores the
-    /// `NOVA_ILP_KERNEL` environment default).
+    /// Builder-style basis-kernel override (`None` restores the sparse
+    /// LU default).
     #[must_use]
     pub fn with_kernel(mut self, kernel: Option<KernelKind>) -> Self {
         self.kernel = kernel;
         self
     }
 
-    /// The simplex kernel a solve will actually use.
+    /// The simplex kernel a solve will actually use (pure: no
+    /// environment reads).
     pub fn effective_kernel(&self) -> KernelKind {
-        self.kernel.unwrap_or_else(KernelKind::from_env)
+        self.kernel.unwrap_or(KernelKind::Sparse)
     }
 
-    /// The number of worker threads a solve will actually use.
+    /// The number of worker threads a solve will actually use (pure: no
+    /// environment reads).
     pub fn effective_threads(&self) -> usize {
         if self.threads >= 1 {
             return self.threads.min(MAX_THREADS);
-        }
-        if let Ok(s) = std::env::var("NOVA_ILP_THREADS") {
-            if let Ok(n) = s.trim().parse::<usize>() {
-                if n >= 1 {
-                    return n.min(MAX_THREADS);
-                }
-            }
         }
         std::thread::available_parallelism()
             .map(std::num::NonZeroUsize::get)

@@ -1,0 +1,177 @@
+//! Memory-channel and bus-arbitration model.
+//!
+//! Each external memory space of the IXP1200 (SRAM, SDRAM, scratch) sits
+//! behind one shared command bus: the push/pull engines accept one
+//! reference at a time and occupy the bus for the burst length of the
+//! transfer. Six micro-engines contend for these channels, which is
+//! exactly the saturation effect the paper's latency-hiding design is
+//! built around (§11): adding contexts or engines helps only until a
+//! channel's occupancy reaches 1.0.
+//!
+//! [`Channel`] models one such bus as a FIFO server with a single
+//! `free_at` horizon and the burst/latency costs from [`crate::timing`].
+//! The single-engine simulator drives it directly per reference; the
+//! chip-level simulator replays batched requests through it in canonical
+//! order at every arbitration epoch. Both paths produce identical service
+//! times for the same request sequence, because the service discipline is
+//! a pure fold over `(issue_cycle, words)` pairs.
+
+use crate::insn::MemSpace;
+use crate::timing::{burst_extra, read_latency, write_latency};
+
+/// Occupancy and queueing telemetry of one memory channel.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChannelStats {
+    /// Which memory space this channel serves.
+    pub space: MemSpace,
+    /// Read references accepted.
+    pub reads: u64,
+    /// Write references accepted.
+    pub writes: u64,
+    /// Cycles the channel's bus was occupied by transfers.
+    pub busy_cycles: u64,
+    /// Total cycles requests spent waiting for the bus (queueing delay
+    /// beyond the unloaded latency).
+    pub wait_cycles: u64,
+    /// Largest number of requests resolved in a single arbitration epoch
+    /// (chip-level simulation; stays 0 when driven per-reference).
+    pub max_queue_depth: usize,
+}
+
+impl ChannelStats {
+    fn new(space: MemSpace) -> Self {
+        ChannelStats { space, reads: 0, writes: 0, busy_cycles: 0, wait_cycles: 0, max_queue_depth: 0 }
+    }
+
+    /// Fraction of `total_cycles` the channel's bus was occupied;
+    /// approaches 1.0 when the channel saturates.
+    pub fn occupancy(&self, total_cycles: u64) -> f64 {
+        if total_cycles == 0 {
+            return 0.0;
+        }
+        self.busy_cycles as f64 / total_cycles as f64
+    }
+}
+
+/// One memory channel: a FIFO bus server with burst timing.
+#[derive(Debug, Clone)]
+pub struct Channel {
+    /// First cycle at which the bus can accept the next reference.
+    free_at: u64,
+    /// Telemetry.
+    pub stats: ChannelStats,
+}
+
+impl Channel {
+    /// An idle channel for `space`.
+    pub fn new(space: MemSpace) -> Self {
+        Channel { free_at: 0, stats: ChannelStats::new(space) }
+    }
+
+    /// One channel per memory space, indexable by [`MemSpace`] order
+    /// (SRAM, SDRAM, scratch).
+    pub fn per_space() -> [Channel; 3] {
+        [
+            Channel::new(MemSpace::Sram),
+            Channel::new(MemSpace::Sdram),
+            Channel::new(MemSpace::Scratch),
+        ]
+    }
+
+    /// Index of `space` into the [`Channel::per_space`] array.
+    pub fn index(space: MemSpace) -> usize {
+        match space {
+            MemSpace::Sram => 0,
+            MemSpace::Sdram => 1,
+            MemSpace::Scratch => 2,
+        }
+    }
+
+    /// First cycle at which the bus can accept the next reference.
+    pub fn free_at(&self) -> u64 {
+        self.free_at
+    }
+
+    /// Accept a `words`-long read issued at `issue`; returns
+    /// `(start, done)`: the cycle the bus granted the request and the
+    /// cycle the data arrives (when the issuing context can resume).
+    pub fn service_read(&mut self, issue: u64, words: usize) -> (u64, u64) {
+        let space = self.stats.space;
+        let start = self.free_at.max(issue);
+        let busy = burst_extra(space) * words as u64;
+        let done = start + read_latency(space) + busy;
+        self.free_at = start + busy + 1;
+        self.stats.reads += 1;
+        self.stats.wait_cycles += start - issue;
+        self.stats.busy_cycles += busy + 1;
+        (start, done)
+    }
+
+    /// Accept a `words`-long write issued at `issue`; returns the cycle
+    /// the bus granted the request. Writes retire from the store transfer
+    /// registers asynchronously, so the issuing context only stalls until
+    /// the grant, but the bus stays occupied for the burst plus a quarter
+    /// of the write completion latency (posting overhead).
+    pub fn service_write(&mut self, issue: u64, words: usize) -> u64 {
+        let space = self.stats.space;
+        let start = self.free_at.max(issue);
+        let busy = burst_extra(space) * words as u64;
+        let hold = busy + write_latency(space) / 4;
+        self.free_at = start + hold;
+        self.stats.writes += 1;
+        self.stats.wait_cycles += start - issue;
+        self.stats.busy_cycles += hold;
+        start
+    }
+
+    /// Record that `depth` requests contended in one arbitration epoch.
+    pub fn note_queue_depth(&mut self, depth: usize) {
+        if depth > self.stats.max_queue_depth {
+            self.stats.max_queue_depth = depth;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uncontended_read_pays_unloaded_latency() {
+        let mut c = Channel::new(MemSpace::Sram);
+        let (start, done) = c.service_read(100, 1);
+        assert_eq!(start, 100);
+        assert_eq!(done, 100 + read_latency(MemSpace::Sram) + burst_extra(MemSpace::Sram));
+        assert_eq!(c.stats.wait_cycles, 0);
+    }
+
+    #[test]
+    fn back_to_back_reads_serialize_on_the_bus() {
+        let mut c = Channel::new(MemSpace::Sdram);
+        let (_, _) = c.service_read(0, 8);
+        let free = c.free_at();
+        // A second request issued while the bus is busy waits for it.
+        let (start, _) = c.service_read(1, 8);
+        assert_eq!(start, free);
+        assert_eq!(c.stats.wait_cycles, free - 1);
+        assert_eq!(c.stats.reads, 2);
+    }
+
+    #[test]
+    fn writes_hold_the_bus_but_grant_immediately_when_idle() {
+        let mut c = Channel::new(MemSpace::Scratch);
+        let start = c.service_write(10, 2);
+        assert_eq!(start, 10);
+        assert!(c.free_at() > 10);
+        assert_eq!(c.stats.writes, 1);
+    }
+
+    #[test]
+    fn occupancy_is_busy_over_total() {
+        let mut c = Channel::new(MemSpace::Sram);
+        c.service_read(0, 1);
+        let busy = c.stats.busy_cycles;
+        assert!(c.stats.occupancy(busy * 2) > 0.49);
+        assert!(c.stats.occupancy(busy * 2) < 0.51);
+    }
+}

@@ -12,7 +12,9 @@
 //! * [`Program`]/[`validate`] — basic-block flowgraphs plus a validator
 //!   that checks every hardware rule (the test oracle for the ILP
 //!   allocator);
-//! * [`timing`] — the cycle-cost model behind the throughput experiments.
+//! * [`timing`] — the cycle-cost model behind the throughput experiments;
+//! * [`channel`] — the shared memory-channel/bus-arbitration model the
+//!   simulators charge contention against.
 //!
 //! # Example
 //!
@@ -33,6 +35,7 @@
 #![warn(missing_docs)]
 
 mod bank;
+pub mod channel;
 mod insn;
 mod program;
 mod reg;
@@ -40,6 +43,7 @@ pub mod timing;
 pub mod units;
 
 pub use bank::{alu_operands_ok, move_ok, Bank};
+pub use channel::{Channel, ChannelStats};
 pub use insn::{Addr, AluOp, AluSrc, Cond, Instr, MemSpace};
 pub use program::{read_bank, validate, write_bank, Block, BlockId, Program, Terminator, Violation};
 pub use reg::{PhysReg, Temp};

@@ -1,0 +1,694 @@
+//! Chip-level simulation: N micro-engines sharing the memory channels and
+//! the packet receive/transmit queues.
+//!
+//! The paper's throughput numbers (§11) come from the whole IXP1200 — six
+//! micro-engines, four hardware contexts each, all contending for one
+//! SRAM, one SDRAM, and one scratch channel. This module scales the
+//! single-engine model of [`crate::sim`] to that chip, with two design
+//! goals:
+//!
+//! 1. **Deterministic at any host parallelism.** The simulation advances
+//!    in fixed *cycle slices* (arbitration epochs). Within a slice every
+//!    engine executes independently — it touches only its own contexts and
+//!    registers, and *emits* shared-resource requests (memory references,
+//!    packet rx/tx, test-and-set) instead of applying them. At the slice
+//!    barrier a single arbiter resolves all requests in a canonical total
+//!    order — `(issue_cycle, engine, context, sequence)` — against the
+//!    [`ixp_machine::channel`] bus model and the shared [`SimMemory`].
+//!    Because intra-slice work is engine-local and the barrier is serial,
+//!    results are bit-identical whether the slice work runs on 1 or 16
+//!    host threads.
+//!
+//! 2. **Faithful contention.** The arbiter charges the same burst/latency
+//!    costs as the single-engine simulator; a context that issued a read
+//!    sleeps until the arbitrated completion cycle, so adding engines
+//!    beyond a channel's service rate stretches completion times exactly
+//!    like the real bus would (the knee the throughput sweep looks for).
+//!
+//! The slice length defaults to half the cheapest blocking latency, so
+//! the quantization of *barrier-resolved* wake-ups (a context can only
+//! resume in the slice after its request completes) adds at most a few
+//! cycles per reference; packet rx/tx synchronization (4 cycles on
+//! hardware) is the only op quantized to a full slice. Writes are posted
+//! through a store buffer (the engine does not stall for the grant), a
+//! deliberate simplification the single-engine model does not share.
+//! Cross-engine races on the same address within one slice resolve in the
+//! canonical order above — deterministic, though not cycle-exact against
+//! hardware.
+
+use crate::engine::{resolve_addr, RegFile, ThreadState};
+use crate::machine::SimMemory;
+use crate::sim::{finish_result, EngineStats, SimError, SimResult, StopReason};
+use ixp_machine::channel::Channel;
+use ixp_machine::timing::{issue_cycles, read_latency, BRANCH_TAKEN_PENALTY, HASH_CYCLES};
+use ixp_machine::units::hash_unit;
+use ixp_machine::{AluSrc, Bank, BlockId, Instr, MemSpace, PhysReg, Program, Terminator};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Barrier, Mutex};
+
+/// Chip-level simulation parameters.
+#[derive(Debug, Clone)]
+pub struct ChipConfig {
+    /// Micro-engines on the chip (IXP1200: 6).
+    pub engines: usize,
+    /// Hardware contexts per engine (IXP1200: 4).
+    pub contexts: usize,
+    /// Cycle budget. A run that exhausts it stops with
+    /// [`StopReason::CycleLimit`] and partial statistics.
+    pub max_cycles: u64,
+    /// Arbitration epoch length in modeled cycles. Smaller slices resolve
+    /// shared-resource requests at a finer grain (less wake-up
+    /// quantization) at more host synchronization cost. The default (8)
+    /// is safely below every blocking memory latency.
+    pub slice: u64,
+    /// Host worker threads driving the engines. `0` means automatic
+    /// (min of host parallelism and engine count); any value produces
+    /// bit-identical results.
+    pub host_threads: usize,
+}
+
+impl Default for ChipConfig {
+    fn default() -> Self {
+        ChipConfig {
+            engines: 6,
+            contexts: 4,
+            max_cycles: 500_000_000,
+            slice: 8,
+            host_threads: 0,
+        }
+    }
+}
+
+impl ChipConfig {
+    /// The host worker-thread count a run will actually use.
+    pub fn effective_host_threads(&self) -> usize {
+        if self.host_threads >= 1 {
+            return self.host_threads;
+        }
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+            .min(self.engines.max(1))
+    }
+}
+
+/// A shared-resource request emitted by an engine during a slice and
+/// resolved by the arbiter at the barrier.
+#[derive(Debug)]
+struct Request {
+    issue: u64,
+    engine: usize,
+    ctx: usize,
+    seq: u64,
+    kind: ReqKind,
+}
+
+#[derive(Debug)]
+enum ReqKind {
+    Read { space: MemSpace, base: u32, dst: Vec<PhysReg> },
+    Write { space: MemSpace, base: u32, vals: Vec<u32> },
+    TestAndSet { addr: u32, val: u32, dst: PhysReg },
+    CsrRead { csr: u32, dst: PhysReg },
+    CsrWrite { csr: u32, val: u32 },
+    Rx { len_dst: PhysReg, addr_dst: PhysReg },
+    Tx { addr: u32, len: u32 },
+}
+
+struct Ctx {
+    regs: RegFile,
+    block: BlockId,
+    pc: usize,
+    state: ThreadState,
+}
+
+/// One micro-engine's private state. During a slice only its owning host
+/// worker touches it; between barriers only the arbiter does.
+struct Engine {
+    id: usize,
+    cycle: u64,
+    ctxs: Vec<Ctx>,
+    current: usize,
+    seq: u64,
+    requests: Vec<Request>,
+    stats: EngineStats,
+    error: Option<SimError>,
+}
+
+impl Engine {
+    fn new(id: usize, prog: &Program<PhysReg>, contexts: usize) -> Self {
+        Engine {
+            id,
+            cycle: 0,
+            ctxs: (0..contexts.max(1))
+                .map(|_| Ctx {
+                    regs: RegFile::new(),
+                    block: prog.entry,
+                    pc: 0,
+                    state: ThreadState::Ready,
+                })
+                .collect(),
+            current: 0,
+            seq: 0,
+            requests: Vec::new(),
+            stats: EngineStats::new(id),
+            error: None,
+        }
+    }
+
+    fn all_halted(&self) -> bool {
+        self.ctxs.iter().all(|c| c.state == ThreadState::Halted)
+    }
+
+    fn push(&mut self, issue: u64, ctx: usize, kind: ReqKind) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.requests.push(Request { issue, engine: self.id, ctx, seq, kind });
+    }
+}
+
+/// Execute one engine up to `slice_end`. Pure engine-local: reads the
+/// program, mutates only this engine, and queues shared-resource requests
+/// for the barrier arbiter.
+fn run_slice(e: &mut Engine, prog: &Program<PhysReg>, slice_end: u64) {
+    if e.error.is_some() || e.all_halted() {
+        return;
+    }
+    loop {
+        if e.cycle >= slice_end {
+            return;
+        }
+        // Pick the next runnable context (round robin from `current`).
+        let mut picked = None;
+        for off in 0..e.ctxs.len() {
+            let i = (e.current + off) % e.ctxs.len();
+            match e.ctxs[i].state {
+                ThreadState::Ready => {
+                    picked = Some(i);
+                    break;
+                }
+                ThreadState::Blocked(until) if until <= e.cycle => {
+                    e.ctxs[i].state = ThreadState::Ready;
+                    picked = Some(i);
+                    break;
+                }
+                _ => {}
+            }
+        }
+        let Some(ti) = picked else {
+            if e.all_halted() {
+                if e.stats.halt_cycle == 0 {
+                    e.stats.halt_cycle = e.cycle;
+                }
+                return;
+            }
+            // Runnable later this slice? Advance to the earliest wake-up;
+            // otherwise idle out the slice (wake-ups beyond it, or
+            // requests pending at the barrier).
+            let next = e
+                .ctxs
+                .iter()
+                .filter_map(|c| match c.state {
+                    ThreadState::Blocked(u) => Some(u),
+                    _ => None,
+                })
+                .min();
+            match next {
+                Some(u) if u < slice_end => {
+                    let advanced = u.max(e.cycle + 1);
+                    e.stats.idle_cycles += advanced - e.cycle;
+                    e.cycle = advanced;
+                    continue;
+                }
+                _ => {
+                    e.stats.idle_cycles += slice_end - e.cycle;
+                    e.cycle = slice_end;
+                    return;
+                }
+            }
+        };
+        e.current = ti;
+        let block = &prog.blocks[e.ctxs[ti].block.index()];
+
+        if e.ctxs[ti].pc < block.instrs.len() {
+            let ins = &block.instrs[e.ctxs[ti].pc];
+            e.stats.instructions += 1;
+            e.cycle += issue_cycles(ins);
+            let cycle = e.cycle;
+            let t = &mut e.ctxs[ti];
+            match ins {
+                Instr::Alu { op, dst, a, b } => {
+                    let av = t.regs.read(*a);
+                    let bv = match b {
+                        AluSrc::Reg(r) => t.regs.read(*r),
+                        AluSrc::Imm(v) => *v,
+                    };
+                    t.regs.write(*dst, op.eval(av, bv));
+                }
+                Instr::Imm { dst, val } => t.regs.write(*dst, *val),
+                Instr::Move { dst, src } => {
+                    let v = t.regs.read(*src);
+                    t.regs.write(*dst, v);
+                }
+                Instr::Clone { .. } => {
+                    // Validated programs never contain clones; treat as nop.
+                }
+                Instr::MemRead { space, addr, dst } => {
+                    let base = resolve_addr(&t.regs, addr);
+                    t.state = ThreadState::Pending;
+                    t.pc += 1;
+                    e.stats.swap_outs += 1;
+                    let (space, dst) = (*space, dst.clone());
+                    e.push(cycle, ti, ReqKind::Read { space, base, dst });
+                    continue;
+                }
+                Instr::MemWrite { space, addr, src } => {
+                    let base = resolve_addr(&t.regs, addr);
+                    let vals: Vec<u32> = src.iter().map(|s| t.regs.read(*s)).collect();
+                    // Posted through the store buffer: the context keeps
+                    // running; the bus occupancy is charged at the barrier.
+                    let space = *space;
+                    t.pc += 1;
+                    e.push(cycle, ti, ReqKind::Write { space, base, vals });
+                    continue;
+                }
+                Instr::Hash { dst, src } => {
+                    let v = hash_unit(t.regs.read(PhysReg::new(Bank::S, src.num)));
+                    let _ = src;
+                    t.regs.write(*dst, v);
+                    t.state = ThreadState::Blocked(cycle + HASH_CYCLES);
+                    e.stats.swap_outs += 1;
+                    t.pc += 1;
+                    continue;
+                }
+                Instr::TestAndSet { dst, src, addr } => {
+                    let a = resolve_addr(&t.regs, addr);
+                    let v = t.regs.read(*src);
+                    t.state = ThreadState::Pending;
+                    t.pc += 1;
+                    e.stats.swap_outs += 1;
+                    let dst = *dst;
+                    e.push(cycle, ti, ReqKind::TestAndSet { addr: a, val: v, dst });
+                    continue;
+                }
+                Instr::CsrRead { dst, csr } => {
+                    // CSRs are chip-shared: reads resolve at the barrier.
+                    t.state = ThreadState::Pending;
+                    t.pc += 1;
+                    e.stats.swap_outs += 1;
+                    let (csr, dst) = (*csr, *dst);
+                    e.push(cycle, ti, ReqKind::CsrRead { csr, dst });
+                    continue;
+                }
+                Instr::CsrWrite { src, csr } => {
+                    let v = t.regs.read(*src);
+                    let csr = *csr;
+                    t.pc += 1;
+                    e.push(cycle, ti, ReqKind::CsrWrite { csr, val: v });
+                    continue;
+                }
+                Instr::RxPacket { len_dst, addr_dst } => {
+                    // The receive queue is chip-shared: the scheduler
+                    // grants packets in canonical order at the barrier.
+                    t.state = ThreadState::Pending;
+                    t.pc += 1;
+                    e.stats.swap_outs += 1;
+                    let (len_dst, addr_dst) = (*len_dst, *addr_dst);
+                    e.push(cycle, ti, ReqKind::Rx { len_dst, addr_dst });
+                    continue;
+                }
+                Instr::TxPacket { addr, len } => {
+                    let a = t.regs.read(*addr);
+                    let l = t.regs.read(*len);
+                    t.state = ThreadState::Blocked(cycle + 4);
+                    t.pc += 1;
+                    e.stats.swap_outs += 1;
+                    e.stats.packets += 1;
+                    e.stats.bytes += l as u64;
+                    e.push(cycle, ti, ReqKind::Tx { addr: a, len: l });
+                    continue;
+                }
+                Instr::CtxSwap => {
+                    t.pc += 1;
+                    t.state = ThreadState::Blocked(cycle + 1);
+                    e.stats.swap_outs += 1;
+                    continue;
+                }
+            }
+            e.ctxs[ti].pc += 1;
+        } else {
+            // Terminator.
+            e.stats.instructions += 1;
+            e.cycle += 1;
+            let t = &mut e.ctxs[ti];
+            match &block.term {
+                Terminator::Halt => {
+                    t.state = ThreadState::Halted;
+                }
+                Terminator::Jump(target) => {
+                    if target.index() >= prog.blocks.len() {
+                        e.error = Some(SimError::BadTarget(*target));
+                        return;
+                    }
+                    t.block = *target;
+                    t.pc = 0;
+                    e.cycle += BRANCH_TAKEN_PENALTY;
+                }
+                Terminator::Branch { cond, a, b, if_true, if_false } => {
+                    let av = t.regs.read(*a);
+                    let bv = match b {
+                        AluSrc::Reg(r) => t.regs.read(*r),
+                        AluSrc::Imm(v) => *v,
+                    };
+                    let taken = cond.eval(av, bv);
+                    let target = if taken { *if_true } else { *if_false };
+                    if target.index() >= prog.blocks.len() {
+                        e.error = Some(SimError::BadTarget(target));
+                        return;
+                    }
+                    if taken {
+                        e.cycle += BRANCH_TAKEN_PENALTY;
+                    }
+                    t.block = target;
+                    t.pc = 0;
+                }
+            }
+        }
+    }
+}
+
+/// The serial barrier phase: resolve every request emitted this slice in
+/// the canonical order against the shared memory, channels, and packet
+/// queues. Only the coordinator runs this (workers are parked at the
+/// barrier), so every engine lock is uncontended.
+fn resolve_requests(
+    engines: &[Mutex<Engine>],
+    mem: &mut SimMemory,
+    channels: &mut [Channel; 3],
+    mem_refs: &mut HashMap<MemSpace, (u64, u64)>,
+) {
+    let mut all: Vec<Request> = Vec::new();
+    for e in engines.iter() {
+        all.append(&mut e.lock().unwrap().requests);
+    }
+    all.sort_by_key(|r| (r.issue, r.engine, r.ctx, r.seq));
+    for ch in channels.iter_mut() {
+        let depth = all
+            .iter()
+            .filter(|r| match &r.kind {
+                ReqKind::Read { space, .. } | ReqKind::Write { space, .. } => {
+                    Channel::index(*space) == Channel::index(ch.stats.space)
+                }
+                _ => false,
+            })
+            .count();
+        ch.note_queue_depth(depth);
+    }
+    for req in all {
+        let mut eng_guard = engines[req.engine].lock().unwrap();
+        let eng = &mut *eng_guard;
+        match req.kind {
+            ReqKind::Read { space, base, dst } => {
+                let (_, done) = channels[Channel::index(space)].service_read(req.issue, dst.len());
+                let ctx = &mut eng.ctxs[req.ctx];
+                for (i, d) in dst.iter().enumerate() {
+                    let v = mem.read(space, base + i as u32);
+                    ctx.regs.write(*d, v);
+                }
+                ctx.state = ThreadState::Blocked(done);
+                mem_refs.entry(space).or_insert((0, 0)).0 += 1;
+            }
+            ReqKind::Write { space, base, vals } => {
+                channels[Channel::index(space)].service_write(req.issue, vals.len());
+                for (i, v) in vals.iter().enumerate() {
+                    mem.write(space, base + i as u32, *v);
+                }
+                mem_refs.entry(space).or_insert((0, 0)).1 += 1;
+            }
+            ReqKind::TestAndSet { addr, val, dst } => {
+                let old = mem.read(MemSpace::Sram, addr);
+                mem.write(MemSpace::Sram, addr, old | val);
+                let ctx = &mut eng.ctxs[req.ctx];
+                ctx.regs.write(dst, old);
+                ctx.state = ThreadState::Blocked(req.issue + read_latency(MemSpace::Sram));
+                let e = mem_refs.entry(MemSpace::Sram).or_insert((0, 0));
+                e.0 += 1;
+                e.1 += 1;
+            }
+            ReqKind::CsrRead { csr, dst } => {
+                let v = *mem.csr.get(&csr).unwrap_or(&0);
+                let ctx = &mut eng.ctxs[req.ctx];
+                ctx.regs.write(dst, v);
+                ctx.state = ThreadState::Blocked(req.issue);
+            }
+            ReqKind::CsrWrite { csr, val } => {
+                mem.csr.insert(csr, val);
+            }
+            ReqKind::Rx { len_dst, addr_dst } => {
+                let ctx = &mut eng.ctxs[req.ctx];
+                match mem.rx_queue.pop_front() {
+                    Some((len, addr)) => {
+                        ctx.regs.write(len_dst, len);
+                        ctx.regs.write(addr_dst, addr);
+                        ctx.state = ThreadState::Blocked(req.issue + 4);
+                    }
+                    None => {
+                        ctx.state = ThreadState::Halted;
+                    }
+                }
+            }
+            ReqKind::Tx { addr, len } => {
+                mem.tx_log.push((addr, len, req.issue));
+            }
+        }
+    }
+}
+
+/// Run `prog` on every engine of the simulated chip.
+///
+/// All engines execute the same program (the paper's deployment model:
+/// one pipeline stage per chip), pulling packets from the shared receive
+/// queue. Results are bit-identical for any `host_threads`.
+///
+/// # Errors
+///
+/// Returns [`SimError`] on architectural violations (which
+/// [`ixp_machine::validate`] should have ruled out).
+pub fn simulate_chip(
+    prog: &Program<PhysReg>,
+    mem: &mut SimMemory,
+    cfg: &ChipConfig,
+) -> Result<SimResult, SimError> {
+    let n_engines = cfg.engines.max(1);
+    let slice = cfg.slice.max(1);
+    let workers = cfg.effective_host_threads().min(n_engines).max(1);
+    let engines: Vec<Mutex<Engine>> =
+        (0..n_engines).map(|i| Mutex::new(Engine::new(i, prog, cfg.contexts))).collect();
+    let mut channels = Channel::per_space();
+    let mut mem_refs: HashMap<MemSpace, (u64, u64)> = HashMap::new();
+
+    let outcome = if workers <= 1 {
+        // Serial driver: same slice/barrier structure, no pool.
+        let mut t: u64 = 0;
+        loop {
+            if t >= cfg.max_cycles {
+                break (Ok(StopReason::CycleLimit), t);
+            }
+            let slice_end = (t + slice).min(cfg.max_cycles);
+            for e in engines.iter() {
+                run_slice(&mut e.lock().unwrap(), prog, slice_end);
+            }
+            if let Some(err) = first_error(&engines) {
+                break (Err(err), slice_end);
+            }
+            resolve_requests(&engines, mem, &mut channels, &mut mem_refs);
+            if all_halted(&engines) {
+                break (Ok(StopReason::AllHalted), slice_end);
+            }
+            t = slice_end;
+        }
+    } else {
+        // Persistent work-sharing pool (the style of `ilp`'s parallel
+        // tree search): W workers park at a barrier; each epoch the
+        // coordinator publishes a slice, workers claim engines from a
+        // shared counter, and a second barrier hands control back for
+        // the serial arbitration phase. Claim order is irrelevant to the
+        // result because intra-slice engine execution is engine-local.
+        let barrier = Barrier::new(workers + 1);
+        let next = AtomicUsize::new(0);
+        let slice_end_shared = AtomicU64::new(0);
+        let done = AtomicBool::new(false);
+        std::thread::scope(|s| {
+            for _ in 0..workers {
+                s.spawn(|| loop {
+                    barrier.wait();
+                    if done.load(Ordering::Acquire) {
+                        break;
+                    }
+                    let end = slice_end_shared.load(Ordering::Acquire);
+                    loop {
+                        let i = next.fetch_add(1, Ordering::AcqRel);
+                        if i >= engines.len() {
+                            break;
+                        }
+                        run_slice(&mut engines[i].lock().unwrap(), prog, end);
+                    }
+                    barrier.wait();
+                });
+            }
+            let mut t: u64 = 0;
+            let outcome = loop {
+                if t >= cfg.max_cycles {
+                    break (Ok(StopReason::CycleLimit), t);
+                }
+                let slice_end = (t + slice).min(cfg.max_cycles);
+                next.store(0, Ordering::Release);
+                slice_end_shared.store(slice_end, Ordering::Release);
+                barrier.wait(); // workers execute the slice
+                barrier.wait(); // slice complete; coordinator owns the state
+                if let Some(err) = first_error(&engines) {
+                    break (Err(err), slice_end);
+                }
+                resolve_requests(&engines, mem, &mut channels, &mut mem_refs);
+                if all_halted(&engines) {
+                    break (Ok(StopReason::AllHalted), slice_end);
+                }
+                t = slice_end;
+            };
+            done.store(true, Ordering::Release);
+            barrier.wait(); // release workers into the exit check
+            outcome
+        })
+    };
+
+    let (stop, final_t) = match outcome {
+        (Ok(stop), t) => (stop, t),
+        (Err(e), _) => return Err(e),
+    };
+    let mut engs: Vec<Engine> =
+        engines.into_iter().map(|m| m.into_inner().unwrap()).collect();
+    for e in engs.iter_mut() {
+        // Engines whose last context halted at the barrier (empty receive
+        // queue) never ran again to observe it; close their books at the
+        // local cycle they stopped executing.
+        if e.all_halted() && e.stats.halt_cycle == 0 {
+            e.stats.halt_cycle = e.cycle;
+        }
+    }
+    let cycles = match stop {
+        StopReason::AllHalted => {
+            engs.iter().map(|e| e.stats.halt_cycle).max().unwrap_or(final_t)
+        }
+        StopReason::CycleLimit => final_t,
+    };
+    let estats: Vec<EngineStats> = engs.into_iter().map(|e| e.stats).collect();
+    Ok(finish_result(cycles, mem_refs, stop, channels, estats))
+}
+
+fn first_error(engines: &[Mutex<Engine>]) -> Option<SimError> {
+    engines.iter().find_map(|e| e.lock().unwrap().error.clone())
+}
+
+fn all_halted(engines: &[Mutex<Engine>]) -> bool {
+    engines.iter().all(|e| e.lock().unwrap().all_halted())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ixp_machine::{Addr, Block};
+
+    fn r(bank: Bank, n: u8) -> PhysReg {
+        PhysReg::new(bank, n)
+    }
+
+    /// rx -> read sdram burst -> tx, until the queue drains.
+    fn forwarder() -> Program<PhysReg> {
+        Program {
+            blocks: vec![Block {
+                instrs: vec![
+                    Instr::RxPacket { len_dst: r(Bank::A, 0), addr_dst: r(Bank::A, 1) },
+                    Instr::MemRead {
+                        space: MemSpace::Sdram,
+                        addr: Addr::Reg(r(Bank::A, 1), 0),
+                        dst: vec![r(Bank::Ld, 0), r(Bank::Ld, 1)],
+                    },
+                    Instr::TxPacket { addr: r(Bank::A, 1), len: r(Bank::A, 0) },
+                ],
+                term: Terminator::Jump(BlockId(0)),
+            }],
+            entry: BlockId(0),
+        }
+    }
+
+    fn loaded_mem(packets: usize) -> SimMemory {
+        let mut mem = SimMemory::with_sizes(64, 4096, 64);
+        for i in 0..packets {
+            mem.rx_queue.push_back((64, (i * 16) as u32));
+        }
+        mem
+    }
+
+    #[test]
+    fn chip_processes_every_packet_exactly_once() {
+        let prog = forwarder();
+        let mut mem = loaded_mem(40);
+        let cfg = ChipConfig { engines: 4, contexts: 2, ..ChipConfig::default() };
+        let res = simulate_chip(&prog, &mut mem, &cfg).unwrap();
+        assert_eq!(res.stop, StopReason::AllHalted);
+        assert_eq!(res.packets, 40);
+        assert_eq!(mem.tx_log.len(), 40);
+        assert!(mem.rx_queue.is_empty());
+        // Every engine pulled some work from the shared queue.
+        assert!(res.engines.iter().all(|e| e.packets > 0), "{:?}", res.engines);
+        assert_eq!(res.engines.iter().map(|e| e.packets).sum::<u64>(), 40);
+    }
+
+    #[test]
+    fn more_engines_finish_sooner_until_saturation() {
+        let prog = forwarder();
+        let cycles = |engines: usize| {
+            let mut mem = loaded_mem(64);
+            let cfg = ChipConfig { engines, contexts: 4, ..ChipConfig::default() };
+            simulate_chip(&prog, &mut mem, &cfg).unwrap().cycles
+        };
+        let one = cycles(1);
+        let four = cycles(4);
+        assert!(four < one, "scaling: 1 engine {one} vs 4 engines {four}");
+    }
+
+    #[test]
+    fn host_thread_count_is_invisible() {
+        let prog = forwarder();
+        let run = |host_threads: usize| {
+            let mut mem = loaded_mem(32);
+            let cfg = ChipConfig {
+                engines: 5,
+                contexts: 3,
+                host_threads,
+                ..ChipConfig::default()
+            };
+            let res = simulate_chip(&prog, &mut mem, &cfg).unwrap();
+            (res.cycles, res.instructions, res.packets, res.engines, res.channels, mem.tx_log)
+        };
+        let a = run(1);
+        let b = run(2);
+        let c = run(4);
+        assert_eq!(a, b);
+        assert_eq!(a, c);
+    }
+
+    #[test]
+    fn cycle_limit_returns_partial_stats() {
+        let prog = Program {
+            blocks: vec![Block { instrs: vec![], term: Terminator::Jump(BlockId(0)) }],
+            entry: BlockId(0),
+        };
+        let mut mem = SimMemory::default();
+        let cfg = ChipConfig { engines: 2, max_cycles: 1000, ..ChipConfig::default() };
+        let res = simulate_chip(&prog, &mut mem, &cfg).unwrap();
+        assert_eq!(res.stop, StopReason::CycleLimit);
+        assert!(res.cycles <= 1000);
+        assert!(res.instructions > 0, "partial stats survive the stop");
+    }
+}

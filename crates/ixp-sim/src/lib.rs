@@ -17,10 +17,13 @@
 
 #![warn(missing_docs)]
 
+mod chip;
+mod engine;
 mod machine;
 mod packets;
 mod sim;
 
+pub use chip::{simulate_chip, ChipConfig};
 pub use machine::SimMemory;
 pub use packets::{PacketGen, PacketSpec};
-pub use sim::{simulate, SimConfig, SimError, SimResult, StopReason};
+pub use sim::{simulate, EngineStats, SimConfig, SimError, SimResult, StopReason};

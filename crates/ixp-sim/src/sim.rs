@@ -4,25 +4,31 @@
 //! that issues a memory reference swaps out until the reference completes
 //! (plus channel contention), exactly the latency-hiding discipline the
 //! IXP1200's threading was designed for. All timing constants come from
-//! [`ixp_machine::timing`].
+//! [`ixp_machine::timing`]; channel contention is charged through
+//! [`ixp_machine::channel`], the same bus model the chip-level simulator
+//! ([`crate::chip`]) arbitrates between engines.
 
+use crate::engine::{resolve_addr, RegFile, ThreadState};
 use crate::machine::SimMemory;
+use ixp_machine::channel::{Channel, ChannelStats};
 use ixp_machine::timing::{
-    burst_extra, issue_cycles, read_latency, write_latency, BRANCH_TAKEN_PENALTY, CLOCK_HZ,
-    HASH_CYCLES,
+    issue_cycles, read_latency, BRANCH_TAKEN_PENALTY, CLOCK_HZ, HASH_CYCLES,
 };
 use ixp_machine::units::hash_unit;
 use ixp_machine::{
-    Addr, AluSrc, Bank, BlockId, Instr, MemSpace, PhysReg, Program, Terminator,
+    AluSrc, Bank, BlockId, Instr, MemSpace, PhysReg, Program, Terminator,
 };
 use std::collections::HashMap;
 
-/// Simulation parameters.
+/// Simulation parameters for one micro-engine.
 #[derive(Debug, Clone)]
 pub struct SimConfig {
     /// Hardware contexts running the program (IXP1200: 4 per engine).
     pub threads: usize,
-    /// Cycle budget (guards against runaway programs).
+    /// Cycle budget (guards against runaway programs). A run that exhausts
+    /// it stops with [`StopReason::CycleLimit`] and partial statistics —
+    /// check [`SimResult::stop`] before treating the numbers as a
+    /// completed run.
     pub max_cycles: u64,
 }
 
@@ -37,8 +43,45 @@ impl Default for SimConfig {
 pub enum StopReason {
     /// Every thread reached `halt` (or found the receive queue empty).
     AllHalted,
-    /// The cycle budget ran out.
+    /// The cycle budget ran out: the result carries partial statistics of
+    /// an unfinished run.
     CycleLimit,
+}
+
+/// Per-engine execution telemetry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Engine index on the chip (0 for the single-engine simulator).
+    pub engine: usize,
+    /// Instructions issued by this engine's contexts.
+    pub instructions: u64,
+    /// Context swap-outs (a context yielding the pipeline on a memory
+    /// reference, hash, packet operation, or explicit `ctx_swap`).
+    pub swap_outs: u64,
+    /// Cycles with no runnable context (every context swapped out —
+    /// latency the hardware threading failed to hide).
+    pub idle_cycles: u64,
+    /// Packets transmitted by this engine.
+    pub packets: u64,
+    /// Payload+header bytes transmitted by this engine.
+    pub bytes: u64,
+    /// Cycle at which the engine's last context halted (0 if it never
+    /// fully halted).
+    pub halt_cycle: u64,
+}
+
+impl EngineStats {
+    pub(crate) fn new(engine: usize) -> Self {
+        EngineStats {
+            engine,
+            instructions: 0,
+            swap_outs: 0,
+            idle_cycles: 0,
+            packets: 0,
+            bytes: 0,
+            halt_cycle: 0,
+        }
+    }
 }
 
 /// Execution outcome.
@@ -59,6 +102,11 @@ pub struct SimResult {
     /// Throughput in megabits per second at the modeled clock, counting
     /// transmitted bytes (the paper's measure).
     pub mbps: f64,
+    /// Per-channel occupancy/queueing telemetry (SRAM, SDRAM, scratch).
+    pub channels: Vec<ChannelStats>,
+    /// Per-engine telemetry (one entry per micro-engine; the
+    /// single-engine [`simulate`] fills exactly one).
+    pub engines: Vec<EngineStats>,
 }
 
 /// Architectural errors (all indicate compiler or simulator bugs — the
@@ -81,53 +129,6 @@ impl std::fmt::Display for SimError {
 }
 
 impl std::error::Error for SimError {}
-
-#[derive(Debug, Clone)]
-struct RegFile {
-    a: [u32; 16],
-    b: [u32; 16],
-    l: [u32; 8],
-    s: [u32; 8],
-    ld: [u32; 8],
-    sd: [u32; 8],
-}
-
-impl RegFile {
-    fn new() -> Self {
-        RegFile { a: [0; 16], b: [0; 16], l: [0; 8], s: [0; 8], ld: [0; 8], sd: [0; 8] }
-    }
-
-    fn read(&self, r: PhysReg) -> u32 {
-        let i = r.num as usize;
-        match r.bank {
-            Bank::A => self.a[i],
-            Bank::B => self.b[i],
-            Bank::L => self.l[i],
-            Bank::S => self.s[i],
-            Bank::Ld => self.ld[i],
-            Bank::Sd => self.sd[i],
-        }
-    }
-
-    fn write(&mut self, r: PhysReg, v: u32) {
-        let i = r.num as usize;
-        match r.bank {
-            Bank::A => self.a[i] = v,
-            Bank::B => self.b[i] = v,
-            Bank::L => self.l[i] = v,
-            Bank::S => self.s[i] = v,
-            Bank::Ld => self.ld[i] = v,
-            Bank::Sd => self.sd[i] = v,
-        }
-    }
-}
-
-#[derive(Debug, Clone, Copy, PartialEq)]
-enum ThreadState {
-    Ready,
-    Blocked(u64),
-    Halted,
-}
 
 struct Thread {
     regs: RegFile,
@@ -155,13 +156,10 @@ pub fn simulate(
             state: ThreadState::Ready,
         })
         .collect();
-    // Per-space memory channel: next cycle the channel is free.
-    let mut channel_free: HashMap<MemSpace, u64> = HashMap::new();
+    let mut channels = Channel::per_space();
     let mut cycle: u64 = 0;
-    let mut instructions: u64 = 0;
+    let mut estats = EngineStats::new(0);
     let mut mem_refs: HashMap<MemSpace, (u64, u64)> = HashMap::new();
-    let mut packets: u64 = 0;
-    let mut bytes: u64 = 0;
     let mut current = 0usize;
 
     let stop = loop {
@@ -196,7 +194,9 @@ pub fn simulate(
                 .min();
             match next {
                 Some(u) => {
-                    cycle = u.max(cycle + 1);
+                    let advanced = u.max(cycle + 1);
+                    estats.idle_cycles += advanced - cycle;
+                    cycle = advanced;
                     continue;
                 }
                 None => break StopReason::AllHalted,
@@ -208,7 +208,7 @@ pub fn simulate(
 
         if t.pc < block.instrs.len() {
             let ins = &block.instrs[t.pc];
-            instructions += 1;
+            estats.instructions += 1;
             cycle += issue_cycles(ins);
             match ins {
                 Instr::Alu { op, dst, a, b } => {
@@ -235,12 +235,9 @@ pub fn simulate(
                     }
                     let e = mem_refs.entry(*space).or_insert((0, 0));
                     e.0 += 1;
-                    let free = channel_free.entry(*space).or_insert(0);
-                    let start = (*free).max(cycle);
-                    let busy = burst_extra(*space) * dst.len() as u64;
-                    let done = start + read_latency(*space) + busy;
-                    *free = start + busy + 1;
+                    let (_, done) = channels[Channel::index(*space)].service_read(cycle, dst.len());
                     t.state = ThreadState::Blocked(done);
+                    estats.swap_outs += 1;
                     t.pc += 1;
                     continue;
                 }
@@ -254,12 +251,10 @@ pub fn simulate(
                     e.1 += 1;
                     // Writes retire asynchronously: the thread only pays
                     // channel acceptance, not the full latency.
-                    let free = channel_free.entry(*space).or_insert(0);
-                    let start = (*free).max(cycle);
-                    let busy = burst_extra(*space) * src.len() as u64;
-                    *free = start + busy + write_latency(*space) / 4;
+                    let start = channels[Channel::index(*space)].service_write(cycle, src.len());
                     if start > cycle {
                         t.state = ThreadState::Blocked(start);
+                        estats.swap_outs += 1;
                     }
                 }
                 Instr::Hash { dst, src } => {
@@ -267,6 +262,7 @@ pub fn simulate(
                     let _ = src;
                     t.regs.write(*dst, v);
                     t.state = ThreadState::Blocked(cycle + HASH_CYCLES);
+                    estats.swap_outs += 1;
                     t.pc += 1;
                     continue;
                 }
@@ -280,6 +276,7 @@ pub fn simulate(
                     e.0 += 1;
                     e.1 += 1;
                     t.state = ThreadState::Blocked(cycle + read_latency(MemSpace::Sram));
+                    estats.swap_outs += 1;
                     t.pc += 1;
                     continue;
                 }
@@ -298,6 +295,7 @@ pub fn simulate(
                             t.regs.write(*addr_dst, addr);
                             // Synchronizing with the receive scheduler.
                             t.state = ThreadState::Blocked(cycle + 4);
+                            estats.swap_outs += 1;
                             t.pc += 1;
                             continue;
                         }
@@ -312,22 +310,24 @@ pub fn simulate(
                     let a = t.regs.read(*addr);
                     let l = t.regs.read(*len);
                     mem.tx_log.push((a, l, cycle));
-                    packets += 1;
-                    bytes += l as u64;
+                    estats.packets += 1;
+                    estats.bytes += l as u64;
                     t.state = ThreadState::Blocked(cycle + 4);
+                    estats.swap_outs += 1;
                     t.pc += 1;
                     continue;
                 }
                 Instr::CtxSwap => {
                     t.pc += 1;
                     t.state = ThreadState::Blocked(cycle + 1);
+                    estats.swap_outs += 1;
                     continue;
                 }
             }
             t.pc += 1;
         } else {
             // Terminator.
-            instructions += 1;
+            estats.instructions += 1;
             cycle += 1;
             match &block.term {
                 Terminator::Halt => {
@@ -362,30 +362,41 @@ pub fn simulate(
         }
     };
 
-    let seconds = cycle as f64 / CLOCK_HZ as f64;
+    estats.halt_cycle = cycle;
+    Ok(finish_result(cycle, mem_refs, stop, channels, vec![estats]))
+}
+
+/// Assemble a [`SimResult`] from the raw counters shared by both
+/// simulators.
+pub(crate) fn finish_result(
+    cycles: u64,
+    mem_refs: HashMap<MemSpace, (u64, u64)>,
+    stop: StopReason,
+    channels: [Channel; 3],
+    engines: Vec<EngineStats>,
+) -> SimResult {
+    let instructions = engines.iter().map(|e| e.instructions).sum();
+    let packets = engines.iter().map(|e| e.packets).sum();
+    let bytes: u64 = engines.iter().map(|e| e.bytes).sum();
+    let seconds = cycles as f64 / CLOCK_HZ as f64;
     let mbps = if seconds > 0.0 { (bytes as f64 * 8.0) / seconds / 1.0e6 } else { 0.0 };
-    Ok(SimResult {
-        cycles: cycle,
+    SimResult {
+        cycles,
         instructions,
         mem_refs,
         packets,
         bytes,
         stop,
         mbps,
-    })
-}
-
-fn resolve_addr(regs: &RegFile, addr: &Addr<PhysReg>) -> u32 {
-    match addr {
-        Addr::Imm(a) => *a,
-        Addr::Reg(r, o) => regs.read(*r).wrapping_add(*o),
+        channels: channels.into_iter().map(|c| c.stats).collect(),
+        engines,
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ixp_machine::{AluOp, Block, Cond};
+    use ixp_machine::{Addr, AluOp, Block, Cond};
 
     fn r(bank: Bank, n: u8) -> PhysReg {
         PhysReg::new(bank, n)
@@ -422,6 +433,10 @@ mod tests {
         assert_eq!(mem.sram[10], 13);
         assert_eq!(res.stop, StopReason::AllHalted);
         assert!(res.cycles >= 6);
+        assert_eq!(res.engines.len(), 1);
+        assert_eq!(res.engines[0].instructions, res.instructions);
+        let sram = &res.channels[ixp_machine::Channel::index(MemSpace::Sram)];
+        assert_eq!(sram.writes, 1);
     }
 
     #[test]
@@ -487,6 +502,8 @@ mod tests {
         let res = simulate(&prog, &mut mem, &SimConfig { threads: 1, ..Default::default() })
             .unwrap();
         assert!(res.cycles >= read_latency(MemSpace::Sdram), "cycles: {}", res.cycles);
+        assert_eq!(res.engines[0].swap_outs, 1);
+        assert!(res.engines[0].idle_cycles > 0, "the lone context waits on the read");
     }
 
     #[test]
@@ -533,6 +550,7 @@ mod tests {
         assert_eq!(res.bytes, 320);
         assert_eq!(mem.tx_log.len(), 5);
         assert!(res.mbps > 0.0);
+        assert_eq!(res.engines[0].packets, 5);
     }
 
     #[test]

@@ -1,9 +1,10 @@
 //! Timing-model behaviour: channel contention and latency hiding.
 
+use ixp_machine::timing::{burst_extra, read_latency};
 use ixp_machine::{
     Addr, Bank, Block, BlockId, Instr, MemSpace, PhysReg, Program, Terminator,
 };
-use ixp_sim::{simulate, SimConfig, SimMemory};
+use ixp_sim::{simulate, simulate_chip, ChipConfig, SimConfig, SimMemory};
 
 fn reg(b: Bank, n: u8) -> PhysReg {
     PhysReg::new(b, n)
@@ -68,6 +69,52 @@ fn threads_overlap_but_channel_serializes_bursts() {
     };
     assert!(t4 < t1 * 4, "overlap must help: t1={t1} t4={t4}");
     assert!(t4 > t1, "but four bursts cannot be free: t1={t1} t4={t4}");
+}
+
+#[test]
+fn six_engines_serialize_on_one_sdram_channel() {
+    // Six engines, one context each, all issuing an 8-word SDRAM burst in
+    // the same cycle: the shared channel must grant them one at a time,
+    // each occupying the bus for its burst. With every engine running the
+    // identical program the issue cycle is identical too, so the expected
+    // channel telemetry is exact.
+    const WORDS: usize = 8;
+    const ENGINES: usize = 6;
+    let prog = Program {
+        blocks: vec![Block {
+            instrs: vec![Instr::MemRead {
+                space: MemSpace::Sdram,
+                addr: Addr::Imm(0),
+                dst: (0..WORDS as u8).map(|i| reg(Bank::Ld, i)).collect(),
+            }],
+            term: Terminator::Halt,
+        }],
+        entry: BlockId(0),
+    };
+    let run = |engines: usize| {
+        let mut m = SimMemory::with_sizes(16, 64, 16);
+        let cfg = ChipConfig { engines, contexts: 1, ..ChipConfig::default() };
+        simulate_chip(&prog, &mut m, &cfg).unwrap()
+    };
+    let one = run(1);
+    let six = run(ENGINES);
+
+    // Bus occupancy per burst read: the burst transfer plus the grant slot.
+    let per_burst = burst_extra(MemSpace::Sdram) * WORDS as u64 + 1;
+    let sdram = &six.channels[1];
+    assert_eq!(sdram.space, MemSpace::Sdram);
+    assert_eq!(sdram.reads, ENGINES as u64);
+    assert_eq!(sdram.busy_cycles, ENGINES as u64 * per_burst, "bursts serialize on the bus");
+    // Request k (0-based, canonical engine order) waits k full bursts.
+    let expected_wait: u64 = (0..ENGINES as u64).map(|k| k * per_burst).sum();
+    assert_eq!(sdram.wait_cycles, expected_wait, "FIFO queueing delay");
+    assert_eq!(sdram.max_queue_depth, ENGINES, "all six contended in one epoch");
+
+    // The last engine cannot finish before five whole bursts of queueing
+    // plus its own read; a single engine pays only the unloaded latency.
+    let unloaded = read_latency(MemSpace::Sdram) + burst_extra(MemSpace::Sdram) * WORDS as u64;
+    assert!(six.cycles >= 5 * per_burst + unloaded, "six-engine run: {}", six.cycles);
+    assert!(one.cycles < six.cycles, "contention must cost: {} vs {}", one.cycles, six.cycles);
 }
 
 #[test]

@@ -6,12 +6,20 @@
 //! (de-proceduralization included) → static single use → instruction
 //! selection → ILP bank/register allocation → A/B coloring → validation.
 //!
-//! # Example
+//! Configuration goes through one builder — solver and simulation knobs
+//! alike — and environment overrides (`NOVA_ILP_THREADS`,
+//! `NOVA_ILP_KERNEL`) are resolved exactly once, at
+//! [`CompileConfigBuilder::build`] time, never later inside the solver:
 //!
 //! ```
+//! let cfg = nova::CompileConfig::builder()
+//!     .solver_threads(1)
+//!     .solver_gap(0.0)
+//!     .engines(6)
+//!     .build();
 //! let out = nova::compile_source(
 //!     "fun main() { let (a, b) = sram(0); sram(8) <- (a + b, a); 0 }",
-//!     &nova::CompileConfig::default(),
+//!     &cfg,
 //! ).unwrap();
 //! assert!(ixp_machine::validate(&out.prog).is_empty());
 //! assert_eq!(out.alloc_stats.spills, 0);
@@ -22,11 +30,62 @@
 use nova_backend::alloc::AllocConfig;
 use nova_cps::{OptConfig, SsuStats};
 use nova_frontend::StaticStats;
+use std::time::Duration;
 
+pub use ilp::KernelKind;
+pub use ixp_machine::channel::ChannelStats;
+pub use ixp_sim::{
+    simulate, simulate_chip, ChipConfig, EngineStats, SimConfig, SimMemory, SimResult,
+    StopReason,
+};
 pub use nova_backend::AllocStats;
+pub use nova_frontend::Span;
 
-/// Pipeline configuration.
-#[derive(Debug, Clone, Default)]
+/// Hard ceiling on ILP worker threads (mirrors the solver's own cap).
+const MAX_SOLVER_THREADS: usize = 64;
+
+/// Simulation shape carried alongside the compile pipeline settings, so a
+/// driver can compile and simulate from one configuration object.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SimSettings {
+    /// Micro-engines for chip-level simulation (IXP1200: 6).
+    pub engines: usize,
+    /// Hardware contexts per engine (IXP1200: 4).
+    pub contexts: usize,
+    /// Simulated-cycle budget before the run stops with
+    /// [`StopReason::CycleLimit`] and partial statistics.
+    pub max_cycles: u64,
+}
+
+impl Default for SimSettings {
+    fn default() -> Self {
+        let chip = ChipConfig::default();
+        SimSettings { engines: chip.engines, contexts: chip.contexts, max_cycles: chip.max_cycles }
+    }
+}
+
+impl SimSettings {
+    /// Single-engine simulator configuration with these settings (the
+    /// engine count is ignored; contexts become the engine's threads).
+    pub fn sim_config(&self) -> SimConfig {
+        SimConfig { threads: self.contexts, max_cycles: self.max_cycles }
+    }
+
+    /// Chip-level simulator configuration with these settings.
+    pub fn chip_config(&self) -> ChipConfig {
+        ChipConfig {
+            engines: self.engines,
+            contexts: self.contexts,
+            max_cycles: self.max_cycles,
+            ..ChipConfig::default()
+        }
+    }
+}
+
+/// Pipeline configuration. Construct with [`CompileConfig::builder`];
+/// the fields stay public for read access and ablation experiments that
+/// rewrite optimizer or allocator internals after building.
+#[derive(Debug, Clone)]
 pub struct CompileConfig {
     /// CPS optimizer settings.
     pub opt: OptConfig,
@@ -34,27 +93,194 @@ pub struct CompileConfig {
     pub alloc: AllocConfig,
     /// Skip the optimizer (for ablations and debugging).
     pub skip_opt: bool,
+    /// Simulation shape for drivers that run the compiled program.
+    pub sim: SimSettings,
+}
+
+impl Default for CompileConfig {
+    fn default() -> Self {
+        CompileConfig::builder().build()
+    }
 }
 
 impl CompileConfig {
+    /// Start building a configuration. Environment overrides
+    /// (`NOVA_ILP_THREADS`, `NOVA_ILP_KERNEL`) seed the corresponding
+    /// defaults and are resolved once, when [`CompileConfigBuilder::build`]
+    /// runs.
+    pub fn builder() -> CompileConfigBuilder {
+        CompileConfigBuilder::new()
+    }
+
     /// Builder-style override of the ILP solver's worker-thread count.
-    /// `0` restores automatic selection: the `NOVA_ILP_THREADS`
-    /// environment variable if set, else the machine's available
-    /// parallelism.
+    /// `0` restores automatic selection.
+    #[deprecated(since = "0.3.0", note = "use CompileConfig::builder().solver_threads(n).build()")]
     #[must_use]
     pub fn with_solver_threads(mut self, threads: usize) -> Self {
-        self.alloc.solver.threads = threads;
+        self.alloc.solver.threads = if threads == 0 {
+            CompileConfigBuilder::auto_threads()
+        } else {
+            threads.min(MAX_SOLVER_THREADS)
+        };
         self
     }
 
     /// Builder-style override of the ILP solver's LP basis kernel.
-    /// `None` restores automatic selection: sparse LU unless the
-    /// `NOVA_ILP_KERNEL=dense` environment variable asks for the dense
-    /// product-form inverse.
+    /// `None` restores automatic selection.
+    #[deprecated(since = "0.3.0", note = "use CompileConfig::builder().solver_kernel(k).build()")]
     #[must_use]
     pub fn with_solver_kernel(mut self, kernel: Option<ilp::KernelKind>) -> Self {
-        self.alloc.solver.kernel = kernel;
+        self.alloc.solver.kernel = Some(kernel.unwrap_or_else(ilp::KernelKind::from_env));
         self
+    }
+}
+
+/// Builder for [`CompileConfig`].
+///
+/// All environment reads happen in [`build`](Self::build): the resulting
+/// `CompileConfig` carries fully resolved values, so a solve or simulation
+/// never consults the environment mid-run (parallel differential tests
+/// cannot race on it). Marked non-exhaustive: construct via
+/// [`CompileConfig::builder`] so added knobs stay source-compatible.
+#[derive(Debug, Clone)]
+#[non_exhaustive]
+pub struct CompileConfigBuilder {
+    opt: OptConfig,
+    alloc: AllocConfig,
+    skip_opt: bool,
+    sim: SimSettings,
+    threads: Option<usize>,
+    kernel: Option<KernelKind>,
+    deadline: Option<Duration>,
+    gap: Option<f64>,
+}
+
+impl Default for CompileConfigBuilder {
+    fn default() -> Self {
+        CompileConfigBuilder::new()
+    }
+}
+
+impl CompileConfigBuilder {
+    fn new() -> Self {
+        CompileConfigBuilder {
+            opt: OptConfig::default(),
+            alloc: AllocConfig::default(),
+            skip_opt: false,
+            sim: SimSettings::default(),
+            threads: None,
+            kernel: None,
+            deadline: None,
+            gap: None,
+        }
+    }
+
+    /// ILP worker threads. `0` (and not calling this at all) selects
+    /// automatically: `NOVA_ILP_THREADS` if set, else the machine's
+    /// available parallelism.
+    #[must_use]
+    pub fn solver_threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads);
+        self
+    }
+
+    /// LP basis kernel. Not calling this selects automatically:
+    /// `NOVA_ILP_KERNEL=dense` for the dense product-form inverse, sparse
+    /// LU otherwise.
+    #[must_use]
+    pub fn solver_kernel(mut self, kernel: KernelKind) -> Self {
+        self.kernel = Some(kernel);
+        self
+    }
+
+    /// Wall-clock budget for each ILP solve; `None` (the default) means
+    /// unlimited.
+    #[must_use]
+    pub fn solver_deadline(mut self, deadline: Option<Duration>) -> Self {
+        self.deadline = deadline;
+        self
+    }
+
+    /// Relative optimality gap at which the solver stops (the paper ran
+    /// CPLEX within 0.01%, i.e. `1e-4`, the default). `0.0` demands the
+    /// exact optimum.
+    #[must_use]
+    pub fn solver_gap(mut self, gap: f64) -> Self {
+        self.gap = Some(gap);
+        self
+    }
+
+    /// Micro-engines for chip-level simulation.
+    #[must_use]
+    pub fn engines(mut self, engines: usize) -> Self {
+        self.sim.engines = engines;
+        self
+    }
+
+    /// Hardware contexts per engine.
+    #[must_use]
+    pub fn contexts(mut self, contexts: usize) -> Self {
+        self.sim.contexts = contexts;
+        self
+    }
+
+    /// Simulated-cycle budget.
+    #[must_use]
+    pub fn max_cycles(mut self, max_cycles: u64) -> Self {
+        self.sim.max_cycles = max_cycles;
+        self
+    }
+
+    /// Skip the CPS optimizer (ablations and debugging).
+    #[must_use]
+    pub fn skip_opt(mut self, skip: bool) -> Self {
+        self.skip_opt = skip;
+        self
+    }
+
+    /// Replace the CPS optimizer settings wholesale.
+    #[must_use]
+    pub fn opt(mut self, opt: OptConfig) -> Self {
+        self.opt = opt;
+        self
+    }
+
+    /// Replace the allocator settings wholesale. Solver knobs set through
+    /// this builder ([`solver_threads`](Self::solver_threads), kernel,
+    /// deadline, gap) still apply on top at build time.
+    #[must_use]
+    pub fn alloc(mut self, alloc: AllocConfig) -> Self {
+        self.alloc = alloc;
+        self
+    }
+
+    /// `NOVA_ILP_THREADS` if set and ≥ 1, else 0 (the solver's own
+    /// "available parallelism" default).
+    fn auto_threads() -> usize {
+        match std::env::var("NOVA_ILP_THREADS") {
+            Ok(s) => match s.trim().parse::<usize>() {
+                Ok(n) if n >= 1 => n.min(MAX_SOLVER_THREADS),
+                _ => 0,
+            },
+            Err(_) => 0,
+        }
+    }
+
+    /// Resolve every automatic knob — including the environment
+    /// overrides — and produce the final configuration.
+    pub fn build(self) -> CompileConfig {
+        let mut alloc = self.alloc;
+        alloc.solver.threads = match self.threads {
+            Some(n) if n >= 1 => n.min(MAX_SOLVER_THREADS),
+            _ => Self::auto_threads(),
+        };
+        alloc.solver.kernel =
+            Some(self.kernel.unwrap_or_else(KernelKind::from_env));
+        alloc.solver.time_limit = self.deadline;
+        if let Some(gap) = self.gap {
+            alloc.solver.relative_gap = gap;
+        }
+        CompileConfig { opt: self.opt, alloc, skip_opt: self.skip_opt, sim: self.sim }
     }
 }
 
@@ -77,43 +303,106 @@ pub struct CompileOutput {
     pub code_size: usize,
 }
 
-/// A pipeline failure with the phase that produced it.
-#[derive(Debug)]
+/// The pipeline phase a diagnostic originated from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum Phase {
+    /// Lexing and parsing.
+    Parse,
+    /// Type checking.
+    Typecheck,
+    /// CPS conversion.
+    CpsConvert,
+    /// CPS optimization (including label specialization).
+    CpsOptimize,
+    /// Static-single-use conversion and checking.
+    Ssu,
+    /// Instruction selection.
+    Isel,
+    /// ILP bank/register allocation.
+    Alloc,
+}
+
+impl Phase {
+    /// Stable lowercase phase name (`"parse"`, `"typecheck"`, ...).
+    pub fn name(self) -> &'static str {
+        match self {
+            Phase::Parse => "parse",
+            Phase::Typecheck => "typecheck",
+            Phase::CpsConvert => "cps-convert",
+            Phase::CpsOptimize => "cps-optimize",
+            Phase::Ssu => "ssu",
+            Phase::Isel => "isel",
+            Phase::Alloc => "alloc",
+        }
+    }
+}
+
+impl std::fmt::Display for Phase {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A structured pipeline failure: the phase that produced it, a
+/// machine-readable code, the source span when the phase tracks one, and
+/// the rendered human-readable message.
+#[derive(Debug, Clone)]
 pub struct CompileError {
     /// Which phase failed.
-    pub phase: &'static str,
-    /// Rendered message.
+    pub phase: Phase,
+    /// Machine-readable diagnostic code, stable across message rewording
+    /// (e.g. `"E-PARSE"`, `"E-DYNCALL"`).
+    pub code: &'static str,
+    /// Source region the diagnostic points at, when the failing phase
+    /// still tracks source positions (frontend phases do; backend phases
+    /// operate on CPS/machine code and do not).
+    pub span: Option<Span>,
+    /// Rendered message (with `line:col` coordinates when a span exists).
     pub message: String,
+}
+
+impl CompileError {
+    fn new(phase: Phase, code: &'static str, message: impl std::fmt::Display) -> Self {
+        CompileError { phase, code, span: None, message: message.to_string() }
+    }
+
+    fn with_span(
+        phase: Phase,
+        code: &'static str,
+        source: &str,
+        d: &nova_frontend::Diagnostic,
+    ) -> Self {
+        CompileError { phase, code, span: Some(d.span), message: d.render(source) }
+    }
 }
 
 impl std::fmt::Display for CompileError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "{}: {}", self.phase, self.message)
+        write!(f, "{}: {} [{}]", self.phase, self.message, self.code)
     }
 }
 
 impl std::error::Error for CompileError {}
 
-fn err(phase: &'static str, message: impl std::fmt::Display) -> CompileError {
-    CompileError { phase, message: message.to_string() }
-}
-
 /// Compile Nova source text to machine code.
 ///
 /// # Errors
 ///
-/// Returns the first error of whichever phase fails, tagged with the
-/// phase name.
+/// Returns the first [`CompileError`] of whichever phase fails, carrying
+/// the [`Phase`], a stable diagnostic code, and the source span when the
+/// phase tracks one.
 pub fn compile_source(
     source: &str,
     config: &CompileConfig,
 ) -> Result<CompileOutput, CompileError> {
-    let program =
-        nova_frontend::parse(source).map_err(|d| err("parse", d.render(source)))?;
-    let info = nova_frontend::check(&program).map_err(|d| err("typecheck", d.render(source)))?;
+    let program = nova_frontend::parse(source)
+        .map_err(|d| CompileError::with_span(Phase::Parse, "E-PARSE", source, &d))?;
+    let info = nova_frontend::check(&program)
+        .map_err(|d| CompileError::with_span(Phase::Typecheck, "E-TYPE", source, &d))?;
     let static_stats = program.static_stats();
     let mut cps = nova_cps::convert(&program, &info)
-        .map_err(|d| err("cps-convert", d.render(source)))?;
+        .map_err(|d| CompileError::with_span(Phase::CpsConvert, "E-CPS", source, &d))?;
     let opt_stats = if config.skip_opt {
         // Even unoptimized builds need static call targets (label
         // specialization is a backend requirement, not an optimization).
@@ -122,17 +411,19 @@ pub fn compile_source(
         nova_cps::optimize(&mut cps, &config.opt)
     };
     if !nova_cps::all_calls_static(&cps) {
-        return Err(err(
-            "cps-optimize",
+        return Err(CompileError::new(
+            Phase::CpsOptimize,
+            "E-DYNCALL",
             "a dynamic call target survived label specialization; \
              the IXP has no indirect branch",
         ));
     }
     let ssu_stats = nova_cps::to_ssu(&mut cps);
-    nova_cps::check_ssu(&cps).map_err(|m| err("ssu", m))?;
-    let vprog = nova_backend::select(&cps).map_err(|e| err("isel", e))?;
-    let allocation =
-        nova_backend::allocate(&vprog, &config.alloc).map_err(|e| err("alloc", e))?;
+    nova_cps::check_ssu(&cps).map_err(|m| CompileError::new(Phase::Ssu, "E-SSU", m))?;
+    let vprog = nova_backend::select(&cps)
+        .map_err(|e| CompileError::new(Phase::Isel, "E-ISEL", e))?;
+    let allocation = nova_backend::allocate(&vprog, &config.alloc)
+        .map_err(|e| CompileError::new(Phase::Alloc, "E-ALLOC", e))?;
     let code_size = allocation.prog.len();
     Ok(CompileOutput {
         prog: allocation.prog,

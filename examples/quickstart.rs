@@ -4,8 +4,7 @@
 //!
 //! Run with `cargo run --release --example quickstart`.
 
-use ixp_sim::{simulate, SimConfig, SimMemory};
-use nova::{compile_source, CompileConfig};
+use nova::{compile_source, simulate, CompileConfig, SimMemory};
 
 const PROGRAM: &str = r#"
 // Swap two pairs of SRAM words and store their sums.
@@ -19,8 +18,10 @@ fun main() {
 
 fn main() {
     // 1. Compile: parse -> typecheck -> CPS -> optimize -> SSU -> select ->
-    //    ILP bank assignment + transfer coloring -> A/B coloring.
-    let out = compile_source(PROGRAM, &CompileConfig::default()).expect("compiles");
+    //    ILP bank assignment + transfer coloring -> A/B coloring. One
+    //    builder configures the solver and the simulation shape together.
+    let cfg = CompileConfig::builder().contexts(1).build();
+    let out = compile_source(PROGRAM, &cfg).expect("compiles");
 
     println!("=== optimized CPS ===");
     println!("{}", nova_cps::ir::pretty(&out.cps));
@@ -40,11 +41,11 @@ fn main() {
     );
     println!("solution: {} inter-bank moves, {} spills", st.moves, st.spills);
 
-    // 2. Execute on the simulated micro-engine.
+    // 2. Execute on the simulated micro-engine, with the simulation shape
+    //    the builder configured.
     let mut mem = SimMemory::with_sizes(512, 64, 64);
     mem.sram[100..104].copy_from_slice(&[10, 20, 30, 40]);
-    let res = simulate(&out.prog, &mut mem, &SimConfig { threads: 1, ..Default::default() })
-        .expect("runs");
+    let res = simulate(&out.prog, &mut mem, &cfg.sim.sim_config()).expect("runs");
     println!("=== execution ===");
     println!("cycles: {}, instructions: {}", res.cycles, res.instructions);
     println!("sram[200..204] = {:?}", &mem.sram[200..204]);

@@ -7,6 +7,10 @@
 #   scripts/tier1.sh --bench-smoke  also run one small release-mode solve
 #                                   and fail if pivots/sec drops below the
 #                                   floor (MIN_PPS below; ~a minute)
+#   scripts/tier1.sh --chip-smoke   also run a 2-engine NAT chip simulation
+#                                   and fail if it loses packets or modeled
+#                                   packets/sec drops below the floor
+#                                   (MIN_CHIP_PPS below; seconds)
 #
 # The test suite runs in the default (debug) profile, where
 # benchmark-sized ILP solves are marked #[ignore]; the release build is
@@ -35,6 +39,16 @@ MIN_PPS=1500
 if [[ "${1:-}" == "--bench-smoke" ]]; then
     echo "== bench smoke (release, floor ${MIN_PPS} pivots/s) =="
     cargo run --release -p bench --bin bench_smoke -- --min-pps "${MIN_PPS}"
+fi
+
+# Modeled packets-per-second floor for the chip smoke (NAT, 2 engines,
+# 4 contexts). The measured rate clears this by well over an order of
+# magnitude; the floor catches scheduling/arbitration collapse.
+MIN_CHIP_PPS=50000
+
+if [[ "${1:-}" == "--chip-smoke" ]]; then
+    echo "== chip smoke (release, 2-engine NAT, floor ${MIN_CHIP_PPS} pkt/s) =="
+    cargo run --release -p bench --bin chip_smoke -- --min-pps "${MIN_CHIP_PPS}"
 fi
 
 echo "tier-1 OK"

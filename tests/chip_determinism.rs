@@ -1,0 +1,71 @@
+//! Host-parallelism invisibility of the chip-level simulator: for every
+//! benchmark workload, running the same compiled program on the same
+//! packet stream must produce bit-identical results — cycles, telemetry,
+//! memory traffic, and the transmit log — whether the simulation is
+//! driven by 1, 2, or 4 host worker threads.
+//!
+//! This is the property the cycle-slice/arbitration-epoch design buys:
+//! intra-slice execution is engine-local, and the barrier arbiter
+//! resolves shared-resource requests in a canonical total order, so host
+//! scheduling can never leak into the modeled chip.
+
+use bench::{compile, setup_memory, Benchmark};
+use ixp_sim::{simulate_chip, ChipConfig};
+use nova::CompileConfig;
+
+const PACKETS: usize = 48;
+const HOST_THREADS: [usize; 3] = [1, 2, 4];
+
+fn check(b: Benchmark, payload: u32) {
+    let cfg = CompileConfig::builder().solver_threads(1).build();
+    let out = compile(b, &cfg);
+    let mut reference = None;
+    for host_threads in HOST_THREADS {
+        let mut mem = setup_memory(b, PACKETS, payload);
+        let chip = ChipConfig {
+            engines: 6,
+            contexts: 4,
+            host_threads,
+            ..ChipConfig::default()
+        };
+        let res = simulate_chip(&out.prog, &mut mem, &chip)
+            .unwrap_or_else(|e| panic!("{}/{host_threads} host threads: {e}", b.name()));
+        assert_eq!(res.packets, PACKETS as u64, "{}: every packet processed", b.name());
+        let fingerprint = (
+            res.cycles,
+            res.instructions,
+            res.packets,
+            res.bytes,
+            res.mem_refs,
+            res.stop,
+            res.channels,
+            res.engines,
+            mem.tx_log,
+        );
+        match &reference {
+            None => reference = Some(fingerprint),
+            Some(want) => assert_eq!(
+                want, &fingerprint,
+                "{}: {host_threads} host threads changed the simulation",
+                b.name()
+            ),
+        }
+    }
+}
+
+#[test]
+fn nat_identical_across_host_threads() {
+    check(Benchmark::Nat, 64);
+}
+
+#[test]
+#[cfg_attr(debug_assertions, ignore = "benchmark-sized ILP solves are slow unoptimized; run with --release")]
+fn aes_identical_across_host_threads() {
+    check(Benchmark::Aes, 16);
+}
+
+#[test]
+#[cfg_attr(debug_assertions, ignore = "benchmark-sized ILP solves are slow unoptimized; run with --release")]
+fn kasumi_identical_across_host_threads() {
+    check(Benchmark::Kasumi, 16);
+}

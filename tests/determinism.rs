@@ -17,8 +17,7 @@ use nova::{compile_source, CompileConfig, CompileOutput};
 use workloads::{AES_NOVA, KASUMI_NOVA, NAT_NOVA};
 
 fn compile_with_threads(name: &str, src: &str, threads: usize) -> CompileOutput {
-    let mut cfg = CompileConfig::default().with_solver_threads(threads);
-    cfg.alloc.solver.relative_gap = 0.0;
+    let cfg = CompileConfig::builder().solver_threads(threads).solver_gap(0.0).build();
     let t0 = std::time::Instant::now();
     let out = compile_source(src, &cfg).unwrap_or_else(|e| panic!("{name}/{threads}t: {e}"));
     eprintln!(

@@ -1,7 +1,8 @@
 //! Error-path coverage for the umbrella pipeline: every phase failure is
-//! reported with its phase tag and a source position.
+//! reported as a structured diagnostic — phase, stable code, source span
+//! when the phase tracks one, and a rendered position in the message.
 
-use nova::{compile_source, CompileConfig};
+use nova::{compile_source, CompileConfig, Phase};
 
 fn err_of(src: &str) -> nova::CompileError {
     compile_source(src, &CompileConfig::default()).unwrap_err()
@@ -10,42 +11,66 @@ fn err_of(src: &str) -> nova::CompileError {
 #[test]
 fn parse_errors_are_tagged() {
     let e = err_of("fun main( { 0 }");
-    assert_eq!(e.phase, "parse");
+    assert_eq!(e.phase, Phase::Parse);
+    assert_eq!(e.code, "E-PARSE");
+    assert!(e.span.is_some(), "frontend phases carry a span");
     assert!(e.message.contains("1:"), "position: {}", e.message);
+    // Display stitches phase, message, and code together for logs.
+    let shown = e.to_string();
+    assert!(shown.starts_with("parse: "), "display: {shown}");
+    assert!(shown.contains("[E-PARSE]"), "display: {shown}");
 }
 
 #[test]
 fn type_errors_are_tagged() {
     let e = err_of("fun main() { x + 1 }");
-    assert_eq!(e.phase, "typecheck");
+    assert_eq!(e.phase, Phase::Typecheck);
+    assert_eq!(e.code, "E-TYPE");
     assert!(e.message.contains("unbound"));
 
     let e = err_of("fun main() { if (1) 2 else 3 }");
-    assert_eq!(e.phase, "typecheck");
+    assert_eq!(e.phase, Phase::Typecheck);
 
     let e = err_of("fun main() { let (a, b, c) = sdram(0); a }");
-    assert_eq!(e.phase, "typecheck");
+    assert_eq!(e.phase, Phase::Typecheck);
     assert!(e.message.contains("even"), "sdram burst rule: {}", e.message);
+}
+
+#[test]
+fn spans_point_into_the_source() {
+    let src = "fun main() { x + 1 }";
+    let e = err_of(src);
+    let span = e.span.expect("typecheck diagnostics carry a span");
+    assert!(span.lo < span.hi, "non-empty span");
+    assert!((span.hi as usize) <= src.len(), "span stays inside the source");
+    assert_eq!(&src[span.lo as usize..span.hi as usize], "x");
+}
+
+#[test]
+fn errors_implement_std_error() {
+    let e = err_of("fun main( { 0 }");
+    let dynamic: &dyn std::error::Error = &e;
+    assert!(!dynamic.to_string().is_empty());
 }
 
 #[test]
 fn non_tail_recursion_is_rejected() {
     let e = err_of("fun main() { 1 + main() }");
-    assert_eq!(e.phase, "typecheck");
+    assert_eq!(e.phase, Phase::Typecheck);
     assert!(e.message.contains("tail position"));
 }
 
 #[test]
 fn missing_main_is_rejected() {
     let e = err_of("fun helper() { 1 }");
-    assert_eq!(e.phase, "typecheck");
+    assert_eq!(e.phase, Phase::Typecheck);
     assert!(e.message.contains("main"));
 }
 
 #[test]
 fn unknown_layout_is_rejected() {
     let e = err_of("fun main() { let (w) = sram(0); let u = unpack[nosuch]((w)); u }");
-    assert_eq!(e.phase, "typecheck");
+    assert_eq!(e.phase, Phase::Typecheck);
     assert!(e.message.contains("unknown layout"));
 }
 
