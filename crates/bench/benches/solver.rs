@@ -17,8 +17,10 @@ fn nat_model(c: &mut Criterion) {
     let prog = nova_backend::select(&cps).unwrap();
     let facts = nova_backend::alloc::build_facts(&prog);
     let freqs = nova_backend::freq::estimate(&prog);
-    let mut cfg = nova_backend::alloc::AllocConfig::default();
-    cfg.allow_spill = false;
+    let cfg = nova_backend::alloc::AllocConfig {
+        allow_spill: false,
+        ..Default::default()
+    };
 
     let mut g = c.benchmark_group("nat-model");
     g.sample_size(10);

@@ -22,5 +22,8 @@ fn main() {
             ]);
         }
     }
-    println!("{}", table(&["program", "mode", "total(s)", "nodes", "moves"], &rows));
+    println!(
+        "{}",
+        table(&["program", "mode", "total(s)", "nodes", "moves"], &rows)
+    );
 }

@@ -30,8 +30,11 @@ fn main() {
             cfg.spill_auto = do_prune; // the full model keeps M everywhere
             let mut bm = build_model(&prog, &facts, &freqs, &cfg);
             let st = bm.model.stats();
-            let cands =
-                if do_prune { prune(&facts, true) } else { unpruned(&facts, true) };
+            let cands = if do_prune {
+                prune(&facts, true)
+            } else {
+                unpruned(&facts, true)
+            };
             rows.push(vec![
                 b.name().to_string(),
                 mode.to_string(),
@@ -44,7 +47,10 @@ fn main() {
     }
     println!(
         "{}",
-        table(&["program", "mode", "cand-banks", "vars", "rows", "objterms"], &rows)
+        table(
+            &["program", "mode", "cand-banks", "vars", "rows", "objterms"],
+            &rows
+        )
     );
     println!("paper: without reduction, ~1,000,000 Move variables (72 banks^2 x");
     println!("~20 live x 1000 instructions); with it, 102k-203k total variables.");

@@ -23,5 +23,11 @@ fn main() {
             ]);
         }
     }
-    println!("{}", table(&["program", "mode", "root(s)", "total(s)", "nodes", "moves"], &rows));
+    println!(
+        "{}",
+        table(
+            &["program", "mode", "root(s)", "total(s)", "nodes", "moves"],
+            &rows
+        )
+    );
 }

@@ -29,6 +29,12 @@ fn main() {
             ]);
         }
     }
-    println!("{}", table(&["program", "mode", "vars", "rows", "solve(s)", "moves", "spills"], &rows));
+    println!(
+        "{}",
+        table(
+            &["program", "mode", "vars", "rows", "solve(s)", "moves", "spills"],
+            &rows
+        )
+    );
     println!("paper: the two-stage objective cut AES 35.9s -> 9s and NAT 155.6s -> 19.2s.");
 }

@@ -42,8 +42,14 @@ fn compile_with_ssu(src: &str, ssu: bool) -> Result<usize, String> {
 
 fn main() {
     println!("E9: the role of static single use\n");
-    println!("conflicting-aggregate program without SSU: {:?}", compile_with_ssu(CONFLICT, false));
-    println!("conflicting-aggregate program with SSU:    {:?}", compile_with_ssu(CONFLICT, true));
+    println!(
+        "conflicting-aggregate program without SSU: {:?}",
+        compile_with_ssu(CONFLICT, false)
+    );
+    println!(
+        "conflicting-aggregate program with SSU:    {:?}",
+        compile_with_ssu(CONFLICT, true)
+    );
     println!();
     let mut rows = Vec::new();
     for b in Benchmark::ALL {
@@ -55,7 +61,10 @@ fn main() {
             out.alloc_stats.moves.to_string(),
         ]);
     }
-    println!("{}", table(&["program", "cloned vars", "clones", "moves"], &rows));
+    println!(
+        "{}",
+        table(&["program", "cloned vars", "clones", "moves"], &rows)
+    );
     println!("\nClones are copies that do not interfere: most share their");
     println!("original's register and cost nothing (moves stay low).");
 }

@@ -1,0 +1,93 @@
+//! CI perf gate: diff fresh bench artifacts against checked-in
+//! baselines with the tolerances of [`bench::gate`].
+//!
+//! Usage:
+//!
+//! ```text
+//! bench_gate [--solver BASE CURRENT] [--throughput BASE CURRENT] \
+//!            [--phases BASE CURRENT]
+//! ```
+//!
+//! Any subset of the three pairs may be given; each is parsed, gated,
+//! and rendered as a markdown table on stdout. When the
+//! `GITHUB_STEP_SUMMARY` environment variable points at a writable file
+//! (as it does inside a GitHub Actions job), the same markdown is
+//! appended there so the verdict shows up in the job summary. Exits
+//! non-zero if any gating check or file/parse step fails.
+
+use bench::gate::{gate_phases, gate_solver, gate_throughput, GateReport};
+use bench::json::Json;
+use std::io::Write as _;
+
+fn load(path: &str) -> Result<Json, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    Json::parse(&text).map_err(|e| format!("parsing {path}: {e}"))
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut pairs: Vec<(&'static str, String, String)> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        let which = match args[i].as_str() {
+            "--solver" => "solver",
+            "--throughput" => "throughput",
+            "--phases" => "phases",
+            other => {
+                eprintln!("unknown argument `{other}`");
+                eprintln!(
+                    "usage: bench_gate [--solver BASE CURRENT] \
+                     [--throughput BASE CURRENT] [--phases BASE CURRENT]"
+                );
+                std::process::exit(2);
+            }
+        };
+        let (Some(base), Some(cur)) = (args.get(i + 1), args.get(i + 2)) else {
+            eprintln!("--{which} needs BASELINE and CURRENT paths");
+            std::process::exit(2);
+        };
+        pairs.push((which, base.clone(), cur.clone()));
+        i += 3;
+    }
+    if pairs.is_empty() {
+        eprintln!("nothing to gate: pass --solver/--throughput/--phases pairs");
+        std::process::exit(2);
+    }
+
+    let mut markdown = String::new();
+    let mut failed = false;
+    for (which, base_path, cur_path) in &pairs {
+        let report = match (load(base_path), load(cur_path)) {
+            (Ok(base), Ok(cur)) => match *which {
+                "solver" => gate_solver(&base, &cur),
+                "throughput" => gate_throughput(&base, &cur),
+                _ => gate_phases(&base, &cur),
+            },
+            (Err(e), _) | (_, Err(e)) => {
+                let mut r = GateReport::default();
+                r.errors.push(e);
+                r
+            }
+        };
+        let title = format!("{which}: {base_path} vs {cur_path}");
+        markdown.push_str(&report.markdown(&title));
+        markdown.push('\n');
+        failed |= !report.passed();
+    }
+
+    print!("{markdown}");
+    if let Ok(path) = std::env::var("GITHUB_STEP_SUMMARY") {
+        if let Ok(mut f) = std::fs::OpenOptions::new()
+            .append(true)
+            .create(true)
+            .open(&path)
+        {
+            let _ = f.write_all(markdown.as_bytes());
+        }
+    }
+    if failed {
+        eprintln!("perf gate FAILED");
+        std::process::exit(1);
+    }
+    println!("perf gate passed");
+}

@@ -31,7 +31,10 @@ fn main() {
         }
     }
 
-    let cfg = CompileConfig::builder().solver_threads(1).solver_gap(0.0).build();
+    let cfg = CompileConfig::builder()
+        .solver_threads(1)
+        .solver_gap(0.0)
+        .build();
     let out = compile(Benchmark::Nat, &cfg);
     let st = &out.alloc_stats;
     let s = &st.solve;
@@ -57,7 +60,10 @@ fn main() {
         failures.push("solve did not prove optimality at relative_gap 0".to_string());
     }
     if st.spills != 0 {
-        failures.push(format!("NAT allocated with {} spills (expected 0)", st.spills));
+        failures.push(format!(
+            "NAT allocated with {} spills (expected 0)",
+            st.spills
+        ));
     }
     if pps < min_pps {
         failures.push(format!(

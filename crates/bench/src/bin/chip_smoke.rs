@@ -36,11 +36,18 @@ fn main() {
         }
     }
 
-    let cfg = CompileConfig::builder().solver_threads(1).solver_gap(0.0).build();
+    let cfg = CompileConfig::builder()
+        .solver_threads(1)
+        .solver_gap(0.0)
+        .build();
     let out = compile(Benchmark::Nat, &cfg);
     let res = run_chip_throughput(Benchmark::Nat, &out, PACKETS, PAYLOAD, ENGINES, CONTEXTS);
     let secs = res.cycles as f64 / CLOCK_HZ as f64;
-    let pps = if secs > 0.0 { res.packets as f64 / secs } else { 0.0 };
+    let pps = if secs > 0.0 {
+        res.packets as f64 / secs
+    } else {
+        0.0
+    };
     eprintln!(
         "NAT on {ENGINES} engines x {CONTEXTS} contexts: {} packets in {} cycles \
          ({:.0} pkt/s, {:.1} Mb/s), stop {:?}",
@@ -58,7 +65,10 @@ fn main() {
     }
     let mut failures = Vec::new();
     if res.stop != StopReason::AllHalted {
-        failures.push(format!("run stopped with {:?}, expected AllHalted", res.stop));
+        failures.push(format!(
+            "run stopped with {:?}, expected AllHalted",
+            res.stop
+        ));
     }
     if res.packets != PACKETS as u64 {
         failures.push(format!("processed {} of {PACKETS} packets", res.packets));

@@ -69,8 +69,7 @@ fn main() {
         // derived[(i,j)] = re-derive c_j from resident c_i (1 cycle).
         let mut p = Problem::minimize();
         let n = consts.len();
-        let resident: Vec<_> =
-            (0..n).map(|i| p.add_binary(format!("res{i}"))).collect();
+        let resident: Vec<_> = (0..n).map(|i| p.add_binary(format!("res{i}"))).collect();
         let mut derive_vars: Vec<(usize, usize, ilp::Var)> = Vec::new();
         for i in 0..n {
             for j in 0..n {
@@ -147,13 +146,25 @@ fn main() {
             n_der.to_string(),
             format!("{baseline:.0}"),
             format!("{:.0}", sol.objective),
-            format!("{:.0}%", 100.0 * (baseline - sol.objective) / baseline.max(1.0)),
+            format!(
+                "{:.0}%",
+                100.0 * (baseline - sol.objective) / baseline.max(1.0)
+            ),
         ]);
     }
     println!(
         "{}",
         table(
-            &["program", "consts", "spare regs", "resident", "derived", "load cyc", "after", "saved"],
+            &[
+                "program",
+                "consts",
+                "spare regs",
+                "resident",
+                "derived",
+                "load cyc",
+                "after",
+                "saved"
+            ],
             &rows
         )
     );

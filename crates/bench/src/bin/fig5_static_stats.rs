@@ -34,7 +34,10 @@ fn main() {
     println!(
         "{}",
         table(
-            &["program", "lines", "instrs", "layouts", "pack", "unpack", "raise", "handle", "funs"],
+            &[
+                "program", "lines", "instrs", "layouts", "pack", "unpack", "raise", "handle",
+                "funs"
+            ],
             &rows
         )
     );

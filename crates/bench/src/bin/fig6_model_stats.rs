@@ -23,7 +23,10 @@ fn main() {
     }
     println!(
         "{}",
-        table(&["program", "DefLi", "DefLDj", "DefTot", "UseSi", "UseSDj", "UseTot"], &rows)
+        table(
+            &["program", "DefLi", "DefLDj", "DefTot", "UseSi", "UseSDj", "UseTot"],
+            &rows
+        )
     );
     println!("paper (Figure 6):");
     println!("  AES:    DefLi 68, DefLDj 16, total 84;  UseSi 4, UseSDj 10, total 14");

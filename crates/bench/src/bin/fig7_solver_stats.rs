@@ -52,7 +52,10 @@ fn main() {
     println!(
         "{}",
         table(
-            &["program", "root(s)", "total(s)", "vars", "rows", "objterms", "nodes", "moves", "spills"],
+            &[
+                "program", "root(s)", "total(s)", "vars", "rows", "objterms", "nodes", "moves",
+                "spills"
+            ],
             &rows
         )
     );
@@ -60,7 +63,16 @@ fn main() {
     println!(
         "{}",
         table(
-            &["program", "threads", "pivots", "warm-hit", "lazy-act", "presolved", "cpu(s)", "nodes/thread"],
+            &[
+                "program",
+                "threads",
+                "pivots",
+                "warm-hit",
+                "lazy-act",
+                "presolved",
+                "cpu(s)",
+                "nodes/thread"
+            ],
             &telemetry
         )
     );

@@ -1,0 +1,228 @@
+//! E11 — per-phase time/allocation report for the whole pipeline.
+//!
+//! Compiles AES and NAT through [`nova::compile`] with a recording
+//! observer, runs the result on the chip-level simulator through
+//! [`nova::simulate_chip_with`] against the same observer, and renders
+//! where the wall time and heap traffic went for each of the five
+//! pipeline stages (`frontend`, `cps`, `ilp`, `codegen`, `sim`).
+//! Results land in `BENCH_phases.json` (pass a path to override); CI
+//! regenerates the file as `BENCH_phases.ci.json` and `bench_gate`
+//! diffs the deterministic counters against the checked-in baseline.
+//!
+//! Wall times come from the observability spans. Heap traffic comes
+//! from a counting global allocator snapshotted by a tee'd recorder
+//! each time a `phase.*` span closes, attributing the bytes allocated
+//! since the previous phase boundary; phases run sequentially, so the
+//! attribution is exact up to the recorder's own bookkeeping.
+//!
+//! The compile is pinned to one solver thread and an exact gap so the
+//! gated counters (pivots, simulated cycles/packets) are bit-identical
+//! across hosts and reruns.
+
+use bench::json::Json;
+use bench::{setup_memory, table, Benchmark};
+use nova::{
+    simulate_chip_with, CompileConfig, Event, EventKind, MemoryRecorder, Obs, Recorder, TeeRecorder,
+};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+static ALLOC_BYTES: AtomicU64 = AtomicU64::new(0);
+static ALLOC_COUNT: AtomicU64 = AtomicU64::new(0);
+
+/// System allocator wrapped with relaxed byte/call counters.
+struct CountingAlloc;
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOC_BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        ALLOC_COUNT.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOC_BYTES.fetch_add(
+            new_size.saturating_sub(layout.size()) as u64,
+            Ordering::Relaxed,
+        );
+        ALLOC_COUNT.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+/// Attributes allocator traffic to pipeline stages: every time a
+/// `phase.*` span closes, the bytes/calls since the previous phase
+/// boundary belong to that phase. Same-name phases (codegen closes once
+/// for selection, once for the backend) accumulate.
+#[derive(Default)]
+struct PhaseAllocRecorder {
+    state: Mutex<PhaseAllocState>,
+}
+
+#[derive(Default)]
+struct PhaseAllocState {
+    last_bytes: u64,
+    last_count: u64,
+    rows: Vec<(String, u64, u64)>,
+}
+
+impl PhaseAllocRecorder {
+    /// Start attribution at the allocator's current position.
+    fn rebase(&self) {
+        let mut st = self.state.lock().unwrap();
+        st.last_bytes = ALLOC_BYTES.load(Ordering::Relaxed);
+        st.last_count = ALLOC_COUNT.load(Ordering::Relaxed);
+    }
+
+    /// (phase name, bytes, allocation calls), summed by phase.
+    fn totals(&self) -> Vec<(String, u64, u64)> {
+        let st = self.state.lock().unwrap();
+        let mut out: Vec<(String, u64, u64)> = Vec::new();
+        for (name, bytes, count) in &st.rows {
+            match out.iter_mut().find(|(n, _, _)| n == name) {
+                Some((_, b, c)) => {
+                    *b += bytes;
+                    *c += count;
+                }
+                None => out.push((name.clone(), *bytes, *count)),
+            }
+        }
+        out
+    }
+}
+
+impl Recorder for PhaseAllocRecorder {
+    fn record(&self, event: Event) {
+        if !matches!(event.kind, EventKind::Span { .. }) {
+            return;
+        }
+        let Some(phase) = event.name.strip_prefix("phase.") else {
+            return;
+        };
+        let bytes = ALLOC_BYTES.load(Ordering::Relaxed);
+        let count = ALLOC_COUNT.load(Ordering::Relaxed);
+        let mut st = self.state.lock().unwrap();
+        let (db, dc) = (bytes - st.last_bytes, count - st.last_count);
+        st.last_bytes = bytes;
+        st.last_count = count;
+        let phase = phase.to_string();
+        st.rows.push((phase, db, dc));
+    }
+}
+
+const PACKETS: usize = 64;
+const PHASES: [&str; 5] = ["frontend", "cps", "ilp", "codegen", "sim"];
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_phases.json".into());
+    println!("Per-phase wall time and heap traffic (64 packets, full 6-engine chip)\n");
+    let mut programs = Vec::new();
+    for (b, payload) in [(Benchmark::Aes, 16u32), (Benchmark::Nat, 64)] {
+        let rec = MemoryRecorder::new();
+        let phase_alloc = Arc::new(PhaseAllocRecorder::default());
+        phase_alloc.rebase();
+        let obs = Obs::new(TeeRecorder::new(vec![
+            Arc::new(rec.clone()) as Arc<dyn Recorder>,
+            phase_alloc.clone() as Arc<dyn Recorder>,
+        ]));
+        let cfg = CompileConfig::builder()
+            .solver_threads(1)
+            .solver_gap(0.0)
+            .observer_handle(obs.clone())
+            .build();
+        let report =
+            nova::compile(b.source(), &cfg).unwrap_or_else(|e| panic!("{}: {e}", b.name()));
+        let mut mem = setup_memory(b, PACKETS, payload);
+        let res = simulate_chip_with(
+            &report.artifact.prog,
+            &mut mem,
+            &cfg.sim.chip_config(),
+            &obs,
+        )
+        .expect("chip simulation runs");
+        let summary = rec.summary();
+        let allocs = phase_alloc.totals();
+
+        let mut rows = Vec::new();
+        let mut phase_json = Vec::new();
+        for phase in PHASES {
+            let span = summary
+                .span(&format!("phase.{phase}"))
+                .unwrap_or_else(|| panic!("{}: phase.{phase} never closed", b.name()));
+            let (bytes, count) = allocs
+                .iter()
+                .find(|(n, _, _)| n == phase)
+                .map_or((0, 0), |(_, bt, c)| (*bt, *c));
+            let wall_ms = span.total_ns as f64 / 1e6;
+            let alloc_mb = bytes as f64 / (1024.0 * 1024.0);
+            rows.push(vec![
+                phase.to_string(),
+                format!("{wall_ms:.2}"),
+                format!("{alloc_mb:.2}"),
+                format!("{count}"),
+            ]);
+            phase_json.push(Json::obj([
+                ("name", Json::str(phase)),
+                ("wall_ms", Json::Num(wall_ms)),
+                ("alloc_mb", Json::Num(alloc_mb)),
+                ("allocs", Json::int(count as usize)),
+            ]));
+        }
+        println!("{}:", b.name());
+        println!(
+            "{}",
+            table(&["phase", "wall ms", "alloc MB", "allocs"], &rows)
+        );
+
+        let counter = |name: &str| Json::int(summary.counter_total(name).unwrap_or(0) as usize);
+        programs.push(Json::obj([
+            ("name", Json::str(b.name())),
+            ("payload_bytes", Json::int(payload as usize)),
+            ("phases", Json::Arr(phase_json)),
+            (
+                "counters",
+                Json::obj([
+                    ("ilp.pivots", counter("ilp.pivots")),
+                    ("ilp.nodes", counter("ilp.nodes")),
+                    ("backend.spills", counter("backend.spills")),
+                    ("backend.moves", counter("backend.moves")),
+                    ("sim.cycles", counter("sim.cycles")),
+                    ("sim.packets", counter("sim.packets")),
+                    ("sim.instructions", counter("sim.instructions")),
+                ]),
+            ),
+            (
+                "sim",
+                Json::obj([
+                    ("cycles", Json::int(res.cycles as usize)),
+                    ("packets", Json::int(res.packets as usize)),
+                    ("mbps", Json::Num(res.mbps)),
+                ]),
+            ),
+        ]));
+    }
+    let doc = Json::obj([
+        ("bench", Json::str("phases")),
+        (
+            "config",
+            Json::obj([
+                ("packets", Json::int(PACKETS)),
+                ("solver_threads", Json::int(1)),
+                ("relative_gap", Json::Num(0.0)),
+            ]),
+        ),
+        ("programs", Json::Arr(programs)),
+    ]);
+    std::fs::write(&out_path, doc.pretty()).unwrap_or_else(|e| panic!("writing {out_path}: {e}"));
+    println!("wrote {out_path}");
+}

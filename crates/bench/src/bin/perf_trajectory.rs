@@ -17,7 +17,9 @@ use std::time::Instant;
 const THREAD_SWEEP: [usize; 3] = [1, 2, 4];
 
 fn main() {
-    let out_path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_solver.json".into());
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_solver.json".into());
     let avail = std::thread::available_parallelism()
         .map(std::num::NonZeroUsize::get)
         .unwrap_or(1);
@@ -28,9 +30,7 @@ fn main() {
     let mut sweep: Vec<usize> = THREAD_SWEEP.iter().map(|&t| t.min(avail)).collect();
     sweep.dedup();
     if sweep.len() < THREAD_SWEEP.len() {
-        eprintln!(
-            "host has {avail} core(s); clamping thread sweep {THREAD_SWEEP:?} -> {sweep:?}"
-        );
+        eprintln!("host has {avail} core(s); clamping thread sweep {THREAD_SWEEP:?} -> {sweep:?}");
     }
     let mut programs = Vec::new();
     for b in Benchmark::ALL {
@@ -107,7 +107,10 @@ fn main() {
                 ]),
             ),
             ("runs", Json::Arr(runs)),
-            ("objective_consistent_across_threads", Json::Bool(consistent)),
+            (
+                "objective_consistent_across_threads",
+                Json::Bool(consistent),
+            ),
             ("code_size", Json::int(out.code_size)),
             (
                 "simulate",
@@ -143,7 +146,6 @@ fn main() {
         ),
         ("programs", Json::Arr(programs)),
     ]);
-    std::fs::write(&out_path, doc.pretty())
-        .unwrap_or_else(|e| panic!("writing {out_path}: {e}"));
+    std::fs::write(&out_path, doc.pretty()).unwrap_or_else(|e| panic!("writing {out_path}: {e}"));
     eprintln!("wrote {out_path}");
 }

@@ -20,15 +20,21 @@ const CONTEXTS: usize = 4;
 const PACKETS: usize = 64;
 
 fn main() {
-    let out_path =
-        std::env::args().nth(1).unwrap_or_else(|| "BENCH_throughput.json".into());
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_throughput.json".into());
     println!("Throughput on the simulated 233 MHz IXP1200 ({CONTEXTS} contexts/engine)\n");
-    let cfg = CompileConfig::builder().solver_threads(1).solver_gap(0.0).build();
+    let cfg = CompileConfig::builder()
+        .solver_threads(1)
+        .solver_gap(0.0)
+        .build();
     let mut programs = Vec::new();
     let mut rows = Vec::new();
-    for (b, payload) in
-        [(Benchmark::Aes, 16u32), (Benchmark::Kasumi, 16), (Benchmark::Nat, 64)]
-    {
+    for (b, payload) in [
+        (Benchmark::Aes, 16u32),
+        (Benchmark::Kasumi, 16),
+        (Benchmark::Nat, 64),
+    ] {
         let out = compile(b, &cfg);
         let s = &out.alloc_stats.solve;
         println!(
@@ -55,9 +61,7 @@ fn main() {
             let busiest = res
                 .channels
                 .iter()
-                .max_by(|a, c| {
-                    a.occupancy(res.cycles).total_cmp(&c.occupancy(res.cycles))
-                })
+                .max_by(|a, c| a.occupancy(res.cycles).total_cmp(&c.occupancy(res.cycles)))
                 .expect("three channels");
             rows.push(vec![
                 b.name().to_string(),
@@ -66,7 +70,11 @@ fn main() {
                 res.packets.to_string(),
                 res.cycles.to_string(),
                 format!("{:.1}", res.mbps),
-                format!("{:?} {:.0}%", busiest.space, 100.0 * busiest.occupancy(res.cycles)),
+                format!(
+                    "{:?} {:.0}%",
+                    busiest.space,
+                    100.0 * busiest.occupancy(res.cycles)
+                ),
             ]);
             let mut entry = chip_result_json(&res);
             if let Json::Obj(pairs) = &mut entry {
@@ -103,7 +111,15 @@ fn main() {
     println!(
         "{}",
         table(
-            &["program", "payload(B)", "engines", "packets", "cycles", "Mb/s", "busiest channel"],
+            &[
+                "program",
+                "payload(B)",
+                "engines",
+                "packets",
+                "cycles",
+                "Mb/s",
+                "busiest channel"
+            ],
             &rows,
         )
     );
@@ -119,7 +135,10 @@ fn main() {
         (
             "config",
             Json::obj([
-                ("clock_hz", Json::int(ixp_machine::timing::CLOCK_HZ as usize)),
+                (
+                    "clock_hz",
+                    Json::int(ixp_machine::timing::CLOCK_HZ as usize),
+                ),
                 ("contexts", Json::int(CONTEXTS)),
                 ("packets", Json::int(PACKETS)),
                 (
@@ -132,7 +151,6 @@ fn main() {
         ),
         ("programs", Json::Arr(programs)),
     ]);
-    std::fs::write(&out_path, doc.pretty())
-        .unwrap_or_else(|e| panic!("writing {out_path}: {e}"));
+    std::fs::write(&out_path, doc.pretty()).unwrap_or_else(|e| panic!("writing {out_path}: {e}"));
     eprintln!("wrote {out_path}");
 }

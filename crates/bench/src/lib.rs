@@ -3,6 +3,8 @@
 
 #![warn(missing_docs)]
 
+pub mod gate;
+
 use ixp_sim::{simulate, simulate_chip, ChipConfig, PacketGen, PacketSpec, SimConfig, SimMemory};
 use nova::{compile_source, CompileConfig, CompileOutput};
 use workloads::{aes, kasumi, AES_NOVA, KASUMI_NOVA, NAT_NOVA};
@@ -123,8 +125,15 @@ pub fn run_throughput(
     threads: usize,
 ) -> ixp_sim::SimResult {
     let mut mem = setup_memory(b, count, payload_bytes);
-    simulate(&out.prog, &mut mem, &SimConfig { threads, max_cycles: 4_000_000_000 })
-        .expect("simulation runs")
+    simulate(
+        &out.prog,
+        &mut mem,
+        &SimConfig {
+            threads,
+            max_cycles: 4_000_000_000,
+        },
+    )
+    .expect("simulation runs")
 }
 
 /// Run a compiled benchmark over `count` packets with `payload_bytes` of
@@ -139,7 +148,12 @@ pub fn run_chip_throughput(
     contexts: usize,
 ) -> ixp_sim::SimResult {
     let mut mem = setup_memory(b, count, payload_bytes);
-    let cfg = ChipConfig { engines, contexts, max_cycles: 4_000_000_000, ..ChipConfig::default() };
+    let cfg = ChipConfig {
+        engines,
+        contexts,
+        max_cycles: 4_000_000_000,
+        ..ChipConfig::default()
+    };
     simulate_chip(&out.prog, &mut mem, &cfg).expect("chip simulation runs")
 }
 
@@ -201,10 +215,12 @@ pub fn chip_result_json(res: &ixp_sim::SimResult) -> json::Json {
     ])
 }
 
-/// Minimal JSON construction for machine-readable bench artifacts
-/// (`BENCH_solver.json`). Hand-rolled because the workspace carries no
-/// serde; covers exactly what the bench binaries need: objects, arrays,
-/// strings, numbers, and booleans, pretty-printed with stable key order.
+/// Minimal JSON construction and parsing for machine-readable bench
+/// artifacts (`BENCH_solver.json`, `BENCH_phases.json`). Hand-rolled
+/// because the workspace carries no serde; covers exactly what the bench
+/// binaries need: objects, arrays, strings, numbers, and booleans,
+/// pretty-printed with stable key order, plus a strict parser for the
+/// gate binary that diffs checked-in baselines against fresh runs.
 pub mod json {
     /// A JSON value.
     #[derive(Debug, Clone)]
@@ -239,6 +255,228 @@ pub mod json {
             Json::Num(v as f64)
         }
 
+        /// Parse a JSON document. Strict: rejects trailing data,
+        /// comments, and unquoted keys; accepts everything [`pretty`]
+        /// emits (round-trip safe).
+        ///
+        /// [`pretty`]: Json::pretty
+        ///
+        /// # Errors
+        ///
+        /// Returns a message with the byte offset of the first syntax
+        /// error.
+        pub fn parse(text: &str) -> Result<Json, String> {
+            let mut p = Parser {
+                b: text.as_bytes(),
+                i: 0,
+            };
+            p.skip_ws();
+            let v = p.value()?;
+            p.skip_ws();
+            if p.i != p.b.len() {
+                return Err(format!("trailing data at byte {}", p.i));
+            }
+            Ok(v)
+        }
+
+        /// Member lookup on an object; `None` for other variants or a
+        /// missing key.
+        pub fn get(&self, key: &str) -> Option<&Json> {
+            match self {
+                Json::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+                _ => None,
+            }
+        }
+
+        /// Numeric view.
+        pub fn as_f64(&self) -> Option<f64> {
+            match self {
+                Json::Num(v) => Some(*v),
+                _ => None,
+            }
+        }
+
+        /// String view.
+        pub fn as_str(&self) -> Option<&str> {
+            match self {
+                Json::Str(s) => Some(s),
+                _ => None,
+            }
+        }
+
+        /// Array view.
+        pub fn as_arr(&self) -> Option<&[Json]> {
+            match self {
+                Json::Arr(items) => Some(items),
+                _ => None,
+            }
+        }
+
+        /// `self[key]` as a number (member lookup + numeric view).
+        pub fn num(&self, key: &str) -> Option<f64> {
+            self.get(key)?.as_f64()
+        }
+    }
+
+    struct Parser<'a> {
+        b: &'a [u8],
+        i: usize,
+    }
+
+    impl Parser<'_> {
+        fn skip_ws(&mut self) {
+            while matches!(self.b.get(self.i), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+                self.i += 1;
+            }
+        }
+
+        fn expect(&mut self, c: u8) -> Result<(), String> {
+            if self.b.get(self.i) == Some(&c) {
+                self.i += 1;
+                Ok(())
+            } else {
+                Err(format!("expected '{}' at byte {}", c as char, self.i))
+            }
+        }
+
+        fn value(&mut self) -> Result<Json, String> {
+            match self.b.get(self.i) {
+                Some(b'{') => self.object(),
+                Some(b'[') => self.array(),
+                Some(b'"') => Ok(Json::Str(self.string()?)),
+                Some(b't') => self.literal("true", Json::Bool(true)),
+                Some(b'f') => self.literal("false", Json::Bool(false)),
+                Some(b'n') => self.literal("null", Json::Null),
+                Some(c) if c.is_ascii_digit() || *c == b'-' => self.number(),
+                _ => Err(format!("expected a JSON value at byte {}", self.i)),
+            }
+        }
+
+        fn literal(&mut self, word: &str, v: Json) -> Result<Json, String> {
+            if self.b[self.i..].starts_with(word.as_bytes()) {
+                self.i += word.len();
+                Ok(v)
+            } else {
+                Err(format!("bad literal at byte {}", self.i))
+            }
+        }
+
+        fn number(&mut self) -> Result<Json, String> {
+            let start = self.i;
+            while matches!(
+                self.b.get(self.i),
+                Some(b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+            ) {
+                self.i += 1;
+            }
+            std::str::from_utf8(&self.b[start..self.i])
+                .ok()
+                .and_then(|s| s.parse::<f64>().ok())
+                .map(Json::Num)
+                .ok_or_else(|| format!("bad number at byte {start}"))
+        }
+
+        fn string(&mut self) -> Result<String, String> {
+            self.expect(b'"')?;
+            let mut out = String::new();
+            loop {
+                match self.b.get(self.i) {
+                    None => return Err("unterminated string".to_string()),
+                    Some(b'"') => {
+                        self.i += 1;
+                        return Ok(out);
+                    }
+                    Some(b'\\') => {
+                        self.i += 1;
+                        match self.b.get(self.i) {
+                            Some(b'"') => out.push('"'),
+                            Some(b'\\') => out.push('\\'),
+                            Some(b'/') => out.push('/'),
+                            Some(b'n') => out.push('\n'),
+                            Some(b't') => out.push('\t'),
+                            Some(b'r') => out.push('\r'),
+                            Some(b'b') => out.push('\u{8}'),
+                            Some(b'f') => out.push('\u{c}'),
+                            Some(b'u') => {
+                                let hex = self
+                                    .b
+                                    .get(self.i + 1..self.i + 5)
+                                    .and_then(|h| std::str::from_utf8(h).ok())
+                                    .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                    .ok_or_else(|| format!("bad \\u escape at byte {}", self.i))?;
+                                out.push(char::from_u32(hex).unwrap_or('\u{fffd}'));
+                                self.i += 4;
+                            }
+                            _ => return Err(format!("bad escape at byte {}", self.i)),
+                        }
+                        self.i += 1;
+                    }
+                    Some(_) => {
+                        // Consume one UTF-8 scalar (the input is a &str,
+                        // so boundaries are valid).
+                        let rest = std::str::from_utf8(&self.b[self.i..])
+                            .map_err(|_| "invalid UTF-8".to_string())?;
+                        let c = rest.chars().next().unwrap();
+                        out.push(c);
+                        self.i += c.len_utf8();
+                    }
+                }
+            }
+        }
+
+        fn array(&mut self) -> Result<Json, String> {
+            self.expect(b'[')?;
+            let mut items = Vec::new();
+            self.skip_ws();
+            if self.b.get(self.i) == Some(&b']') {
+                self.i += 1;
+                return Ok(Json::Arr(items));
+            }
+            loop {
+                self.skip_ws();
+                items.push(self.value()?);
+                self.skip_ws();
+                match self.b.get(self.i) {
+                    Some(b',') => self.i += 1,
+                    Some(b']') => {
+                        self.i += 1;
+                        return Ok(Json::Arr(items));
+                    }
+                    _ => return Err(format!("expected ',' or ']' at byte {}", self.i)),
+                }
+            }
+        }
+
+        fn object(&mut self) -> Result<Json, String> {
+            self.expect(b'{')?;
+            let mut pairs = Vec::new();
+            self.skip_ws();
+            if self.b.get(self.i) == Some(&b'}') {
+                self.i += 1;
+                return Ok(Json::Obj(pairs));
+            }
+            loop {
+                self.skip_ws();
+                let key = self.string()?;
+                self.skip_ws();
+                self.expect(b':')?;
+                self.skip_ws();
+                let val = self.value()?;
+                pairs.push((key, val));
+                self.skip_ws();
+                match self.b.get(self.i) {
+                    Some(b',') => self.i += 1,
+                    Some(b'}') => {
+                        self.i += 1;
+                        return Ok(Json::Obj(pairs));
+                    }
+                    _ => return Err(format!("expected ',' or '}}' at byte {}", self.i)),
+                }
+            }
+        }
+    }
+
+    impl Json {
         /// Render with two-space indentation and a trailing newline.
         pub fn pretty(&self) -> String {
             let mut out = String::new();

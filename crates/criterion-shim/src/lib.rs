@@ -72,7 +72,10 @@ impl BenchmarkGroup<'_> {
         let mut samples: Vec<Duration> = Vec::with_capacity(self.sample_size);
         let budget_start = Instant::now();
         for _ in 0..self.sample_size {
-            let mut b = Bencher { elapsed: Duration::ZERO, iters: 0 };
+            let mut b = Bencher {
+                elapsed: Duration::ZERO,
+                iters: 0,
+            };
             f(&mut b);
             if b.iters > 0 {
                 samples.push(b.elapsed / b.iters);
@@ -90,7 +93,10 @@ impl BenchmarkGroup<'_> {
         let max = samples.iter().max().unwrap();
         println!(
             "bench {label}: mean {:?}  min {:?}  max {:?}  ({} samples)",
-            mean, min, max, samples.len()
+            mean,
+            min,
+            max,
+            samples.len()
         );
         self
     }

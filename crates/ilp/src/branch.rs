@@ -576,8 +576,15 @@ fn worker(
                     let obj = to_min(shared.minimize, shared.problem.objective_value(&x));
                     shared.offer_incumbent(obj, x);
                 }
-                let (dive, other) =
-                    make_children(shared, &node.lo, &node.hi, j, sol.values[j], bound, node.depth + 1);
+                let (dive, other) = make_children(
+                    shared,
+                    &node.lo,
+                    &node.hi,
+                    j,
+                    sol.values[j],
+                    bound,
+                    node.depth + 1,
+                );
                 shared.push_node(other, true);
                 local = Some(dive);
             }
@@ -597,12 +604,52 @@ fn frac_var(int_vars: &[usize], x: &[f64], int_tol: f64, obj_coeff: &[f64]) -> O
         if f > int_tol {
             let dist = 0.5 - (x[j] - x[j].floor() - 0.5).abs();
             let score = obj_coeff[j] * 10.0 + dist;
-            if best.map_or(true, |(_, s)| score > s) {
+            if best.is_none_or(|(_, s)| score > s) {
                 best = Some((j, score));
             }
         }
     }
     best.map(|(j, _)| j)
+}
+
+/// [`solve_milp`] with structured telemetry: after the solve (successful
+/// or budget-exhausted) the search's [`SolveStats`] are published to
+/// `obs` as `ilp.*` counters plus `ilp.root` / `ilp.solve` spans. All
+/// emission happens once, after the tree search — the pivot and node hot
+/// loops are untouched, so a no-op observer costs one branch per solve.
+///
+/// # Errors
+///
+/// See [`MilpError`].
+pub fn solve_milp_with(
+    problem: &Problem,
+    config: &BranchConfig,
+    obs: &nova_obs::Obs,
+) -> Result<MilpSolution, MilpError> {
+    let res = solve_milp(problem, config);
+    if obs.enabled() {
+        match &res {
+            Ok(sol) => emit_stats(obs, &sol.stats),
+            Err(MilpError::BudgetExhausted(stats)) => emit_stats(obs, stats),
+            Err(_) => {}
+        }
+    }
+    res
+}
+
+/// Publish one solve's statistics as observability events.
+fn emit_stats(obs: &nova_obs::Obs, s: &SolveStats) {
+    obs.span_dur("ilp.root", s.root_time);
+    obs.span_dur("ilp.solve", s.total_time);
+    obs.counter("ilp.nodes", s.nodes as u64);
+    obs.counter("ilp.pivots", s.simplex_iterations as u64);
+    obs.counter("ilp.refactorizations", s.refactorizations as u64);
+    obs.counter("ilp.eta_pivots", s.eta_pivots as u64);
+    obs.counter("ilp.activated_rows", s.activated_rows as u64);
+    obs.counter("ilp.presolved_rows", s.presolved_rows as u64);
+    obs.counter("ilp.warm_hits", s.warm_hits as u64);
+    obs.counter("ilp.warm_misses", s.warm_misses as u64);
+    obs.sample("ilp.pivots_per_sec", s.pivots_per_sec());
 }
 
 /// Solve a mixed 0-1/integer problem by parallel branch and bound.
@@ -796,7 +843,12 @@ pub fn solve_milp(problem: &Problem, config: &BranchConfig) -> Result<MilpSoluti
         let remaining: std::collections::HashSet<usize> = lazy.iter().copied().collect();
         core.iter()
             .copied()
-            .chain(lazy_before.iter().copied().filter(|i| !remaining.contains(i)))
+            .chain(
+                lazy_before
+                    .iter()
+                    .copied()
+                    .filter(|i| !remaining.contains(i)),
+            )
             .collect()
     };
     let mut setups: Vec<(Simplex, Vec<usize>)> = Vec::with_capacity(threads);
@@ -833,8 +885,7 @@ pub fn solve_milp(problem: &Problem, config: &BranchConfig) -> Result<MilpSoluti
     stats.warm_hits = shared.warm_hits.load(Ordering::Acquire);
     stats.warm_misses = shared.warm_misses.load(Ordering::Acquire);
     stats.per_thread_nodes = per_worker.iter().map(|&(n, _, _)| n).collect();
-    stats.cpu_time =
-        stats.root_time + per_worker.iter().map(|&(_, b, _)| b).sum::<Duration>();
+    stats.cpu_time = stats.root_time + per_worker.iter().map(|&(_, b, _)| b).sum::<Duration>();
     for (_, _, ks) in &per_worker {
         stats.absorb_kernel(ks);
     }
@@ -891,8 +942,7 @@ fn gap_abs(incumbent: f64, rel: f64) -> f64 {
 /// configured relative gap, floored by the fathoming tolerance that
 /// absorbs LP numerical residue (see [`BranchConfig::fathom_abs`]).
 fn prune_margin(incumbent: f64, cfg: &BranchConfig) -> f64 {
-    gap_abs(incumbent, cfg.relative_gap)
-        .max(cfg.fathom_abs + cfg.fathom_rel * incumbent.abs())
+    gap_abs(incumbent, cfg.relative_gap).max(cfg.fathom_abs + cfg.fathom_rel * incumbent.abs())
 }
 
 /// Build both children of branching on `x_j`, returning `(dive, other)`
@@ -1110,8 +1160,9 @@ mod tests {
             let p = random_binary_problem(&mut rng, n);
             let mut best: Option<f64> = None;
             for mask in 0..(1u32 << n) {
-                let x: Vec<f64> =
-                    (0..n).map(|i| if mask >> i & 1 == 1 { 1.0 } else { 0.0 }).collect();
+                let x: Vec<f64> = (0..n)
+                    .map(|i| if mask >> i & 1 == 1 { 1.0 } else { 0.0 })
+                    .collect();
                 if p.is_feasible(&x, 1e-9) {
                     let v = p.objective_value(&x);
                     best = Some(best.map_or(v, |b: f64| b.min(v)));
@@ -1143,8 +1194,10 @@ mod tests {
             let p = random_binary_problem(&mut rng, 10);
             // Exact gap makes the optimum unique up to objective value, so
             // every thread count must report the same objective.
-            let mut base = BranchConfig::default();
-            base.relative_gap = 0.0;
+            let base = BranchConfig {
+                relative_gap: 0.0,
+                ..BranchConfig::default()
+            };
             let reference = solve_milp(&p, &base.clone().with_threads(1));
             for t in [2usize, 4] {
                 let got = solve_milp(&p, &base.clone().with_threads(t));

@@ -61,7 +61,10 @@ impl LinExpr {
 
     /// An expression consisting of a single constant.
     pub fn constant(c: f64) -> Self {
-        LinExpr { terms: Vec::new(), constant: c }
+        LinExpr {
+            terms: Vec::new(),
+            constant: c,
+        }
     }
 
     /// An expression that is the sum of the given variables.
@@ -112,7 +115,10 @@ impl LinExpr {
 
 impl From<Var> for LinExpr {
     fn from(v: Var) -> Self {
-        LinExpr { terms: vec![(v, 1.0)], constant: 0.0 }
+        LinExpr {
+            terms: vec![(v, 1.0)],
+            constant: 0.0,
+        }
     }
 }
 
@@ -163,7 +169,8 @@ impl Sub for LinExpr {
 
 impl SubAssign for LinExpr {
     fn sub_assign(&mut self, rhs: LinExpr) {
-        self.terms.extend(rhs.terms.into_iter().map(|(v, c)| (v, -c)));
+        self.terms
+            .extend(rhs.terms.into_iter().map(|(v, c)| (v, -c)));
         self.constant -= rhs.constant;
     }
 }
@@ -208,7 +215,10 @@ impl Mul<LinExpr> for f64 {
 impl Mul<Var> for f64 {
     type Output = LinExpr;
     fn mul(self, rhs: Var) -> LinExpr {
-        LinExpr { terms: vec![(rhs, self)], constant: 0.0 }
+        LinExpr {
+            terms: vec![(rhs, self)],
+            constant: 0.0,
+        }
     }
 }
 

@@ -133,7 +133,10 @@ impl Model {
         if let Some(i) = self.families.iter().position(|f| f.name == name) {
             return Family(i);
         }
-        self.families.push(FamilyData { name: name.to_string(), entries: HashMap::new() });
+        self.families.push(FamilyData {
+            name: name.to_string(),
+            entries: HashMap::new(),
+        });
         Family(self.families.len() - 1)
     }
 
@@ -156,7 +159,9 @@ impl Model {
         }
         let name = format!("{}[{}]", fd.name, fmt_index(index));
         let v = self.problem.add_binary(name);
-        self.families[fam.0].entries.insert(index.to_vec(), Entry::Column(v));
+        self.families[fam.0]
+            .entries
+            .insert(index.to_vec(), Entry::Column(v));
         v
     }
 
@@ -179,7 +184,9 @@ impl Model {
         }
         let name = format!("{}[{}]", fd.name, fmt_index(index));
         let v = self.problem.add_var(name, lower, upper);
-        self.families[fam.0].entries.insert(index.to_vec(), Entry::Column(v));
+        self.families[fam.0]
+            .entries
+            .insert(index.to_vec(), Entry::Column(v));
         v
     }
 
@@ -200,7 +207,12 @@ impl Model {
     pub fn alias(&mut self, fam: Family, index: &[Key], expr: LinExpr) {
         let fd = &mut self.families[fam.0];
         let prev = fd.entries.insert(index.to_vec(), Entry::Alias(expr));
-        assert!(prev.is_none(), "{}[{}] bound twice", fd.name, fmt_index(index));
+        assert!(
+            prev.is_none(),
+            "{}[{}] bound twice",
+            fd.name,
+            fmt_index(index)
+        );
     }
 
     /// The expression for `fam[index]`: the column itself, or the alias
@@ -212,7 +224,11 @@ impl Model {
     /// reference entries created by earlier phases, so a miss is a bug.
     pub fn expr(&self, fam: Family, index: &[Key]) -> LinExpr {
         self.lookup(fam, index).unwrap_or_else(|| {
-            panic!("{}[{}] not defined", self.families[fam.0].name, fmt_index(index))
+            panic!(
+                "{}[{}] not defined",
+                self.families[fam.0].name,
+                fmt_index(index)
+            )
         })
     }
 
@@ -233,7 +249,8 @@ impl Model {
             .entry(group.to_string())
             .and_modify(|n| *n += 1)
             .or_insert(1);
-        self.problem.add_constraint(format!("{group}#{n}"), expr, cmp, rhs);
+        self.problem
+            .add_constraint(format!("{group}#{n}"), expr, cmp, rhs);
     }
 
     /// Add a named lazy constraint (activated by the solver only when
@@ -244,7 +261,8 @@ impl Model {
             .entry(group.to_string())
             .and_modify(|n| *n += 1)
             .or_insert(1);
-        self.problem.add_lazy_constraint(format!("{group}#{n}"), expr, cmp, rhs);
+        self.problem
+            .add_lazy_constraint(format!("{group}#{n}"), expr, cmp, rhs);
     }
 
     /// Accumulate terms into the objective.
@@ -274,9 +292,23 @@ impl Model {
         &mut self,
         config: &crate::branch::BranchConfig,
     ) -> Result<crate::branch::MilpSolution, crate::branch::MilpError> {
+        self.solve_with(config, &nova_obs::Obs::noop())
+    }
+
+    /// [`solve`](Self::solve) with structured telemetry (see
+    /// [`crate::solve_milp_with`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`crate::MilpError`] from the solver.
+    pub fn solve_with(
+        &mut self,
+        config: &crate::branch::BranchConfig,
+        obs: &nova_obs::Obs,
+    ) -> Result<crate::branch::MilpSolution, crate::branch::MilpError> {
         let obj = self.objective.clone();
         self.problem.set_objective(obj);
-        crate::branch::solve_milp(&self.problem, config)
+        crate::branch::solve_milp_with(&self.problem, config, obs)
     }
 
     /// Model-size statistics.
@@ -287,14 +319,20 @@ impl Model {
             .families
             .iter()
             .map(|f| {
-                let cols =
-                    f.entries.values().filter(|e| matches!(e, Entry::Column(_))).count();
+                let cols = f
+                    .entries
+                    .values()
+                    .filter(|e| matches!(e, Entry::Column(_)))
+                    .count();
                 (f.name.clone(), cols)
             })
             .collect();
         by_family.sort();
-        let mut by_group: Vec<(String, usize)> =
-            self.group_counts.iter().map(|(k, v)| (k.clone(), *v)).collect();
+        let mut by_group: Vec<(String, usize)> = self
+            .group_counts
+            .iter()
+            .map(|(k, v)| (k.clone(), *v))
+            .collect();
         by_group.sort();
         ModelStats {
             variables: self.problem.num_vars(),

@@ -114,7 +114,10 @@ impl Problem {
 
     /// Create an empty maximization problem.
     pub fn maximize() -> Self {
-        Problem { sense: Sense::Maximize, ..Problem::minimize() }
+        Problem {
+            sense: Sense::Maximize,
+            ..Problem::minimize()
+        }
     }
 
     /// The optimization sense.
@@ -138,9 +141,17 @@ impl Problem {
     }
 
     fn push_var(&mut self, name: String, lower: f64, upper: f64, kind: VarKind) -> Var {
-        assert!(lower <= upper, "variable {name}: lower bound {lower} > upper bound {upper}");
+        assert!(
+            lower <= upper,
+            "variable {name}: lower bound {lower} > upper bound {upper}"
+        );
         let v = Var(self.vars.len() as u32);
-        self.vars.push(VarData { name, lower, upper, kind });
+        self.vars.push(VarData {
+            name,
+            lower,
+            upper,
+            kind,
+        });
         v
     }
 
@@ -156,7 +167,13 @@ impl Problem {
         expr.normalize();
         let adj = rhs - expr.constant;
         expr.constant = 0.0;
-        self.constraints.push(Constraint { name: name.into(), expr, cmp, rhs: adj, lazy: false });
+        self.constraints.push(Constraint {
+            name: name.into(),
+            expr,
+            cmp,
+            rhs: adj,
+            lazy: false,
+        });
     }
 
     /// Add a constraint the solver only activates once violated (see
@@ -172,7 +189,13 @@ impl Problem {
         expr.normalize();
         let adj = rhs - expr.constant;
         expr.constant = 0.0;
-        self.constraints.push(Constraint { name: name.into(), expr, cmp, rhs: adj, lazy: true });
+        self.constraints.push(Constraint {
+            name: name.into(),
+            expr,
+            cmp,
+            rhs: adj,
+            lazy: true,
+        });
     }
 
     /// Evaluate one constraint at `x` and report the violation amount
@@ -289,7 +312,14 @@ impl Problem {
         }
         let _ = writeln!(s, "bounds");
         for (i, d) in self.vars.iter().enumerate() {
-            let _ = writeln!(s, "  {} <= {} ({}) <= {}", d.lower, Var(i as u32), d.name, d.upper);
+            let _ = writeln!(
+                s,
+                "  {} <= {} ({}) <= {}",
+                d.lower,
+                Var(i as u32),
+                d.name,
+                d.upper
+            );
         }
         s
     }

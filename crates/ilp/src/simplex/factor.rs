@@ -142,7 +142,11 @@ impl Lu {
 pub(super) fn factor(m: usize, cols: &[Vec<(usize, f64)>]) -> Result<Lu, Singular> {
     debug_assert_eq!(cols.len(), m);
     if m == 0 {
-        return Ok(Lu { m, steps: Vec::new(), nnz: 0 });
+        return Ok(Lu {
+            m,
+            steps: Vec::new(),
+            nnz: 0,
+        });
     }
     // Active-submatrix workspace: values live in columns; rows keep a
     // (possibly stale, possibly duplicated) pattern of column ids.
@@ -183,18 +187,16 @@ pub(super) fn factor(m: usize, cols: &[Vec<(usize, f64)>]) -> Result<Lu, Singula
         // ---- pivot search ----
         let mut best: Option<(u64, u32, u32, f64)> = None; // (cost, pr, pc, val)
         let mut examined = 0usize;
-        'search: for c in 1..=max_cnt {
+        'search: for (c, bucket) in buckets.iter_mut().enumerate().skip(1) {
             let mut k = 0;
-            while k < buckets[c].len() {
-                let j = buckets[c][k] as usize;
+            while k < bucket.len() {
+                let j = bucket[k] as usize;
                 if !col_active[j] || colcnt[j] as usize != c {
-                    buckets[c].swap_remove(k);
+                    bucket.swap_remove(k);
                     continue;
                 }
                 k += 1;
-                let colmax = colv[j]
-                    .iter()
-                    .fold(0.0f64, |mx, &(_, v)| mx.max(v.abs()));
+                let colmax = colv[j].iter().fold(0.0f64, |mx, &(_, v)| mx.max(v.abs()));
                 if colmax < SINGULAR_TOL {
                     return Err(Singular);
                 }
@@ -204,9 +206,7 @@ pub(super) fn factor(m: usize, cols: &[Vec<(usize, f64)>]) -> Result<Lu, Singula
                         let cost = (c as u64 - 1) * (rowcnt[r as usize] as u64 - 1);
                         let better = match best {
                             None => true,
-                            Some((bc, _, _, bv)) => {
-                                cost < bc || (cost == bc && v.abs() > bv.abs())
-                            }
+                            Some((bc, _, _, bv)) => cost < bc || (cost == bc && v.abs() > bv.abs()),
                         };
                         if better {
                             best = Some((cost, r, j as u32, v));
@@ -305,7 +305,14 @@ pub(super) fn factor(m: usize, cols: &[Vec<(usize, f64)>]) -> Result<Lu, Singula
         }
         let ucol = std::mem::take(&mut ucol_accum[pc_u]);
         nnz += 1 + lrow.len() + urow.len();
-        steps.push(LuStep { pr, pc, diag: pv, lrow, urow, ucol });
+        steps.push(LuStep {
+            pr,
+            pc,
+            diag: pv,
+            lrow,
+            urow,
+            ucol,
+        });
     }
     Ok(Lu { m, steps, nnz })
 }
@@ -314,11 +321,18 @@ pub(super) fn factor(m: usize, cols: &[Vec<(usize, f64)>]) -> Result<Lu, Singula
 enum UpdateOp {
     /// Product-form eta from one pivot: position `r` replaced by a column
     /// whose FTRAN image had value `wr` at `r` and `nz` elsewhere.
-    Eta { r: u32, wr: f64, nz: Vec<(u32, f64)> },
+    Eta {
+        r: u32,
+        wr: f64,
+        nz: Vec<(u32, f64)>,
+    },
     /// Lazy-row append: rows `base..base+rows.len()` joined the basis with
     /// their slacks; `rows[k]` holds the new row's coefficients under the
     /// basic columns at creation time, by basis position.
-    Append { base: u32, rows: Vec<Vec<(u32, f64)>> },
+    Append {
+        base: u32,
+        rows: Vec<Vec<(u32, f64)>>,
+    },
 }
 
 /// Sparse basis kernel: LU + eta/append pipeline.
@@ -448,7 +462,11 @@ impl SparseKernel {
             .filter(|&(i, &v)| i != r && v.abs() > DROP_TOL)
             .map(|(i, &v)| (i as u32, v))
             .collect();
-        self.ops.push(UpdateOp::Eta { r: r as u32, wr, nz });
+        self.ops.push(UpdateOp::Eta {
+            r: r as u32,
+            wr,
+            nz,
+        });
         self.etas_since_refactor += 1;
         self.total_etas += 1;
     }
@@ -458,7 +476,10 @@ impl SparseKernel {
         let base = self.m;
         self.m += c_rows.len();
         self.work.resize(self.m, 0.0);
-        self.ops.push(UpdateOp::Append { base: base as u32, rows: c_rows });
+        self.ops.push(UpdateOp::Append {
+            base: base as u32,
+            rows: c_rows,
+        });
     }
 }
 
@@ -472,7 +493,10 @@ pub(super) struct DenseKernel {
 
 impl DenseKernel {
     pub fn new() -> DenseKernel {
-        DenseKernel { m: 0, binv: Vec::new() }
+        DenseKernel {
+            m: 0,
+            binv: Vec::new(),
+        }
     }
 
     /// Reset to the inverse of a diagonal basis (`cols[p]` has a single
@@ -494,36 +518,35 @@ impl DenseKernel {
             *w = 0.0;
         }
         for &(i, a) in col {
-            for r in 0..m {
-                out[r] += self.binv[r * m + i] * a;
+            for (r, o) in out[..m].iter_mut().enumerate() {
+                *o += self.binv[r * m + i] * a;
             }
         }
     }
 
     pub fn ftran(&self, v: &mut [f64], work: &mut [f64]) {
         let m = self.m;
-        for r in 0..m {
-            let mut acc = 0.0;
-            let row = &self.binv[r * m..(r + 1) * m];
-            for k in 0..m {
-                acc += row[k] * v[k];
-            }
-            work[r] = acc;
+        if m == 0 {
+            return;
+        }
+        for (w, row) in work[..m].iter_mut().zip(self.binv.chunks_exact(m)) {
+            *w = row.iter().zip(&v[..m]).map(|(a, b)| a * b).sum();
         }
         v[..m].copy_from_slice(&work[..m]);
     }
 
     pub fn btran(&self, v: &mut [f64], work: &mut [f64]) {
         let m = self.m;
+        if m == 0 {
+            return;
+        }
         for w in work[..m].iter_mut() {
             *w = 0.0;
         }
-        for i in 0..m {
-            let c = v[i];
+        for (&c, row) in v[..m].iter().zip(self.binv.chunks_exact(m)) {
             if c != 0.0 {
-                let row = &self.binv[i * m..(i + 1) * m];
-                for j in 0..m {
-                    work[j] += c * row[j];
+                for (w, &r) in work[..m].iter_mut().zip(row) {
+                    *w += c * r;
                 }
             }
         }
@@ -544,14 +567,11 @@ impl DenseKernel {
             self.binv[row * m + k] *= inv_p;
         }
         let pr: Vec<f64> = self.binv[row * m..(row + 1) * m].to_vec();
-        for i in 0..m {
-            if i != row {
-                let f = w[i];
-                if f != 0.0 {
-                    let base = i * m;
-                    for k in 0..m {
-                        self.binv[base + k] -= f * pr[k];
-                    }
+        for (i, &f) in w[..m].iter().enumerate() {
+            if i != row && f != 0.0 {
+                let dst = &mut self.binv[i * m..(i + 1) * m];
+                for (d, &p) in dst.iter_mut().zip(&pr) {
+                    *d -= f * p;
                 }
             }
         }
@@ -600,12 +620,16 @@ mod tests {
     }
 
     fn mat_vec(a: &[Vec<f64>], x: &[f64]) -> Vec<f64> {
-        a.iter().map(|row| row.iter().zip(x).map(|(c, v)| c * v).sum()).collect()
+        a.iter()
+            .map(|row| row.iter().zip(x).map(|(c, v)| c * v).sum())
+            .collect()
     }
 
     fn mat_t_vec(a: &[Vec<f64>], x: &[f64]) -> Vec<f64> {
         let m = a.len();
-        (0..m).map(|j| (0..m).map(|i| a[i][j] * x[i]).sum()).collect()
+        (0..m)
+            .map(|j| (0..m).map(|i| a[i][j] * x[i]).sum())
+            .collect()
     }
 
     fn check_solves(cols: &[Vec<(usize, f64)>]) {
@@ -619,7 +643,12 @@ mod tests {
         lu.ftran(&mut x, &mut work);
         let back = mat_vec(&a, &x);
         for i in 0..m {
-            assert!((back[i] - b[i]).abs() < 1e-8, "ftran row {i}: {} vs {}", back[i], b[i]);
+            assert!(
+                (back[i] - b[i]).abs() < 1e-8,
+                "ftran row {i}: {} vs {}",
+                back[i],
+                b[i]
+            );
         }
         // BTRAN: Bᵀ y = c.
         let c: Vec<f64> = (0..m).map(|i| 1.0 / (i as f64 + 1.0)).collect();
@@ -627,14 +656,18 @@ mod tests {
         lu.btran(&mut y, &mut work);
         let back = mat_t_vec(&a, &y);
         for i in 0..m {
-            assert!((back[i] - c[i]).abs() < 1e-8, "btran row {i}: {} vs {}", back[i], c[i]);
+            assert!(
+                (back[i] - c[i]).abs() < 1e-8,
+                "btran row {i}: {} vs {}",
+                back[i],
+                c[i]
+            );
         }
     }
 
     #[test]
     fn lu_identity_and_diagonal() {
-        let cols: Vec<Vec<(usize, f64)>> =
-            (0..5).map(|i| vec![(i, 1.0 + i as f64)]).collect();
+        let cols: Vec<Vec<(usize, f64)>> = (0..5).map(|i| vec![(i, 1.0 + i as f64)]).collect();
         check_solves(&cols);
     }
 
@@ -707,14 +740,24 @@ mod tests {
         let mut scratch = vec![0.0; m];
         dk.ftran(&mut xd, &mut scratch);
         for i in 0..m {
-            assert!((xs[i] - xd[i]).abs() < 1e-9, "ftran {i}: {} vs {}", xs[i], xd[i]);
+            assert!(
+                (xs[i] - xd[i]).abs() < 1e-9,
+                "ftran {i}: {} vs {}",
+                xs[i],
+                xd[i]
+            );
         }
         let mut ys = b.clone();
         sk.btran(&mut ys);
         let mut yd = b.clone();
         dk.btran(&mut yd, &mut scratch);
         for i in 0..m {
-            assert!((ys[i] - yd[i]).abs() < 1e-9, "btran {i}: {} vs {}", ys[i], yd[i]);
+            assert!(
+                (ys[i] - yd[i]).abs() < 1e-9,
+                "btran {i}: {} vs {}",
+                ys[i],
+                yd[i]
+            );
         }
         let mut rho_s = vec![0.0; m];
         rho_s[2] = 1.0;
@@ -753,14 +796,24 @@ mod tests {
         let mut scratch = vec![0.0; 5];
         dk.ftran(&mut xd, &mut scratch);
         for i in 0..5 {
-            assert!((xs[i] - xd[i]).abs() < 1e-9, "ftran {i}: {} vs {}", xs[i], xd[i]);
+            assert!(
+                (xs[i] - xd[i]).abs() < 1e-9,
+                "ftran {i}: {} vs {}",
+                xs[i],
+                xd[i]
+            );
         }
         let mut ys = b.clone();
         sk.btran(&mut ys);
         let mut yd = b.clone();
         dk.btran(&mut yd, &mut scratch);
         for i in 0..5 {
-            assert!((ys[i] - yd[i]).abs() < 1e-9, "btran {i}: {} vs {}", ys[i], yd[i]);
+            assert!(
+                (ys[i] - yd[i]).abs() < 1e-9,
+                "btran {i}: {} vs {}",
+                ys[i],
+                yd[i]
+            );
         }
     }
 }

@@ -159,7 +159,10 @@ impl Kernel {
                 KernelImpl::Sparse(SparseKernel::new(factor::DEFAULT_REFACTOR_INTERVAL))
             }
         };
-        Kernel { imp, scratch: Vec::new() }
+        Kernel {
+            imp,
+            scratch: Vec::new(),
+        }
     }
 
     fn kind(&self) -> KernelKind {
@@ -177,9 +180,7 @@ impl Kernel {
                 dk.reset_diag(m, cols_b);
                 Ok(())
             }
-            KernelImpl::Sparse(sk) => {
-                sk.refactor(m, cols_b).map_err(|_| LpError::IterationLimit)
-            }
+            KernelImpl::Sparse(sk) => sk.refactor(m, cols_b).map_err(|_| LpError::IterationLimit),
         }
     }
 
@@ -367,11 +368,7 @@ impl Simplex {
     /// Build a workspace with an explicit basis kernel choice (used by
     /// differential tests; normal callers go through the `NOVA_ILP_KERNEL`
     /// environment default).
-    pub fn with_rows_kernel(
-        problem: &Problem,
-        rows: Option<&[usize]>,
-        kind: KernelKind,
-    ) -> Self {
+    pub fn with_rows_kernel(problem: &Problem, rows: Option<&[usize]>, kind: KernelKind) -> Self {
         let idx: Vec<usize> = match rows {
             Some(r) => r.to_vec(),
             None => (0..problem.constraints.len()).collect(),
@@ -478,7 +475,7 @@ impl Simplex {
     }
 
     fn deadline_hit(&self, iterations: usize) -> bool {
-        iterations % DEADLINE_STRIDE == 0
+        iterations.is_multiple_of(DEADLINE_STRIDE)
             && self.deadline.is_some_and(|d| Instant::now() >= d)
     }
 
@@ -696,8 +693,8 @@ impl Simplex {
             }
         }
         self.kernel.ftran_dense(&mut rhs[..m]);
-        for r in 0..m {
-            self.x[self.basis[r]] = rhs[r];
+        for (&xb, &v) in self.basis[..m].iter().zip(&rhs[..m]) {
+            self.x[xb] = v;
         }
     }
 
@@ -712,12 +709,12 @@ impl Simplex {
         self.kernel.btran_dense(&mut self.y[..m]);
         self.d.clear();
         self.d.resize(self.cols.len(), 0.0);
-        for j in 0..self.cols.len() {
+        for (j, col) in self.cols.iter().enumerate() {
             if matches!(self.state[j], ColState::Basic(_)) {
                 continue;
             }
             let mut r = c[j];
-            for &(i, a) in &self.cols[j] {
+            for &(i, a) in col {
                 r -= self.y[i] * a;
             }
             self.d[j] = r;
@@ -741,7 +738,11 @@ impl Simplex {
                     (if self.obj_negate { -c } else { c }) * v
                 })
                 .sum::<f64>();
-        LpSolution { objective, values, iterations }
+        LpSolution {
+            objective,
+            values,
+            iterations,
+        }
     }
 
     /// Install bounds, zombify stale artificials, build the slack basis,
@@ -783,19 +784,22 @@ impl Simplex {
             }
         }
         self.basis.clear();
-        for i in 0..self.m {
+        for (i, &res) in resid[..self.m].iter().enumerate() {
             let s = self.slack_cols[i];
             let (sl, su) = (self.lower[s], self.upper[s]);
-            if resid[i] >= sl - TOL && resid[i] <= su + TOL {
-                self.x[s] = resid[i];
+            if res >= sl - TOL && res <= su + TOL {
+                self.x[s] = res;
                 self.state[s] = ColState::Basic(i);
                 self.basis.push(s);
             } else {
-                let parked = if resid[i] < sl { sl } else { su };
+                let parked = if res < sl { sl } else { su };
                 self.x[s] = parked;
-                self.state[s] =
-                    if parked == sl { ColState::AtLower } else { ColState::AtUpper };
-                let need = resid[i] - parked;
+                self.state[s] = if parked == sl {
+                    ColState::AtLower
+                } else {
+                    ColState::AtUpper
+                };
+                let need = res - parked;
                 let a = self.cols.len();
                 let coeff = if need >= 0.0 { 1.0 } else { -1.0 };
                 self.cols.push(vec![(i, coeff)]);
@@ -833,7 +837,15 @@ impl Simplex {
         self.mark_gen += 1;
         let gen = self.mark_gen;
         self.touched.clear();
-        let Simplex { rows_idx, y, alpha, mark, touched, m, .. } = self;
+        let Simplex {
+            rows_idx,
+            y,
+            alpha,
+            mark,
+            touched,
+            m,
+            ..
+        } = self;
         for i in 0..*m {
             let rho = y[i];
             if rho.abs() <= 1e-11 {
@@ -911,7 +923,9 @@ impl Simplex {
                         }
                 })
             } else {
-                match self.primal_pricing.select(&self.d, &self.state, &self.lower, &self.upper)
+                match self
+                    .primal_pricing
+                    .select(&self.d, &self.state, &self.lower, &self.upper)
                 {
                     Some(j) => Some(j),
                     None => {
@@ -973,7 +987,7 @@ impl Simplex {
                 let strictly_better = t < t_max - 1e-9;
                 let tie = (t - t_max).abs() <= 1e-9;
                 let wins_tie = tie
-                    && leave.map_or(false, |(prow, _, bd)| {
+                    && leave.is_some_and(|(prow, _, bd)| {
                         if bland {
                             bi < self.basis[prow]
                         } else {
@@ -1012,8 +1026,7 @@ impl Simplex {
                     self.kernel.btran_unit(row, &mut self.y[..m]);
                     self.pivot_row_alphas();
                     let alpha_q = self.alpha.get(j_in).copied().unwrap_or(0.0);
-                    let mismatch =
-                        (alpha_q - pivot).abs() > PIVOT_AGREE_TOL * (1.0 + pivot.abs());
+                    let mismatch = (alpha_q - pivot).abs() > PIVOT_AGREE_TOL * (1.0 + pivot.abs());
                     let theta_d = self.d[j_in] / pivot;
                     for &j32 in &self.touched {
                         let j = j32 as usize;
@@ -1074,7 +1087,8 @@ impl Simplex {
             }
             // Leaving row: weighted most-violated basic variable.
             let Some((r, below)) =
-                self.dual_pricing.select_row(&self.x, &self.basis, &self.lower, &self.upper)
+                self.dual_pricing
+                    .select_row(&self.x, &self.basis, &self.lower, &self.upper)
             else {
                 return Ok(iterations);
             };
@@ -1128,7 +1142,11 @@ impl Simplex {
                 return Err(DualStop::Stall);
             }
             let j_out = self.basis[r];
-            let target = if below { self.lower[j_out] } else { self.upper[j_out] };
+            let target = if below {
+                self.lower[j_out]
+            } else {
+                self.upper[j_out]
+            };
             let delta = (self.x[j_out] - target) / pivot;
             // Entering direction must respect its resting bound.
             match self.state[e] {
@@ -1143,17 +1161,15 @@ impl Simplex {
                 self.x[bi] -= delta * self.w[i];
             }
             self.x[j_out] = target;
-            self.state[j_out] = if (target - self.lower[j_out]).abs()
-                <= (target - self.upper[j_out]).abs()
-            {
-                ColState::AtLower
-            } else {
-                ColState::AtUpper
-            };
+            self.state[j_out] =
+                if (target - self.lower[j_out]).abs() <= (target - self.upper[j_out]).abs() {
+                    ColState::AtLower
+                } else {
+                    ColState::AtUpper
+                };
             // Accumulated-error detector: the pivot element computed by
             // FTRAN must agree with the BTRAN row pass.
-            let mismatch =
-                (self.alpha[e] - pivot).abs() > PIVOT_AGREE_TOL * (1.0 + pivot.abs());
+            let mismatch = (self.alpha[e] - pivot).abs() > PIVOT_AGREE_TOL * (1.0 + pivot.abs());
             self.dual_pricing.update(r, &self.w[..m]);
             self.basis[r] = e;
             self.state[e] = ColState::Basic(r);
@@ -1279,7 +1295,9 @@ mod tests {
         for trial in 0..20 {
             let n = 6;
             let mut p = Problem::minimize();
-            let vars: Vec<_> = (0..n).map(|i| p.add_var(format!("v{i}"), 0.0, 1.0)).collect();
+            let vars: Vec<_> = (0..n)
+                .map(|i| p.add_var(format!("v{i}"), 0.0, 1.0))
+                .collect();
             for c in 0..4 {
                 let mut e = LinExpr::new();
                 for &v in &vars {
@@ -1341,7 +1359,11 @@ mod tests {
         let lo = vec![0.0; 3];
         let hi = vec![1.0; 3];
         let first = s.solve_with_bounds(&lo, &hi).unwrap();
-        assert!((first.objective + 2.0).abs() < 1e-6, "x+z or y+z free: {}", first.objective);
+        assert!(
+            (first.objective + 2.0).abs() < 1e-6,
+            "x+z or y+z free: {}",
+            first.objective
+        );
         // Add the remaining rows and re-solve warm.
         let cs: Vec<&Constraint> = p.constraints()[1..].iter().collect();
         s.add_rows(&cs);
@@ -1355,7 +1377,11 @@ mod tests {
             cold.objective
         );
         // LP optimum is -1.5 (x=y=z=0.5).
-        assert!((warm.objective + 1.5).abs() < 1e-6, "got {}", warm.objective);
+        assert!(
+            (warm.objective + 1.5).abs() < 1e-6,
+            "got {}",
+            warm.objective
+        );
     }
 
     #[test]
@@ -1410,9 +1436,14 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(23);
         for trial in 0..30 {
             let n = 8;
-            let mut p = if trial % 2 == 0 { Problem::minimize() } else { Problem::maximize() };
-            let vars: Vec<_> =
-                (0..n).map(|i| p.add_var(format!("v{i}"), 0.0, 3.0)).collect();
+            let mut p = if trial % 2 == 0 {
+                Problem::minimize()
+            } else {
+                Problem::maximize()
+            };
+            let vars: Vec<_> = (0..n)
+                .map(|i| p.add_var(format!("v{i}"), 0.0, 3.0))
+                .collect();
             for c in 0..5 {
                 let mut e = LinExpr::new();
                 for &v in &vars {
@@ -1432,8 +1463,7 @@ mod tests {
                 obj.add_term(v, rng.gen_range(-5..=5) as f64);
             }
             p.set_objective(obj);
-            let sparse =
-                Simplex::with_rows_kernel(&p, None, KernelKind::Sparse).solve();
+            let sparse = Simplex::with_rows_kernel(&p, None, KernelKind::Sparse).solve();
             let dense = Simplex::with_rows_kernel(&p, None, KernelKind::Dense).solve();
             match (sparse, dense) {
                 (Ok(a), Ok(b)) => assert!(

@@ -42,7 +42,10 @@ pub(super) struct PrimalPricing {
 
 impl PrimalPricing {
     pub fn new() -> PrimalPricing {
-        PrimalPricing { weights: Vec::new(), cands: Vec::new() }
+        PrimalPricing {
+            weights: Vec::new(),
+            cands: Vec::new(),
+        }
     }
 
     /// Start a fresh reference framework over `n` columns.
@@ -75,7 +78,7 @@ impl PrimalPricing {
                 return false;
             }
             let score = d[j] * d[j] / weights[j];
-            if best.map_or(true, |(_, bs)| score > bs) {
+            if best.is_none_or(|(_, bs)| score > bs) {
                 best = Some((j, score));
             }
             true
@@ -86,13 +89,7 @@ impl PrimalPricing {
     /// Rebuild the candidate list with the globally best-scoring columns.
     /// Returns `false` when no column improves (optimal for the current
     /// reduced costs).
-    pub fn refill(
-        &mut self,
-        d: &[f64],
-        state: &[ColState],
-        lower: &[f64],
-        upper: &[f64],
-    ) -> bool {
+    pub fn refill(&mut self, d: &[f64], state: &[ColState], lower: &[f64], upper: &[f64]) -> bool {
         self.cands.clear();
         let mut scored: Vec<(f64, u32)> = Vec::new();
         for j in 0..d.len() {
@@ -153,7 +150,9 @@ pub(super) struct DualPricing {
 
 impl DualPricing {
     pub fn new() -> DualPricing {
-        DualPricing { weights: Vec::new() }
+        DualPricing {
+            weights: Vec::new(),
+        }
     }
 
     /// Start a fresh framework over `m` basis positions.
@@ -183,7 +182,7 @@ impl DualPricing {
                 continue;
             };
             let score = viol * viol / self.weights[i];
-            if best.map_or(true, |(_, bs, _)| score > bs) {
+            if best.is_none_or(|(_, bs, _)| score > bs) {
                 best = Some((i, score, below));
             }
         }

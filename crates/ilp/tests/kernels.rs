@@ -8,9 +8,7 @@
 //! [`Simplex::with_rows_kernel`] / [`BranchConfig::with_kernel`]) so
 //! they are independent of the `NOVA_ILP_KERNEL` environment variable.
 
-use ilp::{
-    solve_milp, BranchConfig, Cmp, KernelKind, LinExpr, Problem, Simplex,
-};
+use ilp::{solve_milp, BranchConfig, Cmp, KernelKind, LinExpr, Problem, Simplex};
 use proptest::prelude::*;
 
 #[derive(Debug, Clone)]
@@ -30,7 +28,12 @@ fn lp_strategy() -> impl Strategy<Value = RandLp> {
             proptest::collection::vec(-5i8..=5, n),
             proptest::collection::vec((0u8..3, 1u8..4), n),
         )
-            .prop_map(|(n, rows, obj, bounds)| RandLp { n, rows, obj, bounds })
+            .prop_map(|(n, rows, obj, bounds)| RandLp {
+                n,
+                rows,
+                obj,
+                bounds,
+            })
     })
 }
 

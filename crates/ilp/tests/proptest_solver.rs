@@ -140,7 +140,7 @@ proptest! {
                 (a, b) => prop_assert!(false, "warm {a:?} vs cold {b:?}"),
             }
             // Occasionally unfix to exercise bound loosening.
-            if j % 3 == 0 {
+            if j.is_multiple_of(3) {
                 lo[j] = 0.0;
                 hi[j] = 1.0;
             }

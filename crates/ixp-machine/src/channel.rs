@@ -40,7 +40,14 @@ pub struct ChannelStats {
 
 impl ChannelStats {
     fn new(space: MemSpace) -> Self {
-        ChannelStats { space, reads: 0, writes: 0, busy_cycles: 0, wait_cycles: 0, max_queue_depth: 0 }
+        ChannelStats {
+            space,
+            reads: 0,
+            writes: 0,
+            busy_cycles: 0,
+            wait_cycles: 0,
+            max_queue_depth: 0,
+        }
     }
 
     /// Fraction of `total_cycles` the channel's bus was occupied;
@@ -65,7 +72,10 @@ pub struct Channel {
 impl Channel {
     /// An idle channel for `space`.
     pub fn new(space: MemSpace) -> Self {
-        Channel { free_at: 0, stats: ChannelStats::new(space) }
+        Channel {
+            free_at: 0,
+            stats: ChannelStats::new(space),
+        }
     }
 
     /// One channel per memory space, indexable by [`MemSpace`] order
@@ -141,7 +151,10 @@ mod tests {
         let mut c = Channel::new(MemSpace::Sram);
         let (start, done) = c.service_read(100, 1);
         assert_eq!(start, 100);
-        assert_eq!(done, 100 + read_latency(MemSpace::Sram) + burst_extra(MemSpace::Sram));
+        assert_eq!(
+            done,
+            100 + read_latency(MemSpace::Sram) + burst_extra(MemSpace::Sram)
+        );
         assert_eq!(c.stats.wait_cycles, 0);
     }
 

@@ -355,28 +355,43 @@ impl<R> Instr<R> {
                 },
             },
             Instr::Imm { dst, val } => Instr::Imm { dst: f(dst), val },
-            Instr::Move { dst, src } => Instr::Move { dst: f(dst), src: f(src) },
-            Instr::Clone { dst, src } => Instr::Clone { dst: f(dst), src: f(src) },
+            Instr::Move { dst, src } => Instr::Move {
+                dst: f(dst),
+                src: f(src),
+            },
+            Instr::Clone { dst, src } => Instr::Clone {
+                dst: f(dst),
+                src: f(src),
+            },
             Instr::MemRead { space, addr, dst } => Instr::MemRead {
                 space,
                 addr: addr.map(f),
-                dst: dst.into_iter().map(|r| f(r)).collect(),
+                dst: dst.into_iter().map(&mut *f).collect(),
             },
             Instr::MemWrite { space, addr, src } => Instr::MemWrite {
                 space,
                 addr: addr.map(f),
-                src: src.into_iter().map(|r| f(r)).collect(),
+                src: src.into_iter().map(&mut *f).collect(),
             },
-            Instr::Hash { dst, src } => Instr::Hash { dst: f(dst), src: f(src) },
-            Instr::TestAndSet { dst, src, addr } => {
-                Instr::TestAndSet { dst: f(dst), src: f(src), addr: addr.map(f) }
-            }
+            Instr::Hash { dst, src } => Instr::Hash {
+                dst: f(dst),
+                src: f(src),
+            },
+            Instr::TestAndSet { dst, src, addr } => Instr::TestAndSet {
+                dst: f(dst),
+                src: f(src),
+                addr: addr.map(f),
+            },
             Instr::CsrRead { dst, csr } => Instr::CsrRead { dst: f(dst), csr },
             Instr::CsrWrite { src, csr } => Instr::CsrWrite { src: f(src), csr },
-            Instr::RxPacket { len_dst, addr_dst } => {
-                Instr::RxPacket { len_dst: f(len_dst), addr_dst: f(addr_dst) }
-            }
-            Instr::TxPacket { addr, len } => Instr::TxPacket { addr: f(addr), len: f(len) },
+            Instr::RxPacket { len_dst, addr_dst } => Instr::RxPacket {
+                len_dst: f(len_dst),
+                addr_dst: f(addr_dst),
+            },
+            Instr::TxPacket { addr, len } => Instr::TxPacket {
+                addr: f(addr),
+                len: f(len),
+            },
             Instr::CtxSwap => Instr::CtxSwap,
         }
     }
@@ -562,7 +577,12 @@ mod tests {
         };
         let j = i.map(&mut |t: Temp| t.0 * 10);
         match j {
-            Instr::Alu { dst, a, b: AluSrc::Reg(b), .. } => {
+            Instr::Alu {
+                dst,
+                a,
+                b: AluSrc::Reg(b),
+                ..
+            } => {
                 assert_eq!((dst, a, b), (0, 10, 20));
             }
             other => panic!("unexpected {other:?}"),

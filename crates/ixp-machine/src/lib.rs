@@ -45,5 +45,7 @@ pub mod units;
 pub use bank::{alu_operands_ok, move_ok, Bank};
 pub use channel::{Channel, ChannelStats};
 pub use insn::{Addr, AluOp, AluSrc, Cond, Instr, MemSpace};
-pub use program::{read_bank, validate, write_bank, Block, BlockId, Program, Terminator, Violation};
+pub use program::{
+    read_bank, validate, write_bank, Block, BlockId, Program, Terminator, Violation,
+};
 pub use reg::{PhysReg, Temp};

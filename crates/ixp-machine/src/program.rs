@@ -59,7 +59,9 @@ impl<R> Terminator<R> {
     pub fn successors(&self) -> Vec<BlockId> {
         match self {
             Terminator::Jump(t) => vec![*t],
-            Terminator::Branch { if_true, if_false, .. } => vec![*if_true, *if_false],
+            Terminator::Branch {
+                if_true, if_false, ..
+            } => vec![*if_true, *if_false],
             Terminator::Halt => vec![],
         }
     }
@@ -82,7 +84,13 @@ impl<R> Terminator<R> {
     pub fn map<S>(self, f: &mut impl FnMut(R) -> S) -> Terminator<S> {
         match self {
             Terminator::Jump(t) => Terminator::Jump(t),
-            Terminator::Branch { cond, a, b, if_true, if_false } => Terminator::Branch {
+            Terminator::Branch {
+                cond,
+                a,
+                b,
+                if_true,
+                if_false,
+            } => Terminator::Branch {
                 cond,
                 a: f(a),
                 b: match b {
@@ -152,7 +160,13 @@ impl<R: fmt::Display> fmt::Display for Program<R> {
             }
             match &b.term {
                 Terminator::Jump(t) => writeln!(f, "    br {t}")?,
-                Terminator::Branch { cond, a, b, if_true, if_false } => writeln!(
+                Terminator::Branch {
+                    cond,
+                    a,
+                    b,
+                    if_true,
+                    if_false,
+                } => writeln!(
                     f,
                     "    br.{} {a}, {b} -> {if_true} else {if_false}",
                     cond.mnemonic()
@@ -186,7 +200,11 @@ impl fmt::Display for Violation {
 pub fn validate(prog: &Program<PhysReg>) -> Vec<Violation> {
     let mut out = Vec::new();
     let mut push = |block: usize, index: usize, message: String| {
-        out.push(Violation { block: BlockId(block as u32), index, message });
+        out.push(Violation {
+            block: BlockId(block as u32),
+            index,
+            message,
+        });
     };
     for (bi, block) in prog.blocks.iter().enumerate() {
         for (ii, ins) in block.instrs.iter().enumerate() {
@@ -222,7 +240,11 @@ pub fn validate(prog: &Program<PhysReg>) -> Vec<Violation> {
                     }
                 }
                 Instr::Clone { .. } => {
-                    push(bi, ii, "clone pseudo-instruction survived allocation".into());
+                    push(
+                        bi,
+                        ii,
+                        "clone pseudo-instruction survived allocation".into(),
+                    );
                 }
                 Instr::MemRead { space, dst, addr } => {
                     let want = read_bank(*space);
@@ -282,7 +304,13 @@ pub fn validate(prog: &Program<PhysReg>) -> Vec<Violation> {
         // Terminator checks.
         let ti = block.instrs.len();
         match &block.term {
-            Terminator::Branch { a, b, if_true, if_false, .. } => {
+            Terminator::Branch {
+                a,
+                b,
+                if_true,
+                if_false,
+                ..
+            } => {
                 match b {
                     AluSrc::Reg(rb) => {
                         if !alu_operands_ok(a.bank, rb.bank) {
@@ -337,7 +365,11 @@ fn check_aggregate(
     space: MemSpace,
 ) {
     if !space.burst_ok(regs.len()) {
-        push(bi, ii, format!("{space} burst of {} registers is illegal", regs.len()));
+        push(
+            bi,
+            ii,
+            format!("{space} burst of {} registers is illegal", regs.len()),
+        );
     }
     for (k, r) in regs.iter().enumerate() {
         if r.bank != want {
@@ -347,7 +379,11 @@ fn check_aggregate(
             push(
                 bi,
                 ii,
-                format!("aggregate registers not consecutive: {} then {}", regs[k - 1], regs[k]),
+                format!(
+                    "aggregate registers not consecutive: {} then {}",
+                    regs[k - 1],
+                    regs[k]
+                ),
             );
         }
     }
@@ -376,7 +412,13 @@ mod tests {
     }
 
     fn prog(instrs: Vec<Instr<PhysReg>>) -> Program<PhysReg> {
-        Program { blocks: vec![Block { instrs, term: Terminator::Halt }], entry: BlockId(0) }
+        Program {
+            blocks: vec![Block {
+                instrs,
+                term: Terminator::Halt,
+            }],
+            entry: BlockId(0),
+        }
     }
 
     #[test]
@@ -449,15 +491,26 @@ mod tests {
 
     #[test]
     fn hash_same_register() {
-        let ok = prog(vec![Instr::Hash { dst: pr(Bank::L, 3), src: pr(Bank::S, 3) }]);
+        let ok = prog(vec![Instr::Hash {
+            dst: pr(Bank::L, 3),
+            src: pr(Bank::S, 3),
+        }]);
         assert!(validate(&ok).is_empty());
-        let bad = prog(vec![Instr::Hash { dst: pr(Bank::L, 3), src: pr(Bank::S, 4) }]);
-        assert!(validate(&bad).iter().any(|v| v.message.contains("same-register")));
+        let bad = prog(vec![Instr::Hash {
+            dst: pr(Bank::L, 3),
+            src: pr(Bank::S, 4),
+        }]);
+        assert!(validate(&bad)
+            .iter()
+            .any(|v| v.message.contains("same-register")));
     }
 
     #[test]
     fn clone_must_not_survive() {
-        let p = prog(vec![Instr::Clone { dst: pr(Bank::A, 0), src: pr(Bank::A, 1) }]);
+        let p = prog(vec![Instr::Clone {
+            dst: pr(Bank::A, 0),
+            src: pr(Bank::A, 1),
+        }]);
         assert!(validate(&p).iter().any(|v| v.message.contains("clone")));
     }
 
@@ -470,12 +523,17 @@ mod tests {
             }],
             entry: BlockId(0),
         };
-        assert!(validate(&p).iter().any(|v| v.message.contains("out of range")));
+        assert!(validate(&p)
+            .iter()
+            .any(|v| v.message.contains("out of range")));
     }
 
     #[test]
     fn display_roundtrips_shape() {
-        let p = prog(vec![Instr::Imm { dst: pr(Bank::A, 0), val: 0x42 }]);
+        let p = prog(vec![Instr::Imm {
+            dst: pr(Bank::A, 0),
+            val: 0x42,
+        }]);
         let s = p.to_string();
         assert!(s.contains("immed a0, 0x42"));
         assert!(s.contains("halt"));

@@ -87,8 +87,14 @@ mod tests {
         assert!(imm_is_cheap(0x0000_1234));
         assert!(imm_is_cheap(0x1234_0000));
         assert!(!imm_is_cheap(0x1234_5678));
-        let cheap: Instr<Temp> = Instr::Imm { dst: Temp(0), val: 7 };
-        let wide: Instr<Temp> = Instr::Imm { dst: Temp(0), val: 0xDEAD_BEEF };
+        let cheap: Instr<Temp> = Instr::Imm {
+            dst: Temp(0),
+            val: 7,
+        };
+        let wide: Instr<Temp> = Instr::Imm {
+            dst: Temp(0),
+            val: 0xDEAD_BEEF,
+        };
         assert_eq!(issue_cycles(&cheap), 1);
         assert_eq!(issue_cycles(&wide), 2);
     }

@@ -38,7 +38,7 @@
 
 use crate::engine::{resolve_addr, RegFile, ThreadState};
 use crate::machine::SimMemory;
-use crate::sim::{finish_result, EngineStats, SimError, SimResult, StopReason};
+use crate::sim::{emit_result_obs, finish_result, EngineStats, SimError, SimResult, StopReason};
 use ixp_machine::channel::Channel;
 use ixp_machine::timing::{issue_cycles, read_latency, BRANCH_TAKEN_PENALTY, HASH_CYCLES};
 use ixp_machine::units::hash_unit;
@@ -106,13 +106,37 @@ struct Request {
 
 #[derive(Debug)]
 enum ReqKind {
-    Read { space: MemSpace, base: u32, dst: Vec<PhysReg> },
-    Write { space: MemSpace, base: u32, vals: Vec<u32> },
-    TestAndSet { addr: u32, val: u32, dst: PhysReg },
-    CsrRead { csr: u32, dst: PhysReg },
-    CsrWrite { csr: u32, val: u32 },
-    Rx { len_dst: PhysReg, addr_dst: PhysReg },
-    Tx { addr: u32, len: u32 },
+    Read {
+        space: MemSpace,
+        base: u32,
+        dst: Vec<PhysReg>,
+    },
+    Write {
+        space: MemSpace,
+        base: u32,
+        vals: Vec<u32>,
+    },
+    TestAndSet {
+        addr: u32,
+        val: u32,
+        dst: PhysReg,
+    },
+    CsrRead {
+        csr: u32,
+        dst: PhysReg,
+    },
+    CsrWrite {
+        csr: u32,
+        val: u32,
+    },
+    Rx {
+        len_dst: PhysReg,
+        addr_dst: PhysReg,
+    },
+    Tx {
+        addr: u32,
+        len: u32,
+    },
 }
 
 struct Ctx {
@@ -163,7 +187,13 @@ impl Engine {
     fn push(&mut self, issue: u64, ctx: usize, kind: ReqKind) {
         let seq = self.seq;
         self.seq += 1;
-        self.requests.push(Request { issue, engine: self.id, ctx, seq, kind });
+        self.requests.push(Request {
+            issue,
+            engine: self.id,
+            ctx,
+            seq,
+            kind,
+        });
     }
 }
 
@@ -288,7 +318,15 @@ fn run_slice(e: &mut Engine, prog: &Program<PhysReg>, slice_end: u64) {
                     t.pc += 1;
                     e.stats.swap_outs += 1;
                     let dst = *dst;
-                    e.push(cycle, ti, ReqKind::TestAndSet { addr: a, val: v, dst });
+                    e.push(
+                        cycle,
+                        ti,
+                        ReqKind::TestAndSet {
+                            addr: a,
+                            val: v,
+                            dst,
+                        },
+                    );
                     continue;
                 }
                 Instr::CsrRead { dst, csr } => {
@@ -354,7 +392,13 @@ fn run_slice(e: &mut Engine, prog: &Program<PhysReg>, slice_end: u64) {
                     t.pc = 0;
                     e.cycle += BRANCH_TAKEN_PENALTY;
                 }
-                Terminator::Branch { cond, a, b, if_true, if_false } => {
+                Terminator::Branch {
+                    cond,
+                    a,
+                    b,
+                    if_true,
+                    if_false,
+                } => {
                     let av = t.regs.read(*a);
                     let bv = match b {
                         AluSrc::Reg(r) => t.regs.read(*r),
@@ -479,13 +523,89 @@ pub fn simulate_chip(
     mem: &mut SimMemory,
     cfg: &ChipConfig,
 ) -> Result<SimResult, SimError> {
+    simulate_chip_with(prog, mem, cfg, &nova_obs::Obs::noop())
+}
+
+/// Modeled cycles between two `sim.channel.<space>.occupancy` samples
+/// when an observer is installed. Coarse enough that sampling stays off
+/// the per-slice fast path's critical cost (one comparison per epoch),
+/// fine enough to show saturation ramps over a 64-packet run.
+const OCC_SAMPLE_CYCLES: u64 = 16_384;
+
+/// Windowed channel-occupancy sampling, driven by the (serial)
+/// arbitration phase of the chip loop.
+struct OccSampler {
+    next: u64,
+    last_cycle: u64,
+    last_busy: [u64; 3],
+}
+
+impl OccSampler {
+    fn new() -> Self {
+        OccSampler {
+            next: OCC_SAMPLE_CYCLES,
+            last_cycle: 0,
+            last_busy: [0; 3],
+        }
+    }
+
+    fn maybe_sample(&mut self, obs: &nova_obs::Obs, t: u64, channels: &[Channel; 3]) {
+        if t < self.next {
+            return;
+        }
+        let window = t - self.last_cycle;
+        if window > 0 {
+            for (i, ch) in channels.iter().enumerate() {
+                let busy = ch.stats.busy_cycles;
+                let frac = (busy - self.last_busy[i]) as f64 / window as f64;
+                let space = format!("{:?}", ch.stats.space).to_lowercase();
+                obs.sample(&format!("sim.channel.{space}.occupancy"), frac);
+                self.last_busy[i] = busy;
+            }
+        }
+        self.last_cycle = t;
+        self.next = t + OCC_SAMPLE_CYCLES;
+    }
+}
+
+/// [`simulate_chip`] with structured telemetry: the run executes under a
+/// `phase.sim` span, the arbiter samples windowed per-channel occupancy
+/// every [`OCC_SAMPLE_CYCLES`] modeled cycles, and the finished run
+/// publishes the same `sim.channel.*` / `sim.engine.*` summary as the
+/// single-engine simulator. Sampling only happens on the serial
+/// arbitration path, so determinism is unaffected.
+///
+/// # Errors
+///
+/// Returns [`SimError`] on architectural violations, as [`simulate_chip`].
+pub fn simulate_chip_with(
+    prog: &Program<PhysReg>,
+    mem: &mut SimMemory,
+    cfg: &ChipConfig,
+    obs: &nova_obs::Obs,
+) -> Result<SimResult, SimError> {
+    let span = obs.span("phase.sim");
+    let res = simulate_chip_inner(prog, mem, cfg, obs)?;
+    span.end();
+    emit_result_obs(obs, &res);
+    Ok(res)
+}
+
+fn simulate_chip_inner(
+    prog: &Program<PhysReg>,
+    mem: &mut SimMemory,
+    cfg: &ChipConfig,
+    obs: &nova_obs::Obs,
+) -> Result<SimResult, SimError> {
     let n_engines = cfg.engines.max(1);
     let slice = cfg.slice.max(1);
     let workers = cfg.effective_host_threads().min(n_engines).max(1);
-    let engines: Vec<Mutex<Engine>> =
-        (0..n_engines).map(|i| Mutex::new(Engine::new(i, prog, cfg.contexts))).collect();
+    let engines: Vec<Mutex<Engine>> = (0..n_engines)
+        .map(|i| Mutex::new(Engine::new(i, prog, cfg.contexts)))
+        .collect();
     let mut channels = Channel::per_space();
     let mut mem_refs: HashMap<MemSpace, (u64, u64)> = HashMap::new();
+    let mut sampler = obs.enabled().then(OccSampler::new);
 
     let outcome = if workers <= 1 {
         // Serial driver: same slice/barrier structure, no pool.
@@ -502,6 +622,9 @@ pub fn simulate_chip(
                 break (Err(err), slice_end);
             }
             resolve_requests(&engines, mem, &mut channels, &mut mem_refs);
+            if let Some(s) = sampler.as_mut() {
+                s.maybe_sample(obs, slice_end, &channels);
+            }
             if all_halted(&engines) {
                 break (Ok(StopReason::AllHalted), slice_end);
             }
@@ -550,6 +673,9 @@ pub fn simulate_chip(
                     break (Err(err), slice_end);
                 }
                 resolve_requests(&engines, mem, &mut channels, &mut mem_refs);
+                if let Some(s) = sampler.as_mut() {
+                    s.maybe_sample(obs, slice_end, &channels);
+                }
                 if all_halted(&engines) {
                     break (Ok(StopReason::AllHalted), slice_end);
                 }
@@ -565,8 +691,10 @@ pub fn simulate_chip(
         (Ok(stop), t) => (stop, t),
         (Err(e), _) => return Err(e),
     };
-    let mut engs: Vec<Engine> =
-        engines.into_iter().map(|m| m.into_inner().unwrap()).collect();
+    let mut engs: Vec<Engine> = engines
+        .into_iter()
+        .map(|m| m.into_inner().unwrap())
+        .collect();
     for e in engs.iter_mut() {
         // Engines whose last context halted at the barrier (empty receive
         // queue) never ran again to observe it; close their books at the
@@ -576,9 +704,11 @@ pub fn simulate_chip(
         }
     }
     let cycles = match stop {
-        StopReason::AllHalted => {
-            engs.iter().map(|e| e.stats.halt_cycle).max().unwrap_or(final_t)
-        }
+        StopReason::AllHalted => engs
+            .iter()
+            .map(|e| e.stats.halt_cycle)
+            .max()
+            .unwrap_or(final_t),
         StopReason::CycleLimit => final_t,
     };
     let estats: Vec<EngineStats> = engs.into_iter().map(|e| e.stats).collect();
@@ -607,13 +737,19 @@ mod tests {
         Program {
             blocks: vec![Block {
                 instrs: vec![
-                    Instr::RxPacket { len_dst: r(Bank::A, 0), addr_dst: r(Bank::A, 1) },
+                    Instr::RxPacket {
+                        len_dst: r(Bank::A, 0),
+                        addr_dst: r(Bank::A, 1),
+                    },
                     Instr::MemRead {
                         space: MemSpace::Sdram,
                         addr: Addr::Reg(r(Bank::A, 1), 0),
                         dst: vec![r(Bank::Ld, 0), r(Bank::Ld, 1)],
                     },
-                    Instr::TxPacket { addr: r(Bank::A, 1), len: r(Bank::A, 0) },
+                    Instr::TxPacket {
+                        addr: r(Bank::A, 1),
+                        len: r(Bank::A, 0),
+                    },
                 ],
                 term: Terminator::Jump(BlockId(0)),
             }],
@@ -633,14 +769,22 @@ mod tests {
     fn chip_processes_every_packet_exactly_once() {
         let prog = forwarder();
         let mut mem = loaded_mem(40);
-        let cfg = ChipConfig { engines: 4, contexts: 2, ..ChipConfig::default() };
+        let cfg = ChipConfig {
+            engines: 4,
+            contexts: 2,
+            ..ChipConfig::default()
+        };
         let res = simulate_chip(&prog, &mut mem, &cfg).unwrap();
         assert_eq!(res.stop, StopReason::AllHalted);
         assert_eq!(res.packets, 40);
         assert_eq!(mem.tx_log.len(), 40);
         assert!(mem.rx_queue.is_empty());
         // Every engine pulled some work from the shared queue.
-        assert!(res.engines.iter().all(|e| e.packets > 0), "{:?}", res.engines);
+        assert!(
+            res.engines.iter().all(|e| e.packets > 0),
+            "{:?}",
+            res.engines
+        );
         assert_eq!(res.engines.iter().map(|e| e.packets).sum::<u64>(), 40);
     }
 
@@ -649,7 +793,11 @@ mod tests {
         let prog = forwarder();
         let cycles = |engines: usize| {
             let mut mem = loaded_mem(64);
-            let cfg = ChipConfig { engines, contexts: 4, ..ChipConfig::default() };
+            let cfg = ChipConfig {
+                engines,
+                contexts: 4,
+                ..ChipConfig::default()
+            };
             simulate_chip(&prog, &mut mem, &cfg).unwrap().cycles
         };
         let one = cycles(1);
@@ -669,7 +817,14 @@ mod tests {
                 ..ChipConfig::default()
             };
             let res = simulate_chip(&prog, &mut mem, &cfg).unwrap();
-            (res.cycles, res.instructions, res.packets, res.engines, res.channels, mem.tx_log)
+            (
+                res.cycles,
+                res.instructions,
+                res.packets,
+                res.engines,
+                res.channels,
+                mem.tx_log,
+            )
         };
         let a = run(1);
         let b = run(2);
@@ -681,11 +836,18 @@ mod tests {
     #[test]
     fn cycle_limit_returns_partial_stats() {
         let prog = Program {
-            blocks: vec![Block { instrs: vec![], term: Terminator::Jump(BlockId(0)) }],
+            blocks: vec![Block {
+                instrs: vec![],
+                term: Terminator::Jump(BlockId(0)),
+            }],
             entry: BlockId(0),
         };
         let mut mem = SimMemory::default();
-        let cfg = ChipConfig { engines: 2, max_cycles: 1000, ..ChipConfig::default() };
+        let cfg = ChipConfig {
+            engines: 2,
+            max_cycles: 1000,
+            ..ChipConfig::default()
+        };
         let res = simulate_chip(&prog, &mut mem, &cfg).unwrap();
         assert_eq!(res.stop, StopReason::CycleLimit);
         assert!(res.cycles <= 1000);

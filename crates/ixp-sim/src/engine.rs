@@ -18,7 +18,14 @@ pub(crate) struct RegFile {
 
 impl RegFile {
     pub(crate) fn new() -> Self {
-        RegFile { a: [0; 16], b: [0; 16], l: [0; 8], s: [0; 8], ld: [0; 8], sd: [0; 8] }
+        RegFile {
+            a: [0; 16],
+            b: [0; 16],
+            l: [0; 8],
+            s: [0; 8],
+            ld: [0; 8],
+            sd: [0; 8],
+        }
     }
 
     pub(crate) fn read(&self, r: PhysReg) -> u32 {

@@ -23,7 +23,7 @@ mod machine;
 mod packets;
 mod sim;
 
-pub use chip::{simulate_chip, ChipConfig};
+pub use chip::{simulate_chip, simulate_chip_with, ChipConfig};
 pub use machine::SimMemory;
 pub use packets::{PacketGen, PacketSpec};
-pub use sim::{simulate, EngineStats, SimConfig, SimError, SimResult, StopReason};
+pub use sim::{simulate, simulate_with, EngineStats, SimConfig, SimError, SimResult, StopReason};

@@ -21,7 +21,12 @@ pub struct PacketSpec {
 
 impl Default for PacketSpec {
     fn default() -> Self {
-        PacketSpec { count: 16, payload_bytes: 64, header_bytes: 56, seed: 0xA11CE }
+        PacketSpec {
+            count: 16,
+            payload_bytes: 64,
+            header_bytes: 56,
+            seed: 0xA11CE,
+        }
     }
 }
 
@@ -35,7 +40,9 @@ pub struct PacketGen {
 impl PacketGen {
     /// New generator.
     pub fn new(seed: u64) -> Self {
-        PacketGen { rng: StdRng::seed_from_u64(seed) }
+        PacketGen {
+            rng: StdRng::seed_from_u64(seed),
+        }
     }
 
     /// Fill `mem` with `spec.count` packets, each padded to a whole number
@@ -69,7 +76,12 @@ mod tests {
     fn generates_aligned_packets() {
         let mut mem = SimMemory::default();
         let mut g = PacketGen::new(7);
-        let spec = PacketSpec { count: 3, payload_bytes: 16, header_bytes: 56, ..Default::default() };
+        let spec = PacketSpec {
+            count: 3,
+            payload_bytes: 16,
+            header_bytes: 56,
+            ..Default::default()
+        };
         let addrs = g.generate(&mut mem, &spec);
         assert_eq!(addrs.len(), 3);
         for a in &addrs {

@@ -15,9 +15,7 @@ use ixp_machine::timing::{
     issue_cycles, read_latency, BRANCH_TAKEN_PENALTY, CLOCK_HZ, HASH_CYCLES,
 };
 use ixp_machine::units::hash_unit;
-use ixp_machine::{
-    AluSrc, Bank, BlockId, Instr, MemSpace, PhysReg, Program, Terminator,
-};
+use ixp_machine::{AluSrc, Bank, BlockId, Instr, MemSpace, PhysReg, Program, Terminator};
 use std::collections::HashMap;
 
 /// Simulation parameters for one micro-engine.
@@ -34,7 +32,10 @@ pub struct SimConfig {
 
 impl Default for SimConfig {
     fn default() -> Self {
-        SimConfig { threads: 4, max_cycles: 500_000_000 }
+        SimConfig {
+            threads: 4,
+            max_cycles: 500_000_000,
+        }
     }
 }
 
@@ -144,6 +145,36 @@ struct Thread {
 /// Returns [`SimError`] on architectural violations (which
 /// [`ixp_machine::validate`] should have ruled out).
 pub fn simulate(
+    prog: &Program<PhysReg>,
+    mem: &mut SimMemory,
+    cfg: &SimConfig,
+) -> Result<SimResult, SimError> {
+    simulate_with(prog, mem, cfg, &nova_obs::Obs::noop())
+}
+
+/// [`simulate`] with structured telemetry: the run executes under a
+/// `phase.sim` span and finishes by publishing per-channel
+/// (`sim.channel.*`) and per-engine (`sim.engine.*`) telemetry — see
+/// [`emit_result_obs`] for the exact taxonomy. The execution loop itself
+/// is untouched; a no-op observer costs nothing per simulated cycle.
+///
+/// # Errors
+///
+/// Returns [`SimError`] on architectural violations, as [`simulate`].
+pub fn simulate_with(
+    prog: &Program<PhysReg>,
+    mem: &mut SimMemory,
+    cfg: &SimConfig,
+    obs: &nova_obs::Obs,
+) -> Result<SimResult, SimError> {
+    let span = obs.span("phase.sim");
+    let res = simulate_inner(prog, mem, cfg)?;
+    span.end();
+    emit_result_obs(obs, &res);
+    Ok(res)
+}
+
+fn simulate_inner(
     prog: &Program<PhysReg>,
     mem: &mut SimMemory,
     cfg: &SimConfig,
@@ -341,7 +372,13 @@ pub fn simulate(
                     t.pc = 0;
                     cycle += BRANCH_TAKEN_PENALTY;
                 }
-                Terminator::Branch { cond, a, b, if_true, if_false } => {
+                Terminator::Branch {
+                    cond,
+                    a,
+                    b,
+                    if_true,
+                    if_false,
+                } => {
                     let av = t.regs.read(*a);
                     let bv = match b {
                         AluSrc::Reg(r) => t.regs.read(*r),
@@ -366,6 +403,49 @@ pub fn simulate(
     Ok(finish_result(cycle, mem_refs, stop, channels, vec![estats]))
 }
 
+/// Publish a finished run's telemetry: per-channel counters
+/// (`sim.channel.<space>.{reads,writes,busy_cycles,wait_cycles,max_queue_depth}`),
+/// a final `sim.channel.<space>.occupancy` sample, and per-engine stall
+/// breakdowns (`sim.engine.<i>.{instructions,swap_outs,idle_cycles,packets}`
+/// counters plus a `sim.engine.idle_frac` sample per engine).
+pub(crate) fn emit_result_obs(obs: &nova_obs::Obs, res: &SimResult) {
+    if !obs.enabled() {
+        return;
+    }
+    obs.counter("sim.cycles", res.cycles);
+    obs.counter("sim.instructions", res.instructions);
+    obs.counter("sim.packets", res.packets);
+    obs.counter("sim.bytes", res.bytes);
+    for c in &res.channels {
+        let space = format!("{:?}", c.space).to_lowercase();
+        obs.counter(&format!("sim.channel.{space}.reads"), c.reads);
+        obs.counter(&format!("sim.channel.{space}.writes"), c.writes);
+        obs.counter(&format!("sim.channel.{space}.busy_cycles"), c.busy_cycles);
+        obs.counter(&format!("sim.channel.{space}.wait_cycles"), c.wait_cycles);
+        obs.counter(
+            &format!("sim.channel.{space}.max_queue_depth"),
+            c.max_queue_depth as u64,
+        );
+        obs.sample(
+            &format!("sim.channel.{space}.occupancy"),
+            c.occupancy(res.cycles),
+        );
+    }
+    for e in &res.engines {
+        let i = e.engine;
+        obs.counter(&format!("sim.engine.{i}.instructions"), e.instructions);
+        obs.counter(&format!("sim.engine.{i}.swap_outs"), e.swap_outs);
+        obs.counter(&format!("sim.engine.{i}.idle_cycles"), e.idle_cycles);
+        obs.counter(&format!("sim.engine.{i}.packets"), e.packets);
+        if res.cycles > 0 {
+            obs.sample(
+                "sim.engine.idle_frac",
+                e.idle_cycles as f64 / res.cycles as f64,
+            );
+        }
+    }
+}
+
 /// Assemble a [`SimResult`] from the raw counters shared by both
 /// simulators.
 pub(crate) fn finish_result(
@@ -379,7 +459,11 @@ pub(crate) fn finish_result(
     let packets = engines.iter().map(|e| e.packets).sum();
     let bytes: u64 = engines.iter().map(|e| e.bytes).sum();
     let seconds = cycles as f64 / CLOCK_HZ as f64;
-    let mbps = if seconds > 0.0 { (bytes as f64 * 8.0) / seconds / 1.0e6 } else { 0.0 };
+    let mbps = if seconds > 0.0 {
+        (bytes as f64 * 8.0) / seconds / 1.0e6
+    } else {
+        0.0
+    };
     SimResult {
         cycles,
         instructions,
@@ -408,15 +492,24 @@ mod tests {
         let prog = Program {
             blocks: vec![Block {
                 instrs: vec![
-                    Instr::Imm { dst: r(Bank::A, 0), val: 6 },
-                    Instr::Imm { dst: r(Bank::B, 0), val: 7 },
+                    Instr::Imm {
+                        dst: r(Bank::A, 0),
+                        val: 6,
+                    },
+                    Instr::Imm {
+                        dst: r(Bank::B, 0),
+                        val: 7,
+                    },
                     Instr::Alu {
                         op: AluOp::Add,
                         dst: r(Bank::A, 1),
                         a: r(Bank::A, 0),
                         b: AluSrc::Reg(r(Bank::B, 0)),
                     },
-                    Instr::Move { dst: r(Bank::S, 0), src: r(Bank::A, 1) },
+                    Instr::Move {
+                        dst: r(Bank::S, 0),
+                        src: r(Bank::A, 1),
+                    },
                     Instr::MemWrite {
                         space: MemSpace::Sram,
                         addr: Addr::Imm(10),
@@ -428,8 +521,15 @@ mod tests {
             entry: BlockId(0),
         };
         let mut mem = SimMemory::with_sizes(64, 64, 64);
-        let res = simulate(&prog, &mut mem, &SimConfig { threads: 1, ..Default::default() })
-            .unwrap();
+        let res = simulate(
+            &prog,
+            &mut mem,
+            &SimConfig {
+                threads: 1,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         assert_eq!(mem.sram[10], 13);
         assert_eq!(res.stop, StopReason::AllHalted);
         assert!(res.cycles >= 6);
@@ -445,7 +545,10 @@ mod tests {
         let prog = Program {
             blocks: vec![
                 Block {
-                    instrs: vec![Instr::Imm { dst: r(Bank::A, 0), val: 0 }],
+                    instrs: vec![Instr::Imm {
+                        dst: r(Bank::A, 0),
+                        val: 0,
+                    }],
                     term: Terminator::Jump(BlockId(1)),
                 },
                 Block {
@@ -465,7 +568,10 @@ mod tests {
                 },
                 Block {
                     instrs: vec![
-                        Instr::Move { dst: r(Bank::S, 0), src: r(Bank::A, 0) },
+                        Instr::Move {
+                            dst: r(Bank::S, 0),
+                            src: r(Bank::A, 0),
+                        },
                         Instr::MemWrite {
                             space: MemSpace::Sram,
                             addr: Addr::Imm(0),
@@ -480,7 +586,15 @@ mod tests {
         // ALU b-operand immediates over 31 are a validator error, but 1 and
         // 5 are fine.
         let mut mem = SimMemory::with_sizes(16, 16, 16);
-        simulate(&prog, &mut mem, &SimConfig { threads: 1, ..Default::default() }).unwrap();
+        simulate(
+            &prog,
+            &mut mem,
+            &SimConfig {
+                threads: 1,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         assert_eq!(mem.sram[0], 5);
     }
 
@@ -499,11 +613,25 @@ mod tests {
         };
         let mut mem = SimMemory::with_sizes(16, 16, 16);
         mem.sdram[0] = 0xAA;
-        let res = simulate(&prog, &mut mem, &SimConfig { threads: 1, ..Default::default() })
-            .unwrap();
-        assert!(res.cycles >= read_latency(MemSpace::Sdram), "cycles: {}", res.cycles);
+        let res = simulate(
+            &prog,
+            &mut mem,
+            &SimConfig {
+                threads: 1,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(
+            res.cycles >= read_latency(MemSpace::Sdram),
+            "cycles: {}",
+            res.cycles
+        );
         assert_eq!(res.engines[0].swap_outs, 1);
-        assert!(res.engines[0].idle_cycles > 0, "the lone context waits on the read");
+        assert!(
+            res.engines[0].idle_cycles > 0,
+            "the lone context waits on the read"
+        );
     }
 
     #[test]
@@ -521,11 +649,32 @@ mod tests {
             entry: BlockId(0),
         };
         let mut m1 = SimMemory::with_sizes(16, 16, 16);
-        let r1 = simulate(&prog, &mut m1, &SimConfig { threads: 1, max_cycles: 1 << 20 }).unwrap();
+        let r1 = simulate(
+            &prog,
+            &mut m1,
+            &SimConfig {
+                threads: 1,
+                max_cycles: 1 << 20,
+            },
+        )
+        .unwrap();
         let mut m4 = SimMemory::with_sizes(16, 16, 16);
-        let r4 = simulate(&prog, &mut m4, &SimConfig { threads: 4, max_cycles: 1 << 20 }).unwrap();
+        let r4 = simulate(
+            &prog,
+            &mut m4,
+            &SimConfig {
+                threads: 4,
+                max_cycles: 1 << 20,
+            },
+        )
+        .unwrap();
         // 4 reads but nowhere near 4x the time.
-        assert!(r4.cycles < r1.cycles * 3, "1t {} vs 4t {}", r1.cycles, r4.cycles);
+        assert!(
+            r4.cycles < r1.cycles * 3,
+            "1t {} vs 4t {}",
+            r1.cycles,
+            r4.cycles
+        );
     }
 
     #[test]
@@ -534,8 +683,14 @@ mod tests {
         let prog = Program {
             blocks: vec![Block {
                 instrs: vec![
-                    Instr::RxPacket { len_dst: r(Bank::A, 0), addr_dst: r(Bank::A, 1) },
-                    Instr::TxPacket { addr: r(Bank::A, 1), len: r(Bank::A, 0) },
+                    Instr::RxPacket {
+                        len_dst: r(Bank::A, 0),
+                        addr_dst: r(Bank::A, 1),
+                    },
+                    Instr::TxPacket {
+                        addr: r(Bank::A, 1),
+                        len: r(Bank::A, 0),
+                    },
                 ],
                 term: Terminator::Jump(BlockId(0)),
             }],
@@ -556,11 +711,22 @@ mod tests {
     #[test]
     fn cycle_limit_enforced() {
         let prog = Program {
-            blocks: vec![Block { instrs: vec![], term: Terminator::Jump(BlockId(0)) }],
+            blocks: vec![Block {
+                instrs: vec![],
+                term: Terminator::Jump(BlockId(0)),
+            }],
             entry: BlockId(0),
         };
         let mut mem = SimMemory::default();
-        let res = simulate(&prog, &mut mem, &SimConfig { threads: 1, max_cycles: 1000 }).unwrap();
+        let res = simulate(
+            &prog,
+            &mut mem,
+            &SimConfig {
+                threads: 1,
+                max_cycles: 1000,
+            },
+        )
+        .unwrap();
         assert_eq!(res.stop, StopReason::CycleLimit);
     }
 }

@@ -1,9 +1,7 @@
 //! Timing-model behaviour: channel contention and latency hiding.
 
 use ixp_machine::timing::{burst_extra, read_latency};
-use ixp_machine::{
-    Addr, Bank, Block, BlockId, Instr, MemSpace, PhysReg, Program, Terminator,
-};
+use ixp_machine::{Addr, Bank, Block, BlockId, Instr, MemSpace, PhysReg, Program, Terminator};
 use ixp_sim::{simulate, simulate_chip, ChipConfig, SimConfig, SimMemory};
 
 fn reg(b: Bank, n: u8) -> PhysReg {
@@ -20,7 +18,10 @@ fn serial_reads(n: usize) -> Program<PhysReg> {
         })
         .collect();
     Program {
-        blocks: vec![Block { instrs, term: Terminator::Halt }],
+        blocks: vec![Block {
+            instrs,
+            term: Terminator::Halt,
+        }],
         entry: BlockId(0),
     }
 }
@@ -29,15 +30,29 @@ fn serial_reads(n: usize) -> Program<PhysReg> {
 fn serial_reads_pay_full_latency() {
     let one = {
         let mut m = SimMemory::with_sizes(64, 16, 16);
-        simulate(&serial_reads(1), &mut m, &SimConfig { threads: 1, max_cycles: 1 << 20 })
-            .unwrap()
-            .cycles
+        simulate(
+            &serial_reads(1),
+            &mut m,
+            &SimConfig {
+                threads: 1,
+                max_cycles: 1 << 20,
+            },
+        )
+        .unwrap()
+        .cycles
     };
     let ten = {
         let mut m = SimMemory::with_sizes(64, 16, 16);
-        simulate(&serial_reads(10), &mut m, &SimConfig { threads: 1, max_cycles: 1 << 20 })
-            .unwrap()
-            .cycles
+        simulate(
+            &serial_reads(10),
+            &mut m,
+            &SimConfig {
+                threads: 1,
+                max_cycles: 1 << 20,
+            },
+        )
+        .unwrap()
+        .cycles
     };
     // A single thread cannot overlap its own reads: ~10x the single-read
     // time.
@@ -61,11 +76,29 @@ fn threads_overlap_but_channel_serializes_bursts() {
     };
     let t1 = {
         let mut m = SimMemory::with_sizes(64, 16, 16);
-        simulate(&prog, &mut m, &SimConfig { threads: 1, max_cycles: 1 << 20 }).unwrap().cycles
+        simulate(
+            &prog,
+            &mut m,
+            &SimConfig {
+                threads: 1,
+                max_cycles: 1 << 20,
+            },
+        )
+        .unwrap()
+        .cycles
     };
     let t4 = {
         let mut m = SimMemory::with_sizes(64, 16, 16);
-        simulate(&prog, &mut m, &SimConfig { threads: 4, max_cycles: 1 << 20 }).unwrap().cycles
+        simulate(
+            &prog,
+            &mut m,
+            &SimConfig {
+                threads: 4,
+                max_cycles: 1 << 20,
+            },
+        )
+        .unwrap()
+        .cycles
     };
     assert!(t4 < t1 * 4, "overlap must help: t1={t1} t4={t4}");
     assert!(t4 > t1, "but four bursts cannot be free: t1={t1} t4={t4}");
@@ -93,7 +126,11 @@ fn six_engines_serialize_on_one_sdram_channel() {
     };
     let run = |engines: usize| {
         let mut m = SimMemory::with_sizes(16, 64, 16);
-        let cfg = ChipConfig { engines, contexts: 1, ..ChipConfig::default() };
+        let cfg = ChipConfig {
+            engines,
+            contexts: 1,
+            ..ChipConfig::default()
+        };
         simulate_chip(&prog, &mut m, &cfg).unwrap()
     };
     let one = run(1);
@@ -104,17 +141,33 @@ fn six_engines_serialize_on_one_sdram_channel() {
     let sdram = &six.channels[1];
     assert_eq!(sdram.space, MemSpace::Sdram);
     assert_eq!(sdram.reads, ENGINES as u64);
-    assert_eq!(sdram.busy_cycles, ENGINES as u64 * per_burst, "bursts serialize on the bus");
+    assert_eq!(
+        sdram.busy_cycles,
+        ENGINES as u64 * per_burst,
+        "bursts serialize on the bus"
+    );
     // Request k (0-based, canonical engine order) waits k full bursts.
     let expected_wait: u64 = (0..ENGINES as u64).map(|k| k * per_burst).sum();
     assert_eq!(sdram.wait_cycles, expected_wait, "FIFO queueing delay");
-    assert_eq!(sdram.max_queue_depth, ENGINES, "all six contended in one epoch");
+    assert_eq!(
+        sdram.max_queue_depth, ENGINES,
+        "all six contended in one epoch"
+    );
 
     // The last engine cannot finish before five whole bursts of queueing
     // plus its own read; a single engine pays only the unloaded latency.
     let unloaded = read_latency(MemSpace::Sdram) + burst_extra(MemSpace::Sdram) * WORDS as u64;
-    assert!(six.cycles >= 5 * per_burst + unloaded, "six-engine run: {}", six.cycles);
-    assert!(one.cycles < six.cycles, "contention must cost: {} vs {}", one.cycles, six.cycles);
+    assert!(
+        six.cycles >= 5 * per_burst + unloaded,
+        "six-engine run: {}",
+        six.cycles
+    );
+    assert!(
+        one.cycles < six.cycles,
+        "contention must cost: {} vs {}",
+        one.cycles,
+        six.cycles
+    );
 }
 
 #[test]
@@ -138,7 +191,16 @@ fn scratch_beats_sram_beats_sdram() {
     };
     let run = |p: &Program<PhysReg>| {
         let mut m = SimMemory::with_sizes(64, 64, 64);
-        simulate(p, &mut m, &SimConfig { threads: 1, max_cycles: 1 << 20 }).unwrap().cycles
+        simulate(
+            p,
+            &mut m,
+            &SimConfig {
+                threads: 1,
+                max_cycles: 1 << 20,
+            },
+        )
+        .unwrap()
+        .cycles
     };
     let scratch = run(&mk(MemSpace::Scratch, 8));
     let sram = run(&mk(MemSpace::Sram, 8));

@@ -22,8 +22,10 @@ fn main() {
     let prog = nova_backend::select(&cps).unwrap();
     let facts = nova_backend::alloc::build_facts(&prog);
     let freqs = nova_backend::freq::estimate(&prog);
-    let mut cfg = nova_backend::alloc::AllocConfig::default();
-    cfg.allow_spill = false;
+    let mut cfg = nova_backend::alloc::AllocConfig {
+        allow_spill: false,
+        ..Default::default()
+    };
     cfg.solver.time_limit = Some(std::time::Duration::from_secs(20));
     let mut bm = nova_backend::alloc::build_model(&prog, &facts, &freqs, &cfg);
     let st = bm.model.stats();
@@ -34,8 +36,13 @@ fn main() {
     match nova_backend::alloc::solve(&mut bm, &cfg) {
         Ok((a, stats)) => println!(
             "OK {:?}: nodes={} iters={} activated={} gap={} moves={}",
-            t0.elapsed(), stats.solve.nodes, stats.solve.simplex_iterations,
-            stats.solve.activated_rows, stats.solve.gap, a.n_moves),
+            t0.elapsed(),
+            stats.solve.nodes,
+            stats.solve.simplex_iterations,
+            stats.solve.activated_rows,
+            stats.solve.gap,
+            a.n_moves
+        ),
         Err(e) => println!("ERR after {:?}: {e}", t0.elapsed()),
     }
 }

@@ -42,8 +42,15 @@ pub enum IlpBank {
 
 impl IlpBank {
     /// All seven locations.
-    pub const ALL: [IlpBank; 7] =
-        [IlpBank::A, IlpBank::B, IlpBank::L, IlpBank::S, IlpBank::Ld, IlpBank::Sd, IlpBank::M];
+    pub const ALL: [IlpBank; 7] = [
+        IlpBank::A,
+        IlpBank::B,
+        IlpBank::L,
+        IlpBank::S,
+        IlpBank::Ld,
+        IlpBank::Sd,
+        IlpBank::M,
+    ];
 
     /// The four transfer banks (`XBank`).
     pub const TRANSFER: [IlpBank; 4] = [IlpBank::L, IlpBank::S, IlpBank::Ld, IlpBank::Sd];
@@ -198,11 +205,7 @@ pub fn clone_groups(facts: &Facts) -> HashMap<Temp, Vec<Temp>> {
         }
     }
     let mut groups: HashMap<Temp, Vec<Temp>> = HashMap::new();
-    let members: HashSet<Temp> = facts
-        .clones
-        .iter()
-        .flat_map(|(d, s)| [*d, *s])
-        .collect();
+    let members: HashSet<Temp> = facts.clones.iter().flat_map(|(d, s)| [*d, *s]).collect();
     let mut by_root: HashMap<Temp, Vec<Temp>> = HashMap::new();
     for m in members {
         let r = find(&mut parent, m);
@@ -335,7 +338,10 @@ mod tests {
                         addr: Addr::Imm(0),
                         dst: vec![t(0)],
                     },
-                    Instr::Clone { dst: t(1), src: t(0) },
+                    Instr::Clone {
+                        dst: t(1),
+                        src: t(0),
+                    },
                     Instr::MemWrite {
                         space: MemSpace::Sram,
                         addr: Addr::Imm(8),

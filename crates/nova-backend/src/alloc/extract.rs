@@ -90,7 +90,11 @@ pub fn extract(
             b.instrs
                 .iter()
                 .flat_map(|i| {
-                    i.uses().into_iter().chain(i.defs()).map(|t| t.0).collect::<Vec<_>>()
+                    i.uses()
+                        .into_iter()
+                        .chain(i.defs())
+                        .map(|t| t.0)
+                        .collect::<Vec<_>>()
                 })
                 .chain(b.term.uses().into_iter().map(|t| t.0))
         })
@@ -113,7 +117,10 @@ pub fn extract(
         blocks.push(cx.rewrite_block(bi as u32, b)?);
     }
     Ok(Placed {
-        prog: Program { blocks, entry: prog.entry },
+        prog: Program {
+            blocks,
+            entry: prog.entry,
+        },
         seg_bank: cx.seg_bank,
         fixed: cx.fixed,
         ab_aliases: cx.ab_aliases,
@@ -150,9 +157,10 @@ impl<'a> Extract<'a> {
         if let Some(pb) = Self::phys_bank(b) {
             self.seg_bank.insert(s, pb);
             if b.is_transfer() {
-                let color = self.asg.colors.get(&(v, b)).ok_or_else(|| {
-                    ExtractError(format!("temp {v} has no color for bank {b}"))
-                })?;
+                let color =
+                    self.asg.colors.get(&(v, b)).ok_or_else(|| {
+                        ExtractError(format!("temp {v} has no color for bank {b}"))
+                    })?;
                 self.fixed.insert(s, PhysReg::new(pb, *color));
             }
         }
@@ -160,7 +168,10 @@ impl<'a> Extract<'a> {
     }
 
     fn point(&self, block: u32, index: u32) -> PointId {
-        self.facts.point_id[&Point { block: BlockId(block), index }]
+        self.facts.point_id[&Point {
+            block: BlockId(block),
+            index,
+        }]
     }
 
     /// Residency of `v` at point `p` *after* the moves there (bank of the
@@ -203,18 +214,19 @@ impl<'a> Extract<'a> {
         self.residency(p, v)
     }
 
-    fn rewrite_block(
-        &mut self,
-        bi: u32,
-        b: &Block<Temp>,
-    ) -> Result<Block<Temp>, ExtractError> {
+    fn rewrite_block(&mut self, bi: u32, b: &Block<Temp>) -> Result<Block<Temp>, ExtractError> {
         let mut out: Vec<Instr<Temp>> = Vec::new();
         let n = b.instrs.len() as u32;
         for idx in 0..=n {
             let p = self.point(bi, idx);
             self.emit_moves_at(p, &mut out)?;
             if idx < n {
-                self.rewrite_instr(&b.instrs[idx as usize], p, self.point(bi, idx + 1), &mut out)?;
+                self.rewrite_instr(
+                    &b.instrs[idx as usize],
+                    p,
+                    self.point(bi, idx + 1),
+                    &mut out,
+                )?;
             }
         }
         // Terminator operands read at point n (after its moves).
@@ -222,7 +234,13 @@ impl<'a> Extract<'a> {
         let term = match &b.term {
             Terminator::Halt => Terminator::Halt,
             Terminator::Jump(t) => Terminator::Jump(*t),
-            Terminator::Branch { cond, a, b: bsrc, if_true, if_false } => {
+            Terminator::Branch {
+                cond,
+                a,
+                b: bsrc,
+                if_true,
+                if_false,
+            } => {
                 let ra = self.use_reg(*a, p_term)?;
                 let rb = match bsrc {
                     AluSrc::Imm(v) => AluSrc::Imm(*v),
@@ -283,7 +301,9 @@ impl<'a> Extract<'a> {
         p: PointId,
         out: &mut Vec<Instr<Temp>>,
     ) -> Result<(), ExtractError> {
-        let Some(moves) = self.asg.moves.get(&p).cloned() else { return Ok(()) };
+        let Some(moves) = self.asg.moves.get(&p).cloned() else {
+            return Ok(());
+        };
         // Order matters within a point: first drain values out of the
         // transfer banks (spill stores, moves out of L/LD), then ordinary
         // moves, then reloads — so arriving values never clobber departing
@@ -311,7 +331,11 @@ impl<'a> Extract<'a> {
                     let addr = Addr::Imm(self.slot(v));
                     if src == IlpBank::S {
                         let s = self.segment(v, IlpBank::S)?;
-                        out.push(Instr::MemWrite { space: MemSpace::Scratch, addr, src: vec![s] });
+                        out.push(Instr::MemWrite {
+                            space: MemSpace::Scratch,
+                            addr,
+                            src: vec![s],
+                        });
                     } else {
                         let r = self.free_reg(p, IlpBank::S, &transient_s)?;
                         transient_s.insert(r);
@@ -332,7 +356,11 @@ impl<'a> Extract<'a> {
                     let addr = Addr::Imm(self.slot(v));
                     if dst == IlpBank::L {
                         let l = self.segment(v, IlpBank::L)?;
-                        out.push(Instr::MemRead { space: MemSpace::Scratch, addr, dst: vec![l] });
+                        out.push(Instr::MemRead {
+                            space: MemSpace::Scratch,
+                            addr,
+                            dst: vec![l],
+                        });
                     } else {
                         let r = self.free_reg(p, IlpBank::L, &transient_l)?;
                         transient_l.insert(r);
@@ -431,7 +459,11 @@ impl<'a> Extract<'a> {
                     .iter()
                     .map(|d| self.def_reg(*d, post))
                     .collect::<Result<Vec<_>, _>>()?;
-                out.push(Instr::MemRead { space: *space, addr, dst });
+                out.push(Instr::MemRead {
+                    space: *space,
+                    addr,
+                    dst,
+                });
             }
             Instr::MemWrite { space, addr, src } => {
                 let addr = self.rewrite_addr(addr, pre)?;
@@ -439,7 +471,11 @@ impl<'a> Extract<'a> {
                     .iter()
                     .map(|s| self.use_reg(*s, pre))
                     .collect::<Result<Vec<_>, _>>()?;
-                out.push(Instr::MemWrite { space: *space, addr, src });
+                out.push(Instr::MemWrite {
+                    space: *space,
+                    addr,
+                    src,
+                });
             }
             Instr::Hash { dst, src } => {
                 let src = self.use_reg(*src, pre)?;

@@ -169,7 +169,9 @@ impl Facts {
 
     /// All `(PointId, Temp)` pairs of the `Exists` relation.
     pub fn exists_pairs(&self) -> impl Iterator<Item = (PointId, Temp)> + '_ {
-        self.exists.iter().flat_map(|(p, ts)| ts.iter().map(move |t| (*p, *t)))
+        self.exists
+            .iter()
+            .flat_map(|(p, ts)| ts.iter().map(move |t| (*p, *t)))
     }
 }
 
@@ -180,13 +182,19 @@ pub fn build(prog: &Program<Temp>) -> Facts {
     let mut point_id = HashMap::new();
     for (bi, b) in prog.blocks.iter().enumerate() {
         for idx in 0..(b.instrs.len() as u32 + 2) {
-            let p = Point { block: ixp_machine::BlockId(bi as u32), index: idx };
+            let p = Point {
+                block: ixp_machine::BlockId(bi as u32),
+                index: idx,
+            };
             point_id.insert(p, PointId(points.len() as u32));
             points.push(p);
         }
     }
     let pid = |block: usize, index: u32| -> PointId {
-        point_id[&Point { block: ixp_machine::BlockId(block as u32), index }]
+        point_id[&Point {
+            block: ixp_machine::BlockId(block as u32),
+            index,
+        }]
     };
 
     let mut exists: HashMap<PointId, HashSet<Temp>> = HashMap::new();
@@ -200,7 +208,10 @@ pub fn build(prog: &Program<Temp>) -> Facts {
         let n = b.instrs.len() as u32;
         // Exists = live at each point; dead results added below.
         for idx in 0..(n + 2) {
-            let p = Point { block: ixp_machine::BlockId(bi as u32), index: idx };
+            let p = Point {
+                block: ixp_machine::BlockId(bi as u32),
+                index: idx,
+            };
             let set = liveness.live[&p].clone();
             exists.insert(point_id[&p], set);
         }
@@ -245,7 +256,10 @@ pub fn build(prog: &Program<Temp>) -> Facts {
         }
         // CFG edges: after-branch point to successor entry points.
         for succ in b.term.successors() {
-            let target = point_id[&Point { block: succ, index: 0 }];
+            let target = point_id[&Point {
+                block: succ,
+                index: 0,
+            }];
             for v in &liveness.live_in[&succ] {
                 if live_post.contains(v) {
                     copy.push((post, target, *v));
@@ -281,42 +295,104 @@ fn instr_facts(
     let mut out = Vec::new();
     match ins {
         Instr::Alu { dst, a, b, .. } => match b {
-            AluSrc::Reg(rb) => out.push(Fact::AluTwo { pre, post, dst: *dst, a: *a, b: *rb }),
-            AluSrc::Imm(_) => out.push(Fact::AluOne { pre, post, dst: *dst, a: *a }),
+            AluSrc::Reg(rb) => out.push(Fact::AluTwo {
+                pre,
+                post,
+                dst: *dst,
+                a: *a,
+                b: *rb,
+            }),
+            AluSrc::Imm(_) => out.push(Fact::AluOne {
+                pre,
+                post,
+                dst: *dst,
+                a: *a,
+            }),
         },
-        Instr::Imm { dst, .. } => out.push(Fact::Def { post, dsts: vec![*dst] }),
-        Instr::Move { dst, src } => out.push(Fact::MoveF { pre, post, dst: *dst, src: *src }),
+        Instr::Imm { dst, .. } => out.push(Fact::Def {
+            post,
+            dsts: vec![*dst],
+        }),
+        Instr::Move { dst, src } => out.push(Fact::MoveF {
+            pre,
+            post,
+            dst: *dst,
+            src: *src,
+        }),
         Instr::Clone { dst, src } => {
             clones.push((*dst, *src));
-            out.push(Fact::CloneF { pre, post, dst: *dst, src: *src });
+            out.push(Fact::CloneF {
+                pre,
+                post,
+                dst: *dst,
+                src: *src,
+            });
         }
         Instr::MemRead { space, addr, dst } => {
             if let Some(base) = addr_use(addr) {
-                out.push(Fact::GpUse { pre, srcs: vec![base] });
+                out.push(Fact::GpUse {
+                    pre,
+                    srcs: vec![base],
+                });
             }
             aggregates.push((*space, true, dst.clone()));
-            out.push(Fact::ReadAgg { pre, post, space: *space, dsts: dst.clone() });
+            out.push(Fact::ReadAgg {
+                pre,
+                post,
+                space: *space,
+                dsts: dst.clone(),
+            });
         }
         Instr::MemWrite { space, addr, src } => {
             if let Some(base) = addr_use(addr) {
-                out.push(Fact::GpUse { pre, srcs: vec![base] });
+                out.push(Fact::GpUse {
+                    pre,
+                    srcs: vec![base],
+                });
             }
             aggregates.push((*space, false, src.clone()));
-            out.push(Fact::WriteAgg { pre, space: *space, srcs: src.clone() });
+            out.push(Fact::WriteAgg {
+                pre,
+                space: *space,
+                srcs: src.clone(),
+            });
         }
-        Instr::Hash { dst, src } => out.push(Fact::SameReg { pre, post, dst: *dst, src: *src }),
+        Instr::Hash { dst, src } => out.push(Fact::SameReg {
+            pre,
+            post,
+            dst: *dst,
+            src: *src,
+        }),
         Instr::TestAndSet { dst, src, addr } => {
             if let Some(base) = addr_use(addr) {
-                out.push(Fact::GpUse { pre, srcs: vec![base] });
+                out.push(Fact::GpUse {
+                    pre,
+                    srcs: vec![base],
+                });
             }
-            out.push(Fact::SameReg { pre, post, dst: *dst, src: *src });
+            out.push(Fact::SameReg {
+                pre,
+                post,
+                dst: *dst,
+                src: *src,
+            });
         }
-        Instr::CsrRead { dst, .. } => out.push(Fact::Def { post, dsts: vec![*dst] }),
-        Instr::CsrWrite { src, .. } => out.push(Fact::GpUse { pre, srcs: vec![*src] }),
-        Instr::RxPacket { len_dst, addr_dst } => {
-            out.push(Fact::Def { post, dsts: vec![*len_dst, *addr_dst] })
-        }
-        Instr::TxPacket { addr, len } => out.push(Fact::GpUse { pre, srcs: vec![*addr, *len] }),
+        Instr::CsrRead { dst, .. } => out.push(Fact::Def {
+            post,
+            dsts: vec![*dst],
+        }),
+        Instr::CsrWrite { src, .. } => out.push(Fact::GpUse {
+            pre,
+            srcs: vec![*src],
+        }),
+        Instr::RxPacket { len_dst, addr_dst } => out.push(Fact::Def {
+            post,
+            dsts: vec![*len_dst, *addr_dst],
+        }),
+        Instr::TxPacket { addr, len } => out.push(Fact::GpUse {
+            pre,
+            srcs: vec![*addr, *len],
+        }),
         Instr::CtxSwap => {}
     }
     out
@@ -386,9 +462,15 @@ mod tests {
         };
         let f = build(&prog);
         // t0 never used: not live anywhere, but exists at the post point.
-        let post = f.point_id[&Point { block: BlockId(0), index: 1 }];
+        let post = f.point_id[&Point {
+            block: BlockId(0),
+            index: 1,
+        }];
         assert!(f.exists_at(post).contains(&t(0)));
-        let pre = f.point_id[&Point { block: BlockId(0), index: 0 }];
+        let pre = f.point_id[&Point {
+            block: BlockId(0),
+            index: 0,
+        }];
         assert!(!f.exists_at(pre).contains(&t(0)));
     }
 
@@ -406,12 +488,18 @@ mod tests {
                         if_false: BlockId(1),
                     },
                 },
-                Block { instrs: vec![], term: Terminator::Halt },
+                Block {
+                    instrs: vec![],
+                    term: Terminator::Halt,
+                },
             ],
             entry: BlockId(0),
         };
         let f = build(&prog);
-        let after_branch = f.point_id[&Point { block: BlockId(0), index: 2 }];
+        let after_branch = f.point_id[&Point {
+            block: BlockId(0),
+            index: 2,
+        }];
         assert!(f.no_moves.contains(&after_branch));
         // Branch operand fact exists.
         assert!(f.facts.iter().any(|x| matches!(x, Fact::BranchUse { .. })));
@@ -439,8 +527,14 @@ mod tests {
             entry: BlockId(0),
         };
         let f = build(&prog);
-        let after = f.point_id[&Point { block: BlockId(0), index: 2 }];
-        let entry1 = f.point_id[&Point { block: BlockId(1), index: 0 }];
+        let after = f.point_id[&Point {
+            block: BlockId(0),
+            index: 2,
+        }];
+        let entry1 = f.point_id[&Point {
+            block: BlockId(1),
+            index: 0,
+        }];
         assert!(f.copy.contains(&(after, entry1, t(0))));
     }
 }

@@ -10,7 +10,7 @@ pub use candidates::{clone_groups, prune, unpruned, Candidates, IlpBank};
 pub use extract::{extract, ExtractError, Placed, SPILL_BASE};
 pub use facts::{build as build_facts, Fact, Facts, PointId};
 pub use model::{
-    build_model, move_cost, solve, AllocConfig, AllocStats, Assignment, BankModel, Fig6,
+    build_model, move_cost, solve, solve_with, AllocConfig, AllocStats, Assignment, BankModel, Fig6,
 };
 
 use crate::color::{assign_ab, ColorStats};
@@ -66,33 +66,78 @@ impl std::error::Error for AllocError {}
 /// See [`AllocError`]; `Solver(Infeasible)` on a well-formed program means
 /// the configuration cannot allocate it (e.g. spilling disabled under
 /// pressure).
-pub fn allocate(
+pub fn allocate(prog: &Program<Temp>, cfg: &AllocConfig) -> Result<Allocation, AllocError> {
+    allocate_with(prog, cfg, &nova_obs::Obs::noop())
+}
+
+/// [`allocate`] with structured telemetry: the modeling and solving half
+/// runs under a `phase.ilp` span (with `backend.facts`, `backend.freq`,
+/// and `backend.model` sub-spans plus the solver's own `ilp.*` events),
+/// the extraction/coloring half under `phase.codegen` (with
+/// `backend.extract` and `backend.color` sub-spans), and the liveness,
+/// move, spill, and coalescing outcomes are published as `backend.*`
+/// counters.
+///
+/// # Errors
+///
+/// See [`AllocError`].
+pub fn allocate_with(
     prog: &Program<Temp>,
     cfg: &AllocConfig,
+    obs: &nova_obs::Obs,
 ) -> Result<Allocation, AllocError> {
-    let facts = build_facts(prog);
-    let freqs = freq::estimate(prog);
+    let ilp_span = obs.span("phase.ilp");
+    let facts = {
+        let _span = obs.span("backend.facts");
+        build_facts(prog)
+    };
+    let freqs = {
+        let _span = obs.span("backend.freq");
+        freq::estimate(prog)
+    };
     let mut cfg = cfg.clone();
+    let pressure = facts.exists.values().map(|s| s.len()).max().unwrap_or(0);
+    obs.counter("backend.liveness.points", facts.exists.len() as u64);
+    obs.counter("backend.liveness.max_pressure", pressure as u64);
     if cfg.allow_spill && cfg.spill_auto {
         // If no point can exhaust the general-purpose banks, spilling can
         // never be required (or profitable, at 200x move cost): drop the
         // M machinery and its colorAvail/needsSpill rows.
-        let pressure = facts.exists.values().map(|s| s.len()).max().unwrap_or(0);
         if pressure + 4 <= cfg.k_a + cfg.k_b {
             cfg.allow_spill = false;
+            obs.counter("backend.spill.machinery_dropped", 1);
         }
     }
     let cfg = &cfg;
-    let mut bm = build_model(prog, &facts, &freqs, cfg);
-    let (assignment, stats) = solve(&mut bm, cfg).map_err(AllocError::Solver)?;
-    let placed = extract(prog, &facts, &bm, &assignment).map_err(AllocError::Extract)?;
-    let (ab, color_stats) = assign_ab(&placed).map_err(AllocError::Color)?;
+    let mut bm = {
+        let _span = obs.span("backend.model");
+        build_model(prog, &facts, &freqs, cfg)
+    };
+    let (assignment, stats) = solve_with(&mut bm, cfg, obs).map_err(AllocError::Solver)?;
+    ilp_span.end();
+    let codegen_span = obs.span("phase.codegen");
+    let placed = {
+        let _span = obs.span("backend.extract");
+        extract(prog, &facts, &bm, &assignment).map_err(AllocError::Extract)?
+    };
+    let (ab, color_stats) = {
+        let _span = obs.span("backend.color");
+        assign_ab(&placed).map_err(AllocError::Color)?
+    };
     let final_prog = apply_registers(&placed, &ab)?;
     let violations = ixp_machine::validate(&final_prog);
     if !violations.is_empty() {
         return Err(AllocError::Invalid(violations));
     }
-    Ok(Allocation { prog: final_prog, stats, color_stats })
+    codegen_span.end();
+    obs.counter("backend.moves", stats.moves as u64);
+    obs.counter("backend.spills", stats.spills as u64);
+    obs.counter("backend.color.coalesced", color_stats.coalesced as u64);
+    Ok(Allocation {
+        prog: final_prog,
+        stats,
+        color_stats,
+    })
 }
 
 /// Substitute physical registers for segment temporaries and drop
@@ -148,5 +193,8 @@ fn apply_registers(
         }
         blocks.push(ixp_machine::Block { instrs, term });
     }
-    Ok(Program { blocks, entry: placed.prog.entry })
+    Ok(Program {
+        blocks,
+        entry: placed.prog.entry,
+    })
 }

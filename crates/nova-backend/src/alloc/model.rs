@@ -26,7 +26,9 @@
 //! expression. This is what lets our bounded-variable simplex (dense
 //! basis inverse) solve the models CPLEX solved for the paper.
 
-use super::candidates::{clone_groups, load_bank, prune, store_bank, unpruned, Candidates, IlpBank};
+use super::candidates::{
+    clone_groups, load_bank, prune, store_bank, unpruned, Candidates, IlpBank,
+};
 use super::facts::{Fact, Facts, PointId};
 use crate::freq::Frequencies;
 use crate::liveness::Point;
@@ -78,14 +80,13 @@ impl Default for AllocConfig {
             k_a: 15,
             k_b: 16,
             spill_auto: true,
-            solver: {
+            solver: BranchConfig {
                 // The paper ran CPLEX to a 0.01% gap in 36-156 s; give our
                 // branch-and-bound the same order of wall clock. When the
                 // budget expires the best incumbent is used and
                 // `SolveStats::proven_optimal` reports the gap.
-                let mut b = BranchConfig::default();
-                b.time_limit = Some(std::time::Duration::from_secs(150));
-                b
+                time_limit: Some(std::time::Duration::from_secs(150)),
+                ..BranchConfig::default()
             },
         }
     }
@@ -111,12 +112,15 @@ impl AllocConfig {
     }
 }
 
+/// Move variables keyed by action point and temp: `(var, from, to)`.
+pub type MoveVars = HashMap<(PointId, Temp), Vec<(Var, IlpBank, IlpBank)>>;
+
 /// The generated model plus the bookkeeping needed to read a solution.
 pub struct BankModel {
     /// The underlying ILP.
     pub model: Model,
     /// Move variables per action point and temp: `(var, from, to)`.
-    pub moves: HashMap<(PointId, Temp), Vec<(Var, IlpBank, IlpBank)>>,
+    pub moves: MoveVars,
     /// Color variables per `(temp, transfer bank)`: one var per register.
     pub colors: HashMap<(Temp, IlpBank), Vec<Var>>,
     /// Action points per temp (sorted; `PointId` order equals block order).
@@ -188,8 +192,11 @@ pub fn build_model(
     freqs: &Frequencies,
     cfg: &AllocConfig,
 ) -> BankModel {
-    let candidates =
-        if cfg.prune { prune(facts, cfg.allow_spill) } else { unpruned(facts, cfg.allow_spill) };
+    let candidates = if cfg.prune {
+        prune(facts, cfg.allow_spill)
+    } else {
+        unpruned(facts, cfg.allow_spill)
+    };
     let groups = clone_groups(facts);
     let mut model = Model::minimize();
     let fam_move = model.family("Move");
@@ -227,7 +234,13 @@ pub fn build_model(
             actions.entry(v).or_default().insert(p);
         };
         match fact {
-            Fact::AluTwo { pre, post, dst, a, b } => {
+            Fact::AluTwo {
+                pre,
+                post,
+                dst,
+                a,
+                b,
+            } => {
                 touch(*a, *pre);
                 touch(*b, *pre);
                 touch(*dst, *post);
@@ -236,7 +249,12 @@ pub fn build_model(
                 touch(*a, *pre);
                 touch(*dst, *post);
             }
-            Fact::MoveF { pre, post, dst, src } => {
+            Fact::MoveF {
+                pre,
+                post,
+                dst,
+                src,
+            } => {
                 touch(*src, *pre);
                 touch(*dst, *post);
             }
@@ -260,11 +278,21 @@ pub fn build_model(
                     touch(*s, *pre);
                 }
             }
-            Fact::SameReg { pre, post, dst, src } => {
+            Fact::SameReg {
+                pre,
+                post,
+                dst,
+                src,
+            } => {
                 touch(*src, *pre);
                 touch(*dst, *post);
             }
-            Fact::CloneF { pre, post, dst, src } => {
+            Fact::CloneF {
+                pre,
+                post,
+                dst,
+                src,
+            } => {
                 touch(*src, *pre);
                 touch(*dst, *post);
             }
@@ -281,15 +309,17 @@ pub fn build_model(
     // no-move points are never instruction-adjacent nor entries, so none
     // appear here by construction).
     for (v, set) in actions.iter_mut() {
-        set.retain(|p| facts.exists_at(*p).contains(v) || {
-            // results exist at their post point by construction
-            true
+        set.retain(|p| {
+            facts.exists_at(*p).contains(v) || {
+                // results exist at their post point by construction
+                true
+            }
         });
         let _ = v;
     }
 
     // ---- Move variables at action points ----
-    let mut moves: HashMap<(PointId, Temp), Vec<(Var, IlpBank, IlpBank)>> = HashMap::new();
+    let mut moves: MoveVars = HashMap::new();
     let mut action_order: Vec<(Temp, &BTreeSet<PointId>)> =
         actions.iter().map(|(v, s)| (*v, s)).collect();
     action_order.sort_by_key(|(v, _)| *v);
@@ -318,11 +348,7 @@ pub fn build_model(
         }
     }
 
-    let before = |moves: &HashMap<(PointId, Temp), Vec<(Var, IlpBank, IlpBank)>>,
-                  p: PointId,
-                  v: Temp,
-                  b: IlpBank|
-     -> LinExpr {
+    let before = |moves: &MoveVars, p: PointId, v: Temp, b: IlpBank| -> LinExpr {
         let mut e = LinExpr::new();
         if let Some(vars) = moves.get(&(p, v)) {
             for (var, from, _) in vars {
@@ -333,11 +359,7 @@ pub fn build_model(
         }
         e
     };
-    let after = |moves: &HashMap<(PointId, Temp), Vec<(Var, IlpBank, IlpBank)>>,
-                 p: PointId,
-                 v: Temp,
-                 b: IlpBank|
-     -> LinExpr {
+    let after = |moves: &MoveVars, p: PointId, v: Temp, b: IlpBank| -> LinExpr {
         let mut e = LinExpr::new();
         if let Some(vars) = moves.get(&(p, v)) {
             for (var, _, to) in vars {
@@ -387,9 +409,7 @@ pub fn build_model(
                 // Last action of v in the predecessor block.
                 let Some(pts) = actions.get(v) else { continue };
                 let (lo, hi) = block_range[bi];
-                let Some(last) =
-                    pts.range(lo..=hi).next_back().copied()
-                else {
+                let Some(last) = pts.range(lo..=hi).next_back().copied() else {
                     continue;
                 };
                 let mut cand: Vec<IlpBank> = candidates.of(*v).into_iter().collect();
@@ -409,7 +429,7 @@ pub fn build_model(
     let writable = [IlpBank::A, IlpBank::B, IlpBank::S, IlpBank::Sd];
     let gp = [IlpBank::A, IlpBank::B];
     let require_in = |model: &mut Model,
-                      moves: &HashMap<(PointId, Temp), Vec<(Var, IlpBank, IlpBank)>>,
+                      moves: &MoveVars,
                       group: &str,
                       p: PointId,
                       v: Temp,
@@ -422,13 +442,23 @@ pub fn build_model(
         }
         let mut e = LinExpr::new();
         for &bk in banks {
-            e += if use_after { after(moves, p, v, bk) } else { before(moves, p, v, bk) };
+            e += if use_after {
+                after(moves, p, v, bk)
+            } else {
+                before(moves, p, v, bk)
+            };
         }
         model.constrain(group, e, Cmp::Eq, 1.0);
     };
     for fact in &facts.facts {
         match fact {
-            Fact::AluTwo { pre, post, dst, a, b } => {
+            Fact::AluTwo {
+                pre,
+                post,
+                dst,
+                a,
+                b,
+            } => {
                 require_in(&mut model, &moves, "ArithA", *pre, *a, &readable, true);
                 require_in(&mut model, &moves, "ArithB", *pre, *b, &readable, true);
                 // Operands cannot share a bank; L and LD supply at most one.
@@ -436,11 +466,9 @@ pub fn build_model(
                     let e = after(&moves, *pre, *a, bk) + after(&moves, *pre, *b, bk);
                     model.constrain_lazy("ArithPair", e, Cmp::Le, 1.0);
                 }
-                let e = after(&moves, *pre, *a, IlpBank::L)
-                    + after(&moves, *pre, *b, IlpBank::Ld);
+                let e = after(&moves, *pre, *a, IlpBank::L) + after(&moves, *pre, *b, IlpBank::Ld);
                 model.constrain_lazy("ArithXfer", e, Cmp::Le, 1.0);
-                let e = after(&moves, *pre, *a, IlpBank::Ld)
-                    + after(&moves, *pre, *b, IlpBank::L);
+                let e = after(&moves, *pre, *a, IlpBank::Ld) + after(&moves, *pre, *b, IlpBank::L);
                 model.constrain_lazy("ArithXfer", e, Cmp::Le, 1.0);
                 require_in(&mut model, &moves, "DefABW", *post, *dst, &writable, false);
             }
@@ -448,19 +476,19 @@ pub fn build_model(
                 require_in(&mut model, &moves, "ArithA", *pre, *a, &readable, true);
                 require_in(&mut model, &moves, "DefABW", *post, *dst, &writable, false);
             }
-            Fact::MoveF { pre, post, dst, src } => {
+            Fact::MoveF {
+                pre,
+                post,
+                dst,
+                src,
+            } => {
                 require_in(&mut model, &moves, "ArithA", *pre, *src, &readable, true);
                 require_in(&mut model, &moves, "DefABW", *post, *dst, &writable, false);
                 // Coalescing incentive: when source and destination share
                 // a bank, the A/B coloring phase deletes this copy; when
                 // they differ, the instruction survives and costs a move.
                 // pm >= After[pre,src,b] - Before[post,dst,b]  for each b.
-                let pm = model.continuous(
-                    fam_cp,
-                    &[Key::Int(pre.0), Key::Int(dst.0)],
-                    0.0,
-                    1.0,
-                );
+                let pm = model.continuous(fam_cp, &[Key::Int(pre.0), Key::Int(dst.0)], 0.0, 1.0);
                 for &bk in &candidates.of(*src) {
                     let e = after(&moves, *pre, *src, bk)
                         - before(&moves, *post, *dst, bk)
@@ -479,7 +507,9 @@ pub fn build_model(
                     require_in(&mut model, &moves, "GpUse", *pre, *s, &gp, true);
                 }
             }
-            Fact::ReadAgg { post, space, dsts, .. } => {
+            Fact::ReadAgg {
+                post, space, dsts, ..
+            } => {
                 let bank = load_bank(*space);
                 match bank {
                     IlpBank::L => fig6.def_l += dsts.len(),
@@ -499,11 +529,37 @@ pub fn build_model(
                     require_in(&mut model, &moves, "UseAgg", *pre, *s, &[bank], true);
                 }
             }
-            Fact::SameReg { pre, post, dst, src } => {
-                require_in(&mut model, &moves, "UnitSrc", *pre, *src, &[IlpBank::S], true);
-                require_in(&mut model, &moves, "UnitDst", *post, *dst, &[IlpBank::L], false);
+            Fact::SameReg {
+                pre,
+                post,
+                dst,
+                src,
+            } => {
+                require_in(
+                    &mut model,
+                    &moves,
+                    "UnitSrc",
+                    *pre,
+                    *src,
+                    &[IlpBank::S],
+                    true,
+                );
+                require_in(
+                    &mut model,
+                    &moves,
+                    "UnitDst",
+                    *post,
+                    *dst,
+                    &[IlpBank::L],
+                    false,
+                );
             }
-            Fact::CloneF { pre, post, dst, src } => {
+            Fact::CloneF {
+                pre,
+                post,
+                dst,
+                src,
+            } => {
                 // Clone starts out wherever the original is (§10).
                 let mut banks: Vec<IlpBank> = candidates.of(*dst).into_iter().collect();
                 banks.sort();
@@ -520,11 +576,11 @@ pub fn build_model(
                         let e = after(&moves, *pre, *a, bk) + after(&moves, *pre, *b, bk);
                         model.constrain_lazy("ArithPair", e, Cmp::Le, 1.0);
                     }
-                    let e = after(&moves, *pre, *a, IlpBank::L)
-                        + after(&moves, *pre, *b, IlpBank::Ld);
+                    let e =
+                        after(&moves, *pre, *a, IlpBank::L) + after(&moves, *pre, *b, IlpBank::Ld);
                     model.constrain_lazy("ArithXfer", e, Cmp::Le, 1.0);
-                    let e = after(&moves, *pre, *a, IlpBank::Ld)
-                        + after(&moves, *pre, *b, IlpBank::L);
+                    let e =
+                        after(&moves, *pre, *a, IlpBank::Ld) + after(&moves, *pre, *b, IlpBank::L);
                     model.constrain_lazy("ArithXfer", e, Cmp::Le, 1.0);
                 }
             }
@@ -533,18 +589,16 @@ pub fn build_model(
 
     // ---- Governing expression per (point, temp) for K/interference ----
     // The latest action point of v at or before p within p's block.
-    let governing = |actions: &HashMap<Temp, BTreeSet<PointId>>,
-                     p: PointId,
-                     v: Temp|
-     -> Option<PointId> {
-        let pts = actions.get(&v)?;
-        let (lo, _) = block_range[block_of(p).index()];
-        pts.range(lo..=p).next_back().copied()
-    };
+    let governing =
+        |actions: &HashMap<Temp, BTreeSet<PointId>>, p: PointId, v: Temp| -> Option<PointId> {
+            let pts = actions.get(&v)?;
+            let (lo, _) = block_range[block_of(p).index()];
+            pts.range(lo..=p).next_back().copied()
+        };
     // Residency of v at p before/after the moves executing at p: between
     // action points the bank is the governing point's After; exactly at an
     // action point, "before the moves" is that point's Before.
-    let occupancy = |moves: &HashMap<(PointId, Temp), Vec<(Var, IlpBank, IlpBank)>>,
+    let occupancy = |moves: &MoveVars,
                      actions: &HashMap<Temp, BTreeSet<PointId>>,
                      p: PointId,
                      v: Temp,
@@ -579,8 +633,9 @@ pub fn build_model(
             }
             // The before-moves variant only differs from the after-moves
             // variant when some eligible temp has an action at p.
-            let any_action_here =
-                eligible.iter().any(|v| actions.get(v).is_some_and(|s| s.contains(&p)));
+            let any_action_here = eligible
+                .iter()
+                .any(|v| actions.get(v).is_some_and(|s| s.contains(&p)));
             for after_moves in [false, true] {
                 if !after_moves && !any_action_here {
                     continue;
@@ -600,24 +655,18 @@ pub fn build_model(
                             .collect();
                         if live_members.len() == 1 {
                             let m = live_members[0];
-                            if let Some(e) =
-                                occupancy(&moves, &actions, p, m, bank, after_moves)
-                            {
+                            if let Some(e) = occupancy(&moves, &actions, p, m, bank, after_moves) {
                                 expr += e;
                             }
                             continue;
                         }
                         // cloneBefore / cloneAfter counting variable.
                         let fam = if after_moves { fam_ca } else { fam_cb };
-                        let cvar = model.binary(
-                            fam,
-                            &[Key::Int(p.0), Key::Int(rep.0), bank_key(bank)],
-                        );
+                        let cvar =
+                            model.binary(fam, &[Key::Int(p.0), Key::Int(rep.0), bank_key(bank)]);
                         let mut sum = LinExpr::new();
                         for m in &live_members {
-                            if let Some(e) =
-                                occupancy(&moves, &actions, p, *m, bank, after_moves)
-                            {
+                            if let Some(e) = occupancy(&moves, &actions, p, *m, bank, after_moves) {
                                 // cvar >= member occupancy
                                 model.constrain_lazy(
                                     "CloneCount",
@@ -628,16 +677,9 @@ pub fn build_model(
                                 sum += e;
                             }
                         }
-                        model.constrain_lazy(
-                            "CloneCount",
-                            LinExpr::from(cvar) - sum,
-                            Cmp::Le,
-                            0.0,
-                        );
+                        model.constrain_lazy("CloneCount", LinExpr::from(cvar) - sum, Cmp::Le, 0.0);
                         expr += LinExpr::from(cvar);
-                    } else if let Some(e) =
-                        occupancy(&moves, &actions, p, *v, bank, after_moves)
-                    {
+                    } else if let Some(e) = occupancy(&moves, &actions, p, *v, bank, after_moves) {
                         expr += e;
                     }
                 }
@@ -666,9 +708,7 @@ pub fn build_model(
     // ---- Color interference (§9): different registers when coexisting ----
     // Two temps that are simultaneously in the same transfer bank must
     // differ in color, unless they are clones of each other.
-    let same_group = |a: Temp, b: Temp| {
-        groups.get(&a).is_some_and(|g| g.contains(&b))
-    };
+    let same_group = |a: Temp, b: Temp| groups.get(&a).is_some_and(|g| g.contains(&b));
     // Residency only changes at action points: the post-move variant needs
     // one constraint per (pair, bank, governing-point combination); the
     // pre-move variant matters at action points, where a value a memory
@@ -696,20 +736,20 @@ pub fn build_model(
                 if b1 != b2 || v1 == v2 || same_group(v1, v2) {
                     continue;
                 }
-                let (Some(g1), Some(g2)) =
-                    (governing(&actions, p, v1), governing(&actions, p, v2))
+                let (Some(g1), Some(g2)) = (governing(&actions, p, v1), governing(&actions, p, v2))
                 else {
                     continue;
                 };
-                let (lo, hi, glo, ghi) =
-                    if v1 < v2 { (v1, v2, g1, g2) } else { (v2, v1, g2, g1) };
+                let (lo, hi, glo, ghi) = if v1 < v2 {
+                    (v1, v2, g1, g2)
+                } else {
+                    (v2, v1, g2, g1)
+                };
                 if seen_pairs.insert((lo, hi, b1, glo, ghi)) {
                     let o1 = after(&moves, g1, v1, b1);
                     let o2 = after(&moves, g2, v2, b1);
                     if !o1.is_empty() && !o2.is_empty() {
-                        for r in 0..8 {
-                            let c1 = colors[&(v1, b1)][r];
-                            let c2 = colors[&(v2, b1)][r];
+                        for (&c1, &c2) in colors[&(v1, b1)].iter().zip(&colors[&(v2, b1)]) {
                             let e = o1.clone() + o2.clone() + c1 + c2;
                             model.constrain_lazy("Interfere", e, Cmp::Le, 3.0);
                         }
@@ -728,9 +768,7 @@ pub fn build_model(
                         after(&moves, g2, v2, b1)
                     };
                     if !o1.is_empty() && !o2.is_empty() {
-                        for r in 0..8 {
-                            let c1 = colors[&(v1, b1)][r];
-                            let c2 = colors[&(v2, b1)][r];
+                        for (&c1, &c2) in colors[&(v1, b1)].iter().zip(&colors[&(v2, b1)]) {
                             let e = o1.clone() + o2.clone() + c1 + c2;
                             model.constrain_lazy("Interfere", e, Cmp::Le, 3.0);
                         }
@@ -742,7 +780,11 @@ pub fn build_model(
 
     // ---- Aggregate adjacency (§9) ----
     for (space, is_read, members) in &facts.aggregates {
-        let xb = if *is_read { load_bank(*space) } else { store_bank(*space) };
+        let xb = if *is_read {
+            load_bank(*space)
+        } else {
+            store_bank(*space)
+        };
         let k = members.len();
         for j in 0..k.saturating_sub(1) {
             let cj = &colors[&(members[j], xb)];
@@ -762,9 +804,9 @@ pub fn build_model(
             // (§9 "we found that adding a redundant set of constraints...").
             for (m, v) in members.iter().enumerate() {
                 let cv = &colors[&(*v, xb)];
-                for r in 0..8 {
+                for (r, &c) in cv.iter().enumerate() {
                     if r < m || r > 8 - k + m {
-                        model.constrain("Cut", LinExpr::from(cv[r]), Cmp::Eq, 0.0);
+                        model.constrain("Cut", LinExpr::from(c), Cmp::Eq, 0.0);
                     }
                 }
             }
@@ -796,13 +838,13 @@ pub fn build_model(
                 }
                 let cd = &colors[&(*dst, xb)];
                 let cs = &colors[&(*src, xb)];
-                for r1 in 0..8 {
-                    for r2 in 0..8 {
+                for (r1, &d) in cd.iter().enumerate() {
+                    for (r2, &s) in cs.iter().enumerate() {
                         if r1 == r2 {
                             continue;
                         }
                         // If the clone starts in xb, colors must agree.
-                        let e = LinExpr::from(cd[r1]) + cs[r2] + occupies.clone();
+                        let e = LinExpr::from(d) + s + occupies.clone();
                         model.constrain_lazy("CloneColor", e, Cmp::Le, 2.0);
                     }
                 }
@@ -822,7 +864,8 @@ pub fn build_model(
             for v in &spill_scan {
                 if let Some(vars) = moves.get(&(p, *v)) {
                     for (var, from, to) in vars {
-                        if *to == IlpBank::M && matches!(from, IlpBank::A | IlpBank::B | IlpBank::L | IlpBank::Ld)
+                        if *to == IlpBank::M
+                            && matches!(from, IlpBank::A | IlpBank::B | IlpBank::L | IlpBank::Ld)
                         {
                             store_moves.push(*var);
                         }
@@ -838,12 +881,7 @@ pub fn build_model(
                 }
                 let ns = model.binary(fam_ns, &[Key::Int(p.0), bank_key(bank)]);
                 for t in trans {
-                    model.constrain_lazy(
-                        "NeedSpill",
-                        LinExpr::from(*t) - ns,
-                        Cmp::Le,
-                        0.0,
-                    );
+                    model.constrain_lazy("NeedSpill", LinExpr::from(*t) - ns, Cmp::Le, 0.0);
                 }
                 // Tightening (§9): needsSpill <= sum of spill moves.
                 model.constrain_lazy(
@@ -855,10 +893,7 @@ pub fn build_model(
                 // Occupancy: residents of `bank` at p claim their color.
                 let mut avail = Vec::new();
                 for r in 0..8u32 {
-                    let av = model.binary(
-                        fam_cav,
-                        &[Key::Int(p.0), bank_key(bank), Key::Int(r)],
-                    );
+                    let av = model.binary(fam_cav, &[Key::Int(p.0), bank_key(bank), Key::Int(r)]);
                     avail.push(av);
                 }
                 let mut occupants: Vec<Temp> = facts.exists_at(p).iter().copied().collect();
@@ -935,7 +970,11 @@ pub fn build_model(
                 }
                 model.constrain_lazy("CloneMove", LinExpr::from(cm) - sum, Cmp::Le, 0.0);
                 let cost = move_cost(cfg, b1, b2).unwrap_or(0.0);
-                let biased = if b1 == IlpBank::B { cost * cfg.bias } else { cost };
+                let biased = if b1 == IlpBank::B {
+                    cost * cfg.bias
+                } else {
+                    cost
+                };
                 objective += LinExpr::from(cm) * (w * biased);
             }
         } else {
@@ -945,7 +984,11 @@ pub fn build_model(
                     continue;
                 }
                 let cost = move_cost(cfg, *b1, *b2).unwrap_or(0.0);
-                let biased = if *b1 == IlpBank::B { cost * cfg.bias } else { cost };
+                let biased = if *b1 == IlpBank::B {
+                    cost * cfg.bias
+                } else {
+                    cost
+                };
                 objective += LinExpr::from(*var) * (w * biased);
             }
         }
@@ -1030,8 +1073,22 @@ pub struct AllocStats {
 /// well-formed program indicates the program genuinely cannot be allocated
 /// (e.g. spilling disabled with excessive pressure).
 pub fn solve(bm: &mut BankModel, cfg: &AllocConfig) -> Result<(Assignment, AllocStats), MilpError> {
+    solve_with(bm, cfg, &nova_obs::Obs::noop())
+}
+
+/// [`solve`] with structured telemetry (the underlying MILP search
+/// publishes its `ilp.*` events; see [`ilp::solve_milp_with`]).
+///
+/// # Errors
+///
+/// Propagates solver failure ([`MilpError`]) as [`solve`] does.
+pub fn solve_with(
+    bm: &mut BankModel,
+    cfg: &AllocConfig,
+    obs: &nova_obs::Obs,
+) -> Result<(Assignment, AllocStats), MilpError> {
     let stats_model = bm.model.stats();
-    let sol = bm.model.solve(&cfg.solver)?;
+    let sol = bm.model.solve_with(&cfg.solver, obs)?;
     let mut before = HashMap::new();
     let mut after = HashMap::new();
     let mut moves_out: HashMap<PointId, Vec<(Temp, IlpBank, IlpBank)>> = HashMap::new();
@@ -1084,7 +1141,10 @@ pub fn solve(bm: &mut BankModel, cfg: &AllocConfig) -> Result<(Assignment, Alloc
 
 /// Convenience: the point id of a (block, index) pair.
 pub fn point_id(facts: &Facts, block: u32, index: u32) -> PointId {
-    facts.point_id[&Point { block: ixp_machine::BlockId(block), index }]
+    facts.point_id[&Point {
+        block: ixp_machine::BlockId(block),
+        index,
+    }]
 }
 
 #[cfg(test)]

@@ -52,7 +52,9 @@ struct Uf {
 
 impl Uf {
     fn new() -> Self {
-        Uf { parent: HashMap::new() }
+        Uf {
+            parent: HashMap::new(),
+        }
     }
 
     fn find(&mut self, t: Temp) -> Temp {
@@ -168,9 +170,10 @@ pub fn assign_ab(placed: &Placed) -> Result<(HashMap<Temp, PhysReg>, ColorStats)
             })?;
         for t in &nodes {
             let root = uf.find(*t);
-            let c = colors.get(&root).copied().ok_or_else(|| {
-                ColorError(format!("no color for {t} (root {root})"))
-            })?;
+            let c = colors
+                .get(&root)
+                .copied()
+                .ok_or_else(|| ColorError(format!("no color for {t} (root {root})")))?;
             out.insert(*t, PhysReg::new(bank, c));
         }
         match bank {
@@ -194,7 +197,9 @@ fn try_ladder(
     for level in [2, 1, 0] {
         // Re-derive roots from the mandatory unions only, then apply
         // optional coalescing at this level.
-        let mut trial = Uf { parent: uf.parent.clone() };
+        let mut trial = Uf {
+            parent: uf.parent.clone(),
+        };
         let mut edges = root_edges(nodes, base_edges, &mut trial);
         let mut did = 0usize;
         if level > 0 {
@@ -279,8 +284,7 @@ fn root_edges(
 
 /// Chaitin-Briggs simplify/select.
 fn color_graph(edges: &HashMap<Temp, HashSet<Temp>>, k: usize) -> Option<HashMap<Temp, u8>> {
-    let mut degree: HashMap<Temp, usize> =
-        edges.iter().map(|(t, e)| (*t, e.len())).collect();
+    let mut degree: HashMap<Temp, usize> = edges.iter().map(|(t, e)| (*t, e.len())).collect();
     let mut removed: HashSet<Temp> = HashSet::new();
     let mut stack: Vec<Temp> = Vec::new();
     let n = edges.len();
@@ -294,10 +298,10 @@ fn color_graph(edges: &HashMap<Temp, HashSet<Temp>>, k: usize) -> Option<HashMap
                 continue;
             }
             if *d < k {
-                if pick.map_or(true, |(_, pd)| *d > pd) {
+                if pick.is_none_or(|(_, pd)| *d > pd) {
                     pick = Some((*t, *d));
                 }
-            } else if optimistic.map_or(true, |(_, od)| *d < od) {
+            } else if optimistic.is_none_or(|(_, od)| *d < od) {
                 optimistic = Some((*t, *d));
             }
         }

@@ -57,7 +57,13 @@ pub fn estimate(prog: &Program<Temp>) -> Frequencies {
     let mut taken: HashMap<BlockId, f64> = HashMap::new();
     for (i, b) in prog.blocks.iter().enumerate() {
         let bid = BlockId(i as u32);
-        if let Terminator::Branch { cond, if_true, if_false, .. } = &b.term {
+        if let Terminator::Branch {
+            cond,
+            if_true,
+            if_false,
+            ..
+        } = &b.term
+        {
             let mut evidence: Vec<f64> = Vec::new();
             // Loop-branch heuristic: prefer the edge that stays in the loop.
             let t_back = back_edges.contains(&(bid, *if_true));
@@ -86,7 +92,9 @@ pub fn estimate(prog: &Program<Temp>) -> Frequencies {
             let p = match evidence.as_slice() {
                 [] => 0.5,
                 [e] => *e,
-                es => es[1..].iter().fold(es[0], |acc, &e| dempster_shafer(acc, e)),
+                es => es[1..]
+                    .iter()
+                    .fold(es[0], |acc, &e| dempster_shafer(acc, e)),
             };
             taken.insert(bid, p);
         }
@@ -105,7 +113,9 @@ pub fn estimate(prog: &Program<Temp>) -> Frequencies {
             }
             match &b.term {
                 Terminator::Jump(t) => next[t.index()] += f,
-                Terminator::Branch { if_true, if_false, .. } => {
+                Terminator::Branch {
+                    if_true, if_false, ..
+                } => {
                     let p = taken[&BlockId(i as u32)];
                     next[if_true.index()] += f * p;
                     next[if_false.index()] += f * (1.0 - p);
@@ -126,7 +136,9 @@ pub fn estimate(prog: &Program<Temp>) -> Frequencies {
         }
     }
     Frequencies {
-        block: (0..n).map(|i| (BlockId(i as u32), freq[i].max(0.0))).collect(),
+        block: (0..n)
+            .map(|i| (BlockId(i as u32), freq[i].max(0.0)))
+            .collect(),
     }
 }
 
@@ -182,7 +194,10 @@ mod tests {
         // L0 -> L1 (loop: ~1/(1-0.88) iterations) -> L2
         let p = Program {
             blocks: vec![
-                Block { instrs: vec![], term: Terminator::Jump(BlockId(1)) },
+                Block {
+                    instrs: vec![],
+                    term: Terminator::Jump(BlockId(1)),
+                },
                 Block {
                     instrs: vec![Instr::Imm { dst: t(0), val: 0 }],
                     term: Terminator::Branch {
@@ -193,7 +208,10 @@ mod tests {
                         if_false: BlockId(2),
                     },
                 },
-                Block { instrs: vec![], term: Terminator::Halt },
+                Block {
+                    instrs: vec![],
+                    term: Terminator::Halt,
+                },
             ],
             entry: BlockId(0),
         };
@@ -201,7 +219,11 @@ mod tests {
         assert!(f.of(BlockId(1)) > 4.0, "loop head: {}", f.of(BlockId(1)));
         assert!((f.of(BlockId(0)) - 1.0).abs() < 1e-6);
         // Everything that enters the loop eventually leaves it.
-        assert!((f.of(BlockId(2)) - 1.0).abs() < 0.05, "exit: {}", f.of(BlockId(2)));
+        assert!(
+            (f.of(BlockId(2)) - 1.0).abs() < 0.05,
+            "exit: {}",
+            f.of(BlockId(2))
+        );
     }
 
     #[test]
@@ -241,7 +263,10 @@ mod tests {
                         if_false: BlockId(3),
                     },
                 },
-                Block { instrs: vec![], term: Terminator::Halt },
+                Block {
+                    instrs: vec![],
+                    term: Terminator::Halt,
+                },
             ],
             entry: BlockId(0),
         };
@@ -256,8 +281,14 @@ mod tests {
     fn unreachable_blocks_have_zero_frequency() {
         let p = Program {
             blocks: vec![
-                Block { instrs: vec![], term: Terminator::Halt },
-                Block { instrs: vec![], term: Terminator::Halt }, // unreachable
+                Block {
+                    instrs: vec![],
+                    term: Terminator::Halt,
+                },
+                Block {
+                    instrs: vec![],
+                    term: Terminator::Halt,
+                }, // unreachable
             ],
             entry: BlockId(0),
         };

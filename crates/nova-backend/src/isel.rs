@@ -55,7 +55,8 @@ pub fn select(cps: &Cps) -> Result<Program<Temp>, IselError> {
         let f = &funs[id];
         let b = cx.alloc_block();
         cx.fn_entry.insert(*id, b);
-        cx.params.insert(*id, f.params.iter().map(|p| Temp(p.0)).collect());
+        cx.params
+            .insert(*id, f.params.iter().map(|p| Temp(p.0)).collect());
     }
     // The top-level body is the entry block.
     let entry = cx.alloc_block();
@@ -154,11 +155,21 @@ impl Isel {
         match t {
             Term::Halt => Ok(Terminator::Halt),
             Term::Fix { body, .. } => self.lower_into(body, instrs),
-            Term::Let { op, args, dsts, body } => {
+            Term::Let {
+                op,
+                args,
+                dsts,
+                body,
+            } => {
                 self.lower_prim(*op, args, dsts, instrs)?;
                 self.lower_into(body, instrs)
             }
-            Term::MemRead { space, addr, dsts, body } => {
+            Term::MemRead {
+                space,
+                addr,
+                dsts,
+                body,
+            } => {
                 let addr = self.addr(*addr, instrs)?;
                 instrs.push(Instr::MemRead {
                     space: *space,
@@ -167,13 +178,22 @@ impl Isel {
                 });
                 self.lower_into(body, instrs)
             }
-            Term::MemWrite { space, addr, srcs, body } => {
+            Term::MemWrite {
+                space,
+                addr,
+                srcs,
+                body,
+            } => {
                 let addr = self.addr(*addr, instrs)?;
                 let mut regs = Vec::new();
                 for s in srcs {
                     regs.push(self.reg(*s, instrs)?);
                 }
-                instrs.push(Instr::MemWrite { space: *space, addr, src: regs });
+                instrs.push(Instr::MemWrite {
+                    space: *space,
+                    addr,
+                    src: regs,
+                });
                 self.lower_into(body, instrs)
             }
             Term::If { cmp, a, b, t, f } => {
@@ -195,11 +215,23 @@ impl Isel {
                 };
                 let (ti, tt) = self.lower(t)?;
                 let tb = self.alloc_block();
-                self.blocks[tb.index()] = Some(Block { instrs: ti, term: tt });
+                self.blocks[tb.index()] = Some(Block {
+                    instrs: ti,
+                    term: tt,
+                });
                 let (fi, ft) = self.lower(f)?;
                 let fb = self.alloc_block();
-                self.blocks[fb.index()] = Some(Block { instrs: fi, term: ft });
-                Ok(Terminator::Branch { cond: cmp, a: ra, b: rb, if_true: tb, if_false: fb })
+                self.blocks[fb.index()] = Some(Block {
+                    instrs: fi,
+                    term: ft,
+                });
+                Ok(Terminator::Branch {
+                    cond: cmp,
+                    a: ra,
+                    b: rb,
+                    if_true: tb,
+                    if_false: fb,
+                })
             }
             Term::App { f, args } => {
                 let Value::Label(target) = f else {
@@ -262,17 +294,20 @@ impl Isel {
                     (AluOp::Shl | AluOp::Shr, Value::Const(c)) if c < 32 => AluSrc::Imm(c),
                     (_, v) => AluSrc::Reg(self.reg(v, instrs)?),
                 };
-                instrs.push(Instr::Alu { op: alu, dst: d(0), a, b });
+                instrs.push(Instr::Alu {
+                    op: alu,
+                    dst: d(0),
+                    a,
+                    b,
+                });
             }
-            PrimOp::Move => {
-                match args[0] {
-                    Value::Const(c) => instrs.push(Instr::Imm { dst: d(0), val: c }),
-                    v => {
-                        let s = self.reg(v, instrs)?;
-                        instrs.push(Instr::Move { dst: d(0), src: s });
-                    }
+            PrimOp::Move => match args[0] {
+                Value::Const(c) => instrs.push(Instr::Imm { dst: d(0), val: c }),
+                v => {
+                    let s = self.reg(v, instrs)?;
+                    instrs.push(Instr::Move { dst: d(0), src: s });
                 }
-            }
+            },
             PrimOp::Clone => {
                 let s = self.reg(args[0], instrs)?;
                 instrs.push(Instr::Clone { dst: d(0), src: s });
@@ -284,7 +319,11 @@ impl Isel {
             PrimOp::BitTestSet => {
                 let addr = self.addr(args[0], instrs)?;
                 let s = self.reg(args[1], instrs)?;
-                instrs.push(Instr::TestAndSet { dst: d(0), src: s, addr });
+                instrs.push(Instr::TestAndSet {
+                    dst: d(0),
+                    src: s,
+                    addr,
+                });
             }
             PrimOp::CsrRead => {
                 let Value::Const(csr) = args[0] else {
@@ -300,7 +339,10 @@ impl Isel {
                 instrs.push(Instr::CsrWrite { src: s, csr });
             }
             PrimOp::RxPacket => {
-                instrs.push(Instr::RxPacket { len_dst: d(0), addr_dst: d(1) });
+                instrs.push(Instr::RxPacket {
+                    len_dst: d(0),
+                    addr_dst: d(1),
+                });
             }
             PrimOp::TxPacket => {
                 let a = self.reg(args[0], instrs)?;

@@ -113,12 +113,24 @@ pub fn analyze(prog: &Program<Temp>) -> Liveness {
         let n_instr = b.instrs.len() as u32;
         // After-terminator point = block live-out.
         let mut cur = live_out[i].clone();
-        live.insert(Point { block: bid, index: n_instr + 1 }, cur.clone());
+        live.insert(
+            Point {
+                block: bid,
+                index: n_instr + 1,
+            },
+            cur.clone(),
+        );
         // Terminator: add its uses.
         for u in b.term.uses() {
             cur.insert(*u);
         }
-        live.insert(Point { block: bid, index: n_instr }, cur.clone());
+        live.insert(
+            Point {
+                block: bid,
+                index: n_instr,
+            },
+            cur.clone(),
+        );
         for (j, ins) in b.instrs.iter().enumerate().rev() {
             for d in ins.defs() {
                 cur.remove(d);
@@ -126,13 +138,23 @@ pub fn analyze(prog: &Program<Temp>) -> Liveness {
             for u in ins.uses() {
                 cur.insert(*u);
             }
-            live.insert(Point { block: bid, index: j as u32 }, cur.clone());
+            live.insert(
+                Point {
+                    block: bid,
+                    index: j as u32,
+                },
+                cur.clone(),
+            );
         }
     }
     Liveness {
         live,
-        live_in: (0..n).map(|i| (BlockId(i as u32), live_in[i].clone())).collect(),
-        live_out: (0..n).map(|i| (BlockId(i as u32), live_out[i].clone())).collect(),
+        live_in: (0..n)
+            .map(|i| (BlockId(i as u32), live_in[i].clone()))
+            .collect(),
+        live_out: (0..n)
+            .map(|i| (BlockId(i as u32), live_out[i].clone()))
+            .collect(),
     }
 }
 
@@ -152,7 +174,10 @@ mod tests {
     }
 
     fn simple_block(instrs: Vec<Instr<Temp>>, term: Terminator<Temp>) -> Program<Temp> {
-        Program { blocks: vec![Block { instrs, term }], entry: BlockId(0) }
+        Program {
+            blocks: vec![Block { instrs, term }],
+            entry: BlockId(0),
+        }
     }
 
     #[test]
@@ -161,13 +186,29 @@ mod tests {
         let p = simple_block(
             vec![
                 Instr::Imm { dst: t(0), val: 1 },
-                Instr::Alu { op: AluOp::Add, dst: t(1), a: t(0), b: AluSrc::Reg(t(0)) },
-                Instr::MemWrite { space: MemSpace::Sram, addr: Addr::Imm(0), src: vec![t(1)] },
+                Instr::Alu {
+                    op: AluOp::Add,
+                    dst: t(1),
+                    a: t(0),
+                    b: AluSrc::Reg(t(0)),
+                },
+                Instr::MemWrite {
+                    space: MemSpace::Sram,
+                    addr: Addr::Imm(0),
+                    src: vec![t(1)],
+                },
             ],
             Terminator::Halt,
         );
         let l = analyze(&p);
-        let at = |i: u32| l.live.get(&Point { block: BlockId(0), index: i }).unwrap();
+        let at = |i: u32| {
+            l.live
+                .get(&Point {
+                    block: BlockId(0),
+                    index: i,
+                })
+                .unwrap()
+        };
         assert!(!at(0).contains(&t(0)), "t0 not live before its def");
         assert!(at(1).contains(&t(0)));
         assert!(at(2).contains(&t(1)));
@@ -201,13 +242,19 @@ mod tests {
                         if_false: BlockId(2),
                     },
                 },
-                Block { instrs: vec![], term: Terminator::Halt },
+                Block {
+                    instrs: vec![],
+                    term: Terminator::Halt,
+                },
             ],
             entry: BlockId(0),
         };
         let l = analyze(&p);
         assert!(l.live_in[&BlockId(1)].contains(&t(0)));
-        assert!(l.live_out[&BlockId(1)].contains(&t(0)), "live around the backedge");
+        assert!(
+            l.live_out[&BlockId(1)].contains(&t(0)),
+            "live around the backedge"
+        );
         assert!(l.live_out[&BlockId(2)].is_empty());
     }
 

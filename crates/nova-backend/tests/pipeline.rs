@@ -37,7 +37,10 @@ fn figure3_program_allocates_without_spills() {
         }"#,
     );
     assert_eq!(a.stats.spills, 0, "paper reports zero spills");
-    println!("moves: {}, model: {:?}", a.stats.moves, a.stats.model.variables);
+    println!(
+        "moves: {}, model: {:?}",
+        a.stats.moves, a.stats.model.variables
+    );
 }
 
 #[test]

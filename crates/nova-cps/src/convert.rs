@@ -39,7 +39,11 @@ use std::collections::{HashMap, HashSet};
 pub fn convert<'a>(program: &'a ast::Program, info: &'a TypeInfo) -> Result<Cps, Diagnostic> {
     let mut cx = Cx {
         info,
-        cps: Cps { body: Term::Halt, next_var: 0, next_fn: 0 },
+        cps: Cps {
+            body: Term::Halt,
+            next_var: 0,
+            next_fn: 0,
+        },
         ret: Value::Label(FnId(u32::MAX)), // replaced before use
     };
     let mut env = Env::default();
@@ -110,13 +114,18 @@ struct Cx<'a> {
     ret: Value,
 }
 
+/// A deferred term builder: given the flattened values of an expression,
+/// produce the rest of the program.
+type Builder<'a> =
+    Box<dyn FnOnce(&mut Cx<'a>, &mut Env, Vec<Value>) -> Result<Term, Diagnostic> + 'a>;
+
 /// What to do with the flattened value of an expression.
 enum K<'a> {
     /// The expression is in tail position: pass the value to the current
     /// return continuation.
     Ret,
     /// Continue with the given builder.
-    Then(Box<dyn FnOnce(&mut Cx<'a>, &mut Env, Vec<Value>) -> Result<Term, Diagnostic> + 'a>),
+    Then(Builder<'a>),
 }
 
 impl<'a> K<'a> {
@@ -131,7 +140,10 @@ impl<'a> K<'a> {
 impl<'a> K<'a> {
     fn apply(self, cx: &mut Cx<'a>, env: &mut Env, vals: Vec<Value>) -> Result<Term, Diagnostic> {
         match self {
-            K::Ret => Ok(Term::App { f: cx.ret, args: vals }),
+            K::Ret => Ok(Term::App {
+                f: cx.ret,
+                args: vals,
+            }),
             K::Then(f) => f(cx, env, vals),
         }
     }
@@ -193,8 +205,11 @@ fn assigned_in_expr(e: &Expr, out: &mut HashSet<String>) {
             assigned_in_expr(a, out);
             assigned_in_expr(b, out);
         }
-        ExprKind::Unop(_, a) | ExprKind::Field(a, _) | ExprKind::MemRead(_, a)
-        | ExprKind::Unpack(_, a) | ExprKind::Pack(_, a) => assigned_in_expr(a, out),
+        ExprKind::Unop(_, a)
+        | ExprKind::Field(a, _)
+        | ExprKind::MemRead(_, a)
+        | ExprKind::Unpack(_, a)
+        | ExprKind::Pack(_, a) => assigned_in_expr(a, out),
         ExprKind::Tuple(es) | ExprKind::Intrinsic(_, es) => {
             for e in es {
                 assigned_in_expr(e, out);
@@ -254,7 +269,12 @@ impl<'a> Cx<'a> {
         }
         let dst = self.cps.fresh_var();
         let rest = body(self, Value::Var(dst))?;
-        Ok(Term::Let { op: PrimOp::Alu(op), args: vec![a, b], dsts: vec![dst], body: Box::new(rest) })
+        Ok(Term::Let {
+            op: PrimOp::Alu(op),
+            args: vec![a, b],
+            dsts: vec![dst],
+            body: Box::new(rest),
+        })
     }
 
     // ---------------- blocks ----------------
@@ -284,12 +304,16 @@ impl<'a> Cx<'a> {
         match &first.kind {
             StmtKind::Layout(..) => self.convert_stmts(env, rest, tail, k),
             StmtKind::Const(name, e) => {
-                let v = *self.info.const_values.get(&e.id).ok_or_else(|| {
-                    self.err("constant value missing from type info", first.span)
-                })?;
+                let v =
+                    *self.info.const_values.get(&e.id).ok_or_else(|| {
+                        self.err("constant value missing from type info", first.span)
+                    })?;
                 env.map.insert(
                     name.clone(),
-                    CVal::Flat { ty: Type::Word, vals: vec![Value::Const(v)] },
+                    CVal::Flat {
+                        ty: Type::Word,
+                        vals: vec![Value::Const(v)],
+                    },
                 );
                 self.convert_stmts(env, rest, tail, k)
             }
@@ -307,7 +331,10 @@ impl<'a> Cx<'a> {
                         .ok_or_else(|| self.err("missing signature", d.span))?;
                     env.map.insert(
                         d.name.clone(),
-                        CVal::Fun { target: Value::Label(id), sig: sig.clone() },
+                        CVal::Fun {
+                            target: Value::Label(id),
+                            sig: sig.clone(),
+                        },
                     );
                     ids.push((id, sig));
                 }
@@ -324,17 +351,28 @@ impl<'a> Cx<'a> {
                     self.ret = Value::Var(kret);
                     let body = self.convert_block(&mut fenv, &d.body, K::Ret)?;
                     self.ret = saved_ret;
-                    funs.push(CpsFun { id: *id, name: d.name.clone(), params, body });
+                    funs.push(CpsFun {
+                        id: *id,
+                        name: d.name.clone(),
+                        params,
+                        body,
+                    });
                 }
                 let rest_term = self.convert_stmts(env, rest, tail, k)?;
-                Ok(Term::Fix { funs, body: Box::new(rest_term) })
+                Ok(Term::Fix {
+                    funs,
+                    body: Box::new(rest_term),
+                })
             }
             StmtKind::Let(pat, _ann, value) => {
                 // Aggregate memory reads get their arity from the checker.
                 if let ExprKind::MemRead(space, addr) = &value.kind {
-                    let n = *self.info.read_words.get(&value.id).ok_or_else(|| {
-                        self.err("memory read arity missing", value.span)
-                    })? as usize;
+                    let n = *self
+                        .info
+                        .read_words
+                        .get(&value.id)
+                        .ok_or_else(|| self.err("memory read arity missing", value.span))?
+                        as usize;
                     let space = mem_space(*space);
                     let pat = pat.clone();
                     return self.convert_expr(
@@ -342,13 +380,16 @@ impl<'a> Cx<'a> {
                         addr,
                         K::then(move |cx, env, addr_vals| {
                             let addr = addr_vals[0];
-                            let dsts: Vec<VarId> =
-                                (0..n).map(|_| cx.cps.fresh_var()).collect();
-                            let vals: Vec<Value> =
-                                dsts.iter().map(|d| Value::Var(*d)).collect();
+                            let dsts: Vec<VarId> = (0..n).map(|_| cx.cps.fresh_var()).collect();
+                            let vals: Vec<Value> = dsts.iter().map(|d| Value::Var(*d)).collect();
                             cx.bind_pattern(env, &pat, Type::words(n as u32), vals)?;
                             let body = cx.convert_stmts(env, rest, tail, k)?;
-                            Ok(Term::MemRead { space, addr, dsts, body: Box::new(body) })
+                            Ok(Term::MemRead {
+                                space,
+                                addr,
+                                dsts,
+                                body: Box::new(body),
+                            })
                         }),
                     );
                 }
@@ -387,7 +428,12 @@ impl<'a> Cx<'a> {
                             value,
                             K::then(move |cx, env, srcs| {
                                 let body = cx.convert_stmts(env, rest, tail, k)?;
-                                Ok(Term::MemWrite { space, addr, srcs, body: Box::new(body) })
+                                Ok(Term::MemWrite {
+                                    space,
+                                    addr,
+                                    srcs,
+                                    body: Box::new(body),
+                                })
                             }),
                         )
                     }),
@@ -432,7 +478,10 @@ impl<'a> Cx<'a> {
                             body,
                             K::then(move |cx, env, _vals| {
                                 let args = cx.gather_vars(env, &carried3)?;
-                                Ok(Term::App { f: Value::Label(loop_fn), args })
+                                Ok(Term::App {
+                                    f: Value::Label(loop_fn),
+                                    args,
+                                })
                             }),
                         )?
                     };
@@ -447,7 +496,10 @@ impl<'a> Cx<'a> {
                         params,
                         body: body_term,
                     }],
-                    body: Box::new(Term::App { f: Value::Label(loop_fn), args: init_args }),
+                    body: Box::new(Term::App {
+                        f: Value::Label(loop_fn),
+                        args: init_args,
+                    }),
                 })
             }
         }
@@ -467,11 +519,7 @@ impl<'a> Cx<'a> {
         v
     }
 
-    fn gather_vars(
-        &self,
-        env: &Env,
-        carried: &[(String, Type)],
-    ) -> Result<Vec<Value>, Diagnostic> {
+    fn gather_vars(&self, env: &Env, carried: &[(String, Type)]) -> Result<Vec<Value>, Diagnostic> {
         let mut out = Vec::new();
         for (name, _) in carried {
             match env.map.get(name) {
@@ -492,7 +540,10 @@ impl<'a> Cx<'a> {
             Type::Fun(sig) => {
                 let p = self.cps.fresh_var();
                 params.push(p);
-                CVal::Fun { target: Value::Var(p), sig: (**sig).clone() }
+                CVal::Fun {
+                    target: Value::Var(p),
+                    sig: (**sig).clone(),
+                }
             }
             Type::Exn(payload) => {
                 let p = self.cps.fresh_var();
@@ -525,7 +576,10 @@ impl<'a> Cx<'a> {
             Pattern::Wild => Ok(()),
             Pattern::Var(name) => {
                 let cval = match &ty {
-                    Type::Fun(sig) => CVal::Fun { target: vals[0], sig: (**sig).clone() },
+                    Type::Fun(sig) => CVal::Fun {
+                        target: vals[0],
+                        sig: (**sig).clone(),
+                    },
                     Type::Exn(payload) => CVal::Exn {
                         target: vals[0],
                         params: payload.iter().map(|(n, _)| n.clone()).collect(),
@@ -561,12 +615,7 @@ impl<'a> Cx<'a> {
 
     // ---------------- expressions ----------------
 
-    fn convert_expr(
-        &mut self,
-        env: &mut Env,
-        e: &'a Expr,
-        k: K<'a>,
-    ) -> Result<Term, Diagnostic> {
+    fn convert_expr(&mut self, env: &mut Env, e: &'a Expr, k: K<'a>) -> Result<Term, Diagnostic> {
         match &e.kind {
             ExprKind::Word(v) => k.apply(self, env, vec![Value::Const(*v)]),
             ExprKind::Bool(b) => k.apply(self, env, vec![Value::Const(*b as u32)]),
@@ -657,16 +706,18 @@ impl<'a> Cx<'a> {
                 )
             }
             ExprKind::Raise(name, args) => {
-                let cval = env
-                    .map
-                    .get(name)
-                    .cloned()
-                    .ok_or_else(|| self.err(format!("internal: unbound exn '{name}'"), e.span))?;
+                let cval =
+                    env.map.get(name).cloned().ok_or_else(|| {
+                        self.err(format!("internal: unbound exn '{name}'"), e.span)
+                    })?;
                 let CVal::Exn { target, params } = cval else {
                     return Err(self.err(format!("internal: '{name}' not an exn"), e.span));
                 };
                 self.convert_args(env, args, &params, move |_cx, _env, argv| {
-                    Ok(Term::App { f: target, args: argv })
+                    Ok(Term::App {
+                        f: target,
+                        args: argv,
+                    })
                 })
             }
             ExprKind::Try(body, handlers) => self.convert_try(env, e, body, handlers, k),
@@ -678,9 +729,9 @@ impl<'a> Cx<'a> {
                 let mut assigned = HashSet::new();
                 assigned_in_block(b, &mut assigned);
                 for n in assigned {
-                    if env.map.contains_key(&n) {
+                    if let Some(slot) = env.map.get_mut(&n) {
                         if let Some(v) = benv.map.get(&n) {
-                            env.map.insert(n, v.clone());
+                            *slot = v.clone();
                         }
                     }
                 }
@@ -781,11 +832,25 @@ impl<'a> Cx<'a> {
         let join = self.cps.fresh_fn();
         let p = self.cps.fresh_var();
         let body = k.apply(self, env, vec![Value::Var(p)])?;
-        let jf = CpsFun { id: join, name: "$bool".into(), params: vec![p], body };
-        let t = Term::App { f: Value::Label(join), args: vec![Value::Const(1)] };
-        let f = Term::App { f: Value::Label(join), args: vec![Value::Const(0)] };
+        let jf = CpsFun {
+            id: join,
+            name: "$bool".into(),
+            params: vec![p],
+            body,
+        };
+        let t = Term::App {
+            f: Value::Label(join),
+            args: vec![Value::Const(1)],
+        };
+        let f = Term::App {
+            f: Value::Label(join),
+            args: vec![Value::Const(0)],
+        };
         let cond = self.convert_cond_term(env, e, t, f)?;
-        Ok(Term::Fix { funs: vec![jf], body: Box::new(cond) })
+        Ok(Term::Fix {
+            funs: vec![jf],
+            body: Box::new(cond),
+        })
     }
 
     /// Convert a boolean expression directly into branching control flow
@@ -879,18 +944,23 @@ impl<'a> Cx<'a> {
         }
         let id = self.cps.fresh_fn();
         (
-            Term::App { f: Value::Label(id), args: vec![] },
-            Some(CpsFun { id, name: "$join".into(), params: vec![], body }),
+            Term::App {
+                f: Value::Label(id),
+                args: vec![],
+            },
+            Some(CpsFun {
+                id,
+                name: "$join".into(),
+                params: vec![],
+                body,
+            }),
         )
     }
 
-    fn convert_if(
-        &mut self,
-        env: &mut Env,
-        e: &'a Expr,
-        k: K<'a>,
-    ) -> Result<Term, Diagnostic> {
-        let ExprKind::If(cond, then_b, else_b) = &e.kind else { unreachable!() };
+    fn convert_if(&mut self, env: &mut Env, e: &'a Expr, k: K<'a>) -> Result<Term, Diagnostic> {
+        let ExprKind::If(cond, then_b, else_b) = &e.kind else {
+            unreachable!()
+        };
         let result_ty = self.ty(e).clone();
         let n = slots(&result_ty);
         // Assigned variables that must flow through the join.
@@ -910,7 +980,10 @@ impl<'a> Cx<'a> {
                     let mut fenv = env.clone();
                     self.convert_block(&mut fenv, eb, K::Ret)?
                 }
-                None => Term::App { f: self.ret, args: vec![] },
+                None => Term::App {
+                    f: self.ret,
+                    args: vec![],
+                },
             };
             return self.convert_cond_term(env, cond, t, f);
         }
@@ -928,7 +1001,10 @@ impl<'a> Cx<'a> {
             let vars: Vec<VarId> = (0..m).map(|_| self.cps.fresh_var()).collect();
             post_env.map.insert(
                 name.clone(),
-                CVal::Flat { ty: ty.clone(), vals: vars.iter().map(|v| Value::Var(*v)).collect() },
+                CVal::Flat {
+                    ty: ty.clone(),
+                    vals: vars.iter().map(|v| Value::Var(*v)).collect(),
+                },
             );
             params.extend(vars);
         }
@@ -940,7 +1016,12 @@ impl<'a> Cx<'a> {
                 env.map.insert(name.clone(), v.clone());
             }
         }
-        let jfun = CpsFun { id: join, name: "$ifjoin".into(), params, body: join_body };
+        let jfun = CpsFun {
+            id: join,
+            name: "$ifjoin".into(),
+            params,
+            body: join_body,
+        };
 
         let carried_t = carried.clone();
         let mut tenv = entry_env.clone();
@@ -949,7 +1030,10 @@ impl<'a> Cx<'a> {
             then_b,
             K::then(move |cx, env, mut vals| {
                 vals.extend(cx.gather_vars(env, &carried_t)?);
-                Ok(Term::App { f: Value::Label(join), args: vals })
+                Ok(Term::App {
+                    f: Value::Label(join),
+                    args: vals,
+                })
             }),
         )?;
         let f = match else_b {
@@ -961,19 +1045,28 @@ impl<'a> Cx<'a> {
                     eb,
                     K::then(move |cx, env, mut vals| {
                         vals.extend(cx.gather_vars(env, &carried_f)?);
-                        Ok(Term::App { f: Value::Label(join), args: vals })
+                        Ok(Term::App {
+                            f: Value::Label(join),
+                            args: vals,
+                        })
                     }),
                 )?
             }
             None => {
                 let mut vals: Vec<Value> = Vec::new();
                 vals.extend(self.gather_vars(&entry_env, &carried)?);
-                Term::App { f: Value::Label(join), args: vals }
+                Term::App {
+                    f: Value::Label(join),
+                    args: vals,
+                }
             }
         };
         let mut cenv = entry_env.clone();
         let cond_term = self.convert_cond_term(&mut cenv, cond, t, f)?;
-        Ok(Term::Fix { funs: vec![jfun], body: Box::new(cond_term) })
+        Ok(Term::Fix {
+            funs: vec![jfun],
+            body: Box::new(cond_term),
+        })
     }
 
     fn convert_call(
@@ -1002,11 +1095,17 @@ impl<'a> Cx<'a> {
                 // Passing the current return keeps every label static.
                 _ if never_returns => {
                     argv.push(cx.ret);
-                    Ok(Term::App { f: target, args: argv })
+                    Ok(Term::App {
+                        f: target,
+                        args: argv,
+                    })
                 }
                 K::Ret => {
                     argv.push(cx.ret);
-                    Ok(Term::App { f: target, args: argv })
+                    Ok(Term::App {
+                        f: target,
+                        args: argv,
+                    })
                 }
                 K::Then(f) => {
                     let join = cx.cps.fresh_fn();
@@ -1016,8 +1115,16 @@ impl<'a> Cx<'a> {
                     let body = f(cx, env, vals)?;
                     argv.push(Value::Label(join));
                     Ok(Term::Fix {
-                        funs: vec![CpsFun { id: join, name: "$ret".into(), params, body }],
-                        body: Box::new(Term::App { f: target, args: argv }),
+                        funs: vec![CpsFun {
+                            id: join,
+                            name: "$ret".into(),
+                            params,
+                            body,
+                        }],
+                        body: Box::new(Term::App {
+                            f: target,
+                            args: argv,
+                        }),
                     })
                 }
             }
@@ -1081,7 +1188,12 @@ impl<'a> Cx<'a> {
                 let body = f(self, env, vals)?;
                 (
                     JumpTo::Label(join),
-                    Some(CpsFun { id: join, name: "$tryjoin".into(), params, body }),
+                    Some(CpsFun {
+                        id: join,
+                        name: "$tryjoin".into(),
+                        params,
+                        body,
+                    }),
                 )
             }
         };
@@ -1094,7 +1206,10 @@ impl<'a> Cx<'a> {
             for (pname, pvar) in h.params.iter().zip(&params) {
                 henv.map.insert(
                     pname.clone(),
-                    CVal::Flat { ty: Type::Word, vals: vec![Value::Var(*pvar)] },
+                    CVal::Flat {
+                        ty: Type::Word,
+                        vals: vec![Value::Var(*pvar)],
+                    },
                 );
             }
             let kj = kjump;
@@ -1103,7 +1218,12 @@ impl<'a> Cx<'a> {
                 &h.body,
                 K::then(move |cx, _env, vals| Ok(kj.jump(cx, vals))),
             )?;
-            hfuns.push(CpsFun { id: hid, name: format!("$handle_{}", h.name), params, body: hbody });
+            hfuns.push(CpsFun {
+                id: hid,
+                name: format!("$handle_{}", h.name),
+                params,
+                body: hbody,
+            });
             let payload_names: Vec<String> = h
                 .params
                 .iter()
@@ -1112,7 +1232,10 @@ impl<'a> Cx<'a> {
                 .collect();
             body_env.map.insert(
                 h.name.clone(),
-                CVal::Exn { target: Value::Label(hid), params: payload_names },
+                CVal::Exn {
+                    target: Value::Label(hid),
+                    params: payload_names,
+                },
             );
         }
         let kj = kjump;
@@ -1125,7 +1248,10 @@ impl<'a> Cx<'a> {
         if let Some(j) = kdef {
             funs.push(j);
         }
-        Ok(Term::Fix { funs, body: Box::new(body_term) })
+        Ok(Term::Fix {
+            funs,
+            body: Box::new(body_term),
+        })
     }
 
     fn convert_intrinsic(
@@ -1153,7 +1279,12 @@ impl<'a> Cx<'a> {
                 let dsts: Vec<VarId> = (0..n_out).map(|_| cx.cps.fresh_var()).collect();
                 let vals: Vec<Value> = dsts.iter().map(|d| Value::Var(*d)).collect();
                 let body = k.apply(cx, env, vals)?;
-                Ok(Term::Let { op, args: argv, dsts, body: Box::new(body) })
+                Ok(Term::Let {
+                    op,
+                    args: argv,
+                    dsts,
+                    body: Box::new(body),
+                })
             }),
         )
     }
@@ -1232,15 +1363,20 @@ impl<'a> Cx<'a> {
                 let whi = words[hi.word as usize];
                 let wlo = words[lo.word as usize];
                 // hi piece sits at the bottom of its word (shift 0).
-                self.emit_alu(AluOp::And, whi, Value::Const(layout::mask(hi.bits)), |cx, hv| {
-                    cx.emit_alu(AluOp::Shl, hv, Value::Const(lo.bits), |cx, hs| {
-                        cx.emit_alu(AluOp::Shr, wlo, Value::Const(lo.shift), |cx, lv| {
-                            // After Shr by lo.shift = 32-lo.bits the high
-                            // bits are clear; OR the halves.
-                            cx.emit_alu(AluOp::Or, hs, lv, |cx, v| done(cx, env, v))
+                self.emit_alu(
+                    AluOp::And,
+                    whi,
+                    Value::Const(layout::mask(hi.bits)),
+                    |cx, hv| {
+                        cx.emit_alu(AluOp::Shl, hv, Value::Const(lo.bits), |cx, hs| {
+                            cx.emit_alu(AluOp::Shr, wlo, Value::Const(lo.shift), |cx, lv| {
+                                // After Shr by lo.shift = 32-lo.bits the high
+                                // bits are clear; OR the halves.
+                                cx.emit_alu(AluOp::Or, hs, lv, |cx, v| done(cx, env, v))
+                            })
                         })
-                    })
-                })
+                    },
+                )
             }
             _ => unreachable!("fields span at most two words"),
         }
@@ -1332,15 +1468,24 @@ enum JumpTo {
 impl JumpTo {
     fn jump(self, cx: &mut Cx<'_>, vals: Vec<Value>) -> Term {
         match self {
-            JumpTo::Ret => Term::App { f: cx.ret, args: vals },
-            JumpTo::Label(l) => Term::App { f: Value::Label(l), args: vals },
+            JumpTo::Ret => Term::App {
+                f: cx.ret,
+                args: vals,
+            },
+            JumpTo::Label(l) => Term::App {
+                f: Value::Label(l),
+                args: vals,
+            },
         }
     }
 }
 
 fn attach_join(def: Option<CpsFun>, body: Term) -> Term {
     match def {
-        Some(f) => Term::Fix { funs: vec![f], body: Box::new(body) },
+        Some(f) => Term::Fix {
+            funs: vec![f],
+            body: Box::new(body),
+        },
         None => body,
     }
 }
@@ -1399,7 +1544,11 @@ fn collect_pack_deposits(
     use nova_frontend::layout::Item;
     for item in &l.items {
         match item {
-            Item::Bits { name, offset, width } => {
+            Item::Bits {
+                name,
+                offset,
+                width,
+            } => {
                 let (off, n) =
                     field_slot_range(ty, name).ok_or_else(|| format!("missing field {name}"))?;
                 debug_assert_eq!(n, 1);
@@ -1408,13 +1557,17 @@ fn collect_pack_deposits(
             Item::Sub { name, layout } => {
                 let (off, n) =
                     field_slot_range(ty, name).ok_or_else(|| format!("missing field {name}"))?;
-                let fty = ty.field(name).ok_or_else(|| format!("missing field {name}"))?;
+                let fty = ty
+                    .field(name)
+                    .ok_or_else(|| format!("missing field {name}"))?;
                 collect_pack_deposits(layout, fty, &vals[off..off + n], out)?;
             }
             Item::Overlay { name, alts } => {
                 let (off, n) =
                     field_slot_range(ty, name).ok_or_else(|| format!("missing overlay {name}"))?;
-                let fty = ty.field(name).ok_or_else(|| format!("missing overlay {name}"))?;
+                let fty = ty
+                    .field(name)
+                    .ok_or_else(|| format!("missing overlay {name}"))?;
                 let Type::Record(fs) = fty else {
                     return Err(format!("overlay {name} needs a record"));
                 };
@@ -1425,7 +1578,12 @@ fn collect_pack_deposits(
                     .map(|(_, l)| l)
                     .ok_or_else(|| format!("no alternative {alt_name}"))?;
                 // Bare-width alternative: the whole range is one leaf.
-                if let [Item::Bits { name: n2, offset, width }] = alt_layout.items.as_slice() {
+                if let [Item::Bits {
+                    name: n2,
+                    offset,
+                    width,
+                }] = alt_layout.items.as_slice()
+                {
                     if n2 == layout::VALUE_FIELD {
                         out.push((*offset, *width, vals[off]));
                         continue;
@@ -1461,9 +1619,7 @@ mod tests {
 
     #[test]
     fn memory_ops_convert() {
-        let cps = cps_of(
-            "fun main() { let (a, b) = sram(100); sram(200) <- (b, a); a + b }",
-        );
+        let cps = cps_of("fun main() { let (a, b) = sram(100); sram(200) <- (b, a); a + b }");
         let s = pretty(&cps);
         assert!(s.contains("sram[0x64]"), "{s}");
         assert!(s.contains("sram[0xc8] <-"), "{s}");
@@ -1478,18 +1634,14 @@ mod tests {
 
     #[test]
     fn assignments_become_join_parameters() {
-        let cps = cps_of(
-            "fun main() { let x = 1; if (2 < 3) { x = 5; } else { x = 6; }; x + 0 }",
-        );
+        let cps = cps_of("fun main() { let x = 1; if (2 < 3) { x = 5; } else { x = 6; }; x + 0 }");
         let s = pretty(&cps);
         assert!(s.contains("$ifjoin"), "{s}");
     }
 
     #[test]
     fn while_becomes_loop_continuation() {
-        let cps = cps_of(
-            "fun main() { let i = 0; while (i < 10) { i = i + 1; } i }",
-        );
+        let cps = cps_of("fun main() { let i = 0; while (i < 10) { i = i + 1; } i }");
         let s = pretty(&cps);
         assert!(s.contains("$loop"), "{s}");
     }
@@ -1508,18 +1660,14 @@ mod tests {
 
     #[test]
     fn exceptions_become_continuations() {
-        let cps = cps_of(
-            "fun main() { try { raise X (1, 2) } handle X (a, b) { a + b } }",
-        );
+        let cps = cps_of("fun main() { try { raise X (1, 2) } handle X (a, b) { a + b } }");
         let s = pretty(&cps);
         assert!(s.contains("$handle_X"), "{s}");
     }
 
     #[test]
     fn tail_calls_pass_return_continuation() {
-        let cps = cps_of(
-            "fun main() { loop(0) } fun loop(i) { if (i < 3) loop(i + 1) else i }",
-        );
+        let cps = cps_of("fun main() { loop(0) } fun loop(i) { if (i < 3) loop(i + 1) else i }");
         let s = pretty(&cps);
         assert!(s.contains("fun loop"), "{s}");
     }

@@ -156,7 +156,12 @@ pub fn run(cps: &Cps, mach: &mut Machine, fuel: u64) -> Result<(Stop, EvalStats)
             Term::Fix { body, .. } => {
                 term = body;
             }
-            Term::Let { op, args, dsts, body } => {
+            Term::Let {
+                op,
+                args,
+                dsts,
+                body,
+            } => {
                 let argv: Result<Vec<RtVal>, EvalError> =
                     args.iter().map(|a| value(&env, a)).collect();
                 let argv = argv?;
@@ -207,7 +212,12 @@ pub fn run(cps: &Cps, mach: &mut Machine, fuel: u64) -> Result<(Stop, EvalStats)
                 }
                 term = body;
             }
-            Term::MemRead { space, addr, dsts, body } => {
+            Term::MemRead {
+                space,
+                addr,
+                dsts,
+                body,
+            } => {
                 let a = as_word(value(&env, addr)?);
                 for (i, d) in dsts.iter().enumerate() {
                     let v = mach.read(*space, a + i as u32);
@@ -216,7 +226,12 @@ pub fn run(cps: &Cps, mach: &mut Machine, fuel: u64) -> Result<(Stop, EvalStats)
                 stats.reads += 1;
                 term = body;
             }
-            Term::MemWrite { space, addr, srcs, body } => {
+            Term::MemWrite {
+                space,
+                addr,
+                srcs,
+                body,
+            } => {
                 let a = as_word(value(&env, addr)?);
                 for (i, s) in srcs.iter().enumerate() {
                     let v = as_word(value(&env, s)?);
@@ -233,9 +248,7 @@ pub fn run(cps: &Cps, mach: &mut Machine, fuel: u64) -> Result<(Stop, EvalStats)
             Term::App { f, args } => {
                 let target = match value(&env, f)? {
                     RtVal::Label(id) => id,
-                    RtVal::Word(w) => {
-                        return Err(EvalError::NotCallable(format!("word {w:#x}")))
-                    }
+                    RtVal::Word(w) => return Err(EvalError::NotCallable(format!("word {w:#x}"))),
                 };
                 let fun = funs.get(&target).ok_or(EvalError::UnknownFn(target))?;
                 if fun.params.len() != args.len() {

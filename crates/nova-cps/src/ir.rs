@@ -260,7 +260,12 @@ fn indent(n: usize, s: &mut String) {
 fn pp(t: &Term, depth: usize, s: &mut String) {
     use std::fmt::Write;
     match t {
-        Term::Let { op, args, dsts, body } => {
+        Term::Let {
+            op,
+            args,
+            dsts,
+            body,
+        } => {
             indent(depth, s);
             let _ = write!(s, "let ");
             for (i, d) in dsts.iter().enumerate() {
@@ -279,7 +284,12 @@ fn pp(t: &Term, depth: usize, s: &mut String) {
             s.push_str(")\n");
             pp(body, depth, s);
         }
-        Term::MemRead { space, addr, dsts, body } => {
+        Term::MemRead {
+            space,
+            addr,
+            dsts,
+            body,
+        } => {
             indent(depth, s);
             let _ = write!(s, "let ");
             for (i, d) in dsts.iter().enumerate() {
@@ -291,7 +301,12 @@ fn pp(t: &Term, depth: usize, s: &mut String) {
             let _ = writeln!(s, " = {space}[{addr}]");
             pp(body, depth, s);
         }
-        Term::MemWrite { space, addr, srcs, body } => {
+        Term::MemWrite {
+            space,
+            addr,
+            srcs,
+            body,
+        } => {
             indent(depth, s);
             let _ = write!(s, "{space}[{addr}] <- ");
             for (i, v) in srcs.iter().enumerate() {
@@ -375,31 +390,62 @@ fn freshen_inner(
     fmap: &mut HashMap<FnId, FnId>,
 ) -> Term {
     match t {
-        Term::Let { op, args, dsts, body } => {
+        Term::Let {
+            op,
+            args,
+            dsts,
+            body,
+        } => {
             let args = args.iter().map(|a| subst_value(*a, vmap, fmap)).collect();
             let new_dsts: Vec<VarId> = dsts.iter().map(|_| cps.fresh_var()).collect();
             for (old, new) in dsts.iter().zip(&new_dsts) {
                 vmap.insert(*old, Value::Var(*new));
             }
             let body = freshen_inner(cps, body, vmap, fmap);
-            Term::Let { op: *op, args, dsts: new_dsts, body: Box::new(body) }
+            Term::Let {
+                op: *op,
+                args,
+                dsts: new_dsts,
+                body: Box::new(body),
+            }
         }
-        Term::MemRead { space, addr, dsts, body } => {
+        Term::MemRead {
+            space,
+            addr,
+            dsts,
+            body,
+        } => {
             let addr = subst_value(*addr, vmap, fmap);
             let new_dsts: Vec<VarId> = dsts.iter().map(|_| cps.fresh_var()).collect();
             for (old, new) in dsts.iter().zip(&new_dsts) {
                 vmap.insert(*old, Value::Var(*new));
             }
             let body = freshen_inner(cps, body, vmap, fmap);
-            Term::MemRead { space: *space, addr, dsts: new_dsts, body: Box::new(body) }
+            Term::MemRead {
+                space: *space,
+                addr,
+                dsts: new_dsts,
+                body: Box::new(body),
+            }
         }
-        Term::MemWrite { space, addr, srcs, body } => Term::MemWrite {
+        Term::MemWrite {
+            space,
+            addr,
+            srcs,
+            body,
+        } => Term::MemWrite {
             space: *space,
             addr: subst_value(*addr, vmap, fmap),
             srcs: srcs.iter().map(|v| subst_value(*v, vmap, fmap)).collect(),
             body: Box::new(freshen_inner(cps, body, vmap, fmap)),
         },
-        Term::If { cmp, a, b, t: tt, f: ff } => Term::If {
+        Term::If {
+            cmp,
+            a,
+            b,
+            t: tt,
+            f: ff,
+        } => Term::If {
             cmp: *cmp,
             a: subst_value(*a, vmap, fmap),
             b: subst_value(*b, vmap, fmap),
@@ -427,7 +473,10 @@ fn freshen_inner(
                     }
                 })
                 .collect();
-            Term::Fix { funs, body: Box::new(freshen_inner(cps, body, vmap, fmap)) }
+            Term::Fix {
+                funs,
+                body: Box::new(freshen_inner(cps, body, vmap, fmap)),
+            }
         }
         Term::App { f, args } => Term::App {
             f: subst_value(*f, vmap, fmap),
@@ -449,7 +498,11 @@ mod tests {
             dsts: vec![VarId(0)],
             body: Box::new(Term::Halt),
         };
-        let cps = Cps { body: t, next_var: 1, next_fn: 0 };
+        let cps = Cps {
+            body: t,
+            next_var: 1,
+            next_fn: 0,
+        };
         assert_eq!(cps.size(), 1);
     }
 
@@ -464,13 +517,18 @@ mod tests {
             op: PrimOp::Move,
             args: vec![Value::Var(VarId(0))],
             dsts: vec![VarId(1)],
-            body: Box::new(Term::App { f: Value::Label(FnId(0)), args: vec![Value::Var(VarId(1))] }),
+            body: Box::new(Term::App {
+                f: Value::Label(FnId(0)),
+                args: vec![Value::Var(VarId(1))],
+            }),
         };
         let mut vmap = HashMap::new();
         vmap.insert(VarId(0), Value::Const(7));
         let out = freshen(&mut cps, &t, &vmap, &HashMap::new());
         match out {
-            Term::Let { args, dsts, body, .. } => {
+            Term::Let {
+                args, dsts, body, ..
+            } => {
                 assert_eq!(args, vec![Value::Const(7)]);
                 assert_eq!(dsts, vec![VarId(10)]); // freshly renamed
                 match *body {
@@ -490,7 +548,10 @@ mod tests {
                 a: Value::Const(1),
                 b: Value::Const(1),
                 t: Box::new(Term::Halt),
-                f: Box::new(Term::App { f: Value::Label(FnId(0)), args: vec![] }),
+                f: Box::new(Term::App {
+                    f: Value::Label(FnId(0)),
+                    args: vec![],
+                }),
             },
             next_var: 0,
             next_fn: 1,

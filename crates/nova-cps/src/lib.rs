@@ -22,6 +22,6 @@ pub mod opt;
 pub mod ssu;
 
 pub use convert::convert;
-pub use opt::{all_calls_static, optimize, specialize, OptConfig, OptStats};
-pub use ssu::{check_ssu, to_ssu, SsuStats};
 pub use ir::{Cps, CpsFun, FnId, PrimOp, Term, Value, VarId};
+pub use opt::{all_calls_static, optimize, optimize_with, specialize, OptConfig, OptStats};
+pub use ssu::{check_ssu, to_ssu, SsuStats};

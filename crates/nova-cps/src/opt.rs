@@ -36,7 +36,10 @@ pub struct OptConfig {
 
 impl Default for OptConfig {
     fn default() -> Self {
-        OptConfig { max_rounds: 60, max_size: 2_000_000 }
+        OptConfig {
+            max_rounds: 60,
+            max_size: 2_000_000,
+        }
     }
 }
 
@@ -67,12 +70,24 @@ pub fn specialize(cps: &mut Cps) -> OptStats {
 
 /// Run the full optimization pipeline in place.
 pub fn optimize(cps: &mut Cps, config: &OptConfig) -> OptStats {
+    optimize_with(cps, config, &nova_obs::Obs::noop())
+}
+
+/// [`optimize`] with structured telemetry: the whole pipeline runs under
+/// a `cps.optimize` span, and every pass invocation publishes how many
+/// IR nodes it removed as a `cps.pass.<name>.shrunk` counter (plus a
+/// `cps.pass.<name>` span). A no-op observer skips all measurement,
+/// including the extra [`Cps::size`] walks.
+pub fn optimize_with(cps: &mut Cps, config: &OptConfig, obs: &nova_obs::Obs) -> OptStats {
+    let _span = obs.span("cps.optimize");
     let mut stats = OptStats::default();
     for round in 0..config.max_rounds {
         stats.rounds = round + 1;
         let mut changed = false;
-        changed |= contract(cps, &mut stats);
-        changed |= inline_pass(cps, &mut stats, config);
+        changed |= run_pass(obs, "contract", cps, &mut stats, contract);
+        changed |= run_pass(obs, "inline", cps, &mut stats, |c, s| {
+            inline_pass(c, s, config)
+        });
         if !changed {
             break;
         }
@@ -80,10 +95,39 @@ pub fn optimize(cps: &mut Cps, config: &OptConfig) -> OptStats {
             break;
         }
     }
-    specialize_labels(cps, &mut stats);
+    run_pass(obs, "specialize", cps, &mut stats, |c, s| {
+        specialize_labels(c, s);
+        true
+    });
     // Specialization exposes more simplification.
-    while contract(cps, &mut stats) {}
+    while run_pass(obs, "contract", cps, &mut stats, contract) {}
+    obs.counter("cps.optimize.rounds", stats.rounds as u64);
     stats
+}
+
+/// Run one optimizer pass, measuring its wall time and how much of the
+/// IR it removed when an observer is installed.
+fn run_pass(
+    obs: &nova_obs::Obs,
+    name: &str,
+    cps: &mut Cps,
+    stats: &mut OptStats,
+    pass: impl FnOnce(&mut Cps, &mut OptStats) -> bool,
+) -> bool {
+    if !obs.enabled() {
+        return pass(cps, stats);
+    }
+    let before = cps.size();
+    let span_name = format!("cps.pass.{name}");
+    let changed = {
+        let _span = obs.span(&span_name);
+        pass(cps, stats)
+    };
+    let after = cps.size();
+    if after < before {
+        obs.counter(&format!("cps.pass.{name}.shrunk"), (before - after) as u64);
+    }
+    changed
 }
 
 // ---------------- census ----------------
@@ -131,7 +175,9 @@ fn census(t: &Term, c: &mut Census) {
             use_value(addr, c, true);
             census(body, c);
         }
-        Term::MemWrite { addr, srcs, body, .. } => {
+        Term::MemWrite {
+            addr, srcs, body, ..
+        } => {
             use_value(addr, c, true);
             for s in srcs {
                 use_value(s, c, true);
@@ -259,7 +305,12 @@ impl Contract {
 
     fn term(&mut self, t: Term) -> Term {
         match t {
-            Term::Let { op, args, dsts, body } => {
+            Term::Let {
+                op,
+                args,
+                dsts,
+                body,
+            } => {
                 let args: Vec<Value> = args.into_iter().map(|a| self.value(a)).collect();
                 // Copy propagation (Move only; Clone is significant to SSU
                 // and the allocator and must not be coalesced here).
@@ -309,9 +360,19 @@ impl Contract {
                     self.changed = true;
                     return self.term(*body);
                 }
-                Term::Let { op, args, dsts, body: Box::new(self.term(*body)) }
+                Term::Let {
+                    op,
+                    args,
+                    dsts,
+                    body: Box::new(self.term(*body)),
+                }
             }
-            Term::MemRead { space, addr, dsts, body } => {
+            Term::MemRead {
+                space,
+                addr,
+                dsts,
+                body,
+            } => {
                 let addr = self.value(addr);
                 // Trim unused leading/trailing aggregate members (§4.4
                 // "trimming of memory reads").
@@ -348,7 +409,12 @@ impl Contract {
                 let new_dsts: Vec<VarId> = dsts[skip..skip + keep].to_vec();
                 let body = Box::new(self.term(*body));
                 if skip == 0 {
-                    Term::MemRead { space, addr, dsts: new_dsts, body }
+                    Term::MemRead {
+                        space,
+                        addr,
+                        dsts: new_dsts,
+                        body,
+                    }
                 } else if let Value::Const(base) = addr {
                     Term::MemRead {
                         space,
@@ -362,10 +428,20 @@ impl Contract {
                     // (the common case is constant or already-offset
                     // addresses).
                     let new_dsts = dsts[..skip + keep].to_vec();
-                    Term::MemRead { space, addr, dsts: new_dsts, body }
+                    Term::MemRead {
+                        space,
+                        addr,
+                        dsts: new_dsts,
+                        body,
+                    }
                 }
             }
-            Term::MemWrite { space, addr, srcs, body } => Term::MemWrite {
+            Term::MemWrite {
+                space,
+                addr,
+                srcs,
+                body,
+            } => Term::MemWrite {
                 space,
                 addr: self.value(addr),
                 srcs: srcs.into_iter().map(|s| self.value(s)).collect(),
@@ -376,14 +452,22 @@ impl Contract {
                 let b = self.value(b);
                 if let (Value::Const(x), Value::Const(y)) = (a, b) {
                     self.changed = true;
-                    return if cmp.eval(x, y) { self.term(*t) } else { self.term(*f) };
+                    return if cmp.eval(x, y) {
+                        self.term(*t)
+                    } else {
+                        self.term(*f)
+                    };
                 }
                 // Identical operands: the comparison is decided by
                 // reflexivity (and the hardware could not compare a
                 // register against itself anyway).
                 if a == b {
                     self.changed = true;
-                    return if cmp.eval(0, 0) { self.term(*t) } else { self.term(*f) };
+                    return if cmp.eval(0, 0) {
+                        self.term(*t)
+                    } else {
+                        self.term(*f)
+                    };
                 }
                 let t = self.term(*t);
                 let f = self.term(*f);
@@ -394,7 +478,13 @@ impl Contract {
                         return t;
                     }
                 }
-                Term::If { cmp, a, b, t: Box::new(t), f: Box::new(f) }
+                Term::If {
+                    cmp,
+                    a,
+                    b,
+                    t: Box::new(t),
+                    f: Box::new(f),
+                }
             }
             Term::Fix { funs, body } => {
                 let mut kept = Vec::new();
@@ -412,13 +502,21 @@ impl Contract {
                         self.changed = true;
                     }
                     let fbody = self.term(f.body);
-                    kept.push(CpsFun { id: f.id, name: f.name, params: f.params, body: fbody });
+                    kept.push(CpsFun {
+                        id: f.id,
+                        name: f.name,
+                        params: f.params,
+                        body: fbody,
+                    });
                 }
                 let body = self.term(*body);
                 if kept.is_empty() {
                     body
                 } else {
-                    Term::Fix { funs: kept, body: Box::new(body) }
+                    Term::Fix {
+                        funs: kept,
+                        body: Box::new(body),
+                    }
                 }
             }
             Term::App { f, args } => Term::App {
@@ -437,7 +535,11 @@ fn simplify_alu(op: AluOp, a: Value, b: Value) -> Option<Value> {
         return Some(Value::Const(op.eval(x, y)));
     }
     match (op, a, b) {
-        (AluOp::Add | AluOp::Sub | AluOp::Or | AluOp::Xor | AluOp::Shl | AluOp::Shr, x, Value::Const(0)) => Some(x),
+        (
+            AluOp::Add | AluOp::Sub | AluOp::Or | AluOp::Xor | AluOp::Shl | AluOp::Shr,
+            x,
+            Value::Const(0),
+        ) => Some(x),
         (AluOp::Add | AluOp::Or | AluOp::Xor, Value::Const(0), y) => Some(y),
         (AluOp::And, x, Value::Const(u32::MAX)) => Some(x),
         (AluOp::And, Value::Const(u32::MAX), y) => Some(y),
@@ -525,7 +627,9 @@ fn find_recursive(defs: &HashMap<FnId, CpsFun>) -> HashSet<FnId> {
 
 fn direct_calls(t: &Term, out: &mut HashSet<FnId>) {
     match t {
-        Term::App { f: Value::Label(l), .. } => {
+        Term::App {
+            f: Value::Label(l), ..
+        } => {
             out.insert(*l);
         }
         Term::App { .. } | Term::Halt => {}
@@ -555,7 +659,9 @@ struct Inliner {
 
 impl Inliner {
     fn should_inline(&self, id: FnId, args: &[Value]) -> bool {
-        let Some(def) = self.defs.get(&id) else { return false };
+        let Some(def) = self.defs.get(&id) else {
+            return false;
+        };
         if self.recursive.contains(&id) {
             return false;
         }
@@ -573,11 +679,21 @@ impl Inliner {
 
     fn term(&mut self, cps: &mut Cps, t: Term) -> Term {
         match t {
-            Term::App { f: Value::Label(l), args } if self.should_inline(l, &args) => {
+            Term::App {
+                f: Value::Label(l),
+                args,
+            } if self.should_inline(l, &args) => {
                 if cps.size() > self.budget {
-                    return Term::App { f: Value::Label(l), args };
+                    return Term::App {
+                        f: Value::Label(l),
+                        args,
+                    };
                 }
-                let def = self.defs.get(&l).cloned().expect("checked in should_inline");
+                let def = self
+                    .defs
+                    .get(&l)
+                    .cloned()
+                    .expect("checked in should_inline");
                 self.inlined += 1;
                 let mut vmap = HashMap::new();
                 for (p, a) in def.params.iter().zip(&args) {
@@ -589,15 +705,39 @@ impl Inliner {
                 // ids that are not in `defs`, so termination is immediate).
                 freshen(cps, &def.body, &vmap, &HashMap::new())
             }
-            Term::Let { op, args, dsts, body } => {
-                Term::Let { op, args, dsts, body: Box::new(self.term(cps, *body)) }
-            }
-            Term::MemRead { space, addr, dsts, body } => {
-                Term::MemRead { space, addr, dsts, body: Box::new(self.term(cps, *body)) }
-            }
-            Term::MemWrite { space, addr, srcs, body } => {
-                Term::MemWrite { space, addr, srcs, body: Box::new(self.term(cps, *body)) }
-            }
+            Term::Let {
+                op,
+                args,
+                dsts,
+                body,
+            } => Term::Let {
+                op,
+                args,
+                dsts,
+                body: Box::new(self.term(cps, *body)),
+            },
+            Term::MemRead {
+                space,
+                addr,
+                dsts,
+                body,
+            } => Term::MemRead {
+                space,
+                addr,
+                dsts,
+                body: Box::new(self.term(cps, *body)),
+            },
+            Term::MemWrite {
+                space,
+                addr,
+                srcs,
+                body,
+            } => Term::MemWrite {
+                space,
+                addr,
+                srcs,
+                body: Box::new(self.term(cps, *body)),
+            },
             Term::If { cmp, a, b, t, f } => Term::If {
                 cmp,
                 a,
@@ -661,7 +801,11 @@ fn specialize_labels(cps: &mut Cps, stats: &mut OptStats) {
         let mut val: HashMap<(FnId, usize), Lat> = HashMap::new();
         for (id, f) in &defs {
             for j in 0..f.params.len() {
-                let init = if escaping.contains(id) { Lat::Bottom } else { Lat::Top };
+                let init = if escaping.contains(id) {
+                    Lat::Bottom
+                } else {
+                    Lat::Top
+                };
                 val.insert((*id, j), init);
             }
         }
@@ -744,7 +888,7 @@ fn specialize_labels(cps: &mut Cps, stats: &mut OptStats) {
             v.sort();
         }
         let body = std::mem::replace(&mut cps.body, Term::Halt);
-        cps.body = apply_label_resolution(body, &defs, &resolved);
+        cps.body = apply_label_resolution(body, &resolved);
         // Substitution may turn Var callees into Label callees, exposing
         // further resolutions: iterate.
     }
@@ -767,7 +911,9 @@ fn collect_escaping(t: &Term, out: &mut HashSet<FnId>) {
             grab(addr);
             collect_escaping(body, out);
         }
-        Term::MemWrite { addr, srcs, body, .. } => {
+        Term::MemWrite {
+            addr, srcs, body, ..
+        } => {
             grab(addr);
             for s in srcs {
                 grab(s);
@@ -798,7 +944,10 @@ fn collect_escaping(t: &Term, out: &mut HashSet<FnId>) {
 
 fn collect_sites(t: &Term, out: &mut Vec<(FnId, Vec<Value>)>) {
     match t {
-        Term::App { f: Value::Label(l), args } => out.push((*l, args.clone())),
+        Term::App {
+            f: Value::Label(l),
+            args,
+        } => out.push((*l, args.clone())),
         Term::App { .. } | Term::Halt => {}
         Term::Let { body, .. } | Term::MemRead { body, .. } | Term::MemWrite { body, .. } => {
             collect_sites(body, out)
@@ -819,11 +968,7 @@ fn collect_sites(t: &Term, out: &mut Vec<(FnId, Vec<Value>)>) {
 /// Apply every resolution at once: substitute the label for the parameter
 /// variable inside its function's body, drop the parameters, and drop the
 /// corresponding arguments at every static call site of that function.
-fn apply_label_resolution(
-    t: Term,
-    defs: &HashMap<FnId, CpsFun>,
-    resolved: &HashMap<FnId, Vec<(usize, FnId)>>,
-) -> Term {
+fn apply_label_resolution(t: Term, resolved: &HashMap<FnId, Vec<(usize, FnId)>>) -> Term {
     match t {
         Term::Fix { funs, body } => Term::Fix {
             funs: funs
@@ -844,11 +989,11 @@ fn apply_label_resolution(
                         id: f.id,
                         name: f.name,
                         params: f.params,
-                        body: apply_label_resolution(f.body, defs, resolved),
+                        body: apply_label_resolution(f.body, resolved),
                     }
                 })
                 .collect(),
-            body: Box::new(apply_label_resolution(*body, defs, resolved)),
+            body: Box::new(apply_label_resolution(*body, resolved)),
         },
         Term::App { f, mut args } => {
             if let Value::Label(l) = f {
@@ -862,30 +1007,45 @@ fn apply_label_resolution(
             }
             Term::App { f, args }
         }
-        Term::Let { op, args, dsts, body } => Term::Let {
+        Term::Let {
             op,
             args,
             dsts,
-            body: Box::new(apply_label_resolution(*body, defs, resolved)),
+            body,
+        } => Term::Let {
+            op,
+            args,
+            dsts,
+            body: Box::new(apply_label_resolution(*body, resolved)),
         },
-        Term::MemRead { space, addr, dsts, body } => Term::MemRead {
+        Term::MemRead {
             space,
             addr,
             dsts,
-            body: Box::new(apply_label_resolution(*body, defs, resolved)),
+            body,
+        } => Term::MemRead {
+            space,
+            addr,
+            dsts,
+            body: Box::new(apply_label_resolution(*body, resolved)),
         },
-        Term::MemWrite { space, addr, srcs, body } => Term::MemWrite {
+        Term::MemWrite {
             space,
             addr,
             srcs,
-            body: Box::new(apply_label_resolution(*body, defs, resolved)),
+            body,
+        } => Term::MemWrite {
+            space,
+            addr,
+            srcs,
+            body: Box::new(apply_label_resolution(*body, resolved)),
         },
         Term::If { cmp, a, b, t, f } => Term::If {
             cmp,
             a,
             b,
-            t: Box::new(apply_label_resolution(*t, defs, resolved)),
-            f: Box::new(apply_label_resolution(*f, defs, resolved)),
+            t: Box::new(apply_label_resolution(*t, resolved)),
+            f: Box::new(apply_label_resolution(*f, resolved)),
         },
         Term::Halt => Term::Halt,
     }
@@ -906,6 +1066,70 @@ pub fn all_calls_static(cps: &Cps) -> bool {
         }
     }
     walk(&cps.body)
+}
+
+/// Substitute `val` for every free occurrence of `var`.
+fn subst_var(t: Term, var: VarId, val: Value) -> Term {
+    let sv = |v: Value| if v == Value::Var(var) { val } else { v };
+    match t {
+        Term::Let {
+            op,
+            args,
+            dsts,
+            body,
+        } => Term::Let {
+            op,
+            args: args.into_iter().map(sv).collect(),
+            dsts,
+            body: Box::new(subst_var(*body, var, val)),
+        },
+        Term::MemRead {
+            space,
+            addr,
+            dsts,
+            body,
+        } => Term::MemRead {
+            space,
+            addr: sv(addr),
+            dsts,
+            body: Box::new(subst_var(*body, var, val)),
+        },
+        Term::MemWrite {
+            space,
+            addr,
+            srcs,
+            body,
+        } => Term::MemWrite {
+            space,
+            addr: sv(addr),
+            srcs: srcs.into_iter().map(sv).collect(),
+            body: Box::new(subst_var(*body, var, val)),
+        },
+        Term::If { cmp, a, b, t, f } => Term::If {
+            cmp,
+            a: sv(a),
+            b: sv(b),
+            t: Box::new(subst_var(*t, var, val)),
+            f: Box::new(subst_var(*f, var, val)),
+        },
+        Term::Fix { funs, body } => Term::Fix {
+            funs: funs
+                .into_iter()
+                .map(|f| CpsFun {
+                    id: f.id,
+                    name: f.name,
+                    params: f.params,
+                    body: subst_var(f.body, var, val),
+                })
+                .collect(),
+            body: Box::new(subst_var(*body, var, val)),
+        },
+        Term::App { f, args } => Term::App {
+            f: sv(f),
+            args: args.into_iter().map(sv).collect(),
+        },
+        Term::Halt => Term::Halt,
+    }
 }
 
 #[cfg(test)]
@@ -1128,54 +1352,5 @@ mod tests {
             m.sdram[8] = 3;
             m.sdram[9] = 4;
         });
-    }
-}
-
-/// Substitute `val` for every free occurrence of `var`.
-fn subst_var(t: Term, var: VarId, val: Value) -> Term {
-    let sv = |v: Value| if v == Value::Var(var) { val } else { v };
-    match t {
-        Term::Let { op, args, dsts, body } => Term::Let {
-            op,
-            args: args.into_iter().map(sv).collect(),
-            dsts,
-            body: Box::new(subst_var(*body, var, val)),
-        },
-        Term::MemRead { space, addr, dsts, body } => Term::MemRead {
-            space,
-            addr: sv(addr),
-            dsts,
-            body: Box::new(subst_var(*body, var, val)),
-        },
-        Term::MemWrite { space, addr, srcs, body } => Term::MemWrite {
-            space,
-            addr: sv(addr),
-            srcs: srcs.into_iter().map(sv).collect(),
-            body: Box::new(subst_var(*body, var, val)),
-        },
-        Term::If { cmp, a, b, t, f } => Term::If {
-            cmp,
-            a: sv(a),
-            b: sv(b),
-            t: Box::new(subst_var(*t, var, val)),
-            f: Box::new(subst_var(*f, var, val)),
-        },
-        Term::Fix { funs, body } => Term::Fix {
-            funs: funs
-                .into_iter()
-                .map(|f| CpsFun {
-                    id: f.id,
-                    name: f.name,
-                    params: f.params,
-                    body: subst_var(f.body, var, val),
-                })
-                .collect(),
-            body: Box::new(subst_var(*body, var, val)),
-        },
-        Term::App { f, args } => Term::App {
-            f: sv(f),
-            args: args.into_iter().map(sv).collect(),
-        },
-        Term::Halt => Term::Halt,
     }
 }

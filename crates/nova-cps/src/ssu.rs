@@ -96,7 +96,9 @@ fn count_uses(t: &Term, counts: &mut HashMap<VarId, (usize, usize)>) {
         }
     };
     match t {
-        Term::MemWrite { addr, srcs, body, .. } => {
+        Term::MemWrite {
+            addr, srcs, body, ..
+        } => {
             other(addr, counts);
             for s in srcs {
                 store(s, counts);
@@ -179,22 +181,58 @@ fn rewrite(
     remaining: &mut HashMap<VarId, Vec<VarId>>,
 ) -> Term {
     match t {
-        Term::MemWrite { space, addr, srcs, body } => {
+        Term::MemWrite {
+            space,
+            addr,
+            srcs,
+            body,
+        } => {
             let srcs = srcs.iter().map(|s| take_clone(s, remaining)).collect();
-            Term::MemWrite { space, addr, srcs, body: Box::new(rewrite(*body, pool, remaining)) }
+            Term::MemWrite {
+                space,
+                addr,
+                srcs,
+                body: Box::new(rewrite(*body, pool, remaining)),
+            }
         }
-        Term::Let { op, args, dsts, body } => {
+        Term::Let {
+            op,
+            args,
+            dsts,
+            body,
+        } => {
             let args = args
                 .iter()
                 .enumerate()
-                .map(|(i, a)| if store_side_arg(op, i) { take_clone(a, remaining) } else { *a })
+                .map(|(i, a)| {
+                    if store_side_arg(op, i) {
+                        take_clone(a, remaining)
+                    } else {
+                        *a
+                    }
+                })
                 .collect();
             let inner = add_clones(&dsts, pool, rewrite(*body, pool, remaining));
-            Term::Let { op, args, dsts, body: Box::new(inner) }
+            Term::Let {
+                op,
+                args,
+                dsts,
+                body: Box::new(inner),
+            }
         }
-        Term::MemRead { space, addr, dsts, body } => {
+        Term::MemRead {
+            space,
+            addr,
+            dsts,
+            body,
+        } => {
             let inner = add_clones(&dsts, pool, rewrite(*body, pool, remaining));
-            Term::MemRead { space, addr, dsts, body: Box::new(inner) }
+            Term::MemRead {
+                space,
+                addr,
+                dsts,
+                body: Box::new(inner),
+            }
         }
         Term::If { cmp, a, b, t, f } => Term::If {
             cmp,
@@ -208,7 +246,12 @@ fn rewrite(
                 .into_iter()
                 .map(|f| {
                     let inner = add_clones(&f.params, pool, rewrite(f.body, pool, remaining));
-                    crate::ir::CpsFun { id: f.id, name: f.name, params: f.params, body: inner }
+                    crate::ir::CpsFun {
+                        id: f.id,
+                        name: f.name,
+                        params: f.params,
+                        body: inner,
+                    }
                 })
                 .collect(),
             body: Box::new(rewrite(*body, pool, remaining)),
@@ -262,7 +305,10 @@ mod tests {
             }
         "#;
         let mut cps = compile_opt(src);
-        assert!(check_ssu(&cps).is_err(), "program should violate SSU before the pass");
+        assert!(
+            check_ssu(&cps).is_err(),
+            "program should violate SSU before the pass"
+        );
         let stats = to_ssu(&mut cps);
         assert!(stats.clones >= 2, "stats: {stats:?}");
         check_ssu(&cps).unwrap();
@@ -314,7 +360,7 @@ mod tests {
         check_ssu(&cps).unwrap();
     }
 
-#[test]
+    #[test]
     fn semantics_preserved() {
         let src = r#"
             fun main() {

@@ -19,7 +19,10 @@ impl Span {
 
     /// The span covering both `self` and `other`.
     pub fn to(self, other: Span) -> Span {
-        Span { lo: self.lo.min(other.lo), hi: self.hi.max(other.hi) }
+        Span {
+            lo: self.lo.min(other.lo),
+            hi: self.hi.max(other.hi),
+        }
     }
 }
 
@@ -35,7 +38,10 @@ pub struct Diagnostic {
 impl Diagnostic {
     /// Construct a diagnostic.
     pub fn new(message: impl Into<String>, span: Span) -> Self {
-        Diagnostic { message: message.into(), span }
+        Diagnostic {
+            message: message.into(),
+            span,
+        }
     }
 
     /// Render with `line:col` coordinates resolved against `source`.

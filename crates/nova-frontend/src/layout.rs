@@ -74,9 +74,9 @@ impl Layout {
     /// Look up a top-level item by field name.
     pub fn item(&self, name: &str) -> Option<&Item> {
         self.items.iter().find(|i| match i {
-            Item::Bits { name: n, .. } | Item::Sub { name: n, .. } | Item::Overlay { name: n, .. } => {
-                n == name
-            }
+            Item::Bits { name: n, .. }
+            | Item::Sub { name: n, .. }
+            | Item::Overlay { name: n, .. } => n == name,
             Item::Gap { .. } => false,
         })
     }
@@ -93,7 +93,11 @@ impl Layout {
     fn collect_leaves(&self, prefix: &str, out: &mut Vec<(String, u32, u32)>) {
         for item in &self.items {
             match item {
-                Item::Bits { name, offset, width } => {
+                Item::Bits {
+                    name,
+                    offset,
+                    width,
+                } => {
                     out.push((join_path(prefix, name), *offset, *width));
                 }
                 Item::Sub { name, layout } => {
@@ -141,14 +145,17 @@ pub fn resolve(expr: &LayoutExpr, env: &LayoutEnv) -> Result<Layout, Diagnostic>
 fn resolve_at(expr: &LayoutExpr, env: &LayoutEnv, base: u32) -> Result<Layout, Diagnostic> {
     match expr {
         LayoutExpr::Name(name, span) => {
-            let l = env.get(name).ok_or_else(|| {
-                Diagnostic::new(format!("unknown layout '{name}'"), *span)
-            })?;
+            let l = env
+                .get(name)
+                .ok_or_else(|| Diagnostic::new(format!("unknown layout '{name}'"), *span))?;
             Ok(shift(l, base))
         }
         LayoutExpr::Gap(width) => Ok(Layout {
             size_bits: *width,
-            items: vec![Item::Gap { offset: base, width: *width }],
+            items: vec![Item::Gap {
+                offset: base,
+                width: *width,
+            }],
         }),
         LayoutExpr::Body(items) => {
             let mut out = Vec::new();
@@ -157,17 +164,27 @@ fn resolve_at(expr: &LayoutExpr, env: &LayoutEnv, base: u32) -> Result<Layout, D
                 match item {
                     LayoutItem::Bits(name, width) => {
                         check_width(name, *width)?;
-                        out.push(Item::Bits { name: clone_name(name), offset: off, width: *width });
+                        out.push(Item::Bits {
+                            name: clone_name(name),
+                            offset: off,
+                            width: *width,
+                        });
                         off += width;
                     }
                     LayoutItem::Gap(width) => {
-                        out.push(Item::Gap { offset: off, width: *width });
+                        out.push(Item::Gap {
+                            offset: off,
+                            width: *width,
+                        });
                         off += width;
                     }
                     LayoutItem::Sub(name, sub) => {
                         let l = resolve_at(sub, env, off)?;
                         off += l.size_bits;
-                        out.push(Item::Sub { name: clone_name(name), layout: l });
+                        out.push(Item::Sub {
+                            name: clone_name(name),
+                            layout: l,
+                        });
                     }
                     LayoutItem::Overlay(name, alts) => {
                         let mut resolved = Vec::new();
@@ -190,19 +207,28 @@ fn resolve_at(expr: &LayoutExpr, env: &LayoutEnv, base: u32) -> Result<Layout, D
                             resolved.push((alt.clone(), l));
                         }
                         let w = width.unwrap_or(0);
-                        out.push(Item::Overlay { name: clone_name(name), alts: resolved });
+                        out.push(Item::Overlay {
+                            name: clone_name(name),
+                            alts: resolved,
+                        });
                         off += w;
                     }
                 }
             }
-            Ok(Layout { size_bits: off - base, items: out })
+            Ok(Layout {
+                size_bits: off - base,
+                items: out,
+            })
         }
         LayoutExpr::Concat(a, b) => {
             let la = resolve_at(a, env, base)?;
             let lb = resolve_at(b, env, base + la.size_bits)?;
             let mut items = la.items;
             items.extend(lb.items);
-            Ok(Layout { size_bits: la.size_bits + lb.size_bits, items })
+            Ok(Layout {
+                size_bits: la.size_bits + lb.size_bits,
+                items,
+            })
         }
     }
 }
@@ -233,19 +259,30 @@ fn shift(l: &Layout, base: u32) -> Layout {
             .items
             .iter()
             .map(|item| match item {
-                Item::Bits { name, offset, width } => {
-                    Item::Bits { name: name.clone(), offset: offset + base, width: *width }
-                }
-                Item::Sub { name, layout } => {
-                    Item::Sub { name: name.clone(), layout: shift(layout, base) }
-                }
+                Item::Bits {
+                    name,
+                    offset,
+                    width,
+                } => Item::Bits {
+                    name: name.clone(),
+                    offset: offset + base,
+                    width: *width,
+                },
+                Item::Sub { name, layout } => Item::Sub {
+                    name: name.clone(),
+                    layout: shift(layout, base),
+                },
                 Item::Overlay { name, alts } => Item::Overlay {
                     name: name.clone(),
-                    alts: alts.iter().map(|(a, l)| (a.clone(), shift(l, base))).collect(),
+                    alts: alts
+                        .iter()
+                        .map(|(a, l)| (a.clone(), shift(l, base)))
+                        .collect(),
                 },
-                Item::Gap { offset, width } => {
-                    Item::Gap { offset: offset + base, width: *width }
-                }
+                Item::Gap { offset, width } => Item::Gap {
+                    offset: offset + base,
+                    width: *width,
+                },
             })
             .collect(),
     }
@@ -268,18 +305,33 @@ pub struct FieldPiece {
 /// Decompose the extraction of a field at absolute `offset`/`width` into
 /// word-level pieces, most significant piece first.
 pub fn field_pieces(offset: u32, width: u32) -> Vec<FieldPiece> {
-    assert!(width >= 1 && width <= 32, "field width {width} out of range");
+    assert!(
+        (1..=32).contains(&width),
+        "field width {width} out of range"
+    );
     let first_word = offset / 32;
     let first_bit = offset % 32; // from MSB
     let avail = 32 - first_bit;
     if width <= avail {
-        vec![FieldPiece { word: first_word, shift: avail - width, bits: width }]
+        vec![FieldPiece {
+            word: first_word,
+            shift: avail - width,
+            bits: width,
+        }]
     } else {
         let hi_bits = avail;
         let lo_bits = width - avail;
         vec![
-            FieldPiece { word: first_word, shift: 0, bits: hi_bits },
-            FieldPiece { word: first_word + 1, shift: 32 - lo_bits, bits: lo_bits },
+            FieldPiece {
+                word: first_word,
+                shift: 0,
+                bits: hi_bits,
+            },
+            FieldPiece {
+                word: first_word + 1,
+                shift: 32 - lo_bits,
+                bits: lo_bits,
+            },
         ]
     }
 }
@@ -378,9 +430,18 @@ mod tests {
         assert_eq!(l.size_bits, 32);
         let leaves = l.leaves();
         let find = |p: &str| leaves.iter().find(|(n, _, _)| n == p).cloned().unwrap();
-        assert_eq!(find("verpri.whole.$value"), ("verpri.whole.$value".into(), 0, 8));
-        assert_eq!(find("verpri.parts.version"), ("verpri.parts.version".into(), 0, 4));
-        assert_eq!(find("verpri.parts.priority"), ("verpri.parts.priority".into(), 4, 4));
+        assert_eq!(
+            find("verpri.whole.$value"),
+            ("verpri.whole.$value".into(), 0, 8)
+        );
+        assert_eq!(
+            find("verpri.parts.version"),
+            ("verpri.parts.version".into(), 0, 4)
+        );
+        assert_eq!(
+            find("verpri.parts.priority"),
+            ("verpri.parts.priority".into(), 4, 4)
+        );
         assert_eq!(find("flow_label"), ("flow_label".into(), 8, 24));
     }
 
@@ -429,11 +490,32 @@ mod tests {
         // A 24-bit field starting at bit 16 straddles words 0 and 1.
         let ps = field_pieces(16, 24);
         assert_eq!(ps.len(), 2);
-        assert_eq!(ps[0], FieldPiece { word: 0, shift: 0, bits: 16 });
-        assert_eq!(ps[1], FieldPiece { word: 1, shift: 24, bits: 8 });
+        assert_eq!(
+            ps[0],
+            FieldPiece {
+                word: 0,
+                shift: 0,
+                bits: 16
+            }
+        );
+        assert_eq!(
+            ps[1],
+            FieldPiece {
+                word: 1,
+                shift: 24,
+                bits: 8
+            }
+        );
         // Fully contained field.
         let ps = field_pieces(8, 24);
-        assert_eq!(ps, vec![FieldPiece { word: 0, shift: 0, bits: 24 }]);
+        assert_eq!(
+            ps,
+            vec![FieldPiece {
+                word: 0,
+                shift: 0,
+                bits: 24
+            }]
+        );
     }
 
     #[test]

@@ -307,7 +307,11 @@ pub fn lex(source: &str) -> Result<Vec<Token>, Diagnostic> {
                     tok,
                     span: Span::new(lo, i as u32),
                     value: 0,
-                    text: if tok == Tok::Ident { text.to_string() } else { String::new() },
+                    text: if tok == Tok::Ident {
+                        text.to_string()
+                    } else {
+                        String::new()
+                    },
                 });
             }
             _ => {
@@ -354,7 +358,12 @@ pub fn lex(source: &str) -> Result<Vec<Token>, Diagnostic> {
                     },
                 };
                 i += len;
-                out.push(Token { tok, span: Span::new(lo, i as u32), value: 0, text: String::new() });
+                out.push(Token {
+                    tok,
+                    span: Span::new(lo, i as u32),
+                    value: 0,
+                    text: String::new(),
+                });
             }
         }
     }
@@ -379,7 +388,14 @@ mod tests {
     fn keywords_and_idents() {
         assert_eq!(
             kinds("fun f let layout overlay"),
-            vec![Tok::Fun, Tok::Ident, Tok::Let, Tok::Layout, Tok::Overlay, Tok::Eof]
+            vec![
+                Tok::Fun,
+                Tok::Ident,
+                Tok::Let,
+                Tok::Layout,
+                Tok::Overlay,
+                Tok::Eof
+            ]
         );
     }
 
@@ -400,14 +416,23 @@ mod tests {
 
     #[test]
     fn operators_maximal_munch() {
-        assert_eq!(kinds("<- << <= <"), vec![Tok::LeftArrow, Tok::Shl, Tok::Le, Tok::Lt, Tok::Eof]);
+        assert_eq!(
+            kinds("<- << <= <"),
+            vec![Tok::LeftArrow, Tok::Shl, Tok::Le, Tok::Lt, Tok::Eof]
+        );
         assert!(lex("#").is_err());
         assert_eq!(kinds("##"), vec![Tok::HashHash, Tok::Eof]);
     }
 
     #[test]
     fn comments_skipped() {
-        assert_eq!(kinds("a // line\nb /* block\n */ c"), vec![Tok::Ident; 3].into_iter().chain([Tok::Eof]).collect::<Vec<_>>());
+        assert_eq!(
+            kinds("a // line\nb /* block\n */ c"),
+            vec![Tok::Ident; 3]
+                .into_iter()
+                .chain([Tok::Eof])
+                .collect::<Vec<_>>()
+        );
         assert!(lex("/* unterminated").is_err());
     }
 

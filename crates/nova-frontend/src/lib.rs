@@ -41,6 +41,6 @@ pub mod types;
 pub use ast::{Program, StaticStats};
 pub use error::{line_col, Diagnostic, Span};
 pub use lexer::{lex, Tok, Token};
-pub use parser::parse;
-pub use typecheck::{check, TypeInfo};
+pub use parser::{parse, parse_with};
+pub use typecheck::{check, check_with, TypeInfo};
 pub use types::{FunSig, Type};

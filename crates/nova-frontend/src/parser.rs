@@ -32,8 +32,27 @@ use crate::lexer::{lex, Tok, Token};
 ///
 /// Returns the first syntax error with its source span.
 pub fn parse(source: &str) -> Result<Program, Diagnostic> {
-    let tokens = lex(source)?;
-    let mut p = Parser { tokens, pos: 0, next_id: 0 };
+    parse_with(source, &nova_obs::Obs::noop())
+}
+
+/// [`parse`] with structured telemetry: emits `frontend.lex` and
+/// `frontend.parse` spans plus a `frontend.lex.tokens` counter.
+///
+/// # Errors
+///
+/// Returns the first syntax error with its source span.
+pub fn parse_with(source: &str, obs: &nova_obs::Obs) -> Result<Program, Diagnostic> {
+    let tokens = {
+        let _span = obs.span("frontend.lex");
+        lex(source)?
+    };
+    obs.counter("frontend.lex.tokens", tokens.len() as u64);
+    let _span = obs.span("frontend.parse");
+    let mut p = Parser {
+        tokens,
+        pos: 0,
+        next_id: 0,
+    };
     p.program()
 }
 
@@ -95,7 +114,11 @@ impl Parser {
     }
 
     fn mk(&mut self, span: Span, kind: ExprKind) -> Expr {
-        Expr { id: self.id(), span, kind }
+        Expr {
+            id: self.id(),
+            span,
+            kind,
+        }
     }
 
     // ---------------- program & items ----------------
@@ -128,7 +151,10 @@ impl Parser {
         let body = self.layout_expr()?;
         let end = self.here();
         self.expect(Tok::Semi)?;
-        Ok(Stmt { span: start.to(end), kind: StmtKind::Layout(name, body) })
+        Ok(Stmt {
+            span: start.to(end),
+            kind: StmtKind::Layout(name, body),
+        })
     }
 
     fn const_stmt(&mut self) -> Result<Stmt, Diagnostic> {
@@ -139,7 +165,10 @@ impl Parser {
         let value = self.expr()?;
         let end = self.here();
         self.expect(Tok::Semi)?;
-        Ok(Stmt { span: start.to(end), kind: StmtKind::Const(name, value) })
+        Ok(Stmt {
+            span: start.to(end),
+            kind: StmtKind::Const(name, value),
+        })
     }
 
     fn fun_group(&mut self) -> Result<Stmt, Diagnostic> {
@@ -149,7 +178,10 @@ impl Parser {
             defs.push(self.fun_def()?);
         }
         let span = defs.last().map_or(start, |d| start.to(d.span));
-        Ok(Stmt { span, kind: StmtKind::Funs(defs) })
+        Ok(Stmt {
+            span,
+            kind: StmtKind::Funs(defs),
+        })
     }
 
     fn fun_def(&mut self) -> Result<FunDef, Diagnostic> {
@@ -166,10 +198,21 @@ impl Parser {
                 ))
             }
         };
-        let result = if self.eat(Tok::Colon) { Some(self.type_expr()?) } else { None };
+        let result = if self.eat(Tok::Colon) {
+            Some(self.type_expr()?)
+        } else {
+            None
+        };
         let header_end = self.here();
         let body = self.block()?;
-        Ok(FunDef { name, params, named_params, result, body, span: start.to(header_end) })
+        Ok(FunDef {
+            name,
+            params,
+            named_params,
+            result,
+            body,
+            span: start.to(header_end),
+        })
     }
 
     fn param_list(
@@ -182,7 +225,11 @@ impl Parser {
         if self.peek() != close {
             loop {
                 let (name, _) = self.ident()?;
-                let ty = if self.eat(Tok::Colon) { Some(self.type_expr()?) } else { None };
+                let ty = if self.eat(Tok::Colon) {
+                    Some(self.type_expr()?)
+                } else {
+                    None
+                };
                 params.push((name, ty));
                 if !self.eat(Tok::Comma) {
                     break;
@@ -244,7 +291,10 @@ impl Parser {
                         ));
                     }
                     if self.eat(Tok::Semi) {
-                        stmts.push(Stmt { span: start.to(e.span), kind: StmtKind::Expr(e) });
+                        stmts.push(Stmt {
+                            span: start.to(e.span),
+                            kind: StmtKind::Expr(e),
+                        });
                     } else if self.peek() == Tok::RBrace {
                         tail = Some(Box::new(e));
                     } else if matches!(
@@ -252,7 +302,10 @@ impl Parser {
                         ExprKind::If(..) | ExprKind::Try(..) | ExprKind::BlockExpr(..)
                     ) {
                         // Block-like expressions may stand alone without ';'.
-                        stmts.push(Stmt { span: start.to(e.span), kind: StmtKind::Expr(e) });
+                        stmts.push(Stmt {
+                            span: start.to(e.span),
+                            kind: StmtKind::Expr(e),
+                        });
                     } else {
                         return Err(Diagnostic::new(
                             format!("expected ';' or '}}', found {}", self.peek()),
@@ -270,12 +323,19 @@ impl Parser {
         let start = self.here();
         self.expect(Tok::Let)?;
         let pat = self.pattern()?;
-        let ty = if self.eat(Tok::Colon) { Some(self.type_expr()?) } else { None };
+        let ty = if self.eat(Tok::Colon) {
+            Some(self.type_expr()?)
+        } else {
+            None
+        };
         self.expect(Tok::Assign)?;
         let value = self.expr()?;
         let end = self.here();
         self.expect(Tok::Semi)?;
-        Ok(Stmt { span: start.to(end), kind: StmtKind::Let(pat, ty, value) })
+        Ok(Stmt {
+            span: start.to(end),
+            kind: StmtKind::Let(pat, ty, value),
+        })
     }
 
     fn while_stmt(&mut self) -> Result<Stmt, Diagnostic> {
@@ -285,7 +345,10 @@ impl Parser {
         let cond = self.expr()?;
         self.expect(Tok::RParen)?;
         let body = self.block()?;
-        Ok(Stmt { span: start, kind: StmtKind::While(cond, body) })
+        Ok(Stmt {
+            span: start,
+            kind: StmtKind::While(cond, body),
+        })
     }
 
     fn pattern(&mut self) -> Result<Pattern, Diagnostic> {
@@ -311,7 +374,10 @@ impl Parser {
                     Ok(Pattern::Var(n))
                 }
             }
-            other => Err(Diagnostic::new(format!("expected pattern, found {other}"), self.here())),
+            other => Err(Diagnostic::new(
+                format!("expected pattern, found {other}"),
+                self.here(),
+            )),
         }
     }
 
@@ -393,7 +459,10 @@ impl Parser {
                 self.expect(Tok::RBracket)?;
                 Ok(TypeExpr::Record(fields))
             }
-            other => Err(Diagnostic::new(format!("expected type, found {other}"), self.here())),
+            other => Err(Diagnostic::new(
+                format!("expected type, found {other}"),
+                self.here(),
+            )),
         }
     }
 
@@ -434,9 +503,10 @@ impl Parser {
                 self.expect(Tok::RBrace)?;
                 Ok(LayoutExpr::Body(items))
             }
-            other => {
-                Err(Diagnostic::new(format!("expected layout, found {other}"), self.here()))
-            }
+            other => Err(Diagnostic::new(
+                format!("expected layout, found {other}"),
+                self.here(),
+            )),
         }
     }
 
@@ -506,7 +576,10 @@ impl Parser {
             self.bump();
             let rhs = self.and_expr()?;
             let span = lhs.span.to(rhs.span);
-            lhs = self.mk(span, ExprKind::Binop(BinOp::OrElse, Box::new(lhs), Box::new(rhs)));
+            lhs = self.mk(
+                span,
+                ExprKind::Binop(BinOp::OrElse, Box::new(lhs), Box::new(rhs)),
+            );
         }
         Ok(lhs)
     }
@@ -517,7 +590,10 @@ impl Parser {
             self.bump();
             let rhs = self.cmp_expr()?;
             let span = lhs.span.to(rhs.span);
-            lhs = self.mk(span, ExprKind::Binop(BinOp::AndAlso, Box::new(lhs), Box::new(rhs)));
+            lhs = self.mk(
+                span,
+                ExprKind::Binop(BinOp::AndAlso, Box::new(lhs), Box::new(rhs)),
+            );
         }
         Ok(lhs)
     }
@@ -545,7 +621,10 @@ impl Parser {
             self.bump();
             let rhs = self.bitxor_expr()?;
             let span = lhs.span.to(rhs.span);
-            lhs = self.mk(span, ExprKind::Binop(BinOp::Or, Box::new(lhs), Box::new(rhs)));
+            lhs = self.mk(
+                span,
+                ExprKind::Binop(BinOp::Or, Box::new(lhs), Box::new(rhs)),
+            );
         }
         Ok(lhs)
     }
@@ -556,7 +635,10 @@ impl Parser {
             self.bump();
             let rhs = self.bitand_expr()?;
             let span = lhs.span.to(rhs.span);
-            lhs = self.mk(span, ExprKind::Binop(BinOp::Xor, Box::new(lhs), Box::new(rhs)));
+            lhs = self.mk(
+                span,
+                ExprKind::Binop(BinOp::Xor, Box::new(lhs), Box::new(rhs)),
+            );
         }
         Ok(lhs)
     }
@@ -567,7 +649,10 @@ impl Parser {
             self.bump();
             let rhs = self.shift_expr()?;
             let span = lhs.span.to(rhs.span);
-            lhs = self.mk(span, ExprKind::Binop(BinOp::And, Box::new(lhs), Box::new(rhs)));
+            lhs = self.mk(
+                span,
+                ExprKind::Binop(BinOp::And, Box::new(lhs), Box::new(rhs)),
+            );
         }
         Ok(lhs)
     }
@@ -757,9 +842,10 @@ impl Parser {
                 }
                 Ok(self.mk(sp, ExprKind::Var(name)))
             }
-            other => {
-                Err(Diagnostic::new(format!("expected expression, found {other}"), self.here()))
-            }
+            other => Err(Diagnostic::new(
+                format!("expected expression, found {other}"),
+                self.here(),
+            )),
         }
     }
 
@@ -775,7 +861,10 @@ impl Parser {
             if self.peek() == Tok::If {
                 // else-if chains: wrap the nested if as a block.
                 let e = self.if_expr()?;
-                Some(Block { stmts: vec![], tail: Some(Box::new(e)) })
+                Some(Block {
+                    stmts: vec![],
+                    tail: Some(Box::new(e)),
+                })
             } else {
                 Some(self.block_or_expr()?)
             }
@@ -790,7 +879,10 @@ impl Parser {
             self.block()
         } else {
             let e = self.expr()?;
-            Ok(Block { stmts: vec![], tail: Some(Box::new(e)) })
+            Ok(Block {
+                stmts: vec![],
+                tail: Some(Box::new(e)),
+            })
         }
     }
 
@@ -840,7 +932,13 @@ impl Parser {
                 }
             };
             let hbody = self.block()?;
-            handlers.push(Handler { name, params, named, body: hbody, span: hstart });
+            handlers.push(Handler {
+                name,
+                params,
+                named,
+                body: hbody,
+                span: hstart,
+            });
         }
         if handlers.is_empty() {
             return Err(Diagnostic::new("'try' needs at least one 'handle'", start));

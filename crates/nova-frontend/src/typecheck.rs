@@ -45,21 +45,44 @@ pub struct TypeInfo {
 ///
 /// Returns the first type error with its source span.
 pub fn check(program: &Program) -> Result<TypeInfo, Diagnostic> {
+    check_with(program, &nova_obs::Obs::noop())
+}
+
+/// [`check`] with structured telemetry: the whole elaboration runs under
+/// a `frontend.elaborate` span, every layout resolution is timed as a
+/// `frontend.layout` span, and the number of resolved layout sites is
+/// published as `frontend.layout.resolved`.
+///
+/// # Errors
+///
+/// Returns the first type error with its source span.
+pub fn check_with(program: &Program, obs: &nova_obs::Obs) -> Result<TypeInfo, Diagnostic> {
+    let _span = obs.span("frontend.elaborate");
     let mut cx = Checker {
         info: TypeInfo::default(),
         scopes: vec![Scope::default()],
         in_progress: HashSet::new(),
+        obs: obs.clone(),
     };
     for item in &program.items {
         cx.check_stmt(item)?;
     }
+    obs.counter("frontend.layout.resolved", cx.info.layouts.len() as u64);
     // The entry point: `fun main()` with no parameters.
     match cx.lookup("main") {
         Some(Binding::Value(Type::Fun(sig))) if sig.params.is_empty() => {}
         Some(Binding::Value(Type::Fun(_))) => {
-            return Err(Diagnostic::new("'main' must take no parameters", Span::default()))
+            return Err(Diagnostic::new(
+                "'main' must take no parameters",
+                Span::default(),
+            ))
         }
-        _ => return Err(Diagnostic::new("program has no 'main' function", Span::default())),
+        _ => {
+            return Err(Diagnostic::new(
+                "program has no 'main' function",
+                Span::default(),
+            ))
+        }
     }
     Ok(cx.info)
 }
@@ -82,6 +105,7 @@ struct Checker {
     /// Functions whose bodies are on the checking stack (self + group):
     /// calls to these must be tail calls.
     in_progress: HashSet<String>,
+    obs: nova_obs::Obs,
 }
 
 impl Checker {
@@ -95,7 +119,11 @@ impl Checker {
     }
 
     fn bind(&mut self, name: &str, b: Binding) {
-        self.scopes.last_mut().unwrap().bindings.insert(name.to_string(), b);
+        self.scopes
+            .last_mut()
+            .unwrap()
+            .bindings
+            .insert(name.to_string(), b);
     }
 
     fn layout_env(&self) -> LayoutEnv {
@@ -111,6 +139,7 @@ impl Checker {
     }
 
     fn resolve_layout(&self, e: &LayoutExpr, span: Span) -> Result<Layout, Diagnostic> {
+        let _span = self.obs.span("frontend.layout");
         layout::resolve(e, &self.layout_env()).map_err(|d| {
             if d.span == Span::default() {
                 Diagnostic::new(d.message, span)
@@ -128,7 +157,9 @@ impl Checker {
             TypeExpr::Packed(l) => packed_type(&self.resolve_layout(l, span)?),
             TypeExpr::Unpacked(l) => unpacked_type(&self.resolve_layout(l, span)?),
             TypeExpr::Tuple(ts) => Type::Tuple(
-                ts.iter().map(|t| self.elab_type(t, span)).collect::<Result<_, _>>()?,
+                ts.iter()
+                    .map(|t| self.elab_type(t, span))
+                    .collect::<Result<_, _>>()?,
             ),
             TypeExpr::Record(fs) => Type::Record(
                 fs.iter()
@@ -233,12 +264,19 @@ impl Checker {
                 Some(t) => self.elab_type(t, d.span)?,
                 None => Type::Never, // placeholder; patched after checking
             };
-            sigs.push(FunSig { params, named: d.named_params, result });
+            sigs.push(FunSig {
+                params,
+                named: d.named_params,
+                result,
+            });
         }
         for (d, s) in defs.iter().zip(&sigs) {
             if self.in_progress.contains(&d.name) {
                 return Err(Diagnostic::new(
-                    format!("function '{}' shadows an enclosing function being defined", d.name),
+                    format!(
+                        "function '{}' shadows an enclosing function being defined",
+                        d.name
+                    ),
                     d.span,
                 ));
             }
@@ -249,8 +287,11 @@ impl Checker {
         // inlined. Build the syntactic call graph, find its strongly
         // connected components, and check SCCs in callee-first order.
         let n = defs.len();
-        let group_idx: HashMap<&str, usize> =
-            defs.iter().enumerate().map(|(i, d)| (d.name.as_str(), i)).collect();
+        let group_idx: HashMap<&str, usize> = defs
+            .iter()
+            .enumerate()
+            .map(|(i, d)| (d.name.as_str(), i))
+            .collect();
         let mut edges: Vec<HashSet<usize>> = vec![HashSet::new(); n];
         for (i, d) in defs.iter().enumerate() {
             group_calls_block(&d.body, &group_idx, &mut edges[i]);
@@ -381,7 +422,10 @@ impl Checker {
                 self.info
                     .fun_sigs
                     .insert((defs[i].name.clone(), defs[i].span.lo), final_sig.clone());
-                self.bind(&defs[i].name, Binding::Value(Type::Fun(Box::new(final_sig))));
+                self.bind(
+                    &defs[i].name,
+                    Binding::Value(Type::Fun(Box::new(final_sig))),
+                );
                 processed[i] = true;
             }
         }
@@ -470,7 +514,11 @@ impl Checker {
         }
         if let Some(t) = &b.tail {
             result = self.check_expr(t, tail)?;
-        } else if let Some(Stmt { kind: StmtKind::Expr(e), .. }) = b.stmts.last() {
+        } else if let Some(Stmt {
+            kind: StmtKind::Expr(e),
+            ..
+        }) = b.stmts.last()
+        {
             // A trailing block-like statement (if/try without semicolon)
             // is not the block value, but a `raise`-only statement makes
             // the block diverge.
@@ -499,7 +547,10 @@ impl Checker {
                     format!("'{name}' is a layout, not a value"),
                     e.span,
                 )),
-                None => Err(Diagnostic::new(format!("unbound variable '{name}'"), e.span)),
+                None => Err(Diagnostic::new(
+                    format!("unbound variable '{name}'"),
+                    e.span,
+                )),
             },
             ExprKind::Binop(op, a, b) => {
                 let ta = self.check_expr(a, false)?;
@@ -536,7 +587,9 @@ impl Checker {
                 }
             }
             ExprKind::Tuple(es) => Ok(Type::Tuple(
-                es.iter().map(|e| self.check_expr(e, false)).collect::<Result<_, _>>()?,
+                es.iter()
+                    .map(|e| self.check_expr(e, false))
+                    .collect::<Result<_, _>>()?,
             )),
             ExprKind::Record(fs) => {
                 let mut fields = Vec::new();
@@ -566,10 +619,7 @@ impl Checker {
                     Some(eb) => {
                         let et = self.check_block_value(eb, tail)?;
                         tt.clone().join(et.clone()).ok_or_else(|| {
-                            Diagnostic::new(
-                                format!("if branches disagree: {tt} vs {et}"),
-                                e.span,
-                            )
+                            Diagnostic::new(format!("if branches disagree: {tt} vs {et}"), e.span)
                         })
                     }
                     None => Ok(Type::unit()),
@@ -626,9 +676,7 @@ impl Checker {
                         .params
                         .iter()
                         .enumerate()
-                        .map(|(i, p)| {
-                            (if h.named { p.clone() } else { i.to_string() }, Type::Word)
-                        })
+                        .map(|(i, p)| (if h.named { p.clone() } else { i.to_string() }, Type::Word))
                         .collect();
                     self.bind(&h.name, Binding::Value(Type::Exn(payload)));
                 }
@@ -644,7 +692,10 @@ impl Checker {
                     self.scopes.pop();
                     result = result.clone().join(ht.clone()).ok_or_else(|| {
                         Diagnostic::new(
-                            format!("handler '{}' returns {ht}, but the try returns {result}", h.name),
+                            format!(
+                                "handler '{}' returns {ht}, but the try returns {result}",
+                                h.name
+                            ),
                             h.span,
                         )
                     })?;
@@ -724,7 +775,11 @@ impl Checker {
             Args::Positional(es) => {
                 if es.len() != params.len() {
                     return Err(Diagnostic::new(
-                        format!("{what} expects {} arguments, {} supplied", params.len(), es.len()),
+                        format!(
+                            "{what} expects {} arguments, {} supplied",
+                            params.len(),
+                            es.len()
+                        ),
                         span,
                     ));
                 }
@@ -741,14 +796,22 @@ impl Checker {
             Args::Named(fs) => {
                 if fs.len() != params.len() {
                     return Err(Diagnostic::new(
-                        format!("{what} expects {} arguments, {} supplied", params.len(), fs.len()),
+                        format!(
+                            "{what} expects {} arguments, {} supplied",
+                            params.len(),
+                            fs.len()
+                        ),
                         span,
                     ));
                 }
                 for (n, a) in fs {
-                    let pt = params.iter().find(|(pn, _)| pn == n).map(|(_, t)| t).ok_or_else(
-                        || Diagnostic::new(format!("no parameter named '{n}'"), a.span),
-                    )?;
+                    let pt = params
+                        .iter()
+                        .find(|(pn, _)| pn == n)
+                        .map(|(_, t)| t)
+                        .ok_or_else(|| {
+                            Diagnostic::new(format!("no parameter named '{n}'"), a.span)
+                        })?;
                     let at = self.check_expr(a, false)?;
                     if !at.compatible(pt) {
                         return Err(Diagnostic::new(
@@ -762,17 +825,14 @@ impl Checker {
         Ok(())
     }
 
-    fn require(
-        &self,
-        got: &Type,
-        want: &Type,
-        span: Span,
-        what: &str,
-    ) -> Result<(), Diagnostic> {
+    fn require(&self, got: &Type, want: &Type, span: Span, what: &str) -> Result<(), Diagnostic> {
         if got.compatible(want) {
             Ok(())
         } else {
-            Err(Diagnostic::new(format!("{what} must be {want}, got {got}"), span))
+            Err(Diagnostic::new(
+                format!("{what} must be {want}, got {got}"),
+                span,
+            ))
         }
     }
 
@@ -821,7 +881,10 @@ impl Checker {
             }
             ExprKind::Unop(UnOp::Complement, a) => Ok(!self.eval_const(a)?),
             ExprKind::Unop(UnOp::Neg, a) => Ok(self.eval_const(a)?.wrapping_neg()),
-            _ => Err(Diagnostic::new("expression is not a compile-time constant", e.span)),
+            _ => Err(Diagnostic::new(
+                "expression is not a compile-time constant",
+                e.span,
+            )),
         }
     }
 }
@@ -829,7 +892,11 @@ impl Checker {
 /// Collect calls to group members occurring anywhere in a block (used for
 /// the tail-call result fixpoint; over-approximation is harmless because
 /// non-tail group calls are rejected elsewhere).
-fn group_calls_block(b: &crate::ast::Block, group: &HashMap<&str, usize>, out: &mut HashSet<usize>) {
+fn group_calls_block(
+    b: &crate::ast::Block,
+    group: &HashMap<&str, usize>,
+    out: &mut HashSet<usize>,
+) {
     for s in &b.stmts {
         match &s.kind {
             StmtKind::Let(_, _, e)
@@ -929,8 +996,15 @@ fn check_burst(space: MemSpace, n: u32, span: Span) -> Result<(), Diagnostic> {
         Ok(())
     } else {
         Err(Diagnostic::new(
-            format!("{} transactions move {} words, {n} requested", space.name(),
-                if space == MemSpace::Sdram { "an even number (2..=8) of" } else { "1..=8" }),
+            format!(
+                "{} transactions move {} words, {n} requested",
+                space.name(),
+                if space == MemSpace::Sdram {
+                    "an even number (2..=8) of"
+                } else {
+                    "1..=8"
+                }
+            ),
             span,
         ))
     }
@@ -981,9 +1055,7 @@ fn check_pack_shape(l: &Layout, t: &Type, span: Span) -> Result<(), Diagnostic> 
                     Type::Record(fs) if fs.len() == 1 => &fs[0],
                     other => {
                         return Err(Diagnostic::new(
-                            format!(
-                                "overlay '{name}' needs exactly one alternative, got {other}"
-                            ),
+                            format!("overlay '{name}' needs exactly one alternative, got {other}"),
                             span,
                         ))
                     }

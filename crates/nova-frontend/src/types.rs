@@ -83,11 +83,15 @@ impl Type {
             }
             (Type::Record(a), Type::Record(b)) => {
                 a.len() == b.len()
-                    && a.iter().zip(b).all(|((n1, x), (n2, y))| n1 == n2 && x.compatible(y))
+                    && a.iter()
+                        .zip(b)
+                        .all(|((n1, x), (n2, y))| n1 == n2 && x.compatible(y))
             }
             (Type::Exn(a), Type::Exn(b)) => {
                 a.len() == b.len()
-                    && a.iter().zip(b).all(|((n1, x), (n2, y))| n1 == n2 && x.compatible(y))
+                    && a.iter()
+                        .zip(b)
+                        .all(|((n1, x), (n2, y))| n1 == n2 && x.compatible(y))
             }
             (Type::Fun(a), Type::Fun(b)) => {
                 a.named == b.named

@@ -8,14 +8,16 @@ use proptest::prelude::*;
 /// Random layout expressions over bitfields and gaps.
 fn layout_strategy() -> impl Strategy<Value = LayoutExpr> {
     let leaf = prop_oneof![
-        (1u32..=32).prop_map(|w| LayoutExpr::Body(vec![
-            nova_frontend::ast::LayoutItem::Bits(format!("f{w}"), w)
-        ])),
+        (1u32..=32).prop_map(
+            |w| LayoutExpr::Body(vec![nova_frontend::ast::LayoutItem::Bits(
+                format!("f{w}"),
+                w
+            )])
+        ),
         (1u32..=40).prop_map(LayoutExpr::Gap),
     ];
     leaf.prop_recursive(3, 24, 4, |inner| {
-        (inner.clone(), inner)
-            .prop_map(|(a, b)| LayoutExpr::Concat(Box::new(a), Box::new(b)))
+        (inner.clone(), inner).prop_map(|(a, b)| LayoutExpr::Concat(Box::new(a), Box::new(b)))
     })
 }
 
@@ -53,7 +55,7 @@ proptest! {
         for (name, offset, width) in l.leaves() {
             prop_assert!(offset >= last_end, "field {} overlaps its predecessor", name);
             prop_assert!(offset + width <= l.size_bits);
-            prop_assert!(width >= 1 && width <= 32);
+            prop_assert!((1..=32).contains(&width));
             last_end = offset + width;
         }
     }

@@ -1,0 +1,125 @@
+//! Streaming JSON-lines recorder.
+
+use crate::{Event, EventKind, Recorder};
+use std::io::Write;
+use std::sync::Mutex;
+
+/// Streams one JSON object per event to any writer (DESIGN.md §8 gives
+/// the schema):
+///
+/// ```json
+/// {"at_ns":12345,"kind":"span","name":"phase.ilp","dur_ns":678}
+/// {"at_ns":12400,"kind":"counter","name":"ilp.pivots","delta":3633}
+/// {"at_ns":12500,"kind":"sample","name":"sim.channel.sram.occupancy","value":0.38}
+/// ```
+///
+/// Writes are line-buffered behind a mutex; a failed write disables the
+/// recorder (telemetry must never abort a compile).
+pub struct JsonLinesRecorder {
+    out: Mutex<Option<Box<dyn Write + Send>>>,
+}
+
+impl JsonLinesRecorder {
+    /// Stream to `w`.
+    pub fn new(w: impl Write + Send + 'static) -> Self {
+        JsonLinesRecorder {
+            out: Mutex::new(Some(Box::new(w))),
+        }
+    }
+
+    /// Stream to standard error.
+    pub fn stderr() -> Self {
+        JsonLinesRecorder::new(std::io::stderr())
+    }
+}
+
+fn escape(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+}
+
+impl Recorder for JsonLinesRecorder {
+    fn record(&self, event: Event) {
+        let mut line = String::with_capacity(96);
+        line.push_str(&format!("{{\"at_ns\":{},\"kind\":", event.at_ns));
+        match event.kind {
+            EventKind::Span { dur_ns } => {
+                line.push_str("\"span\",\"name\":\"");
+                escape(&event.name, &mut line);
+                line.push_str(&format!("\",\"dur_ns\":{dur_ns}}}"));
+            }
+            EventKind::Counter { delta } => {
+                line.push_str("\"counter\",\"name\":\"");
+                escape(&event.name, &mut line);
+                line.push_str(&format!("\",\"delta\":{delta}}}"));
+            }
+            EventKind::Sample { value } => {
+                line.push_str("\"sample\",\"name\":\"");
+                escape(&event.name, &mut line);
+                if value.is_finite() {
+                    line.push_str(&format!("\",\"value\":{value}}}"));
+                } else {
+                    line.push_str("\",\"value\":null}");
+                }
+            }
+        }
+        line.push('\n');
+        let mut guard = self.out.lock().expect("jsonl lock");
+        if let Some(w) = guard.as_mut() {
+            if w.write_all(line.as_bytes()).is_err() {
+                *guard = None;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Obs;
+    use std::sync::{Arc, Mutex as StdMutex};
+
+    #[derive(Clone, Default)]
+    struct Buf(Arc<StdMutex<Vec<u8>>>);
+
+    impl Write for Buf {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.0.lock().unwrap().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn one_json_object_per_event() {
+        let buf = Buf::default();
+        let obs = Obs::new(JsonLinesRecorder::new(buf.clone()));
+        obs.counter("ilp.pivots", 7);
+        obs.sample("occ", 0.5);
+        obs.span("phase.ilp").end();
+        let text = String::from_utf8(buf.0.lock().unwrap().clone()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].contains("\"kind\":\"counter\""), "{}", lines[0]);
+        assert!(lines[0].contains("\"delta\":7"), "{}", lines[0]);
+        assert!(lines[1].contains("\"value\":0.5"), "{}", lines[1]);
+        assert!(lines[2].contains("\"dur_ns\":"), "{}", lines[2]);
+        for l in lines {
+            assert!(
+                l.starts_with('{') && l.ends_with('}'),
+                "not a JSON object: {l}"
+            );
+        }
+    }
+}

@@ -1,0 +1,313 @@
+//! Structured observability for the Nova/IXP pipeline.
+//!
+//! Every phase of the compiler and simulator — frontend, CPS optimizer,
+//! ILP solver, backend codegen, chip simulation — reports what it did
+//! through one narrow interface: an [`Obs`] handle carrying a
+//! [`Recorder`]. Three event shapes cover the pipeline's needs:
+//!
+//! * **spans** — wall-clock intervals with monotonic timing
+//!   ([`Obs::span`] returns an RAII guard that emits on drop);
+//! * **counters** — monotonic additive totals ([`Obs::counter`]),
+//!   e.g. pivots, shrink counts, channel busy cycles;
+//! * **histogram samples** — point-in-time values ([`Obs::sample`]),
+//!   e.g. periodic channel-occupancy samples.
+//!
+//! The default handle is a no-op: [`Obs::noop`] carries no recorder, and
+//! every emission site bails out before formatting names, taking
+//! timestamps, or allocating, so an uninstrumented compile pays one
+//! branch per site. Two real recorders are provided:
+//! [`MemoryRecorder`] collects events in memory and aggregates them into
+//! a [`Summary`]; [`JsonLinesRecorder`] streams one JSON object per
+//! event to any writer. [`TeeRecorder`] fans out to several recorders.
+//!
+//! Span and counter names form a dotted taxonomy (DESIGN.md §8):
+//! `phase.*` for the five pipeline stages (`frontend`, `cps`, `ilp`,
+//! `codegen`, `sim`), then `frontend.*`, `cps.pass.*`, `ilp.*`,
+//! `backend.*`, `sim.channel.*`, `sim.engine.*` for the fine structure.
+
+#![warn(missing_docs)]
+
+mod jsonl;
+mod memory;
+mod summary;
+
+pub use jsonl::JsonLinesRecorder;
+pub use memory::MemoryRecorder;
+pub use summary::{CounterSummary, SampleSummary, SpanSummary, Summary};
+
+use std::sync::Arc;
+use std::time::Instant;
+
+/// What one telemetry event carries.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum EventKind {
+    /// A completed span: `dur_ns` of wall-clock work ending at the
+    /// event's timestamp.
+    Span {
+        /// Span duration in nanoseconds (monotonic clock).
+        dur_ns: u64,
+    },
+    /// A counter increment (monotonic; consumers sum deltas by name).
+    Counter {
+        /// Amount added to the counter.
+        delta: u64,
+    },
+    /// One histogram sample.
+    Sample {
+        /// The sampled value.
+        value: f64,
+    },
+}
+
+/// One telemetry event. Events are only materialized when a real
+/// recorder is installed; the no-op path never constructs them.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    /// Dotted taxonomy name (`"phase.ilp"`, `"sim.channel.sram.busy"`).
+    pub name: String,
+    /// Nanoseconds since the owning [`Obs`] handle's epoch (monotonic).
+    pub at_ns: u64,
+    /// Payload.
+    pub kind: EventKind,
+}
+
+/// Sink for telemetry events. Implementations must be cheap enough to
+/// call from phase boundaries (not per-instruction hot loops — emitters
+/// aggregate first) and are shared across solver worker threads.
+pub trait Recorder: Send + Sync {
+    /// Receive one event.
+    fn record(&self, event: Event);
+}
+
+/// A recorder that drops everything. [`Obs::noop`] is cheaper (it skips
+/// event construction entirely); this type exists for APIs that need a
+/// `dyn Recorder` placeholder.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoopRecorder;
+
+impl Recorder for NoopRecorder {
+    fn record(&self, _event: Event) {}
+}
+
+/// Fans every event out to several recorders, in order.
+pub struct TeeRecorder {
+    sinks: Vec<Arc<dyn Recorder>>,
+}
+
+impl TeeRecorder {
+    /// Tee over `sinks`.
+    pub fn new(sinks: Vec<Arc<dyn Recorder>>) -> Self {
+        TeeRecorder { sinks }
+    }
+}
+
+impl Recorder for TeeRecorder {
+    fn record(&self, event: Event) {
+        for s in &self.sinks {
+            s.record(event.clone());
+        }
+    }
+}
+
+struct ObsInner {
+    epoch: Instant,
+    recorder: Arc<dyn Recorder>,
+}
+
+/// A cheap, cloneable handle through which pipeline phases emit
+/// telemetry. `Obs::noop()` (the default) short-circuits every emission
+/// before any allocation or clock read.
+#[derive(Clone, Default)]
+pub struct Obs {
+    inner: Option<Arc<ObsInner>>,
+}
+
+impl std::fmt::Debug for Obs {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(if self.inner.is_some() {
+            "Obs(recording)"
+        } else {
+            "Obs(noop)"
+        })
+    }
+}
+
+impl Obs {
+    /// The disabled handle: every emission is a single branch.
+    pub fn noop() -> Obs {
+        Obs { inner: None }
+    }
+
+    /// A handle feeding `recorder`, with its monotonic epoch taken now.
+    pub fn new(recorder: impl Recorder + 'static) -> Obs {
+        Obs::from_arc(Arc::new(recorder))
+    }
+
+    /// A handle feeding an already-shared recorder.
+    pub fn from_arc(recorder: Arc<dyn Recorder>) -> Obs {
+        Obs {
+            inner: Some(Arc::new(ObsInner {
+                epoch: Instant::now(),
+                recorder,
+            })),
+        }
+    }
+
+    /// Whether a real recorder is installed. Emitters with non-trivial
+    /// preparation (name formatting, stat scans) should gate on this.
+    pub fn enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// The installed recorder, if any (for teeing it with another sink).
+    pub fn recorder(&self) -> Option<Arc<dyn Recorder>> {
+        self.inner.as_ref().map(|i| i.recorder.clone())
+    }
+
+    /// Start a span. The returned guard emits a [`EventKind::Span`] with
+    /// the elapsed wall time when dropped (or at [`SpanGuard::end`]).
+    /// Disabled handles never read the clock.
+    pub fn span<'a>(&'a self, name: &'a str) -> SpanGuard<'a> {
+        SpanGuard {
+            obs: self,
+            name,
+            start: self.inner.as_ref().map(|_| Instant::now()),
+        }
+    }
+
+    /// Emit a span whose duration was measured externally (phases that
+    /// already track their own wall time, like the ILP root solve).
+    pub fn span_dur(&self, name: &str, dur: std::time::Duration) {
+        if let Some(inner) = &self.inner {
+            inner.recorder.record(Event {
+                name: name.to_string(),
+                at_ns: inner.epoch.elapsed().as_nanos() as u64,
+                kind: EventKind::Span {
+                    dur_ns: dur.as_nanos() as u64,
+                },
+            });
+        }
+    }
+
+    /// Add `delta` to the counter `name`.
+    pub fn counter(&self, name: &str, delta: u64) {
+        if let Some(inner) = &self.inner {
+            inner.recorder.record(Event {
+                name: name.to_string(),
+                at_ns: inner.epoch.elapsed().as_nanos() as u64,
+                kind: EventKind::Counter { delta },
+            });
+        }
+    }
+
+    /// Record one histogram sample for `name`.
+    pub fn sample(&self, name: &str, value: f64) {
+        if let Some(inner) = &self.inner {
+            inner.recorder.record(Event {
+                name: name.to_string(),
+                at_ns: inner.epoch.elapsed().as_nanos() as u64,
+                kind: EventKind::Sample { value },
+            });
+        }
+    }
+
+    fn emit_span(&self, name: &str, start: Instant) {
+        if let Some(inner) = &self.inner {
+            inner.recorder.record(Event {
+                name: name.to_string(),
+                at_ns: inner.epoch.elapsed().as_nanos() as u64,
+                kind: EventKind::Span {
+                    dur_ns: start.elapsed().as_nanos() as u64,
+                },
+            });
+        }
+    }
+}
+
+/// RAII guard for an open span; emits the span on drop.
+#[must_use = "dropping immediately records an empty span"]
+pub struct SpanGuard<'a> {
+    obs: &'a Obs,
+    name: &'a str,
+    start: Option<Instant>,
+}
+
+impl SpanGuard<'_> {
+    /// Close the span now (equivalent to dropping it).
+    pub fn end(self) {}
+}
+
+impl Drop for SpanGuard<'_> {
+    fn drop(&mut self) {
+        if let Some(start) = self.start.take() {
+            self.obs.emit_span(self.name, start);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn noop_emits_nothing_and_is_cheap() {
+        let obs = Obs::noop();
+        assert!(!obs.enabled());
+        let g = obs.span("phase.frontend");
+        obs.counter("x", 3);
+        obs.sample("y", 1.5);
+        g.end();
+        // Nothing to assert beyond "did not panic": the guard held no
+        // Instant, so no clock was read.
+    }
+
+    #[test]
+    fn memory_recorder_collects_all_three_kinds() {
+        let rec = MemoryRecorder::new();
+        let obs = Obs::new(rec.clone());
+        {
+            let _g = obs.span("phase.cps");
+            obs.counter("cps.pass.contract.shrunk", 7);
+            obs.counter("cps.pass.contract.shrunk", 5);
+            obs.sample("sim.channel.sram.occupancy", 0.25);
+            obs.sample("sim.channel.sram.occupancy", 0.75);
+        }
+        let sum = rec.summary();
+        assert_eq!(sum.counter_total("cps.pass.contract.shrunk"), Some(12));
+        let span = sum.span("phase.cps").expect("span recorded");
+        assert_eq!(span.count, 1);
+        let hist = sum
+            .sample("sim.channel.sram.occupancy")
+            .expect("samples recorded");
+        assert_eq!(hist.count, 2);
+        assert!((hist.mean - 0.5).abs() < 1e-12);
+        assert_eq!(hist.min, 0.25);
+        assert_eq!(hist.max, 0.75);
+    }
+
+    #[test]
+    fn tee_fans_out() {
+        let a = MemoryRecorder::new();
+        let b = MemoryRecorder::new();
+        let obs = Obs::new(TeeRecorder::new(vec![
+            Arc::new(a.clone()),
+            Arc::new(b.clone()),
+        ]));
+        obs.counter("n", 1);
+        assert_eq!(a.summary().counter_total("n"), Some(1));
+        assert_eq!(b.summary().counter_total("n"), Some(1));
+    }
+
+    #[test]
+    fn span_guard_times_monotonically() {
+        let rec = MemoryRecorder::new();
+        let obs = Obs::new(rec.clone());
+        obs.span("s").end();
+        let events = rec.events();
+        assert_eq!(events.len(), 1);
+        match events[0].kind {
+            EventKind::Span { .. } => {}
+            ref k => panic!("expected span, got {k:?}"),
+        }
+    }
+}

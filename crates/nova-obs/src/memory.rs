@@ -1,0 +1,107 @@
+//! In-memory event collection and aggregation.
+
+use crate::summary::{CounterSummary, SampleSummary, SpanSummary, Summary};
+use crate::{Event, EventKind, Recorder};
+use std::sync::{Arc, Mutex};
+
+/// Collects every event in memory. Cloning shares the underlying buffer,
+/// so a driver can hand one clone to the pipeline and keep another to
+/// read the results back:
+///
+/// ```
+/// use nova_obs::{MemoryRecorder, Obs};
+/// let rec = MemoryRecorder::new();
+/// let obs = Obs::new(rec.clone());
+/// obs.counter("ilp.pivots", 42);
+/// assert_eq!(rec.summary().counter_total("ilp.pivots"), Some(42));
+/// ```
+#[derive(Clone, Default)]
+pub struct MemoryRecorder {
+    events: Arc<Mutex<Vec<Event>>>,
+}
+
+impl MemoryRecorder {
+    /// An empty recorder.
+    pub fn new() -> Self {
+        MemoryRecorder::default()
+    }
+
+    /// Snapshot of every event recorded so far, in arrival order.
+    pub fn events(&self) -> Vec<Event> {
+        self.events.lock().expect("recorder lock").clone()
+    }
+
+    /// Drop all recorded events (e.g. between per-workload runs).
+    pub fn clear(&self) {
+        self.events.lock().expect("recorder lock").clear();
+    }
+
+    /// Aggregate everything recorded so far into a [`Summary`]: spans
+    /// summed by name, counters totalled, samples reduced to
+    /// count/min/max/mean/p50/p95. Name order is first-appearance order.
+    pub fn summary(&self) -> Summary {
+        let events = self.events.lock().expect("recorder lock");
+        let mut spans: Vec<SpanSummary> = Vec::new();
+        let mut counters: Vec<CounterSummary> = Vec::new();
+        let mut samples: Vec<(String, Vec<f64>)> = Vec::new();
+        for e in events.iter() {
+            match e.kind {
+                EventKind::Span { dur_ns } => match spans.iter_mut().find(|s| s.name == e.name) {
+                    Some(s) => {
+                        s.count += 1;
+                        s.total_ns += dur_ns;
+                    }
+                    None => spans.push(SpanSummary {
+                        name: e.name.clone(),
+                        count: 1,
+                        total_ns: dur_ns,
+                    }),
+                },
+                EventKind::Counter { delta } => {
+                    match counters.iter_mut().find(|c| c.name == e.name) {
+                        Some(c) => c.total += delta,
+                        None => counters.push(CounterSummary {
+                            name: e.name.clone(),
+                            total: delta,
+                        }),
+                    }
+                }
+                EventKind::Sample { value } => {
+                    match samples.iter_mut().find(|(n, _)| *n == e.name) {
+                        Some((_, vs)) => vs.push(value),
+                        None => samples.push((e.name.clone(), vec![value])),
+                    }
+                }
+            }
+        }
+        let samples = samples
+            .into_iter()
+            .map(|(name, mut vs)| {
+                vs.sort_by(|a, b| a.total_cmp(b));
+                let count = vs.len();
+                let sum: f64 = vs.iter().sum();
+                let pct = |p: f64| vs[(((count - 1) as f64) * p).round() as usize];
+                SampleSummary {
+                    name,
+                    count,
+                    min: vs[0],
+                    max: vs[count - 1],
+                    mean: sum / count as f64,
+                    p50: pct(0.50),
+                    p95: pct(0.95),
+                }
+            })
+            .collect();
+        Summary {
+            spans,
+            counters,
+            samples,
+        }
+    }
+}
+
+impl Recorder for MemoryRecorder {
+    fn record(&self, event: Event) {
+        self.events.lock().expect("recorder lock").push(event);
+    }
+}

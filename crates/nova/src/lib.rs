@@ -35,11 +35,14 @@ use std::time::Duration;
 pub use ilp::KernelKind;
 pub use ixp_machine::channel::ChannelStats;
 pub use ixp_sim::{
-    simulate, simulate_chip, ChipConfig, EngineStats, SimConfig, SimMemory, SimResult,
-    StopReason,
+    simulate, simulate_chip, simulate_chip_with, simulate_with, ChipConfig, EngineStats, SimConfig,
+    SimMemory, SimResult, StopReason,
 };
 pub use nova_backend::AllocStats;
 pub use nova_frontend::Span;
+pub use nova_obs::{
+    Event, EventKind, JsonLinesRecorder, MemoryRecorder, Obs, Recorder, Summary, TeeRecorder,
+};
 
 /// Hard ceiling on ILP worker threads (mirrors the solver's own cap).
 const MAX_SOLVER_THREADS: usize = 64;
@@ -60,7 +63,11 @@ pub struct SimSettings {
 impl Default for SimSettings {
     fn default() -> Self {
         let chip = ChipConfig::default();
-        SimSettings { engines: chip.engines, contexts: chip.contexts, max_cycles: chip.max_cycles }
+        SimSettings {
+            engines: chip.engines,
+            contexts: chip.contexts,
+            max_cycles: chip.max_cycles,
+        }
     }
 }
 
@@ -68,7 +75,10 @@ impl SimSettings {
     /// Single-engine simulator configuration with these settings (the
     /// engine count is ignored; contexts become the engine's threads).
     pub fn sim_config(&self) -> SimConfig {
-        SimConfig { threads: self.contexts, max_cycles: self.max_cycles }
+        SimConfig {
+            threads: self.contexts,
+            max_cycles: self.max_cycles,
+        }
     }
 
     /// Chip-level simulator configuration with these settings.
@@ -95,6 +105,9 @@ pub struct CompileConfig {
     pub skip_opt: bool,
     /// Simulation shape for drivers that run the compiled program.
     pub sim: SimSettings,
+    /// Observability handle every phase reports into. Defaults to the
+    /// no-op handle, which costs one branch per instrumentation site.
+    pub observer: Obs,
 }
 
 impl Default for CompileConfig {
@@ -114,7 +127,10 @@ impl CompileConfig {
 
     /// Builder-style override of the ILP solver's worker-thread count.
     /// `0` restores automatic selection.
-    #[deprecated(since = "0.3.0", note = "use CompileConfig::builder().solver_threads(n).build()")]
+    #[deprecated(
+        since = "0.3.0",
+        note = "use CompileConfig::builder().solver_threads(n).build()"
+    )]
     #[must_use]
     pub fn with_solver_threads(mut self, threads: usize) -> Self {
         self.alloc.solver.threads = if threads == 0 {
@@ -127,7 +143,10 @@ impl CompileConfig {
 
     /// Builder-style override of the ILP solver's LP basis kernel.
     /// `None` restores automatic selection.
-    #[deprecated(since = "0.3.0", note = "use CompileConfig::builder().solver_kernel(k).build()")]
+    #[deprecated(
+        since = "0.3.0",
+        note = "use CompileConfig::builder().solver_kernel(k).build()"
+    )]
     #[must_use]
     pub fn with_solver_kernel(mut self, kernel: Option<ilp::KernelKind>) -> Self {
         self.alloc.solver.kernel = Some(kernel.unwrap_or_else(ilp::KernelKind::from_env));
@@ -153,6 +172,7 @@ pub struct CompileConfigBuilder {
     kernel: Option<KernelKind>,
     deadline: Option<Duration>,
     gap: Option<f64>,
+    observer: Obs,
 }
 
 impl Default for CompileConfigBuilder {
@@ -172,7 +192,25 @@ impl CompileConfigBuilder {
             kernel: None,
             deadline: None,
             gap: None,
+            observer: Obs::noop(),
         }
+    }
+
+    /// Attach a [`Recorder`] that receives every span, counter, and
+    /// sample the pipeline emits. Compilation, allocation, and any
+    /// simulation driven from this configuration report into it.
+    #[must_use]
+    pub fn observer(mut self, recorder: impl Recorder + 'static) -> Self {
+        self.observer = Obs::new(recorder);
+        self
+    }
+
+    /// Attach an already-built observability handle (for sharing one
+    /// handle — or [`Obs::noop`] — across several configurations).
+    #[must_use]
+    pub fn observer_handle(mut self, obs: Obs) -> Self {
+        self.observer = obs;
+        self
     }
 
     /// ILP worker threads. `0` (and not calling this at all) selects
@@ -274,13 +312,18 @@ impl CompileConfigBuilder {
             Some(n) if n >= 1 => n.min(MAX_SOLVER_THREADS),
             _ => Self::auto_threads(),
         };
-        alloc.solver.kernel =
-            Some(self.kernel.unwrap_or_else(KernelKind::from_env));
+        alloc.solver.kernel = Some(self.kernel.unwrap_or_else(KernelKind::from_env));
         alloc.solver.time_limit = self.deadline;
         if let Some(gap) = self.gap {
             alloc.solver.relative_gap = gap;
         }
-        CompileConfig { opt: self.opt, alloc, skip_opt: self.skip_opt, sim: self.sim }
+        CompileConfig {
+            opt: self.opt,
+            alloc,
+            skip_opt: self.skip_opt,
+            sim: self.sim,
+            observer: self.observer,
+        }
     }
 }
 
@@ -364,7 +407,12 @@ pub struct CompileError {
 
 impl CompileError {
     fn new(phase: Phase, code: &'static str, message: impl std::fmt::Display) -> Self {
-        CompileError { phase, code, span: None, message: message.to_string() }
+        CompileError {
+            phase,
+            code,
+            span: None,
+            message: message.to_string(),
+        }
     }
 
     fn with_span(
@@ -373,7 +421,12 @@ impl CompileError {
         source: &str,
         d: &nova_frontend::Diagnostic,
     ) -> Self {
-        CompileError { phase, code, span: Some(d.span), message: d.render(source) }
+        CompileError {
+            phase,
+            code,
+            span: Some(d.span),
+            message: d.render(source),
+        }
     }
 }
 
@@ -385,30 +438,92 @@ impl std::fmt::Display for CompileError {
 
 impl std::error::Error for CompileError {}
 
+/// A compile together with the structured trace it produced: the
+/// [`CompileOutput`] artifact plus an aggregated [`Summary`] of every
+/// span, counter, and sample the phases emitted. Returned by
+/// [`compile`].
+#[derive(Debug)]
+pub struct CompileReport {
+    /// The compiled artifact and its statistics.
+    pub artifact: CompileOutput,
+    /// Aggregated trace: per-phase wall time (`phase.*` spans), optimizer
+    /// shrink counts, solver telemetry, allocator decisions.
+    pub trace: Summary,
+}
+
 /// Compile Nova source text to machine code.
+///
+/// Telemetry goes to the configured [`CompileConfig::observer`] (no-op by
+/// default). Use [`compile`] instead to also get the aggregated trace
+/// back as a [`CompileReport`].
 ///
 /// # Errors
 ///
 /// Returns the first [`CompileError`] of whichever phase fails, carrying
 /// the [`Phase`], a stable diagnostic code, and the source span when the
 /// phase tracks one.
-pub fn compile_source(
+pub fn compile_source(source: &str, config: &CompileConfig) -> Result<CompileOutput, CompileError> {
+    compile_pipeline(source, config, &config.observer)
+}
+
+/// Compile Nova source text and return the artifact together with an
+/// aggregated trace of the run.
+///
+/// An in-memory recorder is teed with the configured
+/// [`CompileConfig::observer`] for the duration of the compile, so an
+/// attached JSON-lines sink still sees every event while the caller gets
+/// the aggregate [`Summary`] (per-phase wall time under `phase.*`,
+/// optimizer pass shrink counts under `cps.pass.*`, solver telemetry
+/// under `ilp.*`, allocator decisions under `backend.*`).
+///
+/// # Errors
+///
+/// Same contract as [`compile_source`].
+pub fn compile(source: &str, config: &CompileConfig) -> Result<CompileReport, CompileError> {
+    let memory = MemoryRecorder::new();
+    let obs = if config.observer.enabled() {
+        Obs::new(TeeRecorder::new(vec![
+            std::sync::Arc::new(memory.clone()) as std::sync::Arc<dyn Recorder>,
+            config
+                .observer
+                .recorder()
+                .expect("enabled observer has a recorder"),
+        ]))
+    } else {
+        Obs::new(memory.clone())
+    };
+    let artifact = compile_pipeline(source, config, &obs)?;
+    Ok(CompileReport {
+        artifact,
+        trace: memory.summary(),
+    })
+}
+
+/// The actual phase sequence, reporting into `obs`.
+fn compile_pipeline(
     source: &str,
     config: &CompileConfig,
+    obs: &Obs,
 ) -> Result<CompileOutput, CompileError> {
-    let program = nova_frontend::parse(source)
+    let frontend_span = obs.span("phase.frontend");
+    let program = nova_frontend::parse_with(source, obs)
         .map_err(|d| CompileError::with_span(Phase::Parse, "E-PARSE", source, &d))?;
-    let info = nova_frontend::check(&program)
+    let info = nova_frontend::check_with(&program, obs)
         .map_err(|d| CompileError::with_span(Phase::Typecheck, "E-TYPE", source, &d))?;
     let static_stats = program.static_stats();
-    let mut cps = nova_cps::convert(&program, &info)
-        .map_err(|d| CompileError::with_span(Phase::CpsConvert, "E-CPS", source, &d))?;
+    frontend_span.end();
+    let cps_span = obs.span("phase.cps");
+    let mut cps = {
+        let _convert = obs.span("cps.convert");
+        nova_cps::convert(&program, &info)
+            .map_err(|d| CompileError::with_span(Phase::CpsConvert, "E-CPS", source, &d))?
+    };
     let opt_stats = if config.skip_opt {
         // Even unoptimized builds need static call targets (label
         // specialization is a backend requirement, not an optimization).
         nova_cps::specialize(&mut cps)
     } else {
-        nova_cps::optimize(&mut cps, &config.opt)
+        nova_cps::optimize_with(&mut cps, &config.opt, obs)
     };
     if !nova_cps::all_calls_static(&cps) {
         return Err(CompileError::new(
@@ -418,11 +533,18 @@ pub fn compile_source(
              the IXP has no indirect branch",
         ));
     }
-    let ssu_stats = nova_cps::to_ssu(&mut cps);
+    let ssu_stats = {
+        let _ssu = obs.span("cps.ssu");
+        nova_cps::to_ssu(&mut cps)
+    };
     nova_cps::check_ssu(&cps).map_err(|m| CompileError::new(Phase::Ssu, "E-SSU", m))?;
-    let vprog = nova_backend::select(&cps)
-        .map_err(|e| CompileError::new(Phase::Isel, "E-ISEL", e))?;
-    let allocation = nova_backend::allocate(&vprog, &config.alloc)
+    cps_span.end();
+    let vprog = {
+        let _codegen = obs.span("phase.codegen");
+        let _isel = obs.span("backend.isel");
+        nova_backend::select(&cps).map_err(|e| CompileError::new(Phase::Isel, "E-ISEL", e))?
+    };
+    let allocation = nova_backend::allocate_with(&vprog, &config.alloc, obs)
         .map_err(|e| CompileError::new(Phase::Alloc, "E-ALLOC", e))?;
     let code_size = allocation.prog.len();
     Ok(CompileOutput {

@@ -30,7 +30,9 @@ pub struct TestRng {
 impl TestRng {
     /// Seed a stream; the `proptest!` macro derives one per test case.
     pub fn new(seed: u64) -> Self {
-        TestRng { state: seed ^ 0xD1B5_4A32_D192_ED03 }
+        TestRng {
+            state: seed ^ 0xD1B5_4A32_D192_ED03,
+        }
     }
 
     /// Next 64 random bits.
@@ -112,7 +114,9 @@ pub trait Strategy {
         for _ in 0..depth {
             let leaf: BoxedStrategy<Self::Value> = Rc::new(self.clone());
             let deeper: BoxedStrategy<Self::Value> = Rc::new(branch(cur));
-            cur = Rc::new(OneOf { arms: vec![leaf, deeper] });
+            cur = Rc::new(OneOf {
+                arms: vec![leaf, deeper],
+            });
         }
         cur
     }
@@ -182,7 +186,9 @@ pub struct OneOf<T> {
 
 impl<T> Clone for OneOf<T> {
     fn clone(&self) -> Self {
-        OneOf { arms: self.arms.clone() }
+        OneOf {
+            arms: self.arms.clone(),
+        }
     }
 }
 
@@ -307,13 +313,19 @@ pub mod collection {
     impl From<core::ops::Range<usize>> for SizeRange {
         fn from(r: core::ops::Range<usize>) -> Self {
             assert!(r.start < r.end, "empty size range");
-            SizeRange { lo: r.start, hi: r.end - 1 }
+            SizeRange {
+                lo: r.start,
+                hi: r.end - 1,
+            }
         }
     }
 
     impl From<core::ops::RangeInclusive<usize>> for SizeRange {
         fn from(r: core::ops::RangeInclusive<usize>) -> Self {
-            SizeRange { lo: *r.start(), hi: *r.end() }
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end(),
+            }
         }
     }
 
@@ -325,7 +337,10 @@ pub mod collection {
 
     impl<S: Clone> Clone for VecStrategy<S> {
         fn clone(&self) -> Self {
-            VecStrategy { element: self.element.clone(), size: self.size }
+            VecStrategy {
+                element: self.element.clone(),
+                size: self.size,
+            }
         }
     }
 
@@ -339,7 +354,10 @@ pub mod collection {
 
     /// `collection::vec(strategy, len)` — vectors of generated elements.
     pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
-        VecStrategy { element, size: size.into() }
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
     }
 }
 
@@ -432,7 +450,9 @@ macro_rules! prop_assert_ne {
         $crate::prop_assert!(
             a != b,
             "assertion failed: `{} != {}`\n  both: {:?}",
-            stringify!($a), stringify!($b), a
+            stringify!($a),
+            stringify!($b),
+            a
         );
     }};
 }
@@ -527,6 +547,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(unnameable_test_items)]
     fn failing_property_panics_with_inputs() {
         let r = std::panic::catch_unwind(|| {
             proptest! {

@@ -61,9 +61,18 @@ pub fn expand_key(key: &[u8; 16]) -> [u32; 44] {
     for i in 0..4 {
         w[i] = u32::from_be_bytes([key[4 * i], key[4 * i + 1], key[4 * i + 2], key[4 * i + 3]]);
     }
-    let rcon: [u32; 10] =
-        [0x0100_0000, 0x0200_0000, 0x0400_0000, 0x0800_0000, 0x1000_0000, 0x2000_0000,
-         0x4000_0000, 0x8000_0000, 0x1b00_0000, 0x3600_0000];
+    let rcon: [u32; 10] = [
+        0x0100_0000,
+        0x0200_0000,
+        0x0400_0000,
+        0x0800_0000,
+        0x1000_0000,
+        0x2000_0000,
+        0x4000_0000,
+        0x8000_0000,
+        0x1b00_0000,
+        0x3600_0000,
+    ];
     for i in 4..44 {
         let mut temp = w[i - 1];
         if i % 4 == 0 {
@@ -76,14 +85,24 @@ pub fn expand_key(key: &[u8; 16]) -> [u32; 44] {
 
 fn sub_word(w: u32) -> u32 {
     let b = w.to_be_bytes();
-    u32::from_be_bytes([SBOX[b[0] as usize], SBOX[b[1] as usize], SBOX[b[2] as usize], SBOX[b[3] as usize]])
+    u32::from_be_bytes([
+        SBOX[b[0] as usize],
+        SBOX[b[1] as usize],
+        SBOX[b[2] as usize],
+        SBOX[b[3] as usize],
+    ])
 }
 
 /// Encrypt one 16-byte block (given as 4 big-endian words) with expanded
 /// round keys, using the same T-table formulation the Nova program uses.
 pub fn encrypt_block(block: [u32; 4], rk: &[u32; 44]) -> [u32; 4] {
     let t = t_tables();
-    let mut s = [block[0] ^ rk[0], block[1] ^ rk[1], block[2] ^ rk[2], block[3] ^ rk[3]];
+    let mut s = [
+        block[0] ^ rk[0],
+        block[1] ^ rk[1],
+        block[2] ^ rk[2],
+        block[3] ^ rk[3],
+    ];
     for round in 1..10 {
         let mut ns = [0u32; 4];
         for i in 0..4 {
@@ -110,7 +129,10 @@ pub fn encrypt_block(block: [u32; 4], rk: &[u32; 44]) -> [u32; 4] {
 /// Encrypt a whole word buffer in place (length must be a multiple of 4
 /// words — the paper's implementation likewise requires 16-byte multiples).
 pub fn encrypt_words(words: &mut [u32], rk: &[u32; 44]) {
-    assert!(words.len() % 4 == 0, "data must be a multiple of 16 bytes");
+    assert!(
+        words.len().is_multiple_of(4),
+        "data must be a multiple of 16 bytes"
+    );
     for chunk in words.chunks_mut(4) {
         let out = encrypt_block([chunk[0], chunk[1], chunk[2], chunk[3]], rk);
         chunk.copy_from_slice(&out);

@@ -115,7 +115,9 @@ pub fn key_schedule(key: &[u8; 16]) -> Subkeys {
     for i in 0..8 {
         k[i] = u16::from_be_bytes([key[2 * i], key[2 * i + 1]]);
     }
-    const C: [u16; 8] = [0x0123, 0x4567, 0x89AB, 0xCDEF, 0xFEDC, 0xBA98, 0x7654, 0x3210];
+    const C: [u16; 8] = [
+        0x0123, 0x4567, 0x89AB, 0xCDEF, 0xFEDC, 0xBA98, 0x7654, 0x3210,
+    ];
     let kp: [u16; 8] = core::array::from_fn(|i| k[i] ^ C[i]);
     let mut s = Subkeys {
         kl1: [0; 8],
@@ -198,7 +200,10 @@ pub fn encrypt_block(block: u64, sk: &Subkeys, s7: &[u16; 128], s9: &[u16; 512])
 
 /// Encrypt a word buffer in place (pairs of words = 64-bit blocks).
 pub fn encrypt_words(words: &mut [u32], sk: &Subkeys, s7: &[u16; 128], s9: &[u16; 512]) {
-    assert!(words.len() % 2 == 0, "data must be a multiple of 8 bytes");
+    assert!(
+        words.len().is_multiple_of(2),
+        "data must be a multiple of 8 bytes"
+    );
     for chunk in words.chunks_mut(2) {
         let block = ((chunk[0] as u64) << 32) | chunk[1] as u64;
         let out = encrypt_block(block, sk, s7, s9);
@@ -238,8 +243,7 @@ pub fn load_memory(
         let base = layout::SK_SCRATCH + 8 * i;
         let j = i as usize;
         for (off, v) in [
-            sk.kl1[j], sk.kl2[j], sk.ko1[j], sk.ko2[j], sk.ko3[j], sk.ki1[j], sk.ki2[j],
-            sk.ki3[j],
+            sk.kl1[j], sk.kl2[j], sk.ko1[j], sk.ko2[j], sk.ko3[j], sk.ki1[j], sk.ki2[j], sk.ki3[j],
         ]
         .iter()
         .enumerate()

@@ -19,4 +19,4 @@ pub mod kasumi;
 pub mod nat;
 pub mod nova_programs;
 
-pub use nova_programs::{AES_NOVA, KASUMI_NOVA, NAT_NOVA, HEADER_BYTES, HEADER_WORDS};
+pub use nova_programs::{AES_NOVA, HEADER_BYTES, HEADER_WORDS, KASUMI_NOVA, NAT_NOVA};

@@ -162,8 +162,8 @@ mod tests {
         let h = header();
         let mut buf = vec![0u32; 16];
         buf[0..10].copy_from_slice(&h.pack());
-        for i in 10..16 {
-            buf[i] = 0x1000 + i as u32; // payload
+        for (i, w) in buf.iter_mut().enumerate().skip(10) {
+            *w = 0x1000 + i as u32; // payload
         }
         let (start, len) = translate_packet(&mut buf, 40 + 24);
         assert_eq!(start, 5);

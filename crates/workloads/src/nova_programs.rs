@@ -297,7 +297,11 @@ mod tests {
 
     #[test]
     fn all_three_parse_and_typecheck() {
-        for (name, src) in [("aes", AES_NOVA), ("kasumi", KASUMI_NOVA), ("nat", NAT_NOVA)] {
+        for (name, src) in [
+            ("aes", AES_NOVA),
+            ("kasumi", KASUMI_NOVA),
+            ("nat", NAT_NOVA),
+        ] {
             let p = parse(src).unwrap_or_else(|d| panic!("{name}: parse: {}", d.render(src)));
             check(&p).unwrap_or_else(|d| panic!("{name}: check: {}", d.render(src)));
         }

@@ -33,13 +33,23 @@ fn main() {
         mem.sdram[HEADER_WORDS as usize + i] = *w;
     }
     mem.rx_queue.push_back((56 + 16, 0));
-    simulate(&mem_prog(&out), &mut mem, &SimConfig { threads: 1, ..Default::default() })
-        .expect("runs");
+    simulate(
+        &mem_prog(&out),
+        &mut mem,
+        &SimConfig {
+            threads: 1,
+            ..Default::default()
+        },
+    )
+    .expect("runs");
     let mut expected = plaintext;
     aes::encrypt_words(&mut expected, &rk);
     let got = &mem.sdram[HEADER_WORDS as usize..HEADER_WORDS as usize + 4];
     assert_eq!(got, &expected, "ciphertext matches the reference");
-    println!("ciphertext check: {:08x} {:08x} {:08x} {:08x}  ok", got[0], got[1], got[2], got[3]);
+    println!(
+        "ciphertext check: {:08x} {:08x} {:08x} {:08x}  ok",
+        got[0], got[1], got[2], got[3]
+    );
 
     // Throughput sweep: payload sizes x hardware contexts.
     println!("\npayload sweep at 233 MHz (paper, real hardware: 270 Mb/s @ 16 B):");
@@ -61,7 +71,10 @@ fn main() {
             let res = simulate(
                 &out.prog,
                 &mut mem,
-                &SimConfig { threads, max_cycles: 1 << 32 },
+                &SimConfig {
+                    threads,
+                    max_cycles: 1 << 32,
+                },
             )
             .expect("runs");
             row.push_str(&format!(" {:>9.1} Mb/s", res.mbps));

@@ -26,8 +26,10 @@ fn main() {
 
     // y and z each get exactly one register.
     for who in ["y", "z"] {
-        let vars: Vec<_> =
-            regs.iter().map(|r| m.binary(color, &[Key::Sym(who), Key::Int(*r)])).collect();
+        let vars: Vec<_> = regs
+            .iter()
+            .map(|r| m.binary(color, &[Key::Sym(who), Key::Int(*r)]))
+            .collect();
         m.constrain("OneReg", LinExpr::sum(vars), Cmp::Eq, 1.0);
     }
     // Adjacency (§9): z sits directly above y.
@@ -51,13 +53,18 @@ fn main() {
     m.add_objective(3.0 * eu + 1.0 * ew);
 
     let stats = m.stats();
-    println!("model: {} vars, {} constraints", stats.variables, stats.constraints);
+    println!(
+        "model: {} vars, {} constraints",
+        stats.variables, stats.constraints
+    );
     let sol = m.solve(&BranchConfig::default()).expect("solvable");
     println!("optimal eviction cost: {}", sol.objective);
-    let who_evicted = |name: &'static str| {
-        m.value(evict, &[Key::Sym(name)], &sol.values) > 0.5
-    };
-    println!("evict u? {}   evict w? {}", who_evicted("u"), who_evicted("w"));
+    let who_evicted = |name: &'static str| m.value(evict, &[Key::Sym(name)], &sol.values) > 0.5;
+    println!(
+        "evict u? {}   evict w? {}",
+        who_evicted("u"),
+        who_evicted("w")
+    );
     for who in ["y", "z"] {
         for r in regs {
             if m.value(color, &[Key::Sym(who), Key::Int(r)], &sol.values) > 0.5 {

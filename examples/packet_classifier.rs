@@ -66,7 +66,10 @@ fn main() {
     let out = compile_source(CLASSIFIER, &CompileConfig::default()).expect("compiles");
     println!(
         "compiled {} machine instructions in {:?} ({} moves, {} spills)",
-        out.code_size, t0.elapsed(), out.alloc_stats.moves, out.alloc_stats.spills
+        out.code_size,
+        t0.elapsed(),
+        out.alloc_stats.moves,
+        out.alloc_stats.spills
     );
 
     let mut mem = SimMemory::with_sizes(1024, 4096, 256);
@@ -83,10 +86,23 @@ fn main() {
     mk(&mut mem, 16, 0x45, 64, 0x222); // IPv4: slow path
     mk(&mut mem, 32, 0x60, 64, 0x111); // same flow as the first
 
-    let res = simulate(&out.prog, &mut mem, &SimConfig { threads: 2, ..Default::default() })
-        .expect("runs");
+    let res = simulate(
+        &out.prog,
+        &mut mem,
+        &SimConfig {
+            threads: 2,
+            ..Default::default()
+        },
+    )
+    .expect("runs");
     println!("processed {} packets in {} cycles", res.packets, res.cycles);
-    println!("tx log: {:?}", mem.tx_log.iter().map(|(a, l, _)| (*a, *l)).collect::<Vec<_>>());
+    println!(
+        "tx log: {:?}",
+        mem.tx_log
+            .iter()
+            .map(|(a, l, _)| (*a, *l))
+            .collect::<Vec<_>>()
+    );
 
     // The two fast-path packets hashed to the same flow counter.
     let counted: Vec<(usize, u32)> = mem.sram[0x200..0x240]

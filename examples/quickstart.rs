@@ -39,7 +39,10 @@ fn main() {
         "solve: root {:?}, total {:?}, {} nodes",
         st.solve.root_time, st.solve.total_time, st.solve.nodes
     );
-    println!("solution: {} inter-bank moves, {} spills", st.moves, st.spills);
+    println!(
+        "solution: {} inter-bank moves, {} spills",
+        st.moves, st.spills
+    );
 
     // 2. Execute on the simulated micro-engine, with the simulation shape
     //    the builder configured.

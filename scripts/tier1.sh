@@ -2,6 +2,9 @@
 # Tier-1 verification: everything a PR must keep green.
 #
 #   scripts/tier1.sh                build + full test suite
+#   scripts/tier1.sh --lint         also run rustfmt --check and clippy
+#                                   with warnings denied (mirrors CI's
+#                                   lint job)
 #   scripts/tier1.sh --bench        also regenerate BENCH_solver.json
 #                                   (release-mode ILP solves; several minutes)
 #   scripts/tier1.sh --bench-smoke  also run one small release-mode solve
@@ -12,6 +15,9 @@
 #                                   packets/sec drops below the floor
 #                                   (MIN_CHIP_PPS below; seconds)
 #
+# Flags combine: `scripts/tier1.sh --lint --bench-smoke --chip-smoke`
+# runs all three extras after the build and test suite.
+#
 # The test suite runs in the default (debug) profile, where
 # benchmark-sized ILP solves are marked #[ignore]; the release build is
 # still exercised so optimized-path regressions are caught at compile
@@ -20,13 +26,38 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+run_lint=0
+run_bench=0
+run_bench_smoke=0
+run_chip_smoke=0
+for arg in "$@"; do
+    case "$arg" in
+        --lint)        run_lint=1 ;;
+        --bench)       run_bench=1 ;;
+        --bench-smoke) run_bench_smoke=1 ;;
+        --chip-smoke)  run_chip_smoke=1 ;;
+        *)
+            echo "unknown flag: $arg" >&2
+            echo "usage: scripts/tier1.sh [--lint] [--bench] [--bench-smoke] [--chip-smoke]" >&2
+            exit 2
+            ;;
+    esac
+done
+
 echo "== cargo build --release =="
 cargo build --release
 
 echo "== cargo test -q =="
 cargo test -q
 
-if [[ "${1:-}" == "--bench" ]]; then
+if [[ "$run_lint" == 1 ]]; then
+    echo "== cargo fmt --check =="
+    cargo fmt --check
+    echo "== cargo clippy (warnings denied) =="
+    cargo clippy --workspace --all-targets -- -D warnings
+fi
+
+if [[ "$run_bench" == 1 ]]; then
     echo "== perf trajectory (release) =="
     cargo run --release -p bench --bin perf_trajectory -- BENCH_solver.json
 fi
@@ -36,7 +67,7 @@ fi
 # the floor exists to catch throughput collapse, not host jitter.
 MIN_PPS=1500
 
-if [[ "${1:-}" == "--bench-smoke" ]]; then
+if [[ "$run_bench_smoke" == 1 ]]; then
     echo "== bench smoke (release, floor ${MIN_PPS} pivots/s) =="
     cargo run --release -p bench --bin bench_smoke -- --min-pps "${MIN_PPS}"
 fi
@@ -46,7 +77,7 @@ fi
 # magnitude; the floor catches scheduling/arbitration collapse.
 MIN_CHIP_PPS=50000
 
-if [[ "${1:-}" == "--chip-smoke" ]]; then
+if [[ "$run_chip_smoke" == 1 ]]; then
     echo "== chip smoke (release, 2-engine NAT, floor ${MIN_CHIP_PPS} pkt/s) =="
     cargo run --release -p bench --bin chip_smoke -- --min-pps "${MIN_CHIP_PPS}"
 fi

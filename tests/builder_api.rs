@@ -43,7 +43,10 @@ fn build_resolves_every_automatic_knob() {
     // effective_* accessors (which no longer read the environment) agree
     // with what the builder resolved.
     let cfg = CompileConfig::builder().build();
-    assert!(cfg.alloc.solver.kernel.is_some(), "kernel pinned at build time");
+    assert!(
+        cfg.alloc.solver.kernel.is_some(),
+        "kernel pinned at build time"
+    );
     assert_eq!(
         cfg.alloc.solver.effective_kernel(),
         cfg.alloc.solver.kernel.unwrap(),
@@ -62,7 +65,11 @@ fn env_overrides_resolve_once_at_build_time() {
     std::env::remove_var("NOVA_ILP_THREADS");
     std::env::remove_var("NOVA_ILP_KERNEL");
     assert_eq!(cfg.alloc.solver.threads, 2, "NOVA_ILP_THREADS honored");
-    assert_eq!(cfg.alloc.solver.kernel, Some(KernelKind::Dense), "NOVA_ILP_KERNEL honored");
+    assert_eq!(
+        cfg.alloc.solver.kernel,
+        Some(KernelKind::Dense),
+        "NOVA_ILP_KERNEL honored"
+    );
     // The environment is gone, but the resolved config still carries the
     // values: a later solve cannot observe the change.
     assert_eq!(cfg.alloc.solver.effective_threads(), 2);
@@ -70,7 +77,10 @@ fn env_overrides_resolve_once_at_build_time() {
 
     // Explicit builder calls beat the environment.
     std::env::set_var("NOVA_ILP_THREADS", "2");
-    let cfg = CompileConfig::builder().solver_threads(5).solver_kernel(KernelKind::Sparse).build();
+    let cfg = CompileConfig::builder()
+        .solver_threads(5)
+        .solver_kernel(KernelKind::Sparse)
+        .build();
     std::env::remove_var("NOVA_ILP_THREADS");
     assert_eq!(cfg.alloc.solver.threads, 5);
     assert_eq!(cfg.alloc.solver.kernel, Some(KernelKind::Sparse));

@@ -30,7 +30,12 @@ fn check(b: Benchmark, payload: u32) {
         };
         let res = simulate_chip(&out.prog, &mut mem, &chip)
             .unwrap_or_else(|e| panic!("{}/{host_threads} host threads: {e}", b.name()));
-        assert_eq!(res.packets, PACKETS as u64, "{}: every packet processed", b.name());
+        assert_eq!(
+            res.packets,
+            PACKETS as u64,
+            "{}: every packet processed",
+            b.name()
+        );
         let fingerprint = (
             res.cycles,
             res.instructions,
@@ -45,7 +50,8 @@ fn check(b: Benchmark, payload: u32) {
         match &reference {
             None => reference = Some(fingerprint),
             Some(want) => assert_eq!(
-                want, &fingerprint,
+                want,
+                &fingerprint,
                 "{}: {host_threads} host threads changed the simulation",
                 b.name()
             ),
@@ -59,13 +65,19 @@ fn nat_identical_across_host_threads() {
 }
 
 #[test]
-#[cfg_attr(debug_assertions, ignore = "benchmark-sized ILP solves are slow unoptimized; run with --release")]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "benchmark-sized ILP solves are slow unoptimized; run with --release"
+)]
 fn aes_identical_across_host_threads() {
     check(Benchmark::Aes, 16);
 }
 
 #[test]
-#[cfg_attr(debug_assertions, ignore = "benchmark-sized ILP solves are slow unoptimized; run with --release")]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "benchmark-sized ILP solves are slow unoptimized; run with --release"
+)]
 fn kasumi_identical_across_host_threads() {
     check(Benchmark::Kasumi, 16);
 }

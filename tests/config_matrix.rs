@@ -31,7 +31,15 @@ fn run_config(cfg: &CompileConfig, seed: [u32; 2]) -> (Vec<u32>, Vec<u32>) {
     run(&out.cps, &mut oracle, 10_000_000).unwrap();
     let mut sim = SimMemory::with_sizes(256, 64, 64);
     sim.sram[0..2].copy_from_slice(&seed);
-    simulate(&out.prog, &mut sim, &SimConfig { threads: 1, max_cycles: 1 << 30 }).unwrap();
+    simulate(
+        &out.prog,
+        &mut sim,
+        &SimConfig {
+            threads: 1,
+            max_cycles: 1 << 30,
+        },
+    )
+    .unwrap();
     assert_eq!(oracle.sram, sim.sram, "oracle vs sim under {cfg:?}");
     (oracle.sram.clone(), sim.sram)
 }
@@ -41,8 +49,10 @@ fn all_configurations_agree() {
     let seed = [(4 << 28) | (5 << 24) | 0xBEEF, 0x1357];
     let baseline = run_config(&CompileConfig::default(), seed).0;
 
-    let mut unopt = CompileConfig::default();
-    unopt.skip_opt = true;
+    let unopt = CompileConfig {
+        skip_opt: true,
+        ..Default::default()
+    };
     assert_eq!(run_config(&unopt, seed).0, baseline, "skip_opt");
 
     let mut no_cuts = CompileConfig::default();
@@ -55,11 +65,19 @@ fn all_configurations_agree() {
 
     let mut full_spill = CompileConfig::default();
     full_spill.alloc.spill_auto = false;
-    assert_eq!(run_config(&full_spill, seed).0, baseline, "full spill model");
+    assert_eq!(
+        run_config(&full_spill, seed).0,
+        baseline,
+        "full spill model"
+    );
 
     let mut unpruned = CompileConfig::default();
     unpruned.alloc.prune = false;
-    assert_eq!(run_config(&unpruned, seed).0, baseline, "unpruned candidates");
+    assert_eq!(
+        run_config(&unpruned, seed).0,
+        baseline,
+        "unpruned candidates"
+    );
 }
 
 #[test]
@@ -92,19 +110,30 @@ fn validator_rejects_corrupted_output() {
             }
         }
     }
-    assert!(!ixp_machine::validate(&broken).is_empty(), "L-dest ALU must be rejected");
+    assert!(
+        !ixp_machine::validate(&broken).is_empty(),
+        "L-dest ALU must be rejected"
+    );
 
     // (b) Force both ALU operands into the same bank.
     let mut broken = out.prog.clone();
     'outer2: for b in &mut broken.blocks {
         for ins in &mut b.instrs {
-            if let Instr::Alu { a, b: AluSrc::Reg(rb), .. } = ins {
+            if let Instr::Alu {
+                a,
+                b: AluSrc::Reg(rb),
+                ..
+            } = ins
+            {
                 *rb = PhysReg::new(a.bank, (a.num + 1) % 8);
                 break 'outer2;
             }
         }
     }
-    assert!(!ixp_machine::validate(&broken).is_empty(), "same-bank operands rejected");
+    assert!(
+        !ixp_machine::validate(&broken).is_empty(),
+        "same-bank operands rejected"
+    );
 
     // (c) Make an aggregate non-consecutive.
     let mut broken = out.prog.clone();
@@ -121,6 +150,9 @@ fn validator_rejects_corrupted_output() {
         }
     }
     if did {
-        assert!(!ixp_machine::validate(&broken).is_empty(), "gap in aggregate rejected");
+        assert!(
+            !ixp_machine::validate(&broken).is_empty(),
+            "gap in aggregate rejected"
+        );
     }
 }

@@ -17,7 +17,10 @@ use nova::{compile_source, CompileConfig, CompileOutput};
 use workloads::{AES_NOVA, KASUMI_NOVA, NAT_NOVA};
 
 fn compile_with_threads(name: &str, src: &str, threads: usize) -> CompileOutput {
-    let cfg = CompileConfig::builder().solver_threads(threads).solver_gap(0.0).build();
+    let cfg = CompileConfig::builder()
+        .solver_threads(threads)
+        .solver_gap(0.0)
+        .build();
     let t0 = std::time::Instant::now();
     let out = compile_source(src, &cfg).unwrap_or_else(|e| panic!("{name}/{threads}t: {e}"));
     eprintln!(
@@ -35,7 +38,10 @@ fn compile_with_threads(name: &str, src: &str, threads: usize) -> CompileOutput 
 
 fn check(name: &str, src: &str) {
     let reference = compile_with_threads(name, src, 1);
-    assert_eq!(reference.alloc_stats.spills, 0, "{name}: paper reports zero spills");
+    assert_eq!(
+        reference.alloc_stats.spills, 0,
+        "{name}: paper reports zero spills"
+    );
     for threads in [2usize, 4] {
         let got = compile_with_threads(name, src, threads);
         assert!(
@@ -52,7 +58,10 @@ fn check(name: &str, src: &str) {
             got.alloc_stats.spills, reference.alloc_stats.spills,
             "{name}: {threads} threads changed the spill count"
         );
-        assert_eq!(got.alloc_stats.solve.threads, threads, "{name}: thread count recorded");
+        assert_eq!(
+            got.alloc_stats.solve.threads, threads,
+            "{name}: thread count recorded"
+        );
         assert_eq!(
             got.alloc_stats.solve.per_thread_nodes.len(),
             threads,
@@ -62,19 +71,28 @@ fn check(name: &str, src: &str) {
 }
 
 #[test]
-#[cfg_attr(debug_assertions, ignore = "benchmark-sized ILP solves are slow unoptimized; run with --release")]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "benchmark-sized ILP solves are slow unoptimized; run with --release"
+)]
 fn aes_deterministic_across_thread_counts() {
     check("AES", AES_NOVA);
 }
 
 #[test]
-#[cfg_attr(debug_assertions, ignore = "benchmark-sized ILP solves are slow unoptimized; run with --release")]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "benchmark-sized ILP solves are slow unoptimized; run with --release"
+)]
 fn kasumi_deterministic_across_thread_counts() {
     check("Kasumi", KASUMI_NOVA);
 }
 
 #[test]
-#[cfg_attr(debug_assertions, ignore = "benchmark-sized ILP solves are slow unoptimized; run with --release")]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "benchmark-sized ILP solves are slow unoptimized; run with --release"
+)]
 fn nat_deterministic_across_thread_counts() {
     check("NAT", NAT_NOVA);
 }

@@ -9,8 +9,8 @@ use nova_cps::eval::{run, Machine};
 
 /// Run both execution models and compare final state.
 fn check_equivalence(src: &str, setup: impl Fn(&mut Machine)) {
-    let out = compile_source(src, &CompileConfig::default())
-        .unwrap_or_else(|e| panic!("compile: {e}"));
+    let out =
+        compile_source(src, &CompileConfig::default()).unwrap_or_else(|e| panic!("compile: {e}"));
     assert!(
         ixp_machine::validate(&out.prog).is_empty(),
         "validator must accept the output"
@@ -34,8 +34,15 @@ fn check_equivalence(src: &str, setup: impl Fn(&mut Machine)) {
         sim.csr = m.csr;
         sim.rx_queue = rx.into_iter().collect();
     }
-    let res = simulate(&out.prog, &mut sim, &SimConfig { threads: 1, max_cycles: 500_000_000 })
-        .unwrap_or_else(|e| panic!("simulate: {e}"));
+    let res = simulate(
+        &out.prog,
+        &mut sim,
+        &SimConfig {
+            threads: 1,
+            max_cycles: 500_000_000,
+        },
+    )
+    .unwrap_or_else(|e| panic!("simulate: {e}"));
     assert_eq!(
         res.stop,
         ixp_sim::StopReason::AllHalted,
@@ -43,12 +50,20 @@ fn check_equivalence(src: &str, setup: impl Fn(&mut Machine)) {
     );
 
     assert_eq!(oracle.sram, sim.sram, "sram state diverged\n{}", out.prog);
-    assert_eq!(oracle.sdram, sim.sdram, "sdram state diverged\n{}", out.prog);
+    assert_eq!(
+        oracle.sdram, sim.sdram,
+        "sdram state diverged\n{}",
+        out.prog
+    );
     // The allocator may use scratch above the spill base; compare only the
     // program-visible region below it.
     let base = nova_backend::alloc::SPILL_BASE as usize;
     let cut = |v: &Vec<u32>| -> Vec<u32> { v.iter().copied().take(base).collect() };
-    assert_eq!(cut(&oracle.scratch), cut(&sim.scratch), "scratch state diverged");
+    assert_eq!(
+        cut(&oracle.scratch),
+        cut(&sim.scratch),
+        "scratch state diverged"
+    );
     let sim_tx: Vec<(u32, u32)> = sim.tx_log.iter().map(|(a, l, _)| (*a, *l)).collect();
     assert_eq!(oracle.tx_log, sim_tx, "tx log diverged");
 }

@@ -33,7 +33,11 @@ fn type_errors_are_tagged() {
 
     let e = err_of("fun main() { let (a, b, c) = sdram(0); a }");
     assert_eq!(e.phase, Phase::Typecheck);
-    assert!(e.message.contains("even"), "sdram burst rule: {}", e.message);
+    assert!(
+        e.message.contains("even"),
+        "sdram burst rule: {}",
+        e.message
+    );
 }
 
 #[test]
@@ -42,7 +46,10 @@ fn spans_point_into_the_source() {
     let e = err_of(src);
     let span = e.span.expect("typecheck diagnostics carry a span");
     assert!(span.lo < span.hi, "non-empty span");
-    assert!((span.hi as usize) <= src.len(), "span stays inside the source");
+    assert!(
+        (span.hi as usize) <= src.len(),
+        "span stays inside the source"
+    );
     assert_eq!(&src[span.lo as usize..span.hi as usize], "x");
 }
 
@@ -105,7 +112,13 @@ fn frequency_weighting_keeps_loop_bodies_clean() {
     let mut checked = false;
     for b in &out.prog.blocks {
         let is_loop_body = b.instrs.iter().any(|i| {
-            matches!(i, ixp_machine::Instr::MemWrite { addr: ixp_machine::Addr::Reg(..), .. })
+            matches!(
+                i,
+                ixp_machine::Instr::MemWrite {
+                    addr: ixp_machine::Addr::Reg(..),
+                    ..
+                }
+            )
         });
         if is_loop_body {
             checked = true;

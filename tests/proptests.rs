@@ -53,10 +53,10 @@ proptest! {
 /// set of variables seeded from SRAM.
 #[derive(Debug, Clone)]
 enum Op {
-    Arith(u8, u8, u8, u8),   // dst, op, a, b
-    Store2(u8, u8, u16),     // two vars to sram base
-    Load(u8, u16),           // var <- sram[base]
-    IfSwap(u8, u8, u8),      // if (a > b) x = a; else x = b;
+    Arith(u8, u8, u8, u8), // dst, op, a, b
+    Store2(u8, u8, u16),   // two vars to sram base
+    Load(u8, u16),         // var <- sram[base]
+    IfSwap(u8, u8, u8),    // if (a > b) x = a; else x = b;
 }
 
 fn program_of(ops: &[Op]) -> String {
@@ -69,25 +69,40 @@ fn program_of(ops: &[Op]) -> String {
                 let sym = ["+", "-", "^", "&", "|"][(*o % 5) as usize];
                 body.push_str(&format!(
                     "    v{} = v{} {} v{};\n",
-                    d % 4, a % 4, sym, b % 4
+                    d % 4,
+                    a % 4,
+                    sym,
+                    b % 4
                 ));
             }
             Op::Store2(a, b, base) => {
                 body.push_str(&format!(
                     "    sram({}) <- (v{}, v{});\n",
-                    64 + (base % 128), a % 4, b % 4
+                    64 + (base % 128),
+                    a % 4,
+                    b % 4
                 ));
             }
             Op::Load(d, base) => {
                 body.push_str(&format!(
                     "    let (t{}_{}) = sram({});\n    v{} = t{}_{};\n",
-                    d % 4, base, 8 + base % 16, d % 4, d % 4, base
+                    d % 4,
+                    base,
+                    8 + base % 16,
+                    d % 4,
+                    d % 4,
+                    base
                 ));
             }
             Op::IfSwap(x, a, b) => {
                 body.push_str(&format!(
                     "    if (v{} > v{}) {{ v{} = v{}; }} else {{ v{} = v{}; }}\n",
-                    a % 4, b % 4, x % 4, a % 4, x % 4, b % 4
+                    a % 4,
+                    b % 4,
+                    x % 4,
+                    a % 4,
+                    x % 4,
+                    b % 4
                 ));
             }
         }

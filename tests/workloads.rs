@@ -11,8 +11,8 @@ const HDR_WORDS: usize = 14;
 
 fn compile(name: &str, src: &str) -> CompileOutput {
     let t0 = std::time::Instant::now();
-    let out = compile_source(src, &CompileConfig::default())
-        .unwrap_or_else(|e| panic!("{name}: {e}"));
+    let out =
+        compile_source(src, &CompileConfig::default()).unwrap_or_else(|e| panic!("{name}: {e}"));
     eprintln!(
         "{name}: compiled in {:?} (model: {} vars, {} rows; solve: {:?}, {} nodes; moves {}, spills {}; {} instrs)",
         t0.elapsed(),
@@ -63,10 +63,21 @@ fn run_sim(
         mem.rx_queue.push_back(((p.len() * 4) as u32, base));
         base += ((p.len() as u32) + 2) & !1;
     }
-    let res = simulate(&out.prog, &mut mem, &SimConfig { threads: 1, max_cycles: 2_000_000_000 })
-        .unwrap();
+    let res = simulate(
+        &out.prog,
+        &mut mem,
+        &SimConfig {
+            threads: 1,
+            max_cycles: 2_000_000_000,
+        },
+    )
+    .unwrap();
     assert_eq!(res.stop, ixp_sim::StopReason::AllHalted);
-    assert_eq!(res.packets as usize, packets.len(), "all packets transmitted");
+    assert_eq!(
+        res.packets as usize,
+        packets.len(),
+        "all packets transmitted"
+    );
     mem
 }
 
@@ -97,7 +108,10 @@ fn run_oracle(
 }
 
 #[test]
-#[cfg_attr(debug_assertions, ignore = "benchmark-sized ILP solves are slow unoptimized; run with --release")]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "benchmark-sized ILP solves are slow unoptimized; run with --release"
+)]
 fn aes_matches_reference_everywhere() {
     let out = compile("aes", AES_NOVA);
     assert_eq!(out.alloc_stats.spills, 0, "paper: zero spills");
@@ -108,7 +122,11 @@ fn aes_matches_reference_everywhere() {
 
     // Two packets: one 16-byte and one 48-byte payload.
     let p1 = packet(&[0x00112233, 0x44556677, 0x8899aabb, 0xccddeeff]);
-    let p2 = packet(&(0..12).map(|i| 0x0101_0101u32.wrapping_mul(i + 1)).collect::<Vec<_>>());
+    let p2 = packet(
+        &(0..12)
+            .map(|i| 0x0101_0101u32.wrapping_mul(i + 1))
+            .collect::<Vec<_>>(),
+    );
     let packets = vec![p1.clone(), p2.clone()];
 
     let sim = run_sim(&out, &sram, &[], &packets);
@@ -119,7 +137,11 @@ fn aes_matches_reference_everywhere() {
     let rk = aes::expand_key(&key);
     let mut ref1 = p1[HDR_WORDS..].to_vec();
     aes::encrypt_words(&mut ref1, &rk);
-    assert_eq!(&sim.sdram[HDR_WORDS..HDR_WORDS + 4], &ref1[..], "packet 1 ciphertext");
+    assert_eq!(
+        &sim.sdram[HDR_WORDS..HDR_WORDS + 4],
+        &ref1[..],
+        "packet 1 ciphertext"
+    );
     let base2 = (p1.len() + 2) & !1;
     let mut ref2 = p2[HDR_WORDS..].to_vec();
     aes::encrypt_words(&mut ref2, &rk);
@@ -138,7 +160,10 @@ fn aes_matches_reference_everywhere() {
 }
 
 #[test]
-#[cfg_attr(debug_assertions, ignore = "benchmark-sized ILP solves are slow unoptimized; run with --release")]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "benchmark-sized ILP solves are slow unoptimized; run with --release"
+)]
 fn kasumi_matches_reference_everywhere() {
     let out = compile("kasumi", KASUMI_NOVA);
     assert_eq!(out.alloc_stats.spills, 0, "paper: zero spills");
@@ -160,7 +185,11 @@ fn kasumi_matches_reference_everywhere() {
     let (s7, s9) = (kasumi::s7_table(), kasumi::s9_table());
     let mut ref1 = p1[HDR_WORDS..].to_vec();
     kasumi::encrypt_words(&mut ref1, &sk, &s7, &s9);
-    assert_eq!(&sim.sdram[HDR_WORDS..HDR_WORDS + 2], &ref1[..], "packet 1 ciphertext");
+    assert_eq!(
+        &sim.sdram[HDR_WORDS..HDR_WORDS + 2],
+        &ref1[..],
+        "packet 1 ciphertext"
+    );
     let base2 = (p1.len() + 2) & !1;
     let mut ref2 = p2[HDR_WORDS..].to_vec();
     kasumi::encrypt_words(&mut ref2, &sk, &s7, &s9);
@@ -207,5 +236,8 @@ fn nat_matches_reference_everywhere() {
     // Transmit log: packet 1 translated (start advanced), packet 2 as-is.
     let tx: Vec<(u32, u32)> = sim.tx_log.iter().map(|(a, l, _)| (*a, *l)).collect();
     let base2 = ((p1.len() + 2) & !1) as u32;
-    assert_eq!(tx, vec![(start as u32, newlen), (base2, (p2.len() * 4) as u32)]);
+    assert_eq!(
+        tx,
+        vec![(start as u32, newlen), (base2, (p2.len() * 4) as u32)]
+    );
 }
