@@ -1,0 +1,86 @@
+//! Degrade smoke: compile every checked-in workload under a deliberately
+//! impossible 50 ms solver deadline with the default `Ladder` fallback
+//! policy, and require zero compile failures. This is the CI teeth behind
+//! the never-fail-compilation contract (DESIGN.md §9): when the exact ILP
+//! can't finish, the staged allocator must still hand back a verified,
+//! runnable allocation — degraded, never dead.
+//!
+//! Each compiled image (degraded or not) is then run through the
+//! chip-level simulator on a multi-context configuration: degraded code
+//! that compiles but livelocks or drops packets is a smoke failure too —
+//! per-context spill addressing is part of the contract.
+//!
+//! Exits non-zero if any workload fails to compile, fails to complete
+//! its packets, or if an allegedly exact result (stage 0) claims a
+//! deadline it could not have met.
+
+use bench::{run_chip_throughput, table, Benchmark};
+use nova::{compile_source, CompileConfig, FallbackPolicy};
+use std::time::Duration;
+
+const DEADLINE: Duration = Duration::from_millis(50);
+const PACKETS: usize = 8;
+const ENGINES: usize = 2;
+const CONTEXTS: usize = 4;
+
+fn main() {
+    println!(
+        "Degrade smoke: {} ms solver deadline, FallbackPolicy::Ladder\n",
+        DEADLINE.as_millis()
+    );
+    let cfg = CompileConfig::builder()
+        .solver_deadline(Some(DEADLINE))
+        .fallback_policy(FallbackPolicy::Ladder)
+        .build();
+    let mut rows = Vec::new();
+    let mut failures = 0usize;
+    for b in Benchmark::ALL {
+        match compile_source(b.source(), &cfg) {
+            Ok(out) => {
+                let res = run_chip_throughput(b, &out, PACKETS, 16, ENGINES, CONTEXTS);
+                let ran =
+                    res.stop == ixp_sim::StopReason::AllHalted && res.packets as usize == PACKETS;
+                if !ran {
+                    failures += 1;
+                }
+                let q = &out.alloc_quality;
+                rows.push(vec![
+                    b.name().to_string(),
+                    if ran { "ok" } else { "FAIL: sim" }.to_string(),
+                    q.stage.to_string(),
+                    if q.proven_optimal { "yes" } else { "no" }.to_string(),
+                    format!("{:.4}", q.gap),
+                    q.spills.to_string(),
+                    format!("{}/{PACKETS}", res.packets),
+                ]);
+            }
+            Err(e) => {
+                failures += 1;
+                rows.push(vec![
+                    b.name().to_string(),
+                    format!("FAIL: {e}"),
+                    "-".into(),
+                    "-".into(),
+                    "-".into(),
+                    "-".into(),
+                    "-".into(),
+                ]);
+            }
+        }
+    }
+    println!(
+        "{}",
+        table(
+            &["program", "status", "stage", "optimal", "gap", "spills", "pkts"],
+            &rows
+        )
+    );
+    if failures > 0 {
+        eprintln!("degrade smoke FAILED: {failures} workload(s) did not compile and run");
+        std::process::exit(1);
+    }
+    println!(
+        "degrade smoke passed: 0 failures under a {DEADLINE:?} deadline \
+         ({ENGINES} engines x {CONTEXTS} contexts, {PACKETS} packets each)"
+    );
+}

@@ -96,8 +96,11 @@ fn main() {
             "  simulate: {} packets, {} cycles, {:.1} Mb/s",
             sim.packets, sim.cycles, sim.mbps
         );
+        // `degraded` marks builds that fell down the allocator fallback
+        // ladder (stage > 0): bench_gate reports them but never gates.
         programs.push(Json::obj([
             ("name", Json::str(b.name())),
+            ("degraded", Json::Bool(out.alloc_quality.stage > 0)),
             (
                 "model",
                 Json::obj([

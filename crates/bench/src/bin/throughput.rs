@@ -100,8 +100,11 @@ fn main() {
             ])
         })
         .collect();
+        // A build that fell down the allocator ladder is still valid but
+        // not comparable: mark it so bench_gate reports without gating.
         programs.push(Json::obj([
             ("name", Json::str(b.name())),
+            ("degraded", Json::Bool(out.alloc_quality.stage > 0)),
             ("payload_bytes", Json::int(payload as usize)),
             ("engine_sweep", Json::Arr(sweep)),
             ("single_engine_payload_sweep", Json::Arr(payload_sweep)),

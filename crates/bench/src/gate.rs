@@ -200,9 +200,19 @@ fn matched<'a>(
         .collect()
 }
 
+/// Is this current-run entry marked as a degraded (fallback-ladder)
+/// build? A degraded allocation is allowed to be slower and to spill —
+/// its numbers explain a run but must not be held to the perf floor, so
+/// every gating rule on it is demoted to [`Rule::Info`].
+fn degraded(cur: &Json) -> bool {
+    matches!(cur.get("degraded"), Some(Json::Bool(true)))
+}
+
 /// Gate `BENCH_solver.json` against a fresh run: per program and thread
 /// count, pivots/s gets the −20% floor, the objective must match
 /// exactly, and moves/spills must not increase. Times are informational.
+/// Programs the current run marks `"degraded": true` are reported but
+/// never gated.
 pub fn gate_solver(baseline: &Json, current: &Json) -> GateReport {
     let mut r = GateReport::default();
     let progs = matched(
@@ -213,6 +223,8 @@ pub fn gate_solver(baseline: &Json, current: &Json) -> GateReport {
         current.get("programs").and_then(Json::as_arr),
     );
     for (prog, b, c) in progs {
+        let demote = degraded(c);
+        let rule = |r: Rule| if demote { Rule::Info } else { r };
         let runs = matched(
             &mut r,
             &prog,
@@ -227,13 +239,13 @@ pub fn gate_solver(baseline: &Json, current: &Json) -> GateReport {
                 br,
                 cr,
                 "pivots_per_sec",
-                Rule::RateFloor {
+                rule(Rule::RateFloor {
                     drop: PIVOTS_PER_SEC_DROP,
-                },
+                }),
             );
-            r.compare(name.clone(), br, cr, "objective", Rule::Exact);
-            r.compare(name.clone(), br, cr, "spills", Rule::NoIncrease);
-            r.compare(name.clone(), br, cr, "moves", Rule::NoIncrease);
+            r.compare(name.clone(), br, cr, "objective", rule(Rule::Exact));
+            r.compare(name.clone(), br, cr, "spills", rule(Rule::NoIncrease));
+            r.compare(name.clone(), br, cr, "moves", rule(Rule::NoIncrease));
             r.compare(name.clone(), br, cr, "solve_s", Rule::Info);
             r.compare(name, br, cr, "pivots", Rule::Info);
         }
@@ -245,7 +257,8 @@ pub fn gate_solver(baseline: &Json, current: &Json) -> GateReport {
 /// engine count, simulated packets and cycles are bit-deterministic and
 /// gated exactly; Mbps gets the −15% floor (redundant while cycles are
 /// exact, but it is the headline rate and survives a deliberate
-/// relaxation of the cycle gate).
+/// relaxation of the cycle gate). Programs the current run marks
+/// `"degraded": true` are reported but never gated.
 pub fn gate_throughput(baseline: &Json, current: &Json) -> GateReport {
     let mut r = GateReport::default();
     let progs = matched(
@@ -256,6 +269,8 @@ pub fn gate_throughput(baseline: &Json, current: &Json) -> GateReport {
         current.get("programs").and_then(Json::as_arr),
     );
     for (prog, b, c) in progs {
+        let demote = degraded(c);
+        let rule = |r: Rule| if demote { Rule::Info } else { r };
         let sweeps = matched(
             &mut r,
             &prog,
@@ -270,12 +285,12 @@ pub fn gate_throughput(baseline: &Json, current: &Json) -> GateReport {
                 bs,
                 cs,
                 "mbps",
-                Rule::RateFloor {
+                rule(Rule::RateFloor {
                     drop: THROUGHPUT_DROP,
-                },
+                }),
             );
-            r.compare(name.clone(), bs, cs, "packets", Rule::Exact);
-            r.compare(name.clone(), bs, cs, "cycles", Rule::Exact);
+            r.compare(name.clone(), bs, cs, "packets", rule(Rule::Exact));
+            r.compare(name.clone(), bs, cs, "cycles", rule(Rule::Exact));
             r.compare(name, bs, cs, "instructions", Rule::Info);
         }
     }
@@ -391,6 +406,50 @@ mod tests {
         let base = solver_doc(20_000.0, 75.9436, 0.0);
         let cur = solver_doc(20_000.0, 75.9436, 1.0);
         assert!(!gate_solver(&base, &cur).passed());
+    }
+
+    fn degraded_solver_doc(pivots_per_sec: f64, objective: f64, spills: f64) -> Json {
+        Json::parse(&format!(
+            r#"{{"bench":"solver","programs":[{{"name":"AES","degraded":true,"runs":[
+                {{"threads":1,"pivots_per_sec":{pivots_per_sec},
+                  "objective":{objective},"spills":{spills},"moves":13,
+                  "solve_s":0.2,"pivots":3633}}]}}]}}"#
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn degraded_current_run_is_reported_but_not_gated() {
+        // A fallback-ladder build may be slower, off-objective, and spill
+        // — none of that fails the gate, but every row is still listed.
+        let base = solver_doc(20_000.0, 75.9436, 0.0);
+        let cur = degraded_solver_doc(5_000.0, 120.0, 9.0);
+        let r = gate_solver(&base, &cur);
+        assert!(r.passed(), "{}", r.markdown("solver"));
+        assert!(r.checks.iter().all(|c| c.rule == Rule::Info));
+        assert!(r.checks.iter().any(|c| c.name == "AES/t1/spills"));
+    }
+
+    #[test]
+    fn degraded_baseline_does_not_relax_a_clean_current_run() {
+        // Only the *current* run's marker demotes rules: a clean build
+        // compared against a degraded-era baseline is still gated.
+        let base = degraded_solver_doc(20_000.0, 75.9436, 0.0);
+        let cur = solver_doc(20_000.0, 75.9437, 0.0);
+        assert!(!gate_solver(&base, &cur).passed());
+    }
+
+    #[test]
+    fn degraded_throughput_run_is_not_gated() {
+        let base = throughput_doc(300.0, 50_000.0);
+        let cur = Json::parse(
+            r#"{"bench":"throughput","programs":[{"name":"NAT","degraded":true,
+                "engine_sweep":[{"engines":4,"mbps":100.0,"packets":64,
+                "cycles":99999,"instructions":78856}]}]}"#,
+        )
+        .unwrap();
+        let r = gate_throughput(&base, &cur);
+        assert!(r.passed(), "{}", r.markdown("throughput"));
     }
 
     #[test]

@@ -131,6 +131,7 @@ pub fn run_throughput(
         &SimConfig {
             threads,
             max_cycles: 4_000_000_000,
+            ..Default::default()
         },
     )
     .expect("simulation runs")

@@ -423,6 +423,76 @@ fn to_min(minimize: bool, v: f64) -> f64 {
     }
 }
 
+/// Output of singleton-row presolve: tightened root bounds plus the
+/// partition of the surviving rows into the working LP (`core`) and the
+/// lazily activated set (`lazy`).
+struct Presolved {
+    lo: Vec<f64>,
+    hi: Vec<f64>,
+    core: Vec<usize>,
+    lazy: Vec<usize>,
+}
+
+/// Singleton rows become bound changes and leave the LP entirely; integer
+/// bounds are rounded inward. Counts eliminated rows into
+/// `stats.presolved_rows`.
+fn presolve(
+    problem: &Problem,
+    int_vars: &[usize],
+    stats: &mut SolveStats,
+) -> Result<Presolved, MilpError> {
+    let mut lo: Vec<f64> = problem.vars.iter().map(|d| d.lower).collect();
+    let mut hi: Vec<f64> = problem.vars.iter().map(|d| d.upper).collect();
+    let mut core: Vec<usize> = Vec::new();
+    let mut lazy: Vec<usize> = Vec::new();
+    for (i, c) in problem.constraints.iter().enumerate() {
+        if c.expr.terms.len() == 1 {
+            let (v, a) = c.expr.terms[0];
+            let j = v.index();
+            if a == 0.0 {
+                let ok = match c.cmp {
+                    Cmp::Le => 0.0 <= c.rhs + 1e-9,
+                    Cmp::Ge => 0.0 >= c.rhs - 1e-9,
+                    Cmp::Eq => c.rhs.abs() <= 1e-9,
+                };
+                if !ok {
+                    return Err(MilpError::Infeasible);
+                }
+                stats.presolved_rows += 1;
+                continue;
+            }
+            let bound = c.rhs / a;
+            match (c.cmp, a > 0.0) {
+                (Cmp::Le, true) | (Cmp::Ge, false) => hi[j] = hi[j].min(bound),
+                (Cmp::Ge, true) | (Cmp::Le, false) => lo[j] = lo[j].max(bound),
+                (Cmp::Eq, _) => {
+                    lo[j] = lo[j].max(bound);
+                    hi[j] = hi[j].min(bound);
+                }
+            }
+            if lo[j] > hi[j] + 1e-9 {
+                return Err(MilpError::Infeasible);
+            }
+            stats.presolved_rows += 1;
+            continue;
+        }
+        if c.lazy {
+            lazy.push(i);
+        } else {
+            core.push(i);
+        }
+    }
+    // Integer bound rounding.
+    for &j in int_vars {
+        lo[j] = lo[j].ceil();
+        hi[j] = hi[j].floor();
+        if lo[j] > hi[j] {
+            return Err(MilpError::Infeasible);
+        }
+    }
+    Ok(Presolved { lo, hi, core, lazy })
+}
+
 /// Solve an LP (warm when possible), activating violated lazy rows via
 /// incremental row addition + dual-simplex repair. Returns the clean
 /// solution and whether the *first* resolve of the node stayed on the
@@ -652,6 +722,131 @@ fn emit_stats(obs: &nova_obs::Obs, s: &SolveStats) {
     obs.sample("ilp.pivots_per_sec", s.pivots_per_sec());
 }
 
+/// LP-relaxation rounding: solve only the root relaxation (with presolve
+/// and lazy-row activation, under the configured deadline) and round the
+/// fractional integers to the nearest feasible integer point. No tree
+/// search is performed, so this is the cheapest way to obtain *some*
+/// integer solution together with a proven bound — the staged allocator's
+/// last ILP rung before giving up on the model entirely.
+///
+/// On success the reported `gap` is measured against the root LP bound;
+/// `proven_optimal` is set only when that gap is within
+/// `config.relative_gap` (e.g. an integral root).
+///
+/// # Errors
+///
+/// [`MilpError::BudgetExhausted`] when the root LP hits the deadline or
+/// the rounded point is infeasible; other [`MilpError`] variants as for
+/// [`solve_milp`].
+pub fn solve_rounded(problem: &Problem, config: &BranchConfig) -> Result<MilpSolution, MilpError> {
+    let start = Instant::now();
+    let deadline = config.time_limit.map(|l| start + l);
+    let minimize = problem.sense == Sense::Minimize;
+    let int_vars: Vec<usize> = problem
+        .vars
+        .iter()
+        .enumerate()
+        .filter(|(_, d)| d.kind == VarKind::Integer)
+        .map(|(i, _)| i)
+        .collect();
+    let mut stats = SolveStats {
+        threads: 1,
+        per_thread_nodes: vec![0],
+        ..SolveStats::default()
+    };
+    let pre = presolve(problem, &int_vars, &mut stats)?;
+    let kernel = config.effective_kernel();
+    stats.kernel = kernel.as_str().to_string();
+    let mut simplex = Simplex::with_rows_kernel(problem, Some(&pre.core), kernel);
+    simplex.set_deadline(deadline);
+    let mut lazy = pre.lazy;
+    let root_start = Instant::now();
+    let mut pivots = 0usize;
+    let mut activated = 0usize;
+    let root = match solve_lazy(
+        problem,
+        &problem.constraints,
+        &mut simplex,
+        &mut lazy,
+        &mut pivots,
+        &mut activated,
+        &pre.lo,
+        &pre.hi,
+    ) {
+        Ok((s, _)) => s,
+        Err(LpError::Infeasible) => return Err(MilpError::Infeasible),
+        Err(LpError::Unbounded) => return Err(MilpError::Unbounded),
+        Err(LpError::TimeLimit) => {
+            stats.root_time = root_start.elapsed();
+            stats.total_time = start.elapsed();
+            stats.absorb_kernel(&simplex.kernel_stats());
+            return Err(MilpError::BudgetExhausted(Box::new(stats)));
+        }
+        Err(e) => return Err(MilpError::Numerical(e)),
+    };
+    stats.root_time = root_start.elapsed();
+    stats.root_objective = root.objective;
+    stats.simplex_iterations = pivots;
+    stats.activated_rows = activated;
+    stats.nodes = 1;
+    stats.absorb_kernel(&simplex.kernel_stats());
+    let integral = int_vars
+        .iter()
+        .all(|&j| (root.values[j] - root.values[j].round()).abs() <= config.int_tol);
+    if integral {
+        stats.proven_optimal = true;
+        stats.cpu_time = stats.root_time;
+        stats.total_time = start.elapsed();
+        return Ok(MilpSolution {
+            objective: problem.objective_value(&root.values),
+            values: root.values,
+            stats,
+        });
+    }
+    match round_heuristic(problem, &root.values, config.int_tol) {
+        Some(x) => {
+            let objective = problem.objective_value(&x);
+            let obj_min = to_min(minimize, objective);
+            let bound = to_min(minimize, root.objective);
+            stats.gap = ((obj_min - bound) / obj_min.abs().max(1.0)).max(0.0);
+            stats.proven_optimal = stats.gap <= config.relative_gap;
+            stats.cpu_time = start.elapsed();
+            stats.total_time = start.elapsed();
+            Ok(MilpSolution {
+                objective,
+                values: x,
+                stats,
+            })
+        }
+        None => {
+            stats.total_time = start.elapsed();
+            Err(MilpError::BudgetExhausted(Box::new(stats)))
+        }
+    }
+}
+
+/// [`solve_rounded`] with the same structured telemetry as
+/// [`solve_milp_with`].
+///
+/// # Errors
+///
+/// See [`solve_rounded`].
+pub fn solve_rounded_with(
+    problem: &Problem,
+    config: &BranchConfig,
+    obs: &nova_obs::Obs,
+) -> Result<MilpSolution, MilpError> {
+    let res = solve_rounded(problem, config);
+    if obs.enabled() {
+        match &res {
+            Ok(sol) => emit_stats(obs, &sol.stats),
+            Err(MilpError::BudgetExhausted(stats)) => emit_stats(obs, stats),
+            Err(_) => {}
+        }
+    }
+    res
+}
+
 /// Solve a mixed 0-1/integer problem by parallel branch and bound.
 ///
 /// # Errors
@@ -680,56 +875,13 @@ pub fn solve_milp(problem: &Problem, config: &BranchConfig) -> Result<MilpSoluti
     }
 
     // ---- presolve: singleton rows become bounds ----
-    let mut root_lo: Vec<f64> = problem.vars.iter().map(|d| d.lower).collect();
-    let mut root_hi: Vec<f64> = problem.vars.iter().map(|d| d.upper).collect();
     let mut stats = SolveStats::default();
-    let mut core: Vec<usize> = Vec::new();
-    let mut lazy: Vec<usize> = Vec::new();
-    for (i, c) in problem.constraints.iter().enumerate() {
-        if c.expr.terms.len() == 1 {
-            let (v, a) = c.expr.terms[0];
-            let j = v.index();
-            if a == 0.0 {
-                let ok = match c.cmp {
-                    Cmp::Le => 0.0 <= c.rhs + 1e-9,
-                    Cmp::Ge => 0.0 >= c.rhs - 1e-9,
-                    Cmp::Eq => c.rhs.abs() <= 1e-9,
-                };
-                if !ok {
-                    return Err(MilpError::Infeasible);
-                }
-                stats.presolved_rows += 1;
-                continue;
-            }
-            let bound = c.rhs / a;
-            match (c.cmp, a > 0.0) {
-                (Cmp::Le, true) | (Cmp::Ge, false) => root_hi[j] = root_hi[j].min(bound),
-                (Cmp::Ge, true) | (Cmp::Le, false) => root_lo[j] = root_lo[j].max(bound),
-                (Cmp::Eq, _) => {
-                    root_lo[j] = root_lo[j].max(bound);
-                    root_hi[j] = root_hi[j].min(bound);
-                }
-            }
-            if root_lo[j] > root_hi[j] + 1e-9 {
-                return Err(MilpError::Infeasible);
-            }
-            stats.presolved_rows += 1;
-            continue;
-        }
-        if c.lazy {
-            lazy.push(i);
-        } else {
-            core.push(i);
-        }
-    }
-    // Integer bound rounding.
-    for &j in &int_vars {
-        root_lo[j] = root_lo[j].ceil();
-        root_hi[j] = root_hi[j].floor();
-        if root_lo[j] > root_hi[j] {
-            return Err(MilpError::Infeasible);
-        }
-    }
+    let Presolved {
+        lo: root_lo,
+        hi: root_hi,
+        core,
+        mut lazy,
+    } = presolve(problem, &int_vars, &mut stats)?;
 
     // ---- root relaxation on the core rows, activating lazy rows ----
     let all: &[Constraint] = &problem.constraints;
@@ -1309,6 +1461,57 @@ mod tests {
             s.stats.nodes,
             "per-thread nodes + root == total"
         );
+    }
+
+    #[test]
+    fn rounded_solve_is_feasible_with_bound() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(19);
+        let mut exercised = 0;
+        for _ in 0..30 {
+            let p = random_binary_problem(&mut rng, 10);
+            match solve_rounded(&p, &cfg()) {
+                Ok(s) => {
+                    assert!(p.is_feasible(&s.values, 1e-6), "rounded point feasible");
+                    assert!(s.stats.gap >= 0.0);
+                    assert_eq!(s.stats.nodes, 1, "no tree search");
+                    // The bound must be valid: for minimization, the root
+                    // LP objective is a lower bound on the exact optimum.
+                    if let Ok(exact) = solve_milp(&p, &cfg()) {
+                        assert!(
+                            s.stats.root_objective <= exact.objective + 1e-6,
+                            "root bound {} vs exact {}",
+                            s.stats.root_objective,
+                            exact.objective
+                        );
+                        assert!(s.objective >= exact.objective - 1e-6);
+                    }
+                    exercised += 1;
+                }
+                Err(MilpError::BudgetExhausted(stats)) => {
+                    // Rounding failed: still carries the root stats.
+                    assert_eq!(stats.nodes, 1);
+                }
+                Err(MilpError::Infeasible) => {}
+                Err(e) => panic!("unexpected {e}"),
+            }
+        }
+        assert!(exercised > 0, "no instance produced a rounded solution");
+    }
+
+    #[test]
+    fn rounded_solve_honours_deadline() {
+        let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(3);
+        let p = random_binary_problem(&mut rng, 12);
+        let mut c = cfg();
+        c.time_limit = Some(Duration::ZERO);
+        match solve_rounded(&p, &c) {
+            Err(MilpError::BudgetExhausted(stats)) => {
+                assert_eq!(stats.nodes, 0, "root LP never completed");
+            }
+            other => panic!("expected BudgetExhausted, got {other:?}"),
+        }
     }
 
     #[test]

@@ -37,7 +37,10 @@ mod model;
 mod problem;
 mod simplex;
 
-pub use branch::{solve_milp, solve_milp_with, BranchConfig, MilpError, MilpSolution, SolveStats};
+pub use branch::{
+    solve_milp, solve_milp_with, solve_rounded, solve_rounded_with, BranchConfig, MilpError,
+    MilpSolution, SolveStats,
+};
 pub use expr::{LinExpr, Var};
 pub use model::{Family, Key, Model, ModelStats};
 pub use problem::{Cmp, Constraint, Problem, Sense, VarData, VarKind};

@@ -311,6 +311,22 @@ impl Model {
         crate::branch::solve_milp_with(&self.problem, config, obs)
     }
 
+    /// Solve only the LP relaxation and round (see
+    /// [`crate::solve_rounded`]); telemetry goes to `obs`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`crate::MilpError`] from the solver.
+    pub fn solve_rounded_with(
+        &mut self,
+        config: &crate::branch::BranchConfig,
+        obs: &nova_obs::Obs,
+    ) -> Result<crate::branch::MilpSolution, crate::branch::MilpError> {
+        let obj = self.objective.clone();
+        self.problem.set_objective(obj);
+        crate::branch::solve_rounded_with(&self.problem, config, obs)
+    }
+
     /// Model-size statistics.
     pub fn stats(&mut self) -> ModelStats {
         let obj = self.objective.clone();

@@ -19,6 +19,34 @@
 use crate::insn::MemSpace;
 use crate::timing::{burst_extra, read_latency, write_latency};
 
+/// Deterministic fault-injection knobs for a memory channel.
+///
+/// Faults fire on *reference counts*, never on wall time or randomness,
+/// so an injected run is exactly reproducible and two simulators driving
+/// the same request sequence observe the same perturbations. A zero
+/// period disables that fault class; [`ChannelFaults::default`] injects
+/// nothing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ChannelFaults {
+    /// Every `stall_every`-th accepted reference finds the bus held by an
+    /// external agent (PCI unit, refresh) and waits `stall_cycles` extra
+    /// cycles before the grant. `0` disables stalls.
+    pub stall_every: u64,
+    /// Extra pre-grant cycles per injected stall.
+    pub stall_cycles: u64,
+    /// Every `drop_every`-th accepted reference is dropped by the push/
+    /// pull engine and retried immediately, paying the service cost
+    /// twice. `0` disables drops.
+    pub drop_every: u64,
+}
+
+impl ChannelFaults {
+    /// Does any fault class fire?
+    pub fn enabled(&self) -> bool {
+        (self.stall_every > 0 && self.stall_cycles > 0) || self.drop_every > 0
+    }
+}
+
 /// Occupancy and queueing telemetry of one memory channel.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ChannelStats {
@@ -36,6 +64,10 @@ pub struct ChannelStats {
     /// Largest number of requests resolved in a single arbitration epoch
     /// (chip-level simulation; stays 0 when driven per-reference).
     pub max_queue_depth: usize,
+    /// References that hit an injected pre-grant stall.
+    pub stalled: u64,
+    /// References dropped and retried by fault injection.
+    pub dropped: u64,
 }
 
 impl ChannelStats {
@@ -47,6 +79,8 @@ impl ChannelStats {
             busy_cycles: 0,
             wait_cycles: 0,
             max_queue_depth: 0,
+            stalled: 0,
+            dropped: 0,
         }
     }
 
@@ -65,6 +99,10 @@ impl ChannelStats {
 pub struct Channel {
     /// First cycle at which the bus can accept the next reference.
     free_at: u64,
+    /// Fault-injection knobs (all zero = no faults).
+    faults: ChannelFaults,
+    /// References accepted so far (drives the fault counters).
+    seen: u64,
     /// Telemetry.
     pub stats: ChannelStats,
 }
@@ -72,8 +110,15 @@ pub struct Channel {
 impl Channel {
     /// An idle channel for `space`.
     pub fn new(space: MemSpace) -> Self {
+        Channel::with_faults(space, ChannelFaults::default())
+    }
+
+    /// An idle channel for `space` with fault injection armed.
+    pub fn with_faults(space: MemSpace, faults: ChannelFaults) -> Self {
         Channel {
             free_at: 0,
+            faults,
+            seen: 0,
             stats: ChannelStats::new(space),
         }
     }
@@ -81,11 +126,36 @@ impl Channel {
     /// One channel per memory space, indexable by [`MemSpace`] order
     /// (SRAM, SDRAM, scratch).
     pub fn per_space() -> [Channel; 3] {
+        Channel::per_space_with(ChannelFaults::default())
+    }
+
+    /// [`Channel::per_space`] with the same fault knobs on every channel.
+    pub fn per_space_with(faults: ChannelFaults) -> [Channel; 3] {
         [
-            Channel::new(MemSpace::Sram),
-            Channel::new(MemSpace::Sdram),
-            Channel::new(MemSpace::Scratch),
+            Channel::with_faults(MemSpace::Sram, faults),
+            Channel::with_faults(MemSpace::Sdram, faults),
+            Channel::with_faults(MemSpace::Scratch, faults),
         ]
+    }
+
+    /// Count one accepted reference against the fault knobs; returns the
+    /// injected pre-grant stall and whether this reference is dropped
+    /// (serviced twice).
+    fn inject(&mut self) -> (u64, bool) {
+        self.seen += 1;
+        let mut stall = 0;
+        if self.faults.stall_every > 0 && self.seen.is_multiple_of(self.faults.stall_every) {
+            stall = self.faults.stall_cycles;
+            if stall > 0 {
+                self.stats.stalled += 1;
+            }
+        }
+        let dropped =
+            self.faults.drop_every > 0 && self.seen.is_multiple_of(self.faults.drop_every);
+        if dropped {
+            self.stats.dropped += 1;
+        }
+        (stall, dropped)
     }
 
     /// Index of `space` into the [`Channel::per_space`] array.
@@ -107,13 +177,15 @@ impl Channel {
     /// cycle the data arrives (when the issuing context can resume).
     pub fn service_read(&mut self, issue: u64, words: usize) -> (u64, u64) {
         let space = self.stats.space;
-        let start = self.free_at.max(issue);
+        let (stall, dropped) = self.inject();
+        let tries = if dropped { 2 } else { 1 };
+        let start = self.free_at.max(issue) + stall;
         let busy = burst_extra(space) * words as u64;
-        let done = start + read_latency(space) + busy;
-        self.free_at = start + busy + 1;
+        let done = start + (read_latency(space) + busy) * tries;
+        self.free_at = start + (busy + 1) * tries;
         self.stats.reads += 1;
         self.stats.wait_cycles += start - issue;
-        self.stats.busy_cycles += busy + 1;
+        self.stats.busy_cycles += (busy + 1) * tries;
         (start, done)
     }
 
@@ -124,9 +196,11 @@ impl Channel {
     /// of the write completion latency (posting overhead).
     pub fn service_write(&mut self, issue: u64, words: usize) -> u64 {
         let space = self.stats.space;
-        let start = self.free_at.max(issue);
+        let (stall, dropped) = self.inject();
+        let tries = if dropped { 2 } else { 1 };
+        let start = self.free_at.max(issue) + stall;
         let busy = burst_extra(space) * words as u64;
-        let hold = busy + write_latency(space) / 4;
+        let hold = (busy + write_latency(space) / 4) * tries;
         self.free_at = start + hold;
         self.stats.writes += 1;
         self.stats.wait_cycles += start - issue;
@@ -177,6 +251,59 @@ mod tests {
         assert_eq!(start, 10);
         assert!(c.free_at() > 10);
         assert_eq!(c.stats.writes, 1);
+    }
+
+    #[test]
+    fn injected_stalls_are_periodic_and_deterministic() {
+        let faults = ChannelFaults {
+            stall_every: 2,
+            stall_cycles: 7,
+            drop_every: 0,
+        };
+        let run = || {
+            let mut c = Channel::with_faults(MemSpace::Sram, faults);
+            let a = c.service_read(0, 1).0;
+            let issue = c.free_at() + 5;
+            let b = c.service_read(issue, 1).0;
+            (a, b, issue, c.stats.clone())
+        };
+        let (a, b, issue, stats) = run();
+        assert_eq!(a, 0, "first reference is clean");
+        assert_eq!(b, issue + 7, "second reference eats the stall");
+        assert_eq!(stats.stalled, 1);
+        // Counter-based injection replays identically.
+        assert_eq!((a, b, issue, stats), run());
+    }
+
+    #[test]
+    fn dropped_references_pay_the_service_cost_twice() {
+        let mut clean = Channel::new(MemSpace::Scratch);
+        let mut faulty = Channel::with_faults(
+            MemSpace::Scratch,
+            ChannelFaults {
+                stall_every: 0,
+                stall_cycles: 0,
+                drop_every: 1,
+            },
+        );
+        let (_, done_clean) = clean.service_read(0, 1);
+        let (_, done_faulty) = faulty.service_read(0, 1);
+        assert_eq!(done_faulty, done_clean * 2, "retry doubles the latency");
+        assert_eq!(faulty.stats.dropped, 1);
+        assert_eq!(faulty.stats.busy_cycles, clean.stats.busy_cycles * 2);
+    }
+
+    #[test]
+    fn zero_periods_inject_nothing() {
+        let mut a = Channel::new(MemSpace::Sdram);
+        let mut b = Channel::with_faults(MemSpace::Sdram, ChannelFaults::default());
+        assert!(!ChannelFaults::default().enabled());
+        for i in 0..10 {
+            assert_eq!(a.service_read(i * 3, 2), b.service_read(i * 3, 2));
+        }
+        assert_eq!(a.stats, b.stats);
+        assert_eq!(b.stats.stalled, 0);
+        assert_eq!(b.stats.dropped, 0);
     }
 
     #[test]

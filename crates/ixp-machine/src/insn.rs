@@ -135,6 +135,16 @@ impl fmt::Display for MemSpace {
     }
 }
 
+/// The context-number CSR: reading it yields the executing hardware
+/// context's chip-global index (`engine * contexts_per_engine + context`;
+/// the thread index on the single-engine simulator). It is context-local
+/// state — reads resolve in one cycle without touching the shared CSR
+/// bus — and writes to it are ignored. The register allocator's spill
+/// code reads it to address a per-context spill region in scratch, so
+/// the same program image runs on any number of contexts without the
+/// contexts clobbering each other's slots.
+pub const CSR_CTX: u32 = 0xFF;
+
 /// Addressing: a base register plus a constant word offset.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Addr<R> {

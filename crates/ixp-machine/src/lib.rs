@@ -43,8 +43,8 @@ pub mod timing;
 pub mod units;
 
 pub use bank::{alu_operands_ok, move_ok, Bank};
-pub use channel::{Channel, ChannelStats};
-pub use insn::{Addr, AluOp, AluSrc, Cond, Instr, MemSpace};
+pub use channel::{Channel, ChannelFaults, ChannelStats};
+pub use insn::{Addr, AluOp, AluSrc, Cond, Instr, MemSpace, CSR_CTX};
 pub use program::{
     read_bank, validate, write_bank, Block, BlockId, Program, Terminator, Violation,
 };

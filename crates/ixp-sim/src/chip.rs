@@ -39,7 +39,7 @@
 use crate::engine::{resolve_addr, RegFile, ThreadState};
 use crate::machine::SimMemory;
 use crate::sim::{emit_result_obs, finish_result, EngineStats, SimError, SimResult, StopReason};
-use ixp_machine::channel::Channel;
+use ixp_machine::channel::{Channel, ChannelFaults};
 use ixp_machine::timing::{issue_cycles, read_latency, BRANCH_TAKEN_PENALTY, HASH_CYCLES};
 use ixp_machine::units::hash_unit;
 use ixp_machine::{AluSrc, Bank, BlockId, Instr, MemSpace, PhysReg, Program, Terminator};
@@ -66,6 +66,10 @@ pub struct ChipConfig {
     /// (min of host parallelism and engine count); any value produces
     /// bit-identical results.
     pub host_threads: usize,
+    /// Deterministic channel fault injection (stalls and dropped/retried
+    /// references), applied to the shared chip-level channels. Default:
+    /// no faults.
+    pub faults: ChannelFaults,
 }
 
 impl Default for ChipConfig {
@@ -76,6 +80,7 @@ impl Default for ChipConfig {
             max_cycles: 500_000_000,
             slice: 8,
             host_threads: 0,
+            faults: ChannelFaults::default(),
         }
     }
 }
@@ -265,6 +270,7 @@ fn run_slice(e: &mut Engine, prog: &Program<PhysReg>, slice_end: u64) {
             e.stats.instructions += 1;
             e.cycle += issue_cycles(ins);
             let cycle = e.cycle;
+            let global_ctx = (e.id * e.ctxs.len() + ti) as u32;
             let t = &mut e.ctxs[ti];
             match ins {
                 Instr::Alu { op, dst, a, b } => {
@@ -330,13 +336,19 @@ fn run_slice(e: &mut Engine, prog: &Program<PhysReg>, slice_end: u64) {
                     continue;
                 }
                 Instr::CsrRead { dst, csr } => {
-                    // CSRs are chip-shared: reads resolve at the barrier.
-                    t.state = ThreadState::Pending;
-                    t.pc += 1;
-                    e.stats.swap_outs += 1;
-                    let (csr, dst) = (*csr, *dst);
-                    e.push(cycle, ti, ReqKind::CsrRead { csr, dst });
-                    continue;
+                    if *csr == ixp_machine::CSR_CTX {
+                        // The context-number CSR is engine-local state:
+                        // it resolves in the issue cycle, no barrier trip.
+                        t.regs.write(*dst, global_ctx);
+                    } else {
+                        // CSRs are chip-shared: reads resolve at the barrier.
+                        t.state = ThreadState::Pending;
+                        t.pc += 1;
+                        e.stats.swap_outs += 1;
+                        let (csr, dst) = (*csr, *dst);
+                        e.push(cycle, ti, ReqKind::CsrRead { csr, dst });
+                        continue;
+                    }
                 }
                 Instr::CsrWrite { src, csr } => {
                     let v = t.regs.read(*src);
@@ -603,7 +615,7 @@ fn simulate_chip_inner(
     let engines: Vec<Mutex<Engine>> = (0..n_engines)
         .map(|i| Mutex::new(Engine::new(i, prog, cfg.contexts)))
         .collect();
-    let mut channels = Channel::per_space();
+    let mut channels = Channel::per_space_with(cfg.faults);
     let mut mem_refs: HashMap<MemSpace, (u64, u64)> = HashMap::new();
     let mut sampler = obs.enabled().then(OccSampler::new);
 

@@ -10,7 +10,7 @@
 
 use crate::engine::{resolve_addr, RegFile, ThreadState};
 use crate::machine::SimMemory;
-use ixp_machine::channel::{Channel, ChannelStats};
+use ixp_machine::channel::{Channel, ChannelFaults, ChannelStats};
 use ixp_machine::timing::{
     issue_cycles, read_latency, BRANCH_TAKEN_PENALTY, CLOCK_HZ, HASH_CYCLES,
 };
@@ -28,6 +28,9 @@ pub struct SimConfig {
     /// check [`SimResult::stop`] before treating the numbers as a
     /// completed run.
     pub max_cycles: u64,
+    /// Deterministic channel fault injection (stalls and dropped/retried
+    /// references). Default: no faults.
+    pub faults: ChannelFaults,
 }
 
 impl Default for SimConfig {
@@ -35,6 +38,7 @@ impl Default for SimConfig {
         SimConfig {
             threads: 4,
             max_cycles: 500_000_000,
+            faults: ChannelFaults::default(),
         }
     }
 }
@@ -187,7 +191,7 @@ fn simulate_inner(
             state: ThreadState::Ready,
         })
         .collect();
-    let mut channels = Channel::per_space();
+    let mut channels = Channel::per_space_with(cfg.faults);
     let mut cycle: u64 = 0;
     let mut estats = EngineStats::new(0);
     let mut mem_refs: HashMap<MemSpace, (u64, u64)> = HashMap::new();
@@ -312,7 +316,13 @@ fn simulate_inner(
                     continue;
                 }
                 Instr::CsrRead { dst, csr } => {
-                    let v = *mem.csr.get(csr).unwrap_or(&0);
+                    // CSR_CTX is context-local (the active-context number);
+                    // everything else reads the shared CSR file.
+                    let v = if *csr == ixp_machine::CSR_CTX {
+                        ti as u32
+                    } else {
+                        *mem.csr.get(csr).unwrap_or(&0)
+                    };
                     t.regs.write(*dst, v);
                 }
                 Instr::CsrWrite { src, csr } => {
@@ -655,6 +665,7 @@ mod tests {
             &SimConfig {
                 threads: 1,
                 max_cycles: 1 << 20,
+                ..Default::default()
             },
         )
         .unwrap();
@@ -665,6 +676,7 @@ mod tests {
             &SimConfig {
                 threads: 4,
                 max_cycles: 1 << 20,
+                ..Default::default()
             },
         )
         .unwrap();
@@ -724,6 +736,7 @@ mod tests {
             &SimConfig {
                 threads: 1,
                 max_cycles: 1000,
+                ..Default::default()
             },
         )
         .unwrap();

@@ -36,6 +36,7 @@ fn serial_reads_pay_full_latency() {
             &SimConfig {
                 threads: 1,
                 max_cycles: 1 << 20,
+                ..Default::default()
             },
         )
         .unwrap()
@@ -49,6 +50,7 @@ fn serial_reads_pay_full_latency() {
             &SimConfig {
                 threads: 1,
                 max_cycles: 1 << 20,
+                ..Default::default()
             },
         )
         .unwrap()
@@ -82,6 +84,7 @@ fn threads_overlap_but_channel_serializes_bursts() {
             &SimConfig {
                 threads: 1,
                 max_cycles: 1 << 20,
+                ..Default::default()
             },
         )
         .unwrap()
@@ -95,6 +98,7 @@ fn threads_overlap_but_channel_serializes_bursts() {
             &SimConfig {
                 threads: 4,
                 max_cycles: 1 << 20,
+                ..Default::default()
             },
         )
         .unwrap()
@@ -197,6 +201,7 @@ fn scratch_beats_sram_beats_sdram() {
             &SimConfig {
                 threads: 1,
                 max_cycles: 1 << 20,
+                ..Default::default()
             },
         )
         .unwrap()

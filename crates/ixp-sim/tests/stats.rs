@@ -48,6 +48,7 @@ fn cycle_limit_returns_partial_stats() {
         &SimConfig {
             threads: 2,
             max_cycles: LIMIT,
+            ..Default::default()
         },
     )
     .unwrap();
@@ -77,6 +78,7 @@ fn cycle_limit_returns_partial_stats() {
         &SimConfig {
             threads: 2,
             max_cycles: 2 * LIMIT,
+            ..Default::default()
         },
     )
     .unwrap();
@@ -169,6 +171,7 @@ fn queue_depth_tracks_contending_requesters_per_epoch() {
         &SimConfig {
             threads: 4,
             max_cycles: 1 << 20,
+            ..Default::default()
         },
     )
     .unwrap();
@@ -188,6 +191,7 @@ fn instrumented_run_reports_partial_stats_as_events() {
         &SimConfig {
             threads: 2,
             max_cycles: LIMIT,
+            ..Default::default()
         },
         &obs,
     )

@@ -20,9 +20,10 @@ use super::facts::{Facts, PointId};
 use super::model::{Assignment, BankModel};
 use crate::liveness::Point;
 use ixp_machine::{
-    Addr, AluSrc, Bank, Block, BlockId, Instr, MemSpace, PhysReg, Program, Temp, Terminator,
+    Addr, AluOp, AluSrc, Bank, Block, BlockId, Instr, MemSpace, PhysReg, Program, Temp, Terminator,
+    CSR_CTX,
 };
-use std::collections::{BTreeSet, HashMap};
+use std::collections::{BTreeSet, HashMap, HashSet};
 
 /// The rewritten (segmented) program plus the data the coloring and
 /// emission phases need.
@@ -37,8 +38,21 @@ pub struct Placed {
     pub fixed: HashMap<Temp, PhysReg>,
     /// Pairs of A/B segments that must share a register (clone sets).
     pub ab_aliases: Vec<(Temp, Temp)>,
-    /// Scratch word addresses of spill slots, per original temporary.
+    /// Pairs of transfer-bank segments that legitimately share their
+    /// fixed register (transfer-bank clone sets; the model forced their
+    /// colors equal). Recorded so the allocation verifier can tell
+    /// same-value sharing from clobbering.
+    pub xfer_aliases: Vec<(Temp, Temp)>,
+    /// Per-temporary spill-slot word offsets within one context's spill
+    /// region. The runtime scratch address is `offset + ctx * stride`
+    /// where `ctx` is the chip-global context number the entry prologue
+    /// reads from [`ixp_machine::CSR_CTX`]; context 0 therefore sees the
+    /// historical absolute addresses.
     pub spill_slots: HashMap<Temp, u32>,
+    /// Words of scratch each context's spill region occupies (0 when the
+    /// program spills nothing). A deployment of `n` contexts needs
+    /// `SPILL_BASE + n * stride` words of scratch.
+    pub spill_stride: u32,
 }
 
 /// Extraction failure: the solution is inconsistent with the program (a
@@ -62,15 +76,110 @@ struct Extract<'a> {
     seg_bank: HashMap<Temp, Bank>,
     fixed: HashMap<Temp, PhysReg>,
     ab_aliases: Vec<(Temp, Temp)>,
+    xfer_aliases: Vec<(Temp, Temp)>,
     spill_slots: HashMap<Temp, u32>,
     next_temp: u32,
-    spill_base: u32,
+    /// Segment holding `ctx * stride`, the per-context spill-region base
+    /// (A bank, colored like any other segment). `None` when nothing
+    /// spills.
+    spill_base_seg: Option<Temp>,
 }
 
-/// First scratch word used for spill slots (above this, slots grow by 1
-/// word per spilled temporary). Programs should keep their own scratch
-/// data below this address.
+/// First scratch word of context 0's spill region. Each further context's
+/// region follows at a fixed stride (see [`Placed::spill_stride`]).
+/// Programs should keep their own scratch data below this address.
 pub const SPILL_BASE: u32 = 0x380;
+
+/// Assign spill-slot offsets with live-range reuse: two spilled
+/// temporaries share a slot when their live ranges (over the linear
+/// [`PointId`] order, which per-point liveness makes path-sound) never
+/// overlap. Keeping the per-context region small is what lets many
+/// contexts fit their disjoint regions in scratch.
+fn assign_slots(facts: &Facts, asg: &Assignment) -> HashMap<Temp, u32> {
+    let mut spilled: BTreeSet<Temp> = BTreeSet::new();
+    for moves in asg.moves.values() {
+        for &(v, b1, b2) in moves {
+            if (b1 == IlpBank::M) != (b2 == IlpBank::M) {
+                spilled.insert(v);
+            }
+        }
+    }
+    if spilled.is_empty() {
+        return HashMap::new();
+    }
+    // Live interval of each spilled temp over the linear point order.
+    let mut range: HashMap<Temp, (u32, u32)> = HashMap::new();
+    let mut touch = |v: Temp, p: u32| {
+        let e = range.entry(v).or_insert((p, p));
+        e.0 = e.0.min(p);
+        e.1 = e.1.max(p);
+    };
+    for (i, pt) in facts.points.iter().enumerate() {
+        if let Some(live) = facts.liveness.live.get(pt) {
+            for v in live {
+                if spilled.contains(v) {
+                    touch(*v, i as u32);
+                }
+            }
+        }
+    }
+    for (p, moves) in &asg.moves {
+        for &(v, _, _) in moves {
+            if spilled.contains(&v) {
+                touch(v, p.0);
+            }
+        }
+    }
+    // Linear scan: smallest free slot, deterministic order.
+    let mut intervals: Vec<(u32, u32, Temp)> = spilled
+        .iter()
+        .map(|v| {
+            let (s, e) = range[v];
+            (s, e, *v)
+        })
+        .collect();
+    intervals.sort_by_key(|&(s, e, v)| (s, e, v));
+    let mut slots: HashMap<Temp, u32> = HashMap::new();
+    let mut free: BTreeSet<u32> = BTreeSet::new();
+    let mut active: Vec<(u32, u32)> = Vec::new(); // (end, slot)
+    let mut next = 0u32;
+    for (start, end, v) in intervals {
+        active.retain(|&(e, s)| {
+            if e < start {
+                free.insert(s);
+                false
+            } else {
+                true
+            }
+        });
+        let slot = match free.iter().next().copied() {
+            Some(s) => {
+                free.remove(&s);
+                s
+            }
+            None => {
+                next += 1;
+                next - 1
+            }
+        };
+        slots.insert(v, slot);
+        active.push((end, slot));
+    }
+    slots
+}
+
+/// Round a region size up to the nearest value with at most two set bits,
+/// so the entry prologue can scale the context number with two shifts and
+/// an add. Returns `(stride, high_shift, low_shift)`.
+fn stride_shifts(n_slots: u32) -> (u32, u32, Option<u32>) {
+    let mut m = n_slots.max(1);
+    while m.count_ones() > 2 {
+        m += 1;
+    }
+    let hi = 31 - m.leading_zeros();
+    let lo = m.trailing_zeros();
+    (m, hi, (hi != lo).then_some(lo))
+}
 
 /// Rewrite the program according to the solved assignment.
 ///
@@ -100,6 +209,8 @@ pub fn extract(
         })
         .max()
         .unwrap_or(0);
+    let slots = assign_slots(facts, asg);
+    let n_slots = slots.values().max().map_or(0, |m| m + 1);
     let mut cx = Extract {
         facts,
         bm,
@@ -108,13 +219,88 @@ pub fn extract(
         seg_bank: HashMap::new(),
         fixed: HashMap::new(),
         ab_aliases: Vec::new(),
-        spill_slots: HashMap::new(),
+        xfer_aliases: Vec::new(),
+        spill_slots: slots
+            .into_iter()
+            .map(|(v, s)| (v, SPILL_BASE + s))
+            .collect(),
         next_temp,
-        spill_base: SPILL_BASE,
+        spill_base_seg: None,
     };
+    // Spill addresses are context-relative: an entry prologue computes
+    // `ctx * stride` into a dedicated A segment (colored with everything
+    // else), and every slot access indexes off it. Context 0's region
+    // starts at SPILL_BASE; further contexts follow at `stride`, so the
+    // one program image is reentrant across hardware contexts.
+    let mut stride = 0;
+    let mut prologue: Vec<Instr<Temp>> = Vec::new();
+    if n_slots > 0 {
+        let (m, hi, lo) = stride_shifts(n_slots);
+        stride = m;
+        let base = cx.fresh();
+        cx.seg_bank.insert(base, Bank::A);
+        cx.spill_base_seg = Some(base);
+        prologue.push(Instr::CsrRead {
+            dst: base,
+            csr: CSR_CTX,
+        });
+        if let Some(lo) = lo {
+            // stride = 2^hi + 2^lo: scale through a B-bank helper.
+            let aux = cx.fresh();
+            cx.seg_bank.insert(aux, Bank::B);
+            prologue.push(Instr::Alu {
+                op: AluOp::Shl,
+                dst: aux,
+                a: base,
+                b: AluSrc::Imm(lo),
+            });
+            prologue.push(Instr::Alu {
+                op: AluOp::Shl,
+                dst: base,
+                a: base,
+                b: AluSrc::Imm(hi),
+            });
+            prologue.push(Instr::Alu {
+                op: AluOp::Add,
+                dst: base,
+                a: base,
+                b: AluSrc::Reg(aux),
+            });
+        } else if hi > 0 {
+            prologue.push(Instr::Alu {
+                op: AluOp::Shl,
+                dst: base,
+                a: base,
+                b: AluSrc::Imm(hi),
+            });
+        }
+    }
     let mut blocks = Vec::new();
     for (bi, b) in prog.blocks.iter().enumerate() {
         blocks.push(cx.rewrite_block(bi as u32, b)?);
+    }
+    if !prologue.is_empty() {
+        let entry = &mut blocks[prog.entry.index()].instrs;
+        entry.splice(0..0, prologue);
+    }
+    // Clone-group members carry one value, and the solver may hand their
+    // segments one register within a bank (that sharing is the point of
+    // cloning), so the verifier needs the whole group in one same-value
+    // class — chain the members' segments per bank.
+    let mut done: HashSet<Temp> = HashSet::new();
+    for (rep, group) in &bm.groups {
+        if !done.insert(group.first().copied().unwrap_or(*rep)) {
+            continue;
+        }
+        for b in IlpBank::ALL {
+            let segs: Vec<Temp> = group
+                .iter()
+                .filter_map(|m| cx.seg.get(&(*m, b)).copied())
+                .collect();
+            for w in segs.windows(2) {
+                cx.xfer_aliases.push((w[0], w[1]));
+            }
+        }
     }
     Ok(Placed {
         prog: Program {
@@ -124,7 +310,9 @@ pub fn extract(
         seg_bank: cx.seg_bank,
         fixed: cx.fixed,
         ab_aliases: cx.ab_aliases,
+        xfer_aliases: cx.xfer_aliases,
         spill_slots: cx.spill_slots,
+        spill_stride: stride,
     })
 }
 
@@ -184,25 +372,53 @@ impl<'a> Extract<'a> {
         self.asg.after.get(&(g, v)).copied()
     }
 
-    /// A transfer-bank register of `bank` that is free at point `p`
-    /// (before the moves execute), for spill transients.
-    fn free_reg(
-        &self,
-        p: PointId,
-        bank: IlpBank,
-        taken: &BTreeSet<u8>,
-    ) -> Result<u8, ExtractError> {
-        let mut used: BTreeSet<u8> = taken.clone();
+    /// A transfer-bank register of `bank` that is free at point `p` for a
+    /// spill transient. Freeness depends on *when* in the move window the
+    /// transient lives:
+    ///
+    /// * spill-store transients (`late = false`) run in phase 0, before
+    ///   any drain or arrival — every resident-before value still holds
+    ///   its register, and no arrival has landed yet;
+    /// * reload transients (`late = true`) run in phase 3, after the
+    ///   drains — a resident departing `bank` via a move at `p` has freed
+    ///   its register, while values arriving *into* `bank` at `p` share
+    ///   the reload phase and hold theirs.
+    fn free_reg(&self, p: PointId, bank: IlpBank, late: bool) -> Result<u8, ExtractError> {
+        let moves = self.asg.moves.get(&p);
+        let departs = |v: Temp| {
+            late && moves.is_some_and(|ms| ms.iter().any(|&(w, b1, _)| w == v && b1 == bank))
+        };
+        let mut used: BTreeSet<u8> = BTreeSet::new();
+        let mut holders: Vec<(Temp, u8, &str)> = Vec::new();
         for v in self.facts.exists_at(p) {
-            if self.residency_before(p, *v) == Some(bank) {
+            if self.residency_before(p, *v) == Some(bank) && !departs(*v) {
                 if let Some(c) = self.asg.colors.get(&(*v, bank)) {
                     used.insert(*c);
+                    holders.push((*v, *c, "resident"));
                 }
             }
         }
-        (0..8u8)
-            .find(|r| !used.contains(r))
-            .ok_or_else(|| ExtractError(format!("no free {bank} register at {p} for spill")))
+        if late {
+            for (v, _, b2) in moves.map_or(&[][..], Vec::as_slice) {
+                if *b2 == bank {
+                    if let Some(c) = self.asg.colors.get(&(*v, bank)) {
+                        used.insert(*c);
+                        holders.push((*v, *c, "arriving"));
+                    }
+                }
+            }
+        }
+        (0..8u8).find(|r| !used.contains(r)).ok_or_else(|| {
+            holders.sort();
+            let held: Vec<String> = holders
+                .iter()
+                .map(|(v, c, how)| format!("{v}={c}({how})"))
+                .collect();
+            ExtractError(format!(
+                "no free {bank} register at {p} for spill (held: {})",
+                held.join(", ")
+            ))
+        })
     }
 
     /// Residency before the moves at `p`.
@@ -287,13 +503,17 @@ impl<'a> Extract<'a> {
         self.segment(v, bank)
     }
 
-    fn slot(&mut self, v: Temp) -> u32 {
-        if let Some(s) = self.spill_slots.get(&v) {
-            return *s;
-        }
-        let s = self.spill_base + self.spill_slots.len() as u32;
-        self.spill_slots.insert(v, s);
-        s
+    /// Context-relative address of `v`'s spill slot: the per-context base
+    /// register plus the slot's offset within the region.
+    fn spill_addr(&self, v: Temp) -> Result<Addr<Temp>, ExtractError> {
+        let off = *self
+            .spill_slots
+            .get(&v)
+            .ok_or_else(|| ExtractError(format!("no spill slot assigned for {v}")))?;
+        let base = self
+            .spill_base_seg
+            .ok_or_else(|| ExtractError(format!("spill of {v} but no spill prologue")))?;
+        Ok(Addr::Reg(base, off))
     }
 
     fn emit_moves_at(
@@ -321,14 +541,19 @@ impl<'a> Extract<'a> {
         };
         let mut ordered = moves;
         ordered.sort_by_key(|(v, b1, b2)| (phase(*b1, *b2), v.0));
-        let mut transient_s: BTreeSet<u8> = BTreeSet::new();
-        let mut transient_l: BTreeSet<u8> = BTreeSet::new();
+        // One transient register per bank serves the whole point: each
+        // transient lives only across its adjacent (move, memop) pair and
+        // the pairs are emitted sequentially, so reuse never overlaps. A
+        // wide store reloading eight sources thus costs one L register,
+        // not the whole bank.
+        let mut transient_s: Option<u8> = None;
+        let mut transient_l: Option<u8> = None;
         for (v, b1, b2) in ordered {
             match (b1, b2) {
                 (IlpBank::M, IlpBank::M) => {}
                 (src, IlpBank::M) => {
                     // Spill store: through an S register unless already in S.
-                    let addr = Addr::Imm(self.slot(v));
+                    let addr = self.spill_addr(v)?;
                     if src == IlpBank::S {
                         let s = self.segment(v, IlpBank::S)?;
                         out.push(Instr::MemWrite {
@@ -337,8 +562,10 @@ impl<'a> Extract<'a> {
                             src: vec![s],
                         });
                     } else {
-                        let r = self.free_reg(p, IlpBank::S, &transient_s)?;
-                        transient_s.insert(r);
+                        let r = match transient_s {
+                            Some(r) => r,
+                            None => *transient_s.insert(self.free_reg(p, IlpBank::S, false)?),
+                        };
                         let tr = self.fresh();
                         self.seg_bank.insert(tr, Bank::S);
                         self.fixed.insert(tr, PhysReg::new(Bank::S, r));
@@ -353,7 +580,7 @@ impl<'a> Extract<'a> {
                 }
                 (IlpBank::M, dst) => {
                     // Reload: lands in L, then moves on if needed.
-                    let addr = Addr::Imm(self.slot(v));
+                    let addr = self.spill_addr(v)?;
                     if dst == IlpBank::L {
                         let l = self.segment(v, IlpBank::L)?;
                         out.push(Instr::MemRead {
@@ -362,8 +589,10 @@ impl<'a> Extract<'a> {
                             dst: vec![l],
                         });
                     } else {
-                        let r = self.free_reg(p, IlpBank::L, &transient_l)?;
-                        transient_l.insert(r);
+                        let r = match transient_l {
+                            Some(r) => r,
+                            None => *transient_l.insert(self.free_reg(p, IlpBank::L, true)?),
+                        };
                         let tr = self.fresh();
                         self.seg_bank.insert(tr, Bank::L);
                         self.fixed.insert(tr, PhysReg::new(Bank::L, r));
@@ -413,8 +642,13 @@ impl<'a> Extract<'a> {
                 out.push(Instr::Move { dst, src });
             }
             Instr::Clone { dst, src } => {
-                // The clone itself vanishes: destination and source share
-                // a register at this point.
+                // Destination and source share a register at this point,
+                // so the clone is emitted as a self-move-to-be: coloring
+                // must (and does) assign both segments one register, and
+                // `apply_registers` drops the then-trivial move. Keeping
+                // it in the segmented program gives the clone destination
+                // a definition, so liveness sees its true range instead
+                // of a phantom one reaching back to block entry.
                 let sb = self
                     .asg
                     .after
@@ -447,11 +681,16 @@ impl<'a> Extract<'a> {
                                 "clone {dst}/{src} colors differ in {xb}: {cd:?} vs {cs:?}"
                             )));
                         }
+                        self.xfer_aliases.push((d_seg, s_seg));
                     }
                     _ => {
                         return Err(ExtractError("clone in spill bank".into()));
                     }
                 }
+                out.push(Instr::Move {
+                    dst: d_seg,
+                    src: s_seg,
+                });
             }
             Instr::MemRead { space, addr, dst } => {
                 let addr = self.rewrite_addr(addr, pre)?;

@@ -1,0 +1,485 @@
+//! Deterministic greedy fallback allocator (ladder stage 4).
+//!
+//! The terminal rung of the staged allocator must *always* produce a
+//! runnable allocation, in time linear in the program, with no search at
+//! all. The scheme exploits the SSU (static single use) form the
+//! frontend guarantees — every temporary has exactly one definition and
+//! at most one use per clone — which keeps residency intervals tiny:
+//!
+//! * the **home** of every temporary is scratch memory (`M`);
+//! * a definition lands in the cheapest bank its instruction can write
+//!   (`A` for ALU results, the forced `L`/`LD` segment for aggregate
+//!   reads, `L` for hash results) and is parked to `M` in the same
+//!   move window unless it dies on the spot;
+//! * a use reloads from `M` into the bank its instruction demands
+//!   (`A`/`B` for ALU operands, `S`/`SD` for aggregate writes) exactly at
+//!   its pre-point, and is re-parked immediately if it survives.
+//!
+//! Every block joins on the invariant "live values are in scratch": the
+//! last action before a boundary is a park, or — for branch operands
+//! that survive the branch, where a park is illegal — the scratch slot
+//! already holds the value from an earlier park, so the register copy is
+//! simply abandoned. Either way the allocator cannot run out of
+//! registers: at any point the only non-`M` residents are the operands
+//! of the two adjacent instructions. Def-use chains at adjacent points
+//! short-circuit (the use requirement overrides the park), so
+//! `a = op(..); use(a)` still moves register-to-register.
+//!
+//! Transfer-bank colors are positional: aggregate member *i* takes
+//! register *i* of its forced bank, and the hash unit's same-register
+//! pair takes index 0. Residency windows in transfer banks are
+//! point-local, so positional reuse across instructions never collides.
+//!
+//! The output is an ordinary [`Assignment`] (plus a variable-free
+//! [`BankModel`] shell carrying the bookkeeping extraction needs), so
+//! everything downstream — extraction, A/B coloring, validation, the
+//! [`super::verify`] checker — treats greedy allocations exactly like
+//! MILP allocations.
+//!
+//! Inputs the exact ILP would reject as infeasible (a temp required in
+//! two banks at once, an aggregate wider than a transfer bank, non-SSU
+//! programs that keep store-bank residents alive) are reported as
+//! [`AllocError::Greedy`]; they cannot arise from the frontend.
+
+use super::candidates::{clone_groups, load_bank, prune, store_bank, IlpBank};
+use super::facts::{Fact, Facts, PointId};
+use super::model::{
+    action_points, block_ranges, move_cost, AllocConfig, AllocStats, Assignment, BankModel, Fig6,
+};
+use super::AllocError;
+use crate::freq::Frequencies;
+use ilp::{Model, SolveStats};
+use ixp_machine::{Program, Temp};
+use std::collections::{BTreeSet, HashMap};
+
+/// Transfer banks hold eight registers; positional coloring cannot
+/// exceed that.
+const XFER_CAPACITY: usize = 8;
+
+fn err(msg: String) -> AllocError {
+    AllocError::Greedy(msg)
+}
+
+/// Record a bank requirement, rejecting contradictions (the exact model
+/// would be infeasible on the same input).
+fn require(
+    map: &mut HashMap<(PointId, Temp), IlpBank>,
+    p: PointId,
+    v: Temp,
+    b: IlpBank,
+) -> Result<(), AllocError> {
+    match map.insert((p, v), b) {
+        Some(old) if old != b => Err(err(format!(
+            "temp {v} required in both {} and {} at {p}",
+            old.name(),
+            b.name()
+        ))),
+        _ => Ok(()),
+    }
+}
+
+/// Record a positional transfer-bank color, rejecting contradictions.
+fn assign_color(
+    colors: &mut HashMap<(Temp, IlpBank), u8>,
+    v: Temp,
+    b: IlpBank,
+    r: usize,
+) -> Result<(), AllocError> {
+    if r >= XFER_CAPACITY {
+        return Err(err(format!(
+            "aggregate member {v} needs register {r} of bank {} (capacity {XFER_CAPACITY})",
+            b.name()
+        )));
+    }
+    match colors.insert((v, b), r as u8) {
+        Some(old) if usize::from(old) != r => Err(err(format!(
+            "temp {v} needs both register {old} and register {r} of bank {}",
+            b.name()
+        ))),
+        _ => Ok(()),
+    }
+}
+
+/// Allocate greedily. Always succeeds on frontend-produced (SSU)
+/// programs; see the module docs for the scheme.
+pub(crate) fn allocate(
+    prog: &Program<Temp>,
+    facts: &Facts,
+    freqs: &Frequencies,
+    cfg: &AllocConfig,
+) -> Result<(BankModel, Assignment, AllocStats), AllocError> {
+    let block_range = block_ranges(prog);
+    let mut actions = action_points(prog, facts, &block_range);
+
+    // Pass 1: per-point bank requirements and positional colors.
+    let mut def_req: HashMap<(PointId, Temp), IlpBank> = HashMap::new();
+    let mut use_req: HashMap<(PointId, Temp), IlpBank> = HashMap::new();
+    let mut colors: HashMap<(Temp, IlpBank), u8> = HashMap::new();
+    for fact in &facts.facts {
+        match fact {
+            Fact::AluTwo {
+                pre,
+                post,
+                dst,
+                a,
+                b,
+            } => {
+                require(&mut use_req, *pre, *a, IlpBank::A)?;
+                require(&mut use_req, *pre, *b, IlpBank::B)?;
+                require(&mut def_req, *post, *dst, IlpBank::A)?;
+            }
+            Fact::AluOne { pre, post, dst, a } => {
+                require(&mut use_req, *pre, *a, IlpBank::A)?;
+                require(&mut def_req, *post, *dst, IlpBank::A)?;
+            }
+            Fact::MoveF {
+                pre,
+                post,
+                dst,
+                src,
+            }
+            | Fact::CloneF {
+                pre,
+                post,
+                dst,
+                src,
+            } => {
+                // Clones place src and dst in the same bank so extraction
+                // can alias them onto one register.
+                require(&mut use_req, *pre, *src, IlpBank::A)?;
+                require(&mut def_req, *post, *dst, IlpBank::A)?;
+            }
+            Fact::Def { post, dsts } => {
+                for d in dsts {
+                    require(&mut def_req, *post, *d, IlpBank::A)?;
+                }
+            }
+            Fact::GpUse { pre, srcs } => {
+                for s in srcs {
+                    require(&mut use_req, *pre, *s, IlpBank::A)?;
+                }
+            }
+            Fact::ReadAgg {
+                post, space, dsts, ..
+            } => {
+                let b = load_bank(*space);
+                for (i, d) in dsts.iter().enumerate() {
+                    require(&mut def_req, *post, *d, b)?;
+                    assign_color(&mut colors, *d, b, i)?;
+                }
+            }
+            Fact::WriteAgg { pre, space, srcs } => {
+                let b = store_bank(*space);
+                for (i, s) in srcs.iter().enumerate() {
+                    require(&mut use_req, *pre, *s, b)?;
+                    assign_color(&mut colors, *s, b, i)?;
+                }
+            }
+            Fact::SameReg {
+                pre,
+                post,
+                dst,
+                src,
+            } => {
+                // The hash unit reads S[i] and writes L[i]; pin both to
+                // index 0 (the pair is point-local, reuse is safe).
+                require(&mut use_req, *pre, *src, IlpBank::S)?;
+                assign_color(&mut colors, *src, IlpBank::S, 0)?;
+                require(&mut def_req, *post, *dst, IlpBank::L)?;
+                assign_color(&mut colors, *dst, IlpBank::L, 0)?;
+            }
+            Fact::BranchUse { pre, a, b } => {
+                require(&mut use_req, *pre, *a, IlpBank::A)?;
+                if let Some(b) = b {
+                    require(&mut use_req, *pre, *b, IlpBank::B)?;
+                }
+            }
+        }
+    }
+
+    // Is v live at p? (liveness is keyed by (block, index) points.)
+    let live_at = |p: PointId, v: Temp| -> bool {
+        facts
+            .points
+            .get(p.0 as usize)
+            .and_then(|pt| facts.liveness.live.get(pt))
+            .is_some_and(|s| s.contains(&v))
+    };
+
+    // Pass 2: park points. A used temp that survives its use is parked
+    // back to M at the following point, unless that point already
+    // requires it somewhere (the requirement takes over as the next
+    // residency).
+    //
+    // Branch operands are the exception: moves after the terminator are
+    // illegal, so a condition temp that is live across the branch (a
+    // loop counter, say) cannot be re-parked. It does not need to be:
+    // its scratch slot was written the last time it was parked — a
+    // definition of a live temp always parks in place, re-writing the
+    // slot — so the value is still in scratch and successors (whose
+    // entry residency is M) reload it from there. The register copy the
+    // branch read goes stale, which is fine: nothing downstream looks at
+    // it. We only have to *check* that a slot write dominates the
+    // branch; the one shape with no such write (a definition feeding the
+    // branch at the same point, live across it) cannot be expressed.
+    let mut parks: HashMap<Temp, BTreeSet<PointId>> = HashMap::new();
+    let mut deferred: Vec<(PointId, Temp)> = Vec::new();
+    for (&(p, v), &bank) in &use_req {
+        let q = PointId(p.0 + 1);
+        if !live_at(q, v) || def_req.contains_key(&(q, v)) || use_req.contains_key(&(q, v)) {
+            continue;
+        }
+        if facts.no_moves.contains(&q) {
+            deferred.push((p, v));
+            continue;
+        }
+        if move_cost(cfg, bank, IlpBank::M).is_none() {
+            return Err(err(format!(
+                "temp {v} survives its use in bank {} at {p}, which cannot spill",
+                bank.name()
+            )));
+        }
+        parks.entry(v).or_default().insert(q);
+    }
+    let point_block = |p: PointId| facts.points[p.0 as usize].block;
+    for (p, v) in deferred {
+        let blk = point_block(p);
+        // A definition of a live temp with no adjacent use parks in
+        // place, writing the slot.
+        let def_parked = |&(&(pd, dv), _): &(&(PointId, Temp), &IlpBank)| {
+            dv == v
+                && pd < p
+                && point_block(pd) == blk
+                && live_at(pd, v)
+                && !use_req.contains_key(&(pd, v))
+        };
+        let slot_written = facts
+            .liveness
+            .live_in
+            .get(&blk)
+            .is_some_and(|s| s.contains(&v))
+            || parks.get(&v).is_some_and(|s| {
+                s.range(..p)
+                    .next_back()
+                    .is_some_and(|q| point_block(*q) == blk)
+            })
+            || def_req.iter().any(|e| def_parked(&e));
+        if !slot_written {
+            return Err(err(format!(
+                "temp {v} is live across the branch after its use at {p} \
+                 but its spill slot is never written"
+            )));
+        }
+    }
+    for (v, ps) in &parks {
+        actions.entry(*v).or_default().extend(ps.iter().copied());
+    }
+
+    // Pass 3: walk each temp's action points in order, threading
+    // residency through the block and emitting the implied moves.
+    let mut before = HashMap::new();
+    let mut after = HashMap::new();
+    let mut moves: HashMap<PointId, Vec<(Temp, IlpBank, IlpBank)>> = HashMap::new();
+    let mut n_moves = 0usize;
+    let mut n_spills = 0usize;
+    let mut objective = 0.0f64;
+
+    let mut temps: Vec<Temp> = actions.keys().copied().collect();
+    temps.sort();
+    for v in temps {
+        let pts = &actions[&v];
+        let mut cur: Option<IlpBank> = None;
+        let mut cur_block = None;
+        for &p in pts {
+            let blk = point_block(p);
+            if cur_block != Some(blk) {
+                cur_block = Some(blk);
+                // Cross-block residency is always the scratch home.
+                cur = facts
+                    .liveness
+                    .live_in
+                    .get(&blk)
+                    .is_some_and(|s| s.contains(&v))
+                    .then_some(IlpBank::M);
+            }
+            let b = match def_req.get(&(p, v)) {
+                // A definition is a rebirth: any previous residency
+                // belongs to the now-dead old value (loop-carried temps
+                // are redefined each iteration), so the chain restarts
+                // in the writable bank with no connecting move.
+                Some(&w) => w,
+                None => cur.ok_or_else(|| err(format!("temp {v} has no residency at {p}")))?,
+            };
+            let a = if let Some(&r) = use_req.get(&(p, v)) {
+                r
+            } else if parks.get(&v).is_some_and(|s| s.contains(&p))
+                || (def_req.contains_key(&(p, v)) && live_at(p, v))
+            {
+                // Park: survives this point with no adjacent requirement.
+                IlpBank::M
+            } else {
+                // Entry anchor, dying use, or dead definition: stay put.
+                b
+            };
+            if b != a {
+                let Some(cost) = move_cost(cfg, b, a) else {
+                    return Err(err(format!(
+                        "no legal {} -> {} transition for temp {v} at {p}",
+                        b.name(),
+                        a.name()
+                    )));
+                };
+                objective += freqs.of(blk).max(1e-3) * cost;
+                moves.entry(p).or_default().push((v, b, a));
+                n_moves += 1;
+                if a == IlpBank::M {
+                    n_spills += 1;
+                }
+            }
+            before.insert((p, v), b);
+            after.insert((p, v), a);
+            cur = Some(a);
+        }
+    }
+    for m in moves.values_mut() {
+        m.sort();
+    }
+
+    let mut fig6 = Fig6::default();
+    for fact in &facts.facts {
+        match fact {
+            Fact::ReadAgg { space, dsts, .. } => match load_bank(*space) {
+                IlpBank::L => fig6.def_l += dsts.len(),
+                _ => fig6.def_ld += dsts.len(),
+            },
+            Fact::WriteAgg { space, srcs, .. } => match store_bank(*space) {
+                IlpBank::S => fig6.use_s += srcs.len(),
+                _ => fig6.use_sd += srcs.len(),
+            },
+            _ => {}
+        }
+    }
+
+    let assignment = Assignment {
+        before,
+        after,
+        moves,
+        colors,
+        n_moves,
+        n_spills,
+    };
+    // A variable-free model shell: extraction only needs the bookkeeping
+    // side (action points, block ranges, clone groups).
+    let mut model = Model::minimize();
+    let model_stats = model.stats();
+    let bm = BankModel {
+        model,
+        moves: HashMap::new(),
+        colors: HashMap::new(),
+        actions,
+        candidates: prune(facts, true),
+        groups: clone_groups(facts),
+        block_range,
+        fig6,
+    };
+    let stats = AllocStats {
+        model: model_stats,
+        solve: SolveStats::default(),
+        fig6,
+        moves: n_moves,
+        spills: n_spills,
+        objective,
+    };
+    Ok((bm, assignment, stats))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alloc::{build_facts, extract, verify};
+    use crate::color::assign_ab;
+    use crate::freq;
+    use crate::isel::select;
+    use nova_cps::{convert, optimize, to_ssu, OptConfig};
+    use nova_frontend::{check, parse};
+
+    fn program(src: &str) -> Program<Temp> {
+        let p = parse(src).unwrap_or_else(|d| panic!("parse: {}", d.render(src)));
+        let info = check(&p).unwrap_or_else(|d| panic!("check: {}", d.render(src)));
+        let mut cps = convert(&p, &info).unwrap();
+        optimize(&mut cps, &OptConfig::default());
+        to_ssu(&mut cps);
+        select(&cps).unwrap()
+    }
+
+    /// Greedy output must survive the whole downstream pipeline and the
+    /// independent verifier, with every emitted transition legal.
+    fn check_greedy(src: &str) {
+        let prog = program(src);
+        let facts = build_facts(&prog);
+        let freqs = freq::estimate(&prog);
+        let cfg = AllocConfig::default();
+        let (bm, asg, stats) = allocate(&prog, &facts, &freqs, &cfg).expect("greedy allocates");
+        for moves in asg.moves.values() {
+            for (v, b1, b2) in moves {
+                assert!(
+                    move_cost(&cfg, *b1, *b2).is_some(),
+                    "illegal transition {} -> {} for {v}",
+                    b1.name(),
+                    b2.name()
+                );
+            }
+        }
+        assert_eq!(stats.moves, asg.n_moves);
+        let placed = extract(&prog, &facts, &bm, &asg).expect("extraction");
+        let (ab, _) = assign_ab(&placed).expect("coloring");
+        let violations = verify::verify(&placed, &ab);
+        assert!(violations.is_empty(), "verifier: {violations:?}");
+    }
+
+    #[test]
+    fn greedy_handles_aggregates_and_alu() {
+        check_greedy("fun main() { let (x, y) = sram(0); sram(10) <- (x + y); 0 }");
+    }
+
+    #[test]
+    fn greedy_handles_figure3() {
+        check_greedy(
+            r#"fun main() {
+                let (a, b, c, d) = sram(100);
+                let (e, f, g, h, i, j) = sram(200);
+                let u = a + c;
+                let v = g + h;
+                sram(300) <- (b, e, v, u);
+                sram(500) <- (f, j, d, i);
+                0
+            }"#,
+        );
+    }
+
+    #[test]
+    fn greedy_handles_clones_across_stores() {
+        check_greedy(
+            r#"fun main() {
+                let (u, v, x, w) = sram(0);
+                sram(100) <- (u, v, x, w);
+                sram(200) <- (w, x, u, v);
+                sram(300) <- (x);
+                0
+            }"#,
+        );
+    }
+
+    #[test]
+    fn greedy_handles_loops() {
+        check_greedy(
+            r#"fun main() {
+                let i = 0;
+                let acc = 0;
+                while (i < 10) { acc = acc + i; i = i + 1; }
+                sram(0) <- (acc);
+                0
+            }"#,
+        );
+    }
+}

@@ -1,10 +1,14 @@
 //! The ILP-based register allocator (§5–§10): model data, candidate
-//! pruning, model generation, solving, and solution extraction.
+//! pruning, model generation, solving, solution extraction, and the
+//! staged fallback ladder that makes allocation total.
 
 pub mod candidates;
 pub mod extract;
 pub mod facts;
+pub mod greedy;
 pub mod model;
+pub mod staged;
+pub mod verify;
 
 pub use candidates::{clone_groups, prune, unpruned, Candidates, IlpBank};
 pub use extract::{extract, ExtractError, Placed, SPILL_BASE};
@@ -12,6 +16,8 @@ pub use facts::{build as build_facts, Fact, Facts, PointId};
 pub use model::{
     build_model, move_cost, solve, solve_with, AllocConfig, AllocStats, Assignment, BankModel, Fig6,
 };
+pub use staged::{AllocQuality, FallbackPolicy};
+pub use verify::verify;
 
 use crate::color::{assign_ab, ColorStats};
 use crate::freq;
@@ -25,6 +31,8 @@ pub struct Allocation {
     pub stats: AllocStats,
     /// Coloring statistics.
     pub color_stats: ColorStats,
+    /// Which fallback stage produced this allocation and how good it is.
+    pub quality: AllocQuality,
 }
 
 /// Allocator failure.
@@ -38,6 +46,12 @@ pub enum AllocError {
     Color(crate::color::ColorError),
     /// The final code violates machine rules (internal bug).
     Invalid(Vec<ixp_machine::Violation>),
+    /// The greedy fallback allocator hit a constraint it cannot satisfy
+    /// (only possible on inputs the exact model also rejects).
+    Greedy(String),
+    /// The allocation verifier found violations (internal bug; debug
+    /// builds only).
+    Verify(Vec<String>),
 }
 
 impl std::fmt::Display for AllocError {
@@ -48,6 +62,14 @@ impl std::fmt::Display for AllocError {
             AllocError::Color(e) => write!(f, "{e}"),
             AllocError::Invalid(vs) => {
                 writeln!(f, "generated code violates machine rules:")?;
+                for v in vs {
+                    writeln!(f, "  {v}")?;
+                }
+                Ok(())
+            }
+            AllocError::Greedy(msg) => write!(f, "greedy allocation: {msg}"),
+            AllocError::Verify(vs) => {
+                writeln!(f, "allocation fails verification:")?;
                 for v in vs {
                     writeln!(f, "  {v}")?;
                 }
@@ -65,18 +87,23 @@ impl std::error::Error for AllocError {}
 ///
 /// See [`AllocError`]; `Solver(Infeasible)` on a well-formed program means
 /// the configuration cannot allocate it (e.g. spilling disabled under
-/// pressure).
+/// pressure). Under the default [`FallbackPolicy::Ladder`], budget
+/// exhaustion is *not* an error: the allocator degrades through
+/// relaxations down to the greedy fallback (see [`staged`]).
 pub fn allocate(prog: &Program<Temp>, cfg: &AllocConfig) -> Result<Allocation, AllocError> {
     allocate_with(prog, cfg, &nova_obs::Obs::noop())
 }
 
-/// [`allocate`] with structured telemetry: the modeling and solving half
-/// runs under a `phase.ilp` span (with `backend.facts`, `backend.freq`,
-/// and `backend.model` sub-spans plus the solver's own `ilp.*` events),
-/// the extraction/coloring half under `phase.codegen` (with
-/// `backend.extract` and `backend.color` sub-spans), and the liveness,
-/// move, spill, and coalescing outcomes are published as `backend.*`
-/// counters.
+/// [`allocate`] with structured telemetry: fact extraction and frequency
+/// estimation run under a `phase.ilp` span (`backend.facts` and
+/// `backend.freq` sub-spans); each solve attempt of the fallback ladder
+/// runs under a `phase.ilp.stage` span (with `backend.model` and the
+/// solver's own `ilp.*` events inside, plus `backend.staged.*`
+/// counters/samples for attempts, backoff, chosen stage, and gap); the
+/// extraction/coloring half of each accepted attempt runs under
+/// `phase.codegen` (with `backend.extract` and `backend.color`
+/// sub-spans); and the liveness, move, spill, and coalescing outcomes
+/// are published as `backend.*` counters.
 ///
 /// # Errors
 ///
@@ -108,28 +135,53 @@ pub fn allocate_with(
             obs.counter("backend.spill.machinery_dropped", 1);
         }
     }
-    let cfg = &cfg;
-    let mut bm = {
-        let _span = obs.span("backend.model");
-        build_model(prog, &facts, &freqs, cfg)
-    };
-    let (assignment, stats) = solve_with(&mut bm, cfg, obs).map_err(AllocError::Solver)?;
     ilp_span.end();
+    staged::run(prog, &facts, &freqs, &cfg, obs)
+}
+
+/// Turn a solved assignment into validated machine code: extraction,
+/// A/B coloring, (in debug builds) verification, register substitution,
+/// and the machine-rule check. Shared by every rung of the fallback
+/// ladder so degraded solutions face exactly the gates exact ones do.
+pub(crate) fn finish(
+    prog: &Program<Temp>,
+    facts: &Facts,
+    bm: &BankModel,
+    assignment: &Assignment,
+    stats: AllocStats,
+    quality: AllocQuality,
+    obs: &nova_obs::Obs,
+) -> Result<Allocation, AllocError> {
     let codegen_span = obs.span("phase.codegen");
     let placed = {
         let _span = obs.span("backend.extract");
-        extract(prog, &facts, &bm, &assignment).map_err(AllocError::Extract)?
+        extract(prog, facts, bm, assignment).map_err(AllocError::Extract)?
     };
     let (ab, color_stats) = {
         let _span = obs.span("backend.color");
         assign_ab(&placed).map_err(AllocError::Color)?
     };
+    if cfg!(debug_assertions) {
+        let violations = verify(&placed, &ab);
+        if !violations.is_empty() {
+            return Err(AllocError::Verify(violations));
+        }
+    }
     let final_prog = apply_registers(&placed, &ab)?;
     let violations = ixp_machine::validate(&final_prog);
     if !violations.is_empty() {
         return Err(AllocError::Invalid(violations));
     }
     codegen_span.end();
+    if placed.spill_stride > 0 {
+        let distinct: std::collections::HashSet<u32> =
+            placed.spill_slots.values().copied().collect();
+        obs.counter("backend.extract.spill_slots", distinct.len() as u64);
+        obs.counter(
+            "backend.extract.spill_stride",
+            u64::from(placed.spill_stride),
+        );
+    }
     obs.counter("backend.moves", stats.moves as u64);
     obs.counter("backend.spills", stats.spills as u64);
     obs.counter("backend.color.coalesced", color_stats.coalesced as u64);
@@ -137,6 +189,7 @@ pub fn allocate_with(
         prog: final_prog,
         stats,
         color_stats,
+        quality,
     })
 }
 

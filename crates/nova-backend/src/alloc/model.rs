@@ -30,6 +30,7 @@ use super::candidates::{
     clone_groups, load_bank, prune, store_bank, unpruned, Candidates, IlpBank,
 };
 use super::facts::{Fact, Facts, PointId};
+use super::staged::FallbackPolicy;
 use crate::freq::Frequencies;
 use crate::liveness::Point;
 use ilp::{BranchConfig, Cmp, Key, LinExpr, MilpError, Model, ModelStats, SolveStats, Var};
@@ -65,6 +66,9 @@ pub struct AllocConfig {
     pub spill_auto: bool,
     /// Branch-and-bound configuration (gap defaults to the paper's 0.01%).
     pub solver: BranchConfig,
+    /// What to do when the solver's budget expires without a usable
+    /// solution (see [`FallbackPolicy`]).
+    pub fallback: FallbackPolicy,
 }
 
 impl Default for AllocConfig {
@@ -88,6 +92,7 @@ impl Default for AllocConfig {
                 time_limit: Some(std::time::Duration::from_secs(150)),
                 ..BranchConfig::default()
             },
+            fallback: FallbackPolicy::Ladder,
         }
     }
 }
@@ -185,41 +190,27 @@ fn bank_key(b: IlpBank) -> Key {
     Key::Sym(b.name())
 }
 
-/// Build the complete model for a program.
-pub fn build_model(
+/// Per-block `(first, last)` point-id range of a program (blocks have
+/// `instrs.len() + 2` points).
+pub(crate) fn block_ranges(prog: &Program<Temp>) -> Vec<(PointId, PointId)> {
+    let mut block_range = Vec::new();
+    let mut i = 0usize;
+    for b in &prog.blocks {
+        let n = b.instrs.len() + 2;
+        block_range.push((PointId(i as u32), PointId((i + n - 1) as u32)));
+        i += n;
+    }
+    block_range
+}
+
+/// Action points per temporary: block entries it is live into plus the
+/// instruction-adjacent points of its uses and definitions. Only at these
+/// points may a temporary change banks (move-point compression).
+pub(crate) fn action_points(
     prog: &Program<Temp>,
     facts: &Facts,
-    freqs: &Frequencies,
-    cfg: &AllocConfig,
-) -> BankModel {
-    let candidates = if cfg.prune {
-        prune(facts, cfg.allow_spill)
-    } else {
-        unpruned(facts, cfg.allow_spill)
-    };
-    let groups = clone_groups(facts);
-    let mut model = Model::minimize();
-    let fam_move = model.family("Move");
-    let fam_color = model.family("Color");
-    let fam_cb = model.family("cloneBefore");
-    let fam_ca = model.family("cloneAfter");
-    let fam_cm = model.family("cloneMove");
-    let fam_ns = model.family("needsSpill");
-    let fam_cp = model.family("copyPenalty");
-    let fam_cav = model.family("colorAvail");
-
-    // ---- block point ranges & action points ----
-    let mut block_range = Vec::new();
-    {
-        let mut i = 0usize;
-        for b in &prog.blocks {
-            let n = b.instrs.len() + 2;
-            block_range.push((PointId(i as u32), PointId((i + n - 1) as u32)));
-            i += n;
-        }
-    }
-    let block_of = |p: PointId| facts.points[p.0 as usize].block;
-
+    block_range: &[(PointId, PointId)],
+) -> HashMap<Temp, BTreeSet<PointId>> {
     let mut actions: HashMap<Temp, BTreeSet<PointId>> = HashMap::new();
     // Block entries are action points for everything live-in.
     for (bi, _) in prog.blocks.iter().enumerate() {
@@ -304,6 +295,36 @@ pub fn build_model(
             }
         }
     }
+    actions
+}
+
+/// Build the complete model for a program.
+pub fn build_model(
+    prog: &Program<Temp>,
+    facts: &Facts,
+    freqs: &Frequencies,
+    cfg: &AllocConfig,
+) -> BankModel {
+    let candidates = if cfg.prune {
+        prune(facts, cfg.allow_spill)
+    } else {
+        unpruned(facts, cfg.allow_spill)
+    };
+    let groups = clone_groups(facts);
+    let mut model = Model::minimize();
+    let fam_move = model.family("Move");
+    let fam_color = model.family("Color");
+    let fam_cb = model.family("cloneBefore");
+    let fam_ca = model.family("cloneAfter");
+    let fam_cm = model.family("cloneMove");
+    let fam_ns = model.family("needsSpill");
+    let fam_cp = model.family("copyPenalty");
+    let fam_cav = model.family("colorAvail");
+
+    // ---- block point ranges & action points ----
+    let block_range = block_ranges(prog);
+    let block_of = |p: PointId| facts.points[p.0 as usize].block;
+    let mut actions = action_points(prog, facts, &block_range);
     // Clamp actions to points where the temp actually exists, and drop
     // move opportunities at no-move points (keep them as anchors though:
     // no-move points are never instruction-adjacent nor entries, so none
@@ -1089,6 +1110,22 @@ pub fn solve_with(
 ) -> Result<(Assignment, AllocStats), MilpError> {
     let stats_model = bm.model.stats();
     let sol = bm.model.solve_with(&cfg.solver, obs)?;
+    let assignment = decode_assignment(bm, &sol.values);
+    let stats = AllocStats {
+        model: stats_model,
+        solve: sol.stats,
+        fig6: bm.fig6,
+        moves: assignment.n_moves,
+        spills: assignment.n_spills,
+        objective: sol.objective,
+    };
+    Ok((assignment, stats))
+}
+
+/// Decode the 0/1 values of any MILP solution of a [`BankModel`] into an
+/// [`Assignment`]. Shared by every stage of the fallback ladder so exact,
+/// gap-widened, and LP-rounded solutions are read identically.
+pub(crate) fn decode_assignment(bm: &BankModel, values: &[f64]) -> Assignment {
     let mut before = HashMap::new();
     let mut after = HashMap::new();
     let mut moves_out: HashMap<PointId, Vec<(Temp, IlpBank, IlpBank)>> = HashMap::new();
@@ -1096,7 +1133,7 @@ pub fn solve_with(
     let mut n_spills = 0;
     for ((p, v), vars) in &bm.moves {
         for (var, b1, b2) in vars {
-            if sol.values[var.index()] > 0.5 {
+            if values[var.index()] > 0.5 {
                 before.insert((*p, *v), *b1);
                 after.insert((*p, *v), *b2);
                 if b1 != b2 {
@@ -1115,28 +1152,19 @@ pub fn solve_with(
     let mut colors = HashMap::new();
     for ((v, xb), vars) in &bm.colors {
         for (r, var) in vars.iter().enumerate() {
-            if sol.values[var.index()] > 0.5 {
+            if values[var.index()] > 0.5 {
                 colors.insert((*v, *xb), r as u8);
             }
         }
     }
-    let assignment = Assignment {
+    Assignment {
         before,
         after,
         moves: moves_out,
         colors,
         n_moves,
         n_spills,
-    };
-    let stats = AllocStats {
-        model: stats_model,
-        solve: sol.stats,
-        fig6: bm.fig6,
-        moves: n_moves,
-        spills: n_spills,
-        objective: sol.objective,
-    };
-    Ok((assignment, stats))
+    }
 }
 
 /// Convenience: the point id of a (block, index) pair.

@@ -1,0 +1,148 @@
+//! Independent allocation verifier.
+//!
+//! Re-derives liveness on the segmented program and checks the combined
+//! register assignment (fixed transfer/transient registers plus the A/B
+//! coloring) against it, with no knowledge of *how* the allocation was
+//! produced. Every rung of the fallback ladder — exact MILP, relaxed
+//! MILP, LP rounding, greedy — passes through the same checks, so a
+//! degraded allocation is held to the same soundness bar as an optimal
+//! one:
+//!
+//! 1. **Completeness** — every segment temporary referenced by the
+//!    program has a register, and the register's bank matches the bank
+//!    the segment was split for.
+//! 2. **Interference** — two simultaneously-live segments never share a
+//!    register unless they provably carry the same value (clone sets,
+//!    which extraction records in `ab_aliases`/`xfer_aliases`).
+//! 3. **Clobbering** — a definition never writes the register of an
+//!    unrelated value that is live across it (with the classic move
+//!    exception: `Move dst, src` onto a shared register rewrites the
+//!    value with itself).
+//!
+//! Violations are returned as human-readable strings; an empty vector
+//! means the allocation is sound. [`super::finish`] runs the verifier in
+//! debug builds (so every test exercises it) and the degradation tests
+//! call it explicitly per stage.
+
+use super::extract::Placed;
+use crate::liveness::{analyze, Point};
+use ixp_machine::{BlockId, Instr, PhysReg, Temp};
+use std::collections::{BTreeSet, HashMap};
+
+/// Path-compressing union-find over same-value (clone) sets.
+struct SameValue {
+    parent: HashMap<Temp, Temp>,
+}
+
+impl SameValue {
+    fn find(&mut self, t: Temp) -> Temp {
+        let p = *self.parent.get(&t).unwrap_or(&t);
+        if p == t {
+            t
+        } else {
+            let r = self.find(p);
+            self.parent.insert(t, r);
+            r
+        }
+    }
+
+    fn union(&mut self, a: Temp, b: Temp) {
+        let ra = self.find(a);
+        let rb = self.find(b);
+        if ra != rb {
+            self.parent.insert(ra, rb);
+        }
+    }
+}
+
+/// Check a register assignment for the segmented program. Returns one
+/// message per violation; empty means sound. `ab` is the A/B coloring
+/// ([`crate::color::assign_ab`]); fixed registers come from `placed`.
+pub fn verify(placed: &Placed, ab: &HashMap<Temp, PhysReg>) -> Vec<String> {
+    let mut out = Vec::new();
+    let reg_of = |t: Temp| placed.fixed.get(&t).or_else(|| ab.get(&t)).copied();
+
+    // 1. Completeness and bank agreement.
+    let mut referenced: BTreeSet<Temp> = BTreeSet::new();
+    for b in &placed.prog.blocks {
+        for ins in &b.instrs {
+            referenced.extend(ins.uses().into_iter().copied());
+            referenced.extend(ins.defs().into_iter().copied());
+        }
+        referenced.extend(b.term.uses().into_iter().copied());
+    }
+    for t in &referenced {
+        match reg_of(*t) {
+            None => out.push(format!("segment {t} was never assigned a register")),
+            Some(r) => match placed.seg_bank.get(t) {
+                None => out.push(format!("segment {t} has a register but no bank record")),
+                Some(b) if r.bank != *b => {
+                    out.push(format!("segment {t} assigned {r} outside its bank {b}"));
+                }
+                _ => {}
+            },
+        }
+    }
+
+    // Same-value sets: clones share a register by construction.
+    let mut same = SameValue {
+        parent: HashMap::new(),
+    };
+    for (a, b) in placed.ab_aliases.iter().chain(&placed.xfer_aliases) {
+        same.union(*a, *b);
+    }
+
+    // 2. Live ranges sharing a register must carry the same value.
+    let liveness = analyze(&placed.prog);
+    let mut points: Vec<&Point> = liveness.live.keys().collect();
+    points.sort_by_key(|p| (p.block.0, p.index));
+    for point in points {
+        let mut live: Vec<Temp> = liveness.live[point].iter().copied().collect();
+        live.sort();
+        let mut by_reg: HashMap<PhysReg, Temp> = HashMap::new();
+        for t in live {
+            let Some(r) = reg_of(t) else { continue };
+            if let Some(prev) = by_reg.insert(r, t) {
+                if same.find(prev) != same.find(t) {
+                    out.push(format!(
+                        "{prev} and {t} are both live at {point} but share {r}"
+                    ));
+                }
+            }
+        }
+    }
+
+    // 3. Definitions must not clobber unrelated live values.
+    for (bi, b) in placed.prog.blocks.iter().enumerate() {
+        for (ii, ins) in b.instrs.iter().enumerate() {
+            let post = Point {
+                block: BlockId(bi as u32),
+                index: ii as u32 + 1,
+            };
+            let Some(live_post) = liveness.live.get(&post) else {
+                continue;
+            };
+            let move_src = match ins {
+                Instr::Move { src, .. } => Some(*src),
+                _ => None,
+            };
+            let mut live: Vec<Temp> = live_post.iter().copied().collect();
+            live.sort();
+            for d in ins.defs() {
+                let Some(rd) = reg_of(*d) else { continue };
+                for l in &live {
+                    if l == d || Some(*l) == move_src || reg_of(*l) != Some(rd) {
+                        continue;
+                    }
+                    if same.find(*l) != same.find(*d) {
+                        out.push(format!(
+                            "definition of {d} at {post} clobbers live {l} in {rd}"
+                        ));
+                    }
+                }
+            }
+        }
+    }
+
+    out
+}

@@ -130,7 +130,11 @@ pub fn assign_ab(placed: &Placed) -> Result<(HashMap<Temp, PhysReg>, ColorStats)
                     block: ixp_machine::BlockId(bi as u32),
                     index: ii as u32 + 1,
                 };
-                let live_post = &liveness.live[&post];
+                let Some(live_post) = liveness.live.get(&post) else {
+                    return Err(ColorError(format!(
+                        "no liveness information at {post} (analysis out of sync)"
+                    )));
+                };
                 for d in ins.defs() {
                     if !nodes.contains(d) {
                         continue;
@@ -308,7 +312,7 @@ fn color_graph(edges: &HashMap<Temp, HashSet<Temp>>, k: usize) -> Option<HashMap
         let (t, _) = pick.or(optimistic)?;
         removed.insert(t);
         stack.push(t);
-        for nb in &edges[&t] {
+        for nb in edges.get(&t).into_iter().flatten() {
             if let Some(d) = degree.get_mut(nb) {
                 *d = d.saturating_sub(1);
             }
@@ -316,8 +320,10 @@ fn color_graph(edges: &HashMap<Temp, HashSet<Temp>>, k: usize) -> Option<HashMap
     }
     let mut colors: HashMap<Temp, u8> = HashMap::new();
     while let Some(t) = stack.pop() {
-        let used: HashSet<u8> = edges[&t]
-            .iter()
+        let used: HashSet<u8> = edges
+            .get(&t)
+            .into_iter()
+            .flatten()
             .filter_map(|n| colors.get(n).copied())
             .collect();
         let c = (0..k as u8).find(|c| !used.contains(c))?;

@@ -72,8 +72,9 @@ pub fn select(cps: &Cps) -> Result<Program<Temp>, IselError> {
     let blocks: Vec<Block<Temp>> = cx
         .blocks
         .into_iter()
-        .map(|b| b.expect("all blocks filled"))
-        .collect();
+        .enumerate()
+        .map(|(i, b)| b.ok_or_else(|| IselError(format!("block {i} was never lowered"))))
+        .collect::<Result<_, _>>()?;
     Ok(Program { blocks, entry })
 }
 

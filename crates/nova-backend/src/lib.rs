@@ -20,7 +20,10 @@ pub mod freq;
 pub mod isel;
 pub mod liveness;
 
-pub use alloc::{allocate, allocate_with, AllocConfig, AllocError, AllocStats, Allocation};
+pub use alloc::{
+    allocate, allocate_with, AllocConfig, AllocError, AllocQuality, AllocStats, Allocation,
+    FallbackPolicy,
+};
 pub use isel::{select, IselError};
 
 /// Compile an optimized, SSU-form CPS program all the way to validated

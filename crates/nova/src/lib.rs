@@ -33,12 +33,12 @@ use nova_frontend::StaticStats;
 use std::time::Duration;
 
 pub use ilp::KernelKind;
-pub use ixp_machine::channel::ChannelStats;
+pub use ixp_machine::channel::{ChannelFaults, ChannelStats};
 pub use ixp_sim::{
     simulate, simulate_chip, simulate_chip_with, simulate_with, ChipConfig, EngineStats, SimConfig,
     SimMemory, SimResult, StopReason,
 };
-pub use nova_backend::AllocStats;
+pub use nova_backend::{AllocQuality, AllocStats, FallbackPolicy};
 pub use nova_frontend::Span;
 pub use nova_obs::{
     Event, EventKind, JsonLinesRecorder, MemoryRecorder, Obs, Recorder, Summary, TeeRecorder,
@@ -58,6 +58,11 @@ pub struct SimSettings {
     /// Simulated-cycle budget before the run stops with
     /// [`StopReason::CycleLimit`] and partial statistics.
     pub max_cycles: u64,
+    /// Deterministic memory-channel fault injection (periodic bus stalls
+    /// and dropped/retried references). Defaults to no faults; used by
+    /// robustness tests to confirm the watchdog still yields partial
+    /// statistics under a perturbed memory system.
+    pub faults: ChannelFaults,
 }
 
 impl Default for SimSettings {
@@ -67,6 +72,7 @@ impl Default for SimSettings {
             engines: chip.engines,
             contexts: chip.contexts,
             max_cycles: chip.max_cycles,
+            faults: chip.faults,
         }
     }
 }
@@ -78,6 +84,7 @@ impl SimSettings {
         SimConfig {
             threads: self.contexts,
             max_cycles: self.max_cycles,
+            faults: self.faults,
         }
     }
 
@@ -87,6 +94,7 @@ impl SimSettings {
             engines: self.engines,
             contexts: self.contexts,
             max_cycles: self.max_cycles,
+            faults: self.faults,
             ..ChipConfig::default()
         }
     }
@@ -269,6 +277,25 @@ impl CompileConfigBuilder {
         self
     }
 
+    /// Deterministic memory-channel fault injection for simulations
+    /// driven from this configuration.
+    #[must_use]
+    pub fn channel_faults(mut self, faults: ChannelFaults) -> Self {
+        self.sim.faults = faults;
+        self
+    }
+
+    /// What allocation does when the exact ILP cannot prove a solution
+    /// within its budget. The default, [`FallbackPolicy::Ladder`],
+    /// retries through relaxations down to a greedy allocator, so
+    /// compilation always terminates with *some* verified allocation;
+    /// [`FallbackPolicy::Fail`] restores the historical hard error.
+    #[must_use]
+    pub fn fallback_policy(mut self, policy: FallbackPolicy) -> Self {
+        self.alloc.fallback = policy;
+        self
+    }
+
     /// Skip the CPS optimizer (ablations and debugging).
     #[must_use]
     pub fn skip_opt(mut self, skip: bool) -> Self {
@@ -342,6 +369,12 @@ pub struct CompileOutput {
     pub ssu_stats: SsuStats,
     /// ILP model and solver statistics (Figures 6 and 7).
     pub alloc_stats: nova_backend::AllocStats,
+    /// Which rung of the allocation fallback ladder produced the code and
+    /// how far from proven-optimal it is. Stage 0 with
+    /// `proven_optimal` means the exact ILP finished inside its budget;
+    /// higher stages mean the build is degraded (and should be excluded
+    /// from performance-floor comparisons).
+    pub alloc_quality: AllocQuality,
     /// Machine instruction count of the final program.
     pub code_size: usize,
 }
@@ -364,6 +397,9 @@ pub enum Phase {
     Isel,
     /// ILP bank/register allocation.
     Alloc,
+    /// Post-allocation code generation: solution extraction, A/B
+    /// coloring, verification, machine-rule validation.
+    Codegen,
 }
 
 impl Phase {
@@ -377,6 +413,7 @@ impl Phase {
             Phase::Ssu => "ssu",
             Phase::Isel => "isel",
             Phase::Alloc => "alloc",
+            Phase::Codegen => "codegen",
         }
     }
 }
@@ -544,8 +581,20 @@ fn compile_pipeline(
         let _isel = obs.span("backend.isel");
         nova_backend::select(&cps).map_err(|e| CompileError::new(Phase::Isel, "E-ISEL", e))?
     };
-    let allocation = nova_backend::allocate_with(&vprog, &config.alloc, obs)
-        .map_err(|e| CompileError::new(Phase::Alloc, "E-ALLOC", e))?;
+    let allocation =
+        nova_backend::allocate_with(&vprog, &config.alloc, obs).map_err(|e| match e {
+            // Bank-assignment failures (solver or greedy constraints).
+            nova_backend::AllocError::Solver(_) | nova_backend::AllocError::Greedy(_) => {
+                CompileError::new(Phase::Alloc, "E-ALLOC", e)
+            }
+            // Downstream code generation on a feasible assignment.
+            nova_backend::AllocError::Extract(_)
+            | nova_backend::AllocError::Color(_)
+            | nova_backend::AllocError::Invalid(_)
+            | nova_backend::AllocError::Verify(_) => {
+                CompileError::new(Phase::Codegen, "E-CODEGEN", e)
+            }
+        })?;
     let code_size = allocation.prog.len();
     Ok(CompileOutput {
         prog: allocation.prog,
@@ -554,6 +603,7 @@ fn compile_pipeline(
         opt_stats,
         ssu_stats,
         alloc_stats: allocation.stats,
+        alloc_quality: allocation.quality,
         code_size,
     })
 }

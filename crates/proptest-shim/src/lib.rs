@@ -459,9 +459,10 @@ macro_rules! prop_assert_ne {
 
 /// Define property tests.
 ///
-/// Mirrors upstream syntax:
+/// Mirrors upstream syntax (illustrative, not compiled — the macro is
+/// only usable where the shim is a dev-dependency):
 ///
-/// ```ignore
+/// ```text
 /// proptest! {
 ///     #![proptest_config(ProptestConfig::with_cases(64))]
 ///     #[test]

@@ -74,6 +74,7 @@ fn main() {
                 &SimConfig {
                     threads,
                     max_cycles: 1 << 32,
+                    ..Default::default()
                 },
             )
             .expect("runs");

@@ -14,9 +14,13 @@
 #                                   and fail if it loses packets or modeled
 #                                   packets/sec drops below the floor
 #                                   (MIN_CHIP_PPS below; seconds)
+#   scripts/tier1.sh --degrade-smoke  also compile every workload under a
+#                                   50 ms solver deadline with the fallback
+#                                   ladder and fail on any compile failure
+#                                   (the never-fail contract; seconds)
 #
 # Flags combine: `scripts/tier1.sh --lint --bench-smoke --chip-smoke`
-# runs all three extras after the build and test suite.
+# runs those extras after the build and test suite.
 #
 # The test suite runs in the default (debug) profile, where
 # benchmark-sized ILP solves are marked #[ignore]; the release build is
@@ -30,15 +34,17 @@ run_lint=0
 run_bench=0
 run_bench_smoke=0
 run_chip_smoke=0
+run_degrade_smoke=0
 for arg in "$@"; do
     case "$arg" in
-        --lint)        run_lint=1 ;;
-        --bench)       run_bench=1 ;;
-        --bench-smoke) run_bench_smoke=1 ;;
-        --chip-smoke)  run_chip_smoke=1 ;;
+        --lint)          run_lint=1 ;;
+        --bench)         run_bench=1 ;;
+        --bench-smoke)   run_bench_smoke=1 ;;
+        --chip-smoke)    run_chip_smoke=1 ;;
+        --degrade-smoke) run_degrade_smoke=1 ;;
         *)
             echo "unknown flag: $arg" >&2
-            echo "usage: scripts/tier1.sh [--lint] [--bench] [--bench-smoke] [--chip-smoke]" >&2
+            echo "usage: scripts/tier1.sh [--lint] [--bench] [--bench-smoke] [--chip-smoke] [--degrade-smoke]" >&2
             exit 2
             ;;
     esac
@@ -47,8 +53,11 @@ done
 echo "== cargo build --release =="
 cargo build --release
 
-echo "== cargo test -q =="
-cargo test -q
+# --workspace: the root manifest is both a package and a workspace, so a
+# bare `cargo test` runs only the umbrella package's integration tests
+# and silently skips every member crate's own test binaries.
+echo "== cargo test -q --workspace =="
+cargo test -q --workspace
 
 if [[ "$run_lint" == 1 ]]; then
     echo "== cargo fmt --check =="
@@ -80,6 +89,11 @@ MIN_CHIP_PPS=50000
 if [[ "$run_chip_smoke" == 1 ]]; then
     echo "== chip smoke (release, 2-engine NAT, floor ${MIN_CHIP_PPS} pkt/s) =="
     cargo run --release -p bench --bin chip_smoke -- --min-pps "${MIN_CHIP_PPS}"
+fi
+
+if [[ "$run_degrade_smoke" == 1 ]]; then
+    echo "== degrade smoke (release, 50 ms deadline, fallback ladder) =="
+    cargo run --release -p bench --bin degrade_smoke
 fi
 
 echo "tier-1 OK"

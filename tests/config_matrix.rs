@@ -37,6 +37,7 @@ fn run_config(cfg: &CompileConfig, seed: [u32; 2]) -> (Vec<u32>, Vec<u32>) {
         &SimConfig {
             threads: 1,
             max_cycles: 1 << 30,
+            ..Default::default()
         },
     )
     .unwrap();

@@ -40,6 +40,7 @@ fn check_equivalence(src: &str, setup: impl Fn(&mut Machine)) {
         &SimConfig {
             threads: 1,
             max_cycles: 500_000_000,
+            ..Default::default()
         },
     )
     .unwrap_or_else(|e| panic!("simulate: {e}"));

@@ -148,7 +148,7 @@ proptest! {
         let res = simulate(
             &out.prog,
             &mut sim,
-            &SimConfig { threads: 1, max_cycles: 100_000_000 },
+            &SimConfig { threads: 1, max_cycles: 100_000_000, ..Default::default() },
         )
         .expect("sim runs");
         prop_assert_eq!(res.stop, ixp_sim::StopReason::AllHalted);
@@ -215,9 +215,9 @@ proptest! {
             mem
         };
         let mut one = build();
-        simulate(&out.prog, &mut one, &SimConfig { threads: 1, max_cycles: 1 << 30 }).unwrap();
+        simulate(&out.prog, &mut one, &SimConfig { threads: 1, max_cycles: 1 << 30, ..Default::default() }).unwrap();
         let mut four = build();
-        simulate(&out.prog, &mut four, &SimConfig { threads: 4, max_cycles: 1 << 30 }).unwrap();
+        simulate(&out.prog, &mut four, &SimConfig { threads: 4, max_cycles: 1 << 30, ..Default::default() }).unwrap();
         prop_assert_eq!(&one.sdram, &four.sdram);
         prop_assert_eq!(one.tx_log.len(), four.tx_log.len());
     }

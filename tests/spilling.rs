@@ -73,6 +73,7 @@ fn forced_spills_execute_correctly() {
         &SimConfig {
             threads: 1,
             max_cycles: 1 << 30,
+            ..Default::default()
         },
     )
     .unwrap();

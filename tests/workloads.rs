@@ -69,6 +69,7 @@ fn run_sim(
         &SimConfig {
             threads: 1,
             max_cycles: 2_000_000_000,
+            ..Default::default()
         },
     )
     .unwrap();
