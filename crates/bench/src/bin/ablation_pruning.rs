@@ -28,7 +28,7 @@ fn main() {
             cfg.prune = do_prune;
             cfg.allow_spill = true;
             cfg.spill_auto = do_prune; // the full model keeps M everywhere
-            let mut bm = build_model(&prog, &facts, &freqs, &cfg);
+            let bm = build_model(&prog, &facts, &freqs, &cfg);
             let st = bm.model.stats();
             let cands = if do_prune {
                 prune(&facts, true)

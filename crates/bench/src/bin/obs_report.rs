@@ -4,7 +4,13 @@
 //! observer, runs the result on the chip-level simulator through
 //! [`nova::simulate_chip_with`] against the same observer, and renders
 //! where the wall time and heap traffic went for each of the five
-//! pipeline stages (`frontend`, `cps`, `ilp`, `codegen`, `sim`).
+//! pipeline stages (`frontend`, `cps`, `ilp`, `codegen`, `sim`). The
+//! `ilp` stage is additionally broken down into `ilp.model` (CSR model
+//! generation), `ilp.presolve` (reductions + cutting planes), and
+//! `ilp.solve` (root relaxation + tree search) sub-rows; the `ilp`
+//! total sums its disjoint spans (`phase.ilp` facts/freq,
+//! `phase.ilp.model`, and the `phase.ilp.stage` attempts, inside which
+//! presolve/solve nest).
 //! Results land in `BENCH_phases.json` (pass a path to override); CI
 //! regenerates the file as `BENCH_phases.ci.json` and `bench_gate`
 //! diffs the deterministic counters against the checked-in baseline.
@@ -153,30 +159,56 @@ fn main() {
         let summary = rec.summary();
         let allocs = phase_alloc.totals();
 
+        let span_ms = |name: &str| summary.span(name).map_or(0.0, |s| s.total_ns as f64 / 1e6);
+        let alloc_of = |name: &str| {
+            allocs
+                .iter()
+                .find(|(n, _, _)| n == name)
+                .map_or((0, 0), |(_, bt, c)| (*bt, *c))
+        };
         let mut rows = Vec::new();
         let mut phase_json = Vec::new();
-        for phase in PHASES {
-            let span = summary
-                .span(&format!("phase.{phase}"))
-                .unwrap_or_else(|| panic!("{}: phase.{phase} never closed", b.name()));
-            let (bytes, count) = allocs
-                .iter()
-                .find(|(n, _, _)| n == phase)
-                .map_or((0, 0), |(_, bt, c)| (*bt, *c));
-            let wall_ms = span.total_ns as f64 / 1e6;
+        let mut push_row = |name: &str, wall_ms: f64, bytes: u64, count: u64| {
             let alloc_mb = bytes as f64 / (1024.0 * 1024.0);
             rows.push(vec![
-                phase.to_string(),
+                name.to_string(),
                 format!("{wall_ms:.2}"),
                 format!("{alloc_mb:.2}"),
                 format!("{count}"),
             ]);
             phase_json.push(Json::obj([
-                ("name", Json::str(phase)),
+                ("name", Json::str(name)),
                 ("wall_ms", Json::Num(wall_ms)),
                 ("alloc_mb", Json::Num(alloc_mb)),
                 ("allocs", Json::int(count as usize)),
             ]));
+        };
+        for phase in PHASES {
+            let top_ms = summary
+                .span(&format!("phase.{phase}"))
+                .map(|s| s.total_ns as f64 / 1e6)
+                .unwrap_or_else(|| panic!("{}: phase.{phase} never closed", b.name()));
+            if phase == "ilp" {
+                // The ilp phase is split across disjoint spans: liveness
+                // facts and frequencies under `phase.ilp`, CSR model
+                // generation under `phase.ilp.model`, and each ladder
+                // attempt under `phase.ilp.stage`. The solver's
+                // presolve/solve sub-spans nest *inside* the stage span,
+                // so they are reported below but not added again here.
+                let wall_ms = top_ms + span_ms("phase.ilp.model") + span_ms("phase.ilp.stage");
+                let (bytes, count) = allocs
+                    .iter()
+                    .filter(|(n, _, _)| n == "ilp" || n.starts_with("ilp."))
+                    .fold((0u64, 0u64), |(bt, ct), (_, db, dc)| (bt + db, ct + dc));
+                push_row(phase, wall_ms, bytes, count);
+                for sub in ["ilp.model", "ilp.presolve", "ilp.solve"] {
+                    let (bytes, count) = alloc_of(sub);
+                    push_row(sub, span_ms(&format!("phase.{sub}")), bytes, count);
+                }
+            } else {
+                let (bytes, count) = alloc_of(phase);
+                push_row(phase, top_ms, bytes, count);
+            }
         }
         println!("{}:", b.name());
         println!(

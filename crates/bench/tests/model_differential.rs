@@ -1,0 +1,190 @@
+//! Corpus-level differential tests for the ILP-phase hot path: the
+//! CSR/`RowBuilder` model generator must produce exactly the model the
+//! old `LinExpr` expression-tree path would have, and presolve (with or
+//! without cutting planes) must never change the reported optimum on
+//! the real allocation models.
+//!
+//! The small NAT model is solved for real at 1, 2, and 4 worker
+//! threads in every build; the benchmark-sized AES/Kasumi solves run
+//! only in release builds (`cargo test --release -p bench`) and are
+//! `#[ignore]`d in debug, following the tier-1 convention for
+//! solver-heavy tests. Structural equality — which is what the CSR
+//! rewrite could plausibly break — is checked for all three programs in
+//! every build.
+
+use bench::Benchmark;
+use ilp::{solve_milp, BranchConfig, LinExpr, Problem, Sense, VarKind};
+use nova::CompileConfig;
+use nova_backend::alloc::build_model;
+
+/// Build the allocation MILP for one benchmark program exactly the way
+/// the staged allocator does: the fully optimized pipeline CPS, pruned
+/// candidates, and the automatic spill-machinery drop when register
+/// pressure provably fits the general-purpose banks.
+fn corpus_problem(b: Benchmark) -> Problem {
+    let out = bench::compile(b, &CompileConfig::default());
+    let prog = nova_backend::select(&out.cps).unwrap();
+    let facts = nova_backend::alloc::build_facts(&prog);
+    let freqs = nova_backend::freq::estimate(&prog);
+    let mut cfg = CompileConfig::default().alloc;
+    let pressure = facts.exists.values().map(|s| s.len()).max().unwrap_or(0);
+    if cfg.allow_spill && cfg.spill_auto && pressure + 4 <= cfg.k_a + cfg.k_b {
+        cfg.allow_spill = false;
+    }
+    let mut bm = build_model(&prog, &facts, &freqs, &cfg);
+    bm.model.problem().clone()
+}
+
+/// Reconstruct `p` through the `LinExpr` compatibility path
+/// (`add_constraint`/`add_lazy_constraint`), term by term, from the CSR
+/// row views. If the streaming `RowBuilder` path dropped, merged, or
+/// reordered anything, the rebuilt problem diverges and the structural
+/// and solve comparisons below catch it.
+fn rebuild_via_linexpr(p: &Problem) -> Problem {
+    let mut q = match p.sense() {
+        Sense::Minimize => Problem::minimize(),
+        Sense::Maximize => Problem::maximize(),
+    };
+    let vars: Vec<_> = p
+        .var_datas()
+        .iter()
+        .map(|d| match d.kind {
+            VarKind::Integer if d.lower == 0.0 && d.upper == 1.0 => q.add_binary(d.name.clone()),
+            VarKind::Integer => q.add_int_var(d.name.clone(), d.lower, d.upper),
+            VarKind::Continuous => q.add_var(d.name.clone(), d.lower, d.upper),
+        })
+        .collect();
+    for i in 0..p.num_constraints() {
+        let r = p.row_view(i);
+        let mut e = LinExpr::new();
+        for (&c, &v) in r.cols.iter().zip(r.vals) {
+            e.add_term(vars[c as usize], v);
+        }
+        if r.lazy {
+            q.add_lazy_constraint(format!("r{i}"), e, r.cmp, r.rhs);
+        } else {
+            q.add_constraint(format!("r{i}"), e, r.cmp, r.rhs);
+        }
+    }
+    q.set_objective(p.objective().clone());
+    q
+}
+
+/// Row-for-row, coefficient-for-coefficient equality.
+fn assert_structurally_equal(p: &Problem, q: &Problem, what: &str) {
+    assert_eq!(p.num_vars(), q.num_vars(), "{what}: variable count");
+    assert_eq!(
+        p.num_constraints(),
+        q.num_constraints(),
+        "{what}: row count"
+    );
+    assert_eq!(p.num_nonzeros(), q.num_nonzeros(), "{what}: nonzeros");
+    for i in 0..p.num_constraints() {
+        let (a, b) = (p.row_view(i), q.row_view(i));
+        assert_eq!(a.cols, b.cols, "{what}: row {i} columns");
+        assert_eq!(a.vals, b.vals, "{what}: row {i} coefficients");
+        assert_eq!(a.cmp, b.cmp, "{what}: row {i} comparison");
+        assert_eq!(a.rhs, b.rhs, "{what}: row {i} rhs");
+        assert_eq!(a.lazy, b.lazy, "{what}: row {i} lazy flag");
+    }
+}
+
+fn exact(threads: usize) -> BranchConfig {
+    let mut cfg = BranchConfig::default().with_threads(threads);
+    cfg.relative_gap = 0.0;
+    cfg
+}
+
+/// Solve both problems at 1/2/4 threads and demand the same objective
+/// (exact gap ⇒ the optimum is unique) and mutually feasible solutions.
+fn assert_same_solve(p: &Problem, q: &Problem, what: &str) {
+    for threads in [1usize, 2, 4] {
+        let a = solve_milp(p, &exact(threads))
+            .unwrap_or_else(|e| panic!("{what}: CSR model at {threads} threads: {e}"));
+        let b = solve_milp(q, &exact(threads))
+            .unwrap_or_else(|e| panic!("{what}: rebuilt model at {threads} threads: {e}"));
+        assert!(
+            (a.objective - b.objective).abs() < 1e-6,
+            "{what} at {threads} threads: CSR {} vs expr-tree {}",
+            a.objective,
+            b.objective
+        );
+        assert!(p.is_feasible(&b.values, 1e-6), "{what}: cross-feasibility");
+        assert!(q.is_feasible(&a.values, 1e-6), "{what}: cross-feasibility");
+    }
+}
+
+/// Presolve on, presolve off, and cuts off must agree on the optimum,
+/// and every reported solution must satisfy the *original* model (the
+/// postsolve contract: columns are never renumbered).
+fn assert_presolve_transparent(p: &Problem, what: &str) {
+    for threads in [1usize, 2, 4] {
+        let on = solve_milp(p, &exact(threads))
+            .unwrap_or_else(|e| panic!("{what}: presolve on at {threads} threads: {e}"));
+        let off = solve_milp(p, &exact(threads).with_presolve(false))
+            .unwrap_or_else(|e| panic!("{what}: presolve off at {threads} threads: {e}"));
+        let no_cuts = solve_milp(p, &exact(threads).with_cuts(false))
+            .unwrap_or_else(|e| panic!("{what}: cuts off at {threads} threads: {e}"));
+        for (label, got) in [("presolve off", &off), ("cuts off", &no_cuts)] {
+            assert!(
+                (on.objective - got.objective).abs() < 1e-6,
+                "{what} at {threads} threads: {label} gave {} vs {}",
+                got.objective,
+                on.objective
+            );
+        }
+        for (label, got) in [("presolve on", &on), ("presolve off", &off)] {
+            assert!(
+                p.is_feasible(&got.values, 1e-6),
+                "{what} at {threads} threads: {label} solution violates the original model"
+            );
+        }
+    }
+}
+
+#[test]
+fn csr_build_matches_expr_tree_structurally_across_corpus() {
+    for b in Benchmark::ALL {
+        let p = corpus_problem(b);
+        let q = rebuild_via_linexpr(&p);
+        assert_structurally_equal(&p, &q, b.name());
+    }
+}
+
+#[test]
+fn nat_csr_and_expr_tree_models_solve_identically() {
+    let p = corpus_problem(Benchmark::Nat);
+    let q = rebuild_via_linexpr(&p);
+    assert_same_solve(&p, &q, "NAT");
+}
+
+#[test]
+fn nat_presolve_and_cuts_are_transparent() {
+    let p = corpus_problem(Benchmark::Nat);
+    assert_presolve_transparent(&p, "NAT");
+}
+
+#[test]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "benchmark-sized solves; run with --release"
+)]
+fn aes_kasumi_csr_and_expr_tree_models_solve_identically() {
+    for b in [Benchmark::Aes, Benchmark::Kasumi] {
+        let p = corpus_problem(b);
+        let q = rebuild_via_linexpr(&p);
+        assert_same_solve(&p, &q, b.name());
+    }
+}
+
+#[test]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "benchmark-sized solves; run with --release"
+)]
+fn aes_kasumi_presolve_and_cuts_are_transparent() {
+    for b in [Benchmark::Aes, Benchmark::Kasumi] {
+        let p = corpus_problem(b);
+        assert_presolve_transparent(&p, b.name());
+    }
+}

@@ -31,7 +31,8 @@
 //! Termination uses the paper's gap: CPLEX was run "within 0.01 % of
 //! optimal" (§11), so the default relative gap is `1e-4`.
 
-use crate::problem::{Cmp, Constraint, Problem, Sense, VarKind};
+use crate::presolve::presolve;
+use crate::problem::{Problem, Sense, VarKind};
 use crate::simplex::{KernelKind, KernelStats, LpError, LpSolution, Simplex};
 use std::cmp::Ordering as CmpOrdering;
 use std::collections::BinaryHeap;
@@ -85,6 +86,15 @@ pub struct BranchConfig {
     /// configuration builder, not here, so parallel differential runs
     /// cannot race on the environment.
     pub kernel: Option<KernelKind>,
+    /// Run the full [`crate::presolve`] reduction (singletons, bound
+    /// tightening, substitution, domination) before the tree search.
+    /// Disabling it keeps every row in the model — useful for differential
+    /// testing; the reported objective must not change.
+    pub presolve: bool,
+    /// Generate cover cuts during presolve (no effect when `presolve` is
+    /// off). Cuts only strengthen the LP relaxation; the integer feasible
+    /// set is untouched.
+    pub cuts: bool,
 }
 
 impl Default for BranchConfig {
@@ -98,6 +108,8 @@ impl Default for BranchConfig {
             fathom_rel: 1e-9,
             threads: 0,
             kernel: None,
+            presolve: true,
+            cuts: true,
         }
     }
 }
@@ -115,6 +127,20 @@ impl BranchConfig {
     #[must_use]
     pub fn with_kernel(mut self, kernel: Option<KernelKind>) -> Self {
         self.kernel = kernel;
+        self
+    }
+
+    /// Builder-style presolve toggle.
+    #[must_use]
+    pub fn with_presolve(mut self, presolve: bool) -> Self {
+        self.presolve = presolve;
+        self
+    }
+
+    /// Builder-style cover-cut toggle.
+    #[must_use]
+    pub fn with_cuts(mut self, cuts: bool) -> Self {
+        self.cuts = cuts;
         self
     }
 
@@ -200,8 +226,10 @@ pub struct SolveStats {
     pub simplex_iterations: usize,
     /// Lazy constraints activated into working LPs (summed over workers).
     pub activated_rows: usize,
-    /// Rows removed by singleton presolve.
+    /// Rows removed by presolve (singletons, redundant, dominated).
     pub presolved_rows: usize,
+    /// Cover-cut rows presolve appended to the working model.
+    pub cuts_added: usize,
     /// Final proven relative gap (0 when optimal).
     pub gap: f64,
     /// True if the search proved optimality within the configured gap.
@@ -254,11 +282,18 @@ impl SolveStats {
     }
 }
 
-/// An open node of the search tree: a box of variable bounds plus the
-/// parent's LP bound (minimization form).
+/// An open node of the search tree: the branching decisions that produced
+/// it plus the parent's LP bound (minimization form).
+///
+/// Bounds are stored as a *sparse delta* against the root box — one
+/// `(var, lo, hi)` override per branching decision on the path from the
+/// root — and materialized into a worker-local dense buffer just before
+/// the node's LP solve. The dense representation used to dominate the
+/// solver's allocation profile: two `n`-sized vectors per child on a
+/// multi-thousand-variable model.
 struct OpenNode {
-    lo: Vec<f64>,
-    hi: Vec<f64>,
+    /// Bound overrides in root→leaf order (later entries win).
+    fixes: Vec<(u32, f64, f64)>,
     bound: f64,
     depth: usize,
     /// Creation order; breaks frontier ties so the dive child of a pair is
@@ -297,10 +332,13 @@ struct Frontier {
     done: bool,
 }
 
-/// State shared by the worker threads of one solve.
+/// State shared by the worker threads of one solve. `problem` is the
+/// *working* problem: the presolve-reduced model when presolve ran, the
+/// caller's model otherwise (same variable columns either way).
 struct Shared<'a> {
     problem: &'a Problem,
-    all: &'a [Constraint],
+    root_lo: &'a [f64],
+    root_hi: &'a [f64],
     config: &'a BranchConfig,
     int_vars: &'a [usize],
     obj_coeff: &'a [f64],
@@ -423,84 +461,81 @@ fn to_min(minimize: bool, v: f64) -> f64 {
     }
 }
 
-/// Output of singleton-row presolve: tightened root bounds plus the
-/// partition of the surviving rows into the working LP (`core`) and the
-/// lazily activated set (`lazy`).
-struct Presolved {
+/// The working model of one solve: the (optionally presolve-reduced)
+/// problem, root bounds, and the core/lazy row partition.
+struct Prepared {
+    /// The reduced problem when presolve ran; `None` means "use the
+    /// caller's problem unchanged".
+    reduced: Option<Box<Problem>>,
     lo: Vec<f64>,
     hi: Vec<f64>,
     core: Vec<usize>,
     lazy: Vec<usize>,
 }
 
-/// Singleton rows become bound changes and leave the LP entirely; integer
-/// bounds are rounded inward. Counts eliminated rows into
-/// `stats.presolved_rows`.
-fn presolve(
+impl Prepared {
+    fn problem<'a>(&'a self, original: &'a Problem) -> &'a Problem {
+        self.reduced.as_deref().unwrap_or(original)
+    }
+}
+
+/// Run (or skip, per `config.presolve`) the [`crate::presolve`] reduction
+/// and set up root bounds with inward integer rounding. Row-drop and cut
+/// counters land in `stats`.
+fn prepare(
     problem: &Problem,
-    int_vars: &[usize],
+    config: &BranchConfig,
     stats: &mut SolveStats,
-) -> Result<Presolved, MilpError> {
+) -> Result<Prepared, MilpError> {
+    if config.presolve {
+        let red = presolve(problem, config.cuts).map_err(|_| MilpError::Infeasible)?;
+        stats.presolved_rows = red.stats.rows_dropped;
+        stats.cuts_added = red.stats.cuts_added;
+        let lo = red.problem.vars.iter().map(|d| d.lower).collect();
+        let hi = red.problem.vars.iter().map(|d| d.upper).collect();
+        return Ok(Prepared {
+            lo,
+            hi,
+            core: red.core,
+            lazy: red.lazy,
+            reduced: Some(Box::new(red.problem)),
+        });
+    }
     let mut lo: Vec<f64> = problem.vars.iter().map(|d| d.lower).collect();
     let mut hi: Vec<f64> = problem.vars.iter().map(|d| d.upper).collect();
-    let mut core: Vec<usize> = Vec::new();
-    let mut lazy: Vec<usize> = Vec::new();
-    for (i, c) in problem.constraints.iter().enumerate() {
-        if c.expr.terms.len() == 1 {
-            let (v, a) = c.expr.terms[0];
-            let j = v.index();
-            if a == 0.0 {
-                let ok = match c.cmp {
-                    Cmp::Le => 0.0 <= c.rhs + 1e-9,
-                    Cmp::Ge => 0.0 >= c.rhs - 1e-9,
-                    Cmp::Eq => c.rhs.abs() <= 1e-9,
-                };
-                if !ok {
-                    return Err(MilpError::Infeasible);
-                }
-                stats.presolved_rows += 1;
-                continue;
-            }
-            let bound = c.rhs / a;
-            match (c.cmp, a > 0.0) {
-                (Cmp::Le, true) | (Cmp::Ge, false) => hi[j] = hi[j].min(bound),
-                (Cmp::Ge, true) | (Cmp::Le, false) => lo[j] = lo[j].max(bound),
-                (Cmp::Eq, _) => {
-                    lo[j] = lo[j].max(bound);
-                    hi[j] = hi[j].min(bound);
-                }
-            }
-            if lo[j] > hi[j] + 1e-9 {
+    for (j, d) in problem.vars.iter().enumerate() {
+        if d.kind == VarKind::Integer {
+            lo[j] = lo[j].ceil();
+            hi[j] = hi[j].floor();
+            if lo[j] > hi[j] {
                 return Err(MilpError::Infeasible);
             }
-            stats.presolved_rows += 1;
-            continue;
         }
-        if c.lazy {
+    }
+    let mut core = Vec::new();
+    let mut lazy = Vec::new();
+    for i in 0..problem.num_constraints() {
+        if problem.row_view(i).lazy {
             lazy.push(i);
         } else {
             core.push(i);
         }
     }
-    // Integer bound rounding.
-    for &j in int_vars {
-        lo[j] = lo[j].ceil();
-        hi[j] = hi[j].floor();
-        if lo[j] > hi[j] {
-            return Err(MilpError::Infeasible);
-        }
-    }
-    Ok(Presolved { lo, hi, core, lazy })
+    Ok(Prepared {
+        reduced: None,
+        lo,
+        hi,
+        core,
+        lazy,
+    })
 }
 
 /// Solve an LP (warm when possible), activating violated lazy rows via
 /// incremental row addition + dual-simplex repair. Returns the clean
 /// solution and whether the *first* resolve of the node stayed on the
 /// warm dual-simplex path.
-#[allow(clippy::too_many_arguments)]
 fn solve_lazy(
     problem: &Problem,
-    all: &[Constraint],
     simplex: &mut Simplex,
     lazy: &mut Vec<usize>,
     pivots: &mut usize,
@@ -515,7 +550,7 @@ fn solve_lazy(
         *pivots += sol.iterations;
         let mut newly: Vec<usize> = Vec::new();
         lazy.retain(|&i| {
-            if problem.violation(&all[i], &sol.values) > viol_tol {
+            if problem.violation(i, &sol.values) > viol_tol {
                 newly.push(i);
                 false
             } else {
@@ -526,8 +561,7 @@ fn solve_lazy(
             return Ok((sol, was_warm));
         }
         *activated += newly.len();
-        let rows: Vec<&Constraint> = newly.iter().map(|&i| &all[i]).collect();
-        simplex.add_rows(&rows);
+        simplex.add_rows(problem, &newly);
         sol = simplex.resolve_with_bounds(lo, hi)?;
     }
 }
@@ -545,6 +579,10 @@ fn worker(
     let mut local: Option<OpenNode> = None;
     let mut nodes_done = 0usize;
     let mut busy = Duration::ZERO;
+    // Dense bound buffers, reused across every node this worker solves;
+    // each node's sparse fixes are materialized on top of the root box.
+    let mut lo_buf: Vec<f64> = Vec::with_capacity(shared.root_lo.len());
+    let mut hi_buf: Vec<f64> = Vec::with_capacity(shared.root_hi.len());
     loop {
         if shared.stop.load(Ordering::Acquire) {
             if let Some(node) = local.take() {
@@ -586,17 +624,24 @@ fn worker(
             busy += t0.elapsed();
             break;
         }
+        lo_buf.clear();
+        lo_buf.extend_from_slice(shared.root_lo);
+        hi_buf.clear();
+        hi_buf.extend_from_slice(shared.root_hi);
+        for &(j, l, h) in &node.fixes {
+            lo_buf[j as usize] = l;
+            hi_buf[j as usize] = h;
+        }
         let mut pivots = 0usize;
         let mut activated = 0usize;
         let result = solve_lazy(
             shared.problem,
-            shared.all,
             &mut simplex,
             &mut lazy,
             &mut pivots,
             &mut activated,
-            &node.lo,
-            &node.hi,
+            &lo_buf,
+            &hi_buf,
         );
         shared.pivots.fetch_add(pivots, Ordering::Relaxed);
         shared.activated.fetch_add(activated, Ordering::Relaxed);
@@ -648,10 +693,11 @@ fn worker(
                 }
                 let (dive, other) = make_children(
                     shared,
-                    &node.lo,
-                    &node.hi,
+                    &node.fixes,
                     j,
                     sol.values[j],
+                    lo_buf[j],
+                    hi_buf[j],
                     bound,
                     node.depth + 1,
                 );
@@ -682,11 +728,14 @@ fn frac_var(int_vars: &[usize], x: &[f64], int_tol: f64, obj_coeff: &[f64]) -> O
     best.map(|(j, _)| j)
 }
 
-/// [`solve_milp`] with structured telemetry: after the solve (successful
+/// [`solve_milp`] with structured telemetry: the presolve reduction runs
+/// under a `phase.ilp.presolve` span and the root relaxation plus tree
+/// search under `phase.ilp.solve`, so per-sub-phase wall time and heap
+/// attribution land where the work happens; after the solve (successful
 /// or budget-exhausted) the search's [`SolveStats`] are published to
 /// `obs` as `ilp.*` counters plus `ilp.root` / `ilp.solve` spans. All
-/// emission happens once, after the tree search — the pivot and node hot
-/// loops are untouched, so a no-op observer costs one branch per solve.
+/// emission happens outside the pivot and node hot loops, so a no-op
+/// observer costs one branch per solve.
 ///
 /// # Errors
 ///
@@ -696,7 +745,7 @@ pub fn solve_milp_with(
     config: &BranchConfig,
     obs: &nova_obs::Obs,
 ) -> Result<MilpSolution, MilpError> {
-    let res = solve_milp(problem, config);
+    let res = solve_milp_inner(problem, config, obs);
     if obs.enabled() {
         match &res {
             Ok(sol) => emit_stats(obs, &sol.stats),
@@ -717,6 +766,7 @@ fn emit_stats(obs: &nova_obs::Obs, s: &SolveStats) {
     obs.counter("ilp.eta_pivots", s.eta_pivots as u64);
     obs.counter("ilp.activated_rows", s.activated_rows as u64);
     obs.counter("ilp.presolved_rows", s.presolved_rows as u64);
+    obs.counter("ilp.cuts_added", s.cuts_added as u64);
     obs.counter("ilp.warm_hits", s.warm_hits as u64);
     obs.counter("ilp.warm_misses", s.warm_misses as u64);
     obs.sample("ilp.pivots_per_sec", s.pivots_per_sec());
@@ -739,33 +789,46 @@ fn emit_stats(obs: &nova_obs::Obs, s: &SolveStats) {
 /// the rounded point is infeasible; other [`MilpError`] variants as for
 /// [`solve_milp`].
 pub fn solve_rounded(problem: &Problem, config: &BranchConfig) -> Result<MilpSolution, MilpError> {
+    solve_rounded_inner(problem, config, &nova_obs::Obs::noop())
+}
+
+fn solve_rounded_inner(
+    problem: &Problem,
+    config: &BranchConfig,
+    obs: &nova_obs::Obs,
+) -> Result<MilpSolution, MilpError> {
     let start = Instant::now();
     let deadline = config.time_limit.map(|l| start + l);
     let minimize = problem.sense == Sense::Minimize;
-    let int_vars: Vec<usize> = problem
+    let mut stats = SolveStats {
+        threads: 1,
+        per_thread_nodes: vec![0],
+        ..SolveStats::default()
+    };
+    let pre = {
+        let _span = obs.span("phase.ilp.presolve");
+        prepare(problem, config, &mut stats)
+    }?;
+    // Emits on drop at whichever return the root solve + rounding reaches.
+    let _solve_span = obs.span("phase.ilp.solve");
+    let work = pre.problem(problem);
+    let int_vars: Vec<usize> = work
         .vars
         .iter()
         .enumerate()
         .filter(|(_, d)| d.kind == VarKind::Integer)
         .map(|(i, _)| i)
         .collect();
-    let mut stats = SolveStats {
-        threads: 1,
-        per_thread_nodes: vec![0],
-        ..SolveStats::default()
-    };
-    let pre = presolve(problem, &int_vars, &mut stats)?;
     let kernel = config.effective_kernel();
     stats.kernel = kernel.as_str().to_string();
-    let mut simplex = Simplex::with_rows_kernel(problem, Some(&pre.core), kernel);
+    let mut simplex = Simplex::with_rows_kernel(work, Some(&pre.core), kernel);
     simplex.set_deadline(deadline);
-    let mut lazy = pre.lazy;
+    let mut lazy = pre.lazy.clone();
     let root_start = Instant::now();
     let mut pivots = 0usize;
     let mut activated = 0usize;
     let root = match solve_lazy(
-        problem,
-        &problem.constraints,
+        work,
         &mut simplex,
         &mut lazy,
         &mut pivots,
@@ -803,7 +866,7 @@ pub fn solve_rounded(problem: &Problem, config: &BranchConfig) -> Result<MilpSol
             stats,
         });
     }
-    match round_heuristic(problem, &root.values, config.int_tol) {
+    match round_heuristic(work, &root.values, config.int_tol) {
         Some(x) => {
             let objective = problem.objective_value(&x);
             let obj_min = to_min(minimize, objective);
@@ -836,7 +899,7 @@ pub fn solve_rounded_with(
     config: &BranchConfig,
     obs: &nova_obs::Obs,
 ) -> Result<MilpSolution, MilpError> {
-    let res = solve_rounded(problem, config);
+    let res = solve_rounded_inner(problem, config, obs);
     if obs.enabled() {
         match &res {
             Ok(sol) => emit_stats(obs, &sol.stats),
@@ -858,38 +921,50 @@ pub fn solve_rounded_with(
 /// Propagates panics from worker threads (poisoned shared state is
 /// unreachable otherwise).
 pub fn solve_milp(problem: &Problem, config: &BranchConfig) -> Result<MilpSolution, MilpError> {
+    solve_milp_inner(problem, config, &nova_obs::Obs::noop())
+}
+
+fn solve_milp_inner(
+    problem: &Problem,
+    config: &BranchConfig,
+    obs: &nova_obs::Obs,
+) -> Result<MilpSolution, MilpError> {
     let start = Instant::now();
     let deadline = config.time_limit.map(|l| start + l);
     let minimize = problem.sense == Sense::Minimize;
 
-    let int_vars: Vec<usize> = problem
+    // ---- presolve: forced reductions + optional cuts ----
+    let mut stats = SolveStats::default();
+    let pre = {
+        let _span = obs.span("phase.ilp.presolve");
+        prepare(problem, config, &mut stats)
+    }?;
+    // Emits on drop at whichever return the root solve + search reaches.
+    let _solve_span = obs.span("phase.ilp.solve");
+    let work = pre.problem(problem);
+    let root_lo = &pre.lo;
+    let root_hi = &pre.hi;
+    let core = &pre.core;
+    let mut lazy = pre.lazy.clone();
+
+    let int_vars: Vec<usize> = work
         .vars
         .iter()
         .enumerate()
         .filter(|(_, d)| d.kind == VarKind::Integer)
         .map(|(i, _)| i)
         .collect();
-    let mut obj_coeff: Vec<f64> = vec![0.0; problem.vars.len()];
-    for &(v, c) in &problem.objective.terms {
+    let mut obj_coeff: Vec<f64> = vec![0.0; work.vars.len()];
+    for &(v, c) in &work.objective.terms {
         obj_coeff[v.index()] += c.abs();
     }
 
-    // ---- presolve: singleton rows become bounds ----
-    let mut stats = SolveStats::default();
-    let Presolved {
-        lo: root_lo,
-        hi: root_hi,
-        core,
-        mut lazy,
-    } = presolve(problem, &int_vars, &mut stats)?;
-
     // ---- root relaxation on the core rows, activating lazy rows ----
-    let all: &[Constraint] = &problem.constraints;
     let threads = config.effective_threads();
     stats.threads = threads;
     let kernel = config.effective_kernel();
     stats.kernel = kernel.as_str().to_string();
-    let mut simplex = Simplex::with_rows_kernel(problem, Some(&core), kernel);
+    let mut simplex = Simplex::with_rows_kernel(work, Some(core), kernel);
     simplex.set_deadline(deadline);
 
     let lazy_before = lazy.clone();
@@ -897,14 +972,13 @@ pub fn solve_milp(problem: &Problem, config: &BranchConfig) -> Result<MilpSoluti
     let mut root_pivots = 0usize;
     let mut root_activated = 0usize;
     let root = match solve_lazy(
-        problem,
-        all,
+        work,
         &mut simplex,
         &mut lazy,
         &mut root_pivots,
         &mut root_activated,
-        &root_lo,
-        &root_hi,
+        root_lo,
+        root_hi,
     ) {
         Ok((s, _)) => s,
         Err(LpError::Infeasible) => return Err(MilpError::Infeasible),
@@ -923,7 +997,7 @@ pub fn solve_milp(problem: &Problem, config: &BranchConfig) -> Result<MilpSoluti
     stats.activated_rows += root_activated;
     stats.nodes = 1;
 
-    let root_incumbent = round_heuristic(problem, &root.values, config.int_tol)
+    let root_incumbent = round_heuristic(work, &root.values, config.int_tol)
         .map(|x| (to_min(minimize, problem.objective_value(&x)), x));
 
     // Root already integral: done without spawning anything.
@@ -942,8 +1016,9 @@ pub fn solve_milp(problem: &Problem, config: &BranchConfig) -> Result<MilpSoluti
 
     // ---- parallel tree search ----
     let shared = Shared {
-        problem,
-        all,
+        problem: work,
+        root_lo,
+        root_hi,
         config,
         int_vars: &int_vars,
         obj_coeff: &obj_coeff,
@@ -976,10 +1051,11 @@ pub fn solve_milp(problem: &Problem, config: &BranchConfig) -> Result<MilpSoluti
             .expect("checked fractional above");
         let (dive, other) = make_children(
             &shared,
-            &root_lo,
-            &root_hi,
+            &[],
             j,
             root.values[j],
+            root_lo[j],
+            root_hi[j],
             to_min(minimize, root.objective),
             1,
         );
@@ -1010,7 +1086,7 @@ pub fn solve_milp(problem: &Problem, config: &BranchConfig) -> Result<MilpSoluti
             continue;
         }
         setups.push((
-            Simplex::with_rows_kernel(problem, Some(&worker_rows), kernel),
+            Simplex::with_rows_kernel(work, Some(&worker_rows), kernel),
             lazy_remaining.clone(),
         ));
     }
@@ -1099,34 +1175,35 @@ fn prune_margin(incumbent: f64, cfg: &BranchConfig) -> f64 {
 
 /// Build both children of branching on `x_j`, returning `(dive, other)`
 /// where `dive` is the child nearer the LP value (explored locally first
-/// for early incumbents).
+/// for early incumbents). Children extend the parent's sparse fix list by
+/// one override; `cur_lo`/`cur_hi` are the parent's materialized bounds of
+/// `x_j`, preserved on the side the branch does not clamp.
+#[allow(clippy::too_many_arguments)]
 fn make_children(
     shared: &Shared<'_>,
-    lo: &[f64],
-    hi: &[f64],
+    parent_fixes: &[(u32, f64, f64)],
     j: usize,
     xj: f64,
+    cur_lo: f64,
+    cur_hi: f64,
     bound: f64,
     depth: usize,
 ) -> (OpenNode, OpenNode) {
     let floor = xj.floor();
     let ceil = xj.ceil();
-    let mut down = OpenNode {
-        lo: lo.to_vec(),
-        hi: hi.to_vec(),
-        bound,
-        depth,
-        seq: 0,
+    let child = |lo_j: f64, hi_j: f64| {
+        let mut fixes = Vec::with_capacity(parent_fixes.len() + 1);
+        fixes.extend_from_slice(parent_fixes);
+        fixes.push((j as u32, lo_j, hi_j));
+        OpenNode {
+            fixes,
+            bound,
+            depth,
+            seq: 0,
+        }
     };
-    down.hi[j] = floor;
-    let mut up = OpenNode {
-        lo: lo.to_vec(),
-        hi: hi.to_vec(),
-        bound,
-        depth,
-        seq: 0,
-    };
-    up.lo[j] = ceil;
+    let down = child(cur_lo, floor);
+    let up = child(ceil, cur_hi);
     let (mut dive, mut other) = if xj - floor <= ceil - xj {
         (down, up)
     } else {
@@ -1216,7 +1293,9 @@ mod tests {
         p.add_constraint("cap", LinExpr::from(x) + y, Cmp::Le, 1.0);
         p.set_objective(-1.0 * x - 1.0 * y);
         let s = solve_milp(&p, &cfg()).unwrap();
-        assert_eq!(s.stats.presolved_rows, 1);
+        // The full presolve fixes x=1 and then y=0 by substitution, so both
+        // rows leave the model.
+        assert!(s.stats.presolved_rows >= 1);
         assert!((s.values[0] - 1.0).abs() < 1e-6);
         assert!((s.values[1] - 0.0).abs() < 1e-6);
     }
@@ -1371,6 +1450,40 @@ mod tests {
                     }
                     (Err(MilpError::Infeasible), Err(MilpError::Infeasible)) => {}
                     (a, b) => panic!("trial {trial}: serial {a:?} vs {t} threads {b:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn presolve_differential_same_objective() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(23);
+        for trial in 0..15 {
+            let p = random_binary_problem(&mut rng, 9);
+            let base = BranchConfig {
+                relative_gap: 0.0,
+                ..BranchConfig::default()
+            }
+            .with_threads(1);
+            let on = solve_milp(&p, &base.clone());
+            let off = solve_milp(&p, &base.clone().with_presolve(false));
+            let no_cuts = solve_milp(&p, &base.clone().with_cuts(false));
+            for (label, got) in [("presolve off", &off), ("cuts off", &no_cuts)] {
+                match (&on, got) {
+                    (Ok(a), Ok(b)) => {
+                        assert!(
+                            (a.objective - b.objective).abs() < 1e-6,
+                            "trial {trial}: {label} gave {} vs {}",
+                            b.objective,
+                            a.objective
+                        );
+                        assert!(p.is_feasible(&a.values, 1e-6), "trial {trial}");
+                        assert!(p.is_feasible(&b.values, 1e-6), "trial {trial}");
+                    }
+                    (Err(MilpError::Infeasible), Err(MilpError::Infeasible)) => {}
+                    (a, b) => panic!("trial {trial}: {label}: {a:?} vs {b:?}"),
                 }
             }
         }

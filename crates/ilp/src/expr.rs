@@ -81,8 +81,21 @@ impl LinExpr {
         self
     }
 
+    /// True when terms are strictly sorted by variable with no zero
+    /// coefficients — i.e. [`LinExpr::normalize`] would be a no-op.
+    fn is_normalized(&self) -> bool {
+        self.terms.windows(2).all(|w| w[0].0 < w[1].0) && self.terms.iter().all(|&(_, c)| c != 0.0)
+    }
+
     /// Merge duplicate variables and drop zero coefficients.
+    ///
+    /// Already-normalized expressions are detected with a linear scan and
+    /// returned untouched, so re-normalizing (e.g. an objective installed
+    /// repeatedly across solver stages) costs O(n) instead of a sort.
     pub fn normalize(&mut self) {
+        if self.is_normalized() {
+            return;
+        }
         if self.terms.len() > 1 {
             self.terms.sort_by_key(|&(v, _)| v);
             let mut out: Vec<(Var, f64)> = Vec::with_capacity(self.terms.len());

@@ -34,6 +34,7 @@
 mod branch;
 mod expr;
 mod model;
+mod presolve;
 mod problem;
 mod simplex;
 
@@ -43,5 +44,6 @@ pub use branch::{
 };
 pub use expr::{LinExpr, Var};
 pub use model::{Family, Key, Model, ModelStats};
-pub use problem::{Cmp, Constraint, Problem, Sense, VarData, VarKind};
+pub use presolve::{presolve, Infeasible, PresolveStats, Presolved};
+pub use problem::{Cmp, GroupId, Problem, Row, RowBuilder, Sense, VarData, VarKind};
 pub use simplex::{KernelKind, KernelStats, LpError, LpSolution, Simplex};

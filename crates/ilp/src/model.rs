@@ -20,7 +20,7 @@
 //!   Figure-6/Figure-7 model-size tables.
 
 use crate::expr::{LinExpr, Var};
-use crate::problem::{Cmp, Problem};
+use crate::problem::{Cmp, GroupId, Problem, RowBuilder};
 use std::collections::HashMap;
 use std::fmt::Write as _;
 
@@ -98,7 +98,6 @@ struct FamilyData {
 pub struct Model {
     problem: Problem,
     families: Vec<FamilyData>,
-    group_counts: HashMap<String, usize>,
     objective: LinExpr,
 }
 
@@ -123,7 +122,6 @@ impl Model {
         Model {
             problem: Problem::minimize(),
             families: Vec::new(),
-            group_counts: HashMap::new(),
             objective: LinExpr::new(),
         }
     }
@@ -242,27 +240,40 @@ impl Model {
         self.families[fam.0].entries.keys()
     }
 
+    /// Intern a constraint group name on the underlying problem. Rows
+    /// created under the returned id are counted and displayed per group
+    /// without allocating a name per constraint.
+    pub fn group(&mut self, name: &str) -> GroupId {
+        self.problem.group(name)
+    }
+
+    /// Begin streaming a constraint row under a previously interned group
+    /// (the zero-copy path; see [`crate::Problem::row`]).
+    pub fn row(&mut self, g: GroupId) -> RowBuilder<'_> {
+        self.problem.row(g)
+    }
+
     /// Add a named constraint.
     pub fn constrain(&mut self, group: &str, expr: LinExpr, cmp: Cmp, rhs: f64) {
-        let n = *self
-            .group_counts
-            .entry(group.to_string())
-            .and_modify(|n| *n += 1)
-            .or_insert(1);
-        self.problem
-            .add_constraint(format!("{group}#{n}"), expr, cmp, rhs);
+        let g = self.problem.group(group);
+        let mut b = self.problem.row(g);
+        for &(v, c) in &expr.terms {
+            b.term(v, c);
+        }
+        b.constant(expr.constant);
+        b.finish(cmp, rhs);
     }
 
     /// Add a named lazy constraint (activated by the solver only when
     /// violated; see [`crate::Problem::add_lazy_constraint`]).
     pub fn constrain_lazy(&mut self, group: &str, expr: LinExpr, cmp: Cmp, rhs: f64) {
-        let n = *self
-            .group_counts
-            .entry(group.to_string())
-            .and_modify(|n| *n += 1)
-            .or_insert(1);
-        self.problem
-            .add_lazy_constraint(format!("{group}#{n}"), expr, cmp, rhs);
+        let g = self.problem.group(group);
+        let mut b = self.problem.row(g);
+        for &(v, c) in &expr.terms {
+            b.term(v, c);
+        }
+        b.constant(expr.constant);
+        b.finish_lazy(cmp, rhs);
     }
 
     /// Accumulate terms into the objective.
@@ -327,10 +338,11 @@ impl Model {
         crate::branch::solve_rounded_with(&self.problem, config, obs)
     }
 
-    /// Model-size statistics.
-    pub fn stats(&mut self) -> ModelStats {
-        let obj = self.objective.clone();
-        self.problem.set_objective(obj);
+    /// Model-size statistics. Takes `&self`: the objective term count is
+    /// computed from a normalized copy without installing it on the problem.
+    pub fn stats(&self) -> ModelStats {
+        let mut obj = self.objective.clone();
+        obj.normalize();
         let mut by_family: Vec<(String, usize)> = self
             .families
             .iter()
@@ -345,15 +357,16 @@ impl Model {
             .collect();
         by_family.sort();
         let mut by_group: Vec<(String, usize)> = self
-            .group_counts
-            .iter()
-            .map(|(k, v)| (k.clone(), *v))
+            .problem
+            .group_counts()
+            .filter(|&(_, n)| n > 0)
+            .map(|(k, n)| (k.to_string(), n))
             .collect();
         by_group.sort();
         ModelStats {
             variables: self.problem.num_vars(),
             constraints: self.problem.num_constraints(),
-            objective_terms: self.problem.num_objective_terms(),
+            objective_terms: obj.len(),
             variables_by_family: by_family,
             constraints_by_group: by_group,
         }

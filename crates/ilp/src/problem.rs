@@ -4,8 +4,26 @@
 //! A [`Problem`] is the solver-facing form of an optimization task. The
 //! higher-level [`crate::Model`] builds a `Problem` underneath; code that
 //! wants full control can construct one directly.
+//!
+//! # Storage
+//!
+//! Constraints live in one shared CSR (compressed sparse row) triple —
+//! `row_starts` / `row_cols` / `row_vals` — instead of a per-constraint
+//! `Vec<(Var, f64)>`. Rows are appended through a [`RowBuilder`], which
+//! merges duplicate variables *eagerly* with a sort-free mark/generation
+//! scratch, so a finished row is always normalized (sorted-by-insertion,
+//! deduplicated, zero coefficients dropped) without ever materializing an
+//! intermediate expression. The classic [`LinExpr`]-based
+//! [`Problem::add_constraint`] API is kept as a thin compatibility layer
+//! that streams the expression's terms through the same builder.
+//!
+//! Row names are not stored as strings: each row records an interned group
+//! id plus an ordinal, and [`Problem::row_name`] formats `group#ordinal`
+//! on demand. This removes one `String` allocation per constraint from the
+//! model-build hot path.
 
 use crate::expr::{LinExpr, Var};
+use std::collections::HashMap;
 use std::fmt;
 
 /// Direction of optimization.
@@ -60,21 +78,71 @@ pub struct VarData {
     pub kind: VarKind,
 }
 
-/// A single linear constraint `expr cmp rhs`.
-#[derive(Debug, Clone)]
-pub struct Constraint {
-    /// Optional name, used in diagnostics.
-    pub name: String,
-    /// Left-hand side (normalized: constant folded into `rhs`).
-    pub expr: LinExpr,
+/// An interned constraint-group name (see [`Problem::group`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GroupId(pub(crate) u32);
+
+/// Sentinel ordinal for rows named by a bare group string (compat path).
+const NO_ORDINAL: u32 = u32::MAX;
+
+/// Per-row metadata (the coefficients live in the shared CSR arrays).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct RowMeta {
+    pub(crate) cmp: Cmp,
+    pub(crate) rhs: f64,
+    pub(crate) lazy: bool,
+    pub(crate) group: u32,
+    pub(crate) ordinal: u32,
+}
+
+/// Borrowed view of one constraint row: parallel `cols`/`vals` slices into
+/// the problem's shared CSR arrays plus the comparison metadata.
+#[derive(Debug, Clone, Copy)]
+pub struct Row<'a> {
+    /// Column (variable) indices, strictly increasing in insertion order of
+    /// first occurrence; never contains duplicates.
+    pub cols: &'a [u32],
+    /// Coefficients parallel to `cols`; never zero.
+    pub vals: &'a [f64],
     /// Comparison operator.
     pub cmp: Cmp,
-    /// Right-hand side.
+    /// Right-hand side (any expression constant already folded in).
     pub rhs: f64,
     /// Lazy constraints start outside the working LP and are activated by
     /// the solver only when a candidate solution violates them (typical
     /// for the allocator's interference rows, which are almost all slack).
     pub lazy: bool,
+}
+
+impl Row<'_> {
+    /// Evaluate the row's left-hand side at assignment `x`.
+    pub fn eval(&self, x: &[f64]) -> f64 {
+        self.cols
+            .iter()
+            .zip(self.vals)
+            .map(|(&c, &a)| a * x[c as usize])
+            .sum()
+    }
+
+    /// Violation of the row at `x` (0 when satisfied).
+    pub fn violation(&self, x: &[f64]) -> f64 {
+        let lhs = self.eval(x);
+        match self.cmp {
+            Cmp::Le => (lhs - self.rhs).max(0.0),
+            Cmp::Ge => (self.rhs - lhs).max(0.0),
+            Cmp::Eq => (lhs - self.rhs).abs(),
+        }
+    }
+
+    /// Number of nonzero terms.
+    pub fn len(&self) -> usize {
+        self.cols.len()
+    }
+
+    /// True when the row has no terms.
+    pub fn is_empty(&self) -> bool {
+        self.cols.is_empty()
+    }
 }
 
 /// A linear (mixed-integer) optimization problem.
@@ -93,12 +161,36 @@ pub struct Constraint {
 /// let sol = p.solve_lp().unwrap();
 /// assert!((sol.objective - 1.5).abs() < 1e-6);
 /// ```
+///
+/// The allocation-free path streams terms through a [`RowBuilder`]:
+///
+/// ```
+/// use ilp::{Problem, Cmp};
+/// let mut p = Problem::minimize();
+/// let x = p.add_binary("x");
+/// let y = p.add_binary("y");
+/// let g = p.group("excl");
+/// p.row(g).term(x, 1.0).term(y, 1.0).finish(Cmp::Le, 1.0);
+/// assert_eq!(p.num_constraints(), 1);
+/// ```
 #[derive(Debug, Clone)]
 pub struct Problem {
     pub(crate) sense: Sense,
     pub(crate) vars: Vec<VarData>,
-    pub(crate) constraints: Vec<Constraint>,
     pub(crate) objective: LinExpr,
+    // Shared CSR storage for all constraint rows.
+    pub(crate) row_starts: Vec<u32>,
+    pub(crate) row_cols: Vec<u32>,
+    pub(crate) row_vals: Vec<f64>,
+    pub(crate) rows: Vec<RowMeta>,
+    // Interned group names and per-group ordinal counters.
+    groups: Vec<String>,
+    group_next: Vec<u32>,
+    group_lookup: HashMap<String, u32>,
+    // RowBuilder dedup scratch: `pos[v]` is valid when `mark[v] == gen`.
+    mark: Vec<u32>,
+    pos: Vec<u32>,
+    gen: u32,
 }
 
 impl Problem {
@@ -107,8 +199,17 @@ impl Problem {
         Problem {
             sense: Sense::Minimize,
             vars: Vec::new(),
-            constraints: Vec::new(),
             objective: LinExpr::new(),
+            row_starts: vec![0],
+            row_cols: Vec::new(),
+            row_vals: Vec::new(),
+            rows: Vec::new(),
+            groups: Vec::new(),
+            group_next: Vec::new(),
+            group_lookup: HashMap::new(),
+            mark: Vec::new(),
+            pos: Vec::new(),
+            gen: 0,
         }
     }
 
@@ -155,58 +256,133 @@ impl Problem {
         v
     }
 
+    /// Intern a constraint-group name. Rows added under the returned id are
+    /// named `group#ordinal` with a per-group running ordinal.
+    pub fn group(&mut self, name: &str) -> GroupId {
+        if let Some(&g) = self.group_lookup.get(name) {
+            return GroupId(g);
+        }
+        let g = self.groups.len() as u32;
+        self.groups.push(name.to_string());
+        self.group_next.push(0);
+        self.group_lookup.insert(name.to_string(), g);
+        GroupId(g)
+    }
+
+    /// Number of rows added so far under group `g`.
+    pub fn group_count(&self, g: GroupId) -> usize {
+        self.group_next[g.0 as usize] as usize
+    }
+
+    /// Interned group names with their row counts, in interning order.
+    pub fn group_counts(&self) -> impl Iterator<Item = (&str, usize)> {
+        self.groups
+            .iter()
+            .zip(&self.group_next)
+            .map(|(n, &c)| (n.as_str(), c as usize))
+    }
+
+    /// Start streaming a new constraint row under group `g`. Terms are
+    /// merged eagerly; call [`RowBuilder::finish`] (or
+    /// [`RowBuilder::finish_lazy`]) to commit the row. Dropping the builder
+    /// without finishing rolls the row back.
+    pub fn row(&mut self, g: GroupId) -> RowBuilder<'_> {
+        let ordinal = self.group_next[g.0 as usize];
+        self.group_next[g.0 as usize] += 1;
+        self.begin_row(g.0, ordinal)
+    }
+
+    fn begin_row(&mut self, group: u32, ordinal: u32) -> RowBuilder<'_> {
+        if self.mark.len() < self.vars.len() {
+            self.mark.resize(self.vars.len(), 0);
+            self.pos.resize(self.vars.len(), 0);
+        }
+        self.gen = match self.gen.checked_add(1) {
+            Some(g) => g,
+            None => {
+                self.mark.iter_mut().for_each(|m| *m = 0);
+                1
+            }
+        };
+        RowBuilder {
+            start: self.row_cols.len(),
+            constant: 0.0,
+            group,
+            ordinal,
+            done: false,
+            p: self,
+        }
+    }
+
     /// Add a linear constraint `expr cmp rhs`. The expression's constant is
-    /// folded into the right-hand side.
-    pub fn add_constraint(
-        &mut self,
-        name: impl Into<String>,
-        mut expr: LinExpr,
-        cmp: Cmp,
-        rhs: f64,
-    ) {
-        expr.normalize();
-        let adj = rhs - expr.constant;
-        expr.constant = 0.0;
-        self.constraints.push(Constraint {
-            name: name.into(),
-            expr,
-            cmp,
-            rhs: adj,
-            lazy: false,
-        });
+    /// folded into the right-hand side. Compatibility layer over the
+    /// [`RowBuilder`] streaming path; the expression need not be normalized.
+    pub fn add_constraint(&mut self, name: impl Into<String>, expr: LinExpr, cmp: Cmp, rhs: f64) {
+        self.add_named(name.into(), expr, cmp, rhs, false);
     }
 
     /// Add a constraint the solver only activates once violated (see
-    /// [`Constraint::lazy`]). Semantically identical to
-    /// [`Problem::add_constraint`].
+    /// [`Row::lazy`]). Semantically identical to [`Problem::add_constraint`].
     pub fn add_lazy_constraint(
         &mut self,
         name: impl Into<String>,
-        mut expr: LinExpr,
+        expr: LinExpr,
         cmp: Cmp,
         rhs: f64,
     ) {
-        expr.normalize();
-        let adj = rhs - expr.constant;
-        expr.constant = 0.0;
-        self.constraints.push(Constraint {
-            name: name.into(),
-            expr,
-            cmp,
-            rhs: adj,
-            lazy: true,
-        });
+        self.add_named(name.into(), expr, cmp, rhs, true);
     }
 
-    /// Evaluate one constraint at `x` and report the violation amount
-    /// (0 when satisfied).
-    pub fn violation(&self, c: &Constraint, x: &[f64]) -> f64 {
-        let lhs = c.expr.eval(|v| x[v.index()]);
-        match c.cmp {
-            Cmp::Le => (lhs - c.rhs).max(0.0),
-            Cmp::Ge => (c.rhs - lhs).max(0.0),
-            Cmp::Eq => (lhs - c.rhs).abs(),
+    fn add_named(&mut self, name: String, expr: LinExpr, cmp: Cmp, rhs: f64, lazy: bool) {
+        let g = self.group(&name);
+        // Bare-name rows keep the historical display (no `#n` suffix) but
+        // still count toward the group.
+        self.group_next[g.0 as usize] += 1;
+        let mut b = self.begin_row(g.0, NO_ORDINAL);
+        for &(v, c) in &expr.terms {
+            b.term(v, c);
         }
+        b.constant(expr.constant);
+        if lazy {
+            b.finish_lazy(cmp, rhs);
+        } else {
+            b.finish(cmp, rhs);
+        }
+    }
+
+    /// Borrowed view of constraint row `i`.
+    pub fn row_view(&self, i: usize) -> Row<'_> {
+        let m = &self.rows[i];
+        let s = self.row_starts[i] as usize;
+        let e = self.row_starts[i + 1] as usize;
+        Row {
+            cols: &self.row_cols[s..e],
+            vals: &self.row_vals[s..e],
+            cmp: m.cmp,
+            rhs: m.rhs,
+            lazy: m.lazy,
+        }
+    }
+
+    /// Iterate over all constraint rows.
+    pub fn row_views(&self) -> impl Iterator<Item = Row<'_>> {
+        (0..self.rows.len()).map(|i| self.row_view(i))
+    }
+
+    /// Display handle for the name of row `i` (`group#ordinal`, formatted on
+    /// demand — names are not stored per row).
+    pub fn row_name(&self, i: usize) -> impl fmt::Display + '_ {
+        let m = &self.rows[i];
+        RowNameDisplay {
+            group: &self.groups[m.group as usize],
+            ordinal: m.ordinal,
+        }
+    }
+
+    /// Evaluate constraint row `i` at `x` and report the violation amount
+    /// (0 when satisfied).
+    pub fn violation(&self, i: usize, x: &[f64]) -> f64 {
+        self.row_view(i).violation(x)
     }
 
     /// Set the objective expression (replaces any previous one).
@@ -227,7 +403,12 @@ impl Problem {
 
     /// Number of constraints.
     pub fn num_constraints(&self) -> usize {
-        self.constraints.len()
+        self.rows.len()
+    }
+
+    /// Total number of nonzero coefficients across all constraint rows.
+    pub fn num_nonzeros(&self) -> usize {
+        self.row_cols.len()
     }
 
     /// Number of nonzero terms in the objective.
@@ -240,17 +421,56 @@ impl Problem {
         &self.vars[v.index()]
     }
 
-    /// Tighten the bounds of `v` (used by branch & bound). Panics if the new
-    /// bounds are wider than the old ones would allow crossing.
+    /// Data for every variable, in column order (differential harnesses
+    /// rebuild a structurally identical problem from this).
+    pub fn var_datas(&self) -> &[VarData] {
+        &self.vars
+    }
+
+    /// Tighten the bounds of `v` (used by branch & bound).
     pub fn set_bounds(&mut self, v: Var, lower: f64, upper: f64) {
         let d = &mut self.vars[v.index()];
         d.lower = lower;
         d.upper = upper;
     }
 
-    /// All constraints.
-    pub fn constraints(&self) -> &[Constraint] {
-        &self.constraints
+    /// Metadata of row `i` (used by presolve to carry names across the
+    /// reduction).
+    pub(crate) fn row_meta(&self, i: usize) -> RowMeta {
+        self.rows[i]
+    }
+
+    /// Copy of this problem with the same variables, objective, and interned
+    /// group names but no constraint rows (presolve materializes the reduced
+    /// row set into it).
+    pub(crate) fn clone_shell(&self) -> Problem {
+        Problem {
+            sense: self.sense,
+            vars: self.vars.clone(),
+            objective: self.objective.clone(),
+            row_starts: vec![0],
+            row_cols: Vec::new(),
+            row_vals: Vec::new(),
+            rows: Vec::new(),
+            groups: self.groups.clone(),
+            group_next: self.group_next.clone(),
+            group_lookup: self.group_lookup.clone(),
+            mark: Vec::new(),
+            pos: Vec::new(),
+            gen: 0,
+        }
+    }
+
+    /// Append a row whose terms are already deduplicated (presolve streams
+    /// surviving rows of an existing problem, which the `RowBuilder`
+    /// normalized on first construction).
+    pub(crate) fn push_row_raw(&mut self, meta: RowMeta, terms: impl Iterator<Item = (u32, f64)>) {
+        for (c, a) in terms {
+            self.row_cols.push(c);
+            self.row_vals.push(a);
+        }
+        self.row_starts.push(self.row_cols.len() as u32);
+        self.rows.push(meta);
     }
 
     /// Check whether a full assignment satisfies every constraint and bound
@@ -267,12 +487,12 @@ impl Problem {
                 return false;
             }
         }
-        for c in &self.constraints {
-            let lhs = c.expr.eval(|v| x[v.index()]);
-            let ok = match c.cmp {
-                Cmp::Le => lhs <= c.rhs + tol,
-                Cmp::Eq => (lhs - c.rhs).abs() <= tol,
-                Cmp::Ge => lhs >= c.rhs - tol,
+        for r in self.row_views() {
+            let lhs = r.eval(x);
+            let ok = match r.cmp {
+                Cmp::Le => lhs <= r.rhs + tol,
+                Cmp::Eq => (lhs - r.rhs).abs() <= tol,
+                Cmp::Ge => lhs >= r.rhs - tol,
             };
             if !ok {
                 return false;
@@ -307,8 +527,22 @@ impl Problem {
         };
         let _ = writeln!(s, "{sense} {}", self.objective);
         let _ = writeln!(s, "subject to");
-        for c in &self.constraints {
-            let _ = writeln!(s, "  {}: {} {} {}", c.name, c.expr, c.cmp, c.rhs);
+        for i in 0..self.rows.len() {
+            let r = self.row_view(i);
+            let _ = write!(s, "  {}:", self.row_name(i));
+            for (k, (&c, &a)) in r.cols.iter().zip(r.vals).enumerate() {
+                if k == 0 {
+                    let _ = write!(s, " {a}*{}", Var(c));
+                } else if a < 0.0 {
+                    let _ = write!(s, " - {}*{}", -a, Var(c));
+                } else {
+                    let _ = write!(s, " + {a}*{}", Var(c));
+                }
+            }
+            if r.cols.is_empty() {
+                let _ = write!(s, " 0");
+            }
+            let _ = writeln!(s, " {} {}", r.cmp, r.rhs);
         }
         let _ = writeln!(s, "bounds");
         for (i, d) in self.vars.iter().enumerate() {
@@ -325,6 +559,115 @@ impl Problem {
     }
 }
 
+struct RowNameDisplay<'a> {
+    group: &'a str,
+    ordinal: u32,
+}
+
+impl fmt::Display for RowNameDisplay<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.ordinal == NO_ORDINAL {
+            f.write_str(self.group)
+        } else {
+            write!(f, "{}#{}", self.group, self.ordinal)
+        }
+    }
+}
+
+/// Streaming builder for one constraint row (see [`Problem::row`]).
+///
+/// Terms are appended directly to the problem's shared CSR arrays;
+/// duplicate variables are merged in place via a persistent
+/// mark/generation scratch, so no sorting or intermediate allocation
+/// happens per row.
+pub struct RowBuilder<'a> {
+    p: &'a mut Problem,
+    start: usize,
+    constant: f64,
+    group: u32,
+    ordinal: u32,
+    done: bool,
+}
+
+impl RowBuilder<'_> {
+    /// Add `coeff·var` to the row, merging with any existing term for `var`.
+    pub fn term(&mut self, v: Var, coeff: f64) -> &mut Self {
+        let j = v.index();
+        if self.p.mark[j] == self.p.gen {
+            self.p.row_vals[self.p.pos[j] as usize] += coeff;
+        } else {
+            self.p.mark[j] = self.p.gen;
+            self.p.pos[j] = self.p.row_vals.len() as u32;
+            self.p.row_cols.push(v.0);
+            self.p.row_vals.push(coeff);
+        }
+        self
+    }
+
+    /// Add a constant to the row's left-hand side (folded into the
+    /// right-hand side at finish time).
+    pub fn constant(&mut self, c: f64) -> &mut Self {
+        self.constant += c;
+        self
+    }
+
+    /// Number of distinct variables streamed so far.
+    pub fn len(&self) -> usize {
+        self.p.row_cols.len() - self.start
+    }
+
+    /// True when no terms have been streamed yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Commit the row as `lhs cmp rhs`. Further calls on this builder are
+    /// a logic error (the builder is inert once finished).
+    pub fn finish(&mut self, cmp: Cmp, rhs: f64) {
+        self.commit(cmp, rhs, false);
+    }
+
+    /// Commit the row as a lazy constraint (see [`Row::lazy`]).
+    pub fn finish_lazy(&mut self, cmp: Cmp, rhs: f64) {
+        self.commit(cmp, rhs, true);
+    }
+
+    fn commit(&mut self, cmp: Cmp, rhs: f64, lazy: bool) {
+        debug_assert!(!self.done, "row already finished");
+        self.done = true;
+        // Compact exact-zero coefficients (cancelled terms) in place.
+        let mut w = self.start;
+        for r in self.start..self.p.row_vals.len() {
+            let a = self.p.row_vals[r];
+            if a != 0.0 {
+                self.p.row_cols[w] = self.p.row_cols[r];
+                self.p.row_vals[w] = a;
+                w += 1;
+            }
+        }
+        self.p.row_cols.truncate(w);
+        self.p.row_vals.truncate(w);
+        self.p.row_starts.push(w as u32);
+        self.p.rows.push(RowMeta {
+            cmp,
+            rhs: rhs - self.constant,
+            lazy,
+            group: self.group,
+            ordinal: self.ordinal,
+        });
+    }
+}
+
+impl Drop for RowBuilder<'_> {
+    fn drop(&mut self) {
+        if !self.done {
+            // Roll back an unfinished row.
+            self.p.row_cols.truncate(self.start);
+            self.p.row_vals.truncate(self.start);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -334,8 +677,7 @@ mod tests {
         let mut p = Problem::minimize();
         let x = p.add_var("x", 0.0, 10.0);
         p.add_constraint("c", LinExpr::from(x) + 4.0, Cmp::Le, 10.0);
-        assert_eq!(p.constraints[0].rhs, 6.0);
-        assert_eq!(p.constraints[0].expr.constant, 0.0);
+        assert_eq!(p.row_view(0).rhs, 6.0);
     }
 
     #[test]
@@ -365,5 +707,80 @@ mod tests {
         assert!(d.contains("minimize"));
         assert!(d.contains("only"));
         assert!(d.contains("choose"));
+    }
+
+    #[test]
+    fn row_builder_merges_duplicates_and_drops_zeros() {
+        let mut p = Problem::minimize();
+        let x = p.add_binary("x");
+        let y = p.add_binary("y");
+        let z = p.add_binary("z");
+        let g = p.group("g");
+        p.row(g)
+            .term(x, 1.0)
+            .term(y, 2.0)
+            .term(x, 1.5)
+            .term(z, 1.0)
+            .term(z, -1.0)
+            .finish(Cmp::Le, 4.0);
+        let r = p.row_view(0);
+        assert_eq!(r.cols, &[0, 1]);
+        assert_eq!(r.vals, &[2.5, 2.0]);
+        assert_eq!(format!("{}", p.row_name(0)), "g#0");
+    }
+
+    #[test]
+    fn row_builder_matches_linexpr_compat_path() {
+        let build = |streamed: bool| {
+            let mut p = Problem::minimize();
+            let x = p.add_binary("x");
+            let y = p.add_binary("y");
+            if streamed {
+                let g = p.group("c");
+                p.row(g)
+                    .term(x, 1.0)
+                    .term(y, 1.0)
+                    .term(y, 1.0)
+                    .constant(3.0)
+                    .finish(Cmp::Le, 5.0);
+            } else {
+                let e = LinExpr::from(x) + LinExpr::from(y) + LinExpr::from(y) + 3.0;
+                p.add_constraint("c", e, Cmp::Le, 5.0);
+            }
+            p
+        };
+        let a = build(true);
+        let b = build(false);
+        let (ra, rb) = (a.row_view(0), b.row_view(0));
+        assert_eq!(ra.cols, rb.cols);
+        assert_eq!(ra.vals, rb.vals);
+        assert_eq!(ra.rhs, rb.rhs);
+    }
+
+    #[test]
+    fn dropped_builder_rolls_back() {
+        let mut p = Problem::minimize();
+        let x = p.add_binary("x");
+        let g = p.group("g");
+        {
+            let mut b = p.row(g);
+            b.term(x, 1.0);
+            // dropped without finish
+        }
+        assert_eq!(p.num_constraints(), 0);
+        assert_eq!(p.num_nonzeros(), 0);
+    }
+
+    #[test]
+    fn row_names_and_group_counts() {
+        let mut p = Problem::minimize();
+        let x = p.add_binary("x");
+        let g = p.group("One");
+        p.row(g).term(x, 1.0).finish(Cmp::Eq, 1.0);
+        p.row(g).term(x, 1.0).finish(Cmp::Le, 1.0);
+        assert_eq!(format!("{}", p.row_name(1)), "One#1");
+        assert_eq!(p.group_count(g), 2);
+        let counts: Vec<_> = p.group_counts().collect();
+        assert_eq!(counts, vec![("One", 2)]);
     }
 }

@@ -25,7 +25,7 @@
 //! the pipeline.
 
 /// Etas accumulated before a refactorization is requested.
-pub(super) const DEFAULT_REFACTOR_INTERVAL: usize = 100;
+pub(super) const DEFAULT_REFACTOR_INTERVAL: usize = 250;
 /// Relative Markowitz threshold: a pivot must be at least this fraction
 /// of the largest entry in its column.
 const MARKOWITZ_THRESHOLD: f64 = 0.1;
@@ -137,10 +137,61 @@ impl Lu {
     }
 }
 
-/// Sparse LU of `cols` (basis columns by position, entries `(row, val)`)
-/// with Markowitz threshold pivoting.
-pub(super) fn factor(m: usize, cols: &[Vec<(usize, f64)>]) -> Result<Lu, Singular> {
-    debug_assert_eq!(cols.len(), m);
+/// Reusable workspaces for [`factor`], kept across refactorizations so a
+/// rebuild allocates nothing once the pools are warm. `spare` recycles
+/// the `(u32, f64)` vectors of retired LU steps and eta files.
+#[derive(Default)]
+pub(super) struct FactorScratch {
+    colv: Vec<Vec<(u32, f64)>>,
+    rowpat: Vec<Vec<u32>>,
+    rowcnt: Vec<u32>,
+    colcnt: Vec<u32>,
+    row_active: Vec<bool>,
+    col_active: Vec<bool>,
+    buckets: Vec<Vec<u32>>,
+    acc: Vec<f64>,
+    stamp: Vec<u32>,
+    ucol_accum: Vec<Vec<(u32, f64)>>,
+    /// Recycled `(u32, f64)` vectors (from dropped LU steps / eta ops).
+    pub(super) spare: Vec<Vec<(u32, f64)>>,
+}
+
+impl FactorScratch {
+    /// Return a retired vector to the pool.
+    pub(super) fn recycle(&mut self, v: Vec<(u32, f64)>) {
+        self.spare.push(v);
+    }
+}
+
+fn clear_resize<T: Clone + Default>(v: &mut Vec<T>, n: usize, fill: T) {
+    v.clear();
+    v.resize(n, fill);
+}
+
+/// Clear nested vectors in place (keeping their capacity) and extend to
+/// length `n`.
+fn clear_nested<T>(v: &mut Vec<Vec<T>>, n: usize) {
+    for inner in v.iter_mut() {
+        inner.clear();
+    }
+    if v.len() > n {
+        v.truncate(n);
+    } else {
+        v.resize_with(n, Vec::new);
+    }
+}
+
+/// Sparse LU of the basis columns `cols[basis[p]]` (position `p`, entries
+/// `(row, val)`) with Markowitz threshold pivoting. Workspaces come from
+/// `scratch` and are returned to it, so repeated factorizations reuse
+/// their allocations.
+pub(super) fn factor(
+    m: usize,
+    basis: &[usize],
+    cols: &[Vec<(usize, f64)>],
+    scratch: &mut FactorScratch,
+) -> Result<Lu, Singular> {
+    debug_assert_eq!(basis.len(), m);
     if m == 0 {
         return Ok(Lu {
             m,
@@ -150,13 +201,31 @@ pub(super) fn factor(m: usize, cols: &[Vec<(usize, f64)>]) -> Result<Lu, Singula
     }
     // Active-submatrix workspace: values live in columns; rows keep a
     // (possibly stale, possibly duplicated) pattern of column ids.
-    let mut colv: Vec<Vec<(u32, f64)>> = cols
-        .iter()
-        .map(|c| c.iter().map(|&(r, v)| (r as u32, v)).collect())
-        .collect();
-    let mut rowpat: Vec<Vec<u32>> = vec![Vec::new(); m];
-    let mut rowcnt = vec![0u32; m];
-    let mut colcnt = vec![0u32; m];
+    clear_nested(&mut scratch.colv, m);
+    for (j, &bj) in basis.iter().enumerate() {
+        scratch.colv[j].extend(cols[bj].iter().map(|&(r, v)| (r as u32, v)));
+    }
+    clear_nested(&mut scratch.rowpat, m);
+    clear_resize(&mut scratch.rowcnt, m, 0u32);
+    clear_resize(&mut scratch.colcnt, m, 0u32);
+    let FactorScratch {
+        colv,
+        rowpat,
+        rowcnt,
+        colcnt,
+        row_active,
+        col_active,
+        buckets,
+        acc,
+        stamp,
+        ucol_accum,
+        spare,
+    } = scratch;
+    let grab = |spare: &mut Vec<Vec<(u32, f64)>>| -> Vec<(u32, f64)> {
+        let mut v = spare.pop().unwrap_or_default();
+        v.clear();
+        v
+    };
     for (j, c) in colv.iter().enumerate() {
         colcnt[j] = c.len() as u32;
         for &(r, _) in c {
@@ -164,21 +233,21 @@ pub(super) fn factor(m: usize, cols: &[Vec<(usize, f64)>]) -> Result<Lu, Singula
             rowcnt[r as usize] += 1;
         }
     }
-    let mut row_active = vec![true; m];
-    let mut col_active = vec![true; m];
+    clear_resize(row_active, m, true);
+    clear_resize(col_active, m, true);
     // Count buckets with lazy deletion: a column may sit in several
     // buckets; entries are validated against `colcnt` on inspection.
     let max_cnt = m + 1;
-    let mut buckets: Vec<Vec<u32>> = vec![Vec::new(); max_cnt + 1];
+    clear_nested(buckets, max_cnt + 1);
     for j in 0..m {
         buckets[(colcnt[j] as usize).min(max_cnt)].push(j as u32);
     }
     // Dense accumulator for column updates.
-    let mut acc = vec![0.0f64; m];
-    let mut stamp = vec![0u32; m];
+    clear_resize(acc, m, 0.0f64);
+    clear_resize(stamp, m, 0u32);
     let mut cur_stamp = 0u32;
     // U-column accumulators, filled as pivot rows shed entries.
-    let mut ucol_accum: Vec<Vec<(u32, f64)>> = vec![Vec::new(); m];
+    clear_nested(ucol_accum, m);
 
     let mut steps: Vec<LuStep> = Vec::with_capacity(m);
     let mut nnz = 0usize;
@@ -233,20 +302,22 @@ pub(super) fn factor(m: usize, cols: &[Vec<(usize, f64)>]) -> Result<Lu, Singula
         // ---- eliminate ----
         col_active[pc_u] = false;
         row_active[pr_u] = false;
-        let piv_col = std::mem::take(&mut colv[pc_u]);
-        let mut lrow: Vec<(u32, f64)> = Vec::with_capacity(piv_col.len().saturating_sub(1));
+        let mut piv_col = std::mem::take(&mut colv[pc_u]);
+        let mut lrow: Vec<(u32, f64)> = grab(spare);
         for &(r, v) in &piv_col {
             if r != pr {
                 lrow.push((r, v / pv));
                 rowcnt[r as usize] -= 1;
             }
         }
+        piv_col.clear();
+        colv[pc_u] = piv_col;
         // Gather the surviving pivot-row entries; each becomes a U entry
         // and drives one column update.
         cur_stamp += 1;
         let seen = cur_stamp;
-        let pat = std::mem::take(&mut rowpat[pr_u]);
-        let mut urow: Vec<(u32, f64)> = Vec::new();
+        let mut pat = std::mem::take(&mut rowpat[pr_u]);
+        let mut urow: Vec<(u32, f64)> = grab(spare);
         for &j32 in &pat {
             let j = j32 as usize;
             if j == pc_u || !col_active[j] || stamp[j] == seen {
@@ -303,7 +374,10 @@ pub(super) fn factor(m: usize, cols: &[Vec<(usize, f64)>]) -> Result<Lu, Singula
             // a row appears at most once in colv[j] by construction.
             buckets[(colcnt[j] as usize).min(max_cnt)].push(j32);
         }
-        let ucol = std::mem::take(&mut ucol_accum[pc_u]);
+        pat.clear();
+        rowpat[pr_u] = pat;
+        let replacement = grab(spare);
+        let ucol = std::mem::replace(&mut ucol_accum[pc_u], replacement);
         nnz += 1 + lrow.len() + urow.len();
         steps.push(LuStep {
             pr,
@@ -343,6 +417,8 @@ pub(super) struct SparseKernel {
     etas_since_refactor: usize,
     refactor_interval: usize,
     work: Vec<f64>,
+    /// Pooled factorization workspaces + recycled step/eta vectors.
+    scratch: FactorScratch,
     /// Cumulative telemetry for `SolveStats`.
     pub refactorizations: usize,
     pub total_etas: usize,
@@ -358,17 +434,47 @@ impl SparseKernel {
             etas_since_refactor: 0,
             refactor_interval,
             work: Vec::new(),
+            scratch: FactorScratch::default(),
             refactorizations: 0,
             total_etas: 0,
             lu_fill_nnz: 0,
         }
     }
 
-    /// Factor the basis from scratch, collapsing the pipeline.
-    pub fn refactor(&mut self, m: usize, cols: &[Vec<(usize, f64)>]) -> Result<(), Singular> {
-        self.lu = factor(m, cols)?;
+    /// Factor the basis columns `cols[basis[p]]` from scratch, collapsing
+    /// the pipeline. The retired LU steps and eta file are recycled into
+    /// the scratch pool, so steady-state refactorization is allocation-free.
+    pub fn refactor(
+        &mut self,
+        m: usize,
+        basis: &[usize],
+        cols: &[Vec<(usize, f64)>],
+    ) -> Result<(), Singular> {
+        let lu = factor(m, basis, cols, &mut self.scratch)?;
+        let old = std::mem::replace(&mut self.lu, lu);
+        for mut s in old.steps {
+            s.lrow.clear();
+            self.scratch.recycle(s.lrow);
+            s.urow.clear();
+            self.scratch.recycle(s.urow);
+            s.ucol.clear();
+            self.scratch.recycle(s.ucol);
+        }
+        for op in self.ops.drain(..) {
+            match op {
+                UpdateOp::Eta { mut nz, .. } => {
+                    nz.clear();
+                    self.scratch.recycle(nz);
+                }
+                UpdateOp::Append { rows, .. } => {
+                    for mut r in rows {
+                        r.clear();
+                        self.scratch.recycle(r);
+                    }
+                }
+            }
+        }
         self.m = m;
-        self.ops.clear();
         self.etas_since_refactor = 0;
         self.refactorizations += 1;
         self.lu_fill_nnz = self.lu_fill_nnz.max(self.lu.nnz);
@@ -453,15 +559,18 @@ impl SparseKernel {
         self.lu.btran(&mut v[..m0], &mut self.work[..m0]);
     }
 
-    /// Record the pivot `(r, w)` as an eta.
+    /// Record the pivot `(r, w)` as an eta. The eta vector comes from the
+    /// recycle pool when one is available.
     pub fn update(&mut self, r: usize, w: &[f64]) {
         let wr = w[r];
-        let nz: Vec<(u32, f64)> = w
-            .iter()
-            .enumerate()
-            .filter(|&(i, &v)| i != r && v.abs() > DROP_TOL)
-            .map(|(i, &v)| (i as u32, v))
-            .collect();
+        let mut nz = self.scratch.spare.pop().unwrap_or_default();
+        nz.clear();
+        nz.extend(
+            w.iter()
+                .enumerate()
+                .filter(|&(i, &v)| i != r && v.abs() > DROP_TOL)
+                .map(|(i, &v)| (i as u32, v)),
+        );
         self.ops.push(UpdateOp::Eta {
             r: r as u32,
             wr,
@@ -499,14 +608,17 @@ impl DenseKernel {
         }
     }
 
-    /// Reset to the inverse of a diagonal basis (`cols[p]` has a single
-    /// entry on row `p`).
-    pub fn reset_diag(&mut self, m: usize, cols: &[Vec<(usize, f64)>]) {
+    /// Reset to the inverse of a diagonal basis (`cols[basis[p]]` has a
+    /// single entry on row `p`).
+    pub fn reset_diag(&mut self, m: usize, basis: &[usize], cols: &[Vec<(usize, f64)>]) {
         self.m = m;
         self.binv.clear();
         self.binv.resize(m * m, 0.0);
-        for (p, col) in cols.iter().enumerate() {
-            let diag = col.iter().find(|&&(r, _)| r == p).map_or(1.0, |&(_, v)| v);
+        for (p, &bp) in basis.iter().enumerate() {
+            let diag = cols[bp]
+                .iter()
+                .find(|&&(r, _)| r == p)
+                .map_or(1.0, |&(_, v)| v);
             self.binv[p * m + p] = 1.0 / diag;
         }
     }
@@ -634,7 +746,8 @@ mod tests {
 
     fn check_solves(cols: &[Vec<(usize, f64)>]) {
         let m = cols.len();
-        let lu = factor(m, cols).expect("nonsingular");
+        let basis: Vec<usize> = (0..m).collect();
+        let lu = factor(m, &basis, cols, &mut FactorScratch::default()).expect("nonsingular");
         let a = dense_of(cols);
         let mut work = vec![0.0; m];
         // FTRAN: B x = b.
@@ -699,12 +812,13 @@ mod tests {
 
     #[test]
     fn singular_detected() {
+        let basis = vec![0usize, 1];
         // Column of zeros.
         let cols = vec![vec![(0usize, 1.0)], vec![]];
-        assert!(factor(2, &cols).is_err());
+        assert!(factor(2, &basis, &cols, &mut FactorScratch::default()).is_err());
         // Two identical columns.
         let cols = vec![vec![(0usize, 1.0), (1, 2.0)], vec![(0usize, 1.0), (1, 2.0)]];
-        assert!(factor(2, &cols).is_err());
+        assert!(factor(2, &basis, &cols, &mut FactorScratch::default()).is_err());
     }
 
     #[test]
@@ -713,10 +827,11 @@ mod tests {
         // sparse FTRAN/BTRAN against the dense kernel on the same ops.
         let m = 4;
         let cols: Vec<Vec<(usize, f64)>> = (0..m).map(|i| vec![(i, 2.0)]).collect();
+        let basis: Vec<usize> = (0..m).collect();
         let mut sk = SparseKernel::new(100);
-        sk.refactor(m, &cols).unwrap();
+        sk.refactor(m, &basis, &cols).unwrap();
         let mut dk = DenseKernel::new();
-        dk.reset_diag(m, &cols);
+        dk.reset_diag(m, &basis, &cols);
 
         // New column a = [1, 3, 0, 1] enters at position 1.
         let a = vec![(0usize, 1.0), (1, 3.0), (3, 1.0)];
@@ -773,10 +888,11 @@ mod tests {
     fn append_matches_dense() {
         let m = 3;
         let cols: Vec<Vec<(usize, f64)>> = (0..m).map(|i| vec![(i, 1.0)]).collect();
+        let basis: Vec<usize> = (0..m).collect();
         let mut sk = SparseKernel::new(100);
-        sk.refactor(m, &cols).unwrap();
+        sk.refactor(m, &basis, &cols).unwrap();
         let mut dk = DenseKernel::new();
-        dk.reset_diag(m, &cols);
+        dk.reset_diag(m, &basis, &cols);
         // Pivot, then append two rows referencing basic positions.
         let a = vec![(0usize, 2.0), (2, 1.0)];
         let mut w = vec![0.0; m];

@@ -32,7 +32,7 @@
 mod factor;
 mod pricing;
 
-use crate::problem::{Cmp, Constraint, Problem, Sense};
+use crate::problem::{Cmp, Problem, Sense};
 use factor::{DenseKernel, SparseKernel};
 use pricing::{DualPricing, PrimalPricing};
 use std::time::Instant;
@@ -143,7 +143,7 @@ enum ColState {
 /// sparse LU engine and the dense explicit inverse.
 enum KernelImpl {
     Dense(DenseKernel),
-    Sparse(SparseKernel),
+    Sparse(Box<SparseKernel>),
 }
 
 struct Kernel {
@@ -155,9 +155,9 @@ impl Kernel {
     fn new(kind: KernelKind) -> Kernel {
         let imp = match kind {
             KernelKind::Dense => KernelImpl::Dense(DenseKernel::new()),
-            KernelKind::Sparse => {
-                KernelImpl::Sparse(SparseKernel::new(factor::DEFAULT_REFACTOR_INTERVAL))
-            }
+            KernelKind::Sparse => KernelImpl::Sparse(Box::new(SparseKernel::new(
+                factor::DEFAULT_REFACTOR_INTERVAL,
+            ))),
         };
         Kernel {
             imp,
@@ -172,15 +172,23 @@ impl Kernel {
         }
     }
 
-    /// Install a fresh basis (cold start; `cols_b[p]` is the column basic
-    /// at position `p`). The cold basis is diagonal by construction.
-    fn reset_basis(&mut self, m: usize, cols_b: &[Vec<(usize, f64)>]) -> Result<(), LpError> {
+    /// Install a fresh basis (cold start; `basis[p]` indexes the column of
+    /// `cols` basic at position `p`). The cold basis is diagonal by
+    /// construction.
+    fn reset_basis(
+        &mut self,
+        m: usize,
+        basis: &[usize],
+        cols: &[Vec<(usize, f64)>],
+    ) -> Result<(), LpError> {
         match &mut self.imp {
             KernelImpl::Dense(dk) => {
-                dk.reset_diag(m, cols_b);
+                dk.reset_diag(m, basis, cols);
                 Ok(())
             }
-            KernelImpl::Sparse(sk) => sk.refactor(m, cols_b).map_err(|_| LpError::IterationLimit),
+            KernelImpl::Sparse(sk) => sk
+                .refactor(m, basis, cols)
+                .map_err(|_| LpError::IterationLimit),
         }
     }
 
@@ -188,10 +196,10 @@ impl Kernel {
     /// was installed. The dense kernel never refactors; a numerically
     /// singular factorization keeps the (valid) eta pipeline and retries
     /// after another interval.
-    fn try_refactor(&mut self, m: usize, cols_b: &[Vec<(usize, f64)>]) -> bool {
+    fn try_refactor(&mut self, m: usize, basis: &[usize], cols: &[Vec<(usize, f64)>]) -> bool {
         match &mut self.imp {
             KernelImpl::Dense(_) => false,
-            KernelImpl::Sparse(sk) => match sk.refactor(m, cols_b) {
+            KernelImpl::Sparse(sk) => match sk.refactor(m, basis, cols) {
                 Ok(()) => true,
                 Err(_) => {
                     sk.defer_refactor();
@@ -332,6 +340,12 @@ pub struct Simplex {
     /// Reduced costs, maintained incrementally from the pivot row (valid
     /// for warm starts when `warm`).
     d: Vec<f64>,
+    /// Active cost vector of the current pivot loop (phase-1 artificial
+    /// costs or a copy of `cost`); a reusable buffer so per-node solves
+    /// never clone the cost vector.
+    ccur: Vec<f64>,
+    /// Reusable right-hand-side buffer for [`Simplex::recompute_basics`].
+    rhs_buf: Vec<f64>,
     /// Warm-start state is valid (basis optimal & dual feasible).
     warm: bool,
     /// The last completed solve stayed on the dual-simplex warm path.
@@ -371,7 +385,7 @@ impl Simplex {
     pub fn with_rows_kernel(problem: &Problem, rows: Option<&[usize]>, kind: KernelKind) -> Self {
         let idx: Vec<usize> = match rows {
             Some(r) => r.to_vec(),
-            None => (0..problem.constraints.len()).collect(),
+            None => (0..problem.num_constraints()).collect(),
         };
         let m = idx.len();
         let n_struct = problem.vars.len();
@@ -381,17 +395,17 @@ impl Simplex {
         let mut lower0: Vec<f64> = problem.vars.iter().map(|d| d.lower).collect();
         let mut upper0: Vec<f64> = problem.vars.iter().map(|d| d.upper).collect();
         for (i, &ci) in idx.iter().enumerate() {
-            let c = &problem.constraints[ci];
-            for &(v, a) in &c.expr.terms {
-                cols[v.index()].push((i, a));
+            let r = problem.row_view(ci);
+            for (&v, &a) in r.cols.iter().zip(r.vals) {
+                cols[v as usize].push((i, a));
             }
             let sc = cols.len();
             cols.push(vec![(i, 1.0)]);
-            let (l, u) = slack_bounds(c.cmp);
+            let (l, u) = slack_bounds(r.cmp);
             lower0.push(l);
             upper0.push(u);
             slack_cols.push(sc);
-            b.push(c.rhs);
+            b.push(r.rhs);
         }
         let mut rows_idx: Vec<Vec<(u32, f64)>> = vec![Vec::new(); m];
         for (j, col) in cols.iter().enumerate() {
@@ -424,6 +438,8 @@ impl Simplex {
             basis: Vec::new(),
             kernel: Kernel::new(kind),
             d: Vec::new(),
+            ccur: Vec::new(),
+            rhs_buf: Vec::new(),
             warm: false,
             last_warm: false,
             deadline: None,
@@ -484,7 +500,7 @@ impl Simplex {
     /// append operator on the factorization; dual feasibility is
     /// preserved, so the next [`Simplex::resolve_with_bounds`] repairs
     /// primal feasibility with a few dual pivots.
-    pub fn add_rows(&mut self, rows: &[&Constraint]) {
+    pub fn add_rows(&mut self, problem: &Problem, rows: &[usize]) {
         let k = rows.len();
         if k == 0 {
             return;
@@ -493,15 +509,16 @@ impl Simplex {
         let m_new = m_old + k;
         // Extend columns and create the new slacks.
         let mut c_rows: Vec<Vec<(u32, f64)>> = Vec::with_capacity(k);
-        for (off, c) in rows.iter().enumerate() {
+        for (off, &ci) in rows.iter().enumerate() {
+            let c = problem.row_view(ci);
             let r = m_old + off;
-            let mut row_pat: Vec<(u32, f64)> = Vec::with_capacity(c.expr.terms.len() + 1);
+            let mut row_pat: Vec<(u32, f64)> = Vec::with_capacity(c.cols.len() + 1);
             let mut crow: Vec<(u32, f64)> = Vec::new();
-            for &(v, a) in &c.expr.terms {
-                self.cols[v.index()].push((r, a));
-                row_pat.push((v.index() as u32, a));
+            for (&v, &a) in c.cols.iter().zip(c.vals) {
+                self.cols[v as usize].push((r, a));
+                row_pat.push((v, a));
                 if self.warm {
-                    if let ColState::Basic(p) = self.state[v.index()] {
+                    if let ColState::Basic(p) = self.state[v as usize] {
                         crow.push((p as u32, a));
                     }
                 }
@@ -521,8 +538,8 @@ impl Simplex {
                 self.upper.push(u);
                 // Slack value = rhs - a·x (possibly out of bounds).
                 let mut val = c.rhs;
-                for &(v, a) in &c.expr.terms {
-                    val -= a * self.x[v.index()];
+                for (&v, &a) in c.cols.iter().zip(c.vals) {
+                    val -= a * self.x[v as usize];
                 }
                 self.x.push(val);
                 self.state.push(ColState::Basic(r));
@@ -573,16 +590,17 @@ impl Simplex {
 
         // Phase 1: drive artificials to zero.
         if !self.artificials.is_empty() {
-            let mut d = vec![0.0; self.cols.len()];
+            self.ccur.clear();
+            self.ccur.resize(self.cols.len(), 0.0);
             let mut any = false;
             for &a in &self.artificials {
                 if self.upper[a] > 0.0 {
-                    d[a] = 1.0;
+                    self.ccur[a] = 1.0;
                     any = true;
                 }
             }
             if any {
-                iterations += self.optimize(&d)?;
+                iterations += self.optimize()?;
                 let infeas: f64 = self
                     .artificials
                     .iter()
@@ -603,9 +621,9 @@ impl Simplex {
         }
 
         // Phase 2.
-        let d = self.cost.clone();
-        iterations += self.optimize(&d)?;
-        self.finish_warm(&d);
+        self.load_phase2_cost();
+        iterations += self.optimize()?;
+        self.finish_warm();
         Ok(self.extract(iterations))
     }
 
@@ -681,10 +699,18 @@ impl Simplex {
         }
     }
 
+    /// Load the phase-2 objective into the active cost buffer.
+    fn load_phase2_cost(&mut self) {
+        self.ccur.clear();
+        self.ccur.extend_from_slice(&self.cost);
+    }
+
     /// x_B = B⁻¹ (b − N x_N).
     fn recompute_basics(&mut self) {
         let m = self.m;
-        let mut rhs = self.b.clone();
+        let mut rhs = std::mem::take(&mut self.rhs_buf);
+        rhs.clear();
+        rhs.extend_from_slice(&self.b);
         for j in 0..self.cols.len() {
             if !matches!(self.state[j], ColState::Basic(_)) && self.x[j] != 0.0 {
                 for &(i, a) in &self.cols[j] {
@@ -696,15 +722,17 @@ impl Simplex {
         for (&xb, &v) in self.basis[..m].iter().zip(&rhs[..m]) {
             self.x[xb] = v;
         }
+        self.rhs_buf = rhs;
     }
 
-    /// Recompute every reduced cost from scratch for cost vector `c`:
-    /// y = B⁻ᵀ c_B, then d_j = c_j − y·A_j over the nonbasic columns.
-    fn refresh_reduced_costs(&mut self, c: &[f64]) {
+    /// Recompute every reduced cost from scratch for the active cost
+    /// vector: y = B⁻ᵀ c_B, then d_j = c_j − y·A_j over the nonbasic
+    /// columns.
+    fn refresh_reduced_costs(&mut self) {
         let m = self.m;
         self.y.resize(m.max(self.y.len()), 0.0);
         for i in 0..m {
-            self.y[i] = c[self.basis[i]];
+            self.y[i] = self.ccur[self.basis[i]];
         }
         self.kernel.btran_dense(&mut self.y[..m]);
         self.d.clear();
@@ -713,7 +741,7 @@ impl Simplex {
             if matches!(self.state[j], ColState::Basic(_)) {
                 continue;
             }
-            let mut r = c[j];
+            let mut r = self.ccur[j];
             for &(i, a) in col {
                 r -= self.y[i] * a;
             }
@@ -722,8 +750,8 @@ impl Simplex {
     }
 
     /// Store reduced costs and mark the basis reusable.
-    fn finish_warm(&mut self, d: &[f64]) {
-        self.refresh_reduced_costs(d);
+    fn finish_warm(&mut self) {
+        self.refresh_reduced_costs();
         self.warm = true;
     }
 
@@ -815,9 +843,7 @@ impl Simplex {
                 self.artificials.push(a);
             }
         }
-        let cols_b: Vec<Vec<(usize, f64)>> =
-            self.basis.iter().map(|&j| self.cols[j].clone()).collect();
-        self.kernel.reset_basis(self.m, &cols_b)?;
+        self.kernel.reset_basis(self.m, &self.basis, &self.cols)?;
         self.y.clear();
         self.y.resize(self.m, 0.0);
         self.w.clear();
@@ -865,18 +891,17 @@ impl Simplex {
     }
 
     /// Refactor the sparse basis from its current columns, then restore
-    /// accuracy: recompute x_B against `b` and the reduced costs for cost
-    /// vector `c`. No-op on the dense kernel.
-    fn refactor_and_refresh(&mut self, c: &[f64]) {
-        let cols_b: Vec<Vec<(usize, f64)>> =
-            self.basis.iter().map(|&j| self.cols[j].clone()).collect();
-        if self.kernel.try_refactor(self.m, &cols_b) {
+    /// accuracy: recompute x_B against `b` and the reduced costs for the
+    /// active cost vector. No-op on the dense kernel.
+    fn refactor_and_refresh(&mut self) {
+        if self.kernel.try_refactor(self.m, &self.basis, &self.cols) {
             self.recompute_basics();
-            self.refresh_reduced_costs(c);
+            self.refresh_reduced_costs();
         }
     }
 
-    /// Primal simplex minimizing cost vector `c`. Returns pivot count.
+    /// Primal simplex minimizing the active cost vector (`self.ccur`).
+    /// Returns pivot count.
     ///
     /// Reduced costs are maintained incrementally (one BTRAN of the pivot
     /// row per pivot); entering columns come from the devex candidate
@@ -886,7 +911,7 @@ impl Simplex {
     /// # Errors
     ///
     /// See [`LpError`].
-    fn optimize(&mut self, c: &[f64]) -> Result<usize, LpError> {
+    fn optimize(&mut self) -> Result<usize, LpError> {
         let n_total = self.cols.len();
         let m = self.m;
         let max_iter = 50 * (m + n_total) + 10_000;
@@ -895,7 +920,7 @@ impl Simplex {
         let mut refreshes = 0usize;
         let mut dirty = false; // pivots since the last reduced-cost refresh
         let mut bland_refreshed = false;
-        self.refresh_reduced_costs(c);
+        self.refresh_reduced_costs();
         self.primal_pricing.reset(n_total);
         loop {
             if iterations > max_iter {
@@ -908,7 +933,7 @@ impl Simplex {
             if bland && !bland_refreshed {
                 // Bland's rule terminates only with exact reduced-cost
                 // signs; start it from a fresh computation.
-                self.refresh_reduced_costs(c);
+                self.refresh_reduced_costs();
                 self.primal_pricing.invalidate();
                 dirty = false;
                 bland_refreshed = true;
@@ -952,7 +977,7 @@ impl Simplex {
                 // If pivots happened since the last exact computation,
                 // verify the claim on fresh values before accepting it.
                 if dirty && refreshes < MAX_OPT_REFRESH {
-                    self.refresh_reduced_costs(c);
+                    self.refresh_reduced_costs();
                     self.primal_pricing.invalidate();
                     dirty = false;
                     refreshes += 1;
@@ -1058,7 +1083,7 @@ impl Simplex {
                     self.state[j_in] = ColState::Basic(row);
                     self.kernel.update(row, &self.w[..m]);
                     if mismatch || self.kernel.should_refactor() {
-                        self.refactor_and_refresh(c);
+                        self.refactor_and_refresh();
                         self.primal_pricing.invalidate();
                         dirty = false;
                     }
@@ -1076,7 +1101,7 @@ impl Simplex {
         let m = self.m;
         let max_iter = 4 * (m + 64);
         let mut iterations = 0usize;
-        let cvec = self.cost.clone();
+        self.load_phase2_cost();
         self.dual_pricing.reset(m);
         loop {
             if iterations > max_iter {
@@ -1185,7 +1210,7 @@ impl Simplex {
             self.d[e] = 0.0;
             self.kernel.update(r, &self.w[..m]);
             if mismatch || self.kernel.should_refactor() {
-                self.refactor_and_refresh(&cvec);
+                self.refactor_and_refresh();
             }
             iterations += 1;
         }
@@ -1365,8 +1390,7 @@ mod tests {
             first.objective
         );
         // Add the remaining rows and re-solve warm.
-        let cs: Vec<&Constraint> = p.constraints()[1..].iter().collect();
-        s.add_rows(&cs);
+        s.add_rows(&p, &[1, 2]);
         assert_eq!(s.rows(), 3);
         let warm = s.resolve_with_bounds(&lo, &hi).unwrap();
         let cold = Simplex::new(&p).solve_with_bounds(&lo, &hi).unwrap();

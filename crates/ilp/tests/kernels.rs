@@ -97,7 +97,7 @@ fn build_milp(rp: &RandLp) -> Problem {
 }
 
 fn lp_solve(p: &Problem, kind: KernelKind) -> Result<f64, ilp::LpError> {
-    let core: Vec<usize> = (0..p.constraints().len()).collect();
+    let core: Vec<usize> = (0..p.num_constraints()).collect();
     let mut sx = Simplex::with_rows_kernel(p, Some(&core), kind);
     sx.solve().map(|s| s.objective)
 }
@@ -162,7 +162,7 @@ proptest! {
         fixings in proptest::collection::vec((0usize..8, any::<bool>()), 0..16),
     ) {
         let p = build_lp(&rp);
-        let core: Vec<usize> = (0..p.constraints().len()).collect();
+        let core: Vec<usize> = (0..p.num_constraints()).collect();
         let mut warm = Simplex::with_rows_kernel(&p, Some(&core), KernelKind::Sparse);
         // Refactorize after every eta so the warm path crosses many
         // factorization boundaries even on tiny problems.
@@ -222,15 +222,14 @@ fn add_rows_after_refactorization_preserves_dual_feasibility() {
     let relaxed = sx.solve_with_bounds(&lo, &hi).expect("relaxation solves");
     assert!(relaxed.objective >= 6.0 - 1e-7, "relaxation too weak");
 
-    let all = p.constraints();
-    sx.add_rows(&[&all[2], &all[3]]);
+    sx.add_rows(&p, &[2, 3]);
     let tightened = sx.resolve_with_bounds(&lo, &hi).expect("warm resolve");
     assert!(
         sx.last_solve_was_warm(),
         "resolve after add_rows fell back to a cold solve"
     );
 
-    let full: Vec<usize> = (0..all.len()).collect();
+    let full: Vec<usize> = (0..p.num_constraints()).collect();
     let cold = Simplex::with_rows_kernel(&p, Some(&full), KernelKind::Dense)
         .solve_with_bounds(&lo, &hi)
         .expect("cold reference solves");

@@ -116,7 +116,7 @@ proptest! {
     ) {
         let p = build(&rp);
         // Only exercise the LP layer: strip lazy flags by rebuilding core.
-        let core: Vec<usize> = (0..p.constraints().len()).collect();
+        let core: Vec<usize> = (0..p.num_constraints()).collect();
         let mut warm = Simplex::with_rows(&p, Some(&core));
         let n = p.num_vars();
         let mut lo = vec![0.0; n];

@@ -370,7 +370,7 @@ pub(crate) fn allocate(
     };
     // A variable-free model shell: extraction only needs the bookkeeping
     // side (action points, block ranges, clone groups).
-    let mut model = Model::minimize();
+    let model = Model::minimize();
     let model_stats = model.stats();
     let bm = BankModel {
         model,

@@ -96,9 +96,11 @@ pub fn allocate(prog: &Program<Temp>, cfg: &AllocConfig) -> Result<Allocation, A
 
 /// [`allocate`] with structured telemetry: fact extraction and frequency
 /// estimation run under a `phase.ilp` span (`backend.facts` and
-/// `backend.freq` sub-spans); each solve attempt of the fallback ladder
-/// runs under a `phase.ilp.stage` span (with `backend.model` and the
-/// solver's own `ilp.*` events inside, plus `backend.staged.*`
+/// `backend.freq` sub-spans); CSR model generation runs under a
+/// `phase.ilp.model` span; each solve attempt of the fallback ladder
+/// runs under a `phase.ilp.stage` span (with `phase.ilp.presolve` and
+/// `phase.ilp.solve` sub-spans from the solver, the solver's own
+/// `ilp.*` events, plus `backend.staged.*`
 /// counters/samples for attempts, backoff, chosen stage, and gap); the
 /// extraction/coloring half of each accepted attempt runs under
 /// `phase.codegen` (with `backend.extract` and `backend.color`

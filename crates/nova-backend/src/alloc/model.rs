@@ -33,7 +33,9 @@ use super::facts::{Fact, Facts, PointId};
 use super::staged::FallbackPolicy;
 use crate::freq::Frequencies;
 use crate::liveness::Point;
-use ilp::{BranchConfig, Cmp, Key, LinExpr, MilpError, Model, ModelStats, SolveStats, Var};
+use ilp::{
+    BranchConfig, Cmp, GroupId, Key, LinExpr, MilpError, Model, ModelStats, SolveStats, Var,
+};
 use ixp_machine::{Program, Temp};
 use std::collections::{BTreeSet, HashMap, HashSet};
 
@@ -190,6 +192,22 @@ fn bank_key(b: IlpBank) -> Key {
     Key::Sym(b.name())
 }
 
+/// Stream a buffered term list into one committed constraint row. All of
+/// `build_model`'s rows funnel through here (or through an inline
+/// [`Model::row`] chain), so constraint generation allocates nothing per
+/// row beyond the shared CSR arrays.
+fn commit_row(model: &mut Model, g: GroupId, terms: &[(Var, f64)], cmp: Cmp, rhs: f64, lazy: bool) {
+    let mut b = model.row(g);
+    for &(v, c) in terms {
+        b.term(v, c);
+    }
+    if lazy {
+        b.finish_lazy(cmp, rhs);
+    } else {
+        b.finish(cmp, rhs);
+    }
+}
+
 /// Per-block `(first, last)` point-id range of a program (blocks have
 /// `instrs.len() + 2` points).
 pub(crate) fn block_ranges(prog: &Program<Temp>) -> Vec<(PointId, PointId)> {
@@ -321,6 +339,38 @@ pub fn build_model(
     let fam_cp = model.family("copyPenalty");
     let fam_cav = model.family("colorAvail");
 
+    // Constraint groups, interned once; rows are streamed under these ids
+    // instead of carrying a formatted name each.
+    let g_oneplace = model.group("OnePlace");
+    let g_copy = model.group("Copy");
+    let g_copyedge = model.group("CopyEdge");
+    let g_aritha = model.group("ArithA");
+    let g_arithb = model.group("ArithB");
+    let g_arithpair = model.group("ArithPair");
+    let g_arithxfer = model.group("ArithXfer");
+    let g_defabw = model.group("DefABW");
+    let g_gpuse = model.group("GpUse");
+    let g_defagg = model.group("DefAgg");
+    let g_useagg = model.group("UseAgg");
+    let g_unitsrc = model.group("UnitSrc");
+    let g_unitdst = model.group("UnitDst");
+    let g_brancha = model.group("BranchA");
+    let g_branchb = model.group("BranchB");
+    let g_cloneloc = model.group("CloneLoc");
+    let g_coalesce = model.group("CopyCoalesce");
+    let g_k = model.group("K");
+    let g_clonecount = model.group("CloneCount");
+    let g_colorone = model.group("ColorOne");
+    let g_interfere = model.group("Interfere");
+    let g_adjacent = model.group("Adjacent");
+    let g_cut = model.group("Cut");
+    let g_samereg = model.group("SameReg");
+    let g_clonecolor = model.group("CloneColor");
+    let g_needspill = model.group("NeedSpill");
+    let g_occupy = model.group("Occupy");
+    let g_sparereg = model.group("SpareReg");
+    let g_clonemove = model.group("CloneMove");
+
     // ---- block point ranges & action points ----
     let block_range = block_ranges(prog);
     let block_of = |p: PointId| facts.points[p.0 as usize].block;
@@ -369,35 +419,60 @@ pub fn build_model(
         }
     }
 
-    let before = |moves: &MoveVars, p: PointId, v: Temp, b: IlpBank| -> LinExpr {
-        let mut e = LinExpr::new();
+    // `Before[p,v,b]` / `After[p,v,b]` stream `coeff·Move[..]` terms into a
+    // caller-supplied scratch buffer (returning how many were pushed) so no
+    // intermediate expression is ever allocated.
+    let push_before = |buf: &mut Vec<(Var, f64)>,
+                       moves: &MoveVars,
+                       p: PointId,
+                       v: Temp,
+                       b: IlpBank,
+                       coeff: f64|
+     -> usize {
+        let mut n = 0;
         if let Some(vars) = moves.get(&(p, v)) {
             for (var, from, _) in vars {
                 if *from == b {
-                    e.add_term(*var, 1.0);
+                    buf.push((*var, coeff));
+                    n += 1;
                 }
             }
         }
-        e
+        n
     };
-    let after = |moves: &MoveVars, p: PointId, v: Temp, b: IlpBank| -> LinExpr {
-        let mut e = LinExpr::new();
+    let push_after = |buf: &mut Vec<(Var, f64)>,
+                      moves: &MoveVars,
+                      p: PointId,
+                      v: Temp,
+                      b: IlpBank,
+                      coeff: f64|
+     -> usize {
+        let mut n = 0;
         if let Some(vars) = moves.get(&(p, v)) {
             for (var, _, to) in vars {
                 if *to == b {
-                    e.add_term(*var, 1.0);
+                    buf.push((*var, coeff));
+                    n += 1;
                 }
             }
         }
-        e
+        n
     };
+    // Shared scratch buffers, reused across every constraint below.
+    let mut buf: Vec<(Var, f64)> = Vec::new();
+    let mut obuf: Vec<(Var, f64)> = Vec::new();
+    let mut obuf2: Vec<(Var, f64)> = Vec::new();
+    let mut sbuf: Vec<(Var, f64)> = Vec::new();
 
     // ---- In one place only ----
     let mut move_keys: Vec<(PointId, Temp)> = moves.keys().copied().collect();
     move_keys.sort();
     for key in &move_keys {
-        let e = LinExpr::sum(moves[key].iter().map(|(v, _, _)| *v));
-        model.constrain("OnePlace", e, Cmp::Eq, 1.0);
+        let mut b = model.row(g_oneplace);
+        for (v, _, _) in &moves[key] {
+            b.term(*v, 1.0);
+        }
+        b.finish(Cmp::Eq, 1.0);
     }
 
     // ---- Segment links (compressed Copy) within blocks ----
@@ -414,8 +489,10 @@ pub fn build_model(
             // does by liveness: both are action points of v in one block
             // and liveness is contiguous between a use and the next).
             for &bk in &cand {
-                let e = after(&moves, a, *v, bk) - before(&moves, b2, *v, bk);
-                model.constrain("Copy", e, Cmp::Eq, 0.0);
+                buf.clear();
+                push_after(&mut buf, &moves, a, *v, bk, 1.0);
+                push_before(&mut buf, &moves, b2, *v, bk, -1.0);
+                commit_row(&mut model, g_copy, &buf, Cmp::Eq, 0.0, false);
             }
         }
     }
@@ -436,8 +513,10 @@ pub fn build_model(
                 let mut cand: Vec<IlpBank> = candidates.of(*v).into_iter().collect();
                 cand.sort();
                 for bk in cand {
-                    let e = after(&moves, last, *v, bk) - before(&moves, entry, *v, bk);
-                    model.constrain("CopyEdge", e, Cmp::Eq, 0.0);
+                    buf.clear();
+                    push_after(&mut buf, &moves, last, *v, bk, 1.0);
+                    push_before(&mut buf, &moves, entry, *v, bk, -1.0);
+                    commit_row(&mut model, g_copyedge, &buf, Cmp::Eq, 0.0, false);
                 }
             }
         }
@@ -451,7 +530,8 @@ pub fn build_model(
     let gp = [IlpBank::A, IlpBank::B];
     let require_in = |model: &mut Model,
                       moves: &MoveVars,
-                      group: &str,
+                      buf: &mut Vec<(Var, f64)>,
+                      group: GroupId,
                       p: PointId,
                       v: Temp,
                       banks: &[IlpBank],
@@ -461,15 +541,15 @@ pub fn build_model(
         if candidates.of(v).iter().all(|b| banks.contains(b)) {
             return;
         }
-        let mut e = LinExpr::new();
+        buf.clear();
         for &bk in banks {
-            e += if use_after {
-                after(moves, p, v, bk)
+            if use_after {
+                push_after(buf, moves, p, v, bk, 1.0);
             } else {
-                before(moves, p, v, bk)
-            };
+                push_before(buf, moves, p, v, bk, 1.0);
+            }
         }
-        model.constrain(group, e, Cmp::Eq, 1.0);
+        commit_row(model, group, buf, Cmp::Eq, 1.0, false);
     };
     for fact in &facts.facts {
         match fact {
@@ -480,22 +560,48 @@ pub fn build_model(
                 a,
                 b,
             } => {
-                require_in(&mut model, &moves, "ArithA", *pre, *a, &readable, true);
-                require_in(&mut model, &moves, "ArithB", *pre, *b, &readable, true);
-                // Operands cannot share a bank; L and LD supply at most one.
-                for bk in readable {
-                    let e = after(&moves, *pre, *a, bk) + after(&moves, *pre, *b, bk);
-                    model.constrain_lazy("ArithPair", e, Cmp::Le, 1.0);
+                require_in(
+                    &mut model, &moves, &mut buf, g_aritha, *pre, *a, &readable, true,
+                );
+                require_in(
+                    &mut model, &moves, &mut buf, g_arithb, *pre, *b, &readable, true,
+                );
+                // Operands cannot share a general-purpose bank (rows that a
+                // single operand populates are implied by OnePlace and
+                // skipped).
+                for bk in gp {
+                    buf.clear();
+                    let na = push_after(&mut buf, &moves, *pre, *a, bk, 1.0);
+                    let nb = push_after(&mut buf, &moves, *pre, *b, bk, 1.0);
+                    if na > 0 && nb > 0 {
+                        commit_row(&mut model, g_arithpair, &buf, Cmp::Le, 1.0, true);
+                    }
                 }
-                let e = after(&moves, *pre, *a, IlpBank::L) + after(&moves, *pre, *b, IlpBank::Ld);
-                model.constrain_lazy("ArithXfer", e, Cmp::Le, 1.0);
-                let e = after(&moves, *pre, *a, IlpBank::Ld) + after(&moves, *pre, *b, IlpBank::L);
-                model.constrain_lazy("ArithXfer", e, Cmp::Le, 1.0);
-                require_in(&mut model, &moves, "DefABW", *post, *dst, &writable, false);
+                // Transfer-bank clique: L and LD together supply at most one
+                // operand. One row subsumes the per-bank pair rows for L/LD
+                // plus the two cross rows (given OnePlace each operand sits
+                // in exactly one bank), and its LP relaxation is tighter.
+                buf.clear();
+                let mut na = 0;
+                let mut nb = 0;
+                for xb in [IlpBank::L, IlpBank::Ld] {
+                    na += push_after(&mut buf, &moves, *pre, *a, xb, 1.0);
+                    nb += push_after(&mut buf, &moves, *pre, *b, xb, 1.0);
+                }
+                if na > 0 && nb > 0 {
+                    commit_row(&mut model, g_arithxfer, &buf, Cmp::Le, 1.0, true);
+                }
+                require_in(
+                    &mut model, &moves, &mut buf, g_defabw, *post, *dst, &writable, false,
+                );
             }
             Fact::AluOne { pre, post, dst, a } => {
-                require_in(&mut model, &moves, "ArithA", *pre, *a, &readable, true);
-                require_in(&mut model, &moves, "DefABW", *post, *dst, &writable, false);
+                require_in(
+                    &mut model, &moves, &mut buf, g_aritha, *pre, *a, &readable, true,
+                );
+                require_in(
+                    &mut model, &moves, &mut buf, g_defabw, *post, *dst, &writable, false,
+                );
             }
             Fact::MoveF {
                 pre,
@@ -503,29 +609,36 @@ pub fn build_model(
                 dst,
                 src,
             } => {
-                require_in(&mut model, &moves, "ArithA", *pre, *src, &readable, true);
-                require_in(&mut model, &moves, "DefABW", *post, *dst, &writable, false);
+                require_in(
+                    &mut model, &moves, &mut buf, g_aritha, *pre, *src, &readable, true,
+                );
+                require_in(
+                    &mut model, &moves, &mut buf, g_defabw, *post, *dst, &writable, false,
+                );
                 // Coalescing incentive: when source and destination share
                 // a bank, the A/B coloring phase deletes this copy; when
                 // they differ, the instruction survives and costs a move.
                 // pm >= After[pre,src,b] - Before[post,dst,b]  for each b.
                 let pm = model.continuous(fam_cp, &[Key::Int(pre.0), Key::Int(dst.0)], 0.0, 1.0);
                 for &bk in &candidates.of(*src) {
-                    let e = after(&moves, *pre, *src, bk)
-                        - before(&moves, *post, *dst, bk)
-                        - LinExpr::from(pm);
-                    model.constrain("CopyCoalesce", e, Cmp::Le, 0.0);
+                    buf.clear();
+                    push_after(&mut buf, &moves, *pre, *src, bk, 1.0);
+                    push_before(&mut buf, &moves, *post, *dst, bk, -1.0);
+                    buf.push((pm, -1.0));
+                    commit_row(&mut model, g_coalesce, &buf, Cmp::Le, 0.0, false);
                 }
                 copy_penalties.push((*pre, pm));
             }
             Fact::Def { post, dsts } => {
                 for d in dsts {
-                    require_in(&mut model, &moves, "DefABW", *post, *d, &writable, false);
+                    require_in(
+                        &mut model, &moves, &mut buf, g_defabw, *post, *d, &writable, false,
+                    );
                 }
             }
             Fact::GpUse { pre, srcs } => {
                 for s in srcs {
-                    require_in(&mut model, &moves, "GpUse", *pre, *s, &gp, true);
+                    require_in(&mut model, &moves, &mut buf, g_gpuse, *pre, *s, &gp, true);
                 }
             }
             Fact::ReadAgg {
@@ -537,7 +650,16 @@ pub fn build_model(
                     _ => fig6.def_ld += dsts.len(),
                 }
                 for d in dsts {
-                    require_in(&mut model, &moves, "DefAgg", *post, *d, &[bank], false);
+                    require_in(
+                        &mut model,
+                        &moves,
+                        &mut buf,
+                        g_defagg,
+                        *post,
+                        *d,
+                        &[bank],
+                        false,
+                    );
                 }
             }
             Fact::WriteAgg { pre, space, srcs } => {
@@ -547,7 +669,16 @@ pub fn build_model(
                     _ => fig6.use_sd += srcs.len(),
                 }
                 for s in srcs {
-                    require_in(&mut model, &moves, "UseAgg", *pre, *s, &[bank], true);
+                    require_in(
+                        &mut model,
+                        &moves,
+                        &mut buf,
+                        g_useagg,
+                        *pre,
+                        *s,
+                        &[bank],
+                        true,
+                    );
                 }
             }
             Fact::SameReg {
@@ -559,7 +690,8 @@ pub fn build_model(
                 require_in(
                     &mut model,
                     &moves,
-                    "UnitSrc",
+                    &mut buf,
+                    g_unitsrc,
                     *pre,
                     *src,
                     &[IlpBank::S],
@@ -568,7 +700,8 @@ pub fn build_model(
                 require_in(
                     &mut model,
                     &moves,
-                    "UnitDst",
+                    &mut buf,
+                    g_unitdst,
                     *post,
                     *dst,
                     &[IlpBank::L],
@@ -585,24 +718,39 @@ pub fn build_model(
                 let mut banks: Vec<IlpBank> = candidates.of(*dst).into_iter().collect();
                 banks.sort();
                 for bk in banks {
-                    let e = before(&moves, *post, *dst, bk) - after(&moves, *pre, *src, bk);
-                    model.constrain("CloneLoc", e, Cmp::Eq, 0.0);
+                    buf.clear();
+                    push_before(&mut buf, &moves, *post, *dst, bk, 1.0);
+                    push_after(&mut buf, &moves, *pre, *src, bk, -1.0);
+                    commit_row(&mut model, g_cloneloc, &buf, Cmp::Eq, 0.0, false);
                 }
             }
             Fact::BranchUse { pre, a, b } => {
-                require_in(&mut model, &moves, "BranchA", *pre, *a, &readable, true);
+                require_in(
+                    &mut model, &moves, &mut buf, g_brancha, *pre, *a, &readable, true,
+                );
                 if let Some(b) = b {
-                    require_in(&mut model, &moves, "BranchB", *pre, *b, &readable, true);
-                    for bk in readable {
-                        let e = after(&moves, *pre, *a, bk) + after(&moves, *pre, *b, bk);
-                        model.constrain_lazy("ArithPair", e, Cmp::Le, 1.0);
+                    require_in(
+                        &mut model, &moves, &mut buf, g_branchb, *pre, *b, &readable, true,
+                    );
+                    for bk in gp {
+                        buf.clear();
+                        let na = push_after(&mut buf, &moves, *pre, *a, bk, 1.0);
+                        let nb = push_after(&mut buf, &moves, *pre, *b, bk, 1.0);
+                        if na > 0 && nb > 0 {
+                            commit_row(&mut model, g_arithpair, &buf, Cmp::Le, 1.0, true);
+                        }
                     }
-                    let e =
-                        after(&moves, *pre, *a, IlpBank::L) + after(&moves, *pre, *b, IlpBank::Ld);
-                    model.constrain_lazy("ArithXfer", e, Cmp::Le, 1.0);
-                    let e =
-                        after(&moves, *pre, *a, IlpBank::Ld) + after(&moves, *pre, *b, IlpBank::L);
-                    model.constrain_lazy("ArithXfer", e, Cmp::Le, 1.0);
+                    // Same transfer-bank clique as AluTwo.
+                    buf.clear();
+                    let mut na = 0;
+                    let mut nb = 0;
+                    for xb in [IlpBank::L, IlpBank::Ld] {
+                        na += push_after(&mut buf, &moves, *pre, *a, xb, 1.0);
+                        nb += push_after(&mut buf, &moves, *pre, *b, xb, 1.0);
+                    }
+                    if na > 0 && nb > 0 {
+                        commit_row(&mut model, g_arithxfer, &buf, Cmp::Le, 1.0, true);
+                    }
                 }
             }
         }
@@ -619,18 +767,20 @@ pub fn build_model(
     // Residency of v at p before/after the moves executing at p: between
     // action points the bank is the governing point's After; exactly at an
     // action point, "before the moves" is that point's Before.
-    let occupancy = |moves: &MoveVars,
-                     actions: &HashMap<Temp, BTreeSet<PointId>>,
-                     p: PointId,
-                     v: Temp,
-                     bank: IlpBank,
-                     after_moves: bool|
-     -> Option<LinExpr> {
+    let push_occupancy = |buf: &mut Vec<(Var, f64)>,
+                          moves: &MoveVars,
+                          actions: &HashMap<Temp, BTreeSet<PointId>>,
+                          p: PointId,
+                          v: Temp,
+                          bank: IlpBank,
+                          after_moves: bool,
+                          coeff: f64|
+     -> Option<usize> {
         let g = governing(actions, p, v)?;
         if g == p && !after_moves {
-            Some(before(moves, p, v, bank))
+            Some(push_before(buf, moves, p, v, bank, coeff))
         } else {
-            Some(after(moves, g, v, bank))
+            Some(push_after(buf, moves, g, v, bank, coeff))
         }
     };
 
@@ -661,7 +811,7 @@ pub fn build_model(
                 if !after_moves && !any_action_here {
                     continue;
                 }
-                let mut expr = LinExpr::new();
+                buf.clear();
                 let mut done_groups: HashSet<Temp> = HashSet::new();
                 for v in &eligible {
                     if let Some(g) = groups.get(v) {
@@ -676,35 +826,56 @@ pub fn build_model(
                             .collect();
                         if live_members.len() == 1 {
                             let m = live_members[0];
-                            if let Some(e) = occupancy(&moves, &actions, p, m, bank, after_moves) {
-                                expr += e;
-                            }
+                            push_occupancy(
+                                &mut buf,
+                                &moves,
+                                &actions,
+                                p,
+                                m,
+                                bank,
+                                after_moves,
+                                1.0,
+                            );
                             continue;
                         }
                         // cloneBefore / cloneAfter counting variable.
                         let fam = if after_moves { fam_ca } else { fam_cb };
                         let cvar =
                             model.binary(fam, &[Key::Int(p.0), Key::Int(rep.0), bank_key(bank)]);
-                        let mut sum = LinExpr::new();
+                        sbuf.clear();
                         for m in &live_members {
-                            if let Some(e) = occupancy(&moves, &actions, p, *m, bank, after_moves) {
+                            obuf.clear();
+                            if push_occupancy(
+                                &mut obuf,
+                                &moves,
+                                &actions,
+                                p,
+                                *m,
+                                bank,
+                                after_moves,
+                                1.0,
+                            )
+                            .is_some()
+                            {
                                 // cvar >= member occupancy
-                                model.constrain_lazy(
-                                    "CloneCount",
-                                    e.clone() - LinExpr::from(cvar),
-                                    Cmp::Le,
-                                    0.0,
-                                );
-                                sum += e;
+                                sbuf.extend_from_slice(&obuf);
+                                obuf.push((cvar, -1.0));
+                                commit_row(&mut model, g_clonecount, &obuf, Cmp::Le, 0.0, true);
                             }
                         }
-                        model.constrain_lazy("CloneCount", LinExpr::from(cvar) - sum, Cmp::Le, 0.0);
-                        expr += LinExpr::from(cvar);
-                    } else if let Some(e) = occupancy(&moves, &actions, p, *v, bank, after_moves) {
-                        expr += e;
+                        // cvar <= sum of member occupancies.
+                        let mut b = model.row(g_clonecount);
+                        b.term(cvar, 1.0);
+                        for &(mv, c) in &sbuf {
+                            b.term(mv, -c);
+                        }
+                        b.finish_lazy(Cmp::Le, 0.0);
+                        buf.push((cvar, 1.0));
+                    } else {
+                        push_occupancy(&mut buf, &moves, &actions, p, *v, bank, after_moves, 1.0);
                     }
                 }
-                model.constrain_lazy("K", expr, Cmp::Le, cap as f64);
+                commit_row(&mut model, g_k, &buf, Cmp::Le, cap as f64, true);
             }
         }
     }
@@ -721,7 +892,11 @@ pub fn build_model(
             let vars: Vec<Var> = (0..8)
                 .map(|r| model.binary(fam_color, &[Key::Int(v.0), bank_key(xb), Key::Int(r)]))
                 .collect();
-            model.constrain("ColorOne", LinExpr::sum(vars.iter().copied()), Cmp::Eq, 1.0);
+            let mut b = model.row(g_colorone);
+            for &cv in &vars {
+                b.term(cv, 1.0);
+            }
+            b.finish(Cmp::Eq, 1.0);
             colors.insert((*v, xb), vars);
         }
     }
@@ -767,31 +942,41 @@ pub fn build_model(
                     (v2, v1, g2, g1)
                 };
                 if seen_pairs.insert((lo, hi, b1, glo, ghi)) {
-                    let o1 = after(&moves, g1, v1, b1);
-                    let o2 = after(&moves, g2, v2, b1);
-                    if !o1.is_empty() && !o2.is_empty() {
+                    obuf.clear();
+                    obuf2.clear();
+                    let n1 = push_after(&mut obuf, &moves, g1, v1, b1, 1.0);
+                    let n2 = push_after(&mut obuf2, &moves, g2, v2, b1, 1.0);
+                    if n1 > 0 && n2 > 0 {
                         for (&c1, &c2) in colors[&(v1, b1)].iter().zip(&colors[&(v2, b1)]) {
-                            let e = o1.clone() + o2.clone() + c1 + c2;
-                            model.constrain_lazy("Interfere", e, Cmp::Le, 3.0);
+                            let mut b = model.row(g_interfere);
+                            for &(mv, c) in obuf.iter().chain(&obuf2) {
+                                b.term(mv, c);
+                            }
+                            b.term(c1, 1.0).term(c2, 1.0).finish_lazy(Cmp::Le, 3.0);
                         }
                     }
                 }
                 let action_here = g1 == p || g2 == p;
                 if action_here && seen_before.insert((lo, hi, b1, p)) {
-                    let o1 = if g1 == p {
-                        before(&moves, p, v1, b1)
+                    obuf.clear();
+                    obuf2.clear();
+                    let n1 = if g1 == p {
+                        push_before(&mut obuf, &moves, p, v1, b1, 1.0)
                     } else {
-                        after(&moves, g1, v1, b1)
+                        push_after(&mut obuf, &moves, g1, v1, b1, 1.0)
                     };
-                    let o2 = if g2 == p {
-                        before(&moves, p, v2, b1)
+                    let n2 = if g2 == p {
+                        push_before(&mut obuf2, &moves, p, v2, b1, 1.0)
                     } else {
-                        after(&moves, g2, v2, b1)
+                        push_after(&mut obuf2, &moves, g2, v2, b1, 1.0)
                     };
-                    if !o1.is_empty() && !o2.is_empty() {
+                    if n1 > 0 && n2 > 0 {
                         for (&c1, &c2) in colors[&(v1, b1)].iter().zip(&colors[&(v2, b1)]) {
-                            let e = o1.clone() + o2.clone() + c1 + c2;
-                            model.constrain_lazy("Interfere", e, Cmp::Le, 3.0);
+                            let mut b = model.row(g_interfere);
+                            for &(mv, c) in obuf.iter().chain(&obuf2) {
+                                b.term(mv, c);
+                            }
+                            b.term(c1, 1.0).term(c2, 1.0).finish_lazy(Cmp::Le, 3.0);
                         }
                     }
                 }
@@ -811,12 +996,12 @@ pub fn build_model(
             let cj = &colors[&(members[j], xb)];
             let cj1 = &colors[&(members[j + 1], xb)];
             for r in 0..8 {
-                let e = if r + 1 < 8 {
-                    LinExpr::from(cj[r]) - cj1[r + 1]
-                } else {
-                    LinExpr::from(cj[r])
-                };
-                model.constrain("Adjacent", e, Cmp::Eq, 0.0);
+                let mut b = model.row(g_adjacent);
+                b.term(cj[r], 1.0);
+                if r + 1 < 8 {
+                    b.term(cj1[r + 1], -1.0);
+                }
+                b.finish(Cmp::Eq, 0.0);
             }
         }
         if cfg.redundant_cuts {
@@ -827,7 +1012,7 @@ pub fn build_model(
                 let cv = &colors[&(*v, xb)];
                 for (r, &c) in cv.iter().enumerate() {
                     if r < m || r > 8 - k + m {
-                        model.constrain("Cut", LinExpr::from(c), Cmp::Eq, 0.0);
+                        model.row(g_cut).term(c, 1.0).finish(Cmp::Eq, 0.0);
                     }
                 }
             }
@@ -840,8 +1025,11 @@ pub fn build_model(
             let cd = &colors[&(*dst, IlpBank::L)];
             let cs = &colors[&(*src, IlpBank::S)];
             for r in 0..8 {
-                let e = LinExpr::from(cd[r]) - cs[r];
-                model.constrain("SameReg", e, Cmp::Eq, 0.0);
+                model
+                    .row(g_samereg)
+                    .term(cd[r], 1.0)
+                    .term(cs[r], -1.0)
+                    .finish(Cmp::Eq, 0.0);
             }
         }
     }
@@ -853,8 +1041,8 @@ pub fn build_model(
                 if !candidates.allows(*dst, xb) || !candidates.allows(*src, xb) {
                     continue;
                 }
-                let occupies = before(&moves, *post, *dst, xb);
-                if occupies.is_empty() {
+                obuf.clear();
+                if push_before(&mut obuf, &moves, *post, *dst, xb, 1.0) == 0 {
                     continue;
                 }
                 let cd = &colors[&(*dst, xb)];
@@ -865,8 +1053,11 @@ pub fn build_model(
                             continue;
                         }
                         // If the clone starts in xb, colors must agree.
-                        let e = LinExpr::from(d) + s + occupies.clone();
-                        model.constrain_lazy("CloneColor", e, Cmp::Le, 2.0);
+                        let mut b = model.row(g_clonecolor);
+                        for &(mv, c) in &obuf {
+                            b.term(mv, c);
+                        }
+                        b.term(d, 1.0).term(s, 1.0).finish_lazy(Cmp::Le, 2.0);
                     }
                 }
             }
@@ -902,15 +1093,21 @@ pub fn build_model(
                 }
                 let ns = model.binary(fam_ns, &[Key::Int(p.0), bank_key(bank)]);
                 for t in trans {
-                    model.constrain_lazy("NeedSpill", LinExpr::from(*t) - ns, Cmp::Le, 0.0);
+                    model
+                        .row(g_needspill)
+                        .term(*t, 1.0)
+                        .term(ns, -1.0)
+                        .finish_lazy(Cmp::Le, 0.0);
                 }
                 // Tightening (§9): needsSpill <= sum of spill moves.
-                model.constrain_lazy(
-                    "NeedSpill",
-                    LinExpr::from(ns) - LinExpr::sum(trans.iter().copied()),
-                    Cmp::Le,
-                    0.0,
-                );
+                {
+                    let mut b = model.row(g_needspill);
+                    b.term(ns, 1.0);
+                    for t in trans {
+                        b.term(*t, -1.0);
+                    }
+                    b.finish_lazy(Cmp::Le, 0.0);
+                }
                 // Occupancy: residents of `bank` at p claim their color.
                 let mut avail = Vec::new();
                 for r in 0..8u32 {
@@ -923,20 +1120,27 @@ pub fn build_model(
                     if !candidates.allows(*v, bank) {
                         continue;
                     }
-                    let Some(occ) = occupancy(&moves, &actions, p, *v, bank, false) else {
-                        continue;
-                    };
-                    if occ.is_empty() {
-                        continue;
+                    obuf.clear();
+                    match push_occupancy(&mut obuf, &moves, &actions, p, *v, bank, false, 1.0) {
+                        None | Some(0) => continue,
+                        Some(_) => {}
                     }
                     let cv = &colors[&(*v, bank)];
                     for r in 0..8 {
-                        let e = occ.clone() + cv[r] - avail[r];
-                        model.constrain_lazy("Occupy", e, Cmp::Le, 1.0);
+                        let mut b = model.row(g_occupy);
+                        for &(mv, c) in &obuf {
+                            b.term(mv, c);
+                        }
+                        b.term(cv[r], 1.0)
+                            .term(avail[r], -1.0)
+                            .finish_lazy(Cmp::Le, 1.0);
                     }
                 }
-                let e = LinExpr::sum(avail.iter().copied()) + ns;
-                model.constrain_lazy("SpareReg", e, Cmp::Le, 8.0);
+                let mut b = model.row(g_sparereg);
+                for &av in &avail {
+                    b.term(av, 1.0);
+                }
+                b.term(ns, 1.0).finish_lazy(Cmp::Le, 8.0);
             }
         }
     }
@@ -975,21 +1179,25 @@ pub fn build_model(
                     fam_cm,
                     &[Key::Int(p.0), Key::Int(rep.0), bank_key(b1), bank_key(b2)],
                 );
-                let mut sum = LinExpr::new();
+                sbuf.clear();
                 for m in &members {
                     for (var, f, t) in &moves[&(*p, *m)] {
                         if *f == b1 && *t == b2 {
-                            model.constrain_lazy(
-                                "CloneMove",
-                                LinExpr::from(*var) - cm,
-                                Cmp::Le,
-                                0.0,
-                            );
-                            sum.add_term(*var, 1.0);
+                            model
+                                .row(g_clonemove)
+                                .term(*var, 1.0)
+                                .term(cm, -1.0)
+                                .finish_lazy(Cmp::Le, 0.0);
+                            sbuf.push((*var, 1.0));
                         }
                     }
                 }
-                model.constrain_lazy("CloneMove", LinExpr::from(cm) - sum, Cmp::Le, 0.0);
+                let mut b = model.row(g_clonemove);
+                b.term(cm, 1.0);
+                for &(mv, c) in &sbuf {
+                    b.term(mv, -c);
+                }
+                b.finish_lazy(Cmp::Le, 0.0);
                 let cost = move_cost(cfg, b1, b2).unwrap_or(0.0);
                 let biased = if b1 == IlpBank::B {
                     cost * cfg.bias

@@ -96,7 +96,7 @@ pub(crate) fn run(
     match cfg.fallback {
         FallbackPolicy::Greedy => greedy_stage(prog, facts, freqs, cfg, obs),
         FallbackPolicy::Fail | FallbackPolicy::Incumbent => {
-            let mut bm = build_model(prog, facts, freqs, cfg);
+            let mut bm = build_model_timed(prog, facts, freqs, cfg, obs);
             let (asg, stats) = attempt(&mut bm, cfg, obs).map_err(AllocError::Solver)?;
             if cfg.fallback == FallbackPolicy::Fail && !stats.solve.proven_optimal {
                 return Err(AllocError::Solver(MilpError::BudgetExhausted(Box::new(
@@ -114,6 +114,22 @@ pub(crate) fn run(
         }
         FallbackPolicy::Ladder => ladder(prog, facts, freqs, cfg, obs),
     }
+}
+
+/// CSR model generation under a `phase.ilp.model` span, so the report
+/// harness can see the build's wall time and heap traffic separately
+/// from the solve.
+fn build_model_timed(
+    prog: &Program<Temp>,
+    facts: &Facts,
+    freqs: &Frequencies,
+    cfg: &AllocConfig,
+    obs: &nova_obs::Obs,
+) -> BankModel {
+    let span = obs.span("phase.ilp.model");
+    let bm = build_model(prog, facts, freqs, cfg);
+    span.end();
+    bm
 }
 
 /// One MILP attempt under a `phase.ilp.stage` span.
@@ -168,7 +184,7 @@ fn ladder(
     obs: &nova_obs::Obs,
 ) -> Result<Allocation, AllocError> {
     // ---- stage 0: exact MILP under the configured deadline ----
-    let mut bm = build_model(prog, facts, freqs, cfg);
+    let mut bm = build_model_timed(prog, facts, freqs, cfg, obs);
     match attempt(&mut bm, cfg, obs) {
         Ok((asg, stats)) => {
             let quality = AllocQuality {
@@ -233,7 +249,7 @@ fn ladder(
     c2.redundant_cuts = false;
     c2.solver.relative_gap = cfg.solver.relative_gap.max(0.20);
     c2.solver.time_limit = Some(base * 2);
-    let mut bm2 = build_model(prog, facts, freqs, &c2);
+    let mut bm2 = build_model_timed(prog, facts, freqs, &c2, obs);
     obs.sample("backend.staged.backoff_ms", (base * 2).as_secs_f64() * 1e3);
     match attempt(&mut bm2, &c2, obs) {
         Ok((asg, stats)) => {

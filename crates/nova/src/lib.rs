@@ -132,34 +132,6 @@ impl CompileConfig {
     pub fn builder() -> CompileConfigBuilder {
         CompileConfigBuilder::new()
     }
-
-    /// Builder-style override of the ILP solver's worker-thread count.
-    /// `0` restores automatic selection.
-    #[deprecated(
-        since = "0.3.0",
-        note = "use CompileConfig::builder().solver_threads(n).build()"
-    )]
-    #[must_use]
-    pub fn with_solver_threads(mut self, threads: usize) -> Self {
-        self.alloc.solver.threads = if threads == 0 {
-            CompileConfigBuilder::auto_threads()
-        } else {
-            threads.min(MAX_SOLVER_THREADS)
-        };
-        self
-    }
-
-    /// Builder-style override of the ILP solver's LP basis kernel.
-    /// `None` restores automatic selection.
-    #[deprecated(
-        since = "0.3.0",
-        note = "use CompileConfig::builder().solver_kernel(k).build()"
-    )]
-    #[must_use]
-    pub fn with_solver_kernel(mut self, kernel: Option<ilp::KernelKind>) -> Self {
-        self.alloc.solver.kernel = Some(kernel.unwrap_or_else(ilp::KernelKind::from_env));
-        self
-    }
 }
 
 /// Builder for [`CompileConfig`].

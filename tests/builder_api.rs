@@ -1,7 +1,6 @@
 //! The `CompileConfig::builder()` surface: solver and simulation knobs
-//! land where the pipeline reads them, environment overrides resolve
-//! exactly once at `build()`, and the deprecated setters keep compiling
-//! as shims.
+//! land where the pipeline reads them, and environment overrides resolve
+//! exactly once at `build()`.
 
 use nova::{CompileConfig, KernelKind};
 use std::time::Duration;
@@ -84,19 +83,6 @@ fn env_overrides_resolve_once_at_build_time() {
     std::env::remove_var("NOVA_ILP_THREADS");
     assert_eq!(cfg.alloc.solver.threads, 5);
     assert_eq!(cfg.alloc.solver.kernel, Some(KernelKind::Sparse));
-}
-
-#[test]
-#[allow(deprecated)]
-fn deprecated_setters_still_compile_and_work() {
-    let cfg = CompileConfig::default().with_solver_threads(3);
-    assert_eq!(cfg.alloc.solver.threads, 3);
-    let cfg = CompileConfig::default().with_solver_kernel(Some(KernelKind::Dense));
-    assert_eq!(cfg.alloc.solver.kernel, Some(KernelKind::Dense));
-    // `None` restores automatic selection — which the shim resolves
-    // immediately, builder-style, instead of deferring to solve time.
-    let cfg = CompileConfig::default().with_solver_kernel(None);
-    assert!(cfg.alloc.solver.kernel.is_some());
 }
 
 #[test]
