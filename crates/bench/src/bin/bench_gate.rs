@@ -5,17 +5,17 @@
 //!
 //! ```text
 //! bench_gate [--solver BASE CURRENT] [--throughput BASE CURRENT] \
-//!            [--phases BASE CURRENT]
+//!            [--phases BASE CURRENT] [--traffic BASE CURRENT]
 //! ```
 //!
-//! Any subset of the three pairs may be given; each is parsed, gated,
+//! Any subset of the pairs may be given; each is parsed, gated,
 //! and rendered as a markdown table on stdout. When the
 //! `GITHUB_STEP_SUMMARY` environment variable points at a writable file
 //! (as it does inside a GitHub Actions job), the same markdown is
 //! appended there so the verdict shows up in the job summary. Exits
 //! non-zero if any gating check or file/parse step fails.
 
-use bench::gate::{gate_phases, gate_solver, gate_throughput, GateReport};
+use bench::gate::{gate_phases, gate_solver, gate_throughput, gate_traffic, GateReport};
 use bench::json::Json;
 use std::io::Write as _;
 
@@ -33,11 +33,13 @@ fn main() {
             "--solver" => "solver",
             "--throughput" => "throughput",
             "--phases" => "phases",
+            "--traffic" => "traffic",
             other => {
                 eprintln!("unknown argument `{other}`");
                 eprintln!(
                     "usage: bench_gate [--solver BASE CURRENT] \
-                     [--throughput BASE CURRENT] [--phases BASE CURRENT]"
+                     [--throughput BASE CURRENT] [--phases BASE CURRENT] \
+                     [--traffic BASE CURRENT]"
                 );
                 std::process::exit(2);
             }
@@ -50,7 +52,7 @@ fn main() {
         i += 3;
     }
     if pairs.is_empty() {
-        eprintln!("nothing to gate: pass --solver/--throughput/--phases pairs");
+        eprintln!("nothing to gate: pass --solver/--throughput/--phases/--traffic pairs");
         std::process::exit(2);
     }
 
@@ -61,6 +63,7 @@ fn main() {
             (Ok(base), Ok(cur)) => match *which {
                 "solver" => gate_solver(&base, &cur),
                 "throughput" => gate_throughput(&base, &cur),
+                "traffic" => gate_traffic(&base, &cur),
                 _ => gate_phases(&base, &cur),
             },
             (Err(e), _) | (_, Err(e)) => {

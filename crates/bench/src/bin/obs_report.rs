@@ -28,7 +28,8 @@
 use bench::json::Json;
 use bench::{setup_memory, table, Benchmark};
 use nova::{
-    simulate_chip_with, CompileConfig, Event, EventKind, MemoryRecorder, Obs, Recorder, TeeRecorder,
+    simulate_chip, simulate_chip_with, ChipConfig, CompileConfig, Event, EventKind, MemoryRecorder,
+    Obs, Recorder, SimMode, TeeRecorder,
 };
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -127,6 +128,52 @@ impl Recorder for PhaseAllocRecorder {
 const PACKETS: usize = 64;
 const PHASES: [&str; 5] = ["frontend", "cps", "ilp", "codegen", "sim"];
 
+/// Shape of the `sim.host_rate` measurement: the compiled program over a
+/// paced arrival schedule — one packet every [`RATE_GAP`] cycles, so the
+/// chip is mostly idle and the event-driven fast path has dead epochs to
+/// skip, which is exactly the workload shape of the traffic harness.
+const RATE_PACKETS: usize = 1024;
+const RATE_GAP: u64 = 2048;
+
+/// The modeled outcome of a host-rate run — everything that must be
+/// bit-identical across scheduler modes.
+type ModeStory = (u64, u64, Vec<(u32, u32, u64)>);
+
+/// Host wall time and simulation rate of one scheduler mode over the
+/// paced schedule. Returns the JSON row plus the modeled outcome for the
+/// cross-mode equality check.
+fn host_rate_row(
+    b: Benchmark,
+    prog: &ixp_machine::Program<ixp_machine::PhysReg>,
+    payload: u32,
+    chip: &ChipConfig,
+    mode: SimMode,
+    name: &str,
+) -> (Json, ModeStory, f64, f64) {
+    let mut mem = setup_memory(b, RATE_PACKETS, payload);
+    let mut arrival = 0u64;
+    while let Some((len, addr)) = mem.rx_queue.pop_front() {
+        arrival += RATE_GAP;
+        mem.rx_arrivals.push_back((arrival, len, addr));
+    }
+    let chip = ChipConfig { mode, ..*chip };
+    let start = std::time::Instant::now();
+    let res = simulate_chip(prog, &mut mem, &chip).expect("host-rate run");
+    let wall_s = start.elapsed().as_secs_f64().max(1e-9);
+    let rate = res.cycles as f64 / wall_s;
+    let row = Json::obj([
+        ("mode", Json::str(name)),
+        ("wall_ms", Json::Num(wall_s * 1e3)),
+        ("sim_cycles_per_sec", Json::Num(rate)),
+    ]);
+    (
+        row,
+        (res.cycles, res.packets, mem.tx_log),
+        wall_s * 1e3,
+        rate,
+    )
+}
+
 fn main() {
     let out_path = std::env::args()
         .nth(1)
@@ -216,6 +263,39 @@ fn main() {
             table(&["phase", "wall ms", "alloc MB", "allocs"], &rows)
         );
 
+        // sim.host_rate: how fast the host simulates each scheduler mode
+        // on a paced (mostly idle) schedule. The modeled outcome must be
+        // identical; only the host time may differ.
+        let mut host_rate = Vec::new();
+        let mut stories = Vec::new();
+        for (mode, name) in [
+            (SimMode::FastPath, "fast_path"),
+            (SimMode::CycleSlice, "cycle_slice"),
+        ] {
+            let (row, story, wall_ms, rate) = host_rate_row(
+                b,
+                &report.artifact.prog,
+                payload,
+                &cfg.sim.chip_config(),
+                mode,
+                name,
+            );
+            println!(
+                "  sim.host_rate {name}: {wall_ms:.1} ms host, \
+                 {:.1}M sim-cycles/s ({RATE_PACKETS} paced packets)",
+                rate / 1e6
+            );
+            host_rate.push(row);
+            stories.push(story);
+        }
+        println!();
+        assert_eq!(
+            stories[0],
+            stories[1],
+            "{}: fast path diverged from the cycle-slice oracle on the host-rate run",
+            b.name()
+        );
+
         let counter = |name: &str| Json::int(summary.counter_total(name).unwrap_or(0) as usize);
         programs.push(Json::obj([
             ("name", Json::str(b.name())),
@@ -241,6 +321,7 @@ fn main() {
                     ("mbps", Json::Num(res.mbps)),
                 ]),
             ),
+            ("host_rate", Json::Arr(host_rate)),
         ]));
     }
     let doc = Json::obj([

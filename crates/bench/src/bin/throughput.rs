@@ -48,16 +48,17 @@ fn main() {
         let mut sweep = Vec::new();
         for engines in ENGINE_SWEEP {
             let res = run_chip_throughput(b, &out, PACKETS, payload, engines, CONTEXTS);
-            if res.stop == StopReason::CycleLimit {
-                eprintln!(
-                    "WARNING: {} at {engines} engine(s) hit the cycle limit after \
-                     {} cycles; statistics below are for a partial run \
-                     ({} of {PACKETS} packets)",
-                    b.name(),
-                    res.cycles,
-                    res.packets,
-                );
-            }
+            // A cycle-limited run is not an error: its per-engine and
+            // per-channel statistics describe the completed prefix and
+            // are recorded exactly like a finished run's, with the
+            // `stop` field ("cycle-limit") and the packet count marking
+            // it as partial — in the JSON, the table, and under either
+            // scheduler mode.
+            let packets_cell = if res.stop == StopReason::CycleLimit {
+                format!("{}/{PACKETS} (partial)", res.packets)
+            } else {
+                res.packets.to_string()
+            };
             let busiest = res
                 .channels
                 .iter()
@@ -67,7 +68,7 @@ fn main() {
                 b.name().to_string(),
                 payload.to_string(),
                 engines.to_string(),
-                res.packets.to_string(),
+                packets_cell,
                 res.cycles.to_string(),
                 format!("{:.1}", res.mbps),
                 format!(
@@ -97,6 +98,13 @@ fn main() {
                 ("packets", Json::int(res.packets as usize)),
                 ("cycles", Json::int(res.cycles as usize)),
                 ("mbps", Json::Num(res.mbps)),
+                (
+                    "stop",
+                    Json::str(match res.stop {
+                        StopReason::AllHalted => "all-halted",
+                        StopReason::CycleLimit => "cycle-limit",
+                    }),
+                ),
             ])
         })
         .collect();

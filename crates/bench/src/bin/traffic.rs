@@ -1,0 +1,114 @@
+//! E14 — trace-driven multi-chip traffic simulation. The ROADMAP
+//! north-star is "heavy traffic from millions of users", not 64 packets
+//! through one chip: this sweep pushes the canonical bursty Zipf trace
+//! ([`bench::traffic_spec`]) through sharded IXP1200 topologies behind
+//! the deterministic flow-hash load balancer, from a 100k-packet smoke
+//! point up to 10M packets across 8 chips, and records the modeled
+//! outcome (drops, latency percentiles, aggregate Mb/s) next to the
+//! host-side simulation rate the event-driven fast path buys. Results
+//! land in `BENCH_traffic.json`; every modeled number is
+//! bit-deterministic and gated exactly, host rates get a generous floor
+//! (see `bench::gate::gate_traffic`).
+//!
+//! The compile is pinned to one solver thread and an exact gap so the
+//! allocated NAT program — and therefore the simulation — is
+//! bit-identical across hosts and reruns.
+
+use bench::json::Json;
+use bench::{
+    compile, microburst_spec, run_traffic_spec, table, traffic_result_json, traffic_spec, Benchmark,
+};
+use nova::{CompileConfig, SimMode};
+
+/// (packets, chips): one small point per chip count for shape, then the
+/// 10M-packet run the fast path exists for.
+const SWEEP: [(usize, usize); 4] = [(100_000, 1), (100_000, 2), (1_000_000, 4), (10_000_000, 8)];
+
+/// Microburst stress points: line-rate ~48-packet bursts against the
+/// 64-slot receive buffer. Bursts are per-flow and the balancer is
+/// flow-affine, so adding chips thins cross-flow collisions but cannot
+/// absorb a single flow's burst — the drop column stays nonzero.
+const BURST_SWEEP: [(usize, usize); 2] = [(100_000, 1), (100_000, 2)];
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_traffic.json".into());
+    println!("Multi-chip traffic sweep (NAT, fast-path mode, flow-hash sharding)\n");
+    let cfg = CompileConfig::builder()
+        .solver_threads(1)
+        .solver_gap(0.0)
+        .build();
+    let out = compile(Benchmark::Nat, &cfg);
+    let mut sweep = Vec::new();
+    let mut rows = Vec::new();
+    let mut run_point = |shape: &str, id: String, packets: usize, chips: usize| {
+        let spec = match shape {
+            "burst" => microburst_spec(packets),
+            _ => traffic_spec(packets),
+        };
+        let (res, wall) = run_traffic_spec(&out, &spec, chips, SimMode::FastPath);
+        let entry = traffic_result_json(&id, packets, chips, &res, wall);
+        rows.push(vec![
+            shape.to_string(),
+            format!("{packets}"),
+            format!("{chips}"),
+            format!("{}", res.delivered),
+            format!("{}", res.dropped),
+            format!("{}", res.latency.p50),
+            format!("{}", res.latency.p99),
+            format!("{:.1}", res.mbps),
+            format!("{:.0}", wall.as_secs_f64() * 1e3),
+            format!(
+                "{:.1}",
+                entry.num("host_sim_cycles_per_sec").unwrap_or(0.0) / 1e6
+            ),
+        ]);
+        sweep.push(entry);
+    };
+    for (packets, chips) in SWEEP {
+        run_point("paced", format!("p{packets}x{chips}"), packets, chips);
+    }
+    for (packets, chips) in BURST_SWEEP {
+        run_point("burst", format!("burst{packets}x{chips}"), packets, chips);
+    }
+    println!(
+        "{}",
+        table(
+            &[
+                "shape",
+                "packets",
+                "chips",
+                "delivered",
+                "dropped",
+                "lat p50",
+                "lat p99",
+                "Mb/s",
+                "host ms",
+                "Msim-cyc/s",
+            ],
+            &rows,
+        )
+    );
+    println!("latencies are in 233 MHz chip cycles, arrival to transmit;");
+    println!("Mb/s is the modeled aggregate over all chips.");
+    let doc = Json::obj([
+        ("bench", Json::str("traffic")),
+        (
+            "config",
+            Json::obj([
+                (
+                    "clock_hz",
+                    Json::int(ixp_machine::timing::CLOCK_HZ as usize),
+                ),
+                ("benchmark", Json::str("NAT")),
+                ("mode", Json::str("fast_path")),
+                ("solver_threads", Json::int(1)),
+                ("relative_gap", Json::Num(0.0)),
+            ]),
+        ),
+        ("sweep", Json::Arr(sweep)),
+    ]);
+    std::fs::write(&out_path, doc.pretty()).unwrap_or_else(|e| panic!("writing {out_path}: {e}"));
+    eprintln!("wrote {out_path}");
+}

@@ -1,0 +1,177 @@
+//! Traffic-harness smoke check for CI: compile NAT once (single solver
+//! thread, exact gap, so the program is reproducible), push the
+//! canonical 100k-packet trace through a 2-chip sharded topology in
+//! fast-path mode, and fail when the run misbehaves — packets leaked
+//! (offered != delivered + dropped), the run cut off by the cycle
+//! ceiling, the fast path diverging from the cycle-slice oracle on a
+//! differential sub-run, host-side simulation speed below a floor, or
+//! the modeled outcome drifting from the checked-in
+//! `BENCH_traffic.json` baseline.
+//!
+//! Usage: `traffic_smoke [--min-pps FLOOR] [--baseline BENCH_traffic.json]`
+//! where FLOOR is host-side delivered packets per wall-clock second.
+//! The default floor is ~10× below the measured 1-core CI rate so only
+//! order-of-magnitude regressions (e.g. the fast path degenerating to
+//! cycle slicing) trip it, not host noise.
+
+use bench::json::Json;
+use bench::{compile, run_traffic, Benchmark};
+use nova::{CompileConfig, SimMode};
+
+const PACKETS: usize = 100_000;
+const CHIPS: usize = 2;
+/// The differential sub-run is small because the cycle-slice oracle is
+/// the slow path — that is the point of this PR.
+const DIFF_PACKETS: usize = 5_000;
+
+/// Default host-side delivered-packets-per-second floor, ~10× below the
+/// rate measured on the 1-core CI runner (see BENCH_traffic.json).
+const DEFAULT_MIN_PPS: f64 = 20_000.0;
+
+fn main() {
+    let mut min_pps = DEFAULT_MIN_PPS;
+    let mut baseline: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--min-pps" => {
+                let v = args.next().expect("--min-pps needs a value");
+                min_pps = v.parse().expect("--min-pps value must be a number");
+            }
+            "--baseline" => {
+                baseline = Some(args.next().expect("--baseline needs a path"));
+            }
+            other => panic!(
+                "unknown argument {other}; usage: traffic_smoke [--min-pps FLOOR] \
+                 [--baseline BENCH_traffic.json]"
+            ),
+        }
+    }
+
+    let cfg = CompileConfig::builder()
+        .solver_threads(1)
+        .solver_gap(0.0)
+        .build();
+    let out = compile(Benchmark::Nat, &cfg);
+    let mut failures = Vec::new();
+
+    // Differential sub-run: the fast path must tell exactly the same
+    // story as the cycle-slice oracle, shard by shard.
+    let (fast, _) = run_traffic(&out, DIFF_PACKETS, CHIPS, SimMode::FastPath);
+    let (slow, _) = run_traffic(&out, DIFF_PACKETS, CHIPS, SimMode::CycleSlice);
+    let story = |r: &nova::TopologyResult| {
+        (
+            r.offered,
+            r.delivered,
+            r.dropped,
+            r.cycles,
+            r.latency,
+            r.chips
+                .iter()
+                .map(|c| (c.shard, c.offered, c.delivered, c.dropped, c.result.cycles))
+                .collect::<Vec<_>>(),
+        )
+    };
+    if story(&fast) != story(&slow) {
+        failures.push(format!(
+            "fast path diverged from the cycle-slice oracle on the \
+             {DIFF_PACKETS}-packet differential run:\n  fast:  {:?}\n  slow:  {:?}",
+            story(&fast),
+            story(&slow),
+        ));
+    }
+
+    // The gated point: 100k packets over 2 chips, fast path.
+    let (res, wall) = run_traffic(&out, PACKETS, CHIPS, SimMode::FastPath);
+    let wall_s = wall.as_secs_f64().max(1e-9);
+    let host_pps = res.delivered as f64 / wall_s;
+    eprintln!(
+        "NAT x{PACKETS} packets on {CHIPS} chips: delivered {}, dropped {}, \
+         latency p50/p99 {}/{} cycles, {:.1} Mb/s modeled; host {:.0} ms \
+         ({:.0} pkt/s host-side)",
+        res.delivered,
+        res.dropped,
+        res.latency.p50,
+        res.latency.p99,
+        res.mbps,
+        wall_s * 1e3,
+        host_pps,
+    );
+    if res.offered != res.delivered + res.dropped {
+        failures.push(format!(
+            "packet conservation broken: offered {} != delivered {} + dropped {}",
+            res.offered, res.delivered, res.dropped,
+        ));
+    }
+    if res.offered != PACKETS as u64 {
+        failures.push(format!(
+            "run cut off: offered {} of {PACKETS} packets (cycle ceiling hit?)",
+            res.offered,
+        ));
+    }
+    if res.chips.iter().any(|c| c.delivered == 0) {
+        failures.push("a chip shard delivered no packets (balancer broken)".to_string());
+    }
+    if host_pps < min_pps {
+        failures.push(format!(
+            "host-side simulation speed {host_pps:.0} pkt/s below the {min_pps:.0}/s floor"
+        ));
+    }
+
+    // Against the checked-in baseline: the modeled outcome of this exact
+    // run is bit-deterministic, so any drift is a behavior change.
+    if let Some(path) = baseline {
+        match std::fs::read_to_string(&path)
+            .map_err(|e| e.to_string())
+            .and_then(|t| Json::parse(&t).map_err(|e| e.to_string()))
+        {
+            Ok(doc) => {
+                let id = format!("p{PACKETS}x{CHIPS}");
+                let point = doc.get("sweep").and_then(Json::as_arr).and_then(|arr| {
+                    arr.iter()
+                        .find(|p| p.get("id").and_then(Json::as_str) == Some(&id))
+                });
+                match point {
+                    Some(p) => {
+                        let checks: [(&str, f64); 4] = [
+                            ("delivered", res.delivered as f64),
+                            ("dropped", res.dropped as f64),
+                            ("sim_cycles", res.cycles as f64),
+                            ("mbps", res.mbps),
+                        ];
+                        for (key, got) in checks {
+                            let want = p.num(key).unwrap_or(f64::NAN);
+                            let tol = want.abs().max(1.0) * 1e-9;
+                            if (got - want).abs() > tol {
+                                failures.push(format!(
+                                    "{key} = {got} drifted from the {path} baseline ({want})"
+                                ));
+                            }
+                        }
+                        let lat = p.get("latency");
+                        for (key, got) in [("p50", res.latency.p50), ("p99", res.latency.p99)] {
+                            let want = lat.and_then(|l| l.num(key)).unwrap_or(f64::NAN);
+                            if got as f64 != want {
+                                failures.push(format!(
+                                    "latency {key} = {got} drifted from the {path} \
+                                     baseline ({want})"
+                                ));
+                            }
+                        }
+                    }
+                    None => failures.push(format!("{path} has no sweep point {id}")),
+                }
+            }
+            Err(e) => failures.push(format!("baseline {path}: {e}")),
+        }
+    }
+
+    if failures.is_empty() {
+        eprintln!("traffic-smoke OK");
+    } else {
+        for f in &failures {
+            eprintln!("traffic-smoke FAIL: {f}");
+        }
+        std::process::exit(1);
+    }
+}

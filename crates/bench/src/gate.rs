@@ -43,6 +43,12 @@ pub const ILP_ALLOCS_HEADROOM: f64 = 0.25;
 /// have been observed a few pivots apart (±3 on ~3600), so an exact
 /// gate flakes; +1% still trips on any real pricing or kernel change.
 pub const ILP_PIVOTS_HEADROOM: f64 = 0.01;
+/// How much a host-side simulation rate (sim-cycles per host second) may
+/// drop before the gate fails. Host rates on a 1-core CI runner are far
+/// noisier than modeled metrics, so the floor is generous — it exists to
+/// catch the fast path structurally regressing to cycle-slice speed
+/// (roughly an order of magnitude on paced traffic), not 20% jitter.
+pub const HOST_SIM_RATE_DROP: f64 = 0.5;
 
 /// How a metric is compared against its baseline.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -396,6 +402,86 @@ pub fn gate_phases(baseline: &Json, current: &Json) -> GateReport {
                 );
             }
         }
+        // Per-mode host simulation rate (the `sim.host_rate` rows): the
+        // fast path's sim-cycles/sec gets the [`HOST_SIM_RATE_DROP`]
+        // floor so its speedup cannot silently evaporate; the
+        // cycle-slice oracle's rate and all wall times are
+        // informational. Skipped entirely for pre-fast-path baselines
+        // that don't carry the rows yet.
+        if b.get("host_rate").is_some() {
+            let rates = matched(
+                &mut r,
+                &prog,
+                "mode",
+                b.get("host_rate").and_then(Json::as_arr),
+                c.get("host_rate").and_then(Json::as_arr),
+            );
+            for (mode, br, cr) in rates {
+                let name = format!("{prog}/host_rate.{mode}");
+                let rate_rule = if mode == "fast_path" {
+                    Rule::RateFloor {
+                        drop: HOST_SIM_RATE_DROP,
+                    }
+                } else {
+                    Rule::Info
+                };
+                r.compare(name.clone(), br, cr, "sim_cycles_per_sec", rate_rule);
+                r.compare(name, br, cr, "wall_ms", Rule::Info);
+            }
+        }
+    }
+    r
+}
+
+/// Gate `BENCH_traffic.json` against a fresh run. The modeled outcome of
+/// a traffic sweep point — packet conservation, drops, makespan cycles,
+/// and latency order statistics — is bit-deterministic, so it is gated
+/// exactly; aggregate Mb/s gets the throughput rate floor; the host-side
+/// simulation rate gets the generous [`HOST_SIM_RATE_DROP`] floor (it is
+/// the fast path's raison d'être, but a shared CI host makes it noisy);
+/// wall time and packets/sec are informational.
+pub fn gate_traffic(baseline: &Json, current: &Json) -> GateReport {
+    let mut r = GateReport::default();
+    let points = matched(
+        &mut r,
+        "traffic",
+        "id",
+        baseline.get("sweep").and_then(Json::as_arr),
+        current.get("sweep").and_then(Json::as_arr),
+    );
+    for (id, b, c) in points {
+        r.compare(id.clone(), b, c, "offered", Rule::Exact);
+        r.compare(id.clone(), b, c, "delivered", Rule::Exact);
+        r.compare(id.clone(), b, c, "dropped", Rule::Exact);
+        r.compare(id.clone(), b, c, "sim_cycles", Rule::Exact);
+        r.compare(
+            id.clone(),
+            b,
+            c,
+            "mbps",
+            Rule::RateFloor {
+                drop: THROUGHPUT_DROP,
+            },
+        );
+        match (b.get("latency"), c.get("latency")) {
+            (Some(bl), Some(cl)) => {
+                let name = format!("{id}/latency");
+                r.compare(name.clone(), bl, cl, "p50", Rule::Exact);
+                r.compare(name, bl, cl, "p99", Rule::Exact);
+            }
+            _ => r.err(format!("{id}: latency summary missing")),
+        }
+        r.compare(
+            id.clone(),
+            b,
+            c,
+            "host_sim_cycles_per_sec",
+            Rule::RateFloor {
+                drop: HOST_SIM_RATE_DROP,
+            },
+        );
+        r.compare(id.clone(), b, c, "host_wall_ms", Rule::Info);
+        r.compare(id, b, c, "host_packets_per_sec", Rule::Info);
     }
     r
 }
@@ -631,6 +717,87 @@ mod tests {
             .checks
             .iter()
             .any(|c| c.name == "AES/phase.frontend/allocs"));
+    }
+
+    fn host_rate_doc(rows: &str) -> Json {
+        Json::parse(&format!(
+            r#"{{"bench":"phases","programs":[{{"name":"AES",
+                "counters":{{"ilp.pivots":3633,"sim.cycles":95900,"sim.packets":64}},
+                "phases":[{{"name":"frontend","wall_ms":1.5,"alloc_mb":0.3}}]{rows}}}]}}"#
+        ))
+        .unwrap()
+    }
+
+    fn host_rate_rows(fast: f64, slow: f64) -> String {
+        format!(
+            r#","host_rate":[
+              {{"mode":"fast_path","wall_ms":3.0,"sim_cycles_per_sec":{fast}}},
+              {{"mode":"cycle_slice","wall_ms":40.0,"sim_cycles_per_sec":{slow}}}]"#
+        )
+    }
+
+    #[test]
+    fn fast_path_host_rate_has_a_floor_and_the_oracle_does_not() {
+        let base = host_rate_doc(&host_rate_rows(200.0e6, 15.0e6));
+        // 30% host noise on the fast path passes; the oracle's rate may
+        // collapse entirely without failing anything.
+        assert!(gate_phases(&base, &host_rate_doc(&host_rate_rows(140.0e6, 1.0e6))).passed());
+        // A fast path running at a quarter of its baseline rate fails.
+        let r = gate_phases(&base, &host_rate_doc(&host_rate_rows(50.0e6, 15.0e6)));
+        assert!(!r.passed());
+        assert!(r
+            .checks
+            .iter()
+            .any(|c| !c.pass && c.name == "AES/host_rate.fast_path/sim_cycles_per_sec"));
+        // Baselines from before the fast path carry no host_rate rows;
+        // they must not produce structural errors against newer runs
+        // that do carry them.
+        let old = host_rate_doc("");
+        assert!(gate_phases(&old, &base).passed());
+    }
+
+    fn traffic_doc(delivered: u64, p99: u64, mbps: f64, host_rate: f64) -> Json {
+        Json::parse(&format!(
+            r#"{{"bench":"traffic","sweep":[
+                {{"id":"p100000x2","packets":100000,"chips":2,
+                  "offered":100000,"delivered":{delivered},
+                  "dropped":{dropped},"sim_cycles":7700000,
+                  "mbps":{mbps},
+                  "latency":{{"count":{delivered},"p50":840,"p90":1400,"p99":{p99},"max":9001}},
+                  "host_wall_ms":450.0,
+                  "host_sim_cycles_per_sec":{host_rate},
+                  "host_packets_per_sec":222222.0}}]}}"#,
+            dropped = 100000 - delivered,
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn traffic_outcome_is_gated_exactly_and_host_rate_generously() {
+        let base = traffic_doc(99_900, 2_300, 310.0, 120.0e6);
+        assert!(gate_traffic(&base, &base).passed());
+        // Host-side noise is fine: 40% slower host, 10% lower Mb/s.
+        assert!(gate_traffic(&base, &traffic_doc(99_900, 2_300, 280.0, 72.0e6)).passed());
+        // One packet of delivery drift is a modeled-behavior change.
+        let r = gate_traffic(&base, &traffic_doc(99_899, 2_300, 310.0, 120.0e6));
+        assert!(!r.passed());
+        // So is a shifted tail latency.
+        let r2 = gate_traffic(&base, &traffic_doc(99_900, 2_301, 310.0, 120.0e6));
+        assert!(r2
+            .checks
+            .iter()
+            .any(|c| !c.pass && c.name == "p100000x2/latency/p99"));
+        // A halved host rate (past the 50% floor) fails.
+        assert!(!gate_traffic(&base, &traffic_doc(99_900, 2_300, 310.0, 48.0e6)).passed());
+    }
+
+    #[test]
+    fn missing_traffic_sweep_point_is_a_structural_error() {
+        let base = traffic_doc(99_900, 2_300, 310.0, 120.0e6);
+        let cur = Json::parse(r#"{"bench":"traffic","sweep":[]}"#).unwrap();
+        let r = gate_traffic(&base, &cur);
+        assert!(!r.passed());
+        assert!(!r.errors.is_empty());
     }
 
     #[test]

@@ -5,7 +5,10 @@
 
 pub mod gate;
 
-use ixp_sim::{simulate, simulate_chip, ChipConfig, PacketGen, PacketSpec, SimConfig, SimMemory};
+use ixp_sim::{
+    simulate, simulate_chip, simulate_topology, ChipConfig, PacketGen, PacketSpec, SimConfig,
+    SimMemory, SimMode, TopologyConfig, TopologyResult, TrafficSpec,
+};
 use nova::{compile_source, CompileConfig, CompileOutput};
 use workloads::{aes, kasumi, AES_NOVA, KASUMI_NOVA, NAT_NOVA};
 
@@ -208,6 +211,180 @@ pub fn chip_result_json(res: &ixp_sim::SimResult) -> json::Json {
                             ("packets", Json::int(e.packets as usize)),
                             ("bytes", Json::int(e.bytes as usize)),
                             ("halt_cycle", Json::int(e.halt_cycle as usize)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+/// The canonical traffic shape of the multi-chip harness: Zipf-popular
+/// flows (s = 1.0) over four real-world packet length classes, bursty,
+/// paced at ~1.8 Gb/s offered load — roughly twice what one NAT chip
+/// sustains, so an under-provisioned topology visibly tail-drops and
+/// queues while a sharded one keeps up. Every traffic artifact
+/// (`BENCH_traffic.json`, the smoke run, E14) uses this spec so numbers
+/// stay comparable across sweeps; only `packets` varies.
+pub fn traffic_spec(packets: usize) -> TrafficSpec {
+    TrafficSpec {
+        packets,
+        flows: 4096,
+        zipf_s_halves: 2,
+        mean_burst: 4,
+        length_classes: vec![64, 200, 576, 1500],
+        mean_gap: 128,
+        cycles_per_byte: 1,
+        seed: 0x1337_BEEF,
+    }
+}
+
+/// The canonical chip/topology shape of the traffic harness: full
+/// IXP1200s (6 engines x 4 contexts), a 64-packet receive buffer per
+/// chip, and a coarser 32-cycle arbitration epoch — barrier count is the
+/// host-time driver at traffic scale, and rx/tx quantization error stays
+/// a few cycles per packet.
+pub fn traffic_topology(chips: usize, mode: SimMode) -> TopologyConfig {
+    TopologyConfig {
+        chips,
+        chip: ChipConfig {
+            max_cycles: 1 << 36,
+            slice: 32,
+            host_threads: 1,
+            mode,
+            ..ChipConfig::default()
+        },
+        rx_capacity: 64,
+        slots_per_class: 128,
+    }
+}
+
+/// Pre-write one valid NAT packet buffer (IPv6/TCP header + payload) of
+/// `bytes` on-wire length at SDRAM word address `addr` — the
+/// `write_packet` hook [`ixp_sim::simulate_topology`] wants.
+pub fn write_nat_packet(mem: &mut SimMemory, addr: u32, bytes: u32) {
+    let payload_bytes = bytes.saturating_sub(workloads::HEADER_BYTES);
+    let hdr = workloads::nat::Ipv6Header {
+        version: 6,
+        traffic_class: 0,
+        flow: 0x12345,
+        payload_len: payload_bytes + 16, // TCP header + payload
+        next_header: 6,
+        hop_limit: 64,
+        src: [0x2001_0DB8, 0, 0, 0xC0A8_0000 + addr],
+        dst: [0x2001_0DB8, 0, 1, 0x0A00_0000 + addr],
+    };
+    for (i, w) in hdr.pack().iter().enumerate() {
+        mem.write(ixp_machine::MemSpace::Sdram, addr + i as u32, *w);
+    }
+    let header_words = hdr.pack().len() as u32;
+    for i in 0..payload_bytes.div_ceil(4) {
+        let w = addr
+            .wrapping_mul(0x9E37_79B9)
+            .wrapping_add(i.wrapping_mul(0x85EB_CA6B));
+        mem.write(ixp_machine::MemSpace::Sdram, addr + header_words + i, w);
+    }
+}
+
+/// The microburst stress variant of [`traffic_spec`]: long bursts land
+/// at line rate (no per-byte pacing), so a ~48-packet burst of one flow
+/// slams a 64-slot receive buffer at once. Because the balancer is
+/// flow-affine, a burst always lands on a single chip — sharding buys
+/// aggregate capacity but *not* microburst absorption, which is the
+/// shallow-buffer tail-drop story the drop column of E14 measures.
+pub fn microburst_spec(packets: usize) -> TrafficSpec {
+    TrafficSpec {
+        mean_burst: 48,
+        mean_gap: 4096,
+        cycles_per_byte: 0,
+        ..traffic_spec(packets)
+    }
+}
+
+/// Run the NAT benchmark over `spec`'s trace on a sharded multi-chip
+/// topology. Returns the aggregated result and the host wall time of
+/// the simulation itself (trace generation excluded).
+pub fn run_traffic_spec(
+    out: &CompileOutput,
+    spec: &TrafficSpec,
+    chips: usize,
+    mode: SimMode,
+) -> (TopologyResult, std::time::Duration) {
+    let trace = spec.generate();
+    let cfg = traffic_topology(chips, mode);
+    let start = std::time::Instant::now();
+    let res = simulate_topology(&out.prog, &cfg, &trace, write_nat_packet)
+        .expect("traffic simulation runs");
+    (res, start.elapsed())
+}
+
+/// [`run_traffic_spec`] over the canonical [`traffic_spec`] trace.
+pub fn run_traffic(
+    out: &CompileOutput,
+    packets: usize,
+    chips: usize,
+    mode: SimMode,
+) -> (TopologyResult, std::time::Duration) {
+    run_traffic_spec(out, &traffic_spec(packets), chips, mode)
+}
+
+/// JSON view of one traffic sweep point: modeled drop/latency/throughput
+/// plus the host-side simulation rate that motivated the fast path.
+/// `id` keys the point for the gate (e.g. `p100000x2`,
+/// `burst100000x1`).
+pub fn traffic_result_json(
+    id: &str,
+    packets: usize,
+    chips: usize,
+    res: &TopologyResult,
+    wall: std::time::Duration,
+) -> json::Json {
+    use json::Json;
+    let wall_s = wall.as_secs_f64().max(1e-9);
+    // Host work is proportional to the *sum* of per-chip cycles (chips
+    // share one coordinator thread pool on a small CI host).
+    let host_cycles: u64 = res.chips.iter().map(|c| c.result.cycles).sum();
+    let lat = |l: &ixp_sim::LatencySummary| {
+        Json::obj([
+            ("count", Json::int(l.count as usize)),
+            ("p50", Json::int(l.p50 as usize)),
+            ("p90", Json::int(l.p90 as usize)),
+            ("p99", Json::int(l.p99 as usize)),
+            ("max", Json::int(l.max as usize)),
+        ])
+    };
+    Json::obj([
+        ("id", Json::str(id)),
+        ("packets", Json::int(packets)),
+        ("chips", Json::int(chips)),
+        ("offered", Json::int(res.offered as usize)),
+        ("delivered", Json::int(res.delivered as usize)),
+        ("dropped", Json::int(res.dropped as usize)),
+        ("sim_cycles", Json::int(res.cycles as usize)),
+        ("mbps", Json::Num(res.mbps)),
+        ("latency", lat(&res.latency)),
+        ("host_wall_ms", Json::Num(wall_s * 1e3)),
+        (
+            "host_sim_cycles_per_sec",
+            Json::Num(host_cycles as f64 / wall_s),
+        ),
+        (
+            "host_packets_per_sec",
+            Json::Num(res.delivered as f64 / wall_s),
+        ),
+        (
+            "shards",
+            Json::Arr(
+                res.chips
+                    .iter()
+                    .map(|c| {
+                        Json::obj([
+                            ("shard", Json::int(c.shard)),
+                            ("offered", Json::int(c.offered as usize)),
+                            ("delivered", Json::int(c.delivered as usize)),
+                            ("dropped", Json::int(c.dropped as usize)),
+                            ("cycles", Json::int(c.result.cycles as usize)),
+                            ("latency", lat(&c.latency)),
                         ])
                     })
                     .collect(),

@@ -214,6 +214,24 @@ impl Channel {
             self.stats.max_queue_depth = depth;
         }
     }
+
+    /// The next cycle after `now` at which this channel's state machine
+    /// changes on its own: the bus-free horizon, or `None` when the bus
+    /// is already free.
+    ///
+    /// This is the channel's *complete* event set, which is what makes an
+    /// event-driven skip over idle arbitration epochs exact: a channel
+    /// never spontaneously wakes a context. Completion times are folded
+    /// into the context's own wake-up (`Blocked(done)`) at service time,
+    /// and a still-busy bus at some future cycle only delays *future*
+    /// references through the `free_at.max(issue)` fold — priced
+    /// identically whether or not the idle cycles in between were
+    /// simulated. So a simulator that knows every context's wake-up may
+    /// jump straight to the earliest one; [`Channel::next_event`] exists
+    /// so that skip logic can assert the invariant instead of assuming it.
+    pub fn next_event(&self, now: u64) -> Option<u64> {
+        (self.free_at > now).then_some(self.free_at)
+    }
 }
 
 #[cfg(test)]
@@ -304,6 +322,44 @@ mod tests {
         assert_eq!(a.stats, b.stats);
         assert_eq!(b.stats.stalled, 0);
         assert_eq!(b.stats.dropped, 0);
+    }
+
+    #[test]
+    fn next_event_is_the_bus_free_horizon_and_nothing_else() {
+        let mut c = Channel::new(MemSpace::Sram);
+        // Idle channel: no event, ever.
+        assert_eq!(c.next_event(0), None);
+        assert_eq!(c.next_event(1 << 40), None);
+        let (_, done) = c.service_read(100, 4);
+        let free = c.free_at();
+        // Busy channel: the only future event is the bus freeing.
+        assert_eq!(c.next_event(100), Some(free));
+        assert_eq!(c.next_event(free - 1), Some(free));
+        // At or past the horizon the channel is inert again.
+        assert_eq!(c.next_event(free), None);
+        // The blocking completion is the *context's* event, not the
+        // channel's: it was handed out at service time.
+        assert!(done >= free || c.next_event(done).is_none());
+    }
+
+    #[test]
+    fn skipping_past_the_horizon_cannot_change_service_times() {
+        // The exactness argument behind event-driven simulation: a
+        // request issued after the bus-free horizon is priced by
+        // `free_at.max(issue)`, which no longer depends on `free_at` —
+        // so nothing observable happens between the last wake-up and the
+        // next issue, simulated or skipped.
+        let mut ground = Channel::new(MemSpace::Sdram);
+        let mut skipped = Channel::new(MemSpace::Sdram);
+        ground.service_read(0, 8);
+        skipped.service_read(0, 8);
+        let horizon = ground.next_event(0).unwrap();
+        assert_eq!(ground.service_read(horizon + 500, 2), {
+            // An identical channel that "skipped" the idle span sees the
+            // same grant and completion.
+            skipped.service_read(horizon + 500, 2)
+        });
+        assert_eq!(ground.stats, skipped.stats);
     }
 
     #[test]

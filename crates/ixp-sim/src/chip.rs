@@ -36,9 +36,11 @@
 //! canonical order above — deterministic, though not cycle-exact against
 //! hardware.
 
-use crate::engine::{resolve_addr, RegFile, ThreadState};
-use crate::machine::SimMemory;
-use crate::sim::{emit_result_obs, finish_result, EngineStats, SimError, SimResult, StopReason};
+use crate::engine::{advance_idle, earliest_wake, resolve_addr, RegFile, ThreadState};
+use crate::machine::{RxGrant, SimMemory};
+use crate::sim::{
+    emit_result_obs, finish_result, EngineStats, SimError, SimMode, SimResult, StopReason,
+};
 use ixp_machine::channel::{Channel, ChannelFaults};
 use ixp_machine::timing::{issue_cycles, read_latency, BRANCH_TAKEN_PENALTY, HASH_CYCLES};
 use ixp_machine::units::hash_unit;
@@ -66,6 +68,12 @@ pub struct ChipConfig {
     /// (min of host parallelism and engine count); any value produces
     /// bit-identical results.
     pub host_threads: usize,
+    /// Scheduler mode. [`SimMode::FastPath`] (the default) skips over
+    /// arbitration epochs in which no context can execute — jumping
+    /// simulated time to the earliest wake-up, rounded down to an epoch
+    /// boundary — and is bit-identical to [`SimMode::CycleSlice`], which
+    /// grinds every epoch and serves as the differential oracle.
+    pub mode: SimMode,
     /// Deterministic channel fault injection (stalls and dropped/retried
     /// references), applied to the shared chip-level channels. Default:
     /// no faults.
@@ -80,6 +88,7 @@ impl Default for ChipConfig {
             max_cycles: 500_000_000,
             slice: 8,
             host_threads: 0,
+            mode: SimMode::default(),
             faults: ChannelFaults::default(),
         }
     }
@@ -240,24 +249,14 @@ fn run_slice(e: &mut Engine, prog: &Program<PhysReg>, slice_end: u64) {
             // Runnable later this slice? Advance to the earliest wake-up;
             // otherwise idle out the slice (wake-ups beyond it, or
             // requests pending at the barrier).
-            let next = e
-                .ctxs
-                .iter()
-                .filter_map(|c| match c.state {
-                    ThreadState::Blocked(u) => Some(u),
-                    _ => None,
-                })
-                .min();
-            match next {
+            match earliest_wake(e.ctxs.iter().map(|c| &c.state)) {
                 Some(u) if u < slice_end => {
-                    let advanced = u.max(e.cycle + 1);
-                    e.stats.idle_cycles += advanced - e.cycle;
-                    e.cycle = advanced;
+                    let target = u.max(e.cycle + 1);
+                    advance_idle(&mut e.cycle, &mut e.stats.idle_cycles, target);
                     continue;
                 }
                 _ => {
-                    e.stats.idle_cycles += slice_end - e.cycle;
-                    e.cycle = slice_end;
+                    advance_idle(&mut e.cycle, &mut e.stats.idle_cycles, slice_end);
                     return;
                 }
             }
@@ -502,13 +501,21 @@ fn resolve_requests(
             }
             ReqKind::Rx { len_dst, addr_dst } => {
                 let ctx = &mut eng.ctxs[req.ctx];
-                match mem.rx_queue.pop_front() {
-                    Some((len, addr)) => {
+                match mem.rx_grant(req.issue) {
+                    RxGrant::Packet { len, addr } => {
                         ctx.regs.write(len_dst, len);
                         ctx.regs.write(addr_dst, addr);
                         ctx.state = ThreadState::Blocked(req.issue + 4);
                     }
-                    None => {
+                    RxGrant::WaitUntil(arrival) => {
+                        // Timed traffic and nothing has arrived yet: the
+                        // context re-executes the rx instruction once the
+                        // next scheduled packet lands (the retry is billed
+                        // as another issue — polling the ring isn't free).
+                        ctx.pc -= 1;
+                        ctx.state = ThreadState::Blocked(arrival);
+                    }
+                    RxGrant::Empty => {
                         ctx.state = ThreadState::Halted;
                     }
                 }
@@ -518,6 +525,85 @@ fn resolve_requests(
             }
         }
     }
+}
+
+/// Decide where the next arbitration epoch starts, given the barrier at
+/// `slice_end` just resolved. Returns `(next_t, skipped_cycles)`.
+///
+/// [`SimMode::CycleSlice`] always answers `slice_end`. [`SimMode::FastPath`]
+/// computes the earliest cycle `A` at which *any* context can execute
+/// again — `max(engine.cycle, wake)` for blocked contexts, `engine.cycle`
+/// for ready ones — and jumps to the epoch boundary at or below `A`. Every
+/// skipped epoch is provably dead: any activity before `A` would
+/// contradict `A`'s minimality, engines idling out a dead epoch charge
+/// exactly `slice` idle cycles (credited here in one step through
+/// [`advance_idle`]), a dead barrier resolves zero requests, and
+/// `note_queue_depth(0)` is a no-op. Channels hold no hidden events to
+/// skip over: completions were folded into `Blocked(done)` wake-ups when
+/// the request was serviced, and a busy bus only delays *future* requests
+/// via the `free_at.max(issue)` fold —
+/// [`ixp_machine::channel::Channel::next_event`] exposes that bus-free
+/// horizon, and the debug assertion below pins down that skipping past it
+/// leaves the channel's event view unchanged.
+fn next_epoch(
+    engines: &[Mutex<Engine>],
+    channels: &[Channel; 3],
+    mode: SimMode,
+    slice_end: u64,
+    slice: u64,
+    max_cycles: u64,
+) -> (u64, u64) {
+    if mode == SimMode::CycleSlice {
+        return (slice_end, 0);
+    }
+    let mut earliest: Option<u64> = None;
+    for m in engines {
+        let e = m.lock().unwrap();
+        if e.all_halted() {
+            continue;
+        }
+        debug_assert!(
+            e.requests.is_empty(),
+            "barrier left unresolved requests behind"
+        );
+        for c in &e.ctxs {
+            let w = match c.state {
+                ThreadState::Ready => e.cycle,
+                ThreadState::Blocked(u) => u.max(e.cycle),
+                // A context still pending at the arbiter means the epoch
+                // is live; never skip over it. (resolve_requests clears
+                // every Pending, so this is defensive.)
+                ThreadState::Pending => return (slice_end, 0),
+                ThreadState::Halted => continue,
+            };
+            earliest = Some(earliest.map_or(w, |a| a.min(w)));
+        }
+    }
+    let Some(a) = earliest else {
+        return (slice_end, 0);
+    };
+    let target = (slice_end + (a.max(slice_end) - slice_end) / slice * slice).min(max_cycles);
+    if target <= slice_end {
+        return (slice_end, 0);
+    }
+    if cfg!(debug_assertions) {
+        for ch in channels.iter() {
+            debug_assert_eq!(
+                ch.next_event(target),
+                ch.next_event(slice_end).filter(|&h| h > target),
+                "skipping must not change a channel's bus-free horizon"
+            );
+        }
+    }
+    for m in engines {
+        let mut e = m.lock().unwrap();
+        if e.all_halted() || e.cycle >= target {
+            continue;
+        }
+        let Engine { cycle, stats, .. } = &mut *e;
+        advance_idle(cycle, &mut stats.idle_cycles, target);
+    }
+    (target, target - slice_end)
 }
 
 /// Run `prog` on every engine of the simulated chip.
@@ -618,6 +704,10 @@ fn simulate_chip_inner(
     let mut channels = Channel::per_space_with(cfg.faults);
     let mut mem_refs: HashMap<MemSpace, (u64, u64)> = HashMap::new();
     let mut sampler = obs.enabled().then(OccSampler::new);
+    // Fast-path telemetry: how often and how far the scheduler jumped
+    // over dead epochs. Only ever touched by the coordinator.
+    let mut fp_skips: u64 = 0;
+    let mut fp_skipped_cycles: u64 = 0;
 
     let outcome = if workers <= 1 {
         // Serial driver: same slice/barrier structure, no pool.
@@ -640,7 +730,19 @@ fn simulate_chip_inner(
             if all_halted(&engines) {
                 break (Ok(StopReason::AllHalted), slice_end);
             }
-            t = slice_end;
+            let (next_t, skipped) = next_epoch(
+                &engines,
+                &channels,
+                cfg.mode,
+                slice_end,
+                slice,
+                cfg.max_cycles,
+            );
+            if skipped > 0 {
+                fp_skips += 1;
+                fp_skipped_cycles += skipped;
+            }
+            t = next_t;
         }
     } else {
         // Persistent work-sharing pool (the style of `ilp`'s parallel
@@ -691,7 +793,19 @@ fn simulate_chip_inner(
                 if all_halted(&engines) {
                     break (Ok(StopReason::AllHalted), slice_end);
                 }
-                t = slice_end;
+                let (next_t, skipped) = next_epoch(
+                    &engines,
+                    &channels,
+                    cfg.mode,
+                    slice_end,
+                    slice,
+                    cfg.max_cycles,
+                );
+                if skipped > 0 {
+                    fp_skips += 1;
+                    fp_skipped_cycles += skipped;
+                }
+                t = next_t;
             };
             done.store(true, Ordering::Release);
             barrier.wait(); // release workers into the exit check
@@ -703,6 +817,13 @@ fn simulate_chip_inner(
         (Ok(stop), t) => (stop, t),
         (Err(e), _) => return Err(e),
     };
+    if obs.enabled() {
+        // How much host work the event-driven mode saved. These are the
+        // only counters allowed to differ between modes (the differential
+        // tests compare SimResult, not telemetry).
+        obs.counter("sim.fastpath.skips", fp_skips);
+        obs.counter("sim.fastpath.skipped_cycles", fp_skipped_cycles);
+    }
     let mut engs: Vec<Engine> = engines
         .into_iter()
         .map(|m| m.into_inner().unwrap())
@@ -843,6 +964,129 @@ mod tests {
         let c = run(4);
         assert_eq!(a, b);
         assert_eq!(a, c);
+    }
+
+    /// Forwarder traffic paced far apart, so the chip spends most of its
+    /// modeled time with every context asleep — the fast path's case.
+    fn paced_mem(packets: usize, gap: u64) -> SimMemory {
+        let mut mem = SimMemory::with_sizes(64, 4096, 64);
+        for i in 0..packets {
+            mem.rx_arrivals
+                .push_back((i as u64 * gap, 64, (i % 16 * 16) as u32));
+        }
+        mem
+    }
+
+    fn fingerprint(res: &SimResult, mem: &SimMemory) -> impl PartialEq + std::fmt::Debug {
+        (
+            res.cycles,
+            res.instructions,
+            res.packets,
+            res.bytes,
+            res.stop,
+            res.engines.clone(),
+            res.channels.clone(),
+            mem.sram.clone(),
+            mem.sdram.clone(),
+            mem.tx_log.clone(),
+            mem.rx_grants.clone(),
+            mem.rx_dropped,
+        )
+    }
+
+    #[test]
+    fn fast_path_is_bit_identical_to_the_cycle_slice_oracle() {
+        let prog = forwarder();
+        let run = |mode: SimMode| {
+            let mut mem = paced_mem(48, 700);
+            mem.rx_capacity = 4;
+            let cfg = ChipConfig {
+                engines: 3,
+                contexts: 2,
+                mode,
+                ..ChipConfig::default()
+            };
+            let res = simulate_chip(&prog, &mut mem, &cfg).unwrap();
+            (fingerprint(&res, &mem), res)
+        };
+        let (slow, slow_res) = run(SimMode::CycleSlice);
+        let (fast, fast_res) = run(SimMode::FastPath);
+        assert_eq!(slow, fast);
+        assert_eq!(slow_res.stop, StopReason::AllHalted);
+        assert_eq!(fast_res.packets, 48);
+    }
+
+    #[test]
+    fn fast_path_matches_oracle_under_a_cycle_limit() {
+        let prog = forwarder();
+        let run = |mode: SimMode| {
+            let mut mem = paced_mem(64, 900);
+            let cfg = ChipConfig {
+                engines: 2,
+                contexts: 2,
+                max_cycles: 10_000,
+                mode,
+                ..ChipConfig::default()
+            };
+            let res = simulate_chip(&prog, &mut mem, &cfg).unwrap();
+            (fingerprint(&res, &mem), res.stop)
+        };
+        let (slow, stop) = run(SimMode::CycleSlice);
+        let (fast, _) = run(SimMode::FastPath);
+        assert_eq!(stop, StopReason::CycleLimit, "test wants a partial run");
+        assert_eq!(slow, fast);
+    }
+
+    #[test]
+    fn fast_path_reports_its_skips_and_the_oracle_reports_none() {
+        let prog = forwarder();
+        let skips = |mode: SimMode| {
+            let rec = nova_obs::MemoryRecorder::new();
+            let obs = nova_obs::Obs::new(rec.clone());
+            let mut mem = paced_mem(16, 2_000);
+            let cfg = ChipConfig {
+                engines: 2,
+                contexts: 2,
+                mode,
+                ..ChipConfig::default()
+            };
+            simulate_chip_with(&prog, &mut mem, &cfg, &obs).unwrap();
+            let sum = rec.summary();
+            (
+                sum.counter_total("sim.fastpath.skips").unwrap_or(0),
+                sum.counter_total("sim.fastpath.skipped_cycles")
+                    .unwrap_or(0),
+            )
+        };
+        let (fast_skips, fast_cycles) = skips(SimMode::FastPath);
+        assert!(fast_skips > 0, "paced traffic must trigger skips");
+        assert!(fast_cycles >= fast_skips * 8, "each skip spans >= 1 epoch");
+        assert_eq!(skips(SimMode::CycleSlice), (0, 0));
+    }
+
+    #[test]
+    fn timed_traffic_with_a_small_buffer_drops_deterministically() {
+        let prog = forwarder();
+        let run = || {
+            // A burst of simultaneous arrivals against a 2-slot buffer.
+            let mut mem = SimMemory::with_sizes(64, 4096, 64);
+            for i in 0..12u32 {
+                mem.rx_arrivals.push_back((100, 64, i * 16));
+            }
+            mem.rx_capacity = 2;
+            let cfg = ChipConfig {
+                engines: 1,
+                contexts: 1,
+                ..ChipConfig::default()
+            };
+            let res = simulate_chip(&prog, &mut mem, &cfg).unwrap();
+            (res.packets, mem.rx_dropped, mem.tx_log.len())
+        };
+        let (delivered, dropped, txed) = run();
+        assert_eq!(delivered + dropped, 12, "conservation: offered = tx + drop");
+        assert!(dropped > 0, "a 2-slot buffer cannot absorb a 12-deep burst");
+        assert_eq!(delivered as usize, txed);
+        assert_eq!(run(), (delivered, dropped, txed), "drops are deterministic");
     }
 
     #[test]

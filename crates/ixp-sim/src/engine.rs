@@ -73,3 +73,30 @@ pub(crate) fn resolve_addr(regs: &RegFile, addr: &Addr<PhysReg>) -> u32 {
         Addr::Reg(r, o) => regs.read(*r).wrapping_add(*o),
     }
 }
+
+/// Earliest wake-up among blocked contexts, `None` when nothing is
+/// sleeping on a timer (everything is ready, pending at the arbiter, or
+/// halted). Shared by both simulators' idle-advance paths and by the
+/// chip simulator's event-driven fast path.
+pub(crate) fn earliest_wake<'a, I>(states: I) -> Option<u64>
+where
+    I: IntoIterator<Item = &'a ThreadState>,
+{
+    states
+        .into_iter()
+        .filter_map(|s| match s {
+            ThreadState::Blocked(u) => Some(*u),
+            _ => None,
+        })
+        .min()
+}
+
+/// Advance an idle engine clock to `target`, crediting the whole span as
+/// idle time. The single canonical accounting for "no context can run":
+/// both simulators and the fast-path skip must charge idle cycles
+/// through here so the two books can never drift apart again.
+pub(crate) fn advance_idle(cycle: &mut u64, idle_cycles: &mut u64, target: u64) {
+    debug_assert!(target >= *cycle, "idle-advance going backwards");
+    *idle_cycles += target - *cycle;
+    *cycle = target;
+}

@@ -22,8 +22,12 @@ mod engine;
 mod machine;
 mod packets;
 mod sim;
+mod topology;
 
 pub use chip::{simulate_chip, simulate_chip_with, ChipConfig};
-pub use machine::SimMemory;
-pub use packets::{PacketGen, PacketSpec};
-pub use sim::{simulate, simulate_with, EngineStats, SimConfig, SimError, SimResult, StopReason};
+pub use machine::{RxGrant, SimMemory};
+pub use packets::{FlowPacket, PacketGen, PacketSpec, TrafficSpec};
+pub use sim::{
+    simulate, simulate_with, EngineStats, SimConfig, SimError, SimMode, SimResult, StopReason,
+};
+pub use topology::{simulate_topology, ChipShard, LatencySummary, TopologyConfig, TopologyResult};

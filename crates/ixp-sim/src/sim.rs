@@ -8,8 +8,8 @@
 //! [`ixp_machine::channel`], the same bus model the chip-level simulator
 //! ([`crate::chip`]) arbitrates between engines.
 
-use crate::engine::{resolve_addr, RegFile, ThreadState};
-use crate::machine::SimMemory;
+use crate::engine::{advance_idle, earliest_wake, resolve_addr, RegFile, ThreadState};
+use crate::machine::{RxGrant, SimMemory};
 use ixp_machine::channel::{Channel, ChannelFaults, ChannelStats};
 use ixp_machine::timing::{
     issue_cycles, read_latency, BRANCH_TAKEN_PENALTY, CLOCK_HZ, HASH_CYCLES,
@@ -17,6 +17,28 @@ use ixp_machine::timing::{
 use ixp_machine::units::hash_unit;
 use ixp_machine::{AluSrc, Bank, BlockId, Instr, MemSpace, PhysReg, Program, Terminator};
 use std::collections::HashMap;
+
+/// Time-advance strategy of the simulators.
+///
+/// Both modes are required to produce bit-identical [`SimResult`]s — the
+/// differential tests enforce it on every workload. The split exists
+/// because grinding idle arbitration epochs one at a time dominates host
+/// time on lightly loaded chips and paced traffic, capping how many
+/// packets a CI run can afford.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum SimMode {
+    /// Advance one arbitration epoch at a time even when every context is
+    /// blocked. The bit-exact differential oracle the fast path is tested
+    /// against.
+    CycleSlice,
+    /// Event-driven: when every context on every engine is blocked past
+    /// the current epoch, jump straight to the epoch containing the
+    /// earliest wake-up ([`ixp_machine::channel::Channel::next_event`]
+    /// documents why context wake-ups enumerate *all* future events).
+    /// The default.
+    #[default]
+    FastPath,
+}
 
 /// Simulation parameters for one micro-engine.
 #[derive(Debug, Clone)]
@@ -28,6 +50,12 @@ pub struct SimConfig {
     /// check [`SimResult::stop`] before treating the numbers as a
     /// completed run.
     pub max_cycles: u64,
+    /// Time-advance strategy. The single-engine scheduler has no
+    /// arbitration epochs — its idle-advance already jumps straight to
+    /// the earliest wake-up — so both modes execute identically here;
+    /// the knob mirrors [`crate::ChipConfig`] so one configuration can
+    /// drive either simulator.
+    pub mode: SimMode,
     /// Deterministic channel fault injection (stalls and dropped/retried
     /// references). Default: no faults.
     pub faults: ChannelFaults,
@@ -38,6 +66,7 @@ impl Default for SimConfig {
         SimConfig {
             threads: 4,
             max_cycles: 500_000_000,
+            mode: SimMode::default(),
             faults: ChannelFaults::default(),
         }
     }
@@ -90,7 +119,7 @@ impl EngineStats {
 }
 
 /// Execution outcome.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct SimResult {
     /// Total elapsed cycles.
     pub cycles: u64,
@@ -219,19 +248,13 @@ fn simulate_inner(
             }
         }
         let Some(ti) = picked else {
-            // Everyone blocked or halted: advance to the earliest wake-up.
-            let next = threads
-                .iter()
-                .filter_map(|t| match t.state {
-                    ThreadState::Blocked(u) => Some(u),
-                    _ => None,
-                })
-                .min();
-            match next {
+            // Everyone blocked or halted: advance to the earliest wake-up
+            // (this per-engine scheduler is already event-driven, so
+            // `SimConfig::mode` changes nothing here).
+            match earliest_wake(threads.iter().map(|t| &t.state)) {
                 Some(u) => {
-                    let advanced = u.max(cycle + 1);
-                    estats.idle_cycles += advanced - cycle;
-                    cycle = advanced;
+                    let target = u.max(cycle + 1);
+                    advance_idle(&mut cycle, &mut estats.idle_cycles, target);
                     continue;
                 }
                 None => break StopReason::AllHalted,
@@ -330,8 +353,8 @@ fn simulate_inner(
                     mem.csr.insert(*csr, v);
                 }
                 Instr::RxPacket { len_dst, addr_dst } => {
-                    match mem.rx_queue.pop_front() {
-                        Some((len, addr)) => {
+                    match mem.rx_grant(cycle) {
+                        RxGrant::Packet { len, addr } => {
                             t.regs.write(*len_dst, len);
                             t.regs.write(*addr_dst, addr);
                             // Synchronizing with the receive scheduler.
@@ -340,7 +363,15 @@ fn simulate_inner(
                             t.pc += 1;
                             continue;
                         }
-                        None => {
+                        RxGrant::WaitUntil(arrival) => {
+                            // Timed traffic: the next packet is still on
+                            // the wire. Sleep until it lands and retry the
+                            // rx (the pc stays put).
+                            t.state = ThreadState::Blocked(arrival);
+                            estats.swap_outs += 1;
+                            continue;
+                        }
+                        RxGrant::Empty => {
                             // Out of work: this context parks.
                             t.state = ThreadState::Halted;
                             continue;

@@ -94,6 +94,7 @@ fn faults_slow_the_run_but_preserve_results() {
                 threads: 1,
                 max_cycles: 1 << 20,
                 faults,
+                ..SimConfig::default()
             },
         )
         .unwrap();
@@ -122,6 +123,7 @@ fn watchdog_still_fires_under_faults_with_partial_stats() {
             threads: 2,
             max_cycles: LIMIT,
             faults: FAULTS,
+            ..SimConfig::default()
         },
     )
     .unwrap();

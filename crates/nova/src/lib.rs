@@ -35,8 +35,9 @@ use std::time::Duration;
 pub use ilp::KernelKind;
 pub use ixp_machine::channel::{ChannelFaults, ChannelStats};
 pub use ixp_sim::{
-    simulate, simulate_chip, simulate_chip_with, simulate_with, ChipConfig, EngineStats, SimConfig,
-    SimMemory, SimResult, StopReason,
+    simulate, simulate_chip, simulate_chip_with, simulate_topology, simulate_with, ChipConfig,
+    ChipShard, EngineStats, FlowPacket, LatencySummary, RxGrant, SimConfig, SimMemory, SimMode,
+    SimResult, StopReason, TopologyConfig, TopologyResult, TrafficSpec,
 };
 pub use nova_backend::{AllocQuality, AllocStats, FallbackPolicy};
 pub use nova_frontend::Span;
@@ -63,6 +64,9 @@ pub struct SimSettings {
     /// robustness tests to confirm the watchdog still yields partial
     /// statistics under a perturbed memory system.
     pub faults: ChannelFaults,
+    /// Time-advance strategy: event-driven fast path (default) or the
+    /// cycle-slice differential oracle. Both are bit-identical.
+    pub mode: SimMode,
 }
 
 impl Default for SimSettings {
@@ -73,6 +77,7 @@ impl Default for SimSettings {
             contexts: chip.contexts,
             max_cycles: chip.max_cycles,
             faults: chip.faults,
+            mode: chip.mode,
         }
     }
 }
@@ -85,6 +90,7 @@ impl SimSettings {
             threads: self.contexts,
             max_cycles: self.max_cycles,
             faults: self.faults,
+            mode: self.mode,
         }
     }
 
@@ -95,6 +101,7 @@ impl SimSettings {
             contexts: self.contexts,
             max_cycles: self.max_cycles,
             faults: self.faults,
+            mode: self.mode,
             ..ChipConfig::default()
         }
     }
@@ -254,6 +261,15 @@ impl CompileConfigBuilder {
     #[must_use]
     pub fn channel_faults(mut self, faults: ChannelFaults) -> Self {
         self.sim.faults = faults;
+        self
+    }
+
+    /// Time-advance strategy for simulations driven from this
+    /// configuration ([`SimMode::FastPath`] is the default; the
+    /// cycle-slice oracle exists for differential testing).
+    #[must_use]
+    pub fn sim_mode(mut self, mode: SimMode) -> Self {
+        self.sim.mode = mode;
         self
     }
 

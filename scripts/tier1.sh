@@ -18,6 +18,11 @@
 #                                   50 ms solver deadline with the fallback
 #                                   ladder and fail on any compile failure
 #                                   (the never-fail contract; seconds)
+#   scripts/tier1.sh --traffic-smoke  also run a 100k-packet 2-chip traffic
+#                                   sweep in fast-path mode, checked against
+#                                   the BENCH_traffic.json baseline, with a
+#                                   host-side packets/sec floor
+#                                   (MIN_TRAFFIC_PPS below; seconds)
 #
 # Flags combine: `scripts/tier1.sh --lint --bench-smoke --chip-smoke`
 # runs those extras after the build and test suite.
@@ -35,6 +40,7 @@ run_bench=0
 run_bench_smoke=0
 run_chip_smoke=0
 run_degrade_smoke=0
+run_traffic_smoke=0
 for arg in "$@"; do
     case "$arg" in
         --lint)          run_lint=1 ;;
@@ -42,9 +48,10 @@ for arg in "$@"; do
         --bench-smoke)   run_bench_smoke=1 ;;
         --chip-smoke)    run_chip_smoke=1 ;;
         --degrade-smoke) run_degrade_smoke=1 ;;
+        --traffic-smoke) run_traffic_smoke=1 ;;
         *)
             echo "unknown flag: $arg" >&2
-            echo "usage: scripts/tier1.sh [--lint] [--bench] [--bench-smoke] [--chip-smoke] [--degrade-smoke]" >&2
+            echo "usage: scripts/tier1.sh [--lint] [--bench] [--bench-smoke] [--chip-smoke] [--degrade-smoke] [--traffic-smoke]" >&2
             exit 2
             ;;
     esac
@@ -94,6 +101,18 @@ fi
 if [[ "$run_degrade_smoke" == 1 ]]; then
     echo "== degrade smoke (release, 50 ms deadline, fallback ladder) =="
     cargo run --release -p bench --bin degrade_smoke
+fi
+
+# Host-side delivered-packets-per-second floor for the traffic smoke
+# (NAT, 100k packets, 2 chips, fast-path mode). The 1-core CI runner
+# clears this by roughly an order of magnitude; the floor catches the
+# fast path degenerating to cycle-slice speed, not host jitter.
+MIN_TRAFFIC_PPS=20000
+
+if [[ "$run_traffic_smoke" == 1 ]]; then
+    echo "== traffic smoke (release, 100k packets x 2 chips, floor ${MIN_TRAFFIC_PPS} pkt/s) =="
+    cargo run --release -p bench --bin traffic_smoke -- \
+        --min-pps "${MIN_TRAFFIC_PPS}" --baseline BENCH_traffic.json
 fi
 
 echo "tier-1 OK"
