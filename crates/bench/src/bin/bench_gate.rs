@@ -5,7 +5,8 @@
 //!
 //! ```text
 //! bench_gate [--solver BASE CURRENT] [--throughput BASE CURRENT] \
-//!            [--phases BASE CURRENT] [--traffic BASE CURRENT]
+//!            [--phases BASE CURRENT] [--traffic BASE CURRENT] \
+//!            [--service BASE CURRENT]
 //! ```
 //!
 //! Any subset of the pairs may be given; each is parsed, gated,
@@ -15,7 +16,9 @@
 //! appended there so the verdict shows up in the job summary. Exits
 //! non-zero if any gating check or file/parse step fails.
 
-use bench::gate::{gate_phases, gate_solver, gate_throughput, gate_traffic, GateReport};
+use bench::gate::{
+    gate_phases, gate_service, gate_solver, gate_throughput, gate_traffic, GateReport,
+};
 use bench::json::Json;
 use std::io::Write as _;
 
@@ -34,12 +37,13 @@ fn main() {
             "--throughput" => "throughput",
             "--phases" => "phases",
             "--traffic" => "traffic",
+            "--service" => "service",
             other => {
                 eprintln!("unknown argument `{other}`");
                 eprintln!(
                     "usage: bench_gate [--solver BASE CURRENT] \
                      [--throughput BASE CURRENT] [--phases BASE CURRENT] \
-                     [--traffic BASE CURRENT]"
+                     [--traffic BASE CURRENT] [--service BASE CURRENT]"
                 );
                 std::process::exit(2);
             }
@@ -64,6 +68,7 @@ fn main() {
                 "solver" => gate_solver(&base, &cur),
                 "throughput" => gate_throughput(&base, &cur),
                 "traffic" => gate_traffic(&base, &cur),
+                "service" => gate_service(&base, &cur),
                 _ => gate_phases(&base, &cur),
             },
             (Err(e), _) | (_, Err(e)) => {

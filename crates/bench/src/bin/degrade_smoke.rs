@@ -15,7 +15,7 @@
 //! deadline it could not have met.
 
 use bench::{run_chip_throughput, table, Benchmark};
-use nova::{compile_source, CompileConfig, FallbackPolicy};
+use nova::{CompileConfig, Compiler, FallbackPolicy};
 use std::time::Duration;
 
 const DEADLINE: Duration = Duration::from_millis(50);
@@ -32,10 +32,11 @@ fn main() {
         .solver_deadline(Some(DEADLINE))
         .fallback_policy(FallbackPolicy::Ladder)
         .build();
+    let compiler = Compiler::new(cfg);
     let mut rows = Vec::new();
     let mut failures = 0usize;
     for b in Benchmark::ALL {
-        match compile_source(b.source(), &cfg) {
+        match compiler.compile_output(b.source()) {
             Ok(out) => {
                 let res = run_chip_throughput(b, &out, PACKETS, 16, ENGINES, CONTEXTS);
                 let ran =

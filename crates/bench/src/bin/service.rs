@@ -1,0 +1,75 @@
+//! E15 — compilation as a service. Replays the seeded 1000-variant
+//! rule-update stream ([`bench::service`]) through a one-worker
+//! `nova-server` over one shared compile session, next to a cold
+//! one-shot baseline, and records warm/cold compiles per second, the
+//! warm-over-cold speedup, and the session's per-phase cache counters.
+//! Results land in `BENCH_service.json`; the counters (and the
+//! zero-mismatch bit-identity of warm vs cold artifacts) are
+//! deterministic and gated exactly, the rates get floors — see
+//! `bench::gate::gate_service`.
+//!
+//! One worker keeps the counter algebra exact; the compile is pinned to
+//! one solver thread so warm and cold allocations are bit-identical.
+
+use bench::service::{run_service, service_json};
+use bench::table;
+
+/// Requests in the stream.
+const TOTAL: usize = 1000;
+/// Distinct rule-set variants (request `i` carries variant `i % 250`).
+const DISTINCT: usize = 250;
+/// Cold one-shot compiles sampled for the baseline rate.
+const COLD_SAMPLES: usize = 25;
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_service.json".into());
+    println!(
+        "Compile service: {TOTAL} requests over {DISTINCT} rule-set variants, \
+         {COLD_SAMPLES} cold one-shot samples\n"
+    );
+    let run = run_service(TOTAL, DISTINCT, COLD_SAMPLES);
+    let s = &run.stats;
+    println!(
+        "{}",
+        table(
+            &["side", "compiles", "wall ms", "compiles/s"],
+            &[
+                vec![
+                    "cold".into(),
+                    format!("{}", run.cold_samples),
+                    format!("{:.0}", run.cold_wall.as_secs_f64() * 1e3),
+                    format!("{:.0}", run.cold_rate()),
+                ],
+                vec![
+                    "warm".into(),
+                    format!("{}", run.total),
+                    format!("{:.0}", run.warm_wall.as_secs_f64() * 1e3),
+                    format!("{:.0}", run.warm_rate()),
+                ],
+            ],
+        )
+    );
+    println!(
+        "speedup: {:.1}x   image hits {}/{}   solve-free recompiles {}/{} \
+         (refinish fallbacks {})",
+        run.speedup(),
+        s.output_hits,
+        s.output_hits + s.output_misses,
+        s.alloc_hits,
+        s.alloc_hits + s.alloc_misses,
+        s.refinish_fallbacks,
+    );
+    println!(
+        "warm vs cold artifacts: {} compared, {} mismatches, {} failures",
+        run.cold_samples, run.mismatches, run.failures
+    );
+    let doc = service_json(&run);
+    std::fs::write(&out_path, doc.pretty()).unwrap_or_else(|e| panic!("writing {out_path}: {e}"));
+    eprintln!("wrote {out_path}");
+    if run.mismatches > 0 || run.failures > 0 {
+        eprintln!("service bench FAILED: warm artifacts diverged from cold");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,91 @@
+//! Service smoke: a scaled-down copy of the E15 compile-service stream
+//! (`bench::service`) with hard assertions instead of a baseline diff —
+//! the tier-1 teeth behind the session cache's contracts:
+//!
+//! * the exact counter algebra of the seeded stream (image hits,
+//!   solve-free recompiles, no refinish fallbacks);
+//! * bit-identity of warm artifacts against cold one-shot compiles;
+//! * a conservative warm-over-cold speedup floor (the full bench gates
+//!   the real ≥5x bar; the smoke run is small enough that a loose floor
+//!   still catches the cache being structurally off).
+//!
+//! Exits non-zero on any violation.
+
+use bench::service::run_service;
+
+/// Requests in the smoke stream.
+const TOTAL: usize = 60;
+/// Distinct rule-set variants.
+const DISTINCT: usize = 20;
+/// Cold one-shot compiles sampled for the baseline (every distinct
+/// variant once would dominate smoke wall time; five is enough for a
+/// stable rate on a loose floor).
+const COLD_SAMPLES: usize = 5;
+/// Conservative speedup floor for the small stream.
+const SPEEDUP_FLOOR: f64 = 2.0;
+
+fn main() {
+    println!(
+        "Service smoke: {TOTAL} requests over {DISTINCT} variants, \
+         {COLD_SAMPLES} cold samples, speedup floor {SPEEDUP_FLOOR}x\n"
+    );
+    let run = run_service(TOTAL, DISTINCT, COLD_SAMPLES);
+    let s = &run.stats;
+    println!(
+        "cold {:.0}/s, warm {:.0}/s, speedup {:.1}x",
+        run.cold_rate(),
+        run.warm_rate(),
+        run.speedup()
+    );
+    println!(
+        "counters: output {}h/{}m  frontend {}h/{}m  alloc {}h/{}m  \
+         refinish fallbacks {}",
+        s.output_hits,
+        s.output_misses,
+        s.frontend_hits,
+        s.frontend_misses,
+        s.alloc_hits,
+        s.alloc_misses,
+        s.refinish_fallbacks,
+    );
+
+    let mut failures = Vec::new();
+    let mut check = |name: &str, ok: bool| {
+        if !ok {
+            failures.push(name.to_string());
+        }
+    };
+    check("no compile failures", run.failures == 0);
+    check("warm artifacts bit-identical to cold", run.mismatches == 0);
+    check(
+        "every repeat request is an image hit",
+        s.output_hits == (TOTAL - DISTINCT) as u64,
+    );
+    check(
+        "every first occurrence misses the image cache",
+        s.output_misses == DISTINCT as u64,
+    );
+    check(
+        "exactly one MILP solve for the shared structure",
+        s.alloc_misses == 1,
+    );
+    check(
+        "every other variant re-finishes without a solve",
+        s.alloc_hits == DISTINCT as u64 - 1,
+    );
+    check("no refinish fallbacks", s.refinish_fallbacks == 0);
+    check(
+        "warm speedup clears the smoke floor",
+        run.speedup() >= SPEEDUP_FLOOR,
+    );
+
+    if failures.is_empty() {
+        println!("\nservice smoke passed: 8 checks");
+    } else {
+        for f in &failures {
+            eprintln!("FAIL: {f}");
+        }
+        eprintln!("\nservice smoke FAILED: {} check(s)", failures.len());
+        std::process::exit(1);
+    }
+}

@@ -486,6 +486,107 @@ pub fn gate_traffic(baseline: &Json, current: &Json) -> GateReport {
     r
 }
 
+/// How much the warm compile-service rate (and its derived hit rates)
+/// may drop before the gate fails.
+pub const SERVICE_RATE_DROP: f64 = 0.20;
+/// Absolute floor on the warm-over-cold service speedup — the ISSUE's
+/// acceptance bar, gated against this constant rather than the baseline
+/// so a slow-baseline regeneration cannot quietly lower it.
+pub const SERVICE_SPEEDUP_FLOOR: f64 = 5.0;
+
+/// Gate `BENCH_service.json` against a fresh run. The session cache
+/// counters are exactly deterministic for the seeded one-worker stream
+/// (the stream layout fixes which requests hit which phase cache), so
+/// every counter is gated exactly, as are the warm/cold artifact
+/// mismatch and failure counts (both must be zero in the current run
+/// regardless of baseline). The warm compile rate and derived hit rates
+/// get the [`SERVICE_RATE_DROP`] floor; the speedup must clear the
+/// absolute [`SERVICE_SPEEDUP_FLOOR`]; the cold rate and wall times are
+/// informational.
+pub fn gate_service(baseline: &Json, current: &Json) -> GateReport {
+    let mut r = GateReport::default();
+    const COUNTERS: [&str; 12] = [
+        "frontend_hits",
+        "frontend_misses",
+        "cps_hits",
+        "cps_misses",
+        "isel_hits",
+        "isel_misses",
+        "alloc_hits",
+        "alloc_misses",
+        "output_hits",
+        "output_misses",
+        "refinish_fallbacks",
+        "hint_offers",
+    ];
+    match (baseline.get("counters"), current.get("counters")) {
+        (Some(b), Some(c)) => {
+            for key in COUNTERS {
+                r.compare("service".to_string(), b, c, key, Rule::Exact);
+            }
+        }
+        _ => r.err("service: `counters` object missing"),
+    }
+    match (baseline.get("rates"), current.get("rates")) {
+        (Some(b), Some(c)) => {
+            for key in ["warm_compiles_per_sec", "output_hit_rate", "alloc_hit_rate"] {
+                r.compare(
+                    "service".to_string(),
+                    b,
+                    c,
+                    key,
+                    Rule::RateFloor {
+                        drop: SERVICE_RATE_DROP,
+                    },
+                );
+            }
+            r.compare(
+                "service".to_string(),
+                b,
+                c,
+                "cold_compiles_per_sec",
+                Rule::Info,
+            );
+            r.compare("service".to_string(), b, c, "speedup", Rule::Info);
+            match c.num("speedup") {
+                Some(s) => r.checks.push(Check::new(
+                    "service/speedup_floor".to_string(),
+                    SERVICE_SPEEDUP_FLOOR,
+                    s,
+                    Rule::RateFloor { drop: 0.0 },
+                )),
+                None => r.err("service: current run is missing `speedup`"),
+            }
+        }
+        _ => r.err("service: `rates` object missing"),
+    }
+    // Warm artifacts must be bit-identical to cold and nothing may fail,
+    // whatever the baseline says.
+    for key in ["mismatches", "failures"] {
+        match current.num(key) {
+            Some(v) => r
+                .checks
+                .push(Check::new(format!("service/{key}"), 0.0, v, Rule::Exact)),
+            None => r.err(format!("service: current run is missing `{key}`")),
+        }
+    }
+    r.compare(
+        "service".to_string(),
+        baseline,
+        current,
+        "warm_wall_ms",
+        Rule::Info,
+    );
+    r.compare(
+        "service".to_string(),
+        baseline,
+        current,
+        "cold_wall_ms",
+        Rule::Info,
+    );
+    r
+}
+
 fn fmt_val(v: f64) -> String {
     if v == v.trunc() && v.abs() < 9e15 {
         format!("{}", v as i64)
@@ -798,6 +899,96 @@ mod tests {
         let r = gate_traffic(&base, &cur);
         assert!(!r.passed());
         assert!(!r.errors.is_empty());
+    }
+
+    fn service_doc(warm: f64, speedup: f64, alloc_hits: u64, mismatches: u64) -> Json {
+        Json::parse(&format!(
+            r#"{{"bench":"service",
+                "stream":{{"total":1000,"distinct":250,"cold_samples":25,"workers":1}},
+                "counters":{{"frontend_hits":0,"frontend_misses":250,
+                  "cps_hits":0,"cps_misses":250,"isel_hits":0,"isel_misses":250,
+                  "alloc_hits":{alloc_hits},"alloc_misses":1,
+                  "output_hits":750,"output_misses":250,
+                  "refinish_fallbacks":0,"hint_offers":0}},
+                "rates":{{"warm_compiles_per_sec":{warm},
+                  "cold_compiles_per_sec":130.0,"speedup":{speedup},
+                  "output_hit_rate":0.75,"alloc_hit_rate":0.996,
+                  "frontend_hit_rate":0.0}},
+                "mismatches":{mismatches},"failures":0,
+                "warm_wall_ms":150.0,"cold_wall_ms":190.0}}"#
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn identical_service_docs_pass() {
+        let doc = service_doc(6600.0, 50.0, 249, 0);
+        let r = gate_service(&doc, &doc);
+        assert!(r.passed(), "{}", r.markdown("service"));
+        assert!(r.checks.iter().any(|c| c.name == "service/alloc_hits"));
+        assert!(r.checks.iter().any(|c| c.name == "service/speedup_floor"));
+    }
+
+    #[test]
+    fn service_counter_drift_fails_exactly() {
+        // One allocation-cache hit lost (a solve ran that should not
+        // have): deterministic counter, exact gate, hard fail.
+        let base = service_doc(6600.0, 50.0, 249, 0);
+        let cur = service_doc(6600.0, 50.0, 248, 0);
+        let r = gate_service(&base, &cur);
+        assert!(!r.passed());
+        assert!(r
+            .checks
+            .iter()
+            .any(|c| !c.pass && c.name == "service/alloc_hits"));
+    }
+
+    #[test]
+    fn service_warm_rate_has_a_twenty_percent_floor() {
+        let base = service_doc(6600.0, 50.0, 249, 0);
+        assert!(gate_service(&base, &service_doc(5500.0, 42.0, 249, 0)).passed());
+        let r = gate_service(&base, &service_doc(4000.0, 31.0, 249, 0));
+        assert!(!r.passed());
+        assert!(r
+            .checks
+            .iter()
+            .any(|c| !c.pass && c.name == "service/warm_compiles_per_sec"));
+    }
+
+    #[test]
+    fn service_speedup_below_the_absolute_floor_fails() {
+        // Both runs agree, but the speedup sits under 5x: the absolute
+        // floor fails even though the baseline comparison would pass.
+        let base = service_doc(600.0, 4.0, 249, 0);
+        let r = gate_service(&base, &base);
+        assert!(!r.passed());
+        assert!(r
+            .checks
+            .iter()
+            .any(|c| !c.pass && c.name == "service/speedup_floor"));
+    }
+
+    #[test]
+    fn service_artifact_mismatch_fails_regardless_of_baseline() {
+        // Even a baseline that (wrongly) recorded a mismatch cannot
+        // excuse one now: the current run is gated against zero.
+        let base = service_doc(6600.0, 50.0, 249, 1);
+        let cur = service_doc(6600.0, 50.0, 249, 1);
+        let r = gate_service(&base, &cur);
+        assert!(!r.passed());
+        assert!(r
+            .checks
+            .iter()
+            .any(|c| !c.pass && c.name == "service/mismatches"));
+    }
+
+    #[test]
+    fn service_missing_sections_are_structural_errors() {
+        let base = service_doc(6600.0, 50.0, 249, 0);
+        let cur = Json::parse(r#"{"bench":"service"}"#).unwrap();
+        let r = gate_service(&base, &cur);
+        assert!(!r.passed());
+        assert!(r.errors.len() >= 2, "{:?}", r.errors);
     }
 
     #[test]

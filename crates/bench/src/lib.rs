@@ -4,12 +4,13 @@
 #![warn(missing_docs)]
 
 pub mod gate;
+pub mod service;
 
 use ixp_sim::{
     simulate, simulate_chip, simulate_topology, ChipConfig, PacketGen, PacketSpec, SimConfig,
     SimMemory, SimMode, TopologyConfig, TopologyResult, TrafficSpec,
 };
-use nova::{compile_source, CompileConfig, CompileOutput};
+use nova::{CompileConfig, CompileOutput, Compiler};
 use workloads::{aes, kasumi, AES_NOVA, KASUMI_NOVA, NAT_NOVA};
 
 /// The three benchmark programs of §11.
@@ -52,7 +53,9 @@ impl Benchmark {
 ///
 /// Panics on compile errors — the sources are fixed and known-good.
 pub fn compile(b: Benchmark, config: &CompileConfig) -> CompileOutput {
-    compile_source(b.source(), config).unwrap_or_else(|e| panic!("{}: {e}", b.name()))
+    Compiler::new(config.clone())
+        .compile_output(b.source())
+        .unwrap_or_else(|e| panic!("{}: {e}", b.name()))
 }
 
 /// Set up the memory a benchmark expects (tables, keys) and fill the

@@ -322,6 +322,24 @@ impl Model {
         crate::branch::solve_milp_with(&self.problem, config, obs)
     }
 
+    /// [`solve_with`](Self::solve_with) warm-started from a previous
+    /// solution's variable values (see [`crate::solve_milp_hinted_with`]).
+    /// An infeasible or wrong-length hint is ignored.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`crate::MilpError`] from the solver.
+    pub fn solve_hinted_with(
+        &mut self,
+        config: &crate::branch::BranchConfig,
+        hint: &[f64],
+        obs: &nova_obs::Obs,
+    ) -> Result<crate::branch::MilpSolution, crate::branch::MilpError> {
+        let obj = self.objective.clone();
+        self.problem.set_objective(obj);
+        crate::branch::solve_milp_hinted_with(&self.problem, config, hint, obs)
+    }
+
     /// Solve only the LP relaxation and round (see
     /// [`crate::solve_rounded`]); telemetry goes to `obs`.
     ///

@@ -32,7 +32,7 @@ impl fmt::Display for BlockId {
 }
 
 /// How control leaves a basic block.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum Terminator<R> {
     /// Unconditional jump.
     Jump(BlockId),
@@ -106,7 +106,7 @@ impl<R> Terminator<R> {
 }
 
 /// A basic block: straight-line instructions plus one terminator.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Block<R> {
     /// Instructions in execution order.
     pub instrs: Vec<Instr<R>>,
@@ -115,7 +115,7 @@ pub struct Block<R> {
 }
 
 /// A whole micro-engine program.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Program<R> {
     /// Basic blocks; `BlockId(i)` names `blocks[i]`.
     pub blocks: Vec<Block<R>>,

@@ -16,7 +16,7 @@ pub use facts::{build as build_facts, Fact, Facts, PointId};
 pub use model::{
     build_model, move_cost, solve, solve_with, AllocConfig, AllocStats, Assignment, BankModel, Fig6,
 };
-pub use staged::{AllocQuality, FallbackPolicy};
+pub use staged::{AllocQuality, FallbackPolicy, Solved};
 pub use verify::verify;
 
 use crate::color::{assign_ab, ColorStats};
@@ -115,6 +115,46 @@ pub fn allocate_with(
     cfg: &AllocConfig,
     obs: &nova_obs::Obs,
 ) -> Result<Allocation, AllocError> {
+    allocate_solved_with(prog, cfg, None, obs).map(|(alloc, _)| alloc)
+}
+
+/// The reusable solver-side state of a successful allocation: the facts
+/// the model was built from plus the accepted rung's [`Solved`] artifacts.
+/// A compile session caches this per program *structure* (immediates
+/// masked) so a constant-only edit can skip the MILP entirely and just
+/// [`refinish_with`] the cached assignment against the edited program,
+/// and so the raw solution vector can warm-start the next structurally
+/// compatible solve.
+pub struct SolvedAllocation {
+    /// Liveness/def-use facts of the program the model was built from.
+    pub facts: Facts,
+    /// The generated bank model.
+    pub bm: BankModel,
+    /// The decoded assignment.
+    pub asg: Assignment,
+    /// Model and solver statistics of the accepted rung.
+    pub stats: AllocStats,
+    /// Stage/gap/spill quality record of the accepted rung.
+    pub quality: AllocQuality,
+    /// Raw MILP/LP variable values of the accepted solution (`None` for
+    /// the greedy rung).
+    pub values: Option<Vec<f64>>,
+}
+
+/// [`allocate_with`] that also returns the [`SolvedAllocation`] artifacts
+/// for session caching, and accepts an optional MILP warm-start `hint`
+/// (a raw variable vector from a previous structurally compatible solve;
+/// silently ignored if infeasible for this model).
+///
+/// # Errors
+///
+/// See [`AllocError`].
+pub fn allocate_solved_with(
+    prog: &Program<Temp>,
+    cfg: &AllocConfig,
+    hint: Option<&[f64]>,
+    obs: &nova_obs::Obs,
+) -> Result<(Allocation, SolvedAllocation), AllocError> {
     let ilp_span = obs.span("phase.ilp");
     let facts = {
         let _span = obs.span("backend.facts");
@@ -138,7 +178,48 @@ pub fn allocate_with(
         }
     }
     ilp_span.end();
-    staged::run(prog, &facts, &freqs, &cfg, obs)
+    let (alloc, solved) = staged::run(prog, &facts, &freqs, &cfg, hint, obs)?;
+    Ok((
+        alloc,
+        SolvedAllocation {
+            facts,
+            bm: solved.bm,
+            asg: solved.asg,
+            stats: solved.stats,
+            quality: solved.quality,
+            values: solved.values,
+        },
+    ))
+}
+
+/// Re-run only the finishing half of allocation (extraction, coloring,
+/// validation) against `prog`, reusing the cached model and assignment
+/// from a previous solve of a *structurally identical* program (same
+/// blocks, opcodes, and register structure; immediates may differ).
+/// This skips fact extraction, frequency estimation, model generation,
+/// and the MILP solve — the expensive ~95% of allocation — and is
+/// bit-identical to a cold allocation because none of the skipped phases
+/// read immediate values.
+///
+/// # Errors
+///
+/// See [`AllocError`]. A structural mismatch surfaces as `Extract`,
+/// `Color`, or `Invalid`; callers should fall back to a full
+/// [`allocate_solved_with`].
+pub fn refinish_with(
+    prog: &Program<Temp>,
+    solved: &SolvedAllocation,
+    obs: &nova_obs::Obs,
+) -> Result<Allocation, AllocError> {
+    finish(
+        prog,
+        &solved.facts,
+        &solved.bm,
+        &solved.asg,
+        solved.stats.clone(),
+        solved.quality,
+        obs,
+    )
 }
 
 /// Turn a solved assignment into validated machine code: extraction,

@@ -1261,7 +1261,7 @@ pub fn build_model(
 }
 
 /// The decoded solution of the bank-assignment ILP.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Assignment {
     /// Bank of each temp before the moves at each of its action points.
     pub before: HashMap<(PointId, Temp), IlpBank>,
@@ -1278,7 +1278,7 @@ pub struct Assignment {
 }
 
 /// Solver+model statistics (Figure 7's row for one program).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct AllocStats {
     /// Model sizes.
     pub model: ModelStats,
@@ -1316,8 +1316,29 @@ pub fn solve_with(
     cfg: &AllocConfig,
     obs: &nova_obs::Obs,
 ) -> Result<(Assignment, AllocStats), MilpError> {
+    solve_hinted_with(bm, cfg, None, obs).map(|(asg, stats, _)| (asg, stats))
+}
+
+/// [`solve_with`], optionally warm-started from a previous solution's raw
+/// variable values (see [`ilp::solve_milp_hinted_with`]; an infeasible or
+/// wrong-length hint is ignored). Also returns the accepted solution's raw
+/// values, which a session can keep as the hint for the next
+/// structurally-identical solve.
+///
+/// # Errors
+///
+/// Propagates solver failure ([`MilpError`]) as [`solve`] does.
+pub fn solve_hinted_with(
+    bm: &mut BankModel,
+    cfg: &AllocConfig,
+    hint: Option<&[f64]>,
+    obs: &nova_obs::Obs,
+) -> Result<(Assignment, AllocStats, Vec<f64>), MilpError> {
     let stats_model = bm.model.stats();
-    let sol = bm.model.solve_with(&cfg.solver, obs)?;
+    let sol = match hint {
+        Some(h) => bm.model.solve_hinted_with(&cfg.solver, h, obs)?,
+        None => bm.model.solve_with(&cfg.solver, obs)?,
+    };
     let assignment = decode_assignment(bm, &sol.values);
     let stats = AllocStats {
         model: stats_model,
@@ -1327,7 +1348,7 @@ pub fn solve_with(
         spills: assignment.n_spills,
         objective: sol.objective,
     };
-    Ok((assignment, stats))
+    Ok((assignment, stats, sol.values))
 }
 
 /// Decode the 0/1 values of any MILP solution of a [`BankModel`] into an

@@ -30,7 +30,8 @@
 use super::facts::Facts;
 use super::greedy;
 use super::model::{
-    build_model, decode_assignment, solve_with, AllocConfig, AllocStats, Assignment, BankModel,
+    build_model, decode_assignment, solve_hinted_with, AllocConfig, AllocStats, Assignment,
+    BankModel,
 };
 use super::{finish, AllocError, Allocation};
 use crate::freq::Frequencies;
@@ -77,27 +78,42 @@ pub struct AllocQuality {
 /// Minimum per-stage wall-clock budget for ladder retries.
 const BACKOFF_FLOOR: Duration = Duration::from_millis(50);
 
-/// One solved rung of the ladder, ready for extraction.
-struct Candidate {
-    asg: Assignment,
-    stats: AllocStats,
-    quality: AllocQuality,
+/// The solver-side artifacts of the rung that produced an accepted
+/// allocation: the model, the decoded assignment, and (for MILP/LP rungs)
+/// the raw solution values. A session caches these to re-finish a
+/// structurally identical program, or to warm-start the next solve.
+pub struct Solved {
+    /// The generated bank model the accepted solution indexes into.
+    pub bm: BankModel,
+    /// The decoded assignment.
+    pub asg: Assignment,
+    /// Model and solver statistics of the accepted rung.
+    pub stats: AllocStats,
+    /// Stage/gap/spill quality record of the accepted rung.
+    pub quality: AllocQuality,
+    /// Raw MILP/LP variable values of the accepted solution (`None` for
+    /// the greedy rung, which never builds a solution vector).
+    pub values: Option<Vec<f64>>,
 }
 
 /// Run the staged allocator: solve (with fallback per `cfg.fallback`),
-/// then extract, color, and validate. Returns the finished allocation.
+/// then extract, color, and validate. Returns the finished allocation
+/// together with the accepted rung's solver artifacts. `hint` warm-starts
+/// the stage-0 exact solve (ignored when infeasible for the model).
 pub(crate) fn run(
     prog: &Program<Temp>,
     facts: &Facts,
     freqs: &Frequencies,
     cfg: &AllocConfig,
+    hint: Option<&[f64]>,
     obs: &nova_obs::Obs,
-) -> Result<Allocation, AllocError> {
+) -> Result<(Allocation, Solved), AllocError> {
     match cfg.fallback {
         FallbackPolicy::Greedy => greedy_stage(prog, facts, freqs, cfg, obs),
         FallbackPolicy::Fail | FallbackPolicy::Incumbent => {
             let mut bm = build_model_timed(prog, facts, freqs, cfg, obs);
-            let (asg, stats) = attempt(&mut bm, cfg, obs).map_err(AllocError::Solver)?;
+            let (asg, stats, values) =
+                attempt(&mut bm, cfg, hint, obs).map_err(AllocError::Solver)?;
             if cfg.fallback == FallbackPolicy::Fail && !stats.solve.proven_optimal {
                 return Err(AllocError::Solver(MilpError::BudgetExhausted(Box::new(
                     stats.solve,
@@ -110,9 +126,19 @@ pub(crate) fn run(
                 spills: asg.n_spills,
             };
             emit_outcome(obs, &quality);
-            finish(prog, facts, &bm, &asg, stats, quality, obs)
+            let alloc = finish(prog, facts, &bm, &asg, stats.clone(), quality, obs)?;
+            Ok((
+                alloc,
+                Solved {
+                    bm,
+                    asg,
+                    stats,
+                    quality,
+                    values: Some(values),
+                },
+            ))
         }
-        FallbackPolicy::Ladder => ladder(prog, facts, freqs, cfg, obs),
+        FallbackPolicy::Ladder => ladder(prog, facts, freqs, cfg, hint, obs),
     }
 }
 
@@ -136,11 +162,12 @@ fn build_model_timed(
 fn attempt(
     bm: &mut BankModel,
     cfg: &AllocConfig,
+    hint: Option<&[f64]>,
     obs: &nova_obs::Obs,
-) -> Result<(Assignment, AllocStats), MilpError> {
+) -> Result<(Assignment, AllocStats, Vec<f64>), MilpError> {
     let span = obs.span("phase.ilp.stage");
     obs.counter("backend.staged.attempts", 1);
-    let out = solve_with(bm, cfg, obs);
+    let out = solve_hinted_with(bm, cfg, hint, obs);
     span.end();
     out
 }
@@ -156,11 +183,13 @@ fn try_finish(
     prog: &Program<Temp>,
     facts: &Facts,
     bm: &BankModel,
-    cand: Candidate,
+    asg: &Assignment,
+    stats: &AllocStats,
+    quality: AllocQuality,
     obs: &nova_obs::Obs,
 ) -> Result<Option<Allocation>, AllocError> {
-    emit_outcome(obs, &cand.quality);
-    match finish(prog, facts, bm, &cand.asg, cand.stats, cand.quality, obs) {
+    emit_outcome(obs, &quality);
+    match finish(prog, facts, bm, asg, stats.clone(), quality, obs) {
         Ok(alloc) => Ok(Some(alloc)),
         // Downstream rejection of this stage's solution: fall through.
         Err(
@@ -181,25 +210,30 @@ fn ladder(
     facts: &Facts,
     freqs: &Frequencies,
     cfg: &AllocConfig,
+    hint: Option<&[f64]>,
     obs: &nova_obs::Obs,
-) -> Result<Allocation, AllocError> {
+) -> Result<(Allocation, Solved), AllocError> {
     // ---- stage 0: exact MILP under the configured deadline ----
     let mut bm = build_model_timed(prog, facts, freqs, cfg, obs);
-    match attempt(&mut bm, cfg, obs) {
-        Ok((asg, stats)) => {
+    match attempt(&mut bm, cfg, hint, obs) {
+        Ok((asg, stats, values)) => {
             let quality = AllocQuality {
                 stage: 0,
                 proven_optimal: stats.solve.proven_optimal,
                 gap: stats.solve.gap,
                 spills: asg.n_spills,
             };
-            let cand = Candidate {
-                asg,
-                stats,
-                quality,
-            };
-            if let Some(alloc) = try_finish(prog, facts, &bm, cand, obs)? {
-                return Ok(alloc);
+            if let Some(alloc) = try_finish(prog, facts, &bm, &asg, &stats, quality, obs)? {
+                return Ok((
+                    alloc,
+                    Solved {
+                        bm,
+                        asg,
+                        stats,
+                        quality,
+                        values: Some(values),
+                    },
+                ));
             }
         }
         Err(MilpError::BudgetExhausted(_)) => {}
@@ -222,21 +256,25 @@ fn ladder(
         c1.solver.relative_gap = cfg.solver.relative_gap.max(0.05);
         c1.solver.time_limit = Some(base);
         obs.sample("backend.staged.backoff_ms", base.as_secs_f64() * 1e3);
-        match attempt(&mut bm, &c1, obs) {
-            Ok((asg, stats)) => {
+        match attempt(&mut bm, &c1, None, obs) {
+            Ok((asg, stats, values)) => {
                 let quality = AllocQuality {
                     stage: 1,
                     proven_optimal: stats.solve.proven_optimal,
                     gap: stats.solve.gap,
                     spills: asg.n_spills,
                 };
-                let cand = Candidate {
-                    asg,
-                    stats,
-                    quality,
-                };
-                if let Some(alloc) = try_finish(prog, facts, &bm, cand, obs)? {
-                    return Ok(alloc);
+                if let Some(alloc) = try_finish(prog, facts, &bm, &asg, &stats, quality, obs)? {
+                    return Ok((
+                        alloc,
+                        Solved {
+                            bm,
+                            asg,
+                            stats,
+                            quality,
+                            values: Some(values),
+                        },
+                    ));
                 }
             }
             Err(MilpError::BudgetExhausted(_)) => {}
@@ -251,21 +289,25 @@ fn ladder(
     c2.solver.time_limit = Some(base * 2);
     let mut bm2 = build_model_timed(prog, facts, freqs, &c2, obs);
     obs.sample("backend.staged.backoff_ms", (base * 2).as_secs_f64() * 1e3);
-    match attempt(&mut bm2, &c2, obs) {
-        Ok((asg, stats)) => {
+    match attempt(&mut bm2, &c2, None, obs) {
+        Ok((asg, stats, values)) => {
             let quality = AllocQuality {
                 stage: 2,
                 proven_optimal: stats.solve.proven_optimal,
                 gap: stats.solve.gap,
                 spills: asg.n_spills,
             };
-            let cand = Candidate {
-                asg,
-                stats,
-                quality,
-            };
-            if let Some(alloc) = try_finish(prog, facts, &bm2, cand, obs)? {
-                return Ok(alloc);
+            if let Some(alloc) = try_finish(prog, facts, &bm2, &asg, &stats, quality, obs)? {
+                return Ok((
+                    alloc,
+                    Solved {
+                        bm: bm2,
+                        asg,
+                        stats,
+                        quality,
+                        values: Some(values),
+                    },
+                ));
             }
         }
         Err(MilpError::BudgetExhausted(_)) => {}
@@ -298,13 +340,17 @@ fn ladder(
                     spills: asg.n_spills,
                     objective: sol.objective,
                 };
-                let cand = Candidate {
-                    asg,
-                    stats,
-                    quality,
-                };
-                if let Some(alloc) = try_finish(prog, facts, &bm2, cand, obs)? {
-                    return Ok(alloc);
+                if let Some(alloc) = try_finish(prog, facts, &bm2, &asg, &stats, quality, obs)? {
+                    return Ok((
+                        alloc,
+                        Solved {
+                            bm: bm2,
+                            asg,
+                            stats,
+                            quality,
+                            values: Some(sol.values),
+                        },
+                    ));
                 }
             }
             Err(MilpError::BudgetExhausted(_)) => {}
@@ -324,7 +370,7 @@ fn greedy_stage(
     freqs: &Frequencies,
     cfg: &AllocConfig,
     obs: &nova_obs::Obs,
-) -> Result<Allocation, AllocError> {
+) -> Result<(Allocation, Solved), AllocError> {
     let span = obs.span("phase.ilp.stage");
     obs.counter("backend.staged.attempts", 1);
     let out = greedy::allocate(prog, facts, freqs, cfg);
@@ -337,5 +383,15 @@ fn greedy_stage(
         spills: asg.n_spills,
     };
     emit_outcome(obs, &quality);
-    finish(prog, facts, &bm, &asg, stats, quality, obs)
+    let alloc = finish(prog, facts, &bm, &asg, stats.clone(), quality, obs)?;
+    Ok((
+        alloc,
+        Solved {
+            bm,
+            asg,
+            stats,
+            quality,
+            values: None,
+        },
+    ))
 }

@@ -286,7 +286,11 @@ fn root_edges(
     out
 }
 
-/// Chaitin-Briggs simplify/select.
+/// Chaitin-Briggs simplify/select. Degree ties break on the lower temp
+/// id so the assignment is a pure function of the interference graph:
+/// identical compiles (and a session-cache re-finish against a cold
+/// build) must produce bit-identical registers, which hash-map
+/// iteration order would otherwise scramble.
 fn color_graph(edges: &HashMap<Temp, HashSet<Temp>>, k: usize) -> Option<HashMap<Temp, u8>> {
     let mut degree: HashMap<Temp, usize> = edges.iter().map(|(t, e)| (*t, e.len())).collect();
     let mut removed: HashSet<Temp> = HashSet::new();
@@ -302,10 +306,10 @@ fn color_graph(edges: &HashMap<Temp, HashSet<Temp>>, k: usize) -> Option<HashMap
                 continue;
             }
             if *d < k {
-                if pick.is_none_or(|(_, pd)| *d > pd) {
+                if pick.is_none_or(|(pt, pd)| *d > pd || (*d == pd && t.0 < pt.0)) {
                     pick = Some((*t, *d));
                 }
-            } else if optimistic.is_none_or(|(_, od)| *d < od) {
+            } else if optimistic.is_none_or(|(ot, od)| *d < od || (*d == od && t.0 < ot.0)) {
                 optimistic = Some((*t, *d));
             }
         }

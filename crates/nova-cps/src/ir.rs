@@ -178,7 +178,7 @@ pub struct CpsFun {
 }
 
 /// A whole CPS program with its name supplies.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Cps {
     /// The top-level term.
     pub body: Term,

@@ -1,0 +1,293 @@
+//! Compilation as a service: a multi-client batch compile server over a
+//! shared [`nova::Compiler`] session.
+//!
+//! A [`Server`] owns a pool of worker threads that all hold clones of
+//! one compile session, so the session's phase caches (token-fingerprint
+//! frontend cache, immediate-masked MILP allocation cache, whole-image
+//! cache — see [`nova::Compiler`]) are shared across every client:
+//! after one client compiles a rule set, every other client's variants
+//! of it are partial or full cache hits.
+//!
+//! Requests go in as batches ([`Server::submit_batch`]); responses come
+//! back **in request order** regardless of which worker finished first
+//! or fastest, so a batch's results are deterministic and positionally
+//! addressable. Failures are first-class responses (the session caches
+//! them like successes), not transport errors.
+//!
+//! The server is deliberately synchronous — plain threads and channels,
+//! no async runtime — matching the repository's no-new-dependencies
+//! constraint and keeping the worker loop trivially auditable.
+
+#![warn(missing_docs)]
+
+use nova::{CacheStats, CompileConfig, CompileError, CompileOutput, Compiler, Summary};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Server construction knobs.
+#[derive(Debug, Clone, Default)]
+pub struct ServerConfig {
+    /// Worker threads. `0` picks the machine's available parallelism.
+    pub workers: usize,
+    /// Compile configuration shared by every worker's session clone.
+    pub compile: CompileConfig,
+}
+
+/// One compile request: a client tag (echoed back, never interpreted)
+/// plus the source text to compile.
+#[derive(Debug, Clone)]
+pub struct CompileRequest {
+    /// Client-chosen identifier, echoed in the response.
+    pub id: u64,
+    /// Nova source text.
+    pub source: String,
+}
+
+impl CompileRequest {
+    /// Convenience constructor.
+    pub fn new(id: u64, source: impl Into<String>) -> Self {
+        CompileRequest {
+            id,
+            source: source.into(),
+        }
+    }
+}
+
+/// One compile response: the request's echoed id, the result, and the
+/// wall-clock service latency of this request on its worker.
+#[derive(Debug, Clone)]
+pub struct CompileResponse {
+    /// The request's `id`, echoed.
+    pub id: u64,
+    /// The compile result. Errors are cached, structured diagnostics —
+    /// resubmitting the same broken source returns the same error.
+    pub result: Result<CompileOutput, CompileError>,
+    /// Aggregated trace of what actually ran for this request (near
+    /// empty on a whole-image cache hit). `None` when the compile failed
+    /// before producing a report.
+    pub trace: Option<Summary>,
+    /// Wall-clock time this request spent compiling on its worker.
+    pub latency: Duration,
+}
+
+/// A queued unit of work: batch-local index + request + reply channel.
+struct Job {
+    index: usize,
+    request: CompileRequest,
+    reply: Sender<(usize, CompileResponse)>,
+}
+
+/// A batch compile server: worker threads draining a shared queue, each
+/// holding a clone of one cached compile session.
+///
+/// Dropping the server closes the queue and joins every worker.
+pub struct Server {
+    session: Compiler,
+    queue: Option<Sender<Job>>,
+    workers: Vec<JoinHandle<()>>,
+    obs: nova_obs::Obs,
+}
+
+impl Server {
+    /// Spin up the worker pool.
+    pub fn new(config: ServerConfig) -> Self {
+        Server::with_observer(config, nova_obs::Obs::noop())
+    }
+
+    /// [`Server::new`] with a server-level observability handle:
+    /// `server.requests`, `server.batches` counters and a
+    /// `server.latency_us` sample per request land on it (compile-phase
+    /// telemetry goes to the compile config's own observer as usual).
+    pub fn with_observer(config: ServerConfig, obs: nova_obs::Obs) -> Self {
+        let n = if config.workers == 0 {
+            std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+        } else {
+            config.workers
+        };
+        let session = Compiler::new(config.compile);
+        let (tx, rx) = channel::<Job>();
+        let rx = Arc::new(Mutex::new(rx));
+        let workers = (0..n)
+            .map(|i| {
+                let rx = Arc::clone(&rx);
+                let session = session.clone();
+                let obs = obs.clone();
+                std::thread::Builder::new()
+                    .name(format!("nova-server-{i}"))
+                    .spawn(move || worker_loop(&rx, &session, &obs))
+                    .expect("spawn nova-server worker")
+            })
+            .collect();
+        Server {
+            session,
+            queue: Some(tx),
+            workers,
+            obs,
+        }
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Snapshot of the shared session's cache counters.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.session.cache_stats()
+    }
+
+    /// Compile one request on the calling thread's behalf (a batch of
+    /// one).
+    pub fn submit(&self, request: CompileRequest) -> CompileResponse {
+        self.submit_batch(vec![request])
+            .into_iter()
+            .next()
+            .expect("one response per request")
+    }
+
+    /// Submit a batch and block until every response is in. Responses
+    /// are returned **in request order** (deterministic regardless of
+    /// worker scheduling), one per request.
+    pub fn submit_batch(&self, requests: Vec<CompileRequest>) -> Vec<CompileResponse> {
+        let n = requests.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        self.obs.counter("server.batches", 1);
+        self.obs.counter("server.requests", n as u64);
+        let queue = self.queue.as_ref().expect("queue open while server lives");
+        let (reply_tx, reply_rx) = channel::<(usize, CompileResponse)>();
+        for (index, request) in requests.into_iter().enumerate() {
+            queue
+                .send(Job {
+                    index,
+                    request,
+                    reply: reply_tx.clone(),
+                })
+                .expect("workers alive while server lives");
+        }
+        drop(reply_tx);
+        let mut slots: Vec<Option<CompileResponse>> = (0..n).map(|_| None).collect();
+        for (index, response) in reply_rx {
+            slots[index] = Some(response);
+        }
+        slots
+            .into_iter()
+            .map(|s| s.expect("every request produces a response"))
+            .collect()
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        // Closing the queue makes every worker's recv fail; join them.
+        self.queue.take();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+fn worker_loop(rx: &Arc<Mutex<Receiver<Job>>>, session: &Compiler, obs: &nova_obs::Obs) {
+    loop {
+        // Hold the lock only for the dequeue, not the compile.
+        let job = match rx.lock() {
+            Ok(guard) => guard.recv(),
+            Err(_) => return,
+        };
+        let Ok(job) = job else { return };
+        let start = Instant::now();
+        let (result, trace) = match session.compile(&job.request.source) {
+            Ok(report) => (Ok(report.artifact), Some(report.trace)),
+            Err(e) => (Err(e), None),
+        };
+        let latency = start.elapsed();
+        obs.sample("server.latency_us", latency.as_secs_f64() * 1e6);
+        // The batch may have been abandoned (submitter gone): ignore.
+        let _ = job.reply.send((
+            job.index,
+            CompileResponse {
+                id: job.request.id,
+                result,
+                trace,
+                latency,
+            },
+        ));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const BASE: &str = "fun main() { let (a, b) = sram(0); sram(8) <- (a + b, a); 0 }";
+
+    fn server(workers: usize) -> Server {
+        Server::new(ServerConfig {
+            workers,
+            compile: CompileConfig::builder().solver_threads(1).build(),
+        })
+    }
+
+    #[test]
+    fn batch_responses_come_back_in_request_order() {
+        let srv = server(4);
+        let reqs: Vec<CompileRequest> = (0..16)
+            .map(|i| {
+                // Distinct programs so different workers race on
+                // genuinely different compiles.
+                let addr = 8 + 4 * (i % 4);
+                CompileRequest::new(
+                    1000 + i,
+                    format!("fun main() {{ let (a, b) = sram(0); sram({addr}) <- (a + b, a); 0 }}"),
+                )
+            })
+            .collect();
+        let responses = srv.submit_batch(reqs);
+        assert_eq!(responses.len(), 16);
+        for (i, r) in responses.iter().enumerate() {
+            assert_eq!(r.id, 1000 + i as u64);
+            assert!(r.result.is_ok(), "request {i} failed");
+        }
+    }
+
+    #[test]
+    fn second_batch_hits_the_shared_cache() {
+        let srv = server(2);
+        let batch: Vec<CompileRequest> = (0..4).map(|i| CompileRequest::new(i, BASE)).collect();
+        let first = srv.submit_batch(batch.clone());
+        let second = srv.submit_batch(batch);
+        let stats = srv.cache_stats();
+        // Everything after the very first compile of BASE is a
+        // whole-image hit (workers may race the first batch, so only
+        // the lower bound is exact).
+        assert!(stats.output_hits >= 4, "expected ≥4 image hits: {stats:?}");
+        for (a, b) in first.iter().zip(&second) {
+            let (a, b) = (a.result.as_ref().unwrap(), b.result.as_ref().unwrap());
+            assert!(a.artifact_eq(b));
+        }
+    }
+
+    #[test]
+    fn failures_are_responses_not_crashes() {
+        let srv = server(2);
+        let responses = srv.submit_batch(vec![
+            CompileRequest::new(1, "fun main() { y }"),
+            CompileRequest::new(2, BASE),
+            CompileRequest::new(3, "fun main() { y }"),
+        ]);
+        assert_eq!(responses.len(), 3);
+        let e1 = responses[0].result.as_ref().unwrap_err();
+        let e3 = responses[2].result.as_ref().unwrap_err();
+        assert_eq!(e1, e3, "cached failure should be returned verbatim");
+        assert!(responses[1].result.is_ok());
+    }
+
+    #[test]
+    fn empty_batch_is_fine() {
+        let srv = server(1);
+        assert!(srv.submit_batch(Vec::new()).is_empty());
+    }
+}

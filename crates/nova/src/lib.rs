@@ -9,7 +9,11 @@
 //! Configuration goes through one builder — solver and simulation knobs
 //! alike — and environment overrides (`NOVA_ILP_THREADS`,
 //! `NOVA_ILP_KERNEL`) are resolved exactly once, at
-//! [`CompileConfigBuilder::build`] time, never later inside the solver:
+//! [`CompileConfigBuilder::build`] time, never later inside the solver.
+//!
+//! The primary entry point is a [`Compiler`] session, which caches phase
+//! artifacts by content hash so recompiling edited variants of a program
+//! only re-runs the phases the edit invalidates:
 //!
 //! ```
 //! let cfg = nova::CompileConfig::builder()
@@ -17,15 +21,19 @@
 //!     .solver_gap(0.0)
 //!     .engines(6)
 //!     .build();
-//! let out = nova::compile_source(
-//!     "fun main() { let (a, b) = sram(0); sram(8) <- (a + b, a); 0 }",
-//!     &cfg,
-//! ).unwrap();
-//! assert!(ixp_machine::validate(&out.prog).is_empty());
-//! assert_eq!(out.alloc_stats.spills, 0);
+//! let compiler = nova::Compiler::new(cfg);
+//! let report = compiler
+//!     .compile("fun main() { let (a, b) = sram(0); sram(8) <- (a + b, a); 0 }")
+//!     .unwrap();
+//! assert!(ixp_machine::validate(&report.artifact.prog).is_empty());
+//! assert_eq!(report.artifact.alloc_stats.spills, 0);
 //! ```
 
 #![warn(missing_docs)]
+
+mod session;
+
+pub use session::{CacheStats, Compiler};
 
 use nova_backend::alloc::AllocConfig;
 use nova_cps::{OptConfig, SsuStats};
@@ -343,7 +351,10 @@ impl CompileConfigBuilder {
 }
 
 /// Everything the compiler produces for one program.
-#[derive(Debug)]
+///
+/// Clonable so a [`Compiler`] session can cache one compile and hand the
+/// result to multiple clients.
+#[derive(Debug, Clone)]
 pub struct CompileOutput {
     /// Allocated, validated machine code.
     pub prog: ixp_machine::Program<ixp_machine::PhysReg>,
@@ -365,6 +376,28 @@ pub struct CompileOutput {
     pub alloc_quality: AllocQuality,
     /// Machine instruction count of the final program.
     pub code_size: usize,
+}
+
+impl CompileOutput {
+    /// Deterministic-artifact equality: two outputs agree on the machine
+    /// program, the CPS, and every statistic that is a pure function of
+    /// the input — everything except solver wall-clock timing, which
+    /// differs run to run even for identical inputs. This is the "warm
+    /// compile is bit-identical to cold" check used by the session cache
+    /// tests and the service bench.
+    pub fn artifact_eq(&self, other: &CompileOutput) -> bool {
+        self.prog == other.prog
+            && self.static_stats == other.static_stats
+            && self.cps == other.cps
+            && self.opt_stats == other.opt_stats
+            && self.ssu_stats == other.ssu_stats
+            && self.code_size == other.code_size
+            && self.alloc_stats.moves == other.alloc_stats.moves
+            && self.alloc_stats.spills == other.alloc_stats.spills
+            && self.alloc_stats.objective == other.alloc_stats.objective
+            && self.alloc_quality.stage == other.alloc_quality.stage
+            && self.alloc_quality.spills == other.alloc_quality.spills
+    }
 }
 
 /// The pipeline phase a diagnostic originated from.
@@ -414,8 +447,10 @@ impl std::fmt::Display for Phase {
 
 /// A structured pipeline failure: the phase that produced it, a
 /// machine-readable code, the source span when the phase tracks one, and
-/// the rendered human-readable message.
-#[derive(Debug, Clone)]
+/// the rendered human-readable message. Comparable and clonable so a
+/// [`Compiler`] session can cache a failed compile and return the same
+/// diagnostic to every client that submits the same input.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CompileError {
     /// Which phase failed.
     pub phase: Phase,
@@ -466,8 +501,8 @@ impl std::error::Error for CompileError {}
 /// A compile together with the structured trace it produced: the
 /// [`CompileOutput`] artifact plus an aggregated [`Summary`] of every
 /// span, counter, and sample the phases emitted. Returned by
-/// [`compile`].
-#[derive(Debug)]
+/// [`Compiler::compile`] and the free [`compile`].
+#[derive(Debug, Clone)]
 pub struct CompileReport {
     /// The compiled artifact and its statistics.
     pub artifact: CompileOutput,
@@ -476,7 +511,8 @@ pub struct CompileReport {
     pub trace: Summary,
 }
 
-/// Compile Nova source text to machine code.
+/// Compile Nova source text to machine code through a throwaway
+/// [`Compiler`] session.
 ///
 /// Telemetry goes to the configured [`CompileConfig::observer`] (no-op by
 /// default). Use [`compile`] instead to also get the aggregated trace
@@ -487,12 +523,16 @@ pub struct CompileReport {
 /// Returns the first [`CompileError`] of whichever phase fails, carrying
 /// the [`Phase`], a stable diagnostic code, and the source span when the
 /// phase tracks one.
+#[deprecated(
+    note = "construct a `nova::Compiler` session (its phase caches make repeat \
+            compiles cheap), or call `nova::compile` for a one-shot with a trace"
+)]
 pub fn compile_source(source: &str, config: &CompileConfig) -> Result<CompileOutput, CompileError> {
-    compile_pipeline(source, config, &config.observer)
+    Compiler::new(config.clone()).compile_output(source)
 }
 
 /// Compile Nova source text and return the artifact together with an
-/// aggregated trace of the run.
+/// aggregated trace of the run, through a throwaway [`Compiler`] session.
 ///
 /// An in-memory recorder is teed with the configured
 /// [`CompileConfig::observer`] for the duration of the compile, so an
@@ -501,35 +541,24 @@ pub fn compile_source(source: &str, config: &CompileConfig) -> Result<CompileOut
 /// optimizer pass shrink counts under `cps.pass.*`, solver telemetry
 /// under `ilp.*`, allocator decisions under `backend.*`).
 ///
+/// Callers that compile more than once should hold a [`Compiler`]
+/// instead: the session's phase caches turn repeat and near-repeat
+/// compiles into partial (or full) cache hits.
+///
 /// # Errors
 ///
-/// Same contract as [`compile_source`].
+/// Same contract as [`Compiler::compile`].
 pub fn compile(source: &str, config: &CompileConfig) -> Result<CompileReport, CompileError> {
-    let memory = MemoryRecorder::new();
-    let obs = if config.observer.enabled() {
-        Obs::new(TeeRecorder::new(vec![
-            std::sync::Arc::new(memory.clone()) as std::sync::Arc<dyn Recorder>,
-            config
-                .observer
-                .recorder()
-                .expect("enabled observer has a recorder"),
-        ]))
-    } else {
-        Obs::new(memory.clone())
-    };
-    let artifact = compile_pipeline(source, config, &obs)?;
-    Ok(CompileReport {
-        artifact,
-        trace: memory.summary(),
-    })
+    Compiler::new(config.clone()).compile(source)
 }
 
-/// The actual phase sequence, reporting into `obs`.
-fn compile_pipeline(
+/// The frontend phase boundary: lex, parse, and type check under a
+/// `phase.frontend` span. The returned artifact is keyed by the session
+/// cache on the source's comment-free token fingerprint.
+fn frontend_phase(
     source: &str,
-    config: &CompileConfig,
     obs: &Obs,
-) -> Result<CompileOutput, CompileError> {
+) -> Result<(nova_frontend::Program, nova_frontend::TypeInfo, StaticStats), CompileError> {
     let frontend_span = obs.span("phase.frontend");
     let program = nova_frontend::parse_with(source, obs)
         .map_err(|d| CompileError::with_span(Phase::Parse, "E-PARSE", source, &d))?;
@@ -537,10 +566,23 @@ fn compile_pipeline(
         .map_err(|d| CompileError::with_span(Phase::Typecheck, "E-TYPE", source, &d))?;
     let static_stats = program.static_stats();
     frontend_span.end();
+    Ok((program, info, static_stats))
+}
+
+/// The CPS phase boundary: conversion, optimization (or bare label
+/// specialization), and SSU under a `phase.cps` span. Keyed by the
+/// session cache on (token fingerprint, optimizer config, `skip_opt`).
+fn cps_phase(
+    program: &nova_frontend::Program,
+    info: &nova_frontend::TypeInfo,
+    source: &str,
+    config: &CompileConfig,
+    obs: &Obs,
+) -> Result<(nova_cps::Cps, nova_cps::OptStats, SsuStats), CompileError> {
     let cps_span = obs.span("phase.cps");
     let mut cps = {
         let _convert = obs.span("cps.convert");
-        nova_cps::convert(&program, &info)
+        nova_cps::convert(program, info)
             .map_err(|d| CompileError::with_span(Phase::CpsConvert, "E-CPS", source, &d))?
     };
     let opt_stats = if config.skip_opt {
@@ -564,34 +606,31 @@ fn compile_pipeline(
     };
     nova_cps::check_ssu(&cps).map_err(|m| CompileError::new(Phase::Ssu, "E-SSU", m))?;
     cps_span.end();
-    let vprog = {
-        let _codegen = obs.span("phase.codegen");
-        let _isel = obs.span("backend.isel");
-        nova_backend::select(&cps).map_err(|e| CompileError::new(Phase::Isel, "E-ISEL", e))?
-    };
-    let allocation =
-        nova_backend::allocate_with(&vprog, &config.alloc, obs).map_err(|e| match e {
-            // Bank-assignment failures (solver or greedy constraints).
-            nova_backend::AllocError::Solver(_) | nova_backend::AllocError::Greedy(_) => {
-                CompileError::new(Phase::Alloc, "E-ALLOC", e)
-            }
-            // Downstream code generation on a feasible assignment.
-            nova_backend::AllocError::Extract(_)
-            | nova_backend::AllocError::Color(_)
-            | nova_backend::AllocError::Invalid(_)
-            | nova_backend::AllocError::Verify(_) => {
-                CompileError::new(Phase::Codegen, "E-CODEGEN", e)
-            }
-        })?;
-    let code_size = allocation.prog.len();
-    Ok(CompileOutput {
-        prog: allocation.prog,
-        static_stats,
-        cps,
-        opt_stats,
-        ssu_stats,
-        alloc_stats: allocation.stats,
-        alloc_quality: allocation.quality,
-        code_size,
-    })
+    Ok((cps, opt_stats, ssu_stats))
+}
+
+/// The instruction-selection phase boundary, under `phase.codegen` /
+/// `backend.isel` spans. Keyed by the session cache on the CPS key.
+fn isel_phase(
+    cps: &nova_cps::Cps,
+    obs: &Obs,
+) -> Result<ixp_machine::Program<ixp_machine::Temp>, CompileError> {
+    let _codegen = obs.span("phase.codegen");
+    let _isel = obs.span("backend.isel");
+    nova_backend::select(cps).map_err(|e| CompileError::new(Phase::Isel, "E-ISEL", e))
+}
+
+/// Map an allocator failure onto the pipeline's diagnostic taxonomy.
+fn alloc_error(e: nova_backend::AllocError) -> CompileError {
+    match e {
+        // Bank-assignment failures (solver or greedy constraints).
+        nova_backend::AllocError::Solver(_) | nova_backend::AllocError::Greedy(_) => {
+            CompileError::new(Phase::Alloc, "E-ALLOC", e)
+        }
+        // Downstream code generation on a feasible assignment.
+        nova_backend::AllocError::Extract(_)
+        | nova_backend::AllocError::Color(_)
+        | nova_backend::AllocError::Invalid(_)
+        | nova_backend::AllocError::Verify(_) => CompileError::new(Phase::Codegen, "E-CODEGEN", e),
+    }
 }

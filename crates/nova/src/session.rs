@@ -1,0 +1,776 @@
+//! Session-based compilation with phase-granular caching.
+//!
+//! A [`Compiler`] owns persistent caches keyed by content hashes of each
+//! phase's *input* artifact plus the configuration slice that phase
+//! reads, so recompiling an edited variant of a program re-runs only the
+//! phases the edit actually invalidates:
+//!
+//! | edit kind            | re-runs                                   |
+//! |----------------------|-------------------------------------------|
+//! | comment / whitespace | nothing (full image cache hit)            |
+//! | rule constant        | frontend → isel (cheap); allocation is    |
+//! |                      | *re-finished* from the cached MILP answer |
+//! | structural           | everything (a cold compile)               |
+//!
+//! The expensive phase is the MILP bank-allocation solve, and it never
+//! reads immediate values: fact extraction pattern-matches operand
+//! *shapes*, and frequency estimation reads only branch structure. The
+//! allocation cache therefore keys on an **immediate-masked** fingerprint
+//! of the virtual-register program — two programs that differ only in
+//! constants share one solved model, and the warm compile re-runs only
+//! extraction/coloring/validation against the new program, which is
+//! bit-identical to what a cold solve would produce.
+//!
+//! When the structure fingerprint misses (e.g. a cost-knob config change
+//! invalidated the cache key), a previously solved raw solution vector
+//! for the same model structure is offered to the solver as a warm-start
+//! incumbent (see [`ilp::solve_milp_hinted_with`]).
+//!
+//! Sessions are cheap to [`Clone`]: clones share the same caches, which
+//! is how the `nova-server` worker pool gives every client the benefit
+//! of every other client's compiles.
+
+use crate::{
+    alloc_error, cps_phase, frontend_phase, isel_phase, CompileConfig, CompileError, CompileOutput,
+    CompileReport, Phase,
+};
+use ixp_machine::{Addr, AluSrc, Instr, Program, Temp, Terminator};
+use nova_backend::{allocate_solved_with, refinish_with, Allocation, SolvedAllocation};
+use nova_frontend::{StaticStats, Token};
+use nova_obs::{MemoryRecorder, Obs, Recorder, TeeRecorder};
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// The frontend's cached artifact: AST, types, and Figure-5 statistics.
+struct FrontendArt {
+    program: nova_frontend::Program,
+    info: nova_frontend::TypeInfo,
+    static_stats: StaticStats,
+}
+
+/// The CPS phase's cached artifact: optimized SSU-form CPS plus the
+/// optimizer and SSU statistics.
+struct CpsArt {
+    cps: nova_cps::Cps,
+    opt_stats: nova_cps::OptStats,
+    ssu_stats: nova_cps::SsuStats,
+}
+
+/// One per-phase counter pair.
+#[derive(Default)]
+struct HitMiss {
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl HitMiss {
+    fn record(&self, obs: &Obs, phase: &'static str, hit: bool) {
+        if hit {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+        }
+        // One stable counter name per (phase, outcome) so summaries and
+        // the service bench can read hit rates straight off the trace.
+        let name: &'static str = match (phase, hit) {
+            ("frontend", true) => "session.cache.frontend.hit",
+            ("frontend", false) => "session.cache.frontend.miss",
+            ("cps", true) => "session.cache.cps.hit",
+            ("cps", false) => "session.cache.cps.miss",
+            ("isel", true) => "session.cache.isel.hit",
+            ("isel", false) => "session.cache.isel.miss",
+            ("alloc", true) => "session.cache.alloc.hit",
+            ("alloc", false) => "session.cache.alloc.miss",
+            ("output", true) => "session.cache.output.hit",
+            ("output", false) => "session.cache.output.miss",
+            _ => unreachable!("unknown cache phase"),
+        };
+        obs.counter(name, 1);
+    }
+
+    fn snapshot(&self) -> (u64, u64) {
+        (
+            self.hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+        )
+    }
+}
+
+/// One phase-boundary cache: input-content hash → the phase's memoized
+/// artifact or its diagnostic.
+type PhaseCache<T> = Mutex<HashMap<u64, Result<Arc<T>, CompileError>>>;
+
+/// Shared mutable state of one session: one cache per phase boundary,
+/// the MILP warm-start pool, and the hit/miss counters.
+#[derive(Default)]
+struct SessionState {
+    /// Token fingerprint → frontend artifact (or its diagnostic).
+    frontend: PhaseCache<FrontendArt>,
+    /// (token fp, optimizer config) → optimized SSU CPS.
+    cps: PhaseCache<CpsArt>,
+    /// CPS key → virtual-register program.
+    isel: PhaseCache<Program<Temp>>,
+    /// (immediate-masked vprog fp, allocator config) → solved artifacts.
+    alloc: Mutex<HashMap<u64, Arc<SolvedAllocation>>>,
+    /// (immediate-masked vprog fp, structure knobs) → raw solution vector
+    /// for warm-starting a solve whose cost knobs changed.
+    hints: Mutex<HashMap<u64, Arc<Vec<f64>>>>,
+    /// (token fp, full pipeline config) → finished compile (or failure).
+    output: PhaseCache<CompileOutput>,
+    frontend_stats: HitMiss,
+    cps_stats: HitMiss,
+    isel_stats: HitMiss,
+    alloc_stats: HitMiss,
+    output_stats: HitMiss,
+    refinish_fallbacks: AtomicU64,
+    hint_offers: AtomicU64,
+}
+
+/// A point-in-time snapshot of a session's cache counters, one
+/// (hits, misses) pair per phase boundary.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Frontend (lex/parse/typecheck) cache hits.
+    pub frontend_hits: u64,
+    /// Frontend cache misses.
+    pub frontend_misses: u64,
+    /// CPS (convert/optimize/SSU) cache hits.
+    pub cps_hits: u64,
+    /// CPS cache misses.
+    pub cps_misses: u64,
+    /// Instruction-selection cache hits.
+    pub isel_hits: u64,
+    /// Instruction-selection cache misses.
+    pub isel_misses: u64,
+    /// Allocation cache hits (MILP solve skipped, re-finish only).
+    pub alloc_hits: u64,
+    /// Allocation cache misses (full solve ran).
+    pub alloc_misses: u64,
+    /// Whole-image cache hits (nothing re-ran).
+    pub output_hits: u64,
+    /// Whole-image cache misses.
+    pub output_misses: u64,
+    /// Allocation cache hits whose re-finish failed, forcing a fallback
+    /// full solve (counted under `alloc_misses` as well).
+    pub refinish_fallbacks: u64,
+    /// Cold solves that were offered a cached warm-start vector.
+    pub hint_offers: u64,
+}
+
+impl CacheStats {
+    /// Hit rate of one (hits, misses) pair; `None` when nothing was
+    /// looked up.
+    #[allow(clippy::cast_precision_loss)]
+    fn rate(hits: u64, misses: u64) -> Option<f64> {
+        let total = hits + misses;
+        if total == 0 {
+            None
+        } else {
+            Some(hits as f64 / total as f64)
+        }
+    }
+
+    /// Allocation-phase hit rate, if any allocations were attempted.
+    pub fn alloc_hit_rate(&self) -> Option<f64> {
+        Self::rate(self.alloc_hits, self.alloc_misses)
+    }
+
+    /// Whole-image hit rate, if any compiles ran.
+    pub fn output_hit_rate(&self) -> Option<f64> {
+        Self::rate(self.output_hits, self.output_misses)
+    }
+
+    /// Frontend hit rate, if the frontend cache was consulted.
+    pub fn frontend_hit_rate(&self) -> Option<f64> {
+        Self::rate(self.frontend_hits, self.frontend_misses)
+    }
+}
+
+/// A compile session: a handle over one [`CompileConfig`] plus
+/// persistent phase caches. The primary compilation entry point.
+///
+/// Cloning is cheap and shares the caches — hand clones to worker
+/// threads to serve concurrent clients from one artifact pool.
+#[derive(Clone)]
+pub struct Compiler {
+    config: CompileConfig,
+    /// Fingerprint of the optimizer slice of the config (+ `skip_opt`).
+    opt_fp: u64,
+    /// Fingerprint of the allocator slice of the config.
+    alloc_fp: u64,
+    /// Fingerprint of the allocator knobs that shape the MILP's variable
+    /// space (cost and solver knobs excluded): two configs with equal
+    /// structure fingerprints produce models over the same columns, so
+    /// solutions transfer between them as warm starts.
+    structure_fp: u64,
+    /// Combined fingerprint of every config slice the pipeline reads.
+    pipeline_fp: u64,
+    state: Arc<SessionState>,
+}
+
+impl std::fmt::Debug for Compiler {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Compiler")
+            .field("config", &self.config)
+            .field("cache_stats", &self.cache_stats())
+            .finish()
+    }
+}
+
+impl Compiler {
+    /// Create a session from a configuration. The configuration is fixed
+    /// for the session's lifetime (its fingerprints key every cache);
+    /// use one session per configuration.
+    pub fn new(config: CompileConfig) -> Self {
+        let opt_fp = hash_parts(&[
+            fingerprint_str(&format!("{:?}", config.opt)),
+            u64::from(config.skip_opt),
+        ]);
+        let alloc_fp = fingerprint_str(&format!("{:?}", config.alloc));
+        let a = &config.alloc;
+        let structure_fp = fingerprint_str(&format!(
+            "{:?}",
+            (
+                a.allow_spill,
+                a.redundant_cuts,
+                a.prune,
+                a.k_a,
+                a.k_b,
+                a.spill_auto
+            )
+        ));
+        let pipeline_fp = hash_parts(&[opt_fp, alloc_fp]);
+        Compiler {
+            config,
+            opt_fp,
+            alloc_fp,
+            structure_fp,
+            pipeline_fp,
+            state: Arc::new(SessionState::default()),
+        }
+    }
+
+    /// The session's configuration.
+    pub fn config(&self) -> &CompileConfig {
+        &self.config
+    }
+
+    /// Current cache counters (cumulative across clones of this session).
+    pub fn cache_stats(&self) -> CacheStats {
+        let s = &self.state;
+        let (frontend_hits, frontend_misses) = s.frontend_stats.snapshot();
+        let (cps_hits, cps_misses) = s.cps_stats.snapshot();
+        let (isel_hits, isel_misses) = s.isel_stats.snapshot();
+        let (alloc_hits, alloc_misses) = s.alloc_stats.snapshot();
+        let (output_hits, output_misses) = s.output_stats.snapshot();
+        CacheStats {
+            frontend_hits,
+            frontend_misses,
+            cps_hits,
+            cps_misses,
+            isel_hits,
+            isel_misses,
+            alloc_hits,
+            alloc_misses,
+            output_hits,
+            output_misses,
+            refinish_fallbacks: s.refinish_fallbacks.load(Ordering::Relaxed),
+            hint_offers: s.hint_offers.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Compile source text, returning the artifact plus an aggregated
+    /// trace of whatever actually ran (a full cache hit produces a
+    /// near-empty trace: the lex, the lookup counters, nothing else).
+    ///
+    /// # Errors
+    ///
+    /// The first [`CompileError`] of whichever phase fails. Failures are
+    /// cached like successes: resubmitting a broken input returns the
+    /// same diagnostic without re-running the failing phase.
+    pub fn compile(&self, source: &str) -> Result<CompileReport, CompileError> {
+        let memory = MemoryRecorder::new();
+        let obs = if self.config.observer.enabled() {
+            Obs::new(TeeRecorder::new(vec![
+                Arc::new(memory.clone()) as Arc<dyn Recorder>,
+                self.config
+                    .observer
+                    .recorder()
+                    .expect("enabled observer has a recorder"),
+            ]))
+        } else {
+            Obs::new(memory.clone())
+        };
+        let artifact = self.compile_cached(source, &obs)?;
+        Ok(CompileReport {
+            artifact,
+            trace: memory.summary(),
+        })
+    }
+
+    /// [`compile`](Self::compile) without the trace tee: telemetry goes
+    /// only to the configured observer.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`compile`](Self::compile).
+    pub fn compile_output(&self, source: &str) -> Result<CompileOutput, CompileError> {
+        let obs = self.config.observer.clone();
+        self.compile_cached(source, &obs)
+    }
+
+    /// The cached pipeline: each phase is looked up by the content hash
+    /// of its input artifact + config slice, computed on miss, and the
+    /// result (success or failure) memoized.
+    fn compile_cached(&self, source: &str, obs: &Obs) -> Result<CompileOutput, CompileError> {
+        let state = &*self.state;
+        // Lexing is the one phase that always runs: its token stream is
+        // the root content hash every other key derives from. The lexer
+        // drops comments and the fingerprint drops spans, so edits to
+        // either are full cache hits.
+        let tokens = nova_frontend::lex(source)
+            .map_err(|d| CompileError::with_span(Phase::Parse, "E-PARSE", source, &d))?;
+        let tok_fp = fingerprint_tokens(&tokens);
+        drop(tokens);
+
+        // Whole-image lookup first: on a hit nothing else runs.
+        let out_key = hash_parts(&[0x6f75_7470, tok_fp, self.pipeline_fp]);
+        if let Some(cached) = state.output.lock().unwrap().get(&out_key) {
+            state.output_stats.record(obs, "output", true);
+            return cached.clone().map(|arc| (*arc).clone());
+        }
+        state.output_stats.record(obs, "output", false);
+
+        let result = self.compile_phases(source, tok_fp, obs);
+        let memo = result
+            .as_ref()
+            .map(|out| Arc::new(out.clone()))
+            .map_err(Clone::clone);
+        state.output.lock().unwrap().insert(out_key, memo);
+        result
+    }
+
+    /// The phase chain behind a whole-image miss.
+    fn compile_phases(
+        &self,
+        source: &str,
+        tok_fp: u64,
+        obs: &Obs,
+    ) -> Result<CompileOutput, CompileError> {
+        let state = &*self.state;
+
+        // ---- frontend ----
+        let front = {
+            let cached = state.frontend.lock().unwrap().get(&tok_fp).cloned();
+            match cached {
+                Some(r) => {
+                    state.frontend_stats.record(obs, "frontend", true);
+                    r?
+                }
+                None => {
+                    state.frontend_stats.record(obs, "frontend", false);
+                    let computed = frontend_phase(source, obs).map(|(program, info, stats)| {
+                        Arc::new(FrontendArt {
+                            program,
+                            info,
+                            static_stats: stats,
+                        })
+                    });
+                    state
+                        .frontend
+                        .lock()
+                        .unwrap()
+                        .insert(tok_fp, computed.clone());
+                    computed?
+                }
+            }
+        };
+
+        // ---- CPS ----
+        let cps_key = hash_parts(&[0x0063_7073, tok_fp, self.opt_fp]);
+        let cps_art = {
+            let cached = state.cps.lock().unwrap().get(&cps_key).cloned();
+            match cached {
+                Some(r) => {
+                    state.cps_stats.record(obs, "cps", true);
+                    r?
+                }
+                None => {
+                    state.cps_stats.record(obs, "cps", false);
+                    let computed =
+                        cps_phase(&front.program, &front.info, source, &self.config, obs).map(
+                            |(cps, opt_stats, ssu_stats)| {
+                                Arc::new(CpsArt {
+                                    cps,
+                                    opt_stats,
+                                    ssu_stats,
+                                })
+                            },
+                        );
+                    state.cps.lock().unwrap().insert(cps_key, computed.clone());
+                    computed?
+                }
+            }
+        };
+
+        // ---- instruction selection ----
+        let isel_key = hash_parts(&[0x6973_656c, cps_key]);
+        let vprog = {
+            let cached = state.isel.lock().unwrap().get(&isel_key).cloned();
+            match cached {
+                Some(r) => {
+                    state.isel_stats.record(obs, "isel", true);
+                    r?
+                }
+                None => {
+                    state.isel_stats.record(obs, "isel", false);
+                    let computed = isel_phase(&cps_art.cps, obs).map(Arc::new);
+                    state
+                        .isel
+                        .lock()
+                        .unwrap()
+                        .insert(isel_key, computed.clone());
+                    computed?
+                }
+            }
+        };
+
+        // ---- allocation ----
+        let allocation = self.allocate_cached(&vprog, obs)?;
+
+        let code_size = allocation.prog.len();
+        Ok(CompileOutput {
+            prog: allocation.prog,
+            static_stats: front.static_stats,
+            cps: cps_art.cps.clone(),
+            opt_stats: cps_art.opt_stats.clone(),
+            ssu_stats: cps_art.ssu_stats.clone(),
+            alloc_stats: allocation.stats,
+            alloc_quality: allocation.quality,
+            code_size,
+        })
+    }
+
+    /// Allocation with the immediate-masked cache: a hit skips the MILP
+    /// solve entirely and re-finishes the cached assignment against this
+    /// (structurally identical) program; a miss runs a full solve,
+    /// warm-started from the hint pool when a compatible solution exists.
+    fn allocate_cached(
+        &self,
+        vprog: &Program<Temp>,
+        obs: &Obs,
+    ) -> Result<Allocation, CompileError> {
+        let state = &*self.state;
+        let masked_fp = masked_program_fp(vprog);
+        let alloc_key = hash_parts(&[0x0061_6c6c_6f63, masked_fp, self.alloc_fp]);
+
+        let cached = state.alloc.lock().unwrap().get(&alloc_key).cloned();
+        if let Some(solved) = cached {
+            match refinish_with(vprog, &solved, obs) {
+                Ok(alloc) => {
+                    state.alloc_stats.record(obs, "alloc", true);
+                    return Ok(alloc);
+                }
+                Err(_) => {
+                    // A masked-fingerprint collision or a cached artifact
+                    // the new program rejects: fall back to a full solve
+                    // rather than failing the compile.
+                    state.refinish_fallbacks.fetch_add(1, Ordering::Relaxed);
+                    obs.counter("session.cache.refinish_fallback", 1);
+                }
+            }
+        }
+        state.alloc_stats.record(obs, "alloc", false);
+
+        let hint_key = hash_parts(&[0x6869_6e74, masked_fp, self.structure_fp]);
+        let hint = state.hints.lock().unwrap().get(&hint_key).cloned();
+        if hint.is_some() {
+            state.hint_offers.fetch_add(1, Ordering::Relaxed);
+            obs.counter("session.cache.hint_offered", 1);
+        }
+        let (alloc, solved) = allocate_solved_with(
+            vprog,
+            &self.config.alloc,
+            hint.as_deref().map(Vec::as_slice),
+            obs,
+        )
+        .map_err(alloc_error)?;
+        if let Some(values) = &solved.values {
+            state
+                .hints
+                .lock()
+                .unwrap()
+                .insert(hint_key, Arc::new(values.clone()));
+        }
+        state
+            .alloc
+            .lock()
+            .unwrap()
+            .insert(alloc_key, Arc::new(solved));
+        Ok(alloc)
+    }
+}
+
+/// Deterministic (fixed-key SipHash) combination of pre-hashed parts.
+fn hash_parts(parts: &[u64]) -> u64 {
+    let mut h = DefaultHasher::new();
+    for p in parts {
+        p.hash(&mut h);
+    }
+    h.finish()
+}
+
+/// Deterministic fingerprint of a string (config `Debug` renderings).
+fn fingerprint_str(s: &str) -> u64 {
+    let mut h = DefaultHasher::new();
+    s.hash(&mut h);
+    h.finish()
+}
+
+/// Content hash of a token stream with spans dropped: the token kind,
+/// the literal value, and the identifier text. Two sources that differ
+/// only in comments or layout fingerprint identically (the lexer never
+/// emits comment tokens).
+fn fingerprint_tokens(tokens: &[Token]) -> u64 {
+    let mut h = DefaultHasher::new();
+    tokens.len().hash(&mut h);
+    for t in tokens {
+        std::mem::discriminant(&t.tok).hash(&mut h);
+        t.value.hash(&mut h);
+        t.text.hash(&mut h);
+    }
+    h.finish()
+}
+
+/// Fingerprint of a virtual-register program with immediate *values*
+/// masked out (their positions still hash). Sound as an allocation cache
+/// key because no allocation-phase input reads immediate values: fact
+/// extraction matches operand shapes (`AluSrc::Imm(_)`), and frequency
+/// estimation reads only branch/block structure. Everything allocation
+/// *does* read — opcodes, register structure, memory spaces, aggregate
+/// widths, conditions, control flow — hashes fully.
+fn masked_program_fp(prog: &Program<Temp>) -> u64 {
+    let mut h = DefaultHasher::new();
+    prog.entry.hash(&mut h);
+    prog.blocks.len().hash(&mut h);
+    for block in &prog.blocks {
+        block.instrs.len().hash(&mut h);
+        for ins in &block.instrs {
+            hash_instr_masked(ins, &mut h);
+        }
+        match &block.term {
+            Terminator::Jump(t) => {
+                0u8.hash(&mut h);
+                t.hash(&mut h);
+            }
+            Terminator::Branch {
+                cond,
+                a,
+                b,
+                if_true,
+                if_false,
+            } => {
+                1u8.hash(&mut h);
+                cond.hash(&mut h);
+                a.hash(&mut h);
+                hash_alusrc_masked(b, &mut h);
+                if_true.hash(&mut h);
+                if_false.hash(&mut h);
+            }
+            Terminator::Halt => 2u8.hash(&mut h),
+        }
+    }
+    h.finish()
+}
+
+fn hash_alusrc_masked<H: Hasher>(src: &AluSrc<Temp>, h: &mut H) {
+    match src {
+        AluSrc::Reg(r) => {
+            0u8.hash(h);
+            r.hash(h);
+        }
+        AluSrc::Imm(_) => 1u8.hash(h),
+    }
+}
+
+fn hash_addr_masked<H: Hasher>(addr: &Addr<Temp>, h: &mut H) {
+    match addr {
+        Addr::Imm(_) => 0u8.hash(h),
+        Addr::Reg(r, _) => {
+            1u8.hash(h);
+            r.hash(h);
+        }
+    }
+}
+
+fn hash_instr_masked<H: Hasher>(ins: &Instr<Temp>, h: &mut H) {
+    match ins {
+        Instr::Alu { op, dst, a, b } => {
+            0u8.hash(h);
+            op.hash(h);
+            dst.hash(h);
+            a.hash(h);
+            hash_alusrc_masked(b, h);
+        }
+        Instr::Imm { dst, val: _ } => {
+            1u8.hash(h);
+            dst.hash(h);
+        }
+        Instr::Move { dst, src } => {
+            2u8.hash(h);
+            dst.hash(h);
+            src.hash(h);
+        }
+        Instr::Clone { dst, src } => {
+            3u8.hash(h);
+            dst.hash(h);
+            src.hash(h);
+        }
+        Instr::MemRead { space, addr, dst } => {
+            4u8.hash(h);
+            space.hash(h);
+            hash_addr_masked(addr, h);
+            dst.hash(h);
+        }
+        Instr::MemWrite { space, addr, src } => {
+            5u8.hash(h);
+            space.hash(h);
+            hash_addr_masked(addr, h);
+            src.hash(h);
+        }
+        Instr::Hash { dst, src } => {
+            6u8.hash(h);
+            dst.hash(h);
+            src.hash(h);
+        }
+        Instr::TestAndSet { dst, src, addr } => {
+            7u8.hash(h);
+            dst.hash(h);
+            src.hash(h);
+            hash_addr_masked(addr, h);
+        }
+        // CSR numbers select *which* register is touched (semantics, not
+        // a tunable constant): hash them fully.
+        Instr::CsrRead { dst, csr } => {
+            8u8.hash(h);
+            dst.hash(h);
+            csr.hash(h);
+        }
+        Instr::CsrWrite { src, csr } => {
+            9u8.hash(h);
+            src.hash(h);
+            csr.hash(h);
+        }
+        Instr::RxPacket { len_dst, addr_dst } => {
+            10u8.hash(h);
+            len_dst.hash(h);
+            addr_dst.hash(h);
+        }
+        Instr::TxPacket { addr, len } => {
+            11u8.hash(h);
+            addr.hash(h);
+            len.hash(h);
+        }
+        Instr::CtxSwap => 12u8.hash(h),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CompileConfig;
+
+    const BASE: &str = "fun main() { let (a, b) = sram(0); sram(8) <- (a + b, a); 0 }";
+
+    fn cfg() -> CompileConfig {
+        CompileConfig::builder().solver_threads(1).build()
+    }
+
+    #[test]
+    fn comment_edit_is_a_full_image_hit() {
+        let c = Compiler::new(cfg());
+        let cold = c.compile(BASE).unwrap();
+        let commented = format!("// a comment\n{BASE} // trailing\n");
+        let warm = c.compile(&commented).unwrap();
+        assert!(warm.artifact.artifact_eq(&cold.artifact));
+        let s = c.cache_stats();
+        assert_eq!(s.output_hits, 1);
+        assert_eq!(s.output_misses, 1);
+        // The hit never consulted the per-phase caches.
+        assert_eq!(s.frontend_misses, 1);
+        assert_eq!(s.frontend_hits, 0);
+    }
+
+    #[test]
+    fn constant_edit_skips_the_solve() {
+        let c = Compiler::new(cfg());
+        let cold = Compiler::new(cfg()).compile(BASE).unwrap();
+        c.compile(BASE).unwrap();
+        let edited = BASE.replace("sram(8)", "sram(12)");
+        assert_ne!(edited, BASE);
+        let warm = c.compile(&edited).unwrap();
+        let s = c.cache_stats();
+        assert_eq!(s.output_hits, 0);
+        assert_eq!(s.alloc_hits, 1, "masked fingerprint should hit: {s:?}");
+        assert_eq!(s.alloc_misses, 1);
+        // Bit-identical to a cold compile of the edited source.
+        let cold_edited = Compiler::new(cfg()).compile(&edited).unwrap();
+        assert_eq!(warm.artifact.prog, cold_edited.artifact.prog);
+        // And genuinely different from the base program's image.
+        assert_ne!(warm.artifact.prog, cold.artifact.prog);
+    }
+
+    #[test]
+    fn structural_edit_misses_everywhere() {
+        let c = Compiler::new(cfg());
+        c.compile(BASE).unwrap();
+        let structural = "fun main() { let (a, b) = sram(0); sram(8) <- (a + b, a - b); 0 }";
+        c.compile(structural).unwrap();
+        let s = c.cache_stats();
+        assert_eq!(s.frontend_hits, 0);
+        assert_eq!(s.frontend_misses, 2);
+        assert_eq!(s.alloc_hits, 0);
+        assert_eq!(s.alloc_misses, 2);
+    }
+
+    #[test]
+    fn failures_are_cached() {
+        let c = Compiler::new(cfg());
+        let e1 = c.compile("fun main() { let x = 1; y }").unwrap_err();
+        let e2 = c.compile("fun main() { let x = 1; y }").unwrap_err();
+        assert_eq!(e1, e2);
+        let s = c.cache_stats();
+        assert_eq!(s.output_hits, 1);
+        assert_eq!(s.output_misses, 1);
+    }
+
+    #[test]
+    fn clones_share_caches() {
+        let c = Compiler::new(cfg());
+        c.compile(BASE).unwrap();
+        let worker = c.clone();
+        worker.compile(BASE).unwrap();
+        let s = c.cache_stats();
+        assert_eq!(s.output_hits, 1);
+        assert_eq!(s.output_misses, 1);
+    }
+
+    #[test]
+    fn masked_fingerprint_ignores_immediates_only() {
+        let cfg = cfg();
+        let compile_vprog = |src: &str| {
+            let (program, info, _) = frontend_phase(src, &Obs::noop()).unwrap();
+            let (cps, _, _) = cps_phase(&program, &info, src, &cfg, &Obs::noop()).unwrap();
+            isel_phase(&cps, &Obs::noop()).unwrap()
+        };
+        let base = compile_vprog(BASE);
+        let consts = compile_vprog(&BASE.replace("sram(8)", "sram(12)"));
+        let structural =
+            compile_vprog("fun main() { let (a, b) = sram(0); sram(8) <- (a + b, a - b); 0 }");
+        assert_eq!(masked_program_fp(&base), masked_program_fp(&consts));
+        assert_ne!(masked_program_fp(&base), masked_program_fp(&structural));
+    }
+}

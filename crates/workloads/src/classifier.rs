@@ -1,0 +1,134 @@
+//! A rule-table packet classifier, generated from constant rule sets.
+//!
+//! This is the compile-service workload: a network operator's rule
+//! updates change *constants* (masks, match values, output ports) but
+//! not the program's *structure*, which is exactly the edit class the
+//! session cache's immediate-masked allocation key turns into a
+//! solve-free recompile. [`classifier_source`] renders one program per
+//! rule set; [`classifier_rules`] derives deterministic rule sets from a
+//! seed so benches and tests can replay identical update streams.
+
+use std::fmt::Write as _;
+
+/// One classifier rule: packets whose first header word matches
+/// `match_value` under `mask` are counted and forwarded on `port`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClassifierRule {
+    /// Bits of the header word the rule examines.
+    pub mask: u32,
+    /// Required value of the masked bits.
+    pub match_value: u32,
+    /// Output port index (1-based; 0 is the default drop/slow port).
+    pub port: u32,
+}
+
+/// Number of rules in the canonical classifier shape. Fixed across rule
+/// updates: changing it is a *structural* edit.
+pub const CLASSIFIER_RULES: usize = 4;
+
+/// SplitMix64 step — the repo's standard cheap deterministic stream.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Derive a deterministic rule set from `(seed, variant)`. Masks and
+/// match values avoid the degenerate constants (`0`, all-ones) that the
+/// CPS optimizer folds structurally, so every variant of a fixed rule
+/// count instruction-selects to the same masked program shape.
+pub fn classifier_rules(seed: u64, variant: u64, n: usize) -> Vec<ClassifierRule> {
+    let mut state = seed
+        .wrapping_mul(0x2545_F491_4F6C_DD1D)
+        .wrapping_add(variant);
+    (0..n)
+        .map(|i| {
+            let r = splitmix64(&mut state);
+            // Byte-granular masks: 1..=3 of the word's 4 bytes.
+            let mask = match (r >> 8) % 3 {
+                0 => 0xFF00_0000,
+                1 => 0xFFFF_0000,
+                _ => 0x00FF_FF00,
+            };
+            let match_value = ((r >> 16) as u32 | 0x0101_0101) & mask;
+            ClassifierRule {
+                mask,
+                match_value,
+                port: (i as u32 % 7) + 1,
+            }
+        })
+        .collect()
+}
+
+/// Render the classifier program for one rule set. The structure (rule
+/// count, cascade shape, counter update) depends only on `rules.len()`;
+/// the rule constants land in `const` definitions.
+pub fn classifier_source(rules: &[ClassifierRule]) -> String {
+    let mut src = String::new();
+    for (i, r) in rules.iter().enumerate() {
+        let _ = writeln!(src, "const R{i}_MASK = {:#010x};", r.mask);
+        let _ = writeln!(src, "const R{i}_MATCH = {:#010x};", r.match_value);
+        let _ = writeln!(src, "const R{i}_PORT = {};", r.port);
+    }
+    src.push_str(
+        r#"const DEFAULT_PORT = 0;
+const COUNTERS = 0x40;   // scratch: per-port packet counters
+
+fun main() {
+    let (len, addr) = rx_packet();
+    let (w0, w1) = sdram(addr);
+    let port = classify(w0);
+    let (c) = scratch(COUNTERS + port);
+    scratch(COUNTERS + port) <- (c + 1);
+    // Tag the packet with its classification before forwarding.
+    sdram(addr) <- (w0, w1 | (port << 24));
+    tx_packet(addr, len);
+    main()
+}
+
+fun classify(w) {
+"#,
+    );
+    // A right-leaning cascade: rule 0 outermost, default port innermost.
+    for (i, _) in rules.iter().enumerate() {
+        let indent = "    ".repeat(i + 1);
+        let _ = writeln!(
+            src,
+            "{indent}if ((w & R{i}_MASK) == R{i}_MATCH) {{ R{i}_PORT }} else {{"
+        );
+    }
+    let _ = writeln!(src, "{}DEFAULT_PORT", "    ".repeat(rules.len() + 1));
+    for i in (0..rules.len()).rev() {
+        let _ = writeln!(src, "{}}}", "    ".repeat(i + 1));
+    }
+    src.push_str("}\n");
+    src
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nova_frontend::{check, parse};
+
+    #[test]
+    fn generated_classifiers_parse_and_typecheck() {
+        for variant in 0..4 {
+            let rules = classifier_rules(7, variant, CLASSIFIER_RULES);
+            let src = classifier_source(&rules);
+            let p = parse(&src).unwrap_or_else(|d| panic!("variant {variant}: {}", d.render(&src)));
+            check(&p).unwrap_or_else(|d| panic!("variant {variant}: {}", d.render(&src)));
+        }
+    }
+
+    #[test]
+    fn rule_sets_are_deterministic_and_variant_sensitive() {
+        let a = classifier_rules(7, 3, CLASSIFIER_RULES);
+        let b = classifier_rules(7, 3, CLASSIFIER_RULES);
+        let c = classifier_rules(7, 4, CLASSIFIER_RULES);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a.len(), CLASSIFIER_RULES);
+    }
+}

@@ -15,8 +15,10 @@
 #![warn(missing_docs)]
 
 pub mod aes;
+pub mod classifier;
 pub mod kasumi;
 pub mod nat;
 pub mod nova_programs;
 
+pub use classifier::{classifier_rules, classifier_source, ClassifierRule, CLASSIFIER_RULES};
 pub use nova_programs::{AES_NOVA, HEADER_BYTES, HEADER_WORDS, KASUMI_NOVA, NAT_NOVA};

@@ -7,12 +7,13 @@
 //! Run with `cargo run --release --example crypto_gateway`.
 
 use ixp_sim::{simulate, SimConfig, SimMemory};
-use nova::{compile_source, CompileConfig};
+use nova::{CompileConfig, Compiler};
 use workloads::{aes, AES_NOVA, HEADER_WORDS};
 
 fn main() {
     let t0 = std::time::Instant::now();
-    let out = compile_source(AES_NOVA, &CompileConfig::default()).expect("compiles");
+    let compiler = Compiler::new(CompileConfig::default());
+    let out = compiler.compile_output(AES_NOVA).expect("compiles");
     println!(
         "AES compiled in {:?}: {} instructions, ILP {} vars / {} rows, {} moves, {} spills",
         t0.elapsed(),

@@ -7,7 +7,7 @@
 //! Run with `cargo run --release --example packet_classifier`.
 
 use ixp_sim::{simulate, SimConfig, SimMemory};
-use nova::{compile_source, CompileConfig};
+use nova::{CompileConfig, Compiler};
 
 const CLASSIFIER: &str = r#"
 const FLOW_TABLE = 0x200;   // SRAM: 64 flow counters
@@ -63,7 +63,9 @@ fun classify [addr: word, len: word, slow: exn(word, word)] {
 
 fn main() {
     let t0 = std::time::Instant::now();
-    let out = compile_source(CLASSIFIER, &CompileConfig::default()).expect("compiles");
+    let out = Compiler::new(CompileConfig::default())
+        .compile_output(CLASSIFIER)
+        .expect("compiles");
     println!(
         "compiled {} machine instructions in {:?} ({} moves, {} spills)",
         out.code_size,

@@ -4,7 +4,7 @@
 //!
 //! Run with `cargo run --release --example quickstart`.
 
-use nova::{compile_source, simulate, CompileConfig, SimMemory};
+use nova::{simulate, CompileConfig, Compiler, SimMemory};
 
 const PROGRAM: &str = r#"
 // Swap two pairs of SRAM words and store their sums.
@@ -21,7 +21,8 @@ fn main() {
     //    ILP bank assignment + transfer coloring -> A/B coloring. One
     //    builder configures the solver and the simulation shape together.
     let cfg = CompileConfig::builder().contexts(1).build();
-    let out = compile_source(PROGRAM, &cfg).expect("compiles");
+    let compiler = Compiler::new(cfg.clone());
+    let out = compiler.compile_output(PROGRAM).expect("compiles");
 
     println!("=== optimized CPS ===");
     println!("{}", nova_cps::ir::pretty(&out.cps));

@@ -23,6 +23,11 @@
 #                                   the BENCH_traffic.json baseline, with a
 #                                   host-side packets/sec floor
 #                                   (MIN_TRAFFIC_PPS below; seconds)
+#   scripts/tier1.sh --service-smoke  also replay a 60-request rule-update
+#                                   stream through the compile service and
+#                                   fail on any cache-counter drift, any
+#                                   warm/cold artifact mismatch, or a warm
+#                                   speedup below 2x (seconds)
 #
 # Flags combine: `scripts/tier1.sh --lint --bench-smoke --chip-smoke`
 # runs those extras after the build and test suite.
@@ -41,6 +46,7 @@ run_bench_smoke=0
 run_chip_smoke=0
 run_degrade_smoke=0
 run_traffic_smoke=0
+run_service_smoke=0
 for arg in "$@"; do
     case "$arg" in
         --lint)          run_lint=1 ;;
@@ -49,9 +55,10 @@ for arg in "$@"; do
         --chip-smoke)    run_chip_smoke=1 ;;
         --degrade-smoke) run_degrade_smoke=1 ;;
         --traffic-smoke) run_traffic_smoke=1 ;;
+        --service-smoke) run_service_smoke=1 ;;
         *)
             echo "unknown flag: $arg" >&2
-            echo "usage: scripts/tier1.sh [--lint] [--bench] [--bench-smoke] [--chip-smoke] [--degrade-smoke] [--traffic-smoke]" >&2
+            echo "usage: scripts/tier1.sh [--lint] [--bench] [--bench-smoke] [--chip-smoke] [--degrade-smoke] [--traffic-smoke] [--service-smoke]" >&2
             exit 2
             ;;
     esac
@@ -113,6 +120,11 @@ if [[ "$run_traffic_smoke" == 1 ]]; then
     echo "== traffic smoke (release, 100k packets x 2 chips, floor ${MIN_TRAFFIC_PPS} pkt/s) =="
     cargo run --release -p bench --bin traffic_smoke -- \
         --min-pps "${MIN_TRAFFIC_PPS}" --baseline BENCH_traffic.json
+fi
+
+if [[ "$run_service_smoke" == 1 ]]; then
+    echo "== service smoke (release, 60-request stream, exact cache counters) =="
+    cargo run --release -p bench --bin service_smoke
 fi
 
 echo "tier-1 OK"

@@ -3,7 +3,7 @@
 //! instruction selection's safety nets directly).
 
 use ixp_sim::{simulate, SimConfig, SimMemory};
-use nova::{compile_source, CompileConfig};
+use nova::{CompileConfig, Compiler};
 use nova_cps::eval::{run, Machine};
 
 const PROGRAM: &str = r#"
@@ -24,7 +24,9 @@ fun main() {
 "#;
 
 fn run_config(cfg: &CompileConfig, seed: [u32; 2]) -> (Vec<u32>, Vec<u32>) {
-    let out = compile_source(PROGRAM, cfg).unwrap_or_else(|e| panic!("{e}"));
+    let out = Compiler::new(cfg.clone())
+        .compile_output(PROGRAM)
+        .unwrap_or_else(|e| panic!("{e}"));
     assert!(ixp_machine::validate(&out.prog).is_empty());
     let mut oracle = Machine::with_sizes(256, 64, 64);
     oracle.sram[0..2].copy_from_slice(&seed);
@@ -89,7 +91,7 @@ fn spill_disabled_without_auto_errors_under_pressure() {
     let mut cfg = CompileConfig::default();
     cfg.alloc.allow_spill = false;
     cfg.alloc.spill_auto = false;
-    let out = compile_source(PROGRAM, &cfg).unwrap();
+    let out = Compiler::new(cfg).compile_output(PROGRAM).unwrap();
     assert_eq!(out.alloc_stats.spills, 0);
 }
 
@@ -98,7 +100,9 @@ fn validator_rejects_corrupted_output() {
     // Failure injection: break an allocated program in characteristic ways
     // and confirm the validator catches each.
     use ixp_machine::{AluSrc, Bank, Instr, PhysReg};
-    let out = compile_source(PROGRAM, &CompileConfig::default()).unwrap();
+    let out = Compiler::new(CompileConfig::default())
+        .compile_output(PROGRAM)
+        .unwrap();
     assert!(ixp_machine::validate(&out.prog).is_empty());
 
     // (a) Swap an ALU destination into a load transfer bank.

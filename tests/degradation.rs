@@ -5,7 +5,7 @@
 //! historical budget-exhaustion error; and the default (generous-budget)
 //! configuration still reports an exact, stage-0 allocation.
 
-use nova::{compile_source, CompileConfig, CompileError, FallbackPolicy, Phase};
+use nova::{CompileConfig, CompileError, Compiler, FallbackPolicy, Phase};
 use proptest::prelude::*;
 use std::time::Duration;
 use workloads::{AES_NOVA, KASUMI_NOVA, NAT_NOVA};
@@ -46,7 +46,8 @@ fn config(deadline: Duration, policy: FallbackPolicy) -> CompileConfig {
 #[test]
 fn every_workload_compiles_at_zero_deadline_under_ladder() {
     for (name, src) in WORKLOADS {
-        let out = compile_source(src, &config(Duration::ZERO, FallbackPolicy::Ladder))
+        let out = Compiler::new(config(Duration::ZERO, FallbackPolicy::Ladder))
+            .compile_output(src)
             .unwrap_or_else(|e| panic!("{name}: ladder must not fail: {e}"));
         // In debug builds (this test) the backend verifier has already
         // checked the allocation; the machine validator must agree too.
@@ -66,7 +67,9 @@ fn every_workload_compiles_at_zero_deadline_under_ladder() {
 #[test]
 fn default_config_reports_exact_stage_zero() {
     // Generous budget: the ladder never engages, and the report says so.
-    let out = compile_source(SAMPLES[1], &CompileConfig::default()).expect("compiles");
+    let out = Compiler::new(CompileConfig::default())
+        .compile_output(SAMPLES[1])
+        .expect("compiles");
     assert_eq!(out.alloc_quality.stage, 0);
     assert!(out.alloc_quality.proven_optimal);
     assert_eq!(out.alloc_quality.gap, 0.0);
@@ -76,7 +79,8 @@ fn default_config_reports_exact_stage_zero() {
 #[test]
 fn fail_policy_reproduces_the_budget_error_bit_for_bit() {
     let strict = || -> CompileError {
-        let Err(e) = compile_source(SAMPLES[0], &config(Duration::ZERO, FallbackPolicy::Fail))
+        let Err(e) =
+            Compiler::new(config(Duration::ZERO, FallbackPolicy::Fail)).compile_output(SAMPLES[0])
         else {
             panic!("zero budget must fail under Fail")
         };
@@ -150,14 +154,15 @@ proptest! {
 
     /// The never-fail contract: any near-zero deadline with `Ladder`
     /// yields a validated allocation (debug builds also run the backend
-    /// verifier inside `compile_source`).
+    /// verifier inside the compile pipeline).
     #[test]
     fn ladder_always_yields_a_verified_allocation(
         deadline_us in 0u64..2_000,
         which in 0usize..SAMPLES.len(),
     ) {
         let cfg = config(Duration::from_micros(deadline_us), FallbackPolicy::Ladder);
-        let out = compile_source(SAMPLES[which], &cfg)
+        let out = Compiler::new(cfg)
+            .compile_output(SAMPLES[which])
             .map_err(|e| TestCaseError::fail(format!("ladder failed: {e}")))?;
         prop_assert!(ixp_machine::validate(&out.prog).is_empty());
         prop_assert!(out.alloc_quality.stage <= 4);

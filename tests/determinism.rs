@@ -13,7 +13,7 @@
 //! move or spill) changes the objective by ≥ 1e-2 and is still caught,
 //! and the move/spill counts themselves are compared exactly.
 
-use nova::{compile_source, CompileConfig, CompileOutput};
+use nova::{CompileConfig, CompileOutput, Compiler};
 use workloads::{AES_NOVA, KASUMI_NOVA, NAT_NOVA};
 
 fn compile_with_threads(name: &str, src: &str, threads: usize) -> CompileOutput {
@@ -22,7 +22,9 @@ fn compile_with_threads(name: &str, src: &str, threads: usize) -> CompileOutput 
         .solver_gap(0.0)
         .build();
     let t0 = std::time::Instant::now();
-    let out = compile_source(src, &cfg).unwrap_or_else(|e| panic!("{name}/{threads}t: {e}"));
+    let out = Compiler::new(cfg)
+        .compile_output(src)
+        .unwrap_or_else(|e| panic!("{name}/{threads}t: {e}"));
     eprintln!(
         "{name}: {threads} threads -> objective {:.3}, {} moves, {} spills, \
          {} nodes, {:.0}% warm hits, in {:?}",

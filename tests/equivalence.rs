@@ -4,13 +4,14 @@
 //! the CPS reference interpreter running the same program.
 
 use ixp_sim::{simulate, SimConfig, SimMemory};
-use nova::{compile_source, CompileConfig};
+use nova::{CompileConfig, Compiler};
 use nova_cps::eval::{run, Machine};
 
 /// Run both execution models and compare final state.
 fn check_equivalence(src: &str, setup: impl Fn(&mut Machine)) {
-    let out =
-        compile_source(src, &CompileConfig::default()).unwrap_or_else(|e| panic!("compile: {e}"));
+    let out = Compiler::new(CompileConfig::default())
+        .compile_output(src)
+        .unwrap_or_else(|e| panic!("compile: {e}"));
     assert!(
         ixp_machine::validate(&out.prog).is_empty(),
         "validator must accept the output"

@@ -2,10 +2,12 @@
 //! reported as a structured diagnostic — phase, stable code, source span
 //! when the phase tracks one, and a rendered position in the message.
 
-use nova::{compile_source, CompileConfig, Phase};
+use nova::{CompileConfig, Compiler, Phase};
 
 fn err_of(src: &str) -> nova::CompileError {
-    compile_source(src, &CompileConfig::default()).unwrap_err()
+    Compiler::new(CompileConfig::default())
+        .compile_output(src)
+        .unwrap_err()
 }
 
 #[test]
@@ -97,7 +99,9 @@ fn frequency_weighting_keeps_loop_bodies_clean() {
         sram(32) <- (x + n);
         0
     }"#;
-    let out = compile_source(src, &CompileConfig::default()).unwrap();
+    let out = Compiler::new(CompileConfig::default())
+        .compile_output(src)
+        .unwrap();
     // x needs an S copy (store operand, cloned by SSU) and an ALU copy;
     // the solution stays small and spill-free.
     assert_eq!(out.alloc_stats.spills, 0);

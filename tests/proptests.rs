@@ -8,7 +8,7 @@
 //! compiler bug.
 
 use ixp_sim::{simulate, SimConfig, SimMemory};
-use nova::{compile_source, CompileConfig};
+use nova::{CompileConfig, Compiler};
 use nova_cps::eval::{run, Machine};
 use proptest::prelude::*;
 
@@ -135,7 +135,8 @@ proptest! {
         let src = program_of(&ops);
         let mut cfg = CompileConfig::default();
         cfg.alloc.solver.time_limit = Some(std::time::Duration::from_secs(30));
-        let out = compile_source(&src, &cfg)
+        let out = Compiler::new(cfg)
+            .compile_output(&src)
             .unwrap_or_else(|e| panic!("compile failed: {e}\n{src}"));
         prop_assert!(ixp_machine::validate(&out.prog).is_empty());
 
@@ -202,7 +203,9 @@ proptest! {
             tx_packet(addr, len);
             main()
         }"#;
-        let out = compile_source(src, &CompileConfig::default()).unwrap();
+        let out = Compiler::new(CompileConfig::default())
+            .compile_output(src)
+            .unwrap();
         let build = || {
             let mut mem = SimMemory::with_sizes(64, 4096, 64);
             for p in 0..count as u32 {

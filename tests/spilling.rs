@@ -5,7 +5,7 @@
 //! S/L registers (§9 "K and Spilling for transfer banks").
 
 use ixp_sim::{simulate, SimConfig, SimMemory};
-use nova::{compile_source, CompileConfig};
+use nova::{CompileConfig, Compiler};
 use nova_cps::eval::{run, Machine};
 
 /// Five 8-word reads, all 40 values live at once, then all consumed.
@@ -45,7 +45,9 @@ fn forced_spills_execute_correctly() {
     let src = high_pressure_program();
     let mut cfg = CompileConfig::default();
     cfg.alloc.solver.time_limit = Some(std::time::Duration::from_secs(240));
-    let out = compile_source(&src, &cfg).unwrap_or_else(|e| panic!("{e}\n{src}"));
+    let out = Compiler::new(cfg)
+        .compile_output(&src)
+        .unwrap_or_else(|e| panic!("{e}\n{src}"));
     assert!(ixp_machine::validate(&out.prog).is_empty());
     assert!(
         out.alloc_stats.spills > 0,
@@ -111,6 +113,8 @@ fn pressure_below_capacity_never_spills() {
         ));
     }
     src.push_str("    0\n}\n");
-    let out = compile_source(&src, &CompileConfig::default()).unwrap();
+    let out = Compiler::new(CompileConfig::default())
+        .compile_output(&src)
+        .unwrap();
     assert_eq!(out.alloc_stats.spills, 0);
 }

@@ -3,7 +3,7 @@
 //! transformations computed by the trusted Rust reference implementations.
 
 use ixp_sim::{simulate, SimConfig, SimMemory};
-use nova::{compile_source, CompileConfig, CompileOutput};
+use nova::{CompileConfig, CompileOutput, Compiler};
 use nova_cps::eval::{run, Machine};
 use workloads::{aes, kasumi, nat, AES_NOVA, KASUMI_NOVA, NAT_NOVA};
 
@@ -11,8 +11,9 @@ const HDR_WORDS: usize = 14;
 
 fn compile(name: &str, src: &str) -> CompileOutput {
     let t0 = std::time::Instant::now();
-    let out =
-        compile_source(src, &CompileConfig::default()).unwrap_or_else(|e| panic!("{name}: {e}"));
+    let out = Compiler::new(CompileConfig::default())
+        .compile_output(src)
+        .unwrap_or_else(|e| panic!("{name}: {e}"));
     eprintln!(
         "{name}: compiled in {:?} (model: {} vars, {} rows; solve: {:?}, {} nodes; moves {}, spills {}; {} instrs)",
         t0.elapsed(),
