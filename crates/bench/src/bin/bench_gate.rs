@@ -6,7 +6,7 @@
 //! ```text
 //! bench_gate [--solver BASE CURRENT] [--throughput BASE CURRENT] \
 //!            [--phases BASE CURRENT] [--traffic BASE CURRENT] \
-//!            [--service BASE CURRENT]
+//!            [--service BASE CURRENT] [--reload BASE CURRENT]
 //! ```
 //!
 //! Any subset of the pairs may be given; each is parsed, gated,
@@ -17,7 +17,7 @@
 //! non-zero if any gating check or file/parse step fails.
 
 use bench::gate::{
-    gate_phases, gate_service, gate_solver, gate_throughput, gate_traffic, GateReport,
+    gate_phases, gate_reload, gate_service, gate_solver, gate_throughput, gate_traffic, GateReport,
 };
 use bench::json::Json;
 use std::io::Write as _;
@@ -38,12 +38,14 @@ fn main() {
             "--phases" => "phases",
             "--traffic" => "traffic",
             "--service" => "service",
+            "--reload" => "reload",
             other => {
                 eprintln!("unknown argument `{other}`");
                 eprintln!(
                     "usage: bench_gate [--solver BASE CURRENT] \
                      [--throughput BASE CURRENT] [--phases BASE CURRENT] \
-                     [--traffic BASE CURRENT] [--service BASE CURRENT]"
+                     [--traffic BASE CURRENT] [--service BASE CURRENT] \
+                     [--reload BASE CURRENT]"
                 );
                 std::process::exit(2);
             }
@@ -69,6 +71,7 @@ fn main() {
                 "throughput" => gate_throughput(&base, &cur),
                 "traffic" => gate_traffic(&base, &cur),
                 "service" => gate_service(&base, &cur),
+                "reload" => gate_reload(&base, &cur),
                 _ => gate_phases(&base, &cur),
             },
             (Err(e), _) | (_, Err(e)) => {

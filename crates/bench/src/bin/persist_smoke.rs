@@ -1,0 +1,156 @@
+//! Persistence smoke: the tier-1 teeth behind the on-disk artifact
+//! cache's contracts, with hard assertions instead of a baseline diff:
+//!
+//! * **Cold** — a session with a `persist_dir` compiles a five-request
+//!   stream over three program structures; exactly one disk store per
+//!   structure, constant-only variants never touch the disk.
+//! * **Warm restart** — the session is dropped and a fresh one opens the
+//!   same directory: every MILP solve is replaced by a disk load
+//!   (`disk_hits` exact) and every artifact is bit-identical to cold.
+//! * **Corruption** — every cache file is truncated; a third session
+//!   classifies each load as a reject, falls back to a clean full
+//!   solve, and still produces bit-identical artifacts. Corruption may
+//!   cost time, never correctness.
+//!
+//! Exits non-zero on any violation.
+
+use bench::reload::{ScratchDir, RELOAD_SEED};
+use nova::{CompileConfig, CompileOutput, Compiler};
+use workloads::{classifier_rules, classifier_source};
+
+/// The smoke stream: three structures (rule counts 2, 3, 4), then two
+/// constant-only variants of the third — `(rule count, variant)`.
+const STREAM: [(usize, u64); 5] = [(2, 0), (3, 0), (4, 0), (4, 1), (4, 2)];
+/// Distinct structures in the stream (= expected disk entries).
+const STRUCTURES: u64 = 3;
+
+fn compile_stream(cfg: &CompileConfig) -> (Vec<CompileOutput>, nova::CacheStats) {
+    let session = Compiler::new(cfg.clone());
+    let outs = STREAM
+        .iter()
+        .map(|&(n, variant)| {
+            let src = classifier_source(&classifier_rules(RELOAD_SEED, variant, n));
+            session
+                .compile_output(&src)
+                .unwrap_or_else(|e| panic!("classifier {n} rules variant {variant}: {e}"))
+        })
+        .collect();
+    (outs, session.cache_stats())
+}
+
+fn main() {
+    let dir = ScratchDir::new("persist-smoke");
+    let cfg = CompileConfig::builder()
+        .solver_threads(1)
+        .persist_dir(dir.path())
+        .build();
+    println!(
+        "Persistence smoke: {} requests over {STRUCTURES} structures in {}",
+        STREAM.len(),
+        dir.path().display()
+    );
+
+    let mut failures = Vec::new();
+    let mut check = |name: &str, ok: bool| {
+        println!("  {} {name}", if ok { "ok  " } else { "FAIL" });
+        if !ok {
+            failures.push(name.to_string());
+        }
+    };
+
+    // Cold: populate the disk cache.
+    let (cold, s) = compile_stream(&cfg);
+    check(
+        "cold: one solve per structure",
+        s.alloc_misses == STRUCTURES,
+    );
+    check(
+        "cold: constant-only variants hit in memory",
+        s.alloc_hits == STREAM.len() as u64 - STRUCTURES,
+    );
+    check(
+        "cold: one disk miss per structure",
+        s.disk_misses == STRUCTURES,
+    );
+    check(
+        "cold: no disk hits or rejects",
+        s.disk_hits == 0 && s.disk_rejects == 0,
+    );
+    let entries = std::fs::read_dir(dir.path())
+        .map(|d| d.filter_map(Result::ok).count())
+        .unwrap_or(0);
+    check(
+        "cold: one cache file per structure",
+        entries == STRUCTURES as usize,
+    );
+
+    // Warm restart: a fresh session over the same directory.
+    let (warm, s) = compile_stream(&cfg);
+    check(
+        "warm: every solve replaced by a disk load",
+        s.disk_hits == STRUCTURES,
+    );
+    check("warm: no solves ran", s.alloc_misses == 0);
+    check(
+        "warm: every allocation a cache hit",
+        s.alloc_hits == STREAM.len() as u64,
+    );
+    check("warm: no rejects", s.disk_rejects == 0);
+    check(
+        "warm artifacts bit-identical to cold",
+        warm.iter().zip(&cold).all(|(w, c)| w.artifact_eq(c)),
+    );
+
+    // Corruption: truncate every cache file, then restart again.
+    for entry in std::fs::read_dir(dir.path()).expect("read cache dir") {
+        let path = entry.expect("dir entry").path();
+        let bytes = std::fs::read(&path).expect("read cache file");
+        std::fs::write(&path, &bytes[..bytes.len() / 2]).expect("truncate cache file");
+    }
+    let (rebuilt, s) = compile_stream(&cfg);
+    check(
+        "corrupt: every load rejected, none fatal",
+        s.disk_rejects == STRUCTURES,
+    );
+    check(
+        "corrupt: clean fallback solves",
+        s.alloc_misses == STRUCTURES,
+    );
+    check("corrupt: no false hits", s.disk_hits == 0);
+    check(
+        "corrupt artifacts bit-identical to cold",
+        rebuilt.iter().zip(&cold).all(|(r, c)| r.artifact_eq(c)),
+    );
+
+    // The fallback solves re-persisted good entries: a final restart
+    // must hit again.
+    let (_, s) = compile_stream(&cfg);
+    check(
+        "re-persisted entries hit after corruption",
+        s.disk_hits == STRUCTURES,
+    );
+
+    // Eviction rides along: a two-entry budget over the same stream
+    // still compiles everything bit-identically, and the evict counters
+    // move.
+    let bounded = CompileConfig::builder()
+        .solver_threads(1)
+        .cache_budget(nova::CacheBudget::entries(2))
+        .build();
+    let (evicted, s) = compile_stream(&bounded);
+    check(
+        "bounded: evictions happened",
+        s.evict_count > 0 && s.evict_bytes > 0,
+    );
+    check(
+        "bounded artifacts bit-identical to unbounded",
+        evicted.iter().zip(&cold).all(|(e, c)| e.artifact_eq(c)),
+    );
+
+    if failures.is_empty() {
+        println!("persist smoke PASSED");
+    } else {
+        eprintln!("persist smoke FAILED: {}", failures.join("; "));
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,89 @@
+//! E16 — hot reload and restart. Measures (a) the end-to-end latency of
+//! a classifier rule update on a live simulated chip — warm solve-free
+//! recompile, image swap between packets, first packet transmitted
+//! through the new rules — and (b) how much faster a restarted server
+//! warms up when its MILP solves come off the on-disk artifact cache.
+//! Results land in `BENCH_reload.json`; modeled cycles and cache
+//! counters are deterministic and gated exactly, the restart speedup
+//! gets an absolute floor, host walls are informational — see
+//! `bench::gate::gate_reload`.
+
+use bench::reload::{reload_json, run_hot_reload, run_restart, ScratchDir};
+use bench::table;
+
+/// Packets in the hot-reload receive queue.
+const PACKETS: usize = 1200;
+/// Payload bytes per packet.
+const PAYLOAD: u32 = 64;
+/// Transmitted-packet thresholds arming the three image swaps.
+const SWAPS_AT: [u64; 3] = [300, 600, 900];
+/// Structurally distinct rule sets in the restart stream.
+const VARIANTS: usize = 6;
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_reload.json".into());
+    println!(
+        "Hot reload: {PACKETS} packets, swaps after {SWAPS_AT:?}; \
+         restart: {VARIANTS} structurally distinct rule sets\n"
+    );
+
+    let hot = run_hot_reload(PACKETS, PAYLOAD, &SWAPS_AT);
+    println!(
+        "{}",
+        table(
+            &[
+                "swap after",
+                "compile ms",
+                "swap cycle",
+                "first tx",
+                "update cyc",
+                "update us"
+            ],
+            &hot.swaps
+                .iter()
+                .map(|s| vec![
+                    format!("{}", s.after_packets),
+                    format!("{:.1}", s.compile_wall.as_secs_f64() * 1e3),
+                    format!("{}", s.report.swap_cycle.unwrap_or(0)),
+                    format!("{}", s.report.first_tx_cycle.unwrap_or(0)),
+                    format!("{}", s.update_cycles()),
+                    format!("{:.1}", s.update_us()),
+                ])
+                .collect::<Vec<_>>(),
+        )
+    );
+    println!(
+        "hot session: base solve + {} solve-free updates (alloc {}h/{}m), \
+         {} packets in {} cycles\n",
+        hot.swaps.len(),
+        hot.stats.alloc_hits,
+        hot.stats.alloc_misses,
+        hot.result.packets,
+        hot.result.cycles,
+    );
+
+    let dir = ScratchDir::new("reload-bench");
+    let restart = run_restart(VARIANTS, dir.path());
+    println!(
+        "restart: cold {:.0} ms -> warm {:.0} ms ({:.1}x), disk {}h/{}m/{}r, \
+         {} mismatches, {} failures",
+        restart.cold_wall.as_secs_f64() * 1e3,
+        restart.warm_wall.as_secs_f64() * 1e3,
+        restart.speedup(),
+        restart.warm_stats.disk_hits,
+        restart.warm_stats.disk_misses,
+        restart.warm_stats.disk_rejects,
+        restart.mismatches,
+        restart.failures,
+    );
+
+    let doc = reload_json(&hot, &restart);
+    std::fs::write(&out_path, doc.pretty()).unwrap_or_else(|e| panic!("writing {out_path}: {e}"));
+    eprintln!("wrote {out_path}");
+    if restart.mismatches > 0 || restart.failures > 0 {
+        eprintln!("reload bench FAILED: warm artifacts diverged from cold");
+        std::process::exit(1);
+    }
+}

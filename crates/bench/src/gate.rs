@@ -505,7 +505,7 @@ pub const SERVICE_SPEEDUP_FLOOR: f64 = 5.0;
 /// informational.
 pub fn gate_service(baseline: &Json, current: &Json) -> GateReport {
     let mut r = GateReport::default();
-    const COUNTERS: [&str; 12] = [
+    const COUNTERS: [&str; 17] = [
         "frontend_hits",
         "frontend_misses",
         "cps_hits",
@@ -518,6 +518,11 @@ pub fn gate_service(baseline: &Json, current: &Json) -> GateReport {
         "output_misses",
         "refinish_fallbacks",
         "hint_offers",
+        "evict_count",
+        "evict_bytes",
+        "disk_hits",
+        "disk_misses",
+        "disk_rejects",
     ];
     match (baseline.get("counters"), current.get("counters")) {
         (Some(b), Some(c)) => {
@@ -584,6 +589,135 @@ pub fn gate_service(baseline: &Json, current: &Json) -> GateReport {
         "cold_wall_ms",
         Rule::Info,
     );
+    r
+}
+
+/// Absolute floor on the restart (warm-from-disk over cold) speedup —
+/// gated against this constant rather than the baseline so a
+/// slow-baseline regeneration cannot quietly lower the bar. Warm still
+/// runs frontend/CPS/isel (only the MILP solve comes off disk), so the
+/// floor sits well under the measured ~10x.
+pub const RESTART_SPEEDUP_FLOOR: f64 = 2.0;
+
+/// Gate `BENCH_reload.json` against a fresh run.
+///
+/// The hot-reload half is modeled and bit-deterministic: the simulated
+/// cycle/packet totals, every swap's swap cycle, first post-swap
+/// transmit, and derived update latency, and the warm session's cache
+/// counters are all gated exactly. The restart half gates the disk-cache
+/// counters exactly, artifact mismatches and failures against zero
+/// regardless of baseline, and the warm-up speedup against the absolute
+/// [`RESTART_SPEEDUP_FLOOR`]. Host wall times (compiles, batch walls)
+/// are informational.
+pub fn gate_reload(baseline: &Json, current: &Json) -> GateReport {
+    let mut r = GateReport::default();
+    match (baseline.get("hot"), current.get("hot")) {
+        (Some(b), Some(c)) => {
+            match (b.get("sim"), c.get("sim")) {
+                (Some(bs), Some(cs)) => {
+                    r.compare("reload/hot/sim".to_string(), bs, cs, "cycles", Rule::Exact);
+                    r.compare("reload/hot/sim".to_string(), bs, cs, "packets", Rule::Exact);
+                    r.compare(
+                        "reload/hot/sim".to_string(),
+                        bs,
+                        cs,
+                        "instructions",
+                        Rule::Info,
+                    );
+                }
+                _ => r.err("reload: hot `sim` object missing"),
+            }
+            match (b.get("counters"), c.get("counters")) {
+                (Some(bc), Some(cc)) => {
+                    for key in ["alloc_hits", "alloc_misses", "refinish_fallbacks"] {
+                        r.compare("reload/hot".to_string(), bc, cc, key, Rule::Exact);
+                    }
+                }
+                _ => r.err("reload: hot `counters` object missing"),
+            }
+            let swaps = matched(
+                &mut r,
+                "reload/hot",
+                "after_packets",
+                b.get("swaps").and_then(Json::as_arr),
+                c.get("swaps").and_then(Json::as_arr),
+            );
+            for (at, bs, cs) in swaps {
+                let name = format!("reload/swap@{at}");
+                r.compare(name.clone(), bs, cs, "swap_cycle", Rule::Exact);
+                r.compare(name.clone(), bs, cs, "first_tx_cycle", Rule::Exact);
+                r.compare(name.clone(), bs, cs, "update_cycles", Rule::Exact);
+                r.compare(name.clone(), bs, cs, "update_us", Rule::Exact);
+                r.compare(name, bs, cs, "compile_ms", Rule::Info);
+            }
+            r.compare(
+                "reload/hot".to_string(),
+                b,
+                c,
+                "base_compile_ms",
+                Rule::Info,
+            );
+        }
+        _ => r.err("reload: `hot` section missing"),
+    }
+    match (baseline.get("restart"), current.get("restart")) {
+        (Some(b), Some(c)) => {
+            for side in ["cold_counters", "warm_counters"] {
+                match (b.get(side), c.get(side)) {
+                    (Some(bc), Some(cc)) => {
+                        for key in [
+                            "alloc_hits",
+                            "alloc_misses",
+                            "disk_hits",
+                            "disk_misses",
+                            "disk_rejects",
+                        ] {
+                            r.compare(format!("reload/{side}"), bc, cc, key, Rule::Exact);
+                        }
+                    }
+                    _ => r.err(format!("reload: restart `{side}` object missing")),
+                }
+            }
+            // Disk-loaded artifacts must be bit-identical to cold and
+            // nothing may fail, whatever the baseline says.
+            for key in ["mismatches", "failures"] {
+                match c.num(key) {
+                    Some(v) => r.checks.push(Check::new(
+                        format!("reload/restart/{key}"),
+                        0.0,
+                        v,
+                        Rule::Exact,
+                    )),
+                    None => r.err(format!("reload: restart is missing `{key}`")),
+                }
+            }
+            r.compare("reload/restart".to_string(), b, c, "speedup", Rule::Info);
+            match c.num("speedup") {
+                Some(s) => r.checks.push(Check::new(
+                    "reload/restart/speedup_floor".to_string(),
+                    RESTART_SPEEDUP_FLOOR,
+                    s,
+                    Rule::RateFloor { drop: 0.0 },
+                )),
+                None => r.err("reload: restart is missing `speedup`"),
+            }
+            r.compare(
+                "reload/restart".to_string(),
+                b,
+                c,
+                "cold_wall_ms",
+                Rule::Info,
+            );
+            r.compare(
+                "reload/restart".to_string(),
+                b,
+                c,
+                "warm_wall_ms",
+                Rule::Info,
+            );
+        }
+        _ => r.err("reload: `restart` section missing"),
+    }
     r
 }
 
@@ -909,7 +1043,9 @@ mod tests {
                   "cps_hits":0,"cps_misses":250,"isel_hits":0,"isel_misses":250,
                   "alloc_hits":{alloc_hits},"alloc_misses":1,
                   "output_hits":750,"output_misses":250,
-                  "refinish_fallbacks":0,"hint_offers":0}},
+                  "refinish_fallbacks":0,"hint_offers":0,
+                  "evict_count":0,"evict_bytes":0,
+                  "disk_hits":0,"disk_misses":0,"disk_rejects":0}},
                 "rates":{{"warm_compiles_per_sec":{warm},
                   "cold_compiles_per_sec":130.0,"speedup":{speedup},
                   "output_hit_rate":0.75,"alloc_hit_rate":0.996,
@@ -989,6 +1125,100 @@ mod tests {
         let r = gate_service(&base, &cur);
         assert!(!r.passed());
         assert!(r.errors.len() >= 2, "{:?}", r.errors);
+    }
+
+    fn reload_doc(update_cycles: u64, disk_hits: u64, speedup: f64, mismatches: u64) -> Json {
+        Json::parse(&format!(
+            r#"{{"bench":"reload",
+                "hot":{{"engines":2,"contexts":4,"packets":1200,"payload_bytes":64,
+                  "base_compile_ms":40.0,
+                  "sim":{{"cycles":42760,"packets":1189,"instructions":150000}},
+                  "swaps":[{{"after_packets":300,"compile_ms":4.0,
+                    "swap_cycle":7792,"first_tx_cycle":{first_tx},
+                    "update_cycles":{update_cycles},"update_us":18.2}}],
+                  "counters":{{"alloc_hits":3,"alloc_misses":1,"refinish_fallbacks":0}}}},
+                "restart":{{"variants":6,
+                  "cold_wall_ms":120.0,"warm_wall_ms":10.0,"speedup":{speedup},
+                  "cold_counters":{{"alloc_hits":0,"alloc_misses":6,
+                    "disk_hits":0,"disk_misses":6,"disk_rejects":0}},
+                  "warm_counters":{{"alloc_hits":6,"alloc_misses":0,
+                    "disk_hits":{disk_hits},"disk_misses":0,"disk_rejects":0}},
+                  "mismatches":{mismatches},"failures":0}}}}"#,
+            first_tx = 7792 + update_cycles,
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn identical_reload_docs_pass() {
+        let doc = reload_doc(4246, 6, 12.0, 0);
+        let r = gate_reload(&doc, &doc);
+        assert!(r.passed(), "{}", r.markdown("reload"));
+        assert!(r
+            .checks
+            .iter()
+            .any(|c| c.name == "reload/swap@300/update_cycles"));
+        assert!(r
+            .checks
+            .iter()
+            .any(|c| c.name == "reload/restart/speedup_floor"));
+    }
+
+    #[test]
+    fn reload_update_latency_drift_fails_exactly() {
+        // One modeled cycle of update-latency drift is a behavior change.
+        let base = reload_doc(4246, 6, 12.0, 0);
+        let r = gate_reload(&base, &reload_doc(4247, 6, 12.0, 0));
+        assert!(!r.passed());
+        assert!(r
+            .checks
+            .iter()
+            .any(|c| !c.pass && c.name == "reload/swap@300/update_cycles"));
+    }
+
+    #[test]
+    fn reload_lost_disk_hit_fails_exactly() {
+        // A solve ran on the warm side that should have come off disk.
+        let base = reload_doc(4246, 6, 12.0, 0);
+        let r = gate_reload(&base, &reload_doc(4246, 5, 12.0, 0));
+        assert!(!r.passed());
+        assert!(r
+            .checks
+            .iter()
+            .any(|c| !c.pass && c.name == "reload/warm_counters/disk_hits"));
+    }
+
+    #[test]
+    fn restart_speedup_below_the_absolute_floor_fails() {
+        // Baseline and current agree at 1.5x — under the 2x floor, the
+        // absolute gate fails even though the diff is clean.
+        let doc = reload_doc(4246, 6, 1.5, 0);
+        let r = gate_reload(&doc, &doc);
+        assert!(!r.passed());
+        assert!(r
+            .checks
+            .iter()
+            .any(|c| !c.pass && c.name == "reload/restart/speedup_floor"));
+    }
+
+    #[test]
+    fn reload_artifact_mismatch_fails_regardless_of_baseline() {
+        let doc = reload_doc(4246, 6, 12.0, 1);
+        let r = gate_reload(&doc, &doc);
+        assert!(!r.passed());
+        assert!(r
+            .checks
+            .iter()
+            .any(|c| !c.pass && c.name == "reload/restart/mismatches"));
+    }
+
+    #[test]
+    fn reload_missing_sections_are_structural_errors() {
+        let base = reload_doc(4246, 6, 12.0, 0);
+        let cur = Json::parse(r#"{"bench":"reload"}"#).unwrap();
+        let r = gate_reload(&base, &cur);
+        assert!(!r.passed());
+        assert_eq!(r.errors.len(), 2, "{:?}", r.errors);
     }
 
     #[test]

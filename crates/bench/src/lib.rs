@@ -4,6 +4,7 @@
 #![warn(missing_docs)]
 
 pub mod gate;
+pub mod reload;
 pub mod service;
 
 use ixp_sim::{

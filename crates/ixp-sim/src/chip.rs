@@ -49,6 +49,68 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Barrier, Mutex};
 
+/// Default [`ImageSwap::stall`]: modeled cycles every context is held
+/// while the control store is rewritten. The IXP1200 cannot execute from
+/// a store being written, so a reload costs roughly one write per
+/// instruction word over the slow port; 4096 cycles covers a full 1K
+/// store with margin and makes the swap cost visible in update-latency
+/// measurements without dominating them.
+pub const CONTROL_STORE_RELOAD_CYCLES: u64 = 4096;
+
+/// A scheduled mid-run image swap: once the chip has transmitted
+/// `after_packets` packets, the next arbitration barrier rewrites the
+/// control store with `image` and restarts every context at its entry
+/// block (registers persist — they are physical state — but control flow
+/// does not survive a microcode reload). The swap happens *between*
+/// packets by construction: it is applied at a barrier, after every
+/// in-flight shared-resource request has been resolved.
+#[derive(Debug, Clone)]
+pub struct ImageSwap {
+    /// Transmitted-packet threshold that triggers the swap.
+    pub after_packets: u64,
+    /// Cycles every context is stalled while the store is rewritten
+    /// (default [`CONTROL_STORE_RELOAD_CYCLES`]).
+    pub stall: u64,
+    /// The compiled image to swap in.
+    pub image: Program<PhysReg>,
+}
+
+impl ImageSwap {
+    /// A swap with the default reload stall.
+    pub fn new(after_packets: u64, image: Program<PhysReg>) -> Self {
+        ImageSwap {
+            after_packets,
+            stall: CONTROL_STORE_RELOAD_CYCLES,
+            image,
+        }
+    }
+}
+
+/// What one [`ImageSwap`] actually did, in modeled cycles. All fields
+/// are bit-deterministic at any host thread count (the swap decision and
+/// application run on the serial arbitration path).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SwapReport {
+    /// The triggering threshold, echoed.
+    pub after_packets: u64,
+    /// Barrier cycle at which the new image took effect, or `None` if
+    /// the run ended before the threshold was reached.
+    pub swap_cycle: Option<u64>,
+    /// Issue cycle of the first packet transmitted *by the new image*
+    /// (the first `tx_log` entry appended after the swap barrier), or
+    /// `None` if none was.
+    pub first_tx_cycle: Option<u64>,
+}
+
+impl SwapReport {
+    /// Modeled swap-to-first-packet latency: how long the data plane ran
+    /// degraded (stalled, then refilling) before the new rules forwarded
+    /// their first packet.
+    pub fn update_cycles(&self) -> Option<u64> {
+        Some(self.first_tx_cycle? - self.swap_cycle?)
+    }
+}
+
 /// Chip-level simulation parameters.
 #[derive(Debug, Clone)]
 pub struct ChipConfig {
@@ -682,19 +744,78 @@ pub fn simulate_chip_with(
     cfg: &ChipConfig,
     obs: &nova_obs::Obs,
 ) -> Result<SimResult, SimError> {
+    simulate_chip_reload_with(prog, &[], mem, cfg, obs).map(|(res, _)| res)
+}
+
+/// [`simulate_chip`] with scheduled mid-run image swaps — the hot-reload
+/// hook. The chip boots running `prog`; each [`ImageSwap`] replaces the
+/// control store at the first arbitration barrier after its
+/// transmitted-packet threshold, and the returned [`SwapReport`]s say
+/// when each swap landed and when the first packet went out through the
+/// new rules. With an empty `swaps` slice this is exactly
+/// [`simulate_chip`].
+///
+/// # Errors
+///
+/// Returns [`SimError`] on architectural violations in any image.
+pub fn simulate_chip_reload(
+    prog: &Program<PhysReg>,
+    swaps: &[ImageSwap],
+    mem: &mut SimMemory,
+    cfg: &ChipConfig,
+) -> Result<(SimResult, Vec<SwapReport>), SimError> {
+    simulate_chip_reload_with(prog, swaps, mem, cfg, &nova_obs::Obs::noop())
+}
+
+/// [`simulate_chip_reload`] with structured telemetry (see
+/// [`simulate_chip_with`]); each applied swap lands a
+/// `sim.reload.swaps` counter.
+///
+/// # Errors
+///
+/// Returns [`SimError`] on architectural violations, as
+/// [`simulate_chip_reload`].
+pub fn simulate_chip_reload_with(
+    prog: &Program<PhysReg>,
+    swaps: &[ImageSwap],
+    mem: &mut SimMemory,
+    cfg: &ChipConfig,
+    obs: &nova_obs::Obs,
+) -> Result<(SimResult, Vec<SwapReport>), SimError> {
     let span = obs.span("phase.sim");
-    let res = simulate_chip_inner(prog, mem, cfg, obs)?;
+    let (res, reports) = simulate_chip_inner(prog, swaps, mem, cfg, obs)?;
     span.end();
     emit_result_obs(obs, &res);
-    Ok(res)
+    Ok((res, reports))
+}
+
+/// Rewrite the control store: every context of every engine restarts at
+/// `image`'s entry block after `stall` reload cycles. Registers persist
+/// (physical state); in-flight requests were already resolved by the
+/// barrier that triggered the swap. Only the coordinator calls this, so
+/// the locks are uncontended.
+fn apply_swap(engines: &[Mutex<Engine>], image: &Program<PhysReg>, at: u64, stall: u64) {
+    for m in engines {
+        let mut e = m.lock().unwrap();
+        e.current = 0;
+        // A restarted engine is no longer halted: forget any halt cycle
+        // recorded before the swap so post-reload execution is counted.
+        e.stats.halt_cycle = 0;
+        for c in e.ctxs.iter_mut() {
+            c.block = image.entry;
+            c.pc = 0;
+            c.state = ThreadState::Blocked(at + stall);
+        }
+    }
 }
 
 fn simulate_chip_inner(
     prog: &Program<PhysReg>,
+    swaps: &[ImageSwap],
     mem: &mut SimMemory,
     cfg: &ChipConfig,
     obs: &nova_obs::Obs,
-) -> Result<SimResult, SimError> {
+) -> Result<(SimResult, Vec<SwapReport>), SimError> {
     let n_engines = cfg.engines.max(1);
     let slice = cfg.slice.max(1);
     let workers = cfg.effective_host_threads().min(n_engines).max(1);
@@ -708,6 +829,17 @@ fn simulate_chip_inner(
     // over dead epochs. Only ever touched by the coordinator.
     let mut fp_skips: u64 = 0;
     let mut fp_skipped_cycles: u64 = 0;
+    // Image rotation: `images[0]` is the boot image, `images[i + 1]` is
+    // swap `i`'s. `cur` is advanced only by the coordinator between
+    // barriers, so workers always read a settled value. `fired` records
+    // `(swap_cycle, tx_log length at the swap)` per applied swap; the
+    // tx-log index pins "first packet through the new rules" exactly.
+    let images: Vec<&Program<PhysReg>> = std::iter::once(prog)
+        .chain(swaps.iter().map(|s| &s.image))
+        .collect();
+    let cur = AtomicUsize::new(0);
+    let mut next_swap = 0usize;
+    let mut fired: Vec<(u64, usize)> = Vec::new();
 
     let outcome = if workers <= 1 {
         // Serial driver: same slice/barrier structure, no pool.
@@ -718,7 +850,11 @@ fn simulate_chip_inner(
             }
             let slice_end = (t + slice).min(cfg.max_cycles);
             for e in engines.iter() {
-                run_slice(&mut e.lock().unwrap(), prog, slice_end);
+                run_slice(
+                    &mut e.lock().unwrap(),
+                    images[cur.load(Ordering::Acquire)],
+                    slice_end,
+                );
             }
             if let Some(err) = first_error(&engines) {
                 break (Err(err), slice_end);
@@ -726,6 +862,19 @@ fn simulate_chip_inner(
             resolve_requests(&engines, mem, &mut channels, &mut mem_refs);
             if let Some(s) = sampler.as_mut() {
                 s.maybe_sample(obs, slice_end, &channels);
+            }
+            while next_swap < swaps.len()
+                && mem.tx_log.len() as u64 >= swaps[next_swap].after_packets
+            {
+                apply_swap(
+                    &engines,
+                    images[next_swap + 1],
+                    slice_end,
+                    swaps[next_swap].stall,
+                );
+                cur.store(next_swap + 1, Ordering::Release);
+                fired.push((slice_end, mem.tx_log.len()));
+                next_swap += 1;
             }
             if all_halted(&engines) {
                 break (Ok(StopReason::AllHalted), slice_end);
@@ -763,12 +912,13 @@ fn simulate_chip_inner(
                         break;
                     }
                     let end = slice_end_shared.load(Ordering::Acquire);
+                    let image = images[cur.load(Ordering::Acquire)];
                     loop {
                         let i = next.fetch_add(1, Ordering::AcqRel);
                         if i >= engines.len() {
                             break;
                         }
-                        run_slice(&mut engines[i].lock().unwrap(), prog, end);
+                        run_slice(&mut engines[i].lock().unwrap(), image, end);
                     }
                     barrier.wait();
                 });
@@ -789,6 +939,19 @@ fn simulate_chip_inner(
                 resolve_requests(&engines, mem, &mut channels, &mut mem_refs);
                 if let Some(s) = sampler.as_mut() {
                     s.maybe_sample(obs, slice_end, &channels);
+                }
+                while next_swap < swaps.len()
+                    && mem.tx_log.len() as u64 >= swaps[next_swap].after_packets
+                {
+                    apply_swap(
+                        &engines,
+                        images[next_swap + 1],
+                        slice_end,
+                        swaps[next_swap].stall,
+                    );
+                    cur.store(next_swap + 1, Ordering::Release);
+                    fired.push((slice_end, mem.tx_log.len()));
+                    next_swap += 1;
                 }
                 if all_halted(&engines) {
                     break (Ok(StopReason::AllHalted), slice_end);
@@ -823,6 +986,9 @@ fn simulate_chip_inner(
         // tests compare SimResult, not telemetry).
         obs.counter("sim.fastpath.skips", fp_skips);
         obs.counter("sim.fastpath.skipped_cycles", fp_skipped_cycles);
+        if !fired.is_empty() {
+            obs.counter("sim.reload.swaps", fired.len() as u64);
+        }
     }
     let mut engs: Vec<Engine> = engines
         .into_iter()
@@ -845,7 +1011,22 @@ fn simulate_chip_inner(
         StopReason::CycleLimit => final_t,
     };
     let estats: Vec<EngineStats> = engs.into_iter().map(|e| e.stats).collect();
-    Ok(finish_result(cycles, mem_refs, stop, channels, estats))
+    let reports: Vec<SwapReport> = swaps
+        .iter()
+        .enumerate()
+        .map(|(i, s)| {
+            let hit = fired.get(i);
+            SwapReport {
+                after_packets: s.after_packets,
+                swap_cycle: hit.map(|&(c, _)| c),
+                first_tx_cycle: hit.and_then(|&(_, idx)| mem.tx_log.get(idx).map(|&(_, _, c)| c)),
+            }
+        })
+        .collect();
+    Ok((
+        finish_result(cycles, mem_refs, stop, channels, estats),
+        reports,
+    ))
 }
 
 fn first_error(engines: &[Mutex<Engine>]) -> Option<SimError> {
@@ -1087,6 +1268,133 @@ mod tests {
         assert!(dropped > 0, "a 2-slot buffer cannot absorb a 12-deep burst");
         assert_eq!(delivered as usize, txed);
         assert_eq!(run(), (delivered, dropped, txed), "drops are deterministic");
+    }
+
+    /// A forwarder that transmits every packet with a constant tag as
+    /// its length, so the tx log shows which image forwarded it.
+    fn tagged_forwarder(tag: u32) -> Program<PhysReg> {
+        Program {
+            blocks: vec![Block {
+                instrs: vec![
+                    Instr::RxPacket {
+                        len_dst: r(Bank::A, 0),
+                        addr_dst: r(Bank::A, 1),
+                    },
+                    Instr::Imm {
+                        dst: r(Bank::A, 2),
+                        val: tag,
+                    },
+                    Instr::TxPacket {
+                        addr: r(Bank::A, 1),
+                        len: r(Bank::A, 2),
+                    },
+                ],
+                term: Terminator::Jump(BlockId(0)),
+            }],
+            entry: BlockId(0),
+        }
+    }
+
+    #[test]
+    fn image_swap_takes_effect_between_packets() {
+        let old = tagged_forwarder(11);
+        let new = tagged_forwarder(22);
+        let mut mem = paced_mem(30, 600);
+        let cfg = ChipConfig {
+            engines: 2,
+            contexts: 2,
+            ..ChipConfig::default()
+        };
+        let swaps = [ImageSwap {
+            after_packets: 10,
+            stall: 512,
+            image: new,
+        }];
+        let (res, reports) = simulate_chip_reload(&old, &swaps, &mut mem, &cfg).unwrap();
+        assert_eq!(res.stop, StopReason::AllHalted);
+        assert_eq!(mem.tx_log.len(), 30, "no packet is lost across the swap");
+        let report = &reports[0];
+        let swap_cycle = report.swap_cycle.expect("threshold was reached");
+        // The swap is between packets: every tx is attributable to
+        // exactly one image, old strictly before the swap barrier.
+        let tags: Vec<u32> = mem.tx_log.iter().map(|&(_, len, _)| len).collect();
+        let old_count = tags.iter().take_while(|&&t| t == 11).count();
+        assert!(old_count >= 10, "swap cannot precede its threshold");
+        assert!(
+            tags[old_count..].iter().all(|&t| t == 22),
+            "after the swap only the new image transmits: {tags:?}"
+        );
+        let first_new = report.first_tx_cycle.expect("new image forwarded packets");
+        assert!(first_new > swap_cycle);
+        assert!(
+            report.update_cycles().unwrap() >= 512,
+            "update latency includes the reload stall"
+        );
+    }
+
+    #[test]
+    fn image_swap_is_deterministic_at_any_host_thread_count() {
+        let run = |host_threads: usize| {
+            let mut mem = paced_mem(40, 500);
+            let cfg = ChipConfig {
+                engines: 3,
+                contexts: 2,
+                host_threads,
+                ..ChipConfig::default()
+            };
+            let swaps = [
+                ImageSwap::new(8, tagged_forwarder(2)),
+                ImageSwap::new(20, tagged_forwarder(3)),
+            ];
+            let (res, reports) =
+                simulate_chip_reload(&tagged_forwarder(1), &swaps, &mut mem, &cfg).unwrap();
+            (fingerprint(&res, &mem), reports)
+        };
+        let a = run(1);
+        let b = run(2);
+        let c = run(4);
+        assert_eq!(a, b);
+        assert_eq!(a, c);
+        assert!(a.1.iter().all(|r| r.swap_cycle.is_some()));
+    }
+
+    #[test]
+    fn image_swap_matches_between_scheduler_modes() {
+        let run = |mode: SimMode| {
+            let mut mem = paced_mem(32, 800);
+            let cfg = ChipConfig {
+                engines: 2,
+                contexts: 2,
+                mode,
+                ..ChipConfig::default()
+            };
+            let swaps = [ImageSwap::new(12, tagged_forwarder(9))];
+            let (res, reports) =
+                simulate_chip_reload(&tagged_forwarder(7), &swaps, &mut mem, &cfg).unwrap();
+            (fingerprint(&res, &mem), reports)
+        };
+        assert_eq!(run(SimMode::CycleSlice), run(SimMode::FastPath));
+    }
+
+    #[test]
+    fn unreached_swap_threshold_reports_none() {
+        let mut mem = loaded_mem(5);
+        let cfg = ChipConfig {
+            engines: 1,
+            contexts: 1,
+            ..ChipConfig::default()
+        };
+        let swaps = [ImageSwap::new(100, tagged_forwarder(2))];
+        let (res, reports) = simulate_chip_reload(&forwarder(), &swaps, &mut mem, &cfg).unwrap();
+        assert_eq!(res.packets, 5);
+        assert_eq!(
+            reports,
+            vec![SwapReport {
+                after_packets: 100,
+                swap_cycle: None,
+                first_tx_cycle: None,
+            }]
+        );
     }
 
     #[test]

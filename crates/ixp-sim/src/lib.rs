@@ -24,7 +24,10 @@ mod packets;
 mod sim;
 mod topology;
 
-pub use chip::{simulate_chip, simulate_chip_with, ChipConfig};
+pub use chip::{
+    simulate_chip, simulate_chip_reload, simulate_chip_reload_with, simulate_chip_with, ChipConfig,
+    ImageSwap, SwapReport, CONTROL_STORE_RELOAD_CYCLES,
+};
 pub use machine::{RxGrant, SimMemory};
 pub use packets::{FlowPacket, PacketGen, PacketSpec, TrafficSpec};
 pub use sim::{

@@ -192,6 +192,73 @@ pub fn allocate_solved_with(
     ))
 }
 
+/// Rebuild the deterministic solver-side state for `prog` and finish a
+/// previously decoded assignment against it — the disk-cache warm path.
+///
+/// A persisted allocation entry carries only the *decision* half of a
+/// solve (the [`Assignment`], its objective, its quality record, and the
+/// raw solution vector); everything else — facts, frequencies, the bank
+/// model — is a pure function of the program and configuration, so this
+/// recomputes it with exactly the preamble [`allocate_solved_with`] runs
+/// (including the automatic spill-machinery drop) and then goes straight
+/// to extraction/coloring/validation. The result is bit-identical to the
+/// cold allocation that produced the assignment, because none of the
+/// recomputed phases depend on the MILP search that was skipped; solver
+/// wall-clock statistics are zeroed (they describe a solve that never
+/// ran).
+///
+/// # Errors
+///
+/// See [`AllocError`]. A stale or mismatched assignment (e.g. a cache
+/// key collision) surfaces as `Extract`, `Color`, or `Invalid`; callers
+/// should treat that as a cache miss and fall back to a full solve.
+pub fn readopt_assignment_with(
+    prog: &Program<Temp>,
+    cfg: &AllocConfig,
+    asg: Assignment,
+    quality: AllocQuality,
+    objective: f64,
+    values: Option<Vec<f64>>,
+    obs: &nova_obs::Obs,
+) -> Result<(Allocation, SolvedAllocation), AllocError> {
+    let ilp_span = obs.span("phase.ilp");
+    let facts = {
+        let _span = obs.span("backend.facts");
+        build_facts(prog)
+    };
+    let freqs = {
+        let _span = obs.span("backend.freq");
+        freq::estimate(prog)
+    };
+    let mut cfg = cfg.clone();
+    let pressure = facts.exists.values().map(|s| s.len()).max().unwrap_or(0);
+    if cfg.allow_spill && cfg.spill_auto && pressure + 4 <= cfg.k_a + cfg.k_b {
+        cfg.allow_spill = false;
+    }
+    let bm = build_model(prog, &facts, &freqs, &cfg);
+    ilp_span.end();
+    let stats = AllocStats {
+        model: bm.model.stats(),
+        solve: ilp::SolveStats::default(),
+        fig6: bm.fig6,
+        moves: asg.n_moves,
+        spills: asg.n_spills,
+        objective,
+    };
+    let alloc = finish(prog, &facts, &bm, &asg, stats.clone(), quality, obs)?;
+    Ok((
+        alloc,
+        SolvedAllocation {
+            facts,
+            bm,
+            asg,
+            stats,
+            quality,
+            values,
+        },
+    ))
+}
+
 /// Re-run only the finishing half of allocation (extraction, coloring,
 /// validation) against `prog`, reusing the cached model and assignment
 /// from a previous solve of a *structurally identical* program (same

@@ -31,6 +31,8 @@
 
 #![warn(missing_docs)]
 
+mod lru;
+mod persist;
 mod session;
 
 pub use session::{CacheStats, Compiler};
@@ -38,14 +40,16 @@ pub use session::{CacheStats, Compiler};
 use nova_backend::alloc::AllocConfig;
 use nova_cps::{OptConfig, SsuStats};
 use nova_frontend::StaticStats;
+use std::path::PathBuf;
 use std::time::Duration;
 
 pub use ilp::KernelKind;
 pub use ixp_machine::channel::{ChannelFaults, ChannelStats};
 pub use ixp_sim::{
-    simulate, simulate_chip, simulate_chip_with, simulate_topology, simulate_with, ChipConfig,
-    ChipShard, EngineStats, FlowPacket, LatencySummary, RxGrant, SimConfig, SimMemory, SimMode,
-    SimResult, StopReason, TopologyConfig, TopologyResult, TrafficSpec,
+    simulate, simulate_chip, simulate_chip_reload, simulate_chip_reload_with, simulate_chip_with,
+    simulate_topology, simulate_with, ChipConfig, ChipShard, EngineStats, FlowPacket, ImageSwap,
+    LatencySummary, RxGrant, SimConfig, SimMemory, SimMode, SimResult, StopReason, SwapReport,
+    TopologyConfig, TopologyResult, TrafficSpec,
 };
 pub use nova_backend::{AllocQuality, AllocStats, FallbackPolicy};
 pub use nova_frontend::Span;
@@ -115,6 +119,44 @@ impl SimSettings {
     }
 }
 
+/// Retention budget for each of a session's phase caches. The default
+/// (`0` on both axes) is unbounded — the historical behavior, and what
+/// keeps short-lived CI streams' counter algebra exact. A long-lived
+/// service sets one or both axes; the session then evicts
+/// least-recently-used entries *per phase cache* on insertion, counting
+/// them under `session.cache.evict.{count,bytes}` and
+/// [`CacheStats::evict_count`]/[`CacheStats::evict_bytes`].
+///
+/// Eviction affects retention only: a re-compile after an eviction
+/// recomputes a bit-identical artifact (it is just no longer free).
+/// Byte weights are deterministic estimates of each artifact's retained
+/// size, not exact heap measurements — budget in round numbers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheBudget {
+    /// Maximum entries per phase cache (`0` = unbounded).
+    pub max_entries: usize,
+    /// Maximum estimated bytes per phase cache (`0` = unbounded).
+    pub max_bytes: u64,
+}
+
+impl CacheBudget {
+    /// Cap each phase cache at `n` entries.
+    pub fn entries(n: usize) -> Self {
+        CacheBudget {
+            max_entries: n,
+            max_bytes: 0,
+        }
+    }
+
+    /// Cap each phase cache at approximately `n` bytes.
+    pub fn bytes(n: u64) -> Self {
+        CacheBudget {
+            max_entries: 0,
+            max_bytes: n,
+        }
+    }
+}
+
 /// Pipeline configuration. Construct with [`CompileConfig::builder`];
 /// the fields stay public for read access and ablation experiments that
 /// rewrite optimizer or allocator internals after building.
@@ -131,6 +173,13 @@ pub struct CompileConfig {
     /// Observability handle every phase reports into. Defaults to the
     /// no-op handle, which costs one branch per instrumentation site.
     pub observer: Obs,
+    /// Per-phase-cache retention budget (default: unbounded).
+    pub cache_budget: CacheBudget,
+    /// Directory of the on-disk allocation cache. `None` (the default)
+    /// disables persistence; when set, sessions write every solved
+    /// allocation there and a restarted session warms from it (see
+    /// `session.cache.disk.*` counters).
+    pub persist_dir: Option<PathBuf>,
 }
 
 impl Default for CompileConfig {
@@ -168,6 +217,8 @@ pub struct CompileConfigBuilder {
     deadline: Option<Duration>,
     gap: Option<f64>,
     observer: Obs,
+    cache_budget: CacheBudget,
+    persist_dir: Option<PathBuf>,
 }
 
 impl Default for CompileConfigBuilder {
@@ -188,6 +239,8 @@ impl CompileConfigBuilder {
             deadline: None,
             gap: None,
             observer: Obs::noop(),
+            cache_budget: CacheBudget::default(),
+            persist_dir: None,
         }
     }
 
@@ -292,6 +345,25 @@ impl CompileConfigBuilder {
         self
     }
 
+    /// Bound each of the session's phase caches (see [`CacheBudget`]).
+    /// The default is unbounded; long-lived services should set this.
+    #[must_use]
+    pub fn cache_budget(mut self, budget: CacheBudget) -> Self {
+        self.cache_budget = budget;
+        self
+    }
+
+    /// Persist solved allocations to `dir` and warm future sessions from
+    /// it. The directory is created on first use; corrupt or truncated
+    /// entries load as clean misses (`session.cache.disk.reject`), and a
+    /// restarted session's warm artifacts are bit-identical to cold
+    /// compiles.
+    #[must_use]
+    pub fn persist_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.persist_dir = Some(dir.into());
+        self
+    }
+
     /// Skip the CPS optimizer (ablations and debugging).
     #[must_use]
     pub fn skip_opt(mut self, skip: bool) -> Self {
@@ -346,6 +418,8 @@ impl CompileConfigBuilder {
             skip_opt: self.skip_opt,
             sim: self.sim,
             observer: self.observer,
+            cache_budget: self.cache_budget,
+            persist_dir: self.persist_dir,
         }
     }
 }
@@ -509,26 +583,6 @@ pub struct CompileReport {
     /// Aggregated trace: per-phase wall time (`phase.*` spans), optimizer
     /// shrink counts, solver telemetry, allocator decisions.
     pub trace: Summary,
-}
-
-/// Compile Nova source text to machine code through a throwaway
-/// [`Compiler`] session.
-///
-/// Telemetry goes to the configured [`CompileConfig::observer`] (no-op by
-/// default). Use [`compile`] instead to also get the aggregated trace
-/// back as a [`CompileReport`].
-///
-/// # Errors
-///
-/// Returns the first [`CompileError`] of whichever phase fails, carrying
-/// the [`Phase`], a stable diagnostic code, and the source span when the
-/// phase tracks one.
-#[deprecated(
-    note = "construct a `nova::Compiler` session (its phase caches make repeat \
-            compiles cheap), or call `nova::compile` for a one-shot with a trace"
-)]
-pub fn compile_source(source: &str, config: &CompileConfig) -> Result<CompileOutput, CompileError> {
-    Compiler::new(config.clone()).compile_output(source)
 }
 
 /// Compile Nova source text and return the artifact together with an

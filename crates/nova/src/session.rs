@@ -30,16 +30,19 @@
 //! is how the `nova-server` worker pool gives every client the benefit
 //! of every other client's compiles.
 
+use crate::lru::LruMap;
+use crate::persist::{DiskCache, DiskEntry, Load};
 use crate::{
     alloc_error, cps_phase, frontend_phase, isel_phase, CompileConfig, CompileError, CompileOutput,
     CompileReport, Phase,
 };
 use ixp_machine::{Addr, AluSrc, Instr, Program, Temp, Terminator};
-use nova_backend::{allocate_solved_with, refinish_with, Allocation, SolvedAllocation};
+use nova_backend::{
+    allocate_solved_with, readopt_assignment_with, refinish_with, Allocation, SolvedAllocation,
+};
 use nova_frontend::{StaticStats, Token};
 use nova_obs::{MemoryRecorder, Obs, Recorder, TeeRecorder};
 use std::collections::hash_map::DefaultHasher;
-use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
@@ -100,11 +103,13 @@ impl HitMiss {
 }
 
 /// One phase-boundary cache: input-content hash → the phase's memoized
-/// artifact or its diagnostic.
-type PhaseCache<T> = Mutex<HashMap<u64, Result<Arc<T>, CompileError>>>;
+/// artifact or its diagnostic, with LRU recency tracking so a
+/// [`crate::CacheBudget`] can bound retention.
+type PhaseCache<T> = Mutex<LruMap<Result<Arc<T>, CompileError>>>;
 
 /// Shared mutable state of one session: one cache per phase boundary,
-/// the MILP warm-start pool, and the hit/miss counters.
+/// the MILP warm-start pool, the optional on-disk allocation cache, and
+/// the hit/miss counters.
 #[derive(Default)]
 struct SessionState {
     /// Token fingerprint → frontend artifact (or its diagnostic).
@@ -114,12 +119,14 @@ struct SessionState {
     /// CPS key → virtual-register program.
     isel: PhaseCache<Program<Temp>>,
     /// (immediate-masked vprog fp, allocator config) → solved artifacts.
-    alloc: Mutex<HashMap<u64, Arc<SolvedAllocation>>>,
+    alloc: Mutex<LruMap<Arc<SolvedAllocation>>>,
     /// (immediate-masked vprog fp, structure knobs) → raw solution vector
     /// for warm-starting a solve whose cost knobs changed.
-    hints: Mutex<HashMap<u64, Arc<Vec<f64>>>>,
+    hints: Mutex<LruMap<Arc<Vec<f64>>>>,
     /// (token fp, full pipeline config) → finished compile (or failure).
     output: PhaseCache<CompileOutput>,
+    /// The on-disk allocation cache, when persistence is configured.
+    disk: Option<DiskCache>,
     frontend_stats: HitMiss,
     cps_stats: HitMiss,
     isel_stats: HitMiss,
@@ -127,6 +134,11 @@ struct SessionState {
     output_stats: HitMiss,
     refinish_fallbacks: AtomicU64,
     hint_offers: AtomicU64,
+    evict_count: AtomicU64,
+    evict_bytes: AtomicU64,
+    disk_hits: AtomicU64,
+    disk_misses: AtomicU64,
+    disk_rejects: AtomicU64,
 }
 
 /// A point-in-time snapshot of a session's cache counters, one
@@ -158,6 +170,21 @@ pub struct CacheStats {
     pub refinish_fallbacks: u64,
     /// Cold solves that were offered a cached warm-start vector.
     pub hint_offers: u64,
+    /// Entries evicted from the phase caches under a
+    /// [`crate::CacheBudget`] (zero when unbounded, the default).
+    pub evict_count: u64,
+    /// Estimated bytes those evictions released.
+    pub evict_bytes: u64,
+    /// Disk-cache lookups that loaded and readopted a persisted
+    /// allocation (the MILP solve was skipped; also counted as
+    /// `alloc_hits`). Zero when persistence is off.
+    pub disk_hits: u64,
+    /// Disk-cache lookups that found no entry.
+    pub disk_misses: u64,
+    /// Disk-cache lookups that found an entry but refused it: corrupt or
+    /// truncated bytes, a stale format version, or an assignment the
+    /// current program rejects. Always a clean miss, never a failure.
+    pub disk_rejects: u64,
 }
 
 impl CacheStats {
@@ -243,13 +270,19 @@ impl Compiler {
             )
         ));
         let pipeline_fp = hash_parts(&[opt_fp, alloc_fp]);
+        // An uncreatable persistence directory silently disables the disk
+        // cache: persistence accelerates restarts, it never gates them.
+        let disk = config.persist_dir.as_deref().and_then(DiskCache::open);
         Compiler {
             config,
             opt_fp,
             alloc_fp,
             structure_fp,
             pipeline_fp,
-            state: Arc::new(SessionState::default()),
+            state: Arc::new(SessionState {
+                disk,
+                ..SessionState::default()
+            }),
         }
     }
 
@@ -279,6 +312,11 @@ impl Compiler {
             output_misses,
             refinish_fallbacks: s.refinish_fallbacks.load(Ordering::Relaxed),
             hint_offers: s.hint_offers.load(Ordering::Relaxed),
+            evict_count: s.evict_count.load(Ordering::Relaxed),
+            evict_bytes: s.evict_bytes.load(Ordering::Relaxed),
+            disk_hits: s.disk_hits.load(Ordering::Relaxed),
+            disk_misses: s.disk_misses.load(Ordering::Relaxed),
+            disk_rejects: s.disk_rejects.load(Ordering::Relaxed),
         }
     }
 
@@ -338,9 +376,9 @@ impl Compiler {
 
         // Whole-image lookup first: on a hit nothing else runs.
         let out_key = hash_parts(&[0x6f75_7470, tok_fp, self.pipeline_fp]);
-        if let Some(cached) = state.output.lock().unwrap().get(&out_key) {
+        if let Some(cached) = state.output.lock().unwrap().get(out_key).cloned() {
             state.output_stats.record(obs, "output", true);
-            return cached.clone().map(|arc| (*arc).clone());
+            return cached.map(|arc| (*arc).clone());
         }
         state.output_stats.record(obs, "output", false);
 
@@ -349,8 +387,34 @@ impl Compiler {
             .as_ref()
             .map(|out| Arc::new(out.clone()))
             .map_err(Clone::clone);
-        state.output.lock().unwrap().insert(out_key, memo);
+        let weight = weight_result(&memo, |out: &CompileOutput| {
+            256 + 48 * instr_count(&out.prog) + 8 * source.len() as u64
+        });
+        self.insert_evicting(&state.output, out_key, memo, weight, obs);
         result
+    }
+
+    /// Insert into one phase cache under the session's budget, folding
+    /// whatever got evicted into the counters.
+    fn insert_evicting<V>(
+        &self,
+        cache: &Mutex<LruMap<V>>,
+        key: u64,
+        val: V,
+        weight: u64,
+        obs: &Obs,
+    ) {
+        let (count, bytes) =
+            cache
+                .lock()
+                .unwrap()
+                .insert(key, val, weight, &self.config.cache_budget);
+        if count > 0 {
+            self.state.evict_count.fetch_add(count, Ordering::Relaxed);
+            self.state.evict_bytes.fetch_add(bytes, Ordering::Relaxed);
+            obs.counter("session.cache.evict.count", count);
+            obs.counter("session.cache.evict.bytes", bytes);
+        }
     }
 
     /// The phase chain behind a whole-image miss.
@@ -364,7 +428,7 @@ impl Compiler {
 
         // ---- frontend ----
         let front = {
-            let cached = state.frontend.lock().unwrap().get(&tok_fp).cloned();
+            let cached = state.frontend.lock().unwrap().get(tok_fp).cloned();
             match cached {
                 Some(r) => {
                     state.frontend_stats.record(obs, "frontend", true);
@@ -379,11 +443,10 @@ impl Compiler {
                             static_stats: stats,
                         })
                     });
-                    state
-                        .frontend
-                        .lock()
-                        .unwrap()
-                        .insert(tok_fp, computed.clone());
+                    // AST + type info scale with the source; a 4x charge
+                    // is the retained-size estimate the byte budget sees.
+                    let weight = weight_result(&computed, |_| 4 * source.len() as u64);
+                    self.insert_evicting(&state.frontend, tok_fp, computed.clone(), weight, obs);
                     computed?
                 }
             }
@@ -392,7 +455,7 @@ impl Compiler {
         // ---- CPS ----
         let cps_key = hash_parts(&[0x0063_7073, tok_fp, self.opt_fp]);
         let cps_art = {
-            let cached = state.cps.lock().unwrap().get(&cps_key).cloned();
+            let cached = state.cps.lock().unwrap().get(cps_key).cloned();
             match cached {
                 Some(r) => {
                     state.cps_stats.record(obs, "cps", true);
@@ -410,7 +473,8 @@ impl Compiler {
                                 })
                             },
                         );
-                    state.cps.lock().unwrap().insert(cps_key, computed.clone());
+                    let weight = weight_result(&computed, |_| 8 * source.len() as u64);
+                    self.insert_evicting(&state.cps, cps_key, computed.clone(), weight, obs);
                     computed?
                 }
             }
@@ -419,7 +483,7 @@ impl Compiler {
         // ---- instruction selection ----
         let isel_key = hash_parts(&[0x6973_656c, cps_key]);
         let vprog = {
-            let cached = state.isel.lock().unwrap().get(&isel_key).cloned();
+            let cached = state.isel.lock().unwrap().get(isel_key).cloned();
             match cached {
                 Some(r) => {
                     state.isel_stats.record(obs, "isel", true);
@@ -428,11 +492,8 @@ impl Compiler {
                 None => {
                     state.isel_stats.record(obs, "isel", false);
                     let computed = isel_phase(&cps_art.cps, obs).map(Arc::new);
-                    state
-                        .isel
-                        .lock()
-                        .unwrap()
-                        .insert(isel_key, computed.clone());
+                    let weight = weight_result(&computed, |p: &Program<Temp>| 48 * instr_count(p));
+                    self.insert_evicting(&state.isel, isel_key, computed.clone(), weight, obs);
                     computed?
                 }
             }
@@ -454,10 +515,13 @@ impl Compiler {
         })
     }
 
-    /// Allocation with the immediate-masked cache: a hit skips the MILP
-    /// solve entirely and re-finishes the cached assignment against this
-    /// (structurally identical) program; a miss runs a full solve,
-    /// warm-started from the hint pool when a compatible solution exists.
+    /// Allocation with the immediate-masked cache: an in-memory hit skips
+    /// the MILP solve entirely and re-finishes the cached assignment
+    /// against this (structurally identical) program; on a miss the
+    /// on-disk cache (if configured) is consulted and a persisted
+    /// assignment is readopted — still no solve; only when both miss does
+    /// a full solve run, warm-started from the hint pool when a
+    /// compatible solution exists.
     fn allocate_cached(
         &self,
         vprog: &Program<Temp>,
@@ -467,7 +531,7 @@ impl Compiler {
         let masked_fp = masked_program_fp(vprog);
         let alloc_key = hash_parts(&[0x0061_6c6c_6f63, masked_fp, self.alloc_fp]);
 
-        let cached = state.alloc.lock().unwrap().get(&alloc_key).cloned();
+        let cached = state.alloc.lock().unwrap().get(alloc_key).cloned();
         if let Some(solved) = cached {
             match refinish_with(vprog, &solved, obs) {
                 Ok(alloc) => {
@@ -482,11 +546,52 @@ impl Compiler {
                     obs.counter("session.cache.refinish_fallback", 1);
                 }
             }
+        } else if let Some(disk) = &state.disk {
+            // Restart warm path: the predecessor session persisted the
+            // decision half of this solve; readopting it rebuilds the
+            // deterministic rest and skips the MILP. Every lookup lands
+            // on exactly one of hit/miss/reject.
+            match disk.load(alloc_key) {
+                Load::Hit(entry) => {
+                    match readopt_assignment_with(
+                        vprog,
+                        &self.config.alloc,
+                        entry.asg,
+                        entry.quality,
+                        entry.objective,
+                        entry.values,
+                        obs,
+                    ) {
+                        Ok((alloc, solved)) => {
+                            state.disk_hits.fetch_add(1, Ordering::Relaxed);
+                            obs.counter("session.cache.disk.hit", 1);
+                            state.alloc_stats.record(obs, "alloc", true);
+                            self.remember_solved(alloc_key, masked_fp, solved, obs);
+                            return Ok(alloc);
+                        }
+                        Err(_) => {
+                            // The entry decoded but this program rejects
+                            // it (stale key, collision): a reject, and
+                            // the full solve below recovers.
+                            state.disk_rejects.fetch_add(1, Ordering::Relaxed);
+                            obs.counter("session.cache.disk.reject", 1);
+                        }
+                    }
+                }
+                Load::Miss => {
+                    state.disk_misses.fetch_add(1, Ordering::Relaxed);
+                    obs.counter("session.cache.disk.miss", 1);
+                }
+                Load::Reject => {
+                    state.disk_rejects.fetch_add(1, Ordering::Relaxed);
+                    obs.counter("session.cache.disk.reject", 1);
+                }
+            }
         }
         state.alloc_stats.record(obs, "alloc", false);
 
         let hint_key = hash_parts(&[0x6869_6e74, masked_fp, self.structure_fp]);
-        let hint = state.hints.lock().unwrap().get(&hint_key).cloned();
+        let hint = state.hints.lock().unwrap().get(hint_key).cloned();
         if hint.is_some() {
             state.hint_offers.fetch_add(1, Ordering::Relaxed);
             obs.counter("session.cache.hint_offered", 1);
@@ -498,20 +603,64 @@ impl Compiler {
             obs,
         )
         .map_err(alloc_error)?;
-        if let Some(values) = &solved.values {
-            state
-                .hints
-                .lock()
-                .unwrap()
-                .insert(hint_key, Arc::new(values.clone()));
+        if let Some(disk) = &state.disk {
+            disk.store(
+                alloc_key,
+                &DiskEntry {
+                    objective: solved.stats.objective,
+                    quality: solved.quality,
+                    asg: solved.asg.clone(),
+                    values: solved.values.clone(),
+                },
+            );
         }
-        state
-            .alloc
-            .lock()
-            .unwrap()
-            .insert(alloc_key, Arc::new(solved));
+        self.remember_solved(alloc_key, masked_fp, solved, obs);
         Ok(alloc)
     }
+
+    /// Put a solved allocation into the in-memory caches: the solution
+    /// vector into the warm-start hint pool, the artifacts under the
+    /// allocation key.
+    fn remember_solved(&self, alloc_key: u64, masked_fp: u64, solved: SolvedAllocation, obs: &Obs) {
+        let state = &*self.state;
+        let hint_key = hash_parts(&[0x6869_6e74, masked_fp, self.structure_fp]);
+        if let Some(values) = &solved.values {
+            let weight = 64 + 8 * values.len() as u64;
+            self.insert_evicting(
+                &state.hints,
+                hint_key,
+                Arc::new(values.clone()),
+                weight,
+                obs,
+            );
+        }
+        let weight = weight_solved(&solved);
+        self.insert_evicting(&state.alloc, alloc_key, Arc::new(solved), weight, obs);
+    }
+}
+
+/// Machine-instruction count of a program (any register type).
+fn instr_count<R>(p: &Program<R>) -> u64 {
+    p.blocks.iter().map(|b| b.instrs.len() as u64).sum()
+}
+
+/// Estimated retained bytes of one memoized phase result: a fixed entry
+/// overhead plus the artifact estimate (or the diagnostic's message).
+fn weight_result<T>(r: &Result<Arc<T>, CompileError>, artifact: impl Fn(&T) -> u64) -> u64 {
+    64 + match r {
+        Ok(v) => artifact(v),
+        Err(e) => e.message.len() as u64,
+    }
+}
+
+/// Estimated retained bytes of a cached [`SolvedAllocation`]: the decoded
+/// assignment and solution vector dominate, plus a flat charge for the
+/// facts and model bookkeeping.
+fn weight_solved(s: &SolvedAllocation) -> u64 {
+    let asg = 24 * (s.asg.before.len() + s.asg.after.len() + s.asg.colors.len()) as u64;
+    let values = 8 * s.values.as_ref().map_or(0, Vec::len) as u64;
+    let facts = 48 * s.facts.exists.len() as u64;
+    4096 + asg + values + facts
 }
 
 /// Deterministic (fixed-key SipHash) combination of pre-hashed parts.

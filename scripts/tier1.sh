@@ -28,6 +28,13 @@
 #                                   fail on any cache-counter drift, any
 #                                   warm/cold artifact mismatch, or a warm
 #                                   speedup below 2x (seconds)
+#   scripts/tier1.sh --persist-smoke  also exercise the on-disk artifact
+#                                   cache: compile, drop the session,
+#                                   restart from the cache directory, and
+#                                   fail on any disk-counter drift, any
+#                                   warm/cold artifact difference, or a
+#                                   corrupted entry not degrading to a
+#                                   clean miss (seconds)
 #
 # Flags combine: `scripts/tier1.sh --lint --bench-smoke --chip-smoke`
 # runs those extras after the build and test suite.
@@ -47,6 +54,7 @@ run_chip_smoke=0
 run_degrade_smoke=0
 run_traffic_smoke=0
 run_service_smoke=0
+run_persist_smoke=0
 for arg in "$@"; do
     case "$arg" in
         --lint)          run_lint=1 ;;
@@ -56,9 +64,10 @@ for arg in "$@"; do
         --degrade-smoke) run_degrade_smoke=1 ;;
         --traffic-smoke) run_traffic_smoke=1 ;;
         --service-smoke) run_service_smoke=1 ;;
+        --persist-smoke) run_persist_smoke=1 ;;
         *)
             echo "unknown flag: $arg" >&2
-            echo "usage: scripts/tier1.sh [--lint] [--bench] [--bench-smoke] [--chip-smoke] [--degrade-smoke] [--traffic-smoke] [--service-smoke]" >&2
+            echo "usage: scripts/tier1.sh [--lint] [--bench] [--bench-smoke] [--chip-smoke] [--degrade-smoke] [--traffic-smoke] [--service-smoke] [--persist-smoke]" >&2
             exit 2
             ;;
     esac
@@ -125,6 +134,11 @@ fi
 if [[ "$run_service_smoke" == 1 ]]; then
     echo "== service smoke (release, 60-request stream, exact cache counters) =="
     cargo run --release -p bench --bin service_smoke
+fi
+
+if [[ "$run_persist_smoke" == 1 ]]; then
+    echo "== persist smoke (release, cold/restart/corrupt, exact disk counters) =="
+    cargo run --release -p bench --bin persist_smoke
 fi
 
 echo "tier-1 OK"

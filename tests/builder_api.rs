@@ -87,16 +87,12 @@ fn env_overrides_resolve_once_at_build_time() {
 
 #[test]
 fn compile_works_through_builder_config() {
-    // Deliberately exercises the deprecated one-shot wrapper: it must stay
-    // a faithful veneer over a throwaway `Compiler` session.
-    #[allow(deprecated)]
-    let out = {
-        let cfg = CompileConfig::builder().solver_threads(1).build();
-        nova::compile_source(
-            "fun main() { let (a, b) = sram(0); sram(8) <- (a + b, a); 0 }",
-            &cfg,
-        )
-        .expect("compiles")
-    };
+    let cfg = CompileConfig::builder().solver_threads(1).build();
+    let out = nova::compile(
+        "fun main() { let (a, b) = sram(0); sram(8) <- (a + b, a); 0 }",
+        &cfg,
+    )
+    .expect("compiles")
+    .artifact;
     assert!(ixp_machine::validate(&out.prog).is_empty());
 }
