@@ -6,7 +6,8 @@
 //! ```text
 //! bench_gate [--solver BASE CURRENT] [--throughput BASE CURRENT] \
 //!            [--phases BASE CURRENT] [--traffic BASE CURRENT] \
-//!            [--service BASE CURRENT] [--reload BASE CURRENT]
+//!            [--service BASE CURRENT] [--reload BASE CURRENT] \
+//!            [--rollout BASE CURRENT]
 //! ```
 //!
 //! Any subset of the pairs may be given; each is parsed, gated,
@@ -17,7 +18,8 @@
 //! non-zero if any gating check or file/parse step fails.
 
 use bench::gate::{
-    gate_phases, gate_reload, gate_service, gate_solver, gate_throughput, gate_traffic, GateReport,
+    gate_phases, gate_reload, gate_rollout, gate_service, gate_solver, gate_throughput,
+    gate_traffic, GateReport,
 };
 use bench::json::Json;
 use std::io::Write as _;
@@ -39,13 +41,14 @@ fn main() {
             "--traffic" => "traffic",
             "--service" => "service",
             "--reload" => "reload",
+            "--rollout" => "rollout",
             other => {
                 eprintln!("unknown argument `{other}`");
                 eprintln!(
                     "usage: bench_gate [--solver BASE CURRENT] \
                      [--throughput BASE CURRENT] [--phases BASE CURRENT] \
                      [--traffic BASE CURRENT] [--service BASE CURRENT] \
-                     [--reload BASE CURRENT]"
+                     [--reload BASE CURRENT] [--rollout BASE CURRENT]"
                 );
                 std::process::exit(2);
             }
@@ -72,6 +75,7 @@ fn main() {
                 "traffic" => gate_traffic(&base, &cur),
                 "service" => gate_service(&base, &cur),
                 "reload" => gate_reload(&base, &cur),
+                "rollout" => gate_rollout(&base, &cur),
                 _ => gate_phases(&base, &cur),
             },
             (Err(e), _) | (_, Err(e)) => {

@@ -1,0 +1,86 @@
+//! E17 — resilient live updates. Rolls a classifier rule update across
+//! a sharded rack with the health-gated staged controller, injects
+//! swap-path faults (wedged image, corrupt image), and compares staged
+//! against big-bang availability on synchronized and microburst
+//! traffic. Results land in `BENCH_rollout.json`; every modeled number
+//! is deterministic and gated exactly, the staging gain and rollback
+//! recovery get absolute floors, the determinism self-check is gated to
+//! zero mismatches — see `bench::gate::gate_rollout`.
+
+use bench::rollout::{
+    reason_code, rolled_back_stage, rollout_json, run_rollout_bench, OBSERVE_PACKETS,
+    ROLLOUT_CHIPS, ROLLOUT_PACKETS, SWAP_AFTER,
+};
+use bench::table;
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_rollout.json".into());
+    println!(
+        "Rollout: {ROLLOUT_CHIPS} chips, {ROLLOUT_PACKETS} packets, swap after {SWAP_AFTER}, \
+         observe {OBSERVE_PACKETS}\n"
+    );
+
+    let bench = run_rollout_bench();
+    println!(
+        "{}",
+        table(
+            &[
+                "scenario",
+                "outcome",
+                "stage",
+                "min healthy",
+                "delivered",
+                "dropped",
+                "aborted",
+                "max update cyc",
+            ],
+            &bench
+                .scenarios
+                .iter()
+                .map(|s| {
+                    let r = &s.report;
+                    vec![
+                        s.id.to_string(),
+                        format!("{}", reason_code(&r.outcome)),
+                        format!("{}", rolled_back_stage(&r.outcome)),
+                        format!("{}", r.min_healthy_chips),
+                        format!(
+                            "{}",
+                            r.stages
+                                .iter()
+                                .map(|st| st.disruption.delivered)
+                                .sum::<u64>()
+                        ),
+                        format!(
+                            "{}",
+                            r.stages.iter().map(|st| st.disruption.dropped).sum::<u64>()
+                        ),
+                        format!("{}", r.aborted_in_flight()),
+                        format!("{}", r.max_update_cycles()),
+                    ]
+                })
+                .collect::<Vec<_>>(),
+        )
+    );
+    println!(
+        "compile: old {:.1} ms, new (warm) {:.1} ms; sim wall {:.0} ms; \
+         staged keeps {} chips healthy vs big-bang {} on the synchronized trace; \
+         {} determinism mismatches",
+        bench.old_compile_wall.as_secs_f64() * 1e3,
+        bench.new_compile_wall.as_secs_f64() * 1e3,
+        bench.sim_wall.as_secs_f64() * 1e3,
+        bench.scenario("sync_staged").min_healthy_chips,
+        bench.scenario("sync_bang").min_healthy_chips,
+        bench.determinism_mismatches,
+    );
+
+    let doc = rollout_json(&bench);
+    std::fs::write(&out_path, doc.pretty()).unwrap_or_else(|e| panic!("writing {out_path}: {e}"));
+    eprintln!("wrote {out_path}");
+    if bench.determinism_mismatches > 0 {
+        eprintln!("rollout bench FAILED: reports differ across host thread counts");
+        std::process::exit(1);
+    }
+}

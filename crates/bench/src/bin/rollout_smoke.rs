@@ -1,0 +1,118 @@
+//! Tier-1 rollout smoke: a scaled-down fault-injection campaign proving
+//! the staged-rollout controller's contracts on every push — healthy
+//! rollouts commit with packet conservation, a wedged image trips the
+//! no-transmit watchdog and recovers, a corrupt image is rejected at
+//! the barrier without ever swapping, and reports are bit-identical
+//! across host thread counts. Collects failures and exits non-zero.
+
+use bench::rollout::classifier_images;
+use bench::{traffic_spec, traffic_topology, write_nat_packet};
+use ixp_sim::{
+    staged_rollout, RollbackReason, RolloutConfig, RolloutFaults, RolloutOutcome, SimMode,
+};
+
+/// Chips in the smoke rack.
+const CHIPS: usize = 2;
+/// Packets in the smoke trace.
+const PACKETS: usize = 8_000;
+
+fn smoke_config() -> RolloutConfig {
+    RolloutConfig {
+        topology: traffic_topology(CHIPS, SimMode::FastPath),
+        swap_after: 800,
+        observe_packets: 800,
+        ..RolloutConfig::default()
+    }
+}
+
+fn main() {
+    println!("rollout smoke: {CHIPS} chips, {PACKETS} packets");
+    let (old, new, _, _) = classifier_images();
+    let trace = traffic_spec(PACKETS).generate();
+    let run = |cfg: &RolloutConfig| {
+        staged_rollout(&old.prog, &new.prog, cfg, &trace, write_nat_packet)
+            .expect("rollout simulation runs")
+    };
+    let mut failures: Vec<String> = Vec::new();
+    let mut check = |what: &str, ok: bool| {
+        println!("  [{}] {what}", if ok { "ok" } else { "FAIL" });
+        if !ok {
+            failures.push(what.to_string());
+        }
+    };
+
+    // Healthy rollout: commits, conserves packets per stage.
+    let healthy = run(&smoke_config());
+    check(
+        "healthy rollout commits",
+        healthy.outcome == RolloutOutcome::Committed && healthy.stages.len() == CHIPS,
+    );
+    check(
+        "healthy stages conserve packets",
+        healthy.stages.iter().all(|s| {
+            let d = &s.disruption;
+            d.offered == d.delivered + d.dropped + d.aborted_in_flight
+        }),
+    );
+
+    // A wedged image: the watchdog fires, the chip reverts and serves.
+    let mut wedge = smoke_config();
+    wedge.faults = RolloutFaults {
+        wedge_stages: vec![0],
+        ..RolloutFaults::default()
+    };
+    let wedged = run(&wedge);
+    check(
+        "wedged image trips the watchdog",
+        wedged.outcome
+            == RolloutOutcome::RolledBack {
+                stage: 0,
+                reason: RollbackReason::WatchdogFired,
+            },
+    );
+    check(
+        "watchdog rollback restores service",
+        wedged
+            .stages
+            .first()
+            .is_some_and(|s| s.disruption.post.delivered > 0),
+    );
+
+    // A corrupt image: rejected at the barrier, never applied.
+    let mut corrupt = smoke_config();
+    corrupt.faults = RolloutFaults {
+        corrupt_stages: vec![0],
+        ..RolloutFaults::default()
+    };
+    let corrupted = run(&corrupt);
+    check(
+        "corrupt image is rejected at the barrier",
+        corrupted.outcome
+            == RolloutOutcome::RolledBack {
+                stage: 0,
+                reason: RollbackReason::ChecksumRejected,
+            },
+    );
+    check(
+        "checksum rejection never swaps",
+        corrupted
+            .stages
+            .first()
+            .is_some_and(|s| s.swap.swap_cycle.is_none() && s.rollback_cycles == Some(0)),
+    );
+
+    // Host thread count must not leak into any report.
+    let mut threaded = smoke_config();
+    threaded.topology.chip.host_threads = 2;
+    check(
+        "reports bit-identical at 2 host threads",
+        run(&threaded) == healthy,
+    );
+
+    if failures.is_empty() {
+        println!("rollout smoke passed");
+    } else {
+        eprintln!("rollout smoke FAILED: {}", failures.join("; "));
+        std::process::exit(1);
+    }
+}

@@ -721,6 +721,147 @@ pub fn gate_reload(baseline: &Json, current: &Json) -> GateReport {
     r
 }
 
+/// Minimum `staged_min_healthy - bang_min_healthy` on the synchronized
+/// trace: staging must keep at least one more chip serving through the
+/// update than the big-bang rollout does.
+pub const STAGING_GAIN_FLOOR: f64 = 1.0;
+
+/// Minimum packets delivered on a rolled-back chip after service
+/// resumed: a rollback that never comes back is an outage, not a
+/// recovery. Applied only to reverts (watchdog/SLO); a checksum
+/// rejection never swaps, so its post-swap window is empty by design.
+pub const ROLLBACK_RECOVERY_FLOOR: f64 = 1.0;
+
+/// Gate `BENCH_rollout.json` against a fresh run: every modeled rollout
+/// number — outcomes, rollback stages and reasons, swap and recovery
+/// cycles, disruption counters, the `min_healthy_chips` floor — is
+/// deterministic and must match exactly. The staged-vs-big-bang gain
+/// gets the absolute [`STAGING_GAIN_FLOOR`], revert recoveries the
+/// absolute [`ROLLBACK_RECOVERY_FLOOR`], and the host-thread
+/// determinism self-check must report zero mismatches whatever the
+/// baseline says. Compile and simulation walls are informational.
+pub fn gate_rollout(baseline: &Json, current: &Json) -> GateReport {
+    let mut r = GateReport::default();
+    match (baseline.get("config"), current.get("config")) {
+        (Some(b), Some(c)) => {
+            for key in [
+                "chips",
+                "packets",
+                "swap_after",
+                "observe_packets",
+                "watchdog",
+            ] {
+                r.compare("rollout/config".to_string(), b, c, key, Rule::Exact);
+            }
+        }
+        _ => r.err("rollout: `config` section missing"),
+    }
+
+    let scenarios = matched(
+        &mut r,
+        "rollout",
+        "id",
+        baseline.get("scenarios").and_then(Json::as_arr),
+        current.get("scenarios").and_then(Json::as_arr),
+    );
+    for (id, b, c) in scenarios {
+        let name = format!("rollout/{id}");
+        for key in [
+            "chips",
+            "stages_run",
+            "outcome_code",
+            "rolled_back_stage",
+            "min_healthy_chips",
+            "offered",
+            "delivered",
+            "dropped",
+            "aborted_in_flight",
+            "disrupted_flows",
+            "max_update_cycles",
+            "rollback_recovered",
+        ] {
+            r.compare(name.clone(), b, c, key, Rule::Exact);
+        }
+        // A revert (watchdog or SLO rollback) must restore service:
+        // the halted chip has to deliver traffic after swapping back.
+        if matches!(c.num("outcome_code"), Some(code) if (2.0..=4.0).contains(&code)) {
+            match c.num("rollback_recovered") {
+                Some(v) => r.checks.push(Check::new(
+                    format!("{name}/recovery_floor"),
+                    ROLLBACK_RECOVERY_FLOOR,
+                    v,
+                    Rule::RateFloor { drop: 0.0 },
+                )),
+                None => r.err(format!("{name}: missing `rollback_recovered`")),
+            }
+        }
+        let stages = matched(
+            &mut r,
+            &name,
+            "chip",
+            b.get("stages").and_then(Json::as_arr),
+            c.get("stages").and_then(Json::as_arr),
+        );
+        for (chip, bs, cs) in stages {
+            let name = format!("{name}/chip{chip}");
+            for key in [
+                "swap_cycle",
+                "first_tx_cycle",
+                "update_cycles",
+                "rollback_cycles",
+                "offered",
+                "delivered",
+                "dropped",
+                "aborted_in_flight",
+                "disrupted_flows",
+                "pre_delivered",
+                "during_delivered",
+                "post_delivered",
+                "post_p99",
+                "baseline_p99",
+                "candidate_p99",
+            ] {
+                r.compare(name.clone(), bs, cs, key, Rule::Exact);
+            }
+        }
+    }
+
+    match (baseline.get("comparison"), current.get("comparison")) {
+        (Some(b), Some(c)) => {
+            for key in ["staged_min_healthy", "bang_min_healthy", "staging_gain"] {
+                r.compare("rollout/comparison".to_string(), b, c, key, Rule::Exact);
+            }
+            match c.num("staging_gain") {
+                Some(g) => r.checks.push(Check::new(
+                    "rollout/comparison/staging_gain_floor".to_string(),
+                    STAGING_GAIN_FLOOR,
+                    g,
+                    Rule::RateFloor { drop: 0.0 },
+                )),
+                None => r.err("rollout: comparison is missing `staging_gain`"),
+            }
+        }
+        _ => r.err("rollout: `comparison` section missing"),
+    }
+
+    // Bit-identical reports at every host thread count, whatever the
+    // baseline says.
+    match current.num("determinism_mismatches") {
+        Some(v) => r.checks.push(Check::new(
+            "rollout/determinism_mismatches".to_string(),
+            0.0,
+            v,
+            Rule::Exact,
+        )),
+        None => r.err("rollout: missing `determinism_mismatches`"),
+    }
+
+    for key in ["old_compile_ms", "new_compile_ms", "sim_wall_ms"] {
+        r.compare("rollout".to_string(), baseline, current, key, Rule::Info);
+    }
+    r
+}
+
 fn fmt_val(v: f64) -> String {
     if v == v.trunc() && v.abs() < 9e15 {
         format!("{}", v as i64)
@@ -1219,6 +1360,124 @@ mod tests {
         let r = gate_reload(&base, &cur);
         assert!(!r.passed());
         assert_eq!(r.errors.len(), 2, "{:?}", r.errors);
+    }
+
+    fn rollout_doc(
+        update_cycles: u64,
+        recovered: i64,
+        staged_min_healthy: u64,
+        mismatches: u64,
+    ) -> Json {
+        let stage = |chip: u64, outcome: &str, rb: i64| {
+            format!(
+                r#"{{"chip":{chip},"outcome":"{outcome}","swap_cycle":2760640,
+                    "first_tx_cycle":2764854,"update_cycles":{update_cycles},
+                    "rollback_cycles":{rb},"offered":10000,"delivered":10000,
+                    "dropped":0,"aborted_in_flight":0,"disrupted_flows":0,
+                    "pre_delivered":2000,"during_delivered":4,"post_delivered":8000,
+                    "post_p99":118,"baseline_p99":118,"candidate_p99":118}}"#
+            )
+        };
+        let gain = staged_min_healthy as i64;
+        Json::parse(&format!(
+            r#"{{"bench":"rollout",
+                "config":{{"chips":3,"packets":30000,"swap_after":2000,
+                  "observe_packets":2000,"watchdog":65536}},
+                "scenarios":[
+                  {{"id":"healthy","chips":3,"stages_run":3,"outcome_code":0,
+                    "rolled_back_stage":-1,"min_healthy_chips":2,
+                    "offered":30000,"delivered":30000,"dropped":0,
+                    "aborted_in_flight":0,"disrupted_flows":0,
+                    "max_update_cycles":{update_cycles},"rollback_recovered":-1,
+                    "stages":[{s0},{s1},{s2}]}},
+                  {{"id":"wedge0","chips":3,"stages_run":1,"outcome_code":2,
+                    "rolled_back_stage":0,"min_healthy_chips":2,
+                    "offered":10000,"delivered":10000,"dropped":0,
+                    "aborted_in_flight":0,"disrupted_flows":0,
+                    "max_update_cycles":73896,"rollback_recovered":{recovered},
+                    "stages":[{w0}]}}],
+                "comparison":{{"staged_min_healthy":{staged_min_healthy},
+                  "bang_min_healthy":0,"staging_gain":{gain}}},
+                "determinism_mismatches":{mismatches},
+                "old_compile_ms":6.0,"new_compile_ms":0.5,"sim_wall_ms":4800.0}}"#,
+            s0 = stage(0, "committed", -1),
+            s1 = stage(1, "committed", -1),
+            s2 = stage(2, "committed", -1),
+            w0 = stage(0, "watchdog-fired", 4264),
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn identical_rollout_docs_pass() {
+        let doc = rollout_doc(4214, 8633, 2, 0);
+        let r = gate_rollout(&doc, &doc);
+        assert!(r.passed(), "{}", r.markdown("rollout"));
+        assert!(r
+            .checks
+            .iter()
+            .any(|c| c.name == "rollout/healthy/chip0/update_cycles"));
+        assert!(r
+            .checks
+            .iter()
+            .any(|c| c.name == "rollout/wedge0/recovery_floor"));
+        assert!(r
+            .checks
+            .iter()
+            .any(|c| c.name == "rollout/comparison/staging_gain_floor"));
+    }
+
+    #[test]
+    fn rollout_update_latency_drift_fails_exactly() {
+        let base = rollout_doc(4214, 8633, 2, 0);
+        let r = gate_rollout(&base, &rollout_doc(4215, 8633, 2, 0));
+        assert!(!r.passed());
+        assert!(r
+            .checks
+            .iter()
+            .any(|c| !c.pass && c.name == "rollout/healthy/max_update_cycles"));
+    }
+
+    #[test]
+    fn rollout_without_post_revert_recovery_fails_floor() {
+        let base = rollout_doc(4214, 8633, 2, 0);
+        let r = gate_rollout(&base, &rollout_doc(4214, 0, 2, 0));
+        assert!(!r.passed());
+        assert!(r
+            .checks
+            .iter()
+            .any(|c| !c.pass && c.name == "rollout/wedge0/recovery_floor"));
+    }
+
+    #[test]
+    fn rollout_determinism_mismatch_fails_regardless_of_baseline() {
+        let doc = rollout_doc(4214, 8633, 2, 1);
+        let r = gate_rollout(&doc, &doc);
+        assert!(!r.passed());
+        assert!(r
+            .checks
+            .iter()
+            .any(|c| !c.pass && c.name == "rollout/determinism_mismatches"));
+    }
+
+    #[test]
+    fn rollout_zero_staging_gain_fails_floor() {
+        let doc = rollout_doc(4214, 8633, 0, 0);
+        let r = gate_rollout(&doc, &doc);
+        assert!(!r.passed());
+        assert!(r
+            .checks
+            .iter()
+            .any(|c| !c.pass && c.name == "rollout/comparison/staging_gain_floor"));
+    }
+
+    #[test]
+    fn rollout_missing_sections_are_structural_errors() {
+        let base = rollout_doc(4214, 8633, 2, 0);
+        let cur = Json::parse(r#"{"bench":"rollout"}"#).unwrap();
+        let r = gate_rollout(&base, &cur);
+        assert!(!r.passed());
+        assert!(!r.errors.is_empty(), "{:?}", r.errors);
     }
 
     #[test]

@@ -5,6 +5,7 @@
 
 pub mod gate;
 pub mod reload;
+pub mod rollout;
 pub mod service;
 
 use ixp_sim::{
@@ -260,6 +261,7 @@ pub fn traffic_topology(chips: usize, mode: SimMode) -> TopologyConfig {
         },
         rx_capacity: 64,
         slots_per_class: 128,
+        overrides: Vec::new(),
     }
 }
 

@@ -219,6 +219,7 @@ pub fn run_restart(variants: usize, persist_dir: &Path) -> RestartRun {
                 .solver_threads(1)
                 .persist_dir(dir)
                 .build(),
+            ..ServerConfig::default()
         })
     };
     let run_batch = |server: &Server| -> (Vec<CompileResponse>, Duration) {

@@ -120,6 +120,7 @@ pub fn run_service(total: usize, distinct: usize, cold_samples: usize) -> Servic
     let server = Server::new(ServerConfig {
         workers: 1,
         compile: service_config(),
+        ..ServerConfig::default()
     });
     let warm_start = Instant::now();
     let responses = server.submit_batch(stream);
@@ -331,6 +332,7 @@ mod tests {
         let server = Server::new(ServerConfig {
             workers: 1,
             compile: service_config(),
+            ..ServerConfig::default()
         });
         let ok = server.submit(CompileRequest::new(
             7,

@@ -73,17 +73,85 @@ pub struct ImageSwap {
     pub stall: u64,
     /// The compiled image to swap in.
     pub image: Program<PhysReg>,
+    /// Expected [`image_checksum`] of the delivered image. When set, the
+    /// barrier validates the image before rewriting the control store; a
+    /// mismatch (the image was corrupted in transit) rejects the swap and
+    /// the running image keeps forwarding
+    /// ([`SwapOutcome::RejectedChecksum`]).
+    pub expected_checksum: Option<u64>,
+    /// Watchdog window in cycles: if the new image transmits nothing
+    /// within `stall + watchdog` cycles of the swap barrier — or halts
+    /// every context without transmitting — the previous image is
+    /// restored ([`SwapOutcome::RevertedWatchdog`]). A watchdog-armed
+    /// swap must therefore have traffic left to forward, or the revert
+    /// is a (deterministic) false positive.
+    pub watchdog: Option<u64>,
 }
 
 impl ImageSwap {
-    /// A swap with the default reload stall.
+    /// A swap with the default reload stall and no fault checks.
     pub fn new(after_packets: u64, image: Program<PhysReg>) -> Self {
         ImageSwap {
             after_packets,
             stall: CONTROL_STORE_RELOAD_CYCLES,
             image,
+            expected_checksum: None,
+            watchdog: None,
         }
     }
+
+    /// Arm barrier-time checksum validation against `expected`.
+    #[must_use]
+    pub fn with_checksum(mut self, expected: u64) -> Self {
+        self.expected_checksum = Some(expected);
+        self
+    }
+
+    /// Arm the no-transmit watchdog with the given window (cycles after
+    /// the reload stall ends).
+    #[must_use]
+    pub fn with_watchdog(mut self, window: u64) -> Self {
+        self.watchdog = Some(window);
+        self
+    }
+}
+
+/// Content checksum of a compiled image — FNV-1a over the program's
+/// canonical rendering. Deterministic for identical programs, and any
+/// single-instruction tamper changes it; the stand-in for the microcode
+/// manifest hash a real update channel would carry.
+pub fn image_checksum(prog: &Program<PhysReg>) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in format!("{prog:?}").bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// How one [`ImageSwap`] resolved. Every variant is decided on the
+/// serial arbitration path, so outcomes are bit-deterministic at any
+/// host thread count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SwapOutcome {
+    /// The run ended before the packet threshold was reached.
+    NotReached,
+    /// The new image took effect and was never reverted.
+    Applied,
+    /// Checksum validation failed at the barrier: the delivered image
+    /// did not match its manifest, the swap was discarded, and the
+    /// running image kept forwarding.
+    RejectedChecksum {
+        /// Barrier cycle at which the corrupt image was rejected.
+        at: u64,
+    },
+    /// The new image was applied but transmitted nothing within its
+    /// watchdog window (or halted the whole chip); the previous image
+    /// was restored.
+    RevertedWatchdog {
+        /// Barrier cycle at which the revert took effect.
+        at: u64,
+    },
 }
 
 /// What one [`ImageSwap`] actually did, in modeled cycles. All fields
@@ -98,8 +166,11 @@ pub struct SwapReport {
     pub swap_cycle: Option<u64>,
     /// Issue cycle of the first packet transmitted *by the new image*
     /// (the first `tx_log` entry appended after the swap barrier), or
-    /// `None` if none was.
+    /// `None` if none was. For a watchdog-reverted swap this is instead
+    /// the first packet out after the rollback — the recovery anchor.
     pub first_tx_cycle: Option<u64>,
+    /// How the swap resolved (applied, rejected, reverted, not reached).
+    pub outcome: SwapOutcome,
 }
 
 impl SwapReport {
@@ -614,6 +685,7 @@ fn next_epoch(
     slice_end: u64,
     slice: u64,
     max_cycles: u64,
+    horizon: Option<u64>,
 ) -> (u64, u64) {
     if mode == SimMode::CycleSlice {
         return (slice_end, 0);
@@ -644,7 +716,15 @@ fn next_epoch(
     let Some(a) = earliest else {
         return (slice_end, 0);
     };
-    let target = (slice_end + (a.max(slice_end) - slice_end) / slice * slice).min(max_cycles);
+    let mut target = (slice_end + (a.max(slice_end) - slice_end) / slice * slice).min(max_cycles);
+    if let Some(d) = horizon {
+        // An armed watchdog's revert decision happens at a barrier: clamp
+        // the jump so the next barrier lands on the first epoch boundary
+        // at or past the deadline, exactly where the cycle-slice oracle
+        // would take it.
+        let k = d.saturating_sub(slice_end).div_ceil(slice).max(1);
+        target = target.min(slice_end + (k - 1) * slice);
+    }
     if target <= slice_end {
         return (slice_end, 0);
     }
@@ -809,6 +889,136 @@ fn apply_swap(engines: &[Mutex<Engine>], image: &Program<PhysReg>, at: u64, stal
     }
 }
 
+/// What one fired swap did, recorded at the barrier that decided it.
+/// `events[i]` always describes `swaps[i]`: swaps are consumed in order
+/// and every consumed swap pushes exactly one event.
+#[derive(Debug, Clone, Copy)]
+enum SwapEvent {
+    Applied {
+        swap_cycle: u64,
+        tx_at: usize,
+    },
+    Rejected {
+        at: u64,
+    },
+    Reverted {
+        swap_cycle: u64,
+        at: u64,
+        tx_at: usize,
+    },
+}
+
+/// An armed no-transmit watchdog guarding the most recently applied swap.
+#[derive(Debug, Clone, Copy)]
+struct Watchdog {
+    /// Index of the guarded swap (into `SwapDriver::events`).
+    swap: usize,
+    /// Barrier cycle at or after which the revert fires.
+    deadline: u64,
+    /// `tx_log` length at the swap: any growth past it means the new
+    /// image forwarded a packet and the swap is committed.
+    tx_at: usize,
+    /// Image index to restore on revert.
+    restore: usize,
+    /// Reload stall to charge for the restore rewrite.
+    stall: u64,
+}
+
+/// Barrier-side swap sequencing: threshold checks, checksum validation,
+/// watchdog commit/revert. Shared verbatim by the serial and pooled
+/// drivers, and only ever run by the coordinator between barriers, so
+/// every decision is bit-deterministic at any host thread count.
+struct SwapDriver<'a> {
+    swaps: &'a [ImageSwap],
+    next: usize,
+    events: Vec<SwapEvent>,
+    armed: Option<Watchdog>,
+}
+
+impl<'a> SwapDriver<'a> {
+    fn new(swaps: &'a [ImageSwap]) -> Self {
+        SwapDriver {
+            swaps,
+            next: 0,
+            events: Vec::new(),
+            armed: None,
+        }
+    }
+
+    /// Earliest cycle at which the armed watchdog can fire. The fast
+    /// path must not jump a barrier past it: the revert decision happens
+    /// *at* a barrier, and skipping over the deadline would revert later
+    /// than the cycle-slice oracle does.
+    fn horizon(&self) -> Option<u64> {
+        self.armed.map(|w| w.deadline)
+    }
+
+    fn at_barrier(
+        &mut self,
+        engines: &[Mutex<Engine>],
+        images: &[&Program<PhysReg>],
+        cur: &AtomicUsize,
+        mem: &SimMemory,
+        slice_end: u64,
+    ) {
+        if let Some(w) = self.armed {
+            if mem.tx_log.len() > w.tx_at {
+                // The new image forwarded a packet: committed.
+                self.armed = None;
+            } else if slice_end >= w.deadline || all_halted(engines) {
+                // Wedged (nothing transmitted inside the window) or
+                // bricked (every context halted without transmitting):
+                // restore the previous image, paying the control-store
+                // rewrite again.
+                apply_swap(engines, images[w.restore], slice_end, w.stall);
+                cur.store(w.restore, Ordering::Release);
+                let SwapEvent::Applied { swap_cycle, .. } = self.events[w.swap] else {
+                    unreachable!("watchdog armed on an unapplied swap");
+                };
+                self.events[w.swap] = SwapEvent::Reverted {
+                    swap_cycle,
+                    at: slice_end,
+                    tx_at: mem.tx_log.len(),
+                };
+                self.armed = None;
+            }
+        }
+        while self.next < self.swaps.len()
+            && mem.tx_log.len() as u64 >= self.swaps[self.next].after_packets
+        {
+            let i = self.next;
+            self.next += 1;
+            let s = &self.swaps[i];
+            if let Some(want) = s.expected_checksum {
+                if want != image_checksum(&s.image) {
+                    self.events.push(SwapEvent::Rejected { at: slice_end });
+                    continue;
+                }
+            }
+            let restore = cur.load(Ordering::Acquire);
+            apply_swap(engines, images[i + 1], slice_end, s.stall);
+            cur.store(i + 1, Ordering::Release);
+            self.events.push(SwapEvent::Applied {
+                swap_cycle: slice_end,
+                tx_at: mem.tx_log.len(),
+            });
+            // A newly applied swap supersedes any earlier watchdog: the
+            // image it guarded is gone either way.
+            self.armed = s.watchdog.map(|window| Watchdog {
+                swap: i,
+                deadline: slice_end + s.stall + window,
+                tx_at: mem.tx_log.len(),
+                restore,
+                stall: s.stall,
+            });
+        }
+    }
+
+    fn count(&self, f: impl Fn(&SwapEvent) -> bool) -> u64 {
+        self.events.iter().filter(|e| f(e)).count() as u64
+    }
+}
+
 fn simulate_chip_inner(
     prog: &Program<PhysReg>,
     swaps: &[ImageSwap],
@@ -831,15 +1041,14 @@ fn simulate_chip_inner(
     let mut fp_skipped_cycles: u64 = 0;
     // Image rotation: `images[0]` is the boot image, `images[i + 1]` is
     // swap `i`'s. `cur` is advanced only by the coordinator between
-    // barriers, so workers always read a settled value. `fired` records
-    // `(swap_cycle, tx_log length at the swap)` per applied swap; the
-    // tx-log index pins "first packet through the new rules" exactly.
+    // barriers, so workers always read a settled value. The swap driver
+    // records per-swap events whose tx-log indices pin "first packet
+    // through the new rules" (or after a rollback) exactly.
     let images: Vec<&Program<PhysReg>> = std::iter::once(prog)
         .chain(swaps.iter().map(|s| &s.image))
         .collect();
     let cur = AtomicUsize::new(0);
-    let mut next_swap = 0usize;
-    let mut fired: Vec<(u64, usize)> = Vec::new();
+    let mut swap_driver = SwapDriver::new(swaps);
 
     let outcome = if workers <= 1 {
         // Serial driver: same slice/barrier structure, no pool.
@@ -863,19 +1072,7 @@ fn simulate_chip_inner(
             if let Some(s) = sampler.as_mut() {
                 s.maybe_sample(obs, slice_end, &channels);
             }
-            while next_swap < swaps.len()
-                && mem.tx_log.len() as u64 >= swaps[next_swap].after_packets
-            {
-                apply_swap(
-                    &engines,
-                    images[next_swap + 1],
-                    slice_end,
-                    swaps[next_swap].stall,
-                );
-                cur.store(next_swap + 1, Ordering::Release);
-                fired.push((slice_end, mem.tx_log.len()));
-                next_swap += 1;
-            }
+            swap_driver.at_barrier(&engines, &images, &cur, mem, slice_end);
             if all_halted(&engines) {
                 break (Ok(StopReason::AllHalted), slice_end);
             }
@@ -886,6 +1083,7 @@ fn simulate_chip_inner(
                 slice_end,
                 slice,
                 cfg.max_cycles,
+                swap_driver.horizon(),
             );
             if skipped > 0 {
                 fp_skips += 1;
@@ -940,19 +1138,7 @@ fn simulate_chip_inner(
                 if let Some(s) = sampler.as_mut() {
                     s.maybe_sample(obs, slice_end, &channels);
                 }
-                while next_swap < swaps.len()
-                    && mem.tx_log.len() as u64 >= swaps[next_swap].after_packets
-                {
-                    apply_swap(
-                        &engines,
-                        images[next_swap + 1],
-                        slice_end,
-                        swaps[next_swap].stall,
-                    );
-                    cur.store(next_swap + 1, Ordering::Release);
-                    fired.push((slice_end, mem.tx_log.len()));
-                    next_swap += 1;
-                }
+                swap_driver.at_barrier(&engines, &images, &cur, mem, slice_end);
                 if all_halted(&engines) {
                     break (Ok(StopReason::AllHalted), slice_end);
                 }
@@ -963,6 +1149,7 @@ fn simulate_chip_inner(
                     slice_end,
                     slice,
                     cfg.max_cycles,
+                    swap_driver.horizon(),
                 );
                 if skipped > 0 {
                     fp_skips += 1;
@@ -986,8 +1173,18 @@ fn simulate_chip_inner(
         // tests compare SimResult, not telemetry).
         obs.counter("sim.fastpath.skips", fp_skips);
         obs.counter("sim.fastpath.skipped_cycles", fp_skipped_cycles);
-        if !fired.is_empty() {
-            obs.counter("sim.reload.swaps", fired.len() as u64);
+        let applied = swap_driver
+            .count(|e| matches!(e, SwapEvent::Applied { .. } | SwapEvent::Reverted { .. }));
+        let rejected = swap_driver.count(|e| matches!(e, SwapEvent::Rejected { .. }));
+        let reverted = swap_driver.count(|e| matches!(e, SwapEvent::Reverted { .. }));
+        if applied > 0 {
+            obs.counter("sim.reload.swaps", applied);
+        }
+        if rejected > 0 {
+            obs.counter("sim.reload.rejected_swaps", rejected);
+        }
+        if reverted > 0 {
+            obs.counter("sim.reload.reverted_swaps", reverted);
         }
     }
     let mut engs: Vec<Engine> = engines
@@ -1014,13 +1211,35 @@ fn simulate_chip_inner(
     let reports: Vec<SwapReport> = swaps
         .iter()
         .enumerate()
-        .map(|(i, s)| {
-            let hit = fired.get(i);
-            SwapReport {
+        .map(|(i, s)| match swap_driver.events.get(i) {
+            None => SwapReport {
                 after_packets: s.after_packets,
-                swap_cycle: hit.map(|&(c, _)| c),
-                first_tx_cycle: hit.and_then(|&(_, idx)| mem.tx_log.get(idx).map(|&(_, _, c)| c)),
-            }
+                swap_cycle: None,
+                first_tx_cycle: None,
+                outcome: SwapOutcome::NotReached,
+            },
+            Some(&SwapEvent::Rejected { at }) => SwapReport {
+                after_packets: s.after_packets,
+                swap_cycle: None,
+                first_tx_cycle: None,
+                outcome: SwapOutcome::RejectedChecksum { at },
+            },
+            Some(&SwapEvent::Applied { swap_cycle, tx_at }) => SwapReport {
+                after_packets: s.after_packets,
+                swap_cycle: Some(swap_cycle),
+                first_tx_cycle: mem.tx_log.get(tx_at).map(|&(_, _, c)| c),
+                outcome: SwapOutcome::Applied,
+            },
+            Some(&SwapEvent::Reverted {
+                swap_cycle,
+                at,
+                tx_at,
+            }) => SwapReport {
+                after_packets: s.after_packets,
+                swap_cycle: Some(swap_cycle),
+                first_tx_cycle: mem.tx_log.get(tx_at).map(|&(_, _, c)| c),
+                outcome: SwapOutcome::RevertedWatchdog { at },
+            },
         })
         .collect();
     Ok((
@@ -1306,9 +1525,8 @@ mod tests {
             ..ChipConfig::default()
         };
         let swaps = [ImageSwap {
-            after_packets: 10,
             stall: 512,
-            image: new,
+            ..ImageSwap::new(10, new)
         }];
         let (res, reports) = simulate_chip_reload(&old, &swaps, &mut mem, &cfg).unwrap();
         assert_eq!(res.stop, StopReason::AllHalted);
@@ -1393,8 +1611,191 @@ mod tests {
                 after_packets: 100,
                 swap_cycle: None,
                 first_tx_cycle: None,
+                outcome: SwapOutcome::NotReached,
             }]
         );
+    }
+
+    /// An image that spins forever without receiving or transmitting:
+    /// the wedged-update case the watchdog exists for.
+    fn wedged_image() -> Program<PhysReg> {
+        Program {
+            blocks: vec![Block {
+                instrs: vec![Instr::CtxSwap],
+                term: Terminator::Jump(BlockId(0)),
+            }],
+            entry: BlockId(0),
+        }
+    }
+
+    #[test]
+    fn checksum_mismatch_rejects_the_swap_and_keeps_the_old_image() {
+        let old = tagged_forwarder(11);
+        let new = tagged_forwarder(22);
+        let mut mem = paced_mem(24, 600);
+        let cfg = ChipConfig {
+            engines: 2,
+            contexts: 2,
+            ..ChipConfig::default()
+        };
+        // The manifest advertises a different image than was delivered.
+        let wrong = image_checksum(&old);
+        assert_ne!(wrong, image_checksum(&new));
+        let swaps = [ImageSwap::new(8, new).with_checksum(wrong)];
+        let (res, reports) = simulate_chip_reload(&old, &swaps, &mut mem, &cfg).unwrap();
+        assert_eq!(res.stop, StopReason::AllHalted);
+        assert_eq!(mem.tx_log.len(), 24, "rejected swap loses no packets");
+        assert!(
+            mem.tx_log.iter().all(|&(_, len, _)| len == 11),
+            "the corrupt image must never run"
+        );
+        assert!(matches!(
+            reports[0].outcome,
+            SwapOutcome::RejectedChecksum { .. }
+        ));
+        assert_eq!(reports[0].swap_cycle, None);
+    }
+
+    #[test]
+    fn matching_checksum_applies_the_swap() {
+        let old = tagged_forwarder(11);
+        let new = tagged_forwarder(22);
+        let sum = image_checksum(&new);
+        let mut mem = paced_mem(24, 600);
+        let cfg = ChipConfig {
+            engines: 2,
+            contexts: 2,
+            ..ChipConfig::default()
+        };
+        let swaps = [ImageSwap::new(8, new).with_checksum(sum)];
+        let (_, reports) = simulate_chip_reload(&old, &swaps, &mut mem, &cfg).unwrap();
+        assert_eq!(reports[0].outcome, SwapOutcome::Applied);
+        assert!(mem.tx_log.iter().any(|&(_, len, _)| len == 22));
+    }
+
+    #[test]
+    fn watchdog_reverts_a_wedged_image_and_traffic_recovers() {
+        let old = tagged_forwarder(11);
+        let mut mem = paced_mem(30, 600);
+        let cfg = ChipConfig {
+            engines: 2,
+            contexts: 2,
+            ..ChipConfig::default()
+        };
+        let swaps = [ImageSwap {
+            stall: 256,
+            ..ImageSwap::new(10, wedged_image())
+        }
+        .with_watchdog(2_000)];
+        let (res, reports) = simulate_chip_reload(&old, &swaps, &mut mem, &cfg).unwrap();
+        assert_eq!(res.stop, StopReason::AllHalted, "the chip must not wedge");
+        let report = &reports[0];
+        let SwapOutcome::RevertedWatchdog { at } = report.outcome else {
+            panic!("expected a watchdog revert, got {:?}", report.outcome);
+        };
+        let swap_cycle = report.swap_cycle.expect("the swap fired");
+        assert!(
+            at >= swap_cycle + 256 + 2_000,
+            "revert waits out stall + window: {at} vs swap {swap_cycle}"
+        );
+        // Every offered packet is eventually forwarded by the restored
+        // image: the wedge delayed traffic but lost none (admission only
+        // happens at rx grants, which the wedged image never issued).
+        assert_eq!(mem.tx_log.len(), 30, "rollback restores the data plane");
+        assert!(mem.tx_log.iter().all(|&(_, len, _)| len == 11));
+        let first_after = report.first_tx_cycle.expect("traffic recovered");
+        assert!(first_after >= at + 256, "recovery pays the restore stall");
+    }
+
+    #[test]
+    fn watchdog_reverts_a_bricked_image_before_the_deadline() {
+        let old = tagged_forwarder(11);
+        let brick = Program {
+            blocks: vec![Block {
+                instrs: vec![],
+                term: Terminator::Halt,
+            }],
+            entry: BlockId(0),
+        };
+        let mut mem = paced_mem(20, 600);
+        let cfg = ChipConfig {
+            engines: 2,
+            contexts: 2,
+            ..ChipConfig::default()
+        };
+        // Window far beyond the run: only the all-halted trigger can fire.
+        let swaps = [ImageSwap {
+            stall: 256,
+            ..ImageSwap::new(8, brick)
+        }
+        .with_watchdog(50_000_000)];
+        let (res, reports) = simulate_chip_reload(&old, &swaps, &mut mem, &cfg).unwrap();
+        assert_eq!(res.stop, StopReason::AllHalted);
+        let SwapOutcome::RevertedWatchdog { at } = reports[0].outcome else {
+            panic!("expected a watchdog revert, got {:?}", reports[0].outcome);
+        };
+        let swap_cycle = reports[0].swap_cycle.unwrap();
+        assert!(
+            at < swap_cycle + 256 + 50_000_000,
+            "a bricked chip reverts immediately, not at the deadline"
+        );
+        assert_eq!(mem.tx_log.len(), 20, "all traffic drains after revert");
+    }
+
+    #[test]
+    fn watchdog_commits_quietly_when_the_new_image_is_healthy() {
+        let old = tagged_forwarder(11);
+        let new = tagged_forwarder(22);
+        let mut mem = paced_mem(30, 600);
+        let cfg = ChipConfig {
+            engines: 2,
+            contexts: 2,
+            ..ChipConfig::default()
+        };
+        let swaps = [ImageSwap::new(10, new).with_watchdog(100_000)];
+        let (res, reports) = simulate_chip_reload(&old, &swaps, &mut mem, &cfg).unwrap();
+        assert_eq!(res.stop, StopReason::AllHalted);
+        assert_eq!(reports[0].outcome, SwapOutcome::Applied);
+        assert_eq!(mem.tx_log.len(), 30);
+        assert!(mem.tx_log.iter().any(|&(_, len, _)| len == 22));
+    }
+
+    #[test]
+    fn faulted_swaps_are_deterministic_across_threads_and_modes() {
+        let run = |host_threads: usize, mode: SimMode| {
+            let mut mem = paced_mem(40, 500);
+            let cfg = ChipConfig {
+                engines: 3,
+                contexts: 2,
+                host_threads,
+                mode,
+                ..ChipConfig::default()
+            };
+            let swaps = [
+                ImageSwap::new(6, tagged_forwarder(2)).with_checksum(7), // corrupt
+                ImageSwap {
+                    stall: 256,
+                    ..ImageSwap::new(12, wedged_image())
+                }
+                .with_watchdog(1_500),
+            ];
+            let (res, reports) =
+                simulate_chip_reload(&tagged_forwarder(1), &swaps, &mut mem, &cfg).unwrap();
+            (fingerprint(&res, &mem), reports)
+        };
+        let a = run(1, SimMode::FastPath);
+        assert_eq!(a, run(2, SimMode::FastPath));
+        assert_eq!(a, run(4, SimMode::FastPath));
+        assert_eq!(a, run(1, SimMode::CycleSlice));
+        assert_eq!(a, run(4, SimMode::CycleSlice));
+        assert!(matches!(
+            a.1[0].outcome,
+            SwapOutcome::RejectedChecksum { .. }
+        ));
+        assert!(matches!(
+            a.1[1].outcome,
+            SwapOutcome::RevertedWatchdog { .. }
+        ));
     }
 
     #[test]

@@ -21,16 +21,25 @@ mod chip;
 mod engine;
 mod machine;
 mod packets;
+mod rollout;
 mod sim;
 mod topology;
 
 pub use chip::{
-    simulate_chip, simulate_chip_reload, simulate_chip_reload_with, simulate_chip_with, ChipConfig,
-    ImageSwap, SwapReport, CONTROL_STORE_RELOAD_CYCLES,
+    image_checksum, simulate_chip, simulate_chip_reload, simulate_chip_reload_with,
+    simulate_chip_with, ChipConfig, ImageSwap, SwapOutcome, SwapReport,
+    CONTROL_STORE_RELOAD_CYCLES,
 };
 pub use machine::{RxGrant, SimMemory};
 pub use packets::{FlowPacket, PacketGen, PacketSpec, TrafficSpec};
+pub use rollout::{
+    big_bang_rollout, staged_rollout, DisruptionReport, HealthSlo, RollbackReason, RolloutConfig,
+    RolloutFaults, RolloutOutcome, RolloutReport, StageOutcome, StageReport, WindowHealth,
+};
 pub use sim::{
     simulate, simulate_with, EngineStats, SimConfig, SimError, SimMode, SimResult, StopReason,
 };
-pub use topology::{simulate_topology, ChipShard, LatencySummary, TopologyConfig, TopologyResult};
+pub use topology::{
+    shard_of, simulate_topology, ChipShard, LatencySummary, TopologyConfig, TopologyError,
+    TopologyResult,
+};

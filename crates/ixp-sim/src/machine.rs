@@ -53,6 +53,13 @@ pub struct SimMemory {
     /// grant_cycle)` in grant order — the receive-side half of per-packet
     /// latency accounting (the transmit side is `tx_log`).
     pub rx_grants: Vec<(u32, u64, u64)>,
+    /// Per-arrival admission verdicts of the timed model, in arrival
+    /// order: `true` = admitted to the backlog, `false` = tail-dropped.
+    /// The backlog is FIFO, so the *j*-th `true` entry is the *j*-th
+    /// grant — this log joins `rx_grants` back to the original arrival
+    /// schedule (and through it to flows) for per-flow disruption
+    /// accounting.
+    pub rx_admissions: Vec<bool>,
     /// Transmitted packets with their completion cycle:
     /// `(sdram_word_address, length_bytes, cycle)`.
     pub tx_log: Vec<(u32, u32, u64)>,
@@ -114,8 +121,10 @@ impl SimMemory {
             self.rx_arrivals.pop_front();
             if self.rx_capacity > 0 && self.rx_backlog.len() >= self.rx_capacity {
                 self.rx_dropped += 1;
+                self.rx_admissions.push(false);
             } else {
                 self.rx_backlog.push_back((arrival, len, addr));
+                self.rx_admissions.push(true);
             }
         }
         match self.rx_backlog.pop_front() {
@@ -195,6 +204,8 @@ mod tests {
         assert_eq!(m.rx_grant(21), RxGrant::Packet { len: 64, addr: 16 });
         assert_eq!(m.rx_grant(22), RxGrant::Empty);
         assert_eq!(m.rx_dropped, 3);
+        // The admission log names exactly which arrivals survived.
+        assert_eq!(m.rx_admissions, vec![true, true, false, false, false]);
     }
 
     #[test]

@@ -32,7 +32,7 @@ pub fn shard_of(flow: u64, chips: usize) -> usize {
 pub struct TopologyConfig {
     /// Number of chips behind the load balancer.
     pub chips: usize,
-    /// Configuration applied to every chip.
+    /// Configuration applied to every chip without an override below.
     pub chip: ChipConfig,
     /// Per-chip receive buffer bound (packets); `0` means unbounded.
     /// Arrivals beyond it are tail-dropped and counted.
@@ -43,6 +43,12 @@ pub struct TopologyConfig {
     /// the in-flight bound (`rx_capacity` + contexts), below which a
     /// queued packet's buffer could be handed out again.
     pub slots_per_class: usize,
+    /// Per-shard configuration overrides `(chip_index, config)`: tests
+    /// and fault campaigns can degrade exactly one shard (fewer engines,
+    /// injected channel faults, a different scheduler mode) while the
+    /// rest of the rack runs the baseline `chip` config. The last entry
+    /// matching a shard wins.
+    pub overrides: Vec<(usize, ChipConfig)>,
 }
 
 impl Default for TopologyConfig {
@@ -52,9 +58,40 @@ impl Default for TopologyConfig {
             chip: ChipConfig::default(),
             rx_capacity: 64,
             slots_per_class: 64,
+            overrides: Vec::new(),
         }
     }
 }
+
+impl TopologyConfig {
+    /// The configuration shard `shard` actually runs under.
+    pub fn chip_for(&self, shard: usize) -> &ChipConfig {
+        self.overrides
+            .iter()
+            .rev()
+            .find(|(s, _)| *s == shard)
+            .map_or(&self.chip, |(_, c)| c)
+    }
+}
+
+/// A [`SimError`] attributed to the chip that hit it. When several chips
+/// fail in one run, the lowest chip index is reported — deterministically,
+/// regardless of host scheduling.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TopologyError {
+    /// Index of the failing chip (lowest, if several failed).
+    pub chip: usize,
+    /// The underlying simulation error.
+    pub error: SimError,
+}
+
+impl std::fmt::Display for TopologyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "chip {}: {}", self.chip, self.error)
+    }
+}
+
+impl std::error::Error for TopologyError {}
 
 /// Order statistics over per-packet latencies (cycles from wire arrival
 /// to transmit), computed by nearest rank.
@@ -73,7 +110,7 @@ pub struct LatencySummary {
 }
 
 impl LatencySummary {
-    fn from_sorted(lat: &[u64]) -> Self {
+    pub(crate) fn from_sorted(lat: &[u64]) -> Self {
         let pick = |p: u64| -> u64 {
             if lat.is_empty() {
                 return 0;
@@ -146,62 +183,28 @@ pub struct TopologyResult {
 ///
 /// # Errors
 ///
-/// Returns the first [`SimError`] any chip hits (which
-/// [`ixp_machine::validate`] should have ruled out).
+/// Returns a [`TopologyError`] naming the failing chip (lowest index if
+/// several failed) when any chip hits a [`SimError`] — which
+/// [`ixp_machine::validate`] should have ruled out.
 pub fn simulate_topology<F>(
     prog: &Program<PhysReg>,
     cfg: &TopologyConfig,
     trace: &[FlowPacket],
     write_packet: F,
-) -> Result<TopologyResult, SimError>
+) -> Result<TopologyResult, TopologyError>
 where
     F: Fn(&mut SimMemory, u32, u32),
 {
     let chips = cfg.chips.max(1);
-    // A slot must not be re-granted while its previous occupant can still
-    // be queued or in service: bound in-flight packets per chip.
-    let in_flight = cfg.rx_capacity + cfg.chip.engines.max(1) * cfg.chip.contexts.max(1);
-    let slots = cfg.slots_per_class.max(in_flight + 1) as u32;
-
-    let mut mems: Vec<SimMemory> = Vec::with_capacity(chips);
-    for shard in 0..chips {
-        let mut mem = SimMemory {
-            rx_capacity: cfg.rx_capacity,
-            ..Default::default()
-        };
-        // Length classes in first-seen order; each gets a ring of
-        // pre-written buffers.
-        let mut classes: Vec<(u32, u32, u32)> = Vec::new(); // (bytes, base, stride)
-        let mut next_base = 0u32;
-        let mut ring_pos: Vec<u32> = Vec::new();
-        for p in trace.iter().filter(|p| shard_of(p.flow, chips) == shard) {
-            let ci = match classes.iter().position(|c| c.0 == p.bytes) {
-                Some(i) => i,
-                None => {
-                    let stride = (p.bytes.div_ceil(4) + 1) & !1; // quad-word aligned
-                    classes.push((p.bytes, next_base, stride));
-                    ring_pos.push(0);
-                    for s in 0..slots {
-                        write_packet(&mut mem, next_base + s * stride, p.bytes);
-                    }
-                    next_base += slots * stride;
-                    classes.len() - 1
-                }
-            };
-            let (bytes, base, stride) = classes[ci];
-            let addr = base + ring_pos[ci] * stride;
-            ring_pos[ci] = (ring_pos[ci] + 1) % slots;
-            mem.rx_arrivals.push_back((p.arrival, bytes, addr));
-        }
-        mems.push(mem);
-    }
+    let mut mems = shard_memories(cfg, trace, &write_packet);
 
     // One host thread per chip. Chips share nothing, so this is the
     // embarrassingly parallel layer above the per-chip engine pool.
     let results: Vec<Result<SimResult, SimError>> = std::thread::scope(|s| {
         let handles: Vec<_> = mems
             .iter_mut()
-            .map(|mem| s.spawn(move || simulate_chip(prog, mem, &cfg.chip)))
+            .enumerate()
+            .map(|(shard, mem)| s.spawn(move || simulate_chip(prog, mem, cfg.chip_for(shard))))
             .collect();
         handles.into_iter().map(|h| h.join().unwrap()).collect()
     });
@@ -213,8 +216,11 @@ where
     let mut dropped = 0u64;
     let mut cycles = 0u64;
     let mut mbps = 0.0f64;
+    // Shard order ascends, so the first error reported is always the
+    // lowest failing chip index — independent of which host thread
+    // finished (or failed) first.
     for (shard, (res, mem)) in results.into_iter().zip(mems.iter()).enumerate() {
-        let res = res?;
+        let res = res.map_err(|error| TopologyError { chip: shard, error })?;
         let lat = shard_latencies(mem);
         let mut sorted = lat.clone();
         sorted.sort_unstable();
@@ -253,18 +259,71 @@ where
     })
 }
 
-/// Per-packet latencies of one finished chip: pair the k-th grant of each
-/// buffer address with the k-th transmit of that address. Grants carry
-/// the packet's true wire arrival, so `latency = tx_cycle - arrival`
-/// includes queueing delay in the receive buffer.
-fn shard_latencies(mem: &SimMemory) -> Vec<u64> {
+/// Build every shard's [`SimMemory`] from the global trace: the balancer
+/// split, length-class slot rings, and the timed arrival schedule. Shared
+/// with the rollout controller so a staged re-run of one shard sees
+/// byte-identical input to the topology run it is compared against.
+pub(crate) fn shard_memories<F>(
+    cfg: &TopologyConfig,
+    trace: &[FlowPacket],
+    write_packet: &F,
+) -> Vec<SimMemory>
+where
+    F: Fn(&mut SimMemory, u32, u32),
+{
+    let chips = cfg.chips.max(1);
+    let mut mems: Vec<SimMemory> = Vec::with_capacity(chips);
+    for shard in 0..chips {
+        let chip = cfg.chip_for(shard);
+        // A slot must not be re-granted while its previous occupant can
+        // still be queued or in service: bound in-flight packets per chip.
+        let in_flight = cfg.rx_capacity + chip.engines.max(1) * chip.contexts.max(1);
+        let slots = cfg.slots_per_class.max(in_flight + 1) as u32;
+        let mut mem = SimMemory {
+            rx_capacity: cfg.rx_capacity,
+            ..Default::default()
+        };
+        // Length classes in first-seen order; each gets a ring of
+        // pre-written buffers.
+        let mut classes: Vec<(u32, u32, u32)> = Vec::new(); // (bytes, base, stride)
+        let mut next_base = 0u32;
+        let mut ring_pos: Vec<u32> = Vec::new();
+        for p in trace.iter().filter(|p| shard_of(p.flow, chips) == shard) {
+            let ci = match classes.iter().position(|c| c.0 == p.bytes) {
+                Some(i) => i,
+                None => {
+                    let stride = (p.bytes.div_ceil(4) + 1) & !1; // quad-word aligned
+                    classes.push((p.bytes, next_base, stride));
+                    ring_pos.push(0);
+                    for s in 0..slots {
+                        write_packet(&mut mem, next_base + s * stride, p.bytes);
+                    }
+                    next_base += slots * stride;
+                    classes.len() - 1
+                }
+            };
+            let (bytes, base, stride) = classes[ci];
+            let addr = base + ring_pos[ci] * stride;
+            ring_pos[ci] = (ring_pos[ci] + 1) % slots;
+            mem.rx_arrivals.push_back((p.arrival, bytes, addr));
+        }
+        mems.push(mem);
+    }
+    mems
+}
+
+/// Per-grant latency of one finished chip, aligned with `rx_grants`:
+/// entry *k* is the arrival-to-transmit latency of the k-th granted
+/// packet, or `None` if that grant never produced a transmit (aborted in
+/// flight by a cycle limit or an image swap). Grants hand out slot-ring
+/// base addresses, but programs may transmit from a small offset inside
+/// the buffer (NAT moves the packet start forward when the IPv6 header
+/// shrinks to IPv4), so each transmit is attributed to the nearest
+/// granted base at or below its address — offsets never reach the next
+/// slot because the ring stride covers the whole buffer; pairing is k-th
+/// grant of a base with the k-th transmit out of that base.
+pub(crate) fn grant_latencies(mem: &SimMemory) -> Vec<Option<u64>> {
     use std::collections::HashMap;
-    // Grants hand out slot-ring base addresses, but programs may
-    // transmit from a small offset inside the buffer (NAT moves the
-    // packet start forward when the IPv6 header shrinks to IPv4), so
-    // attribute each transmit to the nearest granted base at or below
-    // its address — offsets never reach the next slot because the ring
-    // stride covers the whole buffer.
     let mut bases: Vec<u32> = mem.rx_grants.iter().map(|&(a, _, _)| a).collect();
     bases.sort_unstable();
     bases.dedup();
@@ -276,13 +335,23 @@ fn shard_latencies(mem: &SimMemory) -> Vec<u64> {
         }
         tx_of.entry(bases[i - 1]).or_default().push_back(cycle);
     }
-    let mut lat = Vec::with_capacity(mem.rx_grants.len());
-    for &(addr, arrival, _grant) in &mem.rx_grants {
-        if let Some(tx) = tx_of.get_mut(&addr).and_then(|q| q.pop_front()) {
-            lat.push(tx.saturating_sub(arrival));
-        }
-    }
-    lat
+    mem.rx_grants
+        .iter()
+        .map(|&(addr, arrival, _grant)| {
+            tx_of
+                .get_mut(&addr)
+                .and_then(|q| q.pop_front())
+                .map(|tx| tx.saturating_sub(arrival))
+        })
+        .collect()
+}
+
+/// Per-packet latencies of one finished chip: the matched grants of
+/// [`grant_latencies`]. Grants carry the packet's true wire arrival, so
+/// `latency = tx_cycle - arrival` includes queueing delay in the receive
+/// buffer.
+fn shard_latencies(mem: &SimMemory) -> Vec<u64> {
+    grant_latencies(mem).into_iter().flatten().collect()
 }
 
 #[cfg(test)]
@@ -332,6 +401,7 @@ mod tests {
             },
             rx_capacity: 8,
             slots_per_class: 8,
+            overrides: Vec::new(),
         }
     }
 
@@ -446,6 +516,64 @@ mod tests {
         .unwrap();
         assert_eq!(res.latency.count, res.delivered);
         assert!(res.latency.p50 > 0);
+    }
+
+    #[test]
+    fn per_shard_override_degrades_exactly_one_chip() {
+        let t = trace(400);
+        let mut cfg = small_cfg(2, SimMode::FastPath);
+        // Shard 0 gets a starvation-level cycle budget; shard 1 runs the
+        // baseline config and must be unaffected.
+        cfg.overrides.push((
+            0,
+            ChipConfig {
+                engines: 2,
+                contexts: 2,
+                max_cycles: 2_000,
+                mode: SimMode::FastPath,
+                ..ChipConfig::default()
+            },
+        ));
+        let res = simulate_topology(&forwarder(), &cfg, &t, |m, a, b| {
+            m.write(MemSpace::Sdram, a, b);
+        })
+        .unwrap();
+        assert_eq!(res.chips[0].result.stop, StopReason::CycleLimit);
+        assert_eq!(res.chips[1].result.stop, StopReason::AllHalted);
+        let baseline = simulate_topology(
+            &forwarder(),
+            &small_cfg(2, SimMode::FastPath),
+            &t,
+            |m, a, b| {
+                m.write(MemSpace::Sdram, a, b);
+            },
+        )
+        .unwrap();
+        assert_eq!(
+            res.chips[1].delivered, baseline.chips[1].delivered,
+            "the un-overridden shard is untouched"
+        );
+    }
+
+    #[test]
+    fn errors_name_the_lowest_failing_chip() {
+        // Every chip hits the same bad jump target; the error must still
+        // deterministically name chip 0.
+        let bad = Program {
+            blocks: vec![Block {
+                instrs: vec![],
+                term: Terminator::Jump(BlockId(7)),
+            }],
+            entry: BlockId(0),
+        };
+        let t = trace(200);
+        let err = simulate_topology(&bad, &small_cfg(4, SimMode::FastPath), &t, |m, a, b| {
+            m.write(MemSpace::Sdram, a, b);
+        })
+        .unwrap_err();
+        assert_eq!(err.chip, 0);
+        assert!(matches!(err.error, SimError::BadTarget(_)));
+        assert!(err.to_string().starts_with("chip 0:"));
     }
 
     #[test]

@@ -46,10 +46,13 @@ use std::time::Duration;
 pub use ilp::KernelKind;
 pub use ixp_machine::channel::{ChannelFaults, ChannelStats};
 pub use ixp_sim::{
-    simulate, simulate_chip, simulate_chip_reload, simulate_chip_reload_with, simulate_chip_with,
-    simulate_topology, simulate_with, ChipConfig, ChipShard, EngineStats, FlowPacket, ImageSwap,
-    LatencySummary, RxGrant, SimConfig, SimMemory, SimMode, SimResult, StopReason, SwapReport,
-    TopologyConfig, TopologyResult, TrafficSpec,
+    big_bang_rollout, image_checksum, simulate, simulate_chip, simulate_chip_reload,
+    simulate_chip_reload_with, simulate_chip_with, simulate_topology, simulate_with,
+    staged_rollout, ChipConfig, ChipShard, DisruptionReport, EngineStats, FlowPacket, HealthSlo,
+    ImageSwap, LatencySummary, RollbackReason, RolloutConfig, RolloutFaults, RolloutOutcome,
+    RolloutReport, RxGrant, SimConfig, SimMemory, SimMode, SimResult, StageOutcome, StageReport,
+    StopReason, SwapOutcome, SwapReport, TopologyConfig, TopologyError, TopologyResult,
+    TrafficSpec, WindowHealth,
 };
 pub use nova_backend::{AllocQuality, AllocStats, FallbackPolicy};
 pub use nova_frontend::Span;
@@ -495,6 +498,9 @@ pub enum Phase {
     /// Post-allocation code generation: solution extraction, A/B
     /// coloring, verification, machine-rule validation.
     Codegen,
+    /// Not a pipeline phase: failures injected by the serving layer
+    /// around the compiler (worker panics, deadlines, load shedding).
+    Service,
 }
 
 impl Phase {
@@ -509,6 +515,7 @@ impl Phase {
             Phase::Isel => "isel",
             Phase::Alloc => "alloc",
             Phase::Codegen => "codegen",
+            Phase::Service => "service",
         }
     }
 }

@@ -35,6 +35,12 @@
 #                                   warm/cold artifact difference, or a
 #                                   corrupted entry not degrading to a
 #                                   clean miss (seconds)
+#   scripts/tier1.sh --rollout-smoke  also run a scaled-down staged-rollout
+#                                   fault campaign: healthy commit with
+#                                   packet conservation, watchdog rollback
+#                                   of a wedged image, checksum rejection
+#                                   of a corrupt image, bit-identical
+#                                   reports across host threads (seconds)
 #
 # Flags combine: `scripts/tier1.sh --lint --bench-smoke --chip-smoke`
 # runs those extras after the build and test suite.
@@ -55,6 +61,7 @@ run_degrade_smoke=0
 run_traffic_smoke=0
 run_service_smoke=0
 run_persist_smoke=0
+run_rollout_smoke=0
 for arg in "$@"; do
     case "$arg" in
         --lint)          run_lint=1 ;;
@@ -65,9 +72,10 @@ for arg in "$@"; do
         --traffic-smoke) run_traffic_smoke=1 ;;
         --service-smoke) run_service_smoke=1 ;;
         --persist-smoke) run_persist_smoke=1 ;;
+        --rollout-smoke) run_rollout_smoke=1 ;;
         *)
             echo "unknown flag: $arg" >&2
-            echo "usage: scripts/tier1.sh [--lint] [--bench] [--bench-smoke] [--chip-smoke] [--degrade-smoke] [--traffic-smoke] [--service-smoke] [--persist-smoke]" >&2
+            echo "usage: scripts/tier1.sh [--lint] [--bench] [--bench-smoke] [--chip-smoke] [--degrade-smoke] [--traffic-smoke] [--service-smoke] [--persist-smoke] [--rollout-smoke]" >&2
             exit 2
             ;;
     esac
@@ -139,6 +147,11 @@ fi
 if [[ "$run_persist_smoke" == 1 ]]; then
     echo "== persist smoke (release, cold/restart/corrupt, exact disk counters) =="
     cargo run --release -p bench --bin persist_smoke
+fi
+
+if [[ "$run_rollout_smoke" == 1 ]]; then
+    echo "== rollout smoke (release, staged rollout under injected swap faults) =="
+    cargo run --release -p bench --bin rollout_smoke
 fi
 
 echo "tier-1 OK"

@@ -167,6 +167,7 @@ fn server_restart_warms_from_disk() {
         Server::new(ServerConfig {
             workers,
             compile: cfg(Some(&dir)),
+            ..ServerConfig::default()
         })
     };
 
